@@ -1,0 +1,60 @@
+// Shared helpers for the experiment harness binaries: fixed-width table rendering and
+// paper-vs-measured comparison rows.
+
+#ifndef PROBCON_BENCH_BENCH_UTIL_H_
+#define PROBCON_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace probcon::bench {
+
+// Prints a header box for an experiment.
+inline void PrintBanner(const std::string& experiment_id, const std::string& title) {
+  std::printf("\n=== %s: %s ===\n", experiment_id.c_str(), title.c_str());
+}
+
+// Fixed-width row rendering: every cell padded to the widest cell in its column.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    std::vector<size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+      for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    };
+    widen(header_);
+    for (const auto& row : rows_) {
+      widen(row);
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (size_t i = 0; i < widths.size(); ++i) {
+        const std::string& cell = i < row.size() ? row[i] : std::string();
+        std::printf("| %-*s ", static_cast<int>(widths[i]), cell.c_str());
+      }
+      std::printf("|\n");
+    };
+    print_row(header_);
+    for (size_t i = 0; i < widths.size(); ++i) {
+      std::printf("|%s", std::string(widths[i] + 2, '-').c_str());
+    }
+    std::printf("|\n");
+    for (const auto& row : rows_) {
+      print_row(row);
+    }
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace probcon::bench
+
+#endif  // PROBCON_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,63 @@
+// E4 — §3 claim: "Raft and PBFT underutilize reliable nodes."
+//
+// Paper setup: a 7-node p=8% Raft cluster is 99.88% safe-and-live. Replacing three nodes with
+// p=1% ones (almost half the cluster) improves the count-based figure only slightly, because
+// quorum-oblivious Raft may persist data on the unreliable nodes alone. Requiring every
+// persistence quorum to include a reliable node lifts worst-case durability much further.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/analysis/durability.h"
+#include "src/analysis/reliability.h"
+
+namespace probcon {
+namespace {
+
+void Run() {
+  bench::PrintBanner("E4", "fault-curve-aware quorum placement vs oblivious Raft");
+
+  const std::vector<double> uniform(7, 0.08);
+  const std::vector<double> mixed = {0.08, 0.08, 0.08, 0.08, 0.01, 0.01, 0.01};
+  const auto config = RaftConfig::Standard(7);
+
+  const auto uniform_report =
+      AnalyzeRaft(config, ReliabilityAnalyzer::ForIndependentNodes(uniform));
+  const auto mixed_report =
+      AnalyzeRaft(config, ReliabilityAnalyzer::ForIndependentNodes(mixed));
+
+  bench::Table sl({"cluster", "S&L", "paper"});
+  sl.AddRow({"7 nodes @ 8%", FormatPercent(uniform_report.safe_and_live), "99.88%"});
+  sl.AddRow({"4 @ 8% + 3 @ 1% (oblivious)", FormatPercent(mixed_report.safe_and_live),
+             "~99.98%"});
+  sl.Print();
+
+  // Durability of a committed entry: which 4 nodes hold it?
+  const IndependentFailureModel mixed_model(mixed);
+  const auto placement = AnalyzePlacementDurability(mixed_model, config.q_per);
+  const auto constrained = WorstCaseLossWithReliableConstraint(
+      mixed_model, config.q_per, /*reliable_set=*/0b1110000, /*min_reliable=*/1);
+
+  bench::Table durability({"persistence-quorum policy", "worst-case durability", "paper"});
+  durability.AddRow({"oblivious (may use only 8% nodes)",
+                     FormatPercent(placement.worst_case_loss.Not()), "(implied baseline)"});
+  durability.AddRow({">= 1 reliable node per quorum",
+                     FormatPercent(constrained.Not()), "99.994%"});
+  durability.AddRow({"most reliable 4 nodes", FormatPercent(placement.best_case_loss.Not()),
+                     "-"});
+  durability.AddRow({"random quorum", FormatPercent(placement.random_quorum_loss.Not()), "-"});
+  durability.Print();
+
+  std::printf(
+      "\nshape check: replacing 3 of 7 nodes barely moves the count-based S&L figure, while\n"
+      "the placement-aware constraint improves worst-case durability by %.0fx.\n",
+      placement.worst_case_loss.value() / constrained.value());
+}
+
+}  // namespace
+}  // namespace probcon
+
+int main() {
+  probcon::Run();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// E7 — §4 claim: quorum systems that enforce durability are too conservative.
+//
+// "In a 100 node cluster where |Q_per| = 10 and p_u = 10% there is a 50% chance that |Q_per|
+//  faults occur. However, for this situation to incur data loss, the failures must perfectly
+//  overlap with the most recently formed persistence quorum which has a one in ten billion
+//  probability."
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/analysis/durability.h"
+
+namespace probcon {
+namespace {
+
+void Run() {
+  bench::PrintBanner("E7", "f-threshold pessimism: failure count vs placement overlap");
+
+  const auto headline = AnalyzePersistenceOverlap(100, 10, 0.10);
+  std::printf("n=100, |Q_per|=10, p=10%%:\n");
+  std::printf("  P(>= 10 faults occur)           = %.3f   (paper: ~50%%)\n",
+              headline.quorum_many_failures.value());
+  std::printf("  P(they wipe the exact quorum)   = %.3g   (paper: 1e-10)\n",
+              headline.specific_quorum_wipeout.value());
+  std::printf("  gap: %.1e x\n\n", headline.quorum_many_failures.value() /
+                                       headline.specific_quorum_wipeout.value());
+
+  bench::Table table({"n", "q_per", "p", "P(>= q_per faults)", "P(specific quorum wiped)",
+                      "gap"});
+  const struct {
+    int n;
+    int q;
+    double p;
+  } sweeps[] = {{20, 5, 0.10}, {50, 5, 0.10},  {100, 5, 0.10}, {100, 10, 0.10},
+                {100, 10, 0.05}, {200, 10, 0.10}, {100, 20, 0.10}};
+  for (const auto& sweep : sweeps) {
+    const auto overlap = AnalyzePersistenceOverlap(sweep.n, sweep.q, sweep.p);
+    char count_text[32];
+    char wipe_text[32];
+    char gap_text[32];
+    std::snprintf(count_text, sizeof(count_text), "%.3g",
+                  overlap.quorum_many_failures.value());
+    std::snprintf(wipe_text, sizeof(wipe_text), "%.3g",
+                  overlap.specific_quorum_wipeout.value());
+    std::snprintf(gap_text, sizeof(gap_text), "%.1e",
+                  overlap.quorum_many_failures.value() /
+                      overlap.specific_quorum_wipeout.value());
+    char p_text[16];
+    std::snprintf(p_text, sizeof(p_text), "%g", sweep.p);
+    table.AddRow({std::to_string(sweep.n), std::to_string(sweep.q), p_text, count_text,
+                  wipe_text, gap_text});
+  }
+  table.Print();
+  std::printf(
+      "\nshape check: the count-based (f-threshold) risk and the placement-aware risk diverge\n"
+      "by many orders of magnitude, and the gap widens with cluster size.\n");
+}
+
+}  // namespace
+}  // namespace probcon
+
+int main() {
+  probcon::Run();
+  return 0;
+}

@@ -1,0 +1,148 @@
+// E13 — §2's third observation, quantified: "Faults are correlated."
+//
+// The paper's §3 analysis (and Tables 1-2) assumes independence. This bench measures how far
+// the independence-based nines overstate reliability once the §2 correlation mechanisms are
+// modeled: cluster-wide common-cause shocks (rollouts, platform CVEs), rack-level failure
+// domains, and exchangeable "bad day" drift (beta-binomial). Same marginal per-node failure
+// probability in every row — only the correlation structure changes.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/analysis/placement.h"
+#include "src/analysis/reliability.h"
+#include "src/quorum/availability.h"
+
+namespace probcon {
+namespace {
+
+Probability RaftSafeLiveUnderModel(std::unique_ptr<JointFailureModel> model) {
+  const int n = model->n();
+  const ReliabilityAnalyzer analyzer(std::move(model));
+  return AnalyzeRaft(RaftConfig::Standard(n), analyzer).safe_and_live;
+}
+
+void CommonCauseSweep() {
+  std::printf("\ncommon-cause shocks, 5 nodes, marginal p per window held at ~1%%:\n");
+  bench::Table table({"P(shock)", "P(node dies | shock)", "S&L", "nines"});
+  // Baseline: independent.
+  {
+    const auto sl = RaftSafeLiveUnderModel(
+        std::make_unique<IndependentFailureModel>(std::vector<double>(5, 0.01)));
+    char nines[16];
+    std::snprintf(nines, sizeof(nines), "%.2f", sl.nines());
+    table.AddRow({"0 (independent)", "-", FormatPercent(sl), nines});
+  }
+  for (const double shock : {1e-4, 1e-3, 1e-2}) {
+    for (const double hit : {0.5, 0.95}) {
+      // Keep the marginal at 1%: base + (1-base)*shock*hit = 0.01.
+      const double base = (0.01 - shock * hit) / (1.0 - shock * hit);
+      const auto sl = RaftSafeLiveUnderModel(std::make_unique<CommonCauseFailureModel>(
+          std::vector<double>(5, base), shock, std::vector<double>(5, hit)));
+      char shock_text[16];
+      char hit_text[16];
+      char nines[16];
+      std::snprintf(shock_text, sizeof(shock_text), "%g", shock);
+      std::snprintf(hit_text, sizeof(hit_text), "%g", hit);
+      std::snprintf(nines, sizeof(nines), "%.2f", sl.nines());
+      table.AddRow({shock_text, hit_text, FormatPercent(sl), nines});
+    }
+  }
+  table.Print();
+}
+
+void FailureDomainSweep() {
+  std::printf("\nrack placement, 6 nodes (majority quorum 4), node base p=0.5%%, rack "
+              "p=1%%:\n");
+  bench::Table table({"placement", "S&L", "nines"});
+  const std::vector<double> base(6, 0.005);
+  const struct {
+    const char* label;
+    std::vector<int> domain_of;
+    std::vector<double> domain_p;
+  } placements[] = {
+      {"6 racks (fully spread)", {0, 1, 2, 3, 4, 5}, std::vector<double>(6, 0.01)},
+      {"3 racks x 2 nodes", {0, 0, 1, 1, 2, 2}, std::vector<double>(3, 0.01)},
+      {"2 racks x 3 nodes", {0, 0, 0, 1, 1, 1}, std::vector<double>(2, 0.01)},
+      {"1 rack (all together)", {0, 0, 0, 0, 0, 0}, std::vector<double>(1, 0.01)},
+  };
+  for (const auto& placement : placements) {
+    const auto sl = RaftSafeLiveUnderModel(std::make_unique<FailureDomainModel>(
+        base, placement.domain_of, placement.domain_p));
+    char nines[16];
+    std::snprintf(nines, sizeof(nines), "%.2f", sl.nines());
+    table.AddRow({placement.label, FormatPercent(sl), nines});
+  }
+  table.Print();
+}
+
+void PlacementOptimizer() {
+  std::printf("\nplacement optimizer (5 nodes, base p=0.2%%, racks @1%% event rate):\n");
+  const std::vector<double> base(5, 0.002);
+  bench::Table table({"racks available", "optimizer's split", "S&L", "nines"});
+  for (int racks = 1; racks <= 5; ++racks) {
+    const auto best = OptimizeRackPlacement(base, std::vector<double>(racks, 0.01));
+    std::vector<int> counts(racks, 0);
+    for (const int rack : best.rack_of) {
+      ++counts[rack];
+    }
+    std::sort(counts.begin(), counts.end(), std::greater<int>());
+    std::string split;
+    for (const int count : counts) {
+      if (count > 0) {
+        split += (split.empty() ? "" : "-") + std::to_string(count);
+      }
+    }
+    char nines[16];
+    std::snprintf(nines, sizeof(nines), "%.2f", best.safe_and_live.nines());
+    table.AddRow({std::to_string(racks), split, FormatPercent(best.safe_and_live), nines});
+  }
+  table.Print();
+  std::printf(
+      "  non-obvious: with TWO racks the optimizer PACKS (no split survives the bigger\n"
+      "  rack's loss, so spreading only adds exposure); three racks unlock the 2-2-1 split.\n");
+}
+
+void BetaBinomialSweep() {
+  std::printf("\nexchangeable drift (beta-binomial), 5 nodes, marginal 1%%:\n");
+  bench::Table table({"pairwise correlation", "S&L", "nines"});
+  {
+    const auto sl = RaftSafeLiveUnderModel(
+        std::make_unique<IndependentFailureModel>(std::vector<double>(5, 0.01)));
+    char nines[16];
+    std::snprintf(nines, sizeof(nines), "%.2f", sl.nines());
+    table.AddRow({"0 (independent)", FormatPercent(sl), nines});
+  }
+  for (const double rho : {0.01, 0.05, 0.2, 0.5}) {
+    // Marginal alpha/(alpha+beta) = 0.01, correlation 1/(alpha+beta+1) = rho.
+    const double total = 1.0 / rho - 1.0;
+    const double alpha = 0.01 * total;
+    const double beta = total - alpha;
+    const auto sl =
+        RaftSafeLiveUnderModel(std::make_unique<BetaBinomialFailureModel>(5, alpha, beta));
+    char rho_text[16];
+    char nines[16];
+    std::snprintf(rho_text, sizeof(rho_text), "%g", rho);
+    std::snprintf(nines, sizeof(nines), "%.2f", sl.nines());
+    table.AddRow({rho_text, FormatPercent(sl), nines});
+  }
+  table.Print();
+  std::printf(
+      "\nshape check: identical marginals, collapsing nines — the independence assumption in\n"
+      "the paper's own §3 analysis is load-bearing, exactly as its §2/§4 warn.\n");
+}
+
+}  // namespace
+}  // namespace probcon
+
+int main() {
+  probcon::bench::PrintBanner("E13", "correlation destroys independence-based nines");
+  probcon::CommonCauseSweep();
+  probcon::FailureDomainSweep();
+  probcon::PlacementOptimizer();
+  probcon::BetaBinomialSweep();
+  return 0;
+}

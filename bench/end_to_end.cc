@@ -1,0 +1,67 @@
+// E16 — §4 "End-to-end guarantees": what the application sees.
+//
+// Consensus-level S&L is not the SLA. This bench takes Table-2-style clusters and derives
+// the availability (outage minutes per year, as a function of recovery speed) and the
+// mission durability (as a function of fork preservation) — the two §4 observations about
+// the mismatch between consensus guarantees and the nines applications quote.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/analysis/end_to_end.h"
+
+namespace probcon {
+namespace {
+
+void Run() {
+  // A 5-node Raft cluster at p=1%/month (Table 2's second row, monthly window).
+  EndToEndParams params;
+  const auto analyzer = ReliabilityAnalyzer::ForUniformNodes(5, 0.01);
+  params.consensus = AnalyzeRaft(RaftConfig::Standard(5), analyzer);
+  params.window_hours = 720.0;
+
+  std::printf("\nconsensus layer: 5-node Raft @ p=1%%/month -> live %s per month\n",
+              FormatPercent(params.consensus.live).c_str());
+
+  std::printf("\navailability vs recovery speed (same consensus protocol!):\n");
+  bench::Table availability({"recovery (MTTR)", "availability", "outage min/year"});
+  for (const double mttr : {0.05, 0.5, 4.0, 48.0}) {
+    params.mean_time_to_recover = mttr;
+    const auto report = ComputeEndToEnd(params);
+    char mttr_text[24];
+    char minutes[24];
+    std::snprintf(mttr_text, sizeof(mttr_text), "%.2f h", mttr);
+    std::snprintf(minutes, sizeof(minutes), "%.4g", report.outage_minutes_per_year);
+    availability.AddRow({mttr_text, FormatPercent(report.availability), minutes});
+  }
+  availability.Print();
+
+  std::printf("\ndurability vs fork handling, PBFT n=4 @ p=1%% (unsafe 5.9e-4/month):\n");
+  EndToEndParams pbft_params;
+  pbft_params.consensus = AnalyzePbft(PbftConfig::Standard(4),
+                                      ReliabilityAnalyzer::ForUniformNodes(4, 0.01));
+  pbft_params.window_hours = 720.0;
+  pbft_params.mean_time_to_recover = 0.5;
+  bench::Table durability({"P(data loss | safety violation)", "1-year durability"});
+  for (const double loss : {1.0, 0.1, 0.01, 0.0001}) {
+    pbft_params.data_loss_given_violation = loss;
+    const auto report = ComputeEndToEnd(pbft_params);
+    char loss_text[16];
+    std::snprintf(loss_text, sizeof(loss_text), "%g", loss);
+    durability.AddRow({loss_text, FormatPercent(report.mission_durability)});
+  }
+  durability.Print();
+  std::printf(
+      "\nshape check (paper §4): the same consensus protocol spans ~3 availability nines\n"
+      "depending on recovery speed, and an 'unsafe' protocol whose forks are preserved is\n"
+      "orders of magnitude more durable than its safety figure suggests.\n");
+}
+
+}  // namespace
+}  // namespace probcon
+
+int main() {
+  probcon::bench::PrintBanner("E16", "consensus guarantees vs application-level nines");
+  probcon::Run();
+  return 0;
+}

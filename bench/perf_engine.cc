@@ -1,0 +1,111 @@
+// E12 — google-benchmark microbenchmarks for the analysis engine: the cost of the three
+// evaluation strategies (exact 2^N enumeration, Poisson-binomial count DP, Monte Carlo) and
+// of the protocol implementations on the simulator. This is the ablation behind DESIGN.md
+// decision D2.
+
+#include <benchmark/benchmark.h>
+
+#include "src/analysis/importance_sampling.h"
+#include "src/analysis/reliability.h"
+#include "src/consensus/raft/raft_cluster.h"
+#include "src/prob/poisson_binomial.h"
+
+namespace probcon {
+namespace {
+
+std::vector<double> MixedProbabilities(int n) {
+  std::vector<double> probs;
+  probs.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    probs.push_back(0.01 + 0.07 * (i % 5) / 4.0);
+  }
+  return probs;
+}
+
+void BM_ExactEnumeration(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto analyzer = ReliabilityAnalyzer::ForIndependentNodes(MixedProbabilities(n));
+  const auto predicate = MakeRaftLivePredicate(RaftConfig::Standard(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analyzer.EventProbability(predicate, AnalysisMethod::kExact).complement());
+  }
+}
+BENCHMARK(BM_ExactEnumeration)->Arg(5)->Arg(10)->Arg(15)->Arg(20);
+
+void BM_CountDp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto analyzer = ReliabilityAnalyzer::ForIndependentNodes(MixedProbabilities(n));
+  const auto predicate = MakeRaftLivePredicate(RaftConfig::Standard(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analyzer.EventProbability(predicate, AnalysisMethod::kCountDp).complement());
+  }
+}
+BENCHMARK(BM_CountDp)->Arg(5)->Arg(20)->Arg(64);
+
+void BM_MonteCarlo(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto analyzer = ReliabilityAnalyzer::ForIndependentNodes(MixedProbabilities(n));
+  const auto predicate = MakeRaftLivePredicate(RaftConfig::Standard(n));
+  MonteCarloOptions options;
+  options.trials = 100'000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.EstimateEventProbability(predicate, options).point);
+  }
+}
+BENCHMARK(BM_MonteCarlo)->Arg(5)->Arg(20)->Arg(64);
+
+void BM_PoissonBinomialConstruction(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto probs = MixedProbabilities(n);
+  for (auto _ : state) {
+    PoissonBinomial pb(probs);
+    benchmark::DoNotOptimize(pb.Pmf(n / 2));
+  }
+}
+BENCHMARK(BM_PoissonBinomialConstruction)->Arg(9)->Arg(64)->Arg(256);
+
+void BM_PbftFullReport(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto analyzer = ReliabilityAnalyzer::ForUniformNodes(n, 0.01);
+  const auto config = PbftConfig::Standard(n);
+  for (auto _ : state) {
+    const auto report = AnalyzePbft(config, analyzer);
+    benchmark::DoNotOptimize(report.safe_and_live.complement());
+  }
+}
+BENCHMARK(BM_PbftFullReport)->Arg(4)->Arg(7)->Arg(31);
+
+void BM_ImportanceSampling(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const IndependentFailureModel model(MixedProbabilities(n));
+  const auto predicate = CountPredicate(
+      [n](int failures, int /*nodes*/) { return failures >= n / 2 + 1; });
+  ImportanceSamplingOptions options;
+  options.trials = 100'000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EstimateRareEventProbability(model, predicate, options).probability);
+  }
+}
+BENCHMARK(BM_ImportanceSampling)->Arg(9)->Arg(20);
+
+void BM_RaftSimulatedSecond(benchmark::State& state) {
+  // Cost of one simulated second of a healthy 5-node Raft cluster.
+  for (auto _ : state) {
+    RaftClusterOptions options;
+    options.config = RaftConfig::Standard(5);
+    options.seed = 1;
+    RaftCluster cluster(options);
+    cluster.Start();
+    cluster.RunUntil(1'000.0);
+    benchmark::DoNotOptimize(cluster.checker().committed_slots());
+  }
+}
+BENCHMARK(BM_RaftSimulatedSecond);
+
+}  // namespace
+}  // namespace probcon
+
+BENCHMARK_MAIN();

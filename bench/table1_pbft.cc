@@ -1,0 +1,56 @@
+// E1 — Reproduces Table 1 of the paper: PBFT reliability with uniform p_u = 1%.
+//
+//   | N | |Qeq| |Qper| |Qvc| |Qvc_t| | Safe% | Live% | Safe and Live% |
+//
+// Quorum sizes are the standard PBFT choices for each N (the same the paper tabulates).
+// Paper values are hardcoded alongside for direct comparison.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/analysis/reliability.h"
+
+namespace probcon {
+namespace {
+
+struct PaperRow {
+  int n;
+  const char* safe;
+  const char* live;
+  const char* safe_and_live;
+};
+
+void Run() {
+  bench::PrintBanner("E1 / Table 1", "PBFT reliability, uniform p_u = 1%");
+  constexpr double kFailureProbability = 0.01;
+  const PaperRow kPaper[] = {
+      {4, "99.94%", "99.94%", "99.94%"},
+      {5, "99.9990%", "99.90%", "99.90%"},
+      {7, "99.997%", "99.997%", "99.997%"},
+      {8, "99.99993%", "99.995%", "99.995%"},
+  };
+
+  bench::Table table({"N", "|Qeq|", "|Qper|", "|Qvc|", "|Qvc_t|", "Safe%", "Live%", "S&L%",
+                      "paper Safe%", "paper Live%", "paper S&L%"});
+  for (const auto& row : kPaper) {
+    const PbftConfig config = PbftConfig::Standard(row.n);
+    const auto analyzer = ReliabilityAnalyzer::ForUniformNodes(row.n, kFailureProbability);
+    const ReliabilityReport report = AnalyzePbft(config, analyzer);
+    table.AddRow({std::to_string(row.n), std::to_string(config.q_eq),
+                  std::to_string(config.q_per), std::to_string(config.q_vc),
+                  std::to_string(config.q_vc_t), FormatPercent(report.safe),
+                  FormatPercent(report.live), FormatPercent(report.safe_and_live), row.safe,
+                  row.live, row.safe_and_live});
+  }
+  table.Print();
+  std::printf("\nEvery row should match the paper's Table 1 cell-for-cell.\n");
+}
+
+}  // namespace
+}  // namespace probcon
+
+int main() {
+  probcon::Run();
+  return 0;
+}

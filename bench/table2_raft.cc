@@ -1,0 +1,54 @@
+// E2 — Reproduces Table 2 of the paper: Raft safe-and-live probability for uniform node
+// failure probabilities p_u in {1, 2, 4, 8}% at N in {3, 5, 7, 9}.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/analysis/reliability.h"
+
+namespace probcon {
+namespace {
+
+struct PaperRow {
+  int n;
+  const char* cells[4];  // p = 1%, 2%, 4%, 8%.
+};
+
+void Run() {
+  bench::PrintBanner("E2 / Table 2", "Raft reliability for uniform node failure p_u");
+  constexpr double kProbabilities[] = {0.01, 0.02, 0.04, 0.08};
+  const PaperRow kPaper[] = {
+      {3, {"99.97%", "99.88%", "99.53%", "98.18%"}},
+      {5, {"99.9990%", "99.992%", "99.94%", "99.55%"}},
+      {7, {"99.99997%", "99.9995%", "99.992%", "99.88%"}},
+      {9, {"99.999998%", "99.99996%", "99.9988%", "99.97%"}},
+  };
+
+  bench::Table table({"N", "|Qper|", "|Qvc|", "S&L p=1%", "S&L p=2%", "S&L p=4%", "S&L p=8%",
+                      "paper 1%", "paper 2%", "paper 4%", "paper 8%"});
+  for (const auto& row : kPaper) {
+    const RaftConfig config = RaftConfig::Standard(row.n);
+    std::vector<std::string> cells = {std::to_string(row.n), std::to_string(config.q_per),
+                                      std::to_string(config.q_vc)};
+    for (const double p : kProbabilities) {
+      const auto analyzer = ReliabilityAnalyzer::ForUniformNodes(row.n, p);
+      const ReliabilityReport report = AnalyzeRaft(config, analyzer);
+      cells.push_back(FormatPercent(report.safe_and_live));
+    }
+    for (const char* paper_cell : row.cells) {
+      cells.emplace_back(paper_cell);
+    }
+    table.AddRow(std::move(cells));
+  }
+  table.Print();
+  std::printf("\nEvery row should match the paper's Table 2 cell-for-cell.\n");
+}
+
+}  // namespace
+}  // namespace probcon
+
+int main() {
+  probcon::Run();
+  return 0;
+}

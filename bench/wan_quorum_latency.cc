@@ -1,0 +1,106 @@
+// E17 — The performance side of probability-native consensus: smaller commit quorums are
+// FASTER, and the probabilistic analysis tells you when you can afford them.
+//
+// A 5-node geo-replicated Raft cluster (3 regions, WAN latencies) measures commit latency
+// under majority quorums (q_per=3: must wait for a cross-region ack) vs. a flexible
+// q_per=2 / q_vc=4 configuration (commits can complete intra-region). The analysis side
+// prices the liveness cost of each configuration, so the latency-for-nines trade is explicit
+// — the paper's "more performant hardware with no reliability trade-off" argument applied to
+// quorum geometry.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/analysis/reliability.h"
+#include "src/consensus/raft/raft_cluster.h"
+
+namespace probcon {
+namespace {
+
+std::unique_ptr<NetworkModel> WanTopology() {
+  // Nodes 0,1: us-east; 2,3: us-west; 4: eu. One-way latencies in ms.
+  const std::vector<int> region_of = {0, 0, 1, 1, 2};
+  const std::vector<std::vector<SimTime>> region_latency = {
+      {1.0, 32.0, 45.0},
+      {32.0, 1.0, 70.0},
+      {45.0, 70.0, 1.0},
+  };
+  return std::make_unique<MatrixLatencyModel>(
+      MatrixLatencyModel::FromRegions(region_of, region_latency, /*local_latency=*/1.0));
+}
+
+struct RunResult {
+  double p50 = 0.0;
+  double p99 = 0.0;
+  uint64_t commits = 0;
+};
+
+RunResult RunConfig(const RaftConfig& config, uint64_t seed) {
+  RaftClusterOptions options;
+  options.config = config;
+  options.network_model_factory = WanTopology;
+  // WAN-scale timeouts so elections don't thrash.
+  options.timing.election_timeout_min = 600.0;
+  options.timing.election_timeout_max = 1'200.0;
+  options.timing.heartbeat_interval = 150.0;
+  options.client_interval = 50.0;
+  options.seed = seed;
+  RaftCluster cluster(options);
+  cluster.Start();
+  cluster.RunUntil(120'000.0);
+  RunResult result;
+  if (!cluster.checker().commit_latency().empty()) {
+    result.p50 = cluster.checker().commit_latency().Percentile(0.5);
+    result.p99 = cluster.checker().commit_latency().Percentile(0.99);
+  }
+  result.commits = cluster.checker().committed_slots();
+  return result;
+}
+
+void Run() {
+  std::printf("\n5 nodes across us-east(2) / us-west(2) / eu(1); client at the leader's "
+              "region.\n\n");
+  bench::Table table({"config", "commit p50 (ms)", "commit p99 (ms)", "analytic live @p=1%",
+                      "@p=4%"});
+  const RaftConfig configs[] = {
+      RaftConfig::Standard(5),  // q_per=3: every commit crosses a region.
+      RaftConfig{5, 2, 4},      // q_per=2: an intra-region ack can commit.
+      RaftConfig{5, 4, 2},      // Anti-pattern: bigger commit quorum, cheaper elections.
+  };
+  for (const auto& config : configs) {
+    // Average over seeds to wash out leader placement luck.
+    double p50 = 0.0;
+    double p99 = 0.0;
+    constexpr int kSeeds = 5;
+    for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      const auto result = RunConfig(config, seed * 17);
+      p50 += result.p50 / kSeeds;
+      p99 += result.p99 / kSeeds;
+    }
+    const auto live1 =
+        AnalyzeRaft(config, ReliabilityAnalyzer::ForUniformNodes(5, 0.01)).live;
+    const auto live4 =
+        AnalyzeRaft(config, ReliabilityAnalyzer::ForUniformNodes(5, 0.04)).live;
+    char p50_text[24];
+    char p99_text[24];
+    std::snprintf(p50_text, sizeof(p50_text), "%.1f", p50);
+    std::snprintf(p99_text, sizeof(p99_text), "%.1f", p99);
+    const bool safe = RaftIsSafeStructurally(config);
+    table.AddRow({config.Describe() + (safe ? "" : " (UNSAFE)"), p50_text, p99_text,
+                  FormatPercent(live1), FormatPercent(live4)});
+  }
+  table.Print();
+  std::printf(
+      "\nshape check: shrinking q_per from 3 to 2 cuts the commit path below the WAN RTT; the\n"
+      "analysis prices the liveness change so the trade is explicit rather than hidden.\n");
+}
+
+}  // namespace
+}  // namespace probcon
+
+int main() {
+  probcon::bench::PrintBanner("E17", "quorum geometry vs commit latency (geo-replication)");
+  probcon::Run();
+  return 0;
+}

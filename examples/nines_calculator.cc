@@ -1,0 +1,117 @@
+// nines_calculator — a command-line reliability calculator for deployment reviews.
+//
+// Usage:
+//   nines_calculator                        # demo sweep
+//   nines_calculator raft 5 0.01            # protocol, n, uniform per-window p
+//   nines_calculator pbft 7 0.01
+//   nines_calculator raft 0.01 0.01 0.04    # heterogeneous: explicit per-node probabilities
+//
+// Prints safety / liveness / safe-and-live with paper-style percentages and nines, plus the
+// durability of worst-vs-best persistence-quorum placement for Raft.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/analysis/durability.h"
+#include "src/analysis/reliability.h"
+#include "src/analysis/sensitivity.h"
+
+namespace probcon {
+namespace {
+
+void PrintRaft(const std::vector<double>& probabilities) {
+  const int n = static_cast<int>(probabilities.size());
+  const auto config = RaftConfig::Standard(n);
+  const auto analyzer = ReliabilityAnalyzer::ForIndependentNodes(probabilities);
+  const auto report = AnalyzeRaft(config, analyzer);
+  std::printf("%s\n", config.Describe().c_str());
+  std::printf("  safe          %s\n", FormatPercent(report.safe).c_str());
+  std::printf("  live          %s (%s)\n", FormatPercent(report.live).c_str(),
+              FormatNines(report.live).c_str());
+  std::printf("  safe-and-live %s (%s)\n", FormatPercent(report.safe_and_live).c_str(),
+              FormatNines(report.safe_and_live).c_str());
+  const IndependentFailureModel model(probabilities);
+  const auto durability = AnalyzePlacementDurability(model, config.q_per);
+  std::printf("  durability    worst-placement %s / best-placement %s\n",
+              FormatPercent(durability.worst_case_loss.Not()).c_str(),
+              FormatPercent(durability.best_case_loss.Not()).c_str());
+  // Where does the failure mass come from? (Exact per-node sensitivities.)
+  const auto sensitivities = RaftSensitivity(probabilities);
+  std::printf("  sensitivity   ");
+  for (const auto& s : sensitivities) {
+    std::printf("node%d:%.2g ", s.node, s.derivative);
+  }
+  std::printf("(d unreliability / d p_i)\n");
+}
+
+void PrintPbft(const std::vector<double>& probabilities) {
+  const int n = static_cast<int>(probabilities.size());
+  const auto config = PbftConfig::Standard(n);
+  const auto analyzer = ReliabilityAnalyzer::ForIndependentNodes(probabilities);
+  const auto report = AnalyzePbft(config, analyzer);
+  std::printf("%s\n", config.Describe().c_str());
+  std::printf("  safe          %s (%s)\n", FormatPercent(report.safe).c_str(),
+              FormatNines(report.safe).c_str());
+  std::printf("  live          %s (%s)\n", FormatPercent(report.live).c_str(),
+              FormatNines(report.live).c_str());
+  std::printf("  safe-and-live %s\n", FormatPercent(report.safe_and_live).c_str());
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) {
+    std::printf("== nines calculator (demo; see header for usage) ==\n\n");
+    for (const double p : {0.01, 0.04}) {
+      std::printf("--- uniform p = %g ---\n", p);
+      PrintRaft(std::vector<double>(5, p));
+      PrintPbft(std::vector<double>(7, p));
+      std::printf("\n");
+    }
+    return 0;
+  }
+  const std::string protocol = argv[1];
+  std::vector<double> probabilities;
+  if (argc == 4 && std::atof(argv[2]) >= 1.0) {
+    // "protocol n p" form.
+    const int n = std::atoi(argv[2]);
+    const double p = std::atof(argv[3]);
+    if (n < 1 || n > 64 || p < 0.0 || p >= 1.0) {
+      std::fprintf(stderr, "error: need 1 <= n <= 64 and 0 <= p < 1\n");
+      return 1;
+    }
+    probabilities.assign(n, p);
+  } else {
+    // "protocol p1 p2 ..." form.
+    for (int arg = 2; arg < argc; ++arg) {
+      const double p = std::atof(argv[arg]);
+      if (p < 0.0 || p >= 1.0) {
+        std::fprintf(stderr, "error: probability %s out of [0,1)\n", argv[arg]);
+        return 1;
+      }
+      probabilities.push_back(p);
+    }
+  }
+  if (probabilities.empty()) {
+    std::fprintf(stderr, "error: no node probabilities given\n");
+    return 1;
+  }
+  if (protocol == "raft") {
+    PrintRaft(probabilities);
+  } else if (protocol == "pbft") {
+    if (probabilities.size() < 4) {
+      std::fprintf(stderr, "error: pbft needs n >= 4\n");
+      return 1;
+    }
+    PrintPbft(probabilities);
+  } else {
+    std::fprintf(stderr, "error: unknown protocol '%s' (raft|pbft)\n", protocol.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace probcon
+
+int main(int argc, char** argv) { return probcon::Run(argc, argv); }

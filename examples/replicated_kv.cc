@@ -1,0 +1,106 @@
+// Replicated key-value store: the paper's framing made concrete — an application running on
+// the fault-tolerant core, with reliability chosen probabilistically.
+//
+// A 5-node Raft cluster replicates a KV workload while nodes crash and recover under their
+// fault curves. At the end, every replica applies its committed log prefix to a
+// KvStateMachine; digests must agree on the shared prefix even though the cluster lived
+// through crashes. The run closes with the analysis view: what S&L probability did this
+// deployment actually have?
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/analysis/reliability.h"
+#include "src/consensus/common/kv_state_machine.h"
+#include "src/consensus/raft/raft_cluster.h"
+#include "src/faultmodel/fault_curve.h"
+#include "src/sim/failure_injector.h"
+
+namespace probcon {
+namespace {
+
+void Run() {
+  std::printf("== replicated KV store on probabilistic Raft ==\n\n");
+
+  RaftClusterOptions options;
+  options.config = RaftConfig::Standard(5);
+  options.seed = 31;
+  options.client_interval = 40.0;
+  // A mixed KV workload keyed by a small hot set.
+  options.payload_generator = [](uint64_t id) {
+    const std::string key = "key" + std::to_string(id % 16);
+    switch (id % 4) {
+      case 0:
+        return "put " + key + " v" + std::to_string(id);
+      case 1:
+        return "get " + key;
+      case 2:
+        return "cas " + key + " v" + std::to_string(id - 2) + " v" + std::to_string(id);
+      default:
+        return "del " + key;
+    }
+  };
+  RaftCluster cluster(options);
+
+  // 30%/minute crash rate with ~3s repairs: a brutal environment, on purpose.
+  std::vector<std::unique_ptr<FaultCurve>> curves;
+  const double per_minute = 0.30;
+  for (int i = 0; i < 5; ++i) {
+    curves.push_back(std::make_unique<ConstantFaultCurve>(
+        ConstantFaultCurve::FromWindowProbability(per_minute, 60'000.0)));
+  }
+  FailureInjector injector(&cluster.simulator(), cluster.processes(), std::move(curves),
+                           /*repair_rate=*/1.0 / 3'000.0);
+  cluster.Start();
+  injector.Arm();
+  cluster.RunUntil(120'000.0);  // Two minutes.
+
+  std::printf("run: %llu slots committed, %d crashes, %d recoveries, safe=%s\n",
+              static_cast<unsigned long long>(cluster.checker().committed_slots()),
+              injector.crash_count(), injector.recovery_count(),
+              cluster.checker().safe() ? "yes" : "NO");
+
+  // Apply each replica's committed prefix; compare state digests over the SHARED prefix.
+  uint64_t shared_prefix = UINT64_MAX;
+  for (int i = 0; i < cluster.size(); ++i) {
+    shared_prefix = std::min(shared_prefix, cluster.node(i).commit_index());
+  }
+  std::printf("shared committed prefix across all replicas: %llu entries\n",
+              static_cast<unsigned long long>(shared_prefix));
+
+  uint64_t reference_digest = 0;
+  bool all_equal = true;
+  for (int i = 0; i < cluster.size(); ++i) {
+    KvStateMachine machine;
+    const auto& log = cluster.node(i).log();
+    for (uint64_t slot = 1; slot <= shared_prefix; ++slot) {
+      machine.Apply(log[slot - 1].command);
+    }
+    if (i == 0) {
+      reference_digest = machine.Digest();
+    }
+    all_equal = all_equal && machine.Digest() == reference_digest;
+    std::printf("  replica %d: applied %llu commands, digest %016llx\n", i,
+                static_cast<unsigned long long>(machine.applied_count()),
+                static_cast<unsigned long long>(machine.Digest()));
+  }
+  std::printf("replica state machines agree on the shared prefix: %s\n\n",
+              all_equal ? "yes" : "NO");
+
+  // The probabilistic view of this deployment (per 2-minute window).
+  const auto analyzer = ReliabilityAnalyzer::ForUniformNodes(5, per_minute * 2.0);
+  const auto report = AnalyzeRaft(options.config, analyzer);
+  std::printf("analysis: a 5-node cluster with ~%.0f%% failure probability per run window is\n"
+              "%s safe-and-live per window — crash-recovery repair is what kept this run "
+              "committing.\n",
+              100.0 * per_minute * 2.0, FormatPercent(report.safe_and_live).c_str());
+}
+
+}  // namespace
+}  // namespace probcon
+
+int main() {
+  probcon::Run();
+  return 0;
+}

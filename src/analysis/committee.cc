@@ -1,0 +1,70 @@
+#include "src/analysis/committee.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/analysis/reliability.h"
+#include "src/common/check.h"
+
+namespace probcon {
+
+std::vector<int> SelectCommittee(const std::vector<double>& failure_probabilities, int m,
+                                 CommitteeStrategy strategy, Rng* rng) {
+  const int n = static_cast<int>(failure_probabilities.size());
+  CHECK(m >= 1 && m <= n);
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  switch (strategy) {
+    case CommitteeStrategy::kMostReliable:
+      std::sort(order.begin(), order.end(), [&](int a, int b) {
+        return failure_probabilities[a] < failure_probabilities[b];
+      });
+      break;
+    case CommitteeStrategy::kLeastReliable:
+      std::sort(order.begin(), order.end(), [&](int a, int b) {
+        return failure_probabilities[a] > failure_probabilities[b];
+      });
+      break;
+    case CommitteeStrategy::kRandom: {
+      CHECK(rng != nullptr) << "kRandom needs an Rng";
+      const auto sample = rng->SampleWithoutReplacement(static_cast<size_t>(n),
+                                                        static_cast<size_t>(m));
+      std::vector<int> committee(sample.begin(), sample.end());
+      std::sort(committee.begin(), committee.end());
+      return committee;
+    }
+  }
+  order.resize(static_cast<size_t>(m));
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+Probability CommitteeRaftReliability(const std::vector<double>& failure_probabilities,
+                                     const std::vector<int>& committee) {
+  CHECK(!committee.empty());
+  std::vector<double> member_probabilities;
+  member_probabilities.reserve(committee.size());
+  for (const int index : committee) {
+    CHECK(index >= 0 && index < static_cast<int>(failure_probabilities.size()));
+    member_probabilities.push_back(failure_probabilities[index]);
+  }
+  const int m = static_cast<int>(member_probabilities.size());
+  const auto analyzer =
+      ReliabilityAnalyzer::ForIndependentNodes(std::move(member_probabilities));
+  return AnalyzeRaft(RaftConfig::Standard(m), analyzer).safe_and_live;
+}
+
+int MinCommitteeSizeForTarget(const std::vector<double>& failure_probabilities,
+                              const Probability& target) {
+  const int n = static_cast<int>(failure_probabilities.size());
+  for (int m = 1; m <= n; m += 2) {
+    const auto committee =
+        SelectCommittee(failure_probabilities, m, CommitteeStrategy::kMostReliable, nullptr);
+    if (!(CommitteeRaftReliability(failure_probabilities, committee) < target)) {
+      return m;
+    }
+  }
+  return -1;
+}
+
+}  // namespace probcon

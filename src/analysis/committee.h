@@ -1,0 +1,42 @@
+// Committee sampling analysis (paper §4: "in deployments where nodes' reliability exceeds
+// application requirements, probabilistic protocols can sample committees ... to select only
+// the reliable nodes").
+//
+// Given a fleet with per-node failure probabilities, pick a committee of size m and run
+// consensus on it. This module evaluates selection strategies by the resulting Raft
+// safe-and-live probability, and finds the smallest committee meeting a reliability target —
+// quantifying how much smaller (cheaper, faster) a fault-curve-aware committee can be.
+
+#ifndef PROBCON_SRC_ANALYSIS_COMMITTEE_H_
+#define PROBCON_SRC_ANALYSIS_COMMITTEE_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/prob/probability.h"
+
+namespace probcon {
+
+enum class CommitteeStrategy {
+  kMostReliable,   // The m lowest-failure-probability nodes.
+  kRandom,         // Uniform random m nodes (what a fault-curve-oblivious sampler gets).
+  kLeastReliable,  // The m highest-failure-probability nodes (adversarial baseline).
+};
+
+// Selects committee member indices from `failure_probabilities` under `strategy`. `rng` is
+// required for kRandom and may be null otherwise.
+std::vector<int> SelectCommittee(const std::vector<double>& failure_probabilities, int m,
+                                 CommitteeStrategy strategy, Rng* rng);
+
+// Safe-and-live probability of standard (majority-quorum) Raft run on the given committee.
+Probability CommitteeRaftReliability(const std::vector<double>& failure_probabilities,
+                                     const std::vector<int>& committee);
+
+// Smallest odd committee size whose most-reliable committee meets `target`; returns -1 if
+// even the full fleet misses it.
+int MinCommitteeSizeForTarget(const std::vector<double>& failure_probabilities,
+                              const Probability& target);
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_ANALYSIS_COMMITTEE_H_

@@ -1,0 +1,95 @@
+#include "src/analysis/cost.h"
+
+#include <numeric>
+#include <sstream>
+
+#include "src/analysis/reliability.h"
+#include "src/common/check.h"
+
+namespace probcon {
+
+int ClusterPlan::TotalNodes() const {
+  return std::accumulate(counts.begin(), counts.end(), 0);
+}
+
+std::string ClusterPlan::Describe() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < types.size(); ++i) {
+    if (counts[i] == 0) {
+      continue;
+    }
+    os << counts[i] << "x" << types[i].name << "(p=" << types[i].failure_probability << ") ";
+  }
+  os << "cost=" << total_cost << " S&L=" << FormatPercent(safe_and_live);
+  return os.str();
+}
+
+ClusterPlan EvaluateRaftCluster(const std::vector<NodeType>& types,
+                                const std::vector<int>& counts) {
+  CHECK_EQ(types.size(), counts.size());
+  ClusterPlan plan;
+  plan.types = types;
+  plan.counts = counts;
+
+  std::vector<double> probabilities;
+  double cost = 0.0;
+  for (size_t i = 0; i < types.size(); ++i) {
+    CHECK_GE(counts[i], 0);
+    for (int j = 0; j < counts[i]; ++j) {
+      probabilities.push_back(types[i].failure_probability);
+    }
+    cost += types[i].unit_price * counts[i];
+  }
+  CHECK(!probabilities.empty()) << "empty cluster";
+  plan.total_cost = cost;
+
+  const int n = static_cast<int>(probabilities.size());
+  const auto analyzer = ReliabilityAnalyzer::ForIndependentNodes(std::move(probabilities));
+  const auto report = AnalyzeRaft(RaftConfig::Standard(n), analyzer);
+  plan.safe_and_live = report.safe_and_live;
+  return plan;
+}
+
+Result<ClusterPlan> CheapestRaftCluster(const std::vector<NodeType>& catalog,
+                                        const Probability& target,
+                                        const ClusterSearchOptions& options) {
+  CHECK(!catalog.empty());
+  CHECK(options.min_n >= 1 && options.min_n <= options.max_n);
+
+  bool found = false;
+  ClusterPlan best;
+
+  auto consider = [&](const std::vector<NodeType>& types, const std::vector<int>& counts) {
+    ClusterPlan plan = EvaluateRaftCluster(types, counts);
+    if (plan.safe_and_live < target) {
+      return;
+    }
+    if (!found || plan.total_cost < best.total_cost) {
+      best = std::move(plan);
+      found = true;
+    }
+  };
+
+  for (int n = options.min_n; n <= options.max_n; ++n) {
+    if (options.odd_sizes_only && n % 2 == 0) {
+      continue;
+    }
+    for (size_t a = 0; a < catalog.size(); ++a) {
+      consider({catalog[a]}, {n});
+      if (!options.allow_two_type_mixes) {
+        continue;
+      }
+      for (size_t b = a + 1; b < catalog.size(); ++b) {
+        for (int count_a = 1; count_a < n; ++count_a) {
+          consider({catalog[a], catalog[b]}, {count_a, n - count_a});
+        }
+      }
+    }
+  }
+  if (!found) {
+    return NotFoundError("no cluster in the search space meets the reliability target");
+  }
+  return best;
+}
+
+}  // namespace probcon

@@ -1,0 +1,57 @@
+// Cost/reliability optimization (paper §1/§3: "one can run Raft on nine, less reliable nodes
+// ... If these resources are 10x cheaper, this yields a 3x reduction in cost").
+//
+// Given a catalog of node types (failure probability per analysis window + unit price) and a
+// target safe-and-live probability, find the cheapest cluster meeting the target. The search
+// covers homogeneous clusters of every catalog type and, optionally, two-type mixes — enough
+// to express spot-instance / old-hardware fleets.
+
+#ifndef PROBCON_SRC_ANALYSIS_COST_H_
+#define PROBCON_SRC_ANALYSIS_COST_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/protocol_spec.h"
+#include "src/common/status.h"
+#include "src/prob/probability.h"
+
+namespace probcon {
+
+struct NodeType {
+  std::string name;
+  double failure_probability = 0.0;  // Per analysis window.
+  double unit_price = 1.0;           // Arbitrary currency per window.
+};
+
+struct ClusterPlan {
+  // counts[i] nodes of types[i]; parallel arrays.
+  std::vector<NodeType> types;
+  std::vector<int> counts;
+  Probability safe_and_live;
+  double total_cost = 0.0;
+
+  int TotalNodes() const;
+  std::string Describe() const;
+};
+
+struct ClusterSearchOptions {
+  int min_n = 3;
+  int max_n = 15;
+  bool odd_sizes_only = true;  // Majority-quorum Raft gains nothing from even sizes.
+  bool allow_two_type_mixes = true;
+};
+
+// Cheapest Raft cluster (standard majority quorums) whose safe-and-live probability meets
+// `target`. Returns NotFoundError when nothing in the search space qualifies.
+Result<ClusterPlan> CheapestRaftCluster(const std::vector<NodeType>& catalog,
+                                        const Probability& target,
+                                        const ClusterSearchOptions& options = {});
+
+// Evaluates a specific mixed cluster: Raft reliability + cost.
+ClusterPlan EvaluateRaftCluster(const std::vector<NodeType>& types,
+                                const std::vector<int>& counts);
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_ANALYSIS_COST_H_

@@ -1,0 +1,132 @@
+#include "src/analysis/dual_fault.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace probcon {
+
+DualFaultCounts::DualFaultCounts(const std::vector<DualFaultProbabilities>& nodes)
+    : n_(static_cast<int>(nodes.size())) {
+  CHECK_GT(n_, 0);
+  for (const auto& node : nodes) {
+    CHECK(node.crash >= 0.0 && node.byzantine >= 0.0 &&
+          node.crash + node.byzantine <= 1.0)
+        << "invalid dual fault probabilities (" << node.crash << "," << node.byzantine << ")";
+  }
+  // Trinomial convolution DP over (crashed, byzantine) counts.
+  const int stride = n_ + 1;
+  pmf_.assign(static_cast<size_t>(stride) * stride, 0.0);
+  pmf_[0] = 1.0;
+  int upper = 0;
+  for (const auto& node : nodes) {
+    const double ok = 1.0 - node.crash - node.byzantine;
+    ++upper;
+    for (int crashed = upper; crashed >= 0; --crashed) {
+      for (int byzantine = upper - crashed; byzantine >= 0; --byzantine) {
+        double mass = pmf_[crashed * stride + byzantine] * ok;
+        if (crashed > 0) {
+          mass += pmf_[(crashed - 1) * stride + byzantine] * node.crash;
+        }
+        if (byzantine > 0) {
+          mass += pmf_[crashed * stride + (byzantine - 1)] * node.byzantine;
+        }
+        pmf_[crashed * stride + byzantine] = mass;
+      }
+    }
+  }
+}
+
+double DualFaultCounts::Pmf(int crashed, int byzantine) const {
+  if (crashed < 0 || byzantine < 0 || crashed + byzantine > n_) {
+    return 0.0;
+  }
+  return pmf_[crashed * (n_ + 1) + byzantine];
+}
+
+UprightConfig UprightConfig::ForBudgets(int u, int r) {
+  CHECK_GE(u, 0);
+  CHECK(r >= 0 && r <= u) << "Upright requires r <= u";
+  UprightConfig config;
+  config.u = u;
+  config.r = r;
+  config.n = 2 * u + r + 1;
+  return config;
+}
+
+std::string UprightConfig::Describe() const {
+  std::ostringstream os;
+  os << "upright(n=" << n << ", u=" << u << ", r=" << r << ")";
+  return os.str();
+}
+
+bool UprightIsSafe(const UprightConfig& config, int byzantine_count) {
+  CHECK(byzantine_count >= 0 && byzantine_count <= config.n);
+  return byzantine_count <= config.r;
+}
+
+bool UprightIsLive(const UprightConfig& config, int crashed_count, int byzantine_count) {
+  CHECK(crashed_count >= 0 && byzantine_count >= 0 &&
+        crashed_count + byzantine_count <= config.n);
+  return UprightIsSafe(config, byzantine_count) &&
+         crashed_count + byzantine_count <= config.u;
+}
+
+ReliabilityReport AnalyzeUpright(const UprightConfig& config,
+                                 const std::vector<DualFaultProbabilities>& nodes) {
+  CHECK_EQ(config.n, static_cast<int>(nodes.size()));
+  CHECK_GE(config.n, 2 * config.u + config.r + 1) << "understaffed Upright configuration";
+  const DualFaultCounts counts(nodes);
+  ReliabilityReport report;
+  report.safe = counts.EventProbability(
+      [&config](int /*crashed*/, int byzantine) { return UprightIsSafe(config, byzantine); });
+  report.live = counts.EventProbability([&config](int crashed, int byzantine) {
+    return UprightIsLive(config, crashed, byzantine);
+  });
+  // Live implies safe here, so the intersection is liveness.
+  report.safe_and_live = report.live;
+  return report;
+}
+
+ReliabilityReport AnalyzeRaftUnderDualFaults(
+    int n, const std::vector<DualFaultProbabilities>& nodes) {
+  CHECK_EQ(n, static_cast<int>(nodes.size()));
+  const DualFaultCounts counts(nodes);
+  const int majority = n / 2 + 1;
+  ReliabilityReport report;
+  // CFT protocols have no defense against even one equivocator.
+  report.safe = counts.EventProbability(
+      [](int /*crashed*/, int byzantine) { return byzantine == 0; });
+  report.live = counts.EventProbability([n, majority](int crashed, int byzantine) {
+    return n - crashed - byzantine >= majority;
+  });
+  report.safe_and_live = counts.EventProbability([n, majority](int crashed, int byzantine) {
+    return byzantine == 0 && n - crashed >= majority;
+  });
+  return report;
+}
+
+ReliabilityReport AnalyzePbftUnderDualFaults(
+    const PbftConfig& config, const std::vector<DualFaultProbabilities>& nodes) {
+  CHECK_EQ(config.n, static_cast<int>(nodes.size()));
+  const DualFaultCounts counts(nodes);
+  auto safe = [&config](int /*crashed*/, int byzantine) {
+    return PbftIsSafe(config, byzantine);
+  };
+  // Theorem 3.1's liveness, with crashed nodes additionally depleting |Correct|.
+  auto live = [&config](int crashed, int byzantine) {
+    const int correct = config.n - crashed - byzantine;
+    const int max_quorum = std::max({config.q_eq, config.q_per, config.q_vc});
+    return byzantine <= config.q_vc - config.q_vc_t && correct >= max_quorum &&
+           byzantine < config.q_vc_t;
+  };
+  ReliabilityReport report;
+  report.safe = counts.EventProbability(safe);
+  report.live = counts.EventProbability(live);
+  report.safe_and_live = counts.EventProbability(
+      [&](int crashed, int byzantine) { return safe(crashed, byzantine) && live(crashed, byzantine); });
+  return report;
+}
+
+}  // namespace probcon

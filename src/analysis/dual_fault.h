@@ -1,0 +1,111 @@
+// Dual crash/Byzantine fault analysis (paper §2, point 4: "most nodes fail by crashing but
+// from time to time exhibit malicious behavior", and §5's Upright).
+//
+// Each node has TWO failure probabilities per analysis window: p_crash (fail-stop) and p_byz
+// (arbitrary/malicious — e.g. a mercurial core). The paper quotes Google's fleet numbers:
+// ~4% annual crash rate but ~0.01% corruption-execution rate. Forcing that world into pure
+// CFT is optimistic (a single Byzantine node breaks Raft's safety); pure BFT pays 3f+1
+// replication for faults that almost never happen.
+//
+// Upright's model splits the budget: tolerate up to `u` total failures (liveness) of which
+// at most `r` may be Byzantine (safety), with n = 2u + r + 1. This module computes exact
+// probabilistic safety/liveness for that family — plus the Raft and PBFT baselines under the
+// same dual fault model — using a trinomial count distribution over (crashed, Byzantine)
+// node counts.
+
+#ifndef PROBCON_SRC_ANALYSIS_DUAL_FAULT_H_
+#define PROBCON_SRC_ANALYSIS_DUAL_FAULT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/reliability.h"
+#include "src/prob/probability.h"
+
+namespace probcon {
+
+// Per-node, per-window fault probabilities; the two modes are mutually exclusive (a node
+// counts as Byzantine if compromised, else crashed if crashed, else correct).
+struct DualFaultProbabilities {
+  double crash = 0.0;
+  double byzantine = 0.0;
+};
+
+// Joint law of (#crashed, #Byzantine) for independent heterogeneous nodes: the trinomial
+// analogue of PoissonBinomial. O(N^3) construction, exact.
+class DualFaultCounts {
+ public:
+  explicit DualFaultCounts(const std::vector<DualFaultProbabilities>& nodes);
+
+  int n() const { return n_; }
+
+  // P(#crashed == crashed && #Byzantine == byzantine).
+  double Pmf(int crashed, int byzantine) const;
+
+  // P(predicate(crashed, byzantine)) with complement tracking; `predicate` is the GOOD event.
+  template <typename Predicate>
+  Probability EventProbability(Predicate predicate) const;
+
+ private:
+  int n_;
+  // pmf_[c * (n+1) + b].
+  std::vector<double> pmf_;
+};
+
+// Upright-style configuration: n >= 2u + r + 1, r <= u.
+struct UprightConfig {
+  int n = 0;
+  int u = 0;  // Total failures tolerated (liveness).
+  int r = 0;  // Byzantine failures tolerated (safety).
+
+  // Minimal cluster for the given budgets: n = 2u + r + 1.
+  static UprightConfig ForBudgets(int u, int r);
+
+  std::string Describe() const;
+};
+
+// Safe iff #Byzantine <= r; live iff #crashed + #Byzantine <= u (and safe — a protocol whose
+// safety broke has no meaningful liveness; matching the paper's S&L accounting).
+bool UprightIsSafe(const UprightConfig& config, int byzantine_count);
+bool UprightIsLive(const UprightConfig& config, int crashed_count, int byzantine_count);
+
+ReliabilityReport AnalyzeUpright(const UprightConfig& config,
+                                 const std::vector<DualFaultProbabilities>& nodes);
+
+// Baselines under the dual model:
+//  * Raft: safe iff NO Byzantine node exists (a single equivocator can split the log);
+//    live iff correct >= majority.
+//  * PBFT (standard quorums): Theorem 3.1 with |Byz| = Byzantine count, and crashed nodes
+//    reducing |Correct| for liveness.
+ReliabilityReport AnalyzeRaftUnderDualFaults(int n,
+                                             const std::vector<DualFaultProbabilities>& nodes);
+ReliabilityReport AnalyzePbftUnderDualFaults(const PbftConfig& config,
+                                             const std::vector<DualFaultProbabilities>& nodes);
+
+// --- template definition ------------------------------------------------------
+
+template <typename Predicate>
+Probability DualFaultCounts::EventProbability(Predicate predicate) const {
+  // Accumulate the smaller of {holds, fails} mass for complement precision (same approach
+  // as ReliabilityAnalyzer's count DP).
+  double holds = 0.0;
+  double fails = 0.0;
+  for (int crashed = 0; crashed <= n_; ++crashed) {
+    for (int byzantine = 0; byzantine + crashed <= n_; ++byzantine) {
+      const double mass = Pmf(crashed, byzantine);
+      if (predicate(crashed, byzantine)) {
+        holds += mass;
+      } else {
+        fails += mass;
+      }
+    }
+  }
+  if (fails <= holds) {
+    return Probability::FromComplement(fails < 0.0 ? 0.0 : fails);
+  }
+  return Probability::FromProbability(holds < 0.0 ? 0.0 : holds);
+}
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_ANALYSIS_DUAL_FAULT_H_

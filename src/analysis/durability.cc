@@ -1,0 +1,113 @@
+#include "src/analysis/durability.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/prob/binomial.h"
+#include "src/prob/combinatorics.h"
+
+namespace probcon {
+namespace {
+
+double ProductOfTop(const std::vector<double>& sorted_desc, int count) {
+  CHECK_LE(count, static_cast<int>(sorted_desc.size()));
+  double product = 1.0;
+  for (int i = 0; i < count; ++i) {
+    product *= sorted_desc[i];
+  }
+  return product;
+}
+
+}  // namespace
+
+Probability QuorumWipeoutProbability(const IndependentFailureModel& model, NodeSet quorum) {
+  CHECK(quorum != 0) << "empty quorum";
+  double product = 1.0;
+  for (int i = 0; i < model.n(); ++i) {
+    if ((quorum >> i) & 1u) {
+      product *= model.MarginalFailureProbability(i);
+    }
+  }
+  return Probability::FromProbability(product);
+}
+
+PlacementDurability AnalyzePlacementDurability(const IndependentFailureModel& model,
+                                               int q_size) {
+  CHECK(q_size >= 1 && q_size <= model.n());
+  std::vector<double> probs = model.probabilities();
+  std::sort(probs.begin(), probs.end(), std::greater<double>());
+
+  PlacementDurability result;
+  result.worst_case_loss = Probability::FromProbability(ProductOfTop(probs, q_size));
+  std::vector<double> ascending = probs;
+  std::reverse(ascending.begin(), ascending.end());
+  result.best_case_loss = Probability::FromProbability(ProductOfTop(ascending, q_size));
+  result.random_quorum_loss =
+      Probability::FromProbability(MeanSubsetProduct(model.probabilities(), q_size));
+  return result;
+}
+
+Probability WorstCaseLossWithReliableConstraint(const IndependentFailureModel& model,
+                                                int q_size, NodeSet reliable_set,
+                                                int min_reliable) {
+  CHECK(q_size >= 1 && q_size <= model.n());
+  CHECK_GE(min_reliable, 0);
+  std::vector<double> reliable;
+  std::vector<double> other;
+  for (int i = 0; i < model.n(); ++i) {
+    if ((reliable_set >> i) & 1u) {
+      reliable.push_back(model.MarginalFailureProbability(i));
+    } else {
+      other.push_back(model.MarginalFailureProbability(i));
+    }
+  }
+  CHECK_LE(min_reliable, static_cast<int>(reliable.size()))
+      << "constraint demands more reliable nodes than exist";
+  CHECK_LE(q_size - min_reliable, static_cast<int>(other.size()) +
+                                      static_cast<int>(reliable.size()) - min_reliable)
+      << "quorum size unsatisfiable";
+  std::sort(reliable.begin(), reliable.end(), std::greater<double>());
+  std::sort(other.begin(), other.end(), std::greater<double>());
+
+  // The adversary picks j >= min_reliable members from the reliable set (highest-p first) and
+  // q-j from the rest; maximize over j.
+  double worst = 0.0;
+  const int max_j = std::min(q_size, static_cast<int>(reliable.size()));
+  for (int j = min_reliable; j <= max_j; ++j) {
+    const int from_other = q_size - j;
+    if (from_other < 0 || from_other > static_cast<int>(other.size())) {
+      continue;
+    }
+    const double product = ProductOfTop(reliable, j) * ProductOfTop(other, from_other);
+    worst = std::max(worst, product);
+  }
+  return Probability::FromProbability(worst);
+}
+
+PersistenceOverlap AnalyzePersistenceOverlap(int n, int q_per, double p) {
+  CHECK(q_per >= 1 && q_per <= n);
+  PersistenceOverlap overlap;
+  overlap.quorum_many_failures = BinomialTailGe(n, q_per, p);
+  overlap.specific_quorum_wipeout =
+      Probability::FromProbability(std::pow(p, static_cast<double>(q_per)));
+  return overlap;
+}
+
+double MeanSubsetProduct(const std::vector<double>& values, int q) {
+  const int n = static_cast<int>(values.size());
+  CHECK(q >= 0 && q <= n);
+  // Elementary symmetric polynomial e_q via the standard DP, then divide by C(n, q).
+  std::vector<double> e(static_cast<size_t>(q) + 1, 0.0);
+  e[0] = 1.0;
+  int upper = 0;
+  for (const double v : values) {
+    upper = std::min(upper + 1, q);
+    for (int k = upper; k >= 1; --k) {
+      e[k] += e[k - 1] * v;
+    }
+  }
+  return e[q] / Choose(n, q);
+}
+
+}  // namespace probcon

@@ -1,0 +1,68 @@
+// Durability / data-loss analysis (paper §3 "Raft and PBFT underutilize reliable nodes" and
+// §4's 100-node persistence example).
+//
+// In a CFT system without reconfiguration, a committed operation lives on the nodes of the
+// persistence quorum that acknowledged it; it is lost only if ALL of them fail. Which nodes
+// form that quorum therefore matters enormously once nodes are heterogeneous — the paper's
+// point that quorum-oblivious protocols "may persist data only on the unreliable nodes".
+// This module quantifies placement policies:
+//
+//   worst case   the quorum happens to be the q most failure-prone nodes (what an oblivious
+//                protocol cannot rule out),
+//   best case    the q most reliable nodes,
+//   random       expectation over uniformly random quorums,
+//   constrained  worst case among quorums forced to include >= m nodes from a designated
+//                reliable set (the paper's proposed fault-curve-aware fix).
+
+#ifndef PROBCON_SRC_ANALYSIS_DURABILITY_H_
+#define PROBCON_SRC_ANALYSIS_DURABILITY_H_
+
+#include <vector>
+
+#include "src/faultmodel/joint_model.h"
+#include "src/prob/probability.h"
+#include "src/quorum/quorum_system.h"
+
+namespace probcon {
+
+// P(all members of `quorum` fail) under independent failures — the wipeout probability of
+// data persisted on exactly that quorum.
+Probability QuorumWipeoutProbability(const IndependentFailureModel& model, NodeSet quorum);
+
+struct PlacementDurability {
+  Probability worst_case_loss;
+  Probability best_case_loss;
+  Probability random_quorum_loss;  // Mean over all C(n, q) quorums.
+};
+
+// Wipeout probabilities for quorums of size `q_size` under the three placement policies.
+PlacementDurability AnalyzePlacementDurability(const IndependentFailureModel& model,
+                                               int q_size);
+
+// Worst-case wipeout among quorums of size `q_size` that contain at least `min_reliable`
+// members of `reliable_set`. The adversary maximizes the loss product subject to the
+// constraint.
+Probability WorstCaseLossWithReliableConstraint(const IndependentFailureModel& model,
+                                                int q_size, NodeSet reliable_set,
+                                                int min_reliable);
+
+// --- §4's persistence-overlap example ---------------------------------------
+
+struct PersistenceOverlap {
+  // P(at least q_per of the n nodes fail) — "a q_per-sized set of failures occurs".
+  Probability quorum_many_failures;
+  // P(the failures wipe out one SPECIFIC persistence quorum) = p^q_per.
+  Probability specific_quorum_wipeout;
+};
+
+// The paper's example: n=100, q_per=10, p=10% gives ~50% for the first and ~1e-10 for the
+// second — f-threshold reasoning treats both as "unsafe".
+PersistenceOverlap AnalyzePersistenceOverlap(int n, int q_per, double p);
+
+// Elementary symmetric mean: average of prod_{i in Q} p_i over all size-q subsets Q. Exposed
+// for tests; it is the "random placement" computation.
+double MeanSubsetProduct(const std::vector<double>& values, int q);
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_ANALYSIS_DURABILITY_H_

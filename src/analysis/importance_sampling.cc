@@ -1,0 +1,70 @@
+#include "src/analysis/importance_sampling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/prob/kahan.h"
+
+namespace probcon {
+
+ImportanceSamplingEstimate EstimateRareEventProbability(
+    const JointFailureModel& model, const FailurePredicate& predicate,
+    const ImportanceSamplingOptions& options) {
+  const int n = model.n();
+  CHECK_GT(options.trials, 0u);
+
+  std::vector<double> proposal = options.proposal;
+  if (proposal.empty()) {
+    proposal.resize(n);
+    for (int i = 0; i < n; ++i) {
+      proposal[i] = std::max(model.MarginalFailureProbability(i), options.auto_bias_floor);
+    }
+  }
+  CHECK_EQ(proposal.size(), static_cast<size_t>(n));
+  for (const double p : proposal) {
+    CHECK(p > 0.0 && p < 1.0) << "proposal probabilities must be in (0,1) for reweighting";
+  }
+
+  Rng rng(options.seed);
+  KahanSum weight_sum;
+  KahanSum weight_sq_sum;
+  uint64_t hits = 0;
+  for (uint64_t trial = 0; trial < options.trials; ++trial) {
+    // Sample from the tilted independent proposal and compute its density on the fly.
+    FailureConfiguration config = 0;
+    double proposal_density = 1.0;
+    for (int i = 0; i < n; ++i) {
+      if (rng.NextBernoulli(proposal[i])) {
+        config |= FailureConfiguration{1} << i;
+        proposal_density *= proposal[i];
+      } else {
+        proposal_density *= 1.0 - proposal[i];
+      }
+    }
+    if (!predicate.Holds(config, n)) {
+      weight_sq_sum.Add(0.0);
+      continue;
+    }
+    const auto true_density = model.ConfigurationProbability(config);
+    CHECK(true_density.has_value())
+        << "importance sampling needs exact configuration probabilities from "
+        << model.Describe();
+    const double weight = *true_density / proposal_density;
+    weight_sum.Add(weight);
+    weight_sq_sum.Add(weight * weight);
+    ++hits;
+  }
+
+  ImportanceSamplingEstimate estimate;
+  const double trials = static_cast<double>(options.trials);
+  estimate.probability = weight_sum.Total() / trials;
+  const double second_moment = weight_sq_sum.Total() / trials;
+  const double variance =
+      std::max(0.0, second_moment - estimate.probability * estimate.probability);
+  estimate.standard_error = std::sqrt(variance / trials);
+  estimate.hits = hits;
+  return estimate;
+}
+
+}  // namespace probcon

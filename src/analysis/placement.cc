@@ -1,0 +1,53 @@
+#include "src/analysis/placement.h"
+
+#include "src/common/check.h"
+#include "src/faultmodel/joint_model.h"
+
+namespace probcon {
+
+Probability EvaluateRackPlacement(const std::vector<double>& node_base_probabilities,
+                                  const std::vector<double>& rack_probabilities,
+                                  const std::vector<int>& rack_of) {
+  const int n = static_cast<int>(node_base_probabilities.size());
+  CHECK_EQ(rack_of.size(), node_base_probabilities.size());
+  auto model = std::make_unique<FailureDomainModel>(node_base_probabilities, rack_of,
+                                                    rack_probabilities);
+  const ReliabilityAnalyzer analyzer(std::move(model));
+  return AnalyzeRaft(RaftConfig::Standard(n), analyzer).safe_and_live;
+}
+
+PlacementResult OptimizeRackPlacement(const std::vector<double>& node_base_probabilities,
+                                      const std::vector<double>& rack_probabilities) {
+  const int n = static_cast<int>(node_base_probabilities.size());
+  const int racks = static_cast<int>(rack_probabilities.size());
+  CHECK(n >= 1 && n <= 10) << "exhaustive placement search limited to n <= 10";
+  CHECK(racks >= 1 && racks <= 5) << "exhaustive placement search limited to r <= 5";
+
+  PlacementResult best;
+  std::vector<int> assignment(n, 0);
+  bool first = true;
+  while (true) {
+    const Probability candidate =
+        EvaluateRackPlacement(node_base_probabilities, rack_probabilities, assignment);
+    if (first || best.safe_and_live < candidate) {
+      best.rack_of = assignment;
+      best.safe_and_live = candidate;
+      first = false;
+    }
+    // Odometer increment over r^n assignments.
+    int position = 0;
+    while (position < n) {
+      if (++assignment[position] < racks) {
+        break;
+      }
+      assignment[position] = 0;
+      ++position;
+    }
+    if (position == n) {
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace probcon

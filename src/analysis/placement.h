@@ -1,0 +1,37 @@
+// Rack/failure-domain placement optimization.
+//
+// E13 shows HOW MUCH placement matters under correlated faults; this module answers the
+// operator's follow-up: given n replicas and r racks (each with its own domain-event
+// probability), WHICH assignment maximizes the cluster's safe-and-live probability? Small
+// clusters admit exhaustive search over assignments; the search space collapses by rack
+// symmetry only when racks are identical, so we search assignments directly (r^n, pruned by
+// fixing node 0's rack when racks are exchangeable is left to callers).
+
+#ifndef PROBCON_SRC_ANALYSIS_PLACEMENT_H_
+#define PROBCON_SRC_ANALYSIS_PLACEMENT_H_
+
+#include <vector>
+
+#include "src/analysis/reliability.h"
+#include "src/prob/probability.h"
+
+namespace probcon {
+
+struct PlacementResult {
+  std::vector<int> rack_of;  // Best assignment found: rack_of[i] for node i.
+  Probability safe_and_live;
+};
+
+// Evaluates standard-quorum Raft S&L for one assignment under a FailureDomainModel built
+// from `node_base_probabilities` and `rack_probabilities`.
+Probability EvaluateRackPlacement(const std::vector<double>& node_base_probabilities,
+                                  const std::vector<double>& rack_probabilities,
+                                  const std::vector<int>& rack_of);
+
+// Exhaustive search over all rack assignments (r^n evaluations; n <= 10, r <= 5 enforced).
+PlacementResult OptimizeRackPlacement(const std::vector<double>& node_base_probabilities,
+                                      const std::vector<double>& rack_probabilities);
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_ANALYSIS_PLACEMENT_H_

@@ -1,0 +1,182 @@
+#include "src/analysis/reliability.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/prob/kahan.h"
+#include "src/prob/poisson_binomial.h"
+#include "src/quorum/quorum_system.h"
+
+namespace probcon {
+namespace {
+
+// Evaluates a count predicate against the Poisson-binomial failure-count law.
+Probability CountDpProbability(const FailurePredicate& predicate,
+                               const IndependentFailureModel& model) {
+  const int n = model.n();
+  const PoissonBinomial counts(model.probabilities());
+  // Sum the smaller of {holds, fails} mass for complement accuracy.
+  KahanSum holds_mass;
+  KahanSum fails_mass;
+  for (int k = 0; k <= n; ++k) {
+    const auto verdict = predicate.HoldsForCount(k, n);
+    CHECK(verdict.has_value());
+    if (*verdict) {
+      holds_mass.Add(counts.Pmf(k));
+    } else {
+      fails_mass.Add(counts.Pmf(k));
+    }
+  }
+  const double holds = holds_mass.Total();
+  const double fails = fails_mass.Total();
+  if (fails <= holds) {
+    return Probability::FromComplement(std::max(0.0, fails));
+  }
+  return Probability::FromProbability(std::max(0.0, holds));
+}
+
+Probability ExactEnumerationProbability(const FailurePredicate& predicate,
+                                        const JointFailureModel& model) {
+  const int n = model.n();
+  CHECK_LE(n, 25) << "exact enumeration limited to n <= 25";
+  KahanSum holds_mass;
+  KahanSum fails_mass;
+  const FailureConfiguration full = FullNodeSet(n);
+  FailureConfiguration config = 0;
+  while (true) {
+    const auto prob = model.ConfigurationProbability(config);
+    CHECK(prob.has_value()) << "model" << model.Describe()
+                            << "lacks exact configuration probabilities";
+    if (predicate.Holds(config, n)) {
+      holds_mass.Add(*prob);
+    } else {
+      fails_mass.Add(*prob);
+    }
+    if (config == full) {
+      break;
+    }
+    ++config;
+  }
+  const double holds = holds_mass.Total();
+  const double fails = fails_mass.Total();
+  if (fails <= holds) {
+    return Probability::FromComplement(std::max(0.0, fails));
+  }
+  return Probability::FromProbability(std::max(0.0, holds));
+}
+
+}  // namespace
+
+ReliabilityAnalyzer::ReliabilityAnalyzer(std::unique_ptr<JointFailureModel> model)
+    : model_(std::move(model)) {
+  CHECK(model_ != nullptr);
+}
+
+ReliabilityAnalyzer ReliabilityAnalyzer::ForIndependentNodes(
+    std::vector<double> failure_probabilities) {
+  return ReliabilityAnalyzer(
+      std::make_unique<IndependentFailureModel>(std::move(failure_probabilities)));
+}
+
+ReliabilityAnalyzer ReliabilityAnalyzer::ForUniformNodes(int n, double p) {
+  return ForIndependentNodes(std::vector<double>(static_cast<size_t>(n), p));
+}
+
+Probability ReliabilityAnalyzer::EventProbability(const FailurePredicate& predicate,
+                                                  AnalysisMethod method) const {
+  const auto* independent = dynamic_cast<const IndependentFailureModel*>(model_.get());
+  const bool count_only = predicate.HoldsForCount(0, n()).has_value();
+
+  if (method == AnalysisMethod::kAuto) {
+    if (count_only && independent != nullptr) {
+      method = AnalysisMethod::kCountDp;
+    } else {
+      method = AnalysisMethod::kExact;
+    }
+  }
+  switch (method) {
+    case AnalysisMethod::kCountDp:
+      CHECK(count_only) << "predicate is not count-only";
+      CHECK(independent != nullptr) << "count DP requires an independent model";
+      return CountDpProbability(predicate, *independent);
+    case AnalysisMethod::kExact:
+      return ExactEnumerationProbability(predicate, *model_);
+    case AnalysisMethod::kMonteCarlo: {
+      const ConfidenceInterval ci = EstimateEventProbability(predicate);
+      return Probability::FromProbability(ci.point);
+    }
+    case AnalysisMethod::kAuto:
+      break;
+  }
+  CHECK(false) << "unreachable";
+  return Probability::Zero();
+}
+
+ConfidenceInterval ReliabilityAnalyzer::EstimateEventProbability(
+    const FailurePredicate& predicate, const MonteCarloOptions& options) const {
+  CHECK_GT(options.trials, 0u);
+  Rng rng(options.seed);
+  uint64_t holds = 0;
+  for (uint64_t t = 0; t < options.trials; ++t) {
+    const FailureConfiguration config = model_->Sample(rng);
+    if (predicate.Holds(config, n())) {
+      ++holds;
+    }
+  }
+  return WilsonInterval(holds, options.trials);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol reports
+
+CountPredicate MakeRaftLivePredicate(RaftConfig config) {
+  return CountPredicate([config](int failure_count, int n) {
+    CHECK_EQ(n, config.n);
+    return RaftIsLive(config, n - failure_count);
+  });
+}
+
+CountPredicate MakePbftSafePredicate(PbftConfig config) {
+  return CountPredicate([config](int failure_count, int n) {
+    CHECK_EQ(n, config.n);
+    return PbftIsSafe(config, failure_count);
+  });
+}
+
+CountPredicate MakePbftLivePredicate(PbftConfig config) {
+  return CountPredicate([config](int failure_count, int n) {
+    CHECK_EQ(n, config.n);
+    return PbftIsLive(config, failure_count);
+  });
+}
+
+CountPredicate MakePbftSafeAndLivePredicate(PbftConfig config) {
+  return CountPredicate([config](int failure_count, int n) {
+    CHECK_EQ(n, config.n);
+    return PbftIsSafe(config, failure_count) && PbftIsLive(config, failure_count);
+  });
+}
+
+ReliabilityReport AnalyzeRaft(const RaftConfig& config, const ReliabilityAnalyzer& analyzer,
+                              AnalysisMethod method) {
+  CHECK_EQ(config.n, analyzer.n());
+  ReliabilityReport report;
+  const bool structurally_safe = RaftIsSafeStructurally(config);
+  report.safe = structurally_safe ? Probability::One() : Probability::Zero();
+  report.live = analyzer.EventProbability(MakeRaftLivePredicate(config), method);
+  report.safe_and_live = structurally_safe ? report.live : Probability::Zero();
+  return report;
+}
+
+ReliabilityReport AnalyzePbft(const PbftConfig& config, const ReliabilityAnalyzer& analyzer,
+                              AnalysisMethod method) {
+  CHECK_EQ(config.n, analyzer.n());
+  ReliabilityReport report;
+  report.safe = analyzer.EventProbability(MakePbftSafePredicate(config), method);
+  report.live = analyzer.EventProbability(MakePbftLivePredicate(config), method);
+  report.safe_and_live =
+      analyzer.EventProbability(MakePbftSafeAndLivePredicate(config), method);
+  return report;
+}
+
+}  // namespace probcon

@@ -1,0 +1,146 @@
+// The reliability analyzer: computes P(predicate holds) over failure configurations of a
+// cluster — the computation behind every number in the paper's §3.
+//
+// "By calculating how likely each failure configuration is, we can compute the overall
+//  probability that an algorithm guarantees safety and liveness in this specific deployment
+//  environment."  (§3)
+//
+// Three evaluation strategies sit behind one API (ablated in bench/perf_engine):
+//
+//   kExact       2^N enumeration over failure configurations. Handles predicates that depend
+//                on WHICH nodes failed and any model with exact configuration probabilities.
+//                Practical to N ~ 25.
+//   kCountDp     Poisson-binomial dynamic program over the failure count. Requires a
+//                count-only predicate and an independent model. O(N^2), any N. This covers
+//                Theorems 3.1/3.2 and is the path that regenerates Tables 1 and 2.
+//   kMonteCarlo  Sampling with a Wilson confidence interval. The only option for correlated
+//                models without closed-form configuration probabilities, or N > 25.
+//
+// kAuto picks the cheapest applicable strategy.
+
+#ifndef PROBCON_SRC_ANALYSIS_RELIABILITY_H_
+#define PROBCON_SRC_ANALYSIS_RELIABILITY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/analysis/protocol_spec.h"
+#include "src/faultmodel/joint_model.h"
+#include "src/prob/interval.h"
+#include "src/prob/probability.h"
+
+namespace probcon {
+
+// A predicate over failure configurations (true = the property, e.g. "safe", holds).
+class FailurePredicate {
+ public:
+  virtual ~FailurePredicate() = default;
+
+  // Evaluates the predicate for an explicit failure configuration.
+  virtual bool Holds(FailureConfiguration failed, int n) const = 0;
+
+  // If the predicate depends only on the NUMBER of failures, returns its value for that
+  // count; otherwise nullopt. Enables the O(N^2) path.
+  virtual std::optional<bool> HoldsForCount(int failure_count, int n) const {
+    (void)failure_count;
+    (void)n;
+    return std::nullopt;
+  }
+};
+
+// Adapts a count function; automatically eligible for the DP path.
+class CountPredicate final : public FailurePredicate {
+ public:
+  explicit CountPredicate(std::function<bool(int failure_count, int n)> fn)
+      : fn_(std::move(fn)) {}
+
+  bool Holds(FailureConfiguration failed, int n) const override {
+    return fn_(CountFailures(failed), n);
+  }
+  std::optional<bool> HoldsForCount(int failure_count, int n) const override {
+    return fn_(failure_count, n);
+  }
+
+ private:
+  std::function<bool(int, int)> fn_;
+};
+
+// Adapts a configuration function (no count fast path).
+class ConfigurationPredicate final : public FailurePredicate {
+ public:
+  explicit ConfigurationPredicate(std::function<bool(FailureConfiguration, int)> fn)
+      : fn_(std::move(fn)) {}
+
+  bool Holds(FailureConfiguration failed, int n) const override { return fn_(failed, n); }
+
+ private:
+  std::function<bool(FailureConfiguration, int)> fn_;
+};
+
+enum class AnalysisMethod {
+  kAuto,
+  kExact,
+  kCountDp,
+  kMonteCarlo,
+};
+
+struct MonteCarloOptions {
+  uint64_t trials = 1'000'000;
+  uint64_t seed = 42;
+};
+
+class ReliabilityAnalyzer {
+ public:
+  explicit ReliabilityAnalyzer(std::unique_ptr<JointFailureModel> model);
+
+  // Convenience: independent failures with the given per-node probabilities.
+  static ReliabilityAnalyzer ForIndependentNodes(std::vector<double> failure_probabilities);
+  static ReliabilityAnalyzer ForUniformNodes(int n, double p);
+
+  const JointFailureModel& model() const { return *model_; }
+  int n() const { return model_->n(); }
+
+  // P(predicate holds), complement-tracked. CHECK-fails if no exact strategy applies (use
+  // EstimateEventProbability for those cases).
+  Probability EventProbability(const FailurePredicate& predicate,
+                               AnalysisMethod method = AnalysisMethod::kAuto) const;
+
+  // Monte Carlo estimate with a 95% Wilson interval; works with every model.
+  ConfidenceInterval EstimateEventProbability(const FailurePredicate& predicate,
+                                              const MonteCarloOptions& options = {}) const;
+
+ private:
+  std::unique_ptr<JointFailureModel> model_;
+};
+
+// --- Paper §3.2: protocol reliability reports -------------------------------
+
+struct ReliabilityReport {
+  Probability safe;
+  Probability live;
+  Probability safe_and_live;
+};
+
+// Theorem 3.2 applied to `model`. Safety is structural (probability 0 or 1); liveness and
+// safe&live come from the failure-count law.
+ReliabilityReport AnalyzeRaft(const RaftConfig& config, const ReliabilityAnalyzer& analyzer,
+                              AnalysisMethod method = AnalysisMethod::kAuto);
+
+// Theorem 3.1 applied to `model`; failed nodes are treated as Byzantine (the paper's §3
+// convention for BFT analysis).
+ReliabilityReport AnalyzePbft(const PbftConfig& config, const ReliabilityAnalyzer& analyzer,
+                              AnalysisMethod method = AnalysisMethod::kAuto);
+
+// Predicate factories, exposed for custom sweeps and for the Monte Carlo cross-validation
+// benches.
+CountPredicate MakeRaftLivePredicate(RaftConfig config);
+CountPredicate MakePbftSafePredicate(PbftConfig config);
+CountPredicate MakePbftLivePredicate(PbftConfig config);
+CountPredicate MakePbftSafeAndLivePredicate(PbftConfig config);
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_ANALYSIS_RELIABILITY_H_

@@ -1,0 +1,44 @@
+#include "src/analysis/sensitivity.h"
+
+#include "src/common/check.h"
+
+namespace probcon {
+
+std::vector<NodeSensitivity> AnalyzeSensitivity(
+    const std::vector<double>& failure_probabilities, const FailurePredicate& predicate) {
+  const int n = static_cast<int>(failure_probabilities.size());
+  CHECK_GT(n, 0);
+  std::vector<NodeSensitivity> result;
+  result.reserve(n);
+  for (int node = 0; node < n; ++node) {
+    // Exact conditionals: evaluate with p_i pinned to 0 and to 1. The analyzer handles
+    // degenerate probabilities without special cases.
+    std::vector<double> pinned = failure_probabilities;
+    NodeSensitivity sensitivity;
+    sensitivity.node = node;
+    pinned[node] = 0.0;
+    sensitivity.complement_if_perfect =
+        ReliabilityAnalyzer::ForIndependentNodes(pinned)
+            .EventProbability(predicate)
+            .complement();
+    pinned[node] = 1.0;
+    sensitivity.complement_if_failed =
+        ReliabilityAnalyzer::ForIndependentNodes(pinned)
+            .EventProbability(predicate)
+            .complement();
+    sensitivity.derivative =
+        sensitivity.complement_if_failed - sensitivity.complement_if_perfect;
+    result.push_back(sensitivity);
+  }
+  return result;
+}
+
+std::vector<NodeSensitivity> RaftSensitivity(
+    const std::vector<double>& failure_probabilities) {
+  const int n = static_cast<int>(failure_probabilities.size());
+  const auto config = RaftConfig::Standard(n);
+  CHECK(RaftIsSafeStructurally(config));
+  return AnalyzeSensitivity(failure_probabilities, MakeRaftLivePredicate(config));
+}
+
+}  // namespace probcon

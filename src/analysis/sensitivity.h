@@ -1,0 +1,43 @@
+// Sensitivity analysis: which node's fault curve matters most?
+//
+// Operators acting on the paper's advice ("replace the failure-prone nodes", "pick the most
+// sustainable hardware with no reliability trade-off") need to know where a cluster's
+// failure mass actually comes from. This module differentiates the safe-and-live complement
+// with respect to each node's failure probability — for the Poisson-binomial analysis this
+// derivative is EXACT: conditioning on node i,
+//
+//   complement(p) = p_i * complement(rest | node i failed)
+//                 + (1 - p_i) * complement(rest | node i correct)
+//
+// is linear in p_i, so d(complement)/dp_i is the difference of the two conditionals.
+
+#ifndef PROBCON_SRC_ANALYSIS_SENSITIVITY_H_
+#define PROBCON_SRC_ANALYSIS_SENSITIVITY_H_
+
+#include <vector>
+
+#include "src/analysis/reliability.h"
+
+namespace probcon {
+
+struct NodeSensitivity {
+  int node = 0;
+  // d(unreliability)/dp_i, exact. Larger = this node's reliability matters more.
+  double derivative = 0.0;
+  // Unreliability if this node were perfect (p_i = 0): the best achievable by fixing it.
+  double complement_if_perfect = 0.0;
+  // Unreliability if this node were certainly failed (p_i = 1).
+  double complement_if_failed = 0.0;
+};
+
+// Per-node sensitivities of P(NOT predicate) for a count predicate over independent nodes.
+// `predicate` is the GOOD event (e.g. a Raft liveness predicate).
+std::vector<NodeSensitivity> AnalyzeSensitivity(
+    const std::vector<double>& failure_probabilities, const FailurePredicate& predicate);
+
+// Convenience: sensitivities of standard-quorum Raft's safe-and-live probability.
+std::vector<NodeSensitivity> RaftSensitivity(const std::vector<double>& failure_probabilities);
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_ANALYSIS_SENSITIVITY_H_

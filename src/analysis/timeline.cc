@@ -1,0 +1,50 @@
+#include "src/analysis/timeline.h"
+
+#include "src/common/check.h"
+
+namespace probcon {
+
+std::vector<TimelinePoint> RaftReliabilityTimeline(const RaftConfig& config,
+                                                   const std::vector<const FaultCurve*>& curves,
+                                                   const std::vector<double>& ages,
+                                                   const TimelineOptions& options) {
+  CHECK_EQ(curves.size(), static_cast<size_t>(config.n));
+  CHECK_EQ(ages.size(), curves.size());
+  CHECK_GE(options.steps, 2);
+  CHECK_GT(options.horizon, 0.0);
+  CHECK_GT(options.window, 0.0);
+  for (size_t i = 0; i < curves.size(); ++i) {
+    CHECK(curves[i] != nullptr);
+    CHECK_GE(ages[i], 0.0);
+  }
+
+  std::vector<TimelinePoint> timeline;
+  timeline.reserve(options.steps);
+  for (int step = 0; step < options.steps; ++step) {
+    TimelinePoint point;
+    point.time = options.horizon * step / (options.steps - 1);
+    point.window_failure_probabilities.reserve(curves.size());
+    for (size_t i = 0; i < curves.size(); ++i) {
+      const double age = ages[i] + point.time;
+      point.window_failure_probabilities.push_back(
+          curves[i]->FailureProbability(age, age + options.window));
+    }
+    const auto analyzer =
+        ReliabilityAnalyzer::ForIndependentNodes(point.window_failure_probabilities);
+    point.report = AnalyzeRaft(config, analyzer);
+    timeline.push_back(std::move(point));
+  }
+  return timeline;
+}
+
+double FirstTimeBelowTarget(const std::vector<TimelinePoint>& timeline,
+                            const Probability& target) {
+  for (const auto& point : timeline) {
+    if (point.report.safe_and_live < target) {
+      return point.time;
+    }
+  }
+  return -1.0;
+}
+
+}  // namespace probcon

@@ -1,0 +1,46 @@
+// Reliability timelines: how a cluster's probabilistic guarantees EVOLVE as its nodes age
+// (paper §2, "fault likelihood evolves over time", and §4's preemptive-reconfiguration loop).
+//
+// The f-threshold model is static; fault curves are not. Given per-node curves and current
+// ages, this module evaluates the per-window failure probabilities at a series of future
+// instants and recomputes the Raft reliability report at each — producing the "cluster nines
+// over the fleet's lifetime" series that makes bathtub wear-out and rollout spikes visible
+// at the system level.
+
+#ifndef PROBCON_SRC_ANALYSIS_TIMELINE_H_
+#define PROBCON_SRC_ANALYSIS_TIMELINE_H_
+
+#include <vector>
+
+#include "src/analysis/reliability.h"
+#include "src/faultmodel/fault_curve.h"
+
+namespace probcon {
+
+struct TimelinePoint {
+  double time = 0.0;  // Offset from now.
+  std::vector<double> window_failure_probabilities;
+  ReliabilityReport report;
+};
+
+struct TimelineOptions {
+  double horizon = 0.0;       // How far into the future to sweep.
+  int steps = 0;              // Number of evaluation instants (>= 2, includes both ends).
+  double window = 0.0;        // Per-instant analysis window (e.g. one month).
+};
+
+// Evaluates standard-quorum Raft reliability at `steps` instants over [0, horizon].
+// `curves[i]` (borrowed) drives node i, whose age at instant t is `ages[i] + t`.
+std::vector<TimelinePoint> RaftReliabilityTimeline(const RaftConfig& config,
+                                                   const std::vector<const FaultCurve*>& curves,
+                                                   const std::vector<double>& ages,
+                                                   const TimelineOptions& options);
+
+// The instant (from the timeline above) at which safe-and-live first drops below `target`;
+// -1.0 if it never does. This is the signal a preemptive reconfigurer acts on.
+double FirstTimeBelowTarget(const std::vector<TimelinePoint>& timeline,
+                            const Probability& target);
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_ANALYSIS_TIMELINE_H_

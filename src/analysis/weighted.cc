@@ -1,0 +1,74 @@
+#include "src/analysis/weighted.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/prob/kahan.h"
+
+namespace probcon {
+
+double WeightedRaftConfig::TotalStake() const {
+  KahanSum sum;
+  for (const double stake : stakes) {
+    CHECK_GE(stake, 0.0);
+    sum.Add(stake);
+  }
+  return sum.Total();
+}
+
+bool WeightedRaftConfig::IsStructurallySafe() const {
+  return 2.0 * quorum_weight > TotalStake();
+}
+
+WeightedRaftConfig WeightedRaftConfig::Uniform(int n) {
+  CHECK_GT(n, 0);
+  WeightedRaftConfig config;
+  config.stakes.assign(n, 1.0);
+  config.quorum_weight = std::floor(n / 2.0) + 1.0;
+  return config;
+}
+
+WeightedRaftConfig WeightedRaftConfig::StakeByReliability(
+    const std::vector<double>& failure_probabilities) {
+  CHECK(!failure_probabilities.empty());
+  WeightedRaftConfig config;
+  for (double p : failure_probabilities) {
+    CHECK(p >= 0.0 && p <= 1.0);
+    p = std::min(std::max(p, 1e-9), 1.0 - 1e-9);
+    // Nodes with p >= 0.5 carry negative log-odds; clamp to a tiny positive stake — weights
+    // must stay nonnegative for the 2*quorum > total intersection argument to hold.
+    config.stakes.push_back(std::max(std::log((1.0 - p) / p), 1e-3));
+  }
+  // Smallest structurally safe threshold (with a hair of slack for float comparisons).
+  config.quorum_weight = config.TotalStake() / 2.0 * (1.0 + 1e-9) +
+                         *std::min_element(config.stakes.begin(), config.stakes.end()) * 1e-6;
+  return config;
+}
+
+ReliabilityReport AnalyzeWeightedRaft(const WeightedRaftConfig& config,
+                                      const std::vector<double>& failure_probabilities) {
+  CHECK_EQ(config.stakes.size(), failure_probabilities.size());
+  const int n = static_cast<int>(config.stakes.size());
+  CHECK_LE(n, 25) << "weighted analysis enumerates 2^N configurations";
+
+  ReliabilityReport report;
+  const bool structurally_safe = config.IsStructurallySafe();
+  report.safe = structurally_safe ? Probability::One() : Probability::Zero();
+
+  const auto analyzer = ReliabilityAnalyzer::ForIndependentNodes(failure_probabilities);
+  const ConfigurationPredicate live([&config](FailureConfiguration failed, int nodes) {
+    KahanSum surviving;
+    for (int i = 0; i < nodes; ++i) {
+      if (!NodeFailed(failed, i)) {
+        surviving.Add(config.stakes[i]);
+      }
+    }
+    return surviving.Total() >= config.quorum_weight;
+  });
+  report.live = analyzer.EventProbability(live);
+  report.safe_and_live = structurally_safe ? report.live : Probability::Zero();
+  return report;
+}
+
+}  // namespace probcon

@@ -1,0 +1,48 @@
+// Stake-weighted consensus analysis (paper §2 point 1: "Stake in blockchain systems captures
+// a similar idea: nodes with higher stake ... are considered more trustworthy"; §5's
+// stake-based protocols and Stellar).
+//
+// Votes carry weight; a quorum is any set with total weight >= quorum_weight. Two quorums
+// always intersect iff 2 * quorum_weight > total stake — the weighted analogue of Theorem
+// 3.2's majority condition. Liveness then depends on WHICH nodes survive, not how many, so
+// this analysis runs on the configuration-predicate path.
+//
+// The probabilistic payoff the paper gestures at: if stake is assigned from fault curves
+// (heavier stake to more reliable nodes), the same structural-safety condition yields strictly
+// better liveness than uniform one-node-one-vote — quantified by AnalyzeWeightedRaft and
+// benchmarked in E10.
+
+#ifndef PROBCON_SRC_ANALYSIS_WEIGHTED_H_
+#define PROBCON_SRC_ANALYSIS_WEIGHTED_H_
+
+#include <vector>
+
+#include "src/analysis/reliability.h"
+#include "src/prob/probability.h"
+
+namespace probcon {
+
+struct WeightedRaftConfig {
+  std::vector<double> stakes;  // Per-node voting weight (>= 0).
+  double quorum_weight = 0.0;  // Weight needed to commit or elect.
+
+  double TotalStake() const;
+  // Any two quorums intersect: 2 * quorum_weight > total stake.
+  bool IsStructurallySafe() const;
+
+  // One-node-one-vote with majority quorums, for baseline comparisons.
+  static WeightedRaftConfig Uniform(int n);
+  // Stake proportional to each node's log-odds of surviving the window,
+  // log((1-p)/p) — the weight of evidence its vote carries; quorum at just over half the
+  // total. Degenerate probabilities are clamped to keep stakes finite.
+  static WeightedRaftConfig StakeByReliability(const std::vector<double>& failure_probabilities);
+};
+
+// Safety is structural (0 or 1); liveness = P(surviving stake >= quorum_weight) under
+// independent per-node failure probabilities. Exact 2^N enumeration (n <= 25).
+ReliabilityReport AnalyzeWeightedRaft(const WeightedRaftConfig& config,
+                                      const std::vector<double>& failure_probabilities);
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_ANALYSIS_WEIGHTED_H_

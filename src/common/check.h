@@ -1,0 +1,84 @@
+// Lightweight assertion macros in the style of Google's CHECK family.
+//
+// CHECK(cond) aborts the process (in every build type) when `cond` is false, printing the
+// failing expression, source location, and an optional streamed message:
+//
+//   CHECK(quorum_size <= cluster_size) << "quorum " << quorum_size << " exceeds cluster";
+//
+// DCHECK is identical in debug builds and compiles to nothing in NDEBUG builds.
+
+#ifndef PROBCON_SRC_COMMON_CHECK_H_
+#define PROBCON_SRC_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace probcon {
+namespace internal {
+
+// Accumulates the streamed message for a failed CHECK and aborts on destruction.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(std::string_view condition, std::string_view file, int line) {
+    stream_ << "CHECK failed: " << condition << " at " << file << ":" << line;
+  }
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed message when the CHECK condition holds.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace probcon
+
+#define PROBCON_CHECK_IMPL(cond, cond_text)                                     \
+  (cond) ? (void)0                                                             \
+         : (void)(::probcon::internal::CheckFailureStream(cond_text, __FILE__, \
+                                                          __LINE__))
+
+#define CHECK(cond)                                                                       \
+  if (cond) {                                                                             \
+  } else                                                                                  \
+    ::probcon::internal::CheckFailureStream(#cond, __FILE__, __LINE__)
+
+#define CHECK_EQ(a, b) CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ")"
+#define CHECK_NE(a, b) CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ")"
+#define CHECK_LT(a, b) CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ")"
+#define CHECK_LE(a, b) CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ")"
+#define CHECK_GT(a, b) CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ")"
+#define CHECK_GE(a, b) CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ")"
+
+#ifdef NDEBUG
+#define DCHECK(cond) \
+  if (true) {        \
+  } else             \
+    ::probcon::internal::NullStream()
+#else
+#define DCHECK(cond) CHECK(cond)
+#endif
+
+#endif  // PROBCON_SRC_COMMON_CHECK_H_

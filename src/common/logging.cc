@@ -1,0 +1,46 @@
+#include "src/common/logging.h"
+
+namespace probcon {
+
+LogLevel& GlobalLogThreshold() {
+  static LogLevel threshold = LogLevel::kInfo;
+  return threshold;
+}
+
+std::string_view LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, std::string_view file, int line)
+    : enabled_(level >= GlobalLogThreshold()) {
+  if (enabled_) {
+    // Strip the directory prefix for readability.
+    const size_t slash = file.rfind('/');
+    if (slash != std::string_view::npos) {
+      file = file.substr(slash + 1);
+    }
+    stream_ << "[" << LogLevelName(level) << " " << file << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    stream_ << "\n";
+    std::cerr << stream_.str();
+  }
+}
+
+}  // namespace internal
+}  // namespace probcon

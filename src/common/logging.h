@@ -1,0 +1,64 @@
+// Minimal leveled logging.
+//
+//   LOG(INFO) << "cluster of " << n << " nodes";
+//
+// Levels: DEBUG < INFO < WARNING < ERROR. The global threshold defaults to INFO and can be
+// changed at runtime (tests silence logging by raising it). Output goes to stderr so that
+// bench binaries can print machine-readable tables on stdout.
+
+#ifndef PROBCON_SRC_COMMON_LOGGING_H_
+#define PROBCON_SRC_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace probcon {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+// Returns the mutable global log threshold. Messages below it are discarded.
+LogLevel& GlobalLogThreshold();
+
+std::string_view LogLevelName(LogLevel level);
+
+namespace internal {
+
+// One log statement; flushes on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string_view file, int line);
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) {
+      stream_ << value;
+    }
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace probcon
+
+#define LOG(level)                                                                 \
+  ::probcon::internal::LogMessage(::probcon::LogLevel::k##level, __FILE__, __LINE__)
+
+#define LOG_IF(level, cond) \
+  if (!(cond)) {            \
+  } else                    \
+    LOG(level)
+
+#endif  // PROBCON_SRC_COMMON_LOGGING_H_

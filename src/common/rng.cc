@@ -1,0 +1,22 @@
+#include "src/common/rng.h"
+
+#include <numeric>
+
+namespace probcon {
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  CHECK_LE(k, n);
+  // Partial Fisher-Yates: only the first k positions are materialized in shuffled order.
+  std::vector<size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), size_t{0});
+  std::vector<size_t> sample;
+  sample.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    const size_t j = i + NextBelow(n - i);
+    std::swap(pool[i], pool[j]);
+    sample.push_back(pool[i]);
+  }
+  return sample;
+}
+
+}  // namespace probcon

@@ -1,0 +1,121 @@
+// Error handling primitives: `Status` (an error code plus message) and `Result<T>` (a value or
+// a Status), in the spirit of absl::Status / absl::StatusOr but self-contained.
+//
+// Library code in this repository never throws for expected failure modes; fallible operations
+// return Status or Result<T>. CHECK is reserved for programmer errors (violated preconditions).
+
+#ifndef PROBCON_SRC_COMMON_STATUS_H_
+#define PROBCON_SRC_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "src/common/check.h"
+
+namespace probcon {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kFailedPrecondition,
+  kUnimplemented,
+  kResourceExhausted,
+  kInternal,
+};
+
+// Returns a stable human-readable name for `code` (e.g. "INVALID_ARGUMENT").
+std::string_view StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy on the OK path.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK.
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Returns "OK" or "CODE: message".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+Status InvalidArgumentError(std::string message);
+Status OutOfRangeError(std::string message);
+Status NotFoundError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status UnimplementedError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status InternalError(std::string message);
+
+// Holds either a T or a non-OK Status. Accessing the value of an errored Result is a
+// programmer error and CHECK-fails.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    CHECK(!std::get<Status>(data_).ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the contained value, or `fallback` when this Result holds an error.
+  T value_or(T fallback) const { return ok() ? std::get<T>(data_) : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace probcon
+
+// Propagates a non-OK status from an expression to the caller.
+#define RETURN_IF_ERROR(expr)                 \
+  do {                                        \
+    ::probcon::Status status_macro_ = (expr); \
+    if (!status_macro_.ok()) {                \
+      return status_macro_;                   \
+    }                                         \
+  } while (false)
+
+#endif  // PROBCON_SRC_COMMON_STATUS_H_

@@ -1,0 +1,131 @@
+#include "src/consensus/benor/benor_node.h"
+
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace probcon {
+namespace {
+
+// Decided nodes keep participating for this many extra rounds so laggards can finish, then
+// go quiet to bound message load.
+constexpr uint64_t kLingerRounds = 30;
+
+}  // namespace
+
+std::string BenOrReport::Describe() const {
+  std::ostringstream os;
+  os << "BenOrReport(r=" << round << ", v=" << value << ")";
+  return os.str();
+}
+
+std::string BenOrProposal::Describe() const {
+  std::ostringstream os;
+  os << "BenOrProposal(r=" << round << ", v=" << (value.has_value() ? std::to_string(*value) : "?")
+     << ")";
+  return os.str();
+}
+
+BenOrNode::BenOrNode(Simulator* simulator, Network* network, int id, int fault_tolerance,
+                     int initial_value)
+    : Process(simulator, network, id),
+      fault_tolerance_(fault_tolerance),
+      value_(initial_value) {
+  CHECK(initial_value == 0 || initial_value == 1);
+  CHECK_GE(fault_tolerance, 0);
+  CHECK_GT(network->node_count(), 2 * fault_tolerance) << "Ben-Or needs n > 2f";
+}
+
+int BenOrNode::decision() const {
+  CHECK(decided_.has_value()) << "node" << id() << "has not decided";
+  return *decided_;
+}
+
+void BenOrNode::OnStart() { BeginRound(); }
+
+void BenOrNode::BeginRound() {
+  if (decided_.has_value() && round_ > decision_round_ + kLingerRounds) {
+    return;
+  }
+  in_phase2_ = false;
+  auto report = std::make_shared<BenOrReport>();
+  report->round = round_;
+  report->value = value_;
+  BroadcastAll(report, /*include_self=*/true);
+}
+
+void BenOrNode::OnMessage(int from, const std::shared_ptr<const SimMessage>& message) {
+  if (const auto* report = dynamic_cast<const BenOrReport*>(message.get())) {
+    reports_[report->round][from] = report->value;
+    MaybeFinishPhase1();
+  } else if (const auto* proposal = dynamic_cast<const BenOrProposal*>(message.get())) {
+    proposals_[proposal->round][from] = proposal->value;
+    MaybeFinishPhase2();
+  }
+}
+
+void BenOrNode::MaybeFinishPhase1() {
+  if (in_phase2_) {
+    return;
+  }
+  const int n = cluster_size();
+  const auto& round_reports = reports_[round_];
+  if (static_cast<int>(round_reports.size()) < n - fault_tolerance_) {
+    return;
+  }
+  int ones = 0;
+  for (const auto& [sender, value] : round_reports) {
+    ones += value;
+  }
+  const int total = static_cast<int>(round_reports.size());
+  auto proposal = std::make_shared<BenOrProposal>();
+  proposal->round = round_;
+  if (2 * ones > n) {
+    proposal->value = 1;
+  } else if (2 * (total - ones) > n) {
+    proposal->value = 0;
+  } else {
+    proposal->value = std::nullopt;
+  }
+  in_phase2_ = true;
+  BroadcastAll(proposal, /*include_self=*/true);
+}
+
+void BenOrNode::MaybeFinishPhase2() {
+  if (!in_phase2_) {
+    return;
+  }
+  const int n = cluster_size();
+  const auto& round_proposals = proposals_[round_];
+  if (static_cast<int>(round_proposals.size()) < n - fault_tolerance_) {
+    return;
+  }
+  int count[2] = {0, 0};
+  for (const auto& [sender, value] : round_proposals) {
+    if (value.has_value()) {
+      ++count[*value];
+    }
+  }
+  for (int v = 0; v < 2; ++v) {
+    if (count[v] >= fault_tolerance_ + 1) {
+      if (!decided_.has_value()) {
+        decided_ = v;
+        decision_round_ = round_;
+        decision_time_ = Now();
+      }
+      value_ = v;
+      ++round_;
+      BeginRound();
+      return;
+    }
+  }
+  if (count[0] + count[1] >= 1) {
+    value_ = count[1] > 0 ? 1 : 0;
+  } else {
+    value_ = rng().NextBernoulli(0.5) ? 1 : 0;  // The "free choice" coin.
+  }
+  ++round_;
+  BeginRound();
+}
+
+}  // namespace probcon

@@ -1,0 +1,79 @@
+// Ben-Or randomized binary consensus (PODC '83) — the paper's §4 example of consensus
+// "beyond quorums": termination is probabilistic by design, which makes it the natural
+// historical ancestor of probability-native protocols.
+//
+// Crash-tolerant variant for n > 2f. Each round has two phases:
+//   Phase 1 (report):  broadcast R(round, value); await n - f reports. If more than n/2 carry
+//                      the same v, propose v in phase 2, else propose "?" (none).
+//   Phase 2 (propose): broadcast P(round, proposal); await n - f proposals. If >= f + 1 carry
+//                      the same v: DECIDE v. Else if >= 1 carries v: adopt v. Else: flip a
+//                      fair local coin.
+//
+// Expected round count is exponential in n for adversarial schedules but tiny for random
+// ones; bench/probnative_ablation measures the distribution.
+
+#ifndef PROBCON_SRC_CONSENSUS_BENOR_BENOR_NODE_H_
+#define PROBCON_SRC_CONSENSUS_BENOR_BENOR_NODE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "src/sim/process.h"
+
+namespace probcon {
+
+struct BenOrReport final : public SimMessage {
+  uint64_t round = 0;
+  int value = 0;  // 0 or 1.
+
+  std::string Describe() const override;
+};
+
+struct BenOrProposal final : public SimMessage {
+  uint64_t round = 0;
+  std::optional<int> value;  // nullopt = "?".
+
+  std::string Describe() const override;
+};
+
+class BenOrNode final : public Process {
+ public:
+  // `fault_tolerance` is the f the protocol waits out (awaits n-f messages); requires
+  // n > 2f for correctness.
+  BenOrNode(Simulator* simulator, Network* network, int id, int fault_tolerance,
+            int initial_value);
+
+  bool decided() const { return decided_.has_value(); }
+  int decision() const;
+  uint64_t decision_round() const { return decision_round_; }
+  SimTime decision_time() const { return decision_time_; }
+
+ protected:
+  void OnStart() override;
+  void OnMessage(int from, const std::shared_ptr<const SimMessage>& message) override;
+
+ private:
+  void BeginRound();
+  void MaybeFinishPhase1();
+  void MaybeFinishPhase2();
+
+  int fault_tolerance_;
+  int value_;
+  uint64_t round_ = 1;
+  bool in_phase2_ = false;
+  std::optional<int> decided_;
+  uint64_t decision_round_ = 0;
+  SimTime decision_time_ = 0.0;
+
+  // round -> sender -> value.
+  std::map<uint64_t, std::map<int, int>> reports_;
+  std::map<uint64_t, std::map<int, std::optional<int>>> proposals_;
+};
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_CONSENSUS_BENOR_BENOR_NODE_H_

@@ -1,0 +1,96 @@
+#include "src/consensus/common/kv_state_machine.h"
+
+#include <sstream>
+#include <vector>
+
+namespace probcon {
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& text) {
+  std::istringstream stream(text);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (stream >> token) {
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+uint64_t Fnv1a(uint64_t hash, const std::string& text) {
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  hash ^= 0xFF;  // Field separator so ("ab","c") != ("a","bc").
+  hash *= 0x100000001B3ULL;
+  return hash;
+}
+
+}  // namespace
+
+std::string KvStateMachine::Apply(const Command& command) {
+  ++applied_count_;
+  const auto tokens = Tokenize(command.payload);
+  if (tokens.empty()) {
+    return "<err>";
+  }
+  const std::string& op = tokens[0];
+  if (op == "put" && tokens.size() == 3) {
+    store_[tokens[1]] = tokens[2];
+    return "ok";
+  }
+  if (op == "get" && tokens.size() == 2) {
+    const auto it = store_.find(tokens[1]);
+    return it == store_.end() ? "<nil>" : it->second;
+  }
+  if (op == "del" && tokens.size() == 2) {
+    return store_.erase(tokens[1]) > 0 ? "ok" : "<nil>";
+  }
+  if (op == "cas" && tokens.size() == 4) {
+    const auto it = store_.find(tokens[1]);
+    if (it != store_.end() && it->second == tokens[2]) {
+      it->second = tokens[3];
+      return "ok";
+    }
+    return "fail";
+  }
+  return "<err>";
+}
+
+std::optional<std::string> KvStateMachine::Get(const std::string& key) const {
+  const auto it = store_.find(key);
+  if (it == store_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+uint64_t KvStateMachine::Digest() const {
+  uint64_t hash = 0xCBF29CE484222325ULL;
+  for (const auto& [key, value] : store_) {  // std::map iterates in sorted order.
+    hash = Fnv1a(hash, key);
+    hash = Fnv1a(hash, value);
+  }
+  hash ^= applied_count_;
+  hash *= 0x100000001B3ULL;
+  return hash;
+}
+
+Command MakePut(uint64_t id, const std::string& key, const std::string& value) {
+  return Command{id, "put " + key + " " + value};
+}
+
+Command MakeGet(uint64_t id, const std::string& key) {
+  return Command{id, "get " + key};
+}
+
+Command MakeDel(uint64_t id, const std::string& key) {
+  return Command{id, "del " + key};
+}
+
+Command MakeCas(uint64_t id, const std::string& key, const std::string& expected,
+                const std::string& desired) {
+  return Command{id, "cas " + key + " " + expected + " " + desired};
+}
+
+}  // namespace probcon

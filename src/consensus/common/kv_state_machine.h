@@ -1,0 +1,54 @@
+// A deterministic key-value state machine — the application payload for the replicated-log
+// protocols (the paper's "fault-tolerant core upon which application-logic is implemented").
+//
+// Command payload grammar (whitespace-separated):
+//   put <key> <value>     -> "ok"
+//   get <key>             -> value or "<nil>"
+//   del <key>             -> "ok" or "<nil>"
+//   cas <key> <old> <new> -> "ok" or "fail"
+// Malformed commands apply as no-ops returning "<err>"; determinism is preserved because the
+// result depends only on the command text and prior state.
+//
+// Replicas that applied the same committed prefix have equal Digest() — the cheap
+// state-equivalence check used by tests and examples.
+
+#ifndef PROBCON_SRC_CONSENSUS_COMMON_KV_STATE_MACHINE_H_
+#define PROBCON_SRC_CONSENSUS_COMMON_KV_STATE_MACHINE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/consensus/common/types.h"
+
+namespace probcon {
+
+class KvStateMachine {
+ public:
+  // Applies one committed command; returns the operation result.
+  std::string Apply(const Command& command);
+
+  std::optional<std::string> Get(const std::string& key) const;
+  size_t size() const { return store_.size(); }
+  uint64_t applied_count() const { return applied_count_; }
+
+  // Order-independent digest over (key, value) pairs plus the applied-command count;
+  // equal digests <=> replicas converged on the same state via the same number of commands.
+  uint64_t Digest() const;
+
+ private:
+  std::map<std::string, std::string> store_;
+  uint64_t applied_count_ = 0;
+};
+
+// Builds a Command for the grammar above (convenience for clients/tests).
+Command MakePut(uint64_t id, const std::string& key, const std::string& value);
+Command MakeGet(uint64_t id, const std::string& key);
+Command MakeDel(uint64_t id, const std::string& key);
+Command MakeCas(uint64_t id, const std::string& key, const std::string& expected,
+                const std::string& desired);
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_CONSENSUS_COMMON_KV_STATE_MACHINE_H_

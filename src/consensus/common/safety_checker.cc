@@ -1,0 +1,71 @@
+#include "src/consensus/common/safety_checker.h"
+
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace probcon {
+
+std::string SafetyViolation::Describe() const {
+  std::ostringstream os;
+  os << "slot " << slot << ": node " << first_node << " committed cmd#" << first_command.id
+     << " but node " << second_node << " committed cmd#" << second_command.id << " (t="
+     << detected_at << ")";
+  return os.str();
+}
+
+SafetyChecker::SafetyChecker(Simulator* simulator) : simulator_(simulator) {
+  CHECK(simulator != nullptr);
+}
+
+void SafetyChecker::RecordCommit(int node, uint64_t slot, const Command& command) {
+  ++total_commit_reports_;
+  auto& slot_commits = commits_[slot];
+  // Agreement check against every other node's commit for this slot.
+  for (const auto& [other_node, other_command] : slot_commits) {
+    if (other_node != node && other_command != command) {
+      SafetyViolation violation;
+      violation.slot = slot;
+      violation.first_node = other_node;
+      violation.second_node = node;
+      violation.first_command = other_command;
+      violation.second_command = command;
+      violation.detected_at = simulator_->Now();
+      violations_.push_back(violation);
+    }
+  }
+  // A single node must never change its mind about a committed slot either.
+  auto it = slot_commits.find(node);
+  if (it != slot_commits.end() && it->second != command) {
+    SafetyViolation violation;
+    violation.slot = slot;
+    violation.first_node = node;
+    violation.second_node = node;
+    violation.first_command = it->second;
+    violation.second_command = command;
+    violation.detected_at = simulator_->Now();
+    violations_.push_back(violation);
+  }
+  slot_commits[node] = command;
+
+  if (first_commit_time_.find(slot) == first_commit_time_.end()) {
+    first_commit_time_[slot] = simulator_->Now();
+    const auto submitted = submission_time_.find(command.id);
+    if (submitted != submission_time_.end()) {
+      commit_latency_.Add(simulator_->Now() - submitted->second);
+    }
+  }
+}
+
+void SafetyChecker::RecordSubmission(const Command& command) {
+  submission_time_.emplace(command.id, simulator_->Now());
+}
+
+uint64_t SafetyChecker::max_committed_slot() const {
+  if (first_commit_time_.empty()) {
+    return 0;
+  }
+  return first_commit_time_.rbegin()->first;
+}
+
+}  // namespace probcon

@@ -1,0 +1,71 @@
+// Global safety/liveness observer for protocol runs.
+//
+// The checker sits OUTSIDE the protocol (design decision D4 in DESIGN.md): every node reports
+// each (slot, command) it commits, and the checker cross-checks agreement — two nodes
+// committing different commands at the same slot is a safety violation, regardless of what the
+// protocol believes. It also records first-commit times per slot for liveness/latency
+// measurements.
+
+#ifndef PROBCON_SRC_CONSENSUS_COMMON_SAFETY_CHECKER_H_
+#define PROBCON_SRC_CONSENSUS_COMMON_SAFETY_CHECKER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/consensus/common/types.h"
+#include "src/sim/metrics.h"
+#include "src/sim/simulator.h"
+
+namespace probcon {
+
+struct SafetyViolation {
+  uint64_t slot = 0;
+  int first_node = 0;
+  int second_node = 0;
+  Command first_command;
+  Command second_command;
+  SimTime detected_at = 0.0;
+
+  std::string Describe() const;
+};
+
+class SafetyChecker {
+ public:
+  explicit SafetyChecker(Simulator* simulator);
+
+  // A node reports that it committed `command` at `slot`. Re-commits of the same value at the
+  // same slot by the same node are idempotent.
+  void RecordCommit(int node, uint64_t slot, const Command& command);
+
+  // A client submitted `command` at the current sim time (for end-to-end latency).
+  void RecordSubmission(const Command& command);
+
+  bool safe() const { return violations_.empty(); }
+  const std::vector<SafetyViolation>& violations() const { return violations_; }
+
+  // Number of distinct slots committed by at least one node.
+  uint64_t committed_slots() const { return first_commit_time_.size(); }
+  uint64_t total_commit_reports() const { return total_commit_reports_; }
+
+  // Submission -> first commit latency samples (only for commands with both records).
+  const SampleStats& commit_latency() const { return commit_latency_; }
+
+  // Highest slot committed by any node, or 0 if none.
+  uint64_t max_committed_slot() const;
+
+ private:
+  Simulator* simulator_;
+  // slot -> (node -> command) records; compact because runs are bounded.
+  std::map<uint64_t, std::map<int, Command>> commits_;
+  std::map<uint64_t, SimTime> first_commit_time_;  // By slot.
+  std::map<uint64_t, SimTime> submission_time_;    // By command id.
+  std::vector<SafetyViolation> violations_;
+  SampleStats commit_latency_;
+  uint64_t total_commit_reports_ = 0;
+};
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_CONSENSUS_COMMON_SAFETY_CHECKER_H_

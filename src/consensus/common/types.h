@@ -1,0 +1,34 @@
+// Shared vocabulary for the executable consensus protocols.
+
+#ifndef PROBCON_SRC_CONSENSUS_COMMON_TYPES_H_
+#define PROBCON_SRC_CONSENSUS_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace probcon {
+
+// A client operation. Ids are globally unique; the payload is opaque.
+struct Command {
+  uint64_t id = 0;
+  std::string payload;
+
+  bool operator==(const Command& other) const {
+    return id == other.id && payload == other.payload;
+  }
+  bool operator!=(const Command& other) const { return !(*this == other); }
+};
+
+struct LogEntry {
+  uint64_t term = 0;  // Raft term / PBFT view of the proposal.
+  Command command;
+
+  bool operator==(const LogEntry& other) const {
+    return term == other.term && command == other.command;
+  }
+  bool operator!=(const LogEntry& other) const { return !(*this == other); }
+};
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_CONSENSUS_COMMON_TYPES_H_

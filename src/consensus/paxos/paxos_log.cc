@@ -1,0 +1,273 @@
+#include "src/consensus/paxos/paxos_log.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+
+namespace probcon {
+
+std::string PaxosLogPrepare::Describe() const {
+  return "LogPrepare(s=" + std::to_string(slot) + ", b=" + std::to_string(ballot) + ")";
+}
+std::string PaxosLogPromise::Describe() const {
+  return "LogPromise(s=" + std::to_string(slot) + ", b=" + std::to_string(ballot) + ")";
+}
+std::string PaxosLogAccept::Describe() const {
+  return "LogAccept(s=" + std::to_string(slot) + ", b=" + std::to_string(ballot) + ", cmd#" +
+         std::to_string(value.id) + ")";
+}
+std::string PaxosLogAccepted::Describe() const {
+  return "LogAccepted(s=" + std::to_string(slot) + ", b=" + std::to_string(ballot) + ")";
+}
+std::string PaxosLogNack::Describe() const {
+  return "LogNack(s=" + std::to_string(slot) + ", b=" + std::to_string(ballot) + ")";
+}
+std::string PaxosLogDecide::Describe() const {
+  return "LogDecide(s=" + std::to_string(slot) + ", cmd#" + std::to_string(value.id) + ")";
+}
+std::string PaxosLogClientCommand::Describe() const {
+  return "LogClientCommand(cmd#" + std::to_string(command.id) + ")";
+}
+
+PaxosLogNode::PaxosLogNode(Simulator* simulator, Network* network, int id,
+                           const PaxosConfig& config, const PaxosTimingConfig& timing,
+                           SafetyChecker* checker)
+    : Process(simulator, network, id), config_(config), timing_(timing), checker_(checker) {
+  CHECK_EQ(config.n, network->node_count());
+  CHECK(checker != nullptr);
+}
+
+void PaxosLogNode::OnStart() {}
+
+void PaxosLogNode::OnRecover() {
+  // Acceptor state and decided values are durable; in-flight proposals restart.
+  proposer_ = ProposerState{};
+  ++retry_epoch_;
+  MaybePropose();
+}
+
+void PaxosLogNode::OnMessage(int from, const std::shared_ptr<const SimMessage>& message) {
+  if (const auto* client = dynamic_cast<const PaxosLogClientCommand*>(message.get())) {
+    if (queued_command_ids_.insert(client->command.id).second &&
+        decided_.end() ==
+            std::find_if(decided_.begin(), decided_.end(), [&](const auto& entry) {
+              return entry.second.id == client->command.id;
+            })) {
+      pending_.push_back(client->command);
+      MaybePropose();
+    }
+  } else if (const auto* prepare = dynamic_cast<const PaxosLogPrepare*>(message.get())) {
+    HandlePrepare(from, *prepare);
+  } else if (const auto* promise = dynamic_cast<const PaxosLogPromise*>(message.get())) {
+    HandlePromise(from, *promise);
+  } else if (const auto* accept = dynamic_cast<const PaxosLogAccept*>(message.get())) {
+    HandleAccept(from, *accept);
+  } else if (const auto* accepted = dynamic_cast<const PaxosLogAccepted*>(message.get())) {
+    HandleAccepted(from, *accepted);
+  } else if (const auto* nack = dynamic_cast<const PaxosLogNack*>(message.get())) {
+    HandleNack(*nack);
+  } else if (const auto* decide = dynamic_cast<const PaxosLogDecide*>(message.get())) {
+    HandleDecide(*decide);
+  } else {
+    LOG(Warning) << "paxos-log node " << id() << " ignoring " << message->Describe();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Proposer
+
+uint64_t PaxosLogNode::LowestFreeSlot() const {
+  uint64_t slot = 1;
+  while (decided_.count(slot) > 0) {
+    ++slot;
+  }
+  return slot;
+}
+
+void PaxosLogNode::MaybePropose() {
+  if (proposer_.active || pending_.empty()) {
+    return;
+  }
+  proposer_.active = true;
+  proposer_.slot = LowestFreeSlot();
+  StartRound();
+}
+
+void PaxosLogNode::StartRound() {
+  CHECK(proposer_.active);
+  if (decided_.count(proposer_.slot) > 0) {
+    // Someone else filled it while we were retrying; move on.
+    proposer_ = ProposerState{};
+    MaybePropose();
+    return;
+  }
+  ++attempt_;
+  proposer_.ballot = attempt_ * static_cast<uint64_t>(config_.n) + id() + 1;
+  proposer_.in_phase2 = false;
+  proposer_.promises.clear();
+  proposer_.accepted_votes.clear();
+  proposer_.adopted_foreign_value = false;
+
+  auto prepare = std::make_shared<PaxosLogPrepare>();
+  prepare->slot = proposer_.slot;
+  prepare->ballot = proposer_.ballot;
+  BroadcastAll(prepare, /*include_self=*/true);
+  ScheduleRetry();
+}
+
+void PaxosLogNode::ScheduleRetry() {
+  ++retry_epoch_;
+  const uint64_t epoch = retry_epoch_;
+  const SimTime delay = timing_.proposal_timeout + timing_.backoff_max * rng().NextDouble();
+  SetTimer(delay, [this, epoch]() {
+    if (retry_epoch_ == epoch && proposer_.active) {
+      StartRound();
+    }
+  });
+}
+
+void PaxosLogNode::HandlePromise(int from, const PaxosLogPromise& message) {
+  if (!proposer_.active || proposer_.in_phase2 || message.slot != proposer_.slot ||
+      message.ballot != proposer_.ballot) {
+    return;
+  }
+  proposer_.promises.emplace(from, message);
+  if (static_cast<int>(proposer_.promises.size()) < config_.q_prepare) {
+    return;
+  }
+  proposer_.in_phase2 = true;
+  uint64_t best_ballot = 0;
+  proposer_.phase2_value = pending_.front();
+  proposer_.adopted_foreign_value = false;
+  for (const auto& [sender, promise] : proposer_.promises) {
+    if (promise.accepted_ballot > best_ballot) {
+      best_ballot = promise.accepted_ballot;
+      proposer_.phase2_value = promise.accepted_value;
+      proposer_.adopted_foreign_value = promise.accepted_value.id != pending_.front().id;
+    }
+  }
+  auto accept = std::make_shared<PaxosLogAccept>();
+  accept->slot = proposer_.slot;
+  accept->ballot = proposer_.ballot;
+  accept->value = proposer_.phase2_value;
+  BroadcastAll(accept, /*include_self=*/true);
+}
+
+void PaxosLogNode::HandleAccepted(int from, const PaxosLogAccepted& message) {
+  if (!proposer_.active || !proposer_.in_phase2 || message.slot != proposer_.slot ||
+      message.ballot != proposer_.ballot) {
+    return;
+  }
+  proposer_.accepted_votes.insert(from);
+  if (static_cast<int>(proposer_.accepted_votes.size()) < config_.q_accept) {
+    return;
+  }
+  // Chosen. Learn, disseminate, and either consume our command or retry it at the next slot.
+  const uint64_t slot = proposer_.slot;
+  const Command value = proposer_.phase2_value;
+  const bool was_ours = !proposer_.adopted_foreign_value;
+  proposer_ = ProposerState{};
+  if (was_ours) {
+    pending_.pop_front();
+  }
+  Learn(slot, value);
+  auto decide = std::make_shared<PaxosLogDecide>();
+  decide->slot = slot;
+  decide->value = value;
+  BroadcastAll(decide, /*include_self=*/false);
+  MaybePropose();
+}
+
+void PaxosLogNode::HandleNack(const PaxosLogNack& message) {
+  if (!proposer_.active || message.slot != proposer_.slot ||
+      message.ballot != proposer_.ballot) {
+    return;
+  }
+  attempt_ = std::max(attempt_, message.promised_ballot / static_cast<uint64_t>(config_.n));
+  ScheduleRetry();
+}
+
+// ---------------------------------------------------------------------------
+// Acceptor
+
+void PaxosLogNode::HandlePrepare(int from, const PaxosLogPrepare& message) {
+  AcceptorSlot& slot = acceptor_slots_[message.slot];
+  if (message.ballot > slot.promised_ballot) {
+    slot.promised_ballot = message.ballot;
+    auto promise = std::make_shared<PaxosLogPromise>();
+    promise->slot = message.slot;
+    promise->ballot = message.ballot;
+    promise->accepted_ballot = slot.accepted_ballot;
+    if (slot.accepted_value.has_value()) {
+      promise->accepted_value = *slot.accepted_value;
+    }
+    SendTo(from, std::move(promise));
+    return;
+  }
+  auto nack = std::make_shared<PaxosLogNack>();
+  nack->slot = message.slot;
+  nack->ballot = message.ballot;
+  nack->promised_ballot = slot.promised_ballot;
+  SendTo(from, std::move(nack));
+}
+
+void PaxosLogNode::HandleAccept(int from, const PaxosLogAccept& message) {
+  AcceptorSlot& slot = acceptor_slots_[message.slot];
+  if (message.ballot >= slot.promised_ballot) {
+    slot.promised_ballot = message.ballot;
+    slot.accepted_ballot = message.ballot;
+    slot.accepted_value = message.value;
+    auto accepted = std::make_shared<PaxosLogAccepted>();
+    accepted->slot = message.slot;
+    accepted->ballot = message.ballot;
+    accepted->value = message.value;
+    SendTo(from, std::move(accepted));
+    return;
+  }
+  auto nack = std::make_shared<PaxosLogNack>();
+  nack->slot = message.slot;
+  nack->ballot = message.ballot;
+  nack->promised_ballot = slot.promised_ballot;
+  SendTo(from, std::move(nack));
+}
+
+// ---------------------------------------------------------------------------
+// Learner
+
+void PaxosLogNode::HandleDecide(const PaxosLogDecide& message) {
+  Learn(message.slot, message.value);
+  // A decide may unblock our proposer (it was racing for that slot).
+  if (proposer_.active && decided_.count(proposer_.slot) > 0) {
+    const uint64_t epoch = ++retry_epoch_;
+    (void)epoch;
+    proposer_ = ProposerState{};
+    MaybePropose();
+  }
+}
+
+void PaxosLogNode::Learn(uint64_t slot, const Command& value) {
+  const auto [it, inserted] = decided_.emplace(slot, value);
+  if (!inserted) {
+    return;
+  }
+  queued_command_ids_.insert(value.id);
+  // Drop the command from our own queue if someone else got it chosen.
+  for (auto pending_it = pending_.begin(); pending_it != pending_.end(); ++pending_it) {
+    if (pending_it->id == value.id) {
+      pending_.erase(pending_it);
+      break;
+    }
+  }
+  // Report the contiguous chosen prefix in order.
+  while (true) {
+    const auto next = decided_.find(chosen_prefix_ + 1);
+    if (next == decided_.end()) {
+      break;
+    }
+    ++chosen_prefix_;
+    checker_->RecordCommit(id(), chosen_prefix_, next->second);
+  }
+}
+
+}  // namespace probcon

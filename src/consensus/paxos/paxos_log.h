@@ -1,0 +1,151 @@
+// Multi-decree Paxos: a replicated log built from independent single-decree synod instances,
+// one per slot (the construction sketched in "Paxos Made Simple" §3).
+//
+// Each node runs acceptor state per slot and a proposer that walks the log: a node that has
+// pending client commands proposes at the lowest slot it believes free; chosen values are
+// learned via Decide broadcasts; a proposer that discovers a slot was already taken (its
+// phase 2 adopted a previously accepted value) re-queues its command for the next slot.
+// There is no distinguished leader — proposers race and back off, which keeps the
+// implementation honest about the classic Paxos liveness caveat; the E8-style validation of
+// leaderful designs is Raft's job.
+//
+// Executed (slot, command) pairs are reported to the SafetyChecker, exactly like Raft and
+// PBFT, so all three SMR implementations are checked by the same oracle.
+
+#ifndef PROBCON_SRC_CONSENSUS_PAXOS_PAXOS_LOG_H_
+#define PROBCON_SRC_CONSENSUS_PAXOS_PAXOS_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "src/consensus/common/safety_checker.h"
+#include "src/consensus/common/types.h"
+#include "src/consensus/paxos/paxos_node.h"
+#include "src/sim/process.h"
+
+namespace probcon {
+
+// --- Slot-tagged messages (wrap the single-decree payloads) ---------------------
+
+struct PaxosLogPrepare final : public SimMessage {
+  uint64_t slot = 0;
+  uint64_t ballot = 0;
+  std::string Describe() const override;
+};
+
+struct PaxosLogPromise final : public SimMessage {
+  uint64_t slot = 0;
+  uint64_t ballot = 0;
+  uint64_t accepted_ballot = 0;
+  Command accepted_value;
+  std::string Describe() const override;
+};
+
+struct PaxosLogAccept final : public SimMessage {
+  uint64_t slot = 0;
+  uint64_t ballot = 0;
+  Command value;
+  std::string Describe() const override;
+};
+
+struct PaxosLogAccepted final : public SimMessage {
+  uint64_t slot = 0;
+  uint64_t ballot = 0;
+  Command value;
+  std::string Describe() const override;
+};
+
+struct PaxosLogNack final : public SimMessage {
+  uint64_t slot = 0;
+  uint64_t ballot = 0;
+  uint64_t promised_ballot = 0;
+  std::string Describe() const override;
+};
+
+struct PaxosLogDecide final : public SimMessage {
+  uint64_t slot = 0;
+  Command value;
+  std::string Describe() const override;
+};
+
+// Client command injected at a node; queued and proposed by that node.
+struct PaxosLogClientCommand final : public SimMessage {
+  Command command;
+  std::string Describe() const override;
+};
+
+// --- Node ------------------------------------------------------------------------
+
+class PaxosLogNode final : public Process {
+ public:
+  PaxosLogNode(Simulator* simulator, Network* network, int id, const PaxosConfig& config,
+               const PaxosTimingConfig& timing, SafetyChecker* checker);
+
+  uint64_t chosen_count() const { return chosen_prefix_; }
+  uint64_t known_slots() const { return decided_.size(); }
+
+ protected:
+  void OnStart() override;
+  void OnMessage(int from, const std::shared_ptr<const SimMessage>& message) override;
+  void OnRecover() override;
+
+ private:
+  struct AcceptorSlot {
+    uint64_t promised_ballot = 0;
+    uint64_t accepted_ballot = 0;
+    std::optional<Command> accepted_value;
+  };
+
+  struct ProposerState {
+    bool active = false;
+    uint64_t slot = 0;
+    uint64_t ballot = 0;
+    bool in_phase2 = false;
+    std::map<int, PaxosLogPromise> promises;
+    std::set<int> accepted_votes;
+    Command phase2_value;
+    bool adopted_foreign_value = false;
+  };
+
+  // Proposer.
+  void MaybePropose();
+  void StartRound();
+  void ScheduleRetry();
+  void HandlePromise(int from, const PaxosLogPromise& message);
+  void HandleAccepted(int from, const PaxosLogAccepted& message);
+  void HandleNack(const PaxosLogNack& message);
+
+  // Acceptor.
+  void HandlePrepare(int from, const PaxosLogPrepare& message);
+  void HandleAccept(int from, const PaxosLogAccept& message);
+
+  // Learner.
+  void HandleDecide(const PaxosLogDecide& message);
+  void Learn(uint64_t slot, const Command& value);
+  uint64_t LowestFreeSlot() const;
+
+  PaxosConfig config_;
+  PaxosTimingConfig timing_;
+  SafetyChecker* checker_;
+
+  // Durable.
+  std::map<uint64_t, AcceptorSlot> acceptor_slots_;
+  std::map<uint64_t, Command> decided_;
+
+  // Volatile.
+  std::deque<Command> pending_;
+  std::set<uint64_t> queued_command_ids_;
+  ProposerState proposer_;
+  uint64_t attempt_ = 0;
+  uint64_t retry_epoch_ = 0;
+  uint64_t chosen_prefix_ = 0;  // Contiguous decided prefix reported to the checker.
+};
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_CONSENSUS_PAXOS_PAXOS_LOG_H_

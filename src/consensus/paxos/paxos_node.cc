@@ -1,0 +1,232 @@
+#include "src/consensus/paxos/paxos_node.h"
+
+#include <sstream>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+
+namespace probcon {
+
+PaxosConfig PaxosConfig::Standard(int n) {
+  CHECK_GT(n, 0);
+  PaxosConfig config;
+  config.n = n;
+  config.q_prepare = n / 2 + 1;
+  config.q_accept = n / 2 + 1;
+  return config;
+}
+
+std::string PaxosConfig::Describe() const {
+  std::ostringstream os;
+  os << "paxos(n=" << n << ", q1=" << q_prepare << ", q2=" << q_accept << ")";
+  return os.str();
+}
+
+std::string PaxosPrepare::Describe() const {
+  return "Prepare(b=" + std::to_string(ballot) + ")";
+}
+std::string PaxosPromise::Describe() const {
+  return "Promise(b=" + std::to_string(ballot) + ", ab=" + std::to_string(accepted_ballot) +
+         ")";
+}
+std::string PaxosAccept::Describe() const {
+  return "Accept(b=" + std::to_string(ballot) + ", cmd#" + std::to_string(value.id) + ")";
+}
+std::string PaxosAccepted::Describe() const {
+  return "Accepted(b=" + std::to_string(ballot) + ", cmd#" + std::to_string(value.id) + ")";
+}
+std::string PaxosNack::Describe() const {
+  return "Nack(b=" + std::to_string(ballot) + ", promised=" + std::to_string(promised_ballot) +
+         ")";
+}
+std::string PaxosDecide::Describe() const {
+  return "Decide(cmd#" + std::to_string(value.id) + ")";
+}
+
+PaxosNode::PaxosNode(Simulator* simulator, Network* network, int id,
+                     const PaxosConfig& config, const PaxosTimingConfig& timing,
+                     SafetyChecker* checker, Command proposal)
+    : Process(simulator, network, id),
+      config_(config),
+      timing_(timing),
+      checker_(checker),
+      proposal_(std::move(proposal)) {
+  CHECK_EQ(config.n, network->node_count());
+  CHECK(config.q_prepare >= 1 && config.q_prepare <= config.n);
+  CHECK(config.q_accept >= 1 && config.q_accept <= config.n);
+  CHECK(checker != nullptr);
+}
+
+const Command& PaxosNode::decision() const {
+  CHECK(decided_.has_value()) << "node" << id() << "has not decided";
+  return *decided_;
+}
+
+void PaxosNode::OnStart() {
+  // Stagger first proposals so a single proposer usually runs unopposed.
+  SetTimer(timing_.initial_delay_max * rng().NextDouble() + 1.0,
+           [this]() { StartProposal(); });
+}
+
+void PaxosNode::OnRecover() {
+  // Acceptor state survives (it is the durable half of Paxos); proposer state restarts.
+  in_phase2_ = false;
+  promises_.clear();
+  accepted_votes_.clear();
+  ++retry_epoch_;
+  if (!decided_.has_value()) {
+    ScheduleRetry();
+  }
+}
+
+void PaxosNode::OnMessage(int from, const std::shared_ptr<const SimMessage>& message) {
+  if (const auto* prepare = dynamic_cast<const PaxosPrepare*>(message.get())) {
+    HandlePrepare(from, *prepare);
+  } else if (const auto* promise = dynamic_cast<const PaxosPromise*>(message.get())) {
+    HandlePromise(from, *promise);
+  } else if (const auto* accept = dynamic_cast<const PaxosAccept*>(message.get())) {
+    HandleAccept(from, *accept);
+  } else if (const auto* accepted = dynamic_cast<const PaxosAccepted*>(message.get())) {
+    HandleAccepted(from, *accepted);
+  } else if (const auto* nack = dynamic_cast<const PaxosNack*>(message.get())) {
+    HandleNack(*nack);
+  } else if (const auto* decide = dynamic_cast<const PaxosDecide*>(message.get())) {
+    HandleDecide(*decide);
+  } else {
+    LOG(Warning) << "paxos node " << id() << " ignoring " << message->Describe();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Proposer
+
+uint64_t PaxosNode::NextBallot() {
+  ++attempt_;
+  return attempt_ * static_cast<uint64_t>(config_.n) + static_cast<uint64_t>(id()) + 1;
+}
+
+void PaxosNode::StartProposal() {
+  if (decided_.has_value()) {
+    return;
+  }
+  current_ballot_ = NextBallot();
+  in_phase2_ = false;
+  promises_.clear();
+  accepted_votes_.clear();
+
+  auto prepare = std::make_shared<PaxosPrepare>();
+  prepare->ballot = current_ballot_;
+  BroadcastAll(prepare, /*include_self=*/true);
+  ScheduleRetry();
+}
+
+void PaxosNode::ScheduleRetry() {
+  ++retry_epoch_;
+  const uint64_t epoch = retry_epoch_;
+  const SimTime delay = timing_.proposal_timeout + timing_.backoff_max * rng().NextDouble();
+  SetTimer(delay, [this, epoch]() {
+    if (retry_epoch_ == epoch && !decided_.has_value()) {
+      StartProposal();
+    }
+  });
+}
+
+void PaxosNode::HandlePromise(int from, const PaxosPromise& message) {
+  if (decided_.has_value() || in_phase2_ || message.ballot != current_ballot_) {
+    return;
+  }
+  promises_.emplace(from, message);
+  if (static_cast<int>(promises_.size()) < config_.q_prepare) {
+    return;
+  }
+  // Phase 2: adopt the highest-ballot accepted value among the promises, else our own.
+  in_phase2_ = true;
+  uint64_t best_ballot = 0;
+  phase2_value_ = proposal_;
+  for (const auto& [sender, promise] : promises_) {
+    if (promise.accepted_ballot > best_ballot) {
+      best_ballot = promise.accepted_ballot;
+      phase2_value_ = promise.accepted_value;
+    }
+  }
+  auto accept = std::make_shared<PaxosAccept>();
+  accept->ballot = current_ballot_;
+  accept->value = phase2_value_;
+  BroadcastAll(accept, /*include_self=*/true);
+}
+
+void PaxosNode::HandleAccepted(int from, const PaxosAccepted& message) {
+  if (decided_.has_value() || !in_phase2_ || message.ballot != current_ballot_) {
+    return;
+  }
+  accepted_votes_.insert(from);
+  if (static_cast<int>(accepted_votes_.size()) >= config_.q_accept) {
+    Decide(phase2_value_);
+    auto decide = std::make_shared<PaxosDecide>();
+    decide->value = *decided_;
+    BroadcastAll(decide, /*include_self=*/false);
+  }
+}
+
+void PaxosNode::HandleNack(const PaxosNack& message) {
+  if (decided_.has_value() || message.ballot != current_ballot_) {
+    return;
+  }
+  // Our ballot lost; jump past the winner and retry after backoff.
+  attempt_ = message.promised_ballot / static_cast<uint64_t>(config_.n) + 1;
+  ScheduleRetry();
+}
+
+// ---------------------------------------------------------------------------
+// Acceptor
+
+void PaxosNode::HandlePrepare(int from, const PaxosPrepare& message) {
+  if (message.ballot > promised_ballot_) {
+    promised_ballot_ = message.ballot;
+    auto promise = std::make_shared<PaxosPromise>();
+    promise->ballot = message.ballot;
+    promise->accepted_ballot = accepted_ballot_;
+    if (accepted_value_.has_value()) {
+      promise->accepted_value = *accepted_value_;
+    }
+    SendTo(from, std::move(promise));
+    return;
+  }
+  auto nack = std::make_shared<PaxosNack>();
+  nack->ballot = message.ballot;
+  nack->promised_ballot = promised_ballot_;
+  SendTo(from, std::move(nack));
+}
+
+void PaxosNode::HandleAccept(int from, const PaxosAccept& message) {
+  if (message.ballot >= promised_ballot_) {
+    promised_ballot_ = message.ballot;
+    accepted_ballot_ = message.ballot;
+    accepted_value_ = message.value;
+    auto accepted = std::make_shared<PaxosAccepted>();
+    accepted->ballot = message.ballot;
+    accepted->value = message.value;
+    SendTo(from, std::move(accepted));
+    return;
+  }
+  auto nack = std::make_shared<PaxosNack>();
+  nack->ballot = message.ballot;
+  nack->promised_ballot = promised_ballot_;
+  SendTo(from, std::move(nack));
+}
+
+// ---------------------------------------------------------------------------
+// Learner
+
+void PaxosNode::HandleDecide(const PaxosDecide& message) { Decide(message.value); }
+
+void PaxosNode::Decide(const Command& value) {
+  if (decided_.has_value()) {
+    return;  // Idempotent; the checker would catch a change of mind anyway.
+  }
+  decided_ = value;
+  ++retry_epoch_;  // Silence pending retries.
+  checker_->RecordCommit(id(), /*slot=*/1, value);
+}
+
+}  // namespace probcon

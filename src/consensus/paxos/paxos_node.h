@@ -1,0 +1,147 @@
+// Single-decree Paxos (Lamport's synod protocol) with Flexible-Paxos quorums.
+//
+// Every node plays proposer, acceptor, and learner for ONE decision. Proposers retry with
+// increasing, globally unique ballots (ballot = attempt * n + id) and randomized backoff;
+// acceptors follow the classic promise/accept rules; a proposer whose Accept gathers an
+// accept-quorum of Accepted responses decides and disseminates the decision.
+//
+// Quorums follow Howard et al.'s Flexible Paxos: a prepare (phase-1) quorum of size q1 and
+// an accept (phase-2) quorum of size q2 are safe iff q1 + q2 > n — they need only intersect
+// EACH OTHER, not themselves. Configurations violating that inequality run fine and decide
+// conflicting values under the right schedules; the SafetyChecker records it (the CFT
+// negative control of experiment E8, Paxos flavour).
+//
+// Time unit: milliseconds.
+
+#ifndef PROBCON_SRC_CONSENSUS_PAXOS_PAXOS_NODE_H_
+#define PROBCON_SRC_CONSENSUS_PAXOS_PAXOS_NODE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "src/consensus/common/safety_checker.h"
+#include "src/consensus/common/types.h"
+#include "src/sim/process.h"
+
+namespace probcon {
+
+struct PaxosConfig {
+  int n = 0;
+  int q_prepare = 0;  // Phase-1 quorum size.
+  int q_accept = 0;   // Phase-2 quorum size.
+
+  // Classic majorities for both phases.
+  static PaxosConfig Standard(int n);
+
+  // Safe iff q_prepare + q_accept > n (Flexible Paxos).
+  bool IsStructurallySafe() const { return q_prepare + q_accept > n; }
+
+  std::string Describe() const;
+};
+
+struct PaxosTimingConfig {
+  SimTime proposal_timeout = 300.0;  // Retry a stalled proposal after this long.
+  SimTime backoff_max = 400.0;       // Extra randomized delay before retrying.
+  SimTime initial_delay_max = 200.0; // Spread of the first proposal attempts.
+};
+
+// --- Messages -----------------------------------------------------------------
+
+struct PaxosPrepare final : public SimMessage {
+  uint64_t ballot = 0;
+  std::string Describe() const override;
+};
+
+struct PaxosPromise final : public SimMessage {
+  uint64_t ballot = 0;
+  uint64_t accepted_ballot = 0;  // 0 = nothing accepted yet.
+  Command accepted_value;
+  std::string Describe() const override;
+};
+
+struct PaxosAccept final : public SimMessage {
+  uint64_t ballot = 0;
+  Command value;
+  std::string Describe() const override;
+};
+
+struct PaxosAccepted final : public SimMessage {
+  uint64_t ballot = 0;
+  Command value;
+  std::string Describe() const override;
+};
+
+struct PaxosNack final : public SimMessage {
+  uint64_t ballot = 0;          // The rejected ballot.
+  uint64_t promised_ballot = 0; // What the acceptor is already promised to.
+  std::string Describe() const override;
+};
+
+struct PaxosDecide final : public SimMessage {
+  Command value;
+  std::string Describe() const override;
+};
+
+// --- Node -----------------------------------------------------------------------
+
+class PaxosNode final : public Process {
+ public:
+  PaxosNode(Simulator* simulator, Network* network, int id, const PaxosConfig& config,
+            const PaxosTimingConfig& timing, SafetyChecker* checker, Command proposal);
+
+  bool decided() const { return decided_.has_value(); }
+  const Command& decision() const;
+  uint64_t highest_ballot_seen() const { return promised_ballot_; }
+
+ protected:
+  void OnStart() override;
+  void OnMessage(int from, const std::shared_ptr<const SimMessage>& message) override;
+  void OnRecover() override;
+
+ private:
+  // Proposer.
+  void StartProposal();
+  void HandlePromise(int from, const PaxosPromise& message);
+  void HandleAccepted(int from, const PaxosAccepted& message);
+  void HandleNack(const PaxosNack& message);
+  void ScheduleRetry();
+  uint64_t NextBallot();
+
+  // Acceptor.
+  void HandlePrepare(int from, const PaxosPrepare& message);
+  void HandleAccept(int from, const PaxosAccept& message);
+
+  // Learner.
+  void HandleDecide(const PaxosDecide& message);
+  void Decide(const Command& value);
+
+  PaxosConfig config_;
+  PaxosTimingConfig timing_;
+  SafetyChecker* checker_;
+  Command proposal_;  // This node's own candidate value.
+
+  // Acceptor state (durable).
+  uint64_t promised_ballot_ = 0;
+  uint64_t accepted_ballot_ = 0;
+  std::optional<Command> accepted_value_;
+
+  // Proposer state (volatile).
+  uint64_t attempt_ = 0;
+  uint64_t current_ballot_ = 0;
+  bool in_phase2_ = false;
+  std::map<int, PaxosPromise> promises_;
+  std::set<int> accepted_votes_;
+  Command phase2_value_;
+  uint64_t retry_epoch_ = 0;
+
+  // Learner state.
+  std::optional<Command> decided_;
+};
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_CONSENSUS_PAXOS_PAXOS_NODE_H_

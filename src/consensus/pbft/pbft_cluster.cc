@@ -1,0 +1,68 @@
+#include "src/consensus/pbft/pbft_cluster.h"
+
+#include <string>
+
+#include "src/common/check.h"
+#include "src/consensus/pbft/pbft_messages.h"
+
+namespace probcon {
+
+PbftCluster::PbftCluster(const PbftClusterOptions& options)
+    : options_(options), simulator_(options.seed) {
+  CHECK_GT(options.config.n, 0);
+  CHECK(options.behaviors.empty() ||
+        options.behaviors.size() == static_cast<size_t>(options.config.n))
+      << "behaviors must be empty or one per replica";
+  network_ = std::make_unique<Network>(
+      &simulator_, options.config.n,
+      std::make_unique<UniformLatencyModel>(options.network_latency_min,
+                                            options.network_latency_max,
+                                            options.network_drop_probability));
+  checker_ = std::make_unique<SafetyChecker>(&simulator_);
+  for (int i = 0; i < options.config.n; ++i) {
+    const ByzantineBehavior behavior =
+        options.behaviors.empty() ? ByzantineBehavior::kHonest : options.behaviors[i];
+    nodes_.push_back(std::make_unique<PbftNode>(&simulator_, network_.get(), i,
+                                                options.config, options.timing,
+                                                checker_.get(), behavior));
+  }
+}
+
+void PbftCluster::Start() {
+  CHECK(!started_) << "cluster already started";
+  started_ = true;
+  for (auto& node : nodes_) {
+    node->Start();
+  }
+  simulator_.Schedule(options_.client_interval, [this]() { SubmitNextCommand(); });
+}
+
+void PbftCluster::RunUntil(SimTime until) {
+  CHECK(started_) << "call Start() first";
+  simulator_.Run(until);
+}
+
+std::vector<Process*> PbftCluster::processes() {
+  std::vector<Process*> result;
+  result.reserve(nodes_.size());
+  for (auto& node : nodes_) {
+    result.push_back(node.get());
+  }
+  return result;
+}
+
+void PbftCluster::SubmitNextCommand() {
+  Command command;
+  command.id = next_command_id_++;
+  command.payload = "op-" + std::to_string(command.id);
+  checker_->RecordSubmission(command);
+
+  auto request = std::make_shared<PbftClientRequest>();
+  request->command = command;
+  for (int node = 0; node < size(); ++node) {
+    network_->Send(node, node, request);
+  }
+  simulator_.Schedule(options_.client_interval, [this]() { SubmitNextCommand(); });
+}
+
+}  // namespace probcon

@@ -1,0 +1,58 @@
+// Turn-key PBFT cluster harness, mirroring RaftCluster: simulator + network + replicas +
+// safety checker + a client loop, with per-replica Byzantine behaviour assignment.
+
+#ifndef PROBCON_SRC_CONSENSUS_PBFT_PBFT_CLUSTER_H_
+#define PROBCON_SRC_CONSENSUS_PBFT_PBFT_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/analysis/protocol_spec.h"
+#include "src/consensus/common/safety_checker.h"
+#include "src/consensus/pbft/pbft_node.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+
+namespace probcon {
+
+struct PbftClusterOptions {
+  PbftConfig config;
+  PbftTimingConfig timing;
+  std::vector<ByzantineBehavior> behaviors;  // Empty = all honest; else one per replica.
+  SimTime network_latency_min = 5.0;
+  SimTime network_latency_max = 15.0;
+  double network_drop_probability = 0.0;
+  SimTime client_interval = 100.0;
+  uint64_t seed = 1;
+};
+
+class PbftCluster {
+ public:
+  explicit PbftCluster(const PbftClusterOptions& options);
+
+  void Start();
+  void RunUntil(SimTime until);
+
+  Simulator& simulator() { return simulator_; }
+  Network& network() { return *network_; }
+  SafetyChecker& checker() { return *checker_; }
+  PbftNode& node(int i) { return *nodes_[i]; }
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+  std::vector<Process*> processes();
+
+ private:
+  void SubmitNextCommand();
+
+  PbftClusterOptions options_;
+  Simulator simulator_;
+  std::unique_ptr<Network> network_;
+  std::unique_ptr<SafetyChecker> checker_;
+  std::vector<std::unique_ptr<PbftNode>> nodes_;
+  uint64_t next_command_id_ = 1;
+  bool started_ = false;
+};
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_CONSENSUS_PBFT_PBFT_CLUSTER_H_

@@ -1,0 +1,49 @@
+#include "src/consensus/pbft/pbft_messages.h"
+
+#include <sstream>
+
+namespace probcon {
+
+std::string PbftClientRequest::Describe() const {
+  std::ostringstream os;
+  os << "PbftClientRequest(cmd#" << command.id << ")";
+  return os.str();
+}
+
+std::string PbftPrePrepare::Describe() const {
+  std::ostringstream os;
+  os << "PrePrepare(v=" << view << ", n=" << sequence << ", cmd#" << command.id << ")";
+  return os.str();
+}
+
+std::string PbftPrepare::Describe() const {
+  std::ostringstream os;
+  os << "Prepare(v=" << view << ", n=" << sequence << ", cmd#" << command_id << ")";
+  return os.str();
+}
+
+std::string PbftCommit::Describe() const {
+  std::ostringstream os;
+  os << "Commit(v=" << view << ", n=" << sequence << ", cmd#" << command_id << ")";
+  return os.str();
+}
+
+std::string PbftCheckpoint::Describe() const {
+  std::ostringstream os;
+  os << "Checkpoint(n=" << sequence << ", digest=" << digest << ")";
+  return os.str();
+}
+
+std::string PbftViewChange::Describe() const {
+  std::ostringstream os;
+  os << "ViewChange(v=" << new_view << ", prepared=" << prepared.size() << ")";
+  return os.str();
+}
+
+std::string PbftNewView::Describe() const {
+  std::ostringstream os;
+  os << "NewView(v=" << new_view << ", pre_prepares=" << pre_prepares.size() << ")";
+  return os.str();
+}
+
+}  // namespace probcon

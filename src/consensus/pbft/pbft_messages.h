@@ -1,0 +1,84 @@
+// PBFT wire messages (Castro & Liskov), as simulator payloads.
+//
+// There is no cryptography in the simulator: the network authenticates the TRUE sender of
+// every message (standard authenticated point-to-point channels), so Byzantine nodes can lie
+// about their own state and equivocate, but cannot impersonate others. Command content plays
+// the role of the request digest.
+
+#ifndef PROBCON_SRC_CONSENSUS_PBFT_PBFT_MESSAGES_H_
+#define PROBCON_SRC_CONSENSUS_PBFT_PBFT_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/consensus/common/types.h"
+#include "src/sim/network.h"
+
+namespace probcon {
+
+struct PbftClientRequest final : public SimMessage {
+  Command command;
+
+  std::string Describe() const override;
+};
+
+struct PbftPrePrepare final : public SimMessage {
+  uint64_t view = 0;
+  uint64_t sequence = 0;
+  Command command;
+
+  std::string Describe() const override;
+};
+
+struct PbftPrepare final : public SimMessage {
+  uint64_t view = 0;
+  uint64_t sequence = 0;
+  uint64_t command_id = 0;
+
+  std::string Describe() const override;
+};
+
+struct PbftCommit final : public SimMessage {
+  uint64_t view = 0;
+  uint64_t sequence = 0;
+  uint64_t command_id = 0;
+
+  std::string Describe() const override;
+};
+
+// Proof that a replica prepared `command` at `sequence` in `view`; carried in view changes.
+struct PreparedProof {
+  uint64_t view = 0;
+  uint64_t sequence = 0;
+  Command command;
+};
+
+// Periodic checkpoint vote: "I executed through `sequence` with state `digest`". A quorum of
+// matching checkpoints makes `sequence` stable and lets replicas garbage-collect earlier
+// slots (Castro & Liskov §4.3).
+struct PbftCheckpoint final : public SimMessage {
+  uint64_t sequence = 0;
+  uint64_t digest = 0;
+
+  std::string Describe() const override;
+};
+
+struct PbftViewChange final : public SimMessage {
+  uint64_t new_view = 0;
+  std::vector<PreparedProof> prepared;
+
+  std::string Describe() const override;
+};
+
+struct PbftNewView final : public SimMessage {
+  uint64_t new_view = 0;
+  // Pre-prepares the new leader re-issues, one per in-flight sequence.
+  std::vector<PreparedProof> pre_prepares;
+
+  std::string Describe() const override;
+};
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_CONSENSUS_PBFT_PBFT_MESSAGES_H_

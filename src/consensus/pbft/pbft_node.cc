@@ -1,0 +1,387 @@
+#include "src/consensus/pbft/pbft_node.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+
+namespace probcon {
+
+PbftNode::PbftNode(Simulator* simulator, Network* network, int id, const PbftConfig& config,
+                   const PbftTimingConfig& timing, SafetyChecker* checker,
+                   ByzantineBehavior behavior)
+    : Process(simulator, network, id),
+      config_(config),
+      timing_(timing),
+      checker_(checker),
+      behavior_(behavior) {
+  CHECK_EQ(config.n, network->node_count());
+  CHECK(checker != nullptr);
+}
+
+void PbftNode::OnStart() { ResetProgressTimer(); }
+
+void PbftNode::OnRecover() {
+  // PBFT replicas persist their protocol state (prepared certificates must survive restarts);
+  // only the timers restart.
+  ++progress_epoch_;
+  ResetProgressTimer();
+}
+
+void PbftNode::OnMessage(int from, const std::shared_ptr<const SimMessage>& message) {
+  if (behavior_ == ByzantineBehavior::kSilent) {
+    return;
+  }
+  if (const auto* request = dynamic_cast<const PbftClientRequest*>(message.get())) {
+    HandleClientRequest(*request);
+  } else if (const auto* pre_prepare = dynamic_cast<const PbftPrePrepare*>(message.get())) {
+    HandlePrePrepare(from, *pre_prepare);
+  } else if (const auto* prepare = dynamic_cast<const PbftPrepare*>(message.get())) {
+    HandlePrepare(from, *prepare);
+  } else if (const auto* commit = dynamic_cast<const PbftCommit*>(message.get())) {
+    HandleCommit(from, *commit);
+  } else if (const auto* checkpoint = dynamic_cast<const PbftCheckpoint*>(message.get())) {
+    HandleCheckpoint(from, *checkpoint);
+  } else if (const auto* view_change = dynamic_cast<const PbftViewChange*>(message.get())) {
+    HandleViewChange(from, *view_change);
+  } else if (const auto* new_view = dynamic_cast<const PbftNewView*>(message.get())) {
+    HandleNewView(from, *new_view);
+  } else {
+    LOG(Warning) << "pbft node " << id() << " ignoring " << message->Describe();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Normal case
+
+void PbftNode::HandleClientRequest(const PbftClientRequest& request) {
+  if (!IsLeader() || in_view_change_) {
+    return;
+  }
+  if (!seen_commands_.insert(request.command.id).second) {
+    return;  // Duplicate client retry.
+  }
+  LeadSlot(request.command);
+}
+
+void PbftNode::LeadSlot(const Command& command) {
+  const uint64_t sequence = next_sequence_++;
+  if (behavior_ == ByzantineBehavior::kEquivocate) {
+    // Conflicting proposals: half the replicas see the real command, half a fabricated one.
+    const Command conflict = FabricateConflict(command);
+    for (int replica = 0; replica < cluster_size(); ++replica) {
+      auto pre_prepare = std::make_shared<PbftPrePrepare>();
+      pre_prepare->view = view_;
+      pre_prepare->sequence = sequence;
+      pre_prepare->command = (replica % 2 == 0) ? command : conflict;
+      SendTo(replica, std::move(pre_prepare));
+    }
+    return;
+  }
+  auto pre_prepare = std::make_shared<PbftPrePrepare>();
+  pre_prepare->view = view_;
+  pre_prepare->sequence = sequence;
+  pre_prepare->command = command;
+  BroadcastAll(pre_prepare, /*include_self=*/true);
+}
+
+Command PbftNode::FabricateConflict(const Command& original) const {
+  Command conflict;
+  // Distinct id space so fabricated commands never collide with client ids.
+  conflict.id = original.id + (1ULL << 48);
+  conflict.payload = "equivocation-of-" + std::to_string(original.id);
+  return conflict;
+}
+
+void PbftNode::HandlePrePrepare(int from, const PbftPrePrepare& message) {
+  if (from != LeaderOf(message.view)) {
+    return;  // Only the view's leader may pre-prepare.
+  }
+  if (message.view != view_ || in_view_change_) {
+    return;
+  }
+  SlotState& slot = slots_[message.sequence];
+  slot.known_commands[message.command.id] = message.command;
+  // The leader's pre-prepare counts as its prepare vote.
+  slot.prepares[message.view][message.command.id].insert(from);
+
+  if (behavior_ == ByzantineBehavior::kPromiscuous ||
+      behavior_ == ByzantineBehavior::kEquivocate) {
+    // Vote for anything, even a second conflicting proposal for the same slot.
+    slot.pre_prepared_by_view.emplace(message.view, message.command);
+    auto prepare = std::make_shared<PbftPrepare>();
+    prepare->view = message.view;
+    prepare->sequence = message.sequence;
+    prepare->command_id = message.command.id;
+    BroadcastAll(prepare, /*include_self=*/true);
+    return;
+  }
+  // Honest: accept at most one pre-prepare per (view, sequence).
+  const auto [it, inserted] = slot.pre_prepared_by_view.emplace(message.view, message.command);
+  if (!inserted && it->second != message.command) {
+    LOG(Debug) << "node " << id() << " saw equivocation at seq " << message.sequence;
+    return;
+  }
+  auto prepare = std::make_shared<PbftPrepare>();
+  prepare->view = message.view;
+  prepare->sequence = message.sequence;
+  prepare->command_id = message.command.id;
+  BroadcastAll(prepare, /*include_self=*/true);
+}
+
+void PbftNode::HandlePrepare(int from, const PbftPrepare& message) {
+  // Record votes for any view (a replica may adopt that view moments later); only act on the
+  // current one.
+  SlotState& slot = slots_[message.sequence];
+  slot.prepares[message.view][message.command_id].insert(from);
+  if (message.view == view_ && !in_view_change_) {
+    MaybePrepare(message.sequence);
+  }
+}
+
+void PbftNode::MaybePrepare(uint64_t sequence) {
+  SlotState& slot = slots_[sequence];
+  // Byzantine voters prepare AND commit every proposal with any support — the strongest
+  // collusion available without forging identities. Honest replicas need their accepted
+  // pre-prepare plus a |Q_eq| prepare quorum.
+  if (behavior_ == ByzantineBehavior::kPromiscuous ||
+      behavior_ == ByzantineBehavior::kEquivocate) {
+    for (const auto& [cmd_id, voters] : slot.prepares[view_]) {
+      // Echo each (view, command) at most once, or the self-delivered broadcasts would
+      // retrigger this path forever.
+      if (!byz_echoed_[sequence].insert({view_, cmd_id}).second) {
+        continue;
+      }
+      auto prepare = std::make_shared<PbftPrepare>();
+      prepare->view = view_;
+      prepare->sequence = sequence;
+      prepare->command_id = cmd_id;
+      BroadcastAll(prepare, /*include_self=*/true);
+      auto commit = std::make_shared<PbftCommit>();
+      commit->view = view_;
+      commit->sequence = sequence;
+      commit->command_id = cmd_id;
+      BroadcastAll(commit, /*include_self=*/true);
+    }
+    return;
+  }
+  const auto accepted = slot.pre_prepared_by_view.find(view_);
+  if (accepted == slot.pre_prepared_by_view.end()) {
+    return;
+  }
+  const uint64_t command_id = accepted->second.id;
+  const auto& voters = slot.prepares[view_][command_id];
+  if (static_cast<int>(voters.size()) < config_.q_eq) {
+    return;
+  }
+  // Prepared: remember the certificate (for view changes) and commit-vote once.
+  if (slot.prepared.has_value() && slot.prepared->view == view_) {
+    return;  // Already prepared in this view; commit already sent.
+  }
+  slot.prepared = PreparedProof{view_, sequence, accepted->second};
+  auto commit = std::make_shared<PbftCommit>();
+  commit->view = view_;
+  commit->sequence = sequence;
+  commit->command_id = command_id;
+  BroadcastAll(commit, /*include_self=*/true);
+}
+
+void PbftNode::HandleCommit(int from, const PbftCommit& message) {
+  SlotState& slot = slots_[message.sequence];
+  slot.commits[message.view][message.command_id].insert(from);
+  MaybeCommit(message.sequence, message.view, message.command_id);
+}
+
+void PbftNode::MaybeCommit(uint64_t sequence, uint64_t view, uint64_t command_id) {
+  SlotState& slot = slots_[sequence];
+  if (slot.executed.has_value()) {
+    return;
+  }
+  const auto& voters = slot.commits[view][command_id];
+  if (static_cast<int>(voters.size()) < config_.q_per) {
+    return;
+  }
+  const auto known = slot.known_commands.find(command_id);
+  if (known == slot.known_commands.end()) {
+    return;  // Commit quorum for a command we never saw the body of; wait for it.
+  }
+  slot.executed = known->second;
+  ExecuteReady();
+}
+
+void PbftNode::ExecuteReady() {
+  bool progressed = false;
+  while (true) {
+    const auto it = slots_.find(last_executed_ + 1);
+    if (it == slots_.end() || !it->second.executed.has_value()) {
+      break;
+    }
+    ++last_executed_;
+    // Fold the executed (slot, command) into the running state digest (FNV-1a style).
+    execution_digest_ ^= last_executed_;
+    execution_digest_ *= 0x100000001B3ULL;
+    execution_digest_ ^= it->second.executed->id;
+    execution_digest_ *= 0x100000001B3ULL;
+    checker_->RecordCommit(id(), last_executed_, *it->second.executed);
+    progressed = true;
+  }
+  if (progressed) {
+    ResetProgressTimer();
+    MaybeBroadcastCheckpoint();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing
+
+void PbftNode::MaybeBroadcastCheckpoint() {
+  if (timing_.checkpoint_interval == 0 ||
+      last_executed_ < stable_checkpoint_ + timing_.checkpoint_interval) {
+    return;
+  }
+  auto checkpoint = std::make_shared<PbftCheckpoint>();
+  checkpoint->sequence = last_executed_;
+  checkpoint->digest = execution_digest_;
+  BroadcastAll(checkpoint, /*include_self=*/true);
+}
+
+void PbftNode::HandleCheckpoint(int from, const PbftCheckpoint& message) {
+  if (timing_.checkpoint_interval == 0 || message.sequence <= stable_checkpoint_) {
+    return;
+  }
+  auto& voters = checkpoint_votes_[message.sequence][message.digest];
+  voters.insert(from);
+  if (static_cast<int>(voters.size()) >= config_.q_per) {
+    AdvanceStableCheckpoint(message.sequence);
+  }
+}
+
+void PbftNode::AdvanceStableCheckpoint(uint64_t sequence) {
+  if (sequence <= stable_checkpoint_) {
+    return;
+  }
+  stable_checkpoint_ = sequence;
+  // A laggard adopts the certified checkpoint as its execution frontier (state transfer is
+  // modeled as instantaneous; skipped slots simply go unreported by this replica).
+  if (last_executed_ < stable_checkpoint_) {
+    last_executed_ = stable_checkpoint_;
+    ResetProgressTimer();
+  }
+  // Garbage-collect slot state and checkpoint votes at or below the stable point.
+  slots_.erase(slots_.begin(), slots_.upper_bound(stable_checkpoint_));
+  checkpoint_votes_.erase(checkpoint_votes_.begin(),
+                          checkpoint_votes_.upper_bound(stable_checkpoint_));
+}
+
+// ---------------------------------------------------------------------------
+// View change
+
+void PbftNode::ResetProgressTimer() {
+  ++progress_epoch_;
+  const uint64_t epoch = progress_epoch_;
+  // Spread timers so view changes do not dogpile; exponentialish backoff per view.
+  const SimTime timeout = timing_.progress_timeout * (1.0 + 0.2 * rng().NextDouble());
+  SetTimer(timeout, [this, epoch]() {
+    if (progress_epoch_ != epoch) {
+      return;
+    }
+    // Escalate past views we already voted for, so a dead new-leader cannot wedge us.
+    StartViewChange(std::max(view_, highest_view_change_voted_) + 1);
+  });
+}
+
+void PbftNode::StartViewChange(uint64_t new_view) {
+  if (new_view <= view_ || behavior_ == ByzantineBehavior::kSilent) {
+    return;
+  }
+  if (!view_change_sent_.insert(new_view).second) {
+    return;
+  }
+  highest_view_change_voted_ = std::max(highest_view_change_voted_, new_view);
+  in_view_change_ = true;
+  auto message = std::make_shared<PbftViewChange>();
+  message->new_view = new_view;
+  for (const auto& [sequence, slot] : slots_) {
+    if (slot.prepared.has_value()) {
+      message->prepared.push_back(*slot.prepared);
+    }
+  }
+  BroadcastAll(message, /*include_self=*/true);
+  ResetProgressTimer();  // If this view change stalls, try the next view.
+}
+
+void PbftNode::HandleViewChange(int from, const PbftViewChange& message) {
+  if (message.new_view <= view_) {
+    return;
+  }
+  view_changes_[message.new_view][from] = message;
+  const int support = static_cast<int>(view_changes_[message.new_view].size());
+  // Trigger quorum: join the view change once |Q_vc_t| replicas ask for it.
+  if (support >= config_.q_vc_t) {
+    StartViewChange(message.new_view);
+  }
+  MaybeAssembleNewView(message.new_view);
+}
+
+void PbftNode::MaybeAssembleNewView(uint64_t view) {
+  if (LeaderOf(view) != id() || view <= view_) {
+    return;
+  }
+  const auto it = view_changes_.find(view);
+  if (it == view_changes_.end() || static_cast<int>(it->second.size()) < config_.q_vc) {
+    return;
+  }
+  // Collect, per sequence, the prepared certificate of highest view.
+  std::map<uint64_t, PreparedProof> best;
+  uint64_t max_sequence = 0;
+  for (const auto& [sender, view_change] : it->second) {
+    for (const PreparedProof& proof : view_change.prepared) {
+      max_sequence = std::max(max_sequence, proof.sequence);
+      const auto existing = best.find(proof.sequence);
+      if (existing == best.end() || proof.view > existing->second.view) {
+        best[proof.sequence] = proof;
+      }
+    }
+  }
+  max_sequence = std::max(max_sequence, last_executed_);
+
+  auto new_view_msg = std::make_shared<PbftNewView>();
+  new_view_msg->new_view = view;
+  for (uint64_t sequence = stable_checkpoint_ + 1; sequence <= max_sequence; ++sequence) {
+    PreparedProof proof;
+    proof.view = view;
+    proof.sequence = sequence;
+    const auto chosen = best.find(sequence);
+    if (chosen != best.end()) {
+      proof.command = chosen->second.command;
+    } else {
+      proof.command = Command{0, "noop"};  // Gap filler.
+    }
+    new_view_msg->pre_prepares.push_back(proof);
+  }
+  next_sequence_ = max_sequence + 1;
+  BroadcastAll(new_view_msg, /*include_self=*/true);
+}
+
+void PbftNode::HandleNewView(int from, const PbftNewView& message) {
+  if (message.new_view < view_ || (message.new_view == view_ && !in_view_change_)) {
+    return;
+  }
+  if (from != LeaderOf(message.new_view)) {
+    return;
+  }
+  view_ = message.new_view;
+  in_view_change_ = false;
+  next_sequence_ = std::max<uint64_t>(next_sequence_, message.pre_prepares.size() + 1);
+  ResetProgressTimer();
+  // Process the re-issued pre-prepares as if freshly proposed in the new view.
+  for (const PreparedProof& proof : message.pre_prepares) {
+    PbftPrePrepare pre_prepare;
+    pre_prepare.view = view_;
+    pre_prepare.sequence = proof.sequence;
+    pre_prepare.command = proof.command;
+    HandlePrePrepare(from, pre_prepare);
+  }
+}
+
+}  // namespace probcon

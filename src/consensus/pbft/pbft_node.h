@@ -1,0 +1,146 @@
+// PBFT replica (Castro & Liskov) with flexible quorum sizes and injectable Byzantine
+// behaviours.
+//
+// Normal case: the view's leader (view mod n) assigns sequence numbers and broadcasts
+// pre-prepares; replicas broadcast prepares, collect a non-equivocation quorum |Q_eq| of
+// matching prepares (the leader's pre-prepare counts as its prepare), then broadcast commits
+// and execute once |Q_per| matching commits arrive. Execution is in sequence order, and every
+// executed (slot, command) is reported to the SafetyChecker.
+//
+// View change: a replica that makes no progress for `progress_timeout` broadcasts a
+// VIEW-CHANGE for view+1 carrying its prepared certificates. A replica that sees |Q_vc_t|
+// view-change messages for a higher view joins it even if its own timer has not fired (the
+// trigger quorum). The new view's leader assembles |Q_vc| view-changes into a NEW-VIEW that
+// re-issues the prepared command of highest view per in-flight sequence (no-ops fill gaps).
+//
+// Byzantine behaviours (ByzantineBehavior) let experiments manufacture the faults the
+// analysis assumes: an equivocating leader proposes different commands to different replicas;
+// a promiscuous voter prepares/commits everything it hears, enabling conflicting quorums.
+// With |Byz| past Theorem 3.1's thresholds, honest replicas commit conflicting commands and
+// the SafetyChecker records it — experiment E8's BFT arm.
+//
+// Time unit: milliseconds.
+
+#ifndef PROBCON_SRC_CONSENSUS_PBFT_PBFT_NODE_H_
+#define PROBCON_SRC_CONSENSUS_PBFT_PBFT_NODE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "src/analysis/protocol_spec.h"
+#include "src/consensus/common/safety_checker.h"
+#include "src/consensus/common/types.h"
+#include "src/consensus/pbft/pbft_messages.h"
+#include "src/sim/process.h"
+
+namespace probcon {
+
+enum class ByzantineBehavior {
+  kHonest,
+  kEquivocate,   // As leader, send conflicting pre-prepares; also double-votes.
+  kPromiscuous,  // Prepares and commits every proposal it hears, conflicts included.
+  kSilent,       // Sends nothing (fail-stop malice).
+};
+
+struct PbftTimingConfig {
+  SimTime progress_timeout = 400.0;
+  SimTime view_change_resend = 300.0;
+  // Broadcast a checkpoint every this many executed slots; a |Q_per| certificate of matching
+  // checkpoints garbage-collects earlier slot state. 0 = disabled.
+  uint64_t checkpoint_interval = 0;
+};
+
+class PbftNode final : public Process {
+ public:
+  PbftNode(Simulator* simulator, Network* network, int id, const PbftConfig& config,
+           const PbftTimingConfig& timing, SafetyChecker* checker,
+           ByzantineBehavior behavior = ByzantineBehavior::kHonest);
+
+  uint64_t view() const { return view_; }
+  bool IsLeader() const { return LeaderOf(view_) == id(); }
+  uint64_t executed_count() const { return last_executed_; }
+  uint64_t stable_checkpoint() const { return stable_checkpoint_; }
+  size_t retained_slot_count() const { return slots_.size(); }
+  ByzantineBehavior behavior() const { return behavior_; }
+
+ protected:
+  void OnStart() override;
+  void OnMessage(int from, const std::shared_ptr<const SimMessage>& message) override;
+  void OnRecover() override;
+
+ private:
+  struct SlotState {
+    // Pre-prepare seen from the leader of `view` (at most one per view is accepted by honest
+    // replicas).
+    std::map<uint64_t, Command> pre_prepared_by_view;
+    // view -> command id -> replicas that sent a prepare.
+    std::map<uint64_t, std::map<uint64_t, std::set<int>>> prepares;
+    // view -> command id -> replicas that sent a commit.
+    std::map<uint64_t, std::map<uint64_t, std::set<int>>> commits;
+    // Command text by id, learned from pre-prepares (needed to execute on commit votes).
+    std::map<uint64_t, Command> known_commands;
+    // Highest-view prepared certificate held locally.
+    std::optional<PreparedProof> prepared;
+    std::optional<Command> executed;
+  };
+
+  int LeaderOf(uint64_t view) const { return static_cast<int>(view % cluster_size()); }
+
+  // --- Normal case ---
+  void HandleClientRequest(const PbftClientRequest& request);
+  void HandlePrePrepare(int from, const PbftPrePrepare& message);
+  void HandlePrepare(int from, const PbftPrepare& message);
+  void HandleCommit(int from, const PbftCommit& message);
+  void MaybePrepare(uint64_t sequence);
+  void MaybeCommit(uint64_t sequence, uint64_t view, uint64_t command_id);
+  void MaybeExecute(uint64_t sequence);
+  void ExecuteReady();
+
+  // --- Checkpointing ---
+  void HandleCheckpoint(int from, const PbftCheckpoint& message);
+  void MaybeBroadcastCheckpoint();
+  void AdvanceStableCheckpoint(uint64_t sequence);
+
+  // --- View change ---
+  void HandleViewChange(int from, const PbftViewChange& message);
+  void HandleNewView(int from, const PbftNewView& message);
+  void StartViewChange(uint64_t new_view);
+  void MaybeAssembleNewView(uint64_t view);
+  void ResetProgressTimer();
+
+  // --- Byzantine helpers ---
+  void LeadSlot(const Command& command);
+  Command FabricateConflict(const Command& original) const;
+
+  PbftConfig config_;
+  PbftTimingConfig timing_;
+  SafetyChecker* checker_;
+  ByzantineBehavior behavior_;
+
+  uint64_t view_ = 0;
+  bool in_view_change_ = false;
+  uint64_t next_sequence_ = 1;    // Leader-only: next sequence to assign.
+  uint64_t last_executed_ = 0;    // Executed prefix (slots 1..last_executed_).
+  uint64_t progress_epoch_ = 0;   // Invalidates stale progress timers.
+  std::map<uint64_t, SlotState> slots_;
+  std::set<uint64_t> seen_commands_;  // Dedup of client requests (leader side).
+  // view -> sender -> view-change message.
+  std::map<uint64_t, std::map<int, PbftViewChange>> view_changes_;
+  std::set<uint64_t> view_change_sent_;  // Views we already voted to enter.
+  uint64_t highest_view_change_voted_ = 0;
+  // Byzantine voters: (view, command) pairs already echoed per sequence, to bound the storm.
+  std::map<uint64_t, std::set<std::pair<uint64_t, uint64_t>>> byz_echoed_;
+  // Checkpointing: running digest of the executed history, votes per (sequence, digest),
+  // and the latest quorum-certified (stable) checkpoint.
+  uint64_t execution_digest_ = 0xCBF29CE484222325ULL;
+  std::map<uint64_t, std::map<uint64_t, std::set<int>>> checkpoint_votes_;
+  uint64_t stable_checkpoint_ = 0;
+};
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_CONSENSUS_PBFT_PBFT_NODE_H_

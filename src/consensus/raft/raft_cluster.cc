@@ -1,0 +1,86 @@
+#include "src/consensus/raft/raft_cluster.h"
+
+#include <string>
+
+#include "src/common/check.h"
+#include "src/consensus/raft/raft_messages.h"
+
+namespace probcon {
+
+RaftCluster::RaftCluster(const RaftClusterOptions& options)
+    : options_(options), simulator_(options.seed) {
+  CHECK_GT(options.config.n, 0);
+  network_ = std::make_unique<Network>(
+      &simulator_, options.config.n,
+      options.network_model_factory
+          ? options.network_model_factory()
+          : std::make_unique<UniformLatencyModel>(options.network_latency_min,
+                                                  options.network_latency_max,
+                                                  options.network_drop_probability));
+  CHECK(options.policies.empty() ||
+        options.policies.size() == static_cast<size_t>(options.config.n))
+      << "policies must be empty or one per node";
+  checker_ = std::make_unique<SafetyChecker>(&simulator_);
+  for (int i = 0; i < options.config.n; ++i) {
+    const RaftReliabilityPolicy policy =
+        options.policies.empty() ? RaftReliabilityPolicy{} : options.policies[i];
+    nodes_.push_back(std::make_unique<RaftNode>(&simulator_, network_.get(), i,
+                                                options.config, options.timing,
+                                                checker_.get(), policy));
+  }
+}
+
+void RaftCluster::Start() {
+  CHECK(!started_) << "cluster already started";
+  started_ = true;
+  for (auto& node : nodes_) {
+    node->Start();
+  }
+  simulator_.Schedule(options_.client_interval, [this]() { SubmitNextCommand(); });
+}
+
+void RaftCluster::RunUntil(SimTime until) {
+  CHECK(started_) << "call Start() first";
+  simulator_.Run(until);
+}
+
+std::vector<Process*> RaftCluster::processes() {
+  std::vector<Process*> result;
+  result.reserve(nodes_.size());
+  for (auto& node : nodes_) {
+    result.push_back(node.get());
+  }
+  return result;
+}
+
+int RaftCluster::LeaderId() const {
+  int leader = -1;
+  uint64_t best_term = 0;
+  for (const auto& node : nodes_) {
+    if (!node->crashed() && node->is_leader() && node->current_term() >= best_term) {
+      best_term = node->current_term();
+      leader = node->id();
+    }
+  }
+  return leader;
+}
+
+void RaftCluster::SubmitNextCommand() {
+  Command command;
+  command.id = next_command_id_++;
+  command.payload = options_.payload_generator ? options_.payload_generator(command.id)
+                                               : "op-" + std::to_string(command.id);
+  checker_->RecordSubmission(command);
+
+  auto proposal = std::make_shared<ClientProposal>();
+  proposal->command = command;
+  // Clients don't know the leader; spray everyone. Deliveries route through the network so
+  // they respect partitions and latency. Sender id 0 is arbitrary (client traffic is modeled
+  // as originating at node 0's switch port).
+  for (int node = 0; node < size(); ++node) {
+    network_->Send(/*from=*/node, node, proposal);
+  }
+  simulator_.Schedule(options_.client_interval, [this]() { SubmitNextCommand(); });
+}
+
+}  // namespace probcon

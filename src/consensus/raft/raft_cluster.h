@@ -1,0 +1,74 @@
+// Turn-key Raft cluster harness: builds simulator + network + nodes + safety checker, sprays
+// client commands, and exposes run-level metrics. This is the unit the E8 validation bench
+// and the examples drive.
+
+#ifndef PROBCON_SRC_CONSENSUS_RAFT_RAFT_CLUSTER_H_
+#define PROBCON_SRC_CONSENSUS_RAFT_RAFT_CLUSTER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/protocol_spec.h"
+#include "src/consensus/common/safety_checker.h"
+#include "src/consensus/raft/raft_node.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+
+namespace probcon {
+
+struct RaftClusterOptions {
+  RaftConfig config;
+  RaftTimingConfig timing;
+  // Empty = default policy everywhere; else one entry per node (reliability-aware variant).
+  std::vector<RaftReliabilityPolicy> policies;
+  SimTime network_latency_min = 5.0;
+  SimTime network_latency_max = 15.0;
+  double network_drop_probability = 0.0;
+  // Overrides the uniform model above when set (e.g. MatrixLatencyModel for WAN topologies).
+  std::function<std::unique_ptr<NetworkModel>()> network_model_factory;
+  SimTime client_interval = 100.0;  // One command submitted every interval.
+  // Payload for the i-th client command; defaults to "op-<id>". Lets applications drive a
+  // real workload (e.g. the KV grammar in src/consensus/common/kv_state_machine.h).
+  std::function<std::string(uint64_t id)> payload_generator;
+  uint64_t seed = 1;
+};
+
+class RaftCluster {
+ public:
+  explicit RaftCluster(const RaftClusterOptions& options);
+
+  // Starts nodes and the client loop; commands are sprayed to every node (the leader acts).
+  void Start();
+
+  // Runs the simulation until `until` (ms).
+  void RunUntil(SimTime until);
+
+  Simulator& simulator() { return simulator_; }
+  Network& network() { return *network_; }
+  SafetyChecker& checker() { return *checker_; }
+  RaftNode& node(int i) { return *nodes_[i]; }
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+  // Pointers for the failure injector.
+  std::vector<Process*> processes();
+
+  // Id of the current leader with the highest term, or -1.
+  int LeaderId() const;
+
+ private:
+  void SubmitNextCommand();
+
+  RaftClusterOptions options_;
+  Simulator simulator_;
+  std::unique_ptr<Network> network_;
+  std::unique_ptr<SafetyChecker> checker_;
+  std::vector<std::unique_ptr<RaftNode>> nodes_;
+  uint64_t next_command_id_ = 1;
+  bool started_ = false;
+};
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_CONSENSUS_RAFT_RAFT_CLUSTER_H_

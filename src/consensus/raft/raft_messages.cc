@@ -1,0 +1,48 @@
+#include "src/consensus/raft/raft_messages.h"
+
+#include <sstream>
+
+namespace probcon {
+
+std::string RequestVoteRequest::Describe() const {
+  std::ostringstream os;
+  os << "RequestVote(term=" << term << ", candidate=" << candidate << ", lli="
+     << last_log_index << ", llt=" << last_log_term << ")";
+  return os.str();
+}
+
+std::string RequestVoteResponse::Describe() const {
+  std::ostringstream os;
+  os << "VoteResponse(term=" << term << ", granted=" << granted << ")";
+  return os.str();
+}
+
+std::string AppendEntriesRequest::Describe() const {
+  std::ostringstream os;
+  os << "AppendEntries(term=" << term << ", leader=" << leader << ", prev=" << prev_log_index
+     << "/" << prev_log_term << ", entries=" << entries.size() << ", commit=" << leader_commit
+     << ")";
+  return os.str();
+}
+
+std::string AppendEntriesResponse::Describe() const {
+  std::ostringstream os;
+  os << "AppendResponse(term=" << term << ", success=" << success << ", match=" << match_index
+     << ")";
+  return os.str();
+}
+
+std::string InstallSnapshotRequest::Describe() const {
+  std::ostringstream os;
+  os << "InstallSnapshot(term=" << term << ", leader=" << leader << ", last="
+     << last_included_index << "/" << last_included_term << ")";
+  return os.str();
+}
+
+std::string ClientProposal::Describe() const {
+  std::ostringstream os;
+  os << "ClientProposal(cmd#" << command.id << ")";
+  return os.str();
+}
+
+}  // namespace probcon

@@ -1,0 +1,71 @@
+// Raft wire messages (Ongaro & Ousterhout), as simulator payloads.
+
+#ifndef PROBCON_SRC_CONSENSUS_RAFT_RAFT_MESSAGES_H_
+#define PROBCON_SRC_CONSENSUS_RAFT_RAFT_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/consensus/common/types.h"
+#include "src/sim/network.h"
+
+namespace probcon {
+
+struct RequestVoteRequest final : public SimMessage {
+  uint64_t term = 0;
+  int candidate = 0;
+  uint64_t last_log_index = 0;  // 1-based; 0 = empty log.
+  uint64_t last_log_term = 0;
+
+  std::string Describe() const override;
+};
+
+struct RequestVoteResponse final : public SimMessage {
+  uint64_t term = 0;
+  bool granted = false;
+
+  std::string Describe() const override;
+};
+
+struct AppendEntriesRequest final : public SimMessage {
+  uint64_t term = 0;
+  int leader = 0;
+  uint64_t prev_log_index = 0;
+  uint64_t prev_log_term = 0;
+  std::vector<LogEntry> entries;
+  uint64_t leader_commit = 0;
+
+  std::string Describe() const override;
+};
+
+struct AppendEntriesResponse final : public SimMessage {
+  uint64_t term = 0;
+  bool success = false;
+  uint64_t match_index = 0;  // Highest index known replicated when success.
+
+  std::string Describe() const override;
+};
+
+// Leader -> straggler: replace your log prefix with my snapshot point (log compaction; §7 of
+// the Raft paper, minus the application-state payload, which the harness reconstructs from
+// the snapshot index).
+struct InstallSnapshotRequest final : public SimMessage {
+  uint64_t term = 0;
+  int leader = 0;
+  uint64_t last_included_index = 0;
+  uint64_t last_included_term = 0;
+
+  std::string Describe() const override;
+};
+
+// Client command forwarded to a node; non-leaders ignore it.
+struct ClientProposal final : public SimMessage {
+  Command command;
+
+  std::string Describe() const override;
+};
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_CONSENSUS_RAFT_RAFT_MESSAGES_H_

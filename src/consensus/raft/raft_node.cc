@@ -1,0 +1,453 @@
+#include "src/consensus/raft/raft_node.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+
+namespace probcon {
+
+RaftNode::RaftNode(Simulator* simulator, Network* network, int id, const RaftConfig& config,
+                   const RaftTimingConfig& timing, SafetyChecker* checker,
+                   const RaftReliabilityPolicy& policy)
+    : Process(simulator, network, id),
+      config_(config),
+      timing_(timing),
+      checker_(checker),
+      policy_(policy) {
+  CHECK_EQ(config.n, network->node_count());
+  CHECK(config.q_per >= 1 && config.q_per <= config.n);
+  CHECK(config.q_vc >= 1 && config.q_vc <= config.n);
+  CHECK(checker != nullptr);
+  CHECK_GT(policy.election_priority, 0.0);
+  next_index_.assign(config.n, 1);
+  match_index_.assign(config.n, 0);
+}
+
+void RaftNode::OnStart() { ResetElectionTimer(); }
+
+void RaftNode::OnRecover() {
+  // Durable state (term, vote, log) is intact; everything else resets.
+  role_ = Role::kFollower;
+  commit_index_ = snapshot_last_index_;  // The snapshot is durable committed state.
+  applied_index_ = snapshot_last_index_;
+  votes_received_.clear();
+  DropPendingReads();
+  std::fill(next_index_.begin(), next_index_.end(), LastLogIndex() + 1);
+  std::fill(match_index_.begin(), match_index_.end(), 0);
+  ++election_epoch_;
+  ResetElectionTimer();
+}
+
+void RaftNode::OnMessage(int from, const std::shared_ptr<const SimMessage>& message) {
+  if (const auto* vote_req = dynamic_cast<const RequestVoteRequest*>(message.get())) {
+    HandleRequestVote(from, *vote_req);
+  } else if (const auto* vote_resp = dynamic_cast<const RequestVoteResponse*>(message.get())) {
+    HandleVoteResponse(from, *vote_resp);
+  } else if (const auto* append = dynamic_cast<const AppendEntriesRequest*>(message.get())) {
+    HandleAppendEntries(from, *append);
+  } else if (const auto* append_resp =
+                 dynamic_cast<const AppendEntriesResponse*>(message.get())) {
+    HandleAppendResponse(from, *append_resp);
+  } else if (const auto* snapshot =
+                 dynamic_cast<const InstallSnapshotRequest*>(message.get())) {
+    HandleInstallSnapshot(from, *snapshot);
+  } else if (const auto* proposal = dynamic_cast<const ClientProposal*>(message.get())) {
+    HandleClientProposal(*proposal);
+  } else {
+    LOG(Warning) << "raft node " << id() << " ignoring " << message->Describe();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Role transitions
+
+void RaftNode::BecomeFollower(uint64_t term) {
+  if (term > current_term_) {
+    current_term_ = term;
+    voted_for_ = -1;
+  }
+  role_ = Role::kFollower;
+  votes_received_.clear();
+  DropPendingReads();  // Leadership (if any) is gone; unconfirmed reads must not be served.
+  ResetElectionTimer();
+}
+
+void RaftNode::StartElection() {
+  role_ = Role::kCandidate;
+  ++current_term_;
+  voted_for_ = id();
+  votes_received_.clear();
+  votes_received_.insert(id());
+  ResetElectionTimer();
+
+  auto request = std::make_shared<RequestVoteRequest>();
+  request->term = current_term_;
+  request->candidate = id();
+  request->last_log_index = LastLogIndex();
+  request->last_log_term = LastLogTerm();
+  BroadcastAll(request, /*include_self=*/false);
+
+  // Degenerate single-voter quorum.
+  if (static_cast<int>(votes_received_.size()) >= config_.q_vc) {
+    BecomeLeader();
+  }
+}
+
+void RaftNode::BecomeLeader() {
+  CHECK(role_ == Role::kCandidate);
+  role_ = Role::kLeader;
+  std::fill(next_index_.begin(), next_index_.end(), LastLogIndex() + 1);
+  std::fill(match_index_.begin(), match_index_.end(), 0);
+  match_index_[id()] = LastLogIndex();
+  BroadcastHeartbeats();
+}
+
+// ---------------------------------------------------------------------------
+// Handlers
+
+void RaftNode::HandleRequestVote(int from, const RequestVoteRequest& request) {
+  if (request.term > current_term_) {
+    BecomeFollower(request.term);
+  }
+  auto response = std::make_shared<RequestVoteResponse>();
+  response->term = current_term_;
+  response->granted = false;
+  if (request.term == current_term_ && (voted_for_ == -1 || voted_for_ == request.candidate)) {
+    // Up-to-date check (§5.4.1 of the Raft paper).
+    const bool candidate_up_to_date =
+        request.last_log_term > LastLogTerm() ||
+        (request.last_log_term == LastLogTerm() && request.last_log_index >= LastLogIndex());
+    if (candidate_up_to_date) {
+      voted_for_ = request.candidate;
+      response->granted = true;
+      ResetElectionTimer();
+    }
+  }
+  SendTo(from, std::move(response));
+}
+
+void RaftNode::HandleVoteResponse(int from, const RequestVoteResponse& response) {
+  if (response.term > current_term_) {
+    BecomeFollower(response.term);
+    return;
+  }
+  if (role_ != Role::kCandidate || response.term != current_term_ || !response.granted) {
+    return;
+  }
+  votes_received_.insert(from);
+  if (static_cast<int>(votes_received_.size()) >= config_.q_vc) {
+    BecomeLeader();
+  }
+}
+
+void RaftNode::HandleAppendEntries(int from, const AppendEntriesRequest& request) {
+  auto response = std::make_shared<AppendEntriesResponse>();
+  response->term = current_term_;
+  response->success = false;
+  if (request.term < current_term_) {
+    SendTo(from, std::move(response));
+    return;
+  }
+  // Valid leader for this term (or newer): step down / stay follower, reset timer.
+  if (request.term > current_term_ || role_ != Role::kFollower) {
+    BecomeFollower(request.term);
+  } else {
+    ResetElectionTimer();
+  }
+  response->term = current_term_;
+
+  // Log consistency check at prev_log_index.
+  if (request.prev_log_index > LastLogIndex() ||
+      request.prev_log_index < snapshot_last_index_ ||
+      (request.prev_log_index > snapshot_last_index_ &&
+       TermAt(request.prev_log_index) != request.prev_log_term)) {
+    SendTo(from, std::move(response));
+    return;
+  }
+  // Append: delete conflicting suffix, then add new entries.
+  uint64_t index = request.prev_log_index;
+  for (const LogEntry& entry : request.entries) {
+    ++index;
+    if (index <= snapshot_last_index_) {
+      continue;  // Already compacted into the snapshot; necessarily committed.
+    }
+    if (index <= LastLogIndex()) {
+      if (TermAt(index) != entry.term) {
+        // With Theorem 3.2-violating quorum sizes this can truncate committed entries; let it
+        // happen and re-report the divergent commits so the SafetyChecker records the
+        // violation (experiment E8's negative control) instead of aborting the run.
+        if (index <= commit_index_) {
+          commit_index_ = index - 1;
+          applied_index_ = std::min(applied_index_, commit_index_);
+        }
+        log_.resize(index - snapshot_last_index_ - 1);
+        log_.push_back(entry);
+      }
+    } else {
+      log_.push_back(entry);
+    }
+  }
+  response->success = true;
+  response->match_index = index;
+
+  if (request.leader_commit > commit_index_) {
+    commit_index_ = std::min<uint64_t>(request.leader_commit, LastLogIndex());
+    ApplyCommitted();
+  }
+  SendTo(from, std::move(response));
+}
+
+void RaftNode::HandleAppendResponse(int from, const AppendEntriesResponse& response) {
+  if (response.term > current_term_) {
+    BecomeFollower(response.term);
+    return;
+  }
+  if (role_ != Role::kLeader || response.term != current_term_) {
+    return;
+  }
+  if (response.success) {
+    match_index_[from] = std::max(match_index_[from], response.match_index);
+    next_index_[from] = match_index_[from] + 1;
+    AdvanceCommitIndex();
+    AckPendingReads(from);
+  } else {
+    // Log repair: back off and retry immediately.
+    if (next_index_[from] > 1) {
+      --next_index_[from];
+    }
+    SendAppendEntries(from);
+  }
+}
+
+void RaftNode::HandleInstallSnapshot(int from, const InstallSnapshotRequest& request) {
+  auto response = std::make_shared<AppendEntriesResponse>();
+  response->term = current_term_;
+  response->success = false;
+  if (request.term < current_term_) {
+    SendTo(from, std::move(response));
+    return;
+  }
+  if (request.term > current_term_ || role_ != Role::kFollower) {
+    BecomeFollower(request.term);
+  } else {
+    ResetElectionTimer();
+  }
+  response->term = current_term_;
+
+  if (request.last_included_index <= snapshot_last_index_) {
+    // Stale snapshot; we already have at least this much.
+    response->success = true;
+    response->match_index = snapshot_last_index_;
+    SendTo(from, std::move(response));
+    return;
+  }
+  if (request.last_included_index <= LastLogIndex() &&
+      TermAt(request.last_included_index) == request.last_included_term) {
+    // Retain the matching suffix beyond the snapshot point (§7 of the Raft paper).
+    log_.erase(log_.begin(),
+               log_.begin() +
+                   static_cast<long>(request.last_included_index - snapshot_last_index_));
+  } else {
+    log_.clear();
+  }
+  snapshot_last_index_ = request.last_included_index;
+  snapshot_last_term_ = request.last_included_term;
+  if (commit_index_ < snapshot_last_index_) {
+    commit_index_ = snapshot_last_index_;
+  }
+  // Slots covered by the snapshot are durably committed on this node without per-slot
+  // commands to report; skip the applied cursor past them.
+  if (applied_index_ < snapshot_last_index_) {
+    applied_index_ = snapshot_last_index_;
+  }
+  ApplyCommitted();
+  response->success = true;
+  response->match_index = snapshot_last_index_;
+  SendTo(from, std::move(response));
+}
+
+void RaftNode::HandleClientProposal(const ClientProposal& proposal) {
+  if (role_ != Role::kLeader) {
+    return;  // Clients spray all nodes; only the leader acts.
+  }
+  // Dedup: drop if the command is already in the log (client retries).
+  for (const LogEntry& entry : log_) {
+    if (entry.command.id == proposal.command.id) {
+      return;
+    }
+  }
+  log_.push_back(LogEntry{current_term_, proposal.command});
+  match_index_[id()] = LastLogIndex();
+  AdvanceCommitIndex();  // q_per == 1 commits immediately.
+  for (int peer = 0; peer < config_.n; ++peer) {
+    if (peer != id()) {
+      SendAppendEntries(peer);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Leader machinery
+
+void RaftNode::SendAppendEntries(int peer) {
+  const uint64_t next = next_index_[peer];
+  if (next <= snapshot_last_index_) {
+    // The entries this peer needs were compacted away; ship the snapshot point instead.
+    auto snapshot = std::make_shared<InstallSnapshotRequest>();
+    snapshot->term = current_term_;
+    snapshot->leader = id();
+    snapshot->last_included_index = snapshot_last_index_;
+    snapshot->last_included_term = snapshot_last_term_;
+    SendTo(peer, std::move(snapshot));
+    return;
+  }
+  auto request = std::make_shared<AppendEntriesRequest>();
+  request->term = current_term_;
+  request->leader = id();
+  request->prev_log_index = next - 1;
+  request->prev_log_term = request->prev_log_index == 0 ? 0 : TermAt(request->prev_log_index);
+  for (uint64_t i = next; i <= LastLogIndex(); ++i) {
+    request->entries.push_back(EntryAt(i));
+  }
+  request->leader_commit = commit_index_;
+  SendTo(peer, std::move(request));
+}
+
+void RaftNode::BroadcastHeartbeats() {
+  if (role_ != Role::kLeader) {
+    return;
+  }
+  for (int peer = 0; peer < config_.n; ++peer) {
+    if (peer != id()) {
+      SendAppendEntries(peer);
+    }
+  }
+  SetTimer(timing_.heartbeat_interval, [this]() { BroadcastHeartbeats(); });
+}
+
+void RaftNode::AdvanceCommitIndex() {
+  CHECK(role_ == Role::kLeader);
+  // Highest index replicated on >= q_per nodes with an entry from the current term.
+  for (uint64_t candidate = LastLogIndex(); candidate > commit_index_; --candidate) {
+    if (TermAt(candidate) != current_term_) {
+      break;  // §5.4.2: only current-term entries commit by counting.
+    }
+    int replicas = 0;
+    uint64_t replicating_set = 0;
+    for (int peer = 0; peer < config_.n; ++peer) {
+      if (match_index_[peer] >= candidate) {
+        ++replicas;
+        replicating_set |= uint64_t{1} << peer;
+      }
+    }
+    const bool durable_member_present =
+        policy_.required_commit_members == 0 ||
+        (replicating_set & policy_.required_commit_members) != 0;
+    if (replicas >= config_.q_per && durable_member_present) {
+      commit_index_ = candidate;
+      ApplyCommitted();
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Linearizable reads
+
+bool RaftNode::RequestRead(ReadCallback callback) {
+  CHECK(callback != nullptr);
+  if (crashed() || role_ != Role::kLeader) {
+    return false;
+  }
+  PendingRead read;
+  read.read_index = commit_index_;
+  read.term = current_term_;
+  read.callback = std::move(callback);
+  if (config_.q_vc <= 1) {
+    read.callback(read.read_index);  // Degenerate single-voter quorum: already confirmed.
+    return true;
+  }
+  pending_reads_.push_back(std::move(read));
+  // Kick a confirmation round immediately instead of waiting for the next heartbeat tick.
+  for (int peer = 0; peer < config_.n; ++peer) {
+    if (peer != id()) {
+      SendAppendEntries(peer);
+    }
+  }
+  return true;
+}
+
+void RaftNode::AckPendingReads(int from) {
+  if (pending_reads_.empty()) {
+    return;
+  }
+  std::vector<PendingRead> still_pending;
+  for (auto& read : pending_reads_) {
+    if (read.term != current_term_) {
+      continue;  // Stale; drop without serving.
+    }
+    read.acks.insert(from);
+    // Self plus q_vc - 1 confirming peers re-establishes exclusive leadership for this term.
+    if (static_cast<int>(read.acks.size()) + 1 >= config_.q_vc) {
+      read.callback(read.read_index);
+    } else {
+      still_pending.push_back(std::move(read));
+    }
+  }
+  pending_reads_ = std::move(still_pending);
+}
+
+void RaftNode::DropPendingReads() { pending_reads_.clear(); }
+
+// ---------------------------------------------------------------------------
+// Helpers
+
+void RaftNode::ResetElectionTimer() {
+  ++election_epoch_;
+  const uint64_t epoch = election_epoch_;
+  const SimTime timeout =
+      policy_.election_priority *
+      (timing_.election_timeout_min +
+       (timing_.election_timeout_max - timing_.election_timeout_min) * rng().NextDouble());
+  SetTimer(timeout, [this, epoch]() {
+    if (election_epoch_ == epoch && role_ != Role::kLeader) {
+      StartElection();
+    }
+  });
+}
+
+void RaftNode::ApplyCommitted() {
+  while (applied_index_ < commit_index_) {
+    ++applied_index_;
+    checker_->RecordCommit(id(), applied_index_, EntryAt(applied_index_).command);
+  }
+  MaybeSnapshot();
+}
+
+void RaftNode::MaybeSnapshot() {
+  if (timing_.snapshot_threshold == 0 ||
+      applied_index_ - snapshot_last_index_ < timing_.snapshot_threshold) {
+    return;
+  }
+  const uint64_t new_last = applied_index_;
+  snapshot_last_term_ = TermAt(new_last);
+  log_.erase(log_.begin(),
+             log_.begin() + static_cast<long>(new_last - snapshot_last_index_));
+  snapshot_last_index_ = new_last;
+}
+
+uint64_t RaftNode::TermAt(uint64_t index) const {
+  DCHECK(index >= snapshot_last_index_ && index <= LastLogIndex());
+  if (index == snapshot_last_index_) {
+    return snapshot_last_term_;
+  }
+  return log_[index - snapshot_last_index_ - 1].term;
+}
+
+const LogEntry& RaftNode::EntryAt(uint64_t index) const {
+  DCHECK(index > snapshot_last_index_ && index <= LastLogIndex());
+  return log_[index - snapshot_last_index_ - 1];
+}
+
+}  // namespace probcon

@@ -1,0 +1,152 @@
+// Raft consensus node (Ongaro & Ousterhout) with flexible quorum sizes.
+//
+// A faithful single-decree-per-slot Raft: randomized election timeouts, RequestVote with
+// up-to-date log checks, AppendEntries log repair via nextIndex backoff, leader commit on a
+// persistence quorum of matching replicas, follower commit via leaderCommit.
+//
+// Two deliberate extensions for this repository:
+//   * Quorum sizes are parameters (RaftConfig): the election quorum |Q_vc| and the commit
+//     quorum |Q_per| may differ from majorities, Flexible-Paxos style. Misconfigured quorums
+//     (violating Theorem 3.2's structural conditions) run happily and produce real safety
+//     violations — which the SafetyChecker catches; that is experiment E8's negative control.
+//   * Crash/recovery separates durable state (term, vote, log) from volatile state, so the
+//     failure injector can model restart-with-disk.
+//
+// Time unit: milliseconds.
+
+#ifndef PROBCON_SRC_CONSENSUS_RAFT_RAFT_NODE_H_
+#define PROBCON_SRC_CONSENSUS_RAFT_RAFT_NODE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/analysis/protocol_spec.h"
+#include "src/consensus/common/safety_checker.h"
+#include "src/consensus/common/types.h"
+#include "src/consensus/raft/raft_messages.h"
+#include "src/sim/process.h"
+
+namespace probcon {
+
+struct RaftTimingConfig {
+  SimTime election_timeout_min = 150.0;
+  SimTime election_timeout_max = 300.0;
+  SimTime heartbeat_interval = 50.0;
+  // Log compaction: snapshot once this many entries have been applied past the previous
+  // snapshot point (0 = never compact). Stragglers whose next entry was compacted away
+  // receive InstallSnapshot.
+  uint64_t snapshot_threshold = 0;
+};
+
+// Fault-curve-aware protocol extensions (paper §4), both optional:
+//  * required_commit_members: if nonzero, the leader only advances the commit index once the
+//    replicating set includes at least one member of this bitmask — the "quorums must include
+//    a reliable node" durability policy of experiment E4, enforced by the running protocol.
+//  * election_priority: multiplies this node's election timeout; < 1 makes the node time out
+//    first and win elections preferentially (reliability-aware leader placement).
+struct RaftReliabilityPolicy {
+  uint64_t required_commit_members = 0;
+  double election_priority = 1.0;
+};
+
+class RaftNode final : public Process {
+ public:
+  enum class Role { kFollower, kCandidate, kLeader };
+
+  RaftNode(Simulator* simulator, Network* network, int id, const RaftConfig& config,
+           const RaftTimingConfig& timing, SafetyChecker* checker,
+           const RaftReliabilityPolicy& policy = {});
+
+  using ReadCallback = std::function<void(uint64_t read_index)>;
+
+  // Linearizable read barrier (the Raft dissertation's ReadIndex, §6.4): captures the commit
+  // index, confirms leadership with a fresh quorum round, then invokes `callback` with the
+  // index a read must be applied at to be linearizable. Returns false immediately (callback
+  // never runs) if this node is not leader; a callback also never fires if leadership is
+  // lost or the node crashes before confirmation — the caller retries elsewhere.
+  bool RequestRead(ReadCallback callback);
+
+  Role role() const { return role_; }
+  uint64_t current_term() const { return current_term_; }
+  uint64_t commit_index() const { return commit_index_; }
+  // The retained log suffix: entries (snapshot_last_index, LastLogIndex]. With compaction
+  // disabled this is the whole log, 1-based via log()[i-1].
+  const std::vector<LogEntry>& log() const { return log_; }
+  uint64_t snapshot_last_index() const { return snapshot_last_index_; }
+  bool is_leader() const { return role_ == Role::kLeader; }
+
+ protected:
+  void OnStart() override;
+  void OnMessage(int from, const std::shared_ptr<const SimMessage>& message) override;
+  void OnRecover() override;
+
+ private:
+  // --- Role transitions ---
+  void BecomeFollower(uint64_t term);
+  void StartElection();
+  void BecomeLeader();
+
+  // --- Handlers ---
+  void HandleRequestVote(int from, const RequestVoteRequest& request);
+  void HandleVoteResponse(int from, const RequestVoteResponse& response);
+  void HandleAppendEntries(int from, const AppendEntriesRequest& request);
+  void HandleAppendResponse(int from, const AppendEntriesResponse& response);
+  void HandleInstallSnapshot(int from, const InstallSnapshotRequest& request);
+  void HandleClientProposal(const ClientProposal& proposal);
+
+  // --- Leader machinery ---
+  void SendAppendEntries(int peer);
+  void BroadcastHeartbeats();
+  void AdvanceCommitIndex();
+
+  // --- Linearizable reads ---
+  struct PendingRead {
+    uint64_t read_index = 0;
+    uint64_t term = 0;
+    std::set<int> acks;  // Peers that confirmed our leadership since the read arrived.
+    ReadCallback callback;
+  };
+  void AckPendingReads(int from);
+  void DropPendingReads();
+
+  // --- Helpers ---
+  void ResetElectionTimer();
+  void ApplyCommitted();
+  void MaybeSnapshot();
+  uint64_t LastLogIndex() const { return snapshot_last_index_ + log_.size(); }
+  uint64_t LastLogTerm() const {
+    return log_.empty() ? snapshot_last_term_ : log_.back().term;
+  }
+  // Term/entry lookups for global 1-based indices; `index` must be in the retained range.
+  uint64_t TermAt(uint64_t index) const;
+  const LogEntry& EntryAt(uint64_t index) const;
+
+  RaftConfig config_;
+  RaftTimingConfig timing_;
+  SafetyChecker* checker_;
+  RaftReliabilityPolicy policy_;
+
+  // Durable state (survives Crash/Recover).
+  uint64_t current_term_ = 0;
+  int voted_for_ = -1;
+  std::vector<LogEntry> log_;  // Entries (snapshot_last_index_, snapshot_last_index_+size].
+  uint64_t snapshot_last_index_ = 0;  // Compacted prefix boundary (0 = no snapshot).
+  uint64_t snapshot_last_term_ = 0;
+
+  // Volatile state.
+  Role role_ = Role::kFollower;
+  uint64_t commit_index_ = 0;
+  uint64_t applied_index_ = 0;
+  uint64_t election_epoch_ = 0;  // Invalidates stale election timers.
+  std::set<int> votes_received_;
+  std::vector<uint64_t> next_index_;   // Leader: per-peer next entry to send.
+  std::vector<uint64_t> match_index_;  // Leader: per-peer highest replicated index.
+  std::vector<PendingRead> pending_reads_;
+};
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_CONSENSUS_RAFT_RAFT_NODE_H_

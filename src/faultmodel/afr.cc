@@ -1,0 +1,36 @@
+#include "src/faultmodel/afr.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace probcon {
+
+double RateFromAfr(double afr) {
+  CHECK(afr >= 0.0 && afr < 1.0) << "AFR out of range:" << afr;
+  return -std::log1p(-afr) / kHoursPerYear;
+}
+
+double AfrFromRate(double rate_per_hour) {
+  CHECK_GE(rate_per_hour, 0.0);
+  return -std::expm1(-rate_per_hour * kHoursPerYear);
+}
+
+double AfrFromMtbfHours(double mtbf_hours) {
+  CHECK_GT(mtbf_hours, 0.0);
+  return -std::expm1(-kHoursPerYear / mtbf_hours);
+}
+
+double MtbfHoursFromAfr(double afr) {
+  CHECK(afr > 0.0 && afr < 1.0) << "AFR out of range:" << afr;
+  return kHoursPerYear / (-std::log1p(-afr));
+}
+
+double RescaleWindowProbability(double p, double from_window, double to_window) {
+  CHECK(p >= 0.0 && p < 1.0) << "probability out of range:" << p;
+  CHECK_GT(from_window, 0.0);
+  CHECK_GT(to_window, 0.0);
+  return -std::expm1(std::log1p(-p) * to_window / from_window);
+}
+
+}  // namespace probcon

@@ -1,0 +1,32 @@
+// Conversions between the metrics the reliability literature reports (paper §2):
+// Annual Failure Rate (AFR, the Backblaze drive-stats metric), instantaneous failure rate
+// lambda, MTBF/MTTF hours, and per-analysis-window failure probabilities.
+//
+// Convention: time is measured in HOURS throughout this module; kHoursPerYear converts.
+
+#ifndef PROBCON_SRC_FAULTMODEL_AFR_H_
+#define PROBCON_SRC_FAULTMODEL_AFR_H_
+
+namespace probcon {
+
+inline constexpr double kHoursPerYear = 8766.0;  // 365.25 days.
+
+// AFR -> exponential rate (per hour): AFR = 1 - exp(-lambda * year).
+double RateFromAfr(double afr);
+
+// Exponential rate (per hour) -> AFR.
+double AfrFromRate(double rate_per_hour);
+
+// MTBF hours -> AFR, under the exponential assumption (AFR = 1 - exp(-year/MTBF)).
+double AfrFromMtbfHours(double mtbf_hours);
+
+// AFR -> MTBF hours.
+double MtbfHoursFromAfr(double afr);
+
+// Rescales a failure probability from one window length to another under the exponential
+// assumption: p_w = 1 - (1-p)^{w'/w}.
+double RescaleWindowProbability(double p, double from_window, double to_window);
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_FAULTMODEL_AFR_H_

@@ -1,0 +1,53 @@
+// Fitting fault curves from fleet telemetry (paper §2/§4: "fault curves can be computed from
+// telemetry").
+//
+// Input is survival data in its standard fleet form: per-device observation intervals that are
+// left-truncated (a device enters monitoring at some age) and right-censored (many devices are
+// still alive when the data is cut). Estimators:
+//
+//   * FitExponential  — MLE rate = failures / device-hours of exposure (the AFR computation
+//                       Backblaze publishes).
+//   * FitWeibull      — profile-likelihood MLE for (shape, scale) with censoring+truncation;
+//                       shape < 1 detects infant mortality, > 1 wear-out.
+//   * NelsonAalen     — nonparametric cumulative-hazard estimate, consumable as a
+//                       TraceFaultCurve for fully data-driven curves.
+
+#ifndef PROBCON_SRC_FAULTMODEL_ESTIMATOR_H_
+#define PROBCON_SRC_FAULTMODEL_ESTIMATOR_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/faultmodel/fault_curve.h"
+
+namespace probcon {
+
+struct LifetimeObservation {
+  double entry_age = 0.0;  // Age at which observation began (left truncation).
+  double exit_age = 0.0;   // Age at failure, or at censoring.
+  bool failed = false;     // True if the device failed at exit_age; false if censored.
+};
+
+// Validates an observation set: nonempty, exit > entry, ages nonnegative.
+Status ValidateObservations(const std::vector<LifetimeObservation>& observations);
+
+// MLE under a constant hazard. Requires at least one failure.
+Result<ConstantFaultCurve> FitExponential(const std::vector<LifetimeObservation>& observations);
+
+// Profile-likelihood MLE under a Weibull hazard. Requires at least two failures at distinct
+// ages; searches shape in [0.05, 50].
+Result<WeibullFaultCurve> FitWeibull(const std::vector<LifetimeObservation>& observations);
+
+// Nelson-Aalen cumulative hazard estimate: one point per distinct failure age, with increments
+// d_j / (number at risk just before that age). The result plugs into TraceFaultCurve.
+Result<std::vector<TraceFaultCurve::Point>> NelsonAalen(
+    const std::vector<LifetimeObservation>& observations);
+
+// Log-likelihood of `curve` on `observations` (truncation/censoring aware); model-comparison
+// helper for choosing between fitted shapes.
+double LogLikelihood(const FaultCurve& curve,
+                     const std::vector<LifetimeObservation>& observations);
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_FAULTMODEL_ESTIMATOR_H_

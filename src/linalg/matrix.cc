@@ -1,0 +1,186 @@
+#include "src/linalg/matrix.h"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace probcon {
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    m.At(i, i) = 1.0;
+  }
+  return m;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      t.At(c, r) = At(r, c);
+    }
+  }
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+  CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = At(r, k);
+      if (a == 0.0) {
+        continue;
+      }
+      for (size_t c = 0; c < other.cols_; ++c) {
+        out.At(r, c) += a * other.At(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Vector Matrix::operator*(const Vector& v) const {
+  CHECK_EQ(cols_, v.size());
+  Vector out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (size_t c = 0; c < cols_; ++c) {
+      acc += At(r, c) * v[c];
+    }
+    out[r] = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] += other.data_[i];
+  }
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+  CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] -= other.data_[i];
+  }
+  return out;
+}
+
+Matrix Matrix::Scaled(double s) const {
+  Matrix out = *this;
+  for (double& x : out.data_) {
+    x *= s;
+  }
+  return out;
+}
+
+double Matrix::MaxAbs() const {
+  double m = 0.0;
+  for (const double x : data_) {
+    m = std::max(m, std::fabs(x));
+  }
+  return m;
+}
+
+std::string Matrix::ToString() const {
+  std::ostringstream os;
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      os << (c == 0 ? "" : " ") << At(r, c);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Result<LuDecomposition> LuDecomposition::Factor(const Matrix& a) {
+  CHECK_EQ(a.rows(), a.cols());
+  const size_t n = a.rows();
+  Matrix lu = a;
+  std::vector<size_t> pivots(n);
+  std::iota(pivots.begin(), pivots.end(), size_t{0});
+  int sign = 1;
+
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivoting: pick the largest magnitude entry in this column at or below the
+    // diagonal.
+    size_t pivot_row = col;
+    double best = std::fabs(lu.At(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      const double mag = std::fabs(lu.At(r, col));
+      if (mag > best) {
+        best = mag;
+        pivot_row = r;
+      }
+    }
+    if (best < 1e-300) {
+      return Status(StatusCode::kInvalidArgument, "matrix is singular to working precision");
+    }
+    if (pivot_row != col) {
+      for (size_t c = 0; c < n; ++c) {
+        std::swap(lu.At(col, c), lu.At(pivot_row, c));
+      }
+      std::swap(pivots[col], pivots[pivot_row]);
+      sign = -sign;
+    }
+    const double pivot = lu.At(col, col);
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = lu.At(r, col) / pivot;
+      lu.At(r, col) = factor;
+      for (size_t c = col + 1; c < n; ++c) {
+        lu.At(r, c) -= factor * lu.At(col, c);
+      }
+    }
+  }
+  return LuDecomposition(std::move(lu), std::move(pivots), sign);
+}
+
+Vector LuDecomposition::Solve(const Vector& b) const {
+  const size_t n = lu_.rows();
+  CHECK_EQ(b.size(), n);
+  Vector x(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = b[pivots_[i]];
+  }
+  // Forward substitution (L has implicit unit diagonal).
+  for (size_t r = 1; r < n; ++r) {
+    double acc = x[r];
+    for (size_t c = 0; c < r; ++c) {
+      acc -= lu_.At(r, c) * x[c];
+    }
+    x[r] = acc;
+  }
+  // Back substitution.
+  for (size_t r = n; r-- > 0;) {
+    double acc = x[r];
+    for (size_t c = r + 1; c < n; ++c) {
+      acc -= lu_.At(r, c) * x[c];
+    }
+    x[r] = acc / lu_.At(r, r);
+  }
+  return x;
+}
+
+double LuDecomposition::Determinant() const {
+  double det = pivot_sign_;
+  for (size_t i = 0; i < lu_.rows(); ++i) {
+    det *= lu_.At(i, i);
+  }
+  return det;
+}
+
+Result<Vector> SolveLinearSystem(const Matrix& a, const Vector& b) {
+  auto lu = LuDecomposition::Factor(a);
+  if (!lu.ok()) {
+    return lu.status();
+  }
+  return lu->Solve(b);
+}
+
+}  // namespace probcon

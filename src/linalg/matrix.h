@@ -1,0 +1,84 @@
+// Small dense linear algebra: just enough to solve the linear systems that Markov reliability
+// models produce (steady-state balance equations, absorbing-chain expected hitting times).
+// Row-major doubles; sizes here are tens to a few thousand states, so no blocking or SIMD.
+
+#ifndef PROBCON_SRC_LINALG_MATRIX_H_
+#define PROBCON_SRC_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/status.h"
+
+namespace probcon {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& At(size_t r, size_t c) {
+    DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double At(size_t r, size_t c) const {
+    DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  Matrix Transposed() const;
+  Matrix operator*(const Matrix& other) const;
+  Vector operator*(const Vector& v) const;
+  Matrix operator+(const Matrix& other) const;
+  Matrix operator-(const Matrix& other) const;
+  Matrix Scaled(double s) const;
+
+  // Max-abs-element norm.
+  double MaxAbs() const;
+
+  std::string ToString() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// LU decomposition with partial pivoting; reusable for multiple right-hand sides.
+class LuDecomposition {
+ public:
+  // Factors `a` (square). Returns an error Status if the matrix is singular to working
+  // precision.
+  static Result<LuDecomposition> Factor(const Matrix& a);
+
+  // Solves A x = b.
+  Vector Solve(const Vector& b) const;
+
+  // Determinant of the factored matrix.
+  double Determinant() const;
+
+ private:
+  LuDecomposition(Matrix lu, std::vector<size_t> pivots, int pivot_sign)
+      : lu_(std::move(lu)), pivots_(std::move(pivots)), pivot_sign_(pivot_sign) {}
+
+  Matrix lu_;
+  std::vector<size_t> pivots_;
+  int pivot_sign_ = 1;
+};
+
+// Convenience: solves A x = b, returning an error for singular A.
+Result<Vector> SolveLinearSystem(const Matrix& a, const Vector& b);
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_LINALG_MATRIX_H_

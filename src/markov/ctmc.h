@@ -1,0 +1,69 @@
+// Continuous-time Markov chains — the modeling substrate the storage community uses for
+// MTTF/MTTDL/MTBF (paper §2: "The storage community relies on Markov models of their system
+// to quantify metrics like MTTF, MTBF, and MTTDL").
+//
+// States are dense integers. Transitions carry rates (per unit time). Provided solvers:
+//   * SteadyState            pi Q = 0, sum(pi) = 1          (long-run state occupancy)
+//   * MeanTimeToAbsorption   (-Q_TT) t = 1 on transient set (expected hitting time)
+//   * AbsorptionProbabilities which absorbing state is hit first
+//   * TransientDistribution  e^{Qt} via uniformization      (probability at finite horizon)
+
+#ifndef PROBCON_SRC_MARKOV_CTMC_H_
+#define PROBCON_SRC_MARKOV_CTMC_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/linalg/matrix.h"
+
+namespace probcon {
+
+class Ctmc {
+ public:
+  explicit Ctmc(int state_count);
+
+  int state_count() const { return state_count_; }
+
+  // Adds a transition `from` -> `to` with the given rate (> 0). Accumulates if called twice
+  // for the same pair.
+  void AddTransition(int from, int to, double rate);
+
+  // Generator matrix Q (off-diagonal rates, diagonal = -row sum).
+  Matrix Generator() const;
+
+  // Long-run occupancy distribution. Fails if the chain is reducible in a way that makes the
+  // balance system singular (e.g. it has absorbing states).
+  Result<Vector> SteadyState() const;
+
+  // Expected time to reach any state in `absorbing`, starting from `start`. States in
+  // `absorbing` have their outgoing transitions ignored. Fails if absorption is not certain
+  // from `start`.
+  Result<double> MeanTimeToAbsorption(int start, const std::vector<int>& absorbing) const;
+
+  // Probability that, starting from `start`, the chain is absorbed in each of `absorbing`
+  // (same order as given). Requires eventual absorption.
+  Result<Vector> AbsorptionProbabilities(int start, const std::vector<int>& absorbing) const;
+
+  // Distribution at time `t` starting from `initial`, via uniformization with truncation
+  // error below 1e-12.
+  Vector TransientDistribution(const Vector& initial, double t) const;
+
+ private:
+  struct Transition {
+    int from;
+    int to;
+    double rate;
+  };
+
+  // Marks the non-absorbing states reachable from `start` without passing through an
+  // absorbing state.
+  std::vector<bool> ReachableTransientStates(int start,
+                                             const std::vector<bool>& is_absorbing) const;
+
+  int state_count_;
+  std::vector<Transition> transitions_;
+};
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_MARKOV_CTMC_H_

@@ -1,0 +1,63 @@
+// Birth-death repair models for replicated clusters — the consensus analogue of the RAID
+// MTTDL computation the paper holds up as the storage community's standard practice, and of
+// Zorfu's "mean time to more than f failures" analysis (§5).
+//
+// State k = number of currently failed nodes. Failures arrive at rate (n-k) * lambda; repairs
+// complete at rate min(k, repair_servers) * mu. Metrics:
+//
+//   MeanTimeToUnavailability  expected time until fewer than `quorum` nodes are alive
+//                             (liveness outage; MTTF in storage terms)
+//   MeanTimeToQuorumLoss      expected time until `loss_threshold` nodes are simultaneously
+//                             down — the conservative count-level proxy for data loss
+//                             (MTTDL); identity-aware placement refinements live in
+//                             src/analysis/durability.h
+//   SteadyStateAvailability   long-run fraction of time a quorum is up, with repairs
+//   UnavailabilityWithin(t)   probability of hitting the outage state within a mission time
+
+#ifndef PROBCON_SRC_MARKOV_REPAIR_MODEL_H_
+#define PROBCON_SRC_MARKOV_REPAIR_MODEL_H_
+
+#include "src/common/status.h"
+#include "src/markov/ctmc.h"
+#include "src/prob/probability.h"
+
+namespace probcon {
+
+struct RepairModelParams {
+  int n = 0;                 // Cluster size.
+  double failure_rate = 0.0; // Per-node lambda (per hour).
+  double repair_rate = 0.0;  // Per-repair mu (per hour); 0 disables repair.
+  int repair_servers = 1;    // Concurrent repairs (min(k, servers) * mu).
+};
+
+class ConsensusRepairModel {
+ public:
+  explicit ConsensusRepairModel(const RepairModelParams& params);
+
+  const RepairModelParams& params() const { return params_; }
+
+  // Expected time, from all-up, until alive < quorum_size.
+  Result<double> MeanTimeToUnavailability(int quorum_size) const;
+
+  // Expected time, from all-up, until `loss_threshold` nodes are simultaneously failed.
+  Result<double> MeanTimeToQuorumLoss(int loss_threshold) const;
+
+  // Long-run P(alive >= quorum_size) in the chain WITH repair from every state (no
+  // absorption).
+  Result<Probability> SteadyStateAvailability(int quorum_size) const;
+
+  // P(an outage [alive < quorum_size] happens within mission time t), treating the outage
+  // state as absorbing.
+  Probability UnavailabilityWithin(int quorum_size, double t) const;
+
+ private:
+  // Chain over failure counts 0..n; `absorb_at` (if in [0, n]) truncates transitions out of
+  // that state, making it absorbing.
+  Ctmc BuildChain(int absorb_at) const;
+
+  RepairModelParams params_;
+};
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_MARKOV_REPAIR_MODEL_H_

@@ -1,0 +1,72 @@
+#include "src/prob/binomial.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/prob/combinatorics.h"
+#include "src/prob/kahan.h"
+
+namespace probcon {
+namespace {
+
+void CheckParams(int n, double p) {
+  CHECK_GE(n, 0);
+  CHECK(p >= 0.0 && p <= 1.0) << "p out of range:" << p;
+}
+
+// Sum of pmf over [lo, hi], accumulated with compensation.
+double PmfRangeSum(int n, int lo, int hi, double p) {
+  KahanSum sum;
+  for (int k = lo; k <= hi; ++k) {
+    sum.Add(BinomialPmf(n, k, p));
+  }
+  return sum.Total();
+}
+
+}  // namespace
+
+double BinomialPmf(int n, int k, double p) {
+  CheckParams(n, p);
+  if (k < 0 || k > n) {
+    return 0.0;
+  }
+  if (p == 0.0) {
+    return k == 0 ? 1.0 : 0.0;
+  }
+  if (p == 1.0) {
+    return k == n ? 1.0 : 0.0;
+  }
+  const double log_pmf = LogChoose(n, k) + static_cast<double>(k) * std::log(p) +
+                         static_cast<double>(n - k) * std::log1p(-p);
+  return std::exp(log_pmf);
+}
+
+Probability BinomialCdf(int n, int k, double p) {
+  CheckParams(n, p);
+  if (k < 0) {
+    return Probability::Zero();
+  }
+  if (k >= n) {
+    return Probability::One();
+  }
+  // Pick the side with fewer terms around the mean so the summed mass is the small one.
+  const double mean = BinomialMean(n, p);
+  if (static_cast<double>(k) < mean) {
+    return Probability::FromProbability(PmfRangeSum(n, 0, k, p));
+  }
+  return Probability::FromComplement(PmfRangeSum(n, k + 1, n, p));
+}
+
+Probability BinomialTailGe(int n, int k, double p) { return BinomialCdf(n, k - 1, p).Not(); }
+
+double BinomialMean(int n, double p) {
+  CheckParams(n, p);
+  return static_cast<double>(n) * p;
+}
+
+double BinomialVariance(int n, double p) {
+  CheckParams(n, p);
+  return static_cast<double>(n) * p * (1.0 - p);
+}
+
+}  // namespace probcon

@@ -1,0 +1,30 @@
+// Binomial distribution with complement-safe tails.
+//
+// This is the fast path behind Tables 1 and 2 of the paper: with a uniform per-node failure
+// probability p, the failure count is Binomial(N, p) and every safety/liveness predicate in
+// Theorems 3.1/3.2 reduces to a tail probability. Tails are computed by summing pmf terms on
+// the *smaller* side so that nine-counting precision survives.
+
+#ifndef PROBCON_SRC_PROB_BINOMIAL_H_
+#define PROBCON_SRC_PROB_BINOMIAL_H_
+
+#include "src/prob/probability.h"
+
+namespace probcon {
+
+// P(X == k) for X ~ Binomial(n, p). Computed in log domain; accurate into the far tails.
+double BinomialPmf(int n, int k, double p);
+
+// P(X <= k), complement-tracked.
+Probability BinomialCdf(int n, int k, double p);
+
+// P(X >= k), complement-tracked.
+Probability BinomialTailGe(int n, int k, double p);
+
+// Expected value n*p and variance n*p*(1-p).
+double BinomialMean(int n, double p);
+double BinomialVariance(int n, double p);
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_PROB_BINOMIAL_H_

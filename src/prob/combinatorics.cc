@@ -1,0 +1,51 @@
+#include "src/prob/combinatorics.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace probcon {
+
+double LogFactorial(int n) {
+  CHECK_GE(n, 0);
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double LogChoose(int n, int k) {
+  CHECK_GE(n, 0);
+  if (k < 0 || k > n) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return LogFactorial(n) - LogFactorial(k) - LogFactorial(n - k);
+}
+
+double Choose(int n, int k) {
+  CHECK_GE(n, 0);
+  if (k < 0 || k > n) {
+    return 0.0;
+  }
+  k = std::min(k, n - k);
+  // Multiplicative formula keeps intermediate values small and exact for modest n.
+  double result = 1.0;
+  for (int i = 1; i <= k; ++i) {
+    result = result * static_cast<double>(n - k + i) / static_cast<double>(i);
+  }
+  return std::round(result);
+}
+
+uint64_t ChooseExact(int n, int k) {
+  CHECK_GE(n, 0);
+  if (k < 0 || k > n) {
+    return 0;
+  }
+  k = std::min(k, n - k);
+  __uint128_t result = 1;
+  for (int i = 1; i <= k; ++i) {
+    result = result * static_cast<unsigned>(n - k + i) / static_cast<unsigned>(i);
+    CHECK(result <= std::numeric_limits<uint64_t>::max()) << "C(" << n << "," << k << ") overflows";
+  }
+  return static_cast<uint64_t>(result);
+}
+
+}  // namespace probcon

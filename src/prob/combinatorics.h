@@ -1,0 +1,25 @@
+// Combinatorial helpers: exact and log-domain binomial coefficients, log-factorials.
+
+#ifndef PROBCON_SRC_PROB_COMBINATORICS_H_
+#define PROBCON_SRC_PROB_COMBINATORICS_H_
+
+#include <cstdint>
+
+namespace probcon {
+
+// ln(n!) via lgamma; exact enough for all n used here.
+double LogFactorial(int n);
+
+// ln C(n, k). Returns -inf for k < 0 or k > n.
+double LogChoose(int n, int k);
+
+// Exact C(n, k) as a double (exact for results below 2^53; callers needing tail probabilities
+// at large n should use LogChoose).
+double Choose(int n, int k);
+
+// Exact C(n, k) as unsigned 64-bit; CHECK-fails on overflow. Useful for enumeration counts.
+uint64_t ChooseExact(int n, int k);
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_PROB_COMBINATORICS_H_

@@ -1,0 +1,27 @@
+#include "src/prob/interval.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace probcon {
+
+ConfidenceInterval WilsonInterval(uint64_t successes, uint64_t trials, double z) {
+  CHECK_GT(trials, 0u);
+  CHECK_LE(successes, trials);
+  const double n = static_cast<double>(trials);
+  const double phat = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (phat + z2 / (2.0 * n)) / denom;
+  const double spread =
+      z * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n)) / denom;
+  ConfidenceInterval ci;
+  ci.point = phat;
+  ci.low = std::max(0.0, center - spread);
+  ci.high = std::min(1.0, center + spread);
+  return ci;
+}
+
+}  // namespace probcon

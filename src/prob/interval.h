@@ -1,0 +1,23 @@
+// Confidence intervals for Monte Carlo estimates of (possibly extreme) probabilities.
+
+#ifndef PROBCON_SRC_PROB_INTERVAL_H_
+#define PROBCON_SRC_PROB_INTERVAL_H_
+
+#include <cstdint>
+
+namespace probcon {
+
+struct ConfidenceInterval {
+  double point = 0.0;
+  double low = 0.0;
+  double high = 0.0;
+};
+
+// Wilson score interval for a binomial proportion with `successes` out of `trials`, at normal
+// quantile `z` (1.96 ~ 95%). Well-behaved at 0 and `trials` successes, unlike the Wald
+// interval, which matters when estimating rare failure events.
+ConfidenceInterval WilsonInterval(uint64_t successes, uint64_t trials, double z = 1.96);
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_PROB_INTERVAL_H_

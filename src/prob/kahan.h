@@ -1,0 +1,49 @@
+// Compensated (Kahan-Neumaier) floating-point summation.
+//
+// Reliability analysis sums up to 2^25 configuration probabilities whose magnitudes span many
+// orders of magnitude; naive accumulation loses exactly the low-order mass that determines the
+// "nines". KahanSum keeps a running compensation term so the result is accurate to ~1 ulp of
+// the true sum.
+
+#ifndef PROBCON_SRC_PROB_KAHAN_H_
+#define PROBCON_SRC_PROB_KAHAN_H_
+
+#include <cmath>
+
+namespace probcon {
+
+class KahanSum {
+ public:
+  KahanSum() = default;
+  explicit KahanSum(double initial) : sum_(initial) {}
+
+  void Add(double x) {
+    const double t = sum_ + x;
+    if (std::fabs(sum_) >= std::fabs(x)) {
+      compensation_ += (sum_ - t) + x;
+    } else {
+      compensation_ += (x - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  KahanSum& operator+=(double x) {
+    Add(x);
+    return *this;
+  }
+
+  double Total() const { return sum_ + compensation_; }
+
+  void Reset() {
+    sum_ = 0.0;
+    compensation_ = 0.0;
+  }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_PROB_KAHAN_H_

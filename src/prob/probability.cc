@@ -1,0 +1,112 @@
+#include "src/prob/probability.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace probcon {
+namespace {
+
+double Clamp01(double x) { return std::min(1.0, std::max(0.0, x)); }
+
+}  // namespace
+
+Probability Probability::FromProbability(double p) {
+  CHECK(std::isfinite(p)) << "probability must be finite, got" << p;
+  CHECK(p >= -1e-12 && p <= 1.0 + 1e-12) << "probability out of range:" << p;
+  p = Clamp01(p);
+  return Probability(p, 1.0 - p);
+}
+
+Probability Probability::FromComplement(double q) {
+  CHECK(std::isfinite(q)) << "complement must be finite, got" << q;
+  CHECK(q >= -1e-12 && q <= 1.0 + 1e-12) << "complement out of range:" << q;
+  q = Clamp01(q);
+  return Probability(1.0 - q, q);
+}
+
+double Probability::nines() const {
+  if (q_ == 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return -std::log10(q_);
+}
+
+double Probability::complement_nines() const {
+  if (p_ == 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return -std::log10(p_);
+}
+
+Probability Probability::Not() const { return Probability(q_, p_); }
+
+Probability Probability::And(const Probability& other) const {
+  // p = pa*pb is accurate when small. q = 1 - pa*pb = qa + qb - qa*qb keeps the small-q case
+  // (both events near-certain) cancellation-free.
+  const double p = p_ * other.p_;
+  const double q = Clamp01(q_ + other.q_ - q_ * other.q_);
+  return Probability(Clamp01(p), q);
+}
+
+Probability Probability::Or(const Probability& other) const {
+  const double p = Clamp01(p_ + other.p_ - p_ * other.p_);
+  const double q = q_ * other.q_;
+  return Probability(p, Clamp01(q));
+}
+
+Probability Probability::SumDisjoint(const Probability& other) const {
+  const double p = Clamp01(p_ + other.p_);
+  // q = 1 - (pa + pb) = qa - pb. Accurate when qa dominates; callers that sum many tiny
+  // disjoint masses should accumulate with KahanSum and construct once at the end.
+  const double q = Clamp01(q_ - other.p_);
+  return Probability(p, q);
+}
+
+Probability Probability::Mix(double w, const Probability& other) const {
+  CHECK(w >= 0.0 && w <= 1.0) << "mixture weight out of range:" << w;
+  const double p = Clamp01(w * p_ + (1.0 - w) * other.p_);
+  const double q = Clamp01(w * q_ + (1.0 - w) * other.q_);
+  return Probability(p, q);
+}
+
+bool Probability::operator<(const Probability& other) const {
+  // Compare on whichever side is better resolved: for near-one values the complements carry
+  // the information.
+  if (p_ != other.p_) {
+    return p_ < other.p_;
+  }
+  return q_ > other.q_;
+}
+
+std::string FormatPercent(const Probability& prob) {
+  const double q = prob.complement();
+  if (q == 0.0) {
+    return "100%";
+  }
+  // Two significant digits past the leading run of nines, at least two decimals.
+  int decimals = static_cast<int>(std::floor(-std::log10(q))) - 1;
+  decimals = std::max(2, std::min(decimals, 12));
+  const double percent = 100.0 * (1.0 - q);
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f%%", decimals, percent);
+  return buffer;
+}
+
+std::string FormatNines(const Probability& prob) {
+  char buffer[64];
+  if (std::isinf(prob.nines())) {
+    return "inf nines";
+  }
+  std::snprintf(buffer, sizeof(buffer), "%.2f nines", prob.nines());
+  return buffer;
+}
+
+std::ostream& operator<<(std::ostream& os, const Probability& prob) {
+  return os << FormatPercent(prob);
+}
+
+}  // namespace probcon

@@ -1,0 +1,80 @@
+// Complement-tracked probability arithmetic.
+//
+// The paper reports reliability in "nines" — e.g. Raft at N=9, p_u=1% is 99.999998% safe and
+// live. A plain double representation of 0.99999998 carries the failure mass (2e-8) with only
+// ~8 significant digits to spare; chains of such operations destroy the very quantity being
+// reported. `Probability` therefore tracks BOTH p and q = 1-p explicitly, performing every
+// operation in formulas that keep the *small* side free of catastrophic cancellation:
+//
+//   Probability safe = Probability::FromComplement(3.37e-5);
+//   safe.nines()            // 4.47...
+//   FormatPercent(safe)     // "99.997%" (the paper's table formatting)
+//
+// Construction from either side preserves that side exactly; combinators (And/Or for
+// independent events, disjoint sums, mixtures) propagate both sides.
+
+#ifndef PROBCON_SRC_PROB_PROBABILITY_H_
+#define PROBCON_SRC_PROB_PROBABILITY_H_
+
+#include <ostream>
+#include <string>
+
+namespace probcon {
+
+class Probability {
+ public:
+  // Zero probability.
+  Probability() : p_(0.0), q_(1.0) {}
+
+  // Constructs from the event probability p in [0, 1]. Exact in p.
+  static Probability FromProbability(double p);
+  // Constructs from the complement q = 1-p in [0, 1]. Exact in q; use when the event is
+  // near-certain and q is the precisely known quantity.
+  static Probability FromComplement(double q);
+
+  static Probability Zero() { return FromProbability(0.0); }
+  static Probability One() { return FromProbability(1.0); }
+
+  double value() const { return p_; }
+  double complement() const { return q_; }
+
+  // Number of nines of the event: -log10(1-p). Infinite for p == 1.
+  double nines() const;
+  // Number of nines of the complement: -log10(p).
+  double complement_nines() const;
+
+  // Complement event.
+  Probability Not() const;
+
+  // Both of two independent events.
+  Probability And(const Probability& other) const;
+  // At least one of two independent events.
+  Probability Or(const Probability& other) const;
+  // Union of mutually exclusive events (p_a + p_b must be <= 1, modulo rounding).
+  Probability SumDisjoint(const Probability& other) const;
+  // Mixture: this with weight w, other with weight 1-w.
+  Probability Mix(double w, const Probability& other) const;
+
+  bool operator==(const Probability& other) const { return p_ == other.p_ && q_ == other.q_; }
+  bool operator<(const Probability& other) const;
+  bool operator>(const Probability& other) const { return other < *this; }
+
+ private:
+  Probability(double p, double q) : p_(p), q_(q) {}
+
+  double p_;
+  double q_;
+};
+
+// Renders with the adaptive precision the paper's tables use: two digits beyond the leading
+// run of nines, minimum two decimals ("98.18%", "99.97%", "99.99993%").
+std::string FormatPercent(const Probability& prob);
+
+// Renders as "X.XX nines" for log-scale comparisons.
+std::string FormatNines(const Probability& prob);
+
+std::ostream& operator<<(std::ostream& os, const Probability& prob);
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_PROB_PROBABILITY_H_

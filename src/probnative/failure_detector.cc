@@ -1,0 +1,80 @@
+#include "src/probnative/failure_detector.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace probcon {
+
+PhiAccrualFailureDetector::PhiAccrualFailureDetector()
+    : PhiAccrualFailureDetector(Options()) {}
+
+PhiAccrualFailureDetector::PhiAccrualFailureDetector(const Options& options)
+    : options_(options) {
+  CHECK_GT(options.window_size, 1u);
+  CHECK_GT(options.min_stddev, 0.0);
+  CHECK_GT(options.bootstrap_interval, 0.0);
+}
+
+void PhiAccrualFailureDetector::RecordHeartbeat(SimTime now) {
+  if (last_heartbeat_ >= 0.0) {
+    CHECK_GE(now, last_heartbeat_);
+    intervals_.push_back(now - last_heartbeat_);
+    if (intervals_.size() > options_.window_size) {
+      intervals_.pop_front();
+    }
+  }
+  last_heartbeat_ = now;
+}
+
+double PhiAccrualFailureDetector::MeanInterval() const {
+  if (intervals_.empty()) {
+    return options_.bootstrap_interval;
+  }
+  double sum = 0.0;
+  for (const double x : intervals_) {
+    sum += x;
+  }
+  return sum / static_cast<double>(intervals_.size());
+}
+
+double PhiAccrualFailureDetector::StddevInterval() const {
+  if (intervals_.size() < 2) {
+    return options_.min_stddev;
+  }
+  const double mean = MeanInterval();
+  double sum_sq = 0.0;
+  for (const double x : intervals_) {
+    sum_sq += (x - mean) * (x - mean);
+  }
+  const double variance = sum_sq / static_cast<double>(intervals_.size() - 1);
+  return std::max(options_.min_stddev, std::sqrt(variance));
+}
+
+double PhiAccrualFailureDetector::Phi(SimTime now) const {
+  if (last_heartbeat_ < 0.0) {
+    return 0.0;  // Nothing observed yet; no basis for suspicion.
+  }
+  CHECK_GE(now, last_heartbeat_);
+  const double elapsed = now - last_heartbeat_;
+  const double mean = MeanInterval();
+  const double stddev = StddevInterval();
+  // P(next heartbeat later than `elapsed`) under N(mean, stddev): the normal tail. Use the
+  // complementary error function for numeric range; phi = -log10 of it.
+  const double z = (elapsed - mean) / (stddev * std::sqrt(2.0));
+  const double tail = 0.5 * std::erfc(z);
+  if (tail <= 0.0) {
+    // erfc underflow (~z > 27): use the asymptotic expansion log erfc(z) ~ -z^2 - log(z√π).
+    const double log10_tail =
+        (-z * z - std::log(z * std::sqrt(3.14159265358979323846)) + std::log(0.5)) /
+        std::log(10.0);
+    return -log10_tail;
+  }
+  return -std::log10(tail);
+}
+
+bool PhiAccrualFailureDetector::Suspects(SimTime now, double threshold) const {
+  return Phi(now) >= threshold;
+}
+
+}  // namespace probcon

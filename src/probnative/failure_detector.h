@@ -1,0 +1,53 @@
+// Phi-accrual failure detector (Hayashibara et al.), the paper's §4 pointer to "new types of
+// failure detectors, which are more realistic and accurate".
+//
+// Instead of a boolean suspect/trust output, the detector emits a suspicion level
+//   phi(t) = -log10( P(a heartbeat arrives later than t_since_last) )
+// under a normal model of inter-arrival times learned from a sliding window. Applications
+// pick thresholds per use: phi = 1 tolerates 10% false positives, phi = 3 one in a thousand —
+// the same "choose your nines" philosophy the paper advocates for consensus itself.
+
+#ifndef PROBCON_SRC_PROBNATIVE_FAILURE_DETECTOR_H_
+#define PROBCON_SRC_PROBNATIVE_FAILURE_DETECTOR_H_
+
+#include <cstddef>
+#include <deque>
+
+#include "src/sim/simulator.h"
+
+namespace probcon {
+
+class PhiAccrualFailureDetector {
+ public:
+  struct Options {
+    size_t window_size = 100;        // Inter-arrival samples kept.
+    double min_stddev = 1.0;         // Floor on the model's sigma (ms) for stability.
+    double bootstrap_interval = 100; // Assumed interval until two heartbeats arrive.
+  };
+
+  PhiAccrualFailureDetector();  // Default options.
+  explicit PhiAccrualFailureDetector(const Options& options);
+
+  // Records a heartbeat arrival at time `now` (must be nondecreasing).
+  void RecordHeartbeat(SimTime now);
+
+  // Suspicion level at time `now`. 0 when a heartbeat just arrived; grows without bound as
+  // the silence stretches.
+  double Phi(SimTime now) const;
+
+  // Convenience: Phi(now) >= threshold.
+  bool Suspects(SimTime now, double threshold) const;
+
+  size_t sample_count() const { return intervals_.size(); }
+  double MeanInterval() const;
+  double StddevInterval() const;
+
+ private:
+  Options options_;
+  std::deque<double> intervals_;
+  SimTime last_heartbeat_ = -1.0;  // < 0 = no heartbeat yet.
+};
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_PROBNATIVE_FAILURE_DETECTOR_H_

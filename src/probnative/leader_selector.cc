@@ -1,0 +1,64 @@
+#include "src/probnative/leader_selector.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/check.h"
+
+namespace probcon {
+
+LeaderSelector::LeaderSelector(std::vector<const FaultCurve*> curves,
+                               std::vector<double> node_ages)
+    : curves_(std::move(curves)), node_ages_(std::move(node_ages)) {
+  CHECK(!curves_.empty());
+  CHECK_EQ(curves_.size(), node_ages_.size());
+  for (size_t i = 0; i < curves_.size(); ++i) {
+    CHECK(curves_[i] != nullptr);
+    CHECK_GE(node_ages_[i], 0.0);
+  }
+}
+
+double LeaderSelector::FailureProbability(int node, double horizon) const {
+  CHECK(node >= 0 && node < n());
+  CHECK_GT(horizon, 0.0);
+  return curves_[node]->FailureProbability(node_ages_[node], node_ages_[node] + horizon);
+}
+
+int LeaderSelector::SelectMostReliable(double horizon) const {
+  return RankByReliability(horizon).front();
+}
+
+std::vector<int> LeaderSelector::RankByReliability(double horizon) const {
+  std::vector<int> order(n());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> probs(n());
+  for (int i = 0; i < n(); ++i) {
+    probs[i] = FailureProbability(i, horizon);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return probs[a] < probs[b]; });
+  return order;
+}
+
+double LeaderSelector::ExpectedLeaderFailuresRoundRobin(double horizon) const {
+  // The leader slot spends horizon/n on each node; the expected number of leader failures is
+  // the sum of each node's cumulative hazard over its share.
+  double expected = 0.0;
+  const double share = horizon / static_cast<double>(n());
+  double offset = 0.0;
+  for (int i = 0; i < n(); ++i) {
+    const double start = node_ages_[i] + offset;
+    expected += curves_[i]->CumulativeHazard(start + share) - curves_[i]->CumulativeHazard(start);
+    offset += share;
+  }
+  return expected;
+}
+
+double LeaderSelector::ExpectedLeaderFailuresBestLeader(double horizon) const {
+  const int best = SelectMostReliable(horizon);
+  const double start = node_ages_[best];
+  return curves_[best]->CumulativeHazard(start + horizon) -
+         curves_[best]->CumulativeHazard(start);
+}
+
+}  // namespace probcon

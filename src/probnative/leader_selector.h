@@ -1,0 +1,51 @@
+// Reliability-aware leader selection (paper §4: "probabilistic approaches can choose leaders
+// among the most reliable nodes, avoiding more failure-prone nodes").
+//
+// Ranks candidate leaders by their fault-curve failure probability over the next planning
+// horizon and quantifies the payoff: expected leader failures per unit time under
+// round-robin rotation vs. reliability-aware selection. Leader failures are what trigger
+// view changes — so this expectation is a direct proxy for tail latency and reconfiguration
+// churn.
+
+#ifndef PROBCON_SRC_PROBNATIVE_LEADER_SELECTOR_H_
+#define PROBCON_SRC_PROBNATIVE_LEADER_SELECTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/faultmodel/fault_curve.h"
+
+namespace probcon {
+
+class LeaderSelector {
+ public:
+  // Borrows the curves; one per candidate node. `node_ages[i]` is node i's current age (its
+  // position on its own fault curve).
+  LeaderSelector(std::vector<const FaultCurve*> curves, std::vector<double> node_ages);
+
+  int n() const { return static_cast<int>(curves_.size()); }
+
+  // P(node i fails within `horizon` from its current age).
+  double FailureProbability(int node, double horizon) const;
+
+  // The node with the lowest failure probability over `horizon`.
+  int SelectMostReliable(double horizon) const;
+
+  // All nodes ranked most-reliable first.
+  std::vector<int> RankByReliability(double horizon) const;
+
+  // Expected number of leader-failure events over `horizon` when the leader slot rotates
+  // uniformly across all nodes (oblivious baseline).
+  double ExpectedLeaderFailuresRoundRobin(double horizon) const;
+
+  // Same, when the most reliable node holds the leader slot for the whole horizon.
+  double ExpectedLeaderFailuresBestLeader(double horizon) const;
+
+ private:
+  std::vector<const FaultCurve*> curves_;
+  std::vector<double> node_ages_;
+};
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_PROBNATIVE_LEADER_SELECTOR_H_

@@ -1,0 +1,106 @@
+#include "src/probnative/quorum_sizer.h"
+
+#include <algorithm>
+
+#include "src/analysis/reliability.h"
+#include "src/common/check.h"
+
+namespace probcon {
+namespace {
+
+int ClusterSize(const std::vector<double>& failure_probabilities) {
+  CHECK(!failure_probabilities.empty());
+  return static_cast<int>(failure_probabilities.size());
+}
+
+}  // namespace
+
+Result<SizedRaftConfig> SizeRaftQuorums(const std::vector<double>& failure_probabilities,
+                                        const Probability& target_live) {
+  const int n = ClusterSize(failure_probabilities);
+  const auto analyzer = ReliabilityAnalyzer::ForIndependentNodes(failure_probabilities);
+
+  bool found = false;
+  SizedRaftConfig best;
+  for (int q_per = 1; q_per <= n; ++q_per) {
+    for (int q_vc = 1; q_vc <= n; ++q_vc) {
+      RaftConfig config{n, q_per, q_vc};
+      if (!RaftIsSafeStructurally(config)) {
+        continue;
+      }
+      const Probability live = analyzer.EventProbability(MakeRaftLivePredicate(config));
+      if (live < target_live) {
+        continue;
+      }
+      const bool better =
+          !found || config.q_per < best.config.q_per ||
+          (config.q_per == best.config.q_per && config.q_vc < best.config.q_vc);
+      if (better) {
+        best = SizedRaftConfig{config, live};
+        found = true;
+      }
+    }
+  }
+  if (!found) {
+    return NotFoundError("no structurally safe Raft quorum sizes meet the liveness target");
+  }
+  return best;
+}
+
+Result<SizedPbftConfig> SizePbftQuorums(const std::vector<double>& failure_probabilities,
+                                        const Probability& target_safe,
+                                        const Probability& target_live) {
+  const int n = ClusterSize(failure_probabilities);
+  const auto analyzer = ReliabilityAnalyzer::ForIndependentNodes(failure_probabilities);
+
+  bool found = false;
+  SizedPbftConfig best;
+  for (int q = 1; q <= n; ++q) {
+    for (int q_vc_t = 1; q_vc_t <= q; ++q_vc_t) {
+      PbftConfig config{n, q, q, q, q_vc_t};
+      const Probability safe = analyzer.EventProbability(MakePbftSafePredicate(config));
+      if (safe < target_safe) {
+        continue;
+      }
+      const Probability live = analyzer.EventProbability(MakePbftLivePredicate(config));
+      if (live < target_live) {
+        continue;
+      }
+      if (!found || config.q_eq < best.config.q_eq) {
+        best = SizedPbftConfig{config, safe, live};
+        found = true;
+      }
+    }
+  }
+  if (!found) {
+    return NotFoundError("no PBFT quorum sizes meet the safety+liveness targets");
+  }
+  return best;
+}
+
+std::vector<PbftFrontierPoint> PbftQuorumFrontier(
+    const std::vector<double>& failure_probabilities) {
+  const int n = ClusterSize(failure_probabilities);
+  const auto analyzer = ReliabilityAnalyzer::ForIndependentNodes(failure_probabilities);
+
+  std::vector<PbftFrontierPoint> frontier;
+  for (int q = 1; q <= n; ++q) {
+    // Pick the trigger size maximizing liveness for this q (safety does not depend on q_vc_t).
+    PbftFrontierPoint best_point;
+    bool have_point = false;
+    for (int q_vc_t = 1; q_vc_t <= q; ++q_vc_t) {
+      PbftConfig config{n, q, q, q, q_vc_t};
+      const Probability live = analyzer.EventProbability(MakePbftLivePredicate(config));
+      if (!have_point || best_point.live < live) {
+        best_point.config = config;
+        best_point.live = live;
+        have_point = true;
+      }
+    }
+    best_point.safe = analyzer.EventProbability(MakePbftSafePredicate(best_point.config));
+    frontier.push_back(best_point);
+  }
+  return frontier;
+}
+
+}  // namespace probcon

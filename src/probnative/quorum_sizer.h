@@ -1,0 +1,58 @@
+// Dynamic quorum sizing (paper §4: "we can choose quorum sizes dynamically such that they
+// overlap with high probability").
+//
+// Given per-node failure probabilities and explicit reliability targets, search the quorum-
+// size space for configurations that meet the targets — instead of hardcoding majorities.
+// For Raft the safety conditions are structural (Theorem 3.2), so the search maximizes
+// liveness subject to structural safety; for PBFT all four quorum sizes move, trading safety
+// against liveness exactly as the paper's 4-vs-5-node example shows.
+
+#ifndef PROBCON_SRC_PROBNATIVE_QUORUM_SIZER_H_
+#define PROBCON_SRC_PROBNATIVE_QUORUM_SIZER_H_
+
+#include <vector>
+
+#include "src/analysis/protocol_spec.h"
+#include "src/common/status.h"
+#include "src/prob/probability.h"
+
+namespace probcon {
+
+struct SizedRaftConfig {
+  RaftConfig config;
+  Probability live;  // = safe-and-live, since the search space is structurally safe.
+};
+
+// Smallest structurally-safe Raft quorums meeting `target_live` for nodes with the given
+// failure probabilities. Prefers smaller q_per (commit latency) and breaks ties on q_vc.
+// NotFoundError if even majorities miss the target.
+Result<SizedRaftConfig> SizeRaftQuorums(const std::vector<double>& failure_probabilities,
+                                        const Probability& target_live);
+
+struct SizedPbftConfig {
+  PbftConfig config;
+  Probability safe;
+  Probability live;
+};
+
+// Searches (q_eq = q_per = q_vc, q_vc_t) for the configuration that meets `target_safe` and
+// `target_live` with the smallest main quorum; NotFoundError when the targets are jointly
+// unattainable at this cluster. The symmetric main-quorum restriction matches deployed PBFT
+// and keeps the search O(n^2).
+Result<SizedPbftConfig> SizePbftQuorums(const std::vector<double>& failure_probabilities,
+                                        const Probability& target_safe,
+                                        const Probability& target_live);
+
+// Full safety/liveness frontier over the main-quorum size q (q_vc_t fixed at the best choice
+// per q): the data behind the paper's "larger quorums improve safety but degrade liveness".
+struct PbftFrontierPoint {
+  PbftConfig config;
+  Probability safe;
+  Probability live;
+};
+std::vector<PbftFrontierPoint> PbftQuorumFrontier(
+    const std::vector<double>& failure_probabilities);
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_PROBNATIVE_QUORUM_SIZER_H_

@@ -1,0 +1,113 @@
+#include "src/probnative/reconfiguration.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "src/analysis/reliability.h"
+#include "src/common/check.h"
+
+namespace probcon {
+namespace {
+
+double HorizonFailureProbability(const FleetNode& node, double horizon) {
+  CHECK(node.curve != nullptr);
+  return node.curve->FailureProbability(node.age, node.age + horizon);
+}
+
+Probability CommitteeReliability(const std::vector<const FleetNode*>& members,
+                                 double horizon) {
+  std::vector<double> probabilities;
+  probabilities.reserve(members.size());
+  for (const FleetNode* member : members) {
+    probabilities.push_back(HorizonFailureProbability(*member, horizon));
+  }
+  const int n = static_cast<int>(probabilities.size());
+  const auto analyzer = ReliabilityAnalyzer::ForIndependentNodes(std::move(probabilities));
+  return AnalyzeRaft(RaftConfig::Standard(n), analyzer).safe_and_live;
+}
+
+}  // namespace
+
+std::string SwapAction::Describe() const {
+  std::ostringstream os;
+  os << "swap out node " << out_node << " (p=" << out_failure_probability << ") for node "
+     << in_node << " (p=" << in_failure_probability << ")";
+  return os.str();
+}
+
+ReconfigurationPlan PlanReconfiguration(const std::vector<FleetNode>& fleet,
+                                        const std::vector<int>& committee,
+                                        const std::vector<int>& spares, double horizon,
+                                        const Probability& target) {
+  CHECK(!committee.empty());
+  CHECK_GT(horizon, 0.0);
+  auto node_at = [&](int index) -> const FleetNode& {
+    CHECK(index >= 0 && index < static_cast<int>(fleet.size()));
+    return fleet[index];
+  };
+
+  std::vector<const FleetNode*> current;
+  current.reserve(committee.size());
+  for (const int index : committee) {
+    current.push_back(&node_at(index));
+  }
+
+  ReconfigurationPlan plan;
+  plan.reliability_before = CommitteeReliability(current, horizon);
+  plan.reliability_after = plan.reliability_before;
+  if (!(plan.reliability_before < target)) {
+    plan.meets_target = true;
+    return plan;  // Nothing to do.
+  }
+
+  // Spares ranked best (lowest horizon failure probability) first.
+  std::vector<int> spare_order = spares;
+  std::sort(spare_order.begin(), spare_order.end(), [&](int a, int b) {
+    return HorizonFailureProbability(node_at(a), horizon) <
+           HorizonFailureProbability(node_at(b), horizon);
+  });
+
+  std::set<int> used_spares;
+  while (plan.reliability_after < target) {
+    // Worst current member.
+    size_t worst_slot = 0;
+    double worst_probability = -1.0;
+    for (size_t slot = 0; slot < current.size(); ++slot) {
+      const double p = HorizonFailureProbability(*current[slot], horizon);
+      if (p > worst_probability) {
+        worst_probability = p;
+        worst_slot = slot;
+      }
+    }
+    // Best unused spare that actually improves on the worst member.
+    const FleetNode* replacement = nullptr;
+    int replacement_index = -1;
+    for (const int spare : spare_order) {
+      if (used_spares.count(spare) > 0) {
+        continue;
+      }
+      if (HorizonFailureProbability(node_at(spare), horizon) < worst_probability) {
+        replacement = &node_at(spare);
+        replacement_index = spare;
+        break;
+      }
+    }
+    if (replacement == nullptr) {
+      break;  // No improving spare left; return the best partial plan.
+    }
+    used_spares.insert(replacement_index);
+    SwapAction action;
+    action.out_node = current[worst_slot]->id;
+    action.in_node = replacement->id;
+    action.out_failure_probability = worst_probability;
+    action.in_failure_probability = HorizonFailureProbability(*replacement, horizon);
+    plan.swaps.push_back(action);
+    current[worst_slot] = replacement;
+    plan.reliability_after = CommitteeReliability(current, horizon);
+  }
+  plan.meets_target = !(plan.reliability_after < target);
+  return plan;
+}
+
+}  // namespace probcon

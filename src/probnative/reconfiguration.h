@@ -1,0 +1,54 @@
+// Preemptive reconfiguration planning (paper §4: "predictive models for node reliability
+// enable preemptive reconfiguration, mitigating potential failures from jeopardizing safety
+// or liveness").
+//
+// Given fault curves for the current committee and a spare pool, the planner asks: over the
+// next horizon, does the committee still meet its reliability target? If not, it proposes
+// swaps — replace the members with the highest predicted failure probability by the best
+// spares — until the target is met or spares run out. Because the fault curves are
+// time-dependent (bathtub wear-out, rollout spikes), the plan changes as nodes age: that is
+// the paper's "act before the failure" loop.
+
+#ifndef PROBCON_SRC_PROBNATIVE_RECONFIGURATION_H_
+#define PROBCON_SRC_PROBNATIVE_RECONFIGURATION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/faultmodel/fault_curve.h"
+#include "src/prob/probability.h"
+
+namespace probcon {
+
+struct FleetNode {
+  int id = 0;
+  const FaultCurve* curve = nullptr;  // Borrowed.
+  double age = 0.0;
+};
+
+struct SwapAction {
+  int out_node = 0;
+  int in_node = 0;
+  double out_failure_probability = 0.0;
+  double in_failure_probability = 0.0;
+
+  std::string Describe() const;
+};
+
+struct ReconfigurationPlan {
+  std::vector<SwapAction> swaps;
+  Probability reliability_before;  // Raft safe-and-live over the horizon, current committee.
+  Probability reliability_after;   // Ditto after applying the swaps.
+  bool meets_target = false;
+};
+
+// Plans swaps for a majority-quorum Raft committee. `committee` and `spares` index into
+// `fleet`. Failure probabilities are each node's fault-curve mass over [age, age + horizon].
+ReconfigurationPlan PlanReconfiguration(const std::vector<FleetNode>& fleet,
+                                        const std::vector<int>& committee,
+                                        const std::vector<int>& spares, double horizon,
+                                        const Probability& target);
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_PROBNATIVE_RECONFIGURATION_H_

@@ -1,0 +1,87 @@
+#include "src/probnative/reliability_aware_raft.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/analysis/durability.h"
+#include "src/common/check.h"
+
+namespace probcon {
+namespace {
+
+constexpr double kMinPriority = 0.4;
+
+std::vector<int> ReliabilityOrder(const std::vector<double>& failure_probabilities) {
+  std::vector<int> order(failure_probabilities.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return failure_probabilities[a] < failure_probabilities[b];
+  });
+  return order;
+}
+
+}  // namespace
+
+uint64_t DurableMemberSet(const std::vector<double>& failure_probabilities,
+                          int durable_member_count) {
+  const int n = static_cast<int>(failure_probabilities.size());
+  CHECK(durable_member_count >= 0 && durable_member_count <= n);
+  CHECK_LE(n, 64);
+  const auto order = ReliabilityOrder(failure_probabilities);
+  uint64_t set = 0;
+  for (int i = 0; i < durable_member_count; ++i) {
+    set |= uint64_t{1} << order[i];
+  }
+  return set;
+}
+
+std::vector<RaftReliabilityPolicy> MakeReliabilityAwarePolicies(
+    const std::vector<double>& failure_probabilities, int durable_member_count) {
+  const int n = static_cast<int>(failure_probabilities.size());
+  CHECK_GT(n, 0);
+  const uint64_t durable = DurableMemberSet(failure_probabilities, durable_member_count);
+  const auto order = ReliabilityOrder(failure_probabilities);
+
+  std::vector<RaftReliabilityPolicy> policies(n);
+  for (int rank = 0; rank < n; ++rank) {
+    const int node = order[rank];
+    policies[node].required_commit_members = durable;
+    policies[node].election_priority =
+        n == 1 ? kMinPriority
+               : kMinPriority + (1.0 - kMinPriority) * rank / static_cast<double>(n - 1);
+  }
+  return policies;
+}
+
+ReliabilityAwareRaftReport AnalyzeReliabilityAwareRaft(
+    const RaftConfig& config, const std::vector<double>& failure_probabilities,
+    int durable_member_count) {
+  CHECK_EQ(config.n, static_cast<int>(failure_probabilities.size()));
+  CHECK_GE(durable_member_count, 1) << "analysis needs a nonempty durable set";
+  const uint64_t durable = DurableMemberSet(failure_probabilities, durable_member_count);
+  const auto analyzer = ReliabilityAnalyzer::ForIndependentNodes(failure_probabilities);
+  const IndependentFailureModel model(failure_probabilities);
+
+  ReliabilityAwareRaftReport report;
+  report.baseline_live = analyzer.EventProbability(MakeRaftLivePredicate(config));
+  report.baseline_durability =
+      AnalyzePlacementDurability(model, config.q_per).worst_case_loss.Not();
+
+  // Constrained liveness depends on WHICH nodes failed (the durable members specifically),
+  // so it needs the configuration-predicate path.
+  const ConfigurationPredicate constrained_live(
+      [config, durable](FailureConfiguration failed, int n) {
+        const int correct = n - CountFailures(failed);
+        if (!RaftIsLive(config, correct)) {
+          return false;
+        }
+        const uint64_t correct_set = ComplementNodeSet(failed, n);
+        return (correct_set & durable) != 0;
+      });
+  report.live = analyzer.EventProbability(constrained_live);
+  report.durability =
+      WorstCaseLossWithReliableConstraint(model, config.q_per, durable, 1).Not();
+  return report;
+}
+
+}  // namespace probcon

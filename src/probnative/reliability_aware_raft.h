@@ -1,0 +1,54 @@
+// Reliability-aware Raft (paper §4, executed): wires fault-curve knowledge into the running
+// protocol from src/consensus/raft.
+//
+// Two mechanisms, configured per node via RaftReliabilityPolicy:
+//   * leader placement — reliable nodes get shorter election timeouts, so they win elections
+//     preferentially (the §4 "choose leaders among the most reliable nodes"), and
+//   * durable commit quorums — the leader refuses to advance the commit index until at least
+//     one designated reliable node has replicated the entry, turning E4's analytical
+//     durability fix into protocol behaviour.
+//
+// The analysis side quantifies the liveness price of the durability constraint: requiring a
+// reliable-member ack makes commits depend on those nodes being up.
+
+#ifndef PROBCON_SRC_PROBNATIVE_RELIABILITY_AWARE_RAFT_H_
+#define PROBCON_SRC_PROBNATIVE_RELIABILITY_AWARE_RAFT_H_
+
+#include <vector>
+
+#include "src/analysis/reliability.h"
+#include "src/consensus/raft/raft_node.h"
+
+namespace probcon {
+
+// Builds per-node policies from failure probabilities:
+//   * the `durable_member_count` most reliable nodes form the required-commit-member set;
+//   * election priorities scale linearly from `kMinPriority` (most reliable node) to 1.0
+//     (least reliable), so reliable nodes' timeouts expire first.
+// `durable_member_count == 0` disables the commit constraint (placement-only variant).
+std::vector<RaftReliabilityPolicy> MakeReliabilityAwarePolicies(
+    const std::vector<double>& failure_probabilities, int durable_member_count);
+
+// The required-commit-member set the policies above encode (bitmask of the most reliable
+// nodes).
+uint64_t DurableMemberSet(const std::vector<double>& failure_probabilities,
+                          int durable_member_count);
+
+struct ReliabilityAwareRaftReport {
+  // Live: enough correct nodes for both quorums AND at least one correct durable member.
+  Probability live;
+  // Worst-case durability of a committed entry under the constrained placement.
+  Probability durability;
+  // Baselines for comparison (plain Raft on the same cluster).
+  Probability baseline_live;
+  Probability baseline_durability;
+};
+
+// Analytical comparison of constrained vs plain Raft on a heterogeneous cluster.
+ReliabilityAwareRaftReport AnalyzeReliabilityAwareRaft(
+    const RaftConfig& config, const std::vector<double>& failure_probabilities,
+    int durable_member_count);
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_PROBNATIVE_RELIABILITY_AWARE_RAFT_H_

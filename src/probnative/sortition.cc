@@ -1,0 +1,89 @@
+#include "src/probnative/sortition.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/prob/kahan.h"
+
+namespace probcon {
+
+bool SortitionSelected(uint64_t node_key, uint64_t round_seed, double selection_probability) {
+  CHECK(selection_probability >= 0.0 && selection_probability <= 1.0);
+  uint64_t state = node_key ^ (round_seed * 0x9E3779B97F4A7C15ULL);
+  const uint64_t draw = SplitMix64(state);
+  const double unit = static_cast<double>(draw >> 11) * 0x1.0p-53;
+  return unit < selection_probability;
+}
+
+std::vector<int> SortitionCommittee(const std::vector<uint64_t>& node_keys,
+                                    uint64_t round_seed, double selection_probability) {
+  std::vector<int> committee;
+  for (size_t i = 0; i < node_keys.size(); ++i) {
+    if (SortitionSelected(node_keys[i], round_seed, selection_probability)) {
+      committee.push_back(static_cast<int>(i));
+    }
+  }
+  return committee;
+}
+
+Probability SortitionHonestMajority(const std::vector<double>& failure_probabilities,
+                                    double selection_probability) {
+  const int n = static_cast<int>(failure_probabilities.size());
+  CHECK_GT(n, 0);
+  CHECK(selection_probability > 0.0 && selection_probability <= 1.0);
+  // DP over (selected honest, selected faulty) counts. Each node contributes one of three
+  // outcomes: not selected (1-s), selected honest (s * (1-p)), selected faulty (s * p).
+  const int stride = n + 1;
+  std::vector<double> pmf(static_cast<size_t>(stride) * stride, 0.0);
+  pmf[0] = 1.0;
+  int upper = 0;
+  for (const double p : failure_probabilities) {
+    CHECK(p >= 0.0 && p <= 1.0);
+    const double sel_honest = selection_probability * (1.0 - p);
+    const double sel_faulty = selection_probability * p;
+    const double skip = 1.0 - selection_probability;
+    ++upper;
+    for (int honest = upper; honest >= 0; --honest) {
+      for (int faulty = upper - honest; faulty >= 0; --faulty) {
+        double mass = pmf[honest * stride + faulty] * skip;
+        if (honest > 0) {
+          mass += pmf[(honest - 1) * stride + faulty] * sel_honest;
+        }
+        if (faulty > 0) {
+          mass += pmf[honest * stride + (faulty - 1)] * sel_faulty;
+        }
+        pmf[honest * stride + faulty] = mass;
+      }
+    }
+  }
+  // Sum the BAD mass (majority-faulty or empty committee) for complement precision.
+  KahanSum bad;
+  for (int honest = 0; honest <= n; ++honest) {
+    for (int faulty = 0; faulty + honest <= n; ++faulty) {
+      const bool good = honest > faulty;  // Implies nonempty.
+      if (!good) {
+        bad.Add(pmf[honest * stride + faulty]);
+      }
+    }
+  }
+  return Probability::FromComplement(std::max(0.0, bad.Total()));
+}
+
+double MinExpectedCommitteeForHonestMajority(
+    const std::vector<double>& failure_probabilities, const Probability& target) {
+  const int n = static_cast<int>(failure_probabilities.size());
+  CHECK_GT(n, 0);
+  // Geometric grid over selection probabilities, finishing at select-everyone.
+  for (double selection = 1.0 / n; selection < 1.0; selection *= 1.1) {
+    if (!(SortitionHonestMajority(failure_probabilities, selection) < target)) {
+      return selection * n;
+    }
+  }
+  if (!(SortitionHonestMajority(failure_probabilities, 1.0) < target)) {
+    return n;
+  }
+  return -1.0;
+}
+
+}  // namespace probcon

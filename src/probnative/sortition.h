@@ -1,0 +1,44 @@
+// Cryptographic-sortition-style committee sampling (paper §5, Algorand): every node runs a
+// private, deterministic lottery each round; winners form the committee. No coordination, no
+// quorum intersection — correctness is purely probabilistic, which makes sortition the
+// poster child for the paper's probability-native design space.
+//
+// We model the VRF with a keyed SplitMix64 hash (the simulator has no adversaries who can
+// grind hashes, so the only property needed is per-(node, round) pseudo-randomness). The
+// analysis half answers the sizing question the paper raises: how large must the EXPECTED
+// committee be so that a majority of its members are correct, with the desired nines, given
+// per-node fault probabilities?
+
+#ifndef PROBCON_SRC_PROBNATIVE_SORTITION_H_
+#define PROBCON_SRC_PROBNATIVE_SORTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/prob/probability.h"
+
+namespace probcon {
+
+// True iff the node holding `node_key` wins the round-`round_seed` lottery at the given
+// per-node selection probability. Deterministic in (node_key, round_seed).
+bool SortitionSelected(uint64_t node_key, uint64_t round_seed, double selection_probability);
+
+// Runs the lottery for every node key; returns selected indices (sorted).
+std::vector<int> SortitionCommittee(const std::vector<uint64_t>& node_keys,
+                                    uint64_t round_seed, double selection_probability);
+
+// P(the sampled committee has a strict majority of correct members AND is nonempty), where
+// node i is independently selected with probability `selection_probability` and faulty with
+// probability `failure_probabilities[i]`. Exact O(n^3) dynamic program.
+Probability SortitionHonestMajority(const std::vector<double>& failure_probabilities,
+                                    double selection_probability);
+
+// Smallest expected committee size (selection_probability * n, searched over a geometric
+// grid of selection probabilities) achieving `target` honest-majority probability; returns
+// a negative value if even selecting everyone misses the target.
+double MinExpectedCommitteeForHonestMajority(
+    const std::vector<double>& failure_probabilities, const Probability& target);
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_PROBNATIVE_SORTITION_H_

@@ -1,0 +1,72 @@
+#include "src/quorum/availability.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/prob/kahan.h"
+#include "src/prob/poisson_binomial.h"
+
+namespace probcon {
+
+Probability QuorumAvailability(const QuorumSystem& system, const JointFailureModel& model) {
+  CHECK_EQ(system.n(), model.n());
+  const int n = system.n();
+
+  // Fast path: threshold quorum + independent failures -> Poisson-binomial tail.
+  const auto* threshold = dynamic_cast<const ThresholdQuorumSystem*>(&system);
+  const auto* independent = dynamic_cast<const IndependentFailureModel*>(&model);
+  if (threshold != nullptr && independent != nullptr) {
+    const PoissonBinomial failures(independent->probabilities());
+    // Available iff #failures <= n - k.
+    return failures.CdfLe(n - threshold->k());
+  }
+
+  CHECK_LE(n, 25) << "exact enumeration limited to n <= 25; use Monte Carlo for larger n";
+  // Accumulate the *unavailable* mass (typically the small side) and return its complement.
+  KahanSum unavailable;
+  const FailureConfiguration full = FullNodeSet(n);
+  for (FailureConfiguration failed = 0;; ++failed) {
+    const NodeSet alive = ComplementNodeSet(failed, n);
+    if (!system.IsQuorum(alive)) {
+      const auto prob = model.ConfigurationProbability(failed);
+      CHECK(prob.has_value()) << "model" << model.Describe()
+                              << "lacks exact configuration probabilities";
+      unavailable.Add(*prob);
+    }
+    if (failed == full) {
+      break;
+    }
+  }
+  return Probability::FromComplement(std::min(1.0, std::max(0.0, unavailable.Total())));
+}
+
+double UniformStrategyMaxLoad(const QuorumSystem& system) {
+  if (const auto* threshold = dynamic_cast<const ThresholdQuorumSystem*>(&system)) {
+    // Uniform over all k-subsets: every node appears in a C(n-1, k-1)/C(n, k) = k/n fraction.
+    return static_cast<double>(threshold->k()) / static_cast<double>(threshold->n());
+  }
+  if (const auto* grid = dynamic_cast<const GridQuorumSystem*>(&system)) {
+    // Uniform over (row, column) picks: node load = P(its row) + P(its col) - P(both).
+    const double pr = 1.0 / grid->rows();
+    const double pc = 1.0 / grid->cols();
+    return pr + pc - pr * pc;
+  }
+  if (const auto* explicit_system = dynamic_cast<const ExplicitQuorumSystem*>(&system)) {
+    const auto& quorums = explicit_system->minimal_quorums();
+    std::vector<double> load(explicit_system->n(), 0.0);
+    const double pick = 1.0 / static_cast<double>(quorums.size());
+    for (const NodeSet q : quorums) {
+      for (int i = 0; i < explicit_system->n(); ++i) {
+        if ((q >> i) & 1u) {
+          load[i] += pick;
+        }
+      }
+    }
+    return *std::max_element(load.begin(), load.end());
+  }
+  CHECK(false) << "UniformStrategyMaxLoad unsupported for" << system.Describe();
+  return 1.0;
+}
+
+}  // namespace probcon

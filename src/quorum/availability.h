@@ -1,0 +1,26 @@
+// Availability of quorum systems under probabilistic failure models (Naor-Wool style, but with
+// heterogeneous and correlated node failures).
+
+#ifndef PROBCON_SRC_QUORUM_AVAILABILITY_H_
+#define PROBCON_SRC_QUORUM_AVAILABILITY_H_
+
+#include "src/faultmodel/joint_model.h"
+#include "src/prob/probability.h"
+#include "src/quorum/quorum_system.h"
+
+namespace probcon {
+
+// P(the set of surviving nodes contains a quorum). Uses a Poisson-binomial fast path for
+// threshold systems under independent failures; otherwise exact 2^N enumeration (requires the
+// model to expose exact configuration probabilities and n <= 25).
+Probability QuorumAvailability(const QuorumSystem& system, const JointFailureModel& model);
+
+// Per-node load under the uniform strategy over minimal quorums. For a threshold system this
+// is k/n for every node; for an explicit system it is (number of minimal quorums containing
+// the node * quorum pick probability). Returns the maximum per-node load (the Naor-Wool load
+// figure of merit for the uniform strategy).
+double UniformStrategyMaxLoad(const QuorumSystem& system);
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_QUORUM_AVAILABILITY_H_

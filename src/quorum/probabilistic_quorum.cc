@@ -1,0 +1,65 @@
+#include "src/quorum/probabilistic_quorum.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/prob/combinatorics.h"
+
+namespace probcon {
+
+Probability RandomQuorumsDisjoint(int n, int q1, int q2) {
+  CHECK(n > 0 && q1 >= 0 && q2 >= 0 && q1 <= n && q2 <= n);
+  if (q1 + q2 > n) {
+    return Probability::Zero();  // Pigeonhole: must intersect.
+  }
+  const double log_prob = LogChoose(n - q1, q2) - LogChoose(n, q2);
+  return Probability::FromProbability(std::exp(log_prob));
+}
+
+Probability RandomQuorumAllFromSet(int n, int q, int f) {
+  CHECK(n > 0 && q >= 1 && q <= n && f >= 0 && f <= n);
+  if (q > f) {
+    return Probability::Zero();
+  }
+  const double log_prob = LogChoose(f, q) - LogChoose(n, q);
+  return Probability::FromProbability(std::exp(log_prob));
+}
+
+Probability IidQuorumAllFaulty(int q, double p) {
+  CHECK_GE(q, 1);
+  CHECK(p >= 0.0 && p <= 1.0);
+  return Probability::FromProbability(std::pow(p, q));
+}
+
+int MinQuorumSizeForIntersection(int n, const Probability& target) {
+  for (int q = 1; q <= n; ++q) {
+    const Probability intersect = RandomQuorumsDisjoint(n, q, q).Not();
+    if (!(intersect < target)) {
+      return q;
+    }
+  }
+  return n;
+}
+
+int MinQuorumSizeForCorrectMember(int n, int f, const Probability& target) {
+  CHECK(f >= 0 && f < n) << "no correct nodes exist";
+  for (int q = 1; q <= n; ++q) {
+    const Probability hit_correct = RandomQuorumAllFromSet(n, q, f).Not();
+    if (!(hit_correct < target)) {
+      return q;
+    }
+  }
+  return n;
+}
+
+std::vector<int> SampleRandomQuorum(Rng& rng, int n, int q) {
+  CHECK(q >= 0 && q <= n);
+  const auto sampled = rng.SampleWithoutReplacement(static_cast<size_t>(n),
+                                                    static_cast<size_t>(q));
+  std::vector<int> quorum(sampled.begin(), sampled.end());
+  std::sort(quorum.begin(), quorum.end());
+  return quorum;
+}
+
+}  // namespace probcon

@@ -1,0 +1,47 @@
+// Probabilistic quorums (Malkhi-Reiter-Wright; paper §4 "re-imagining consensus beyond
+// quorums" and §5 "Probabilistic quorums").
+//
+// Instead of guaranteeing that any two quorums intersect, sample quorums uniformly at random
+// and accept a small, quantified non-intersection probability. With quorum size l*sqrt(N) the
+// non-intersection probability decays like exp(-l^2), so much smaller-than-majority quorums
+// suffice once guarantees are probabilistic — exactly the trade the paper advocates exposing.
+
+#ifndef PROBCON_SRC_QUORUM_PROBABILISTIC_QUORUM_H_
+#define PROBCON_SRC_QUORUM_PROBABILISTIC_QUORUM_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/prob/probability.h"
+
+namespace probcon {
+
+// P(two independently drawn uniform random subsets of sizes q1 and q2 of [n] are disjoint)
+// = C(n-q1, q2) / C(n, q2). Complement-tracked (the interesting regime is "almost always
+// intersect").
+Probability RandomQuorumsDisjoint(int n, int q1, int q2);
+
+// P(a uniformly drawn q-subset of [n] contains ONLY nodes from a fixed bad set of size f):
+// the hypergeometric C(f, q) / C(n, q). This is the paper's "Q_vc_t is overkill" computation —
+// the probability a sampled trigger quorum contains no correct node.
+Probability RandomQuorumAllFromSet(int n, int q, int f);
+
+// P(a q-subset whose members each independently fail with probability p is entirely faulty):
+// p^q. The iid version of the above.
+Probability IidQuorumAllFaulty(int q, double p);
+
+// Smallest quorum size q such that two random q-subsets of [n] intersect with probability at
+// least `target`. Returns n if even q = n misses the target (cannot happen for target < 1).
+int MinQuorumSizeForIntersection(int n, const Probability& target);
+
+// Smallest q such that a random q-subset contains at least one node outside a bad set of
+// size f with probability at least `target` (the probabilistic replacement for f+1-sized
+// view-change trigger quorums).
+int MinQuorumSizeForCorrectMember(int n, int f, const Probability& target);
+
+// Samples a uniform q-subset of [0, n) as a sorted index vector.
+std::vector<int> SampleRandomQuorum(Rng& rng, int n, int q);
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_QUORUM_PROBABILISTIC_QUORUM_H_

@@ -1,0 +1,258 @@
+#include "src/quorum/quorum_system.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/common/check.h"
+#include "src/prob/kahan.h"
+
+namespace probcon {
+namespace {
+
+// Calls `visit(t)` for every subset t of `mask` with exactly `size` bits. Returns false early
+// if `visit` returns true (found).
+template <typename Visitor>
+bool AnyCombination(NodeSet mask, int size, Visitor visit) {
+  std::vector<int> positions;
+  for (int i = 0; i < 64; ++i) {
+    if ((mask >> i) & 1u) {
+      positions.push_back(i);
+    }
+  }
+  const int m = static_cast<int>(positions.size());
+  if (size > m) {
+    return false;
+  }
+  if (size == 0) {
+    return visit(NodeSet{0});
+  }
+  std::vector<int> idx(size);
+  for (int i = 0; i < size; ++i) {
+    idx[i] = i;
+  }
+  while (true) {
+    NodeSet t = 0;
+    for (const int i : idx) {
+      t |= NodeSet{1} << positions[i];
+    }
+    if (visit(t)) {
+      return true;
+    }
+    // Next combination.
+    int i = size - 1;
+    while (i >= 0 && idx[i] == m - size + i) {
+      --i;
+    }
+    if (i < 0) {
+      return false;
+    }
+    ++idx[i];
+    for (int j = i + 1; j < size; ++j) {
+      idx[j] = idx[j - 1] + 1;
+    }
+  }
+}
+
+}  // namespace
+
+int QuorumSystem::MinQuorumCardinality() const {
+  const int nodes = n();
+  CHECK_LE(nodes, 25) << "generic minimal-quorum search is exponential; use a threshold system";
+  // Breadth-first over cardinalities.
+  for (int size = 0; size <= nodes; ++size) {
+    bool found = AnyCombination(FullNodeSet(nodes), size,
+                                [this](NodeSet s) { return IsQuorum(s); });
+    if (found) {
+      return size;
+    }
+  }
+  return nodes + 1;  // No quorum exists at all (degenerate system).
+}
+
+// ---------------------------------------------------------------------------
+// ThresholdQuorumSystem
+
+ThresholdQuorumSystem::ThresholdQuorumSystem(int n, int k) : n_(n), k_(k) {
+  CHECK(n > 0 && n <= 64);
+  CHECK(k > 0 && k <= n) << "threshold" << k << "invalid for n=" << n;
+}
+
+ThresholdQuorumSystem ThresholdQuorumSystem::Majority(int n) {
+  return ThresholdQuorumSystem(n, n / 2 + 1);
+}
+
+std::string ThresholdQuorumSystem::Describe() const {
+  std::ostringstream os;
+  os << "threshold(" << k_ << " of " << n_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<QuorumSystem> ThresholdQuorumSystem::Clone() const {
+  return std::make_unique<ThresholdQuorumSystem>(*this);
+}
+
+// ---------------------------------------------------------------------------
+// WeightedQuorumSystem
+
+WeightedQuorumSystem::WeightedQuorumSystem(std::vector<double> weights, double threshold)
+    : weights_(std::move(weights)), threshold_(threshold) {
+  CHECK(!weights_.empty());
+  CHECK_LE(weights_.size(), 64u);
+  for (const double w : weights_) {
+    CHECK_GE(w, 0.0);
+  }
+  CHECK_GT(threshold, 0.0);
+  CHECK_LE(threshold, TotalWeight());
+}
+
+bool WeightedQuorumSystem::IsQuorum(NodeSet s) const {
+  double sum = 0.0;
+  for (int i = 0; i < n(); ++i) {
+    if ((s >> i) & 1u) {
+      sum += weights_[i];
+    }
+  }
+  return sum >= threshold_;
+}
+
+double WeightedQuorumSystem::TotalWeight() const {
+  KahanSum sum;
+  for (const double w : weights_) {
+    sum.Add(w);
+  }
+  return sum.Total();
+}
+
+std::string WeightedQuorumSystem::Describe() const {
+  std::ostringstream os;
+  os << "weighted(n=" << n() << ", threshold=" << threshold_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<QuorumSystem> WeightedQuorumSystem::Clone() const {
+  return std::make_unique<WeightedQuorumSystem>(*this);
+}
+
+// ---------------------------------------------------------------------------
+// GridQuorumSystem
+
+GridQuorumSystem::GridQuorumSystem(int rows, int cols) : rows_(rows), cols_(cols) {
+  CHECK(rows > 0 && cols > 0);
+  CHECK_LE(rows * cols, 64);
+}
+
+bool GridQuorumSystem::IsQuorum(NodeSet s) const {
+  // Node (r, c) is bit r*cols + c. Quorum = some full row and some full column.
+  bool has_row = false;
+  for (int r = 0; r < rows_ && !has_row; ++r) {
+    const NodeSet row_mask = ((NodeSet{1} << cols_) - 1) << (r * cols_);
+    has_row = (s & row_mask) == row_mask;
+  }
+  if (!has_row) {
+    return false;
+  }
+  for (int c = 0; c < cols_; ++c) {
+    NodeSet col_mask = 0;
+    for (int r = 0; r < rows_; ++r) {
+      col_mask |= NodeSet{1} << (r * cols_ + c);
+    }
+    if ((s & col_mask) == col_mask) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string GridQuorumSystem::Describe() const {
+  std::ostringstream os;
+  os << "grid(" << rows_ << "x" << cols_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<QuorumSystem> GridQuorumSystem::Clone() const {
+  return std::make_unique<GridQuorumSystem>(*this);
+}
+
+// ---------------------------------------------------------------------------
+// ExplicitQuorumSystem
+
+ExplicitQuorumSystem::ExplicitQuorumSystem(int n, std::vector<NodeSet> minimal_quorums)
+    : n_(n), minimal_quorums_(std::move(minimal_quorums)) {
+  CHECK(n > 0 && n <= 64);
+  CHECK(!minimal_quorums_.empty());
+  for (const NodeSet q : minimal_quorums_) {
+    CHECK(q != 0) << "empty quorum";
+    CHECK((q & ~FullNodeSet(n)) == 0) << "quorum references nodes outside [0,n)";
+  }
+}
+
+bool ExplicitQuorumSystem::IsQuorum(NodeSet s) const {
+  for (const NodeSet q : minimal_quorums_) {
+    if ((s & q) == q) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int ExplicitQuorumSystem::MinQuorumCardinality() const {
+  int best = n_ + 1;
+  for (const NodeSet q : minimal_quorums_) {
+    best = std::min(best, NodeSetSize(q));
+  }
+  return best;
+}
+
+std::string ExplicitQuorumSystem::Describe() const {
+  std::ostringstream os;
+  os << "explicit(n=" << n_ << ", " << minimal_quorums_.size() << " minimal quorums)";
+  return os.str();
+}
+
+std::unique_ptr<QuorumSystem> ExplicitQuorumSystem::Clone() const {
+  return std::make_unique<ExplicitQuorumSystem>(*this);
+}
+
+// ---------------------------------------------------------------------------
+// Structural predicates
+
+bool QuorumSystemsIntersect(const QuorumSystem& a, const QuorumSystem& b) {
+  return QuorumSystemsIntersectInAtLeast(a, b, 1);
+}
+
+bool QuorumSystemsIntersectInAtLeast(const QuorumSystem& a, const QuorumSystem& b, int m) {
+  CHECK_EQ(a.n(), b.n());
+  CHECK_GE(m, 1);
+  const int n = a.n();
+
+  // Threshold x threshold short-circuit: min intersection of a k_a-set and k_b-set is
+  // k_a + k_b - n.
+  const auto* ta = dynamic_cast<const ThresholdQuorumSystem*>(&a);
+  const auto* tb = dynamic_cast<const ThresholdQuorumSystem*>(&b);
+  if (ta != nullptr && tb != nullptr) {
+    return ta->k() + tb->k() - n >= m;
+  }
+
+  CHECK_LE(n, 20) << "generic intersection check is exponential; use threshold systems";
+  // Counterexample: an a-quorum A and a b-quorum B with |A cap B| <= m-1. B may use all of
+  // complement(A) plus at most m-1 nodes of A.
+  const NodeSet full = FullNodeSet(n);
+  for (NodeSet set_a = 0; set_a <= full; ++set_a) {
+    if (!a.IsQuorum(set_a)) {
+      continue;
+    }
+    const NodeSet outside = ComplementNodeSet(set_a, n);
+    const bool counterexample = AnyCombination(
+        set_a, m - 1, [&](NodeSet t) { return b.IsQuorum(outside | t); });
+    if (counterexample || (m == 1 && b.IsQuorum(outside))) {
+      return false;
+    }
+    if (set_a == full) {
+      break;  // Avoid wraparound when n == 64 (excluded by CHECK, but be safe).
+    }
+  }
+  return true;
+}
+
+}  // namespace probcon

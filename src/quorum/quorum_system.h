@@ -1,0 +1,133 @@
+// Quorum systems (paper §3.1, §5 "Quorum Systems").
+//
+// A quorum system over N nodes is a monotone predicate IsQuorum(S): any superset of a quorum
+// is a quorum. Consensus protocols are parameterized here by *which* sets can act as
+// non-equivocation / persistence / view-change quorums; the analysis module then asks, for a
+// failure configuration, whether the surviving nodes still contain a quorum and whether two
+// quorum families still intersect.
+//
+// Node sets are bitmasks (bit i = node i), matching FailureConfiguration in the fault model.
+
+#ifndef PROBCON_SRC_QUORUM_QUORUM_SYSTEM_H_
+#define PROBCON_SRC_QUORUM_QUORUM_SYSTEM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace probcon {
+
+using NodeSet = uint64_t;
+
+inline int NodeSetSize(NodeSet s) { return __builtin_popcountll(s); }
+inline NodeSet FullNodeSet(int n) {
+  return n >= 64 ? ~NodeSet{0} : ((NodeSet{1} << n) - 1);
+}
+inline NodeSet ComplementNodeSet(NodeSet s, int n) { return FullNodeSet(n) & ~s; }
+
+class QuorumSystem {
+ public:
+  virtual ~QuorumSystem() = default;
+
+  virtual int n() const = 0;
+
+  // True iff `s` contains at least one quorum. Must be monotone in `s`.
+  virtual bool IsQuorum(NodeSet s) const = 0;
+
+  // Cardinality of the smallest quorum (generic implementation searches; threshold systems
+  // answer in O(1)).
+  virtual int MinQuorumCardinality() const;
+
+  virtual std::string Describe() const = 0;
+  virtual std::unique_ptr<QuorumSystem> Clone() const = 0;
+};
+
+// "Any k of n nodes" — the family behind every configuration in the paper's analysis
+// (|Q_eq|, |Q_per|, |Q_vc|, |Q_vc_t| are all threshold quorums).
+class ThresholdQuorumSystem final : public QuorumSystem {
+ public:
+  ThresholdQuorumSystem(int n, int k);
+
+  static ThresholdQuorumSystem Majority(int n);
+
+  int n() const override { return n_; }
+  int k() const { return k_; }
+  bool IsQuorum(NodeSet s) const override { return NodeSetSize(s) >= k_; }
+  int MinQuorumCardinality() const override { return k_; }
+  std::string Describe() const override;
+  std::unique_ptr<QuorumSystem> Clone() const override;
+
+ private:
+  int n_;
+  int k_;
+};
+
+// Stake-weighted quorums: IsQuorum(S) iff sum of weights in S >= threshold. Models
+// proof-of-stake-style trust assignment (paper §2 point 1).
+class WeightedQuorumSystem final : public QuorumSystem {
+ public:
+  WeightedQuorumSystem(std::vector<double> weights, double threshold);
+
+  int n() const override { return static_cast<int>(weights_.size()); }
+  bool IsQuorum(NodeSet s) const override;
+  std::string Describe() const override;
+  std::unique_ptr<QuorumSystem> Clone() const override;
+
+  double TotalWeight() const;
+
+ private:
+  std::vector<double> weights_;
+  double threshold_;
+};
+
+// Classic grid construction: nodes arranged rows x cols; a quorum is a full row plus a full
+// column. O(sqrt N) quorum size with guaranteed pairwise intersection.
+class GridQuorumSystem final : public QuorumSystem {
+ public:
+  GridQuorumSystem(int rows, int cols);
+
+  int n() const override { return rows_ * cols_; }
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  bool IsQuorum(NodeSet s) const override;
+  int MinQuorumCardinality() const override { return rows_ + cols_ - 1; }
+  std::string Describe() const override;
+  std::unique_ptr<QuorumSystem> Clone() const override;
+
+ private:
+  int rows_;
+  int cols_;
+};
+
+// Arbitrary quorum family given by its minimal quorums (monotone closure is implicit).
+class ExplicitQuorumSystem final : public QuorumSystem {
+ public:
+  ExplicitQuorumSystem(int n, std::vector<NodeSet> minimal_quorums);
+
+  int n() const override { return n_; }
+  bool IsQuorum(NodeSet s) const override;
+  int MinQuorumCardinality() const override;
+  std::string Describe() const override;
+  std::unique_ptr<QuorumSystem> Clone() const override;
+
+  const std::vector<NodeSet>& minimal_quorums() const { return minimal_quorums_; }
+
+ private:
+  int n_;
+  std::vector<NodeSet> minimal_quorums_;
+};
+
+// --- Structural predicates -------------------------------------------------
+
+// True iff every quorum of `a` intersects every quorum of `b`. Exact: searches for a
+// counterexample set S with IsQuorum_a(S) and IsQuorum_b(complement(S)); threshold x
+// threshold pairs short-circuit to k_a + k_b > n.
+bool QuorumSystemsIntersect(const QuorumSystem& a, const QuorumSystem& b);
+
+// True iff every quorum of `a` intersects every quorum of `b` in at least `m` nodes.
+bool QuorumSystemsIntersectInAtLeast(const QuorumSystem& a, const QuorumSystem& b, int m);
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_QUORUM_QUORUM_SYSTEM_H_

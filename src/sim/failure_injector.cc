@@ -1,0 +1,72 @@
+#include "src/sim/failure_injector.h"
+
+#include <cmath>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace probcon {
+
+FailureInjector::FailureInjector(Simulator* simulator, std::vector<Process*> processes,
+                                 std::vector<std::unique_ptr<FaultCurve>> curves,
+                                 std::optional<double> repair_rate)
+    : simulator_(simulator),
+      processes_(std::move(processes)),
+      curves_(std::move(curves)),
+      repair_rate_(repair_rate) {
+  CHECK(simulator != nullptr);
+  CHECK(!processes_.empty());
+  CHECK_EQ(processes_.size(), curves_.size());
+  for (size_t i = 0; i < processes_.size(); ++i) {
+    CHECK(processes_[i] != nullptr);
+    CHECK(curves_[i] != nullptr);
+  }
+  if (repair_rate_.has_value()) {
+    CHECK_GT(*repair_rate_, 0.0);
+  }
+}
+
+void FailureInjector::Arm(const std::vector<ShockEvent>& shocks) {
+  for (size_t i = 0; i < processes_.size(); ++i) {
+    ScheduleFailure(static_cast<int>(i));
+  }
+  for (const auto& shock : shocks) {
+    simulator_->ScheduleAt(shock.when, [this, victims = shock.victims]() {
+      for (const int node : victims) {
+        CHECK(node >= 0 && node < static_cast<int>(processes_.size()));
+        CrashNode(node);
+      }
+    });
+  }
+}
+
+void FailureInjector::ScheduleFailure(int node) {
+  const double age = simulator_->Now();
+  const double failure_age =
+      curves_[node]->SampleFailureAge(age, simulator_->rng().NextDouble());
+  if (!std::isfinite(failure_age)) {
+    return;  // Zero-hazard curve: the node never fails.
+  }
+  simulator_->ScheduleAt(failure_age, [this, node]() { CrashNode(node); });
+}
+
+void FailureInjector::CrashNode(int node) {
+  Process* process = processes_[node];
+  if (process->crashed()) {
+    return;  // Already down (e.g. shock raced the sampled failure).
+  }
+  process->Crash();
+  ++crash_count_;
+  if (repair_rate_.has_value()) {
+    const SimTime repair_delay = simulator_->rng().NextExponential(*repair_rate_);
+    simulator_->Schedule(repair_delay, [this, node]() {
+      if (processes_[node]->crashed()) {
+        processes_[node]->Recover();
+        ++recovery_count_;
+        ScheduleFailure(node);
+      }
+    });
+  }
+}
+
+}  // namespace probcon

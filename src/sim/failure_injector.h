@@ -1,0 +1,56 @@
+// Failure injection driven by fault curves.
+//
+// Each node gets a fault curve; failure ages are sampled by inverse-CDF and scheduled as
+// Crash() events. Optionally an exponential repair process restarts crashed nodes and samples
+// a fresh failure age (conditioning on the node's accumulated age). A correlated-shock
+// schedule can crash arbitrary node groups at fixed times, modeling rollouts gone bad.
+
+#ifndef PROBCON_SRC_SIM_FAILURE_INJECTOR_H_
+#define PROBCON_SRC_SIM_FAILURE_INJECTOR_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/faultmodel/fault_curve.h"
+#include "src/sim/process.h"
+#include "src/sim/simulator.h"
+
+namespace probcon {
+
+struct ShockEvent {
+  SimTime when = 0.0;
+  std::vector<int> victims;  // Node ids crashed simultaneously.
+};
+
+class FailureInjector {
+ public:
+  // `processes` are borrowed and must outlive the injector. `curves[i]` drives node i.
+  // If `repair_rate` is set, crashed nodes recover after Exponential(repair_rate) and are
+  // re-armed with a fresh failure age.
+  FailureInjector(Simulator* simulator, std::vector<Process*> processes,
+                  std::vector<std::unique_ptr<FaultCurve>> curves,
+                  std::optional<double> repair_rate = std::nullopt);
+
+  // Samples and schedules the initial failure of every node, plus any shocks. Call once
+  // before Simulator::Run.
+  void Arm(const std::vector<ShockEvent>& shocks = {});
+
+  int crash_count() const { return crash_count_; }
+  int recovery_count() const { return recovery_count_; }
+
+ private:
+  void ScheduleFailure(int node);
+  void CrashNode(int node);
+
+  Simulator* simulator_;
+  std::vector<Process*> processes_;
+  std::vector<std::unique_ptr<FaultCurve>> curves_;
+  std::optional<double> repair_rate_;
+  int crash_count_ = 0;
+  int recovery_count_ = 0;
+};
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_SIM_FAILURE_INJECTOR_H_

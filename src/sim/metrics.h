@@ -1,0 +1,56 @@
+// Simple run metrics: sample accumulators with mean/percentile queries.
+
+#ifndef PROBCON_SRC_SIM_METRICS_H_
+#define PROBCON_SRC_SIM_METRICS_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace probcon {
+
+class SampleStats {
+ public:
+  void Add(double value) { samples_.push_back(value); }
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double Mean() const {
+    CHECK(!samples_.empty());
+    double sum = 0.0;
+    for (const double s : samples_) {
+      sum += s;
+    }
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  double Min() const {
+    CHECK(!samples_.empty());
+    return *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  double Max() const {
+    CHECK(!samples_.empty());
+    return *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  // Nearest-rank percentile, q in [0, 1].
+  double Percentile(double q) const {
+    CHECK(!samples_.empty());
+    CHECK(q >= 0.0 && q <= 1.0);
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const size_t rank = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(rank, sorted.size() - 1)];
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_SIM_METRICS_H_

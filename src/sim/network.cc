@@ -1,0 +1,150 @@
+#include "src/sim/network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace probcon {
+
+UniformLatencyModel::UniformLatencyModel(SimTime min_latency, SimTime max_latency,
+                                         double drop_probability)
+    : min_latency_(min_latency),
+      max_latency_(max_latency),
+      drop_probability_(drop_probability) {
+  CHECK(min_latency >= 0.0 && max_latency >= min_latency);
+  CHECK(drop_probability >= 0.0 && drop_probability < 1.0);
+}
+
+SimTime UniformLatencyModel::SampleLatency(int /*from*/, int /*to*/, Rng& rng) const {
+  return min_latency_ + (max_latency_ - min_latency_) * rng.NextDouble();
+}
+
+bool UniformLatencyModel::ShouldDrop(int /*from*/, int /*to*/, Rng& rng) const {
+  return drop_probability_ > 0.0 && rng.NextBernoulli(drop_probability_);
+}
+
+LogNormalLatencyModel::LogNormalLatencyModel(SimTime median, double sigma,
+                                             double drop_probability)
+    : median_(median), sigma_(sigma), drop_probability_(drop_probability) {
+  CHECK_GT(median, 0.0);
+  CHECK_GT(sigma, 0.0);
+  CHECK(drop_probability >= 0.0 && drop_probability < 1.0);
+}
+
+SimTime LogNormalLatencyModel::SampleLatency(int /*from*/, int /*to*/, Rng& rng) const {
+  const double latency = median_ * std::exp(sigma_ * rng.NextNormal());
+  return std::min(std::max(latency, 0.1 * median_), 100.0 * median_);
+}
+
+bool LogNormalLatencyModel::ShouldDrop(int /*from*/, int /*to*/, Rng& rng) const {
+  return drop_probability_ > 0.0 && rng.NextBernoulli(drop_probability_);
+}
+
+MatrixLatencyModel::MatrixLatencyModel(std::vector<std::vector<SimTime>> base_latency,
+                                       double jitter, double drop_probability)
+    : base_latency_(std::move(base_latency)),
+      jitter_(jitter),
+      drop_probability_(drop_probability) {
+  CHECK(!base_latency_.empty());
+  for (const auto& row : base_latency_) {
+    CHECK_EQ(row.size(), base_latency_.size()) << "latency matrix must be square";
+    for (const SimTime latency : row) {
+      CHECK_GE(latency, 0.0);
+    }
+  }
+  CHECK_GE(jitter, 0.0);
+  CHECK(drop_probability >= 0.0 && drop_probability < 1.0);
+}
+
+MatrixLatencyModel MatrixLatencyModel::FromRegions(
+    const std::vector<int>& region_of, const std::vector<std::vector<SimTime>>& region_latency,
+    SimTime local_latency, double jitter) {
+  const size_t n = region_of.size();
+  CHECK_GT(n, 0u);
+  std::vector<std::vector<SimTime>> base(n, std::vector<SimTime>(n, 0.0));
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = 0; b < n; ++b) {
+      const int ra = region_of[a];
+      const int rb = region_of[b];
+      CHECK(ra >= 0 && ra < static_cast<int>(region_latency.size()));
+      CHECK(rb >= 0 && rb < static_cast<int>(region_latency.size()));
+      base[a][b] = ra == rb ? local_latency : region_latency[ra][rb];
+    }
+  }
+  return MatrixLatencyModel(std::move(base), jitter);
+}
+
+SimTime MatrixLatencyModel::SampleLatency(int from, int to, Rng& rng) const {
+  CHECK(from >= 0 && from < static_cast<int>(base_latency_.size()));
+  CHECK(to >= 0 && to < static_cast<int>(base_latency_.size()));
+  return base_latency_[from][to] * (1.0 + jitter_ * rng.NextDouble());
+}
+
+bool MatrixLatencyModel::ShouldDrop(int /*from*/, int /*to*/, Rng& rng) const {
+  return drop_probability_ > 0.0 && rng.NextBernoulli(drop_probability_);
+}
+
+Network::Network(Simulator* simulator, int node_count, std::unique_ptr<NetworkModel> model)
+    : simulator_(simulator), node_count_(node_count), model_(std::move(model)) {
+  CHECK(simulator != nullptr);
+  CHECK_GT(node_count, 0);
+  CHECK(model_ != nullptr);
+  handlers_.resize(node_count);
+}
+
+void Network::RegisterHandler(int node, MessageHandler handler) {
+  CHECK(node >= 0 && node < node_count_);
+  handlers_[node] = std::move(handler);
+}
+
+void Network::Send(int from, int to, std::shared_ptr<const SimMessage> message) {
+  CHECK(from >= 0 && from < node_count_);
+  CHECK(to >= 0 && to < node_count_);
+  CHECK(message != nullptr);
+  ++messages_sent_;
+  if (!Reachable(from, to) || model_->ShouldDrop(from, to, simulator_->rng())) {
+    ++messages_dropped_;
+    return;
+  }
+  const SimTime latency = model_->SampleLatency(from, to, simulator_->rng());
+  simulator_->Schedule(latency, [this, from, to, message = std::move(message)]() {
+    // Partitions are re-checked at delivery time so a cut made while the message was in
+    // flight also severs it.
+    if (!Reachable(from, to)) {
+      ++messages_dropped_;
+      return;
+    }
+    ++messages_delivered_;
+    if (handlers_[to] != nullptr) {
+      handlers_[to](from, message);
+    }
+  });
+}
+
+void Network::Broadcast(int from, const std::shared_ptr<const SimMessage>& message,
+                        bool include_self) {
+  for (int to = 0; to < node_count_; ++to) {
+    if (to == from && !include_self) {
+      continue;
+    }
+    Send(from, to, message);
+  }
+}
+
+void Network::SetPartition(std::vector<int> group_of) {
+  CHECK_EQ(group_of.size(), static_cast<size_t>(node_count_));
+  partition_group_ = std::move(group_of);
+}
+
+void Network::ClearPartition() { partition_group_.clear(); }
+
+bool Network::Reachable(int from, int to) const {
+  if (partition_group_.empty() || from == to) {
+    return true;
+  }
+  return partition_group_[from] == partition_group_[to];
+}
+
+}  // namespace probcon

@@ -1,0 +1,132 @@
+// Simulated message network: point-to-point links with pluggable latency distributions,
+// probabilistic drops, and partitions.
+//
+// Messages are immutable, shared payloads derived from SimMessage; the network stamps the TRUE
+// sender on delivery, so Byzantine nodes can equivocate (send different payloads to different
+// peers) but cannot forge another node's identity — the standard authenticated-channels
+// assumption PBFT makes.
+
+#ifndef PROBCON_SRC_SIM_NETWORK_H_
+#define PROBCON_SRC_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace probcon {
+
+class SimMessage {
+ public:
+  virtual ~SimMessage() = default;
+  virtual std::string Describe() const = 0;
+};
+
+using MessageHandler =
+    std::function<void(int from, const std::shared_ptr<const SimMessage>&)>;
+
+// Latency/drop policy for each directed link.
+class NetworkModel {
+ public:
+  virtual ~NetworkModel() = default;
+  virtual SimTime SampleLatency(int from, int to, Rng& rng) const = 0;
+  virtual bool ShouldDrop(int from, int to, Rng& rng) const = 0;
+};
+
+// Uniform latency in [min, max] with an iid drop probability; the default workhorse model.
+class UniformLatencyModel final : public NetworkModel {
+ public:
+  UniformLatencyModel(SimTime min_latency, SimTime max_latency, double drop_probability = 0.0);
+
+  SimTime SampleLatency(int from, int to, Rng& rng) const override;
+  bool ShouldDrop(int from, int to, Rng& rng) const override;
+
+ private:
+  SimTime min_latency_;
+  SimTime max_latency_;
+  double drop_probability_;
+};
+
+// Log-normal latency (heavy right tail, the shape datacenter RPC studies report): the
+// underlying normal has parameters derived from the requested median and sigma.
+class LogNormalLatencyModel final : public NetworkModel {
+ public:
+  // `median` > 0 in sim time units; `sigma` is the log-space standard deviation (0.3-0.8
+  // covers typical RPC tail weight). Latency is clamped to [0.1 * median, 100 * median].
+  LogNormalLatencyModel(SimTime median, double sigma, double drop_probability = 0.0);
+
+  SimTime SampleLatency(int from, int to, Rng& rng) const override;
+  bool ShouldDrop(int from, int to, Rng& rng) const override;
+
+ private:
+  SimTime median_;
+  double sigma_;
+  double drop_probability_;
+};
+
+// Per-pair base latencies (a WAN/geo topology) plus multiplicative uniform jitter in
+// [1, 1 + jitter]. Base matrix must be n x n; the diagonal is loopback.
+class MatrixLatencyModel final : public NetworkModel {
+ public:
+  MatrixLatencyModel(std::vector<std::vector<SimTime>> base_latency, double jitter = 0.2,
+                     double drop_probability = 0.0);
+
+  // Convenience: nodes placed in regions, with a region-to-region latency matrix and a
+  // small intra-region latency.
+  static MatrixLatencyModel FromRegions(const std::vector<int>& region_of,
+                                        const std::vector<std::vector<SimTime>>& region_latency,
+                                        SimTime local_latency, double jitter = 0.2);
+
+  SimTime SampleLatency(int from, int to, Rng& rng) const override;
+  bool ShouldDrop(int from, int to, Rng& rng) const override;
+
+ private:
+  std::vector<std::vector<SimTime>> base_latency_;
+  double jitter_;
+  double drop_probability_;
+};
+
+class Network {
+ public:
+  Network(Simulator* simulator, int node_count, std::unique_ptr<NetworkModel> model);
+
+  int node_count() const { return node_count_; }
+
+  // Installs the delivery callback for `node`. Must be set before messages arrive.
+  void RegisterHandler(int node, MessageHandler handler);
+
+  // Sends `message` from -> to (self-sends are delivered with zero latency jitter as well).
+  void Send(int from, int to, std::shared_ptr<const SimMessage> message);
+
+  // Sends to every node; includes the sender itself iff `include_self`.
+  void Broadcast(int from, const std::shared_ptr<const SimMessage>& message,
+                 bool include_self);
+
+  // Assigns each node to a partition group; messages across groups are dropped until
+  // ClearPartition. Group vector must have node_count entries.
+  void SetPartition(std::vector<int> group_of);
+  void ClearPartition();
+
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_delivered() const { return messages_delivered_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
+
+ private:
+  bool Reachable(int from, int to) const;
+
+  Simulator* simulator_;
+  int node_count_;
+  std::unique_ptr<NetworkModel> model_;
+  std::vector<MessageHandler> handlers_;
+  std::vector<int> partition_group_;  // Empty = fully connected.
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_delivered_ = 0;
+  uint64_t messages_dropped_ = 0;
+};
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_SIM_NETWORK_H_

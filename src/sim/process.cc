@@ -1,0 +1,65 @@
+#include "src/sim/process.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace probcon {
+
+Process::Process(Simulator* simulator, Network* network, int id)
+    : simulator_(simulator), network_(network), id_(id) {
+  CHECK(simulator != nullptr);
+  CHECK(network != nullptr);
+  CHECK(id >= 0 && id < network->node_count());
+}
+
+void Process::Start() {
+  network_->RegisterHandler(id_, [this](int from,
+                                        const std::shared_ptr<const SimMessage>& message) {
+    if (!crashed_) {
+      OnMessage(from, message);
+    }
+  });
+  OnStart();
+}
+
+void Process::Crash() {
+  if (crashed_) {
+    return;
+  }
+  crashed_ = true;
+  ++epoch_;
+}
+
+void Process::Recover() {
+  CHECK(crashed_) << "node" << id_ << "is not crashed";
+  crashed_ = false;
+  ++epoch_;
+  OnRecover();
+}
+
+void Process::SetTimer(SimTime delay, std::function<void()> action) {
+  const uint64_t epoch_at_set = epoch_;
+  simulator_->Schedule(delay, [this, epoch_at_set, action = std::move(action)]() {
+    if (!crashed_ && epoch_ == epoch_at_set) {
+      action();
+    }
+  });
+}
+
+void Process::SendTo(int to, std::shared_ptr<const SimMessage> message) {
+  if (crashed_) {
+    return;
+  }
+  network_->Send(id_, to, std::move(message));
+}
+
+void Process::BroadcastAll(const std::shared_ptr<const SimMessage>& message,
+                           bool include_self) {
+  if (crashed_) {
+    return;
+  }
+  network_->Broadcast(id_, message, include_self);
+}
+
+}  // namespace probcon

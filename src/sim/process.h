@@ -1,0 +1,70 @@
+// Process: a crash-recoverable node running on the simulator.
+//
+// Crash semantics: while crashed, delivered messages are discarded and timers are suppressed
+// (a timer set before the crash silently does not fire). Recover() bumps an epoch so stale
+// timers from before the crash stay dead, then calls OnRecover() — protocols reset volatile
+// state there; durable state (modeled as ordinary members the protocol chooses not to reset)
+// survives, mirroring a real process restart with an intact disk.
+
+#ifndef PROBCON_SRC_SIM_PROCESS_H_
+#define PROBCON_SRC_SIM_PROCESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+
+namespace probcon {
+
+class Process {
+ public:
+  Process(Simulator* simulator, Network* network, int id);
+  virtual ~Process() = default;
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  int id() const { return id_; }
+  bool crashed() const { return crashed_; }
+
+  // Installs the network handler and calls OnStart(). Call exactly once, before Run().
+  void Start();
+
+  // Crash-stop: discard future messages/timers until Recover().
+  void Crash();
+
+  // Restart after a crash; volatile state is the protocol's job via OnRecover().
+  void Recover();
+
+ protected:
+  // Protocol entry points.
+  virtual void OnStart() = 0;
+  virtual void OnMessage(int from, const std::shared_ptr<const SimMessage>& message) = 0;
+  virtual void OnRecover() {}
+
+  // Schedules `action` to run after `delay` unless this process crashes (or crashes and
+  // recovers) in between.
+  void SetTimer(SimTime delay, std::function<void()> action);
+
+  void SendTo(int to, std::shared_ptr<const SimMessage> message);
+  void BroadcastAll(const std::shared_ptr<const SimMessage>& message, bool include_self);
+
+  Simulator& simulator() { return *simulator_; }
+  Network& network() { return *network_; }
+  SimTime Now() const { return simulator_->Now(); }
+  Rng& rng() { return simulator_->rng(); }
+  int cluster_size() const { return network_->node_count(); }
+
+ private:
+  Simulator* simulator_;
+  Network* network_;
+  int id_;
+  bool crashed_ = false;
+  uint64_t epoch_ = 0;  // Incremented on crash and recover; invalidates in-flight timers.
+};
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_SIM_PROCESS_H_

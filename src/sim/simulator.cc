@@ -1,0 +1,61 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+namespace probcon {
+
+Simulator::Simulator(uint64_t seed) : rng_(seed) {}
+
+EventId Simulator::Schedule(SimTime delay, std::function<void()> action) {
+  CHECK_GE(delay, 0.0);
+  return ScheduleAt(now_ + delay, std::move(action));
+}
+
+EventId Simulator::ScheduleAt(SimTime when, std::function<void()> action) {
+  CHECK_GE(when, now_);
+  CHECK(action != nullptr);
+  const uint64_t sequence = next_sequence_++;
+  queue_.push(Event{when, sequence, std::move(action)});
+  return EventId{sequence};
+}
+
+void Simulator::Cancel(EventId id) { cancelled_.insert(id.sequence); }
+
+void Simulator::PurgeCancelled() {
+  while (!queue_.empty() && cancelled_.erase(queue_.top().sequence) > 0) {
+    queue_.pop();
+  }
+}
+
+uint64_t Simulator::Run(SimTime until) {
+  uint64_t count = 0;
+  PurgeCancelled();
+  while (!queue_.empty() && queue_.top().when <= until) {
+    if (Step()) {
+      ++count;
+    }
+    PurgeCancelled();
+  }
+  if (now_ < until) {
+    now_ = until;
+  }
+  return count;
+}
+
+bool Simulator::Step() {
+  PurgeCancelled();
+  if (queue_.empty()) {
+    return false;
+  }
+  // priority_queue::top is const; the action is moved out right before pop — the element is
+  // removed immediately so no observable mutation remains.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  CHECK_GE(event.when, now_);
+  now_ = event.when;
+  ++executed_;
+  event.action();
+  return true;
+}
+
+}  // namespace probcon

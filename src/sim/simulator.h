@@ -1,0 +1,85 @@
+// Deterministic discrete-event simulator.
+//
+// The simulator is the testbed substitute: real Raft/PBFT/Ben-Or implementations run on it
+// with fault-curve-driven failure injection, giving empirical safety/liveness frequencies to
+// cross-check the paper's closed-form analysis (experiment E8).
+//
+// Determinism contract: a run is a pure function of (event schedule, seed). Events at equal
+// timestamps fire in scheduling order (FIFO via a monotone sequence number); all randomness
+// flows through the simulator's Rng.
+
+#ifndef PROBCON_SRC_SIM_SIMULATOR_H_
+#define PROBCON_SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace probcon {
+
+using SimTime = double;
+
+// Handle for cancelling a scheduled event.
+struct EventId {
+  uint64_t sequence = 0;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(uint64_t seed = 1);
+
+  SimTime Now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  // Schedules `action` to run at Now() + delay (delay >= 0).
+  EventId Schedule(SimTime delay, std::function<void()> action);
+
+  // Schedules at an absolute time (>= Now()).
+  EventId ScheduleAt(SimTime when, std::function<void()> action);
+
+  // Cancels a pending event; cancelling an already-fired or cancelled event is a no-op.
+  void Cancel(EventId id);
+
+  // Runs events until the queue empties or the clock passes `until`. Returns the number of
+  // events executed.
+  uint64_t Run(SimTime until);
+
+  // Executes the single next event, if any. Returns false when the queue is empty.
+  bool Step();
+
+  // Number of events executed so far.
+  uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t sequence;
+    std::function<void()> action;
+
+    bool operator>(const Event& other) const {
+      if (when != other.when) {
+        return when > other.when;
+      }
+      return sequence > other.sequence;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  uint64_t next_sequence_ = 0;
+  uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::unordered_set<uint64_t> cancelled_;
+  Rng rng_;
+
+  // Drops cancelled events sitting at the head of the queue.
+  void PurgeCancelled();
+};
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,123 @@
+#include "src/telemetry/fleet_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/faultmodel/afr.h"
+
+namespace probcon {
+
+FleetGenerator::FleetGenerator(uint64_t seed) : rng_(seed) {}
+
+std::vector<LifetimeObservation> FleetGenerator::GenerateObservations(
+    const DeviceCohort& cohort, double observation_window) {
+  CHECK_GT(cohort.count, 0);
+  CHECK(cohort.curve != nullptr);
+  CHECK_GT(observation_window, 0.0);
+  std::vector<LifetimeObservation> observations;
+  observations.reserve(cohort.count);
+  for (int device = 0; device < cohort.count; ++device) {
+    LifetimeObservation obs;
+    obs.entry_age = cohort.max_entry_age * rng_.NextDouble();
+    const double failure_age =
+        cohort.curve->SampleFailureAge(obs.entry_age, rng_.NextDouble());
+    const double window_end = obs.entry_age + observation_window;
+    if (failure_age <= window_end) {
+      obs.exit_age = failure_age;
+      obs.failed = true;
+    } else {
+      obs.exit_age = window_end;
+      obs.failed = false;
+    }
+    observations.push_back(obs);
+  }
+  return observations;
+}
+
+std::vector<DeviceCohort> FleetGenerator::SyntheticDriveStatsFleet() {
+  std::vector<DeviceCohort> fleet;
+  // AFR 0.5%: mature enterprise drives, memoryless in their useful-life phase.
+  fleet.push_back({"hms5c4040", 4000,
+                   std::make_shared<ConstantFaultCurve>(RateFromAfr(0.005)), 2000.0});
+  // AFR ~1.5%: consumer drives.
+  fleet.push_back({"st4000dm000", 8000,
+                   std::make_shared<ConstantFaultCurve>(RateFromAfr(0.015)), 2000.0});
+  // Infant-mortality cohort: Weibull shape < 1, high early hazard that settles.
+  fleet.push_back({"wd60efrx-new", 3000,
+                   std::make_shared<WeibullFaultCurve>(/*shape=*/0.6, /*scale=*/4.0e5), 0.0});
+  // Wear-out cohort: old drives entering the bathtub's far wall (shape > 1), observed late.
+  fleet.push_back({"st3000dm001-aged", 2000,
+                   std::make_shared<WeibullFaultCurve>(/*shape=*/3.0, /*scale=*/6.0e4),
+                   30000.0});
+  return fleet;
+}
+
+std::vector<double> GenerateSpotEvictionTrace(Rng& rng, double duration_hours,
+                                              double base_rate_per_hour,
+                                              double peak_multiplier) {
+  CHECK_GT(duration_hours, 0.0);
+  CHECK_GT(base_rate_per_hour, 0.0);
+  CHECK_GE(peak_multiplier, 1.0);
+  // Thinning algorithm for an inhomogeneous Poisson process whose rate peaks twice a day
+  // (business-hours capacity pressure).
+  const double max_rate = base_rate_per_hour * peak_multiplier;
+  std::vector<double> events;
+  double t = 0.0;
+  while (true) {
+    t += rng.NextExponential(max_rate);
+    if (t > duration_hours) {
+      break;
+    }
+    const double hour_of_day = std::fmod(t, 24.0);
+    // Two smooth peaks at 10:00 and 19:00.
+    const double peak =
+        std::exp(-0.5 * std::pow((hour_of_day - 10.0) / 2.0, 2.0)) +
+        std::exp(-0.5 * std::pow((hour_of_day - 19.0) / 2.0, 2.0));
+    const double rate = base_rate_per_hour * (1.0 + (peak_multiplier - 1.0) * peak);
+    if (rng.NextDouble() < rate / max_rate) {
+      events.push_back(t);
+    }
+  }
+  return events;
+}
+
+double EmpiricalEvictionProbability(const std::vector<double>& trace, double duration_hours,
+                                    int instances, double window) {
+  CHECK_GT(duration_hours, 0.0);
+  CHECK_GT(instances, 0);
+  CHECK(window > 0.0 && window <= duration_hours);
+  // Fleet-wide event rate -> per-instance exponential approximation over the window.
+  const double per_instance_rate =
+      static_cast<double>(trace.size()) / (duration_hours * static_cast<double>(instances));
+  return -std::expm1(-per_instance_rate * window);
+}
+
+std::vector<CorrelatedShock> GenerateShockSchedule(Rng& rng, double duration, double rate,
+                                                   int n, double hit_probability) {
+  CHECK_GT(duration, 0.0);
+  CHECK_GT(rate, 0.0);
+  CHECK_GT(n, 0);
+  CHECK(hit_probability >= 0.0 && hit_probability <= 1.0);
+  std::vector<CorrelatedShock> shocks;
+  double t = 0.0;
+  while (true) {
+    t += rng.NextExponential(rate);
+    if (t > duration) {
+      break;
+    }
+    CorrelatedShock shock;
+    shock.when = t;
+    for (int node = 0; node < n; ++node) {
+      if (rng.NextBernoulli(hit_probability)) {
+        shock.victims.push_back(node);
+      }
+    }
+    if (!shock.victims.empty()) {
+      shocks.push_back(std::move(shock));
+    }
+  }
+  return shocks;
+}
+
+}  // namespace probcon

@@ -1,0 +1,79 @@
+// Synthetic fleet telemetry (substitution for Backblaze drive stats / Google-Meta SDC fleet
+// data / Azure spot-eviction traces — see DESIGN.md).
+//
+// The generator produces the raw material the paper says fault curves should be computed
+// from: per-device lifetime observations (left-truncated, right-censored) drawn from
+// parameterized ground-truth curves with cohort heterogeneity, plus spot-instance eviction
+// traces with time-of-day structure and correlated shock schedules. Estimators in
+// src/faultmodel/estimator.h then recover the curves — experiment E11 measures how well.
+
+#ifndef PROBCON_SRC_TELEMETRY_FLEET_GENERATOR_H_
+#define PROBCON_SRC_TELEMETRY_FLEET_GENERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/faultmodel/estimator.h"
+#include "src/faultmodel/fault_curve.h"
+
+namespace probcon {
+
+// A homogeneous group of devices sharing a ground-truth fault curve.
+struct DeviceCohort {
+  std::string model;
+  int count = 0;
+  std::shared_ptr<const FaultCurve> curve;  // Ground truth.
+  // Devices enter monitoring at an age uniform in [0, max_entry_age] (vintage spread).
+  double max_entry_age = 0.0;
+};
+
+class FleetGenerator {
+ public:
+  explicit FleetGenerator(uint64_t seed);
+
+  // Simulates `observation_window` hours of monitoring for every device in the cohort.
+  // A device entering at age a is observed until it fails or the window ends (censored).
+  std::vector<LifetimeObservation> GenerateObservations(const DeviceCohort& cohort,
+                                                        double observation_window);
+
+  // A drive-stats-like fleet: four cohorts spanning AFR ~0.5%..4%, one with pronounced
+  // infant mortality and one in wear-out — the heterogeneity §2 documents.
+  static std::vector<DeviceCohort> SyntheticDriveStatsFleet();
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_;
+};
+
+// --- Spot-instance evictions -------------------------------------------------
+
+// Eviction times over [0, duration_hours] from a base rate plus diurnal peaks (evictions
+// cluster at capacity-crunch hours, per the Azure spot studies the paper cites).
+std::vector<double> GenerateSpotEvictionTrace(Rng& rng, double duration_hours,
+                                              double base_rate_per_hour,
+                                              double peak_multiplier);
+
+// Empirical probability that an instance alive at a uniformly random time survives the next
+// `window` hours, estimated from the trace (events are fleet-wide; per-instance exposure is
+// `instances`).
+double EmpiricalEvictionProbability(const std::vector<double>& trace, double duration_hours,
+                                    int instances, double window);
+
+// --- Correlated shocks --------------------------------------------------------
+
+struct CorrelatedShock {
+  double when = 0.0;
+  std::vector<int> victims;
+};
+
+// Poisson(rate) shock arrivals over [0, duration]; each shock independently hits each of the
+// n nodes with probability `hit_probability` (a rollout or platform CVE).
+std::vector<CorrelatedShock> GenerateShockSchedule(Rng& rng, double duration, double rate,
+                                                   int n, double hit_probability);
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_TELEMETRY_FLEET_GENERATOR_H_

@@ -1,0 +1,77 @@
+#include "src/analysis/committee.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace probcon {
+namespace {
+
+const std::vector<double> kFleet = {0.01, 0.02, 0.08, 0.08, 0.01, 0.30, 0.05,
+                                    0.02, 0.08, 0.15, 0.01, 0.04, 0.09};
+
+TEST(SelectCommitteeTest, MostReliablePicksLowest) {
+  const auto committee = SelectCommittee(kFleet, 3, CommitteeStrategy::kMostReliable, nullptr);
+  ASSERT_EQ(committee.size(), 3u);
+  // The three 1% nodes are indices 0, 4, 10.
+  EXPECT_EQ(committee, (std::vector<int>{0, 4, 10}));
+}
+
+TEST(SelectCommitteeTest, LeastReliablePicksHighest) {
+  const auto committee =
+      SelectCommittee(kFleet, 2, CommitteeStrategy::kLeastReliable, nullptr);
+  // 30% (index 5) and 15% (index 9).
+  EXPECT_EQ(committee, (std::vector<int>{5, 9}));
+}
+
+TEST(SelectCommitteeTest, RandomIsValidSubset) {
+  Rng rng(3);
+  const auto committee = SelectCommittee(kFleet, 5, CommitteeStrategy::kRandom, &rng);
+  ASSERT_EQ(committee.size(), 5u);
+  std::set<int> unique(committee.begin(), committee.end());
+  EXPECT_EQ(unique.size(), 5u);
+  for (const int member : committee) {
+    EXPECT_GE(member, 0);
+    EXPECT_LT(member, static_cast<int>(kFleet.size()));
+  }
+}
+
+TEST(CommitteeReliabilityTest, StrategyOrdering) {
+  Rng rng(17);
+  const auto best = SelectCommittee(kFleet, 5, CommitteeStrategy::kMostReliable, nullptr);
+  const auto worst = SelectCommittee(kFleet, 5, CommitteeStrategy::kLeastReliable, nullptr);
+  const auto random = SelectCommittee(kFleet, 5, CommitteeStrategy::kRandom, &rng);
+  const auto r_best = CommitteeRaftReliability(kFleet, best);
+  const auto r_worst = CommitteeRaftReliability(kFleet, worst);
+  const auto r_random = CommitteeRaftReliability(kFleet, random);
+  EXPECT_GT(r_best.value(), r_random.value());
+  EXPECT_GT(r_random.value(), r_worst.value());
+}
+
+TEST(CommitteeReliabilityTest, MatchesDirectAnalysis) {
+  const std::vector<int> committee = {0, 4, 10};
+  const auto reliability = CommitteeRaftReliability(kFleet, committee);
+  // Three 1% nodes, majority 2: P(<=1 failure).
+  const double expected = 0.99 * 0.99 * 0.99 + 3 * 0.01 * 0.99 * 0.99;
+  EXPECT_NEAR(reliability.value(), expected, 1e-12);
+}
+
+TEST(MinCommitteeSizeTest, SmallCommitteeSuffices) {
+  const auto target = Probability::FromComplement(1e-3);
+  const int size = MinCommitteeSizeForTarget(kFleet, target);
+  EXPECT_EQ(size, 3);  // Three nines from three 1% nodes (99.97%).
+}
+
+TEST(MinCommitteeSizeTest, TighterTargetNeedsMore) {
+  const int loose = MinCommitteeSizeForTarget(kFleet, Probability::FromComplement(1e-3));
+  const int tight = MinCommitteeSizeForTarget(kFleet, Probability::FromComplement(1e-4));
+  EXPECT_GT(tight, loose);
+}
+
+TEST(MinCommitteeSizeTest, ImpossibleTargetReturnsMinusOne) {
+  const std::vector<double> bad_fleet = {0.4, 0.4, 0.4};
+  EXPECT_EQ(MinCommitteeSizeForTarget(bad_fleet, Probability::FromComplement(1e-9)), -1);
+}
+
+}  // namespace
+}  // namespace probcon

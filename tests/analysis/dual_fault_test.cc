@@ -1,0 +1,145 @@
+#include "src/analysis/dual_fault.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/prob/binomial.h"
+
+namespace probcon {
+namespace {
+
+TEST(DualFaultCountsTest, SingleNodeHandComputed) {
+  const DualFaultCounts counts({{0.1, 0.02}});
+  EXPECT_NEAR(counts.Pmf(0, 0), 0.88, 1e-15);
+  EXPECT_NEAR(counts.Pmf(1, 0), 0.10, 1e-15);
+  EXPECT_NEAR(counts.Pmf(0, 1), 0.02, 1e-15);
+  EXPECT_DOUBLE_EQ(counts.Pmf(1, 1), 0.0);
+}
+
+TEST(DualFaultCountsTest, PmfSumsToOne) {
+  const DualFaultCounts counts(
+      {{0.1, 0.02}, {0.3, 0.001}, {0.05, 0.05}, {0.0, 0.2}, {0.4, 0.0}});
+  double sum = 0.0;
+  for (int crashed = 0; crashed <= 5; ++crashed) {
+    for (int byzantine = 0; byzantine + crashed <= 5; ++byzantine) {
+      EXPECT_GE(counts.Pmf(crashed, byzantine), 0.0);
+      sum += counts.Pmf(crashed, byzantine);
+    }
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(DualFaultCountsTest, MarginalsReduceToPoissonBinomial) {
+  // With p_byz = 0 the crash marginal must match a binomial.
+  const int n = 6;
+  const double p = 0.07;
+  const DualFaultCounts counts(std::vector<DualFaultProbabilities>(n, {p, 0.0}));
+  for (int crashed = 0; crashed <= n; ++crashed) {
+    EXPECT_NEAR(counts.Pmf(crashed, 0), BinomialPmf(n, crashed, p), 1e-12) << crashed;
+    for (int byzantine = 1; byzantine + crashed <= n; ++byzantine) {
+      EXPECT_DOUBLE_EQ(counts.Pmf(crashed, byzantine), 0.0);
+    }
+  }
+}
+
+TEST(DualFaultCountsTest, BruteForceAgreementSmallN) {
+  const std::vector<DualFaultProbabilities> nodes = {{0.2, 0.1}, {0.05, 0.3}, {0.4, 0.01}};
+  const DualFaultCounts counts(nodes);
+  // Enumerate 3^3 outcomes.
+  double brute[4][4] = {};
+  for (int s0 = 0; s0 < 3; ++s0) {
+    for (int s1 = 0; s1 < 3; ++s1) {
+      for (int s2 = 0; s2 < 3; ++s2) {
+        const int states[3] = {s0, s1, s2};
+        double mass = 1.0;
+        int crashed = 0;
+        int byzantine = 0;
+        for (int i = 0; i < 3; ++i) {
+          if (states[i] == 0) {
+            mass *= 1.0 - nodes[i].crash - nodes[i].byzantine;
+          } else if (states[i] == 1) {
+            mass *= nodes[i].crash;
+            ++crashed;
+          } else {
+            mass *= nodes[i].byzantine;
+            ++byzantine;
+          }
+        }
+        brute[crashed][byzantine] += mass;
+      }
+    }
+  }
+  for (int crashed = 0; crashed <= 3; ++crashed) {
+    for (int byzantine = 0; byzantine + crashed <= 3; ++byzantine) {
+      EXPECT_NEAR(counts.Pmf(crashed, byzantine), brute[crashed][byzantine], 1e-14)
+          << crashed << "," << byzantine;
+    }
+  }
+}
+
+TEST(UprightConfigTest, BudgetsSizing) {
+  const auto config = UprightConfig::ForBudgets(2, 1);
+  EXPECT_EQ(config.n, 6);
+  EXPECT_EQ(UprightConfig::ForBudgets(1, 0).n, 3);  // Degenerates to CFT sizing.
+  EXPECT_EQ(UprightConfig::ForBudgets(1, 1).n, 4);  // Degenerates to BFT sizing.
+}
+
+TEST(UprightPredicateTest, Thresholds) {
+  const auto config = UprightConfig::ForBudgets(2, 1);
+  EXPECT_TRUE(UprightIsSafe(config, 1));
+  EXPECT_FALSE(UprightIsSafe(config, 2));
+  EXPECT_TRUE(UprightIsLive(config, 1, 1));
+  EXPECT_FALSE(UprightIsLive(config, 2, 1));  // 3 total failures > u.
+  EXPECT_FALSE(UprightIsLive(config, 0, 2));  // Unsafe implies not usefully live.
+}
+
+TEST(AnalyzeUprightTest, RareByzantineNumbers) {
+  // The paper's Google figures: crash ~4%, Byzantine ~0.01%.
+  const std::vector<DualFaultProbabilities> nodes(6, {0.04, 0.0001});
+  const auto report = AnalyzeUpright(UprightConfig::ForBudgets(2, 1), nodes);
+  // Unsafe requires >= 2 Byzantine: ~C(6,2) * 1e-8 = 1.5e-7.
+  EXPECT_NEAR(report.safe.complement(), 15.0 * 1e-8, 3e-9);
+  EXPECT_GT(report.live.value(), 0.99);
+}
+
+TEST(BaselinesTest, RaftSafetyIsByzantineFreeProbability) {
+  const std::vector<DualFaultProbabilities> nodes(3, {0.04, 0.0001});
+  const auto report = AnalyzeRaftUnderDualFaults(3, nodes);
+  EXPECT_NEAR(report.safe.complement(), 1.0 - std::pow(1.0 - 0.0001, 3), 1e-12);
+}
+
+TEST(BaselinesTest, PbftMatchesSingleModeTheoremWhenNoCrashes) {
+  // With crash = 0 the dual analysis must reduce to the Table-1 computation.
+  const std::vector<DualFaultProbabilities> nodes(4, {0.0, 0.01});
+  const auto dual = AnalyzePbftUnderDualFaults(PbftConfig::Standard(4), nodes);
+  const auto single = AnalyzePbft(PbftConfig::Standard(4),
+                                  ReliabilityAnalyzer::ForUniformNodes(4, 0.01));
+  EXPECT_NEAR(dual.safe.complement(), single.safe.complement(), 1e-12);
+  EXPECT_NEAR(dual.live.complement(), single.live.complement(), 1e-12);
+}
+
+TEST(BaselinesTest, CrashesHurtPbftLivenessNotSafety) {
+  const std::vector<DualFaultProbabilities> calm(4, {0.0, 0.001});
+  const std::vector<DualFaultProbabilities> crashy(4, {0.05, 0.001});
+  const auto a = AnalyzePbftUnderDualFaults(PbftConfig::Standard(4), calm);
+  const auto b = AnalyzePbftUnderDualFaults(PbftConfig::Standard(4), crashy);
+  EXPECT_NEAR(a.safe.complement(), b.safe.complement(), 1e-12);
+  EXPECT_GT(b.live.complement(), a.live.complement() * 10.0);
+}
+
+TEST(ComparisonTest, UprightBeatsBothWorldsAtGoogleNumbers) {
+  // crash 4%, byz 0.01%: Upright(u=2,r=1) at n=6 should be far safer than Raft n=5 (which
+  // dies on ANY Byzantine node) and similarly live; and safer-per-node than PBFT n=7 is
+  // expensive. Check the orderings the Upright paper (and §2.4) claim.
+  const DualFaultProbabilities mix{0.04, 0.0001};
+  const auto upright =
+      AnalyzeUpright(UprightConfig::ForBudgets(2, 1), std::vector<DualFaultProbabilities>(6, mix));
+  const auto raft =
+      AnalyzeRaftUnderDualFaults(5, std::vector<DualFaultProbabilities>(5, mix));
+  EXPECT_LT(upright.safe.complement(), raft.safe.complement() / 1000.0);
+  EXPECT_GT(upright.live.value(), 0.99);
+}
+
+}  // namespace
+}  // namespace probcon

@@ -1,0 +1,113 @@
+#include "src/analysis/durability.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/prob/combinatorics.h"
+
+namespace probcon {
+namespace {
+
+TEST(QuorumWipeoutTest, ProductOfMembers) {
+  const IndependentFailureModel model({0.1, 0.2, 0.3, 0.4});
+  EXPECT_NEAR(QuorumWipeoutProbability(model, 0b0011).value(), 0.02, 1e-15);
+  EXPECT_NEAR(QuorumWipeoutProbability(model, 0b1100).value(), 0.12, 1e-15);
+  EXPECT_NEAR(QuorumWipeoutProbability(model, 0b1111).value(), 0.0024, 1e-15);
+}
+
+TEST(PlacementDurabilityTest, OrderingHolds) {
+  const IndependentFailureModel model({0.01, 0.01, 0.01, 0.08, 0.08, 0.08, 0.08});
+  const auto analysis = AnalyzePlacementDurability(model, 4);
+  EXPECT_LT(analysis.best_case_loss.value(), analysis.random_quorum_loss.value());
+  EXPECT_LT(analysis.random_quorum_loss.value(), analysis.worst_case_loss.value());
+  // Worst case: the four 8% nodes.
+  EXPECT_NEAR(analysis.worst_case_loss.value(), std::pow(0.08, 4), 1e-15);
+  // Best case: three 1% + one 8%.
+  EXPECT_NEAR(analysis.best_case_loss.value(), std::pow(0.01, 3) * 0.08, 1e-18);
+}
+
+TEST(MeanSubsetProductTest, MatchesBruteForce) {
+  const std::vector<double> values = {0.1, 0.25, 0.5, 0.03, 0.9};
+  for (int q = 1; q <= 5; ++q) {
+    double total = 0.0;
+    int count = 0;
+    for (int mask = 0; mask < 32; ++mask) {
+      if (__builtin_popcount(mask) != q) {
+        continue;
+      }
+      double product = 1.0;
+      for (int i = 0; i < 5; ++i) {
+        if ((mask >> i) & 1) {
+          product *= values[i];
+        }
+      }
+      total += product;
+      ++count;
+    }
+    EXPECT_NEAR(MeanSubsetProduct(values, q), total / count, 1e-14) << q;
+  }
+}
+
+TEST(MeanSubsetProductTest, UniformValuesReduceToPower) {
+  const std::vector<double> uniform(10, 0.2);
+  EXPECT_NEAR(MeanSubsetProduct(uniform, 3), std::pow(0.2, 3), 1e-15);
+}
+
+TEST(ReliableConstraintTest, ConstraintImprovesWorstCase) {
+  // E4's setup: 4 nodes at 8%, 3 at 1%; quorum size 4 must include >= 1 reliable node.
+  const IndependentFailureModel model({0.08, 0.08, 0.08, 0.08, 0.01, 0.01, 0.01});
+  const NodeSet reliable = 0b1110000;
+  const auto unconstrained = AnalyzePlacementDurability(model, 4).worst_case_loss;
+  const auto constrained =
+      WorstCaseLossWithReliableConstraint(model, 4, reliable, 1);
+  EXPECT_LT(constrained.value(), unconstrained.value());
+  // Hand check: worst constrained quorum = 3x0.08 + 1x0.01.
+  EXPECT_NEAR(constrained.value(), std::pow(0.08, 3) * 0.01, 1e-15);
+  EXPECT_NEAR(unconstrained.value(), std::pow(0.08, 4), 1e-15);
+}
+
+TEST(ReliableConstraintTest, ZeroConstraintEqualsUnconstrained) {
+  const IndependentFailureModel model({0.3, 0.2, 0.1, 0.05});
+  const auto a = WorstCaseLossWithReliableConstraint(model, 2, 0b1000, 0);
+  const auto b = AnalyzePlacementDurability(model, 2).worst_case_loss;
+  EXPECT_DOUBLE_EQ(a.value(), b.value());
+}
+
+TEST(ReliableConstraintTest, FullConstraintPinsQuorum) {
+  const IndependentFailureModel model({0.3, 0.2, 0.1, 0.05});
+  // Quorum of 2 entirely inside the reliable set {2, 3}.
+  const auto loss = WorstCaseLossWithReliableConstraint(model, 2, 0b1100, 2);
+  EXPECT_NEAR(loss.value(), 0.1 * 0.05, 1e-15);
+}
+
+TEST(PersistenceOverlapTest, PaperHundredNodeNumbers) {
+  // §4: n=100, q_per=10, p=10% -> ~50% chance of >= 10 failures, but 1e-10 for a SPECIFIC
+  // quorum to be wiped out.
+  const auto overlap = AnalyzePersistenceOverlap(100, 10, 0.10);
+  EXPECT_NEAR(overlap.quorum_many_failures.value(), 0.549, 0.01);
+  EXPECT_NEAR(overlap.specific_quorum_wipeout.value(), 1e-10, 1e-20);
+  // "one in ten billion".
+  EXPECT_NEAR(overlap.specific_quorum_wipeout.complement_nines(), 10.0, 1e-9);
+}
+
+TEST(PersistenceOverlapTest, SmallClusterSanity) {
+  const auto overlap = AnalyzePersistenceOverlap(3, 2, 0.01);
+  // P(>=2 failures of 3) = 3*0.0001*0.99 + 1e-6.
+  EXPECT_NEAR(overlap.quorum_many_failures.value(), 3 * 1e-4 * 0.99 + 1e-6, 1e-12);
+  EXPECT_NEAR(overlap.specific_quorum_wipeout.value(), 1e-4, 1e-18);
+}
+
+TEST(PersistenceOverlapTest, GapGrowsWithClusterSize) {
+  // The count-vs-placement gap is the paper's headline §4 observation; it widens with n.
+  const auto small = AnalyzePersistenceOverlap(20, 5, 0.1);
+  const auto large = AnalyzePersistenceOverlap(100, 5, 0.1);
+  const double small_gap =
+      small.quorum_many_failures.value() / small.specific_quorum_wipeout.value();
+  const double large_gap =
+      large.quorum_many_failures.value() / large.specific_quorum_wipeout.value();
+  EXPECT_GT(large_gap, small_gap);
+}
+
+}  // namespace
+}  // namespace probcon

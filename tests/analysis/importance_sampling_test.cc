@@ -1,0 +1,103 @@
+#include "src/analysis/importance_sampling.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+namespace probcon {
+namespace {
+
+CountPredicate AtLeastKFailures(int k) {
+  return CountPredicate([k](int failures, int /*n*/) { return failures >= k; });
+}
+
+TEST(ImportanceSamplingTest, MatchesExactTailOnIndependentModel) {
+  // P(>= 3 failures of 5 at p=1%) ~ 9.85e-6: invisible to 1e5 plain MC samples, easy for IS.
+  const IndependentFailureModel model(std::vector<double>(5, 0.01));
+  const auto predicate = AtLeastKFailures(3);
+  const auto analyzer = ReliabilityAnalyzer::ForUniformNodes(5, 0.01);
+  const double exact = analyzer.EventProbability(predicate).value();
+
+  ImportanceSamplingOptions options;
+  options.trials = 200'000;
+  const auto estimate = EstimateRareEventProbability(model, predicate, options);
+  EXPECT_NEAR(estimate.probability, exact, 4.0 * estimate.standard_error);
+  EXPECT_LT(estimate.standard_error, exact * 0.05);  // Tight at 2e5 samples.
+  EXPECT_GT(estimate.hits, 10'000u);  // The bias actually reaches the event region.
+}
+
+TEST(ImportanceSamplingTest, ResolvesNineNinesEvent) {
+  // P(>= 5 of 9 at p=1%) ~ 1.22e-8 — needs ~1e10 plain MC samples; IS gets it in 2e5.
+  const IndependentFailureModel model(std::vector<double>(9, 0.01));
+  const auto predicate = AtLeastKFailures(5);
+  const auto analyzer = ReliabilityAnalyzer::ForUniformNodes(9, 0.01);
+  const double exact = analyzer.EventProbability(predicate).value();
+
+  ImportanceSamplingOptions options;
+  options.trials = 200'000;
+  const auto estimate = EstimateRareEventProbability(model, predicate, options);
+  EXPECT_NEAR(estimate.probability, exact, 4.0 * estimate.standard_error);
+  EXPECT_LT(estimate.standard_error / estimate.probability, 0.1);
+}
+
+TEST(ImportanceSamplingTest, UnbiasedOnCorrelatedModel) {
+  // Likelihood-ratio correctness under correlation: compare to exact enumeration.
+  const CommonCauseFailureModel model(std::vector<double>(6, 0.01), 0.001,
+                                      std::vector<double>(6, 0.9));
+  const auto predicate = AtLeastKFailures(4);
+  ReliabilityAnalyzer analyzer(model.Clone());
+  const double exact =
+      analyzer.EventProbability(predicate, AnalysisMethod::kExact).value();
+
+  ImportanceSamplingOptions options;
+  options.trials = 400'000;
+  const auto estimate = EstimateRareEventProbability(model, predicate, options);
+  EXPECT_NEAR(estimate.probability, exact, 5.0 * estimate.standard_error);
+  EXPECT_GT(estimate.probability, 0.0);
+}
+
+TEST(ImportanceSamplingTest, HeterogeneousNodesAutoBias) {
+  const IndependentFailureModel model({0.001, 0.01, 0.05, 0.001, 0.02, 0.01, 0.003});
+  const auto predicate = AtLeastKFailures(4);
+  const auto analyzer =
+      ReliabilityAnalyzer::ForIndependentNodes(model.probabilities());
+  const double exact = analyzer.EventProbability(predicate).value();
+  ImportanceSamplingOptions options;
+  options.trials = 300'000;
+  const auto estimate = EstimateRareEventProbability(model, predicate, options);
+  EXPECT_NEAR(estimate.probability, exact, 5.0 * estimate.standard_error);
+}
+
+TEST(ImportanceSamplingTest, ExplicitProposalRespected) {
+  const IndependentFailureModel model(std::vector<double>(4, 0.02));
+  const auto predicate = AtLeastKFailures(4);
+  ImportanceSamplingOptions options;
+  options.trials = 100'000;
+  options.proposal = std::vector<double>(4, 0.9);  // Hammer the all-fail corner.
+  const auto estimate = EstimateRareEventProbability(model, predicate, options);
+  const double exact = 0.02 * 0.02 * 0.02 * 0.02;
+  EXPECT_NEAR(estimate.probability, exact, 5.0 * estimate.standard_error);
+  EXPECT_GT(estimate.hits, 50'000u);  // Proposal concentrates on the event.
+}
+
+TEST(ImportanceSamplingTest, DeterministicForSeed) {
+  const IndependentFailureModel model(std::vector<double>(5, 0.05));
+  const auto predicate = AtLeastKFailures(3);
+  ImportanceSamplingOptions options;
+  options.trials = 10'000;
+  options.seed = 7;
+  const auto a = EstimateRareEventProbability(model, predicate, options);
+  const auto b = EstimateRareEventProbability(model, predicate, options);
+  EXPECT_DOUBLE_EQ(a.probability, b.probability);
+}
+
+TEST(ImportanceSamplingTest, ZeroProbabilityEvent) {
+  const IndependentFailureModel model(std::vector<double>(3, 0.1));
+  const auto impossible = CountPredicate([](int failures, int n) { return failures > n; });
+  const auto estimate = EstimateRareEventProbability(model, impossible);
+  EXPECT_DOUBLE_EQ(estimate.probability, 0.0);
+  EXPECT_EQ(estimate.hits, 0u);
+}
+
+}  // namespace
+}  // namespace probcon

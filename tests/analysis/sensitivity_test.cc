@@ -1,0 +1,85 @@
+#include "src/analysis/sensitivity.h"
+
+#include <gtest/gtest.h>
+
+namespace probcon {
+namespace {
+
+CountPredicate AtMostOneFailure() {
+  return CountPredicate([](int failures, int /*n*/) { return failures <= 1; });
+}
+
+TEST(SensitivityTest, LinearityIdentityHoldsExactly) {
+  // complement(p) == p_i * c_failed + (1 - p_i) * c_perfect for every node.
+  const std::vector<double> probs = {0.01, 0.08, 0.03, 0.2, 0.05};
+  const auto predicate = AtMostOneFailure();
+  const double complement = ReliabilityAnalyzer::ForIndependentNodes(probs)
+                                .EventProbability(predicate)
+                                .complement();
+  const auto sensitivities = AnalyzeSensitivity(probs, predicate);
+  ASSERT_EQ(sensitivities.size(), probs.size());
+  for (const auto& s : sensitivities) {
+    const double reconstructed = probs[s.node] * s.complement_if_failed +
+                                 (1.0 - probs[s.node]) * s.complement_if_perfect;
+    EXPECT_NEAR(reconstructed, complement, 1e-14) << s.node;
+  }
+}
+
+TEST(SensitivityTest, FailedIsWorseThanPerfect) {
+  const std::vector<double> probs = {0.01, 0.02, 0.04, 0.08, 0.16};
+  for (const auto& s : AnalyzeSensitivity(probs, AtMostOneFailure())) {
+    EXPECT_GE(s.complement_if_failed, s.complement_if_perfect);
+    EXPECT_GE(s.derivative, 0.0);
+  }
+}
+
+TEST(SensitivityTest, UniformClusterHasEqualSensitivities) {
+  const std::vector<double> probs(5, 0.03);
+  const auto sensitivities = AnalyzeSensitivity(probs, AtMostOneFailure());
+  for (size_t i = 1; i < sensitivities.size(); ++i) {
+    EXPECT_NEAR(sensitivities[i].derivative, sensitivities[0].derivative, 1e-14);
+  }
+}
+
+TEST(SensitivityTest, DerivativeMatchesFiniteDifference) {
+  const std::vector<double> probs = {0.01, 0.08, 0.03};
+  const auto predicate = AtMostOneFailure();
+  const auto sensitivities = AnalyzeSensitivity(probs, predicate);
+  constexpr double kEps = 1e-6;
+  for (int node = 0; node < 3; ++node) {
+    std::vector<double> bumped = probs;
+    bumped[node] += kEps;
+    const double up = ReliabilityAnalyzer::ForIndependentNodes(bumped)
+                          .EventProbability(predicate)
+                          .complement();
+    bumped[node] = probs[node] - kEps;
+    const double down = ReliabilityAnalyzer::ForIndependentNodes(bumped)
+                            .EventProbability(predicate)
+                            .complement();
+    EXPECT_NEAR((up - down) / (2.0 * kEps), sensitivities[node].derivative, 1e-6) << node;
+  }
+}
+
+TEST(RaftSensitivityTest, IdentifiesWhereTheFailureMassComesFrom) {
+  // Two good nodes, three poor ones: fixing a poor node helps far more than fixing a good
+  // one — the operator signal the paper's hardware-selection argument needs.
+  const std::vector<double> probs = {0.001, 0.001, 0.1, 0.1, 0.1};
+  const auto sensitivities = RaftSensitivity(probs);
+  double good_gain = 0.0;
+  double poor_gain = 0.0;
+  const double baseline = ReliabilityAnalyzer::ForIndependentNodes(probs)
+                              .EventProbability(MakeRaftLivePredicate(RaftConfig::Standard(5)))
+                              .complement();
+  for (const auto& s : sensitivities) {
+    const double gain = baseline - s.complement_if_perfect;
+    if (s.node < 2) {
+      good_gain += gain;
+    } else {
+      poor_gain += gain;
+    }
+  }
+  EXPECT_GT(poor_gain / 3.0, good_gain / 2.0 * 5.0);
+}
+
+}  // namespace
+}  // namespace probcon

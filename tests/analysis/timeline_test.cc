@@ -1,0 +1,92 @@
+#include "src/analysis/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include "src/faultmodel/afr.h"
+
+namespace probcon {
+namespace {
+
+TimelineOptions MonthlyOverYears(double years, int steps) {
+  TimelineOptions options;
+  options.horizon = years * kHoursPerYear;
+  options.steps = steps;
+  options.window = 30 * 24.0;
+  return options;
+}
+
+TEST(TimelineTest, ConstantCurvesGiveFlatTimeline) {
+  const ConstantFaultCurve curve(RateFromAfr(0.02));
+  const std::vector<const FaultCurve*> curves(3, &curve);
+  const std::vector<double> ages(3, 0.0);
+  const auto timeline = RaftReliabilityTimeline(RaftConfig::Standard(3), curves, ages,
+                                                MonthlyOverYears(2.0, 5));
+  ASSERT_EQ(timeline.size(), 5u);
+  for (const auto& point : timeline) {
+    EXPECT_NEAR(point.report.safe_and_live.complement(),
+                timeline.front().report.safe_and_live.complement(), 1e-12);
+  }
+}
+
+TEST(TimelineTest, TimesSpanHorizonInclusive) {
+  const ConstantFaultCurve curve(0.001);
+  const std::vector<const FaultCurve*> curves(3, &curve);
+  const auto timeline = RaftReliabilityTimeline(RaftConfig::Standard(3), curves,
+                                                {0.0, 0.0, 0.0}, MonthlyOverYears(1.0, 4));
+  EXPECT_DOUBLE_EQ(timeline.front().time, 0.0);
+  EXPECT_DOUBLE_EQ(timeline.back().time, kHoursPerYear);
+}
+
+TEST(TimelineTest, WearOutErodesNines) {
+  const WeibullFaultCurve wearout(4.0, 4.0 * kHoursPerYear);
+  const std::vector<const FaultCurve*> curves(5, &wearout);
+  const std::vector<double> ages(5, 0.5 * kHoursPerYear);
+  const auto timeline = RaftReliabilityTimeline(RaftConfig::Standard(5), curves, ages,
+                                                MonthlyOverYears(3.0, 6));
+  EXPECT_GT(timeline.front().report.safe_and_live.nines(),
+            timeline.back().report.safe_and_live.nines() + 1.0);
+  // Per-node window probabilities are monotone under pure wear-out.
+  for (size_t i = 1; i < timeline.size(); ++i) {
+    EXPECT_GT(timeline[i].window_failure_probabilities[0],
+              timeline[i - 1].window_failure_probabilities[0]);
+  }
+}
+
+TEST(TimelineTest, InfantMortalityImprovesThenFlat) {
+  const WeibullFaultCurve infant(0.5, 50.0 * kHoursPerYear);
+  const std::vector<const FaultCurve*> curves(3, &infant);
+  const auto timeline = RaftReliabilityTimeline(RaftConfig::Standard(3), curves,
+                                                {0.0, 0.0, 0.0}, MonthlyOverYears(2.0, 5));
+  EXPECT_LT(timeline.front().report.safe_and_live.nines(),
+            timeline.back().report.safe_and_live.nines());
+}
+
+TEST(TimelineTest, MixedAgesUseEachNodesOwnCurvePosition) {
+  const WeibullFaultCurve wearout(4.0, 2.0 * kHoursPerYear);
+  const ConstantFaultCurve steady(RateFromAfr(0.01));
+  const std::vector<const FaultCurve*> curves = {&wearout, &steady, &steady};
+  const auto timeline =
+      RaftReliabilityTimeline(RaftConfig::Standard(3), curves,
+                              {1.8 * kHoursPerYear, 0.0, 0.0}, MonthlyOverYears(0.5, 3));
+  // Node 0 (deep wear-out) dominates; its probability dwarfs the steady nodes'.
+  for (const auto& point : timeline) {
+    EXPECT_GT(point.window_failure_probabilities[0],
+              10.0 * point.window_failure_probabilities[1]);
+  }
+}
+
+TEST(FirstTimeBelowTargetTest, FindsBreachInstant) {
+  const WeibullFaultCurve wearout(5.0, 3.0 * kHoursPerYear);
+  const std::vector<const FaultCurve*> curves(3, &wearout);
+  const auto timeline = RaftReliabilityTimeline(RaftConfig::Standard(3), curves,
+                                                {0.0, 0.0, 0.0}, MonthlyOverYears(4.0, 9));
+  const double breach = FirstTimeBelowTarget(timeline, Probability::FromComplement(1e-4));
+  EXPECT_GT(breach, 0.0);
+  EXPECT_LT(breach, 4.0 * kHoursPerYear);
+  // Never-breached case.
+  EXPECT_DOUBLE_EQ(
+      FirstTimeBelowTarget(timeline, Probability::FromComplement(0.999999)), -1.0);
+}
+
+}  // namespace
+}  // namespace probcon

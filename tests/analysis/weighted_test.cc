@@ -1,0 +1,87 @@
+#include "src/analysis/weighted.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace probcon {
+namespace {
+
+TEST(WeightedConfigTest, UniformMatchesMajority) {
+  const auto config = WeightedRaftConfig::Uniform(5);
+  EXPECT_DOUBLE_EQ(config.TotalStake(), 5.0);
+  EXPECT_DOUBLE_EQ(config.quorum_weight, 3.0);
+  EXPECT_TRUE(config.IsStructurallySafe());
+}
+
+TEST(WeightedConfigTest, StructuralSafetyBoundary) {
+  WeightedRaftConfig config;
+  config.stakes = {1.0, 1.0, 1.0, 1.0};
+  config.quorum_weight = 2.0;  // 2*2 = 4 = total: NOT safe (two disjoint quorums).
+  EXPECT_FALSE(config.IsStructurallySafe());
+  config.quorum_weight = 2.01;
+  EXPECT_TRUE(config.IsStructurallySafe());
+}
+
+TEST(WeightedAnalysisTest, UniformMatchesUnweightedRaft) {
+  const std::vector<double> probs = {0.01, 0.02, 0.08, 0.04, 0.05};
+  const auto weighted =
+      AnalyzeWeightedRaft(WeightedRaftConfig::Uniform(5), probs);
+  const auto plain = AnalyzeRaft(RaftConfig::Standard(5),
+                                 ReliabilityAnalyzer::ForIndependentNodes(probs));
+  EXPECT_NEAR(weighted.live.complement(), plain.live.complement(), 1e-12);
+  EXPECT_DOUBLE_EQ(weighted.safe.value(), 1.0);
+}
+
+TEST(WeightedAnalysisTest, WhaleStakeSurvivesAloneWithOnePeer) {
+  // Node 0 holds 60% of stake: any quorum must include it, and {0, any other} suffices.
+  WeightedRaftConfig config;
+  config.stakes = {6.0, 1.0, 1.0, 1.0, 1.0};
+  config.quorum_weight = 5.5;
+  ASSERT_TRUE(config.IsStructurallySafe());
+  const std::vector<double> probs = {0.001, 0.3, 0.3, 0.3, 0.3};
+  const auto report = AnalyzeWeightedRaft(config, probs);
+  // Live iff node 0 alive (6.0 < 5.5? no: node 0 alone has 6.0 >= 5.5 -> yes!).
+  EXPECT_NEAR(report.live.value(), 1.0 - 0.001, 1e-12);
+}
+
+TEST(WeightedAnalysisTest, ReliabilityStakeBeatsUniformOnMixedFleet) {
+  // Three great nodes, four flaky: one-node-one-vote needs 4 alive; log-odds stake lets the
+  // reliable trio carry the quorum.
+  const std::vector<double> probs = {0.001, 0.001, 0.001, 0.2, 0.2, 0.2, 0.2};
+  const auto uniform = AnalyzeWeightedRaft(WeightedRaftConfig::Uniform(7), probs);
+  const auto staked =
+      AnalyzeWeightedRaft(WeightedRaftConfig::StakeByReliability(probs), probs);
+  EXPECT_TRUE(staked.safe.value() == 1.0);
+  EXPECT_LT(staked.live.complement(), uniform.live.complement() / 10.0);
+}
+
+TEST(WeightedAnalysisTest, StakeByReliabilityIsStructurallySafe) {
+  for (const auto& probs :
+       {std::vector<double>{0.5, 0.5, 0.5}, std::vector<double>{0.01, 0.2, 0.4, 0.001},
+        std::vector<double>{1e-6, 0.999, 0.3, 0.3, 0.05}}) {
+    EXPECT_TRUE(WeightedRaftConfig::StakeByReliability(probs).IsStructurallySafe());
+  }
+}
+
+TEST(WeightedAnalysisTest, UnsafeThresholdReportsZeroSafety) {
+  WeightedRaftConfig config;
+  config.stakes = {1.0, 1.0, 1.0, 1.0};
+  config.quorum_weight = 1.5;  // Disjoint quorums possible.
+  const auto report = AnalyzeWeightedRaft(config, std::vector<double>(4, 0.01));
+  EXPECT_DOUBLE_EQ(report.safe.value(), 0.0);
+  EXPECT_DOUBLE_EQ(report.safe_and_live.value(), 0.0);
+  EXPECT_GT(report.live.value(), 0.99);
+}
+
+TEST(WeightedAnalysisTest, HandComputedTwoNodeCase) {
+  WeightedRaftConfig config;
+  config.stakes = {3.0, 1.0};
+  config.quorum_weight = 2.5;
+  const auto report = AnalyzeWeightedRaft(config, {0.1, 0.5});
+  // Quorum requires node 0 (weight 3 >= 2.5; node 1 alone is 1 < 2.5).
+  EXPECT_NEAR(report.live.value(), 0.9, 1e-12);
+}
+
+}  // namespace
+}  // namespace probcon

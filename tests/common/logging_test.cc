@@ -1,0 +1,74 @@
+#include "src/common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/check.h"
+
+namespace probcon {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GlobalLogThreshold(); }
+  void TearDown() override { GlobalLogThreshold() = saved_; }
+
+  // Captures stderr during `fn`.
+  template <typename Fn>
+  std::string CaptureStderr(Fn fn) {
+    ::testing::internal::CaptureStderr();
+    fn();
+    return ::testing::internal::GetCapturedStderr();
+  }
+
+  LogLevel saved_ = LogLevel::kInfo;
+};
+
+TEST_F(LoggingTest, InfoPassesDefaultThreshold) {
+  const std::string output = CaptureStderr([]() { LOG(Info) << "hello " << 42; });
+  EXPECT_NE(output.find("hello 42"), std::string::npos);
+  EXPECT_NE(output.find("INFO"), std::string::npos);
+  EXPECT_NE(output.find("logging_test.cc"), std::string::npos);
+}
+
+TEST_F(LoggingTest, DebugFilteredByDefault) {
+  const std::string output = CaptureStderr([]() { LOG(Debug) << "invisible"; });
+  EXPECT_TRUE(output.empty());
+}
+
+TEST_F(LoggingTest, ThresholdIsAdjustable) {
+  GlobalLogThreshold() = LogLevel::kError;
+  const std::string filtered = CaptureStderr([]() { LOG(Warning) << "dropped"; });
+  EXPECT_TRUE(filtered.empty());
+  const std::string passed = CaptureStderr([]() { LOG(Error) << "kept"; });
+  EXPECT_NE(passed.find("kept"), std::string::npos);
+}
+
+TEST_F(LoggingTest, LogIfConditional) {
+  const std::string output = CaptureStderr([]() {
+    LOG_IF(Info, true) << "yes";
+    LOG_IF(Info, false) << "no";
+  });
+  EXPECT_NE(output.find("yes"), std::string::npos);
+  EXPECT_EQ(output.find("no\n"), std::string::npos);
+}
+
+TEST_F(LoggingTest, LevelNames) {
+  EXPECT_EQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(LogLevelName(LogLevel::kError), "ERROR");
+}
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  CHECK(true) << "never rendered";
+  CHECK_EQ(1, 1);
+  CHECK_LT(1, 2);
+  CHECK_GE(2, 2);
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH({ CHECK(false) << "boom"; }, "CHECK failed: false.*boom");
+  EXPECT_DEATH({ CHECK_EQ(1, 2); }, "1 +vs +2");
+}
+
+}  // namespace
+}  // namespace probcon

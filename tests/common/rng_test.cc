@@ -1,0 +1,201 @@
+#include "src/common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace probcon {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.Next() == b.Next()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kTrials = 200000;
+  for (int i = 0; i < kTrials; ++i) {
+    sum += rng.NextDouble();
+  }
+  EXPECT_NEAR(sum / kTrials, 0.5, 0.005);
+}
+
+TEST(RngTest, NextBelowCoversRangeUniformly) {
+  Rng rng(13);
+  constexpr uint64_t kBound = 10;
+  std::vector<int> counts(kBound, 0);
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) {
+    const uint64_t x = rng.NextBelow(kBound);
+    ASSERT_LT(x, kBound);
+    ++counts[x];
+  }
+  for (const int count : counts) {
+    EXPECT_NEAR(count, kTrials / kBound, 500);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(17);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t x = rng.NextInRange(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) {
+    hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMoments) {
+  Rng rng(23);
+  constexpr double kLambda = 2.5;
+  constexpr int kTrials = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < kTrials; ++i) {
+    const double x = rng.NextExponential(kLambda);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kTrials, 1.0 / kLambda, 0.01);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(29);
+  constexpr int kTrials = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kTrials; ++i) {
+    const double x = rng.NextNormal(5.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kTrials;
+  const double variance = sum_sq / kTrials - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.03);
+  EXPECT_NEAR(variance, 4.0, 0.1);
+}
+
+TEST(RngTest, WeibullMedianMatchesClosedForm) {
+  Rng rng(31);
+  constexpr double kShape = 1.7;
+  constexpr double kScale = 10.0;
+  std::vector<double> samples;
+  for (int i = 0; i < 100001; ++i) {
+    samples.push_back(rng.NextWeibull(kShape, kScale));
+  }
+  std::nth_element(samples.begin(), samples.begin() + samples.size() / 2, samples.end());
+  const double median = samples[samples.size() / 2];
+  const double expected = kScale * std::pow(std::log(2.0), 1.0 / kShape);
+  EXPECT_NEAR(median, expected, 0.1);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(37);
+  std::vector<int> items(100);
+  std::iota(items.begin(), items.end(), 0);
+  rng.Shuffle(items);
+  std::vector<int> sorted = items;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(sorted[i], i);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(41);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto sample = rng.SampleWithoutReplacement(20, 7);
+    ASSERT_EQ(sample.size(), 7u);
+    std::set<size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 7u);
+    for (const size_t x : sample) {
+      EXPECT_LT(x, 20u);
+    }
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullSet) {
+  Rng rng(43);
+  const auto sample = rng.SampleWithoutReplacement(5, 5);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(RngTest, SampleWithoutReplacementUnbiased) {
+  Rng rng(47);
+  std::vector<int> counts(10, 0);
+  constexpr int kTrials = 50000;
+  for (int t = 0; t < kTrials; ++t) {
+    for (const size_t x : rng.SampleWithoutReplacement(10, 3)) {
+      ++counts[x];
+    }
+  }
+  for (const int count : counts) {
+    EXPECT_NEAR(count, kTrials * 3 / 10, 600);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  Rng parent(53);
+  Rng child_a = parent.Fork(0);
+  Rng child_b = parent.Fork(1);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (child_a.Next() == child_b.Next()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, SplitMix64KnownSequenceIsDeterministic) {
+  uint64_t s1 = 42;
+  uint64_t s2 = 42;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(SplitMix64(s1), SplitMix64(s2));
+  }
+}
+
+}  // namespace
+}  // namespace probcon

@@ -1,0 +1,135 @@
+#include "src/consensus/benor/benor_node.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace probcon {
+namespace {
+
+struct BenOrHarness {
+  BenOrHarness(int n, int f, const std::vector<int>& inputs, uint64_t seed)
+      : simulator(seed),
+        network(&simulator, n, std::make_unique<UniformLatencyModel>(5.0, 15.0)) {
+    for (int i = 0; i < n; ++i) {
+      nodes.push_back(std::make_unique<BenOrNode>(&simulator, &network, i, f, inputs[i]));
+    }
+    for (auto& node : nodes) {
+      node->Start();
+    }
+  }
+
+  // Returns true if all surviving nodes decided, and they all agree.
+  bool AllSurvivorsAgree() const {
+    int decided_value = -1;
+    for (const auto& node : nodes) {
+      if (node->crashed()) {
+        continue;
+      }
+      if (!node->decided()) {
+        return false;
+      }
+      if (decided_value == -1) {
+        decided_value = node->decision();
+      } else if (node->decision() != decided_value) {
+        return false;
+      }
+    }
+    return decided_value != -1;
+  }
+
+  Simulator simulator;
+  Network network;
+  std::vector<std::unique_ptr<BenOrNode>> nodes;
+};
+
+TEST(BenOrTest, UnanimousInputDecidesThatValueInOneRound) {
+  for (const int value : {0, 1}) {
+    BenOrHarness harness(5, 2, std::vector<int>(5, value), 1);
+    harness.simulator.Run(10'000.0);
+    EXPECT_TRUE(harness.AllSurvivorsAgree());
+    for (const auto& node : harness.nodes) {
+      EXPECT_EQ(node->decision(), value);
+      EXPECT_EQ(node->decision_round(), 1u);  // Validity, immediately.
+    }
+  }
+}
+
+TEST(BenOrTest, MixedInputsReachAgreement) {
+  BenOrHarness harness(5, 2, {0, 1, 0, 1, 1}, 2);
+  harness.simulator.Run(60'000.0);
+  EXPECT_TRUE(harness.AllSurvivorsAgree());
+}
+
+class BenOrSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BenOrSeedSweep, AgreementAcrossSeeds) {
+  BenOrHarness harness(7, 3, {0, 1, 0, 1, 0, 1, 0}, GetParam());
+  harness.simulator.Run(120'000.0);
+  EXPECT_TRUE(harness.AllSurvivorsAgree());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BenOrSeedSweep,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+TEST(BenOrTest, ToleratesFCrashes) {
+  BenOrHarness harness(7, 3, {0, 1, 1, 0, 1, 0, 1}, 3);
+  harness.simulator.Schedule(5.0, [&]() {
+    harness.nodes[0]->Crash();
+    harness.nodes[1]->Crash();
+    harness.nodes[2]->Crash();
+  });
+  harness.simulator.Run(120'000.0);
+  EXPECT_TRUE(harness.AllSurvivorsAgree());
+}
+
+TEST(BenOrTest, MajorityInputTendsToWin) {
+  // With 6 of 7 proposing 1, phase 1 sees a majority of 1s and decides 1.
+  BenOrHarness harness(7, 3, {0, 1, 1, 1, 1, 1, 1}, 4);
+  harness.simulator.Run(60'000.0);
+  EXPECT_TRUE(harness.AllSurvivorsAgree());
+  for (const auto& node : harness.nodes) {
+    EXPECT_EQ(node->decision(), 1);
+  }
+}
+
+TEST(BenOrTest, DecisionRoundsAreSmallUnderRandomScheduling) {
+  // The exponential worst case needs an adversary; random schedules decide fast.
+  uint64_t max_round = 0;
+  for (uint64_t seed = 100; seed < 110; ++seed) {
+    BenOrHarness harness(5, 2, {0, 1, 0, 1, 0}, seed);
+    harness.simulator.Run(120'000.0);
+    ASSERT_TRUE(harness.AllSurvivorsAgree()) << seed;
+    for (const auto& node : harness.nodes) {
+      max_round = std::max(max_round, node->decision_round());
+    }
+  }
+  EXPECT_LE(max_round, 12u);
+}
+
+TEST(BenOrTest, AgreementHoldsUnderMessageLoss) {
+  Simulator simulator(5);
+  Network network(&simulator, 5, std::make_unique<UniformLatencyModel>(5.0, 15.0, 0.02));
+  std::vector<std::unique_ptr<BenOrNode>> nodes;
+  for (int i = 0; i < 5; ++i) {
+    nodes.push_back(std::make_unique<BenOrNode>(&simulator, &network, i, 2, i % 2));
+  }
+  for (auto& node : nodes) {
+    node->Start();
+  }
+  simulator.Run(240'000.0);
+  int decided_value = -1;
+  for (const auto& node : nodes) {
+    if (node->decided()) {
+      if (decided_value == -1) {
+        decided_value = node->decision();
+      }
+      EXPECT_EQ(node->decision(), decided_value);
+    }
+  }
+  EXPECT_NE(decided_value, -1);
+}
+
+}  // namespace
+}  // namespace probcon

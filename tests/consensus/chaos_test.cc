@@ -1,0 +1,134 @@
+// Chaos sweeps: randomized fault schedules across many seeds, asserting the safety
+// invariants that must hold in EVERY schedule as long as the configuration satisfies the
+// paper's theorems. This is the property-test layer above the scenario tests.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/consensus/pbft/pbft_cluster.h"
+#include "src/consensus/raft/raft_cluster.h"
+#include "src/faultmodel/fault_curve.h"
+#include "src/sim/failure_injector.h"
+
+namespace probcon {
+namespace {
+
+class RaftChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RaftChaosTest, SafeUnderCrashRecoverDropChurn) {
+  const uint64_t seed = GetParam();
+  Rng knobs(seed);
+  RaftClusterOptions options;
+  const int n = 3 + 2 * static_cast<int>(knobs.NextBelow(3));  // 3, 5, or 7.
+  options.config = RaftConfig::Standard(n);
+  options.network_drop_probability = 0.08 * knobs.NextDouble();
+  options.seed = seed;
+  RaftCluster cluster(options);
+
+  std::vector<std::unique_ptr<FaultCurve>> curves;
+  for (int i = 0; i < n; ++i) {
+    // Node-specific crash rates up to ~1 crash / 8s.
+    curves.push_back(std::make_unique<ConstantFaultCurve>(
+        (0.2 + 0.8 * knobs.NextDouble()) / 8'000.0));
+  }
+  FailureInjector injector(&cluster.simulator(), cluster.processes(), std::move(curves),
+                           /*repair_rate=*/1.0 / 2'000.0);
+  cluster.Start();
+  injector.Arm();
+  cluster.RunUntil(60'000.0);
+
+  EXPECT_TRUE(cluster.checker().safe()) << "seed=" << seed << " n=" << n;
+  EXPECT_GT(injector.crash_count(), 0) << "chaos did not exercise failures";
+}
+
+TEST_P(RaftChaosTest, SafeUnderPartitionChurn) {
+  const uint64_t seed = GetParam();
+  RaftClusterOptions options;
+  options.config = RaftConfig::Standard(5);
+  options.seed = seed;
+  RaftCluster cluster(options);
+  cluster.Start();
+
+  // Re-partition randomly every 1.5s; heal at the end.
+  Rng knobs(seed * 31);
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    cluster.simulator().ScheduleAt(1'500.0 * (epoch + 1), [&cluster, &knobs]() {
+      if (knobs.NextBernoulli(0.3)) {
+        cluster.network().ClearPartition();
+        return;
+      }
+      std::vector<int> groups(5);
+      for (auto& g : groups) {
+        g = static_cast<int>(knobs.NextBelow(2));
+      }
+      cluster.network().SetPartition(groups);
+    });
+  }
+  cluster.RunUntil(35'000.0);
+  cluster.network().ClearPartition();
+  cluster.RunUntil(50'000.0);
+
+  EXPECT_TRUE(cluster.checker().safe()) << "seed=" << seed;
+  EXPECT_GT(cluster.checker().committed_slots(), 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RaftChaosTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+class PbftChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PbftChaosTest, SafeWithByzantineWithinThreshold) {
+  const uint64_t seed = GetParam();
+  Rng knobs(seed * 7 + 1);
+  // n = 7 tolerates f = 2: pick up to 2 Byzantine replicas with random behaviours.
+  PbftClusterOptions options;
+  options.config = PbftConfig::Standard(7);
+  options.seed = seed;
+  options.behaviors.assign(7, ByzantineBehavior::kHonest);
+  const int byz_count = 1 + static_cast<int>(knobs.NextBelow(2));
+  const ByzantineBehavior kinds[] = {ByzantineBehavior::kEquivocate,
+                                     ByzantineBehavior::kPromiscuous,
+                                     ByzantineBehavior::kSilent};
+  for (int b = 0; b < byz_count; ++b) {
+    options.behaviors[knobs.NextBelow(7)] = kinds[knobs.NextBelow(3)];
+  }
+  options.network_drop_probability = 0.03 * knobs.NextDouble();
+  PbftCluster cluster(options);
+  cluster.Start();
+  cluster.RunUntil(25'000.0);
+  EXPECT_TRUE(cluster.checker().safe()) << "seed=" << seed;
+}
+
+TEST_P(PbftChaosTest, SafeUnderCrashChurnWithinThreshold) {
+  const uint64_t seed = GetParam();
+  PbftClusterOptions options;
+  options.config = PbftConfig::Standard(4);
+  options.seed = seed;
+  PbftCluster cluster(options);
+  cluster.Start();
+  // One node at a time cycles down and back (staying within f = 1 most of the time).
+  Rng knobs(seed * 3 + 2);
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    const int victim = static_cast<int>(knobs.NextBelow(4));
+    const SimTime down = 2'000.0 + 3'000.0 * epoch;
+    cluster.simulator().ScheduleAt(down, [&cluster, victim]() {
+      if (!cluster.node(victim).crashed()) {
+        cluster.node(victim).Crash();
+      }
+    });
+    cluster.simulator().ScheduleAt(down + 1'500.0, [&cluster, victim]() {
+      if (cluster.node(victim).crashed()) {
+        cluster.node(victim).Recover();
+      }
+    });
+  }
+  cluster.RunUntil(40'000.0);
+  EXPECT_TRUE(cluster.checker().safe()) << "seed=" << seed;
+  EXPECT_GT(cluster.checker().committed_slots(), 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PbftChaosTest, ::testing::Values(2, 4, 6, 8, 10, 12));
+
+}  // namespace
+}  // namespace probcon

@@ -1,0 +1,112 @@
+// Cross-feature integration tests: the protocol extensions (reliability-aware policies, log
+// compaction, linearizable reads) composed under failure churn, checked by the same global
+// safety oracle as everything else.
+
+#include <optional>
+
+#include <gtest/gtest.h>
+
+#include "src/consensus/raft/raft_cluster.h"
+#include "src/faultmodel/fault_curve.h"
+#include "src/probnative/reliability_aware_raft.h"
+#include "src/sim/failure_injector.h"
+
+namespace probcon {
+namespace {
+
+const std::vector<double> kMixedFleet = {0.002, 0.002, 0.02, 0.02, 0.02};
+
+TEST(IntegrationTest, AwarePoliciesPlusCompactionUnderChurn) {
+  RaftClusterOptions options;
+  options.config = RaftConfig::Standard(5);
+  options.policies = MakeReliabilityAwarePolicies(kMixedFleet, 2);
+  options.timing.snapshot_threshold = 40;
+  options.seed = 11;
+  options.client_interval = 30.0;
+  RaftCluster cluster(options);
+
+  std::vector<std::unique_ptr<FaultCurve>> curves;
+  for (int i = 0; i < 5; ++i) {
+    curves.push_back(std::make_unique<ConstantFaultCurve>(
+        ConstantFaultCurve::FromWindowProbability(0.4, 30'000.0)));
+  }
+  FailureInjector injector(&cluster.simulator(), cluster.processes(), std::move(curves),
+                           /*repair_rate=*/1.0 / 2'000.0);
+  cluster.Start();
+  injector.Arm();
+  cluster.RunUntil(90'000.0);
+
+  EXPECT_TRUE(cluster.checker().safe());
+  EXPECT_GT(cluster.checker().committed_slots(), 800u);
+  EXPECT_GT(injector.crash_count(), 0);
+  // Compaction ran on at least the stable nodes.
+  int compacted = 0;
+  for (int i = 0; i < 5; ++i) {
+    compacted += cluster.node(i).snapshot_last_index() > 0 ? 1 : 0;
+  }
+  EXPECT_GE(compacted, 3);
+}
+
+TEST(IntegrationTest, LinearizableReadsDuringCompactionAndFailover) {
+  RaftClusterOptions options;
+  options.config = RaftConfig::Standard(5);
+  options.timing.snapshot_threshold = 30;
+  options.seed = 12;
+  options.client_interval = 25.0;
+  RaftCluster cluster(options);
+  cluster.Start();
+  cluster.RunUntil(3'000.0);
+
+  // Issue reads periodically; crash the leader halfway; all served reads must be monotone
+  // even across the failover.
+  std::vector<uint64_t> served;
+  for (int round = 0; round < 10; ++round) {
+    cluster.simulator().ScheduleAt(3'000.0 + 800.0 * round, [&cluster, &served]() {
+      const int leader = cluster.LeaderId();
+      if (leader >= 0) {
+        cluster.node(leader).RequestRead([&served](uint64_t index) {
+          served.push_back(index);
+        });
+      }
+    });
+  }
+  cluster.simulator().ScheduleAt(6'900.0, [&cluster]() {
+    const int leader = cluster.LeaderId();
+    if (leader >= 0) {
+      cluster.node(leader).Crash();
+    }
+  });
+  cluster.RunUntil(30'000.0);
+
+  EXPECT_TRUE(cluster.checker().safe());
+  ASSERT_GE(served.size(), 5u);
+  for (size_t i = 1; i < served.size(); ++i) {
+    EXPECT_GE(served[i], served[i - 1]) << i;
+  }
+}
+
+TEST(IntegrationTest, DurableMemberConstraintHoldsThroughCompaction) {
+  RaftClusterOptions options;
+  options.config = RaftConfig::Standard(5);
+  options.policies = MakeReliabilityAwarePolicies(kMixedFleet, 2);
+  options.timing.snapshot_threshold = 25;
+  options.seed = 13;
+  RaftCluster cluster(options);
+  cluster.Start();
+  cluster.RunUntil(2'000.0);
+  // With both durable members down, commits stall even though compaction continues to serve
+  // snapshots to stragglers.
+  cluster.node(0).Crash();
+  cluster.node(1).Crash();
+  cluster.RunUntil(4'000.0);
+  const uint64_t stalled_at = cluster.checker().max_committed_slot();
+  cluster.RunUntil(20'000.0);
+  EXPECT_LE(cluster.checker().max_committed_slot(), stalled_at + 1);
+  cluster.node(0).Recover();
+  cluster.RunUntil(40'000.0);
+  EXPECT_GT(cluster.checker().max_committed_slot(), stalled_at + 50);
+  EXPECT_TRUE(cluster.checker().safe());
+}
+
+}  // namespace
+}  // namespace probcon

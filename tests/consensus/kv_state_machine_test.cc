@@ -1,0 +1,89 @@
+#include "src/consensus/common/kv_state_machine.h"
+
+#include <gtest/gtest.h>
+
+namespace probcon {
+namespace {
+
+TEST(KvStateMachineTest, PutGet) {
+  KvStateMachine kv;
+  EXPECT_EQ(kv.Apply(MakePut(1, "a", "1")), "ok");
+  EXPECT_EQ(kv.Apply(MakeGet(2, "a")), "1");
+  EXPECT_EQ(kv.Apply(MakeGet(3, "missing")), "<nil>");
+  EXPECT_EQ(kv.size(), 1u);
+}
+
+TEST(KvStateMachineTest, PutOverwrites) {
+  KvStateMachine kv;
+  kv.Apply(MakePut(1, "a", "1"));
+  kv.Apply(MakePut(2, "a", "2"));
+  EXPECT_EQ(*kv.Get("a"), "2");
+  EXPECT_EQ(kv.size(), 1u);
+}
+
+TEST(KvStateMachineTest, Delete) {
+  KvStateMachine kv;
+  kv.Apply(MakePut(1, "a", "1"));
+  EXPECT_EQ(kv.Apply(MakeDel(2, "a")), "ok");
+  EXPECT_EQ(kv.Apply(MakeDel(3, "a")), "<nil>");
+  EXPECT_FALSE(kv.Get("a").has_value());
+}
+
+TEST(KvStateMachineTest, CompareAndSwap) {
+  KvStateMachine kv;
+  kv.Apply(MakePut(1, "lock", "free"));
+  EXPECT_EQ(kv.Apply(MakeCas(2, "lock", "free", "held")), "ok");
+  EXPECT_EQ(kv.Apply(MakeCas(3, "lock", "free", "held")), "fail");
+  EXPECT_EQ(*kv.Get("lock"), "held");
+  EXPECT_EQ(kv.Apply(MakeCas(4, "absent", "x", "y")), "fail");
+}
+
+TEST(KvStateMachineTest, MalformedCommandsAreDeterministicNoOps) {
+  KvStateMachine kv;
+  EXPECT_EQ(kv.Apply(Command{1, ""}), "<err>");
+  EXPECT_EQ(kv.Apply(Command{2, "boom"}), "<err>");
+  EXPECT_EQ(kv.Apply(Command{3, "put onlykey"}), "<err>");
+  EXPECT_EQ(kv.size(), 0u);
+  EXPECT_EQ(kv.applied_count(), 3u);
+}
+
+TEST(KvStateMachineTest, SameCommandSequenceSameDigest) {
+  KvStateMachine a;
+  KvStateMachine b;
+  const Command script[] = {MakePut(1, "x", "1"), MakePut(2, "y", "2"), MakeDel(3, "x"),
+                            MakeCas(4, "y", "2", "3")};
+  for (const auto& command : script) {
+    a.Apply(command);
+    b.Apply(command);
+  }
+  EXPECT_EQ(a.Digest(), b.Digest());
+}
+
+TEST(KvStateMachineTest, DigestDetectsDivergence) {
+  KvStateMachine a;
+  KvStateMachine b;
+  a.Apply(MakePut(1, "x", "1"));
+  b.Apply(MakePut(1, "x", "2"));
+  EXPECT_NE(a.Digest(), b.Digest());
+}
+
+TEST(KvStateMachineTest, DigestDetectsExtraCommands) {
+  // Same final store, different histories -> different digests (applied_count matters).
+  KvStateMachine a;
+  KvStateMachine b;
+  a.Apply(MakePut(1, "x", "1"));
+  b.Apply(MakePut(1, "x", "1"));
+  b.Apply(MakeGet(2, "x"));  // Read-only, same store, extra command.
+  EXPECT_NE(a.Digest(), b.Digest());
+}
+
+TEST(KvStateMachineTest, DigestFieldSeparation) {
+  KvStateMachine a;
+  KvStateMachine b;
+  a.Apply(MakePut(1, "ab", "c"));
+  b.Apply(MakePut(1, "a", "bc"));
+  EXPECT_NE(a.Digest(), b.Digest());
+}
+
+}  // namespace
+}  // namespace probcon

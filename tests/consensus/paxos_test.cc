@@ -1,0 +1,176 @@
+#include "src/consensus/paxos/paxos_node.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace probcon {
+namespace {
+
+struct PaxosHarness {
+  PaxosHarness(const PaxosConfig& config, uint64_t seed, double drop = 0.0)
+      : simulator(seed),
+        network(&simulator, config.n,
+                std::make_unique<UniformLatencyModel>(5.0, 15.0, drop)),
+        checker(&simulator) {
+    for (int i = 0; i < config.n; ++i) {
+      Command proposal{static_cast<uint64_t>(i + 1), "value-" + std::to_string(i)};
+      nodes.push_back(std::make_unique<PaxosNode>(&simulator, &network, i, config,
+                                                  PaxosTimingConfig{}, &checker, proposal));
+    }
+    for (auto& node : nodes) {
+      node->Start();
+    }
+  }
+
+  int DecidedCount() const {
+    int count = 0;
+    for (const auto& node : nodes) {
+      if (!node->crashed() && node->decided()) {
+        ++count;
+      }
+    }
+    return count;
+  }
+
+  Simulator simulator;
+  Network network;
+  SafetyChecker checker;
+  std::vector<std::unique_ptr<PaxosNode>> nodes;
+};
+
+TEST(PaxosTest, AllNodesDecideTheSameValue) {
+  PaxosHarness harness(PaxosConfig::Standard(5), 1);
+  harness.simulator.Run(30'000.0);
+  EXPECT_EQ(harness.DecidedCount(), 5);
+  EXPECT_TRUE(harness.checker.safe());
+}
+
+TEST(PaxosTest, DecisionIsSomeProposedValue) {
+  PaxosHarness harness(PaxosConfig::Standard(3), 2);
+  harness.simulator.Run(30'000.0);
+  ASSERT_TRUE(harness.nodes[0]->decided());
+  const uint64_t decided_id = harness.nodes[0]->decision().id;
+  EXPECT_GE(decided_id, 1u);
+  EXPECT_LE(decided_id, 3u);  // Validity: one of the proposals.
+}
+
+class PaxosSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PaxosSeedSweep, AgreementAcrossSeeds) {
+  PaxosHarness harness(PaxosConfig::Standard(5), GetParam());
+  harness.simulator.Run(60'000.0);
+  EXPECT_GE(harness.DecidedCount(), 5);
+  EXPECT_TRUE(harness.checker.safe());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PaxosSeedSweep,
+                         ::testing::Values(3, 7, 11, 19, 23, 31, 43, 59));
+
+TEST(PaxosTest, SurvivesMinorityCrashes) {
+  PaxosHarness harness(PaxosConfig::Standard(5), 4);
+  harness.simulator.Schedule(5.0, [&harness]() {
+    harness.nodes[0]->Crash();
+    harness.nodes[1]->Crash();
+  });
+  harness.simulator.Run(60'000.0);
+  EXPECT_EQ(harness.DecidedCount(), 3);
+  EXPECT_TRUE(harness.checker.safe());
+}
+
+TEST(PaxosTest, MajorityCrashBlocksDecision) {
+  PaxosHarness harness(PaxosConfig::Standard(5), 5);
+  harness.simulator.Schedule(1.0, [&harness]() {
+    harness.nodes[0]->Crash();
+    harness.nodes[1]->Crash();
+    harness.nodes[2]->Crash();
+  });
+  harness.simulator.Run(30'000.0);
+  EXPECT_EQ(harness.DecidedCount(), 0);
+  EXPECT_TRUE(harness.checker.safe());
+}
+
+TEST(PaxosTest, RecoveredAcceptorKeepsItsPromises) {
+  PaxosHarness harness(PaxosConfig::Standard(3), 6);
+  harness.simulator.Schedule(50.0, [&harness]() { harness.nodes[2]->Crash(); });
+  harness.simulator.Schedule(2'000.0, [&harness]() { harness.nodes[2]->Recover(); });
+  harness.simulator.Run(60'000.0);
+  EXPECT_EQ(harness.DecidedCount(), 3);
+  EXPECT_TRUE(harness.checker.safe());
+}
+
+TEST(PaxosTest, DuelingProposersConverge) {
+  // Zero initial delay spread forces every node to propose at once; backoff must break the
+  // ties eventually.
+  PaxosConfig config = PaxosConfig::Standard(5);
+  Simulator simulator(7);
+  Network network(&simulator, 5, std::make_unique<UniformLatencyModel>(5.0, 15.0));
+  SafetyChecker checker(&simulator);
+  PaxosTimingConfig timing;
+  timing.initial_delay_max = 0.001;
+  std::vector<std::unique_ptr<PaxosNode>> nodes;
+  for (int i = 0; i < 5; ++i) {
+    nodes.push_back(std::make_unique<PaxosNode>(
+        &simulator, &network, i, config, timing, &checker,
+        Command{static_cast<uint64_t>(i + 1), "v"}));
+  }
+  for (auto& node : nodes) {
+    node->Start();
+  }
+  simulator.Run(120'000.0);
+  int decided = 0;
+  for (const auto& node : nodes) {
+    decided += node->decided() ? 1 : 0;
+  }
+  EXPECT_EQ(decided, 5);
+  EXPECT_TRUE(checker.safe());
+}
+
+TEST(PaxosTest, FlexibleQuorumsSafeWhenTheyIntersect) {
+  // q1=2, q2=4 on n=5: q1+q2 > n, structurally safe per Flexible Paxos.
+  PaxosConfig config{5, 2, 4};
+  ASSERT_TRUE(config.IsStructurallySafe());
+  PaxosHarness harness(config, 8);
+  harness.simulator.Run(60'000.0);
+  EXPECT_GE(harness.DecidedCount(), 4);
+  EXPECT_TRUE(harness.checker.safe());
+}
+
+TEST(PaxosTest, NonIntersectingQuorumsViolateSafetyUnderPartition) {
+  // q1=2, q2=2 on n=5: q1+q2 <= n. Two partitioned proposers can each assemble disjoint
+  // quorums and decide different values.
+  PaxosConfig config{5, 2, 2};
+  ASSERT_FALSE(config.IsStructurallySafe());
+  int violations = 0;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    PaxosHarness harness(config, seed * 97);
+    harness.network.SetPartition({0, 0, 1, 1, 1});
+    harness.simulator.Run(20'000.0);
+    harness.network.ClearPartition();
+    harness.simulator.Run(40'000.0);
+    if (!harness.checker.safe()) {
+      ++violations;
+    }
+  }
+  EXPECT_GT(violations, 5);
+}
+
+TEST(PaxosTest, ToleratesMessageLoss) {
+  PaxosHarness harness(PaxosConfig::Standard(5), 9, /*drop=*/0.05);
+  harness.simulator.Run(120'000.0);
+  EXPECT_GE(harness.DecidedCount(), 4);
+  EXPECT_TRUE(harness.checker.safe());
+}
+
+TEST(PaxosTest, DeterministicGivenSeed) {
+  auto run = [](uint64_t seed) {
+    PaxosHarness harness(PaxosConfig::Standard(3), seed);
+    harness.simulator.Run(30'000.0);
+    return harness.nodes[0]->decided() ? harness.nodes[0]->decision().id : 0;
+  };
+  EXPECT_EQ(run(55), run(55));
+}
+
+}  // namespace
+}  // namespace probcon

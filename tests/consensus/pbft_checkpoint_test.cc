@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "src/consensus/pbft/pbft_cluster.h"
+
+namespace probcon {
+namespace {
+
+PbftClusterOptions CheckpointOptions(uint64_t seed, uint64_t interval) {
+  PbftClusterOptions options;
+  options.config = PbftConfig::Standard(4);
+  options.timing.checkpoint_interval = interval;
+  options.seed = seed;
+  options.client_interval = 40.0;
+  return options;
+}
+
+TEST(PbftCheckpointTest, GarbageCollectionBoundsSlotState) {
+  PbftCluster cluster(CheckpointOptions(1, 20));
+  cluster.Start();
+  cluster.RunUntil(20'000.0);
+  EXPECT_TRUE(cluster.checker().safe());
+  EXPECT_GT(cluster.checker().committed_slots(), 200u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_GT(cluster.node(i).stable_checkpoint(), 100u) << i;
+    // Retained state is bounded near the checkpoint interval, not the full history.
+    EXPECT_LT(cluster.node(i).retained_slot_count(), 120u) << i;
+  }
+}
+
+TEST(PbftCheckpointTest, DisabledIntervalRetainsEverything) {
+  PbftCluster cluster(CheckpointOptions(2, 0));
+  cluster.Start();
+  cluster.RunUntil(10'000.0);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(cluster.node(i).stable_checkpoint(), 0u);
+    EXPECT_GE(cluster.node(i).retained_slot_count(),
+              cluster.node(i).executed_count());
+  }
+}
+
+TEST(PbftCheckpointTest, LaggardAdoptsCertifiedCheckpoint) {
+  PbftCluster cluster(CheckpointOptions(3, 20));
+  cluster.Start();
+  cluster.RunUntil(1'000.0);
+  cluster.node(3).Crash();
+  cluster.RunUntil(12'000.0);
+  const uint64_t frontier = cluster.checker().max_committed_slot();
+  ASSERT_GT(frontier, 100u);
+  cluster.node(3).Recover();
+  cluster.RunUntil(30'000.0);
+  EXPECT_TRUE(cluster.checker().safe());
+  // The recovered replica jumped to a certified checkpoint and kept executing.
+  EXPECT_GT(cluster.node(3).stable_checkpoint(), 50u);
+  EXPECT_GT(cluster.node(3).executed_count(), frontier);
+}
+
+TEST(PbftCheckpointTest, SurvivesViewChangeWithGc) {
+  PbftClusterOptions options = CheckpointOptions(4, 15);
+  options.behaviors = {ByzantineBehavior::kSilent, ByzantineBehavior::kHonest,
+                       ByzantineBehavior::kHonest, ByzantineBehavior::kHonest};
+  PbftCluster cluster(options);
+  cluster.Start();
+  cluster.RunUntil(25'000.0);
+  EXPECT_TRUE(cluster.checker().safe());
+  EXPECT_GT(cluster.checker().committed_slots(), 50u);  // View >= 1 made progress.
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_GT(cluster.node(i).stable_checkpoint(), 0u) << i;
+  }
+}
+
+TEST(PbftCheckpointTest, ByzantineVotersCannotForgeStableCheckpoint) {
+  // Two Byzantine voters < q_per = 3 cannot certify a bogus checkpoint by themselves, so
+  // honest replicas' stable points never exceed what was actually executed.
+  PbftClusterOptions options = CheckpointOptions(5, 10);
+  options.behaviors = {ByzantineBehavior::kHonest, ByzantineBehavior::kHonest,
+                       ByzantineBehavior::kPromiscuous, ByzantineBehavior::kSilent};
+  PbftCluster cluster(options);
+  cluster.Start();
+  cluster.RunUntil(15'000.0);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_LE(cluster.node(i).stable_checkpoint(), cluster.node(i).executed_count()) << i;
+  }
+  EXPECT_TRUE(cluster.checker().safe());
+}
+
+}  // namespace
+}  // namespace probcon

@@ -1,0 +1,159 @@
+#include "src/consensus/pbft/pbft_cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace probcon {
+namespace {
+
+PbftClusterOptions DefaultOptions(int n, uint64_t seed) {
+  PbftClusterOptions options;
+  options.config = PbftConfig::Standard(n);
+  options.seed = seed;
+  return options;
+}
+
+TEST(PbftTest, HealthyClusterCommits) {
+  PbftCluster cluster(DefaultOptions(4, 1));
+  cluster.Start();
+  cluster.RunUntil(10'000.0);
+  EXPECT_TRUE(cluster.checker().safe());
+  EXPECT_GT(cluster.checker().committed_slots(), 50u);
+}
+
+TEST(PbftTest, AllReplicasExecuteTheSamePrefix) {
+  PbftCluster cluster(DefaultOptions(4, 2));
+  cluster.Start();
+  cluster.RunUntil(5'000.0);
+  EXPECT_TRUE(cluster.checker().safe());
+  uint64_t min_executed = UINT64_MAX;
+  for (int i = 0; i < 4; ++i) {
+    min_executed = std::min(min_executed, cluster.node(i).executed_count());
+  }
+  EXPECT_GT(min_executed, 10u);
+}
+
+TEST(PbftTest, ToleratesOneSilentReplica) {
+  PbftClusterOptions options = DefaultOptions(4, 3);
+  options.behaviors = {ByzantineBehavior::kHonest, ByzantineBehavior::kHonest,
+                       ByzantineBehavior::kHonest, ByzantineBehavior::kSilent};
+  PbftCluster cluster(options);
+  cluster.Start();
+  cluster.RunUntil(10'000.0);
+  EXPECT_TRUE(cluster.checker().safe());
+  EXPECT_GT(cluster.checker().committed_slots(), 30u);
+}
+
+TEST(PbftTest, SilentLeaderTriggersViewChange) {
+  PbftClusterOptions options = DefaultOptions(4, 4);
+  // Node 0 leads view 0 and says nothing.
+  options.behaviors = {ByzantineBehavior::kSilent, ByzantineBehavior::kHonest,
+                       ByzantineBehavior::kHonest, ByzantineBehavior::kHonest};
+  PbftCluster cluster(options);
+  cluster.Start();
+  cluster.RunUntil(15'000.0);
+  EXPECT_TRUE(cluster.checker().safe());
+  EXPECT_GT(cluster.checker().committed_slots(), 10u);  // Progress resumed in view >= 1.
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_GE(cluster.node(i).view(), 1u) << i;
+  }
+}
+
+TEST(PbftTest, ToleratesOneEquivocatingLeader) {
+  // f = 1 at n = 4: a single Byzantine (even the leader) must not break safety.
+  PbftClusterOptions options = DefaultOptions(4, 5);
+  options.behaviors = {ByzantineBehavior::kEquivocate, ByzantineBehavior::kHonest,
+                       ByzantineBehavior::kHonest, ByzantineBehavior::kHonest};
+  PbftCluster cluster(options);
+  cluster.Start();
+  cluster.RunUntil(15'000.0);
+  EXPECT_TRUE(cluster.checker().safe());
+}
+
+TEST(PbftTest, TwoByzantineBreakSafetyAtNEqualsFour) {
+  // |Byz| = 2 exceeds Theorem 3.1's threshold (< 2) at n=4: conflicting commits occur in
+  // most schedules. Require at least half of a seed sweep to produce real violations.
+  int violating_runs = 0;
+  constexpr int kRuns = 6;
+  for (uint64_t seed = 1; seed <= kRuns; ++seed) {
+    PbftClusterOptions options = DefaultOptions(4, seed * 13);
+    options.behaviors = {ByzantineBehavior::kEquivocate, ByzantineBehavior::kPromiscuous,
+                         ByzantineBehavior::kHonest, ByzantineBehavior::kHonest};
+    PbftCluster cluster(options);
+    cluster.Start();
+    cluster.RunUntil(20'000.0);
+    if (!cluster.checker().safe()) {
+      ++violating_runs;
+    }
+  }
+  EXPECT_GE(violating_runs, kRuns / 2);
+}
+
+TEST(PbftTest, SevenNodesTolerateTwoByzantine) {
+  PbftClusterOptions options = DefaultOptions(7, 7);
+  options.behaviors = {ByzantineBehavior::kEquivocate, ByzantineBehavior::kPromiscuous,
+                       ByzantineBehavior::kHonest,     ByzantineBehavior::kHonest,
+                       ByzantineBehavior::kHonest,     ByzantineBehavior::kHonest,
+                       ByzantineBehavior::kHonest};
+  PbftCluster cluster(options);
+  cluster.Start();
+  cluster.RunUntil(20'000.0);
+  EXPECT_TRUE(cluster.checker().safe());
+  EXPECT_GT(cluster.checker().committed_slots(), 10u);
+}
+
+TEST(PbftTest, CrashMinorityKeepsCommitting) {
+  PbftCluster cluster(DefaultOptions(4, 8));
+  cluster.Start();
+  cluster.RunUntil(2'000.0);
+  cluster.node(3).Crash();
+  const uint64_t before = cluster.checker().committed_slots();
+  cluster.RunUntil(12'000.0);
+  EXPECT_GT(cluster.checker().committed_slots(), before + 10);
+  EXPECT_TRUE(cluster.checker().safe());
+}
+
+TEST(PbftTest, CrashLeaderRecoversViaViewChange) {
+  PbftCluster cluster(DefaultOptions(4, 9));
+  cluster.Start();
+  cluster.RunUntil(2'000.0);
+  cluster.node(0).Crash();  // View-0 leader.
+  cluster.RunUntil(15'000.0);
+  EXPECT_TRUE(cluster.checker().safe());
+  EXPECT_GT(cluster.checker().committed_slots(), 20u);
+}
+
+TEST(PbftTest, TwoCrashesAtNEqualsFourHaltProgress) {
+  PbftCluster cluster(DefaultOptions(4, 10));
+  cluster.Start();
+  cluster.RunUntil(2'000.0);
+  cluster.node(2).Crash();
+  cluster.node(3).Crash();
+  cluster.RunUntil(3'000.0);
+  const uint64_t stalled_at = cluster.checker().max_committed_slot();
+  cluster.RunUntil(20'000.0);
+  EXPECT_LE(cluster.checker().max_committed_slot(), stalled_at + 1);
+  EXPECT_TRUE(cluster.checker().safe());  // Halt, not corruption.
+}
+
+TEST(PbftTest, DeterministicGivenSeed) {
+  auto run = [](uint64_t seed) {
+    PbftCluster cluster(DefaultOptions(4, seed));
+    cluster.Start();
+    cluster.RunUntil(5'000.0);
+    return cluster.checker().committed_slots();
+  };
+  EXPECT_EQ(run(77), run(77));
+}
+
+TEST(PbftTest, SurvivesMessageLoss) {
+  PbftClusterOptions options = DefaultOptions(4, 11);
+  options.network_drop_probability = 0.03;
+  PbftCluster cluster(options);
+  cluster.Start();
+  cluster.RunUntil(20'000.0);
+  EXPECT_TRUE(cluster.checker().safe());
+  EXPECT_GT(cluster.checker().committed_slots(), 20u);
+}
+
+}  // namespace
+}  // namespace probcon

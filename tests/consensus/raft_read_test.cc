@@ -1,0 +1,97 @@
+#include <optional>
+
+#include <gtest/gtest.h>
+
+#include "src/consensus/raft/raft_cluster.h"
+
+namespace probcon {
+namespace {
+
+RaftClusterOptions Options(uint64_t seed) {
+  RaftClusterOptions options;
+  options.config = RaftConfig::Standard(5);
+  options.seed = seed;
+  return options;
+}
+
+TEST(RaftReadTest, NonLeaderRejectsImmediately) {
+  RaftCluster cluster(Options(1));
+  cluster.Start();
+  cluster.RunUntil(2'000.0);
+  const int leader = cluster.LeaderId();
+  ASSERT_GE(leader, 0);
+  const int follower = (leader + 1) % 5;
+  EXPECT_FALSE(cluster.node(follower).RequestRead([](uint64_t) { FAIL(); }));
+}
+
+TEST(RaftReadTest, LeaderConfirmsReadAtCommitIndex) {
+  RaftCluster cluster(Options(2));
+  cluster.Start();
+  cluster.RunUntil(3'000.0);
+  const int leader = cluster.LeaderId();
+  ASSERT_GE(leader, 0);
+  const uint64_t commit_at_request = cluster.node(leader).commit_index();
+  ASSERT_GT(commit_at_request, 0u);
+  std::optional<uint64_t> served;
+  ASSERT_TRUE(cluster.node(leader).RequestRead([&](uint64_t index) { served = index; }));
+  cluster.RunUntil(4'000.0);
+  ASSERT_TRUE(served.has_value());
+  // The read barrier reflects everything committed at request time.
+  EXPECT_GE(*served, commit_at_request);
+}
+
+TEST(RaftReadTest, ReadIndexIsMonotone) {
+  RaftCluster cluster(Options(3));
+  cluster.Start();
+  cluster.RunUntil(3'000.0);
+  const int leader = cluster.LeaderId();
+  ASSERT_GE(leader, 0);
+  std::vector<uint64_t> served;
+  for (int round = 0; round < 5; ++round) {
+    cluster.node(leader).RequestRead([&](uint64_t index) { served.push_back(index); });
+    cluster.RunUntil(3'000.0 + 500.0 * (round + 1));
+  }
+  ASSERT_EQ(served.size(), 5u);
+  for (size_t i = 1; i < served.size(); ++i) {
+    EXPECT_GE(served[i], served[i - 1]);
+  }
+}
+
+TEST(RaftReadTest, PartitionedStaleLeaderNeverServesReads) {
+  RaftCluster cluster(Options(4));
+  cluster.Start();
+  cluster.RunUntil(3'000.0);
+  const int old_leader = cluster.LeaderId();
+  ASSERT_GE(old_leader, 0);
+  // Isolate the leader with a single follower (minority): it cannot gather q_vc - 1 acks.
+  std::vector<int> groups(5, 1);
+  groups[old_leader] = 0;
+  groups[(old_leader + 1) % 5] = 0;
+  cluster.network().SetPartition(groups);
+  cluster.RunUntil(3'100.0);  // Let in-flight acks drain before issuing the read.
+
+  bool served = false;
+  if (cluster.node(old_leader).is_leader()) {
+    cluster.node(old_leader).RequestRead([&](uint64_t) { served = true; });
+  }
+  cluster.RunUntil(15'000.0);  // Majority side elects a new leader and commits meanwhile.
+  EXPECT_FALSE(served);  // The stale leader's read was dropped, never answered stale.
+  EXPECT_TRUE(cluster.checker().safe());
+}
+
+TEST(RaftReadTest, CrashDropsPendingReads) {
+  RaftCluster cluster(Options(5));
+  cluster.Start();
+  cluster.RunUntil(3'000.0);
+  const int leader = cluster.LeaderId();
+  ASSERT_GE(leader, 0);
+  bool served = false;
+  // Crash the leader in the same instant the read is registered (before any acks).
+  cluster.node(leader).RequestRead([&](uint64_t) { served = true; });
+  cluster.node(leader).Crash();
+  cluster.RunUntil(20'000.0);
+  EXPECT_FALSE(served);
+}
+
+}  // namespace
+}  // namespace probcon

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "src/consensus/raft/raft_cluster.h"
+
+namespace probcon {
+namespace {
+
+RaftClusterOptions SnapshotOptions(uint64_t seed, uint64_t threshold) {
+  RaftClusterOptions options;
+  options.config = RaftConfig::Standard(3);
+  options.timing.snapshot_threshold = threshold;
+  options.seed = seed;
+  options.client_interval = 30.0;
+  return options;
+}
+
+TEST(RaftSnapshotTest, CompactionKeepsClusterSafeAndLive) {
+  RaftCluster cluster(SnapshotOptions(1, 50));
+  cluster.Start();
+  cluster.RunUntil(20'000.0);
+  EXPECT_TRUE(cluster.checker().safe());
+  EXPECT_GT(cluster.checker().committed_slots(), 300u);
+  // Compaction actually happened and bounded the retained log.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_GT(cluster.node(i).snapshot_last_index(), 0u) << i;
+    EXPECT_LT(cluster.node(i).log().size(), 200u) << i;
+  }
+}
+
+TEST(RaftSnapshotTest, DisabledThresholdNeverCompacts) {
+  RaftCluster cluster(SnapshotOptions(2, 0));
+  cluster.Start();
+  cluster.RunUntil(5'000.0);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(cluster.node(i).snapshot_last_index(), 0u);
+  }
+}
+
+TEST(RaftSnapshotTest, StragglerCatchesUpViaInstallSnapshot) {
+  RaftCluster cluster(SnapshotOptions(3, 40));
+  cluster.Start();
+  cluster.RunUntil(1'000.0);
+  // Take one follower down long enough that the leader compacts past its log.
+  const int leader = cluster.LeaderId();
+  ASSERT_GE(leader, 0);
+  const int straggler = (leader + 1) % 3;
+  cluster.node(straggler).Crash();
+  cluster.RunUntil(15'000.0);
+
+  cluster.node(straggler).Recover();
+  cluster.RunUntil(30'000.0);
+  EXPECT_TRUE(cluster.checker().safe());
+  // The straggler must have adopted a snapshot (its own log cannot reach back to slot 1).
+  EXPECT_GT(cluster.node(straggler).snapshot_last_index(), 0u);
+  // And caught up to within a heartbeat of the cluster.
+  const uint64_t cluster_commit = cluster.checker().max_committed_slot();
+  EXPECT_GT(cluster.node(straggler).commit_index() + 50, cluster_commit);
+}
+
+TEST(RaftSnapshotTest, SnapshotSurvivesCrashRecover) {
+  RaftCluster cluster(SnapshotOptions(4, 30));
+  cluster.Start();
+  cluster.RunUntil(8'000.0);
+  const uint64_t before = cluster.node(0).snapshot_last_index();
+  ASSERT_GT(before, 0u);
+  cluster.node(0).Crash();
+  cluster.simulator().Run(cluster.simulator().Now() + 500.0);
+  cluster.node(0).Recover();
+  // Durable snapshot state restored; commit index starts from it, not zero.
+  EXPECT_GE(cluster.node(0).snapshot_last_index(), before);
+  EXPECT_GE(cluster.node(0).commit_index(), before);
+  cluster.RunUntil(20'000.0);
+  EXPECT_TRUE(cluster.checker().safe());
+}
+
+TEST(RaftSnapshotTest, ChurnWithCompactionStaysConsistent) {
+  RaftCluster cluster(SnapshotOptions(5, 25));
+  cluster.Start();
+  // Rolling restarts across the whole cluster while compaction churns.
+  for (int round = 0; round < 6; ++round) {
+    const int victim = round % 3;
+    cluster.simulator().ScheduleAt(2'000.0 + 3'000.0 * round, [&cluster, victim]() {
+      if (!cluster.node(victim).crashed()) {
+        cluster.node(victim).Crash();
+      }
+    });
+    cluster.simulator().ScheduleAt(3'500.0 + 3'000.0 * round, [&cluster, victim]() {
+      if (cluster.node(victim).crashed()) {
+        cluster.node(victim).Recover();
+      }
+    });
+  }
+  cluster.RunUntil(40'000.0);
+  EXPECT_TRUE(cluster.checker().safe());
+  EXPECT_GT(cluster.checker().committed_slots(), 400u);
+}
+
+}  // namespace
+}  // namespace probcon

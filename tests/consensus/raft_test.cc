@@ -1,0 +1,210 @@
+#include "src/consensus/raft/raft_cluster.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/faultmodel/fault_curve.h"
+#include "src/sim/failure_injector.h"
+
+namespace probcon {
+namespace {
+
+RaftClusterOptions DefaultOptions(int n, uint64_t seed) {
+  RaftClusterOptions options;
+  options.config = RaftConfig::Standard(n);
+  options.seed = seed;
+  return options;
+}
+
+TEST(RaftTest, ElectsExactlyOneLeader) {
+  RaftCluster cluster(DefaultOptions(5, 1));
+  cluster.Start();
+  cluster.RunUntil(2'000.0);
+  int leaders = 0;
+  for (int i = 0; i < 5; ++i) {
+    if (cluster.node(i).is_leader()) {
+      ++leaders;
+    }
+  }
+  EXPECT_EQ(leaders, 1);
+}
+
+TEST(RaftTest, CommitsClientCommands) {
+  RaftCluster cluster(DefaultOptions(3, 2));
+  cluster.Start();
+  cluster.RunUntil(10'000.0);
+  EXPECT_GT(cluster.checker().committed_slots(), 50u);
+  EXPECT_TRUE(cluster.checker().safe());
+}
+
+TEST(RaftTest, AllNodesConvergeOnTheLog) {
+  RaftCluster cluster(DefaultOptions(5, 3));
+  cluster.Start();
+  cluster.RunUntil(5'000.0);
+  // Every pair of nodes agrees on the committed prefix (checker enforces it, but also check
+  // the logs directly).
+  const auto& reference = cluster.node(0).log();
+  for (int i = 1; i < 5; ++i) {
+    const auto& log = cluster.node(i).log();
+    const size_t shared = std::min(
+        {log.size(), reference.size(), static_cast<size_t>(cluster.node(i).commit_index()),
+         static_cast<size_t>(cluster.node(0).commit_index())});
+    for (size_t slot = 0; slot < shared; ++slot) {
+      EXPECT_EQ(log[slot], reference[slot]) << "node " << i << " slot " << slot;
+    }
+  }
+}
+
+TEST(RaftTest, SurvivesLeaderCrash) {
+  RaftCluster cluster(DefaultOptions(5, 4));
+  cluster.Start();
+  cluster.RunUntil(2'000.0);
+  const int leader = cluster.LeaderId();
+  ASSERT_GE(leader, 0);
+  const uint64_t before = cluster.checker().committed_slots();
+  cluster.node(leader).Crash();
+  cluster.RunUntil(12'000.0);
+  EXPECT_GT(cluster.checker().committed_slots(), before + 20);
+  EXPECT_TRUE(cluster.checker().safe());
+  const int new_leader = cluster.LeaderId();
+  EXPECT_GE(new_leader, 0);
+  EXPECT_NE(new_leader, leader);
+}
+
+TEST(RaftTest, MinorityCrashKeepsLiveness) {
+  RaftCluster cluster(DefaultOptions(5, 5));
+  cluster.Start();
+  cluster.RunUntil(1'000.0);
+  cluster.node(0).Crash();
+  cluster.node(1).Crash();
+  const uint64_t before = cluster.checker().committed_slots();
+  cluster.RunUntil(15'000.0);
+  EXPECT_GT(cluster.checker().committed_slots(), before + 20);
+  EXPECT_TRUE(cluster.checker().safe());
+}
+
+TEST(RaftTest, MajorityCrashHaltsProgressWithoutUnsafety) {
+  RaftCluster cluster(DefaultOptions(5, 6));
+  cluster.Start();
+  cluster.RunUntil(2'000.0);
+  cluster.node(0).Crash();
+  cluster.node(1).Crash();
+  cluster.node(2).Crash();
+  cluster.RunUntil(4'000.0);  // Let in-flight commits settle.
+  const uint64_t stalled_at = cluster.checker().max_committed_slot();
+  cluster.RunUntil(20'000.0);
+  // Some straggler commits of already-replicated entries may land, but no new slots commit.
+  EXPECT_LE(cluster.checker().max_committed_slot(), stalled_at + 1);
+  EXPECT_TRUE(cluster.checker().safe());
+}
+
+TEST(RaftTest, CrashedLeaderRecoversAndRejoins) {
+  RaftCluster cluster(DefaultOptions(3, 7));
+  cluster.Start();
+  cluster.RunUntil(2'000.0);
+  const int leader = cluster.LeaderId();
+  ASSERT_GE(leader, 0);
+  cluster.node(leader).Crash();
+  cluster.RunUntil(6'000.0);
+  cluster.node(leader).Recover();
+  cluster.RunUntil(14'000.0);
+  EXPECT_TRUE(cluster.checker().safe());
+  // The recovered node catches up with the committed prefix.
+  EXPECT_GT(cluster.node(leader).commit_index(), 0u);
+}
+
+TEST(RaftTest, PartitionedMinorityCannotCommit) {
+  RaftCluster cluster(DefaultOptions(5, 8));
+  cluster.Start();
+  cluster.RunUntil(2'000.0);
+  // Cut nodes {0,1} off.
+  cluster.network().SetPartition({1, 1, 0, 0, 0});
+  cluster.RunUntil(10'000.0);
+  cluster.network().ClearPartition();
+  cluster.RunUntil(20'000.0);
+  EXPECT_TRUE(cluster.checker().safe());
+  EXPECT_GT(cluster.checker().committed_slots(), 100u);
+}
+
+TEST(RaftTest, FlexibleQuorumsSafeVariant) {
+  // q_per=2, q_vc=4 on n=5 satisfies Theorem 3.2; must behave safely.
+  RaftClusterOptions options = DefaultOptions(5, 9);
+  options.config = RaftConfig{5, 2, 4};
+  RaftCluster cluster(options);
+  cluster.Start();
+  cluster.RunUntil(10'000.0);
+  EXPECT_TRUE(cluster.checker().safe());
+  EXPECT_GT(cluster.checker().committed_slots(), 50u);
+}
+
+TEST(RaftTest, TheoremViolatingQuorumsProduceRealViolations) {
+  // q_vc=2 on n=5 lets two leaders coexist in disjoint vote sets (N >= 2*q_vc). With
+  // repeated crash-recovery churn this manifests as conflicting commits. This is E8's
+  // negative control: the SafetyChecker must catch the analytical prediction coming true.
+  int violating_runs = 0;
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    RaftClusterOptions options = DefaultOptions(5, seed * 101);
+    options.config = RaftConfig{5, 2, 2};  // Unsafe: quorums need not intersect.
+    RaftCluster cluster(options);
+    cluster.Start();
+    // Partition into two halves able to elect independently, then heal.
+    cluster.RunUntil(1'000.0);
+    cluster.network().SetPartition({0, 0, 1, 1, 1});
+    cluster.RunUntil(6'000.0);
+    cluster.network().ClearPartition();
+    cluster.RunUntil(12'000.0);
+    if (!cluster.checker().safe()) {
+      ++violating_runs;
+    }
+  }
+  EXPECT_GT(violating_runs, 0);
+}
+
+TEST(RaftTest, DeterministicGivenSeed) {
+  auto run = [](uint64_t seed) {
+    RaftCluster cluster(DefaultOptions(3, seed));
+    cluster.Start();
+    cluster.RunUntil(5'000.0);
+    return cluster.checker().committed_slots();
+  };
+  EXPECT_EQ(run(42), run(42));
+}
+
+TEST(RaftTest, CommitLatencyIsBounded) {
+  RaftCluster cluster(DefaultOptions(3, 10));
+  cluster.Start();
+  cluster.RunUntil(20'000.0);
+  ASSERT_FALSE(cluster.checker().commit_latency().empty());
+  // One round trip at 5-15ms per hop: mean well under 100ms in the steady state.
+  EXPECT_LT(cluster.checker().commit_latency().Mean(), 100.0);
+}
+
+TEST(RaftTest, WorksUnderMessageLoss) {
+  RaftClusterOptions options = DefaultOptions(3, 11);
+  options.network_drop_probability = 0.05;
+  RaftCluster cluster(options);
+  cluster.Start();
+  cluster.RunUntil(20'000.0);
+  EXPECT_TRUE(cluster.checker().safe());
+  EXPECT_GT(cluster.checker().committed_slots(), 30u);
+}
+
+TEST(RaftTest, FaultCurveDrivenChurnStaysSafe) {
+  RaftCluster cluster(DefaultOptions(5, 12));
+  std::vector<std::unique_ptr<FaultCurve>> curves;
+  for (int i = 0; i < 5; ++i) {
+    curves.push_back(std::make_unique<ConstantFaultCurve>(
+        ConstantFaultCurve::FromWindowProbability(0.5, 30'000.0)));
+  }
+  FailureInjector injector(&cluster.simulator(), cluster.processes(), std::move(curves),
+                           /*repair_rate=*/1.0 / 2'000.0);
+  cluster.Start();
+  injector.Arm();
+  cluster.RunUntil(60'000.0);
+  EXPECT_TRUE(cluster.checker().safe());
+  EXPECT_GT(injector.crash_count(), 0);
+}
+
+}  // namespace
+}  // namespace probcon

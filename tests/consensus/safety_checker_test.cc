@@ -1,0 +1,76 @@
+#include "src/consensus/common/safety_checker.h"
+
+#include <gtest/gtest.h>
+
+namespace probcon {
+namespace {
+
+class SafetyCheckerTest : public ::testing::Test {
+ protected:
+  Simulator sim_{1};
+  SafetyChecker checker_{&sim_};
+};
+
+TEST_F(SafetyCheckerTest, AgreementIsSafe) {
+  const Command cmd{1, "x"};
+  checker_.RecordCommit(0, 1, cmd);
+  checker_.RecordCommit(1, 1, cmd);
+  checker_.RecordCommit(2, 1, cmd);
+  EXPECT_TRUE(checker_.safe());
+  EXPECT_EQ(checker_.committed_slots(), 1u);
+  EXPECT_EQ(checker_.total_commit_reports(), 3u);
+}
+
+TEST_F(SafetyCheckerTest, ConflictingCommitsAreViolations) {
+  checker_.RecordCommit(0, 1, Command{1, "x"});
+  checker_.RecordCommit(1, 1, Command{2, "y"});
+  ASSERT_FALSE(checker_.safe());
+  const auto& violation = checker_.violations().front();
+  EXPECT_EQ(violation.slot, 1u);
+  EXPECT_EQ(violation.first_command.id, 1u);
+  EXPECT_EQ(violation.second_command.id, 2u);
+  EXPECT_NE(violation.Describe().find("slot 1"), std::string::npos);
+}
+
+TEST_F(SafetyCheckerTest, SameSlotDifferentNodesSameCommandOk) {
+  checker_.RecordCommit(0, 7, Command{9, "z"});
+  checker_.RecordCommit(3, 7, Command{9, "z"});
+  EXPECT_TRUE(checker_.safe());
+}
+
+TEST_F(SafetyCheckerTest, NodeChangingItsMindIsAViolation) {
+  checker_.RecordCommit(0, 1, Command{1, "x"});
+  checker_.RecordCommit(0, 1, Command{2, "y"});  // Same node, same slot, new command.
+  EXPECT_FALSE(checker_.safe());
+}
+
+TEST_F(SafetyCheckerTest, IdempotentRecommitIsNotAViolation) {
+  checker_.RecordCommit(0, 1, Command{1, "x"});
+  checker_.RecordCommit(0, 1, Command{1, "x"});  // Recovery replay.
+  EXPECT_TRUE(checker_.safe());
+}
+
+TEST_F(SafetyCheckerTest, DifferentSlotsNeverConflict) {
+  checker_.RecordCommit(0, 1, Command{1, "x"});
+  checker_.RecordCommit(1, 2, Command{2, "y"});
+  EXPECT_TRUE(checker_.safe());
+  EXPECT_EQ(checker_.max_committed_slot(), 2u);
+}
+
+TEST_F(SafetyCheckerTest, LatencyMeasuredFromSubmission) {
+  const Command cmd{5, "op"};
+  sim_.Schedule(10.0, [this, cmd]() { checker_.RecordSubmission(cmd); });
+  sim_.Schedule(35.0, [this, cmd]() { checker_.RecordCommit(0, 1, cmd); });
+  sim_.Schedule(60.0, [this, cmd]() { checker_.RecordCommit(1, 1, cmd); });  // Later copy.
+  sim_.Run(100.0);
+  ASSERT_EQ(checker_.commit_latency().count(), 1u);  // First commit only.
+  EXPECT_DOUBLE_EQ(checker_.commit_latency().Mean(), 25.0);
+}
+
+TEST_F(SafetyCheckerTest, MaxCommittedSlotEmpty) {
+  EXPECT_EQ(checker_.max_committed_slot(), 0u);
+  EXPECT_EQ(checker_.committed_slots(), 0u);
+}
+
+}  // namespace
+}  // namespace probcon

@@ -1,0 +1,56 @@
+#include "src/faultmodel/afr.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace probcon {
+namespace {
+
+TEST(AfrTest, RateRoundTrip) {
+  for (const double afr : {0.001, 0.01, 0.04, 0.08, 0.5}) {
+    EXPECT_NEAR(AfrFromRate(RateFromAfr(afr)), afr, 1e-12) << afr;
+  }
+}
+
+TEST(AfrTest, MtbfRoundTrip) {
+  for (const double afr : {0.005, 0.02, 0.3}) {
+    EXPECT_NEAR(AfrFromMtbfHours(MtbfHoursFromAfr(afr)), afr, 1e-12) << afr;
+  }
+}
+
+TEST(AfrTest, SmallAfrApproximatesLinearRate) {
+  // For small AFR, rate * hours_per_year ~ AFR.
+  const double rate = RateFromAfr(0.01);
+  EXPECT_NEAR(rate * kHoursPerYear, 0.01, 1e-4);
+}
+
+TEST(AfrTest, BackblazeScaleSanity) {
+  // A 1% AFR drive has an MTBF near 872,000 hours.
+  EXPECT_NEAR(MtbfHoursFromAfr(0.01), kHoursPerYear / 0.01, kHoursPerYear);
+}
+
+TEST(AfrTest, RescaleWindowIdentity) {
+  EXPECT_NEAR(RescaleWindowProbability(0.08, 24.0, 24.0), 0.08, 1e-12);
+}
+
+TEST(AfrTest, RescaleWindowHalving) {
+  const double daily = 0.02;
+  const double half_day = RescaleWindowProbability(daily, 24.0, 12.0);
+  // Two half-days compose back to a day.
+  EXPECT_NEAR(1.0 - (1.0 - half_day) * (1.0 - half_day), daily, 1e-12);
+}
+
+TEST(AfrTest, RescaleWindowGrowth) {
+  const double weekly = RescaleWindowProbability(0.01, 24.0, 168.0);
+  EXPECT_GT(weekly, 0.01);
+  EXPECT_LT(weekly, 0.07);  // Sub-linear due to compounding.
+}
+
+TEST(AfrTest, ZeroAfrIsZeroRate) {
+  EXPECT_DOUBLE_EQ(RateFromAfr(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(AfrFromRate(0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace probcon

@@ -1,0 +1,172 @@
+#include "src/faultmodel/estimator.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/faultmodel/fault_curve.h"
+
+namespace probcon {
+namespace {
+
+// Synthesizes right-censored observations from a ground-truth curve.
+std::vector<LifetimeObservation> Synthesize(const FaultCurve& truth, int devices,
+                                            double window, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<LifetimeObservation> observations;
+  for (int i = 0; i < devices; ++i) {
+    LifetimeObservation obs;
+    obs.entry_age = 0.0;
+    const double failure_age = truth.SampleFailureAge(0.0, rng.NextDouble());
+    if (failure_age <= window) {
+      obs.exit_age = failure_age;
+      obs.failed = true;
+    } else {
+      obs.exit_age = window;
+      obs.failed = false;
+    }
+    observations.push_back(obs);
+  }
+  return observations;
+}
+
+TEST(ValidateTest, RejectsEmptyAndBadIntervals) {
+  EXPECT_FALSE(ValidateObservations({}).ok());
+  EXPECT_FALSE(ValidateObservations({{5.0, 5.0, true}}).ok());
+  EXPECT_FALSE(ValidateObservations({{-1.0, 5.0, true}}).ok());
+  EXPECT_TRUE(ValidateObservations({{0.0, 5.0, true}}).ok());
+}
+
+TEST(ExponentialMleTest, RecoversRate) {
+  const ConstantFaultCurve truth(0.002);
+  const auto observations = Synthesize(truth, 20000, 1000.0, 42);
+  const auto fitted = FitExponential(observations);
+  ASSERT_TRUE(fitted.ok());
+  EXPECT_NEAR(fitted->rate(), 0.002, 0.0002);
+}
+
+TEST(ExponentialMleTest, HandComputedTinyCase) {
+  // 2 failures over total exposure 100 + 50 + 50 = 200 -> rate 0.01.
+  const std::vector<LifetimeObservation> observations = {
+      {0.0, 100.0, true}, {0.0, 50.0, true}, {0.0, 50.0, false}};
+  const auto fitted = FitExponential(observations);
+  ASSERT_TRUE(fitted.ok());
+  EXPECT_NEAR(fitted->rate(), 2.0 / 200.0, 1e-12);
+}
+
+TEST(ExponentialMleTest, NeedsAFailure) {
+  const std::vector<LifetimeObservation> observations = {{0.0, 10.0, false}};
+  EXPECT_FALSE(FitExponential(observations).ok());
+}
+
+TEST(WeibullMleTest, RecoversWearOutShape) {
+  const WeibullFaultCurve truth(3.0, 500.0);
+  const auto observations = Synthesize(truth, 5000, 800.0, 7);
+  const auto fitted = FitWeibull(observations);
+  ASSERT_TRUE(fitted.ok());
+  EXPECT_NEAR(fitted->shape(), 3.0, 0.15);
+  EXPECT_NEAR(fitted->scale(), 500.0, 20.0);
+}
+
+TEST(WeibullMleTest, RecoversInfantMortalityShape) {
+  const WeibullFaultCurve truth(0.6, 2000.0);
+  const auto observations = Synthesize(truth, 5000, 1000.0, 9);
+  const auto fitted = FitWeibull(observations);
+  ASSERT_TRUE(fitted.ok());
+  EXPECT_NEAR(fitted->shape(), 0.6, 0.05);
+}
+
+TEST(WeibullMleTest, HeavyCensoringStillConverges) {
+  // Only ~5% of devices fail within the window.
+  const WeibullFaultCurve truth(2.0, 1000.0);
+  const auto observations = Synthesize(truth, 20000, 230.0, 11);
+  const auto fitted = FitWeibull(observations);
+  ASSERT_TRUE(fitted.ok());
+  EXPECT_NEAR(fitted->shape(), 2.0, 0.25);
+}
+
+TEST(WeibullMleTest, LeftTruncatedObservations) {
+  // Devices observed from age 300 only (fleet joined monitoring late).
+  const WeibullFaultCurve truth(2.5, 600.0);
+  Rng rng(13);
+  std::vector<LifetimeObservation> observations;
+  for (int i = 0; i < 8000; ++i) {
+    LifetimeObservation obs;
+    obs.entry_age = 300.0;
+    const double failure_age = truth.SampleFailureAge(300.0, rng.NextDouble());
+    if (failure_age <= 1200.0) {
+      obs.exit_age = failure_age;
+      obs.failed = true;
+    } else {
+      obs.exit_age = 1200.0;
+      obs.failed = false;
+    }
+    observations.push_back(obs);
+  }
+  const auto fitted = FitWeibull(observations);
+  ASSERT_TRUE(fitted.ok());
+  EXPECT_NEAR(fitted->shape(), 2.5, 0.2);
+  EXPECT_NEAR(fitted->scale(), 600.0, 30.0);
+}
+
+TEST(WeibullMleTest, RejectsDegenerateInput) {
+  EXPECT_FALSE(FitWeibull({{0.0, 5.0, true}}).ok());
+  // Two failures at the SAME age carry no shape information.
+  EXPECT_FALSE(FitWeibull({{0.0, 5.0, true}, {0.0, 5.0, true}}).ok());
+}
+
+TEST(NelsonAalenTest, HandComputedSteps) {
+  // 4 devices: failures at t=1 (4 at risk) and t=2 (3 at risk); 2 censored at t=3.
+  const std::vector<LifetimeObservation> observations = {
+      {0.0, 1.0, true}, {0.0, 2.0, true}, {0.0, 3.0, false}, {0.0, 3.0, false}};
+  const auto points = NelsonAalen(observations);
+  ASSERT_TRUE(points.ok());
+  ASSERT_EQ(points->size(), 3u);
+  EXPECT_DOUBLE_EQ((*points)[0].cumulative_hazard, 0.0);
+  EXPECT_NEAR((*points)[1].cumulative_hazard, 0.25, 1e-12);         // 1/4.
+  EXPECT_NEAR((*points)[2].cumulative_hazard, 0.25 + 1.0 / 3.0, 1e-12);
+}
+
+TEST(NelsonAalenTest, TracksTrueCumulativeHazard) {
+  const ConstantFaultCurve truth(0.01);
+  const auto observations = Synthesize(truth, 20000, 200.0, 21);
+  const auto points = NelsonAalen(observations);
+  ASSERT_TRUE(points.ok());
+  // At t=100, H = 1.0.
+  const TraceFaultCurve curve(*points);
+  EXPECT_NEAR(curve.CumulativeHazard(100.0), 1.0, 0.05);
+}
+
+TEST(NelsonAalenTest, FeedsTraceFaultCurve) {
+  const WeibullFaultCurve truth(2.0, 300.0);
+  const auto observations = Synthesize(truth, 10000, 500.0, 23);
+  const auto points = NelsonAalen(observations);
+  ASSERT_TRUE(points.ok());
+  const TraceFaultCurve empirical(*points);
+  for (double t = 50.0; t <= 400.0; t += 50.0) {
+    EXPECT_NEAR(empirical.CumulativeHazard(t), truth.CumulativeHazard(t),
+                std::max(0.03, truth.CumulativeHazard(t) * 0.1))
+        << "t=" << t;
+  }
+}
+
+TEST(LogLikelihoodTest, TrueModelBeatsWrongModel) {
+  const WeibullFaultCurve truth(3.0, 500.0);
+  const auto observations = Synthesize(truth, 3000, 800.0, 31);
+  const WeibullFaultCurve wrong(0.7, 500.0);
+  EXPECT_GT(LogLikelihood(truth, observations), LogLikelihood(wrong, observations));
+}
+
+TEST(LogLikelihoodTest, FittedModelNearTruth) {
+  const ConstantFaultCurve truth(0.005);
+  const auto observations = Synthesize(truth, 5000, 400.0, 37);
+  const auto fitted = FitExponential(observations);
+  ASSERT_TRUE(fitted.ok());
+  // Fitted MLE likelihood must be >= truth's (it maximizes the sample likelihood).
+  EXPECT_GE(LogLikelihood(*fitted, observations), LogLikelihood(truth, observations) - 1e-6);
+}
+
+}  // namespace
+}  // namespace probcon

@@ -1,0 +1,169 @@
+#include "src/linalg/matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace probcon {
+namespace {
+
+TEST(MatrixTest, IdentityAndMultiply) {
+  const Matrix eye = Matrix::Identity(3);
+  Matrix a(3, 3);
+  int value = 1;
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      a.At(r, c) = value++;
+    }
+  }
+  const Matrix product = eye * a;
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(product.At(r, c), a.At(r, c));
+    }
+  }
+}
+
+TEST(MatrixTest, MatrixVectorProduct) {
+  Matrix a(2, 3);
+  a.At(0, 0) = 1;
+  a.At(0, 1) = 2;
+  a.At(0, 2) = 3;
+  a.At(1, 0) = 4;
+  a.At(1, 1) = 5;
+  a.At(1, 2) = 6;
+  const Vector x = {1.0, 1.0, 1.0};
+  const Vector y = a * x;
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(MatrixTest, TransposedSwapsIndices) {
+  Matrix a(2, 3);
+  a.At(0, 2) = 7.0;
+  a.At(1, 0) = -2.0;
+  const Matrix t = a.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t.At(2, 0), 7.0);
+  EXPECT_DOUBLE_EQ(t.At(0, 1), -2.0);
+}
+
+TEST(MatrixTest, AddSubtractScale) {
+  Matrix a(2, 2);
+  a.At(0, 0) = 1.0;
+  a.At(1, 1) = 2.0;
+  const Matrix b = a.Scaled(3.0);
+  EXPECT_DOUBLE_EQ(b.At(0, 0), 3.0);
+  const Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.At(0, 0), 4.0);
+  const Matrix diff = b - a;
+  EXPECT_DOUBLE_EQ(diff.At(1, 1), 4.0);
+  EXPECT_DOUBLE_EQ(diff.MaxAbs(), 4.0);
+}
+
+TEST(LuTest, SolvesHandComputedSystem) {
+  // 2x + y = 5; x + 3y = 10 -> x = 1, y = 3.
+  Matrix a(2, 2);
+  a.At(0, 0) = 2;
+  a.At(0, 1) = 1;
+  a.At(1, 0) = 1;
+  a.At(1, 1) = 3;
+  const auto x = SolveLinearSystem(a, {5.0, 10.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(LuTest, DetectsSingular) {
+  Matrix a(2, 2);
+  a.At(0, 0) = 1;
+  a.At(0, 1) = 2;
+  a.At(1, 0) = 2;
+  a.At(1, 1) = 4;
+  const auto result = SolveLinearSystem(a, {1.0, 2.0});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LuTest, RequiresPivoting) {
+  // Zero on the initial diagonal forces a row swap.
+  Matrix a(2, 2);
+  a.At(0, 0) = 0;
+  a.At(0, 1) = 1;
+  a.At(1, 0) = 1;
+  a.At(1, 1) = 0;
+  const auto x = SolveLinearSystem(a, {2.0, 3.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 3.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(LuTest, DeterminantKnownValues) {
+  Matrix a(2, 2);
+  a.At(0, 0) = 3;
+  a.At(0, 1) = 1;
+  a.At(1, 0) = 4;
+  a.At(1, 1) = 2;
+  const auto lu = LuDecomposition::Factor(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_NEAR(lu->Determinant(), 2.0, 1e-12);
+  EXPECT_NEAR(LuDecomposition::Factor(Matrix::Identity(5))->Determinant(), 1.0, 1e-12);
+}
+
+class RandomSystemTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomSystemTest, SolveThenMultiplyRoundTrips) {
+  const int n = GetParam();
+  Rng rng(1000 + n);
+  Matrix a(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      a.At(r, c) = rng.NextNormal();
+    }
+    a.At(r, r) += n;  // Diagonal dominance keeps it well-conditioned.
+  }
+  Vector b(n);
+  for (int i = 0; i < n; ++i) {
+    b[i] = rng.NextNormal();
+  }
+  const auto x = SolveLinearSystem(a, b);
+  ASSERT_TRUE(x.ok());
+  const Vector residual = a * *x;
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(residual[i], b[i], 1e-9) << "row " << i;
+  }
+}
+
+TEST_P(RandomSystemTest, MultipleRhsReuseFactorization) {
+  const int n = GetParam();
+  Rng rng(2000 + n);
+  Matrix a(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      a.At(r, c) = rng.NextDouble();
+    }
+    a.At(r, r) += n;
+  }
+  const auto lu = LuDecomposition::Factor(a);
+  ASSERT_TRUE(lu.ok());
+  for (int rhs = 0; rhs < 3; ++rhs) {
+    Vector b(n);
+    for (int i = 0; i < n; ++i) {
+      b[i] = rng.NextNormal();
+    }
+    const Vector x = lu->Solve(b);
+    const Vector residual = a * x;
+    for (int i = 0; i < n; ++i) {
+      EXPECT_NEAR(residual[i], b[i], 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomSystemTest, ::testing::Values(1, 2, 5, 20, 50));
+
+}  // namespace
+}  // namespace probcon

@@ -1,0 +1,146 @@
+#include "src/markov/repair_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace probcon {
+namespace {
+
+TEST(RepairModelTest, NoRepairMttfIsHarmonicSum) {
+  // Without repair, time to k-th failure from n nodes = sum_{j=0}^{k-1} 1 / ((n-j) lambda).
+  RepairModelParams params;
+  params.n = 5;
+  params.failure_rate = 0.01;
+  params.repair_rate = 0.0;
+  const ConsensusRepairModel model(params);
+  // Majority quorum 3: outage at 3 failures.
+  const auto mttf = model.MeanTimeToUnavailability(3);
+  ASSERT_TRUE(mttf.ok());
+  const double expected =
+      1.0 / (5 * 0.01) + 1.0 / (4 * 0.01) + 1.0 / (3 * 0.01);
+  EXPECT_NEAR(*mttf, expected, expected * 1e-9);
+}
+
+TEST(RepairModelTest, RepairExtendsMttf) {
+  RepairModelParams no_repair;
+  no_repair.n = 5;
+  no_repair.failure_rate = 0.01;
+  no_repair.repair_rate = 0.0;
+  RepairModelParams with_repair = no_repair;
+  with_repair.repair_rate = 0.5;
+  const auto slow = ConsensusRepairModel(no_repair).MeanTimeToUnavailability(3);
+  const auto fast = ConsensusRepairModel(with_repair).MeanTimeToUnavailability(3);
+  ASSERT_TRUE(slow.ok());
+  ASSERT_TRUE(fast.ok());
+  EXPECT_GT(*fast, *slow * 10.0);  // Repair helps enormously at mu/lambda = 50 (~60x here).
+}
+
+TEST(RepairModelTest, MttfMonotoneInRepairRate) {
+  RepairModelParams params;
+  params.n = 7;
+  params.failure_rate = 0.02;
+  double previous = 0.0;
+  for (const double mu : {0.0, 0.1, 0.5, 2.0}) {
+    params.repair_rate = mu;
+    const auto mttf = ConsensusRepairModel(params).MeanTimeToUnavailability(4);
+    ASSERT_TRUE(mttf.ok());
+    EXPECT_GT(*mttf, previous);
+    previous = *mttf;
+  }
+}
+
+TEST(RepairModelTest, QuorumLossVsUnavailabilityThresholds) {
+  // Losing a majority quorum (outage) happens before 5 simultaneous failures (data loss with
+  // q_per = 5... i.e., wipeout of a full persistence quorum placement).
+  RepairModelParams params;
+  params.n = 5;
+  params.failure_rate = 0.01;
+  params.repair_rate = 0.2;
+  const ConsensusRepairModel model(params);
+  const auto outage = model.MeanTimeToUnavailability(3);   // At 3 failures.
+  const auto wipeout = model.MeanTimeToQuorumLoss(5);      // All 5 down at once.
+  ASSERT_TRUE(outage.ok());
+  ASSERT_TRUE(wipeout.ok());
+  EXPECT_GT(*wipeout, *outage);
+}
+
+TEST(RepairModelTest, SteadyStateAvailabilityTwoState) {
+  // n=1, quorum 1: classic availability mu/(mu+lambda).
+  RepairModelParams params;
+  params.n = 1;
+  params.failure_rate = 0.1;
+  params.repair_rate = 0.9;
+  const auto availability = ConsensusRepairModel(params).SteadyStateAvailability(1);
+  ASSERT_TRUE(availability.ok());
+  EXPECT_NEAR(availability->value(), 0.9, 1e-9);
+}
+
+TEST(RepairModelTest, SteadyStateAvailabilityImprovesWithCluster) {
+  RepairModelParams single;
+  single.n = 1;
+  single.failure_rate = 0.01;
+  single.repair_rate = 0.1;
+  RepairModelParams cluster = single;
+  cluster.n = 3;
+  cluster.repair_servers = 3;
+  const auto one = ConsensusRepairModel(single).SteadyStateAvailability(1);
+  const auto three = ConsensusRepairModel(cluster).SteadyStateAvailability(2);
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(three.ok());
+  EXPECT_GT(three->value(), one->value());
+}
+
+TEST(RepairModelTest, NoRepairSteadyStateAvailabilityIsZero) {
+  RepairModelParams params;
+  params.n = 3;
+  params.failure_rate = 0.01;
+  params.repair_rate = 0.0;
+  const auto availability = ConsensusRepairModel(params).SteadyStateAvailability(2);
+  ASSERT_TRUE(availability.ok());
+  EXPECT_DOUBLE_EQ(availability->value(), 0.0);
+}
+
+TEST(RepairModelTest, UnavailabilityWithinGrowsWithMissionTime) {
+  RepairModelParams params;
+  params.n = 3;
+  params.failure_rate = 0.05;
+  params.repair_rate = 0.5;
+  const ConsensusRepairModel model(params);
+  const double p_short = model.UnavailabilityWithin(2, 1.0).value();
+  const double p_long = model.UnavailabilityWithin(2, 50.0).value();
+  EXPECT_LT(p_short, p_long);
+  EXPECT_GT(p_short, 0.0);
+  EXPECT_LT(p_long, 1.0);
+}
+
+TEST(RepairModelTest, UnavailabilityWithinMatchesExponentialForSingleNode) {
+  // n=1, quorum 1, no repair: P(outage by t) = 1 - exp(-lambda t).
+  RepairModelParams params;
+  params.n = 1;
+  params.failure_rate = 0.2;
+  params.repair_rate = 0.0;
+  const ConsensusRepairModel model(params);
+  for (const double t : {0.5, 2.0, 10.0}) {
+    EXPECT_NEAR(model.UnavailabilityWithin(1, t).value(), 1.0 - std::exp(-0.2 * t), 1e-8)
+        << t;
+  }
+}
+
+TEST(RepairModelTest, RepairServerCountMatters) {
+  RepairModelParams one_server;
+  one_server.n = 9;
+  one_server.failure_rate = 0.1;
+  one_server.repair_rate = 0.15;
+  one_server.repair_servers = 1;
+  RepairModelParams many_servers = one_server;
+  many_servers.repair_servers = 9;
+  const auto slow = ConsensusRepairModel(one_server).MeanTimeToUnavailability(5);
+  const auto fast = ConsensusRepairModel(many_servers).MeanTimeToUnavailability(5);
+  ASSERT_TRUE(slow.ok());
+  ASSERT_TRUE(fast.ok());
+  EXPECT_GT(*fast, *slow);
+}
+
+}  // namespace
+}  // namespace probcon

@@ -1,0 +1,109 @@
+#include "src/prob/binomial.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/prob/combinatorics.h"
+
+namespace probcon {
+namespace {
+
+TEST(BinomialTest, PmfKnownValues) {
+  EXPECT_NEAR(BinomialPmf(4, 0, 0.01), std::pow(0.99, 4), 1e-12);
+  EXPECT_NEAR(BinomialPmf(4, 1, 0.01), 4 * 0.01 * std::pow(0.99, 3), 1e-12);
+  EXPECT_NEAR(BinomialPmf(3, 2, 0.5), 0.375, 1e-12);
+}
+
+TEST(BinomialTest, PmfDegenerateP) {
+  EXPECT_DOUBLE_EQ(BinomialPmf(5, 0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialPmf(5, 1, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialPmf(5, 5, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialPmf(5, 4, 1.0), 0.0);
+}
+
+TEST(BinomialTest, PmfOutOfRangeIsZero) {
+  EXPECT_DOUBLE_EQ(BinomialPmf(5, -1, 0.3), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialPmf(5, 6, 0.3), 0.0);
+}
+
+class BinomialSumTest : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(BinomialSumTest, PmfSumsToOne) {
+  const auto [n, p] = GetParam();
+  double sum = 0.0;
+  for (int k = 0; k <= n; ++k) {
+    sum += BinomialPmf(n, k, p);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-10);
+}
+
+TEST_P(BinomialSumTest, CdfAndTailAreComplements) {
+  const auto [n, p] = GetParam();
+  for (int k = 0; k <= n; ++k) {
+    const auto cdf = BinomialCdf(n, k, p);
+    const auto tail = BinomialTailGe(n, k + 1, p);
+    EXPECT_NEAR(cdf.value() + tail.value(), 1.0, 1e-10) << "k=" << k;
+    EXPECT_NEAR(cdf.complement(), tail.value(), std::max(1e-14, tail.value() * 1e-9))
+        << "k=" << k;
+  }
+}
+
+TEST_P(BinomialSumTest, CdfIsMonotone) {
+  const auto [n, p] = GetParam();
+  double previous = -1.0;
+  for (int k = 0; k <= n; ++k) {
+    const double value = BinomialCdf(n, k, p).value();
+    EXPECT_GE(value, previous - 1e-12);
+    previous = value;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BinomialSumTest,
+                         ::testing::Combine(::testing::Values(1, 3, 7, 20, 100),
+                                            ::testing::Values(0.01, 0.08, 0.5, 0.97)));
+
+TEST(BinomialTest, TailGeExtremeValuesStayPrecise) {
+  // P(X >= 5) for n=9, p=0.01 — the Raft Table 2 "99.999998%" cell. Closed-form check.
+  double expected = 0.0;
+  for (int k = 5; k <= 9; ++k) {
+    expected += Choose(9, k) * std::pow(0.01, k) * std::pow(0.99, 9 - k);
+  }
+  const auto tail = BinomialTailGe(9, 5, 0.01);
+  EXPECT_NEAR(tail.value(), expected, expected * 1e-12);
+  // And the complement keeps ~8 nines of precision.
+  EXPECT_NEAR(tail.Not().complement(), expected, expected * 1e-12);
+}
+
+TEST(BinomialTest, DeepTailMatchesLogDomainClosedForm) {
+  // P(X >= 20) with n=100, p=0.01 is ~1e-20; must not underflow to garbage.
+  const auto tail = BinomialTailGe(100, 20, 0.01);
+  EXPECT_GT(tail.value(), 0.0);
+  EXPECT_LT(tail.value(), 1e-18);
+  // Dominant term sanity: C(100,20) p^20 q^80.
+  const double dominant =
+      std::exp(LogChoose(100, 20) + 20 * std::log(0.01) + 80 * std::log(0.99));
+  EXPECT_GT(tail.value(), dominant);
+  EXPECT_LT(tail.value(), dominant * 1.5);
+}
+
+TEST(BinomialTest, CdfBoundaries) {
+  EXPECT_DOUBLE_EQ(BinomialCdf(5, -1, 0.3).value(), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialCdf(5, 5, 0.3).value(), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialTailGe(5, 0, 0.3).value(), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialTailGe(5, 6, 0.3).value(), 0.0);
+}
+
+TEST(BinomialTest, MeanAndVariance) {
+  EXPECT_DOUBLE_EQ(BinomialMean(100, 0.1), 10.0);
+  EXPECT_DOUBLE_EQ(BinomialVariance(100, 0.1), 9.0);
+}
+
+TEST(BinomialTest, PaperHundredNodeExample) {
+  // §4: n=100, p=10%: "there is a 50% chance that |Q_per| (=10) faults occur".
+  const auto at_least_ten = BinomialTailGe(100, 10, 0.10);
+  EXPECT_NEAR(at_least_ten.value(), 0.55, 0.02);  // Actual ~0.5487.
+}
+
+}  // namespace
+}  // namespace probcon

@@ -1,0 +1,92 @@
+#include "src/prob/combinatorics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace probcon {
+namespace {
+
+TEST(CombinatoricsTest, SmallFactorials) {
+  EXPECT_NEAR(LogFactorial(0), 0.0, 1e-12);
+  EXPECT_NEAR(LogFactorial(1), 0.0, 1e-12);
+  EXPECT_NEAR(LogFactorial(5), std::log(120.0), 1e-10);
+  EXPECT_NEAR(LogFactorial(10), std::log(3628800.0), 1e-9);
+}
+
+TEST(CombinatoricsTest, ChooseKnownValues) {
+  EXPECT_DOUBLE_EQ(Choose(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Choose(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(Choose(7, 3), 35.0);
+  EXPECT_DOUBLE_EQ(Choose(10, 5), 252.0);
+  EXPECT_DOUBLE_EQ(Choose(52, 5), 2598960.0);
+}
+
+TEST(CombinatoricsTest, ChooseOutOfRangeIsZero) {
+  EXPECT_DOUBLE_EQ(Choose(5, -1), 0.0);
+  EXPECT_DOUBLE_EQ(Choose(5, 6), 0.0);
+}
+
+TEST(CombinatoricsTest, ChooseSymmetry) {
+  for (int n = 0; n <= 30; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      EXPECT_DOUBLE_EQ(Choose(n, k), Choose(n, n - k)) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(CombinatoricsTest, PascalIdentity) {
+  for (int n = 1; n <= 40; ++n) {
+    for (int k = 1; k < n; ++k) {
+      EXPECT_DOUBLE_EQ(Choose(n, k), Choose(n - 1, k - 1) + Choose(n - 1, k))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(CombinatoricsTest, RowSumsArePowersOfTwo) {
+  for (int n = 0; n <= 40; ++n) {
+    double sum = 0.0;
+    for (int k = 0; k <= n; ++k) {
+      sum += Choose(n, k);
+    }
+    EXPECT_DOUBLE_EQ(sum, std::pow(2.0, n)) << "n=" << n;
+  }
+}
+
+TEST(CombinatoricsTest, LogChooseMatchesChoose) {
+  for (int n = 1; n <= 50; ++n) {
+    for (int k = 0; k <= n; k += 3) {
+      EXPECT_NEAR(std::exp(LogChoose(n, k)), Choose(n, k), Choose(n, k) * 1e-10)
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(CombinatoricsTest, LogChooseOutOfRangeIsNegInf) {
+  EXPECT_TRUE(std::isinf(LogChoose(5, 6)));
+  EXPECT_LT(LogChoose(5, 6), 0.0);
+  EXPECT_TRUE(std::isinf(LogChoose(5, -1)));
+}
+
+TEST(CombinatoricsTest, LogChooseLargeN) {
+  // C(100, 34): check against lgamma-based independent computation.
+  const double expected =
+      std::lgamma(101.0) - std::lgamma(35.0) - std::lgamma(67.0);
+  EXPECT_NEAR(LogChoose(100, 34), expected, 1e-9);
+}
+
+TEST(CombinatoricsTest, ChooseExactMatchesDouble) {
+  EXPECT_EQ(ChooseExact(10, 3), 120u);
+  EXPECT_EQ(ChooseExact(20, 10), 184756u);
+  EXPECT_EQ(ChooseExact(0, 0), 1u);
+  EXPECT_EQ(ChooseExact(5, 7), 0u);
+}
+
+TEST(CombinatoricsTest, ChooseExactLargeValues) {
+  // C(60, 30) = 118264581564861424, exact in uint64.
+  EXPECT_EQ(ChooseExact(60, 30), 118264581564861424ull);
+}
+
+}  // namespace
+}  // namespace probcon

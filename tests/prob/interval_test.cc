@@ -1,0 +1,51 @@
+#include "src/prob/interval.h"
+
+#include <gtest/gtest.h>
+
+namespace probcon {
+namespace {
+
+TEST(WilsonIntervalTest, PointEstimateIsProportion) {
+  const auto ci = WilsonInterval(30, 100);
+  EXPECT_DOUBLE_EQ(ci.point, 0.3);
+  EXPECT_LT(ci.low, 0.3);
+  EXPECT_GT(ci.high, 0.3);
+}
+
+TEST(WilsonIntervalTest, ZeroSuccessesStaysAboveZero) {
+  const auto ci = WilsonInterval(0, 100);
+  EXPECT_DOUBLE_EQ(ci.point, 0.0);
+  EXPECT_DOUBLE_EQ(ci.low, 0.0);
+  EXPECT_GT(ci.high, 0.0);
+  EXPECT_LT(ci.high, 0.05);
+}
+
+TEST(WilsonIntervalTest, AllSuccessesStaysBelowOne) {
+  const auto ci = WilsonInterval(100, 100);
+  EXPECT_DOUBLE_EQ(ci.point, 1.0);
+  EXPECT_LT(ci.low, 1.0);
+  EXPECT_GT(ci.low, 0.95);
+  EXPECT_DOUBLE_EQ(ci.high, 1.0);
+}
+
+TEST(WilsonIntervalTest, WidthShrinksWithTrials) {
+  const auto small = WilsonInterval(50, 100);
+  const auto large = WilsonInterval(50000, 100000);
+  EXPECT_LT(large.high - large.low, small.high - small.low);
+}
+
+TEST(WilsonIntervalTest, HigherZWidens) {
+  const auto narrow = WilsonInterval(50, 100, 1.0);
+  const auto wide = WilsonInterval(50, 100, 3.0);
+  EXPECT_LT(narrow.high - narrow.low, wide.high - wide.low);
+}
+
+TEST(WilsonIntervalTest, KnownValue) {
+  // Classic check: 10/100 at z=1.96 -> approximately [0.0552, 0.1744].
+  const auto ci = WilsonInterval(10, 100);
+  EXPECT_NEAR(ci.low, 0.0552, 0.001);
+  EXPECT_NEAR(ci.high, 0.1744, 0.001);
+}
+
+}  // namespace
+}  // namespace probcon

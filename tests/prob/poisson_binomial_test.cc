@@ -1,0 +1,145 @@
+#include "src/prob/poisson_binomial.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/prob/binomial.h"
+
+namespace probcon {
+namespace {
+
+TEST(PoissonBinomialTest, MatchesBinomialForUniformProbabilities) {
+  const int n = 9;
+  const double p = 0.08;
+  const PoissonBinomial pb(std::vector<double>(n, p));
+  for (int k = 0; k <= n; ++k) {
+    EXPECT_NEAR(pb.Pmf(k), BinomialPmf(n, k, p), 1e-12) << "k=" << k;
+    EXPECT_NEAR(pb.CdfLe(k).value(), BinomialCdf(n, k, p).value(), 1e-12) << "k=" << k;
+  }
+}
+
+TEST(PoissonBinomialTest, TwoNodeHandComputed) {
+  const PoissonBinomial pb({0.1, 0.3});
+  EXPECT_NEAR(pb.Pmf(0), 0.9 * 0.7, 1e-15);
+  EXPECT_NEAR(pb.Pmf(1), 0.1 * 0.7 + 0.9 * 0.3, 1e-15);
+  EXPECT_NEAR(pb.Pmf(2), 0.1 * 0.3, 1e-15);
+}
+
+TEST(PoissonBinomialTest, ThreeNodeHeterogeneousHandComputed) {
+  const PoissonBinomial pb({0.01, 0.02, 0.5});
+  EXPECT_NEAR(pb.Pmf(0), 0.99 * 0.98 * 0.5, 1e-15);
+  EXPECT_NEAR(pb.Pmf(3), 0.01 * 0.02 * 0.5, 1e-18);
+  double sum = 0.0;
+  for (int k = 0; k <= 3; ++k) {
+    sum += pb.Pmf(k);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-14);
+}
+
+class PoissonBinomialSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PoissonBinomialSweep, PmfSumsToOne) {
+  const int n = GetParam();
+  std::vector<double> probs;
+  for (int i = 0; i < n; ++i) {
+    probs.push_back(0.01 + 0.9 * i / std::max(1, n - 1));
+  }
+  const PoissonBinomial pb(probs);
+  double sum = 0.0;
+  for (int k = 0; k <= n; ++k) {
+    EXPECT_GE(pb.Pmf(k), 0.0);
+    sum += pb.Pmf(k);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-11);
+}
+
+TEST_P(PoissonBinomialSweep, MeanMatchesSumOfProbabilities) {
+  const int n = GetParam();
+  std::vector<double> probs;
+  double expected_mean = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double p = (i % 7 + 1) * 0.05;
+    probs.push_back(p);
+    expected_mean += p;
+  }
+  const PoissonBinomial pb(probs);
+  EXPECT_NEAR(pb.Mean(), expected_mean, 1e-10);
+  // Moment check: sum k * pmf(k) == mean.
+  double moment = 0.0;
+  for (int k = 0; k <= n; ++k) {
+    moment += k * pb.Pmf(k);
+  }
+  EXPECT_NEAR(moment, expected_mean, 1e-9);
+}
+
+TEST_P(PoissonBinomialSweep, VarianceMatchesMoment) {
+  const int n = GetParam();
+  std::vector<double> probs;
+  for (int i = 0; i < n; ++i) {
+    probs.push_back((i % 5 + 1) * 0.1);
+  }
+  const PoissonBinomial pb(probs);
+  double m1 = 0.0;
+  double m2 = 0.0;
+  for (int k = 0; k <= n; ++k) {
+    m1 += k * pb.Pmf(k);
+    m2 += static_cast<double>(k) * k * pb.Pmf(k);
+  }
+  EXPECT_NEAR(pb.Variance(), m2 - m1 * m1, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PoissonBinomialSweep, ::testing::Values(1, 2, 5, 16, 40, 64));
+
+TEST(PoissonBinomialTest, TailComplementTracking) {
+  // Mixed 7-node cluster (the paper's E4 scenario: 4 nodes at 8%, 3 at 1%).
+  const PoissonBinomial pb({0.08, 0.08, 0.08, 0.08, 0.01, 0.01, 0.01});
+  const auto live = pb.CdfLe(3);  // Raft n=7 live iff <= 3 failures.
+  // Brute-force complement via the upper tail.
+  double upper = 0.0;
+  for (int k = 4; k <= 7; ++k) {
+    upper += pb.Pmf(k);
+  }
+  EXPECT_NEAR(live.complement(), upper, upper * 1e-10);
+}
+
+TEST(PoissonBinomialTest, CdfBoundaries) {
+  const PoissonBinomial pb({0.5, 0.5});
+  EXPECT_DOUBLE_EQ(pb.CdfLe(-1).value(), 0.0);
+  EXPECT_DOUBLE_EQ(pb.CdfLe(2).value(), 1.0);
+  EXPECT_DOUBLE_EQ(pb.TailGe(0).value(), 1.0);
+  EXPECT_DOUBLE_EQ(pb.TailGe(3).value(), 0.0);
+}
+
+TEST(PoissonBinomialTest, DegenerateProbabilities) {
+  const PoissonBinomial pb({0.0, 1.0, 0.0});
+  EXPECT_DOUBLE_EQ(pb.Pmf(1), 1.0);
+  EXPECT_DOUBLE_EQ(pb.Pmf(0), 0.0);
+  EXPECT_DOUBLE_EQ(pb.Pmf(2), 0.0);
+}
+
+TEST(PoissonBinomialTest, BruteForceEnumerationAgreesSmallN) {
+  const std::vector<double> probs = {0.2, 0.45, 0.07, 0.9};
+  const PoissonBinomial pb(probs);
+  std::vector<double> brute(probs.size() + 1, 0.0);
+  for (int mask = 0; mask < 16; ++mask) {
+    double prob = 1.0;
+    int count = 0;
+    for (int i = 0; i < 4; ++i) {
+      if ((mask >> i) & 1) {
+        prob *= probs[i];
+        ++count;
+      } else {
+        prob *= 1.0 - probs[i];
+      }
+    }
+    brute[count] += prob;
+  }
+  for (int k = 0; k <= 4; ++k) {
+    EXPECT_NEAR(pb.Pmf(k), brute[k], 1e-14) << "k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace probcon

@@ -1,0 +1,110 @@
+// Property sweep for the Probability algebra: randomized values, algebraic identities that
+// must hold to (near) machine precision on BOTH tracked sides.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/prob/probability.h"
+
+namespace probcon {
+namespace {
+
+// Random probability spanning many magnitudes, on either side of 1/2.
+Probability RandomProbability(Rng& rng) {
+  const double magnitude = std::pow(10.0, -12.0 * rng.NextDouble());
+  if (rng.NextBernoulli(0.5)) {
+    return Probability::FromProbability(magnitude);
+  }
+  return Probability::FromComplement(magnitude);
+}
+
+class ProbabilityPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ProbabilityPropertyTest, SidesAlwaysSumToOne) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const auto p = RandomProbability(rng);
+    EXPECT_NEAR(p.value() + p.complement(), 1.0, 1e-12);
+  }
+}
+
+TEST_P(ProbabilityPropertyTest, DoubleNegationIsIdentity) {
+  Rng rng(GetParam() + 1000);
+  for (int i = 0; i < 200; ++i) {
+    const auto p = RandomProbability(rng);
+    EXPECT_DOUBLE_EQ(p.Not().Not().value(), p.value());
+    EXPECT_DOUBLE_EQ(p.Not().Not().complement(), p.complement());
+  }
+}
+
+TEST_P(ProbabilityPropertyTest, DeMorganOnBothSides) {
+  // not(a AND b) == (not a) OR (not b), checked on the small side of each result.
+  Rng rng(GetParam() + 2000);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = RandomProbability(rng);
+    const auto b = RandomProbability(rng);
+    const auto lhs = a.And(b).Not();
+    const auto rhs = a.Not().Or(b.Not());
+    EXPECT_NEAR(lhs.value(), rhs.value(), std::max(1e-15, rhs.value() * 1e-9));
+    EXPECT_NEAR(lhs.complement(), rhs.complement(),
+                std::max(1e-15, rhs.complement() * 1e-9));
+  }
+}
+
+TEST_P(ProbabilityPropertyTest, AndOrAssociativity) {
+  Rng rng(GetParam() + 3000);
+  for (int i = 0; i < 100; ++i) {
+    const auto a = RandomProbability(rng);
+    const auto b = RandomProbability(rng);
+    const auto c = RandomProbability(rng);
+    const auto and_left = a.And(b).And(c);
+    const auto and_right = a.And(b.And(c));
+    EXPECT_NEAR(and_left.value(), and_right.value(),
+                std::max(1e-15, and_right.value() * 1e-9));
+    const auto or_left = a.Or(b).Or(c);
+    const auto or_right = a.Or(b.Or(c));
+    EXPECT_NEAR(or_left.complement(), or_right.complement(),
+                std::max(1e-15, or_right.complement() * 1e-9));
+  }
+}
+
+TEST_P(ProbabilityPropertyTest, MixBoundsAndEndpoints) {
+  Rng rng(GetParam() + 4000);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = RandomProbability(rng);
+    const auto b = RandomProbability(rng);
+    EXPECT_DOUBLE_EQ(a.Mix(1.0, b).value(), a.value());
+    EXPECT_DOUBLE_EQ(a.Mix(0.0, b).value(), b.value());
+    const auto mid = a.Mix(0.5, b);
+    EXPECT_GE(mid.value(), std::min(a.value(), b.value()) - 1e-15);
+    EXPECT_LE(mid.value(), std::max(a.value(), b.value()) + 1e-15);
+  }
+}
+
+TEST_P(ProbabilityPropertyTest, ComparisonIsTotalOnDistinctValues) {
+  Rng rng(GetParam() + 5000);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = RandomProbability(rng);
+    const auto b = RandomProbability(rng);
+    if (a.value() != b.value()) {
+      EXPECT_NE(a < b, b < a);
+    }
+  }
+}
+
+TEST_P(ProbabilityPropertyTest, NinesRoundTrip) {
+  Rng rng(GetParam() + 6000);
+  for (int i = 0; i < 200; ++i) {
+    const double q = std::pow(10.0, -11.0 * rng.NextDouble() - 0.1);
+    const auto p = Probability::FromComplement(q);
+    EXPECT_NEAR(std::pow(10.0, -p.nines()), q, q * 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProbabilityPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace probcon

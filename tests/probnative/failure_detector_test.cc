@@ -1,0 +1,100 @@
+#include "src/probnative/failure_detector.h"
+
+#include <gtest/gtest.h>
+
+namespace probcon {
+namespace {
+
+PhiAccrualFailureDetector SteadyDetector(double interval, int beats) {
+  PhiAccrualFailureDetector detector;
+  for (int i = 0; i <= beats; ++i) {
+    detector.RecordHeartbeat(i * interval);
+  }
+  return detector;
+}
+
+TEST(PhiAccrualTest, NoHeartbeatsNoSuspicion) {
+  const PhiAccrualFailureDetector detector;
+  EXPECT_DOUBLE_EQ(detector.Phi(1000.0), 0.0);
+  EXPECT_FALSE(detector.Suspects(1000.0, 1.0));
+}
+
+TEST(PhiAccrualTest, FreshHeartbeatMeansLowPhi) {
+  const auto detector = SteadyDetector(100.0, 50);
+  EXPECT_LT(detector.Phi(5000.0 + 10.0), 0.5);
+}
+
+TEST(PhiAccrualTest, PhiGrowsWithSilence) {
+  const auto detector = SteadyDetector(100.0, 50);
+  const double last = 5000.0;
+  double previous = -1.0;
+  for (const double silence : {50.0, 150.0, 300.0, 600.0, 1200.0}) {
+    const double phi = detector.Phi(last + silence);
+    EXPECT_GT(phi, previous) << silence;
+    previous = phi;
+  }
+}
+
+TEST(PhiAccrualTest, LongSilenceYieldsHighPhi) {
+  const auto detector = SteadyDetector(100.0, 50);
+  EXPECT_GT(detector.Phi(5000.0 + 2000.0), 8.0);
+  EXPECT_TRUE(detector.Suspects(5000.0 + 2000.0, 8.0));
+}
+
+TEST(PhiAccrualTest, MeanAndStddevLearned) {
+  const auto detector = SteadyDetector(100.0, 50);
+  EXPECT_EQ(detector.sample_count(), 50u);
+  EXPECT_NEAR(detector.MeanInterval(), 100.0, 1e-9);
+  EXPECT_DOUBLE_EQ(detector.StddevInterval(), 1.0);  // Floored at min_stddev.
+}
+
+TEST(PhiAccrualTest, JitteryHeartbeatsRaiseTolerance) {
+  // A noisy sender: same mean interval but large variance -> lower phi at the same silence.
+  PhiAccrualFailureDetector steady;
+  PhiAccrualFailureDetector noisy;
+  double t_steady = 0.0;
+  double t_noisy = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    steady.RecordHeartbeat(t_steady);
+    noisy.RecordHeartbeat(t_noisy);
+    t_steady += 100.0;
+    t_noisy += (i % 2 == 0) ? 40.0 : 160.0;  // Mean 100, large spread.
+  }
+  const double silence = 260.0;
+  EXPECT_GT(steady.Phi(t_steady - 100.0 + silence), noisy.Phi(t_noisy - 160.0 + silence));
+}
+
+TEST(PhiAccrualTest, WindowSlides) {
+  PhiAccrualFailureDetector::Options options;
+  options.window_size = 10;
+  PhiAccrualFailureDetector detector(options);
+  double t = 0.0;
+  // Old cadence 100ms, then new cadence 10ms; after 10+ beats only the new cadence remains.
+  for (int i = 0; i < 20; ++i) {
+    detector.RecordHeartbeat(t);
+    t += 100.0;
+  }
+  for (int i = 0; i < 15; ++i) {
+    detector.RecordHeartbeat(t);
+    t += 10.0;
+  }
+  EXPECT_EQ(detector.sample_count(), 10u);
+  EXPECT_NEAR(detector.MeanInterval(), 10.0, 1e-9);
+}
+
+TEST(PhiAccrualTest, ThresholdSemantics) {
+  // phi = 1 ~ 10% false-positive rate: at silence = mean, phi should be near 0.3 (tail 0.5).
+  const auto detector = SteadyDetector(100.0, 100);
+  const double phi_at_mean = detector.Phi(10000.0 + 100.0);
+  EXPECT_NEAR(phi_at_mean, 0.3, 0.1);
+}
+
+TEST(PhiAccrualTest, ExtremeSilenceDoesNotOverflow) {
+  const auto detector = SteadyDetector(100.0, 50);
+  const double phi = detector.Phi(5000.0 + 1e6);
+  EXPECT_TRUE(std::isfinite(phi));
+  EXPECT_GT(phi, 100.0);
+}
+
+}  // namespace
+}  // namespace probcon

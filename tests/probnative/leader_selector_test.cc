@@ -1,0 +1,73 @@
+#include "src/probnative/leader_selector.h"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace probcon {
+namespace {
+
+class LeaderSelectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    curves_.push_back(std::make_unique<ConstantFaultCurve>(0.001));  // Reliable.
+    curves_.push_back(std::make_unique<ConstantFaultCurve>(0.01));
+    curves_.push_back(std::make_unique<ConstantFaultCurve>(0.1));    // Flaky.
+    borrowed_ = {curves_[0].get(), curves_[1].get(), curves_[2].get()};
+  }
+
+  std::vector<std::unique_ptr<FaultCurve>> curves_;
+  std::vector<const FaultCurve*> borrowed_;
+};
+
+TEST_F(LeaderSelectorTest, PicksLowestHazardNode) {
+  const LeaderSelector selector(borrowed_, {0.0, 0.0, 0.0});
+  EXPECT_EQ(selector.SelectMostReliable(10.0), 0);
+}
+
+TEST_F(LeaderSelectorTest, RankIsSortedByFailureProbability) {
+  const LeaderSelector selector(borrowed_, {0.0, 0.0, 0.0});
+  EXPECT_EQ(selector.RankByReliability(10.0), (std::vector<int>{0, 1, 2}));
+}
+
+TEST_F(LeaderSelectorTest, FailureProbabilityMatchesCurve) {
+  const LeaderSelector selector(borrowed_, {0.0, 0.0, 0.0});
+  EXPECT_NEAR(selector.FailureProbability(2, 10.0), 1.0 - std::exp(-1.0), 1e-12);
+}
+
+TEST_F(LeaderSelectorTest, BestLeaderBeatsRoundRobin) {
+  const LeaderSelector selector(borrowed_, {0.0, 0.0, 0.0});
+  EXPECT_LT(selector.ExpectedLeaderFailuresBestLeader(30.0),
+            selector.ExpectedLeaderFailuresRoundRobin(30.0));
+}
+
+TEST_F(LeaderSelectorTest, RoundRobinAveragesHazards) {
+  // Constant curves: expected failures = horizon/3 * sum(rates).
+  const LeaderSelector selector(borrowed_, {0.0, 0.0, 0.0});
+  const double horizon = 30.0;
+  EXPECT_NEAR(selector.ExpectedLeaderFailuresRoundRobin(horizon),
+              (0.001 + 0.01 + 0.1) * horizon / 3.0, 1e-9);
+}
+
+TEST(LeaderSelectorAgingTest, AgeShiftsTheChoice) {
+  // Node 0 is nominally great but deep into wear-out; node 1 is mediocre but young.
+  const WeibullFaultCurve wearing_out(4.0, 1000.0);
+  const ConstantFaultCurve steady(0.0005);
+  const LeaderSelector selector({&wearing_out, &steady}, {1500.0, 0.0});
+  EXPECT_EQ(selector.SelectMostReliable(100.0), 1);
+  // Same curves, but node 0 young: now node 0 wins (its early hazard is tiny).
+  const LeaderSelector young_selector({&wearing_out, &steady}, {10.0, 0.0});
+  EXPECT_EQ(young_selector.SelectMostReliable(100.0), 0);
+}
+
+TEST(LeaderSelectorAgingTest, StableSortBreaksTiesByIndex) {
+  const ConstantFaultCurve a(0.01);
+  const ConstantFaultCurve b(0.01);
+  const LeaderSelector selector({&a, &b}, {0.0, 0.0});
+  EXPECT_EQ(selector.RankByReliability(10.0), (std::vector<int>{0, 1}));
+}
+
+}  // namespace
+}  // namespace probcon

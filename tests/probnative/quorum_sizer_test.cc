@@ -1,0 +1,94 @@
+#include "src/probnative/quorum_sizer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/reliability.h"
+
+namespace probcon {
+namespace {
+
+const std::vector<double> kUniform5 = {0.01, 0.01, 0.01, 0.01, 0.01};
+
+TEST(SizeRaftQuorumsTest, FindsStructurallySafeConfig) {
+  const auto sized = SizeRaftQuorums(kUniform5, Probability::FromComplement(1e-4));
+  ASSERT_TRUE(sized.ok());
+  EXPECT_TRUE(RaftIsSafeStructurally(sized->config));
+  EXPECT_FALSE(sized->live < Probability::FromComplement(1e-4));
+}
+
+TEST(SizeRaftQuorumsTest, PrefersSmallCommitQuorum) {
+  // Flexible Paxos: a tiny q_per is structurally fine if q_vc is large. The sizer should
+  // exploit it (commit latency scales with q_per).
+  const auto sized = SizeRaftQuorums(kUniform5, Probability::FromComplement(5e-2));
+  ASSERT_TRUE(sized.ok());
+  EXPECT_LT(sized->config.q_per, 3);
+  EXPECT_GT(sized->config.q_vc, 3);  // Structural complement of the small q_per.
+}
+
+TEST(SizeRaftQuorumsTest, TightTargetForcesMajorities) {
+  // The max-liveness structurally safe configuration is the majority pair; targets beyond
+  // its reliability are infeasible.
+  const auto majority_live =
+      AnalyzeRaft(RaftConfig::Standard(5), ReliabilityAnalyzer::ForIndependentNodes(kUniform5))
+          .live;
+  const auto at_limit = SizeRaftQuorums(kUniform5, majority_live);
+  ASSERT_TRUE(at_limit.ok());
+  EXPECT_EQ(at_limit->config.q_per, 3);
+  EXPECT_EQ(at_limit->config.q_vc, 3);
+
+  const auto beyond = SizeRaftQuorums(
+      kUniform5, Probability::FromComplement(majority_live.complement() * 0.5));
+  EXPECT_FALSE(beyond.ok());
+}
+
+TEST(SizeRaftQuorumsTest, HeterogeneousNodesShiftTheAnswer) {
+  // Mostly reliable nodes with two flaky ones: targets met with smaller margins.
+  const std::vector<double> mixed = {0.001, 0.001, 0.001, 0.2, 0.2};
+  const auto sized = SizeRaftQuorums(mixed, Probability::FromComplement(1e-3));
+  ASSERT_TRUE(sized.ok());
+  EXPECT_TRUE(RaftIsSafeStructurally(sized->config));
+}
+
+TEST(SizePbftQuorumsTest, StandardConfigDiscoverable) {
+  const std::vector<double> uniform7(7, 0.01);
+  const auto sized = SizePbftQuorums(uniform7, Probability::FromComplement(1e-4),
+                                     Probability::FromComplement(1e-4));
+  ASSERT_TRUE(sized.ok());
+  EXPECT_FALSE(sized->safe < Probability::FromComplement(1e-4));
+  EXPECT_FALSE(sized->live < Probability::FromComplement(1e-4));
+  // Must be a valid PBFT geometry.
+  EXPECT_GE(2 * sized->config.q_eq - 7, 1);
+}
+
+TEST(SizePbftQuorumsTest, ImpossibleJointTargetFails) {
+  const std::vector<double> flaky(4, 0.3);
+  const auto sized = SizePbftQuorums(flaky, Probability::FromComplement(1e-9),
+                                     Probability::FromComplement(1e-9));
+  EXPECT_FALSE(sized.ok());
+}
+
+TEST(PbftFrontierTest, SafetyRisesLivenessFallsWithQuorumSize) {
+  const std::vector<double> uniform7(7, 0.05);
+  const auto frontier = PbftQuorumFrontier(uniform7);
+  ASSERT_EQ(frontier.size(), 7u);
+  // Safety monotone nondecreasing in q; liveness nonincreasing beyond the peak.
+  for (size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_FALSE(frontier[i].safe < frontier[i - 1].safe) << i;
+  }
+  // The paper's trade-off: the largest quorum is the safest and among the least live.
+  EXPECT_GT(frontier.back().safe.value(), frontier.front().safe.value());
+  EXPECT_LT(frontier.back().live.value(), frontier[4].live.value());
+}
+
+TEST(PbftFrontierTest, ReproducesFourVsFiveNodeInsight) {
+  // Table 1's 4-vs-5 insight, recast: at n=5, q=4 is far safer than q=3.5-style majorities.
+  const std::vector<double> uniform5(5, 0.01);
+  const auto frontier = PbftQuorumFrontier(uniform5);
+  const auto& q3 = frontier[2];
+  const auto& q4 = frontier[3];
+  EXPECT_GT(q3.safe.complement() / q4.safe.complement(), 20.0);
+  EXPECT_GE(q4.live.complement(), q3.live.complement());
+}
+
+}  // namespace
+}  // namespace probcon

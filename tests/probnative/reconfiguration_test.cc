@@ -1,0 +1,85 @@
+#include "src/probnative/reconfiguration.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace probcon {
+namespace {
+
+class ReconfigurationTest : public ::testing::Test {
+ protected:
+  // Fleet: 3 committee nodes (one aging badly) + 2 spares (one excellent, one poor).
+  void SetUp() override {
+    curves_.push_back(std::make_unique<ConstantFaultCurve>(1e-5));  // 0: good.
+    curves_.push_back(std::make_unique<ConstantFaultCurve>(1e-5));  // 1: good.
+    curves_.push_back(std::make_unique<WeibullFaultCurve>(4.0, 500.0));  // 2: wearing out.
+    curves_.push_back(std::make_unique<ConstantFaultCurve>(1e-6));  // 3: excellent spare.
+    curves_.push_back(std::make_unique<ConstantFaultCurve>(0.01));  // 4: poor spare.
+    for (int i = 0; i < 5; ++i) {
+      fleet_.push_back({i, curves_[i].get(), 0.0});
+    }
+    fleet_[2].age = 900.0;  // Node 2 is old.
+  }
+
+  std::vector<std::unique_ptr<FaultCurve>> curves_;
+  std::vector<FleetNode> fleet_;
+};
+
+TEST_F(ReconfigurationTest, HealthyCommitteeNeedsNoSwaps) {
+  const auto plan = PlanReconfiguration(fleet_, {0, 1, 3}, {4}, 100.0,
+                                        Probability::FromComplement(1e-3));
+  EXPECT_TRUE(plan.meets_target);
+  EXPECT_TRUE(plan.swaps.empty());
+  EXPECT_DOUBLE_EQ(plan.reliability_after.value(), plan.reliability_before.value());
+}
+
+TEST_F(ReconfigurationTest, SwapsOutTheAgingNode) {
+  const auto plan = PlanReconfiguration(fleet_, {0, 1, 2}, {3, 4}, 100.0,
+                                        Probability::FromComplement(1e-5));
+  EXPECT_TRUE(plan.meets_target);
+  ASSERT_EQ(plan.swaps.size(), 1u);
+  EXPECT_EQ(plan.swaps[0].out_node, 2);
+  EXPECT_EQ(plan.swaps[0].in_node, 3);  // Best spare, not the poor one.
+  EXPECT_GT(plan.reliability_after.value(), plan.reliability_before.value());
+}
+
+TEST_F(ReconfigurationTest, StopsWhenSparesCannotHelp) {
+  // Target far beyond what any spare combination achieves.
+  const auto plan = PlanReconfiguration(fleet_, {0, 1, 2}, {4}, 100.0,
+                                        Probability::FromComplement(1e-15));
+  EXPECT_FALSE(plan.meets_target);
+  // It still applies improving swaps (4 at 1% beats aged node 2).
+  EXPECT_FALSE(plan.reliability_after < plan.reliability_before);
+}
+
+TEST_F(ReconfigurationTest, NoSparesMeansNoSwaps) {
+  const auto plan = PlanReconfiguration(fleet_, {0, 1, 2}, {}, 100.0,
+                                        Probability::FromComplement(1e-9));
+  EXPECT_TRUE(plan.swaps.empty());
+}
+
+TEST_F(ReconfigurationTest, HorizonChangesTheDecision) {
+  // Over a tiny horizon even the aging node is fine; over a long one it is not.
+  const auto short_plan = PlanReconfiguration(fleet_, {0, 1, 2}, {3}, 1.0,
+                                              Probability::FromComplement(1e-4));
+  EXPECT_TRUE(short_plan.meets_target);
+  EXPECT_TRUE(short_plan.swaps.empty());
+
+  const auto long_plan = PlanReconfiguration(fleet_, {0, 1, 2}, {3}, 500.0,
+                                             Probability::FromComplement(1e-4));
+  EXPECT_FALSE(long_plan.swaps.empty());
+}
+
+TEST_F(ReconfigurationTest, DescribeMentionsNodes) {
+  const auto plan = PlanReconfiguration(fleet_, {0, 1, 2}, {3}, 200.0,
+                                        Probability::FromComplement(1e-6));
+  ASSERT_FALSE(plan.swaps.empty());
+  const std::string text = plan.swaps[0].Describe();
+  EXPECT_NE(text.find("node 2"), std::string::npos);
+  EXPECT_NE(text.find("node 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace probcon

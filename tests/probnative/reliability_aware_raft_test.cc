@@ -1,0 +1,131 @@
+#include "src/probnative/reliability_aware_raft.h"
+
+#include <gtest/gtest.h>
+
+#include "src/consensus/raft/raft_cluster.h"
+
+namespace probcon {
+namespace {
+
+const std::vector<double> kMixed = {0.002, 0.002, 0.02, 0.02, 0.02};
+
+TEST(PolicyConstructionTest, DurableSetPicksMostReliable) {
+  EXPECT_EQ(DurableMemberSet(kMixed, 2), 0b00011u);
+  EXPECT_EQ(DurableMemberSet(kMixed, 0), 0u);
+  EXPECT_EQ(DurableMemberSet(kMixed, 5), 0b11111u);
+}
+
+TEST(PolicyConstructionTest, PrioritiesOrderedByReliability) {
+  const auto policies = MakeReliabilityAwarePolicies(kMixed, 2);
+  ASSERT_EQ(policies.size(), 5u);
+  // Reliable nodes (0, 1) must have strictly smaller priorities than the flaky ones.
+  EXPECT_LT(policies[0].election_priority, policies[2].election_priority);
+  EXPECT_LT(policies[1].election_priority, policies[3].election_priority);
+  for (const auto& policy : policies) {
+    EXPECT_EQ(policy.required_commit_members, 0b00011u);
+    EXPECT_GT(policy.election_priority, 0.0);
+    EXPECT_LE(policy.election_priority, 1.0);
+  }
+}
+
+TEST(AnalysisTest, ConstraintTradesLivenessForDurability) {
+  const auto report = AnalyzeReliabilityAwareRaft(RaftConfig::Standard(5), kMixed, 2);
+  // Liveness can only get worse (constraint adds a requirement)...
+  EXPECT_GE(report.baseline_live.value(), report.live.value());
+  // ...and worst-case durability strictly better.
+  EXPECT_GT(report.durability.value(), report.baseline_durability.value());
+}
+
+TEST(AnalysisTest, HandComputedDurability) {
+  const auto report = AnalyzeReliabilityAwareRaft(RaftConfig::Standard(5), kMixed, 2);
+  // Baseline worst case: the three 2% nodes are the quorum (q_per = 3).
+  EXPECT_NEAR(report.baseline_durability.complement(), 0.02 * 0.02 * 0.02, 1e-12);
+  // Constrained worst case: two 2% + one 0.2% node.
+  EXPECT_NEAR(report.durability.complement(), 0.02 * 0.02 * 0.002, 1e-14);
+}
+
+TEST(AnalysisTest, FullDurableSetMakesLivenessEqualPlainRaft) {
+  // If every node is "durable", the constraint is vacuous whenever a quorum exists.
+  const auto report = AnalyzeReliabilityAwareRaft(RaftConfig::Standard(5), kMixed, 5);
+  EXPECT_NEAR(report.live.complement(), report.baseline_live.complement(), 1e-12);
+}
+
+// --- Protocol-level behaviour on the simulator --------------------------------
+
+RaftClusterOptions AwareOptions(uint64_t seed, int durable_count) {
+  RaftClusterOptions options;
+  options.config = RaftConfig::Standard(5);
+  options.policies = MakeReliabilityAwarePolicies(kMixed, durable_count);
+  options.seed = seed;
+  return options;
+}
+
+TEST(ProtocolTest, ReliableNodesWinElections) {
+  int reliable_leader_runs = 0;
+  constexpr int kRuns = 10;
+  for (uint64_t seed = 1; seed <= kRuns; ++seed) {
+    RaftCluster cluster(AwareOptions(seed, 2));
+    cluster.Start();
+    cluster.RunUntil(3'000.0);
+    const int leader = cluster.LeaderId();
+    if (leader == 0 || leader == 1) {
+      ++reliable_leader_runs;
+    }
+  }
+  // With priorities 0.4/0.55 vs 0.7/0.85/1.0, the reliable pair should win nearly always.
+  EXPECT_GE(reliable_leader_runs, 8);
+}
+
+TEST(ProtocolTest, CommitsStillFlowWithConstraint) {
+  RaftCluster cluster(AwareOptions(3, 2));
+  cluster.Start();
+  cluster.RunUntil(10'000.0);
+  EXPECT_TRUE(cluster.checker().safe());
+  EXPECT_GT(cluster.checker().committed_slots(), 50u);
+}
+
+TEST(ProtocolTest, CommitStallsWithoutAnyDurableMember) {
+  // Crash both durable nodes: a majority of flaky nodes remains, but the constraint blocks
+  // NEW commits — the durability/liveness trade made observable.
+  RaftCluster cluster(AwareOptions(4, 2));
+  cluster.Start();
+  cluster.RunUntil(2'000.0);
+  cluster.node(0).Crash();
+  cluster.node(1).Crash();
+  cluster.RunUntil(4'000.0);  // Drain in-flight commits.
+  const uint64_t stalled_at = cluster.checker().max_committed_slot();
+  cluster.RunUntil(20'000.0);
+  EXPECT_LE(cluster.checker().max_committed_slot(), stalled_at + 1);
+  EXPECT_TRUE(cluster.checker().safe());
+
+  // Control: plain Raft keeps committing through the same crashes.
+  RaftClusterOptions plain;
+  plain.config = RaftConfig::Standard(5);
+  plain.seed = 4;
+  RaftCluster control(plain);
+  control.Start();
+  control.RunUntil(2'000.0);
+  control.node(0).Crash();
+  control.node(1).Crash();
+  control.RunUntil(4'000.0);
+  const uint64_t control_at = control.checker().max_committed_slot();
+  control.RunUntil(20'000.0);
+  EXPECT_GT(control.checker().max_committed_slot(), control_at + 20);
+}
+
+TEST(ProtocolTest, RecoveryOfDurableMemberResumesCommits) {
+  RaftCluster cluster(AwareOptions(5, 2));
+  cluster.Start();
+  cluster.RunUntil(2'000.0);
+  cluster.node(0).Crash();
+  cluster.node(1).Crash();
+  cluster.RunUntil(8'000.0);
+  const uint64_t stalled_at = cluster.checker().max_committed_slot();
+  cluster.node(0).Recover();
+  cluster.RunUntil(25'000.0);
+  EXPECT_GT(cluster.checker().max_committed_slot(), stalled_at + 10);
+  EXPECT_TRUE(cluster.checker().safe());
+}
+
+}  // namespace
+}  // namespace probcon

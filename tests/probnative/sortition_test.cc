@@ -1,0 +1,116 @@
+#include "src/probnative/sortition.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace probcon {
+namespace {
+
+std::vector<uint64_t> Keys(int n) {
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < n; ++i) {
+    keys.push_back(0xABCD000 + 977 * i);
+  }
+  return keys;
+}
+
+TEST(SortitionTest, DeterministicPerNodeAndRound) {
+  EXPECT_EQ(SortitionSelected(42, 7, 0.5), SortitionSelected(42, 7, 0.5));
+  const auto a = SortitionCommittee(Keys(50), 3, 0.3);
+  const auto b = SortitionCommittee(Keys(50), 3, 0.3);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SortitionTest, DifferentRoundsDifferentCommittees) {
+  const auto round1 = SortitionCommittee(Keys(200), 1, 0.3);
+  const auto round2 = SortitionCommittee(Keys(200), 2, 0.3);
+  EXPECT_NE(round1, round2);
+}
+
+TEST(SortitionTest, SelectionRateMatchesProbability) {
+  const auto keys = Keys(2000);
+  int selected = 0;
+  for (uint64_t round = 0; round < 50; ++round) {
+    selected += static_cast<int>(SortitionCommittee(keys, round, 0.2).size());
+  }
+  EXPECT_NEAR(selected / (2000.0 * 50.0), 0.2, 0.01);
+}
+
+TEST(SortitionTest, BoundaryProbabilities) {
+  EXPECT_TRUE(SortitionCommittee(Keys(20), 1, 1.0).size() == 20u);
+  EXPECT_TRUE(SortitionCommittee(Keys(20), 1, 0.0).empty());
+}
+
+TEST(SortitionHonestMajorityTest, SingleReliableNode) {
+  // One node, p=0.1, always selected: honest majority iff the node is honest.
+  const auto prob = SortitionHonestMajority({0.1}, 1.0);
+  EXPECT_NEAR(prob.value(), 0.9, 1e-12);
+}
+
+TEST(SortitionHonestMajorityTest, EmptyCommitteeCountsAsBad) {
+  // One perfect node selected with probability 0.25: good iff selected.
+  const auto prob = SortitionHonestMajority({0.0}, 0.25);
+  EXPECT_NEAR(prob.value(), 0.25, 1e-12);
+}
+
+TEST(SortitionHonestMajorityTest, BruteForceAgreementSmallN) {
+  const std::vector<double> probs = {0.1, 0.3, 0.05};
+  const double selection = 0.6;
+  // Enumerate 3 nodes x 3 states: skip / selected-honest / selected-faulty.
+  double good = 0.0;
+  for (int s0 = 0; s0 < 3; ++s0) {
+    for (int s1 = 0; s1 < 3; ++s1) {
+      for (int s2 = 0; s2 < 3; ++s2) {
+        const int states[3] = {s0, s1, s2};
+        double mass = 1.0;
+        int honest = 0;
+        int faulty = 0;
+        for (int i = 0; i < 3; ++i) {
+          if (states[i] == 0) {
+            mass *= 1.0 - selection;
+          } else if (states[i] == 1) {
+            mass *= selection * (1.0 - probs[i]);
+            ++honest;
+          } else {
+            mass *= selection * probs[i];
+            ++faulty;
+          }
+        }
+        if (honest > faulty) {
+          good += mass;
+        }
+      }
+    }
+  }
+  EXPECT_NEAR(SortitionHonestMajority(probs, selection).value(), good, 1e-12);
+}
+
+TEST(SortitionHonestMajorityTest, MoreSelectionMoreReliableOnGoodFleet) {
+  const std::vector<double> fleet(30, 0.05);
+  const double small = SortitionHonestMajority(fleet, 0.1).value();
+  const double large = SortitionHonestMajority(fleet, 0.5).value();
+  EXPECT_GT(large, small);
+}
+
+TEST(MinExpectedCommitteeTest, ScalesWithTarget) {
+  const std::vector<double> fleet(50, 0.1);
+  const double three_nines =
+      MinExpectedCommitteeForHonestMajority(fleet, Probability::FromComplement(1e-3));
+  const double five_nines =
+      MinExpectedCommitteeForHonestMajority(fleet, Probability::FromComplement(1e-5));
+  EXPECT_GT(three_nines, 0.0);
+  EXPECT_GT(five_nines, three_nines);
+  EXPECT_LT(five_nines, 50.0);  // Far below the full fleet.
+}
+
+TEST(MinExpectedCommitteeTest, ImpossibleTarget) {
+  // Majority-faulty fleet: honest majority of a large sample is hopeless.
+  const std::vector<double> fleet(20, 0.8);
+  EXPECT_LT(MinExpectedCommitteeForHonestMajority(fleet, Probability::FromComplement(1e-6)),
+            0.0);
+}
+
+}  // namespace
+}  // namespace probcon

@@ -1,0 +1,82 @@
+#include "src/quorum/availability.h"
+
+#include <gtest/gtest.h>
+
+#include "src/prob/binomial.h"
+
+namespace probcon {
+namespace {
+
+TEST(AvailabilityTest, ThresholdIndependentMatchesBinomial) {
+  const ThresholdQuorumSystem qs(5, 3);
+  const auto model = IndependentFailureModel::Uniform(5, 0.1);
+  const auto availability = QuorumAvailability(qs, model);
+  // Available iff <= 2 failures.
+  EXPECT_NEAR(availability.value(), BinomialCdf(5, 2, 0.1).value(), 1e-12);
+}
+
+TEST(AvailabilityTest, FastPathMatchesEnumeration) {
+  // Heterogeneous threshold: compare the Poisson-binomial fast path against exact
+  // enumeration via an equivalent explicit system.
+  const std::vector<double> probs = {0.01, 0.05, 0.2, 0.4, 0.07};
+  const ThresholdQuorumSystem threshold(5, 3);
+  std::vector<NodeSet> quorums;
+  for (NodeSet s = 0; s < 32; ++s) {
+    if (NodeSetSize(s) == 3) {
+      quorums.push_back(s);
+    }
+  }
+  const ExplicitQuorumSystem explicit_qs(5, quorums);
+  const IndependentFailureModel model(probs);
+  const double fast = QuorumAvailability(threshold, model).value();
+  const double slow = QuorumAvailability(explicit_qs, model).value();
+  EXPECT_NEAR(fast, slow, 1e-12);
+}
+
+TEST(AvailabilityTest, GridAvailability) {
+  // 2x2 grid, p=0.1 each: quorum needs a full row AND a full column = at least 3 specific
+  // nodes. Enumerate by hand: quorum sets are {0,1,2},{0,1,3},{0,2,3},{1,2,3},{all}.
+  const GridQuorumSystem grid(2, 2);
+  const auto model = IndependentFailureModel::Uniform(4, 0.1);
+  const double p_all_alive = 0.9 * 0.9 * 0.9 * 0.9;
+  const double p_three_alive = 4 * 0.9 * 0.9 * 0.9 * 0.1;
+  EXPECT_NEAR(QuorumAvailability(grid, model).value(), p_all_alive + p_three_alive, 1e-12);
+}
+
+TEST(AvailabilityTest, CorrelatedShockLowersAvailability) {
+  const ThresholdQuorumSystem qs(5, 3);
+  const auto independent = IndependentFailureModel::Uniform(5, 0.05);
+  const CommonCauseFailureModel correlated(std::vector<double>(5, 0.05), 0.02,
+                                           std::vector<double>(5, 0.95));
+  EXPECT_GT(QuorumAvailability(qs, independent).value(),
+            QuorumAvailability(qs, correlated).value());
+}
+
+TEST(AvailabilityTest, MoreReliableNodesRaiseAvailability) {
+  const ThresholdQuorumSystem qs(5, 3);
+  const IndependentFailureModel worse({0.1, 0.1, 0.1, 0.1, 0.1});
+  const IndependentFailureModel better({0.01, 0.1, 0.1, 0.1, 0.1});
+  EXPECT_GT(QuorumAvailability(qs, better).value(), QuorumAvailability(qs, worse).value());
+}
+
+TEST(LoadTest, ThresholdUniformLoad) {
+  EXPECT_DOUBLE_EQ(UniformStrategyMaxLoad(ThresholdQuorumSystem(10, 6)), 0.6);
+  EXPECT_DOUBLE_EQ(UniformStrategyMaxLoad(ThresholdQuorumSystem(3, 2)), 2.0 / 3.0);
+}
+
+TEST(LoadTest, GridLoadIsLowerThanMajorityForLargeN) {
+  // 6x6 grid over 36 nodes: load ~ 1/6 + 1/6 - 1/36 < majority's ~0.53.
+  const double grid_load = UniformStrategyMaxLoad(GridQuorumSystem(6, 6));
+  const double majority_load = UniformStrategyMaxLoad(ThresholdQuorumSystem(36, 19));
+  EXPECT_LT(grid_load, majority_load);
+  EXPECT_NEAR(grid_load, 1.0 / 6 + 1.0 / 6 - 1.0 / 36, 1e-12);
+}
+
+TEST(LoadTest, ExplicitSystemLoad) {
+  // Two disjoint quorums, uniform pick: each node carries load 0.5... only members.
+  const ExplicitQuorumSystem qs(4, {0b0011, 0b1100});
+  EXPECT_DOUBLE_EQ(UniformStrategyMaxLoad(qs), 0.5);
+}
+
+}  // namespace
+}  // namespace probcon

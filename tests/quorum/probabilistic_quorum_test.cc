@@ -1,0 +1,105 @@
+#include "src/quorum/probabilistic_quorum.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/prob/combinatorics.h"
+
+namespace probcon {
+namespace {
+
+TEST(RandomQuorumsDisjointTest, PigeonholeForcesIntersection) {
+  EXPECT_DOUBLE_EQ(RandomQuorumsDisjoint(10, 6, 6).value(), 0.0);
+  EXPECT_DOUBLE_EQ(RandomQuorumsDisjoint(10, 5, 6).value(), 0.0);
+}
+
+TEST(RandomQuorumsDisjointTest, HandComputedSmallCase) {
+  // n=4, q1=q2=2: P(disjoint) = C(2,2)/C(4,2) = 1/6.
+  EXPECT_NEAR(RandomQuorumsDisjoint(4, 2, 2).value(), 1.0 / 6.0, 1e-12);
+}
+
+TEST(RandomQuorumsDisjointTest, MonteCarloAgreement) {
+  Rng rng(5);
+  constexpr int kTrials = 200000;
+  int disjoint = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto a = SampleRandomQuorum(rng, 20, 4);
+    const auto b = SampleRandomQuorum(rng, 20, 4);
+    std::set<int> sa(a.begin(), a.end());
+    bool hit = false;
+    for (const int x : b) {
+      if (sa.count(x) > 0) {
+        hit = true;
+        break;
+      }
+    }
+    disjoint += hit ? 0 : 1;
+  }
+  EXPECT_NEAR(static_cast<double>(disjoint) / kTrials,
+              RandomQuorumsDisjoint(20, 4, 4).value(), 0.005);
+}
+
+TEST(RandomQuorumsDisjointTest, SqrtNScaling) {
+  // MRW: with q = l*sqrt(n), P(disjoint) ~ exp(-l^2); check the trend for l=2.
+  for (const int n : {100, 400, 900}) {
+    const int q = static_cast<int>(2.0 * std::sqrt(static_cast<double>(n)));
+    const double disjoint = RandomQuorumsDisjoint(n, q, q).value();
+    EXPECT_LT(disjoint, std::exp(-3.0)) << n;  // Comfortably below e^-3.
+    EXPECT_GT(disjoint, std::exp(-6.0)) << n;  // But not vanishing: ~e^-4.
+  }
+}
+
+TEST(RandomQuorumAllFromSetTest, Hypergeometric) {
+  // n=10, q=3, f=4: C(4,3)/C(10,3) = 4/120.
+  EXPECT_NEAR(RandomQuorumAllFromSet(10, 3, 4).value(), 4.0 / 120.0, 1e-12);
+  EXPECT_DOUBLE_EQ(RandomQuorumAllFromSet(10, 5, 4).value(), 0.0);  // q > f.
+}
+
+TEST(IidQuorumAllFaultyTest, PaperTenNinesClaim) {
+  // §3: at p_u = 1% "there are already ten nines of probability that a random quorum of five
+  // nodes includes at least one correct node".
+  const auto all_faulty = IidQuorumAllFaulty(5, 0.01);
+  EXPECT_NEAR(all_faulty.value(), 1e-10, 1e-20);
+  EXPECT_NEAR(all_faulty.Not().nines(), 10.0, 1e-6);
+}
+
+TEST(MinQuorumSizeTest, IntersectionTargetMonotone) {
+  const auto target_low = Probability::FromProbability(0.9);
+  const auto target_high = Probability::FromProbability(0.9999);
+  const int q_low = MinQuorumSizeForIntersection(100, target_low);
+  const int q_high = MinQuorumSizeForIntersection(100, target_high);
+  EXPECT_LE(q_low, q_high);
+  EXPECT_LT(q_high, 51);  // Far below majority.
+}
+
+TEST(MinQuorumSizeTest, CorrectMemberBeatsFThreshold) {
+  // The paper's overkill example: N=100, f=33. f-threshold needs |Q_vc_t| = 34; nine nines
+  // of hitting a correct node needs far fewer.
+  const int probabilistic =
+      MinQuorumSizeForCorrectMember(100, 33, Probability::FromComplement(1e-9));
+  EXPECT_LT(probabilistic, 34);
+  EXPECT_GT(probabilistic, 5);
+}
+
+TEST(MinQuorumSizeTest, DegenerateTargets) {
+  // Trivial target: one node suffices.
+  EXPECT_EQ(MinQuorumSizeForCorrectMember(10, 0, Probability::FromProbability(0.5)), 1);
+}
+
+TEST(SampleRandomQuorumTest, SizesAndSortedDistinct) {
+  Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto quorum = SampleRandomQuorum(rng, 30, 7);
+    ASSERT_EQ(quorum.size(), 7u);
+    for (size_t i = 1; i < quorum.size(); ++i) {
+      EXPECT_LT(quorum[i - 1], quorum[i]);
+    }
+    EXPECT_GE(quorum.front(), 0);
+    EXPECT_LT(quorum.back(), 30);
+  }
+}
+
+}  // namespace
+}  // namespace probcon

@@ -1,0 +1,181 @@
+#include "src/quorum/quorum_system.h"
+
+#include <gtest/gtest.h>
+
+namespace probcon {
+namespace {
+
+TEST(ThresholdQuorumTest, CountsBits) {
+  const ThresholdQuorumSystem qs(5, 3);
+  EXPECT_FALSE(qs.IsQuorum(0b00011));
+  EXPECT_TRUE(qs.IsQuorum(0b00111));
+  EXPECT_TRUE(qs.IsQuorum(0b11111));
+  EXPECT_EQ(qs.MinQuorumCardinality(), 3);
+}
+
+TEST(ThresholdQuorumTest, MajorityFactory) {
+  EXPECT_EQ(ThresholdQuorumSystem::Majority(3).k(), 2);
+  EXPECT_EQ(ThresholdQuorumSystem::Majority(4).k(), 3);
+  EXPECT_EQ(ThresholdQuorumSystem::Majority(5).k(), 3);
+  EXPECT_EQ(ThresholdQuorumSystem::Majority(9).k(), 5);
+}
+
+TEST(WeightedQuorumTest, StakeBasedQuorums) {
+  // Node 0 holds 60% of stake; alone it is a quorum at threshold 0.5 * total.
+  const WeightedQuorumSystem qs({6.0, 2.0, 2.0}, 5.1);
+  EXPECT_TRUE(qs.IsQuorum(0b001));
+  EXPECT_FALSE(qs.IsQuorum(0b110));  // 4.0 < 5.1.
+  EXPECT_TRUE(qs.IsQuorum(0b111));
+  EXPECT_DOUBLE_EQ(qs.TotalWeight(), 10.0);
+}
+
+TEST(WeightedQuorumTest, EqualWeightsReduceToThreshold) {
+  const WeightedQuorumSystem weighted({1, 1, 1, 1, 1}, 3.0);
+  const ThresholdQuorumSystem threshold(5, 3);
+  for (NodeSet s = 0; s < 32; ++s) {
+    EXPECT_EQ(weighted.IsQuorum(s), threshold.IsQuorum(s)) << s;
+  }
+}
+
+TEST(GridQuorumTest, RowPlusColumn) {
+  // 2x2 grid: nodes (r,c) -> bit r*2+c.
+  const GridQuorumSystem qs(2, 2);
+  // Full row 0 {0,1} + full column 0 {0,2} = {0,1,2}.
+  EXPECT_TRUE(qs.IsQuorum(0b0111));
+  // A row alone is not a quorum.
+  EXPECT_FALSE(qs.IsQuorum(0b0011));
+  // A column alone is not a quorum.
+  EXPECT_FALSE(qs.IsQuorum(0b0101));
+  EXPECT_TRUE(qs.IsQuorum(0b1111));
+  EXPECT_EQ(qs.MinQuorumCardinality(), 3);
+}
+
+TEST(GridQuorumTest, AnyTwoQuorumsIntersect) {
+  const GridQuorumSystem qs(3, 3);
+  EXPECT_TRUE(QuorumSystemsIntersect(qs, qs));
+}
+
+TEST(ExplicitQuorumTest, MinimalQuorumClosure) {
+  const ExplicitQuorumSystem qs(4, {0b0011, 0b1100});
+  EXPECT_TRUE(qs.IsQuorum(0b0011));
+  EXPECT_TRUE(qs.IsQuorum(0b0111));  // Superset.
+  EXPECT_FALSE(qs.IsQuorum(0b0101));
+  EXPECT_EQ(qs.MinQuorumCardinality(), 2);
+}
+
+TEST(ExplicitQuorumTest, DisjointQuorumsDoNotIntersect) {
+  const ExplicitQuorumSystem qs(4, {0b0011, 0b1100});
+  EXPECT_FALSE(QuorumSystemsIntersect(qs, qs));
+}
+
+class MonotonicityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MonotonicityTest, SupersetOfQuorumIsQuorum) {
+  const int n = 6;
+  const int k = GetParam();
+  const ThresholdQuorumSystem threshold(n, k);
+  const GridQuorumSystem grid(2, 3);
+  const ExplicitQuorumSystem explicit_qs(n, {0b000111, 0b111000, 0b010101});
+  const QuorumSystem* systems[] = {&threshold, &grid, &explicit_qs};
+  for (const QuorumSystem* qs : systems) {
+    for (NodeSet s = 0; s < (NodeSet{1} << n); ++s) {
+      if (!qs->IsQuorum(s)) {
+        continue;
+      }
+      for (int add = 0; add < n; ++add) {
+        EXPECT_TRUE(qs->IsQuorum(s | (NodeSet{1} << add)))
+            << qs->Describe() << " s=" << s << " add=" << add;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, MonotonicityTest, ::testing::Values(1, 3, 6));
+
+// --- Intersection predicates --------------------------------------------------
+
+TEST(IntersectionTest, ThresholdClosedForm) {
+  // k_a + k_b > n <=> intersect.
+  EXPECT_TRUE(QuorumSystemsIntersect(ThresholdQuorumSystem(5, 3), ThresholdQuorumSystem(5, 3)));
+  EXPECT_FALSE(
+      QuorumSystemsIntersect(ThresholdQuorumSystem(5, 2), ThresholdQuorumSystem(5, 3)));
+  EXPECT_TRUE(QuorumSystemsIntersect(ThresholdQuorumSystem(4, 3), ThresholdQuorumSystem(4, 2)));
+}
+
+TEST(IntersectionTest, ThresholdMOverlap) {
+  // Two 3-of-4 quorums intersect in >= 2 nodes.
+  EXPECT_TRUE(QuorumSystemsIntersectInAtLeast(ThresholdQuorumSystem(4, 3),
+                                              ThresholdQuorumSystem(4, 3), 2));
+  EXPECT_FALSE(QuorumSystemsIntersectInAtLeast(ThresholdQuorumSystem(4, 3),
+                                               ThresholdQuorumSystem(4, 3), 3));
+  // PBFT n=4: Q_eq=3 pairs intersect in >= 2 (one of which is correct if Byz < 2*3-4).
+  EXPECT_TRUE(QuorumSystemsIntersectInAtLeast(ThresholdQuorumSystem(7, 5),
+                                              ThresholdQuorumSystem(7, 5), 3));
+}
+
+TEST(IntersectionTest, GenericMatchesThresholdClosedForm) {
+  // Wrap thresholds as explicit systems to force the generic path; compare results.
+  for (int n = 3; n <= 6; ++n) {
+    for (int ka = 1; ka <= n; ++ka) {
+      for (int kb = 1; kb <= n; ++kb) {
+        const ThresholdQuorumSystem ta(n, ka);
+        const ThresholdQuorumSystem tb(n, kb);
+        // Build explicit minimal quorum lists (all k-subsets).
+        std::vector<NodeSet> qa;
+        std::vector<NodeSet> qb;
+        for (NodeSet s = 0; s < (NodeSet{1} << n); ++s) {
+          if (NodeSetSize(s) == ka) {
+            qa.push_back(s);
+          }
+          if (NodeSetSize(s) == kb) {
+            qb.push_back(s);
+          }
+        }
+        const ExplicitQuorumSystem ea(n, qa);
+        const ExplicitQuorumSystem eb(n, qb);
+        EXPECT_EQ(QuorumSystemsIntersect(ea, eb), QuorumSystemsIntersect(ta, tb))
+            << "n=" << n << " ka=" << ka << " kb=" << kb;
+      }
+    }
+  }
+}
+
+TEST(IntersectionTest, GridIntersectsThresholdMajority) {
+  const GridQuorumSystem grid(2, 2);
+  const ThresholdQuorumSystem majority(4, 3);
+  EXPECT_TRUE(QuorumSystemsIntersect(grid, majority));
+}
+
+TEST(CloneTest, ClonesPreserveBehaviour) {
+  const ThresholdQuorumSystem threshold(6, 4);
+  const GridQuorumSystem grid(2, 3);
+  const WeightedQuorumSystem weighted({3, 1, 1, 1}, 3.5);
+  const ExplicitQuorumSystem explicit_qs(4, {0b0111});
+  const QuorumSystem* systems[] = {&threshold, &grid, &weighted, &explicit_qs};
+  for (const QuorumSystem* qs : systems) {
+    const auto clone = qs->Clone();
+    for (NodeSet s = 0; s < (NodeSet{1} << qs->n()); ++s) {
+      ASSERT_EQ(clone->IsQuorum(s), qs->IsQuorum(s)) << qs->Describe() << " s=" << s;
+    }
+    EXPECT_EQ(clone->Describe(), qs->Describe());
+  }
+}
+
+TEST(MinCardinalityTest, GenericSearchMatchesKnownAnswers) {
+  // Exercise the base-class exponential search against systems with known minima.
+  EXPECT_EQ(GridQuorumSystem(3, 3).MinQuorumCardinality(), 5);   // Row(3) + col(3) - overlap.
+  EXPECT_EQ(GridQuorumSystem(2, 4).MinQuorumCardinality(), 5);
+  const WeightedQuorumSystem whale({10, 1, 1, 1, 1}, 10.0);
+  EXPECT_EQ(whale.MinQuorumCardinality(), 1);  // The whale alone.
+  const WeightedQuorumSystem spread({1, 1, 1, 1, 1}, 4.0);
+  EXPECT_EQ(spread.MinQuorumCardinality(), 4);
+}
+
+TEST(NodeSetHelpersTest, Basics) {
+  EXPECT_EQ(NodeSetSize(0b1011), 3);
+  EXPECT_EQ(FullNodeSet(4), 0b1111u);
+  EXPECT_EQ(ComplementNodeSet(0b0011, 4), 0b1100u);
+}
+
+}  // namespace
+}  // namespace probcon

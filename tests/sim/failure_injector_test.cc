@@ -1,0 +1,150 @@
+#include "src/sim/failure_injector.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace probcon {
+namespace {
+
+class InertProcess final : public Process {
+ public:
+  using Process::Process;
+
+ protected:
+  void OnStart() override {}
+  void OnMessage(int, const std::shared_ptr<const SimMessage>&) override {}
+};
+
+class FailureInjectorTest : public ::testing::Test {
+ protected:
+  void Build(int n, uint64_t seed = 1) {
+    sim_ = std::make_unique<Simulator>(seed);
+    network_ = std::make_unique<Network>(sim_.get(), n,
+                                         std::make_unique<UniformLatencyModel>(1.0, 1.0));
+    processes_.clear();
+    for (int i = 0; i < n; ++i) {
+      processes_.push_back(std::make_unique<InertProcess>(sim_.get(), network_.get(), i));
+      processes_.back()->Start();
+    }
+  }
+
+  std::vector<Process*> Borrowed() {
+    std::vector<Process*> result;
+    for (auto& p : processes_) {
+      result.push_back(p.get());
+    }
+    return result;
+  }
+
+  std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<Network> network_;
+  std::vector<std::unique_ptr<InertProcess>> processes_;
+};
+
+TEST_F(FailureInjectorTest, HighRateCurvesCrashEveryone) {
+  Build(5);
+  std::vector<std::unique_ptr<FaultCurve>> curves;
+  for (int i = 0; i < 5; ++i) {
+    curves.push_back(std::make_unique<ConstantFaultCurve>(1.0));  // Mean life 1 time unit.
+  }
+  FailureInjector injector(sim_.get(), Borrowed(), std::move(curves));
+  injector.Arm();
+  sim_->Run(100.0);
+  EXPECT_EQ(injector.crash_count(), 5);
+  for (const auto& p : processes_) {
+    EXPECT_TRUE(p->crashed());
+  }
+}
+
+TEST_F(FailureInjectorTest, ZeroRateCurvesNeverCrash) {
+  Build(3);
+  std::vector<std::unique_ptr<FaultCurve>> curves;
+  for (int i = 0; i < 3; ++i) {
+    curves.push_back(std::make_unique<ConstantFaultCurve>(0.0));
+  }
+  FailureInjector injector(sim_.get(), Borrowed(), std::move(curves));
+  injector.Arm();
+  sim_->Run(1000.0);
+  EXPECT_EQ(injector.crash_count(), 0);
+}
+
+TEST_F(FailureInjectorTest, CrashFractionMatchesCurve) {
+  // Over a window where p(fail) = 0.3, roughly 30% of a large fleet crashes.
+  constexpr int kNodes = 64;  // Bitmask-free here; the injector has no 64 limit.
+  constexpr double kWindow = 100.0;
+  Build(kNodes, 7);
+  std::vector<std::unique_ptr<FaultCurve>> curves;
+  for (int i = 0; i < kNodes; ++i) {
+    curves.push_back(std::make_unique<ConstantFaultCurve>(
+        ConstantFaultCurve::FromWindowProbability(0.3, kWindow)));
+  }
+  FailureInjector injector(sim_.get(), Borrowed(), std::move(curves));
+  injector.Arm();
+  sim_->Run(kWindow);
+  EXPECT_NEAR(injector.crash_count(), kNodes * 0.3, 12.0);
+}
+
+TEST_F(FailureInjectorTest, RepairBringsNodesBack) {
+  Build(4);
+  std::vector<std::unique_ptr<FaultCurve>> curves;
+  for (int i = 0; i < 4; ++i) {
+    curves.push_back(std::make_unique<ConstantFaultCurve>(0.5));
+  }
+  FailureInjector injector(sim_.get(), Borrowed(), std::move(curves),
+                           /*repair_rate=*/2.0);
+  injector.Arm();
+  sim_->Run(500.0);
+  EXPECT_GT(injector.crash_count(), 4);  // Nodes keep cycling.
+  EXPECT_GT(injector.recovery_count(), 0);
+  EXPECT_GE(injector.crash_count(), injector.recovery_count());
+}
+
+TEST_F(FailureInjectorTest, ShocksCrashVictimGroups) {
+  Build(6);
+  std::vector<std::unique_ptr<FaultCurve>> curves;
+  for (int i = 0; i < 6; ++i) {
+    curves.push_back(std::make_unique<ConstantFaultCurve>(0.0));
+  }
+  FailureInjector injector(sim_.get(), Borrowed(), std::move(curves));
+  injector.Arm({{10.0, {1, 3, 5}}});
+  sim_->Run(5.0);
+  EXPECT_EQ(injector.crash_count(), 0);
+  sim_->Run(20.0);
+  EXPECT_EQ(injector.crash_count(), 3);
+  EXPECT_TRUE(processes_[1]->crashed());
+  EXPECT_TRUE(processes_[3]->crashed());
+  EXPECT_TRUE(processes_[5]->crashed());
+  EXPECT_FALSE(processes_[0]->crashed());
+}
+
+TEST_F(FailureInjectorTest, ShockOnAlreadyCrashedNodeIsNoOp) {
+  Build(2);
+  std::vector<std::unique_ptr<FaultCurve>> curves;
+  curves.push_back(std::make_unique<ConstantFaultCurve>(10.0));  // Dies almost instantly.
+  curves.push_back(std::make_unique<ConstantFaultCurve>(0.0));
+  FailureInjector injector(sim_.get(), Borrowed(), std::move(curves));
+  injector.Arm({{50.0, {0}}});
+  sim_->Run(100.0);
+  EXPECT_EQ(injector.crash_count(), 1);  // Not double-counted.
+}
+
+TEST_F(FailureInjectorTest, WearOutCurvesCrashLateNotEarly) {
+  Build(8, 21);
+  std::vector<std::unique_ptr<FaultCurve>> curves;
+  for (int i = 0; i < 8; ++i) {
+    // Strong wear-out: almost no hazard before the scale age.
+    curves.push_back(std::make_unique<WeibullFaultCurve>(8.0, 100.0));
+  }
+  FailureInjector injector(sim_.get(), Borrowed(), std::move(curves));
+  injector.Arm();
+  sim_->Run(50.0);
+  EXPECT_EQ(injector.crash_count(), 0);  // P(fail by 50) = 1-exp(-(0.5)^8) ~ 0.4%.
+  sim_->Run(300.0);
+  EXPECT_GE(injector.crash_count(), 7);  // P(fail by 300) ~ 1.
+}
+
+}  // namespace
+}  // namespace probcon

@@ -1,0 +1,53 @@
+#include "src/sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace probcon {
+namespace {
+
+TEST(SampleStatsTest, BasicMoments) {
+  SampleStats stats;
+  for (const double x : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    stats.Add(x);
+  }
+  EXPECT_EQ(stats.count(), 5u);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.Max(), 5.0);
+}
+
+TEST(SampleStatsTest, Percentiles) {
+  SampleStats stats;
+  for (int i = 1; i <= 100; ++i) {
+    stats.Add(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(stats.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(1.0), 100.0);
+  EXPECT_NEAR(stats.Percentile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(stats.Percentile(0.99), 99.0, 1.0);
+}
+
+TEST(SampleStatsTest, SingleSample) {
+  SampleStats stats;
+  stats.Add(42.0);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 42.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(0.5), 42.0);
+}
+
+TEST(SampleStatsTest, UnsortedInput) {
+  SampleStats stats;
+  for (const double x : {9.0, 1.0, 5.0, 3.0, 7.0}) {
+    stats.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(stats.Percentile(0.5), 5.0);
+}
+
+TEST(SampleStatsTest, EmptyIsEmpty) {
+  SampleStats stats;
+  EXPECT_TRUE(stats.empty());
+  stats.Add(1.0);
+  EXPECT_FALSE(stats.empty());
+}
+
+}  // namespace
+}  // namespace probcon

@@ -1,0 +1,197 @@
+#include "src/sim/network.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace probcon {
+namespace {
+
+struct TestMessage final : public SimMessage {
+  explicit TestMessage(int v) : value(v) {}
+  int value;
+  std::string Describe() const override { return "test"; }
+};
+
+struct Delivery {
+  int to;
+  int from;
+  int value;
+  SimTime at;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  void Build(int nodes, double min_latency, double max_latency, double drop = 0.0) {
+    network_ = std::make_unique<Network>(
+        &sim_, nodes, std::make_unique<UniformLatencyModel>(min_latency, max_latency, drop));
+    for (int i = 0; i < nodes; ++i) {
+      network_->RegisterHandler(i, [this, i](int from,
+                                             const std::shared_ptr<const SimMessage>& msg) {
+        const auto* test_msg = dynamic_cast<const TestMessage*>(msg.get());
+        ASSERT_NE(test_msg, nullptr);
+        deliveries_.push_back({i, from, test_msg->value, sim_.Now()});
+      });
+    }
+  }
+
+  Simulator sim_{99};
+  std::unique_ptr<Network> network_;
+  std::vector<Delivery> deliveries_;
+};
+
+TEST_F(NetworkTest, DeliversWithinLatencyBounds) {
+  Build(2, 5.0, 15.0);
+  network_->Send(0, 1, std::make_shared<TestMessage>(7));
+  sim_.Run(100.0);
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(deliveries_[0].to, 1);
+  EXPECT_EQ(deliveries_[0].from, 0);
+  EXPECT_EQ(deliveries_[0].value, 7);
+  EXPECT_GE(deliveries_[0].at, 5.0);
+  EXPECT_LE(deliveries_[0].at, 15.0);
+}
+
+TEST_F(NetworkTest, StampsTrueSender) {
+  Build(3, 1.0, 1.0);
+  network_->Send(2, 0, std::make_shared<TestMessage>(1));
+  sim_.Run(10.0);
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(deliveries_[0].from, 2);
+}
+
+TEST_F(NetworkTest, BroadcastExcludesSelfWhenAsked) {
+  Build(4, 1.0, 2.0);
+  network_->Broadcast(1, std::make_shared<TestMessage>(5), /*include_self=*/false);
+  sim_.Run(10.0);
+  EXPECT_EQ(deliveries_.size(), 3u);
+  for (const auto& d : deliveries_) {
+    EXPECT_NE(d.to, 1);
+  }
+}
+
+TEST_F(NetworkTest, BroadcastIncludesSelfWhenAsked) {
+  Build(4, 1.0, 2.0);
+  network_->Broadcast(1, std::make_shared<TestMessage>(5), /*include_self=*/true);
+  sim_.Run(10.0);
+  EXPECT_EQ(deliveries_.size(), 4u);
+}
+
+TEST_F(NetworkTest, DropProbabilityDropsRoughlyThatFraction) {
+  Build(2, 1.0, 1.0, 0.3);
+  constexpr int kMessages = 10000;
+  for (int i = 0; i < kMessages; ++i) {
+    network_->Send(0, 1, std::make_shared<TestMessage>(i));
+  }
+  sim_.Run(100.0);
+  EXPECT_NEAR(static_cast<double>(deliveries_.size()), kMessages * 0.7, kMessages * 0.03);
+  EXPECT_EQ(network_->messages_sent(), static_cast<uint64_t>(kMessages));
+  EXPECT_EQ(network_->messages_delivered() + network_->messages_dropped(),
+            static_cast<uint64_t>(kMessages));
+}
+
+TEST_F(NetworkTest, PartitionBlocksCrossGroupTraffic) {
+  Build(4, 1.0, 1.0);
+  network_->SetPartition({0, 0, 1, 1});
+  network_->Send(0, 1, std::make_shared<TestMessage>(1));  // Same group: delivered.
+  network_->Send(0, 2, std::make_shared<TestMessage>(2));  // Cross group: dropped.
+  sim_.Run(10.0);
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(deliveries_[0].value, 1);
+}
+
+TEST_F(NetworkTest, PartitionCheckedAtDeliveryTime) {
+  Build(2, 10.0, 10.0);
+  network_->Send(0, 1, std::make_shared<TestMessage>(1));
+  // Cut the link while the message is in flight.
+  sim_.Schedule(5.0, [this]() { network_->SetPartition({0, 1}); });
+  sim_.Run(100.0);
+  EXPECT_TRUE(deliveries_.empty());
+}
+
+TEST_F(NetworkTest, ClearPartitionRestores) {
+  Build(2, 1.0, 1.0);
+  network_->SetPartition({0, 1});
+  network_->Send(0, 1, std::make_shared<TestMessage>(1));
+  sim_.Run(10.0);
+  EXPECT_TRUE(deliveries_.empty());
+  network_->ClearPartition();
+  network_->Send(0, 1, std::make_shared<TestMessage>(2));
+  sim_.Run(20.0);
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(deliveries_[0].value, 2);
+}
+
+TEST_F(NetworkTest, SelfSendAlwaysReachable) {
+  Build(2, 1.0, 1.0);
+  network_->SetPartition({0, 1});
+  network_->Send(0, 0, std::make_shared<TestMessage>(9));
+  sim_.Run(10.0);
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(deliveries_[0].to, 0);
+}
+
+TEST(UniformLatencyModelTest, SamplesWithinBounds) {
+  Rng rng(1);
+  const UniformLatencyModel model(2.0, 8.0);
+  for (int i = 0; i < 1000; ++i) {
+    const double latency = model.SampleLatency(0, 1, rng);
+    EXPECT_GE(latency, 2.0);
+    EXPECT_LE(latency, 8.0);
+  }
+}
+
+TEST(UniformLatencyModelTest, ZeroDropNeverDrops) {
+  Rng rng(2);
+  const UniformLatencyModel model(1.0, 1.0, 0.0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(model.ShouldDrop(0, 1, rng));
+  }
+}
+
+TEST(LogNormalLatencyModelTest, MedianAndTailShape) {
+  Rng rng(3);
+  const LogNormalLatencyModel model(10.0, 0.5);
+  std::vector<double> samples;
+  for (int i = 0; i < 40000; ++i) {
+    const double latency = model.SampleLatency(0, 1, rng);
+    EXPECT_GE(latency, 1.0);     // Clamp floor: 0.1 * median.
+    EXPECT_LE(latency, 1000.0);  // Clamp ceiling: 100 * median.
+    samples.push_back(latency);
+  }
+  std::sort(samples.begin(), samples.end());
+  EXPECT_NEAR(samples[samples.size() / 2], 10.0, 0.3);  // Median preserved.
+  // Heavy right tail: p99 well above 2x median (normal with same median would not be).
+  EXPECT_GT(samples[static_cast<size_t>(samples.size() * 0.99)], 25.0);
+}
+
+TEST(MatrixLatencyModelTest, UsesPerPairBase) {
+  Rng rng(4);
+  MatrixLatencyModel model({{0.0, 10.0}, {50.0, 0.0}}, /*jitter=*/0.0);
+  EXPECT_DOUBLE_EQ(model.SampleLatency(0, 1, rng), 10.0);
+  EXPECT_DOUBLE_EQ(model.SampleLatency(1, 0, rng), 50.0);
+  EXPECT_DOUBLE_EQ(model.SampleLatency(0, 0, rng), 0.0);
+}
+
+TEST(MatrixLatencyModelTest, JitterBounded) {
+  Rng rng(5);
+  MatrixLatencyModel model({{0.0, 10.0}, {10.0, 0.0}}, /*jitter=*/0.5);
+  for (int i = 0; i < 1000; ++i) {
+    const double latency = model.SampleLatency(0, 1, rng);
+    EXPECT_GE(latency, 10.0);
+    EXPECT_LE(latency, 15.0);
+  }
+}
+
+TEST(MatrixLatencyModelTest, FromRegionsBuildsTopology) {
+  Rng rng(6);
+  const auto model = MatrixLatencyModel::FromRegions(
+      {0, 0, 1}, {{1.0, 40.0}, {40.0, 1.0}}, /*local_latency=*/2.0, /*jitter=*/0.0);
+  EXPECT_DOUBLE_EQ(model.SampleLatency(0, 1, rng), 2.0);   // Same region.
+  EXPECT_DOUBLE_EQ(model.SampleLatency(0, 2, rng), 40.0);  // Cross region.
+}
+
+}  // namespace
+}  // namespace probcon

@@ -1,0 +1,149 @@
+#include "src/sim/simulator.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace probcon {
+namespace {
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(30.0, [&]() { order.push_back(3); });
+  sim.Schedule(10.0, [&]() { order.push_back(1); });
+  sim.Schedule(20.0, [&]() { order.push_back(2); });
+  sim.Run(100.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, TiesFireInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(5.0, [&order, i]() { order.push_back(i); });
+  }
+  sim.Run(10.0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(SimulatorTest, ClockAdvancesToEventTime) {
+  Simulator sim;
+  double observed = -1.0;
+  sim.Schedule(42.5, [&]() { observed = sim.Now(); });
+  sim.Run(100.0);
+  EXPECT_DOUBLE_EQ(observed, 42.5);
+  EXPECT_DOUBLE_EQ(sim.Now(), 100.0);  // Run advances to the horizon.
+}
+
+TEST(SimulatorTest, RunStopsAtHorizon) {
+  Simulator sim;
+  bool fired = false;
+  sim.Schedule(50.0, [&]() { fired = true; });
+  sim.Run(49.9);
+  EXPECT_FALSE(fired);
+  sim.Run(50.1);
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.Schedule(10.0, [&]() {
+    times.push_back(sim.Now());
+    sim.Schedule(5.0, [&]() { times.push_back(sim.Now()); });
+  });
+  sim.Run(100.0);
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 10.0);
+  EXPECT_DOUBLE_EQ(times[1], 15.0);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.Schedule(10.0, [&]() { fired = true; });
+  sim.Cancel(id);
+  sim.Run(100.0);
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelAfterFireIsNoOp) {
+  Simulator sim;
+  int count = 0;
+  const EventId id = sim.Schedule(1.0, [&]() { ++count; });
+  sim.Run(5.0);
+  sim.Cancel(id);  // Already fired; must not disturb later events.
+  sim.Schedule(1.0, [&]() { ++count; });
+  sim.Run(10.0);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulatorTest, CancelledHeadDoesNotLeakPastHorizon) {
+  Simulator sim;
+  bool late_fired = false;
+  const EventId early = sim.Schedule(10.0, [&]() {});
+  sim.Schedule(200.0, [&]() { late_fired = true; });
+  sim.Cancel(early);
+  sim.Run(100.0);  // The cancelled head must not cause the 200ms event to run early.
+  EXPECT_FALSE(late_fired);
+  EXPECT_DOUBLE_EQ(sim.Now(), 100.0);
+}
+
+TEST(SimulatorTest, StepExecutesOneEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.Schedule(1.0, [&]() { ++count; });
+  sim.Schedule(2.0, [&]() { ++count; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, ExecutedEventsCounter) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) {
+    sim.Schedule(i, []() {});
+  }
+  sim.Run(10.0);
+  EXPECT_EQ(sim.executed_events(), 5u);
+}
+
+TEST(SimulatorTest, RunReturnsExecutedCount) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) {
+    sim.Schedule(1.0 + i, []() {});
+  }
+  EXPECT_EQ(sim.Run(4.0), 4u);
+  EXPECT_EQ(sim.Run(100.0), 3u);
+}
+
+TEST(SimulatorTest, DeterministicWithSeed) {
+  auto run = [](uint64_t seed) {
+    Simulator sim(seed);
+    std::vector<uint64_t> values;
+    for (int i = 0; i < 10; ++i) {
+      values.push_back(sim.rng().Next());
+    }
+    return values;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST(SimulatorTest, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  sim.Schedule(10.0, []() {});
+  sim.Run(10.0);
+  double observed = -1.0;
+  sim.ScheduleAt(25.0, [&]() { observed = sim.Now(); });
+  sim.Run(30.0);
+  EXPECT_DOUBLE_EQ(observed, 25.0);
+}
+
+}  // namespace
+}  // namespace probcon

@@ -1,0 +1,138 @@
+#include "src/telemetry/fleet_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/faultmodel/afr.h"
+
+namespace probcon {
+namespace {
+
+TEST(FleetGeneratorTest, ObservationCountMatchesCohort) {
+  FleetGenerator generator(1);
+  DeviceCohort cohort{"test", 500, std::make_shared<ConstantFaultCurve>(0.001), 0.0};
+  const auto observations = generator.GenerateObservations(cohort, 1000.0);
+  EXPECT_EQ(observations.size(), 500u);
+}
+
+TEST(FleetGeneratorTest, ObservationsAreWellFormed) {
+  FleetGenerator generator(2);
+  DeviceCohort cohort{"test", 1000, std::make_shared<ConstantFaultCurve>(0.002), 500.0};
+  const auto observations = generator.GenerateObservations(cohort, 800.0);
+  EXPECT_TRUE(ValidateObservations(observations).ok());
+  for (const auto& obs : observations) {
+    EXPECT_GE(obs.entry_age, 0.0);
+    EXPECT_LE(obs.entry_age, 500.0);
+    EXPECT_LE(obs.exit_age, obs.entry_age + 800.0 + 1e-9);
+  }
+}
+
+TEST(FleetGeneratorTest, FailureFractionTracksCurve) {
+  FleetGenerator generator(3);
+  // p(fail in window) = 1 - exp(-0.001 * 500) ~ 0.3935.
+  DeviceCohort cohort{"test", 20000, std::make_shared<ConstantFaultCurve>(0.001), 0.0};
+  const auto observations = generator.GenerateObservations(cohort, 500.0);
+  int failures = 0;
+  for (const auto& obs : observations) {
+    failures += obs.failed ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(failures) / 20000.0, 0.3935, 0.01);
+}
+
+TEST(FleetGeneratorTest, RoundTripThroughEstimator) {
+  // The end-to-end telemetry story: generate from a known curve, fit, compare (E11 core).
+  FleetGenerator generator(4);
+  const double true_afr = 0.04;
+  DeviceCohort cohort{"st4000", 30000,
+                      std::make_shared<ConstantFaultCurve>(RateFromAfr(true_afr)), 0.0};
+  const auto observations = generator.GenerateObservations(cohort, kHoursPerYear);
+  const auto fitted = FitExponential(observations);
+  ASSERT_TRUE(fitted.ok());
+  EXPECT_NEAR(AfrFromRate(fitted->rate()), true_afr, 0.003);
+}
+
+TEST(FleetGeneratorTest, WeibullCohortRoundTrip) {
+  FleetGenerator generator(5);
+  DeviceCohort cohort{"wd-new", 20000,
+                      std::make_shared<WeibullFaultCurve>(0.6, 4.0e5), 0.0};
+  const auto observations = generator.GenerateObservations(cohort, 20000.0);
+  const auto fitted = FitWeibull(observations);
+  ASSERT_TRUE(fitted.ok());
+  EXPECT_NEAR(fitted->shape(), 0.6, 0.05);
+}
+
+TEST(FleetGeneratorTest, SyntheticFleetHasHeterogeneousCohorts) {
+  const auto fleet = FleetGenerator::SyntheticDriveStatsFleet();
+  ASSERT_GE(fleet.size(), 4u);
+  for (const auto& cohort : fleet) {
+    EXPECT_GT(cohort.count, 0);
+    ASSERT_NE(cohort.curve, nullptr);
+  }
+  // Hazards over the first year differ across cohorts (the §2 heterogeneity).
+  const double h0 = fleet[0].curve->FailureProbability(0.0, kHoursPerYear);
+  const double h1 = fleet[1].curve->FailureProbability(0.0, kHoursPerYear);
+  EXPECT_GT(h1, h0 * 2.0);
+}
+
+TEST(SpotEvictionTest, TraceWithinDuration) {
+  Rng rng(6);
+  const auto trace = GenerateSpotEvictionTrace(rng, 24.0 * 30, 0.02, 5.0);
+  EXPECT_FALSE(trace.empty());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i], 0.0);
+    EXPECT_LE(trace[i], 24.0 * 30);
+    if (i > 0) {
+      EXPECT_GE(trace[i], trace[i - 1]);  // Sorted arrival order.
+    }
+  }
+}
+
+TEST(SpotEvictionTest, PeaksConcentrateEvictions) {
+  Rng rng(7);
+  const auto trace = GenerateSpotEvictionTrace(rng, 24.0 * 200, 0.05, 10.0);
+  // Count events near the 10:00 peak vs the 03:00 trough.
+  int peak = 0;
+  int trough = 0;
+  for (const double t : trace) {
+    const double hour = std::fmod(t, 24.0);
+    if (hour >= 9.0 && hour < 11.0) {
+      ++peak;
+    } else if (hour >= 2.0 && hour < 4.0) {
+      ++trough;
+    }
+  }
+  EXPECT_GT(peak, trough * 2);
+}
+
+TEST(SpotEvictionTest, EmpiricalProbabilityScalesWithWindow) {
+  Rng rng(8);
+  const double duration = 24.0 * 100;
+  const auto trace = GenerateSpotEvictionTrace(rng, duration, 0.1, 2.0);
+  const double day = EmpiricalEvictionProbability(trace, duration, 10, 24.0);
+  const double week = EmpiricalEvictionProbability(trace, duration, 10, 168.0);
+  EXPECT_GT(week, day);
+  EXPECT_GT(day, 0.0);
+  EXPECT_LT(week, 1.0);
+}
+
+TEST(ShockScheduleTest, ShocksHitExpectedFraction) {
+  Rng rng(9);
+  const auto shocks = GenerateShockSchedule(rng, 10000.0, 0.01, 20, 0.3);
+  EXPECT_FALSE(shocks.empty());
+  double total_victims = 0.0;
+  for (const auto& shock : shocks) {
+    EXPECT_GE(shock.when, 0.0);
+    EXPECT_LE(shock.when, 10000.0);
+    EXPECT_FALSE(shock.victims.empty());
+    total_victims += static_cast<double>(shock.victims.size());
+  }
+  EXPECT_NEAR(total_victims / static_cast<double>(shocks.size()), 20 * 0.3, 1.0);
+}
+
+TEST(ShockScheduleTest, ZeroHitProbabilityMeansNoShocks) {
+  Rng rng(10);
+  const auto shocks = GenerateShockSchedule(rng, 1000.0, 0.1, 10, 0.0);
+  EXPECT_TRUE(shocks.empty());
+}
+
+}  // namespace
+}  // namespace probcon

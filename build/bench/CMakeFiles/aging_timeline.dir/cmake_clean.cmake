@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aging_timeline.dir/aging_timeline.cc.o"
+  "CMakeFiles/aging_timeline.dir/aging_timeline.cc.o.d"
+  "aging_timeline"
+  "aging_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aging_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claim_cheap_nodes.dir/claim_cheap_nodes.cc.o"
+  "CMakeFiles/claim_cheap_nodes.dir/claim_cheap_nodes.cc.o.d"
+  "claim_cheap_nodes"
+  "claim_cheap_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claim_cheap_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for claim_cheap_nodes.
+# This may be replaced when dependencies are built.

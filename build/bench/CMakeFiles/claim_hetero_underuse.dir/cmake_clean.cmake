@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claim_hetero_underuse.dir/claim_hetero_underuse.cc.o"
+  "CMakeFiles/claim_hetero_underuse.dir/claim_hetero_underuse.cc.o.d"
+  "claim_hetero_underuse"
+  "claim_hetero_underuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claim_hetero_underuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

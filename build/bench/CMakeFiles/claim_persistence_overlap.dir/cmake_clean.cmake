@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claim_persistence_overlap.dir/claim_persistence_overlap.cc.o"
+  "CMakeFiles/claim_persistence_overlap.dir/claim_persistence_overlap.cc.o.d"
+  "claim_persistence_overlap"
+  "claim_persistence_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claim_persistence_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claim_quorum_overkill.dir/claim_quorum_overkill.cc.o"
+  "CMakeFiles/claim_quorum_overkill.dir/claim_quorum_overkill.cc.o.d"
+  "claim_quorum_overkill"
+  "claim_quorum_overkill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claim_quorum_overkill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for claim_quorum_overkill.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claim_safety_liveness_tradeoff.dir/claim_safety_liveness_tradeoff.cc.o"
+  "CMakeFiles/claim_safety_liveness_tradeoff.dir/claim_safety_liveness_tradeoff.cc.o.d"
+  "claim_safety_liveness_tradeoff"
+  "claim_safety_liveness_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claim_safety_liveness_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

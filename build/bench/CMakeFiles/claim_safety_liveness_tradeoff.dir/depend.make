@@ -1,0 +1,2 @@
+# Empty dependencies file for claim_safety_liveness_tradeoff.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/correlated_faults.dir/correlated_faults.cc.o"
+  "CMakeFiles/correlated_faults.dir/correlated_faults.cc.o.d"
+  "correlated_faults"
+  "correlated_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/correlated_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dual_fault_spectrum.dir/dual_fault_spectrum.cc.o"
+  "CMakeFiles/dual_fault_spectrum.dir/dual_fault_spectrum.cc.o.d"
+  "dual_fault_spectrum"
+  "dual_fault_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dual_fault_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/end_to_end.dir/end_to_end.cc.o"
+  "CMakeFiles/end_to_end.dir/end_to_end.cc.o.d"
+  "end_to_end"
+  "end_to_end.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

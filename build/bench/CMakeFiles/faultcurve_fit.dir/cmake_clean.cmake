@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faultcurve_fit.dir/faultcurve_fit.cc.o"
+  "CMakeFiles/faultcurve_fit.dir/faultcurve_fit.cc.o.d"
+  "faultcurve_fit"
+  "faultcurve_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faultcurve_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/markov_mttx.dir/markov_mttx.cc.o"
+  "CMakeFiles/markov_mttx.dir/markov_mttx.cc.o.d"
+  "markov_mttx"
+  "markov_mttx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/markov_mttx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

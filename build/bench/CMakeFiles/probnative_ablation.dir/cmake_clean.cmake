@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probnative_ablation.dir/probnative_ablation.cc.o"
+  "CMakeFiles/probnative_ablation.dir/probnative_ablation.cc.o.d"
+  "probnative_ablation"
+  "probnative_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probnative_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for probnative_ablation.
+# This may be replaced when dependencies are built.

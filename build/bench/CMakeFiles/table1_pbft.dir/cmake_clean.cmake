@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_pbft.dir/table1_pbft.cc.o"
+  "CMakeFiles/table1_pbft.dir/table1_pbft.cc.o.d"
+  "table1_pbft"
+  "table1_pbft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_pbft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_raft.dir/table2_raft.cc.o"
+  "CMakeFiles/table2_raft.dir/table2_raft.cc.o.d"
+  "table2_raft"
+  "table2_raft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_raft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_quorum_latency.dir/wan_quorum_latency.cc.o"
+  "CMakeFiles/wan_quorum_latency.dir/wan_quorum_latency.cc.o.d"
+  "wan_quorum_latency"
+  "wan_quorum_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_quorum_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nines_calculator.dir/nines_calculator.cc.o"
+  "CMakeFiles/nines_calculator.dir/nines_calculator.cc.o.d"
+  "nines_calculator"
+  "nines_calculator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nines_calculator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spot_fleet_planner.dir/spot_fleet_planner.cc.o"
+  "CMakeFiles/spot_fleet_planner.dir/spot_fleet_planner.cc.o.d"
+  "spot_fleet_planner"
+  "spot_fleet_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spot_fleet_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_to_deployment.dir/telemetry_to_deployment.cc.o"
+  "CMakeFiles/telemetry_to_deployment.dir/telemetry_to_deployment.cc.o.d"
+  "telemetry_to_deployment"
+  "telemetry_to_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_to_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("prob")
+subdirs("linalg")
+subdirs("faultmodel")
+subdirs("quorum")
+subdirs("analysis")
+subdirs("markov")
+subdirs("sim")
+subdirs("consensus")
+subdirs("probnative")
+subdirs("telemetry")

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/committee.cc" "src/analysis/CMakeFiles/probcon_analysis.dir/committee.cc.o" "gcc" "src/analysis/CMakeFiles/probcon_analysis.dir/committee.cc.o.d"
+  "/root/repo/src/analysis/cost.cc" "src/analysis/CMakeFiles/probcon_analysis.dir/cost.cc.o" "gcc" "src/analysis/CMakeFiles/probcon_analysis.dir/cost.cc.o.d"
+  "/root/repo/src/analysis/dual_fault.cc" "src/analysis/CMakeFiles/probcon_analysis.dir/dual_fault.cc.o" "gcc" "src/analysis/CMakeFiles/probcon_analysis.dir/dual_fault.cc.o.d"
+  "/root/repo/src/analysis/durability.cc" "src/analysis/CMakeFiles/probcon_analysis.dir/durability.cc.o" "gcc" "src/analysis/CMakeFiles/probcon_analysis.dir/durability.cc.o.d"
+  "/root/repo/src/analysis/end_to_end.cc" "src/analysis/CMakeFiles/probcon_analysis.dir/end_to_end.cc.o" "gcc" "src/analysis/CMakeFiles/probcon_analysis.dir/end_to_end.cc.o.d"
+  "/root/repo/src/analysis/importance_sampling.cc" "src/analysis/CMakeFiles/probcon_analysis.dir/importance_sampling.cc.o" "gcc" "src/analysis/CMakeFiles/probcon_analysis.dir/importance_sampling.cc.o.d"
+  "/root/repo/src/analysis/placement.cc" "src/analysis/CMakeFiles/probcon_analysis.dir/placement.cc.o" "gcc" "src/analysis/CMakeFiles/probcon_analysis.dir/placement.cc.o.d"
+  "/root/repo/src/analysis/protocol_spec.cc" "src/analysis/CMakeFiles/probcon_analysis.dir/protocol_spec.cc.o" "gcc" "src/analysis/CMakeFiles/probcon_analysis.dir/protocol_spec.cc.o.d"
+  "/root/repo/src/analysis/reliability.cc" "src/analysis/CMakeFiles/probcon_analysis.dir/reliability.cc.o" "gcc" "src/analysis/CMakeFiles/probcon_analysis.dir/reliability.cc.o.d"
+  "/root/repo/src/analysis/sensitivity.cc" "src/analysis/CMakeFiles/probcon_analysis.dir/sensitivity.cc.o" "gcc" "src/analysis/CMakeFiles/probcon_analysis.dir/sensitivity.cc.o.d"
+  "/root/repo/src/analysis/timeline.cc" "src/analysis/CMakeFiles/probcon_analysis.dir/timeline.cc.o" "gcc" "src/analysis/CMakeFiles/probcon_analysis.dir/timeline.cc.o.d"
+  "/root/repo/src/analysis/weighted.cc" "src/analysis/CMakeFiles/probcon_analysis.dir/weighted.cc.o" "gcc" "src/analysis/CMakeFiles/probcon_analysis.dir/weighted.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/probcon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/probcon_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/faultmodel/CMakeFiles/probcon_faultmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/probcon_quorum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

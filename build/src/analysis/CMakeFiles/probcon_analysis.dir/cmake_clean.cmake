@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probcon_analysis.dir/committee.cc.o"
+  "CMakeFiles/probcon_analysis.dir/committee.cc.o.d"
+  "CMakeFiles/probcon_analysis.dir/cost.cc.o"
+  "CMakeFiles/probcon_analysis.dir/cost.cc.o.d"
+  "CMakeFiles/probcon_analysis.dir/dual_fault.cc.o"
+  "CMakeFiles/probcon_analysis.dir/dual_fault.cc.o.d"
+  "CMakeFiles/probcon_analysis.dir/durability.cc.o"
+  "CMakeFiles/probcon_analysis.dir/durability.cc.o.d"
+  "CMakeFiles/probcon_analysis.dir/end_to_end.cc.o"
+  "CMakeFiles/probcon_analysis.dir/end_to_end.cc.o.d"
+  "CMakeFiles/probcon_analysis.dir/importance_sampling.cc.o"
+  "CMakeFiles/probcon_analysis.dir/importance_sampling.cc.o.d"
+  "CMakeFiles/probcon_analysis.dir/placement.cc.o"
+  "CMakeFiles/probcon_analysis.dir/placement.cc.o.d"
+  "CMakeFiles/probcon_analysis.dir/protocol_spec.cc.o"
+  "CMakeFiles/probcon_analysis.dir/protocol_spec.cc.o.d"
+  "CMakeFiles/probcon_analysis.dir/reliability.cc.o"
+  "CMakeFiles/probcon_analysis.dir/reliability.cc.o.d"
+  "CMakeFiles/probcon_analysis.dir/sensitivity.cc.o"
+  "CMakeFiles/probcon_analysis.dir/sensitivity.cc.o.d"
+  "CMakeFiles/probcon_analysis.dir/timeline.cc.o"
+  "CMakeFiles/probcon_analysis.dir/timeline.cc.o.d"
+  "CMakeFiles/probcon_analysis.dir/weighted.cc.o"
+  "CMakeFiles/probcon_analysis.dir/weighted.cc.o.d"
+  "libprobcon_analysis.a"
+  "libprobcon_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probcon_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probcon_common.dir/logging.cc.o"
+  "CMakeFiles/probcon_common.dir/logging.cc.o.d"
+  "CMakeFiles/probcon_common.dir/rng.cc.o"
+  "CMakeFiles/probcon_common.dir/rng.cc.o.d"
+  "CMakeFiles/probcon_common.dir/status.cc.o"
+  "CMakeFiles/probcon_common.dir/status.cc.o.d"
+  "libprobcon_common.a"
+  "libprobcon_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probcon_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consensus/benor/benor_node.cc" "src/consensus/CMakeFiles/probcon_consensus.dir/benor/benor_node.cc.o" "gcc" "src/consensus/CMakeFiles/probcon_consensus.dir/benor/benor_node.cc.o.d"
+  "/root/repo/src/consensus/common/kv_state_machine.cc" "src/consensus/CMakeFiles/probcon_consensus.dir/common/kv_state_machine.cc.o" "gcc" "src/consensus/CMakeFiles/probcon_consensus.dir/common/kv_state_machine.cc.o.d"
+  "/root/repo/src/consensus/common/safety_checker.cc" "src/consensus/CMakeFiles/probcon_consensus.dir/common/safety_checker.cc.o" "gcc" "src/consensus/CMakeFiles/probcon_consensus.dir/common/safety_checker.cc.o.d"
+  "/root/repo/src/consensus/paxos/paxos_log.cc" "src/consensus/CMakeFiles/probcon_consensus.dir/paxos/paxos_log.cc.o" "gcc" "src/consensus/CMakeFiles/probcon_consensus.dir/paxos/paxos_log.cc.o.d"
+  "/root/repo/src/consensus/paxos/paxos_node.cc" "src/consensus/CMakeFiles/probcon_consensus.dir/paxos/paxos_node.cc.o" "gcc" "src/consensus/CMakeFiles/probcon_consensus.dir/paxos/paxos_node.cc.o.d"
+  "/root/repo/src/consensus/pbft/pbft_cluster.cc" "src/consensus/CMakeFiles/probcon_consensus.dir/pbft/pbft_cluster.cc.o" "gcc" "src/consensus/CMakeFiles/probcon_consensus.dir/pbft/pbft_cluster.cc.o.d"
+  "/root/repo/src/consensus/pbft/pbft_messages.cc" "src/consensus/CMakeFiles/probcon_consensus.dir/pbft/pbft_messages.cc.o" "gcc" "src/consensus/CMakeFiles/probcon_consensus.dir/pbft/pbft_messages.cc.o.d"
+  "/root/repo/src/consensus/pbft/pbft_node.cc" "src/consensus/CMakeFiles/probcon_consensus.dir/pbft/pbft_node.cc.o" "gcc" "src/consensus/CMakeFiles/probcon_consensus.dir/pbft/pbft_node.cc.o.d"
+  "/root/repo/src/consensus/raft/raft_cluster.cc" "src/consensus/CMakeFiles/probcon_consensus.dir/raft/raft_cluster.cc.o" "gcc" "src/consensus/CMakeFiles/probcon_consensus.dir/raft/raft_cluster.cc.o.d"
+  "/root/repo/src/consensus/raft/raft_messages.cc" "src/consensus/CMakeFiles/probcon_consensus.dir/raft/raft_messages.cc.o" "gcc" "src/consensus/CMakeFiles/probcon_consensus.dir/raft/raft_messages.cc.o.d"
+  "/root/repo/src/consensus/raft/raft_node.cc" "src/consensus/CMakeFiles/probcon_consensus.dir/raft/raft_node.cc.o" "gcc" "src/consensus/CMakeFiles/probcon_consensus.dir/raft/raft_node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/probcon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/probcon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/probcon_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/probcon_quorum.dir/DependInfo.cmake"
+  "/root/repo/build/src/faultmodel/CMakeFiles/probcon_faultmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/probcon_prob.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probcon_consensus.dir/benor/benor_node.cc.o"
+  "CMakeFiles/probcon_consensus.dir/benor/benor_node.cc.o.d"
+  "CMakeFiles/probcon_consensus.dir/common/kv_state_machine.cc.o"
+  "CMakeFiles/probcon_consensus.dir/common/kv_state_machine.cc.o.d"
+  "CMakeFiles/probcon_consensus.dir/common/safety_checker.cc.o"
+  "CMakeFiles/probcon_consensus.dir/common/safety_checker.cc.o.d"
+  "CMakeFiles/probcon_consensus.dir/paxos/paxos_log.cc.o"
+  "CMakeFiles/probcon_consensus.dir/paxos/paxos_log.cc.o.d"
+  "CMakeFiles/probcon_consensus.dir/paxos/paxos_node.cc.o"
+  "CMakeFiles/probcon_consensus.dir/paxos/paxos_node.cc.o.d"
+  "CMakeFiles/probcon_consensus.dir/pbft/pbft_cluster.cc.o"
+  "CMakeFiles/probcon_consensus.dir/pbft/pbft_cluster.cc.o.d"
+  "CMakeFiles/probcon_consensus.dir/pbft/pbft_messages.cc.o"
+  "CMakeFiles/probcon_consensus.dir/pbft/pbft_messages.cc.o.d"
+  "CMakeFiles/probcon_consensus.dir/pbft/pbft_node.cc.o"
+  "CMakeFiles/probcon_consensus.dir/pbft/pbft_node.cc.o.d"
+  "CMakeFiles/probcon_consensus.dir/raft/raft_cluster.cc.o"
+  "CMakeFiles/probcon_consensus.dir/raft/raft_cluster.cc.o.d"
+  "CMakeFiles/probcon_consensus.dir/raft/raft_messages.cc.o"
+  "CMakeFiles/probcon_consensus.dir/raft/raft_messages.cc.o.d"
+  "CMakeFiles/probcon_consensus.dir/raft/raft_node.cc.o"
+  "CMakeFiles/probcon_consensus.dir/raft/raft_node.cc.o.d"
+  "libprobcon_consensus.a"
+  "libprobcon_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probcon_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

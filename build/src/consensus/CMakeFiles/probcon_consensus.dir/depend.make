@@ -1,0 +1,2 @@
+# Empty dependencies file for probcon_consensus.
+# This may be replaced when dependencies are built.

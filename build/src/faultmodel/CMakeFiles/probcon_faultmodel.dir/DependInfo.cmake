@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faultmodel/afr.cc" "src/faultmodel/CMakeFiles/probcon_faultmodel.dir/afr.cc.o" "gcc" "src/faultmodel/CMakeFiles/probcon_faultmodel.dir/afr.cc.o.d"
+  "/root/repo/src/faultmodel/estimator.cc" "src/faultmodel/CMakeFiles/probcon_faultmodel.dir/estimator.cc.o" "gcc" "src/faultmodel/CMakeFiles/probcon_faultmodel.dir/estimator.cc.o.d"
+  "/root/repo/src/faultmodel/fault_curve.cc" "src/faultmodel/CMakeFiles/probcon_faultmodel.dir/fault_curve.cc.o" "gcc" "src/faultmodel/CMakeFiles/probcon_faultmodel.dir/fault_curve.cc.o.d"
+  "/root/repo/src/faultmodel/joint_model.cc" "src/faultmodel/CMakeFiles/probcon_faultmodel.dir/joint_model.cc.o" "gcc" "src/faultmodel/CMakeFiles/probcon_faultmodel.dir/joint_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/probcon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/probcon_prob.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

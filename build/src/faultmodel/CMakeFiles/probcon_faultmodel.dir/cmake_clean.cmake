@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probcon_faultmodel.dir/afr.cc.o"
+  "CMakeFiles/probcon_faultmodel.dir/afr.cc.o.d"
+  "CMakeFiles/probcon_faultmodel.dir/estimator.cc.o"
+  "CMakeFiles/probcon_faultmodel.dir/estimator.cc.o.d"
+  "CMakeFiles/probcon_faultmodel.dir/fault_curve.cc.o"
+  "CMakeFiles/probcon_faultmodel.dir/fault_curve.cc.o.d"
+  "CMakeFiles/probcon_faultmodel.dir/joint_model.cc.o"
+  "CMakeFiles/probcon_faultmodel.dir/joint_model.cc.o.d"
+  "libprobcon_faultmodel.a"
+  "libprobcon_faultmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probcon_faultmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probcon_linalg.dir/matrix.cc.o"
+  "CMakeFiles/probcon_linalg.dir/matrix.cc.o.d"
+  "libprobcon_linalg.a"
+  "libprobcon_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probcon_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/markov/ctmc.cc" "src/markov/CMakeFiles/probcon_markov.dir/ctmc.cc.o" "gcc" "src/markov/CMakeFiles/probcon_markov.dir/ctmc.cc.o.d"
+  "/root/repo/src/markov/repair_model.cc" "src/markov/CMakeFiles/probcon_markov.dir/repair_model.cc.o" "gcc" "src/markov/CMakeFiles/probcon_markov.dir/repair_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/probcon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/probcon_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/probcon_prob.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probcon_markov.dir/ctmc.cc.o"
+  "CMakeFiles/probcon_markov.dir/ctmc.cc.o.d"
+  "CMakeFiles/probcon_markov.dir/repair_model.cc.o"
+  "CMakeFiles/probcon_markov.dir/repair_model.cc.o.d"
+  "libprobcon_markov.a"
+  "libprobcon_markov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probcon_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

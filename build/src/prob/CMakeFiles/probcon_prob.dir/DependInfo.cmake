@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prob/binomial.cc" "src/prob/CMakeFiles/probcon_prob.dir/binomial.cc.o" "gcc" "src/prob/CMakeFiles/probcon_prob.dir/binomial.cc.o.d"
+  "/root/repo/src/prob/combinatorics.cc" "src/prob/CMakeFiles/probcon_prob.dir/combinatorics.cc.o" "gcc" "src/prob/CMakeFiles/probcon_prob.dir/combinatorics.cc.o.d"
+  "/root/repo/src/prob/interval.cc" "src/prob/CMakeFiles/probcon_prob.dir/interval.cc.o" "gcc" "src/prob/CMakeFiles/probcon_prob.dir/interval.cc.o.d"
+  "/root/repo/src/prob/poisson_binomial.cc" "src/prob/CMakeFiles/probcon_prob.dir/poisson_binomial.cc.o" "gcc" "src/prob/CMakeFiles/probcon_prob.dir/poisson_binomial.cc.o.d"
+  "/root/repo/src/prob/probability.cc" "src/prob/CMakeFiles/probcon_prob.dir/probability.cc.o" "gcc" "src/prob/CMakeFiles/probcon_prob.dir/probability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/probcon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

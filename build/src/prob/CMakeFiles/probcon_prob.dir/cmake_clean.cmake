@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probcon_prob.dir/binomial.cc.o"
+  "CMakeFiles/probcon_prob.dir/binomial.cc.o.d"
+  "CMakeFiles/probcon_prob.dir/combinatorics.cc.o"
+  "CMakeFiles/probcon_prob.dir/combinatorics.cc.o.d"
+  "CMakeFiles/probcon_prob.dir/interval.cc.o"
+  "CMakeFiles/probcon_prob.dir/interval.cc.o.d"
+  "CMakeFiles/probcon_prob.dir/poisson_binomial.cc.o"
+  "CMakeFiles/probcon_prob.dir/poisson_binomial.cc.o.d"
+  "CMakeFiles/probcon_prob.dir/probability.cc.o"
+  "CMakeFiles/probcon_prob.dir/probability.cc.o.d"
+  "libprobcon_prob.a"
+  "libprobcon_prob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probcon_prob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprobcon_prob.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probcon_probnative.dir/failure_detector.cc.o"
+  "CMakeFiles/probcon_probnative.dir/failure_detector.cc.o.d"
+  "CMakeFiles/probcon_probnative.dir/leader_selector.cc.o"
+  "CMakeFiles/probcon_probnative.dir/leader_selector.cc.o.d"
+  "CMakeFiles/probcon_probnative.dir/quorum_sizer.cc.o"
+  "CMakeFiles/probcon_probnative.dir/quorum_sizer.cc.o.d"
+  "CMakeFiles/probcon_probnative.dir/reconfiguration.cc.o"
+  "CMakeFiles/probcon_probnative.dir/reconfiguration.cc.o.d"
+  "CMakeFiles/probcon_probnative.dir/reliability_aware_raft.cc.o"
+  "CMakeFiles/probcon_probnative.dir/reliability_aware_raft.cc.o.d"
+  "CMakeFiles/probcon_probnative.dir/sortition.cc.o"
+  "CMakeFiles/probcon_probnative.dir/sortition.cc.o.d"
+  "libprobcon_probnative.a"
+  "libprobcon_probnative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probcon_probnative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for probcon_probnative.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probcon_quorum.dir/availability.cc.o"
+  "CMakeFiles/probcon_quorum.dir/availability.cc.o.d"
+  "CMakeFiles/probcon_quorum.dir/probabilistic_quorum.cc.o"
+  "CMakeFiles/probcon_quorum.dir/probabilistic_quorum.cc.o.d"
+  "CMakeFiles/probcon_quorum.dir/quorum_system.cc.o"
+  "CMakeFiles/probcon_quorum.dir/quorum_system.cc.o.d"
+  "libprobcon_quorum.a"
+  "libprobcon_quorum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probcon_quorum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probcon_sim.dir/failure_injector.cc.o"
+  "CMakeFiles/probcon_sim.dir/failure_injector.cc.o.d"
+  "CMakeFiles/probcon_sim.dir/network.cc.o"
+  "CMakeFiles/probcon_sim.dir/network.cc.o.d"
+  "CMakeFiles/probcon_sim.dir/process.cc.o"
+  "CMakeFiles/probcon_sim.dir/process.cc.o.d"
+  "CMakeFiles/probcon_sim.dir/simulator.cc.o"
+  "CMakeFiles/probcon_sim.dir/simulator.cc.o.d"
+  "libprobcon_sim.a"
+  "libprobcon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probcon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

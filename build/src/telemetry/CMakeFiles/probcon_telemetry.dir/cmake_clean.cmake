@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probcon_telemetry.dir/fleet_generator.cc.o"
+  "CMakeFiles/probcon_telemetry.dir/fleet_generator.cc.o.d"
+  "libprobcon_telemetry.a"
+  "libprobcon_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probcon_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

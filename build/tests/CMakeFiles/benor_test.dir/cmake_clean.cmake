@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benor_test.dir/consensus/benor_test.cc.o"
+  "CMakeFiles/benor_test.dir/consensus/benor_test.cc.o.d"
+  "benor_test"
+  "benor_test.pdb"
+  "benor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctmc_test.dir/markov/ctmc_test.cc.o"
+  "CMakeFiles/ctmc_test.dir/markov/ctmc_test.cc.o.d"
+  "ctmc_test"
+  "ctmc_test.pdb"
+  "ctmc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctmc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

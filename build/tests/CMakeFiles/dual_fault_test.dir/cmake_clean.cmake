@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dual_fault_test.dir/analysis/dual_fault_test.cc.o"
+  "CMakeFiles/dual_fault_test.dir/analysis/dual_fault_test.cc.o.d"
+  "dual_fault_test"
+  "dual_fault_test.pdb"
+  "dual_fault_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dual_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_detector_test.dir/probnative/failure_detector_test.cc.o"
+  "CMakeFiles/failure_detector_test.dir/probnative/failure_detector_test.cc.o.d"
+  "failure_detector_test"
+  "failure_detector_test.pdb"
+  "failure_detector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

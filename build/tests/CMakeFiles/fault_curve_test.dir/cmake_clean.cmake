@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_curve_test.dir/faultmodel/fault_curve_test.cc.o"
+  "CMakeFiles/fault_curve_test.dir/faultmodel/fault_curve_test.cc.o.d"
+  "fault_curve_test"
+  "fault_curve_test.pdb"
+  "fault_curve_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_curve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_generator_test.dir/telemetry/fleet_generator_test.cc.o"
+  "CMakeFiles/fleet_generator_test.dir/telemetry/fleet_generator_test.cc.o.d"
+  "fleet_generator_test"
+  "fleet_generator_test.pdb"
+  "fleet_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

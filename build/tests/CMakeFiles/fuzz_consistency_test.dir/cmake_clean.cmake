@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_consistency_test.dir/analysis/fuzz_consistency_test.cc.o"
+  "CMakeFiles/fuzz_consistency_test.dir/analysis/fuzz_consistency_test.cc.o.d"
+  "fuzz_consistency_test"
+  "fuzz_consistency_test.pdb"
+  "fuzz_consistency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/importance_sampling_test.dir/analysis/importance_sampling_test.cc.o"
+  "CMakeFiles/importance_sampling_test.dir/analysis/importance_sampling_test.cc.o.d"
+  "importance_sampling_test"
+  "importance_sampling_test.pdb"
+  "importance_sampling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/importance_sampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

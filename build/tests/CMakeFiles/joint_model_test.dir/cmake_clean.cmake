@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joint_model_test.dir/faultmodel/joint_model_test.cc.o"
+  "CMakeFiles/joint_model_test.dir/faultmodel/joint_model_test.cc.o.d"
+  "joint_model_test"
+  "joint_model_test.pdb"
+  "joint_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joint_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_state_machine_test.dir/consensus/kv_state_machine_test.cc.o"
+  "CMakeFiles/kv_state_machine_test.dir/consensus/kv_state_machine_test.cc.o.d"
+  "kv_state_machine_test"
+  "kv_state_machine_test.pdb"
+  "kv_state_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_state_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leader_selector_test.dir/probnative/leader_selector_test.cc.o"
+  "CMakeFiles/leader_selector_test.dir/probnative/leader_selector_test.cc.o.d"
+  "leader_selector_test"
+  "leader_selector_test.pdb"
+  "leader_selector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leader_selector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paxos_log_test.dir/consensus/paxos_log_test.cc.o"
+  "CMakeFiles/paxos_log_test.dir/consensus/paxos_log_test.cc.o.d"
+  "paxos_log_test"
+  "paxos_log_test.pdb"
+  "paxos_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paxos_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

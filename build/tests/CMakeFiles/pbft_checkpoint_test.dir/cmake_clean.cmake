@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbft_checkpoint_test.dir/consensus/pbft_checkpoint_test.cc.o"
+  "CMakeFiles/pbft_checkpoint_test.dir/consensus/pbft_checkpoint_test.cc.o.d"
+  "pbft_checkpoint_test"
+  "pbft_checkpoint_test.pdb"
+  "pbft_checkpoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbft_checkpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

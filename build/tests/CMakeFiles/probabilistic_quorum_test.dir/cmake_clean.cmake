@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probabilistic_quorum_test.dir/quorum/probabilistic_quorum_test.cc.o"
+  "CMakeFiles/probabilistic_quorum_test.dir/quorum/probabilistic_quorum_test.cc.o.d"
+  "probabilistic_quorum_test"
+  "probabilistic_quorum_test.pdb"
+  "probabilistic_quorum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probabilistic_quorum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probability_properties_test.dir/prob/probability_properties_test.cc.o"
+  "CMakeFiles/probability_properties_test.dir/prob/probability_properties_test.cc.o.d"
+  "probability_properties_test"
+  "probability_properties_test.pdb"
+  "probability_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probability_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_spec_test.dir/analysis/protocol_spec_test.cc.o"
+  "CMakeFiles/protocol_spec_test.dir/analysis/protocol_spec_test.cc.o.d"
+  "protocol_spec_test"
+  "protocol_spec_test.pdb"
+  "protocol_spec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quorum_availability_test.dir/quorum/availability_test.cc.o"
+  "CMakeFiles/quorum_availability_test.dir/quorum/availability_test.cc.o.d"
+  "quorum_availability_test"
+  "quorum_availability_test.pdb"
+  "quorum_availability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quorum_availability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quorum_sizer_test.dir/probnative/quorum_sizer_test.cc.o"
+  "CMakeFiles/quorum_sizer_test.dir/probnative/quorum_sizer_test.cc.o.d"
+  "quorum_sizer_test"
+  "quorum_sizer_test.pdb"
+  "quorum_sizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quorum_sizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

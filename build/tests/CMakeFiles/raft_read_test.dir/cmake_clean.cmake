@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raft_read_test.dir/consensus/raft_read_test.cc.o"
+  "CMakeFiles/raft_read_test.dir/consensus/raft_read_test.cc.o.d"
+  "raft_read_test"
+  "raft_read_test.pdb"
+  "raft_read_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raft_read_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raft_snapshot_test.dir/consensus/raft_snapshot_test.cc.o"
+  "CMakeFiles/raft_snapshot_test.dir/consensus/raft_snapshot_test.cc.o.d"
+  "raft_snapshot_test"
+  "raft_snapshot_test.pdb"
+  "raft_snapshot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raft_snapshot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

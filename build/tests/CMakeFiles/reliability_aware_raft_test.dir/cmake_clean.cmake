@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_aware_raft_test.dir/probnative/reliability_aware_raft_test.cc.o"
+  "CMakeFiles/reliability_aware_raft_test.dir/probnative/reliability_aware_raft_test.cc.o.d"
+  "reliability_aware_raft_test"
+  "reliability_aware_raft_test.pdb"
+  "reliability_aware_raft_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_aware_raft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/reliability_test.cc" "tests/CMakeFiles/reliability_test.dir/analysis/reliability_test.cc.o" "gcc" "tests/CMakeFiles/reliability_test.dir/analysis/reliability_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/probcon_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/probcon_quorum.dir/DependInfo.cmake"
+  "/root/repo/build/src/faultmodel/CMakeFiles/probcon_faultmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/probcon_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/probcon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

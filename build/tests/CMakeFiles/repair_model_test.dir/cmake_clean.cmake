@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repair_model_test.dir/markov/repair_model_test.cc.o"
+  "CMakeFiles/repair_model_test.dir/markov/repair_model_test.cc.o.d"
+  "repair_model_test"
+  "repair_model_test.pdb"
+  "repair_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repair_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safety_checker_test.dir/consensus/safety_checker_test.cc.o"
+  "CMakeFiles/safety_checker_test.dir/consensus/safety_checker_test.cc.o.d"
+  "safety_checker_test"
+  "safety_checker_test.pdb"
+  "safety_checker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safety_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

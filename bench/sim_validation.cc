@@ -14,13 +14,17 @@
 //      empirical rate is a lower bound on the configuration rate).
 
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/analysis/reliability.h"
 #include "src/consensus/pbft/pbft_cluster.h"
 #include "src/consensus/raft/raft_cluster.h"
+#include "src/faultmodel/fault_curve.h"
+#include "src/obs/run_report.h"
 #include "src/prob/interval.h"
+#include "src/sim/failure_injector.h"
 
 namespace probcon {
 namespace {
@@ -33,6 +37,7 @@ struct RaftTrialResult {
   bool live = false;
   bool safe = false;
   int crashes = 0;
+  uint64_t elections = 0;  // kElectionStarted count, from the per-trial trace.
 };
 
 RaftTrialResult RunRaftTrial(int n, double p, const RaftConfig& config, uint64_t seed) {
@@ -40,6 +45,10 @@ RaftTrialResult RunRaftTrial(int n, double p, const RaftConfig& config, uint64_t
   options.config = config;
   options.seed = seed;
   RaftCluster cluster(options);
+  // Tracing never touches the rng, so instrumented trials sample the same runs as before.
+  TraceLog trace;
+  MetricsRegistry metrics;
+  cluster.simulator().AttachTracer(&trace, &metrics);
   cluster.Start();
 
   // Decide the failure configuration up front (the analysis' model) and crash at a uniform
@@ -59,23 +68,29 @@ RaftTrialResult RunRaftTrial(int n, double p, const RaftConfig& config, uint64_t
   cluster.RunUntil(kRunEnd);
   result.live = cluster.checker().max_committed_slot() > committed_before;
   result.safe = cluster.checker().safe();
+  if (const Counter* elections = metrics.FindCounter("raft.elections_started")) {
+    result.elections = elections->value();
+  }
   return result;
 }
 
 void ValidateRaftLiveness() {
   std::printf("\n(1) Raft liveness: empirical run fraction vs analytic prediction\n");
-  bench::Table table({"n", "p", "trials", "empirical live", "95% CI", "analytic", "inside CI"});
+  bench::Table table({"n", "p", "trials", "empirical live", "95% CI", "analytic", "inside CI",
+                      "avg elections"});
   constexpr int kTrials = 150;
   for (const int n : {3, 5}) {
     for (const double p : {0.15, 0.3, 0.5}) {
       const RaftConfig config = RaftConfig::Standard(n);
       uint64_t live_runs = 0;
+      uint64_t total_elections = 0;
       for (int trial = 0; trial < kTrials; ++trial) {
         const auto result =
             RunRaftTrial(n, p, config, static_cast<uint64_t>(n * 1000 + trial));
         if (result.live) {
           ++live_runs;
         }
+        total_elections += result.elections;
       }
       const auto ci = WilsonInterval(live_runs, kTrials);
       const auto analyzer = ReliabilityAnalyzer::ForUniformNodes(n, p);
@@ -85,13 +100,16 @@ void ValidateRaftLiveness() {
       char ci_text[48];
       char analytic_text[32];
       char p_text[16];
+      char elections_text[32];
       std::snprintf(empirical_text, sizeof(empirical_text), "%.3f", ci.point);
       std::snprintf(ci_text, sizeof(ci_text), "[%.3f, %.3f]", ci.low, ci.high);
       std::snprintf(analytic_text, sizeof(analytic_text), "%.3f", analytic);
       std::snprintf(p_text, sizeof(p_text), "%g", p);
+      std::snprintf(elections_text, sizeof(elections_text), "%.1f",
+                    static_cast<double>(total_elections) / kTrials);
       const bool inside = analytic >= ci.low && analytic <= ci.high;
       table.AddRow({std::to_string(n), p_text, std::to_string(kTrials), empirical_text,
-                    ci_text, analytic_text, inside ? "yes" : "NO"});
+                    ci_text, analytic_text, inside ? "yes" : "NO", elections_text});
     }
   }
   table.Print();
@@ -194,6 +212,35 @@ void ValidatePbftSafety() {
       "bounds, not equalities).\n");
 }
 
+// One fully traced exemplar run (src/obs): the RunReport makes "why did a run lose
+// liveness" legible — elections and crashes per node, commit-latency distribution, fault
+// timeline — instead of a bare live/safe bit.
+void TracedExemplarRun() {
+  std::printf("\n(4) traced exemplar: 5-node Raft, crash+repair, full run report\n\n");
+  RaftClusterOptions options;
+  options.config = RaftConfig::Standard(5);
+  options.seed = 20250806;
+  RaftCluster cluster(options);
+  TraceLog trace;
+  MetricsRegistry metrics;
+  cluster.simulator().AttachTracer(&trace, &metrics);
+
+  std::vector<std::unique_ptr<FaultCurve>> curves;
+  for (int i = 0; i < 5; ++i) {
+    curves.push_back(std::make_unique<ConstantFaultCurve>(
+        ConstantFaultCurve::FromWindowProbability(0.3, 10'000.0)));
+  }
+  FailureInjector injector(&cluster.simulator(), cluster.processes(), std::move(curves),
+                           /*repair_rate=*/1.0 / 2'000.0);
+  cluster.Start();
+  injector.Arm();
+  cluster.RunUntil(kRunEnd);
+
+  RunReportOptions report_options;
+  report_options.max_timeline_rows = 12;
+  std::printf("%s", RenderRunReport(trace, metrics, report_options).c_str());
+}
+
 }  // namespace
 }  // namespace probcon
 
@@ -202,5 +249,6 @@ int main() {
   probcon::ValidateRaftLiveness();
   probcon::ValidateRaftSafety();
   probcon::ValidatePbftSafety();
+  probcon::TracedExemplarRun();
   return 0;
 }

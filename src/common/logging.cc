@@ -1,11 +1,53 @@
 #include "src/common/logging.h"
 
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
 namespace probcon {
+namespace {
+
+LogClock& GlobalLogClock() {
+  static LogClock clock;
+  return clock;
+}
+
+}  // namespace
+
+LogLevel LogLevelFromEnv(LogLevel fallback) {
+  const char* raw = std::getenv("PROBCON_LOG_LEVEL");
+  if (raw == nullptr || *raw == '\0') {
+    return fallback;
+  }
+  std::string value(raw);
+  for (char& c : value) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (value == "debug" || value == "0") {
+    return LogLevel::kDebug;
+  }
+  if (value == "info" || value == "1") {
+    return LogLevel::kInfo;
+  }
+  if (value == "warning" || value == "warn" || value == "2") {
+    return LogLevel::kWarning;
+  }
+  if (value == "error" || value == "3") {
+    return LogLevel::kError;
+  }
+  return fallback;
+}
 
 LogLevel& GlobalLogThreshold() {
-  static LogLevel threshold = LogLevel::kInfo;
+  static LogLevel threshold = LogLevelFromEnv(LogLevel::kInfo);
   return threshold;
 }
+
+void SetLogClock(LogClock clock) { GlobalLogClock() = std::move(clock); }
+
+void ClearLogClock() { GlobalLogClock() = nullptr; }
 
 std::string_view LogLevelName(LogLevel level) {
   switch (level) {
@@ -31,7 +73,15 @@ LogMessage::LogMessage(LogLevel level, std::string_view file, int line)
     if (slash != std::string_view::npos) {
       file = file.substr(slash + 1);
     }
-    stream_ << "[" << LogLevelName(level) << " " << file << ":" << line << "] ";
+    stream_ << "[" << LogLevelName(level);
+    if (const LogClock& clock = GlobalLogClock(); clock != nullptr) {
+      // Fixed formatting via snprintf so stream state (precision/flags) stays untouched for
+      // the user's payload.
+      char time_text[32];
+      std::snprintf(time_text, sizeof(time_text), " t=%.1f", clock());
+      stream_ << time_text;
+    }
+    stream_ << " " << file << ":" << line << "] ";
   }
 }
 

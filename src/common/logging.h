@@ -2,13 +2,19 @@
 //
 //   LOG(INFO) << "cluster of " << n << " nodes";
 //
-// Levels: DEBUG < INFO < WARNING < ERROR. The global threshold defaults to INFO and can be
-// changed at runtime (tests silence logging by raising it). Output goes to stderr so that
-// bench binaries can print machine-readable tables on stdout.
+// Levels: DEBUG < INFO < WARNING < ERROR. The global threshold defaults to INFO, honors the
+// PROBCON_LOG_LEVEL environment variable at startup (so bench/test binaries can be silenced
+// without code changes), and can be changed at runtime (tests silence logging by raising
+// it). Output goes to stderr so that bench binaries can print machine-readable tables on
+// stdout.
+//
+// Sim-time prefixes: when a log clock is installed (Simulator::InstallLogClock or
+// SetLogClock), every line carries "t=<now>" so protocol logs line up with trace events.
 
 #ifndef PROBCON_SRC_COMMON_LOGGING_H_
 #define PROBCON_SRC_COMMON_LOGGING_H_
 
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string_view>
@@ -22,10 +28,21 @@ enum class LogLevel : int {
   kError = 3,
 };
 
-// Returns the mutable global log threshold. Messages below it are discarded.
+// Returns the mutable global log threshold. Messages below it are discarded. First access
+// seeds it from PROBCON_LOG_LEVEL (see LogLevelFromEnv).
 LogLevel& GlobalLogThreshold();
 
 std::string_view LogLevelName(LogLevel level);
+
+// Parses PROBCON_LOG_LEVEL: "debug"/"info"/"warning"/"warn"/"error" (case-insensitive) or
+// the numeric level 0-3. Returns `fallback` when unset or unparseable.
+LogLevel LogLevelFromEnv(LogLevel fallback);
+
+// Optional time source for log prefixes, typically a simulator clock. The clock must stay
+// callable until cleared; call ClearLogClock() before destroying whatever it reads.
+using LogClock = std::function<double()>;
+void SetLogClock(LogClock clock);
+void ClearLogClock();
 
 namespace internal {
 

@@ -47,6 +47,8 @@ void BenOrNode::BeginRound() {
   if (decided_.has_value() && round_ > decision_round_ + kLingerRounds) {
     return;
   }
+  simulator().tracer().RoundAdvanced(id(), round_);
+  simulator().tracer().CounterAdd("benor.rounds");
   in_phase2_ = false;
   auto report = std::make_shared<BenOrReport>();
   report->round = round_;
@@ -112,6 +114,14 @@ void BenOrNode::MaybeFinishPhase2() {
         decided_ = v;
         decision_round_ = round_;
         decision_time_ = Now();
+        Tracer& tracer = simulator().tracer();
+        tracer.Decided(id(), round_, v);
+        tracer.CounterAdd("benor.decisions");
+        if (tracer.enabled()) {
+          tracer.HistogramRecord(
+              "benor.decision_round", static_cast<double>(round_),
+              HistogramOptions::Fixed({1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0}));
+        }
       }
       value_ = v;
       ++round_;

@@ -20,6 +20,7 @@ SafetyChecker::SafetyChecker(Simulator* simulator) : simulator_(simulator) {
 
 void SafetyChecker::RecordCommit(int node, uint64_t slot, const Command& command) {
   ++total_commit_reports_;
+  Tracer& tracer = simulator_->tracer();
   auto& slot_commits = commits_[slot];
   // Agreement check against every other node's commit for this slot.
   for (const auto& [other_node, other_command] : slot_commits) {
@@ -32,6 +33,8 @@ void SafetyChecker::RecordCommit(int node, uint64_t slot, const Command& command
       violation.second_command = command;
       violation.detected_at = simulator_->Now();
       violations_.push_back(violation);
+      tracer.SafetyViolationDetected(slot, violation.Describe());
+      tracer.CounterAdd("consensus.safety_violations");
     }
   }
   // A single node must never change its mind about a committed slot either.
@@ -45,6 +48,8 @@ void SafetyChecker::RecordCommit(int node, uint64_t slot, const Command& command
     violation.second_command = command;
     violation.detected_at = simulator_->Now();
     violations_.push_back(violation);
+    tracer.SafetyViolationDetected(slot, violation.Describe());
+    tracer.CounterAdd("consensus.safety_violations");
   }
   slot_commits[node] = command;
 
@@ -52,13 +57,18 @@ void SafetyChecker::RecordCommit(int node, uint64_t slot, const Command& command
     first_commit_time_[slot] = simulator_->Now();
     const auto submitted = submission_time_.find(command.id);
     if (submitted != submission_time_.end()) {
-      commit_latency_.Add(simulator_->Now() - submitted->second);
+      const SimTime latency = simulator_->Now() - submitted->second;
+      commit_latency_.Add(latency);
+      tracer.HistogramRecord("consensus.commit_latency_ms", latency,
+                             HistogramOptions::DefaultLatencyMs());
     }
   }
 }
 
 void SafetyChecker::RecordSubmission(const Command& command) {
   submission_time_.emplace(command.id, simulator_->Now());
+  simulator_->tracer().ClientSubmitted(command.id);
+  simulator_->tracer().CounterAdd("consensus.submissions");
 }
 
 uint64_t SafetyChecker::max_committed_slot() const {

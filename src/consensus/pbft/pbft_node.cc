@@ -222,6 +222,8 @@ void PbftNode::ExecuteReady() {
     execution_digest_ *= 0x100000001B3ULL;
     execution_digest_ ^= it->second.executed->id;
     execution_digest_ *= 0x100000001B3ULL;
+    simulator().tracer().Commit(id(), last_executed_);
+    simulator().tracer().CounterAdd("pbft.commits");
     checker_->RecordCommit(id(), last_executed_, *it->second.executed);
     progressed = true;
   }
@@ -261,6 +263,8 @@ void PbftNode::AdvanceStableCheckpoint(uint64_t sequence) {
     return;
   }
   stable_checkpoint_ = sequence;
+  simulator().tracer().CheckpointStable(id(), sequence);
+  simulator().tracer().CounterAdd("pbft.checkpoints_stable");
   // A laggard adopts the certified checkpoint as its execution frontier (state transfer is
   // modeled as instantaneous; skipped slots simply go unreported by this replica).
   if (last_executed_ < stable_checkpoint_) {
@@ -299,6 +303,8 @@ void PbftNode::StartViewChange(uint64_t new_view) {
   }
   highest_view_change_voted_ = std::max(highest_view_change_voted_, new_view);
   in_view_change_ = true;
+  simulator().tracer().ViewChangeStarted(id(), new_view);
+  simulator().tracer().CounterAdd("pbft.view_changes_started");
   auto message = std::make_shared<PbftViewChange>();
   message->new_view = new_view;
   for (const auto& [sequence, slot] : slots_) {
@@ -372,6 +378,8 @@ void PbftNode::HandleNewView(int from, const PbftNewView& message) {
   }
   view_ = message.new_view;
   in_view_change_ = false;
+  simulator().tracer().NewViewAdopted(id(), view_);
+  simulator().tracer().CounterAdd("pbft.new_views_adopted");
   next_sequence_ = std::max<uint64_t>(next_sequence_, message.pre_prepares.size() + 1);
   ResetProgressTimer();
   // Process the re-issued pre-prepares as if freshly proposed in the new view.

@@ -80,6 +80,8 @@ void RaftNode::StartElection() {
   votes_received_.clear();
   votes_received_.insert(id());
   ResetElectionTimer();
+  simulator().tracer().ElectionStarted(id(), current_term_);
+  simulator().tracer().CounterAdd("raft.elections_started");
 
   auto request = std::make_shared<RequestVoteRequest>();
   request->term = current_term_;
@@ -97,6 +99,8 @@ void RaftNode::StartElection() {
 void RaftNode::BecomeLeader() {
   CHECK(role_ == Role::kCandidate);
   role_ = Role::kLeader;
+  simulator().tracer().LeaderElected(id(), current_term_);
+  simulator().tracer().CounterAdd("raft.leaders_elected");
   std::fill(next_index_.begin(), next_index_.end(), LastLogIndex() + 1);
   std::fill(match_index_.begin(), match_index_.end(), 0);
   match_index_[id()] = LastLogIndex();
@@ -418,8 +422,11 @@ void RaftNode::ResetElectionTimer() {
 }
 
 void RaftNode::ApplyCommitted() {
+  Tracer& tracer = simulator().tracer();
   while (applied_index_ < commit_index_) {
     ++applied_index_;
+    tracer.Commit(id(), applied_index_);
+    tracer.CounterAdd("raft.commits");
     checker_->RecordCommit(id(), applied_index_, EntryAt(applied_index_).command);
   }
   MaybeSnapshot();
@@ -435,6 +442,8 @@ void RaftNode::MaybeSnapshot() {
   log_.erase(log_.begin(),
              log_.begin() + static_cast<long>(new_last - snapshot_last_index_));
   snapshot_last_index_ = new_last;
+  simulator().tracer().SnapshotTaken(id(), snapshot_last_index_);
+  simulator().tracer().CounterAdd("raft.snapshots");
 }
 
 uint64_t RaftNode::TermAt(uint64_t index) const {

@@ -1,0 +1,195 @@
+#include "src/obs/export.h"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace probcon {
+namespace {
+
+// CSV field with minimal quoting: wrap in quotes iff the text contains a comma, quote, or
+// newline; embedded quotes double per RFC 4180.
+std::string CsvEscape(std::string_view text) {
+  if (text.find_first_of(",\"\n") == std::string_view::npos) {
+    return std::string(text);
+  }
+  std::string result = "\"";
+  for (const char c : text) {
+    if (c == '"') {
+      result += "\"\"";
+    } else {
+      result += c;
+    }
+  }
+  result += '"';
+  return result;
+}
+
+void WriteHistogramJson(const Histogram& histogram, std::ostream& out) {
+  out << "{\"count\": " << histogram.count();
+  if (histogram.count() > 0) {
+    out << ", \"sum\": " << FormatMetricValue(histogram.sum())
+        << ", \"min\": " << FormatMetricValue(histogram.Min())
+        << ", \"max\": " << FormatMetricValue(histogram.Max())
+        << ", \"mean\": " << FormatMetricValue(histogram.Mean());
+  }
+  out << ", \"buckets\": [";
+  const auto& bounds = histogram.bucket_bounds();
+  const auto& counts = histogram.bucket_counts();
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (i > 0) {
+      out << ", ";
+    }
+    out << "{\"le\": ";
+    if (i < bounds.size()) {
+      out << FormatMetricValue(bounds[i]);
+    } else {
+      out << "\"inf\"";
+    }
+    out << ", \"count\": " << counts[i] << "}";
+  }
+  out << "]}";
+}
+
+}  // namespace
+
+std::string FormatMetricValue(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string result;
+  result.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        result += "\\\"";
+        break;
+      case '\\':
+        result += "\\\\";
+        break;
+      case '\n':
+        result += "\\n";
+        break;
+      case '\r':
+        result += "\\r";
+        break;
+      case '\t':
+        result += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          result += buffer;
+        } else {
+          result += c;
+        }
+    }
+  }
+  return result;
+}
+
+void WriteTraceJson(const TraceLog& trace, std::ostream& out) {
+  out << "{\"events\": [";
+  bool first = true;
+  for (const TraceEvent& event : trace.events()) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\n  {\"t\": " << FormatMetricValue(event.time) << ", \"type\": \""
+        << TraceEventTypeName(event.type) << "\", \"node\": " << event.node
+        << ", \"peer\": " << event.peer << ", \"value\": " << event.value << ", \"detail\": \""
+        << JsonEscape(event.detail) << "\"}";
+  }
+  out << "\n]}\n";
+}
+
+std::string TraceToJson(const TraceLog& trace) {
+  std::ostringstream out;
+  WriteTraceJson(trace, out);
+  return out.str();
+}
+
+void WriteTraceCsv(const TraceLog& trace, std::ostream& out) {
+  out << "time,type,node,peer,value,detail\n";
+  for (const TraceEvent& event : trace.events()) {
+    out << FormatMetricValue(event.time) << "," << TraceEventTypeName(event.type) << ","
+        << event.node << "," << event.peer << "," << event.value << ","
+        << CsvEscape(event.detail) << "\n";
+  }
+}
+
+std::string TraceToCsv(const TraceLog& trace) {
+  std::ostringstream out;
+  WriteTraceCsv(trace, out);
+  return out.str();
+}
+
+void WriteMetricsJson(const MetricsRegistry& metrics, std::ostream& out) {
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : metrics.counters()) {
+    out << (first ? "" : ", ") << "\"" << JsonEscape(name) << "\": " << counter.value();
+    first = false;
+  }
+  out << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : metrics.gauges()) {
+    out << (first ? "" : ", ") << "\"" << JsonEscape(name)
+        << "\": " << FormatMetricValue(gauge.value());
+    first = false;
+  }
+  out << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : metrics.histograms()) {
+    out << (first ? "" : ", ") << "\"" << JsonEscape(name) << "\": ";
+    WriteHistogramJson(histogram, out);
+    first = false;
+  }
+  out << "}\n}\n";
+}
+
+std::string MetricsToJson(const MetricsRegistry& metrics) {
+  std::ostringstream out;
+  WriteMetricsJson(metrics, out);
+  return out.str();
+}
+
+void WriteMetricsCsv(const MetricsRegistry& metrics, std::ostream& out) {
+  out << "kind,name,field,value\n";
+  for (const auto& [name, counter] : metrics.counters()) {
+    out << "counter," << CsvEscape(name) << ",value," << counter.value() << "\n";
+  }
+  for (const auto& [name, gauge] : metrics.gauges()) {
+    out << "gauge," << CsvEscape(name) << ",value," << FormatMetricValue(gauge.value())
+        << "\n";
+  }
+  for (const auto& [name, histogram] : metrics.histograms()) {
+    const std::string escaped = CsvEscape(name);
+    out << "histogram," << escaped << ",count," << histogram.count() << "\n";
+    if (histogram.count() > 0) {
+      out << "histogram," << escaped << ",sum," << FormatMetricValue(histogram.sum()) << "\n";
+      out << "histogram," << escaped << ",min," << FormatMetricValue(histogram.Min()) << "\n";
+      out << "histogram," << escaped << ",max," << FormatMetricValue(histogram.Max()) << "\n";
+    }
+    const auto& bounds = histogram.bucket_bounds();
+    const auto& counts = histogram.bucket_counts();
+    for (size_t i = 0; i < counts.size(); ++i) {
+      out << "histogram," << escaped << ",bucket_le_"
+          << (i < bounds.size() ? FormatMetricValue(bounds[i]) : "inf") << "," << counts[i]
+          << "\n";
+    }
+  }
+}
+
+std::string MetricsToCsv(const MetricsRegistry& metrics) {
+  std::ostringstream out;
+  WriteMetricsCsv(metrics, out);
+  return out.str();
+}
+
+}  // namespace probcon

@@ -1,0 +1,119 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace probcon {
+
+HistogramOptions HistogramOptions::Fixed(std::vector<double> bounds) {
+  CHECK(!bounds.empty());
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    CHECK_LT(bounds[i - 1], bounds[i]) << "histogram bounds must be strictly increasing";
+  }
+  return HistogramOptions{std::move(bounds)};
+}
+
+HistogramOptions HistogramOptions::Exponential(double first_bound, double factor,
+                                               int bucket_count) {
+  CHECK_GT(first_bound, 0.0);
+  CHECK_GT(factor, 1.0);
+  CHECK_GT(bucket_count, 0);
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(bucket_count));
+  double bound = first_bound;
+  for (int i = 0; i < bucket_count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return HistogramOptions{std::move(bounds)};
+}
+
+Histogram::Histogram(HistogramOptions options) : bounds_(std::move(options.bounds)) {
+  CHECK(!bounds_.empty());
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Record(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++counts_[static_cast<size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+double Histogram::Mean() const {
+  CHECK_GT(count_, 0u);
+  return sum_ / static_cast<double>(count_);
+}
+
+double Histogram::Min() const {
+  CHECK_GT(count_, 0u);
+  return min_;
+}
+
+double Histogram::Max() const {
+  CHECK_GT(count_, 0u);
+  return max_;
+}
+
+double Histogram::ApproxQuantile(double q) const {
+  CHECK_GT(count_, 0u);
+  CHECK(q >= 0.0 && q <= 1.0);
+  // Nearest-rank target (1-based), mirroring SampleStats::Percentile semantics.
+  const uint64_t target =
+      static_cast<uint64_t>(q * static_cast<double>(count_ - 1) + 0.5) + 1;
+  uint64_t cumulative = 0;
+  for (size_t bucket = 0; bucket < counts_.size(); ++bucket) {
+    if (counts_[bucket] == 0) {
+      continue;
+    }
+    if (cumulative + counts_[bucket] >= target) {
+      // Interpolate within the bucket; clamp the edges to the observed extremes so
+      // single-bucket histograms stay exact at q=0/1.
+      const double low = bucket == 0 ? min_ : std::max(min_, bounds_[bucket - 1]);
+      const double high = bucket == bounds_.size() ? max_ : std::min(max_, bounds_[bucket]);
+      const double within =
+          static_cast<double>(target - cumulative) / static_cast<double>(counts_[bucket]);
+      return low + (high - low) * within;
+    }
+    cumulative += counts_[bucket];
+  }
+  return max_;  // Unreachable given the invariants, but keeps the compiler satisfied.
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) { return counters_[name]; }
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) { return gauges_[name]; }
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const HistogramOptions& options) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    return it->second;
+  }
+  return histograms_.emplace(name, Histogram(options)).first->second;
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+}  // namespace probcon

@@ -1,0 +1,117 @@
+// Named metric instruments for simulation runs (design sibling of SampleStats, but
+// streaming): a Counter is a monotone event count, a Gauge a last-write-wins level, a
+// Histogram a bucketed distribution that keeps only per-bucket counts plus streaming
+// count/sum/min/max — it never retains individual samples, so million-commit runs cost O(1)
+// memory per instrument.
+//
+// Instruments live in a MetricsRegistry keyed by name; lookups create on first use so
+// call-sites need no registration step. Registries iterate in name order, which makes
+// exporters (src/obs/export.h) byte-deterministic for deterministic runs.
+
+#ifndef PROBCON_SRC_OBS_METRICS_H_
+#define PROBCON_SRC_OBS_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace probcon {
+
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) { value_ += delta; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  void Add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Bucket layout for a Histogram: `bounds` are strictly increasing upper bounds; a value v
+// lands in the first bucket with v <= bound, and values above the last bound land in an
+// implicit overflow bucket.
+struct HistogramOptions {
+  std::vector<double> bounds;
+
+  // Explicit upper bounds (must be strictly increasing, non-empty).
+  static HistogramOptions Fixed(std::vector<double> bounds);
+
+  // Exponential bucketing: bounds first, first*factor, first*factor^2, ... (`bucket_count`
+  // bounds total). Requires first > 0, factor > 1.
+  static HistogramOptions Exponential(double first_bound, double factor, int bucket_count);
+
+  // Default layout for millisecond latencies: 1ms..~8s, doubling.
+  static HistogramOptions DefaultLatencyMs() { return Exponential(1.0, 2.0, 14); }
+};
+
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions options = HistogramOptions::DefaultLatencyMs());
+
+  void Record(double value);
+
+  uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  double sum() const { return sum_; }
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+
+  const std::vector<double>& bucket_bounds() const { return bounds_; }
+  // bucket_bounds().size() + 1 entries; the last is the overflow bucket.
+  const std::vector<uint64_t>& bucket_counts() const { return counts_; }
+
+  // Quantile estimate (q in [0, 1]) by linear interpolation inside the containing bucket;
+  // exact only up to bucket resolution, clamped to the observed [Min, Max].
+  double ApproxQuantile(double q) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Name -> instrument maps, one per kind (the same name may exist as different kinds; they
+// are distinct instruments). Get* creates on first use; `options` on GetHistogram only
+// applies at creation.
+class MetricsRegistry {
+ public:
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name,
+                          const HistogramOptions& options = HistogramOptions::DefaultLatencyMs());
+
+  // Read-side lookups; nullptr when the instrument was never touched.
+  const Counter* FindCounter(const std::string& name) const;
+  const Gauge* FindGauge(const std::string& name) const;
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+
+  bool empty() const { return counters_.empty() && gauges_.empty() && histograms_.empty(); }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_OBS_METRICS_H_

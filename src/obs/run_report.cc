@@ -1,0 +1,176 @@
+#include "src/obs/run_report.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "src/obs/export.h"
+
+namespace probcon {
+namespace {
+
+// Event types worth a column in the per-node table, in display order.
+constexpr TraceEventType kNodeColumns[] = {
+    TraceEventType::kElectionStarted, TraceEventType::kLeaderElected,
+    TraceEventType::kViewChangeStarted, TraceEventType::kNewViewAdopted,
+    TraceEventType::kCommit,            TraceEventType::kSnapshotTaken,
+    TraceEventType::kCheckpointStable,  TraceEventType::kRoundAdvanced,
+    TraceEventType::kDecided,           TraceEventType::kNodeCrashed,
+    TraceEventType::kNodeRecovered,     TraceEventType::kMessageDropped,
+};
+
+void RenderAlignedPairs(const std::vector<std::pair<std::string, std::string>>& rows,
+                        std::ostringstream& out) {
+  size_t width = 0;
+  for (const auto& [name, value] : rows) {
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, value] : rows) {
+    out << "  " << name << std::string(width - name.size() + 2, ' ') << value << "\n";
+  }
+}
+
+void RenderHistogram(const std::string& name, const Histogram& histogram,
+                     const RunReportOptions& options, std::ostringstream& out) {
+  out << "  " << name << ": count=" << histogram.count();
+  if (histogram.empty()) {
+    out << "\n";
+    return;
+  }
+  out << " mean=" << FormatMetricValue(histogram.Mean())
+      << " min=" << FormatMetricValue(histogram.Min())
+      << " max=" << FormatMetricValue(histogram.Max())
+      << " p50~" << FormatMetricValue(histogram.ApproxQuantile(0.5))
+      << " p99~" << FormatMetricValue(histogram.ApproxQuantile(0.99)) << "\n";
+  const auto& bounds = histogram.bucket_bounds();
+  const auto& counts = histogram.bucket_counts();
+  const uint64_t fullest = *std::max_element(counts.begin(), counts.end());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) {
+      continue;  // Keep the report compact; empty buckets carry no information here.
+    }
+    const std::string label =
+        i < bounds.size() ? "le " + FormatMetricValue(bounds[i]) : "overflow";
+    const int bar = static_cast<int>((counts[i] * static_cast<uint64_t>(
+                                          options.histogram_bar_width) + fullest - 1) /
+                                     fullest);
+    out << "    [" << label << "] " << counts[i] << " " << std::string(bar, '#') << "\n";
+  }
+}
+
+}  // namespace
+
+std::string RenderRunReport(const TraceLog& trace, const MetricsRegistry& metrics,
+                            const RunReportOptions& options) {
+  std::ostringstream out;
+  out << "=== run report ===\n";
+  if (trace.empty()) {
+    out << "trace: no events recorded\n";
+  } else {
+    out << "trace: " << trace.size() << " events spanning t=["
+        << FormatMetricValue(trace.events().front().time) << ", "
+        << FormatMetricValue(trace.events().back().time) << "]\n";
+  }
+
+  if (!metrics.counters().empty()) {
+    out << "\n-- counters --\n";
+    std::vector<std::pair<std::string, std::string>> rows;
+    for (const auto& [name, counter] : metrics.counters()) {
+      rows.emplace_back(name, std::to_string(counter.value()));
+    }
+    RenderAlignedPairs(rows, out);
+  }
+
+  if (!metrics.gauges().empty()) {
+    out << "\n-- gauges --\n";
+    std::vector<std::pair<std::string, std::string>> rows;
+    for (const auto& [name, gauge] : metrics.gauges()) {
+      rows.emplace_back(name, FormatMetricValue(gauge.value()));
+    }
+    RenderAlignedPairs(rows, out);
+  }
+
+  if (!metrics.histograms().empty()) {
+    out << "\n-- histograms --\n";
+    for (const auto& [name, histogram] : metrics.histograms()) {
+      RenderHistogram(name, histogram, options, out);
+    }
+  }
+
+  // Per-node event counts, from the trace itself.
+  std::map<int, std::map<TraceEventType, size_t>> per_node;
+  for (const TraceEvent& event : trace.events()) {
+    if (event.node >= 0) {
+      ++per_node[event.node][event.type];
+    }
+  }
+  if (!per_node.empty()) {
+    std::set<TraceEventType> present;
+    for (const auto& [node, counts] : per_node) {
+      for (const auto& [type, count] : counts) {
+        present.insert(type);
+      }
+    }
+    std::vector<TraceEventType> columns;
+    for (const TraceEventType type : kNodeColumns) {
+      if (present.count(type) > 0) {
+        columns.push_back(type);
+      }
+    }
+    out << "\n-- per-node event counts --\n  node";
+    for (const TraceEventType type : columns) {
+      out << "  " << TraceEventTypeName(type);
+    }
+    out << "\n";
+    for (const auto& [node, counts] : per_node) {
+      out << "  " << node;
+      for (const TraceEventType type : columns) {
+        const auto it = counts.find(type);
+        const size_t count = it == counts.end() ? 0 : it->second;
+        // Right-align under the column header (header width + 2 spaces of separator).
+        std::string text = std::to_string(count);
+        const size_t column_width = TraceEventTypeName(type).size() + 2;
+        out << std::string(column_width > text.size() ? column_width - text.size() : 1, ' ')
+            << text;
+      }
+      out << "\n";
+    }
+  }
+
+  // Fault-injection + violation timeline.
+  std::vector<const TraceEvent*> timeline;
+  for (const TraceEvent& event : trace.events()) {
+    if (event.type == TraceEventType::kNodeCrashed ||
+        event.type == TraceEventType::kNodeRecovered ||
+        event.type == TraceEventType::kSafetyViolation) {
+      timeline.push_back(&event);
+    }
+  }
+  if (!timeline.empty()) {
+    out << "\n-- fault timeline --\n";
+    size_t shown = 0;
+    for (const TraceEvent* event : timeline) {
+      if (options.max_timeline_rows != 0 && shown >= options.max_timeline_rows) {
+        out << "  ... " << (timeline.size() - shown) << " more\n";
+        break;
+      }
+      out << "  t=" << FormatMetricValue(event->time) << "  ";
+      if (event->type == TraceEventType::kSafetyViolation) {
+        out << "SAFETY VIOLATION slot " << event->value;
+        if (!event->detail.empty()) {
+          out << ": " << event->detail;
+        }
+      } else {
+        out << "node " << event->node << " "
+            << (event->type == TraceEventType::kNodeCrashed ? "crashed" : "recovered");
+      }
+      out << "\n";
+      ++shown;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace probcon

@@ -1,0 +1,30 @@
+// Human-readable summary of one instrumented run: aggregate counters/gauges, histogram
+// summaries with ASCII bucket bars, a per-node event-count table derived from the trace, and
+// the fault-injection timeline (crash/recover/safety-violation events in time order).
+//
+// The report is plain text on purpose — it is what a developer reads to answer "why did this
+// run lose liveness" before reaching for the JSON trace.
+
+#ifndef PROBCON_SRC_OBS_RUN_REPORT_H_
+#define PROBCON_SRC_OBS_RUN_REPORT_H_
+
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace probcon {
+
+struct RunReportOptions {
+  // Cap on fault-timeline rows (earliest kept; a truncation note is appended). 0 = no cap.
+  size_t max_timeline_rows = 40;
+  // Width of the '#' bar for the fullest histogram bucket.
+  int histogram_bar_width = 30;
+};
+
+std::string RenderRunReport(const TraceLog& trace, const MetricsRegistry& metrics,
+                            const RunReportOptions& options = {});
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_OBS_RUN_REPORT_H_

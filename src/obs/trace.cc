@@ -1,0 +1,103 @@
+#include "src/obs/trace.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace probcon {
+
+std::string_view TraceEventTypeName(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kElectionStarted:
+      return "election_started";
+    case TraceEventType::kLeaderElected:
+      return "leader_elected";
+    case TraceEventType::kViewChangeStarted:
+      return "view_change_started";
+    case TraceEventType::kNewViewAdopted:
+      return "new_view_adopted";
+    case TraceEventType::kCommit:
+      return "commit";
+    case TraceEventType::kMessageDropped:
+      return "message_dropped";
+    case TraceEventType::kNodeCrashed:
+      return "node_crashed";
+    case TraceEventType::kNodeRecovered:
+      return "node_recovered";
+    case TraceEventType::kClientSubmitted:
+      return "client_submitted";
+    case TraceEventType::kSnapshotTaken:
+      return "snapshot_taken";
+    case TraceEventType::kCheckpointStable:
+      return "checkpoint_stable";
+    case TraceEventType::kRoundAdvanced:
+      return "round_advanced";
+    case TraceEventType::kDecided:
+      return "decided";
+    case TraceEventType::kSafetyViolation:
+      return "safety_violation";
+  }
+  return "?";
+}
+
+size_t TraceLog::CountOf(TraceEventType type, int node) const {
+  size_t count = 0;
+  for (const TraceEvent& event : events_) {
+    if (event.type == type && (node == -2 || event.node == node)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<TraceEvent> TraceLog::EventsOfType(TraceEventType type) const {
+  std::vector<TraceEvent> result;
+  for (const TraceEvent& event : events_) {
+    if (event.type == type) {
+      result.push_back(event);
+    }
+  }
+  return result;
+}
+
+Tracer::Tracer(TraceLog* log, MetricsRegistry* metrics, Clock clock)
+    : log_(log), metrics_(metrics), clock_(std::move(clock)) {
+  CHECK(log != nullptr);
+  CHECK(clock_ != nullptr);
+}
+
+void Tracer::Record(TraceEventType type, int node, int peer, uint64_t value,
+                    std::string detail) {
+  if (log_ == nullptr) {
+    return;
+  }
+  TraceEvent event;
+  event.time = clock_();
+  event.type = type;
+  event.node = node;
+  event.peer = peer;
+  event.value = value;
+  event.detail = std::move(detail);
+  log_->Append(std::move(event));
+}
+
+void Tracer::CounterAdd(const std::string& name, uint64_t delta) {
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter(name).Increment(delta);
+  }
+}
+
+void Tracer::GaugeSet(const std::string& name, double value) {
+  if (metrics_ != nullptr) {
+    metrics_->GetGauge(name).Set(value);
+  }
+}
+
+void Tracer::HistogramRecord(const std::string& name, double value,
+                             const HistogramOptions& options) {
+  if (metrics_ != nullptr) {
+    metrics_->GetHistogram(name, options).Record(value);
+  }
+}
+
+}  // namespace probcon

@@ -1,0 +1,150 @@
+// Structured simulation tracing.
+//
+// A TraceLog is an append-only sequence of typed, sim-timestamped events (elections, view
+// changes, commits, drops, crashes, ...). Protocol code records events through a Tracer
+// handle owned by the Simulator; a default-constructed Tracer is DISABLED and every call on
+// it is an inline null-check no-op, so untraced runs (every bench) pay one branch per
+// call-site and allocate nothing.
+//
+// Because all event content derives from sim state (time, node ids, terms/views/slots) and
+// the simulator is deterministic, two runs with the same seed produce identical TraceLogs —
+// the exporters in src/obs/export.h therefore emit byte-identical files, which is the
+// contract tests/obs/tracer_test.cc pins down.
+//
+// This layer deliberately does not depend on src/sim: times are plain doubles fed by a clock
+// callback, so the obs library can also serve non-simulated callers.
+
+#ifndef PROBCON_SRC_OBS_TRACE_H_
+#define PROBCON_SRC_OBS_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace probcon {
+
+enum class TraceEventType : int {
+  kElectionStarted = 0,  // value = term.
+  kLeaderElected,        // value = term.
+  kViewChangeStarted,    // value = the view being entered.
+  kNewViewAdopted,       // value = the adopted view.
+  kCommit,               // value = slot, one event per (node, slot) execution.
+  kMessageDropped,       // node = sender, peer = destination.
+  kNodeCrashed,
+  kNodeRecovered,
+  kClientSubmitted,   // node = -1, value = command id.
+  kSnapshotTaken,     // value = last index folded into the snapshot.
+  kCheckpointStable,  // value = certified sequence.
+  kRoundAdvanced,     // value = round (Ben-Or style round protocols).
+  kDecided,           // value = deciding round; detail carries the decided value.
+  kSafetyViolation,   // node = -1, value = slot; detail describes the conflict.
+};
+
+// Stable snake_case name, used by the exporters and RunReport.
+std::string_view TraceEventTypeName(TraceEventType type);
+
+struct TraceEvent {
+  double time = 0.0;
+  TraceEventType type = TraceEventType::kElectionStarted;
+  int node = -1;  // -1 = environment/cluster-wide.
+  int peer = -1;  // Secondary node (e.g. drop destination), -1 if unused.
+  uint64_t value = 0;
+  std::string detail;
+
+  bool operator==(const TraceEvent&) const = default;
+};
+
+class TraceLog {
+ public:
+  void Append(TraceEvent event) { events_.push_back(std::move(event)); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  void Clear() { events_.clear(); }
+
+  // Count of events of `type`; node = -2 means any node.
+  size_t CountOf(TraceEventType type, int node = -2) const;
+
+  std::vector<TraceEvent> EventsOfType(TraceEventType type) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+// Recording handle. Copyable; a copy refers to the same log/registry. All mutating calls are
+// no-ops when disabled, and the event convenience methods double as the canonical vocabulary
+// of instrumentation call-sites across the stack.
+class Tracer {
+ public:
+  using Clock = std::function<double()>;
+
+  Tracer() = default;  // Disabled: records nothing.
+  Tracer(TraceLog* log, MetricsRegistry* metrics, Clock clock);
+
+  bool enabled() const { return log_ != nullptr; }
+  MetricsRegistry* metrics() const { return metrics_; }
+  double now() const { return clock_ ? clock_() : 0.0; }
+
+  // --- Raw event record ---
+  void Record(TraceEventType type, int node, int peer = -1, uint64_t value = 0,
+              std::string detail = {});
+
+  // --- Metric helpers (no-ops when no registry is attached) ---
+  void CounterAdd(const std::string& name, uint64_t delta = 1);
+  void GaugeSet(const std::string& name, double value);
+  void HistogramRecord(const std::string& name, double value,
+                       const HistogramOptions& options = HistogramOptions::DefaultLatencyMs());
+
+  // --- Event vocabulary ---
+  void ElectionStarted(int node, uint64_t term) {
+    Record(TraceEventType::kElectionStarted, node, -1, term);
+  }
+  void LeaderElected(int node, uint64_t term) {
+    Record(TraceEventType::kLeaderElected, node, -1, term);
+  }
+  void ViewChangeStarted(int node, uint64_t view) {
+    Record(TraceEventType::kViewChangeStarted, node, -1, view);
+  }
+  void NewViewAdopted(int node, uint64_t view) {
+    Record(TraceEventType::kNewViewAdopted, node, -1, view);
+  }
+  void Commit(int node, uint64_t slot) { Record(TraceEventType::kCommit, node, -1, slot); }
+  void MessageDropped(int from, int to) {
+    Record(TraceEventType::kMessageDropped, from, to);
+  }
+  void NodeCrashed(int node) { Record(TraceEventType::kNodeCrashed, node); }
+  void NodeRecovered(int node) { Record(TraceEventType::kNodeRecovered, node); }
+  void ClientSubmitted(uint64_t command_id) {
+    Record(TraceEventType::kClientSubmitted, -1, -1, command_id);
+  }
+  void SnapshotTaken(int node, uint64_t last_included) {
+    Record(TraceEventType::kSnapshotTaken, node, -1, last_included);
+  }
+  void CheckpointStable(int node, uint64_t sequence) {
+    Record(TraceEventType::kCheckpointStable, node, -1, sequence);
+  }
+  void RoundAdvanced(int node, uint64_t round) {
+    Record(TraceEventType::kRoundAdvanced, node, -1, round);
+  }
+  void Decided(int node, uint64_t round, int decided_value) {
+    Record(TraceEventType::kDecided, node, -1, round, std::to_string(decided_value));
+  }
+  void SafetyViolationDetected(uint64_t slot, std::string detail) {
+    Record(TraceEventType::kSafetyViolation, -1, -1, slot, std::move(detail));
+  }
+
+ private:
+  TraceLog* log_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+  Clock clock_;
+};
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_OBS_TRACE_H_

@@ -32,6 +32,7 @@ void FailureInjector::Arm(const std::vector<ShockEvent>& shocks) {
   }
   for (const auto& shock : shocks) {
     simulator_->ScheduleAt(shock.when, [this, victims = shock.victims]() {
+      simulator_->tracer().CounterAdd("fault.shocks");
       for (const int node : victims) {
         CHECK(node >= 0 && node < static_cast<int>(processes_.size()));
         CrashNode(node);
@@ -55,14 +56,16 @@ void FailureInjector::CrashNode(int node) {
   if (process->crashed()) {
     return;  // Already down (e.g. shock raced the sampled failure).
   }
-  process->Crash();
+  process->Crash();  // Process::Crash emits the kNodeCrashed trace event.
   ++crash_count_;
+  simulator_->tracer().CounterAdd("fault.crashes_injected");
   if (repair_rate_.has_value()) {
     const SimTime repair_delay = simulator_->rng().NextExponential(*repair_rate_);
     simulator_->Schedule(repair_delay, [this, node]() {
       if (processes_[node]->crashed()) {
         processes_[node]->Recover();
         ++recovery_count_;
+        simulator_->tracer().CounterAdd("fault.recoveries");
         ScheduleFailure(node);
       }
     });

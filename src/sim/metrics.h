@@ -1,4 +1,9 @@
 // Simple run metrics: sample accumulators with mean/percentile queries.
+//
+// SampleStats retains every sample (exact percentiles); for streaming, bounded-memory
+// instruments see src/obs/metrics.h. Percentile queries sort a cached copy once and reuse it
+// until the next Add, so query-heavy consumers (report tables asking for p50/p90/p99) pay
+// one sort instead of one per query.
 
 #ifndef PROBCON_SRC_SIM_METRICS_H_
 #define PROBCON_SRC_SIM_METRICS_H_
@@ -13,7 +18,20 @@ namespace probcon {
 
 class SampleStats {
  public:
-  void Add(double value) { samples_.push_back(value); }
+  struct Summary {
+    size_t count = 0;
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+  };
+
+  void Add(double value) {
+    samples_.push_back(value);
+    sorted_valid_ = false;
+  }
 
   size_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
@@ -41,14 +59,39 @@ class SampleStats {
   double Percentile(double q) const {
     CHECK(!samples_.empty());
     CHECK(q >= 0.0 && q <= 1.0);
-    std::vector<double> sorted = samples_;
-    std::sort(sorted.begin(), sorted.end());
+    const std::vector<double>& sorted = Sorted();
     const size_t rank = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1) + 0.5);
     return sorted[std::min(rank, sorted.size() - 1)];
   }
 
+  // All the headline stats in one pass over the cached sorted copy.
+  Summary Summarize() const {
+    CHECK(!samples_.empty());
+    const std::vector<double>& sorted = Sorted();
+    Summary summary;
+    summary.count = sorted.size();
+    summary.mean = Mean();
+    summary.min = sorted.front();
+    summary.max = sorted.back();
+    summary.p50 = Percentile(0.5);
+    summary.p90 = Percentile(0.9);
+    summary.p99 = Percentile(0.99);
+    return summary;
+  }
+
  private:
+  const std::vector<double>& Sorted() const {
+    if (!sorted_valid_) {
+      sorted_cache_ = samples_;
+      std::sort(sorted_cache_.begin(), sorted_cache_.end());
+      sorted_valid_ = true;
+    }
+    return sorted_cache_;
+  }
+
   std::vector<double> samples_;
+  mutable std::vector<double> sorted_cache_;
+  mutable bool sorted_valid_ = false;
 };
 
 }  // namespace probcon

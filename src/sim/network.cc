@@ -104,19 +104,30 @@ void Network::Send(int from, int to, std::shared_ptr<const SimMessage> message) 
   CHECK(to >= 0 && to < node_count_);
   CHECK(message != nullptr);
   ++messages_sent_;
+  Tracer& tracer = simulator_->tracer();
+  tracer.CounterAdd("net.messages_sent");
   if (!Reachable(from, to) || model_->ShouldDrop(from, to, simulator_->rng())) {
     ++messages_dropped_;
+    tracer.MessageDropped(from, to);
+    tracer.CounterAdd("net.messages_dropped");
     return;
   }
   const SimTime latency = model_->SampleLatency(from, to, simulator_->rng());
+  if (tracer.enabled()) {
+    tracer.HistogramRecord("net.delivery_latency_ms", latency,
+                           HistogramOptions::Exponential(1.0, 2.0, 12));
+  }
   simulator_->Schedule(latency, [this, from, to, message = std::move(message)]() {
     // Partitions are re-checked at delivery time so a cut made while the message was in
     // flight also severs it.
     if (!Reachable(from, to)) {
       ++messages_dropped_;
+      simulator_->tracer().MessageDropped(from, to);
+      simulator_->tracer().CounterAdd("net.messages_dropped");
       return;
     }
     ++messages_delivered_;
+    simulator_->tracer().CounterAdd("net.messages_delivered");
     if (handlers_[to] != nullptr) {
       handlers_[to](from, message);
     }

@@ -29,12 +29,14 @@ void Process::Crash() {
   }
   crashed_ = true;
   ++epoch_;
+  simulator_->tracer().NodeCrashed(id_);
 }
 
 void Process::Recover() {
   CHECK(crashed_) << "node" << id_ << "is not crashed";
   crashed_ = false;
   ++epoch_;
+  simulator_->tracer().NodeRecovered(id_);
   OnRecover();
 }
 

@@ -2,9 +2,20 @@
 
 #include <utility>
 
+#include "src/common/logging.h"
+
 namespace probcon {
 
 Simulator::Simulator(uint64_t seed) : rng_(seed) {}
+
+void Simulator::AttachTracer(TraceLog* trace, MetricsRegistry* metrics) {
+  CHECK(trace != nullptr) << "use DetachTracer() to disable tracing";
+  tracer_ = Tracer(trace, metrics, [this]() { return now_; });
+}
+
+void Simulator::InstallLogClock() {
+  SetLogClock([this]() { return now_; });
+}
 
 EventId Simulator::Schedule(SimTime delay, std::function<void()> action) {
   CHECK_GE(delay, 0.0);

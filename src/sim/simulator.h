@@ -19,6 +19,7 @@
 
 #include "src/common/check.h"
 #include "src/common/rng.h"
+#include "src/obs/trace.h"
 
 namespace probcon {
 
@@ -55,6 +56,21 @@ class Simulator {
   // Number of events executed so far.
   uint64_t executed_events() const { return executed_; }
 
+  // --- Observability (src/obs) ---
+  //
+  // Attaches an external trace log + metrics registry; events are timestamped with this
+  // simulator's clock. Both pointers must outlive the simulator (or a later detach). The
+  // simulator owns the Tracer handle and hands it to the network, processes, and protocol
+  // nodes via tracer(); when nothing is attached the handle is disabled and every recording
+  // call is an inline null-check no-op, so untraced runs are unaffected.
+  void AttachTracer(TraceLog* trace, MetricsRegistry* metrics);
+  void DetachTracer() { tracer_ = Tracer(); }
+  Tracer& tracer() { return tracer_; }
+
+  // Mirrors sim time into LOG prefixes (logging.h's SetLogClock). The installed clock reads
+  // this simulator: call ClearLogClock() before the simulator is destroyed.
+  void InstallLogClock();
+
  private:
   struct Event {
     SimTime when;
@@ -75,6 +91,7 @@ class Simulator {
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
   std::unordered_set<uint64_t> cancelled_;
   Rng rng_;
+  Tracer tracer_;
 
   // Drops cancelled events sitting at the head of the queue.
   void PurgeCancelled();

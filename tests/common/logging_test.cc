@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "src/common/check.h"
 
 namespace probcon {
@@ -55,6 +57,55 @@ TEST_F(LoggingTest, LogIfConditional) {
 TEST_F(LoggingTest, LevelNames) {
   EXPECT_EQ(LogLevelName(LogLevel::kDebug), "DEBUG");
   EXPECT_EQ(LogLevelName(LogLevel::kError), "ERROR");
+}
+
+TEST_F(LoggingTest, LogLevelFromEnvParsesNamesAndDigits) {
+  const struct {
+    const char* text;
+    LogLevel expected;
+  } cases[] = {
+      {"debug", LogLevel::kDebug},   {"DEBUG", LogLevel::kDebug},
+      {"info", LogLevel::kInfo},     {"warning", LogLevel::kWarning},
+      {"warn", LogLevel::kWarning},  {"error", LogLevel::kError},
+      {"0", LogLevel::kDebug},       {"3", LogLevel::kError},
+  };
+  for (const auto& test_case : cases) {
+    ::setenv("PROBCON_LOG_LEVEL", test_case.text, /*overwrite=*/1);
+    EXPECT_EQ(LogLevelFromEnv(LogLevel::kInfo), test_case.expected) << test_case.text;
+  }
+  ::unsetenv("PROBCON_LOG_LEVEL");
+}
+
+TEST_F(LoggingTest, LogLevelFromEnvFallsBackWhenUnsetOrGarbage) {
+  ::unsetenv("PROBCON_LOG_LEVEL");
+  EXPECT_EQ(LogLevelFromEnv(LogLevel::kWarning), LogLevel::kWarning);
+  ::setenv("PROBCON_LOG_LEVEL", "verbose-ish", /*overwrite=*/1);
+  EXPECT_EQ(LogLevelFromEnv(LogLevel::kError), LogLevel::kError);
+  ::unsetenv("PROBCON_LOG_LEVEL");
+}
+
+TEST_F(LoggingTest, LogClockPrefixesSimTime) {
+  SetLogClock([]() { return 1234.5; });
+  const std::string output = CaptureStderr([]() { LOG(Info) << "tick"; });
+  ClearLogClock();
+  EXPECT_NE(output.find("t=1234.5"), std::string::npos);
+  EXPECT_NE(output.find("tick"), std::string::npos);
+}
+
+TEST_F(LoggingTest, ClearedLogClockDropsPrefix) {
+  SetLogClock([]() { return 99.0; });
+  ClearLogClock();
+  const std::string output = CaptureStderr([]() { LOG(Info) << "plain"; });
+  EXPECT_EQ(output.find("t="), std::string::npos);
+  EXPECT_NE(output.find("plain"), std::string::npos);
+}
+
+TEST_F(LoggingTest, LogClockDoesNotDisturbStreamFormatting) {
+  SetLogClock([]() { return 7.25; });
+  const std::string output = CaptureStderr([]() { LOG(Info) << 0.123456789; });
+  ClearLogClock();
+  // Default ostream precision (6 significant digits) must still apply to the payload.
+  EXPECT_NE(output.find("0.123457"), std::string::npos);
 }
 
 TEST(CheckTest, PassingCheckIsSilent) {

@@ -1,0 +1,104 @@
+#include "src/obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace probcon {
+namespace {
+
+TraceLog MakeTrace() {
+  TraceLog trace;
+  trace.Append({1.5, TraceEventType::kElectionStarted, /*node=*/0, /*peer=*/-1,
+                /*value=*/1, ""});
+  trace.Append({2.0, TraceEventType::kLeaderElected, 0, -1, 1, ""});
+  trace.Append({3.25, TraceEventType::kCommit, 2, -1, 7, "with \"quotes\",\n"});
+  return trace;
+}
+
+TEST(FormatMetricValueTest, IntegersRenderWithoutTrailingZeros) {
+  EXPECT_EQ(FormatMetricValue(42.0), "42");
+  EXPECT_EQ(FormatMetricValue(0.5), "0.5");
+  EXPECT_EQ(FormatMetricValue(-3.0), "-3");
+}
+
+TEST(JsonEscapeTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(TraceJsonTest, EmitsAllEventsWithTypedFields) {
+  const std::string json = TraceToJson(MakeTrace());
+  EXPECT_NE(json.find("\"events\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"election_started\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"leader_elected\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"commit\""), std::string::npos);
+  EXPECT_NE(json.find("\"t\": 3.25"), std::string::npos);
+  EXPECT_NE(json.find("\"value\": 7"), std::string::npos);
+  // The detail string must survive round-trippable escaping.
+  EXPECT_NE(json.find("with \\\"quotes\\\",\\n"), std::string::npos);
+}
+
+TEST(TraceJsonTest, EmptyTraceIsValidDocument) {
+  EXPECT_EQ(TraceToJson(TraceLog()), "{\"events\": [\n]}\n");
+}
+
+TEST(TraceCsvTest, HeaderAndQuoting) {
+  const std::string csv = TraceToCsv(MakeTrace());
+  EXPECT_EQ(csv.find("time,type,node,peer,value,detail\n"), 0u);
+  EXPECT_NE(csv.find("1.5,election_started,0,-1,1,"), std::string::npos);
+  // RFC-4180: embedded quotes double, field with comma/newline/quote is quoted.
+  EXPECT_NE(csv.find("\"with \"\"quotes\"\",\n\""), std::string::npos);
+}
+
+TEST(MetricsJsonTest, CountersGaugesHistogramsSections) {
+  MetricsRegistry metrics;
+  metrics.GetCounter("msgs").Increment(10);
+  metrics.GetGauge("load").Set(0.75);
+  Histogram& h = metrics.GetHistogram("lat", HistogramOptions::Fixed({1.0, 10.0}));
+  h.Record(0.5);
+  h.Record(5.0);
+  h.Record(50.0);
+
+  const std::string json = MetricsToJson(metrics);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"msgs\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"load\": 0.75"), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"le\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"le\": \"inf\""), std::string::npos);
+}
+
+TEST(MetricsCsvTest, RowPerField) {
+  MetricsRegistry metrics;
+  metrics.GetCounter("msgs").Increment(3);
+  metrics.GetHistogram("lat", HistogramOptions::Fixed({2.0})).Record(1.0);
+
+  const std::string csv = MetricsToCsv(metrics);
+  EXPECT_EQ(csv.find("kind,name,field,value\n"), 0u);
+  EXPECT_NE(csv.find("counter,msgs,value,3\n"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,lat,count,1\n"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,lat,bucket_le_2,1\n"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,lat,bucket_le_inf,0\n"), std::string::npos);
+}
+
+TEST(ExportDeterminismTest, IdenticalInputsSerializeIdentically) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  for (MetricsRegistry* registry : {&a, &b}) {
+    registry->GetCounter("zeta").Increment(2);
+    registry->GetCounter("alpha").Increment(1);
+    registry->GetHistogram("h", HistogramOptions::Exponential(1.0, 2.0, 4)).Record(3.0);
+  }
+  EXPECT_EQ(MetricsToJson(a), MetricsToJson(b));
+  EXPECT_EQ(MetricsToCsv(a), MetricsToCsv(b));
+  const TraceLog trace = MakeTrace();
+  EXPECT_EQ(TraceToJson(trace), TraceToJson(MakeTrace()));
+}
+
+}  // namespace
+}  // namespace probcon

@@ -1,0 +1,135 @@
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace probcon {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+  gauge.Set(3.5);
+  gauge.Add(-1.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.5);
+  gauge.Set(7.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 7.0);
+}
+
+TEST(HistogramOptionsTest, ExponentialBoundsDouble) {
+  const HistogramOptions options = HistogramOptions::Exponential(1.0, 2.0, 4);
+  ASSERT_EQ(options.bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(options.bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(options.bounds[1], 2.0);
+  EXPECT_DOUBLE_EQ(options.bounds[2], 4.0);
+  EXPECT_DOUBLE_EQ(options.bounds[3], 8.0);
+}
+
+TEST(HistogramTest, FixedBucketingBoundariesAreInclusive) {
+  Histogram histogram(HistogramOptions::Fixed({10.0, 20.0, 30.0}));
+  histogram.Record(5.0);    // Bucket 0 (le 10).
+  histogram.Record(10.0);   // Bucket 0: bound is an inclusive upper bound.
+  histogram.Record(10.5);   // Bucket 1.
+  histogram.Record(30.0);   // Bucket 2.
+  histogram.Record(100.0);  // Overflow.
+  const auto& counts = histogram.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+}
+
+TEST(HistogramTest, StreamingMomentsWithoutSampleRetention) {
+  Histogram histogram(HistogramOptions::Exponential(1.0, 2.0, 10));
+  for (int i = 1; i <= 100; ++i) {
+    histogram.Record(static_cast<double>(i));
+  }
+  EXPECT_EQ(histogram.count(), 100u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 5050.0);
+  EXPECT_DOUBLE_EQ(histogram.Mean(), 50.5);
+  EXPECT_DOUBLE_EQ(histogram.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.Max(), 100.0);
+}
+
+TEST(HistogramTest, ApproxQuantileWithinBucketResolution) {
+  Histogram histogram(HistogramOptions::Fixed({25.0, 50.0, 75.0, 100.0}));
+  for (int i = 1; i <= 100; ++i) {
+    histogram.Record(static_cast<double>(i));
+  }
+  // Uniform data: the quantile estimate must land within the containing bucket.
+  EXPECT_NEAR(histogram.ApproxQuantile(0.5), 50.0, 25.0);
+  EXPECT_NEAR(histogram.ApproxQuantile(0.99), 99.0, 25.0);
+  // Edges clamp to the observed extremes: q=0 lands within the first bucket's resolution,
+  // q=1 is exact because the top bucket's upper edge is clamped to Max.
+  EXPECT_NEAR(histogram.ApproxQuantile(0.0), 1.0, 1.0);
+  EXPECT_GE(histogram.ApproxQuantile(0.0), histogram.Min());
+  EXPECT_DOUBLE_EQ(histogram.ApproxQuantile(1.0), 100.0);
+}
+
+TEST(HistogramTest, SingleSampleQuantiles) {
+  Histogram histogram(HistogramOptions::Fixed({10.0}));
+  histogram.Record(3.0);
+  EXPECT_DOUBLE_EQ(histogram.ApproxQuantile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(histogram.ApproxQuantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(histogram.ApproxQuantile(1.0), 3.0);
+}
+
+TEST(MetricsRegistryTest, GetCreatesOnceAndReturnsSameInstrument) {
+  MetricsRegistry registry;
+  EXPECT_TRUE(registry.empty());
+  Counter& a = registry.GetCounter("x");
+  a.Increment(5);
+  Counter& b = registry.GetCounter("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 5u);
+  EXPECT_FALSE(registry.empty());
+}
+
+TEST(MetricsRegistryTest, HistogramOptionsApplyOnFirstUseOnly) {
+  MetricsRegistry registry;
+  Histogram& h1 = registry.GetHistogram("lat", HistogramOptions::Fixed({1.0, 2.0}));
+  Histogram& h2 = registry.GetHistogram("lat", HistogramOptions::Fixed({99.0}));
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bucket_bounds().size(), 2u);
+}
+
+TEST(MetricsRegistryTest, FindReturnsNullForUntouched) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.FindCounter("nope"), nullptr);
+  EXPECT_EQ(registry.FindGauge("nope"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("nope"), nullptr);
+  registry.GetCounter("yes").Increment();
+  ASSERT_NE(registry.FindCounter("yes"), nullptr);
+  EXPECT_EQ(registry.FindCounter("yes")->value(), 1u);
+}
+
+TEST(MetricsRegistryTest, SameNameDifferentKindsAreDistinct) {
+  MetricsRegistry registry;
+  registry.GetCounter("m").Increment(3);
+  registry.GetGauge("m").Set(1.5);
+  EXPECT_EQ(registry.FindCounter("m")->value(), 3u);
+  EXPECT_DOUBLE_EQ(registry.FindGauge("m")->value(), 1.5);
+}
+
+TEST(MetricsRegistryTest, IterationIsNameOrdered) {
+  MetricsRegistry registry;
+  registry.GetCounter("zebra");
+  registry.GetCounter("apple");
+  registry.GetCounter("mango");
+  std::vector<std::string> names;
+  for (const auto& [name, counter] : registry.counters()) {
+    names.push_back(name);
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{"apple", "mango", "zebra"}));
+}
+
+}  // namespace
+}  // namespace probcon

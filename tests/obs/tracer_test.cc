@@ -1,0 +1,153 @@
+#include "src/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "src/consensus/raft/raft_cluster.h"
+#include "src/obs/metrics.h"
+#include "src/sim/simulator.h"
+
+namespace probcon {
+namespace {
+
+// Runs a small seeded Raft cluster with tracing attached and returns the observed trace.
+void RunTracedCluster(uint64_t seed, TraceLog* trace, MetricsRegistry* metrics) {
+  RaftClusterOptions options;
+  options.config = RaftConfig::Standard(3);
+  options.seed = seed;
+  RaftCluster cluster(options);
+  cluster.simulator().AttachTracer(trace, metrics);
+  cluster.Start();
+  cluster.RunUntil(3'000.0);
+  // Crash and recover one follower so the trace contains fault events too.
+  const int victim = (cluster.LeaderId() + 1) % cluster.size();
+  cluster.node(victim).Crash();
+  cluster.RunUntil(4'000.0);
+  cluster.node(victim).Recover();
+  cluster.RunUntil(6'000.0);
+}
+
+TEST(TracerTest, SeededRaftRunEmitsExpectedEventKinds) {
+  TraceLog trace;
+  MetricsRegistry metrics;
+  RunTracedCluster(/*seed=*/7, &trace, &metrics);
+
+  ASSERT_FALSE(trace.empty());
+  EXPECT_GT(trace.CountOf(TraceEventType::kElectionStarted), 0u);
+  EXPECT_GT(trace.CountOf(TraceEventType::kLeaderElected), 0u);
+  EXPECT_GT(trace.CountOf(TraceEventType::kCommit), 0u);
+  EXPECT_GT(trace.CountOf(TraceEventType::kClientSubmitted), 0u);
+  EXPECT_EQ(trace.CountOf(TraceEventType::kNodeCrashed), 1u);
+  EXPECT_EQ(trace.CountOf(TraceEventType::kNodeRecovered), 1u);
+
+  // Timestamps are simulator time: nondecreasing and within the run span.
+  double last = 0.0;
+  for (const TraceEvent& event : trace.events()) {
+    EXPECT_GE(event.time, last);
+    EXPECT_LE(event.time, 6'000.0);
+    last = event.time;
+  }
+
+  // Metrics ride along with the trace.
+  ASSERT_NE(metrics.FindCounter("raft.elections_started"), nullptr);
+  EXPECT_EQ(metrics.FindCounter("raft.elections_started")->value(),
+            trace.CountOf(TraceEventType::kElectionStarted));
+  ASSERT_NE(metrics.FindHistogram("consensus.commit_latency_ms"), nullptr);
+  EXPECT_GT(metrics.FindHistogram("consensus.commit_latency_ms")->count(), 0u);
+}
+
+TEST(TracerTest, SameSeedRunsProduceIdenticalTraces) {
+  TraceLog first_trace;
+  MetricsRegistry first_metrics;
+  RunTracedCluster(/*seed=*/42, &first_trace, &first_metrics);
+
+  TraceLog second_trace;
+  MetricsRegistry second_metrics;
+  RunTracedCluster(/*seed=*/42, &second_trace, &second_metrics);
+
+  ASSERT_FALSE(first_trace.empty());
+  ASSERT_EQ(first_trace.size(), second_trace.size());
+  EXPECT_EQ(first_trace.events(), second_trace.events());
+}
+
+TEST(TracerTest, DifferentSeedsDiverge) {
+  TraceLog a;
+  MetricsRegistry ma;
+  RunTracedCluster(/*seed=*/1, &a, &ma);
+  TraceLog b;
+  MetricsRegistry mb;
+  RunTracedCluster(/*seed=*/2, &b, &mb);
+  EXPECT_NE(a.events(), b.events());
+}
+
+TEST(TracerTest, TracingDoesNotPerturbTheRun) {
+  // The tracer must never touch the rng: an instrumented run and a bare run with the same
+  // seed must commit the same slots.
+  auto committed_slots = [](uint64_t seed, bool traced, TraceLog* trace,
+                            MetricsRegistry* metrics) {
+    RaftClusterOptions options;
+    options.config = RaftConfig::Standard(3);
+    options.seed = seed;
+    RaftCluster cluster(options);
+    if (traced) {
+      cluster.simulator().AttachTracer(trace, metrics);
+    }
+    cluster.Start();
+    cluster.RunUntil(5'000.0);
+    return cluster.checker().max_committed_slot();
+  };
+  TraceLog trace;
+  MetricsRegistry metrics;
+  const uint64_t with_trace = committed_slots(11, true, &trace, &metrics);
+  const uint64_t without_trace = committed_slots(11, false, nullptr, nullptr);
+  EXPECT_EQ(with_trace, without_trace);
+  EXPECT_FALSE(trace.empty());
+}
+
+TEST(NullTracerTest, DisabledTracerRecordsNothingAndNeverDereferences) {
+  Tracer tracer;  // Default-constructed = disabled.
+  EXPECT_FALSE(tracer.enabled());
+  EXPECT_EQ(tracer.metrics(), nullptr);
+  // Every entry point must be a safe no-op.
+  tracer.Record(TraceEventType::kCommit, /*node=*/0);
+  tracer.ElectionStarted(0, 1);
+  tracer.LeaderElected(0, 1);
+  tracer.Commit(0, 1);
+  tracer.MessageDropped(0, 1);
+  tracer.NodeCrashed(0);
+  tracer.NodeRecovered(0);
+  tracer.CounterAdd("nope");
+  tracer.GaugeSet("nope", 1.0);
+  tracer.HistogramRecord("nope", 1.0);
+  SUCCEED();
+}
+
+TEST(NullTracerTest, UntracedSimulatorRecordsNothing) {
+  // A cluster with no AttachTracer call must run with a disabled tracer throughout; the
+  // sentinel TraceLog stays empty because nothing ever references it.
+  RaftClusterOptions options;
+  options.config = RaftConfig::Standard(3);
+  options.seed = 3;
+  RaftCluster cluster(options);
+  EXPECT_FALSE(cluster.simulator().tracer().enabled());
+  cluster.Start();
+  cluster.RunUntil(3'000.0);
+  EXPECT_FALSE(cluster.simulator().tracer().enabled());
+  EXPECT_GT(cluster.checker().max_committed_slot(), 0u);
+}
+
+TEST(TraceLogTest, CountOfFiltersByNode) {
+  TraceLog log;
+  log.Append({1.0, TraceEventType::kCommit, 0, -1, 1, ""});
+  log.Append({2.0, TraceEventType::kCommit, 1, -1, 1, ""});
+  log.Append({3.0, TraceEventType::kCommit, 0, -1, 2, ""});
+  EXPECT_EQ(log.CountOf(TraceEventType::kCommit), 3u);
+  EXPECT_EQ(log.CountOf(TraceEventType::kCommit, /*node=*/0), 2u);
+  EXPECT_EQ(log.CountOf(TraceEventType::kCommit, /*node=*/1), 1u);
+  EXPECT_EQ(log.CountOf(TraceEventType::kElectionStarted), 0u);
+  const auto commits = log.EventsOfType(TraceEventType::kCommit);
+  ASSERT_EQ(commits.size(), 3u);
+  EXPECT_EQ(commits[2].value, 2u);
+}
+
+}  // namespace
+}  // namespace probcon

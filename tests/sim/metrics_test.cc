@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 namespace probcon {
 namespace {
 
@@ -47,6 +51,61 @@ TEST(SampleStatsTest, EmptyIsEmpty) {
   EXPECT_TRUE(stats.empty());
   stats.Add(1.0);
   EXPECT_FALSE(stats.empty());
+}
+
+TEST(SampleStatsTest, CachedPercentileSurvivesInterleavedAdds) {
+  // The sorted cache must invalidate on Add: query, add, query again must reflect the new
+  // sample, and repeated queries between adds must agree with a fresh computation.
+  SampleStats stats;
+  for (const double x : {10.0, 30.0, 20.0}) {
+    stats.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(stats.Percentile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(1.0), 30.0);  // Second query hits the cache.
+  stats.Add(5.0);
+  stats.Add(40.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(1.0), 40.0);
+  stats.Add(1.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(0.0), 1.0);
+}
+
+TEST(SampleStatsTest, RepeatedPercentilesMatchReferenceAcrossLoad) {
+  // Stress the cache against a straightforward re-sort reference.
+  SampleStats stats;
+  std::vector<double> reference;
+  uint64_t state = 12345;
+  for (int i = 0; i < 500; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double x = static_cast<double>(state >> 40);
+    stats.Add(x);
+    reference.push_back(x);
+    if (i % 50 == 7) {
+      std::vector<double> sorted = reference;
+      std::sort(sorted.begin(), sorted.end());
+      for (const double q : {0.0, 0.25, 0.5, 0.9, 1.0}) {
+        const size_t rank =
+            static_cast<size_t>(q * static_cast<double>(sorted.size() - 1) + 0.5);
+        EXPECT_DOUBLE_EQ(stats.Percentile(q), sorted[rank]) << "q=" << q << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SampleStatsTest, SummaryBundlesHeadlineStats) {
+  SampleStats stats;
+  for (int i = 1; i <= 100; ++i) {
+    stats.Add(static_cast<double>(i));
+  }
+  const SampleStats::Summary summary = stats.Summarize();
+  EXPECT_EQ(summary.count, 100u);
+  EXPECT_DOUBLE_EQ(summary.mean, 50.5);
+  EXPECT_DOUBLE_EQ(summary.min, 1.0);
+  EXPECT_DOUBLE_EQ(summary.max, 100.0);
+  EXPECT_EQ(summary.p50, stats.Percentile(0.5));
+  EXPECT_EQ(summary.p90, stats.Percentile(0.9));
+  EXPECT_EQ(summary.p99, stats.Percentile(0.99));
 }
 
 }  // namespace

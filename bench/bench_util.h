@@ -1,11 +1,16 @@
-// Shared helpers for the experiment harness binaries: fixed-width table rendering and
-// paper-vs-measured comparison rows.
+// Shared helpers for the experiment harness binaries: fixed-width table rendering,
+// paper-vs-measured comparison rows, and machine-readable JSON output.
+//
+// Every harness main accepts `--json <path>`: tables still print to stdout, and the same
+// cells are additionally written to <path> as one JSON document, so cross-PR tooling can
+// diff experiment outputs without scraping the fixed-width rendering.
 
 #ifndef PROBCON_BENCH_BENCH_UTIL_H_
 #define PROBCON_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace probcon::bench {
@@ -50,10 +55,122 @@ class Table {
     }
   }
 
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+// Escapes backslash, double quote, and control characters for a JSON string literal.
+inline std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Collects named tables and scalars from one harness run and renders them as a single
+// JSON document: {"tables": {name: {"header": [...], "rows": [[...]]}}, "values": {...}}.
+// Insertion order is preserved, so identical runs produce byte-identical files.
+class JsonReport {
+ public:
+  void AddTable(const std::string& name, const Table& table) {
+    std::string json = "{\"header\": [";
+    for (size_t i = 0; i < table.header().size(); ++i) {
+      json += (i > 0 ? ", " : "") + Quote(table.header()[i]);
+    }
+    json += "], \"rows\": [";
+    for (size_t r = 0; r < table.rows().size(); ++r) {
+      json += r > 0 ? ", [" : "[";
+      const auto& row = table.rows()[r];
+      for (size_t i = 0; i < row.size(); ++i) {
+        json += (i > 0 ? ", " : "") + Quote(row[i]);
+      }
+      json += "]";
+    }
+    json += "]}";
+    tables_.emplace_back(name, std::move(json));
+  }
+
+  void AddValue(const std::string& name, double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+    values_.emplace_back(name, std::string(buffer));
+  }
+
+  std::string ToJson() const {
+    std::string json = "{\n  \"tables\": {";
+    for (size_t i = 0; i < tables_.size(); ++i) {
+      json += (i > 0 ? ",\n    " : "\n    ") + Quote(tables_[i].first) + ": " +
+              tables_[i].second;
+    }
+    json += tables_.empty() ? "}" : "\n  }";
+    json += ",\n  \"values\": {";
+    for (size_t i = 0; i < values_.size(); ++i) {
+      json += (i > 0 ? ",\n    " : "\n    ") + Quote(values_[i].first) + ": " +
+              values_[i].second;
+    }
+    json += values_.empty() ? "}" : "\n  }";
+    json += "\n}\n";
+    return json;
+  }
+
+  // Writes the document; prints a diagnostic and returns false when the path is not
+  // writable.
+  bool WriteTo(const std::string& path) const {
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot write JSON report to %s\n", path.c_str());
+      return false;
+    }
+    const std::string json = ToJson();
+    std::fwrite(json.data(), 1, json.size(), file);
+    std::fclose(file);
+    std::printf("JSON report written to %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  static std::string Quote(const std::string& text) { return "\"" + JsonEscape(text) + "\""; }
+
+  std::vector<std::pair<std::string, std::string>> tables_;
+  std::vector<std::pair<std::string, std::string>> values_;
+};
+
+// Extracts the value of a "--json <path>" argument pair; empty string when absent.
+inline std::string JsonPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      return argv[i + 1];
+    }
+  }
+  return std::string();
+}
 
 }  // namespace probcon::bench
 

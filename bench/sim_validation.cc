@@ -15,12 +15,15 @@
 
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/analysis/reliability.h"
 #include "src/consensus/pbft/pbft_cluster.h"
 #include "src/consensus/raft/raft_cluster.h"
+#include "src/exec/parallel.h"
+#include "src/exec/thread_pool.h"
 #include "src/faultmodel/fault_curve.h"
 #include "src/obs/run_report.h"
 #include "src/prob/interval.h"
@@ -74,7 +77,7 @@ RaftTrialResult RunRaftTrial(int n, double p, const RaftConfig& config, uint64_t
   return result;
 }
 
-void ValidateRaftLiveness() {
+void ValidateRaftLiveness(bench::JsonReport* report) {
   std::printf("\n(1) Raft liveness: empirical run fraction vs analytic prediction\n");
   bench::Table table({"n", "p", "trials", "empirical live", "95% CI", "analytic", "inside CI",
                       "avg elections"});
@@ -82,11 +85,14 @@ void ValidateRaftLiveness() {
   for (const int n : {3, 5}) {
     for (const double p : {0.15, 0.3, 0.5}) {
       const RaftConfig config = RaftConfig::Standard(n);
+      // Each trial is an independent simulator run keyed only by its seed, so the batch
+      // fans out across the pool; aggregation below walks results in trial order.
+      const auto results = RunTrials(kTrials, [&](uint64_t trial) {
+        return RunRaftTrial(n, p, config, static_cast<uint64_t>(n) * 1000 + trial);
+      });
       uint64_t live_runs = 0;
       uint64_t total_elections = 0;
-      for (int trial = 0; trial < kTrials; ++trial) {
-        const auto result =
-            RunRaftTrial(n, p, config, static_cast<uint64_t>(n * 1000 + trial));
+      for (const auto& result : results) {
         if (result.live) {
           ++live_runs;
         }
@@ -113,9 +119,12 @@ void ValidateRaftLiveness() {
     }
   }
   table.Print();
+  if (report != nullptr) {
+    report->AddTable("raft_liveness", table);
+  }
 }
 
-void ValidateRaftSafety() {
+void ValidateRaftSafety(bench::JsonReport* report) {
   std::printf("\n(2) Raft safety: structural theorem vs observed violations\n");
   bench::Table table({"config", "theorem", "runs", "violating runs"});
   const struct {
@@ -127,12 +136,11 @@ void ValidateRaftSafety() {
       {RaftConfig{5, 2, 2}, "n=5 q_vc=2 (UNSAFE: N >= 2|Q_vc|)"},
   };
   for (const auto& test_case : cases) {
-    int violations = 0;
     constexpr int kRuns = 12;
-    for (uint64_t seed = 1; seed <= kRuns; ++seed) {
+    const auto violating = RunTrials(kRuns, [&](uint64_t run) {
       RaftClusterOptions options;
       options.config = test_case.config;
-      options.seed = seed * 271;
+      options.seed = (run + 1) * 271;
       RaftCluster cluster(options);
       cluster.Start();
       cluster.RunUntil(1'000.0);
@@ -140,9 +148,11 @@ void ValidateRaftSafety() {
       cluster.RunUntil(6'000.0);
       cluster.network().ClearPartition();
       cluster.RunUntil(12'000.0);
-      if (!cluster.checker().safe()) {
-        ++violations;
-      }
+      return !cluster.checker().safe();
+    });
+    int violations = 0;
+    for (const bool violated : violating) {
+      violations += violated ? 1 : 0;
     }
     table.AddRow({test_case.label,
                   RaftIsSafeStructurally(test_case.config) ? "safe" : "unsafe",
@@ -150,9 +160,12 @@ void ValidateRaftSafety() {
   }
   table.Print();
   std::printf("expectation: zero violations in safe rows, nonzero in the unsafe row.\n");
+  if (report != nullptr) {
+    report->AddTable("raft_safety", table);
+  }
 }
 
-void ValidatePbftSafety() {
+void ValidatePbftSafety(bench::JsonReport* report) {
   std::printf("\n(3) PBFT safety: sampled-run violations only in predicate-unsafe configs\n");
   bench::Table table({"n", "byz set", "Thm 3.1 verdict", "runs", "violating runs"});
   const struct {
@@ -187,19 +200,20 @@ void ValidatePbftSafety() {
       }
     }
     const bool predicted_safe = PbftIsSafe(PbftConfig::Standard(test_case.n), byz_count);
-    int violations = 0;
     constexpr int kRuns = 6;
-    for (uint64_t seed = 1; seed <= kRuns; ++seed) {
+    const auto violating = RunTrials(kRuns, [&](uint64_t run) {
       PbftClusterOptions options;
       options.config = PbftConfig::Standard(test_case.n);
       options.behaviors = test_case.behaviors;
-      options.seed = seed * 7;
+      options.seed = (run + 1) * 7;
       PbftCluster cluster(options);
       cluster.Start();
       cluster.RunUntil(15'000.0);
-      if (!cluster.checker().safe()) {
-        ++violations;
-      }
+      return !cluster.checker().safe();
+    });
+    int violations = 0;
+    for (const bool violated : violating) {
+      violations += violated ? 1 : 0;
     }
     table.AddRow({std::to_string(test_case.n), test_case.label,
                   predicted_safe ? "safe" : "unsafe", std::to_string(kRuns),
@@ -210,6 +224,9 @@ void ValidatePbftSafety() {
       "expectation: zero violations in rows the theorem calls safe; violations appear in\n"
       "unsafe rows (the theorem quantifies over all schedules, so sampled rates are lower\n"
       "bounds, not equalities).\n");
+  if (report != nullptr) {
+    report->AddTable("pbft_safety", table);
+  }
 }
 
 // One fully traced exemplar run (src/obs): the RunReport makes "why did a run lose
@@ -241,14 +258,39 @@ void TracedExemplarRun() {
   std::printf("%s", RenderRunReport(trace, metrics, report_options).c_str());
 }
 
+// Snapshot of the global pool's scheduler counters after all trial batches ran: how much
+// work the pool actually did, and how much of it moved between queues.
+void ReportPoolActivity(bench::JsonReport* report) {
+  MetricsRegistry pool_metrics;
+  ThreadPool::Global().ExportMetrics(pool_metrics);
+  const ThreadPool::Stats stats = ThreadPool::Global().GetStats();
+  std::printf("\n(5) exec pool activity: %d worker(s), %llu tasks executed, %llu steals\n",
+              ThreadPool::Global().worker_count(),
+              static_cast<unsigned long long>(stats.tasks_executed),
+              static_cast<unsigned long long>(stats.steals));
+  if (report != nullptr) {
+    report->AddValue("exec.pool.workers", ThreadPool::Global().worker_count());
+    report->AddValue("exec.pool.tasks_executed", static_cast<double>(stats.tasks_executed));
+    report->AddValue("exec.pool.steals", static_cast<double>(stats.steals));
+    report->AddValue("exec.pool.external_busy_seconds", stats.external_busy_seconds);
+  }
+}
+
 }  // namespace
 }  // namespace probcon
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = probcon::bench::JsonPathFromArgs(argc, argv);
+  probcon::bench::JsonReport report;
+  probcon::bench::JsonReport* report_ptr = json_path.empty() ? nullptr : &report;
   probcon::bench::PrintBanner("E8", "analytical model vs executable protocols");
-  probcon::ValidateRaftLiveness();
-  probcon::ValidateRaftSafety();
-  probcon::ValidatePbftSafety();
+  probcon::ValidateRaftLiveness(report_ptr);
+  probcon::ValidateRaftSafety(report_ptr);
+  probcon::ValidatePbftSafety(report_ptr);
   probcon::TracedExemplarRun();
+  probcon::ReportPoolActivity(report_ptr);
+  if (report_ptr != nullptr) {
+    report.WriteTo(json_path);
+  }
   return 0;
 }

@@ -7,9 +7,11 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/analysis/reliability.h"
+#include "src/exec/parallel.h"
 
 namespace probcon {
 namespace {
@@ -21,7 +23,7 @@ struct PaperRow {
   const char* safe_and_live;
 };
 
-void Run() {
+void Run(const std::string& json_path) {
   bench::PrintBanner("E1 / Table 1", "PBFT reliability, uniform p_u = 1%");
   constexpr double kFailureProbability = 0.01;
   const PaperRow kPaper[] = {
@@ -33,24 +35,35 @@ void Run() {
 
   bench::Table table({"N", "|Qeq|", "|Qper|", "|Qvc|", "|Qvc_t|", "Safe%", "Live%", "S&L%",
                       "paper Safe%", "paper Live%", "paper S&L%"});
-  for (const auto& row : kPaper) {
+  // Each row's report is an independent analysis; RunTrials fans them out and returns
+  // the cells in row order.
+  const auto rows = RunTrials(std::size(kPaper), [&](uint64_t row_index) {
+    const PaperRow& row = kPaper[row_index];
     const PbftConfig config = PbftConfig::Standard(row.n);
     const auto analyzer = ReliabilityAnalyzer::ForUniformNodes(row.n, kFailureProbability);
     const ReliabilityReport report = AnalyzePbft(config, analyzer);
-    table.AddRow({std::to_string(row.n), std::to_string(config.q_eq),
-                  std::to_string(config.q_per), std::to_string(config.q_vc),
-                  std::to_string(config.q_vc_t), FormatPercent(report.safe),
-                  FormatPercent(report.live), FormatPercent(report.safe_and_live), row.safe,
-                  row.live, row.safe_and_live});
+    return std::vector<std::string>{
+        std::to_string(row.n), std::to_string(config.q_eq), std::to_string(config.q_per),
+        std::to_string(config.q_vc), std::to_string(config.q_vc_t),
+        FormatPercent(report.safe), FormatPercent(report.live),
+        FormatPercent(report.safe_and_live), row.safe, row.live, row.safe_and_live};
+  });
+  for (const auto& row : rows) {
+    table.AddRow(row);
   }
   table.Print();
   std::printf("\nEvery row should match the paper's Table 1 cell-for-cell.\n");
+  if (!json_path.empty()) {
+    bench::JsonReport report;
+    report.AddTable("table1_pbft", table);
+    report.WriteTo(json_path);
+  }
 }
 
 }  // namespace
 }  // namespace probcon
 
-int main() {
-  probcon::Run();
+int main(int argc, char** argv) {
+  probcon::Run(probcon::bench::JsonPathFromArgs(argc, argv));
   return 0;
 }

@@ -3,9 +3,11 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/analysis/reliability.h"
+#include "src/exec/parallel.h"
 
 namespace probcon {
 namespace {
@@ -15,7 +17,7 @@ struct PaperRow {
   const char* cells[4];  // p = 1%, 2%, 4%, 8%.
 };
 
-void Run() {
+void Run(const std::string& json_path) {
   bench::PrintBanner("E2 / Table 2", "Raft reliability for uniform node failure p_u");
   constexpr double kProbabilities[] = {0.01, 0.02, 0.04, 0.08};
   const PaperRow kPaper[] = {
@@ -27,7 +29,9 @@ void Run() {
 
   bench::Table table({"N", "|Qper|", "|Qvc|", "S&L p=1%", "S&L p=2%", "S&L p=4%", "S&L p=8%",
                       "paper 1%", "paper 2%", "paper 4%", "paper 8%"});
-  for (const auto& row : kPaper) {
+  // All 16 (N, p) cells are independent analyses; fan rows out across the pool.
+  const auto rows = RunTrials(std::size(kPaper), [&](uint64_t row_index) {
+    const PaperRow& row = kPaper[row_index];
     const RaftConfig config = RaftConfig::Standard(row.n);
     std::vector<std::string> cells = {std::to_string(row.n), std::to_string(config.q_per),
                                       std::to_string(config.q_vc)};
@@ -39,16 +43,24 @@ void Run() {
     for (const char* paper_cell : row.cells) {
       cells.emplace_back(paper_cell);
     }
-    table.AddRow(std::move(cells));
+    return cells;
+  });
+  for (const auto& row : rows) {
+    table.AddRow(row);
   }
   table.Print();
   std::printf("\nEvery row should match the paper's Table 2 cell-for-cell.\n");
+  if (!json_path.empty()) {
+    bench::JsonReport report;
+    report.AddTable("table2_raft", table);
+    report.WriteTo(json_path);
+  }
 }
 
 }  // namespace
 }  // namespace probcon
 
-int main() {
-  probcon::Run();
+int main(int argc, char** argv) {
+  probcon::Run(probcon::bench::JsonPathFromArgs(argc, argv));
   return 0;
 }

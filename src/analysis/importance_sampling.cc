@@ -4,9 +4,24 @@
 #include <cmath>
 
 #include "src/common/check.h"
+#include "src/exec/parallel.h"
 #include "src/prob/kahan.h"
 
 namespace probcon {
+namespace {
+
+// Fixed trial-chunk size; chunk c samples from Rng(DeriveStreamSeed(seed, c)) and partial
+// moments merge in chunk order, so the estimate never depends on the thread count (see the
+// determinism contract in src/exec and the seeding scheme in src/common/rng.h).
+constexpr uint64_t kImportanceChunk = uint64_t{1} << 14;
+
+struct WeightPartial {
+  KahanSum weight_sum;
+  KahanSum weight_sq_sum;
+  uint64_t hits = 0;
+};
+
+}  // namespace
 
 ImportanceSamplingEstimate EstimateRareEventProbability(
     const JointFailureModel& model, const FailurePredicate& predicate,
@@ -26,44 +41,52 @@ ImportanceSamplingEstimate EstimateRareEventProbability(
     CHECK(p > 0.0 && p < 1.0) << "proposal probabilities must be in (0,1) for reweighting";
   }
 
-  Rng rng(options.seed);
-  KahanSum weight_sum;
-  KahanSum weight_sq_sum;
-  uint64_t hits = 0;
-  for (uint64_t trial = 0; trial < options.trials; ++trial) {
-    // Sample from the tilted independent proposal and compute its density on the fly.
-    FailureConfiguration config = 0;
-    double proposal_density = 1.0;
-    for (int i = 0; i < n; ++i) {
-      if (rng.NextBernoulli(proposal[i])) {
-        config |= FailureConfiguration{1} << i;
-        proposal_density *= proposal[i];
-      } else {
-        proposal_density *= 1.0 - proposal[i];
-      }
-    }
-    if (!predicate.Holds(config, n)) {
-      weight_sq_sum.Add(0.0);
-      continue;
-    }
-    const auto true_density = model.ConfigurationProbability(config);
-    CHECK(true_density.has_value())
-        << "importance sampling needs exact configuration probabilities from "
-        << model.Describe();
-    const double weight = *true_density / proposal_density;
-    weight_sum.Add(weight);
-    weight_sq_sum.Add(weight * weight);
-    ++hits;
-  }
+  const WeightPartial total = ParallelReduce<WeightPartial>(
+      0, options.trials, kImportanceChunk, WeightPartial{},
+      [&](uint64_t chunk_begin, uint64_t chunk_end, uint64_t chunk_index) {
+        Rng rng(DeriveStreamSeed(options.seed, chunk_index));
+        WeightPartial partial;
+        for (uint64_t trial = chunk_begin; trial < chunk_end; ++trial) {
+          // Sample from the tilted independent proposal and compute its density on the fly.
+          FailureConfiguration config = 0;
+          double proposal_density = 1.0;
+          for (int i = 0; i < n; ++i) {
+            if (rng.NextBernoulli(proposal[i])) {
+              config |= FailureConfiguration{1} << i;
+              proposal_density *= proposal[i];
+            } else {
+              proposal_density *= 1.0 - proposal[i];
+            }
+          }
+          if (!predicate.Holds(config, n)) {
+            partial.weight_sq_sum.Add(0.0);
+            continue;
+          }
+          const auto true_density = model.ConfigurationProbability(config);
+          CHECK(true_density.has_value())
+              << "importance sampling needs exact configuration probabilities from "
+              << model.Describe();
+          const double weight = *true_density / proposal_density;
+          partial.weight_sum.Add(weight);
+          partial.weight_sq_sum.Add(weight * weight);
+          ++partial.hits;
+        }
+        return partial;
+      },
+      [](WeightPartial& acc, WeightPartial&& partial) {
+        acc.weight_sum.Merge(partial.weight_sum);
+        acc.weight_sq_sum.Merge(partial.weight_sq_sum);
+        acc.hits += partial.hits;
+      });
 
   ImportanceSamplingEstimate estimate;
   const double trials = static_cast<double>(options.trials);
-  estimate.probability = weight_sum.Total() / trials;
-  const double second_moment = weight_sq_sum.Total() / trials;
+  estimate.probability = total.weight_sum.Total() / trials;
+  const double second_moment = total.weight_sq_sum.Total() / trials;
   const double variance =
       std::max(0.0, second_moment - estimate.probability * estimate.probability);
   estimate.standard_error = std::sqrt(variance / trials);
-  estimate.hits = hits;
+  estimate.hits = total.hits;
   return estimate;
 }
 

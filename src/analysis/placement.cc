@@ -1,9 +1,34 @@
 #include "src/analysis/placement.h"
 
+#include <cstdint>
+
 #include "src/common/check.h"
+#include "src/exec/parallel.h"
 #include "src/faultmodel/joint_model.h"
 
 namespace probcon {
+namespace {
+
+// Decodes assignment index `index` (base-r digits, node 0 least significant — the same
+// order the sequential odometer visited) into rack_of form.
+std::vector<int> DecodeAssignment(uint64_t index, int n, int racks) {
+  std::vector<int> assignment(static_cast<size_t>(n));
+  for (int node = 0; node < n; ++node) {
+    assignment[static_cast<size_t>(node)] = static_cast<int>(index % static_cast<uint64_t>(racks));
+    index /= static_cast<uint64_t>(racks);
+  }
+  return assignment;
+}
+
+struct BestAssignment {
+  Probability safe_and_live;
+  uint64_t index = 0;
+  bool valid = false;
+};
+
+constexpr uint64_t kPlacementChunk = 64;
+
+}  // namespace
 
 Probability EvaluateRackPlacement(const std::vector<double>& node_base_probabilities,
                                   const std::vector<double>& rack_probabilities,
@@ -23,31 +48,39 @@ PlacementResult OptimizeRackPlacement(const std::vector<double>& node_base_proba
   CHECK(n >= 1 && n <= 10) << "exhaustive placement search limited to n <= 10";
   CHECK(racks >= 1 && racks <= 5) << "exhaustive placement search limited to r <= 5";
 
-  PlacementResult best;
-  std::vector<int> assignment(n, 0);
-  bool first = true;
-  while (true) {
-    const Probability candidate =
-        EvaluateRackPlacement(node_base_probabilities, rack_probabilities, assignment);
-    if (first || best.safe_and_live < candidate) {
-      best.rack_of = assignment;
-      best.safe_and_live = candidate;
-      first = false;
-    }
-    // Odometer increment over r^n assignments.
-    int position = 0;
-    while (position < n) {
-      if (++assignment[position] < racks) {
-        break;
-      }
-      assignment[position] = 0;
-      ++position;
-    }
-    if (position == n) {
-      break;
-    }
+  uint64_t total = 1;
+  for (int i = 0; i < n; ++i) {
+    total *= static_cast<uint64_t>(racks);
   }
-  return best;
+  // Chunked argmax over the r^n assignment space. Per-chunk winners keep the earliest
+  // index among equals (strict > to replace), and chunks merge in ascending order with a
+  // strict < comparison, so ties resolve to the lowest assignment index — exactly the
+  // assignment the sequential odometer found first.
+  const BestAssignment best = ParallelReduce<BestAssignment>(
+      0, total, kPlacementChunk, BestAssignment{},
+      [&](uint64_t chunk_begin, uint64_t chunk_end, uint64_t /*chunk_index*/) {
+        BestAssignment chunk_best;
+        for (uint64_t index = chunk_begin; index < chunk_end; ++index) {
+          const Probability candidate = EvaluateRackPlacement(
+              node_base_probabilities, rack_probabilities, DecodeAssignment(index, n, racks));
+          if (!chunk_best.valid || chunk_best.safe_and_live < candidate) {
+            chunk_best.safe_and_live = candidate;
+            chunk_best.index = index;
+            chunk_best.valid = true;
+          }
+        }
+        return chunk_best;
+      },
+      [](BestAssignment& acc, BestAssignment&& partial) {
+        if (partial.valid && (!acc.valid || acc.safe_and_live < partial.safe_and_live)) {
+          acc = partial;
+        }
+      });
+  CHECK(best.valid);
+  PlacementResult result;
+  result.rack_of = DecodeAssignment(best.index, n, racks);
+  result.safe_and_live = best.safe_and_live;
+  return result;
 }
 
 }  // namespace probcon

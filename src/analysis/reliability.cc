@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/exec/parallel.h"
 #include "src/prob/kahan.h"
 #include "src/prob/poisson_binomial.h"
 #include "src/quorum/quorum_system.h"
@@ -10,12 +11,32 @@
 namespace probcon {
 namespace {
 
-// Evaluates a count predicate against the Poisson-binomial failure-count law.
-Probability CountDpProbability(const FailurePredicate& predicate,
-                               const IndependentFailureModel& model) {
-  const int n = model.n();
-  const PoissonBinomial counts(model.probabilities());
-  // Sum the smaller of {holds, fails} mass for complement accuracy.
+// Fixed chunk sizes of the parallel strategies. These are part of each result's
+// definition (they fix the per-chunk RNG streams and the Kahan merge order), so they must
+// never depend on the worker count — see the determinism contract in src/exec.
+constexpr uint64_t kEnumerationChunk = uint64_t{1} << 14;
+constexpr uint64_t kMonteCarloChunk = uint64_t{1} << 14;
+
+// Per-chunk partial of a probability-mass split into {predicate holds, predicate fails}.
+struct MassPartial {
+  KahanSum holds;
+  KahanSum fails;
+};
+
+Probability MassVerdict(const KahanSum& holds_mass, const KahanSum& fails_mass) {
+  // Report the smaller of {holds, fails} mass for complement accuracy.
+  const double holds = holds_mass.Total();
+  const double fails = fails_mass.Total();
+  if (fails <= holds) {
+    return Probability::FromComplement(std::max(0.0, fails));
+  }
+  return Probability::FromProbability(std::max(0.0, holds));
+}
+
+// Evaluates a count predicate against the Poisson-binomial failure-count law. O(N) given
+// the precomputed law, so it runs serially.
+Probability CountDpProbability(const FailurePredicate& predicate, const PoissonBinomial& counts,
+                               int n) {
   KahanSum holds_mass;
   KahanSum fails_mass;
   for (int k = 0; k <= n; ++k) {
@@ -27,42 +48,38 @@ Probability CountDpProbability(const FailurePredicate& predicate,
       fails_mass.Add(counts.Pmf(k));
     }
   }
-  const double holds = holds_mass.Total();
-  const double fails = fails_mass.Total();
-  if (fails <= holds) {
-    return Probability::FromComplement(std::max(0.0, fails));
-  }
-  return Probability::FromProbability(std::max(0.0, holds));
+  return MassVerdict(holds_mass, fails_mass);
 }
 
+// Range-partitions the 2^N configuration space; each chunk accumulates compensated
+// holds/fails partial sums, merged in fixed chunk order so the result is bit-identical
+// for every thread count.
 Probability ExactEnumerationProbability(const FailurePredicate& predicate,
                                         const JointFailureModel& model) {
   const int n = model.n();
   CHECK_LE(n, 25) << "exact enumeration limited to n <= 25";
-  KahanSum holds_mass;
-  KahanSum fails_mass;
-  const FailureConfiguration full = FullNodeSet(n);
-  FailureConfiguration config = 0;
-  while (true) {
-    const auto prob = model.ConfigurationProbability(config);
-    CHECK(prob.has_value()) << "model" << model.Describe()
-                            << "lacks exact configuration probabilities";
-    if (predicate.Holds(config, n)) {
-      holds_mass.Add(*prob);
-    } else {
-      fails_mass.Add(*prob);
-    }
-    if (config == full) {
-      break;
-    }
-    ++config;
-  }
-  const double holds = holds_mass.Total();
-  const double fails = fails_mass.Total();
-  if (fails <= holds) {
-    return Probability::FromComplement(std::max(0.0, fails));
-  }
-  return Probability::FromProbability(std::max(0.0, holds));
+  const uint64_t configurations = uint64_t{1} << n;
+  const MassPartial total = ParallelReduce<MassPartial>(
+      0, configurations, kEnumerationChunk, MassPartial{},
+      [&](uint64_t chunk_begin, uint64_t chunk_end, uint64_t /*chunk_index*/) {
+        MassPartial partial;
+        for (uint64_t config = chunk_begin; config < chunk_end; ++config) {
+          const auto prob = model.ConfigurationProbability(config);
+          CHECK(prob.has_value()) << "model" << model.Describe()
+                                  << "lacks exact configuration probabilities";
+          if (predicate.Holds(config, n)) {
+            partial.holds.Add(*prob);
+          } else {
+            partial.fails.Add(*prob);
+          }
+        }
+        return partial;
+      },
+      [](MassPartial& acc, MassPartial&& partial) {
+        acc.holds.Merge(partial.holds);
+        acc.fails.Merge(partial.fails);
+      });
+  return MassVerdict(total.holds, total.fails);
 }
 
 }  // namespace
@@ -70,6 +87,31 @@ Probability ExactEnumerationProbability(const FailurePredicate& predicate,
 ReliabilityAnalyzer::ReliabilityAnalyzer(std::unique_ptr<JointFailureModel> model)
     : model_(std::move(model)) {
   CHECK(model_ != nullptr);
+}
+
+ReliabilityAnalyzer::ReliabilityAnalyzer(ReliabilityAnalyzer&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.count_law_mutex_);
+  model_ = std::move(other.model_);
+  count_law_ = std::move(other.count_law_);
+}
+
+ReliabilityAnalyzer& ReliabilityAnalyzer::operator=(ReliabilityAnalyzer&& other) noexcept {
+  if (this != &other) {
+    std::scoped_lock lock(count_law_mutex_, other.count_law_mutex_);
+    model_ = std::move(other.model_);
+    count_law_ = std::move(other.count_law_);
+  }
+  return *this;
+}
+
+const PoissonBinomial& ReliabilityAnalyzer::CountLaw() const {
+  const auto* independent = dynamic_cast<const IndependentFailureModel*>(model_.get());
+  CHECK(independent != nullptr) << "count law requires an independent model";
+  std::lock_guard<std::mutex> lock(count_law_mutex_);
+  if (count_law_ == nullptr) {
+    count_law_ = std::make_shared<const PoissonBinomial>(independent->probabilities());
+  }
+  return *count_law_;
 }
 
 ReliabilityAnalyzer ReliabilityAnalyzer::ForIndependentNodes(
@@ -98,7 +140,7 @@ Probability ReliabilityAnalyzer::EventProbability(const FailurePredicate& predic
     case AnalysisMethod::kCountDp:
       CHECK(count_only) << "predicate is not count-only";
       CHECK(independent != nullptr) << "count DP requires an independent model";
-      return CountDpProbability(predicate, *independent);
+      return CountDpProbability(predicate, CountLaw(), n());
     case AnalysisMethod::kExact:
       return ExactEnumerationProbability(predicate, *model_);
     case AnalysisMethod::kMonteCarlo: {
@@ -115,14 +157,23 @@ Probability ReliabilityAnalyzer::EventProbability(const FailurePredicate& predic
 ConfidenceInterval ReliabilityAnalyzer::EstimateEventProbability(
     const FailurePredicate& predicate, const MonteCarloOptions& options) const {
   CHECK_GT(options.trials, 0u);
-  Rng rng(options.seed);
-  uint64_t holds = 0;
-  for (uint64_t t = 0; t < options.trials; ++t) {
-    const FailureConfiguration config = model_->Sample(rng);
-    if (predicate.Holds(config, n())) {
-      ++holds;
-    }
-  }
+  // Chunked sampling with per-chunk generators derived from (options.seed, chunk_index):
+  // the hit count is a pure function of the options, never of the thread count. See the
+  // seeding-scheme note in src/common/rng.h.
+  const uint64_t holds = ParallelReduce<uint64_t>(
+      0, options.trials, kMonteCarloChunk, 0,
+      [&](uint64_t chunk_begin, uint64_t chunk_end, uint64_t chunk_index) {
+        Rng rng(DeriveStreamSeed(options.seed, chunk_index));
+        uint64_t chunk_holds = 0;
+        for (uint64_t t = chunk_begin; t < chunk_end; ++t) {
+          const FailureConfiguration config = model_->Sample(rng);
+          if (predicate.Holds(config, n())) {
+            ++chunk_holds;
+          }
+        }
+        return chunk_holds;
+      },
+      [](uint64_t& acc, uint64_t partial) { acc += partial; });
   return WilsonInterval(holds, options.trials);
 }
 

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -33,6 +34,8 @@
 #include "src/prob/probability.h"
 
 namespace probcon {
+
+class PoissonBinomial;
 
 // A predicate over failure configurations (true = the property, e.g. "safe", holds).
 class FailurePredicate {
@@ -89,12 +92,19 @@ enum class AnalysisMethod {
 
 struct MonteCarloOptions {
   uint64_t trials = 1'000'000;
+  // Root seed of the estimate. Trials are split into fixed-size chunks and chunk c draws
+  // from Rng(DeriveStreamSeed(seed, c)) — see src/common/rng.h for the scheme — so the
+  // estimate is a pure function of (model, predicate, trials, seed), independent of the
+  // thread count executing it.
   uint64_t seed = 42;
 };
 
 class ReliabilityAnalyzer {
  public:
   explicit ReliabilityAnalyzer(std::unique_ptr<JointFailureModel> model);
+
+  ReliabilityAnalyzer(ReliabilityAnalyzer&& other) noexcept;
+  ReliabilityAnalyzer& operator=(ReliabilityAnalyzer&& other) noexcept;
 
   // Convenience: independent failures with the given per-node probabilities.
   static ReliabilityAnalyzer ForIndependentNodes(std::vector<double> failure_probabilities);
@@ -112,8 +122,16 @@ class ReliabilityAnalyzer {
   ConfidenceInterval EstimateEventProbability(const FailurePredicate& predicate,
                                               const MonteCarloOptions& options = {}) const;
 
+  // The Poisson-binomial failure-count law of the independent model, built on first use
+  // and shared by every count-DP evaluation against this analyzer (AnalyzePbft evaluates
+  // three predicates per report; all three hit the same table). Thread-safe; CHECK-fails
+  // for non-independent models.
+  const PoissonBinomial& CountLaw() const;
+
  private:
   std::unique_ptr<JointFailureModel> model_;
+  mutable std::mutex count_law_mutex_;
+  mutable std::shared_ptr<const PoissonBinomial> count_law_;
 };
 
 // --- Paper §3.2: protocol reliability reports -------------------------------

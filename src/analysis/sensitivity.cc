@@ -1,6 +1,7 @@
 #include "src/analysis/sensitivity.h"
 
 #include "src/common/check.h"
+#include "src/exec/parallel.h"
 
 namespace probcon {
 
@@ -8,9 +9,11 @@ std::vector<NodeSensitivity> AnalyzeSensitivity(
     const std::vector<double>& failure_probabilities, const FailurePredicate& predicate) {
   const int n = static_cast<int>(failure_probabilities.size());
   CHECK_GT(n, 0);
-  std::vector<NodeSensitivity> result;
-  result.reserve(n);
-  for (int node = 0; node < n; ++node) {
+  // Every node's pair of pinned evaluations is independent of the others; fan the sweep
+  // out one node per task. RunTrials returns in node order, so the result is identical to
+  // the sequential loop.
+  return RunTrials(static_cast<uint64_t>(n), [&](uint64_t node_index) {
+    const int node = static_cast<int>(node_index);
     // Exact conditionals: evaluate with p_i pinned to 0 and to 1. The analyzer handles
     // degenerate probabilities without special cases.
     std::vector<double> pinned = failure_probabilities;
@@ -28,9 +31,8 @@ std::vector<NodeSensitivity> AnalyzeSensitivity(
             .complement();
     sensitivity.derivative =
         sensitivity.complement_if_failed - sensitivity.complement_if_perfect;
-    result.push_back(sensitivity);
-  }
-  return result;
+    return sensitivity;
+  });
 }
 
 std::vector<NodeSensitivity> RaftSensitivity(

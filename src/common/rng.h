@@ -30,6 +30,27 @@ inline uint64_t SplitMix64(uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+// Derives the seed of logical stream `stream_id` under root `seed`.
+//
+// THE CHUNK SEEDING SCHEME (used by every parallelized sampler in the toolkit —
+// ReliabilityAnalyzer::EstimateEventProbability, EstimateRareEventProbability, and any
+// exec::ParallelReduce loop that draws randomness): a run with a caller-provided seed `s`
+// splits its trials into fixed-size chunks and gives chunk c its own generator,
+//
+//   Rng rng(DeriveStreamSeed(s, c));
+//
+// Because the stream depends only on (s, c) — never on which thread runs the chunk or how
+// many threads exist — estimates are reproducible bit-for-bit across PROBCON_THREADS
+// settings, and distinct chunks get decorrelated xoshiro initializations (two SplitMix64
+// outputs of the pair are XOR-folded, so nearby (seed, stream) pairs map to distant
+// states). The fixed chunk size is part of the result's definition: changing it changes
+// which trial draws which variate, exactly like reordering a sequential stream.
+inline uint64_t DeriveStreamSeed(uint64_t seed, uint64_t stream_id) {
+  uint64_t state = seed + 0x9E3779B97F4A7C15ULL * (stream_id + 1);
+  const uint64_t first = SplitMix64(state);
+  return first ^ SplitMix64(state);
+}
+
 // xoshiro256** 1.0 (Blackman & Vigna), a fast, high-quality 64-bit PRNG.
 class Rng {
  public:

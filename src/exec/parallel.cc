@@ -1,0 +1,91 @@
+#include "src/exec/parallel.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <limits>
+#include <mutex>
+
+#include "src/common/check.h"
+
+namespace probcon {
+namespace {
+
+// Completion state shared by the chunk tasks of one ParallelFor call. The object lives on
+// the caller's stack; tasks touch it only before releasing `mutex` for the last time, and
+// the caller returns only after observing remaining == 0 under that same mutex, so the
+// tasks can never outlive it.
+struct ForGroup {
+  std::mutex mutex;
+  std::condition_variable done;
+  uint64_t remaining = 0;
+  std::exception_ptr error;
+  uint64_t error_chunk = std::numeric_limits<uint64_t>::max();
+};
+
+}  // namespace
+
+void ParallelFor(uint64_t begin, uint64_t end, uint64_t chunk_size,
+                 const std::function<void(uint64_t, uint64_t, uint64_t)>& body,
+                 ThreadPool* pool) {
+  CHECK_GT(chunk_size, 0u);
+  const uint64_t total = end > begin ? end - begin : 0;
+  if (total == 0) {
+    return;
+  }
+  ThreadPool& executor = pool != nullptr ? *pool : ThreadPool::Global();
+  const uint64_t chunks = (total + chunk_size - 1) / chunk_size;
+  if (chunks == 1 || executor.worker_count() == 0) {
+    // Sequential fast path, in chunk order; exceptions propagate directly.
+    for (uint64_t chunk = 0; chunk < chunks; ++chunk) {
+      const uint64_t chunk_begin = begin + chunk * chunk_size;
+      const uint64_t chunk_end = std::min(end, chunk_begin + chunk_size);
+      body(chunk_begin, chunk_end, chunk);
+    }
+    return;
+  }
+
+  ForGroup group;
+  group.remaining = chunks;
+  for (uint64_t chunk = 0; chunk < chunks; ++chunk) {
+    const uint64_t chunk_begin = begin + chunk * chunk_size;
+    const uint64_t chunk_end = std::min(end, chunk_begin + chunk_size);
+    executor.Submit([&group, &body, chunk_begin, chunk_end, chunk]() {
+      std::exception_ptr error;
+      try {
+        body(chunk_begin, chunk_end, chunk);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(group.mutex);
+      if (error && chunk < group.error_chunk) {
+        group.error_chunk = chunk;
+        group.error = error;
+      }
+      if (--group.remaining == 0) {
+        group.done.notify_all();
+      }
+    });
+  }
+
+  // Help drain the pool while our chunks are outstanding; sleep only when every queue is
+  // empty (our remaining chunks are then running on workers).
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(group.mutex);
+      if (group.remaining == 0) {
+        break;
+      }
+    }
+    if (!executor.TryRunOneTask()) {
+      std::unique_lock<std::mutex> lock(group.mutex);
+      group.done.wait(lock, [&group]() { return group.remaining == 0; });
+      break;
+    }
+  }
+  if (group.error) {
+    std::rethrow_exception(group.error);
+  }
+}
+
+}  // namespace probcon

@@ -1,0 +1,88 @@
+// Deterministic parallel loops over integer ranges, built on ThreadPool.
+//
+// All three helpers follow the exec determinism contract (thread_pool.h): work is split
+// into fixed-size chunks, each chunk produces an independent result, and results are
+// combined in ascending chunk order on the calling thread. Chunk size is part of an
+// algorithm's definition — changing it changes floating-point merge order — so callers pick
+// a constant and keep it; the worker count never appears in the math.
+//
+// ParallelFor blocks until every chunk has run. The calling thread participates (it
+// executes queued chunks while waiting), so nested parallel sections cannot deadlock and a
+// 0-worker pool degrades to a plain sequential loop. If chunk bodies throw, the exception
+// from the LOWEST-indexed failing chunk is rethrown after all chunks finish — deterministic
+// error reporting under nondeterministic scheduling.
+
+#ifndef PROBCON_SRC_EXEC_PARALLEL_H_
+#define PROBCON_SRC_EXEC_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/exec/thread_pool.h"
+
+namespace probcon {
+
+// Runs body(chunk_begin, chunk_end, chunk_index) over [begin, end) split into chunks of
+// `chunk_size` (the last chunk may be short). Chunks execute concurrently on `pool`
+// (nullptr = ThreadPool::Global()); the call returns once all chunks completed.
+void ParallelFor(uint64_t begin, uint64_t end, uint64_t chunk_size,
+                 const std::function<void(uint64_t, uint64_t, uint64_t)>& body,
+                 ThreadPool* pool = nullptr);
+
+// Map-reduce over [begin, end): chunk_fn(chunk_begin, chunk_end, chunk_index) -> Result
+// per chunk, then merge(acc, std::move(partial)) folded in ascending chunk order starting
+// from `init`. Bit-identical for any worker count (including 0) as long as chunk_size is
+// held fixed.
+template <typename Result, typename ChunkFn, typename MergeFn>
+Result ParallelReduce(uint64_t begin, uint64_t end, uint64_t chunk_size, Result init,
+                      const ChunkFn& chunk_fn, const MergeFn& merge,
+                      ThreadPool* pool = nullptr) {
+  const uint64_t total = end > begin ? end - begin : 0;
+  if (total == 0) {
+    return init;
+  }
+  const uint64_t chunks = (total + chunk_size - 1) / chunk_size;
+  std::vector<std::optional<Result>> partials(chunks);
+  ParallelFor(
+      begin, end, chunk_size,
+      [&](uint64_t chunk_begin, uint64_t chunk_end, uint64_t chunk_index) {
+        partials[chunk_index].emplace(chunk_fn(chunk_begin, chunk_end, chunk_index));
+      },
+      pool);
+  Result acc = std::move(init);
+  for (auto& partial : partials) {
+    merge(acc, std::move(*partial));
+  }
+  return acc;
+}
+
+// Runs `trials` independent evaluations of fn(trial_index) concurrently — one task per
+// trial, sized for heavyweight bodies like full simulator runs — and returns the results
+// in trial order. Deterministic whenever fn(i) is a pure function of i.
+template <typename Fn>
+auto RunTrials(uint64_t trials, const Fn& fn, ThreadPool* pool = nullptr)
+    -> std::vector<decltype(fn(uint64_t{0}))> {
+  using Result = decltype(fn(uint64_t{0}));
+  std::vector<std::optional<Result>> slots(trials);
+  ParallelFor(
+      0, trials, 1,
+      [&](uint64_t begin, uint64_t end, uint64_t /*chunk_index*/) {
+        for (uint64_t i = begin; i < end; ++i) {
+          slots[i].emplace(fn(i));
+        }
+      },
+      pool);
+  std::vector<Result> results;
+  results.reserve(trials);
+  for (auto& slot : slots) {
+    results.push_back(std::move(*slot));
+  }
+  return results;
+}
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_EXEC_PARALLEL_H_

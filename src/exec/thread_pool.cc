@@ -1,0 +1,243 @@
+#include "src/exec/thread_pool.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/obs/metrics.h"
+
+namespace probcon {
+namespace {
+
+// Identifies the pool (and worker slot) the current thread belongs to, so nested Submit
+// calls can target the submitting worker's own queue.
+struct WorkerIdentity {
+  ThreadPool* pool = nullptr;
+  size_t index = 0;
+};
+
+thread_local WorkerIdentity tls_worker;
+
+// The active ScopedThreadPool override, if any. Written only from the (single) thread that
+// constructs/destroys the guard; read from any thread entering a parallel section.
+std::atomic<ThreadPool*> g_global_override{nullptr};
+
+}  // namespace
+
+ThreadPool::ThreadPool(int worker_count) {
+  CHECK_GE(worker_count, 0);
+  workers_.reserve(static_cast<size_t>(worker_count));
+  for (int i = 0; i < worker_count; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  // Start threads only after the worker vector is complete: WorkerLoop scans all queues.
+  for (int i = 0; i < worker_count; ++i) {
+    workers_[static_cast<size_t>(i)]->thread =
+        std::thread([this, i]() { WorkerLoop(static_cast<size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    shutdown_.store(true, std::memory_order_relaxed);
+  }
+  wake_cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) {
+      worker->thread.join();
+    }
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (workers_.empty()) {
+    // Inline pool: execute on the spot. Callers built on ParallelFor never see the
+    // difference because chunk results are merged by index, not completion order.
+    const auto start = std::chrono::steady_clock::now();
+    task();
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    external_busy_ns_.fetch_add(
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()),
+        std::memory_order_relaxed);
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  size_t target;
+  if (tls_worker.pool == this) {
+    target = tls_worker.index;
+  } else {
+    target = next_queue_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+    workers_[target]->queue.push_back(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  {
+    // Serialize against a worker that is between evaluating the sleep predicate and
+    // actually sleeping, so the notify below cannot be lost.
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::PopLocal(size_t index, std::function<void()>& task) {
+  Worker& worker = *workers_[index];
+  std::lock_guard<std::mutex> lock(worker.mutex);
+  if (worker.queue.empty()) {
+    return false;
+  }
+  // LIFO on the owner's side: the most recently pushed task is the cache-warm one.
+  task = std::move(worker.queue.back());
+  worker.queue.pop_back();
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ThreadPool::Steal(size_t start_hint, std::function<void()>& task) {
+  const size_t n = workers_.size();
+  for (size_t offset = 0; offset < n; ++offset) {
+    Worker& victim = *workers_[(start_hint + offset) % n];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (victim.queue.empty()) {
+      continue;
+    }
+    // FIFO on the thief's side: take the oldest task, which is the furthest from the
+    // owner's working set.
+    task = std::move(victim.queue.front());
+    victim.queue.pop_front();
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::RunTask(std::function<void()>& task, std::atomic<uint64_t>& busy_ns) {
+  const auto start = std::chrono::steady_clock::now();
+  task();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  busy_ns.fetch_add(static_cast<uint64_t>(
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()),
+                    std::memory_order_relaxed);
+  tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool ThreadPool::TryRunOneTask() {
+  if (workers_.empty()) {
+    return false;
+  }
+  std::function<void()> task;
+  size_t hint;
+  std::atomic<uint64_t>* busy;
+  if (tls_worker.pool == this) {
+    hint = tls_worker.index;
+    busy = &workers_[tls_worker.index]->busy_ns;
+  } else {
+    hint = next_queue_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+    busy = &external_busy_ns_;
+  }
+  if (!Steal(hint, task)) {
+    return false;
+  }
+  RunTask(task, *busy);
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  tls_worker = WorkerIdentity{this, index};
+  Worker& self = *workers_[index];
+  std::function<void()> task;
+  while (true) {
+    if (PopLocal(index, task)) {
+      RunTask(task, self.busy_ns);
+      task = nullptr;
+      continue;
+    }
+    bool stole = false;
+    {
+      // Steal() scans our own (empty) queue too; start one past us.
+      stole = Steal(index + 1, task);
+    }
+    if (stole) {
+      RunTask(task, self.busy_ns);
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    if (shutdown_.load(std::memory_order_relaxed) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+    if (!shutdown_.load(std::memory_order_relaxed)) {
+      wake_cv_.wait(lock, [this]() {
+        return shutdown_.load(std::memory_order_relaxed) ||
+               pending_.load(std::memory_order_acquire) > 0;
+      });
+    }
+    // Shutdown with tasks still pending: loop around and drain them.
+  }
+}
+
+ThreadPool::Stats ThreadPool::GetStats() const {
+  Stats stats;
+  stats.tasks_submitted = tasks_submitted_.load(std::memory_order_relaxed);
+  stats.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  stats.steals = steals_.load(std::memory_order_relaxed);
+  stats.worker_busy_seconds.reserve(workers_.size());
+  for (const auto& worker : workers_) {
+    stats.worker_busy_seconds.push_back(
+        static_cast<double>(worker->busy_ns.load(std::memory_order_relaxed)) * 1e-9);
+  }
+  stats.external_busy_seconds =
+      static_cast<double>(external_busy_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  return stats;
+}
+
+void ThreadPool::ExportMetrics(MetricsRegistry& registry, const std::string& prefix) const {
+  const Stats stats = GetStats();
+  registry.GetCounter(prefix + ".tasks_submitted").Increment(stats.tasks_submitted);
+  registry.GetCounter(prefix + ".tasks_executed").Increment(stats.tasks_executed);
+  registry.GetCounter(prefix + ".steals").Increment(stats.steals);
+  registry.GetGauge(prefix + ".workers").Set(static_cast<double>(worker_count()));
+  for (size_t i = 0; i < stats.worker_busy_seconds.size(); ++i) {
+    registry.GetGauge(prefix + ".worker" + std::to_string(i) + ".busy_seconds")
+        .Set(stats.worker_busy_seconds[i]);
+  }
+  registry.GetGauge(prefix + ".external_busy_seconds").Set(stats.external_busy_seconds);
+}
+
+int ThreadPool::DefaultWorkerCount() {
+  if (const char* raw = std::getenv("PROBCON_THREADS"); raw != nullptr && *raw != '\0') {
+    char* end = nullptr;
+    const long parsed = std::strtol(raw, &end, 10);
+    if (end != nullptr && *end == '\0' && parsed >= 0 && parsed <= 1024) {
+      return static_cast<int>(parsed);
+    }
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<int>(hardware);
+}
+
+ThreadPool& ThreadPool::Global() {
+  if (ThreadPool* override_pool = g_global_override.load(std::memory_order_acquire)) {
+    return *override_pool;
+  }
+  static ThreadPool pool(DefaultWorkerCount());
+  return pool;
+}
+
+ScopedThreadPool::ScopedThreadPool(int worker_count)
+    : pool_(std::make_unique<ThreadPool>(worker_count)),
+      previous_(g_global_override.exchange(pool_.get(), std::memory_order_acq_rel)) {}
+
+ScopedThreadPool::~ScopedThreadPool() {
+  g_global_override.store(previous_, std::memory_order_release);
+}
+
+}  // namespace probcon

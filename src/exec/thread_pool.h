@@ -1,0 +1,137 @@
+// probcon::exec — a deterministic parallel runtime for the toolkit's embarrassingly
+// parallel workloads: Monte Carlo estimation, exact 2^N enumeration, and independent
+// simulator trials.
+//
+// The pool is a fixed-size set of workers, each owning a deque of tasks. Submission from a
+// worker thread pushes to that worker's own queue; external submission round-robins across
+// queues. Idle workers pop their own queue LIFO and steal from other queues FIFO, so load
+// balances without a central lock on the hot path. Callers that wait for a batch of tasks
+// (ParallelFor in parallel.h) help execute queued tasks instead of blocking, which makes
+// nested parallel sections deadlock-free and lets a 1-worker (or even 0-worker) pool make
+// progress.
+//
+// DETERMINISM CONTRACT (see docs/PERFORMANCE.md): the pool itself schedules
+// nondeterministically, but every parallel algorithm built on it partitions work into
+// chunks whose SIZE is a fixed constant — never a function of the worker count — computes
+// an independent partial result per chunk, and merges partials in ascending chunk order on
+// the calling thread. Under that discipline results are bit-identical for any
+// PROBCON_THREADS value, including 0, which is what tests/exec/ verifies.
+//
+// Sizing: ThreadPool::Global() reads PROBCON_THREADS (0 = run everything inline on the
+// calling thread); unset or empty falls back to std::thread::hardware_concurrency().
+
+#ifndef PROBCON_SRC_EXEC_THREAD_POOL_H_
+#define PROBCON_SRC_EXEC_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace probcon {
+
+class MetricsRegistry;
+
+class ThreadPool {
+ public:
+  // Spawns `worker_count` workers (0 = no threads; Submit runs tasks inline).
+  explicit ThreadPool(int worker_count);
+
+  // Joins all workers after draining every queued task.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int worker_count() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues a task. From a worker of this pool the task lands on that worker's own queue
+  // (cheap nested submission); otherwise queues are filled round-robin.
+  void Submit(std::function<void()> task);
+
+  // Pops and runs one queued task, scanning all queues. Returns false when every queue is
+  // empty. Used by waiters to help instead of blocking.
+  bool TryRunOneTask();
+
+  // Point-in-time scheduler statistics.
+  struct Stats {
+    uint64_t tasks_submitted = 0;
+    uint64_t tasks_executed = 0;
+    // Cross-queue takes: worker-from-other-worker plus caller help via TryRunOneTask.
+    uint64_t steals = 0;
+    // Time spent inside tasks, per worker; helper (non-worker) time is aggregated last.
+    std::vector<double> worker_busy_seconds;
+    double external_busy_seconds = 0.0;
+  };
+  Stats GetStats() const;
+
+  // Writes the stats snapshot into `registry` as counters/gauges under `prefix`:
+  // <prefix>.tasks_submitted, .tasks_executed, .steals (counters), <prefix>.workers,
+  // .worker<i>.busy_seconds, .external_busy_seconds (gauges). Intended to be called once
+  // per registry, after the parallel work of interest.
+  void ExportMetrics(MetricsRegistry& registry, const std::string& prefix = "exec.pool") const;
+
+  // The process-wide pool, sized by DefaultWorkerCount() on first use. Tests and benches
+  // substitute their own via ScopedThreadPool.
+  static ThreadPool& Global();
+
+  // PROBCON_THREADS if set to a valid non-negative integer, else hardware_concurrency().
+  static int DefaultWorkerCount();
+
+ private:
+  friend class ScopedThreadPool;
+
+  struct Worker {
+    mutable std::mutex mutex;
+    std::deque<std::function<void()>> queue;
+    std::atomic<uint64_t> busy_ns{0};
+    std::thread thread;
+  };
+
+  void WorkerLoop(size_t index);
+  bool PopLocal(size_t index, std::function<void()>& task);
+  // Steals the oldest task from any other queue, scanning from `start_hint`.
+  bool Steal(size_t start_hint, std::function<void()>& task);
+  void RunTask(std::function<void()>& task, std::atomic<uint64_t>& busy_ns);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  std::atomic<uint64_t> pending_{0};  // Tasks queued but not yet popped.
+  std::atomic<bool> shutdown_{false};
+
+  std::atomic<uint64_t> next_queue_{0};  // Round-robin cursor for external Submit.
+  std::atomic<uint64_t> tasks_submitted_{0};
+  std::atomic<uint64_t> tasks_executed_{0};
+  std::atomic<uint64_t> steals_{0};
+  std::atomic<uint64_t> external_busy_ns_{0};
+};
+
+// RAII override of ThreadPool::Global(): while alive, every parallel helper that defaults
+// to the global pool uses this pool instead. Used by the determinism tests and the
+// thread-count benchmarks; overrides nest (restores the previous override on destruction).
+class ScopedThreadPool {
+ public:
+  explicit ScopedThreadPool(int worker_count);
+  ~ScopedThreadPool();
+
+  ScopedThreadPool(const ScopedThreadPool&) = delete;
+  ScopedThreadPool& operator=(const ScopedThreadPool&) = delete;
+
+  ThreadPool& pool() { return *pool_; }
+
+ private:
+  std::unique_ptr<ThreadPool> pool_;
+  ThreadPool* previous_;
+};
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_EXEC_THREAD_POOL_H_

@@ -34,6 +34,15 @@ class KahanSum {
 
   double Total() const { return sum_ + compensation_; }
 
+  // Folds another compensated sum into this one without collapsing it to a plain double
+  // first: both the partial's sum and its compensation enter this sum's compensated
+  // stream. Used to merge per-chunk partials in fixed chunk order, which keeps parallel
+  // reductions bit-identical regardless of how chunks were scheduled.
+  void Merge(const KahanSum& other) {
+    Add(other.sum_);
+    Add(other.compensation_);
+  }
+
   void Reset() {
     sum_ = 0.0;
     compensation_ = 0.0;

@@ -20,6 +20,9 @@
 
 #include "bench/bench_util.h"
 #include "src/analysis/reliability.h"
+#include "src/chaos/nemesis.h"
+#include "src/common/check.h"
+#include "src/common/rng.h"
 #include "src/consensus/pbft/pbft_cluster.h"
 #include "src/consensus/raft/raft_cluster.h"
 #include "src/exec/parallel.h"
@@ -229,11 +232,118 @@ void ValidatePbftSafety(bench::JsonReport* report) {
   }
 }
 
+// Chaos cross-check: partition-heal churn through the Nemesis, compared against the
+// analytic quorum-loss fraction. Each churn tick (every second) starts an 800 ms partition
+// with probability p = 4%; half the splits are 2|3 (a majority side survives), half are
+// 2|2|1 (no group holds a quorum -> the cluster MUST stall). Analytically the no-quorum
+// windows cover p * (duration/interval) * P(no-quorum split) of the run; empirically each
+// such window also drags a re-election tail behind it, so the measured unavailability is a
+// strict upper envelope of the analytic floor.
+void ValidateChaosUnavailability(bench::JsonReport* report) {
+  std::printf("\n(4) chaos churn: empirical unavailability vs analytic quorum-loss floor\n");
+  constexpr int kTrials = 10;
+  constexpr SimTime kHorizon = 120'000.0;
+  constexpr SimTime kChurnInterval = 1'000.0;
+  constexpr SimTime kPartitionDuration = 800.0;
+  constexpr double kChurnProbability = 0.04;
+
+  struct ChurnTrial {
+    double analytic = 0.0;   // No-quorum window time / horizon, from the plan itself.
+    double empirical = 0.0;  // Window start -> first subsequent commit, summed / horizon.
+    bool safe = false;
+  };
+  const auto trials = RunTrials(kTrials, [&](uint64_t trial) {
+    ChurnTrial out;
+    ChaosPlan plan;
+    plan.seed = DeriveStreamSeed(99, trial);
+    plan.horizon = kHorizon;
+    std::vector<SimTime> no_quorum_starts;
+    Rng rng(DeriveStreamSeed(4242, trial));
+    for (SimTime t = kChurnInterval; t + kPartitionDuration < kHorizon;
+         t += kChurnInterval) {
+      if (!rng.NextBernoulli(kChurnProbability)) {
+        continue;
+      }
+      ChaosRegime regime;
+      regime.kind = RegimeKind::kPartition;
+      regime.start = t;
+      regime.end = t + kPartitionDuration;
+      if (rng.NextBernoulli(0.5)) {
+        regime.groups = {0, 0, 1, 1, 2};  // 2|2|1: no quorum anywhere.
+        no_quorum_starts.push_back(t);
+        out.analytic += kPartitionDuration / kHorizon;
+      } else {
+        regime.groups = {0, 0, 1, 1, 1};  // 2|3: the majority side keeps committing.
+      }
+      plan.regimes.push_back(regime);
+    }
+
+    RaftClusterOptions options;
+    options.config = RaftConfig::Standard(5);
+    options.seed = plan.seed;
+    RaftCluster cluster(options);
+    TraceLog trace;
+    MetricsRegistry metrics;
+    cluster.simulator().AttachTracer(&trace, &metrics);
+    Nemesis nemesis(&cluster.simulator(), &cluster.network(), cluster.processes());
+    CHECK(nemesis.Arm(plan).ok());
+    cluster.Start();
+    cluster.RunUntil(kHorizon);
+    out.safe = cluster.checker().safe();
+
+    // Downtime per no-quorum window: window start until the first commit at or after it
+    // (which can only land after the heal), i.e. blackout plus the re-election tail.
+    const std::vector<TraceEvent> commits = trace.EventsOfType(TraceEventType::kCommit);
+    size_t cursor = 0;
+    for (const SimTime start : no_quorum_starts) {
+      while (cursor < commits.size() && commits[cursor].time < start) {
+        ++cursor;
+      }
+      const SimTime next_commit = cursor < commits.size() ? commits[cursor].time : kHorizon;
+      out.empirical += (next_commit - start) / kHorizon;
+    }
+    return out;
+  });
+
+  double analytic_sum = 0.0;
+  double empirical_sum = 0.0;
+  int safe_runs = 0;
+  for (const ChurnTrial& trial : trials) {
+    analytic_sum += trial.analytic;
+    empirical_sum += trial.empirical;
+    safe_runs += trial.safe ? 1 : 0;
+  }
+  const double model_floor = kChurnProbability * (kPartitionDuration / kChurnInterval) * 0.5;
+  const double analytic = analytic_sum / kTrials;
+  const double empirical = empirical_sum / kTrials;
+
+  bench::Table table({"trials", "model floor", "sampled floor", "empirical", "tail overhead",
+                      "safe runs"});
+  char model_text[32], analytic_text[32], empirical_text[32], overhead_text[32];
+  std::snprintf(model_text, sizeof(model_text), "%.4f", model_floor);
+  std::snprintf(analytic_text, sizeof(analytic_text), "%.4f", analytic);
+  std::snprintf(empirical_text, sizeof(empirical_text), "%.4f", empirical);
+  std::snprintf(overhead_text, sizeof(overhead_text), "%.2fx",
+                analytic > 0.0 ? empirical / analytic : 0.0);
+  table.AddRow({std::to_string(kTrials), model_text, analytic_text, empirical_text,
+                overhead_text, std::to_string(safe_runs) + "/" + std::to_string(kTrials)});
+  table.Print();
+  std::printf(
+      "expectation: empirical >= sampled floor (every no-quorum window stalls commits for\n"
+      "at least its own duration; the excess is leader re-election), and all runs safe.\n");
+  if (report != nullptr) {
+    report->AddTable("chaos_unavailability", table);
+    report->AddValue("chaos.unavailability.model_floor", model_floor);
+    report->AddValue("chaos.unavailability.analytic", analytic);
+    report->AddValue("chaos.unavailability.empirical", empirical);
+  }
+}
+
 // One fully traced exemplar run (src/obs): the RunReport makes "why did a run lose
 // liveness" legible — elections and crashes per node, commit-latency distribution, fault
 // timeline — instead of a bare live/safe bit.
 void TracedExemplarRun() {
-  std::printf("\n(4) traced exemplar: 5-node Raft, crash+repair, full run report\n\n");
+  std::printf("\n(5) traced exemplar: 5-node Raft, crash+repair, full run report\n\n");
   RaftClusterOptions options;
   options.config = RaftConfig::Standard(5);
   options.seed = 20250806;
@@ -264,7 +374,7 @@ void ReportPoolActivity(bench::JsonReport* report) {
   MetricsRegistry pool_metrics;
   ThreadPool::Global().ExportMetrics(pool_metrics);
   const ThreadPool::Stats stats = ThreadPool::Global().GetStats();
-  std::printf("\n(5) exec pool activity: %d worker(s), %llu tasks executed, %llu steals\n",
+  std::printf("\n(6) exec pool activity: %d worker(s), %llu tasks executed, %llu steals\n",
               ThreadPool::Global().worker_count(),
               static_cast<unsigned long long>(stats.tasks_executed),
               static_cast<unsigned long long>(stats.steals));
@@ -287,6 +397,7 @@ int main(int argc, char** argv) {
   probcon::ValidateRaftLiveness(report_ptr);
   probcon::ValidateRaftSafety(report_ptr);
   probcon::ValidatePbftSafety(report_ptr);
+  probcon::ValidateChaosUnavailability(report_ptr);
   probcon::TracedExemplarRun();
   probcon::ReportPoolActivity(report_ptr);
   if (report_ptr != nullptr) {

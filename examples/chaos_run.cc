@@ -1,0 +1,189 @@
+// Chaos workbench: the command-line surface over src/chaos. Three modes, one per workflow
+// stage (docs/CHAOS.md walks through all of them):
+//
+//   chaos_run --random N [--seed S] [--protocol P] [--out DIR]
+//       Fuzz: run N generated ChaosPlans against the protocol; every violation is shrunk and
+//       dumped as a replayable repro bundle under DIR (plan + minimal plan + obs trace).
+//
+//   chaos_run --plan FILE [--protocol P] [--trace FILE]
+//       Replay: execute one plan from its JSON dump — bit-identical to the run that produced
+//       it (the plan embeds its seed) — and report the verdict.
+//
+//   chaos_run --shrink FILE [--protocol P] [--out DIR]
+//       Shrink: greedily minimize a failing plan and write <plan>.min.plan.json.
+//
+// Protocols: raft (default), paxos, pbft, benor.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "src/chaos/fuzz.h"
+
+namespace probcon {
+namespace {
+
+std::optional<FuzzProtocol> ParseProtocol(const std::string& name) {
+  if (name == "raft") return FuzzProtocol::kRaft;
+  if (name == "paxos") return FuzzProtocol::kPaxos;
+  if (name == "pbft") return FuzzProtocol::kPbft;
+  if (name == "benor") return FuzzProtocol::kBenOr;
+  return std::nullopt;
+}
+
+std::optional<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --random N [--seed S] [--protocol P] [--out DIR]\n"
+               "       %s --plan FILE [--protocol P] [--trace FILE]\n"
+               "       %s --shrink FILE [--protocol P] [--out DIR]\n"
+               "protocols: raft paxos pbft benor\n",
+               argv0, argv0, argv0);
+  return 2;
+}
+
+void PrintVerdict(const ChaosRunResult& result) {
+  std::printf("safety:    %s\n", result.safety_ok ? "OK" : "VIOLATED");
+  if (!result.safety_ok) std::printf("violation: %s\n", result.violation.c_str());
+  std::printf("committed: %llu slot(s)\n",
+              static_cast<unsigned long long>(result.committed_slots));
+  if (result.progress_after_chaos) {
+    std::printf("liveness:  recovered %.1f ms after the last regime ended\n",
+                result.recovery_time);
+  } else {
+    std::printf("liveness:  no post-chaos progress observed\n");
+  }
+}
+
+int RunRandom(int count, uint64_t seed, FuzzProtocol protocol, const std::string& out_dir) {
+  FuzzCampaignOptions options;
+  options.run.protocol = protocol;
+  options.generator.node_count = options.run.node_count =
+      protocol == FuzzProtocol::kPbft ? 4 : 5;
+  options.seed = seed;
+  options.plan_count = count;
+  options.repro_dir = out_dir;
+
+  const Result<FuzzReport> report = RunFuzzCampaign(options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "fuzz campaign failed: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", report->Describe().c_str());
+  return report->safety_violations == 0 ? 0 : 1;
+}
+
+int RunReplay(const std::string& plan_path, FuzzProtocol protocol,
+              const std::string& trace_path) {
+  const std::optional<std::string> json = ReadFile(plan_path);
+  if (!json) {
+    std::fprintf(stderr, "cannot read %s\n", plan_path.c_str());
+    return 1;
+  }
+  const Result<ChaosPlan> plan = ChaosPlan::FromJson(*json);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "bad plan: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", plan->Describe().c_str());
+
+  ChaosRunOptions options;
+  options.protocol = protocol;
+  options.node_count = protocol == FuzzProtocol::kPbft ? 4 : 5;
+  options.capture_trace = !trace_path.empty();
+  const Result<ChaosRunResult> result = ExecuteChaosPlan(*plan, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "replay failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  PrintVerdict(*result);
+  if (!trace_path.empty()) {
+    std::ofstream(trace_path, std::ios::binary) << result->trace_json;
+    std::printf("trace:     %s\n", trace_path.c_str());
+  }
+  return result->safety_ok ? 0 : 1;
+}
+
+int RunShrink(const std::string& plan_path, FuzzProtocol protocol,
+              const std::string& out_dir) {
+  const std::optional<std::string> json = ReadFile(plan_path);
+  if (!json) {
+    std::fprintf(stderr, "cannot read %s\n", plan_path.c_str());
+    return 1;
+  }
+  const Result<ChaosPlan> plan = ChaosPlan::FromJson(*json);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "bad plan: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+
+  ChaosRunOptions options;
+  options.protocol = protocol;
+  options.node_count = protocol == FuzzProtocol::kPbft ? 4 : 5;
+  const Result<ShrinkOutcome> shrunk = ShrinkChaosPlan(*plan, options);
+  if (!shrunk.ok()) {
+    std::fprintf(stderr, "shrink failed: %s\n", shrunk.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("shrunk %zu -> %zu regime(s) in %d evaluation(s)\n", plan->regimes.size(),
+              shrunk->plan.regimes.size(), shrunk->evaluations);
+  std::printf("%s\n", shrunk->plan.Describe().c_str());
+
+  const std::string out_path =
+      (out_dir.empty() ? plan_path : out_dir + "/" + "shrunk") + ".min.plan.json";
+  std::ofstream(out_path, std::ios::binary) << shrunk->plan.ToJson();
+  std::printf("minimal plan: %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace probcon
+
+int main(int argc, char** argv) {
+  using namespace probcon;
+  std::string plan_path, shrink_path, out_dir, trace_path, protocol_name = "raft";
+  int random_count = -1;
+  uint64_t seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    const char* value = nullptr;
+    if (arg == "--random" && (value = next())) {
+      random_count = std::atoi(value);
+    } else if (arg == "--plan" && (value = next())) {
+      plan_path = value;
+    } else if (arg == "--shrink" && (value = next())) {
+      shrink_path = value;
+    } else if (arg == "--seed" && (value = next())) {
+      seed = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--protocol" && (value = next())) {
+      protocol_name = value;
+    } else if (arg == "--out" && (value = next())) {
+      out_dir = value;
+    } else if (arg == "--trace" && (value = next())) {
+      trace_path = value;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  const std::optional<FuzzProtocol> protocol = ParseProtocol(protocol_name);
+  if (!protocol) return Usage(argv[0]);
+
+  if (random_count >= 0) return RunRandom(random_count, seed, *protocol, out_dir);
+  if (!plan_path.empty()) return RunReplay(plan_path, *protocol, trace_path);
+  if (!shrink_path.empty()) return RunShrink(shrink_path, *protocol, out_dir);
+  return Usage(argv[0]);
+}

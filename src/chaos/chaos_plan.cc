@@ -1,0 +1,537 @@
+#include "src/chaos/chaos_plan.h"
+
+#include <array>
+#include <charconv>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace probcon {
+namespace {
+
+constexpr std::array<std::string_view, kRegimeKindCount> kRegimeNames = {
+    "partition",  "link_degrade",  "gray_slow",     "clock_skew",
+    "duplicate",  "reorder",       "crash_restart", "durability_lapse",
+};
+
+// Shortest round-trip formatting so plan JSON is byte-stable and diffs stay readable.
+std::string FormatDouble(double value) {
+  std::array<char, 32> buffer;
+  const auto [ptr, ec] = std::to_chars(buffer.data(), buffer.data() + buffer.size(), value);
+  CHECK(ec == std::errc());
+  return std::string(buffer.data(), ptr);
+}
+
+std::string FormatIntList(const std::vector<int>& values) {
+  std::string out = "[";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(values[i]);
+  }
+  return out + "]";
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader — just enough for plan files (objects, arrays, numbers,
+// strings without escapes beyond \" \\ \/ \n \t, bools, null). Numbers keep
+// their raw token so uint64 seeds survive without a double round-trip.
+
+struct Json {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  std::string text;  // Number token or decoded string.
+  std::vector<Json> items;
+  std::vector<std::pair<std::string, Json>> fields;
+
+  const Json* Find(std::string_view key) const {
+    for (const auto& [name, value] : fields) {
+      if (name == key) return &value;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<Json> Parse() {
+    Json value;
+    RETURN_IF_ERROR(ParseValue(&value));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(std::string message) const {
+    return InvalidArgumentError("plan JSON: " + std::move(message) + " at offset " +
+                                std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char expected) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(Json* out) {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->type = Json::Type::kString;
+      return ParseString(&out->text);
+    }
+    if (c == 't' || c == 'f') return ParseKeyword(out);
+    if (c == 'n') return ParseKeyword(out);
+    return ParseNumber(out);
+  }
+
+  Status ParseObject(Json* out) {
+    out->type = Json::Type::kObject;
+    CHECK(Consume('{'));
+    if (Consume('}')) return Status::Ok();
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      RETURN_IF_ERROR(ParseString(&key));
+      if (!Consume(':')) return Error("expected ':' after object key");
+      Json value;
+      RETURN_IF_ERROR(ParseValue(&value));
+      out->fields.emplace_back(std::move(key), std::move(value));
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::Ok();
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(Json* out) {
+    out->type = Json::Type::kArray;
+    CHECK(Consume('['));
+    if (Consume(']')) return Status::Ok();
+    while (true) {
+      Json value;
+      RETURN_IF_ERROR(ParseValue(&value));
+      out->items.push_back(std::move(value));
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::Ok();
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return Error("expected string");
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char escaped = text_[pos_++];
+        switch (escaped) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          default: return Error("unsupported escape sequence");
+        }
+        continue;
+      }
+      out->push_back(c);
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseKeyword(Json* out) {
+    const std::string_view rest = text_.substr(pos_);
+    if (rest.starts_with("true")) {
+      out->type = Json::Type::kBool;
+      out->boolean = true;
+      pos_ += 4;
+      return Status::Ok();
+    }
+    if (rest.starts_with("false")) {
+      out->type = Json::Type::kBool;
+      out->boolean = false;
+      pos_ += 5;
+      return Status::Ok();
+    }
+    if (rest.starts_with("null")) {
+      out->type = Json::Type::kNull;
+      pos_ += 4;
+      return Status::Ok();
+    }
+    return Error("unrecognized token");
+  }
+
+  Status ParseNumber(Json* out) {
+    const size_t start = pos_;
+    auto is_number_char = [](char c) {
+      return (c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' || c == 'e' ||
+             c == 'E';
+    };
+    while (pos_ < text_.size() && is_number_char(text_[pos_])) ++pos_;
+    if (pos_ == start) return Error("expected a value");
+    out->type = Json::Type::kNumber;
+    out->text = std::string(text_.substr(start, pos_ - start));
+    return Status::Ok();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+// Typed field extraction; missing fields leave `*out` at its default.
+Status ReadDouble(const Json& object, std::string_view key, double* out) {
+  const Json* field = object.Find(key);
+  if (field == nullptr) return Status::Ok();
+  if (field->type != Json::Type::kNumber) {
+    return InvalidArgumentError("plan JSON: field '" + std::string(key) + "' must be a number");
+  }
+  *out = std::strtod(field->text.c_str(), nullptr);
+  return Status::Ok();
+}
+
+Status ReadInt(const Json& object, std::string_view key, int* out) {
+  double value = *out;
+  RETURN_IF_ERROR(ReadDouble(object, key, &value));
+  *out = static_cast<int>(value);
+  return Status::Ok();
+}
+
+Status ReadUint64(const Json& object, std::string_view key, uint64_t* out) {
+  const Json* field = object.Find(key);
+  if (field == nullptr) return Status::Ok();
+  if (field->type != Json::Type::kNumber) {
+    return InvalidArgumentError("plan JSON: field '" + std::string(key) + "' must be a number");
+  }
+  *out = std::strtoull(field->text.c_str(), nullptr, 10);
+  return Status::Ok();
+}
+
+Status ReadIntList(const Json& object, std::string_view key, std::vector<int>* out) {
+  const Json* field = object.Find(key);
+  if (field == nullptr) return Status::Ok();
+  if (field->type != Json::Type::kArray) {
+    return InvalidArgumentError("plan JSON: field '" + std::string(key) + "' must be an array");
+  }
+  out->clear();
+  for (const Json& item : field->items) {
+    if (item.type != Json::Type::kNumber) {
+      return InvalidArgumentError("plan JSON: '" + std::string(key) +
+                                  "' entries must be numbers");
+    }
+    out->push_back(static_cast<int>(std::strtod(item.text.c_str(), nullptr)));
+  }
+  return Status::Ok();
+}
+
+Result<ChaosRegime> RegimeFromJson(const Json& object) {
+  if (object.type != Json::Type::kObject) {
+    return InvalidArgumentError("plan JSON: each regime must be an object");
+  }
+  const Json* kind_field = object.Find("kind");
+  if (kind_field == nullptr || kind_field->type != Json::Type::kString) {
+    return InvalidArgumentError("plan JSON: regime missing string field 'kind'");
+  }
+  Result<RegimeKind> kind = RegimeKindFromName(kind_field->text);
+  if (!kind.ok()) return kind.status();
+
+  ChaosRegime regime;
+  regime.kind = *kind;
+  RETURN_IF_ERROR(ReadDouble(object, "start", &regime.start));
+  RETURN_IF_ERROR(ReadDouble(object, "end", &regime.end));
+  RETURN_IF_ERROR(ReadIntList(object, "nodes", &regime.nodes));
+  RETURN_IF_ERROR(ReadIntList(object, "groups", &regime.groups));
+  RETURN_IF_ERROR(ReadInt(object, "from", &regime.from));
+  RETURN_IF_ERROR(ReadInt(object, "to", &regime.to));
+  RETURN_IF_ERROR(ReadDouble(object, "latency_factor", &regime.latency_factor));
+  RETURN_IF_ERROR(ReadDouble(object, "extra_latency", &regime.extra_latency));
+  RETURN_IF_ERROR(ReadDouble(object, "extra_drop", &regime.extra_drop));
+  RETURN_IF_ERROR(ReadDouble(object, "handler_delay", &regime.handler_delay));
+  RETURN_IF_ERROR(ReadDouble(object, "timer_scale", &regime.timer_scale));
+  RETURN_IF_ERROR(ReadDouble(object, "clock_rate", &regime.clock_rate));
+  RETURN_IF_ERROR(ReadDouble(object, "probability", &regime.probability));
+  RETURN_IF_ERROR(ReadDouble(object, "window", &regime.window));
+  RETURN_IF_ERROR(ReadInt(object, "sync_every_n", &regime.sync_every_n));
+  return regime;
+}
+
+void AppendRegimeJson(const ChaosRegime& regime, std::string* out) {
+  auto field = [out](std::string_view key, const std::string& value, bool* first) {
+    if (!*first) *out += ", ";
+    *first = false;
+    *out += "\"";
+    *out += key;
+    *out += "\": ";
+    *out += value;
+  };
+  bool first = true;
+  *out += "    {";
+  field("kind", "\"" + std::string(RegimeKindName(regime.kind)) + "\"", &first);
+  field("start", FormatDouble(regime.start), &first);
+  field("end", FormatDouble(regime.end), &first);
+  switch (regime.kind) {
+    case RegimeKind::kPartition:
+      field("groups", FormatIntList(regime.groups), &first);
+      break;
+    case RegimeKind::kLinkDegrade:
+      field("from", std::to_string(regime.from), &first);
+      field("to", std::to_string(regime.to), &first);
+      field("latency_factor", FormatDouble(regime.latency_factor), &first);
+      field("extra_latency", FormatDouble(regime.extra_latency), &first);
+      field("extra_drop", FormatDouble(regime.extra_drop), &first);
+      break;
+    case RegimeKind::kGraySlow:
+      field("nodes", FormatIntList(regime.nodes), &first);
+      field("handler_delay", FormatDouble(regime.handler_delay), &first);
+      field("timer_scale", FormatDouble(regime.timer_scale), &first);
+      break;
+    case RegimeKind::kClockSkew:
+      field("nodes", FormatIntList(regime.nodes), &first);
+      field("clock_rate", FormatDouble(regime.clock_rate), &first);
+      break;
+    case RegimeKind::kDuplicate:
+      field("probability", FormatDouble(regime.probability), &first);
+      break;
+    case RegimeKind::kReorder:
+      field("probability", FormatDouble(regime.probability), &first);
+      field("window", FormatDouble(regime.window), &first);
+      break;
+    case RegimeKind::kCrashRestart:
+      field("nodes", FormatIntList(regime.nodes), &first);
+      break;
+    case RegimeKind::kDurabilityLapse:
+      field("nodes", FormatIntList(regime.nodes), &first);
+      field("sync_every_n", std::to_string(regime.sync_every_n), &first);
+      break;
+  }
+  *out += "}";
+}
+
+Status CheckNodes(const ChaosRegime& regime, size_t index, int node_count) {
+  if (regime.nodes.empty()) {
+    return InvalidArgumentError("regime " + std::to_string(index) + " (" +
+                                std::string(RegimeKindName(regime.kind)) +
+                                ") selects no nodes");
+  }
+  for (int node : regime.nodes) {
+    if (node < 0 || node >= node_count) {
+      return OutOfRangeError("regime " + std::to_string(index) + " targets node " +
+                             std::to_string(node) + " outside [0, " +
+                             std::to_string(node_count) + ")");
+    }
+  }
+  return Status::Ok();
+}
+
+Status CheckProbability(double p, size_t index, std::string_view what) {
+  if (p < 0.0 || p > 1.0) {
+    return InvalidArgumentError("regime " + std::to_string(index) + ": " + std::string(what) +
+                                " must be in [0, 1], got " + FormatDouble(p));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string_view RegimeKindName(RegimeKind kind) {
+  const int index = static_cast<int>(kind);
+  CHECK(index >= 0 && index < kRegimeKindCount);
+  return kRegimeNames[index];
+}
+
+Result<RegimeKind> RegimeKindFromName(std::string_view name) {
+  for (int i = 0; i < kRegimeKindCount; ++i) {
+    if (kRegimeNames[i] == name) {
+      return static_cast<RegimeKind>(i);
+    }
+  }
+  return InvalidArgumentError("unknown regime kind '" + std::string(name) + "'");
+}
+
+std::string ChaosRegime::Describe() const {
+  std::ostringstream os;
+  os << RegimeKindName(kind) << " [" << FormatDouble(start) << ", " << FormatDouble(end)
+     << ")";
+  switch (kind) {
+    case RegimeKind::kPartition:
+      os << " groups=" << FormatIntList(groups);
+      break;
+    case RegimeKind::kLinkDegrade:
+      os << " link=" << from << "->" << to << " x" << FormatDouble(latency_factor) << " +"
+         << FormatDouble(extra_latency) << "ms drop=" << FormatDouble(extra_drop);
+      break;
+    case RegimeKind::kGraySlow:
+      os << " nodes=" << FormatIntList(nodes) << " handler+" << FormatDouble(handler_delay)
+         << "ms timers x" << FormatDouble(timer_scale);
+      break;
+    case RegimeKind::kClockSkew:
+      os << " nodes=" << FormatIntList(nodes) << " rate=" << FormatDouble(clock_rate);
+      break;
+    case RegimeKind::kDuplicate:
+      os << " p=" << FormatDouble(probability);
+      break;
+    case RegimeKind::kReorder:
+      os << " p=" << FormatDouble(probability) << " window=" << FormatDouble(window) << "ms";
+      break;
+    case RegimeKind::kCrashRestart:
+      os << " nodes=" << FormatIntList(nodes);
+      break;
+    case RegimeKind::kDurabilityLapse:
+      os << " nodes=" << FormatIntList(nodes) << " sync_every_n=" << sync_every_n;
+      break;
+  }
+  return os.str();
+}
+
+Status ChaosPlan::Validate(int node_count) const {
+  if (node_count <= 0) {
+    return InvalidArgumentError("node_count must be positive");
+  }
+  if (horizon < 0.0) {
+    return InvalidArgumentError("plan horizon must be non-negative");
+  }
+  for (size_t i = 0; i < regimes.size(); ++i) {
+    const ChaosRegime& regime = regimes[i];
+    if (regime.start < 0.0 || regime.end < regime.start || regime.end > horizon) {
+      return InvalidArgumentError(
+          "regime " + std::to_string(i) + " window [" + FormatDouble(regime.start) + ", " +
+          FormatDouble(regime.end) + ") must satisfy 0 <= start <= end <= horizon (" +
+          FormatDouble(horizon) + ")");
+    }
+    switch (regime.kind) {
+      case RegimeKind::kPartition:
+        if (static_cast<int>(regime.groups.size()) != node_count) {
+          return InvalidArgumentError("regime " + std::to_string(i) + ": partition needs " +
+                                      std::to_string(node_count) + " group assignments, got " +
+                                      std::to_string(regime.groups.size()));
+        }
+        for (int group : regime.groups) {
+          if (group < 0) {
+            return InvalidArgumentError("regime " + std::to_string(i) +
+                                        ": group ids must be non-negative");
+          }
+        }
+        break;
+      case RegimeKind::kLinkDegrade:
+        if (regime.from < -1 || regime.from >= node_count || regime.to < -1 ||
+            regime.to >= node_count) {
+          return OutOfRangeError("regime " + std::to_string(i) +
+                                 ": link endpoints must be -1 (wildcard) or a node id");
+        }
+        if (regime.latency_factor <= 0.0 || regime.extra_latency < 0.0) {
+          return InvalidArgumentError("regime " + std::to_string(i) +
+                                      ": latency perturbation must be positive");
+        }
+        RETURN_IF_ERROR(CheckProbability(regime.extra_drop, i, "extra_drop"));
+        break;
+      case RegimeKind::kGraySlow:
+        RETURN_IF_ERROR(CheckNodes(regime, i, node_count));
+        if (regime.handler_delay < 0.0 || regime.timer_scale <= 0.0) {
+          return InvalidArgumentError("regime " + std::to_string(i) +
+                                      ": gray_slow parameters out of range");
+        }
+        break;
+      case RegimeKind::kClockSkew:
+        RETURN_IF_ERROR(CheckNodes(regime, i, node_count));
+        if (regime.clock_rate <= 0.0) {
+          return InvalidArgumentError("regime " + std::to_string(i) +
+                                      ": clock_rate must be positive");
+        }
+        break;
+      case RegimeKind::kDuplicate:
+        RETURN_IF_ERROR(CheckProbability(regime.probability, i, "probability"));
+        break;
+      case RegimeKind::kReorder:
+        RETURN_IF_ERROR(CheckProbability(regime.probability, i, "probability"));
+        if (regime.window < 0.0) {
+          return InvalidArgumentError("regime " + std::to_string(i) +
+                                      ": reorder window must be non-negative");
+        }
+        break;
+      case RegimeKind::kCrashRestart:
+        RETURN_IF_ERROR(CheckNodes(regime, i, node_count));
+        break;
+      case RegimeKind::kDurabilityLapse:
+        RETURN_IF_ERROR(CheckNodes(regime, i, node_count));
+        if (regime.sync_every_n < 1) {
+          return InvalidArgumentError("regime " + std::to_string(i) +
+                                      ": sync_every_n must be >= 1");
+        }
+        break;
+    }
+  }
+  return Status::Ok();
+}
+
+std::string ChaosPlan::ToJson() const {
+  std::string out = "{\n";
+  out += "  \"seed\": " + std::to_string(seed) + ",\n";
+  out += "  \"horizon\": " + FormatDouble(horizon) + ",\n";
+  out += "  \"regimes\": [";
+  for (size_t i = 0; i < regimes.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    AppendRegimeJson(regimes[i], &out);
+  }
+  out += regimes.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+Result<ChaosPlan> ChaosPlan::FromJson(std::string_view text) {
+  JsonParser parser(text);
+  Result<Json> root = parser.Parse();
+  if (!root.ok()) return root.status();
+  if (root->type != Json::Type::kObject) {
+    return InvalidArgumentError("plan JSON: top-level value must be an object");
+  }
+  ChaosPlan plan;
+  RETURN_IF_ERROR(ReadUint64(*root, "seed", &plan.seed));
+  RETURN_IF_ERROR(ReadDouble(*root, "horizon", &plan.horizon));
+  const Json* regimes = root->Find("regimes");
+  if (regimes != nullptr) {
+    if (regimes->type != Json::Type::kArray) {
+      return InvalidArgumentError("plan JSON: 'regimes' must be an array");
+    }
+    for (const Json& item : regimes->items) {
+      Result<ChaosRegime> regime = RegimeFromJson(item);
+      if (!regime.ok()) return regime.status();
+      plan.regimes.push_back(std::move(*regime));
+    }
+  }
+  return plan;
+}
+
+std::string ChaosPlan::Describe() const {
+  std::ostringstream os;
+  os << "chaos plan: seed=" << seed << " horizon=" << FormatDouble(horizon) << "ms "
+     << regimes.size() << " regime(s)";
+  for (const ChaosRegime& regime : regimes) {
+    os << "\n  " << regime.Describe();
+  }
+  return os.str();
+}
+
+}  // namespace probcon

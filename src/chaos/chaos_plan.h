@@ -1,0 +1,103 @@
+// ChaosPlan: a typed, JSON-serializable schedule of timed fault regimes.
+//
+// The paper's core complaint is that the f-threshold model collapses heterogeneous,
+// time-varying, correlated faults into a single integer. A ChaosPlan is the executable
+// refutation: a list of regimes — each a fault CLASS applied to specific nodes/links over a
+// time window — that the Nemesis (nemesis.h) drives against a running cluster. Regimes are
+// drawn from the gray-failure and Jepsen-nemesis literature rather than the crash-only
+// vocabulary the seed simulator had:
+//
+//   partition          evolving split-brain (group vector per node), heals at window end
+//   link_degrade       asymmetric per-link latency inflation + lossiness (a flaky NIC/path)
+//   gray_slow          node is alive but slow: handler execution delayed, timers stretched
+//   clock_skew         node's local clock runs fast/slow (timers fire early/late)
+//   duplicate          network delivers some messages twice (at-least-once delivery)
+//   reorder            bounded extra delay on random messages (reordering vs FIFO links)
+//   crash_restart      crash victims at window start, restart them at window end
+//   durability_lapse   victims' fsync goes batched: a restart loses the unsynced suffix
+//
+// Plans are plain data: serializable to JSON (ToJson) and back (FromJson), so every fuzz
+// violation is a one-command repro, and shrinking is list surgery.
+
+#ifndef PROBCON_SRC_CHAOS_CHAOS_PLAN_H_
+#define PROBCON_SRC_CHAOS_CHAOS_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sim/simulator.h"
+
+namespace probcon {
+
+enum class RegimeKind : int {
+  kPartition = 0,
+  kLinkDegrade,
+  kGraySlow,
+  kClockSkew,
+  kDuplicate,
+  kReorder,
+  kCrashRestart,
+  kDurabilityLapse,
+};
+
+inline constexpr int kRegimeKindCount = 8;
+
+// Stable snake_case name used in JSON and traces.
+std::string_view RegimeKindName(RegimeKind kind);
+Result<RegimeKind> RegimeKindFromName(std::string_view name);
+
+struct ChaosRegime {
+  RegimeKind kind = RegimeKind::kPartition;
+  SimTime start = 0.0;  // Applied at `start`...
+  SimTime end = 0.0;    // ...reverted at `end` (crash_restart: victims restart here).
+
+  // Victim selectors (used by gray_slow, clock_skew, crash_restart, durability_lapse).
+  std::vector<int> nodes;
+  // partition: group id per node (size = cluster size).
+  std::vector<int> groups;
+  // link_degrade: directed link; -1 is a wildcard (all senders / all receivers).
+  int from = -1;
+  int to = -1;
+
+  // Parameters (each regime kind reads its own subset; defaults are neutral).
+  double latency_factor = 1.0;   // link_degrade
+  SimTime extra_latency = 0.0;   // link_degrade
+  double extra_drop = 0.0;       // link_degrade
+  SimTime handler_delay = 0.0;   // gray_slow
+  double timer_scale = 1.0;      // gray_slow
+  double clock_rate = 1.0;       // clock_skew
+  double probability = 0.0;      // duplicate / reorder
+  SimTime window = 0.0;          // reorder: max extra delay
+  int sync_every_n = 1;          // durability_lapse
+
+  bool operator==(const ChaosRegime&) const = default;
+
+  std::string Describe() const;
+};
+
+struct ChaosPlan {
+  // The run seed the plan was generated for / should be replayed with. Replaying the same
+  // plan under the same seed reproduces the run bit-for-bit (tests lock this).
+  uint64_t seed = 1;
+  SimTime horizon = 0.0;  // Nemesis activity ends by here; runs usually extend past it.
+  std::vector<ChaosRegime> regimes;
+
+  bool operator==(const ChaosPlan&) const = default;
+
+  // Structural sanity vs a cluster of `node_count` nodes: windows ordered and inside
+  // [0, horizon], node ids in range, parameters in their legal ranges.
+  Status Validate(int node_count) const;
+
+  // Deterministic, human-diffable JSON (two-space indent, fixed field order).
+  std::string ToJson() const;
+  static Result<ChaosPlan> FromJson(std::string_view text);
+
+  std::string Describe() const;
+};
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_CHAOS_CHAOS_PLAN_H_

@@ -1,0 +1,356 @@
+#include "src/chaos/fuzz.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "src/chaos/nemesis.h"
+#include "src/common/check.h"
+#include "src/consensus/benor/benor_node.h"
+#include "src/consensus/paxos/paxos_node.h"
+#include "src/consensus/pbft/pbft_cluster.h"
+#include "src/consensus/raft/raft_cluster.h"
+#include "src/exec/parallel.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace probcon {
+namespace {
+
+SimTime LastRegimeEnd(const ChaosPlan& plan) {
+  SimTime last = 0.0;
+  for (const ChaosRegime& regime : plan.regimes) {
+    last = std::max(last, regime.end);
+  }
+  return last;
+}
+
+// Fills the liveness-watchdog fields from the trace: progress = any commit/decision event
+// strictly after the last regime ended.
+void EvaluateLiveness(const ChaosPlan& plan, const TraceLog& trace, ChaosRunResult* result) {
+  const SimTime last_end = LastRegimeEnd(plan);
+  for (const TraceEvent& event : trace.events()) {
+    if (event.type != TraceEventType::kCommit && event.type != TraceEventType::kDecided) {
+      continue;
+    }
+    if (event.time > last_end) {
+      result->progress_after_chaos = true;
+      result->recovery_time = event.time - last_end;
+      return;
+    }
+  }
+}
+
+void FinishFromChecker(const SafetyChecker& checker, ChaosRunResult* result) {
+  result->committed_slots = checker.committed_slots();
+  result->safety_ok = checker.safe();
+  if (!checker.safe()) {
+    result->violation = checker.violations().front().Describe();
+  }
+}
+
+Result<ChaosRunResult> RunRaft(const ChaosPlan& plan, const ChaosRunOptions& options) {
+  RaftClusterOptions cluster_options;
+  cluster_options.config = (options.raft_q_per > 0 && options.raft_q_vc > 0)
+                               ? RaftConfig{options.node_count, options.raft_q_per,
+                                            options.raft_q_vc}
+                               : RaftConfig::Standard(options.node_count);
+  cluster_options.seed = plan.seed;
+  RaftCluster cluster(cluster_options);
+  TraceLog trace;
+  MetricsRegistry metrics;
+  cluster.simulator().AttachTracer(&trace, &metrics);
+
+  Nemesis nemesis(&cluster.simulator(), &cluster.network(), cluster.processes());
+  nemesis.SetDurabilityControl([&cluster](int node, const DurabilityPolicy& policy) {
+    cluster.node(node).SetDurabilityPolicy(policy);
+  });
+  RETURN_IF_ERROR(nemesis.Arm(plan));
+
+  cluster.Start();
+  cluster.RunUntil(plan.horizon + options.settle_time);
+
+  ChaosRunResult result;
+  FinishFromChecker(cluster.checker(), &result);
+  EvaluateLiveness(plan, trace, &result);
+  if (options.capture_trace) result.trace_json = TraceToJson(trace);
+  return result;
+}
+
+Result<ChaosRunResult> RunPbft(const ChaosPlan& plan, const ChaosRunOptions& options) {
+  PbftClusterOptions cluster_options;
+  cluster_options.config = PbftConfig::Standard(options.node_count);
+  cluster_options.behaviors = options.pbft_behaviors;
+  cluster_options.seed = plan.seed;
+  PbftCluster cluster(cluster_options);
+  TraceLog trace;
+  MetricsRegistry metrics;
+  cluster.simulator().AttachTracer(&trace, &metrics);
+
+  Nemesis nemesis(&cluster.simulator(), &cluster.network(), cluster.processes());
+  // PBFT replicas model no durable cell yet; durability_lapse plans fail Arm() here.
+  RETURN_IF_ERROR(nemesis.Arm(plan));
+
+  cluster.Start();
+  cluster.RunUntil(plan.horizon + options.settle_time);
+
+  ChaosRunResult result;
+  FinishFromChecker(cluster.checker(), &result);
+  EvaluateLiveness(plan, trace, &result);
+  if (options.capture_trace) result.trace_json = TraceToJson(trace);
+  return result;
+}
+
+Result<ChaosRunResult> RunPaxos(const ChaosPlan& plan, const ChaosRunOptions& options) {
+  const int n = options.node_count;
+  Simulator simulator(plan.seed);
+  TraceLog trace;
+  MetricsRegistry metrics;
+  simulator.AttachTracer(&trace, &metrics);
+  Network network(&simulator, n, std::make_unique<UniformLatencyModel>(5.0, 15.0));
+  SafetyChecker checker(&simulator);
+  const PaxosConfig config = PaxosConfig::Standard(n);
+  std::vector<std::unique_ptr<PaxosNode>> nodes;
+  std::vector<Process*> processes;
+  for (int i = 0; i < n; ++i) {
+    nodes.push_back(std::make_unique<PaxosNode>(
+        &simulator, &network, i, config, PaxosTimingConfig{}, &checker,
+        Command{static_cast<uint64_t>(i) + 1, "value-" + std::to_string(i)}));
+    processes.push_back(nodes.back().get());
+  }
+
+  Nemesis nemesis(&simulator, &network, processes);
+  nemesis.SetDurabilityControl([&nodes](int node, const DurabilityPolicy& policy) {
+    nodes[node]->SetDurabilityPolicy(policy);
+  });
+  RETURN_IF_ERROR(nemesis.Arm(plan));
+
+  for (auto& node : nodes) node->Start();
+  simulator.Run(plan.horizon + options.settle_time);
+
+  ChaosRunResult result;
+  FinishFromChecker(checker, &result);
+  for (const auto& node : nodes) {
+    if (node->decided()) ++result.decided_nodes;
+  }
+  EvaluateLiveness(plan, trace, &result);
+  // Single-decree: a cluster that fully decided before the chaos ended is done, not stalled.
+  if (result.decided_nodes == n) result.progress_after_chaos = true;
+  if (options.capture_trace) result.trace_json = TraceToJson(trace);
+  return result;
+}
+
+Result<ChaosRunResult> RunBenOr(const ChaosPlan& plan, const ChaosRunOptions& options) {
+  const int n = options.node_count;
+  const int f = (n - 1) / 2;
+  Simulator simulator(plan.seed);
+  TraceLog trace;
+  MetricsRegistry metrics;
+  simulator.AttachTracer(&trace, &metrics);
+  Network network(&simulator, n, std::make_unique<UniformLatencyModel>(5.0, 15.0));
+  std::vector<std::unique_ptr<BenOrNode>> nodes;
+  std::vector<Process*> processes;
+  for (int i = 0; i < n; ++i) {
+    nodes.push_back(std::make_unique<BenOrNode>(&simulator, &network, i, f, i % 2));
+    processes.push_back(nodes.back().get());
+  }
+
+  Nemesis nemesis(&simulator, &network, processes);
+  // Ben-Or here is memoryless across restarts; durability_lapse plans fail Arm().
+  RETURN_IF_ERROR(nemesis.Arm(plan));
+
+  for (auto& node : nodes) node->Start();
+  simulator.Run(plan.horizon + options.settle_time);
+
+  ChaosRunResult result;
+  // Agreement oracle: every decided node must hold the same bit.
+  int decided_value = -1;
+  for (const auto& node : nodes) {
+    if (!node->decided()) continue;
+    ++result.decided_nodes;
+    if (decided_value == -1) {
+      decided_value = node->decision();
+    } else if (node->decision() != decided_value) {
+      result.safety_ok = false;
+      result.violation = "ben-or nodes decided both 0 and 1";
+    }
+  }
+  result.committed_slots = result.decided_nodes > 0 ? 1 : 0;
+  EvaluateLiveness(plan, trace, &result);
+  // Single-decree: a cluster that fully decided before the chaos ended is done, not stalled.
+  if (result.decided_nodes == n) result.progress_after_chaos = true;
+  if (options.capture_trace) result.trace_json = TraceToJson(trace);
+  return result;
+}
+
+}  // namespace
+
+std::string_view FuzzProtocolName(FuzzProtocol protocol) {
+  switch (protocol) {
+    case FuzzProtocol::kRaft: return "raft";
+    case FuzzProtocol::kPaxos: return "paxos";
+    case FuzzProtocol::kPbft: return "pbft";
+    case FuzzProtocol::kBenOr: return "benor";
+  }
+  CHECK(false) << "unreachable";
+  return "";
+}
+
+Result<ChaosRunResult> ExecuteChaosPlan(const ChaosPlan& plan,
+                                        const ChaosRunOptions& options) {
+  if (options.node_count <= 0) {
+    return InvalidArgumentError("node_count must be positive");
+  }
+  RETURN_IF_ERROR(plan.Validate(options.node_count));
+  switch (options.protocol) {
+    case FuzzProtocol::kRaft: return RunRaft(plan, options);
+    case FuzzProtocol::kPaxos: return RunPaxos(plan, options);
+    case FuzzProtocol::kPbft: return RunPbft(plan, options);
+    case FuzzProtocol::kBenOr: return RunBenOr(plan, options);
+  }
+  return InvalidArgumentError("unknown protocol");
+}
+
+Result<ShrinkOutcome> ShrinkChaosPlan(const ChaosPlan& failing_plan,
+                                      const ChaosRunOptions& options,
+                                      int max_evaluations) {
+  ChaosRunOptions run_options = options;
+  run_options.capture_trace = false;
+
+  int evaluations = 0;
+  auto still_fails = [&](const ChaosPlan& candidate) -> Result<bool> {
+    ++evaluations;
+    Result<ChaosRunResult> result = ExecuteChaosPlan(candidate, run_options);
+    if (!result.ok()) return result.status();
+    return !result->safety_ok;
+  };
+
+  Result<bool> fails = still_fails(failing_plan);
+  if (!fails.ok()) return fails.status();
+  if (!*fails) {
+    return FailedPreconditionError("shrink requires a plan that reproduces a violation");
+  }
+
+  ChaosPlan current = failing_plan;
+  bool changed = true;
+  while (changed && evaluations < max_evaluations) {
+    changed = false;
+    // Pass 1: drop whole regimes (scan back-to-front so erasing keeps earlier indices valid).
+    for (int i = static_cast<int>(current.regimes.size()) - 1;
+         i >= 0 && evaluations < max_evaluations; --i) {
+      ChaosPlan candidate = current;
+      candidate.regimes.erase(candidate.regimes.begin() + i);
+      Result<bool> candidate_fails = still_fails(candidate);
+      if (!candidate_fails.ok()) return candidate_fails.status();
+      if (*candidate_fails) {
+        current = std::move(candidate);
+        changed = true;
+      }
+    }
+    // Pass 2: halve regime windows (shorten from the end; keep >= 1ms of duration).
+    for (size_t i = 0; i < current.regimes.size() && evaluations < max_evaluations; ++i) {
+      const SimTime duration = current.regimes[i].end - current.regimes[i].start;
+      if (duration < 2.0) continue;
+      ChaosPlan candidate = current;
+      candidate.regimes[i].end = candidate.regimes[i].start + duration / 2.0;
+      Result<bool> candidate_fails = still_fails(candidate);
+      if (!candidate_fails.ok()) return candidate_fails.status();
+      if (*candidate_fails) {
+        current = std::move(candidate);
+        changed = true;
+      }
+    }
+  }
+  return ShrinkOutcome{std::move(current), evaluations};
+}
+
+Result<FuzzReport> RunFuzzCampaign(const FuzzCampaignOptions& options) {
+  if (options.plan_count < 0) {
+    return InvalidArgumentError("plan_count must be non-negative");
+  }
+  if (options.run.node_count != options.generator.node_count) {
+    return InvalidArgumentError("generator and run node_count must agree");
+  }
+  const ChaosPlanGenerator generator(options.generator);
+
+  struct Trial {
+    Status status;
+    ChaosRunResult result;
+  };
+  ChaosRunOptions sweep_options = options.run;
+  sweep_options.capture_trace = false;
+  const std::vector<Trial> trials = RunTrials(
+      static_cast<uint64_t>(options.plan_count),
+      [&](uint64_t i) -> Trial {
+        const ChaosPlan plan = generator.Generate(options.seed, i);
+        Result<ChaosRunResult> result = ExecuteChaosPlan(plan, sweep_options);
+        if (!result.ok()) return Trial{result.status(), {}};
+        return Trial{Status::Ok(), std::move(*result)};
+      },
+      options.pool);
+
+  FuzzReport report;
+  for (uint64_t i = 0; i < trials.size(); ++i) {
+    const Trial& trial = trials[i];
+    if (!trial.status.ok()) return trial.status;
+    ++report.plans_run;
+    if (!trial.result.progress_after_chaos) ++report.liveness_stalls;
+    if (trial.result.safety_ok) continue;
+
+    ++report.safety_violations;
+    FuzzViolation violation;
+    violation.plan_index = i;
+    violation.plan = generator.Generate(options.seed, i);
+    violation.violation = trial.result.violation;
+
+    if (options.shrink_violations) {
+      Result<ShrinkOutcome> shrunk = ShrinkChaosPlan(violation.plan, options.run);
+      if (!shrunk.ok()) return shrunk.status();
+      violation.shrunk = std::move(shrunk->plan);
+    }
+
+    if (!options.repro_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(options.repro_dir, ec);
+      const std::string stem =
+          options.repro_dir + "/violation_" + std::to_string(i);
+      violation.repro_path = stem + ".plan.json";
+      std::ofstream(violation.repro_path) << violation.plan.ToJson();
+      if (violation.shrunk.has_value()) {
+        std::ofstream(stem + ".min.plan.json") << violation.shrunk->ToJson();
+      }
+      // Replay the minimal (or original) plan with tracing for the repro bundle.
+      ChaosRunOptions replay_options = options.run;
+      replay_options.capture_trace = true;
+      Result<ChaosRunResult> replay = ExecuteChaosPlan(
+          violation.shrunk.has_value() ? *violation.shrunk : violation.plan, replay_options);
+      if (replay.ok()) {
+        std::ofstream(stem + ".trace.json") << replay->trace_json;
+      }
+    }
+    report.violations.push_back(std::move(violation));
+  }
+  return report;
+}
+
+std::string FuzzReport::Describe() const {
+  std::ostringstream os;
+  os << "fuzz: " << plans_run << " plan(s), " << safety_violations
+     << " safety violation(s), " << liveness_stalls << " liveness stall(s)";
+  for (const FuzzViolation& violation : violations) {
+    os << "\n  plan " << violation.plan_index << ": " << violation.violation;
+    if (violation.shrunk.has_value()) {
+      os << " (shrunk to " << violation.shrunk->regimes.size() << " regime(s))";
+    }
+    if (!violation.repro_path.empty()) {
+      os << " repro=" << violation.repro_path;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace probcon

@@ -1,0 +1,115 @@
+// Chaos fuzzing: run randomized ChaosPlans against full protocol clusters, check safety at
+// every commit, watch liveness recovery after the last regime, and — on a violation — dump a
+// replayable repro and greedily shrink the plan to a minimal failing schedule.
+//
+// The execution path is the real one (RaftCluster / PbftCluster / inline Paxos and Ben-Or
+// clusters on the deterministic simulator), so a violating (plan, seed) pair found here
+// replays bit-for-bit from the dumped JSON. Safety is judged by the external SafetyChecker
+// (Raft/PBFT/Paxos) or cross-node decision agreement (Ben-Or), never by protocol-internal
+// bookkeeping.
+
+#ifndef PROBCON_SRC_CHAOS_FUZZ_H_
+#define PROBCON_SRC_CHAOS_FUZZ_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/chaos/chaos_plan.h"
+#include "src/chaos/plan_generator.h"
+#include "src/common/status.h"
+#include "src/consensus/pbft/pbft_node.h"
+#include "src/exec/thread_pool.h"
+
+namespace probcon {
+
+enum class FuzzProtocol { kRaft, kPaxos, kPbft, kBenOr };
+
+std::string_view FuzzProtocolName(FuzzProtocol protocol);
+
+struct ChaosRunOptions {
+  FuzzProtocol protocol = FuzzProtocol::kRaft;
+  int node_count = 5;
+  // Simulation continues this long past the plan horizon so the liveness watchdog can
+  // observe post-chaos recovery.
+  SimTime settle_time = 10000.0;
+
+  // Raft quorum overrides (0 = standard majorities). Deliberately unsafe values (e.g.
+  // q_per = q_vc = 2 on n = 5) are the fuzzer's negative control: they MUST produce
+  // violations under chaos, proving the oracle has teeth.
+  int raft_q_per = 0;
+  int raft_q_vc = 0;
+
+  // PBFT replica behaviours (empty = all honest; else one per replica).
+  std::vector<ByzantineBehavior> pbft_behaviors;
+
+  // Capture the obs trace into ChaosRunResult::trace_json (costs memory; repro dumps and
+  // determinism tests need it, bulk fuzzing does not).
+  bool capture_trace = false;
+};
+
+struct ChaosRunResult {
+  bool safety_ok = true;
+  std::string violation;  // First violation, human-readable; empty when safe.
+  uint64_t committed_slots = 0;
+  int decided_nodes = 0;  // Single-decree protocols: nodes holding a decision at the end.
+  // Liveness watchdog: did any commit/decision land after the last regime ended?
+  bool progress_after_chaos = false;
+  SimTime recovery_time = -1.0;  // Last-regime-end -> first post-chaos commit; -1 = none.
+  std::string trace_json;        // Deterministic obs trace (when capture_trace).
+};
+
+// Runs `plan` (cluster seeded with plan.seed) to plan.horizon + settle_time. Errors on
+// structurally invalid plans or unsupported combinations (e.g. durability_lapse against
+// protocols without durable state).
+Result<ChaosRunResult> ExecuteChaosPlan(const ChaosPlan& plan, const ChaosRunOptions& options);
+
+// Greedy shrink: starting from a failing plan, repeatedly try dropping whole regimes, then
+// halving regime windows, keeping any mutation under which the violation (any violation)
+// still reproduces; stops at a fixpoint or after `max_evaluations` runs. The result is
+// guaranteed to still fail.
+struct ShrinkOutcome {
+  ChaosPlan plan;
+  int evaluations = 0;  // Simulator runs spent shrinking.
+};
+Result<ShrinkOutcome> ShrinkChaosPlan(const ChaosPlan& failing_plan,
+                                      const ChaosRunOptions& options,
+                                      int max_evaluations = 200);
+
+struct FuzzCampaignOptions {
+  ChaosPlanGeneratorOptions generator;
+  ChaosRunOptions run;
+  uint64_t seed = 1;
+  int plan_count = 100;
+  // Directory for repro dumps (plan JSON + obs trace per violation); empty = no dumps.
+  std::string repro_dir;
+  bool shrink_violations = true;
+  ThreadPool* pool = nullptr;  // nullptr = ThreadPool::Global().
+};
+
+struct FuzzViolation {
+  uint64_t plan_index = 0;
+  ChaosPlan plan;                      // The original failing plan.
+  std::optional<ChaosPlan> shrunk;     // Minimal failing plan (when shrinking ran).
+  std::string violation;               // Checker description.
+  std::string repro_path;              // Plan dump path ("" if repro_dir unset).
+};
+
+struct FuzzReport {
+  int plans_run = 0;
+  int safety_violations = 0;
+  int liveness_stalls = 0;  // Plans with no post-chaos progress (diagnostic, not a failure).
+  std::vector<FuzzViolation> violations;
+
+  std::string Describe() const;
+};
+
+// Runs plan_count generated plans (plan i from DeriveStreamSeed(seed, i)), in parallel over
+// `pool`; results are deterministic for a fixed (options, seed) regardless of worker count.
+Result<FuzzReport> RunFuzzCampaign(const FuzzCampaignOptions& options);
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_CHAOS_FUZZ_H_

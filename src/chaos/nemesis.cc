@@ -1,0 +1,226 @@
+#include "src/chaos/nemesis.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/obs/trace.h"
+
+namespace probcon {
+namespace {
+
+bool TargetsNodes(RegimeKind kind) {
+  return kind == RegimeKind::kGraySlow || kind == RegimeKind::kClockSkew ||
+         kind == RegimeKind::kCrashRestart || kind == RegimeKind::kDurabilityLapse;
+}
+
+}  // namespace
+
+Nemesis::Nemesis(Simulator* simulator, Network* network, std::vector<Process*> processes)
+    : simulator_(simulator), network_(network), processes_(std::move(processes)) {
+  CHECK(simulator != nullptr);
+  CHECK(network != nullptr);
+}
+
+void Nemesis::SetDurabilityControl(
+    std::function<void(int node, const DurabilityPolicy&)> control) {
+  durability_control_ = std::move(control);
+}
+
+Status Nemesis::Arm(const ChaosPlan& plan) {
+  if (armed_) {
+    return FailedPreconditionError("nemesis already armed");
+  }
+  RETURN_IF_ERROR(plan.Validate(network_->node_count()));
+  for (const ChaosRegime& regime : plan.regimes) {
+    if (TargetsNodes(regime.kind) &&
+        static_cast<int>(processes_.size()) != network_->node_count()) {
+      return FailedPreconditionError(
+          "plan contains node-targeting regimes but the nemesis was built without one "
+          "Process per node");
+    }
+    if (regime.kind == RegimeKind::kDurabilityLapse && !durability_control_) {
+      return FailedPreconditionError(
+          "plan contains durability_lapse regimes but no durability control is installed "
+          "(SetDurabilityControl)");
+    }
+  }
+  plan_ = plan;
+  active_.assign(plan_.regimes.size(), 0);
+  crash_claims_.assign(plan_.regimes.size(), {});
+  armed_ = true;
+  // Starts are scheduled before ends, so a zero-length window still starts then ends.
+  for (size_t i = 0; i < plan_.regimes.size(); ++i) {
+    simulator_->ScheduleAt(plan_.regimes[i].start, [this, i]() { StartRegime(i); });
+  }
+  for (size_t i = 0; i < plan_.regimes.size(); ++i) {
+    simulator_->ScheduleAt(plan_.regimes[i].end, [this, i]() { EndRegime(i); });
+  }
+  return Status::Ok();
+}
+
+void Nemesis::StartRegime(size_t index) {
+  const ChaosRegime& regime = plan_.regimes[index];
+  active_[index] = 1;
+  ++regimes_started_;
+  simulator_->tracer().RegimeStarted(index, std::string(RegimeKindName(regime.kind)));
+  simulator_->tracer().CounterAdd("chaos.regimes_started");
+
+  switch (regime.kind) {
+    case RegimeKind::kCrashRestart:
+      for (int node : regime.nodes) {
+        Process* process = processes_[node];
+        // Crash() even when already down: the bumped generation claims the outage, so an
+        // injector repair scheduled against the earlier crash cannot resurrect the node
+        // mid-regime, and our own restart below stays valid.
+        process->Crash();
+        crash_claims_[index].emplace_back(node, process->crash_generation());
+      }
+      break;
+    case RegimeKind::kDurabilityLapse:
+      for (int node : regime.nodes) {
+        durability_control_(node, DurabilityPolicy::Batched(regime.sync_every_n));
+      }
+      break;
+    default:
+      break;
+  }
+  Reconcile();
+}
+
+void Nemesis::EndRegime(size_t index) {
+  const ChaosRegime& regime = plan_.regimes[index];
+  active_[index] = 0;
+  ++regimes_ended_;
+  simulator_->tracer().RegimeEnded(index, std::string(RegimeKindName(regime.kind)));
+  simulator_->tracer().CounterAdd("chaos.regimes_ended");
+
+  switch (regime.kind) {
+    case RegimeKind::kCrashRestart:
+      for (const auto& [node, generation] : crash_claims_[index]) {
+        Process* process = processes_[node];
+        // Restart only if our claim is still the latest: a shock or another regime that
+        // re-crashed the node in between owns the outage now.
+        if (process->crashed() && process->crash_generation() == generation) {
+          process->Recover();
+        }
+      }
+      crash_claims_[index].clear();
+      break;
+    case RegimeKind::kDurabilityLapse:
+      // The lapse window closes with a power event on every victim still running: a
+      // crash + instant restart that discards the unsynced suffix (DurableCell::Restore in
+      // the protocol's OnRecover). Victims someone else crashed stay down — their owner's
+      // restart will surface the loss instead.
+      for (int node : regime.nodes) {
+        Process* process = processes_[node];
+        if (!process->crashed()) {
+          process->Crash();
+          process->Recover();
+        }
+        durability_control_(node, DurabilityPolicy::WriteThrough());
+      }
+      break;
+    default:
+      break;
+  }
+  Reconcile();
+}
+
+void Nemesis::Reconcile() {
+  const int n = network_->node_count();
+
+  // --- Partitions: nodes communicate iff EVERY active partition co-locates them. ---
+  {
+    std::vector<const ChaosRegime*> partitions;
+    for (size_t i = 0; i < plan_.regimes.size(); ++i) {
+      if (active_[i] && plan_.regimes[i].kind == RegimeKind::kPartition) {
+        partitions.push_back(&plan_.regimes[i]);
+      }
+    }
+    if (partitions.empty()) {
+      network_->ClearPartition();
+    } else {
+      // Composite group = the tuple of group ids across active partitions, numbered in
+      // first-appearance order (deterministic).
+      std::map<std::vector<int>, int> composite_ids;
+      std::vector<int> groups(n);
+      for (int node = 0; node < n; ++node) {
+        std::vector<int> key;
+        key.reserve(partitions.size());
+        for (const ChaosRegime* partition : partitions) {
+          key.push_back(partition->groups[node]);
+        }
+        auto [it, inserted] =
+            composite_ids.emplace(std::move(key), static_cast<int>(composite_ids.size()));
+        groups[node] = it->second;
+      }
+      network_->SetPartition(std::move(groups));
+    }
+  }
+
+  // --- Link perturbations: stack multiplicatively / additively per directed link. ---
+  {
+    network_->ClearLinkPerturbations();
+    std::map<std::pair<int, int>, LinkPerturbation> links;
+    for (size_t i = 0; i < plan_.regimes.size(); ++i) {
+      if (!active_[i] || plan_.regimes[i].kind != RegimeKind::kLinkDegrade) continue;
+      const ChaosRegime& regime = plan_.regimes[i];
+      LinkPerturbation& p = links[{regime.from, regime.to}];
+      p.latency_factor *= regime.latency_factor;
+      p.extra_latency += regime.extra_latency;
+      p.extra_drop = std::min(0.999, p.extra_drop + regime.extra_drop);
+    }
+    for (const auto& [link, perturbation] : links) {
+      network_->SetLinkPerturbation(link.first, link.second, perturbation);
+    }
+  }
+
+  // --- Duplication / reordering: independent coins compose as 1 - prod(1 - p). ---
+  {
+    double keep_single = 1.0, keep_ordered = 1.0;
+    SimTime window = 0.0;
+    for (size_t i = 0; i < plan_.regimes.size(); ++i) {
+      if (!active_[i]) continue;
+      const ChaosRegime& regime = plan_.regimes[i];
+      if (regime.kind == RegimeKind::kDuplicate) {
+        keep_single *= 1.0 - regime.probability;
+      } else if (regime.kind == RegimeKind::kReorder) {
+        keep_ordered *= 1.0 - regime.probability;
+        window = std::max(window, regime.window);
+      }
+    }
+    network_->SetDuplication(1.0 - keep_single);
+    network_->SetReordering(1.0 - keep_ordered, window);
+  }
+
+  // --- Per-node degradation: delays add, timer/clock factors multiply. ---
+  if (!processes_.empty()) {
+    std::vector<SimTime> handler_delay(n, 0.0);
+    std::vector<double> timer_scale(n, 1.0);
+    std::vector<double> clock_rate(n, 1.0);
+    for (size_t i = 0; i < plan_.regimes.size(); ++i) {
+      if (!active_[i]) continue;
+      const ChaosRegime& regime = plan_.regimes[i];
+      if (regime.kind == RegimeKind::kGraySlow) {
+        for (int node : regime.nodes) {
+          handler_delay[node] += regime.handler_delay;
+          timer_scale[node] *= regime.timer_scale;
+        }
+      } else if (regime.kind == RegimeKind::kClockSkew) {
+        for (int node : regime.nodes) {
+          clock_rate[node] *= regime.clock_rate;
+        }
+      }
+    }
+    for (int node = 0; node < n; ++node) {
+      processes_[node]->SetHandlerDelay(handler_delay[node]);
+      processes_[node]->SetTimerScale(timer_scale[node]);
+      processes_[node]->SetClockRate(clock_rate[node]);
+    }
+  }
+}
+
+}  // namespace probcon

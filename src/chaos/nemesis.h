@@ -1,0 +1,74 @@
+// Nemesis: executes a ChaosPlan against a running simulation.
+//
+// Arm() schedules every regime boundary on the simulator; at each boundary the nemesis
+// RECONCILES — it recomputes the full network/process chaos configuration from the set of
+// currently active regimes rather than applying and reverting deltas. Overlapping regimes
+// therefore compose deterministically: concurrent partitions intersect (two nodes talk iff
+// every active partition puts them in the same group), link perturbations stack
+// (multiplicative factors, additive latency/drop), duplication/reorder probabilities combine
+// as independent coins, gray handler delays add, and timer/clock factors multiply. When the
+// last overlapping regime ends the reconciled state is exactly "healthy" again — there is no
+// revert bookkeeping to get wrong.
+//
+// Crash regimes use the Process crash-generation protocol: the nemesis claims the outage at
+// the window start (even if the node is already down) and only restarts the node at the
+// window end if its claim is still the latest — a FailureInjector shock that re-crashed the
+// node in between keeps it down (see Process::crash_generation()).
+
+#ifndef PROBCON_SRC_CHAOS_NEMESIS_H_
+#define PROBCON_SRC_CHAOS_NEMESIS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/chaos/chaos_plan.h"
+#include "src/consensus/common/durable_state.h"
+#include "src/sim/network.h"
+#include "src/sim/process.h"
+#include "src/sim/simulator.h"
+
+namespace probcon {
+
+class Nemesis {
+ public:
+  // `processes` may be empty if the plan contains no node-targeting regimes (pure network
+  // chaos); otherwise it must cover every node id the plan touches.
+  Nemesis(Simulator* simulator, Network* network, std::vector<Process*> processes);
+
+  // Durability regimes need protocol-level cooperation (the DurableCell lives inside the
+  // node); harnesses install a callback that applies `policy` to node `node`'s cell. Plans
+  // with durability_lapse regimes fail Arm() when no control is installed.
+  void SetDurabilityControl(std::function<void(int node, const DurabilityPolicy&)> control);
+
+  // Validates the plan against the network size and schedules all regime boundaries.
+  // Call once, before Simulator::RunUntil.
+  Status Arm(const ChaosPlan& plan);
+
+  uint64_t regimes_started() const { return regimes_started_; }
+  uint64_t regimes_ended() const { return regimes_ended_; }
+
+ private:
+  void StartRegime(size_t index);
+  void EndRegime(size_t index);
+  // Recomputes every chaos knob from the regimes active right now.
+  void Reconcile();
+
+  Simulator* simulator_;
+  Network* network_;
+  std::vector<Process*> processes_;
+  std::function<void(int, const DurabilityPolicy&)> durability_control_;
+
+  ChaosPlan plan_;
+  std::vector<char> active_;
+  // Crash claims: generation captured when a crash_restart (or durability_lapse restart)
+  // regime crashed each victim, consulted before restarting it.
+  std::vector<std::vector<std::pair<int, uint64_t>>> crash_claims_;
+  uint64_t regimes_started_ = 0;
+  uint64_t regimes_ended_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_CHAOS_NEMESIS_H_

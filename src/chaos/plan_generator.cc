@@ -1,0 +1,133 @@
+#include "src/chaos/plan_generator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace probcon {
+
+ChaosPlanGenerator::ChaosPlanGenerator(const ChaosPlanGeneratorOptions& options)
+    : options_(options) {
+  CHECK_GT(options_.node_count, 0);
+  CHECK_GT(options_.horizon, 0.0);
+  CHECK(options_.min_regimes >= 0 && options_.min_regimes <= options_.max_regimes);
+  if (options_.max_simultaneous_crashes <= 0) {
+    // Minority by default: an honest f-resilient cluster should survive every plan.
+    options_.max_simultaneous_crashes = std::max(1, (options_.node_count - 1) / 2);
+  }
+}
+
+ChaosPlan ChaosPlanGenerator::Generate(uint64_t seed, uint64_t plan_index) const {
+  Rng rng(DeriveStreamSeed(seed, plan_index));
+  ChaosPlan plan;
+  plan.seed = DeriveStreamSeed(seed, plan_index);
+  plan.horizon = options_.horizon;
+  const int count = static_cast<int>(
+      rng.NextInRange(options_.min_regimes, options_.max_regimes));
+  plan.regimes.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    plan.regimes.push_back(GenerateRegime(rng));
+  }
+  // Sort by start time so the plan reads chronologically; ties keep generation order.
+  std::stable_sort(plan.regimes.begin(), plan.regimes.end(),
+                   [](const ChaosRegime& a, const ChaosRegime& b) { return a.start < b.start; });
+  CHECK(plan.Validate(options_.node_count).ok());
+  return plan;
+}
+
+ChaosRegime ChaosPlanGenerator::GenerateRegime(Rng& rng) const {
+  std::vector<RegimeKind> kinds;
+  if (options_.allow_partition) kinds.push_back(RegimeKind::kPartition);
+  if (options_.allow_link_degrade) kinds.push_back(RegimeKind::kLinkDegrade);
+  if (options_.allow_gray_slow) kinds.push_back(RegimeKind::kGraySlow);
+  if (options_.allow_clock_skew) kinds.push_back(RegimeKind::kClockSkew);
+  if (options_.allow_duplicate) kinds.push_back(RegimeKind::kDuplicate);
+  if (options_.allow_reorder) kinds.push_back(RegimeKind::kReorder);
+  if (options_.allow_crash_restart) kinds.push_back(RegimeKind::kCrashRestart);
+  if (options_.allow_durability_lapse) kinds.push_back(RegimeKind::kDurabilityLapse);
+  CHECK(!kinds.empty()) << "generator options enable no regime kinds";
+
+  const int n = options_.node_count;
+  ChaosRegime regime;
+  regime.kind = kinds[rng.NextBelow(kinds.size())];
+
+  // Window: start anywhere in the first 80% of the horizon, duration 2-25% of the horizon
+  // (long enough to straddle several election timeouts, short enough to leave quiet time).
+  regime.start = rng.NextDouble() * options_.horizon * 0.8;
+  const SimTime duration = options_.horizon * (0.02 + 0.23 * rng.NextDouble());
+  regime.end = std::min(regime.start + duration, options_.horizon);
+
+  // Draws a victim set of size `max_victims` at most (>= 1), without replacement.
+  auto draw_victims = [&](int max_victims) {
+    std::vector<int> pool(n);
+    for (int i = 0; i < n; ++i) pool[i] = i;
+    const int count = static_cast<int>(rng.NextInRange(1, std::max(1, max_victims)));
+    std::vector<int> victims;
+    victims.reserve(count);
+    for (int i = 0; i < count; ++i) {
+      const size_t pick = rng.NextBelow(pool.size());
+      victims.push_back(pool[pick]);
+      pool.erase(pool.begin() + static_cast<long>(pick));
+    }
+    std::sort(victims.begin(), victims.end());
+    return victims;
+  };
+
+  switch (regime.kind) {
+    case RegimeKind::kPartition: {
+      // Random 2- or 3-way split; group 0 keeps at least one node by construction below.
+      const int ways = rng.NextBernoulli(0.25) ? 3 : 2;
+      regime.groups.assign(n, 0);
+      for (int i = 0; i < n; ++i) {
+        regime.groups[i] = static_cast<int>(rng.NextBelow(ways));
+      }
+      regime.groups[static_cast<size_t>(rng.NextBelow(n))] = 0;  // Never an empty majority-candidate group.
+      break;
+    }
+    case RegimeKind::kLinkDegrade: {
+      // Asymmetric by construction: one direction of one link, or everything into a node.
+      if (rng.NextBernoulli(0.3)) {
+        regime.from = -1;
+        regime.to = static_cast<int>(rng.NextBelow(n));
+      } else {
+        regime.from = static_cast<int>(rng.NextBelow(n));
+        do {
+          regime.to = static_cast<int>(rng.NextBelow(n));
+        } while (regime.to == regime.from);
+      }
+      regime.latency_factor = 1.0 + 9.0 * rng.NextDouble();   // 1x - 10x
+      regime.extra_latency = 50.0 * rng.NextDouble();         // up to 50ms
+      regime.extra_drop = 0.3 * rng.NextDouble();             // up to 30%
+      break;
+    }
+    case RegimeKind::kGraySlow:
+      regime.nodes = draw_victims(std::max(1, (n - 1) / 2));
+      regime.handler_delay = 20.0 + 180.0 * rng.NextDouble();  // 20-200ms: timeout-scale
+      regime.timer_scale = 1.0 + 3.0 * rng.NextDouble();       // 1x - 4x
+      break;
+    case RegimeKind::kClockSkew:
+      regime.nodes = draw_victims(std::max(1, (n - 1) / 2));
+      // Rate in [0.5, 2.0]: symmetric in log space around a healthy clock.
+      regime.clock_rate = rng.NextBernoulli(0.5) ? 0.5 + 0.5 * rng.NextDouble()
+                                                 : 1.0 + rng.NextDouble();
+      break;
+    case RegimeKind::kDuplicate:
+      regime.probability = 0.05 + 0.45 * rng.NextDouble();  // 5-50% of messages doubled
+      break;
+    case RegimeKind::kReorder:
+      regime.probability = 0.05 + 0.45 * rng.NextDouble();
+      regime.window = 10.0 + 90.0 * rng.NextDouble();  // up to ~100ms of shuffle
+      break;
+    case RegimeKind::kCrashRestart:
+      regime.nodes = draw_victims(options_.max_simultaneous_crashes);
+      break;
+    case RegimeKind::kDurabilityLapse:
+      regime.nodes = draw_victims(options_.max_simultaneous_crashes);
+      regime.sync_every_n = static_cast<int>(rng.NextInRange(2, 16));
+      break;
+  }
+  return regime;
+}
+
+}  // namespace probcon

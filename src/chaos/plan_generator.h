@@ -1,0 +1,61 @@
+// Randomized ChaosPlan generation for the fuzz harness.
+//
+// A generator produces plan #i of a fuzz campaign from Rng(DeriveStreamSeed(seed, i)), so the
+// campaign is reproducible bit-for-bit regardless of how plans are distributed across threads
+// (the same chunk-seeding contract as the analysis samplers in src/common/rng.h). Each plan's
+// regimes are sampled from the kinds enabled in the options; windows are drawn inside the
+// horizon and parameters inside ranges calibrated to actually stress the protocols' timeout
+// machinery (gray delays comparable to election timeouts, partitions longer than a round
+// trip) without making every run trivially lose liveness.
+
+#ifndef PROBCON_SRC_CHAOS_PLAN_GENERATOR_H_
+#define PROBCON_SRC_CHAOS_PLAN_GENERATOR_H_
+
+#include <cstdint>
+
+#include "src/chaos/chaos_plan.h"
+#include "src/common/rng.h"
+
+namespace probcon {
+
+struct ChaosPlanGeneratorOptions {
+  int node_count = 5;
+  SimTime horizon = 20000.0;  // Nemesis activity window (ms).
+  int min_regimes = 2;
+  int max_regimes = 6;
+
+  // Which fault classes the generator may draw. Durability lapses are OFF by default: a
+  // quorum-wide loss of unsynced state is allowed to break Raft/Paxos safety (that is the
+  // point of the regime), so the honest-configuration fuzz acceptance excludes it.
+  bool allow_partition = true;
+  bool allow_link_degrade = true;
+  bool allow_gray_slow = true;
+  bool allow_clock_skew = true;
+  bool allow_duplicate = true;
+  bool allow_reorder = true;
+  bool allow_crash_restart = true;
+  bool allow_durability_lapse = false;
+
+  // Crash at most this many nodes simultaneously (defaults to minority of node_count when
+  // <= 0), so honest configurations keep a live quorum available.
+  int max_simultaneous_crashes = 0;
+};
+
+class ChaosPlanGenerator {
+ public:
+  explicit ChaosPlanGenerator(const ChaosPlanGeneratorOptions& options);
+
+  // Deterministic function of (seed, plan_index); the returned plan validates against
+  // options.node_count and carries seed = DeriveStreamSeed(seed, plan_index) so replaying
+  // the plan alone reproduces the run.
+  ChaosPlan Generate(uint64_t seed, uint64_t plan_index) const;
+
+ private:
+  ChaosRegime GenerateRegime(Rng& rng) const;
+
+  ChaosPlanGeneratorOptions options_;
+};
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_CHAOS_PLAN_GENERATOR_H_

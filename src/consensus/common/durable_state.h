@@ -1,0 +1,102 @@
+// Durable-state model for crash-recovery protocols.
+//
+// Real consensus implementations are only as safe as their storage stack: a node that ACKs
+// an append and then loses the entry to an unsynced page cache behaves, after restart, like
+// a node that never saw it ("Redundancy Does Not Imply Fault Tolerance", FAST '17). The
+// seed simulator modeled restart-with-intact-disk only; DurableCell makes the fsync boundary
+// explicit so the chaos engine can inject exactly that fault class.
+//
+// A DurableCell<Image> holds two copies of a protocol's hard state: `latest` (what the
+// in-memory process wrote) and `synced` (what the disk is guaranteed to hold). Write()
+// records a new latest image and syncs it according to the active DurabilityPolicy;
+// Restore() — called from OnRecover — rolls latest back to synced, returning how many
+// acknowledged writes the restart lost. With the default write-through policy nothing is
+// ever lost and recovery behaves exactly like the seed code.
+
+#ifndef PROBCON_SRC_CONSENSUS_COMMON_DURABLE_STATE_H_
+#define PROBCON_SRC_CONSENSUS_COMMON_DURABLE_STATE_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace probcon {
+
+// When the storage stack makes a write durable.
+struct DurabilityPolicy {
+  // Sync after every n-th Write(); 1 = write-through (fsync on every write, nothing is ever
+  // lost), larger values model batched/delayed fsync where a crash loses the tail since the
+  // last sync point.
+  int sync_every_n = 1;
+
+  static DurabilityPolicy WriteThrough() { return DurabilityPolicy{1}; }
+  static DurabilityPolicy Batched(int every_n) { return DurabilityPolicy{every_n}; }
+};
+
+template <typename Image>
+class DurableCell {
+ public:
+  DurableCell() = default;
+  explicit DurableCell(Image initial) : synced_(initial), latest_(std::move(initial)) {}
+
+  // Policy changes take effect for subsequent writes; lowering the batch size does not
+  // retroactively sync already-buffered writes (call Sync() for that).
+  void SetPolicy(const DurabilityPolicy& policy) {
+    CHECK_GE(policy.sync_every_n, 1);
+    policy_ = policy;
+  }
+  const DurabilityPolicy& policy() const { return policy_; }
+
+  // Records a new latest image; auto-syncs when the policy's batch fills.
+  void Write(Image image) {
+    latest_ = std::move(image);
+    ++writes_;
+    ++unsynced_writes_;
+    if (unsynced_writes_ >= static_cast<uint64_t>(policy_.sync_every_n)) {
+      Sync();
+    }
+  }
+
+  // Explicit fsync: everything written so far survives any later crash.
+  void Sync() {
+    if (unsynced_writes_ == 0) {
+      return;
+    }
+    synced_ = latest_;
+    unsynced_writes_ = 0;
+    ++syncs_;
+  }
+
+  // Crash-restart: the disk comes back with the last-synced image; buffered writes are
+  // gone. Returns the number of acknowledged-but-unsynced writes the restart lost.
+  uint64_t Restore() {
+    const uint64_t lost = unsynced_writes_;
+    latest_ = synced_;
+    unsynced_writes_ = 0;
+    lost_writes_ += lost;
+    return lost;
+  }
+
+  // The image a restarting node boots from (equals latest() right after Restore()).
+  const Image& synced() const { return synced_; }
+  const Image& latest() const { return latest_; }
+
+  uint64_t writes() const { return writes_; }
+  uint64_t syncs() const { return syncs_; }
+  uint64_t unsynced_writes() const { return unsynced_writes_; }
+  uint64_t lost_writes() const { return lost_writes_; }
+
+ private:
+  DurabilityPolicy policy_;
+  Image synced_{};
+  Image latest_{};
+  uint64_t writes_ = 0;
+  uint64_t syncs_ = 0;
+  uint64_t unsynced_writes_ = 0;
+  uint64_t lost_writes_ = 0;
+};
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_CONSENSUS_COMMON_DURABLE_STATE_H_

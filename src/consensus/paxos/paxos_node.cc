@@ -69,7 +69,17 @@ void PaxosNode::OnStart() {
 }
 
 void PaxosNode::OnRecover() {
-  // Acceptor state survives (it is the durable half of Paxos); proposer state restarts.
+  // Acceptor state survives up to the last fsync (it is the durable half of Paxos); with a
+  // batched policy, the restart forgets unsynced promises/accepts. Proposer state restarts.
+  const uint64_t lost = durable_.Restore();
+  if (lost > 0) {
+    const PaxosDurableImage& image = durable_.synced();
+    promised_ballot_ = image.promised_ballot;
+    accepted_ballot_ = image.accepted_ballot;
+    accepted_value_ = image.accepted_value;
+    simulator().tracer().StateLost(id(), lost);
+    simulator().tracer().CounterAdd("paxos.lossy_restarts");
+  }
   in_phase2_ = false;
   promises_.clear();
   accepted_votes_.clear();
@@ -183,6 +193,7 @@ void PaxosNode::HandleNack(const PaxosNack& message) {
 void PaxosNode::HandlePrepare(int from, const PaxosPrepare& message) {
   if (message.ballot > promised_ballot_) {
     promised_ballot_ = message.ballot;
+    PersistAcceptorState();  // The promise binds only once it is on disk.
     auto promise = std::make_shared<PaxosPromise>();
     promise->ballot = message.ballot;
     promise->accepted_ballot = accepted_ballot_;
@@ -203,6 +214,7 @@ void PaxosNode::HandleAccept(int from, const PaxosAccept& message) {
     promised_ballot_ = message.ballot;
     accepted_ballot_ = message.ballot;
     accepted_value_ = message.value;
+    PersistAcceptorState();  // The accept is ACKed by the response below.
     auto accepted = std::make_shared<PaxosAccepted>();
     accepted->ballot = message.ballot;
     accepted->value = message.value;
@@ -217,6 +229,10 @@ void PaxosNode::HandleAccept(int from, const PaxosAccept& message) {
 
 // ---------------------------------------------------------------------------
 // Learner
+
+void PaxosNode::PersistAcceptorState() {
+  durable_.Write(PaxosDurableImage{promised_ballot_, accepted_ballot_, accepted_value_});
+}
 
 void PaxosNode::HandleDecide(const PaxosDecide& message) { Decide(message.value); }
 

@@ -23,6 +23,7 @@
 #include <set>
 #include <string>
 
+#include "src/consensus/common/durable_state.h"
 #include "src/consensus/common/safety_checker.h"
 #include "src/consensus/common/types.h"
 #include "src/sim/process.h"
@@ -86,6 +87,14 @@ struct PaxosDecide final : public SimMessage {
   std::string Describe() const override;
 };
 
+// The acceptor state Paxos requires on stable storage: promises and accepts must survive a
+// restart, or a node can promise/accept twice and split a decided value.
+struct PaxosDurableImage {
+  uint64_t promised_ballot = 0;
+  uint64_t accepted_ballot = 0;
+  std::optional<Command> accepted_value;
+};
+
 // --- Node -----------------------------------------------------------------------
 
 class PaxosNode final : public Process {
@@ -96,6 +105,12 @@ class PaxosNode final : public Process {
   bool decided() const { return decided_.has_value(); }
   const Command& decision() const;
   uint64_t highest_ballot_seen() const { return promised_ballot_; }
+
+  // Acceptor-state durability (see RaftNode::SetDurabilityPolicy for the model). Batched
+  // fsync means a restart can forget a promise or an accept — the exact storage fault that
+  // breaks Paxos safety in the wild.
+  void SetDurabilityPolicy(const DurabilityPolicy& policy) { durable_.SetPolicy(policy); }
+  const DurableCell<PaxosDurableImage>& durable() const { return durable_; }
 
  protected:
   void OnStart() override;
@@ -124,10 +139,12 @@ class PaxosNode final : public Process {
   SafetyChecker* checker_;
   Command proposal_;  // This node's own candidate value.
 
-  // Acceptor state (durable).
+  // Acceptor state (durable up to the fsync boundary; see durable_).
   uint64_t promised_ballot_ = 0;
   uint64_t accepted_ballot_ = 0;
   std::optional<Command> accepted_value_;
+  DurableCell<PaxosDurableImage> durable_;
+  void PersistAcceptorState();
 
   // Proposer state (volatile).
   uint64_t attempt_ = 0;

@@ -27,7 +27,22 @@ RaftNode::RaftNode(Simulator* simulator, Network* network, int id, const RaftCon
 void RaftNode::OnStart() { ResetElectionTimer(); }
 
 void RaftNode::OnRecover() {
-  // Durable state (term, vote, log) is intact; everything else resets.
+  // Boot from disk: the last-synced image. With write-through durability it equals the
+  // in-memory hard state and this is a no-op; with a batched fsync policy the unsynced
+  // suffix (log tail, possibly a term bump or vote) is gone, and the node rejoins as a
+  // lagging follower that must be repaired by the leader.
+  const uint64_t lost = durable_.Restore();
+  if (lost > 0) {
+    const RaftDurableImage& image = durable_.synced();
+    current_term_ = image.term;
+    voted_for_ = image.voted_for;
+    log_ = image.log;
+    snapshot_last_index_ = image.snapshot_last_index;
+    snapshot_last_term_ = image.snapshot_last_term;
+    simulator().tracer().StateLost(id(), lost);
+    simulator().tracer().CounterAdd("raft.lossy_restarts");
+  }
+  // Volatile state resets.
   role_ = Role::kFollower;
   commit_index_ = snapshot_last_index_;  // The snapshot is durable committed state.
   applied_index_ = snapshot_last_index_;
@@ -66,6 +81,7 @@ void RaftNode::BecomeFollower(uint64_t term) {
   if (term > current_term_) {
     current_term_ = term;
     voted_for_ = -1;
+    PersistHardState();
   }
   role_ = Role::kFollower;
   votes_received_.clear();
@@ -77,6 +93,7 @@ void RaftNode::StartElection() {
   role_ = Role::kCandidate;
   ++current_term_;
   voted_for_ = id();
+  PersistHardState();
   votes_received_.clear();
   votes_received_.insert(id());
   ResetElectionTimer();
@@ -124,6 +141,7 @@ void RaftNode::HandleRequestVote(int from, const RequestVoteRequest& request) {
         (request.last_log_term == LastLogTerm() && request.last_log_index >= LastLogIndex());
     if (candidate_up_to_date) {
       voted_for_ = request.candidate;
+      PersistHardState();  // A vote must hit disk before the response leaves.
       response->granted = true;
       ResetElectionTimer();
     }
@@ -194,6 +212,7 @@ void RaftNode::HandleAppendEntries(int from, const AppendEntriesRequest& request
   }
   response->success = true;
   response->match_index = index;
+  PersistHardState();  // The appended entries are ACKed by this response.
 
   if (request.leader_commit > commit_index_) {
     commit_index_ = std::min<uint64_t>(request.leader_commit, LastLogIndex());
@@ -257,6 +276,7 @@ void RaftNode::HandleInstallSnapshot(int from, const InstallSnapshotRequest& req
   }
   snapshot_last_index_ = request.last_included_index;
   snapshot_last_term_ = request.last_included_term;
+  PersistHardState();
   if (commit_index_ < snapshot_last_index_) {
     commit_index_ = snapshot_last_index_;
   }
@@ -282,6 +302,7 @@ void RaftNode::HandleClientProposal(const ClientProposal& proposal) {
     }
   }
   log_.push_back(LogEntry{current_term_, proposal.command});
+  PersistHardState();
   match_index_[id()] = LastLogIndex();
   AdvanceCommitIndex();  // q_per == 1 commits immediately.
   for (int peer = 0; peer < config_.n; ++peer) {
@@ -442,8 +463,15 @@ void RaftNode::MaybeSnapshot() {
   log_.erase(log_.begin(),
              log_.begin() + static_cast<long>(new_last - snapshot_last_index_));
   snapshot_last_index_ = new_last;
+  PersistHardState();
+  durable_.Sync();  // Compaction implies an fsync: the snapshot replaces the prefix.
   simulator().tracer().SnapshotTaken(id(), snapshot_last_index_);
   simulator().tracer().CounterAdd("raft.snapshots");
+}
+
+void RaftNode::PersistHardState() {
+  durable_.Write(RaftDurableImage{current_term_, voted_for_, log_, snapshot_last_index_,
+                                  snapshot_last_term_});
 }
 
 uint64_t RaftNode::TermAt(uint64_t index) const {

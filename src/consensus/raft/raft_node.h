@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/analysis/protocol_spec.h"
+#include "src/consensus/common/durable_state.h"
 #include "src/consensus/common/safety_checker.h"
 #include "src/consensus/common/types.h"
 #include "src/consensus/raft/raft_messages.h"
@@ -52,6 +53,15 @@ struct RaftReliabilityPolicy {
   double election_priority = 1.0;
 };
 
+// The hard state §5 of the Raft paper requires on stable storage before responding.
+struct RaftDurableImage {
+  uint64_t term = 0;
+  int voted_for = -1;
+  std::vector<LogEntry> log;
+  uint64_t snapshot_last_index = 0;
+  uint64_t snapshot_last_term = 0;
+};
+
 class RaftNode final : public Process {
  public:
   enum class Role { kFollower, kCandidate, kLeader };
@@ -68,6 +78,14 @@ class RaftNode final : public Process {
   // never runs) if this node is not leader; a callback also never fires if leadership is
   // lost or the node crashes before confirmation — the caller retries elsewhere.
   bool RequestRead(ReadCallback callback);
+
+  // Storage model: hard state (term, vote, log, snapshot point) round-trips through a
+  // DurableCell on every mutation; a restart boots from the last-synced image. The default
+  // write-through policy loses nothing; a batched policy (set by the chaos engine's
+  // durability-lapse regime) makes a restart drop the unsynced suffix — the protocol must
+  // then re-fetch it from the leader like any lagging follower.
+  void SetDurabilityPolicy(const DurabilityPolicy& policy) { durable_.SetPolicy(policy); }
+  const DurableCell<RaftDurableImage>& durable() const { return durable_; }
 
   Role role() const { return role_; }
   uint64_t current_term() const { return current_term_; }
@@ -116,6 +134,9 @@ class RaftNode final : public Process {
   void ResetElectionTimer();
   void ApplyCommitted();
   void MaybeSnapshot();
+  // Mirrors the durable members into the DurableCell; called after every hard-state
+  // mutation, i.e. at the points a real implementation would write (and maybe fsync) disk.
+  void PersistHardState();
   uint64_t LastLogIndex() const { return snapshot_last_index_ + log_.size(); }
   uint64_t LastLogTerm() const {
     return log_.empty() ? snapshot_last_term_ : log_.back().term;
@@ -129,12 +150,13 @@ class RaftNode final : public Process {
   SafetyChecker* checker_;
   RaftReliabilityPolicy policy_;
 
-  // Durable state (survives Crash/Recover).
+  // Durable state (survives Crash/Recover up to the fsync boundary; see durable_).
   uint64_t current_term_ = 0;
   int voted_for_ = -1;
   std::vector<LogEntry> log_;  // Entries (snapshot_last_index_, snapshot_last_index_+size].
   uint64_t snapshot_last_index_ = 0;  // Compacted prefix boundary (0 = no snapshot).
   uint64_t snapshot_last_term_ = 0;
+  DurableCell<RaftDurableImage> durable_;
 
   // Volatile state.
   Role role_ = Role::kFollower;

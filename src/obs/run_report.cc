@@ -144,7 +144,10 @@ std::string RenderRunReport(const TraceLog& trace, const MetricsRegistry& metric
   for (const TraceEvent& event : trace.events()) {
     if (event.type == TraceEventType::kNodeCrashed ||
         event.type == TraceEventType::kNodeRecovered ||
-        event.type == TraceEventType::kSafetyViolation) {
+        event.type == TraceEventType::kSafetyViolation ||
+        event.type == TraceEventType::kRegimeStarted ||
+        event.type == TraceEventType::kRegimeEnded ||
+        event.type == TraceEventType::kStateLost) {
       timeline.push_back(&event);
     }
   }
@@ -162,6 +165,13 @@ std::string RenderRunReport(const TraceLog& trace, const MetricsRegistry& metric
         if (!event->detail.empty()) {
           out << ": " << event->detail;
         }
+      } else if (event->type == TraceEventType::kRegimeStarted ||
+                 event->type == TraceEventType::kRegimeEnded) {
+        out << "regime " << event->value << " (" << event->detail << ") "
+            << (event->type == TraceEventType::kRegimeStarted ? "started" : "ended");
+      } else if (event->type == TraceEventType::kStateLost) {
+        out << "node " << event->node << " restarted losing " << event->value
+            << " unsynced write(s)";
       } else {
         out << "node " << event->node << " "
             << (event->type == TraceEventType::kNodeCrashed ? "crashed" : "recovered");

@@ -36,6 +36,12 @@ std::string_view TraceEventTypeName(TraceEventType type) {
       return "decided";
     case TraceEventType::kSafetyViolation:
       return "safety_violation";
+    case TraceEventType::kRegimeStarted:
+      return "regime_started";
+    case TraceEventType::kRegimeEnded:
+      return "regime_ended";
+    case TraceEventType::kStateLost:
+      return "state_lost";
   }
   return "?";
 }

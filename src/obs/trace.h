@@ -43,6 +43,9 @@ enum class TraceEventType : int {
   kRoundAdvanced,     // value = round (Ben-Or style round protocols).
   kDecided,           // value = deciding round; detail carries the decided value.
   kSafetyViolation,   // node = -1, value = slot; detail describes the conflict.
+  kRegimeStarted,     // node = -1, value = regime index; detail = regime kind.
+  kRegimeEnded,       // node = -1, value = regime index; detail = regime kind.
+  kStateLost,         // value = durable writes lost when the node restarted.
 };
 
 // Stable snake_case name, used by the exporters and RunReport.
@@ -137,6 +140,15 @@ class Tracer {
   }
   void SafetyViolationDetected(uint64_t slot, std::string detail) {
     Record(TraceEventType::kSafetyViolation, -1, -1, slot, std::move(detail));
+  }
+  void RegimeStarted(uint64_t index, std::string kind) {
+    Record(TraceEventType::kRegimeStarted, -1, -1, index, std::move(kind));
+  }
+  void RegimeEnded(uint64_t index, std::string kind) {
+    Record(TraceEventType::kRegimeEnded, -1, -1, index, std::move(kind));
+  }
+  void StateLost(int node, uint64_t lost_writes) {
+    Record(TraceEventType::kStateLost, node, -1, lost_writes);
   }
 
  private:

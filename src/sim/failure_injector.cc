@@ -53,17 +53,24 @@ void FailureInjector::ScheduleFailure(int node) {
 
 void FailureInjector::CrashNode(int node) {
   Process* process = processes_[node];
-  if (process->crashed()) {
-    return;  // Already down (e.g. shock raced the sampled failure).
-  }
+  const bool was_crashed = process->crashed();
+  // Crash() is idempotent on an already-down node but still bumps the crash generation:
+  // when a shock hits a node the sampled-failure path already killed (or vice versa), the
+  // later fault CLAIMS the outage, and the repair scheduled against the earlier crash goes
+  // stale below. Without the claim, a repair landing at the same instant as a shock would
+  // resurrect the node the shock just killed.
   process->Crash();  // Process::Crash emits the kNodeCrashed trace event.
-  ++crash_count_;
-  simulator_->tracer().CounterAdd("fault.crashes_injected");
+  if (!was_crashed) {
+    ++crash_count_;
+    simulator_->tracer().CounterAdd("fault.crashes_injected");
+  }
   if (repair_rate_.has_value()) {
+    const uint64_t generation = process->crash_generation();
     const SimTime repair_delay = simulator_->rng().NextExponential(*repair_rate_);
-    simulator_->Schedule(repair_delay, [this, node]() {
-      if (processes_[node]->crashed()) {
-        processes_[node]->Recover();
+    simulator_->Schedule(repair_delay, [this, node, generation]() {
+      Process* target = processes_[node];
+      if (target->crashed() && target->crash_generation() == generation) {
+        target->Recover();
         ++recovery_count_;
         simulator_->tracer().CounterAdd("fault.recoveries");
         ScheduleFailure(node);

@@ -92,11 +92,121 @@ Network::Network(Simulator* simulator, int node_count, std::unique_ptr<NetworkMo
   CHECK_GT(node_count, 0);
   CHECK(model_ != nullptr);
   handlers_.resize(node_count);
+  node_up_.assign(node_count, 1);
 }
 
 void Network::RegisterHandler(int node, MessageHandler handler) {
   CHECK(node >= 0 && node < node_count_);
   handlers_[node] = std::move(handler);
+}
+
+void Network::SetLinkPerturbation(int from, int to, const LinkPerturbation& perturbation) {
+  CHECK(from >= -1 && from < node_count_);
+  CHECK(to >= -1 && to < node_count_);
+  CHECK_GE(perturbation.latency_factor, 0.0);
+  CHECK_GE(perturbation.extra_latency, 0.0);
+  CHECK(perturbation.extra_drop >= 0.0 && perturbation.extra_drop <= 1.0);
+  const int key = (from + 1) * (node_count_ + 1) + (to + 1);
+  if (perturbation.IsNeutral()) {
+    perturbations_.erase(key);
+  } else {
+    perturbations_[key] = perturbation;
+  }
+}
+
+void Network::ClearLinkPerturbations() { perturbations_.clear(); }
+
+void Network::SetDuplication(double probability) {
+  CHECK(probability >= 0.0 && probability <= 1.0);
+  duplicate_probability_ = probability;
+}
+
+void Network::SetReordering(double probability, SimTime window) {
+  CHECK(probability >= 0.0 && probability <= 1.0);
+  CHECK_GE(window, 0.0);
+  reorder_probability_ = probability;
+  reorder_window_ = window;
+}
+
+void Network::SetNodeUp(int node, bool up) {
+  CHECK(node >= 0 && node < node_count_);
+  node_up_[node] = up ? 1 : 0;
+}
+
+bool Network::NodeUp(int node) const {
+  CHECK(node >= 0 && node < node_count_);
+  return node_up_[node] != 0;
+}
+
+LinkPerturbation Network::EffectivePerturbation(int from, int to) const {
+  LinkPerturbation effective;
+  // Exact link, all-into-`to`, all-out-of-`from`, and global wildcard entries compose.
+  const int keys[] = {(from + 1) * (node_count_ + 1) + (to + 1),
+                      0 * (node_count_ + 1) + (to + 1),
+                      (from + 1) * (node_count_ + 1) + 0, 0};
+  for (const int key : keys) {
+    const auto it = perturbations_.find(key);
+    if (it == perturbations_.end()) {
+      continue;
+    }
+    effective.latency_factor *= it->second.latency_factor;
+    effective.extra_latency += it->second.extra_latency;
+    effective.extra_drop = 1.0 - (1.0 - effective.extra_drop) * (1.0 - it->second.extra_drop);
+  }
+  return effective;
+}
+
+bool Network::SampleDelay(int from, int to, SimTime* delay) {
+  Rng& rng = simulator_->rng();
+  if (model_->ShouldDrop(from, to, rng)) {
+    return false;
+  }
+  SimTime latency = model_->SampleLatency(from, to, rng);
+  if (!perturbations_.empty()) {
+    const LinkPerturbation perturbation = EffectivePerturbation(from, to);
+    if (perturbation.extra_drop > 0.0 && rng.NextBernoulli(perturbation.extra_drop)) {
+      return false;
+    }
+    latency = latency * perturbation.latency_factor + perturbation.extra_latency;
+  }
+  if (reorder_probability_ > 0.0 && rng.NextBernoulli(reorder_probability_)) {
+    latency += reorder_window_ * rng.NextDouble();
+    ++messages_reordered_;
+    simulator_->tracer().CounterAdd("net.messages_reordered");
+  }
+  *delay = latency;
+  return true;
+}
+
+void Network::ScheduleDelivery(int from, int to, SimTime delay,
+                               std::shared_ptr<const SimMessage> message) {
+  Tracer& tracer = simulator_->tracer();
+  if (tracer.enabled()) {
+    tracer.HistogramRecord("net.delivery_latency_ms", delay,
+                           HistogramOptions::Exponential(1.0, 2.0, 12));
+  }
+  simulator_->Schedule(delay, [this, from, to, message = std::move(message)]() {
+    // Partitions are re-checked at delivery time so a cut made while the message was in
+    // flight also severs it.
+    if (!Reachable(from, to)) {
+      ++messages_dropped_;
+      simulator_->tracer().MessageDropped(from, to);
+      simulator_->tracer().CounterAdd("net.messages_dropped");
+      return;
+    }
+    // A message addressed to a node that crashed after it was scheduled is dropped here,
+    // without ever invoking the (stale) handler of the dead process.
+    if (node_up_[to] == 0) {
+      ++messages_to_dead_;
+      simulator_->tracer().CounterAdd("net.messages_to_dead");
+      return;
+    }
+    ++messages_delivered_;
+    simulator_->tracer().CounterAdd("net.messages_delivered");
+    if (handlers_[to] != nullptr) {
+      handlers_[to](from, message);
+    }
+  });
 }
 
 void Network::Send(int from, int to, std::shared_ptr<const SimMessage> message) {
@@ -106,32 +216,25 @@ void Network::Send(int from, int to, std::shared_ptr<const SimMessage> message) 
   ++messages_sent_;
   Tracer& tracer = simulator_->tracer();
   tracer.CounterAdd("net.messages_sent");
-  if (!Reachable(from, to) || model_->ShouldDrop(from, to, simulator_->rng())) {
+  SimTime delay = 0.0;
+  if (!Reachable(from, to) || !SampleDelay(from, to, &delay)) {
     ++messages_dropped_;
     tracer.MessageDropped(from, to);
     tracer.CounterAdd("net.messages_dropped");
     return;
   }
-  const SimTime latency = model_->SampleLatency(from, to, simulator_->rng());
-  if (tracer.enabled()) {
-    tracer.HistogramRecord("net.delivery_latency_ms", latency,
-                           HistogramOptions::Exponential(1.0, 2.0, 12));
+  ScheduleDelivery(from, to, delay, message);
+  if (duplicate_probability_ > 0.0 &&
+      simulator_->rng().NextBernoulli(duplicate_probability_)) {
+    // The duplicate takes its own path through the model: independent latency (so it may
+    // overtake the original) and independent drop.
+    SimTime duplicate_delay = 0.0;
+    if (SampleDelay(from, to, &duplicate_delay)) {
+      ++messages_duplicated_;
+      tracer.CounterAdd("net.messages_duplicated");
+      ScheduleDelivery(from, to, duplicate_delay, std::move(message));
+    }
   }
-  simulator_->Schedule(latency, [this, from, to, message = std::move(message)]() {
-    // Partitions are re-checked at delivery time so a cut made while the message was in
-    // flight also severs it.
-    if (!Reachable(from, to)) {
-      ++messages_dropped_;
-      simulator_->tracer().MessageDropped(from, to);
-      simulator_->tracer().CounterAdd("net.messages_dropped");
-      return;
-    }
-    ++messages_delivered_;
-    simulator_->tracer().CounterAdd("net.messages_delivered");
-    if (handlers_[to] != nullptr) {
-      handlers_[to](from, message);
-    }
-  });
 }
 
 void Network::Broadcast(int from, const std::shared_ptr<const SimMessage>& message,

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -89,6 +90,20 @@ class MatrixLatencyModel final : public NetworkModel {
   double drop_probability_;
 };
 
+// Dynamic override stacked on top of the base NetworkModel for one directed link: the
+// sampled latency is scaled and shifted, and an extra iid drop is applied on top of the
+// model's own. The chaos nemesis uses these to create evolving asymmetric degradation
+// (a link can be slow A->B while healthy B->A) without rebuilding the network.
+struct LinkPerturbation {
+  double latency_factor = 1.0;  // Multiplies the sampled latency (>= 0).
+  SimTime extra_latency = 0.0;  // Added after scaling (>= 0).
+  double extra_drop = 0.0;      // Additional drop probability in [0, 1].
+
+  bool IsNeutral() const {
+    return latency_factor == 1.0 && extra_latency == 0.0 && extra_drop == 0.0;
+  }
+};
+
 class Network {
  public:
   Network(Simulator* simulator, int node_count, std::unique_ptr<NetworkModel> model);
@@ -110,21 +125,65 @@ class Network {
   void SetPartition(std::vector<int> group_of);
   void ClearPartition();
 
+  // --- Dynamic chaos overrides (all default to "off") ---
+
+  // Installs/clears a directed-link override; from/to of -1 act as wildcards (all senders /
+  // all receivers), so SetLinkPerturbation(-1, 3, p) degrades everything flowing INTO node 3.
+  // Wildcard and exact overrides compose multiplicatively (factors) / additively (latency,
+  // drop). Setting a neutral perturbation clears the entry.
+  void SetLinkPerturbation(int from, int to, const LinkPerturbation& perturbation);
+  void ClearLinkPerturbations();
+
+  // Each sent message is delivered a second time with probability `probability`, with an
+  // independently sampled latency (at-least-once delivery, the at-most-once assumption the
+  // protocols must not rely on).
+  void SetDuplication(double probability);
+
+  // Each sent message gets extra uniform delay in [0, window] with probability
+  // `probability`, creating bounded reordering relative to FIFO-per-link delivery.
+  void SetReordering(double probability, SimTime window);
+
+  // Liveness registry: delivery to a node marked down is dropped at delivery time and
+  // counted in messages_to_dead (never invoking the handler of a dead process). Process
+  // crash/recovery keeps this in sync automatically.
+  void SetNodeUp(int node, bool up);
+  bool NodeUp(int node) const;
+
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t messages_delivered() const { return messages_delivered_; }
   uint64_t messages_dropped() const { return messages_dropped_; }
+  uint64_t messages_to_dead() const { return messages_to_dead_; }
+  uint64_t messages_duplicated() const { return messages_duplicated_; }
+  uint64_t messages_reordered() const { return messages_reordered_; }
 
  private:
   bool Reachable(int from, int to) const;
+  // Effective override for a directed link: exact entry composed with wildcards.
+  LinkPerturbation EffectivePerturbation(int from, int to) const;
+  // Samples one end-to-end delay (model + perturbation + reordering) or returns false if
+  // the message is dropped by the model or the perturbation.
+  bool SampleDelay(int from, int to, SimTime* delay);
+  void ScheduleDelivery(int from, int to, SimTime delay,
+                        std::shared_ptr<const SimMessage> message);
 
   Simulator* simulator_;
   int node_count_;
   std::unique_ptr<NetworkModel> model_;
   std::vector<MessageHandler> handlers_;
   std::vector<int> partition_group_;  // Empty = fully connected.
+  // Keyed by (from + 1) * (node_count + 1) + (to + 1) so -1 wildcards fit; empty when no
+  // chaos overrides are active (the common case pays one map.empty() branch).
+  std::map<int, LinkPerturbation> perturbations_;
+  std::vector<char> node_up_;
+  double duplicate_probability_ = 0.0;
+  double reorder_probability_ = 0.0;
+  SimTime reorder_window_ = 0.0;
   uint64_t messages_sent_ = 0;
   uint64_t messages_delivered_ = 0;
   uint64_t messages_dropped_ = 0;
+  uint64_t messages_to_dead_ = 0;
+  uint64_t messages_duplicated_ = 0;
+  uint64_t messages_reordered_ = 0;
 };
 
 }  // namespace probcon

@@ -16,19 +16,37 @@ Process::Process(Simulator* simulator, Network* network, int id)
 void Process::Start() {
   network_->RegisterHandler(id_, [this](int from,
                                         const std::shared_ptr<const SimMessage>& message) {
-    if (!crashed_) {
-      OnMessage(from, message);
-    }
+    DeliverMessage(from, message);
   });
   OnStart();
 }
 
-void Process::Crash() {
+void Process::DeliverMessage(int from, const std::shared_ptr<const SimMessage>& message) {
   if (crashed_) {
+    return;  // Defense in depth: the network already drops deliveries to down nodes.
+  }
+  if (handler_delay_ > 0.0) {
+    // Gray mode: the message is "received" but the process gets to it late. A crash (or
+    // crash+recover) in the meantime discards it, like any queued-but-unprocessed input.
+    const uint64_t epoch_at_delivery = epoch_;
+    simulator_->Schedule(handler_delay_, [this, epoch_at_delivery, from, message]() {
+      if (!crashed_ && epoch_ == epoch_at_delivery) {
+        OnMessage(from, message);
+      }
+    });
     return;
+  }
+  OnMessage(from, message);
+}
+
+void Process::Crash() {
+  ++crash_generation_;
+  if (crashed_) {
+    return;  // Already down; the generation bump above records the new claim.
   }
   crashed_ = true;
   ++epoch_;
+  network_->SetNodeUp(id_, false);
   simulator_->tracer().NodeCrashed(id_);
 }
 
@@ -36,17 +54,34 @@ void Process::Recover() {
   CHECK(crashed_) << "node" << id_ << "is not crashed";
   crashed_ = false;
   ++epoch_;
+  network_->SetNodeUp(id_, true);
   simulator_->tracer().NodeRecovered(id_);
   OnRecover();
 }
 
+void Process::SetHandlerDelay(SimTime delay) {
+  CHECK_GE(delay, 0.0);
+  handler_delay_ = delay;
+}
+
+void Process::SetTimerScale(double scale) {
+  CHECK_GT(scale, 0.0);
+  timer_scale_ = scale;
+}
+
+void Process::SetClockRate(double rate) {
+  CHECK_GT(rate, 0.0);
+  clock_rate_ = rate;
+}
+
 void Process::SetTimer(SimTime delay, std::function<void()> action) {
   const uint64_t epoch_at_set = epoch_;
-  simulator_->Schedule(delay, [this, epoch_at_set, action = std::move(action)]() {
-    if (!crashed_ && epoch_ == epoch_at_set) {
-      action();
-    }
-  });
+  simulator_->Schedule(delay * timer_scale_ / clock_rate_,
+                       [this, epoch_at_set, action = std::move(action)]() {
+                         if (!crashed_ && epoch_ == epoch_at_set) {
+                           action();
+                         }
+                       });
 }
 
 void Process::SendTo(int to, std::shared_ptr<const SimMessage> message) {

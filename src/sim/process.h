@@ -32,11 +32,34 @@ class Process {
   // Installs the network handler and calls OnStart(). Call exactly once, before Run().
   void Start();
 
-  // Crash-stop: discard future messages/timers until Recover().
+  // Crash-stop: discard future messages/timers until Recover(). Calling Crash() on an
+  // already-crashed node is a no-op except that it still bumps the crash generation — the
+  // caller (a shock, the nemesis) thereby CLAIMS the outage, invalidating repairs that were
+  // scheduled against the earlier crash (see crash_generation()).
   void Crash();
 
   // Restart after a crash; volatile state is the protocol's job via OnRecover().
   void Recover();
+
+  // Monotone counter bumped by every Crash() call (including claims on an already-down
+  // node). A repair action captured at generation g must only Recover() while the node is
+  // crashed AND still at generation g; otherwise a later, independent failure (shock,
+  // nemesis) owns the outage and the stale repair must not resurrect the node.
+  uint64_t crash_generation() const { return crash_generation_; }
+
+  // --- Gray-failure degradation (chaos regimes; all default to healthy) ---
+
+  // While > 0, every delivered message waits this long before OnMessage runs: the process
+  // is alive and responsive to nothing — the gray "slow node" the f-threshold model hides.
+  void SetHandlerDelay(SimTime delay);
+  SimTime handler_delay() const { return handler_delay_; }
+
+  // Multiplies every SetTimer delay (gray mode stretches a busy process's timers).
+  void SetTimerScale(double scale);
+
+  // Clock-skew model: this node's local clock runs `rate` times real time, so a timer set
+  // for D fires after D / rate of simulated time (a fast clock times out early).
+  void SetClockRate(double rate);
 
  protected:
   // Protocol entry points.
@@ -58,11 +81,18 @@ class Process {
   int cluster_size() const { return network_->node_count(); }
 
  private:
+  // Runs OnMessage now, or defers it by handler_delay_ while degraded.
+  void DeliverMessage(int from, const std::shared_ptr<const SimMessage>& message);
+
   Simulator* simulator_;
   Network* network_;
   int id_;
   bool crashed_ = false;
   uint64_t epoch_ = 0;  // Incremented on crash and recover; invalidates in-flight timers.
+  uint64_t crash_generation_ = 0;
+  SimTime handler_delay_ = 0.0;
+  double timer_scale_ = 1.0;
+  double clock_rate_ = 1.0;
 };
 
 }  // namespace probcon

@@ -1,0 +1,89 @@
+// The chaos acceptance bar for reproducibility: a (ChaosPlan, seed) pair is a complete
+// description of a run. Same plan -> bit-identical obs trace, across repeated runs and across
+// thread-pool widths (fuzz campaigns farm plans out to workers; worker count must never leak
+// into results).
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/chaos/fuzz.h"
+#include "src/chaos/plan_generator.h"
+#include "src/exec/thread_pool.h"
+
+namespace probcon {
+namespace {
+
+ChaosRunOptions TraceOptions(FuzzProtocol protocol) {
+  ChaosRunOptions options;
+  options.protocol = protocol;
+  options.node_count = 5;
+  options.settle_time = 5'000.0;
+  options.capture_trace = true;
+  return options;
+}
+
+TEST(ChaosDeterminismTest, SamePlanProducesBitIdenticalTraces) {
+  ChaosPlanGeneratorOptions generator_options;
+  generator_options.node_count = 5;
+  generator_options.horizon = 8'000.0;
+  const ChaosPlanGenerator generator(generator_options);
+
+  for (FuzzProtocol protocol : {FuzzProtocol::kRaft, FuzzProtocol::kPaxos, FuzzProtocol::kPbft,
+                                FuzzProtocol::kBenOr}) {
+    const ChaosPlan plan = generator.Generate(/*seed=*/2026, /*plan_index=*/3);
+    const ChaosRunOptions options = TraceOptions(protocol);
+    const Result<ChaosRunResult> first = ExecuteChaosPlan(plan, options);
+    const Result<ChaosRunResult> second = ExecuteChaosPlan(plan, options);
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    ASSERT_TRUE(second.ok()) << second.status().ToString();
+    ASSERT_FALSE(first->trace_json.empty());
+    EXPECT_EQ(first->trace_json, second->trace_json)
+        << "non-deterministic trace for " << FuzzProtocolName(protocol);
+    EXPECT_EQ(first->committed_slots, second->committed_slots);
+    EXPECT_EQ(first->safety_ok, second->safety_ok);
+  }
+}
+
+TEST(ChaosDeterminismTest, TraceSurvivesAPlanJsonRoundTrip) {
+  ChaosPlanGeneratorOptions generator_options;
+  generator_options.node_count = 5;
+  generator_options.horizon = 8'000.0;
+  const ChaosPlanGenerator generator(generator_options);
+  const ChaosPlan plan = generator.Generate(99, 7);
+
+  const Result<ChaosPlan> reparsed = ChaosPlan::FromJson(plan.ToJson());
+  ASSERT_TRUE(reparsed.ok());
+
+  const ChaosRunOptions options = TraceOptions(FuzzProtocol::kRaft);
+  const Result<ChaosRunResult> original = ExecuteChaosPlan(plan, options);
+  const Result<ChaosRunResult> replayed = ExecuteChaosPlan(*reparsed, options);
+  ASSERT_TRUE(original.ok() && replayed.ok());
+  EXPECT_EQ(original->trace_json, replayed->trace_json);
+}
+
+TEST(ChaosDeterminismTest, FuzzCampaignIsIndependentOfWorkerCount) {
+  FuzzCampaignOptions options;
+  options.generator.node_count = 5;
+  options.generator.horizon = 6'000.0;
+  options.run.node_count = 5;
+  options.run.settle_time = 4'000.0;
+  options.seed = 404;
+  options.plan_count = 6;
+  options.shrink_violations = false;
+
+  std::string summaries[3];
+  const int worker_counts[3] = {0, 1, 4};
+  for (int i = 0; i < 3; ++i) {
+    ScopedThreadPool scoped(worker_counts[i]);
+    const Result<FuzzReport> report = RunFuzzCampaign(options);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report->plans_run, 6);
+    summaries[i] = report->Describe();
+  }
+  EXPECT_EQ(summaries[0], summaries[1]);
+  EXPECT_EQ(summaries[1], summaries[2]);
+}
+
+}  // namespace
+}  // namespace probcon

@@ -1,0 +1,207 @@
+#include "src/chaos/chaos_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "src/chaos/plan_generator.h"
+
+namespace probcon {
+namespace {
+
+ChaosPlan SamplePlan() {
+  ChaosPlan plan;
+  plan.seed = 0xDEADBEEFCAFEF00DULL;  // Exercises the full-uint64 JSON path.
+  plan.horizon = 10000.0;
+  {
+    ChaosRegime regime;
+    regime.kind = RegimeKind::kPartition;
+    regime.start = 100.0;
+    regime.end = 2000.0;
+    regime.groups = {0, 0, 1, 1, 1};
+    plan.regimes.push_back(regime);
+  }
+  {
+    ChaosRegime regime;
+    regime.kind = RegimeKind::kLinkDegrade;
+    regime.start = 500.0;
+    regime.end = 2500.5;
+    regime.from = -1;
+    regime.to = 3;
+    regime.latency_factor = 4.25;
+    regime.extra_latency = 12.5;
+    regime.extra_drop = 0.125;
+    plan.regimes.push_back(regime);
+  }
+  {
+    ChaosRegime regime;
+    regime.kind = RegimeKind::kGraySlow;
+    regime.start = 3000.0;
+    regime.end = 4000.0;
+    regime.nodes = {2};
+    regime.handler_delay = 75.0;
+    regime.timer_scale = 2.5;
+    plan.regimes.push_back(regime);
+  }
+  {
+    ChaosRegime regime;
+    regime.kind = RegimeKind::kClockSkew;
+    regime.start = 3500.0;
+    regime.end = 5000.0;
+    regime.nodes = {0, 4};
+    regime.clock_rate = 1.75;
+    plan.regimes.push_back(regime);
+  }
+  {
+    ChaosRegime regime;
+    regime.kind = RegimeKind::kDuplicate;
+    regime.start = 4000.0;
+    regime.end = 9000.0;
+    regime.probability = 0.3;
+    plan.regimes.push_back(regime);
+  }
+  {
+    ChaosRegime regime;
+    regime.kind = RegimeKind::kReorder;
+    regime.start = 4100.0;
+    regime.end = 8000.0;
+    regime.probability = 0.2;
+    regime.window = 55.0;
+    plan.regimes.push_back(regime);
+  }
+  {
+    ChaosRegime regime;
+    regime.kind = RegimeKind::kCrashRestart;
+    regime.start = 6000.0;
+    regime.end = 7000.0;
+    regime.nodes = {1, 3};
+    plan.regimes.push_back(regime);
+  }
+  {
+    ChaosRegime regime;
+    regime.kind = RegimeKind::kDurabilityLapse;
+    regime.start = 8000.0;
+    regime.end = 9500.0;
+    regime.nodes = {0};
+    regime.sync_every_n = 8;
+    plan.regimes.push_back(regime);
+  }
+  return plan;
+}
+
+TEST(ChaosPlanTest, JsonRoundTripPreservesEveryRegimeKind) {
+  const ChaosPlan plan = SamplePlan();
+  ASSERT_TRUE(plan.Validate(5).ok()) << plan.Validate(5).ToString();
+  const std::string json = plan.ToJson();
+  const Result<ChaosPlan> parsed = ChaosPlan::FromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, plan);
+}
+
+TEST(ChaosPlanTest, JsonSerializationIsByteStable) {
+  const ChaosPlan plan = SamplePlan();
+  EXPECT_EQ(plan.ToJson(), plan.ToJson());
+  const Result<ChaosPlan> reparsed = ChaosPlan::FromJson(plan.ToJson());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->ToJson(), plan.ToJson());  // Round trip is a fixpoint.
+}
+
+TEST(ChaosPlanTest, EmptyPlanRoundTrips) {
+  ChaosPlan plan;
+  plan.seed = 7;
+  plan.horizon = 100.0;
+  const Result<ChaosPlan> parsed = ChaosPlan::FromJson(plan.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, plan);
+}
+
+TEST(ChaosPlanTest, RegimeKindNamesRoundTrip) {
+  for (int i = 0; i < kRegimeKindCount; ++i) {
+    const RegimeKind kind = static_cast<RegimeKind>(i);
+    const Result<RegimeKind> parsed = RegimeKindFromName(RegimeKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(RegimeKindFromName("meteor_strike").ok());
+}
+
+TEST(ChaosPlanTest, ParseRejectsMalformedJson) {
+  EXPECT_FALSE(ChaosPlan::FromJson("").ok());
+  EXPECT_FALSE(ChaosPlan::FromJson("{").ok());
+  EXPECT_FALSE(ChaosPlan::FromJson("[1, 2]").ok());
+  EXPECT_FALSE(ChaosPlan::FromJson("{\"regimes\": [{\"kind\": \"nope\"}]}").ok());
+  EXPECT_FALSE(ChaosPlan::FromJson("{\"seed\": 1} trailing").ok());
+}
+
+TEST(ChaosPlanTest, ValidateCatchesStructuralErrors) {
+  ChaosPlan plan;
+  plan.horizon = 1000.0;
+  ChaosRegime regime;
+  regime.kind = RegimeKind::kCrashRestart;
+  regime.start = 100.0;
+  regime.end = 50.0;  // end < start.
+  regime.nodes = {0};
+  plan.regimes.push_back(regime);
+  EXPECT_FALSE(plan.Validate(3).ok());
+
+  plan.regimes[0].end = 200.0;
+  EXPECT_TRUE(plan.Validate(3).ok());
+
+  plan.regimes[0].nodes = {7};  // Out of range.
+  EXPECT_FALSE(plan.Validate(3).ok());
+
+  plan.regimes[0].nodes = {};  // No victims.
+  EXPECT_FALSE(plan.Validate(3).ok());
+
+  plan.regimes[0] = ChaosRegime{};  // Partition with the wrong group count.
+  plan.regimes[0].end = 100.0;
+  plan.regimes[0].groups = {0, 1};
+  EXPECT_FALSE(plan.Validate(3).ok());
+
+  plan.regimes[0].groups = {0, 1, 0};
+  EXPECT_TRUE(plan.Validate(3).ok());
+
+  plan.regimes[0].end = 2000.0;  // Past the horizon.
+  EXPECT_FALSE(plan.Validate(3).ok());
+}
+
+TEST(ChaosPlanGeneratorTest, GeneratedPlansValidateAndAreDeterministic) {
+  ChaosPlanGeneratorOptions options;
+  options.node_count = 5;
+  options.horizon = 15000.0;
+  const ChaosPlanGenerator generator(options);
+  for (uint64_t i = 0; i < 50; ++i) {
+    const ChaosPlan plan = generator.Generate(/*seed=*/123, i);
+    EXPECT_TRUE(plan.Validate(5).ok()) << plan.Describe();
+    EXPECT_EQ(plan, generator.Generate(123, i));  // Pure function of (seed, index).
+    EXPECT_GE(plan.regimes.size(), 2u);
+    EXPECT_LE(plan.regimes.size(), 6u);
+  }
+  // Different indices explore different schedules.
+  EXPECT_NE(generator.Generate(123, 0), generator.Generate(123, 1));
+}
+
+TEST(ChaosPlanGeneratorTest, DurabilityLapsesAreOffByDefault) {
+  ChaosPlanGeneratorOptions options;
+  options.node_count = 5;
+  const ChaosPlanGenerator generator(options);
+  for (uint64_t i = 0; i < 100; ++i) {
+    for (const ChaosRegime& regime : generator.Generate(9, i).regimes) {
+      EXPECT_NE(regime.kind, RegimeKind::kDurabilityLapse);
+    }
+  }
+}
+
+TEST(ChaosPlanGeneratorTest, CrashRegimesRespectTheSimultaneousCap) {
+  ChaosPlanGeneratorOptions options;
+  options.node_count = 5;  // Default cap: minority = 2.
+  const ChaosPlanGenerator generator(options);
+  for (uint64_t i = 0; i < 100; ++i) {
+    for (const ChaosRegime& regime : generator.Generate(77, i).regimes) {
+      if (regime.kind == RegimeKind::kCrashRestart) {
+        EXPECT_LE(regime.nodes.size(), 2u);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace probcon

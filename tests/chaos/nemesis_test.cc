@@ -1,0 +1,294 @@
+#include "src/chaos/nemesis.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/trace.h"
+
+namespace probcon {
+namespace {
+
+struct Probe final : public SimMessage {
+  explicit Probe(int v) : value(v) {}
+  int value;
+  std::string Describe() const override { return "probe"; }
+};
+
+class ProbeProcess final : public Process {
+ public:
+  using Process::Process;
+  int received = 0;
+
+  void Send(int to, int value) { SendTo(to, std::make_shared<Probe>(value)); }
+
+ protected:
+  void OnStart() override {}
+  void OnMessage(int, const std::shared_ptr<const SimMessage>&) override { ++received; }
+};
+
+class NemesisTest : public ::testing::Test {
+ protected:
+  void Build(int n, uint64_t seed = 5) {
+    sim_ = std::make_unique<Simulator>(seed);
+    network_ = std::make_unique<Network>(sim_.get(), n,
+                                         std::make_unique<UniformLatencyModel>(1.0, 1.0));
+    processes_.clear();
+    for (int i = 0; i < n; ++i) {
+      processes_.push_back(std::make_unique<ProbeProcess>(sim_.get(), network_.get(), i));
+      processes_.back()->Start();
+    }
+  }
+
+  std::vector<Process*> Borrowed() {
+    std::vector<Process*> out;
+    for (auto& p : processes_) out.push_back(p.get());
+    return out;
+  }
+
+  std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<Network> network_;
+  std::vector<std::unique_ptr<ProbeProcess>> processes_;
+};
+
+ChaosRegime MakeRegime(RegimeKind kind, SimTime start, SimTime end) {
+  ChaosRegime regime;
+  regime.kind = kind;
+  regime.start = start;
+  regime.end = end;
+  return regime;
+}
+
+TEST_F(NemesisTest, PartitionFormsAndHeals) {
+  Build(4);
+  ChaosPlan plan;
+  plan.horizon = 100.0;
+  ChaosRegime partition = MakeRegime(RegimeKind::kPartition, 10.0, 50.0);
+  partition.groups = {0, 0, 1, 1};
+  plan.regimes.push_back(partition);
+
+  Nemesis nemesis(sim_.get(), network_.get(), Borrowed());
+  ASSERT_TRUE(nemesis.Arm(plan).ok());
+
+  // Inside the window: cross-group traffic dies, intra-group survives.
+  sim_->Schedule(20.0, [this]() {
+    processes_[0]->Send(2, 1);  // Cross: dropped.
+    processes_[0]->Send(1, 2);  // Intra: delivered.
+  });
+  // After the heal: everything flows again.
+  sim_->Schedule(60.0, [this]() { processes_[0]->Send(2, 3); });
+  sim_->Run(200.0);
+
+  EXPECT_EQ(processes_[1]->received, 1);
+  EXPECT_EQ(processes_[2]->received, 1);  // Only the post-heal probe.
+  EXPECT_EQ(nemesis.regimes_started(), 1u);
+  EXPECT_EQ(nemesis.regimes_ended(), 1u);
+}
+
+TEST_F(NemesisTest, OverlappingPartitionsIntersect) {
+  Build(4);
+  ChaosPlan plan;
+  plan.horizon = 100.0;
+  ChaosRegime first = MakeRegime(RegimeKind::kPartition, 0.0, 100.0);
+  first.groups = {0, 0, 1, 1};  // {0,1} | {2,3}
+  ChaosRegime second = MakeRegime(RegimeKind::kPartition, 10.0, 60.0);
+  second.groups = {0, 1, 0, 1};  // {0,2} | {1,3}
+  plan.regimes.push_back(first);
+  plan.regimes.push_back(second);
+
+  Nemesis nemesis(sim_.get(), network_.get(), Borrowed());
+  ASSERT_TRUE(nemesis.Arm(plan).ok());
+
+  // While both hold, every pair is split (the intersection isolates all four nodes).
+  sim_->Schedule(30.0, [this]() {
+    processes_[0]->Send(1, 0);
+    processes_[0]->Send(2, 0);
+    processes_[2]->Send(3, 0);
+  });
+  // After the second heals, the first partition's groups still apply.
+  sim_->Schedule(80.0, [this]() {
+    processes_[0]->Send(1, 0);  // Intra-group again: delivered.
+    processes_[0]->Send(2, 0);  // Still cross-group: dropped.
+  });
+  sim_->Run(200.0);
+
+  EXPECT_EQ(processes_[1]->received, 1);
+  EXPECT_EQ(processes_[2]->received, 0);
+  EXPECT_EQ(processes_[3]->received, 0);
+}
+
+TEST_F(NemesisTest, GraySlowDegradesAndRestoresVictims) {
+  Build(3);
+  ChaosPlan plan;
+  plan.horizon = 100.0;
+  ChaosRegime gray = MakeRegime(RegimeKind::kGraySlow, 10.0, 50.0);
+  gray.nodes = {1};
+  gray.handler_delay = 30.0;
+  gray.timer_scale = 2.0;
+  plan.regimes.push_back(gray);
+
+  Nemesis nemesis(sim_.get(), network_.get(), Borrowed());
+  ASSERT_TRUE(nemesis.Arm(plan).ok());
+
+  sim_->Schedule(20.0, [this]() {
+    EXPECT_DOUBLE_EQ(processes_[1]->handler_delay(), 30.0);
+    EXPECT_DOUBLE_EQ(processes_[0]->handler_delay(), 0.0);  // Non-victims untouched.
+  });
+  sim_->Schedule(60.0, [this]() {
+    EXPECT_DOUBLE_EQ(processes_[1]->handler_delay(), 0.0);  // Healthy again.
+  });
+
+  // A probe sent mid-window is delivered at ~21ms but processed only after the gray delay.
+  sim_->Schedule(20.0, [this]() { processes_[0]->Send(1, 1); });
+  sim_->Run(45.0);
+  EXPECT_EQ(processes_[1]->received, 0);
+  sim_->Run(60.0);
+  EXPECT_EQ(processes_[1]->received, 1);
+}
+
+TEST_F(NemesisTest, CrashRestartWindowCrashesThenRestarts) {
+  Build(3);
+  ChaosPlan plan;
+  plan.horizon = 100.0;
+  ChaosRegime crash = MakeRegime(RegimeKind::kCrashRestart, 10.0, 40.0);
+  crash.nodes = {2};
+  plan.regimes.push_back(crash);
+
+  Nemesis nemesis(sim_.get(), network_.get(), Borrowed());
+  ASSERT_TRUE(nemesis.Arm(plan).ok());
+
+  sim_->Run(20.0);
+  EXPECT_TRUE(processes_[2]->crashed());
+  sim_->Run(100.0);
+  EXPECT_FALSE(processes_[2]->crashed());
+}
+
+TEST_F(NemesisTest, RestartYieldsToALaterClaimOnTheSameNode) {
+  Build(2);
+  ChaosPlan plan;
+  plan.horizon = 100.0;
+  ChaosRegime crash = MakeRegime(RegimeKind::kCrashRestart, 10.0, 40.0);
+  crash.nodes = {0};
+  plan.regimes.push_back(crash);
+
+  Nemesis nemesis(sim_.get(), network_.get(), Borrowed());
+  ASSERT_TRUE(nemesis.Arm(plan).ok());
+
+  // Mid-window, an independent fault source (an injector shock, say) re-crashes the node,
+  // claiming the outage. The nemesis restart at t=40 must now stand down.
+  sim_->Schedule(25.0, [this]() { processes_[0]->Crash(); });
+  sim_->Run(200.0);
+  EXPECT_TRUE(processes_[0]->crashed());
+}
+
+TEST_F(NemesisTest, DuplicateRegimeDoublesTrafficOnlyInsideTheWindow) {
+  Build(2);
+  ChaosPlan plan;
+  plan.horizon = 100.0;
+  ChaosRegime duplicate = MakeRegime(RegimeKind::kDuplicate, 10.0, 50.0);
+  duplicate.probability = 0.999;  // Effectively always (Network caps at <= 1).
+  plan.regimes.push_back(duplicate);
+
+  Nemesis nemesis(sim_.get(), network_.get(), Borrowed());
+  ASSERT_TRUE(nemesis.Arm(plan).ok());
+
+  sim_->Schedule(20.0, [this]() { processes_[0]->Send(1, 1); });
+  sim_->Schedule(60.0, [this]() { processes_[0]->Send(1, 2); });
+  sim_->Run(200.0);
+  EXPECT_EQ(processes_[1]->received, 3);  // Windowed probe twice, post-window probe once.
+  EXPECT_EQ(network_->messages_duplicated(), 1u);
+}
+
+TEST_F(NemesisTest, LinkDegradeAppliesAsymmetricallyAndReverts) {
+  Build(2);
+  ChaosPlan plan;
+  plan.horizon = 100.0;
+  ChaosRegime degrade = MakeRegime(RegimeKind::kLinkDegrade, 10.0, 50.0);
+  degrade.from = 0;
+  degrade.to = 1;
+  degrade.extra_latency = 20.0;
+  plan.regimes.push_back(degrade);
+
+  Nemesis nemesis(sim_.get(), network_.get(), Borrowed());
+  ASSERT_TRUE(nemesis.Arm(plan).ok());
+
+  sim_->Schedule(20.0, [this]() {
+    processes_[0]->Send(1, 1);  // Degraded direction: arrives at ~41ms.
+    processes_[1]->Send(0, 2);  // Reverse direction: arrives at ~21ms.
+  });
+  sim_->Run(25.0);
+  EXPECT_EQ(processes_[0]->received, 1);
+  EXPECT_EQ(processes_[1]->received, 0);
+  sim_->Run(45.0);
+  EXPECT_EQ(processes_[1]->received, 1);
+
+  sim_->ScheduleAt(60.0, [this]() { processes_[0]->Send(1, 3); });
+  sim_->Run(65.0);  // Healed: back to the 1ms base latency.
+  EXPECT_EQ(processes_[1]->received, 2);
+}
+
+TEST_F(NemesisTest, DurabilityLapseRequiresAControlHook) {
+  Build(2);
+  ChaosPlan plan;
+  plan.horizon = 100.0;
+  ChaosRegime lapse = MakeRegime(RegimeKind::kDurabilityLapse, 10.0, 50.0);
+  lapse.nodes = {0};
+  lapse.sync_every_n = 4;
+  plan.regimes.push_back(lapse);
+
+  Nemesis without(sim_.get(), network_.get(), Borrowed());
+  EXPECT_FALSE(without.Arm(plan).ok());
+
+  // With a hook: Batched policy during the window, then a power event + write-through.
+  std::vector<std::pair<int, int>> policy_calls;  // (node, sync_every_n)
+  Nemesis nemesis(sim_.get(), network_.get(), Borrowed());
+  nemesis.SetDurabilityControl([&](int node, const DurabilityPolicy& policy) {
+    policy_calls.emplace_back(node, policy.sync_every_n);
+  });
+  ASSERT_TRUE(nemesis.Arm(plan).ok());
+  sim_->Run(200.0);
+
+  ASSERT_EQ(policy_calls.size(), 2u);
+  EXPECT_EQ(policy_calls[0], std::make_pair(0, 4));  // Lapse begins.
+  EXPECT_EQ(policy_calls[1], std::make_pair(0, 1));  // Restored to write-through.
+  EXPECT_FALSE(processes_[0]->crashed());  // The power event restarted it in-place.
+}
+
+TEST_F(NemesisTest, ArmRejectsPlansWiderThanTheCluster) {
+  Build(2);
+  ChaosPlan plan;
+  plan.horizon = 100.0;
+  ChaosRegime crash = MakeRegime(RegimeKind::kCrashRestart, 0.0, 10.0);
+  crash.nodes = {5};
+  plan.regimes.push_back(crash);
+  Nemesis nemesis(sim_.get(), network_.get(), Borrowed());
+  EXPECT_FALSE(nemesis.Arm(plan).ok());
+}
+
+TEST_F(NemesisTest, RegimeBoundariesAreTraced) {
+  Build(2);
+  TraceLog trace;
+  MetricsRegistry metrics;
+  sim_->AttachTracer(&trace, &metrics);
+  ChaosPlan plan;
+  plan.horizon = 100.0;
+  ChaosRegime duplicate = MakeRegime(RegimeKind::kDuplicate, 10.0, 50.0);
+  duplicate.probability = 0.5;
+  plan.regimes.push_back(duplicate);
+
+  Nemesis nemesis(sim_.get(), network_.get(), Borrowed());
+  ASSERT_TRUE(nemesis.Arm(plan).ok());
+  sim_->Run(200.0);
+
+  ASSERT_EQ(trace.CountOf(TraceEventType::kRegimeStarted), 1u);
+  ASSERT_EQ(trace.CountOf(TraceEventType::kRegimeEnded), 1u);
+  const auto started = trace.EventsOfType(TraceEventType::kRegimeStarted);
+  EXPECT_DOUBLE_EQ(started[0].time, 10.0);
+  EXPECT_EQ(started[0].detail, "duplicate");
+}
+
+}  // namespace
+}  // namespace probcon

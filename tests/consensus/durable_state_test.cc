@@ -1,0 +1,69 @@
+#include "src/consensus/common/durable_state.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace probcon {
+namespace {
+
+TEST(DurableCellTest, WriteThroughNeverLosesAnything) {
+  DurableCell<int> cell;
+  for (int i = 1; i <= 10; ++i) {
+    cell.Write(i);
+  }
+  EXPECT_EQ(cell.unsynced_writes(), 0u);
+  EXPECT_EQ(cell.Restore(), 0u);
+  EXPECT_EQ(cell.latest(), 10);
+  EXPECT_EQ(cell.synced(), 10);
+}
+
+TEST(DurableCellTest, BatchedPolicyLosesTheUnsyncedSuffix) {
+  DurableCell<int> cell;
+  cell.SetPolicy(DurabilityPolicy::Batched(5));
+  for (int i = 1; i <= 7; ++i) {
+    cell.Write(i);
+  }
+  // Writes 1-5 auto-synced when the batch filled; 6 and 7 sit in the page cache.
+  EXPECT_EQ(cell.synced(), 5);
+  EXPECT_EQ(cell.latest(), 7);
+  EXPECT_EQ(cell.unsynced_writes(), 2u);
+  EXPECT_EQ(cell.Restore(), 2u);  // The crash forgets 6 and 7.
+  EXPECT_EQ(cell.latest(), 5);
+  EXPECT_EQ(cell.lost_writes(), 2u);
+}
+
+TEST(DurableCellTest, ExplicitSyncFlushesTheBatch) {
+  DurableCell<int> cell;
+  cell.SetPolicy(DurabilityPolicy::Batched(100));
+  cell.Write(1);
+  cell.Write(2);
+  cell.Sync();
+  EXPECT_EQ(cell.Restore(), 0u);
+  EXPECT_EQ(cell.latest(), 2);
+}
+
+TEST(DurableCellTest, RestoreIsIdempotent) {
+  DurableCell<std::string> cell;
+  cell.SetPolicy(DurabilityPolicy::Batched(10));
+  cell.Write("synced");
+  cell.Sync();
+  cell.Write("lost");
+  EXPECT_EQ(cell.Restore(), 1u);
+  EXPECT_EQ(cell.Restore(), 0u);  // Restart of a restart: nothing further to forget.
+  EXPECT_EQ(cell.latest(), "synced");
+}
+
+TEST(DurableCellTest, TighteningThePolicyDoesNotRetroactivelySync) {
+  DurableCell<int> cell;
+  cell.SetPolicy(DurabilityPolicy::Batched(10));
+  cell.Write(1);
+  cell.SetPolicy(DurabilityPolicy::WriteThrough());
+  EXPECT_EQ(cell.unsynced_writes(), 1u);  // The buffered write is still exposed...
+  cell.Write(2);                          // ...until the next write-through syncs everything.
+  EXPECT_EQ(cell.unsynced_writes(), 0u);
+  EXPECT_EQ(cell.synced(), 2);
+}
+
+}  // namespace
+}  // namespace probcon

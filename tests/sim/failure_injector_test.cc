@@ -131,6 +131,38 @@ TEST_F(FailureInjectorTest, ShockOnAlreadyCrashedNodeIsNoOp) {
   EXPECT_EQ(injector.crash_count(), 1);  // Not double-counted.
 }
 
+TEST_F(FailureInjectorTest, RepeatedShocksOnTheSameNodeStayIdempotent) {
+  Build(2);
+  std::vector<std::unique_ptr<FaultCurve>> curves;
+  for (int i = 0; i < 2; ++i) {
+    curves.push_back(std::make_unique<ConstantFaultCurve>(0.0));
+  }
+  FailureInjector injector(sim_.get(), Borrowed(), std::move(curves));
+  injector.Arm({{10.0, {0}}, {20.0, {0}}, {30.0, {0}}});
+  sim_->Run(100.0);
+  EXPECT_EQ(injector.crash_count(), 1);  // One outage, however many shocks pile on.
+  EXPECT_TRUE(processes_[0]->crashed());
+  EXPECT_FALSE(processes_[1]->crashed());
+}
+
+TEST_F(FailureInjectorTest, StaleRepairDoesNotResurrectANodeAnotherFaultClaimed) {
+  // Regression: a shock crashes node 0 and schedules a repair. Before the repair fires, a
+  // SECOND fault source (here the test, standing in for the chaos nemesis) crashes the same
+  // node, claiming the outage via the crash generation. The injector's pending repair is now
+  // stale and must leave the node down — only the claimant may restart it.
+  Build(1);
+  std::vector<std::unique_ptr<FaultCurve>> curves;
+  curves.push_back(std::make_unique<ConstantFaultCurve>(0.0));
+  FailureInjector injector(sim_.get(), Borrowed(), std::move(curves),
+                           /*repair_rate=*/0.01);  // Mean repair delay 100ms.
+  injector.Arm({{10.0, {0}}});
+  // Scheduled after Arm, so at t=10 the shock lands first, then the external claim.
+  sim_->Schedule(10.0, [this]() { processes_[0]->Crash(); });
+  sim_->Run(100000.0);
+  EXPECT_TRUE(processes_[0]->crashed());  // The stale repair never resurrected it.
+  EXPECT_EQ(injector.recovery_count(), 0);
+}
+
 TEST_F(FailureInjectorTest, WearOutCurvesCrashLateNotEarly) {
   Build(8, 21);
   std::vector<std::unique_ptr<FaultCurve>> curves;

@@ -133,6 +133,123 @@ TEST_F(NetworkTest, SelfSendAlwaysReachable) {
   EXPECT_EQ(deliveries_[0].to, 0);
 }
 
+TEST_F(NetworkTest, DeliveryToDownedNodeDropsCleanlyAndCounts) {
+  Build(2, 10.0, 10.0);
+  network_->Send(0, 1, std::make_shared<TestMessage>(1));
+  // The node dies while the message is in flight: the delivery must not invoke its handler.
+  sim_.Schedule(5.0, [this]() { network_->SetNodeUp(1, false); });
+  sim_.Run(100.0);
+  EXPECT_TRUE(deliveries_.empty());
+  EXPECT_EQ(network_->messages_to_dead(), 1u);
+  EXPECT_EQ(network_->messages_delivered(), 0u);
+}
+
+TEST_F(NetworkTest, DeliveryResumesWhenNodeMarkedUpAgain) {
+  Build(2, 1.0, 1.0);
+  network_->SetNodeUp(1, false);
+  network_->Send(0, 1, std::make_shared<TestMessage>(1));
+  sim_.Run(10.0);
+  EXPECT_TRUE(deliveries_.empty());
+  network_->SetNodeUp(1, true);
+  network_->Send(0, 1, std::make_shared<TestMessage>(2));
+  sim_.Run(20.0);
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(deliveries_[0].value, 2);
+  EXPECT_EQ(network_->messages_to_dead(), 1u);
+}
+
+TEST_F(NetworkTest, DuplicationDeliversEveryMessageTwiceAtProbabilityOne) {
+  Build(2, 1.0, 5.0);
+  network_->SetDuplication(1.0);
+  constexpr int kMessages = 50;
+  for (int i = 0; i < kMessages; ++i) {
+    network_->Send(0, 1, std::make_shared<TestMessage>(i));
+  }
+  sim_.Run(100.0);
+  EXPECT_EQ(deliveries_.size(), static_cast<size_t>(2 * kMessages));
+  EXPECT_EQ(network_->messages_duplicated(), static_cast<uint64_t>(kMessages));
+  // Both copies of each payload arrived.
+  std::vector<int> copies(kMessages, 0);
+  for (const auto& d : deliveries_) ++copies[d.value];
+  for (int count : copies) EXPECT_EQ(count, 2);
+}
+
+TEST_F(NetworkTest, DuplicationOffSendsExactlyOnce) {
+  Build(2, 1.0, 1.0);
+  network_->SetDuplication(0.0);
+  network_->Send(0, 1, std::make_shared<TestMessage>(1));
+  sim_.Run(10.0);
+  EXPECT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(network_->messages_duplicated(), 0u);
+}
+
+TEST_F(NetworkTest, ReorderingShufflesWithinTheWindow) {
+  Build(2, 1.0, 1.0);
+  network_->SetReordering(1.0, 50.0);
+  constexpr int kMessages = 100;
+  for (int i = 0; i < kMessages; ++i) {
+    network_->Send(0, 1, std::make_shared<TestMessage>(i));
+  }
+  sim_.Run(200.0);
+  ASSERT_EQ(deliveries_.size(), static_cast<size_t>(kMessages));
+  EXPECT_EQ(network_->messages_reordered(), static_cast<uint64_t>(kMessages));
+  bool out_of_order = false;
+  for (size_t i = 0; i < deliveries_.size(); ++i) {
+    EXPECT_GE(deliveries_[i].at, 1.0);
+    EXPECT_LE(deliveries_[i].at, 51.0);  // Base latency + full reorder window.
+    if (i > 0 && deliveries_[i].value < deliveries_[i - 1].value) out_of_order = true;
+  }
+  EXPECT_TRUE(out_of_order);  // 100 messages through a 50ms shuffle: FIFO order broken.
+}
+
+TEST_F(NetworkTest, LinkPerturbationScalesAndShiftsLatency) {
+  Build(2, 1.0, 1.0);
+  network_->SetLinkPerturbation(0, 1, {.latency_factor = 3.0, .extra_latency = 5.0});
+  network_->Send(0, 1, std::make_shared<TestMessage>(1));
+  network_->Send(1, 0, std::make_shared<TestMessage>(2));  // Reverse direction untouched.
+  sim_.Run(20.0);
+  ASSERT_EQ(deliveries_.size(), 2u);
+  for (const auto& d : deliveries_) {
+    if (d.to == 1) {
+      EXPECT_DOUBLE_EQ(d.at, 8.0);  // 1 * 3 + 5: asymmetric degradation.
+    } else {
+      EXPECT_DOUBLE_EQ(d.at, 1.0);
+    }
+  }
+}
+
+TEST_F(NetworkTest, WildcardPerturbationComposesWithExactEntry) {
+  Build(3, 1.0, 1.0);
+  network_->SetLinkPerturbation(-1, 2, {.extra_latency = 4.0});  // Everything into node 2.
+  network_->SetLinkPerturbation(0, 2, {.extra_latency = 5.0});   // Plus this one link.
+  network_->Send(0, 2, std::make_shared<TestMessage>(1));
+  network_->Send(1, 2, std::make_shared<TestMessage>(2));
+  sim_.Run(20.0);
+  ASSERT_EQ(deliveries_.size(), 2u);
+  for (const auto& d : deliveries_) {
+    EXPECT_DOUBLE_EQ(d.at, d.from == 0 ? 10.0 : 5.0);
+  }
+}
+
+TEST_F(NetworkTest, PerturbationExtraDropLosesMessages) {
+  Build(2, 1.0, 1.0);
+  network_->SetLinkPerturbation(0, 1, {.extra_drop = 1.0});
+  network_->Send(0, 1, std::make_shared<TestMessage>(1));
+  sim_.Run(10.0);
+  EXPECT_TRUE(deliveries_.empty());
+  EXPECT_EQ(network_->messages_dropped(), 1u);
+}
+
+TEST_F(NetworkTest, NeutralPerturbationClearsTheOverride) {
+  Build(2, 1.0, 1.0);
+  network_->SetLinkPerturbation(0, 1, {.extra_latency = 50.0});
+  network_->SetLinkPerturbation(0, 1, {});  // Neutral: back to the base model.
+  network_->Send(0, 1, std::make_shared<TestMessage>(1));
+  sim_.Run(10.0);
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_DOUBLE_EQ(deliveries_[0].at, 1.0);
+}
+
 TEST(UniformLatencyModelTest, SamplesWithinBounds) {
   Rng rng(1);
   const UniformLatencyModel model(2.0, 8.0);

@@ -133,5 +133,72 @@ TEST_F(ProcessTest, CrashIsIdempotent) {
   EXPECT_FALSE(a_->crashed());
 }
 
+TEST_F(ProcessTest, EveryCrashClaimsAFreshGeneration) {
+  const uint64_t initial = a_->crash_generation();
+  a_->Crash();
+  const uint64_t first = a_->crash_generation();
+  EXPECT_GT(first, initial);
+  // A second fault source crashing the already-down node still claims the outage.
+  a_->Crash();
+  const uint64_t second = a_->crash_generation();
+  EXPECT_GT(second, first);
+
+  // A repair captured against the FIRST crash is stale and must not resurrect the node.
+  if (a_->crashed() && a_->crash_generation() == first) {
+    a_->Recover();
+  }
+  EXPECT_TRUE(a_->crashed());
+
+  // The repair belonging to the latest claim does restart it.
+  if (a_->crashed() && a_->crash_generation() == second) {
+    a_->Recover();
+  }
+  EXPECT_FALSE(a_->crashed());
+}
+
+TEST_F(ProcessTest, HandlerDelayDefersMessageProcessing) {
+  b_->SetHandlerDelay(20.0);
+  a_->Ping(1);
+  sim_.Run(10.0);  // Past the 1ms link latency, before the gray delay elapses.
+  EXPECT_EQ(b_->messages_received, 0);
+  sim_.Run(30.0);
+  EXPECT_EQ(b_->messages_received, 1);
+}
+
+TEST_F(ProcessTest, CrashDuringHandlerDelayDropsTheMessage) {
+  b_->SetHandlerDelay(20.0);
+  a_->Ping(1);
+  sim_.Run(10.0);  // Message arrived and is waiting in the gray queue.
+  b_->Crash();
+  b_->Recover();
+  sim_.Run(100.0);
+  EXPECT_EQ(b_->messages_received, 0);  // Stale deferred delivery must not fire.
+}
+
+TEST_F(ProcessTest, TimerScaleStretchesTimers) {
+  a_->SetTimerScale(3.0);
+  a_->ArmTimer(10.0);
+  sim_.Run(25.0);
+  EXPECT_EQ(a_->timers_fired, 0);
+  sim_.Run(35.0);
+  EXPECT_EQ(a_->timers_fired, 1);
+}
+
+TEST_F(ProcessTest, FastClockFiresTimersEarly) {
+  a_->SetClockRate(2.0);  // Local clock runs double speed: a 10ms timer fires at 5ms.
+  a_->ArmTimer(10.0);
+  sim_.Run(6.0);
+  EXPECT_EQ(a_->timers_fired, 1);
+}
+
+TEST_F(ProcessTest, SlowClockFiresTimersLate) {
+  a_->SetClockRate(0.5);
+  a_->ArmTimer(10.0);
+  sim_.Run(15.0);
+  EXPECT_EQ(a_->timers_fired, 0);
+  sim_.Run(25.0);
+  EXPECT_EQ(a_->timers_fired, 1);
+}
+
 }  // namespace
 }  // namespace probcon

@@ -46,7 +46,7 @@ void MatchedComparison() {
     table.AddRow({"PBFT (BFT)", "7", FormatPercent(report.safe), FormatPercent(report.live),
                   FormatPercent(report.safe_and_live)});
   }
-  for (const auto budgets : {std::pair<int, int>{1, 1}, {2, 1}, {2, 2}}) {
+  for (const auto& budgets : {std::pair<int, int>{1, 1}, {2, 1}, {2, 2}}) {
     const auto config = UprightConfig::ForBudgets(budgets.first, budgets.second);
     const auto report = AnalyzeUpright(
         config, std::vector<DualFaultProbabilities>(config.n, mix));

@@ -5,6 +5,7 @@
 
 #include "src/analysis/reliability.h"
 #include "src/common/check.h"
+#include "src/prob/kahan.h"
 
 namespace probcon {
 
@@ -32,7 +33,7 @@ ClusterPlan EvaluateRaftCluster(const std::vector<NodeType>& types,
   plan.counts = counts;
 
   std::vector<double> probabilities;
-  double cost = 0.0;
+  KahanSum cost;
   for (size_t i = 0; i < types.size(); ++i) {
     CHECK_GE(counts[i], 0);
     for (int j = 0; j < counts[i]; ++j) {
@@ -41,7 +42,7 @@ ClusterPlan EvaluateRaftCluster(const std::vector<NodeType>& types,
     cost += types[i].unit_price * counts[i];
   }
   CHECK(!probabilities.empty()) << "empty cluster";
-  plan.total_cost = cost;
+  plan.total_cost = cost.Total();
 
   const int n = static_cast<int>(probabilities.size());
   const auto analyzer = ReliabilityAnalyzer::ForIndependentNodes(std::move(probabilities));

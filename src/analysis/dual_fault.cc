@@ -124,8 +124,9 @@ ReliabilityReport AnalyzePbftUnderDualFaults(
   ReliabilityReport report;
   report.safe = counts.EventProbability(safe);
   report.live = counts.EventProbability(live);
-  report.safe_and_live = counts.EventProbability(
-      [&](int crashed, int byzantine) { return safe(crashed, byzantine) && live(crashed, byzantine); });
+  report.safe_and_live = counts.EventProbability([&](int crashed, int byzantine) {
+    return safe(crashed, byzantine) && live(crashed, byzantine);
+  });
   return report;
 }
 

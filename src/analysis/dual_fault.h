@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/analysis/reliability.h"
+#include "src/prob/kahan.h"
 #include "src/prob/probability.h"
 
 namespace probcon {
@@ -88,8 +89,8 @@ template <typename Predicate>
 Probability DualFaultCounts::EventProbability(Predicate predicate) const {
   // Accumulate the smaller of {holds, fails} mass for complement precision (same approach
   // as ReliabilityAnalyzer's count DP).
-  double holds = 0.0;
-  double fails = 0.0;
+  KahanSum holds;
+  KahanSum fails;
   for (int crashed = 0; crashed <= n_; ++crashed) {
     for (int byzantine = 0; byzantine + crashed <= n_; ++byzantine) {
       const double mass = Pmf(crashed, byzantine);
@@ -100,10 +101,12 @@ Probability DualFaultCounts::EventProbability(Predicate predicate) const {
       }
     }
   }
-  if (fails <= holds) {
-    return Probability::FromComplement(fails < 0.0 ? 0.0 : fails);
+  if (fails.Total() <= holds.Total()) {
+    const double fail_mass = fails.Total();
+    return Probability::FromComplement(fail_mass < 0.0 ? 0.0 : fail_mass);
   }
-  return Probability::FromProbability(holds < 0.0 ? 0.0 : holds);
+  const double hold_mass = holds.Total();
+  return Probability::FromProbability(hold_mass < 0.0 ? 0.0 : hold_mass);
 }
 
 }  // namespace probcon

@@ -82,7 +82,8 @@ ChaosRegime ChaosPlanGenerator::GenerateRegime(Rng& rng) const {
       for (int i = 0; i < n; ++i) {
         regime.groups[i] = static_cast<int>(rng.NextBelow(ways));
       }
-      regime.groups[static_cast<size_t>(rng.NextBelow(n))] = 0;  // Never an empty majority-candidate group.
+      // Never an empty majority-candidate group.
+      regime.groups[static_cast<size_t>(rng.NextBelow(n))] = 0;
       break;
     }
     case RegimeKind::kLinkDegrade: {

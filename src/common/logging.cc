@@ -74,11 +74,11 @@ LogMessage::LogMessage(LogLevel level, std::string_view file, int line)
       file = file.substr(slash + 1);
     }
     stream_ << "[" << LogLevelName(level);
-    if (const LogClock& clock = GlobalLogClock(); clock != nullptr) {
+    if (const LogClock& sim_clock = GlobalLogClock(); sim_clock != nullptr) {
       // Fixed formatting via snprintf so stream state (precision/flags) stays untouched for
       // the user's payload.
       char time_text[32];
-      std::snprintf(time_text, sizeof(time_text), " t=%.1f", clock());
+      std::snprintf(time_text, sizeof(time_text), " t=%.1f", sim_clock());
       stream_ << time_text;
     }
     stream_ << " " << file << ":" << line << "] ";

@@ -57,8 +57,10 @@ void ThreadPool::Submit(std::function<void()> task) {
   if (workers_.empty()) {
     // Inline pool: execute on the spot. Callers built on ParallelFor never see the
     // difference because chunk results are merged by index, not completion order.
+    // NOLINTNEXTLINE(probcon-determinism): wall-time pool telemetry only; never in results
     const auto start = std::chrono::steady_clock::now();
     task();
+    // NOLINTNEXTLINE(probcon-determinism): wall-time pool telemetry only; never in results
     const auto elapsed = std::chrono::steady_clock::now() - start;
     external_busy_ns_.fetch_add(
         static_cast<uint64_t>(
@@ -119,8 +121,10 @@ bool ThreadPool::Steal(size_t start_hint, std::function<void()>& task) {
 }
 
 void ThreadPool::RunTask(std::function<void()>& task, std::atomic<uint64_t>& busy_ns) {
+  // NOLINTNEXTLINE(probcon-determinism): wall-time pool telemetry only; never in results
   const auto start = std::chrono::steady_clock::now();
   task();
+  // NOLINTNEXTLINE(probcon-determinism): wall-time pool telemetry only; never in results
   const auto elapsed = std::chrono::steady_clock::now() - start;
   busy_ns.fetch_add(static_cast<uint64_t>(
                         std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()),

@@ -1,8 +1,8 @@
 // Fault curves: per-node, time-dependent failure models (paper §2).
 //
-// A fault curve captures "the unique, time-dependent fault profile of a given server". We model
-// it as a hazard function h(t) — the instantaneous failure rate at age t — from which everything
-// the analysis needs follows:
+// A fault curve captures "the unique, time-dependent fault profile of a given server". We
+// model it as a hazard function h(t) — the instantaneous failure rate at age t — from which
+// everything the analysis needs follows:
 //
 //   cumulative hazard    H(t)  = ∫_0^t h(s) ds
 //   survival             S(t)  = exp(-H(t))

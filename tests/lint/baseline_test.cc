@@ -1,0 +1,62 @@
+// Baseline round-trip: serialize -> parse -> apply must tolerate exactly the grandfathered
+// findings and nothing else.
+
+#include "tools/lint/baseline.h"
+
+#include <gtest/gtest.h>
+
+namespace probcon::lint {
+namespace {
+
+Finding MakeFinding(const std::string& rule, const std::string& path, int line,
+                    const std::string& token) {
+  return Finding{rule, path, line, 7, token, "message text is not part of baseline identity"};
+}
+
+TEST(BaselineTest, RoundTripSuppressesExactlyTheSerializedFindings) {
+  const std::vector<Finding> grandfathered = {
+      MakeFinding("probcon-determinism", "src/old/clock.cc", 12, "system_clock"),
+      MakeFinding("probcon-kahan", "src/analysis/old.cc", 40, "total"),
+  };
+  const Baseline baseline = ParseBaseline(SerializeBaseline(grandfathered));
+
+  std::vector<Finding> current = grandfathered;
+  current.push_back(MakeFinding("probcon-ownership", "src/new.cc", 3, "new"));
+
+  std::vector<Finding> fresh;
+  std::vector<Finding> baselined;
+  ApplyBaseline(baseline, current, fresh, baselined);
+
+  ASSERT_EQ(baselined.size(), 2u);
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0].rule, "probcon-ownership");
+}
+
+TEST(BaselineTest, LineMoveInvalidatesTheEntry) {
+  const Baseline baseline = ParseBaseline(
+      SerializeBaseline({MakeFinding("probcon-check", "src/a.cc", 10, "assert")}));
+  EXPECT_TRUE(baseline.Contains(MakeFinding("probcon-check", "src/a.cc", 10, "assert")));
+  EXPECT_FALSE(baseline.Contains(MakeFinding("probcon-check", "src/a.cc", 11, "assert")));
+}
+
+TEST(BaselineTest, CommentsBlanksAndMalformedLinesAreSkipped) {
+  const Baseline baseline = ParseBaseline(
+      "# header comment\n"
+      "\n"
+      "not a record\n"
+      "probcon-check\tsrc/a.cc\t10\tassert\n"
+      "too\tfew\ttabs\n");
+  EXPECT_EQ(baseline.entries.size(), 1u);  // only the well-formed 3-tab record survives
+}
+
+TEST(BaselineTest, SerializeIsSortedAndDeterministic) {
+  const std::vector<Finding> findings = {
+      MakeFinding("probcon-kahan", "src/b.cc", 2, "y"),
+      MakeFinding("probcon-check", "src/a.cc", 1, "x"),
+  };
+  std::vector<Finding> reversed = {findings[1], findings[0]};
+  EXPECT_EQ(SerializeBaseline(findings), SerializeBaseline(reversed));
+}
+
+}  // namespace
+}  // namespace probcon::lint

@@ -1,0 +1,141 @@
+// Lexer edge cases: the rules are only as trustworthy as comment/string boundaries.
+
+#include "tools/lint/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace probcon::lint {
+namespace {
+
+std::vector<Token> OfKind(const std::vector<Token>& tokens, TokenKind kind) {
+  std::vector<Token> out;
+  std::copy_if(tokens.begin(), tokens.end(), std::back_inserter(out),
+               [kind](const Token& t) { return t.kind == kind; });
+  return out;
+}
+
+bool HasIdent(const std::vector<Token>& tokens, const std::string& text) {
+  return std::any_of(tokens.begin(), tokens.end(), [&](const Token& t) {
+    return t.kind == TokenKind::kIdentifier && t.text == text;
+  });
+}
+
+TEST(LexerTest, BannedTokenInsideLineCommentIsAComment) {
+  const auto tokens = Lex("int x = 0;  // rand() would break determinism\n");
+  EXPECT_FALSE(HasIdent(tokens, "rand"));
+  const auto comments = OfKind(tokens, TokenKind::kComment);
+  ASSERT_EQ(comments.size(), 1u);
+  EXPECT_NE(comments[0].text.find("rand()"), std::string::npos);
+}
+
+TEST(LexerTest, BannedTokenInsideBlockCommentIsAComment) {
+  const auto tokens = Lex("/* std::random_device lives here */ int y;\n");
+  EXPECT_FALSE(HasIdent(tokens, "random_device"));
+  EXPECT_TRUE(HasIdent(tokens, "y"));
+}
+
+TEST(LexerTest, BannedTokenInsideStringLiteralIsAString) {
+  const auto tokens = Lex("const char* s = \"call rand() then time(nullptr)\";\n");
+  EXPECT_FALSE(HasIdent(tokens, "rand"));
+  EXPECT_FALSE(HasIdent(tokens, "time"));
+  const auto strings = OfKind(tokens, TokenKind::kString);
+  ASSERT_EQ(strings.size(), 1u);
+  EXPECT_EQ(strings[0].text, "call rand() then time(nullptr)");
+}
+
+TEST(LexerTest, RawStringSwallowsEverythingUntilDelimiter) {
+  const auto tokens = Lex("auto s = R\"json({\"clock\": \"system_clock::now()\"})json\";\n");
+  EXPECT_FALSE(HasIdent(tokens, "system_clock"));
+  const auto raw = OfKind(tokens, TokenKind::kRawString);
+  ASSERT_EQ(raw.size(), 1u);
+  EXPECT_EQ(raw[0].text, "{\"clock\": \"system_clock::now()\"}");
+}
+
+TEST(LexerTest, RawStringWithQuotesAndParens) {
+  // A ")" followed by a quote inside the payload must not terminate the literal early.
+  const auto tokens = Lex("auto s = R\"x(a )\" b )y\" c)x\";\n");
+  const auto raw = OfKind(tokens, TokenKind::kRawString);
+  ASSERT_EQ(raw.size(), 1u);
+  EXPECT_EQ(raw[0].text, "a )\" b )y\" c");
+}
+
+TEST(LexerTest, EscapedQuoteDoesNotEndString) {
+  const auto tokens = Lex("auto s = \"a \\\" rand() b\"; int z;\n");
+  EXPECT_FALSE(HasIdent(tokens, "rand"));
+  EXPECT_TRUE(HasIdent(tokens, "z"));
+}
+
+TEST(LexerTest, DigitSeparatorIsNotACharLiteral) {
+  const auto tokens = Lex("cluster.RunUntil(15'000.0); int after;\n");
+  const auto numbers = OfKind(tokens, TokenKind::kNumber);
+  ASSERT_EQ(numbers.size(), 1u);
+  EXPECT_EQ(numbers[0].text, "15'000.0");
+  EXPECT_TRUE(HasIdent(tokens, "after"));
+}
+
+TEST(LexerTest, CharLiteralWithEscape) {
+  const auto tokens = Lex("char c = '\\''; char d = 'x';\n");
+  const auto chars = OfKind(tokens, TokenKind::kCharLiteral);
+  ASSERT_EQ(chars.size(), 2u);
+  EXPECT_EQ(chars[0].text, "\\'");
+  EXPECT_EQ(chars[1].text, "x");
+}
+
+TEST(LexerTest, PreprocessorDirectiveIsOneToken) {
+  const auto tokens = Lex("#include <ctime>\nint x;\n");
+  const auto directives = OfKind(tokens, TokenKind::kPpDirective);
+  ASSERT_EQ(directives.size(), 1u);
+  EXPECT_EQ(directives[0].text, "include <ctime>");
+  EXPECT_FALSE(HasIdent(tokens, "ctime"));
+}
+
+TEST(LexerTest, DirectiveContinuationStaysOneToken) {
+  const auto tokens = Lex("#define FOO(a) \\\n  ((a) + 1)\nint x;\n");
+  const auto directives = OfKind(tokens, TokenKind::kPpDirective);
+  ASSERT_EQ(directives.size(), 1u);
+  EXPECT_NE(directives[0].text.find("((a) + 1)"), std::string::npos);
+  EXPECT_TRUE(HasIdent(tokens, "x"));
+}
+
+TEST(LexerTest, MultiCharOperatorsAreSingleTokens) {
+  const auto tokens = Lex("a += b; c::d; e->f;\n");
+  int plus_eq = 0;
+  int scope = 0;
+  int arrow = 0;
+  for (const Token& t : tokens) {
+    plus_eq += t.IsPunct("+=");
+    scope += t.IsPunct("::");
+    arrow += t.IsPunct("->");
+  }
+  EXPECT_EQ(plus_eq, 1);
+  EXPECT_EQ(scope, 1);
+  EXPECT_EQ(arrow, 1);
+}
+
+TEST(LexerTest, LineAndColumnPositions) {
+  const auto tokens = Lex("int a;\n  double b;\n");
+  ASSERT_GE(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].col, 1);
+  // "double" starts at line 2, col 3.
+  bool found = false;
+  for (const Token& t : tokens) {
+    if (t.IsIdent("double")) {
+      EXPECT_EQ(t.line, 2);
+      EXPECT_EQ(t.col, 3);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LexerTest, UnterminatedBlockCommentIsBestEffort) {
+  const auto tokens = Lex("int x; /* rand() never closed");
+  EXPECT_TRUE(HasIdent(tokens, "x"));
+  EXPECT_FALSE(HasIdent(tokens, "rand"));
+}
+
+}  // namespace
+}  // namespace probcon::lint

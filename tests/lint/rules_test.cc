@@ -1,0 +1,267 @@
+// Per-rule firing / non-firing coverage. Snippets live in raw strings, which doubles as a
+// live demonstration that banned tokens inside literals never fire when this file itself is
+// linted as part of the repo tree.
+
+#include "tools/lint/rules.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace probcon::lint {
+namespace {
+
+int CountRule(const std::vector<Finding>& findings, const std::string& rule) {
+  return static_cast<int>(std::count_if(findings.begin(), findings.end(),
+                                        [&](const Finding& f) { return f.rule == rule; }));
+}
+
+// --- R1: determinism ---------------------------------------------------------------------
+
+TEST(DeterminismRule, FiresOnEntropyAndClocks) {
+  const auto findings = LintSource("src/foo.cc", R"code(
+    #include <ctime>
+    void f() {
+      std::random_device rd;
+      auto t = std::chrono::system_clock::now();
+      auto u = time(nullptr);
+      srand(42);
+      int r = rand();
+    }
+  )code");
+  EXPECT_EQ(CountRule(findings, "probcon-determinism"), 6);
+}
+
+TEST(DeterminismRule, CleanSeededCodeDoesNotFire) {
+  const auto findings = LintSource("src/foo.cc", R"code(
+    #include "src/common/rng.h"
+    // rand() and time(nullptr) in a comment must not fire.
+    void f() {
+      probcon::Rng rng(42);
+      const char* msg = "never call rand() or srand() here";
+      double x = rng.NextDouble();
+      double elapsed_time = timer(now);  // identifiers merely containing banned words
+    }
+  )code");
+  EXPECT_EQ(CountRule(findings, "probcon-determinism"), 0);
+}
+
+TEST(DeterminismRule, MemberClockIsNotTheCLibrary) {
+  const auto findings = LintSource("src/foo.cc", R"code(
+    void f(const Simulator& sim) {
+      double now = sim.clock();
+      double t = scheduler->clock();
+    }
+  )code");
+  EXPECT_EQ(CountRule(findings, "probcon-determinism"), 0);
+}
+
+TEST(DeterminismRule, AllowlistedRngSeamMayUseEntropy) {
+  const auto findings = LintSource("src/common/rng.cc", R"code(
+    uint64_t EntropySeed() { return std::random_device{}(); }
+  )code");
+  EXPECT_EQ(CountRule(findings, "probcon-determinism"), 0);
+}
+
+TEST(DeterminismRule, TimeWithVariableArgumentDoesNotFire) {
+  const auto findings = LintSource("src/foo.cc", R"code(
+    void f(double when) { schedule.time(when); double t2 = advance_time(when); }
+  )code");
+  EXPECT_EQ(CountRule(findings, "probcon-determinism"), 0);
+}
+
+// --- R2: unordered iteration -------------------------------------------------------------
+
+TEST(UnorderedIterRule, FiresOnRangedForOverUnorderedMap) {
+  const auto findings = LintSource("src/foo.cc", R"code(
+    std::unordered_map<int, double> weights_;
+    void Export() {
+      for (const auto& [node, weight] : weights_) {
+        Emit(node, weight);
+      }
+    }
+  )code");
+  EXPECT_EQ(CountRule(findings, "probcon-unordered-iter"), 1);
+}
+
+TEST(UnorderedIterRule, FiresOnExplicitBeginWalk) {
+  const auto findings = LintSource("src/foo.cc", R"code(
+    std::unordered_set<uint64_t> pending_;
+    void Drain() {
+      for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+        Handle(*it);
+      }
+    }
+  )code");
+  EXPECT_EQ(CountRule(findings, "probcon-unordered-iter"), 1);
+}
+
+TEST(UnorderedIterRule, MembershipAndVectorIterationAreClean) {
+  const auto findings = LintSource("src/foo.cc", R"code(
+    std::unordered_set<uint64_t> cancelled_;
+    std::vector<int> order_;
+    bool Run() {
+      if (cancelled_.count(7) > 0) return false;
+      for (const int id : order_) {
+        Handle(id);
+      }
+      return cancelled_.find(9) != cancelled_.end();
+    }
+  )code");
+  EXPECT_EQ(CountRule(findings, "probcon-unordered-iter"), 0);
+}
+
+TEST(UnorderedIterRule, ClassicForWithTernaryDoesNotConfuseParser) {
+  const auto findings = LintSource("src/foo.cc", R"code(
+    std::unordered_map<int, int> m_;
+    void f(bool flip) {
+      for (int i = flip ? 1 : 0; i < 10; ++i) {
+        Touch(i);
+      }
+    }
+  )code");
+  EXPECT_EQ(CountRule(findings, "probcon-unordered-iter"), 0);
+}
+
+// --- R3: check hygiene + header namespace hygiene ----------------------------------------
+
+TEST(CheckRule, FiresOnRawAssertInSrc) {
+  const auto findings = LintSource("src/foo.cc", R"code(
+    #include <cassert>
+    void f(int n) { assert(n > 0); }
+  )code");
+  EXPECT_EQ(CountRule(findings, "probcon-check"), 2);  // include + call
+}
+
+TEST(CheckRule, CheckMacrosAndStaticAssertAreClean) {
+  const auto findings = LintSource("src/foo.cc", R"code(
+    #include "src/common/check.h"
+    void f(int n) {
+      CHECK(n > 0) << "bad n";
+      DCHECK(n < 100);
+      static_assert(sizeof(int) == 4);
+    }
+  )code");
+  EXPECT_EQ(CountRule(findings, "probcon-check"), 0);
+}
+
+TEST(CheckRule, AssertOutsideSrcIsNotOurBusiness) {
+  const auto findings = LintSource("tests/foo_test.cc", R"code(
+    void f(int n) { assert(n > 0); }
+  )code");
+  EXPECT_EQ(CountRule(findings, "probcon-check"), 0);
+}
+
+TEST(UsingNamespaceRule, FiresInHeadersOnly) {
+  const std::string snippet = R"code(
+    using namespace std;
+    void f();
+  )code";
+  EXPECT_EQ(CountRule(LintSource("src/foo.h", snippet), "probcon-using-namespace"), 1);
+  EXPECT_EQ(CountRule(LintSource("src/foo.cc", snippet), "probcon-using-namespace"), 0);
+}
+
+TEST(UsingNamespaceRule, UsingDeclarationIsClean) {
+  const auto findings = LintSource("src/foo.h", R"code(
+    using std::vector;
+    namespace probcon { void f(); }
+  )code");
+  EXPECT_EQ(CountRule(findings, "probcon-using-namespace"), 0);
+}
+
+// --- R4: ownership -----------------------------------------------------------------------
+
+TEST(OwnershipRule, FiresOnNakedNewAndDelete) {
+  const auto findings = LintSource("src/foo.cc", R"code(
+    void f() {
+      int* p = new int(7);
+      delete p;
+      int* a = new int[4];
+      delete[] a;
+    }
+  )code");
+  EXPECT_EQ(CountRule(findings, "probcon-ownership"), 4);
+}
+
+TEST(OwnershipRule, DeletedFunctionsAndMakeUniqueAreClean) {
+  const auto findings = LintSource("src/foo.cc", R"code(
+    struct NoCopy {
+      NoCopy(const NoCopy&) = delete;
+      NoCopy& operator=(const NoCopy&) = delete;
+    };
+    void f() {
+      auto p = std::make_unique<int>(7);
+      std::vector<int> v(4);
+    }
+  )code");
+  EXPECT_EQ(CountRule(findings, "probcon-ownership"), 0);
+}
+
+// --- R5: Kahan accumulation --------------------------------------------------------------
+
+TEST(KahanRule, FiresOnScalarDoubleReductionInLoop) {
+  const auto findings = LintSource("src/analysis/foo.cc", R"code(
+    double Total(const std::vector<double>& xs) {
+      double sum = 0.0;
+      for (const double x : xs) {
+        sum += x;
+      }
+      return sum;
+    }
+  )code");
+  EXPECT_EQ(CountRule(findings, "probcon-kahan"), 1);
+}
+
+TEST(KahanRule, KahanSumAndSubscriptedDpAreClean) {
+  const auto findings = LintSource("src/analysis/foo.cc", R"code(
+    double Total(const std::vector<double>& xs, std::vector<double>& e) {
+      KahanSum sum;
+      for (const double x : xs) {
+        sum += x;
+        e[2] += x * 0.5;  // DP cell update, not a scalar reduction
+      }
+      return sum.Total();
+    }
+  )code");
+  EXPECT_EQ(CountRule(findings, "probcon-kahan"), 0);
+}
+
+TEST(KahanRule, AccumulationOutsideLoopIsClean) {
+  const auto findings = LintSource("src/analysis/foo.cc", R"code(
+    double f(double a, double b) {
+      double acc = a;
+      acc += b;  // two-term update, not a loop reduction
+      return acc;
+    }
+  )code");
+  EXPECT_EQ(CountRule(findings, "probcon-kahan"), 0);
+}
+
+TEST(KahanRule, OnlyAppliesUnderAnalysis) {
+  const auto findings = LintSource("src/sim/foo.cc", R"code(
+    double Total(const std::vector<double>& xs) {
+      double sum = 0.0;
+      for (const double x : xs) {
+        sum += x;
+      }
+      return sum;
+    }
+  )code");
+  EXPECT_EQ(CountRule(findings, "probcon-kahan"), 0);
+}
+
+TEST(KahanRule, InnerScopeDeclarationAtSameLoopDepthIsClean) {
+  const auto findings = LintSource("src/analysis/foo.cc", R"code(
+    void f(const std::vector<double>& xs) {
+      for (const double x : xs) {
+        double mass = x;
+        mass += 0.5;  // declared and updated at the same loop depth
+        Use(mass);
+      }
+    }
+  )code");
+  EXPECT_EQ(CountRule(findings, "probcon-kahan"), 0);
+}
+
+}  // namespace
+}  // namespace probcon::lint

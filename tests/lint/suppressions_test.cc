@@ -1,0 +1,102 @@
+// NOLINT parsing: same-line, next-line, reason requirement, unknown rules, coexistence
+// with clang-tidy suppressions.
+
+#include "tools/lint/suppressions.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tools/lint/rules.h"
+
+namespace probcon::lint {
+namespace {
+
+int CountRule(const std::vector<Finding>& findings, const std::string& rule) {
+  return static_cast<int>(std::count_if(findings.begin(), findings.end(),
+                                        [&](const Finding& f) { return f.rule == rule; }));
+}
+
+TEST(SuppressionsTest, SameLineNolintWithReasonSuppresses) {
+  const auto findings = LintSource("src/foo.cc", R"code(
+    void f() {
+      srand(42);  // NOLINT(probcon-determinism): fixture exercising legacy seeding
+    }
+  )code");
+  EXPECT_EQ(CountRule(findings, "probcon-determinism"), 0);
+  EXPECT_EQ(CountRule(findings, "probcon-nolint"), 0);
+}
+
+TEST(SuppressionsTest, NolintNextlineSuppressesFollowingLineOnly) {
+  const auto findings = LintSource("src/foo.cc", R"code(
+    void f() {
+      // NOLINTNEXTLINE(probcon-determinism): wall-time telemetry only; never in results
+      auto t = std::chrono::steady_clock::now();
+      auto u = std::chrono::steady_clock::now();
+    }
+  )code");
+  EXPECT_EQ(CountRule(findings, "probcon-determinism"), 1);  // second line still fires
+}
+
+TEST(SuppressionsTest, MissingReasonStillSuppressesButIsFlagged) {
+  const auto findings = LintSource("src/foo.cc", R"code(
+    void f() {
+      srand(42);  // NOLINT(probcon-determinism)
+    }
+  )code");
+  EXPECT_EQ(CountRule(findings, "probcon-determinism"), 0);
+  EXPECT_EQ(CountRule(findings, "probcon-nolint"), 1);
+}
+
+TEST(SuppressionsTest, UnknownProbconRuleIsFlagged) {
+  const auto findings = LintSource("src/foo.cc", R"code(
+    int x = 0;  // NOLINT(probcon-made-up-rule): no such rule
+  )code");
+  EXPECT_EQ(CountRule(findings, "probcon-nolint"), 1);
+}
+
+TEST(SuppressionsTest, WrongRuleDoesNotSuppressOtherFindings) {
+  const auto findings = LintSource("src/foo.cc", R"code(
+    void f() {
+      srand(42);  // NOLINT(probcon-ownership): suppressing the wrong rule
+    }
+  )code");
+  EXPECT_EQ(CountRule(findings, "probcon-determinism"), 1);
+}
+
+TEST(SuppressionsTest, ClangTidyNolintIsIgnored) {
+  const auto findings = LintSource("src/foo.cc", R"code(
+    void f() {
+      srand(42);  // NOLINT(bugprone-foo)
+    }
+  )code");
+  // The clang-tidy-namespaced NOLINT neither suppresses nor triggers hygiene findings.
+  EXPECT_EQ(CountRule(findings, "probcon-determinism"), 1);
+  EXPECT_EQ(CountRule(findings, "probcon-nolint"), 0);
+}
+
+TEST(SuppressionsTest, MultiRuleListSuppressesEachNamedRule) {
+  const auto findings = LintSource("src/analysis/foo.cc", R"code(
+    double f(const std::vector<double>& xs) {
+      double sum = 0.0;
+      for (const double x : xs) {
+        sum += x;  // NOLINT(probcon-kahan, probcon-determinism): error already bounded here
+      }
+      return sum;
+    }
+  )code");
+  EXPECT_EQ(CountRule(findings, "probcon-kahan"), 0);
+  EXPECT_EQ(CountRule(findings, "probcon-nolint"), 0);
+}
+
+TEST(SuppressionsTest, NolintInsideStringLiteralIsInert) {
+  const auto findings = LintSource("src/foo.cc", R"code(
+    void f() {
+      srand(42); const char* doc = "// NOLINT(probcon-determinism): not a real comment";
+    }
+  )code");
+  EXPECT_EQ(CountRule(findings, "probcon-determinism"), 1);
+}
+
+}  // namespace
+}  // namespace probcon::lint

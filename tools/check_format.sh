@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Check-only clang-format gate.
+#
+# Scope: files changed since $BASE_REF (default: merge-base with origin/main, falling back
+# to HEAD~1, falling back to the full tree with --all). Scoping keeps the gate useful
+# without ever forcing a mass reformat: the tree predates .clang-format, and untouched
+# files stay untouched.
+#
+#   tools/check_format.sh                # changed files only (CI default)
+#   tools/check_format.sh --all         # every tracked source file
+#   BASE_REF=origin/main tools/check_format.sh
+#
+# Exit codes: 0 clean or skipped (no clang-format / nothing to check), 1 format diffs.
+
+set -u
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "check_format: $CLANG_FORMAT not found; skipping (CI installs it)" >&2
+  exit 0
+fi
+
+list_changed_files() {
+  local base="${BASE_REF:-}"
+  if [ -z "$base" ]; then
+    if git rev-parse --verify -q origin/main >/dev/null; then
+      base="$(git merge-base HEAD origin/main)"
+    elif git rev-parse --verify -q HEAD~1 >/dev/null; then
+      base="HEAD~1"
+    else
+      git ls-files -- '*.h' '*.hpp' '*.cc' '*.cpp'
+      return
+    fi
+  fi
+  git diff --name-only --diff-filter=ACMR "$base" -- '*.h' '*.hpp' '*.cc' '*.cpp'
+}
+
+if [ "${1:-}" = "--all" ]; then
+  files="$(git ls-files -- '*.h' '*.hpp' '*.cc' '*.cpp')"
+else
+  files="$(list_changed_files)"
+fi
+
+# Fixture snippets are deliberately non-conforming rule bait; never format-check them.
+files="$(printf '%s\n' "$files" | grep -v '^tests/lint/fixtures/' || true)"
+
+if [ -z "$files" ]; then
+  echo "check_format: no source files to check"
+  exit 0
+fi
+
+status=0
+while IFS= read -r file; do
+  [ -f "$file" ] || continue
+  if ! "$CLANG_FORMAT" --dry-run -Werror "$file" >/dev/null 2>&1; then
+    echo "check_format: needs formatting: $file" >&2
+    "$CLANG_FORMAT" --dry-run -Werror "$file" 2>&1 | head -20 >&2
+    status=1
+  fi
+done <<< "$files"
+
+if [ "$status" -eq 0 ]; then
+  echo "check_format: clean ($(printf '%s\n' "$files" | wc -l | tr -d ' ') files)"
+fi
+exit "$status"

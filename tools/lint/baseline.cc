@@ -1,0 +1,62 @@
+#include "tools/lint/baseline.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace probcon::lint {
+
+std::string BaselineKey(const Finding& finding) {
+  std::ostringstream os;
+  os << finding.rule << '\t' << finding.path << '\t' << finding.line << '\t' << finding.token;
+  return os.str();
+}
+
+bool Baseline::Contains(const Finding& finding) const {
+  return std::binary_search(entries.begin(), entries.end(), BaselineKey(finding));
+}
+
+Baseline ParseBaseline(const std::string& text) {
+  Baseline baseline;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    // A record has exactly three tabs: rule, path, line, token.
+    if (std::count(line.begin(), line.end(), '\t') != 3) {
+      continue;
+    }
+    baseline.entries.push_back(line);
+  }
+  std::sort(baseline.entries.begin(), baseline.entries.end());
+  return baseline;
+}
+
+std::string SerializeBaseline(const std::vector<Finding>& findings) {
+  std::vector<std::string> keys;
+  keys.reserve(findings.size());
+  for (const Finding& finding : findings) {
+    keys.push_back(BaselineKey(finding));
+  }
+  std::sort(keys.begin(), keys.end());
+  std::ostringstream os;
+  os << "# probcon-lint baseline. Grandfathered findings only; this file only shrinks.\n"
+     << "# Format: rule<TAB>path<TAB>line<TAB>token. Regenerate: probcon-lint --write-baseline\n";
+  for (const std::string& key : keys) {
+    os << key << '\n';
+  }
+  return os.str();
+}
+
+void ApplyBaseline(const Baseline& baseline, const std::vector<Finding>& findings,
+                   std::vector<Finding>& fresh, std::vector<Finding>& baselined) {
+  for (const Finding& finding : findings) {
+    (baseline.Contains(finding) ? baselined : fresh).push_back(finding);
+  }
+}
+
+}  // namespace probcon::lint

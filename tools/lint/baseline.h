@@ -1,0 +1,42 @@
+// Baseline support: grandfathered findings that do not fail the build.
+//
+// The checked-in baseline (tools/lint/baseline.txt) is the debt ledger: a finding listed
+// there is reported as "baselined" but does not affect the exit code. New findings always
+// fail. Policy: the baseline only ever shrinks — regenerate with --write-baseline after
+// deleting a grandfathered site, never to absorb a new one.
+//
+// Format: one tab-separated record per line, '#' comments and blank lines ignored:
+//   rule<TAB>path<TAB>line<TAB>token
+
+#ifndef PROBCON_TOOLS_LINT_BASELINE_H_
+#define PROBCON_TOOLS_LINT_BASELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/lint/finding.h"
+
+namespace probcon::lint {
+
+struct Baseline {
+  // Sorted (rule, path, line, token) keys.
+  std::vector<std::string> entries;
+
+  bool Contains(const Finding& finding) const;
+};
+
+std::string BaselineKey(const Finding& finding);
+
+// Parses baseline text. Malformed lines are skipped (a lint over the linter's own input
+// would be circular); `Serialize` always writes well-formed records.
+Baseline ParseBaseline(const std::string& text);
+
+std::string SerializeBaseline(const std::vector<Finding>& findings);
+
+// Splits `findings` into (new, baselined) according to `baseline`.
+void ApplyBaseline(const Baseline& baseline, const std::vector<Finding>& findings,
+                   std::vector<Finding>& fresh, std::vector<Finding>& baselined);
+
+}  // namespace probcon::lint
+
+#endif  // PROBCON_TOOLS_LINT_BASELINE_H_

@@ -1,0 +1,73 @@
+#include "tools/lint/driver.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace probcon::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool HasLintableExtension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+}  // namespace
+
+const std::vector<std::string>& DefaultLintDirs() {
+  static const std::vector<std::string> kDirs = {"src", "tests", "bench", "examples"};
+  return kDirs;
+}
+
+std::vector<std::string> CollectFiles(const std::string& root,
+                                      const std::vector<std::string>& dirs) {
+  std::vector<std::string> files;
+  for (const std::string& dir : dirs) {
+    const fs::path base = fs::path(root) / dir;
+    std::error_code ec;
+    if (!fs::is_directory(base, ec)) {
+      // A single file path is also accepted (useful for `probcon-lint src/foo.cc`).
+      if (fs::is_regular_file(base, ec) && HasLintableExtension(base)) {
+        files.push_back(dir);
+      }
+      continue;
+    }
+    for (fs::recursive_directory_iterator it(base, ec), end; it != end; it.increment(ec)) {
+      if (ec) {
+        break;
+      }
+      if (!it->is_regular_file(ec) || !HasLintableExtension(it->path())) {
+        continue;
+      }
+      files.push_back(fs::relative(it->path(), root, ec).generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+std::vector<Finding> LintTree(const std::string& root, const std::vector<std::string>& dirs,
+                              const LintOptions& options) {
+  std::vector<Finding> findings;
+  for (const std::string& file : CollectFiles(root, dirs)) {
+    std::ifstream in(fs::path(root) / file, std::ios::binary);
+    if (!in) {
+      findings.push_back(
+          Finding{"probcon-io", file, 0, 0, file, "cannot read file; lint coverage is incomplete"});
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::vector<Finding> file_findings = LintSource(file, buffer.str(), options);
+    findings.insert(findings.end(), std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  std::sort(findings.begin(), findings.end());
+  return findings;
+}
+
+}  // namespace probcon::lint

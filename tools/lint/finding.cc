@@ -1,0 +1,65 @@
+#include "tools/lint/finding.h"
+
+#include <sstream>
+
+namespace probcon::lint {
+namespace {
+
+void AppendJsonEscaped(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string FormatHuman(const Finding& finding) {
+  std::ostringstream os;
+  os << finding.path << ":" << finding.line << ":" << finding.col << ": warning: "
+     << finding.message << " [" << finding.rule << "]";
+  return os.str();
+}
+
+std::string FormatJson(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  os << "{\n  \"findings\": [";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"rule\": ";
+    AppendJsonEscaped(os, f.rule);
+    os << ", \"path\": ";
+    AppendJsonEscaped(os, f.path);
+    os << ", \"line\": " << f.line << ", \"col\": " << f.col << ", \"token\": ";
+    AppendJsonEscaped(os, f.token);
+    os << ", \"message\": ";
+    AppendJsonEscaped(os, f.message);
+    os << "}";
+  }
+  os << (findings.empty() ? "]" : "\n  ]") << ",\n  \"count\": " << findings.size() << "\n}\n";
+  return os.str();
+}
+
+}  // namespace probcon::lint

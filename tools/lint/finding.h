@@ -1,0 +1,38 @@
+// Finding: one rule violation at a file:line:col anchor.
+
+#ifndef PROBCON_TOOLS_LINT_FINDING_H_
+#define PROBCON_TOOLS_LINT_FINDING_H_
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace probcon::lint {
+
+struct Finding {
+  std::string rule;     // e.g. "probcon-determinism"
+  std::string path;     // repo-relative, forward slashes
+  int line = 0;
+  int col = 0;
+  std::string token;    // the offending token (baseline identity; stable across messages)
+  std::string message;  // human explanation with the suggested fix
+
+  friend bool operator<(const Finding& a, const Finding& b) {
+    return std::tie(a.path, a.line, a.col, a.rule, a.token) <
+           std::tie(b.path, b.line, b.col, b.rule, b.token);
+  }
+  friend bool operator==(const Finding& a, const Finding& b) {
+    return std::tie(a.path, a.line, a.col, a.rule, a.token) ==
+           std::tie(b.path, b.line, b.col, b.rule, b.token);
+  }
+};
+
+// "path:line:col: warning: message [rule]" — the gcc-style shape editors and CI annotate.
+std::string FormatHuman(const Finding& finding);
+
+// Deterministic JSON array of {rule, path, line, col, token, message} objects.
+std::string FormatJson(const std::vector<Finding>& findings);
+
+}  // namespace probcon::lint
+
+#endif  // PROBCON_TOOLS_LINT_FINDING_H_

@@ -1,0 +1,322 @@
+#include "tools/lint/lexer.h"
+
+#include <array>
+#include <cctype>
+
+namespace probcon::lint {
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+// String-literal encoding prefixes after which a '"' starts a (possibly raw) literal.
+bool IsEncodingPrefix(std::string_view ident) {
+  return ident == "u8" || ident == "u" || ident == "U" || ident == "L";
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view source) : source_(source) {}
+
+  bool AtEnd() const { return pos_ >= source_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+  }
+
+  char Advance() {
+    const char c = source_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  int line() const { return line_; }
+  int col() const { return col_; }
+  size_t pos() const { return pos_; }
+  std::string_view Slice(size_t from, size_t to) const { return source_.substr(from, to - from); }
+
+ private:
+  std::string_view source_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : cur_(source) {}
+
+  std::vector<Token> Run() {
+    while (!cur_.AtEnd()) {
+      const char c = cur_.Peek();
+      if (c == '\n') {
+        cur_.Advance();
+        at_line_start_ = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        cur_.Advance();
+        continue;
+      }
+      MarkToken();
+      if (c == '#' && at_line_start_) {
+        LexPpDirective();
+      } else if (c == '/' && cur_.Peek(1) == '/') {
+        LexLineComment();
+      } else if (c == '/' && cur_.Peek(1) == '*') {
+        LexBlockComment();
+      } else if (c == '"') {
+        LexString();
+      } else if (c == '\'') {
+        LexCharLiteral();
+      } else if (IsDigit(c) || (c == '.' && IsDigit(cur_.Peek(1)))) {
+        LexNumber();
+      } else if (IsIdentStart(c)) {
+        LexIdentifierOrPrefixedString();
+      } else {
+        LexPunct();
+      }
+      at_line_start_ = false;
+    }
+    return std::move(tokens_);
+  }
+
+ private:
+  void MarkToken() {
+    token_line_ = cur_.line();
+    token_col_ = cur_.col();
+  }
+
+  void Emit(TokenKind kind, std::string text) {
+    tokens_.push_back(Token{kind, std::move(text), token_line_, token_col_});
+  }
+
+  void LexPpDirective() {
+    cur_.Advance();  // '#'
+    std::string text;
+    // A directive runs to end of line, honoring backslash continuations. Comments inside the
+    // directive are dropped so "#include <ctime> /* rand */" keeps only the include text.
+    while (!cur_.AtEnd()) {
+      const char c = cur_.Peek();
+      if (c == '\\' && cur_.Peek(1) == '\n') {
+        cur_.Advance();
+        cur_.Advance();
+        text += ' ';
+        continue;
+      }
+      if (c == '\n') {
+        break;
+      }
+      if (c == '/' && cur_.Peek(1) == '/') {
+        while (!cur_.AtEnd() && cur_.Peek() != '\n') {
+          cur_.Advance();
+        }
+        break;
+      }
+      if (c == '/' && cur_.Peek(1) == '*') {
+        MarkToken();
+        LexBlockComment();
+        tokens_.pop_back();  // directive-internal comment; not a standalone token
+        continue;
+      }
+      text += cur_.Advance();
+    }
+    Emit(TokenKind::kPpDirective, std::move(text));
+  }
+
+  void LexLineComment() {
+    cur_.Advance();
+    cur_.Advance();  // "//"
+    std::string text;
+    while (!cur_.AtEnd() && cur_.Peek() != '\n') {
+      text += cur_.Advance();
+    }
+    Emit(TokenKind::kComment, std::move(text));
+  }
+
+  void LexBlockComment() {
+    cur_.Advance();
+    cur_.Advance();  // "/*"
+    std::string text;
+    while (!cur_.AtEnd()) {
+      if (cur_.Peek() == '*' && cur_.Peek(1) == '/') {
+        cur_.Advance();
+        cur_.Advance();
+        break;
+      }
+      text += cur_.Advance();
+    }
+    Emit(TokenKind::kComment, std::move(text));
+  }
+
+  void LexString() {
+    cur_.Advance();  // '"'
+    std::string text;
+    while (!cur_.AtEnd()) {
+      const char c = cur_.Peek();
+      if (c == '\\' && !cur_.AtEnd()) {
+        text += cur_.Advance();
+        if (!cur_.AtEnd()) {
+          text += cur_.Advance();
+        }
+        continue;
+      }
+      if (c == '"' || c == '\n') {
+        break;
+      }
+      text += cur_.Advance();
+    }
+    if (!cur_.AtEnd() && cur_.Peek() == '"') {
+      cur_.Advance();
+    }
+    Emit(TokenKind::kString, std::move(text));
+  }
+
+  // R"delim( ... )delim" — nothing inside is escaped; only the exact )delim" closer ends it.
+  void LexRawString() {
+    cur_.Advance();  // '"'
+    std::string delim;
+    while (!cur_.AtEnd() && cur_.Peek() != '(') {
+      delim += cur_.Advance();
+    }
+    if (!cur_.AtEnd()) {
+      cur_.Advance();  // '('
+    }
+    const std::string closer = ")" + delim + "\"";
+    std::string text;
+    while (!cur_.AtEnd()) {
+      if (cur_.Peek() == ')') {
+        bool matches = true;
+        for (size_t i = 0; i < closer.size(); ++i) {
+          if (cur_.Peek(i) != closer[i]) {
+            matches = false;
+            break;
+          }
+        }
+        if (matches) {
+          for (size_t i = 0; i < closer.size(); ++i) {
+            cur_.Advance();
+          }
+          Emit(TokenKind::kRawString, std::move(text));
+          return;
+        }
+      }
+      text += cur_.Advance();
+    }
+    Emit(TokenKind::kRawString, std::move(text));  // unterminated; best effort
+  }
+
+  void LexCharLiteral() {
+    cur_.Advance();  // '\''
+    std::string text;
+    while (!cur_.AtEnd()) {
+      const char c = cur_.Peek();
+      if (c == '\\') {
+        text += cur_.Advance();
+        if (!cur_.AtEnd()) {
+          text += cur_.Advance();
+        }
+        continue;
+      }
+      if (c == '\'' || c == '\n') {
+        break;
+      }
+      text += cur_.Advance();
+    }
+    if (!cur_.AtEnd() && cur_.Peek() == '\'') {
+      cur_.Advance();
+    }
+    Emit(TokenKind::kCharLiteral, std::move(text));
+  }
+
+  void LexNumber() {
+    std::string text;
+    text += cur_.Advance();
+    while (!cur_.AtEnd()) {
+      const char c = cur_.Peek();
+      if (IsIdentChar(c) || c == '.') {
+        text += cur_.Advance();
+        continue;
+      }
+      // Digit separator: a '\'' between digit-ish characters is part of the number
+      // (15'000.0), never the start of a char literal.
+      if (c == '\'' && IsIdentChar(cur_.Peek(1))) {
+        text += cur_.Advance();
+        continue;
+      }
+      // Exponent signs: 1e-9, 0x1.8p+3.
+      if ((c == '+' || c == '-') && !text.empty() &&
+          (text.back() == 'e' || text.back() == 'E' || text.back() == 'p' || text.back() == 'P')) {
+        text += cur_.Advance();
+        continue;
+      }
+      break;
+    }
+    Emit(TokenKind::kNumber, std::move(text));
+  }
+
+  void LexIdentifierOrPrefixedString() {
+    std::string text;
+    while (!cur_.AtEnd() && IsIdentChar(cur_.Peek())) {
+      text += cur_.Advance();
+    }
+    if (cur_.Peek() == '"') {
+      // R"(...)" and friends: uR, u8R, LR, UR are raw; u8/u/U/L alone prefix ordinary strings.
+      if (!text.empty() && text.back() == 'R' &&
+          (text.size() == 1 || IsEncodingPrefix(text.substr(0, text.size() - 1)))) {
+        LexRawString();
+        return;
+      }
+      if (IsEncodingPrefix(text)) {
+        LexString();
+        return;
+      }
+    }
+    Emit(TokenKind::kIdentifier, std::move(text));
+  }
+
+  void LexPunct() {
+    // Longest-match over the multi-char operators the rules care about. '<' and '>' are
+    // always single tokens so template-argument balancing stays simple ("map<int,set<T>>"
+    // closes with two '>' tokens, not one ">>").
+    static constexpr std::array<std::string_view, 18> kMulti = {
+        "...", "->*", "::", "->", "+=", "-=", "*=", "/=", "%=",
+        "&=",  "|=",  "^=", "==", "!=", "&&", "||", "++", "--",
+    };
+    for (const auto op : kMulti) {
+      bool matches = true;
+      for (size_t i = 0; i < op.size(); ++i) {
+        if (cur_.Peek(i) != op[i]) {
+          matches = false;
+          break;
+        }
+      }
+      if (matches) {
+        std::string text;
+        for (size_t i = 0; i < op.size(); ++i) {
+          text += cur_.Advance();
+        }
+        Emit(TokenKind::kPunct, std::move(text));
+        return;
+      }
+    }
+    Emit(TokenKind::kPunct, std::string(1, cur_.Advance()));
+  }
+
+  Cursor cur_;
+  std::vector<Token> tokens_;
+  bool at_line_start_ = true;
+  int token_line_ = 1;
+  int token_col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> Lex(std::string_view source) { return Lexer(source).Run(); }
+
+}  // namespace probcon::lint

@@ -1,0 +1,26 @@
+// A small, self-contained C++ lexer for probcon-lint.
+//
+// This is not a conforming phase-3 translation: it tokenizes one file at a time, keeps
+// comments and preprocessor directives as tokens (rules need them for NOLINT parsing and
+// include checks), and never evaluates macros. It is exact about the things the rules depend
+// on: comment and string boundaries (including raw strings and digit separators), multi-char
+// operators ("::" vs ":"), and line/column positions.
+
+#ifndef PROBCON_TOOLS_LINT_LEXER_H_
+#define PROBCON_TOOLS_LINT_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tools/lint/token.h"
+
+namespace probcon::lint {
+
+// Tokenizes `source`. Never throws: malformed input (unterminated string/comment) produces a
+// best-effort token ending at EOF, so the rule layer always sees a complete stream.
+std::vector<Token> Lex(std::string_view source);
+
+}  // namespace probcon::lint
+
+#endif  // PROBCON_TOOLS_LINT_LEXER_H_

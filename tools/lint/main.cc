@@ -1,0 +1,128 @@
+// probcon-lint: determinism & safety static analysis for the probcon tree.
+//
+//   probcon-lint --root . --baseline tools/lint/baseline.txt        # CI invocation
+//   probcon-lint --root . --json src                                # machine output
+//   probcon-lint --root . --write-baseline                          # regenerate the ledger
+//
+// Exit codes: 0 clean (baselined findings allowed), 1 new findings, 2 usage or IO error.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/baseline.h"
+#include "tools/lint/driver.h"
+#include "tools/lint/finding.h"
+#include "tools/lint/rules.h"
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: probcon-lint [options] [dir-or-file ...]
+
+Lints src/ tests/ bench/ examples/ under --root (default: current directory)
+against the probcon determinism & safety rules; see docs/LINTING.md.
+
+options:
+  --root DIR             repository root to lint (default ".")
+  --baseline FILE        tolerate findings listed in FILE (they report but do not fail)
+  --write-baseline       rewrite --baseline FILE (default tools/lint/baseline.txt) from
+                         the current findings, then exit 0
+  --json                 machine-readable output (new findings only)
+  -h, --help             this message
+)";
+
+struct Args {
+  std::string root = ".";
+  std::string baseline_path;
+  bool write_baseline = false;
+  bool json = false;
+  std::vector<std::string> dirs;
+};
+
+bool ParseArgs(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      args.root = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      args.baseline_path = argv[++i];
+    } else if (arg == "--write-baseline") {
+      args.write_baseline = true;
+    } else if (arg == "--json") {
+      args.json = true;
+    } else if (arg == "-h" || arg == "--help") {
+      std::cout << kUsage;
+      std::exit(0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "probcon-lint: unknown option '" << arg << "'\n" << kUsage;
+      return false;
+    } else {
+      args.dirs.push_back(arg);
+    }
+  }
+  if (args.dirs.empty()) {
+    args.dirs = probcon::lint::DefaultLintDirs();
+  }
+  if (args.write_baseline && args.baseline_path.empty()) {
+    args.baseline_path = "tools/lint/baseline.txt";
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace probcon::lint;  // NOLINT: tool entry point, not a header
+
+  Args args;
+  if (!ParseArgs(argc, argv, args)) {
+    return 2;
+  }
+
+  const LintOptions options;
+  const std::vector<Finding> all = LintTree(args.root, args.dirs, options);
+
+  if (args.write_baseline) {
+    std::ofstream out(args.baseline_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::cerr << "probcon-lint: cannot write baseline " << args.baseline_path << "\n";
+      return 2;
+    }
+    out << SerializeBaseline(all);
+    std::cerr << "probcon-lint: wrote " << all.size() << " baseline entr"
+              << (all.size() == 1 ? "y" : "ies") << " to " << args.baseline_path << "\n";
+    return 0;
+  }
+
+  Baseline baseline;
+  if (!args.baseline_path.empty()) {
+    std::ifstream in(args.baseline_path, std::ios::binary);
+    if (!in) {
+      std::cerr << "probcon-lint: cannot read baseline " << args.baseline_path << "\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    baseline = ParseBaseline(buffer.str());
+  }
+
+  std::vector<Finding> fresh;
+  std::vector<Finding> baselined;
+  ApplyBaseline(baseline, all, fresh, baselined);
+
+  if (args.json) {
+    std::cout << FormatJson(fresh);
+  } else {
+    for (const Finding& finding : fresh) {
+      std::cout << FormatHuman(finding) << "\n";
+    }
+    for (const Finding& finding : baselined) {
+      std::cout << FormatHuman(finding) << " (baselined)\n";
+    }
+    std::cerr << "probcon-lint: " << fresh.size() << " new finding"
+              << (fresh.size() == 1 ? "" : "s") << ", " << baselined.size() << " baselined\n";
+  }
+  return fresh.empty() ? 0 : 1;
+}

@@ -1,0 +1,65 @@
+// The probcon-lint rules. Each protects a piece of the repo's determinism/safety contract:
+//
+//   probcon-determinism   (R1) no ambient entropy or wall-clock reads: results are a pure
+//                              function of seeds. Banned: rand/srand, std::random_device,
+//                              default_random_engine, random_shuffle, system_clock /
+//                              steady_clock / high_resolution_clock, time(nullptr)/time(0),
+//                              clock(), gettimeofday/clock_gettime/timespec_get, and the
+//                              <ctime>/<sys/time.h> includes. Allowlisted seams: the Rng
+//                              implementation itself and telemetry generator entry points.
+//   probcon-unordered-iter (R2) no ranged-for / .begin() iteration over unordered_map /
+//                              unordered_set: iteration order is nondeterministic and leaks
+//                              into committed results, traces, and JSON exports.
+//   probcon-check          (R3) raw assert() in src/ dies under NDEBUG; use the CHECK /
+//                              DCHECK family from src/common/check.h.
+//   probcon-using-namespace(R3) `using namespace std` in headers pollutes every includer.
+//   probcon-ownership      (R4) naked new/delete outside the allowlist; use values,
+//                              containers, or unique_ptr/make_unique.
+//   probcon-kahan          (R5) scalar `double x; loop { x += ... }` reductions in
+//                              src/analysis/ lose low-order mass; accumulate via KahanSum.
+//   probcon-nolint              suppression hygiene (reason required, rule must exist).
+
+#ifndef PROBCON_TOOLS_LINT_RULES_H_
+#define PROBCON_TOOLS_LINT_RULES_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/lint/finding.h"
+
+namespace probcon::lint {
+
+struct LintOptions {
+  // Paths (repo-relative suffix match) where R1 entropy/clock bans do not apply: the seeded
+  // RNG seam itself and telemetry synthesis entry points that are documented RNG consumers.
+  std::vector<std::string> entropy_allowlist = {
+      "src/common/rng.h",
+      "src/common/rng.cc",
+      "src/telemetry/fleet_generator.h",
+      "src/telemetry/fleet_generator.cc",
+  };
+
+  // Paths where R4 naked new/delete is tolerated (arena/benchmark internals). Empty today.
+  std::vector<std::string> ownership_allowlist;
+
+  // R5 applies below this directory prefix.
+  std::string kahan_prefix = "src/analysis/";
+
+  // R3 assert ban applies below this prefix (tests use gtest assertions; benches may do
+  // whatever the benchmark harness wants).
+  std::string check_prefix = "src/";
+};
+
+// All valid rule names (for NOLINT validation and --rule filters).
+const std::set<std::string>& KnownRules();
+
+// Lints one in-memory source file. `path` must be repo-relative with forward slashes; it
+// drives per-directory rule applicability and allowlists. Returned findings are sorted and
+// already have inline NOLINT suppressions applied.
+std::vector<Finding> LintSource(const std::string& path, const std::string& content,
+                                const LintOptions& options = LintOptions());
+
+}  // namespace probcon::lint
+
+#endif  // PROBCON_TOOLS_LINT_RULES_H_

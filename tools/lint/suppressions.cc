@@ -1,0 +1,100 @@
+#include "tools/lint/suppressions.h"
+
+#include <cctype>
+
+namespace probcon::lint {
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) {
+    ++b;
+  }
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+// Splits "probcon-determinism, bugprone-foo" into trimmed entries.
+std::vector<std::string> SplitRuleList(const std::string& list) {
+  std::vector<std::string> rules;
+  std::string current;
+  for (const char c : list) {
+    if (c == ',') {
+      rules.push_back(Trim(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  rules.push_back(Trim(current));
+  return rules;
+}
+
+}  // namespace
+
+SuppressionSet ParseSuppressions(const std::string& path, const std::vector<Token>& tokens,
+                                 const std::set<std::string>& known_rules,
+                                 std::vector<Finding>& hygiene) {
+  SuppressionSet set;
+  for (const Token& token : tokens) {
+    if (token.kind != TokenKind::kComment) {
+      continue;
+    }
+    const std::string& text = token.text;
+    for (size_t pos = text.find("NOLINT"); pos != std::string::npos;
+         pos = text.find("NOLINT", pos + 1)) {
+      // Skip if this is the tail of a longer word (e.g. "DONOLINT").
+      if (pos > 0 && (std::isalnum(static_cast<unsigned char>(text[pos - 1])) != 0 ||
+                      text[pos - 1] == '_')) {
+        continue;
+      }
+      size_t after = pos + 6;  // past "NOLINT"
+      int target_line = token.line;
+      if (text.compare(after, 8, "NEXTLINE") == 0) {
+        after += 8;
+        target_line = token.line + 1;
+      }
+      if (after >= text.size() || text[after] != '(') {
+        continue;  // bare NOLINT: clang-tidy territory, not ours
+      }
+      const size_t close = text.find(')', after);
+      if (close == std::string::npos) {
+        continue;
+      }
+      const std::vector<std::string> rules =
+          SplitRuleList(text.substr(after + 1, close - after - 1));
+
+      bool any_probcon = false;
+      for (const std::string& rule : rules) {
+        if (rule.rfind("probcon-", 0) != 0) {
+          continue;  // clang-tidy rule on a shared NOLINT; ignore
+        }
+        any_probcon = true;
+        if (known_rules.count(rule) == 0) {
+          hygiene.push_back(Finding{"probcon-nolint", path, token.line, token.col, rule,
+                                    "NOLINT names unknown rule '" + rule +
+                                        "'; see docs/LINTING.md for the rule list"});
+          continue;
+        }
+        set.by_line[target_line].insert(rule);
+      }
+
+      if (any_probcon) {
+        // Reason required: "): why this site is exempt".
+        const std::string reason = Trim(text.substr(close + 1));
+        if (reason.empty() || reason[0] != ':' || Trim(reason.substr(1)).empty()) {
+          hygiene.push_back(Finding{"probcon-nolint", path, token.line, token.col, "NOLINT",
+                                    "probcon NOLINT requires a reason: write "
+                                    "`NOLINT(probcon-rule): why this site is exempt`"});
+        }
+      }
+      pos = close;
+    }
+  }
+  return set;
+}
+
+}  // namespace probcon::lint

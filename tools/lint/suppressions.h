@@ -1,0 +1,43 @@
+// Inline suppression parsing: `// NOLINT(probcon-rule): reason`.
+//
+// Policy (see docs/LINTING.md):
+//   - Only the probcon-* rule namespace is handled here; bare NOLINT or clang-tidy-style
+//     NOLINT(bugprone-...) comments are ignored so both tools can coexist on one line.
+//   - A reason is REQUIRED: `// NOLINT(probcon-determinism): wall-time telemetry only`.
+//     A probcon suppression with no reason still suppresses (so CI failures don't cascade)
+//     but emits a probcon-nolint finding of its own.
+//   - NOLINTNEXTLINE(probcon-...) suppresses the following line.
+
+#ifndef PROBCON_TOOLS_LINT_SUPPRESSIONS_H_
+#define PROBCON_TOOLS_LINT_SUPPRESSIONS_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/lint/finding.h"
+#include "tools/lint/token.h"
+
+namespace probcon::lint {
+
+struct SuppressionSet {
+  // line -> set of probcon rule names suppressed on that line.
+  std::map<int, std::set<std::string>> by_line;
+
+  bool Suppresses(const std::string& rule, int line) const {
+    auto it = by_line.find(line);
+    return it != by_line.end() && it->second.count(rule) > 0;
+  }
+};
+
+// Scans comment tokens for probcon NOLINT markers. Hygiene problems (missing reason,
+// unknown probcon rule name) are appended to `hygiene` as probcon-nolint findings.
+// `known_rules` is the set of valid probcon rule names.
+SuppressionSet ParseSuppressions(const std::string& path, const std::vector<Token>& tokens,
+                                 const std::set<std::string>& known_rules,
+                                 std::vector<Finding>& hygiene);
+
+}  // namespace probcon::lint
+
+#endif  // PROBCON_TOOLS_LINT_SUPPRESSIONS_H_

@@ -1,0 +1,38 @@
+// Token model for the probcon-lint lexer.
+//
+// probcon-lint deliberately lexes (rather than greps) the tree so that banned tokens inside
+// comments, string literals, and raw strings never fire, and so rules can reason about real
+// token adjacency (`time ( nullptr )`, `for ( x : m )`) instead of line shapes.
+
+#ifndef PROBCON_TOOLS_LINT_TOKEN_H_
+#define PROBCON_TOOLS_LINT_TOKEN_H_
+
+#include <string>
+#include <vector>
+
+namespace probcon::lint {
+
+enum class TokenKind {
+  kIdentifier,   // identifiers and keywords (the rule layer decides which are keywords)
+  kNumber,       // numeric literals, including digit separators (1'000'000) and exponents
+  kString,       // "..." including encoding prefixes; text excludes the quotes
+  kRawString,    // R"delim(...)delim"; text is the raw payload
+  kCharLiteral,  // '...'
+  kComment,      // // and /* */; text excludes the comment markers
+  kPunct,        // operators and punctuation; multi-char ops are single tokens ("::", "+=")
+  kPpDirective,  // a whole preprocessor line (with continuations), text excludes the '#'
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 1;  // 1-based line of the token's first character
+  int col = 1;   // 1-based column of the token's first character
+
+  bool IsIdent(const char* s) const { return kind == TokenKind::kIdentifier && text == s; }
+  bool IsPunct(const char* s) const { return kind == TokenKind::kPunct && text == s; }
+};
+
+}  // namespace probcon::lint
+
+#endif  // PROBCON_TOOLS_LINT_TOKEN_H_

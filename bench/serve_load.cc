@@ -1,0 +1,171 @@
+// ES1 — closed-loop load generator for the probcon::serve query daemon.
+//
+// Drives a QueryServer in-process through the LoopbackChannel (the same code path the TCP
+// transport feeds, minus the sockets) with a fixed mix of table1 / table2 / quorum_size
+// queries, and measures the memoization cache's effect:
+//
+//   cold phase   every distinct query computed for the first time (all misses)
+//   warm phase   the same query set repeated; every answer should come from cache
+//
+// Emits BENCH_serve.json (`--json <path>`) with per-phase throughput and p50/p95/p99
+// latency plus the server's cache counters, so the "warm-cache repeat is served without
+// recomputation and measurably faster" claim is checkable from the committed artifact.
+//
+// Latencies here are wall-clock (steady_clock; bench/serve_load.cc is on the lint
+// monotonic-clock allowlist). The request mix and seeds are fixed, so the WORK is
+// deterministic even though the timings are not.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/check.h"
+#include "src/common/json.h"
+#include "src/obs/metrics.h"
+#include "src/serve/client.h"
+#include "src/serve/server.h"
+
+namespace probcon {
+namespace {
+
+struct Query {
+  std::string kind;
+  std::string params_text;
+};
+
+// The fixed request mix: the paper-table rows plus quorum-sizing queries — the queries a
+// deployment-review dashboard would refresh.
+std::vector<Query> WorkloadQueries() {
+  std::vector<Query> queries;
+  for (const int n : {4, 5, 7, 8}) {
+    queries.push_back({"table1", "{\"n\": " + std::to_string(n) + "}"});
+  }
+  for (const int n : {3, 5, 7, 9}) {
+    for (const char* p : {"0.01", "0.02", "0.04", "0.08"}) {
+      queries.push_back({"table2", "{\"fault\": {\"n\": " + std::to_string(n) +
+                                       ", \"p\": " + p + "}}"});
+    }
+  }
+  for (const int n : {5, 7, 9}) {
+    queries.push_back({"quorum_size",
+                       "{\"protocol\": \"raft\", \"fault\": {\"n\": " + std::to_string(n) +
+                           ", \"p\": 0.02}, \"target_live\": 0.999}"});
+  }
+  // One genuinely expensive query: a 2M-trial Monte Carlo estimate. Cold it dominates the
+  // tail; warm it is a cache hit like everything else — the memoization payoff in one row.
+  queries.push_back({"montecarlo",
+                     "{\"protocol\": \"raft\", \"fault\": {\"n\": 7, \"p\": 0.02}, "
+                     "\"trials\": 2000000, \"seed\": 42}"});
+  return queries;
+}
+
+struct PhaseResult {
+  double seconds = 0.0;
+  std::vector<double> latencies_us;  // Sorted on return.
+
+  double Quantile(double q) const {
+    CHECK(!latencies_us.empty());
+    const size_t index = static_cast<size_t>(q * static_cast<double>(latencies_us.size() - 1));
+    return latencies_us[index];
+  }
+  double Qps() const {
+    return seconds > 0.0 ? static_cast<double>(latencies_us.size()) / seconds : 0.0;
+  }
+};
+
+PhaseResult RunPhase(serve::ServeClient& client, const std::vector<Query>& queries,
+                     int repetitions) {
+  PhaseResult result;
+  result.latencies_us.reserve(queries.size() * static_cast<size_t>(repetitions));
+  const auto phase_start = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < repetitions; ++rep) {
+    for (const Query& query : queries) {
+      Result<Json> params = ParseJson(query.params_text, "bench params");
+      CHECK(params.ok()) << params.status().ToString();
+      const auto start = std::chrono::steady_clock::now();
+      Result<serve::ResponseEnvelope> response = client.Query(query.kind, *params);
+      const auto end = std::chrono::steady_clock::now();
+      CHECK(response.ok()) << response.status().ToString();
+      CHECK(response->status.ok()) << response->status.ToString();
+      result.latencies_us.push_back(
+          std::chrono::duration<double, std::micro>(end - start).count());
+    }
+  }
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - phase_start).count();
+  std::sort(result.latencies_us.begin(), result.latencies_us.end());
+  return result;
+}
+
+void AddPhase(bench::Table& table, bench::JsonReport& report, const std::string& name,
+              const PhaseResult& phase) {
+  auto fmt = [](double v) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.1f", v);
+    return std::string(buffer);
+  };
+  table.AddRow({name, std::to_string(phase.latencies_us.size()), fmt(phase.Qps()),
+                fmt(phase.Quantile(0.5)), fmt(phase.Quantile(0.95)),
+                fmt(phase.Quantile(0.99)), fmt(phase.latencies_us.back())});
+  report.AddValue(name + ".requests", static_cast<double>(phase.latencies_us.size()));
+  report.AddValue(name + ".qps", phase.Qps());
+  report.AddValue(name + ".p50_us", phase.Quantile(0.5));
+  report.AddValue(name + ".p95_us", phase.Quantile(0.95));
+  report.AddValue(name + ".p99_us", phase.Quantile(0.99));
+  report.AddValue(name + ".max_us", phase.latencies_us.back());
+}
+
+int Main(int argc, char** argv) {
+  bench::PrintBanner("ES1", "serve: memoized query daemon under closed-loop load");
+
+  MetricsRegistry metrics;
+  serve::ServerOptions options;
+  serve::QueryServer server(options, &metrics);
+  serve::ServeClient client(std::make_unique<serve::LoopbackChannel>(server));
+
+  const std::vector<Query> queries = WorkloadQueries();
+  constexpr int kWarmRepetitions = 50;
+
+  const PhaseResult cold = RunPhase(client, queries, 1);
+  const auto after_cold = server.cache().snapshot();
+  const PhaseResult warm = RunPhase(client, queries, kWarmRepetitions);
+  const auto after_warm = server.cache().snapshot();
+
+  bench::Table table({"phase", "requests", "qps", "p50_us", "p95_us", "p99_us", "max_us"});
+  bench::JsonReport report;
+  AddPhase(table, report, "cold", cold);
+  AddPhase(table, report, "warm", warm);
+  table.Print();
+  report.AddTable("serve_load", table);
+
+  const uint64_t warm_hits = after_warm.hits - after_cold.hits;
+  const uint64_t warm_misses = after_warm.misses - after_cold.misses;
+  std::printf("\ncold: %zu distinct queries, %llu cache misses (all computed)\n",
+              queries.size(), static_cast<unsigned long long>(after_cold.misses));
+  std::printf("warm: %llu hits / %llu misses over %d repetitions\n",
+              static_cast<unsigned long long>(warm_hits),
+              static_cast<unsigned long long>(warm_misses), kWarmRepetitions);
+  std::printf("speedup p50 cold/warm: %.1fx\n", cold.Quantile(0.5) / warm.Quantile(0.5));
+
+  CHECK(warm_misses == 0) << "warm phase recomputed a memoized query";
+  CHECK(after_cold.misses == queries.size()) << "cold phase should miss once per query";
+
+  report.AddValue("cache.cold_misses", static_cast<double>(after_cold.misses));
+  report.AddValue("cache.warm_hits", static_cast<double>(warm_hits));
+  report.AddValue("cache.warm_misses", static_cast<double>(warm_misses));
+  report.AddValue("speedup.p50_cold_over_warm", cold.Quantile(0.5) / warm.Quantile(0.5));
+
+  const std::string json_path = bench::JsonPathFromArgs(argc, argv);
+  if (!json_path.empty() && !report.WriteTo(json_path)) {
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace probcon
+
+int main(int argc, char** argv) { return probcon::Main(argc, argv); }

@@ -53,9 +53,11 @@ Probability CountDpProbability(const FailurePredicate& predicate, const PoissonB
 
 // Range-partitions the 2^N configuration space; each chunk accumulates compensated
 // holds/fails partial sums, merged in fixed chunk order so the result is bit-identical
-// for every thread count.
-Probability ExactEnumerationProbability(const FailurePredicate& predicate,
-                                        const JointFailureModel& model) {
+// for every thread count. A fired cancel token makes the remaining chunks bail at their
+// next poll (the partial results are then discarded by the caller).
+Result<Probability> ExactEnumerationProbability(const FailurePredicate& predicate,
+                                                const JointFailureModel& model,
+                                                const CancelToken* cancel) {
   const int n = model.n();
   CHECK_LE(n, 25) << "exact enumeration limited to n <= 25";
   const uint64_t configurations = uint64_t{1} << n;
@@ -64,6 +66,9 @@ Probability ExactEnumerationProbability(const FailurePredicate& predicate,
       [&](uint64_t chunk_begin, uint64_t chunk_end, uint64_t /*chunk_index*/) {
         MassPartial partial;
         for (uint64_t config = chunk_begin; config < chunk_end; ++config) {
+          if ((config - chunk_begin) % kCancellationPollStride == 0 && IsCancelled(cancel)) {
+            return partial;
+          }
           const auto prob = model.ConfigurationProbability(config);
           CHECK(prob.has_value()) << "model" << model.Describe()
                                   << "lacks exact configuration probabilities";
@@ -79,6 +84,9 @@ Probability ExactEnumerationProbability(const FailurePredicate& predicate,
         acc.holds.Merge(partial.holds);
         acc.fails.Merge(partial.fails);
       });
+  if (IsCancelled(cancel)) {
+    return CancelledError("exact enumeration cancelled");
+  }
   return MassVerdict(total.holds, total.fails);
 }
 
@@ -126,6 +134,14 @@ ReliabilityAnalyzer ReliabilityAnalyzer::ForUniformNodes(int n, double p) {
 
 Probability ReliabilityAnalyzer::EventProbability(const FailurePredicate& predicate,
                                                   AnalysisMethod method) const {
+  Result<Probability> result = TryEventProbability(predicate, method, nullptr);
+  CHECK(result.ok()) << result.status().ToString();
+  return *result;
+}
+
+Result<Probability> ReliabilityAnalyzer::TryEventProbability(const FailurePredicate& predicate,
+                                                             AnalysisMethod method,
+                                                             const CancelToken* cancel) const {
   const auto* independent = dynamic_cast<const IndependentFailureModel*>(model_.get());
   const bool count_only = predicate.HoldsForCount(0, n()).has_value();
 
@@ -136,16 +152,22 @@ Probability ReliabilityAnalyzer::EventProbability(const FailurePredicate& predic
       method = AnalysisMethod::kExact;
     }
   }
+  if (IsCancelled(cancel)) {
+    return CancelledError("analysis cancelled before start");
+  }
   switch (method) {
     case AnalysisMethod::kCountDp:
       CHECK(count_only) << "predicate is not count-only";
       CHECK(independent != nullptr) << "count DP requires an independent model";
       return CountDpProbability(predicate, CountLaw(), n());
     case AnalysisMethod::kExact:
-      return ExactEnumerationProbability(predicate, *model_);
+      return ExactEnumerationProbability(predicate, *model_, cancel);
     case AnalysisMethod::kMonteCarlo: {
-      const ConfidenceInterval ci = EstimateEventProbability(predicate);
-      return Probability::FromProbability(ci.point);
+      MonteCarloOptions options;
+      options.cancel = cancel;
+      Result<ConfidenceInterval> ci = TryEstimateEventProbability(predicate, options);
+      if (!ci.ok()) return ci.status();
+      return Probability::FromProbability(ci->point);
     }
     case AnalysisMethod::kAuto:
       break;
@@ -156,16 +178,28 @@ Probability ReliabilityAnalyzer::EventProbability(const FailurePredicate& predic
 
 ConfidenceInterval ReliabilityAnalyzer::EstimateEventProbability(
     const FailurePredicate& predicate, const MonteCarloOptions& options) const {
+  Result<ConfidenceInterval> result = TryEstimateEventProbability(predicate, options);
+  CHECK(result.ok()) << result.status().ToString();
+  return *result;
+}
+
+Result<ConfidenceInterval> ReliabilityAnalyzer::TryEstimateEventProbability(
+    const FailurePredicate& predicate, const MonteCarloOptions& options) const {
   CHECK_GT(options.trials, 0u);
   // Chunked sampling with per-chunk generators derived from (options.seed, chunk_index):
   // the hit count is a pure function of the options, never of the thread count. See the
-  // seeding-scheme note in src/common/rng.h.
+  // seeding-scheme note in src/common/rng.h. Cancellation polls sit on stride boundaries
+  // and only ever abandon work, so they cannot perturb the estimate of a completed run.
+  const CancelToken* cancel = options.cancel;
   const uint64_t holds = ParallelReduce<uint64_t>(
       0, options.trials, kMonteCarloChunk, 0,
       [&](uint64_t chunk_begin, uint64_t chunk_end, uint64_t chunk_index) {
         Rng rng(DeriveStreamSeed(options.seed, chunk_index));
         uint64_t chunk_holds = 0;
         for (uint64_t t = chunk_begin; t < chunk_end; ++t) {
+          if ((t - chunk_begin) % kCancellationPollStride == 0 && IsCancelled(cancel)) {
+            return chunk_holds;
+          }
           const FailureConfiguration config = model_->Sample(rng);
           if (predicate.Holds(config, n())) {
             ++chunk_holds;
@@ -174,6 +208,9 @@ ConfidenceInterval ReliabilityAnalyzer::EstimateEventProbability(
         return chunk_holds;
       },
       [](uint64_t& acc, uint64_t partial) { acc += partial; });
+  if (IsCancelled(cancel)) {
+    return CancelledError("Monte Carlo estimate cancelled after partial sampling");
+  }
   return WilsonInterval(holds, options.trials);
 }
 

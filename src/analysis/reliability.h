@@ -29,6 +29,8 @@
 #include <string>
 
 #include "src/analysis/protocol_spec.h"
+#include "src/common/cancellation.h"
+#include "src/common/status.h"
 #include "src/faultmodel/joint_model.h"
 #include "src/prob/interval.h"
 #include "src/prob/probability.h"
@@ -97,6 +99,11 @@ struct MonteCarloOptions {
   // estimate is a pure function of (model, predicate, trials, seed), independent of the
   // thread count executing it.
   uint64_t seed = 42;
+  // Optional cooperative cancellation: the sampling loops poll this token every
+  // kCancellationPollStride trials and the Try* APIs return kCancelled once it fires. An
+  // uncancelled run performs exactly the same work in the same order, so results stay
+  // bit-identical with or without a token.
+  const CancelToken* cancel = nullptr;
 };
 
 class ReliabilityAnalyzer {
@@ -121,6 +128,15 @@ class ReliabilityAnalyzer {
   // Monte Carlo estimate with a 95% Wilson interval; works with every model.
   ConfidenceInterval EstimateEventProbability(const FailurePredicate& predicate,
                                               const MonteCarloOptions& options = {}) const;
+
+  // Cancellable variants, for serving contexts where an operator deadline can fire mid
+  // computation: identical math and bit-identical results while the token stays unset, a
+  // prompt kCancelled (work abandoned at the next poll) once it fires.
+  Result<Probability> TryEventProbability(const FailurePredicate& predicate,
+                                          AnalysisMethod method = AnalysisMethod::kAuto,
+                                          const CancelToken* cancel = nullptr) const;
+  Result<ConfidenceInterval> TryEstimateEventProbability(
+      const FailurePredicate& predicate, const MonteCarloOptions& options = {}) const;
 
   // The Poisson-binomial failure-count law of the independent model, built on first use
   // and shared by every count-DP evaluation against this analyzer (AnalyzePbft evaluates

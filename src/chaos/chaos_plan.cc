@@ -1,12 +1,11 @@
 #include "src/chaos/chaos_plan.h"
 
 #include <array>
-#include <charconv>
-#include <cstdlib>
 #include <sstream>
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/json.h"
 
 namespace probcon {
 namespace {
@@ -15,14 +14,6 @@ constexpr std::array<std::string_view, kRegimeKindCount> kRegimeNames = {
     "partition",  "link_degrade",  "gray_slow",     "clock_skew",
     "duplicate",  "reorder",       "crash_restart", "durability_lapse",
 };
-
-// Shortest round-trip formatting so plan JSON is byte-stable and diffs stay readable.
-std::string FormatDouble(double value) {
-  std::array<char, 32> buffer;
-  const auto [ptr, ec] = std::to_chars(buffer.data(), buffer.data() + buffer.size(), value);
-  CHECK(ec == std::errc());
-  return std::string(buffer.data(), ptr);
-}
 
 std::string FormatIntList(const std::vector<int>& values) {
   std::string out = "[";
@@ -33,226 +24,32 @@ std::string FormatIntList(const std::vector<int>& values) {
   return out + "]";
 }
 
-// ---------------------------------------------------------------------------
-// Minimal JSON reader — just enough for plan files (objects, arrays, numbers,
-// strings without escapes beyond \" \\ \/ \n \t, bools, null). Numbers keep
-// their raw token so uint64 seeds survive without a double round-trip.
+// The JSON document model and parser live in src/common/json.h (shared with
+// probcon::serve); only the plan-specific field extraction remains here.
+constexpr std::string_view kWhat = "plan JSON";
 
-struct Json {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-  Type type = Type::kNull;
-  bool boolean = false;
-  std::string text;  // Number token or decoded string.
-  std::vector<Json> items;
-  std::vector<std::pair<std::string, Json>> fields;
-
-  const Json* Find(std::string_view key) const {
-    for (const auto& [name, value] : fields) {
-      if (name == key) return &value;
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  Result<Json> Parse() {
-    Json value;
-    RETURN_IF_ERROR(ParseValue(&value));
-    SkipWhitespace();
-    if (pos_ != text_.size()) {
-      return Error("trailing characters after JSON value");
-    }
-    return value;
-  }
-
- private:
-  Status Error(std::string message) const {
-    return InvalidArgumentError("plan JSON: " + std::move(message) + " at offset " +
-                                std::to_string(pos_));
-  }
-
-  void SkipWhitespace() {
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
-      ++pos_;
-    }
-  }
-
-  bool Consume(char expected) {
-    SkipWhitespace();
-    if (pos_ < text_.size() && text_[pos_] == expected) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  Status ParseValue(Json* out) {
-    SkipWhitespace();
-    if (pos_ >= text_.size()) return Error("unexpected end of input");
-    const char c = text_[pos_];
-    if (c == '{') return ParseObject(out);
-    if (c == '[') return ParseArray(out);
-    if (c == '"') {
-      out->type = Json::Type::kString;
-      return ParseString(&out->text);
-    }
-    if (c == 't' || c == 'f') return ParseKeyword(out);
-    if (c == 'n') return ParseKeyword(out);
-    return ParseNumber(out);
-  }
-
-  Status ParseObject(Json* out) {
-    out->type = Json::Type::kObject;
-    CHECK(Consume('{'));
-    if (Consume('}')) return Status::Ok();
-    while (true) {
-      SkipWhitespace();
-      std::string key;
-      RETURN_IF_ERROR(ParseString(&key));
-      if (!Consume(':')) return Error("expected ':' after object key");
-      Json value;
-      RETURN_IF_ERROR(ParseValue(&value));
-      out->fields.emplace_back(std::move(key), std::move(value));
-      if (Consume(',')) continue;
-      if (Consume('}')) return Status::Ok();
-      return Error("expected ',' or '}' in object");
-    }
-  }
-
-  Status ParseArray(Json* out) {
-    out->type = Json::Type::kArray;
-    CHECK(Consume('['));
-    if (Consume(']')) return Status::Ok();
-    while (true) {
-      Json value;
-      RETURN_IF_ERROR(ParseValue(&value));
-      out->items.push_back(std::move(value));
-      if (Consume(',')) continue;
-      if (Consume(']')) return Status::Ok();
-      return Error("expected ',' or ']' in array");
-    }
-  }
-
-  Status ParseString(std::string* out) {
-    if (pos_ >= text_.size() || text_[pos_] != '"') return Error("expected string");
-    ++pos_;
-    out->clear();
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return Status::Ok();
-      if (c == '\\') {
-        if (pos_ >= text_.size()) break;
-        const char escaped = text_[pos_++];
-        switch (escaped) {
-          case '"': out->push_back('"'); break;
-          case '\\': out->push_back('\\'); break;
-          case '/': out->push_back('/'); break;
-          case 'n': out->push_back('\n'); break;
-          case 't': out->push_back('\t'); break;
-          default: return Error("unsupported escape sequence");
-        }
-        continue;
-      }
-      out->push_back(c);
-    }
-    return Error("unterminated string");
-  }
-
-  Status ParseKeyword(Json* out) {
-    const std::string_view rest = text_.substr(pos_);
-    if (rest.starts_with("true")) {
-      out->type = Json::Type::kBool;
-      out->boolean = true;
-      pos_ += 4;
-      return Status::Ok();
-    }
-    if (rest.starts_with("false")) {
-      out->type = Json::Type::kBool;
-      out->boolean = false;
-      pos_ += 5;
-      return Status::Ok();
-    }
-    if (rest.starts_with("null")) {
-      out->type = Json::Type::kNull;
-      pos_ += 4;
-      return Status::Ok();
-    }
-    return Error("unrecognized token");
-  }
-
-  Status ParseNumber(Json* out) {
-    const size_t start = pos_;
-    auto is_number_char = [](char c) {
-      return (c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' || c == 'e' ||
-             c == 'E';
-    };
-    while (pos_ < text_.size() && is_number_char(text_[pos_])) ++pos_;
-    if (pos_ == start) return Error("expected a value");
-    out->type = Json::Type::kNumber;
-    out->text = std::string(text_.substr(start, pos_ - start));
-    return Status::Ok();
-  }
-
-  std::string_view text_;
-  size_t pos_ = 0;
-};
-
-// Typed field extraction; missing fields leave `*out` at its default.
 Status ReadDouble(const Json& object, std::string_view key, double* out) {
-  const Json* field = object.Find(key);
-  if (field == nullptr) return Status::Ok();
-  if (field->type != Json::Type::kNumber) {
-    return InvalidArgumentError("plan JSON: field '" + std::string(key) + "' must be a number");
-  }
-  *out = std::strtod(field->text.c_str(), nullptr);
-  return Status::Ok();
+  return JsonReadDouble(object, key, out, kWhat);
 }
 
 Status ReadInt(const Json& object, std::string_view key, int* out) {
-  double value = *out;
-  RETURN_IF_ERROR(ReadDouble(object, key, &value));
-  *out = static_cast<int>(value);
-  return Status::Ok();
+  return JsonReadInt(object, key, out, kWhat);
 }
 
 Status ReadUint64(const Json& object, std::string_view key, uint64_t* out) {
-  const Json* field = object.Find(key);
-  if (field == nullptr) return Status::Ok();
-  if (field->type != Json::Type::kNumber) {
-    return InvalidArgumentError("plan JSON: field '" + std::string(key) + "' must be a number");
-  }
-  *out = std::strtoull(field->text.c_str(), nullptr, 10);
-  return Status::Ok();
+  return JsonReadUint64(object, key, out, kWhat);
 }
 
 Status ReadIntList(const Json& object, std::string_view key, std::vector<int>* out) {
-  const Json* field = object.Find(key);
-  if (field == nullptr) return Status::Ok();
-  if (field->type != Json::Type::kArray) {
-    return InvalidArgumentError("plan JSON: field '" + std::string(key) + "' must be an array");
-  }
-  out->clear();
-  for (const Json& item : field->items) {
-    if (item.type != Json::Type::kNumber) {
-      return InvalidArgumentError("plan JSON: '" + std::string(key) +
-                                  "' entries must be numbers");
-    }
-    out->push_back(static_cast<int>(std::strtod(item.text.c_str(), nullptr)));
-  }
-  return Status::Ok();
+  return JsonReadIntList(object, key, out, kWhat);
 }
 
 Result<ChaosRegime> RegimeFromJson(const Json& object) {
-  if (object.type != Json::Type::kObject) {
+  if (!object.IsObject()) {
     return InvalidArgumentError("plan JSON: each regime must be an object");
   }
   const Json* kind_field = object.Find("kind");
-  if (kind_field == nullptr || kind_field->type != Json::Type::kString) {
+  if (kind_field == nullptr || !kind_field->IsString()) {
     return InvalidArgumentError("plan JSON: regime missing string field 'kind'");
   }
   Result<RegimeKind> kind = RegimeKindFromName(kind_field->text);
@@ -501,10 +298,9 @@ std::string ChaosPlan::ToJson() const {
 }
 
 Result<ChaosPlan> ChaosPlan::FromJson(std::string_view text) {
-  JsonParser parser(text);
-  Result<Json> root = parser.Parse();
+  Result<Json> root = ParseJson(text, kWhat);
   if (!root.ok()) return root.status();
-  if (root->type != Json::Type::kObject) {
+  if (!root->IsObject()) {
     return InvalidArgumentError("plan JSON: top-level value must be an object");
   }
   ChaosPlan plan;
@@ -512,7 +308,7 @@ Result<ChaosPlan> ChaosPlan::FromJson(std::string_view text) {
   RETURN_IF_ERROR(ReadDouble(*root, "horizon", &plan.horizon));
   const Json* regimes = root->Find("regimes");
   if (regimes != nullptr) {
-    if (regimes->type != Json::Type::kArray) {
+    if (!regimes->IsArray()) {
       return InvalidArgumentError("plan JSON: 'regimes' must be an array");
     }
     for (const Json& item : regimes->items) {

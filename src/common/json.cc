@@ -1,0 +1,425 @@
+#include "src/common/json.h"
+
+#include <array>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/check.h"
+
+namespace probcon {
+namespace {
+
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, std::string_view what) : text_(text), what_(what) {}
+
+  Result<Json> Parse() {
+    Json value;
+    RETURN_IF_ERROR(ParseValue(&value));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(std::string message) const {
+    return InvalidArgumentError(std::string(what_) + ": " + std::move(message) +
+                                " at offset " + std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char expected) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(Json* out) {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->type = Json::Type::kString;
+      return ParseString(&out->text);
+    }
+    if (c == 't' || c == 'f' || c == 'n') return ParseKeyword(out);
+    return ParseNumber(out);
+  }
+
+  Status ParseObject(Json* out) {
+    out->type = Json::Type::kObject;
+    CHECK(Consume('{'));
+    if (Consume('}')) return Status::Ok();
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      RETURN_IF_ERROR(ParseString(&key));
+      if (!Consume(':')) return Error("expected ':' after object key");
+      Json value;
+      RETURN_IF_ERROR(ParseValue(&value));
+      out->fields.emplace_back(std::move(key), std::move(value));
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::Ok();
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(Json* out) {
+    out->type = Json::Type::kArray;
+    CHECK(Consume('['));
+    if (Consume(']')) return Status::Ok();
+    while (true) {
+      Json value;
+      RETURN_IF_ERROR(ParseValue(&value));
+      out->items.push_back(std::move(value));
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::Ok();
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return Error("expected string");
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char escaped = text_[pos_++];
+        switch (escaped) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          default: return Error("unsupported escape sequence");
+        }
+        continue;
+      }
+      out->push_back(c);
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseKeyword(Json* out) {
+    const std::string_view rest = text_.substr(pos_);
+    if (rest.starts_with("true")) {
+      out->type = Json::Type::kBool;
+      out->boolean = true;
+      pos_ += 4;
+      return Status::Ok();
+    }
+    if (rest.starts_with("false")) {
+      out->type = Json::Type::kBool;
+      out->boolean = false;
+      pos_ += 5;
+      return Status::Ok();
+    }
+    if (rest.starts_with("null")) {
+      out->type = Json::Type::kNull;
+      pos_ += 4;
+      return Status::Ok();
+    }
+    return Error("unrecognized token");
+  }
+
+  Status ParseNumber(Json* out) {
+    const size_t start = pos_;
+    auto is_number_char = [](char c) {
+      return (c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' || c == 'e' ||
+             c == 'E';
+    };
+    while (pos_ < text_.size() && is_number_char(text_[pos_])) ++pos_;
+    if (pos_ == start) return Error("expected a value");
+    out->type = Json::Type::kNumber;
+    out->text = std::string(text_.substr(start, pos_ - start));
+    return Status::Ok();
+  }
+
+  std::string_view text_;
+  std::string_view what_;
+  size_t pos_ = 0;
+};
+
+void WriteValue(const Json& value, int indent, std::string* out) {
+  const std::string pad = indent >= 0 ? std::string(2 * static_cast<size_t>(indent), ' ')
+                                      : std::string();
+  const std::string inner_pad =
+      indent >= 0 ? std::string(2 * static_cast<size_t>(indent + 1), ' ') : std::string();
+  switch (value.type) {
+    case Json::Type::kNull:
+      *out += "null";
+      return;
+    case Json::Type::kBool:
+      *out += value.boolean ? "true" : "false";
+      return;
+    case Json::Type::kNumber:
+      *out += value.text;
+      return;
+    case Json::Type::kString:
+      *out += '"';
+      *out += JsonEscapeString(value.text);
+      *out += '"';
+      return;
+    case Json::Type::kArray: {
+      if (value.items.empty()) {
+        *out += "[]";
+        return;
+      }
+      *out += '[';
+      for (size_t i = 0; i < value.items.size(); ++i) {
+        if (indent >= 0) {
+          *out += i == 0 ? "\n" : ",\n";
+          *out += inner_pad;
+        } else if (i > 0) {
+          *out += ", ";
+        }
+        WriteValue(value.items[i], indent >= 0 ? indent + 1 : -1, out);
+      }
+      if (indent >= 0) {
+        *out += '\n';
+        *out += pad;
+      }
+      *out += ']';
+      return;
+    }
+    case Json::Type::kObject: {
+      if (value.fields.empty()) {
+        *out += "{}";
+        return;
+      }
+      *out += '{';
+      for (size_t i = 0; i < value.fields.size(); ++i) {
+        if (indent >= 0) {
+          *out += i == 0 ? "\n" : ",\n";
+          *out += inner_pad;
+        } else if (i > 0) {
+          *out += ", ";
+        }
+        *out += '"';
+        *out += JsonEscapeString(value.fields[i].first);
+        *out += "\": ";
+        WriteValue(value.fields[i].second, indent >= 0 ? indent + 1 : -1, out);
+      }
+      if (indent >= 0) {
+        *out += '\n';
+        *out += pad;
+      }
+      *out += '}';
+      return;
+    }
+  }
+}
+
+Status TypeError(std::string_view what, std::string_view key, std::string_view expected) {
+  return InvalidArgumentError(std::string(what) + ": field '" + std::string(key) +
+                              "' must be " + std::string(expected));
+}
+
+}  // namespace
+
+Json Json::Null() { return Json{}; }
+
+Json Json::Bool(bool value) {
+  Json out;
+  out.type = Type::kBool;
+  out.boolean = value;
+  return out;
+}
+
+Json Json::Number(double value) {
+  Json out;
+  out.type = Type::kNumber;
+  out.text = FormatDouble(value);
+  return out;
+}
+
+Json Json::Number(int value) {
+  Json out;
+  out.type = Type::kNumber;
+  out.text = std::to_string(value);
+  return out;
+}
+
+Json Json::Number(uint64_t value) {
+  Json out;
+  out.type = Type::kNumber;
+  out.text = std::to_string(value);
+  return out;
+}
+
+Json Json::String(std::string value) {
+  Json out;
+  out.type = Type::kString;
+  out.text = std::move(value);
+  return out;
+}
+
+Json Json::Array() {
+  Json out;
+  out.type = Type::kArray;
+  return out;
+}
+
+Json Json::Object() {
+  Json out;
+  out.type = Type::kObject;
+  return out;
+}
+
+Json& Json::Append(Json item) {
+  CHECK(type == Type::kArray);
+  items.push_back(std::move(item));
+  return *this;
+}
+
+Json& Json::Set(std::string_view key, Json value) {
+  CHECK(type == Type::kObject);
+  fields.emplace_back(std::string(key), std::move(value));
+  return *this;
+}
+
+const Json* Json::Find(std::string_view key) const {
+  for (const auto& [name, value] : fields) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+double Json::NumberValue() const {
+  if (type != Type::kNumber) return 0.0;
+  return std::strtod(text.c_str(), nullptr);
+}
+
+Result<Json> ParseJson(std::string_view text, std::string_view what) {
+  JsonParser parser(text, what);
+  return parser.Parse();
+}
+
+std::string WriteJson(const Json& value, int indent) {
+  std::string out;
+  WriteValue(value, indent, &out);
+  return out;
+}
+
+std::string FormatDouble(double value) {
+  std::array<char, 32> buffer;
+  const auto [ptr, ec] = std::to_chars(buffer.data(), buffer.data() + buffer.size(), value);
+  CHECK(ec == std::errc());
+  return std::string(buffer.data(), ptr);
+}
+
+std::string JsonEscapeString(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Status JsonReadDouble(const Json& object, std::string_view key, double* out,
+                      std::string_view what) {
+  const Json* field = object.Find(key);
+  if (field == nullptr) return Status::Ok();
+  if (field->type != Json::Type::kNumber) return TypeError(what, key, "a number");
+  *out = field->NumberValue();
+  return Status::Ok();
+}
+
+Status JsonReadInt(const Json& object, std::string_view key, int* out,
+                   std::string_view what) {
+  double value = *out;
+  RETURN_IF_ERROR(JsonReadDouble(object, key, &value, what));
+  *out = static_cast<int>(value);
+  return Status::Ok();
+}
+
+Status JsonReadUint64(const Json& object, std::string_view key, uint64_t* out,
+                      std::string_view what) {
+  const Json* field = object.Find(key);
+  if (field == nullptr) return Status::Ok();
+  if (field->type != Json::Type::kNumber) return TypeError(what, key, "a number");
+  *out = std::strtoull(field->text.c_str(), nullptr, 10);
+  return Status::Ok();
+}
+
+Status JsonReadBool(const Json& object, std::string_view key, bool* out,
+                    std::string_view what) {
+  const Json* field = object.Find(key);
+  if (field == nullptr) return Status::Ok();
+  if (field->type != Json::Type::kBool) return TypeError(what, key, "a boolean");
+  *out = field->boolean;
+  return Status::Ok();
+}
+
+Status JsonReadString(const Json& object, std::string_view key, std::string* out,
+                      std::string_view what) {
+  const Json* field = object.Find(key);
+  if (field == nullptr) return Status::Ok();
+  if (field->type != Json::Type::kString) return TypeError(what, key, "a string");
+  *out = field->text;
+  return Status::Ok();
+}
+
+Status JsonReadIntList(const Json& object, std::string_view key, std::vector<int>* out,
+                       std::string_view what) {
+  const Json* field = object.Find(key);
+  if (field == nullptr) return Status::Ok();
+  if (field->type != Json::Type::kArray) return TypeError(what, key, "an array");
+  out->clear();
+  for (const Json& item : field->items) {
+    if (item.type != Json::Type::kNumber) {
+      return TypeError(what, key, "an array of numbers");
+    }
+    out->push_back(static_cast<int>(item.NumberValue()));
+  }
+  return Status::Ok();
+}
+
+Status JsonReadDoubleList(const Json& object, std::string_view key, std::vector<double>* out,
+                          std::string_view what) {
+  const Json* field = object.Find(key);
+  if (field == nullptr) return Status::Ok();
+  if (field->type != Json::Type::kArray) return TypeError(what, key, "an array");
+  out->clear();
+  for (const Json& item : field->items) {
+    if (item.type != Json::Type::kNumber) {
+      return TypeError(what, key, "an array of numbers");
+    }
+    out->push_back(item.NumberValue());
+  }
+  return Status::Ok();
+}
+
+}  // namespace probcon

@@ -1,0 +1,92 @@
+// Minimal JSON document model shared by every subsystem that speaks JSON on disk or on the
+// wire (chaos plan files, the probcon::serve query protocol).
+//
+// The model is deliberately small: objects keep their fields in insertion order (so writers
+// are byte-deterministic), numbers keep their raw token on parse (so uint64 seeds survive
+// without a double round-trip), and the writer emits either compact one-line documents or
+// human-diffable two-space-indented ones. There is no DOM mutation API beyond appending —
+// documents here are built once and serialized, or parsed once and read.
+
+#ifndef PROBCON_SRC_COMMON_JSON_H_
+#define PROBCON_SRC_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace probcon {
+
+struct Json {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  std::string text;  // Number token or decoded string.
+  std::vector<Json> items;
+  std::vector<std::pair<std::string, Json>> fields;
+
+  // Builders (writer side). Numbers built from doubles use shortest round-trip formatting,
+  // so structurally equal documents serialize byte-identically.
+  static Json Null();
+  static Json Bool(bool value);
+  static Json Number(double value);
+  static Json Number(int value);
+  static Json Number(uint64_t value);
+  static Json String(std::string value);
+  static Json Array();
+  static Json Object();
+
+  Json& Append(Json item);                       // Arrays.
+  Json& Set(std::string_view key, Json value);   // Objects; appends (no replace).
+
+  // Reader-side lookup; nullptr when the key is absent. Linear scan (documents are small).
+  const Json* Find(std::string_view key) const;
+
+  bool IsNumber() const { return type == Type::kNumber; }
+  bool IsObject() const { return type == Type::kObject; }
+  bool IsArray() const { return type == Type::kArray; }
+  bool IsString() const { return type == Type::kString; }
+
+  // Number value of a kNumber node (0.0 otherwise).
+  double NumberValue() const;
+};
+
+// Parses one JSON document; trailing non-whitespace is an error. `what` names the document
+// in error messages ("plan JSON", "serve request", ...). Supported escapes: \" \\ \/ \n \t.
+Result<Json> ParseJson(std::string_view text, std::string_view what = "JSON");
+
+// Serializes. indent < 0: compact single line ({"a": 1, "b": [2]}). indent >= 0: two-space
+// indentation starting at `indent` levels, matching the chaos plan-file layout.
+std::string WriteJson(const Json& value, int indent = -1);
+
+// Shortest round-trip formatting of a double (std::to_chars): the canonical number token
+// used by every deterministic JSON writer in the repository.
+std::string FormatDouble(double value);
+
+// Escapes backslash, quote, and control characters for embedding in a JSON string literal.
+std::string JsonEscapeString(std::string_view text);
+
+// Typed field extraction. A missing field leaves `*out` untouched (callers pre-load
+// defaults); a present field of the wrong type is an InvalidArgument error mentioning
+// `what` and the key.
+Status JsonReadDouble(const Json& object, std::string_view key, double* out,
+                      std::string_view what = "JSON");
+Status JsonReadInt(const Json& object, std::string_view key, int* out,
+                   std::string_view what = "JSON");
+Status JsonReadUint64(const Json& object, std::string_view key, uint64_t* out,
+                      std::string_view what = "JSON");
+Status JsonReadBool(const Json& object, std::string_view key, bool* out,
+                    std::string_view what = "JSON");
+Status JsonReadString(const Json& object, std::string_view key, std::string* out,
+                      std::string_view what = "JSON");
+Status JsonReadIntList(const Json& object, std::string_view key, std::vector<int>* out,
+                       std::string_view what = "JSON");
+Status JsonReadDoubleList(const Json& object, std::string_view key, std::vector<double>* out,
+                          std::string_view what = "JSON");
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_COMMON_JSON_H_

@@ -26,6 +26,9 @@ enum class StatusCode {
   kUnimplemented,
   kResourceExhausted,
   kInternal,
+  kCancelled,
+  kDeadlineExceeded,
+  kUnavailable,
 };
 
 // Returns a stable human-readable name for `code` (e.g. "INVALID_ARGUMENT").
@@ -64,6 +67,9 @@ Status FailedPreconditionError(std::string message);
 Status UnimplementedError(std::string message);
 Status ResourceExhaustedError(std::string message);
 Status InternalError(std::string message);
+Status CancelledError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status UnavailableError(std::string message);
 
 // Holds either a T or a non-OK Status. Accessing the value of an errored Result is a
 // programmer error and CHECK-fails.

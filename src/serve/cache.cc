@@ -1,0 +1,120 @@
+#include "src/serve/cache.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace probcon::serve {
+namespace {
+
+// Fixed per-entry bookkeeping charge (list node, map node, iterators), so a budget of B
+// bytes cannot be defeated by millions of tiny entries.
+constexpr size_t kEntryOverheadBytes = 128;
+
+}  // namespace
+
+QueryCache::QueryCache(size_t budget_bytes, MetricsRegistry* metrics)
+    : budget_bytes_(budget_bytes) {
+  if (metrics != nullptr) {
+    hit_counter_ = &metrics->GetCounter("serve.cache.hits");
+    miss_counter_ = &metrics->GetCounter("serve.cache.misses");
+    coalesced_counter_ = &metrics->GetCounter("serve.cache.coalesced");
+    eviction_counter_ = &metrics->GetCounter("serve.cache.evictions");
+    bytes_gauge_ = &metrics->GetGauge("serve.cache.bytes");
+    entries_gauge_ = &metrics->GetGauge("serve.cache.entries");
+  }
+}
+
+Result<std::string> QueryCache::GetOrCompute(
+    const std::string& key, const std::function<Result<std::string>()>& compute,
+    bool* was_cached) {
+  std::shared_ptr<Flight> flight;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (auto it = entries_.find(key); it != entries_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      ++hits_;
+      if (hit_counter_ != nullptr) hit_counter_->Increment();
+      if (was_cached != nullptr) *was_cached = true;
+      return it->second.value;
+    }
+    if (auto it = flights_.find(key); it != flights_.end()) {
+      // Single-flight follower: wait for the leader, share its outcome.
+      flight = it->second;
+      ++coalesced_;
+      if (coalesced_counter_ != nullptr) coalesced_counter_->Increment();
+      flight->cv.wait(lock, [&] { return flight->done; });
+      if (flight->result.ok()) {
+        ++hits_;
+        if (hit_counter_ != nullptr) hit_counter_->Increment();
+        if (was_cached != nullptr) *was_cached = true;
+      } else if (was_cached != nullptr) {
+        *was_cached = false;
+      }
+      return flight->result;
+    }
+    // Single-flight leader.
+    flight = std::make_shared<Flight>();
+    flights_.emplace(key, flight);
+    ++misses_;
+    if (miss_counter_ != nullptr) miss_counter_->Increment();
+  }
+
+  Result<std::string> result = compute();
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (result.ok()) {
+      InsertLocked(key, *result);
+    }
+    flight->result = result;
+    flight->done = true;
+    flights_.erase(key);
+  }
+  flight->cv.notify_all();
+  if (was_cached != nullptr) *was_cached = false;
+  return result;
+}
+
+void QueryCache::InsertLocked(const std::string& key, const std::string& value) {
+  const size_t charged = key.size() + value.size() + kEntryOverheadBytes;
+  if (charged > budget_bytes_) {
+    return;  // Larger than the whole cache; serve it uncached.
+  }
+  CHECK(entries_.find(key) == entries_.end()) << "single-flight should prevent double insert";
+  while (entry_bytes_ + charged > budget_bytes_ && !lru_.empty()) {
+    const std::string& victim_key = lru_.back();
+    auto victim = entries_.find(victim_key);
+    CHECK(victim != entries_.end());
+    entry_bytes_ -= victim->second.charged_bytes;
+    entries_.erase(victim);
+    lru_.pop_back();
+    ++evictions_;
+    if (eviction_counter_ != nullptr) eviction_counter_->Increment();
+  }
+  lru_.push_front(key);
+  Entry entry;
+  entry.value = value;
+  entry.charged_bytes = charged;
+  entry.lru_it = lru_.begin();
+  entries_.emplace(key, std::move(entry));
+  entry_bytes_ += charged;
+  if (bytes_gauge_ != nullptr) bytes_gauge_->Set(static_cast<double>(entry_bytes_));
+  if (entries_gauge_ != nullptr) {
+    entries_gauge_->Set(static_cast<double>(entries_.size()));
+  }
+}
+
+QueryCache::Stats QueryCache::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.coalesced = coalesced_;
+  stats.evictions = evictions_;
+  stats.entry_count = entries_.size();
+  stats.entry_bytes = entry_bytes_;
+  return stats;
+}
+
+}  // namespace probcon::serve

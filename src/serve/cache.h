@@ -1,0 +1,109 @@
+// Content-addressed memoization cache with single-flight computation.
+//
+// The daemon's workload is dominated by repeated queries (dashboards refreshing the same
+// tables, fleets of clients asking about the same deployment), and every query here is a
+// pure function of its canonical key — so memoization is semantically free. Two mechanisms
+// work together:
+//
+//   * LRU over canonical keys with a byte budget: entries are charged key + value bytes,
+//     and the least-recently-used entries are evicted when an insert would exceed the
+//     budget.
+//   * Single-flight: when K requests for the same uncached key arrive concurrently, one
+//     becomes the leader and computes; the other K-1 block on the in-flight entry and
+//     share its result. The expensive engines run once per distinct key, not once per
+//     request.
+//
+// Errors are NOT cached: a cancelled or failed computation wakes the followers with the
+// error but leaves the key absent, so the next request retries. (Deadline errors are
+// per-request policy, not properties of the key.)
+//
+// Thread-safe. Metric instruments are created at construction (MetricsRegistry is not
+// thread-safe) and updated only under the cache mutex.
+
+#ifndef PROBCON_SRC_SERVE_CACHE_H_
+#define PROBCON_SRC_SERVE_CACHE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/obs/metrics.h"
+
+namespace probcon::serve {
+
+class QueryCache {
+ public:
+  // `metrics` may be nullptr (no instrumentation); otherwise it must outlive the cache.
+  QueryCache(size_t budget_bytes, MetricsRegistry* metrics);
+
+  QueryCache(const QueryCache&) = delete;
+  QueryCache& operator=(const QueryCache&) = delete;
+
+  // Returns the cached value for `key`, or runs `compute` (at most once across concurrent
+  // callers of the same key) and caches its result. `was_cached` (optional) reports
+  // whether the value was served without running `compute` in THIS call — true for both
+  // direct hits and follower waits.
+  Result<std::string> GetOrCompute(const std::string& key,
+                                   const std::function<Result<std::string>()>& compute,
+                                   bool* was_cached);
+
+  // Point-in-time snapshot, for stats endpoints and tests.
+  struct Stats {
+    uint64_t hits = 0;        // direct hits + follower waits that got a value
+    uint64_t misses = 0;      // leader computations started
+    uint64_t coalesced = 0;   // follower waits (subset of hits)
+    uint64_t evictions = 0;
+    size_t entry_count = 0;
+    size_t entry_bytes = 0;
+  };
+  Stats snapshot() const;
+
+ private:
+  struct Entry {
+    std::string value;
+    size_t charged_bytes = 0;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  // One in-flight computation; followers wait on `cv` until `done`.
+  struct Flight {
+    std::condition_variable cv;
+    bool done = false;
+    Result<std::string> result = Status(StatusCode::kInternal, "flight not finished");
+  };
+
+  // Inserts `key -> value` and evicts LRU entries down to the budget. Mutex held.
+  void InsertLocked(const std::string& key, const std::string& value);
+
+  const size_t budget_bytes_;
+
+  mutable std::mutex mutex_;
+  std::list<std::string> lru_;  // Front = most recent.
+  std::map<std::string, Entry> entries_;
+  std::map<std::string, std::shared_ptr<Flight>> flights_;
+
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t coalesced_ = 0;
+  uint64_t evictions_ = 0;
+  size_t entry_bytes_ = 0;
+
+  // Pre-created instruments (nullptr when metrics are disabled); updated under mutex_.
+  Counter* hit_counter_ = nullptr;
+  Counter* miss_counter_ = nullptr;
+  Counter* coalesced_counter_ = nullptr;
+  Counter* eviction_counter_ = nullptr;
+  Gauge* bytes_gauge_ = nullptr;
+  Gauge* entries_gauge_ = nullptr;
+};
+
+}  // namespace probcon::serve
+
+#endif  // PROBCON_SRC_SERVE_CACHE_H_

@@ -1,0 +1,89 @@
+// probcon-cli — command-line client for a probcond daemon.
+//
+// Usage:
+//   probcon-cli --port N [--deadline-ms D] [--repeat K] <kind> [<params-json>]
+//
+//   probcon-cli --port 7421 table1 '{"n": 4}'
+//   probcon-cli --port 7421 quorum_size '{"protocol": "pbft", "fault": {"n": 7, "p": 0.02}}'
+//   probcon-cli --port 7421 montecarlo \
+//       '{"protocol": "raft", "fault": {"n": 31, "p": 0.05}, "trials": 1000000}'
+//
+// Prints the response envelope as indented JSON on stdout. Exit code 0 for an OK response,
+// 3 for a server-reported error (the envelope still prints), 1 for transport failures.
+// --repeat issues the same query K times over one connection (cache behavior is visible in
+// the "cached" field of each response).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/common/json.h"
+#include "src/serve/client.h"
+
+int main(int argc, char** argv) {
+  long long port = 0;
+  double deadline_ms = 0.0;
+  long long repeat = 1;
+  int i = 1;
+  for (; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      deadline_ms = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      repeat = std::atoll(argv[++i]);
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    } else {
+      break;
+    }
+  }
+  if (port <= 0 || i >= argc) {
+    std::fprintf(stderr,
+                 "usage: probcon-cli --port N [--deadline-ms D] [--repeat K] <kind> "
+                 "[<params-json>]\n");
+    return 2;
+  }
+  const std::string kind = argv[i++];
+  const std::string params_text = i < argc ? argv[i] : "{}";
+
+  probcon::Result<probcon::Json> params = probcon::ParseJson(params_text, "params");
+  if (!params.ok()) {
+    std::fprintf(stderr, "probcon-cli: %s\n", params.status().ToString().c_str());
+    return 2;
+  }
+
+  auto channel = probcon::serve::TcpChannel::Connect(static_cast<uint16_t>(port));
+  if (!channel.ok()) {
+    std::fprintf(stderr, "probcon-cli: %s\n", channel.status().ToString().c_str());
+    return 1;
+  }
+  probcon::serve::ServeClient client(std::move(*channel));
+
+  int exit_code = 0;
+  for (long long k = 0; k < repeat; ++k) {
+    probcon::Result<probcon::serve::ResponseEnvelope> response =
+        client.Query(kind, *params, deadline_ms);
+    if (!response.ok()) {
+      std::fprintf(stderr, "probcon-cli: %s\n", response.status().ToString().c_str());
+      return 1;
+    }
+    probcon::Json rendered = probcon::Json::Object();
+    rendered.Set("id", probcon::Json::Number(response->id));
+    rendered.Set("status",
+                 probcon::Json::String(std::string(
+                     probcon::StatusCodeName(response->status.code()))));
+    if (response->status.ok()) {
+      rendered.Set("cached", probcon::Json::Bool(response->cached));
+      rendered.Set("result", response->result);
+    } else {
+      rendered.Set("error", probcon::Json::String(response->status.message()));
+      exit_code = 3;
+    }
+    std::printf("%s\n", probcon::WriteJson(rendered, 0).c_str());
+  }
+  return exit_code;
+}

@@ -1,0 +1,85 @@
+#include "src/serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <optional>
+#include <utility>
+
+#include "src/serve/framing.h"
+#include "src/serve/server.h"
+
+namespace probcon::serve {
+
+Result<std::string> LoopbackChannel::RoundTrip(const std::string& payload) {
+  return server_.Handle(payload);
+}
+
+TcpChannel::~TcpChannel() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Result<std::unique_ptr<TcpChannel>> TcpChannel::Connect(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return UnavailableError("socket(): " + std::string(std::strerror(errno)));
+  }
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) < 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return UnavailableError("connect(127.0.0.1:" + std::to_string(port) + "): " + error);
+  }
+  // NOLINTNEXTLINE(probcon-ownership): private constructor; make_unique cannot reach it.
+  return std::unique_ptr<TcpChannel>(new TcpChannel(fd));
+}
+
+Result<std::string> TcpChannel::RoundTrip(const std::string& payload) {
+  const std::string frame = EncodeFrame(payload);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return UnavailableError("send(): " + std::string(std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  FrameDecoder decoder;
+  char buffer[16 * 1024];
+  while (true) {
+    Result<std::optional<std::string>> next = decoder.Next();
+    if (!next.ok()) {
+      return next.status();
+    }
+    if (next->has_value()) {
+      return **next;
+    }
+    const ssize_t received = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (received <= 0) {
+      return UnavailableError("connection closed mid-response");
+    }
+    decoder.Feed(std::string_view(buffer, static_cast<size_t>(received)));
+  }
+}
+
+Result<ResponseEnvelope> ServeClient::Query(std::string_view kind, const Json& params,
+                                            double deadline_ms) {
+  const std::string payload =
+      RequestEnvelope::Serialize(next_id_++, kind, params, deadline_ms);
+  Result<std::string> response = channel_->RoundTrip(payload);
+  if (!response.ok()) {
+    return response.status();
+  }
+  return ResponseEnvelope::Parse(*response);
+}
+
+}  // namespace probcon::serve

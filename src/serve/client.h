@@ -1,0 +1,79 @@
+// Client-side channels to a query server, behind one synchronous interface:
+//
+//   * LoopbackChannel — calls a QueryServer in-process. No sockets, no threads beyond the
+//     exec pool: the transport the unit tests and benches use, so protocol behavior is
+//     testable without binding ports.
+//   * TcpChannel — the framed TCP protocol against a probcond daemon.
+//
+// ServeClient layers envelope assembly/parsing on any channel. Request ids are assigned
+// monotonically per client; channels here are synchronous (one outstanding request), so
+// the id is a correlation aid for logs rather than a demultiplexing key.
+
+#ifndef PROBCON_SRC_SERVE_CLIENT_H_
+#define PROBCON_SRC_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/common/json.h"
+#include "src/common/status.h"
+#include "src/serve/spec.h"
+
+namespace probcon::serve {
+
+class QueryServer;
+
+// One request/response exchange; `payload` and the returned string are envelope JSON.
+class Channel {
+ public:
+  virtual ~Channel() = default;
+  virtual Result<std::string> RoundTrip(const std::string& payload) = 0;
+};
+
+// In-process channel; `server` must outlive the channel.
+class LoopbackChannel final : public Channel {
+ public:
+  explicit LoopbackChannel(QueryServer& server) : server_(server) {}
+  Result<std::string> RoundTrip(const std::string& payload) override;
+
+ private:
+  QueryServer& server_;
+};
+
+// Framed-TCP channel to 127.0.0.1:port.
+class TcpChannel final : public Channel {
+ public:
+  ~TcpChannel() override;
+
+  static Result<std::unique_ptr<TcpChannel>> Connect(uint16_t port);
+
+  Result<std::string> RoundTrip(const std::string& payload) override;
+
+ private:
+  explicit TcpChannel(int fd) : fd_(fd) {}
+
+  int fd_;
+};
+
+class ServeClient {
+ public:
+  // Takes ownership of `channel`.
+  explicit ServeClient(std::unique_ptr<Channel> channel) : channel_(std::move(channel)) {}
+
+  // Issues one query. `params` is the raw params object; `deadline_ms <= 0` means no
+  // client-requested deadline. The returned envelope's `status` carries server-side
+  // errors; a non-OK Result means the exchange itself failed (connection, framing,
+  // unparseable response).
+  Result<ResponseEnvelope> Query(std::string_view kind, const Json& params,
+                                 double deadline_ms = 0.0);
+
+ private:
+  std::unique_ptr<Channel> channel_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace probcon::serve
+
+#endif  // PROBCON_SRC_SERVE_CLIENT_H_

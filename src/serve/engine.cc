@@ -1,0 +1,239 @@
+#include "src/serve/engine.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/analysis/end_to_end.h"
+#include "src/analysis/placement.h"
+#include "src/analysis/reliability.h"
+#include "src/faultmodel/joint_model.h"
+#include "src/prob/interval.h"
+#include "src/prob/probability.h"
+#include "src/probnative/quorum_sizer.h"
+#include "src/serve/spec.h"
+
+namespace probcon::serve {
+namespace {
+
+// One table row as served: both the paper-formatted percent strings (byte-identical to the
+// regression-locked tables) and the raw complements for programmatic clients.
+Json ReportJson(const ReliabilityReport& report) {
+  Json object = Json::Object();
+  object.Set("safe", Json::String(FormatPercent(report.safe)));
+  object.Set("live", Json::String(FormatPercent(report.live)));
+  object.Set("safe_and_live", Json::String(FormatPercent(report.safe_and_live)));
+  object.Set("unsafe_probability", Json::Number(report.safe.complement()));
+  object.Set("not_live_probability", Json::Number(report.live.complement()));
+  return object;
+}
+
+Result<Json> RunTable1(const ServeRequest& request, const CancelToken* cancel) {
+  const ReliabilityAnalyzer analyzer =
+      ReliabilityAnalyzer::ForIndependentNodes(request.fault.probabilities);
+  const PbftConfig config = PbftConfig::Standard(request.fault.n());
+  ReliabilityReport report;
+  Result<Probability> safe = analyzer.TryEventProbability(MakePbftSafePredicate(config),
+                                                          AnalysisMethod::kAuto, cancel);
+  if (!safe.ok()) return safe.status();
+  Result<Probability> live = analyzer.TryEventProbability(MakePbftLivePredicate(config),
+                                                          AnalysisMethod::kAuto, cancel);
+  if (!live.ok()) return live.status();
+  Result<Probability> both = analyzer.TryEventProbability(
+      MakePbftSafeAndLivePredicate(config), AnalysisMethod::kAuto, cancel);
+  if (!both.ok()) return both.status();
+  report.safe = *safe;
+  report.live = *live;
+  report.safe_and_live = *both;
+
+  Json result = Json::Object();
+  result.Set("protocol", Json::String("pbft"));
+  result.Set("n", Json::Number(request.fault.n()));
+  result.Set("config", Json::String(config.Describe()));
+  result.Set("report", ReportJson(report));
+  return result;
+}
+
+Result<Json> RunTable2(const ServeRequest& request, const CancelToken* cancel) {
+  const ReliabilityAnalyzer analyzer =
+      ReliabilityAnalyzer::ForIndependentNodes(request.fault.probabilities);
+  const RaftConfig config = RaftConfig::Standard(request.fault.n());
+  ReliabilityReport report;
+  const bool structurally_safe = RaftIsSafeStructurally(config);
+  report.safe = structurally_safe ? Probability::One() : Probability::Zero();
+  Result<Probability> live = analyzer.TryEventProbability(MakeRaftLivePredicate(config),
+                                                          AnalysisMethod::kAuto, cancel);
+  if (!live.ok()) return live.status();
+  report.live = *live;
+  report.safe_and_live = structurally_safe ? report.live : Probability::Zero();
+
+  Json result = Json::Object();
+  result.Set("protocol", Json::String("raft"));
+  result.Set("n", Json::Number(request.fault.n()));
+  result.Set("config", Json::String(config.Describe()));
+  result.Set("report", ReportJson(report));
+  return result;
+}
+
+Result<Json> RunQuorumSize(const ServeRequest& request, const CancelToken* cancel) {
+  if (IsCancelled(cancel)) {
+    return CancelledError("quorum sizing cancelled before start");
+  }
+  Json result = Json::Object();
+  result.Set("protocol", Json::String(request.protocol));
+  if (request.protocol == "raft") {
+    Result<SizedRaftConfig> sized = SizeRaftQuorums(
+        request.fault.probabilities, Probability::FromProbability(request.target_live));
+    if (!sized.ok()) return sized.status();
+    Json config = Json::Object();
+    config.Set("n", Json::Number(sized->config.n));
+    config.Set("q_per", Json::Number(sized->config.q_per));
+    config.Set("q_vc", Json::Number(sized->config.q_vc));
+    result.Set("config", std::move(config));
+    result.Set("live", Json::String(FormatPercent(sized->live)));
+    result.Set("not_live_probability", Json::Number(sized->live.complement()));
+    return result;
+  }
+  Result<SizedPbftConfig> sized = SizePbftQuorums(
+      request.fault.probabilities, Probability::FromProbability(request.target_safe),
+      Probability::FromProbability(request.target_live));
+  if (!sized.ok()) return sized.status();
+  Json config = Json::Object();
+  config.Set("n", Json::Number(sized->config.n));
+  config.Set("q_eq", Json::Number(sized->config.q_eq));
+  config.Set("q_per", Json::Number(sized->config.q_per));
+  config.Set("q_vc", Json::Number(sized->config.q_vc));
+  config.Set("q_vc_t", Json::Number(sized->config.q_vc_t));
+  result.Set("config", std::move(config));
+  result.Set("safe", Json::String(FormatPercent(sized->safe)));
+  result.Set("live", Json::String(FormatPercent(sized->live)));
+  result.Set("unsafe_probability", Json::Number(sized->safe.complement()));
+  result.Set("not_live_probability", Json::Number(sized->live.complement()));
+  return result;
+}
+
+Result<Json> RunPlacement(const ServeRequest& request, const CancelToken* cancel) {
+  if (IsCancelled(cancel)) {
+    return CancelledError("placement search cancelled before start");
+  }
+  const PlacementResult placement =
+      OptimizeRackPlacement(request.node_probabilities, request.rack_probabilities);
+  Json result = Json::Object();
+  Json rack_of = Json::Array();
+  for (int rack : placement.rack_of) {
+    rack_of.Append(Json::Number(rack));
+  }
+  result.Set("rack_of", std::move(rack_of));
+  result.Set("safe_and_live", Json::String(FormatPercent(placement.safe_and_live)));
+  result.Set("failure_probability", Json::Number(placement.safe_and_live.complement()));
+  return result;
+}
+
+Result<Json> RunEndToEnd(const ServeRequest& request, const CancelToken* cancel) {
+  const ReliabilityAnalyzer analyzer =
+      ReliabilityAnalyzer::ForIndependentNodes(request.fault.probabilities);
+  EndToEndParams params;
+  if (request.protocol == "raft") {
+    const RaftConfig config = RaftConfig::Standard(request.fault.n());
+    const bool structurally_safe = RaftIsSafeStructurally(config);
+    params.consensus.safe = structurally_safe ? Probability::One() : Probability::Zero();
+    Result<Probability> live = analyzer.TryEventProbability(MakeRaftLivePredicate(config),
+                                                            AnalysisMethod::kAuto, cancel);
+    if (!live.ok()) return live.status();
+    params.consensus.live = *live;
+    params.consensus.safe_and_live =
+        structurally_safe ? params.consensus.live : Probability::Zero();
+  } else {
+    const PbftConfig config = PbftConfig::Standard(request.fault.n());
+    Result<Probability> safe = analyzer.TryEventProbability(MakePbftSafePredicate(config),
+                                                            AnalysisMethod::kAuto, cancel);
+    if (!safe.ok()) return safe.status();
+    Result<Probability> live = analyzer.TryEventProbability(MakePbftLivePredicate(config),
+                                                            AnalysisMethod::kAuto, cancel);
+    if (!live.ok()) return live.status();
+    Result<Probability> both = analyzer.TryEventProbability(
+        MakePbftSafeAndLivePredicate(config), AnalysisMethod::kAuto, cancel);
+    if (!both.ok()) return both.status();
+    params.consensus.safe = *safe;
+    params.consensus.live = *live;
+    params.consensus.safe_and_live = *both;
+  }
+  params.window_hours = request.window_hours;
+  params.mean_time_to_recover = request.mttr_hours;
+  params.data_loss_given_violation = request.data_loss_given_violation;
+  params.mission_hours = request.mission_hours;
+  const EndToEndReport report = ComputeEndToEnd(params);
+
+  Json result = Json::Object();
+  result.Set("protocol", Json::String(request.protocol));
+  result.Set("n", Json::Number(request.fault.n()));
+  result.Set("consensus", ReportJson(params.consensus));
+  result.Set("availability", Json::String(FormatPercent(report.availability)));
+  result.Set("mission_durability", Json::String(FormatPercent(report.mission_durability)));
+  result.Set("outage_minutes_per_year", Json::Number(report.outage_minutes_per_year));
+  return result;
+}
+
+Result<Json> RunMonteCarlo(const ServeRequest& request, const CancelToken* cancel) {
+  std::unique_ptr<JointFailureModel> model;
+  int n = 0;
+  if (request.beta_binomial) {
+    n = request.beta_n;
+    model = std::make_unique<BetaBinomialFailureModel>(n, request.alpha, request.beta);
+  } else {
+    n = request.fault.n();
+    model = std::make_unique<IndependentFailureModel>(request.fault.probabilities);
+  }
+  const ReliabilityAnalyzer analyzer{std::move(model)};
+  MonteCarloOptions options;
+  options.trials = request.trials;
+  options.seed = request.seed;
+  options.cancel = cancel;
+
+  Json result = Json::Object();
+  result.Set("protocol", Json::String(request.protocol));
+  result.Set("n", Json::Number(n));
+  result.Set("trials", Json::Number(request.trials));
+  result.Set("seed", Json::Number(request.seed));
+  Result<ConfidenceInterval> estimate =
+      request.protocol == "raft"
+          ? analyzer.TryEstimateEventProbability(
+                MakeRaftLivePredicate(RaftConfig::Standard(n)), options)
+          : analyzer.TryEstimateEventProbability(
+                MakePbftSafeAndLivePredicate(PbftConfig::Standard(n)), options);
+  if (!estimate.ok()) return estimate.status();
+  result.Set("event", Json::String(request.protocol == "raft" ? "live" : "safe_and_live"));
+  Json interval = Json::Object();
+  interval.Set("point", Json::Number(estimate->point));
+  interval.Set("lower", Json::Number(estimate->low));
+  interval.Set("upper", Json::Number(estimate->high));
+  result.Set("estimate", std::move(interval));
+  return result;
+}
+
+}  // namespace
+
+Result<Json> ExecuteRequest(const ServeRequest& request, const CancelToken* cancel) {
+  switch (request.kind) {
+    case RequestKind::kPing: {
+      Json result = Json::Object();
+      result.Set("ok", Json::Bool(true));
+      return result;
+    }
+    case RequestKind::kTable1:
+      return RunTable1(request, cancel);
+    case RequestKind::kTable2:
+      return RunTable2(request, cancel);
+    case RequestKind::kQuorumSize:
+      return RunQuorumSize(request, cancel);
+    case RequestKind::kPlacement:
+      return RunPlacement(request, cancel);
+    case RequestKind::kEndToEnd:
+      return RunEndToEnd(request, cancel);
+    case RequestKind::kMonteCarlo:
+      return RunMonteCarlo(request, cancel);
+  }
+  return InternalError("unhandled request kind");
+}
+
+}  // namespace probcon::serve

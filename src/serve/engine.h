@@ -1,0 +1,29 @@
+// The serve-side execution engine: maps one parsed ServeRequest onto the toolkit's
+// analysis entry points and renders the answer as a JSON result object.
+//
+// This layer owns the "byte-identical to the offline tools" guarantee: table cells go
+// through the same AnalyzeRaft/AnalyzePbft + FormatPercent pipeline the regression-locked
+// tables use, and numeric fields are serialized with the shared shortest-round-trip
+// FormatDouble, so a served answer can be diffed against tool output directly.
+//
+// Everything here is synchronous and deterministic; the cancel token is the only channel
+// by which the outside world (deadline watchdog, shutdown) can interrupt a computation.
+
+#ifndef PROBCON_SRC_SERVE_ENGINE_H_
+#define PROBCON_SRC_SERVE_ENGINE_H_
+
+#include "src/common/cancellation.h"
+#include "src/common/json.h"
+#include "src/common/status.h"
+#include "src/serve/spec.h"
+
+namespace probcon::serve {
+
+// Executes `request` to completion (or until `cancel` fires, returning kCancelled).
+// INVALID_ARGUMENT never escapes here for a request that passed ServeRequest::FromParams;
+// NOT_FOUND can (quorum sizing with unattainable targets).
+Result<Json> ExecuteRequest(const ServeRequest& request, const CancelToken* cancel);
+
+}  // namespace probcon::serve
+
+#endif  // PROBCON_SRC_SERVE_ENGINE_H_

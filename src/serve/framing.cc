@@ -1,0 +1,71 @@
+#include "src/serve/framing.h"
+
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace probcon::serve {
+
+std::string EncodeFrame(std::string_view payload) {
+  CHECK_LE(payload.size(), kAbsoluteMaxPayloadBytes) << "frame payload too large";
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  frame.append(kFrameMagic, sizeof(kFrameMagic));
+  frame.push_back(static_cast<char>((length >> 24) & 0xff));
+  frame.push_back(static_cast<char>((length >> 16) & 0xff));
+  frame.push_back(static_cast<char>((length >> 8) & 0xff));
+  frame.push_back(static_cast<char>(length & 0xff));
+  frame.append(payload);
+  return frame;
+}
+
+FrameDecoder::FrameDecoder(uint32_t max_payload_bytes)
+    : max_payload_bytes_(max_payload_bytes < kAbsoluteMaxPayloadBytes ? max_payload_bytes
+                                                                      : kAbsoluteMaxPayloadBytes) {}
+
+void FrameDecoder::Feed(std::string_view bytes) {
+  // Compact the consumed prefix before growing; keeps the buffer bounded by one frame plus
+  // whatever the transport read ahead.
+  if (consumed_ > 0 && consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  } else if (consumed_ > 4096) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(bytes);
+}
+
+Result<std::optional<std::string>> FrameDecoder::Next() {
+  if (!poisoned_.ok()) {
+    return poisoned_;
+  }
+  const size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderBytes) {
+    return std::optional<std::string>();
+  }
+  const char* header = buffer_.data() + consumed_;
+  if (std::memcmp(header, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    poisoned_ = InvalidArgumentError("frame: bad magic (not a probcon-serve stream)");
+    return poisoned_;
+  }
+  const uint32_t length = (static_cast<uint32_t>(static_cast<unsigned char>(header[4])) << 24) |
+                          (static_cast<uint32_t>(static_cast<unsigned char>(header[5])) << 16) |
+                          (static_cast<uint32_t>(static_cast<unsigned char>(header[6])) << 8) |
+                          static_cast<uint32_t>(static_cast<unsigned char>(header[7]));
+  if (length > max_payload_bytes_) {
+    poisoned_ = ResourceExhaustedError("frame: declared payload of " + std::to_string(length) +
+                                       " bytes exceeds the " +
+                                       std::to_string(max_payload_bytes_) + "-byte limit");
+    return poisoned_;
+  }
+  if (available < kFrameHeaderBytes + length) {
+    return std::optional<std::string>();
+  }
+  std::string payload = buffer_.substr(consumed_ + kFrameHeaderBytes, length);
+  consumed_ += kFrameHeaderBytes + length;
+  return std::optional<std::string>(std::move(payload));
+}
+
+}  // namespace probcon::serve

@@ -1,0 +1,64 @@
+// Length-framed message encoding for the probcon::serve wire protocol.
+//
+// A frame is a fixed 8-byte header followed by the payload bytes:
+//
+//   bytes 0..3   magic "PCSV" (rejects cross-protocol connections immediately)
+//   bytes 4..7   payload length, unsigned 32-bit big-endian
+//   bytes 8..    payload (UTF-8 JSON)
+//
+// The decoder is incremental — transports feed whatever the socket returned and pull
+// complete payloads out — and enforces a maximum payload length up front, so a malicious or
+// corrupt length field is rejected before any allocation of that size happens. Pure
+// byte-shuffling: no I/O, no clocks, fully unit-testable (tests/serve/framing_test.cc).
+
+#ifndef PROBCON_SRC_SERVE_FRAMING_H_
+#define PROBCON_SRC_SERVE_FRAMING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace probcon::serve {
+
+inline constexpr char kFrameMagic[4] = {'P', 'C', 'S', 'V'};
+inline constexpr size_t kFrameHeaderBytes = 8;
+
+// Hard ceiling on any frame this code will ever produce or accept, independent of the
+// configured per-server limit.
+inline constexpr uint32_t kAbsoluteMaxPayloadBytes = 64u << 20;
+
+// Encodes one frame. CHECK-fails on payloads above kAbsoluteMaxPayloadBytes (requests and
+// responses here are KB-scale; hitting the ceiling is a programmer error).
+std::string EncodeFrame(std::string_view payload);
+
+// Incremental decoder: Feed() appends raw bytes, Next() yields the next complete payload or
+// nullopt when more bytes are needed. A bad magic or oversized declared length poisons the
+// decoder — every later call returns the same error, and the transport must drop the
+// connection.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(uint32_t max_payload_bytes = kAbsoluteMaxPayloadBytes);
+
+  void Feed(std::string_view bytes);
+
+  // Next complete payload, nullopt when the buffered bytes end mid-frame, or an error for a
+  // corrupt stream.
+  Result<std::optional<std::string>> Next();
+
+  // Bytes buffered but not yet returned (diagnostics / tests).
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  uint32_t max_payload_bytes_;
+  std::string buffer_;
+  size_t consumed_ = 0;  // Prefix of buffer_ already handed out.
+  Status poisoned_;      // First framing error, sticky.
+};
+
+}  // namespace probcon::serve
+
+#endif  // PROBCON_SRC_SERVE_FRAMING_H_

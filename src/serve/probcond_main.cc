@@ -1,0 +1,97 @@
+// probcond — the reliability-query daemon.
+//
+// Usage:
+//   probcond [--port N] [--cache-bytes N] [--max-inflight N] [--default-deadline-ms N]
+//
+// Binds 127.0.0.1 (port 0 = ephemeral; the chosen port is printed on stdout as
+// "probcond listening on 127.0.0.1:<port>" for scripts to scrape), serves the framed JSON
+// protocol (docs/SERVING.md), and shuts down gracefully on SIGINT/SIGTERM: stop accepting,
+// answer in-flight requests, print a metrics summary, exit 0.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "src/obs/metrics.h"
+#include "src/serve/server.h"
+#include "src/serve/transport.h"
+
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+
+void HandleSignal(int /*signum*/) { g_shutdown.store(true); }
+
+bool ParseFlag(int argc, char** argv, int* i, const char* name, long long* out) {
+  if (std::strcmp(argv[*i], name) != 0) {
+    return false;
+  }
+  if (*i + 1 >= argc) {
+    std::fprintf(stderr, "missing value for %s\n", name);
+    std::exit(2);
+  }
+  *out = std::atoll(argv[++*i]);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long long port = 0;
+  long long cache_bytes = 64LL << 20;
+  long long max_inflight = 64;
+  long long default_deadline_ms = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (ParseFlag(argc, argv, &i, "--port", &port) ||
+        ParseFlag(argc, argv, &i, "--cache-bytes", &cache_bytes) ||
+        ParseFlag(argc, argv, &i, "--max-inflight", &max_inflight) ||
+        ParseFlag(argc, argv, &i, "--default-deadline-ms", &default_deadline_ms)) {
+      continue;
+    }
+    std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+    return 2;
+  }
+
+  probcon::MetricsRegistry metrics;
+  probcon::serve::ServerOptions options;
+  options.cache_bytes = static_cast<size_t>(cache_bytes);
+  options.max_inflight = static_cast<int>(max_inflight);
+  options.default_deadline_ms = static_cast<double>(default_deadline_ms);
+  probcon::serve::QueryServer server(options, &metrics);
+  probcon::serve::TcpServer transport(server);
+
+  const probcon::Status started = transport.Start(static_cast<uint16_t>(port));
+  if (!started.ok()) {
+    std::fprintf(stderr, "probcond: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("probcond listening on 127.0.0.1:%u\n", transport.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_shutdown.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  // Graceful shutdown: refuse new work, let in-flight requests answer, then tear the
+  // transport down so those answers reach their connections.
+  std::printf("probcond draining...\n");
+  std::fflush(stdout);
+  server.Drain();
+  transport.Stop();
+
+  const auto cache = server.cache().snapshot();
+  std::printf("probcond stats: requests=%llu cache_hits=%llu cache_misses=%llu shed=%llu\n",
+              static_cast<unsigned long long>(metrics.GetCounter("serve.requests").value()),
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses),
+              static_cast<unsigned long long>(metrics.GetCounter("serve.shed").value()));
+  return 0;
+}

@@ -1,0 +1,260 @@
+#include "src/serve/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/json.h"
+#include "src/exec/thread_pool.h"
+#include "src/serve/engine.h"
+
+namespace probcon::serve {
+namespace {
+
+// Best-effort recovery of the request id from a payload that failed full envelope parsing,
+// so even malformed-request errors can be correlated by the client.
+uint64_t RecoverRequestId(std::string_view payload) {
+  Result<Json> parsed = ParseJson(payload, "serve request");
+  if (!parsed.ok() || !parsed->IsObject()) return 0;
+  uint64_t id = 0;
+  Status status = JsonReadUint64(*parsed, "id", &id, "serve request");
+  return status.ok() ? id : 0;
+}
+
+std::string ErrorResponse(uint64_t id, Status status) {
+  ResponseEnvelope envelope;
+  envelope.id = id;
+  envelope.status = std::move(status);
+  return envelope.Serialize();
+}
+
+}  // namespace
+
+QueryServer::QueryServer(ServerOptions options, MetricsRegistry* metrics)
+    : options_(options), metrics_(metrics), cache_(options.cache_bytes, metrics) {
+  if (metrics_ != nullptr) {
+    requests_counter_ = &metrics_->GetCounter("serve.requests");
+    shed_counter_ = &metrics_->GetCounter("serve.shed");
+    error_counter_ = &metrics_->GetCounter("serve.errors");
+    deadline_counter_ = &metrics_->GetCounter("serve.deadline_exceeded");
+    latency_histogram_ = &metrics_->GetHistogram("serve.latency_ms");
+  }
+  watchdog_ = std::thread([this] { WatchdogLoop(); });
+}
+
+QueryServer::~QueryServer() {
+  Drain();
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mutex_);
+    watchdog_shutdown_ = true;
+  }
+  watchdog_cv_.notify_all();
+  watchdog_.join();
+}
+
+bool QueryServer::draining() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return draining_;
+}
+
+int QueryServer::inflight() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return inflight_;
+}
+
+void QueryServer::Submit(std::string payload, std::function<void(std::string)> done) {
+  const auto started = std::chrono::steady_clock::now();
+
+  Result<RequestEnvelope> parsed = RequestEnvelope::Parse(payload);
+  if (!parsed.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      if (requests_counter_ != nullptr) requests_counter_->Increment();
+      if (error_counter_ != nullptr) error_counter_->Increment();
+    }
+    done(ErrorResponse(RecoverRequestId(payload), parsed.status()));
+    return;
+  }
+  RequestEnvelope envelope = *std::move(parsed);
+
+  // Pings answer inline: they are the readiness probe, so they must not queue behind work
+  // and must succeed even while shedding.
+  if (envelope.request.kind == RequestKind::kPing) {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (requests_counter_ != nullptr) requests_counter_->Increment();
+    ResponseEnvelope response;
+    response.id = envelope.id;
+    response.result = Json::Object();
+    response.result.Set("ok", Json::Bool(true));
+    response.result.Set("draining", Json::Bool(draining_));
+    done(response.Serialize());
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (requests_counter_ != nullptr) requests_counter_->Increment();
+    if (draining_) {
+      if (error_counter_ != nullptr) error_counter_->Increment();
+      done(ErrorResponse(envelope.id, UnavailableError("server is draining")));
+      return;
+    }
+    if (inflight_ >= options_.max_inflight) {
+      // Load shedding: a fast, cheap reject. The client can retry against another replica
+      // or back off; queueing here would only convert overload into latency.
+      if (shed_counter_ != nullptr) shed_counter_->Increment();
+      done(ErrorResponse(envelope.id,
+                         ResourceExhaustedError(
+                             "server at capacity (" +
+                             std::to_string(options_.max_inflight) +
+                             " requests in flight); retry with backoff")));
+      return;
+    }
+    ++inflight_;
+  }
+
+  double deadline_ms = envelope.deadline_ms;
+  if (deadline_ms <= 0.0) deadline_ms = options_.default_deadline_ms;
+  auto token = std::make_shared<CancelToken>();
+  const bool deadline_armed = deadline_ms > 0.0;
+  if (deadline_armed) {
+    ArmDeadline(started + std::chrono::microseconds(static_cast<int64_t>(deadline_ms * 1e3)),
+                token);
+  }
+
+  ThreadPool::Global().Submit(
+      [this, envelope = std::move(envelope), token, deadline_armed, started,
+       done = std::move(done)]() mutable {
+        std::string response = RunRequest(envelope, token, deadline_armed);
+        const auto finished = std::chrono::steady_clock::now();
+        RecordLatencyMs(std::chrono::duration<double, std::milli>(finished - started).count());
+        done(std::move(response));
+        FinishOne();
+      });
+}
+
+std::string QueryServer::RunRequest(const RequestEnvelope& envelope,
+                                    const std::shared_ptr<CancelToken>& token,
+                                    bool deadline_armed) {
+  bool was_cached = false;
+  Result<std::string> result_text = cache_.GetOrCompute(
+      envelope.request.CanonicalKey(),
+      [&]() -> Result<std::string> {
+        Result<Json> result = ExecuteRequest(envelope.request, token.get());
+        if (!result.ok()) return result.status();
+        return WriteJson(*result);
+      },
+      &was_cached);
+
+  ResponseEnvelope response;
+  response.id = envelope.id;
+  if (result_text.ok()) {
+    response.cached = was_cached;
+    Result<Json> result = ParseJson(*result_text, "cached result");
+    CHECK(result.ok()) << result.status().ToString();
+    response.result = *std::move(result);
+  } else {
+    Status status = result_text.status();
+    // The engine reports cooperative cancellation as kCancelled; when the cancel came from
+    // this request's own deadline, the client-facing code is DEADLINE_EXCEEDED.
+    if (status.code() == StatusCode::kCancelled && deadline_armed && token->Cancelled()) {
+      status = DeadlineExceededError("deadline expired after " +
+                                     FormatDouble(envelope.deadline_ms) + " ms: " +
+                                     status.message());
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      if (deadline_counter_ != nullptr) deadline_counter_->Increment();
+    } else {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      if (error_counter_ != nullptr) error_counter_->Increment();
+    }
+    response.status = std::move(status);
+  }
+  return response.Serialize();
+}
+
+std::string QueryServer::Handle(std::string payload) {
+  std::string response;
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool ready = false;
+  Submit(std::move(payload), [&](std::string text) {
+    std::lock_guard<std::mutex> lock(mutex);
+    response = std::move(text);
+    ready = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mutex);
+  // Help the pool while waiting so Handle works even on a 0-worker pool.
+  while (!ready) {
+    lock.unlock();
+    const bool helped = ThreadPool::Global().TryRunOneTask();
+    lock.lock();
+    if (!helped && !ready) {
+      cv.wait_for(lock, std::chrono::milliseconds(1));
+    }
+  }
+  return response;
+}
+
+void QueryServer::Drain() {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  draining_ = true;
+  while (inflight_ > 0) {
+    // Help the pool drain instead of only blocking: the in-flight jobs may be queued
+    // behind this very thread on a small pool.
+    lock.unlock();
+    const bool helped = ThreadPool::Global().TryRunOneTask();
+    lock.lock();
+    if (!helped && inflight_ > 0) {
+      drained_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+  }
+}
+
+void QueryServer::FinishOne() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    --inflight_;
+    if (inflight_ == 0) drained_cv_.notify_all();
+  }
+}
+
+void QueryServer::RecordLatencyMs(double elapsed_ms) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (latency_histogram_ != nullptr) latency_histogram_->Record(elapsed_ms);
+}
+
+void QueryServer::ArmDeadline(std::chrono::steady_clock::time_point when,
+                              std::shared_ptr<CancelToken> token) {
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mutex_);
+    deadlines_.push_back(DeadlineEntry{when, std::move(token)});
+    std::push_heap(deadlines_.begin(), deadlines_.end(),
+                   [](const DeadlineEntry& a, const DeadlineEntry& b) { return a.when > b.when; });
+  }
+  watchdog_cv_.notify_one();
+}
+
+void QueryServer::WatchdogLoop() {
+  const auto later_first = [](const DeadlineEntry& a, const DeadlineEntry& b) {
+    return a.when > b.when;
+  };
+  std::unique_lock<std::mutex> lock(watchdog_mutex_);
+  while (true) {
+    if (watchdog_shutdown_) return;
+    if (deadlines_.empty()) {
+      watchdog_cv_.wait(lock);
+      continue;
+    }
+    const auto next = deadlines_.front().when;
+    if (std::chrono::steady_clock::now() < next) {
+      watchdog_cv_.wait_until(lock, next);
+      continue;
+    }
+    std::pop_heap(deadlines_.begin(), deadlines_.end(), later_first);
+    DeadlineEntry expired = std::move(deadlines_.back());
+    deadlines_.pop_back();
+    expired.token->Cancel();
+  }
+}
+
+}  // namespace probcon::serve

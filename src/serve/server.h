@@ -1,0 +1,125 @@
+// The query server: admission control, memoization, deadlines, and graceful drain around
+// the execution engine. Transport-agnostic — the TCP listener (transport.h), the loopback
+// channel (client.h), and the tests all speak to the same QueryServer.
+//
+// Request lifecycle:
+//
+//   Submit(payload)
+//     -> parse + validate envelope          (errors answer inline: INVALID_ARGUMENT)
+//     -> drain check                        (UNAVAILABLE while draining)
+//     -> admission control                  (RESOURCE_EXHAUSTED above max_inflight —
+//                                            load shedding is a fast reject, never a queue)
+//     -> cache.GetOrCompute(canonical key)  (hit: answer without touching the engines;
+//                                            concurrent identical misses single-flight)
+//     -> ExecuteRequest on the exec pool, with a CancelToken the deadline watchdog fires
+//
+// Deadlines are cooperative: the watchdog thread cancels the request's token when its
+// deadline passes, the engine's inner loops poll the token every kCancellationPollStride
+// iterations and bail, and the reply is DEADLINE_EXCEEDED. A wedged reply is impossible as
+// long as engines honor the token — which tests/analysis/cancellation_test.cc locks in.
+//
+// This layer is where wall-clock time enters the system (deadline arming, latency
+// metrics). Everything below it — engines, cache keys, results — stays clock-free, which
+// is what keeps served answers byte-identical to offline tool output.
+
+#ifndef PROBCON_SRC_SERVE_SERVER_H_
+#define PROBCON_SRC_SERVE_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/cancellation.h"
+#include "src/obs/metrics.h"
+#include "src/serve/cache.h"
+#include "src/serve/spec.h"
+
+namespace probcon::serve {
+
+struct ServerOptions {
+  size_t cache_bytes = 64u << 20;     // Memoization budget.
+  int max_inflight = 64;              // Admission limit; above it requests are shed.
+  uint32_t max_frame_bytes = 4u << 20;  // Per-connection frame limit (transports).
+  double default_deadline_ms = 0.0;   // Applied when a request carries none; <= 0 = none.
+};
+
+class QueryServer {
+ public:
+  // `metrics` may be nullptr; otherwise it must outlive the server and is updated only
+  // from inside the server's own synchronization (the registry itself is not thread-safe).
+  explicit QueryServer(ServerOptions options, MetricsRegistry* metrics = nullptr);
+
+  // Implies Drain().
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  // Processes one request payload; `done` receives the serialized response envelope
+  // exactly once, possibly on another thread, possibly before Submit returns (parse
+  // errors, shed requests, cache hits, and pings all answer inline).
+  void Submit(std::string payload, std::function<void(std::string response)> done);
+
+  // Synchronous convenience wrapper around Submit (loopback transport, tests).
+  std::string Handle(std::string payload);
+
+  // Stops admitting work (new requests answer UNAVAILABLE) and blocks until every
+  // in-flight request has answered. Idempotent.
+  void Drain();
+
+  bool draining() const;
+  int inflight() const;
+  const ServerOptions& options() const { return options_; }
+  QueryCache& cache() { return cache_; }
+
+ private:
+  struct DeadlineEntry {
+    std::chrono::steady_clock::time_point when;
+    std::shared_ptr<CancelToken> token;
+  };
+
+  // Arms the watchdog to fire `token` at `when`.
+  void ArmDeadline(std::chrono::steady_clock::time_point when,
+                   std::shared_ptr<CancelToken> token);
+  void WatchdogLoop();
+
+  // Runs the already-parsed request (cache + engine) and builds the response payload.
+  std::string RunRequest(const RequestEnvelope& envelope,
+                         const std::shared_ptr<CancelToken>& token, bool deadline_armed);
+
+  void RecordLatencyMs(double elapsed_ms);
+  void FinishOne();
+
+  const ServerOptions options_;
+  MetricsRegistry* const metrics_;
+  QueryCache cache_;
+
+  mutable std::mutex state_mutex_;
+  std::condition_variable drained_cv_;
+  bool draining_ = false;
+  int inflight_ = 0;
+
+  // Pre-created instruments, updated under state_mutex_ (nullptr when disabled).
+  Counter* requests_counter_ = nullptr;
+  Counter* shed_counter_ = nullptr;
+  Counter* error_counter_ = nullptr;
+  Counter* deadline_counter_ = nullptr;
+  Histogram* latency_histogram_ = nullptr;
+
+  std::mutex watchdog_mutex_;
+  std::condition_variable watchdog_cv_;
+  std::vector<DeadlineEntry> deadlines_;  // Min-heap by `when`.
+  bool watchdog_shutdown_ = false;
+  std::thread watchdog_;
+};
+
+}  // namespace probcon::serve
+
+#endif  // PROBCON_SRC_SERVE_SERVER_H_

@@ -1,0 +1,560 @@
+#include "src/serve/spec.h"
+
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "src/faultmodel/fault_curve.h"
+
+namespace probcon::serve {
+namespace {
+
+constexpr std::string_view kWhat = "serve request";
+
+constexpr std::string_view kKindNames[kRequestKindCount] = {
+    "ping", "table1", "table2", "quorum_size", "placement", "end_to_end", "montecarlo",
+};
+
+// Caps that keep a single request's cost bounded. The engine CHECKs sit deeper (exact
+// enumeration n <= 25, placement n <= 10 / r <= 5); these edge limits are at or below
+// every engine precondition so malformed input degrades to INVALID_ARGUMENT, never a
+// crash.
+constexpr int kMaxClusterNodes = 200;       // count-DP paths are O(n^2); 200 is instant.
+constexpr int kMaxPlacementNodes = 10;      // OptimizeRackPlacement precondition.
+constexpr int kMaxPlacementRacks = 5;       // OptimizeRackPlacement precondition.
+constexpr uint64_t kMaxTrials = 1u << 30;   // ~1e9 Monte Carlo trials per request.
+
+Status CheckProbabilities(const std::vector<double>& probabilities, std::string_view field) {
+  for (double p : probabilities) {
+    if (!(p >= 0.0 && p <= 1.0)) {  // negated to catch NaN
+      return InvalidArgumentError(std::string(kWhat) + ": " + std::string(field) +
+                                  " entries must lie in [0, 1], got " + FormatDouble(p));
+    }
+  }
+  return Status::Ok();
+}
+
+Status CheckFinite(double value, std::string_view field) {
+  if (!std::isfinite(value)) {
+    return InvalidArgumentError(std::string(kWhat) + ": " + std::string(field) +
+                                " must be finite");
+  }
+  return Status::Ok();
+}
+
+// Builds a FaultCurve from its JSON spec (see the FaultSpec doc in spec.h).
+Result<std::unique_ptr<FaultCurve>> CurveFromJson(const Json& curve) {
+  if (!curve.IsObject()) {
+    return InvalidArgumentError(std::string(kWhat) + ": \"curve\" must be an object");
+  }
+  std::string curve_kind;
+  RETURN_IF_ERROR(JsonReadString(curve, "kind", &curve_kind, kWhat));
+  if (curve_kind.empty()) {
+    return InvalidArgumentError(std::string(kWhat) + ": curve requires a \"kind\"");
+  }
+  if (curve_kind == "constant") {
+    double rate = -1.0;
+    double window_probability = -1.0;
+    double window = 0.0;
+    RETURN_IF_ERROR(JsonReadDouble(curve, "rate", &rate, kWhat));
+    RETURN_IF_ERROR(JsonReadDouble(curve, "window_probability", &window_probability, kWhat));
+    RETURN_IF_ERROR(JsonReadDouble(curve, "window", &window, kWhat));
+    if (window_probability >= 0.0) {
+      if (!(window_probability <= 1.0) || window <= 0.0) {
+        return InvalidArgumentError(std::string(kWhat) +
+                                    ": constant curve via window_probability requires "
+                                    "window_probability in [0, 1] and window > 0");
+      }
+      return std::unique_ptr<FaultCurve>(std::make_unique<ConstantFaultCurve>(
+          ConstantFaultCurve::FromWindowProbability(window_probability, window)));
+    }
+    if (!(rate >= 0.0) || !std::isfinite(rate)) {
+      return InvalidArgumentError(std::string(kWhat) +
+                                  ": constant curve requires \"rate\" >= 0 (or "
+                                  "\"window_probability\" + \"window\")");
+    }
+    return std::unique_ptr<FaultCurve>(std::make_unique<ConstantFaultCurve>(rate));
+  }
+  if (curve_kind == "weibull") {
+    double shape = 0.0;
+    double scale = 0.0;
+    RETURN_IF_ERROR(JsonReadDouble(curve, "shape", &shape, kWhat));
+    RETURN_IF_ERROR(JsonReadDouble(curve, "scale", &scale, kWhat));
+    if (!(shape > 0.0) || !(scale > 0.0)) {
+      return InvalidArgumentError(std::string(kWhat) +
+                                  ": weibull curve requires shape > 0 and scale > 0");
+    }
+    return std::unique_ptr<FaultCurve>(std::make_unique<WeibullFaultCurve>(shape, scale));
+  }
+  if (curve_kind == "gompertz") {
+    double base_rate = -1.0;
+    double aging_rate = 0.0;
+    RETURN_IF_ERROR(JsonReadDouble(curve, "base_rate", &base_rate, kWhat));
+    RETURN_IF_ERROR(JsonReadDouble(curve, "aging_rate", &aging_rate, kWhat));
+    if (!(base_rate >= 0.0) || !std::isfinite(aging_rate)) {
+      return InvalidArgumentError(
+          std::string(kWhat) +
+          ": gompertz curve requires base_rate >= 0 and a finite aging_rate");
+    }
+    return std::unique_ptr<FaultCurve>(
+        std::make_unique<GompertzFaultCurve>(base_rate, aging_rate));
+  }
+  if (curve_kind == "bathtub") {
+    double infant_shape = 0.0, infant_scale = 0.0;
+    double useful_life_rate = -1.0;
+    double wearout_shape = 0.0, wearout_scale = 0.0;
+    RETURN_IF_ERROR(JsonReadDouble(curve, "infant_shape", &infant_shape, kWhat));
+    RETURN_IF_ERROR(JsonReadDouble(curve, "infant_scale", &infant_scale, kWhat));
+    RETURN_IF_ERROR(JsonReadDouble(curve, "useful_life_rate", &useful_life_rate, kWhat));
+    RETURN_IF_ERROR(JsonReadDouble(curve, "wearout_shape", &wearout_shape, kWhat));
+    RETURN_IF_ERROR(JsonReadDouble(curve, "wearout_scale", &wearout_scale, kWhat));
+    if (!(infant_shape > 0.0) || !(infant_scale > 0.0) || !(useful_life_rate >= 0.0) ||
+        !(wearout_shape > 0.0) || !(wearout_scale > 0.0)) {
+      return InvalidArgumentError(
+          std::string(kWhat) +
+          ": bathtub curve requires infant_shape/infant_scale/wearout_shape/wearout_scale "
+          "> 0 and useful_life_rate >= 0");
+    }
+    return std::unique_ptr<FaultCurve>(std::make_unique<CompositeFaultCurve>(MakeBathtubCurve(
+        infant_shape, infant_scale, useful_life_rate, wearout_shape, wearout_scale)));
+  }
+  return InvalidArgumentError(std::string(kWhat) + ": unknown curve kind \"" + curve_kind +
+                              "\" (want constant, weibull, gompertz, or bathtub)");
+}
+
+Result<std::string> ReadProtocol(const Json& params) {
+  std::string protocol;
+  RETURN_IF_ERROR(JsonReadString(params, "protocol", &protocol, kWhat));
+  if (protocol != "raft" && protocol != "pbft") {
+    return InvalidArgumentError(std::string(kWhat) + ": \"protocol\" must be \"raft\" or "
+                                                     "\"pbft\", got \"" +
+                                protocol + "\"");
+  }
+  return protocol;
+}
+
+Json DoubleListJson(const std::vector<double>& values) {
+  Json array = Json::Array();
+  for (double v : values) {
+    array.Append(Json::Number(v));
+  }
+  return array;
+}
+
+}  // namespace
+
+std::string_view RequestKindName(RequestKind kind) {
+  const int index = static_cast<int>(kind);
+  CHECK(index >= 0 && index < kRequestKindCount);
+  return kKindNames[index];
+}
+
+Result<RequestKind> RequestKindFromName(std::string_view name) {
+  for (int i = 0; i < kRequestKindCount; ++i) {
+    if (kKindNames[i] == name) {
+      return static_cast<RequestKind>(i);
+    }
+  }
+  return InvalidArgumentError(std::string(kWhat) + ": unknown request kind \"" +
+                              std::string(name) + "\"");
+}
+
+FaultSpec FaultSpec::Uniform(int n, double p) {
+  FaultSpec spec;
+  spec.probabilities.assign(static_cast<size_t>(n), p);
+  return spec;
+}
+
+Result<FaultSpec> FaultSpec::FromJson(const Json* json, int default_n, double default_p,
+                                      int max_n) {
+  if (json == nullptr) {
+    if (default_n <= 0) {
+      return InvalidArgumentError(std::string(kWhat) +
+                                  ": a \"fault\" object (or \"n\") is required");
+    }
+    return Uniform(default_n, default_p);
+  }
+  if (!json->IsObject()) {
+    return InvalidArgumentError(std::string(kWhat) + ": \"fault\" must be an object");
+  }
+
+  FaultSpec spec;
+  std::vector<double> probabilities;
+  RETURN_IF_ERROR(JsonReadDoubleList(*json, "probabilities", &probabilities, kWhat));
+  if (!probabilities.empty()) {
+    RETURN_IF_ERROR(CheckProbabilities(probabilities, "fault.probabilities"));
+    spec.probabilities = std::move(probabilities);
+  } else if (const Json* curve_json = json->Find("curve"); curve_json != nullptr) {
+    Result<std::unique_ptr<FaultCurve>> curve = CurveFromJson(*curve_json);
+    if (!curve.ok()) return curve.status();
+    double window = 0.0;
+    RETURN_IF_ERROR(JsonReadDouble(*json, "window", &window, kWhat));
+    if (!(window > 0.0) || !std::isfinite(window)) {
+      return InvalidArgumentError(std::string(kWhat) +
+                                  ": a curve-based fault spec requires \"window\" > 0");
+    }
+    std::vector<double> ages;
+    RETURN_IF_ERROR(JsonReadDoubleList(*json, "ages", &ages, kWhat));
+    if (ages.empty()) {
+      int n = default_n;
+      RETURN_IF_ERROR(JsonReadInt(*json, "n", &n, kWhat));
+      double age = 0.0;
+      RETURN_IF_ERROR(JsonReadDouble(*json, "age", &age, kWhat));
+      if (n <= 0) {
+        return InvalidArgumentError(std::string(kWhat) +
+                                    ": curve-based fault spec requires \"n\" or \"ages\"");
+      }
+      ages.assign(static_cast<size_t>(n), age);
+    }
+    for (double age : ages) {
+      if (!(age >= 0.0) || !std::isfinite(age)) {
+        return InvalidArgumentError(std::string(kWhat) + ": node ages must be >= 0");
+      }
+      spec.probabilities.push_back((*curve)->FailureProbability(age, age + window));
+    }
+  } else {
+    int n = default_n;
+    double p = default_p;
+    RETURN_IF_ERROR(JsonReadInt(*json, "n", &n, kWhat));
+    RETURN_IF_ERROR(JsonReadDouble(*json, "p", &p, kWhat));
+    if (n <= 0) {
+      return InvalidArgumentError(std::string(kWhat) + ": uniform fault spec requires n > 0");
+    }
+    if (!(p >= 0.0 && p <= 1.0)) {
+      return InvalidArgumentError(std::string(kWhat) +
+                                  ": uniform fault spec requires p in [0, 1]");
+    }
+    spec = Uniform(n, p);
+  }
+
+  if (spec.probabilities.empty()) {
+    return InvalidArgumentError(std::string(kWhat) + ": fault spec resolves to zero nodes");
+  }
+  if (spec.n() > max_n) {
+    return InvalidArgumentError(std::string(kWhat) + ": fault spec resolves to " +
+                                std::to_string(spec.n()) + " nodes, above the limit of " +
+                                std::to_string(max_n));
+  }
+  return spec;
+}
+
+Json FaultSpec::ToCanonicalJson() const {
+  Json object = Json::Object();
+  object.Set("probabilities", DoubleListJson(probabilities));
+  return object;
+}
+
+Result<ServeRequest> ServeRequest::FromParams(RequestKind kind, const Json& params) {
+  if (!params.IsObject()) {
+    return InvalidArgumentError(std::string(kWhat) + ": \"params\" must be an object");
+  }
+  ServeRequest request;
+  request.kind = kind;
+  const Json* fault_json = params.Find("fault");
+
+  switch (kind) {
+    case RequestKind::kPing:
+      return request;
+
+    case RequestKind::kTable1:
+    case RequestKind::kTable2: {
+      // Accept a top-level {"n": ..} shorthand matching the paper tables (uniform p=1%).
+      int n = 0;
+      RETURN_IF_ERROR(JsonReadInt(params, "n", &n, kWhat));
+      Result<FaultSpec> fault =
+          FaultSpec::FromJson(fault_json, n, /*default_p=*/0.01, kMaxClusterNodes);
+      if (!fault.ok()) return fault.status();
+      request.fault = *std::move(fault);
+      if (n > 0 && request.fault.n() != n) {
+        return InvalidArgumentError(std::string(kWhat) + ": \"n\" (" + std::to_string(n) +
+                                    ") disagrees with the fault spec (" +
+                                    std::to_string(request.fault.n()) + " nodes)");
+      }
+      const int min_n = kind == RequestKind::kTable1 ? 4 : 3;
+      if (request.fault.n() < min_n) {
+        return InvalidArgumentError(std::string(kWhat) + ": " +
+                                    std::string(RequestKindName(kind)) + " requires n >= " +
+                                    std::to_string(min_n));
+      }
+      return request;
+    }
+
+    case RequestKind::kQuorumSize: {
+      Result<std::string> protocol = ReadProtocol(params);
+      if (!protocol.ok()) return protocol.status();
+      request.protocol = *std::move(protocol);
+      Result<FaultSpec> fault =
+          FaultSpec::FromJson(fault_json, /*default_n=*/0, /*default_p=*/0.01,
+                              /*max_n=*/100);  // sizer searches O(n^2) configs
+      if (!fault.ok()) return fault.status();
+      request.fault = *std::move(fault);
+      if (request.fault.n() < 3) {
+        return InvalidArgumentError(std::string(kWhat) + ": quorum sizing requires n >= 3");
+      }
+      request.target_live = 0.999;
+      request.target_safe = 0.9999;
+      RETURN_IF_ERROR(JsonReadDouble(params, "target_live", &request.target_live, kWhat));
+      RETURN_IF_ERROR(JsonReadDouble(params, "target_safe", &request.target_safe, kWhat));
+      if (!(request.target_live > 0.0 && request.target_live < 1.0) ||
+          !(request.target_safe > 0.0 && request.target_safe < 1.0)) {
+        return InvalidArgumentError(std::string(kWhat) +
+                                    ": reliability targets must lie in (0, 1)");
+      }
+      return request;
+    }
+
+    case RequestKind::kPlacement: {
+      RETURN_IF_ERROR(JsonReadDoubleList(params, "node_probabilities",
+                                         &request.node_probabilities, kWhat));
+      RETURN_IF_ERROR(JsonReadDoubleList(params, "rack_probabilities",
+                                         &request.rack_probabilities, kWhat));
+      if (request.node_probabilities.empty() || request.rack_probabilities.empty()) {
+        return InvalidArgumentError(
+            std::string(kWhat) +
+            ": placement requires \"node_probabilities\" and \"rack_probabilities\"");
+      }
+      RETURN_IF_ERROR(CheckProbabilities(request.node_probabilities, "node_probabilities"));
+      RETURN_IF_ERROR(CheckProbabilities(request.rack_probabilities, "rack_probabilities"));
+      if (static_cast<int>(request.node_probabilities.size()) > kMaxPlacementNodes ||
+          static_cast<int>(request.rack_probabilities.size()) > kMaxPlacementRacks) {
+        return InvalidArgumentError(std::string(kWhat) + ": placement search is limited to " +
+                                    std::to_string(kMaxPlacementNodes) + " nodes and " +
+                                    std::to_string(kMaxPlacementRacks) + " racks");
+      }
+      return request;
+    }
+
+    case RequestKind::kEndToEnd: {
+      Result<std::string> protocol = ReadProtocol(params);
+      if (!protocol.ok()) return protocol.status();
+      request.protocol = *std::move(protocol);
+      int n = 0;
+      RETURN_IF_ERROR(JsonReadInt(params, "n", &n, kWhat));
+      Result<FaultSpec> fault =
+          FaultSpec::FromJson(fault_json, n, /*default_p=*/0.01, kMaxClusterNodes);
+      if (!fault.ok()) return fault.status();
+      request.fault = *std::move(fault);
+      if (request.fault.n() < 3) {
+        return InvalidArgumentError(std::string(kWhat) + ": end_to_end requires n >= 3");
+      }
+      RETURN_IF_ERROR(JsonReadDouble(params, "window_hours", &request.window_hours, kWhat));
+      RETURN_IF_ERROR(JsonReadDouble(params, "mttr_hours", &request.mttr_hours, kWhat));
+      RETURN_IF_ERROR(JsonReadDouble(params, "data_loss_given_violation",
+                                     &request.data_loss_given_violation, kWhat));
+      RETURN_IF_ERROR(JsonReadDouble(params, "mission_hours", &request.mission_hours, kWhat));
+      RETURN_IF_ERROR(CheckFinite(request.window_hours, "window_hours"));
+      RETURN_IF_ERROR(CheckFinite(request.mttr_hours, "mttr_hours"));
+      RETURN_IF_ERROR(CheckFinite(request.mission_hours, "mission_hours"));
+      if (!(request.window_hours > 0.0) || !(request.mttr_hours >= 0.0) ||
+          !(request.mission_hours > 0.0)) {
+        return InvalidArgumentError(
+            std::string(kWhat) +
+            ": end_to_end requires window_hours > 0, mttr_hours >= 0, mission_hours > 0");
+      }
+      if (!(request.data_loss_given_violation >= 0.0 &&
+            request.data_loss_given_violation <= 1.0)) {
+        return InvalidArgumentError(std::string(kWhat) +
+                                    ": data_loss_given_violation must lie in [0, 1]");
+      }
+      return request;
+    }
+
+    case RequestKind::kMonteCarlo: {
+      Result<std::string> protocol = ReadProtocol(params);
+      if (!protocol.ok()) return protocol.status();
+      request.protocol = *std::move(protocol);
+      const Json* model = params.Find("model");
+      std::string model_kind = "independent";
+      if (model != nullptr) {
+        if (!model->IsObject()) {
+          return InvalidArgumentError(std::string(kWhat) + ": \"model\" must be an object");
+        }
+        RETURN_IF_ERROR(JsonReadString(*model, "kind", &model_kind, kWhat));
+      }
+      if (model_kind == "independent") {
+        Result<FaultSpec> fault =
+            FaultSpec::FromJson(fault_json, /*default_n=*/0, /*default_p=*/0.01,
+                                kMaxClusterNodes);
+        if (!fault.ok()) return fault.status();
+        request.fault = *std::move(fault);
+        if (request.fault.n() < 3) {
+          return InvalidArgumentError(std::string(kWhat) + ": montecarlo requires n >= 3");
+        }
+      } else if (model_kind == "beta_binomial") {
+        request.beta_binomial = true;
+        RETURN_IF_ERROR(JsonReadInt(*model, "n", &request.beta_n, kWhat));
+        RETURN_IF_ERROR(JsonReadDouble(*model, "alpha", &request.alpha, kWhat));
+        RETURN_IF_ERROR(JsonReadDouble(*model, "beta", &request.beta, kWhat));
+        if (request.beta_n < 3 || request.beta_n > kMaxClusterNodes) {
+          return InvalidArgumentError(std::string(kWhat) +
+                                      ": beta_binomial model requires 3 <= n <= " +
+                                      std::to_string(kMaxClusterNodes));
+        }
+        if (!(request.alpha > 0.0) || !(request.beta > 0.0)) {
+          return InvalidArgumentError(std::string(kWhat) +
+                                      ": beta_binomial model requires alpha > 0, beta > 0");
+        }
+      } else {
+        return InvalidArgumentError(std::string(kWhat) + ": unknown model kind \"" +
+                                    model_kind +
+                                    "\" (want independent or beta_binomial)");
+      }
+      RETURN_IF_ERROR(JsonReadUint64(params, "trials", &request.trials, kWhat));
+      RETURN_IF_ERROR(JsonReadUint64(params, "seed", &request.seed, kWhat));
+      if (request.trials == 0 || request.trials > kMaxTrials) {
+        return InvalidArgumentError(std::string(kWhat) + ": trials must lie in [1, " +
+                                    std::to_string(kMaxTrials) + "]");
+      }
+      return request;
+    }
+  }
+  return InvalidArgumentError(std::string(kWhat) + ": unhandled request kind");
+}
+
+Json ServeRequest::CanonicalParams() const {
+  Json object = Json::Object();
+  switch (kind) {
+    case RequestKind::kPing:
+      break;
+    case RequestKind::kTable1:
+    case RequestKind::kTable2:
+      object.Set("fault", fault.ToCanonicalJson());
+      break;
+    case RequestKind::kQuorumSize:
+      object.Set("protocol", Json::String(protocol));
+      object.Set("fault", fault.ToCanonicalJson());
+      object.Set("target_live", Json::Number(target_live));
+      object.Set("target_safe", Json::Number(target_safe));
+      break;
+    case RequestKind::kPlacement:
+      object.Set("node_probabilities", DoubleListJson(node_probabilities));
+      object.Set("rack_probabilities", DoubleListJson(rack_probabilities));
+      break;
+    case RequestKind::kEndToEnd:
+      object.Set("protocol", Json::String(protocol));
+      object.Set("fault", fault.ToCanonicalJson());
+      object.Set("window_hours", Json::Number(window_hours));
+      object.Set("mttr_hours", Json::Number(mttr_hours));
+      object.Set("data_loss_given_violation", Json::Number(data_loss_given_violation));
+      object.Set("mission_hours", Json::Number(mission_hours));
+      break;
+    case RequestKind::kMonteCarlo: {
+      object.Set("protocol", Json::String(protocol));
+      Json model = Json::Object();
+      if (beta_binomial) {
+        model.Set("kind", Json::String("beta_binomial"));
+        model.Set("n", Json::Number(beta_n));
+        model.Set("alpha", Json::Number(alpha));
+        model.Set("beta", Json::Number(beta));
+      } else {
+        model.Set("kind", Json::String("independent"));
+        model.Set("fault", fault.ToCanonicalJson());
+      }
+      object.Set("model", std::move(model));
+      object.Set("trials", Json::Number(trials));
+      object.Set("seed", Json::Number(seed));
+      break;
+    }
+  }
+  return object;
+}
+
+std::string ServeRequest::CanonicalKey() const {
+  std::string key(RequestKindName(kind));
+  key += ' ';
+  key += WriteJson(CanonicalParams());
+  return key;
+}
+
+Result<RequestEnvelope> RequestEnvelope::Parse(std::string_view payload) {
+  Result<Json> parsed = ParseJson(payload, kWhat);
+  if (!parsed.ok()) return parsed.status();
+  const Json& root = *parsed;
+  if (!root.IsObject()) {
+    return InvalidArgumentError(std::string(kWhat) + ": envelope must be an object");
+  }
+  int version = 0;
+  RETURN_IF_ERROR(JsonReadInt(root, "v", &version, kWhat));
+  if (version != kProtocolVersion) {
+    return InvalidArgumentError(std::string(kWhat) + ": unsupported protocol version " +
+                                std::to_string(version) + " (this server speaks v" +
+                                std::to_string(kProtocolVersion) + ")");
+  }
+  RequestEnvelope envelope;
+  RETURN_IF_ERROR(JsonReadUint64(root, "id", &envelope.id, kWhat));
+  RETURN_IF_ERROR(JsonReadDouble(root, "deadline_ms", &envelope.deadline_ms, kWhat));
+  if (!std::isfinite(envelope.deadline_ms)) {
+    return InvalidArgumentError(std::string(kWhat) + ": deadline_ms must be finite");
+  }
+  std::string kind_name;
+  RETURN_IF_ERROR(JsonReadString(root, "kind", &kind_name, kWhat));
+  Result<RequestKind> kind = RequestKindFromName(kind_name);
+  if (!kind.ok()) return kind.status();
+  static const Json kEmptyParams = Json::Object();
+  const Json* params = root.Find("params");
+  Result<ServeRequest> request =
+      ServeRequest::FromParams(*kind, params != nullptr ? *params : kEmptyParams);
+  if (!request.ok()) return request.status();
+  envelope.request = *std::move(request);
+  return envelope;
+}
+
+std::string RequestEnvelope::Serialize(uint64_t id, std::string_view kind, const Json& params,
+                                       double deadline_ms) {
+  Json root = Json::Object();
+  root.Set("v", Json::Number(kProtocolVersion));
+  root.Set("id", Json::Number(id));
+  root.Set("kind", Json::String(std::string(kind)));
+  if (deadline_ms > 0.0) {
+    root.Set("deadline_ms", Json::Number(deadline_ms));
+  }
+  root.Set("params", params);
+  return WriteJson(root);
+}
+
+Result<ResponseEnvelope> ResponseEnvelope::Parse(std::string_view payload) {
+  Result<Json> parsed = ParseJson(payload, "serve response");
+  if (!parsed.ok()) return parsed.status();
+  const Json& root = *parsed;
+  if (!root.IsObject()) {
+    return InvalidArgumentError("serve response: envelope must be an object");
+  }
+  ResponseEnvelope envelope;
+  RETURN_IF_ERROR(JsonReadUint64(root, "id", &envelope.id, "serve response"));
+  std::string status_name;
+  RETURN_IF_ERROR(JsonReadString(root, "status", &status_name, "serve response"));
+  if (status_name != "OK") {
+    std::string error_text;
+    RETURN_IF_ERROR(JsonReadString(root, "error", &error_text, "serve response"));
+    StatusCode code = StatusCode::kInternal;
+    for (int c = 0; c <= static_cast<int>(StatusCode::kUnavailable); ++c) {
+      if (StatusCodeName(static_cast<StatusCode>(c)) == status_name) {
+        code = static_cast<StatusCode>(c);
+        break;
+      }
+    }
+    envelope.status = Status(code, std::move(error_text));
+    return envelope;
+  }
+  RETURN_IF_ERROR(JsonReadBool(root, "cached", &envelope.cached, "serve response"));
+  if (const Json* result = root.Find("result"); result != nullptr) {
+    envelope.result = *result;
+  }
+  return envelope;
+}
+
+std::string ResponseEnvelope::Serialize() const {
+  Json root = Json::Object();
+  root.Set("v", Json::Number(kProtocolVersion));
+  root.Set("id", Json::Number(id));
+  root.Set("status", Json::String(std::string(StatusCodeName(status.code()))));
+  if (status.ok()) {
+    root.Set("cached", Json::Bool(cached));
+    root.Set("result", result);
+  } else {
+    root.Set("error", Json::String(status.message()));
+  }
+  return WriteJson(root);
+}
+
+}  // namespace probcon::serve

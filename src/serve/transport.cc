@@ -1,0 +1,177 @@
+#include "src/serve/transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "src/serve/framing.h"
+
+namespace probcon::serve {
+namespace {
+
+// Accept-loop poll tick: the latency bound on noticing Stop(). Purely a shutdown
+// responsiveness knob; no request ever waits on it.
+constexpr int kAcceptPollMs = 50;
+
+}  // namespace
+
+TcpServer::TcpServer(QueryServer& server) : server_(server) {}
+
+TcpServer::~TcpServer() { Stop(); }
+
+Status TcpServer::Start(uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return UnavailableError("socket(): " + std::string(std::strerror(errno)));
+  }
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address), sizeof(address)) < 0) {
+    const std::string error = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return UnavailableError("bind(127.0.0.1:" + std::to_string(port) + "): " + error);
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    const std::string error = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return UnavailableError("listen(): " + error);
+  }
+  socklen_t address_len = sizeof(address);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&address), &address_len) == 0) {
+    port_ = ntohs(address.sin_port);
+  }
+  stopping_.store(false);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void TcpServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kAcceptPollMs);
+    if (ready <= 0) {
+      continue;  // Timeout or EINTR; re-check stopping_.
+    }
+    const int client_fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (client_fd < 0) {
+      continue;
+    }
+    auto connection = std::make_shared<Connection>();
+    connection->fd = client_fd;
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      if (stopping_.load()) {
+        ::close(client_fd);
+        return;
+      }
+      connections_.push_back(connection);
+    }
+    connection->reader = std::thread([this, connection] { ReaderLoop(connection); });
+  }
+}
+
+void TcpServer::ReaderLoop(const std::shared_ptr<Connection>& connection) {
+  FrameDecoder decoder(server_.options().max_frame_bytes);
+  char buffer[16 * 1024];
+  while (!stopping_.load()) {
+    const ssize_t received = ::recv(connection->fd, buffer, sizeof(buffer), 0);
+    if (received <= 0) {
+      break;  // Peer closed, connection error, or our own shutdown() from Stop().
+    }
+    decoder.Feed(std::string_view(buffer, static_cast<size_t>(received)));
+    bool corrupt = false;
+    while (true) {
+      Result<std::optional<std::string>> next = decoder.Next();
+      if (!next.ok()) {
+        corrupt = true;  // Bad magic / oversized frame: drop the connection.
+        break;
+      }
+      if (!next->has_value()) {
+        break;
+      }
+      server_.Submit(**next, [connection](std::string response) {
+        WriteFrame(connection, response);
+      });
+    }
+    if (corrupt) {
+      break;
+    }
+  }
+  CloseConnection(connection);
+}
+
+void TcpServer::WriteFrame(const std::shared_ptr<Connection>& connection,
+                           const std::string& payload) {
+  const std::string frame = EncodeFrame(payload);
+  std::lock_guard<std::mutex> lock(connection->write_mutex);
+  if (connection->closed) {
+    return;  // Response raced with connection teardown; drop it.
+  }
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(connection->fd, frame.data() + sent, frame.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      return;
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+void TcpServer::CloseConnection(const std::shared_ptr<Connection>& connection) {
+  std::lock_guard<std::mutex> lock(connection->write_mutex);
+  if (!connection->closed) {
+    connection->closed = true;
+    ::close(connection->fd);
+  }
+}
+
+void TcpServer::Stop() {
+  if (stopping_.exchange(true)) {
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (acceptor_.joinable()) {
+    acceptor_.join();
+  }
+  std::vector<std::shared_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections.swap(connections_);
+  }
+  for (const auto& connection : connections) {
+    // Unblock the reader's recv() without closing the fd out from under a concurrent
+    // write; CloseConnection (from the reader, and again here) owns the actual close.
+    ::shutdown(connection->fd, SHUT_RDWR);
+  }
+  for (const auto& connection : connections) {
+    if (connection->reader.joinable()) {
+      connection->reader.join();
+    }
+    CloseConnection(connection);
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+}  // namespace probcon::serve

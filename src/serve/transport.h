@@ -1,0 +1,73 @@
+// TCP transport for the query server: a loopback listener that speaks the framed protocol
+// (framing.h) and forwards payloads to a QueryServer.
+//
+// Scope: this is an analysis daemon for operators and dashboards, not an internet-facing
+// service — it binds 127.0.0.1 only. One reader thread per connection (connection counts
+// are small; the expensive work happens on the exec pool anyway), responses are written
+// back under a per-connection mutex in completion order. A framing error (bad magic,
+// oversized length) closes the connection; request-level errors travel inside response
+// envelopes and keep the connection open.
+
+#ifndef PROBCON_SRC_SERVE_TRANSPORT_H_
+#define PROBCON_SRC_SERVE_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/serve/server.h"
+
+namespace probcon::serve {
+
+class TcpServer {
+ public:
+  // `server` must outlive this object.
+  explicit TcpServer(QueryServer& server);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  // Binds 127.0.0.1:`port` (0 = ephemeral) and starts accepting. Fails with UNAVAILABLE
+  // if the port is taken.
+  Status Start(uint16_t port);
+
+  // The bound port (after a successful Start).
+  uint16_t port() const { return port_; }
+
+  // Stops accepting, closes every connection, joins all threads. Idempotent; does NOT
+  // drain the QueryServer (callers drain first for graceful shutdown, so in-flight
+  // responses still reach their connections).
+  void Stop();
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mutex;
+    bool closed = false;  // Guarded by write_mutex.
+    std::thread reader;
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(const std::shared_ptr<Connection>& connection);
+  static void WriteFrame(const std::shared_ptr<Connection>& connection,
+                         const std::string& payload);
+  static void CloseConnection(const std::shared_ptr<Connection>& connection);
+
+  QueryServer& server_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+
+  std::mutex connections_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+};
+
+}  // namespace probcon::serve
+
+#endif  // PROBCON_SRC_SERVE_TRANSPORT_H_

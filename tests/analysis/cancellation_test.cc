@@ -1,0 +1,99 @@
+// Cooperative cancellation in the analysis engines: the Try* APIs return kCancelled
+// promptly once a token fires, and an uncancelled run is bit-identical to the plain API —
+// the serving layer's deadline story rests on both halves.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/analysis/reliability.h"
+#include "src/common/cancellation.h"
+
+namespace probcon {
+namespace {
+
+TEST(Cancellation, PreFiredTokenCancelsExactEnumeration) {
+  // n = 20 forces the 2^n exact path to do real work; a pre-cancelled token must stop it
+  // at the first poll instead of enumerating a million configurations.
+  const auto analyzer = ReliabilityAnalyzer::ForUniformNodes(20, 0.01);
+  const ConfigurationPredicate predicate(
+      [](FailureConfiguration, int) { return true; });  // no count fast path => kExact
+
+  CancelToken token;
+  token.Cancel();
+  const auto result =
+      analyzer.TryEventProbability(predicate, AnalysisMethod::kExact, &token);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+TEST(Cancellation, PreFiredTokenCancelsMonteCarlo) {
+  const auto analyzer = ReliabilityAnalyzer::ForUniformNodes(5, 0.01);
+  const auto config = RaftConfig::Standard(5);
+  MonteCarloOptions options;
+  options.trials = 1'000'000;
+  CancelToken token;
+  token.Cancel();
+  options.cancel = &token;
+
+  const auto result =
+      analyzer.TryEstimateEventProbability(MakeRaftLivePredicate(config), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+TEST(Cancellation, MidFlightCancelStopsALongMonteCarloRun) {
+  const auto analyzer = ReliabilityAnalyzer::ForUniformNodes(7, 0.02);
+  const auto config = RaftConfig::Standard(7);
+  MonteCarloOptions options;
+  options.trials = uint64_t{1} << 30;  // minutes of work if allowed to finish
+  CancelToken token;
+  options.cancel = &token;
+
+  std::atomic<bool> finished{false};
+  std::thread runner([&] {
+    const auto result =
+        analyzer.TryEstimateEventProbability(MakeRaftLivePredicate(config), options);
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+    finished.store(true);
+  });
+  token.Cancel();
+  runner.join();
+  EXPECT_TRUE(finished.load());
+}
+
+TEST(Cancellation, UncancelledTryApisMatchThePlainApisBitForBit) {
+  // The cancellation seam must not perturb results: with no token (or an unfired one) the
+  // Try* variants perform exactly the same work in the same order.
+  const auto analyzer = ReliabilityAnalyzer::ForUniformNodes(5, 0.03);
+  const auto config = PbftConfig::Standard(5);
+  const CountPredicate predicate = MakePbftSafeAndLivePredicate(config);
+
+  const Probability plain = analyzer.EventProbability(predicate);
+  const auto with_null_token = analyzer.TryEventProbability(predicate);
+  ASSERT_TRUE(with_null_token.ok());
+  EXPECT_EQ(with_null_token->complement(), plain.complement());
+
+  CancelToken unfired;
+  const auto with_live_token =
+      analyzer.TryEventProbability(predicate, AnalysisMethod::kAuto, &unfired);
+  ASSERT_TRUE(with_live_token.ok());
+  EXPECT_EQ(with_live_token->complement(), plain.complement());
+
+  MonteCarloOptions options;
+  options.trials = 200'000;
+  options.seed = 9;
+  const ConfidenceInterval plain_estimate =
+      analyzer.EstimateEventProbability(predicate, options);
+  options.cancel = &unfired;
+  const auto tracked_estimate = analyzer.TryEstimateEventProbability(predicate, options);
+  ASSERT_TRUE(tracked_estimate.ok());
+  EXPECT_EQ(tracked_estimate->point, plain_estimate.point);
+  EXPECT_EQ(tracked_estimate->low, plain_estimate.low);
+  EXPECT_EQ(tracked_estimate->high, plain_estimate.high);
+}
+
+}  // namespace
+}  // namespace probcon

@@ -63,6 +63,42 @@ TEST(DeterminismRule, AllowlistedRngSeamMayUseEntropy) {
   EXPECT_EQ(CountRule(findings, "probcon-determinism"), 0);
 }
 
+TEST(DeterminismRule, ServeLayerMayUseSteadyClockOnly) {
+  // The scoped monotonic-clock waiver: steady_clock is legal under src/serve/ (deadline
+  // watchdog, latency metrics) ...
+  const auto serve_clock = LintSource("src/serve/server.cc", R"code(
+    void Arm() { auto now = std::chrono::steady_clock::now(); }
+  )code");
+  EXPECT_EQ(CountRule(serve_clock, "probcon-determinism"), 0);
+
+  // ... but ONLY steady_clock: ambient entropy and calendar clocks still fire there ...
+  const auto serve_entropy = LintSource("src/serve/server.cc", R"code(
+    void Bad() {
+      std::random_device rd;
+      auto wall = std::chrono::system_clock::now();
+    }
+  )code");
+  EXPECT_EQ(CountRule(serve_entropy, "probcon-determinism"), 2);
+
+  // ... and steady_clock outside the scoped paths keeps firing.
+  const auto elsewhere = LintSource("src/analysis/reliability.cc", R"code(
+    void Bad() { auto now = std::chrono::steady_clock::now(); }
+  )code");
+  EXPECT_EQ(CountRule(elsewhere, "probcon-determinism"), 1);
+}
+
+TEST(DeterminismRule, ServeBenchFileEntryMatchesExactFile) {
+  const auto bench_ok = LintSource("bench/serve_load.cc", R"code(
+    void T() { auto now = std::chrono::steady_clock::now(); }
+  )code");
+  EXPECT_EQ(CountRule(bench_ok, "probcon-determinism"), 0);
+
+  const auto other_bench = LintSource("bench/perf_engine.cc", R"code(
+    void T() { auto now = std::chrono::steady_clock::now(); }
+  )code");
+  EXPECT_EQ(CountRule(other_bench, "probcon-determinism"), 1);
+}
+
 TEST(DeterminismRule, TimeWithVariableArgumentDoesNotFire) {
   const auto findings = LintSource("src/foo.cc", R"code(
     void f(double when) { schedule.time(when); double t2 = advance_time(when); }

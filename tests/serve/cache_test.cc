@@ -1,0 +1,164 @@
+// QueryCache: hit/miss accounting, LRU eviction under the byte budget, single-flight
+// coalescing of concurrent identical misses, and the errors-are-not-cached contract.
+
+#include "src/serve/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace probcon::serve {
+namespace {
+
+Result<std::string> Value(const std::string& value) { return value; }
+
+TEST(QueryCache, MissThenHit) {
+  QueryCache cache(/*budget_bytes=*/1 << 20, /*metrics=*/nullptr);
+  int computed = 0;
+  auto compute = [&] {
+    ++computed;
+    return Value("answer");
+  };
+
+  bool was_cached = true;
+  auto first = cache.GetOrCompute("key", compute, &was_cached);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, "answer");
+  EXPECT_FALSE(was_cached);
+
+  auto second = cache.GetOrCompute("key", compute, &was_cached);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, "answer");
+  EXPECT_TRUE(was_cached);
+  EXPECT_EQ(computed, 1);
+
+  const auto stats = cache.snapshot();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entry_count, 1u);
+}
+
+TEST(QueryCache, EvictsLeastRecentlyUsedUnderByteBudget) {
+  // Each entry charges key + value + overhead; a budget of ~3 entries forces the oldest
+  // out when a fourth arrives.
+  const std::string value(256, 'v');
+  const size_t per_entry = 1 + value.size() + 128;  // key is one char
+  QueryCache cache(/*budget_bytes=*/3 * per_entry, /*metrics=*/nullptr);
+
+  for (const std::string key : {"a", "b", "c"}) {
+    ASSERT_TRUE(cache.GetOrCompute(key, [&] { return Value(value); }, nullptr).ok());
+  }
+  EXPECT_EQ(cache.snapshot().entry_count, 3u);
+
+  // Touch "a" so "b" becomes the LRU victim.
+  bool was_cached = false;
+  ASSERT_TRUE(cache.GetOrCompute("a", [&] { return Value(value); }, &was_cached).ok());
+  EXPECT_TRUE(was_cached);
+
+  ASSERT_TRUE(cache.GetOrCompute("d", [&] { return Value(value); }, nullptr).ok());
+  const auto stats = cache.snapshot();
+  EXPECT_EQ(stats.entry_count, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_LE(stats.entry_bytes, 3 * per_entry);
+
+  // "a" survived, "b" was evicted.
+  cache.GetOrCompute("a", [&] { return Value(value); }, &was_cached);
+  EXPECT_TRUE(was_cached);
+  cache.GetOrCompute("b", [&] { return Value(value); }, &was_cached);
+  EXPECT_FALSE(was_cached);
+}
+
+TEST(QueryCache, ValueLargerThanBudgetIsServedButNotCached) {
+  QueryCache cache(/*budget_bytes=*/64, /*metrics=*/nullptr);
+  const std::string huge(1024, 'h');
+  auto result = cache.GetOrCompute("big", [&] { return Value(huge); }, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, huge);
+  EXPECT_EQ(cache.snapshot().entry_count, 0u);
+}
+
+TEST(QueryCache, ErrorsAreNotCached) {
+  QueryCache cache(/*budget_bytes=*/1 << 20, /*metrics=*/nullptr);
+  int calls = 0;
+  auto failing = [&]() -> Result<std::string> {
+    ++calls;
+    return Status(StatusCode::kCancelled, "cancelled");
+  };
+  EXPECT_EQ(cache.GetOrCompute("key", failing, nullptr).status().code(),
+            StatusCode::kCancelled);
+  EXPECT_EQ(cache.GetOrCompute("key", failing, nullptr).status().code(),
+            StatusCode::kCancelled);
+  EXPECT_EQ(calls, 2);  // retried, not served from cache
+
+  // A later success takes and stays.
+  auto ok = cache.GetOrCompute("key", [&] { return Value("fine"); }, nullptr);
+  ASSERT_TRUE(ok.ok());
+  bool was_cached = false;
+  cache.GetOrCompute("key", [&] { return Value("fine"); }, &was_cached);
+  EXPECT_TRUE(was_cached);
+}
+
+TEST(QueryCache, SingleFlightCoalescesConcurrentIdenticalMisses) {
+  QueryCache cache(/*budget_bytes=*/1 << 20, /*metrics=*/nullptr);
+  constexpr int kThreads = 8;
+
+  std::atomic<int> computations{0};
+  std::atomic<int> in_compute{0};
+  std::atomic<bool> release{false};
+  auto slow_compute = [&]() -> Result<std::string> {
+    computations.fetch_add(1);
+    in_compute.fetch_add(1);
+    while (!release.load()) {
+      std::this_thread::yield();
+    }
+    return Value("shared");
+  };
+
+  std::vector<std::thread> threads;
+  std::atomic<int> served_cached{0};
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      bool was_cached = false;
+      auto result = cache.GetOrCompute("hot", slow_compute, &was_cached);
+      ASSERT_TRUE(result.ok());
+      EXPECT_EQ(*result, "shared");
+      if (was_cached) {
+        served_cached.fetch_add(1);
+      }
+    });
+  }
+  // Wait until the leader is inside compute, give followers a moment to pile up, then
+  // release. Even if some followers arrive after completion (plain hits), the leader must
+  // be unique.
+  while (in_compute.load() == 0) {
+    std::this_thread::yield();
+  }
+  release.store(true);
+  for (auto& thread : threads) {
+    thread.join();
+  }
+
+  EXPECT_EQ(computations.load(), 1);
+  EXPECT_EQ(served_cached.load(), kThreads - 1);
+  const auto stats = cache.snapshot();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, static_cast<uint64_t>(kThreads - 1));
+}
+
+TEST(QueryCache, MetricsMirrorTheCounters) {
+  MetricsRegistry metrics;
+  QueryCache cache(/*budget_bytes=*/1 << 20, &metrics);
+  cache.GetOrCompute("k", [] { return Value("v"); }, nullptr);
+  cache.GetOrCompute("k", [] { return Value("v"); }, nullptr);
+  EXPECT_EQ(metrics.GetCounter("serve.cache.misses").value(), 1u);
+  EXPECT_EQ(metrics.GetCounter("serve.cache.hits").value(), 1u);
+}
+
+}  // namespace
+}  // namespace probcon::serve

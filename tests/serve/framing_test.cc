@@ -1,0 +1,130 @@
+// Wire framing: round-trips, incremental decoding under arbitrary packetization, and the
+// poisoning behavior on corrupt streams.
+
+#include "src/serve/framing.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace probcon::serve {
+namespace {
+
+std::string U32BigEndian(uint32_t value) {
+  std::string out(4, '\0');
+  out[0] = static_cast<char>((value >> 24) & 0xff);
+  out[1] = static_cast<char>((value >> 16) & 0xff);
+  out[2] = static_cast<char>((value >> 8) & 0xff);
+  out[3] = static_cast<char>(value & 0xff);
+  return out;
+}
+
+TEST(Framing, EncodeLaysOutMagicLengthPayload) {
+  const std::string frame = EncodeFrame("hello");
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + 5);
+  EXPECT_EQ(frame.substr(0, 4), "PCSV");
+  EXPECT_EQ(frame.substr(4, 4), U32BigEndian(5));
+  EXPECT_EQ(frame.substr(8), "hello");
+}
+
+TEST(Framing, RoundTripSingleFrame) {
+  FrameDecoder decoder;
+  decoder.Feed(EncodeFrame(R"({"v": 1})"));
+  auto next = decoder.Next();
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(next->has_value());
+  EXPECT_EQ(**next, R"({"v": 1})");
+
+  // Stream exhausted: more bytes needed, not an error.
+  next = decoder.Next();
+  ASSERT_TRUE(next.ok());
+  EXPECT_FALSE(next->has_value());
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(Framing, EmptyPayloadRoundTrips) {
+  FrameDecoder decoder;
+  decoder.Feed(EncodeFrame(""));
+  auto next = decoder.Next();
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(next->has_value());
+  EXPECT_EQ(**next, "");
+}
+
+TEST(Framing, ByteAtATimeFeedReassemblesEveryFrame) {
+  const std::string stream =
+      EncodeFrame("first") + EncodeFrame("") + EncodeFrame(std::string(1000, 'x'));
+  FrameDecoder decoder;
+  std::vector<std::string> payloads;
+  for (const char byte : stream) {
+    decoder.Feed(std::string_view(&byte, 1));
+    while (true) {
+      auto next = decoder.Next();
+      ASSERT_TRUE(next.ok());
+      if (!next->has_value()) {
+        break;
+      }
+      payloads.push_back(std::move(**next));
+    }
+  }
+  ASSERT_EQ(payloads.size(), 3u);
+  EXPECT_EQ(payloads[0], "first");
+  EXPECT_EQ(payloads[1], "");
+  EXPECT_EQ(payloads[2], std::string(1000, 'x'));
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(Framing, CoalescedFramesInOneFeedAllDecode) {
+  FrameDecoder decoder;
+  decoder.Feed(EncodeFrame("a") + EncodeFrame("bb") + EncodeFrame("ccc"));
+  for (const std::string expected : {"a", "bb", "ccc"}) {
+    auto next = decoder.Next();
+    ASSERT_TRUE(next.ok());
+    ASSERT_TRUE(next->has_value());
+    EXPECT_EQ(**next, expected);
+  }
+}
+
+TEST(Framing, BadMagicPoisonsTheDecoder) {
+  FrameDecoder decoder;
+  decoder.Feed("GET / HTTP/1.1\r\n");
+  auto next = decoder.Next();
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kInvalidArgument);
+
+  // Sticky: feeding a valid frame afterwards cannot revive the stream.
+  decoder.Feed(EncodeFrame("valid"));
+  next = decoder.Next();
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Framing, OversizedDeclaredLengthIsRejectedBeforePayloadArrives) {
+  FrameDecoder decoder(/*max_payload_bytes=*/1024);
+  // Header only: declared length far above the limit; no payload bytes ever sent.
+  decoder.Feed(std::string("PCSV") + U32BigEndian(1u << 20));
+  auto next = decoder.Next();
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Framing, PayloadAtTheLimitStillDecodes) {
+  FrameDecoder decoder(/*max_payload_bytes=*/16);
+  decoder.Feed(EncodeFrame(std::string(16, 'p')));
+  auto next = decoder.Next();
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(next->has_value());
+  EXPECT_EQ((*next)->size(), 16u);
+}
+
+TEST(Framing, PartialHeaderIsNotAnError) {
+  FrameDecoder decoder;
+  decoder.Feed("PC");
+  auto next = decoder.Next();
+  ASSERT_TRUE(next.ok());
+  EXPECT_FALSE(next->has_value());
+  EXPECT_EQ(decoder.buffered_bytes(), 2u);
+}
+
+}  // namespace
+}  // namespace probcon::serve

@@ -1,0 +1,113 @@
+// TCP transport end to end inside one process: a TcpServer on an ephemeral loopback port,
+// real TcpChannel clients, and the contract that TCP-served answers are byte-identical to
+// loopback-served ones.
+
+#include "src/serve/transport.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/common/json.h"
+#include "src/serve/client.h"
+#include "src/serve/framing.h"
+#include "src/serve/spec.h"
+
+namespace probcon::serve {
+namespace {
+
+Json Params(const std::string& text) {
+  auto parsed = ParseJson(text, "test params");
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return *std::move(parsed);
+}
+
+class TcpTransportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<QueryServer>(ServerOptions{});
+    transport_ = std::make_unique<TcpServer>(*server_);
+    const Status started = transport_->Start(/*port=*/0);
+    ASSERT_TRUE(started.ok()) << started.ToString();
+    ASSERT_NE(transport_->port(), 0);
+  }
+
+  void TearDown() override {
+    transport_->Stop();
+    server_.reset();
+  }
+
+  ServeClient Connect() {
+    auto channel = TcpChannel::Connect(transport_->port());
+    EXPECT_TRUE(channel.ok()) << channel.status().ToString();
+    return ServeClient(std::move(*channel));
+  }
+
+  std::unique_ptr<QueryServer> server_;
+  std::unique_ptr<TcpServer> transport_;
+};
+
+TEST_F(TcpTransportTest, ServesQueriesOverTcp) {
+  ServeClient client = Connect();
+  auto response = client.Query("table1", Params(R"({"n": 4})"));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_TRUE(response->status.ok()) << response->status.ToString();
+  const Json* report = response->result.Find("report");
+  ASSERT_NE(report, nullptr);
+  ASSERT_NE(report->Find("safe_and_live"), nullptr);
+  EXPECT_EQ(report->Find("safe_and_live")->text, "99.94%");
+}
+
+TEST_F(TcpTransportTest, TcpAnswerIsByteIdenticalToLoopbackAnswer) {
+  ServeClient tcp_client = Connect();
+  auto over_tcp = tcp_client.Query("table2", Params(R"({"fault": {"n": 5, "p": 0.01}})"));
+  ASSERT_TRUE(over_tcp.ok());
+  ASSERT_TRUE(over_tcp->status.ok());
+
+  ServeClient loopback(std::make_unique<LoopbackChannel>(*server_));
+  auto inproc = loopback.Query("table2", Params(R"({"fault": {"n": 5, "p": 0.01}})"));
+  ASSERT_TRUE(inproc.ok());
+  ASSERT_TRUE(inproc->status.ok());
+
+  EXPECT_EQ(WriteJson(over_tcp->result), WriteJson(inproc->result));
+  EXPECT_TRUE(inproc->cached);  // same canonical key, served from the same cache
+}
+
+TEST_F(TcpTransportTest, MultipleSequentialRequestsReuseTheConnection) {
+  ServeClient client = Connect();
+  for (int i = 0; i < 3; ++i) {
+    auto response = client.Query("ping", Json::Object());
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_TRUE(response->status.ok());
+  }
+  auto cached = client.Query("table1", Params(R"({"n": 4})"));
+  ASSERT_TRUE(cached.ok());
+  auto repeat = client.Query("table1", Params(R"({"n": 4})"));
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_TRUE(repeat->cached);
+}
+
+TEST_F(TcpTransportTest, TwoClientsShareTheCache) {
+  ServeClient first = Connect();
+  auto cold = first.Query("table1", Params(R"({"n": 5})"));
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(cold->status.ok());
+  EXPECT_FALSE(cold->cached);
+
+  ServeClient second = Connect();
+  auto warm = second.Query("table1", Params(R"({"n": 5})"));
+  ASSERT_TRUE(warm.ok());
+  ASSERT_TRUE(warm->status.ok());
+  EXPECT_TRUE(warm->cached);
+}
+
+TEST_F(TcpTransportTest, ConnectToClosedPortFails) {
+  const uint16_t port = transport_->port();
+  transport_->Stop();
+  auto channel = TcpChannel::Connect(port);
+  EXPECT_FALSE(channel.ok());
+}
+
+}  // namespace
+}  // namespace probcon::serve

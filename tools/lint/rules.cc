@@ -27,6 +27,20 @@ bool PathInList(const std::string& path, const std::vector<std::string>& entries
   return false;
 }
 
+// Like PathInList, but entries ending in '/' match as directory prefixes.
+bool PathInScopedList(const std::string& path, const std::vector<std::string>& entries) {
+  for (const std::string& entry : entries) {
+    if (!entry.empty() && entry.back() == '/') {
+      if (StartsWith(path, entry)) {
+        return true;
+      }
+    } else if (path == entry || EndsWith(path, "/" + entry)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 bool IsHeader(const std::string& path) { return EndsWith(path, ".h") || EndsWith(path, ".hpp"); }
 
 // Identifiers banned outright by R1, with the reasons shown to the user.
@@ -69,6 +83,7 @@ class RuleRunner {
 
   std::vector<Finding> Run() {
     if (!PathInList(path_, options_.entropy_allowlist)) {
+      allow_steady_clock_ = PathInScopedList(path_, options_.monotonic_clock_allowlist);
       CheckDeterminism();
     }
     CheckUnorderedIteration();
@@ -103,6 +118,9 @@ class RuleRunner {
       }
       const auto banned = BannedEntropyIdents().find(tok.text);
       if (banned != BannedEntropyIdents().end()) {
+        if (tok.text == "steady_clock" && allow_steady_clock_) {
+          continue;  // Scoped waiver: serving-layer deadline/latency clocks.
+        }
         Report("probcon-determinism", tok, "'" + tok.text + "': " + banned->second);
         continue;
       }
@@ -437,6 +455,7 @@ class RuleRunner {
 
   const std::string path_;
   const LintOptions& options_;
+  bool allow_steady_clock_ = false;
   std::vector<const Token*> code_;
   std::vector<const Token*> directives_;
   std::vector<Finding> findings_;

@@ -6,7 +6,10 @@
 //                              steady_clock / high_resolution_clock, time(nullptr)/time(0),
 //                              clock(), gettimeofday/clock_gettime/timespec_get, and the
 //                              <ctime>/<sys/time.h> includes. Allowlisted seams: the Rng
-//                              implementation itself and telemetry generator entry points.
+//                              implementation itself, telemetry generator entry points, and
+//                              a scoped steady_clock-only waiver for the serving layer
+//                              (deadline watchdog + latency metrics; see
+//                              monotonic_clock_allowlist).
 //   probcon-unordered-iter (R2) no ranged-for / .begin() iteration over unordered_map /
 //                              unordered_set: iteration order is nondeterministic and leaks
 //                              into committed results, traces, and JSON exports.
@@ -42,6 +45,17 @@ struct LintOptions {
 
   // Paths where R4 naked new/delete is tolerated (arena/benchmark internals). Empty today.
   std::vector<std::string> ownership_allowlist;
+
+  // Scoped waiver of the R1 *monotonic* clock ban (`steady_clock` only): the serving layer
+  // legitimately owns wall-time policy — request deadlines and latency metrics — and uses
+  // the monotonic clock for it. Entries ending in '/' are directory prefixes; other entries
+  // match like entropy_allowlist. Ambient entropy and calendar clocks (system_clock,
+  // gettimeofday, time(0), ...) stay banned here too: deadlines never influence computed
+  // values, only whether a computation is abandoned, so determinism of results survives.
+  std::vector<std::string> monotonic_clock_allowlist = {
+      "src/serve/",
+      "bench/serve_load.cc",
+  };
 
   // R5 applies below this directory prefix.
   std::string kahan_prefix = "src/analysis/";

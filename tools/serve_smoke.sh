@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the probcon::serve daemon, as run by the serve-e2e CI job:
+#
+#   1. start probcond on an ephemeral loopback port and wait for readiness,
+#   2. issue table1 / quorum_size queries through probcon-cli and pin the
+#      regression-locked cells ("99.94%", "99.90%") — served answers must be
+#      byte-identical to the offline tables,
+#   3. repeat a query and require the second answer to be a cache hit with an identical
+#      result object,
+#   4. fire a 1 ms deadline at a 2^30-trial Monte Carlo request and require a prompt
+#      DEADLINE_EXCEEDED instead of a wedged server,
+#   5. SIGTERM the daemon and require a graceful drain (exit 0).
+#
+# Usage: tools/serve_smoke.sh <build-dir>
+
+set -u
+
+BUILD_DIR="${1:?usage: serve_smoke.sh <build-dir>}"
+PROBCOND="${BUILD_DIR}/src/serve/probcond"
+CLI="${BUILD_DIR}/src/serve/probcon-cli"
+LOG="$(mktemp /tmp/probcond_smoke.XXXXXX.log)"
+FAILURES=0
+
+fail() {
+  echo "FAIL: $1" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+[ -x "${PROBCOND}" ] || { echo "missing binary: ${PROBCOND}" >&2; exit 1; }
+[ -x "${CLI}" ] || { echo "missing binary: ${CLI}" >&2; exit 1; }
+
+"${PROBCOND}" --port 0 >"${LOG}" 2>&1 &
+DAEMON_PID=$!
+trap 'kill -9 "${DAEMON_PID}" 2>/dev/null; rm -f "${LOG}"' EXIT
+
+# Readiness: scrape the bound port from the startup line, then ping until it answers.
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/^probcond listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "${LOG}")"
+  [ -n "${PORT}" ] && break
+  sleep 0.1
+done
+[ -n "${PORT}" ] || { echo "probcond never reported its port; log:" >&2; cat "${LOG}" >&2; exit 1; }
+
+READY=0
+for _ in $(seq 1 100); do
+  if "${CLI}" --port "${PORT}" ping >/dev/null 2>&1; then
+    READY=1
+    break
+  fi
+  sleep 0.1
+done
+[ "${READY}" = 1 ] || { echo "probcond never answered ping" >&2; exit 1; }
+echo "probcond ready on port ${PORT}"
+
+# Table 1, n=4: the served cells must be the regression-locked paper values.
+TABLE1="$("${CLI}" --port "${PORT}" table1 '{"n": 4}')" || fail "table1 query errored"
+echo "${TABLE1}" | grep -q '"safe_and_live": "99.94%"' \
+  || fail "table1 n=4 did not serve the regression cell 99.94%: ${TABLE1}"
+
+# Quorum sizing: raft n=5 p=0.01 at target_live 0.999 sizes to the known config.
+QUORUM="$("${CLI}" --port "${PORT}" quorum_size \
+  '{"protocol": "raft", "fault": {"n": 5, "p": 0.01}, "target_live": 0.999}')" \
+  || fail "quorum_size query errored"
+echo "${QUORUM}" | grep -q '"live": "99.90%"' \
+  || fail "quorum_size did not hit the expected 99.90% cell: ${QUORUM}"
+
+# Memoization: the repeat must be a cache hit with a byte-identical result object.
+REPEAT="$("${CLI}" --port "${PORT}" --repeat 2 table1 '{"n": 4}')" \
+  || fail "repeated table1 query errored"
+echo "${REPEAT}" | grep -q '"cached": true' || fail "repeat was not served from cache"
+python3 - "$TABLE1" "$REPEAT" <<'EOF' || fail "cached result differs from computed result"
+import json, sys
+first = json.loads(sys.argv[1])["result"]
+# The --repeat output is two documents back to back; both must carry the same result.
+decoder = json.JSONDecoder()
+text, results = sys.argv[2].strip(), []
+while text:
+    doc, end = decoder.raw_decode(text)
+    results.append(doc["result"])
+    text = text[end:].strip()
+canon = lambda value: json.dumps(value, sort_keys=True)
+assert len(results) == 2, f"expected 2 responses, got {len(results)}"
+assert canon(results[0]) == canon(results[1]) == canon(first)
+EOF
+
+# Deadlines: a 2^30-trial Monte Carlo run under a 1 ms deadline must come back
+# DEADLINE_EXCEEDED promptly (server-error exit code 3), not wedge the daemon.
+DEADLINE_OUT="$("${CLI}" --port "${PORT}" --deadline-ms 1 montecarlo \
+  '{"protocol": "raft", "fault": {"n": 5, "p": 0.01}, "trials": 1073741824}')"
+DEADLINE_EXIT=$?
+[ "${DEADLINE_EXIT}" = 3 ] || fail "deadline query exit ${DEADLINE_EXIT}, want 3"
+echo "${DEADLINE_OUT}" | grep -q 'DEADLINE_EXCEEDED' \
+  || fail "deadline query did not report DEADLINE_EXCEEDED: ${DEADLINE_OUT}"
+
+# The daemon must still be healthy after the cancelled request.
+"${CLI}" --port "${PORT}" ping >/dev/null || fail "daemon unhealthy after deadline query"
+
+# Graceful shutdown: SIGTERM drains in-flight work and exits 0.
+kill -TERM "${DAEMON_PID}"
+wait "${DAEMON_PID}"
+DAEMON_EXIT=$?
+[ "${DAEMON_EXIT}" = 0 ] || fail "probcond exit ${DAEMON_EXIT} on SIGTERM, want 0"
+grep -q 'probcond draining' "${LOG}" || fail "no drain message in daemon log"
+grep -q 'probcond stats:' "${LOG}" || fail "no stats line in daemon log"
+trap 'rm -f "${LOG}"' EXIT
+
+if [ "${FAILURES}" -ne 0 ]; then
+  echo "serve smoke test: ${FAILURES} failure(s); daemon log:" >&2
+  cat "${LOG}" >&2
+  exit 1
+fi
+echo "serve smoke test: all checks passed"

@@ -4,11 +4,17 @@
 #include <charconv>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 #include "src/common/check.h"
 
 namespace probcon {
 namespace {
+
+// Container nesting is parsed recursively, so untrusted input must not control the stack
+// depth: a few bytes per level of "[[[[..." would otherwise overflow the stack long before
+// any frame-size limit triggers. 64 levels is far beyond any legitimate probcon document.
+constexpr int kMaxNestingDepth = 64;
 
 class JsonParser {
  public:
@@ -51,8 +57,15 @@ class JsonParser {
     SkipWhitespace();
     if (pos_ >= text_.size()) return Error("unexpected end of input");
     const char c = text_[pos_];
-    if (c == '{') return ParseObject(out);
-    if (c == '[') return ParseArray(out);
+    if (c == '{' || c == '[') {
+      if (depth_ >= kMaxNestingDepth) {
+        return Error("nesting deeper than " + std::to_string(kMaxNestingDepth) + " levels");
+      }
+      ++depth_;
+      const Status status = c == '{' ? ParseObject(out) : ParseArray(out);
+      --depth_;
+      return status;
+    }
     if (c == '"') {
       out->type = Json::Type::kString;
       return ParseString(&out->text);
@@ -156,6 +169,7 @@ class JsonParser {
   std::string_view text_;
   std::string_view what_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 void WriteValue(const Json& value, int indent, std::string* out) {
@@ -231,6 +245,14 @@ void WriteValue(const Json& value, int indent, std::string* out) {
 Status TypeError(std::string_view what, std::string_view key, std::string_view expected) {
   return InvalidArgumentError(std::string(what) + ": field '" + std::string(key) +
                               "' must be " + std::string(expected));
+}
+
+// Whether `value` can be converted to int without undefined behavior. Written so NaN
+// fails both comparisons; the bounds are exact doubles (|INT_MIN| and INT_MAX+1 are
+// powers of two minus at most one, well within double's 53-bit mantissa).
+bool FitsInInt(double value) {
+  return value >= static_cast<double>(std::numeric_limits<int>::min()) &&
+         value <= static_cast<double>(std::numeric_limits<int>::max());
 }
 
 }  // namespace
@@ -361,6 +383,9 @@ Status JsonReadInt(const Json& object, std::string_view key, int* out,
                    std::string_view what) {
   double value = *out;
   RETURN_IF_ERROR(JsonReadDouble(object, key, &value, what));
+  if (!FitsInInt(value)) {
+    return TypeError(what, key, "an integer within int range");
+  }
   *out = static_cast<int>(value);
   return Status::Ok();
 }
@@ -370,7 +395,16 @@ Status JsonReadUint64(const Json& object, std::string_view key, uint64_t* out,
   const Json* field = object.Find(key);
   if (field == nullptr) return Status::Ok();
   if (field->type != Json::Type::kNumber) return TypeError(what, key, "a number");
-  *out = std::strtoull(field->text.c_str(), nullptr, 10);
+  // Parse the raw token strictly: from_chars over uint64_t rejects a sign, rejects
+  // anything past 2^64-1, and `ptr` lets us reject trailing text ("1e3", "1.5") instead
+  // of silently truncating — strtoull would wrap "-1" to 18446744073709551615.
+  const std::string& text = field->text;
+  uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return TypeError(what, key, "a non-negative integer (decimal digits only)");
+  }
+  *out = value;
   return Status::Ok();
 }
 
@@ -402,7 +436,11 @@ Status JsonReadIntList(const Json& object, std::string_view key, std::vector<int
     if (item.type != Json::Type::kNumber) {
       return TypeError(what, key, "an array of numbers");
     }
-    out->push_back(static_cast<int>(item.NumberValue()));
+    const double value = item.NumberValue();
+    if (!FitsInInt(value)) {
+      return TypeError(what, key, "an array of integers within int range");
+    }
+    out->push_back(static_cast<int>(value));
   }
   return Status::Ok();
 }

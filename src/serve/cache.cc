@@ -28,9 +28,8 @@ QueryCache::QueryCache(size_t budget_bytes, MetricsRegistry* metrics)
 Result<std::string> QueryCache::GetOrCompute(
     const std::string& key, const std::function<Result<std::string>()>& compute,
     bool* was_cached) {
-  std::shared_ptr<Flight> flight;
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
     if (auto it = entries_.find(key); it != entries_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);
       ++hits_;
@@ -40,10 +39,17 @@ Result<std::string> QueryCache::GetOrCompute(
     }
     if (auto it = flights_.find(key); it != flights_.end()) {
       // Single-flight follower: wait for the leader, share its outcome.
-      flight = it->second;
+      std::shared_ptr<Flight> flight = it->second;
       ++coalesced_;
       if (coalesced_counter_ != nullptr) coalesced_counter_->Increment();
       flight->cv.wait(lock, [&] { return flight->done; });
+      if (flight->result.status().code() == StatusCode::kCancelled) {
+        // The leader was cancelled (typically its own, possibly shorter, deadline). That
+        // says nothing about THIS caller's budget, so retry rather than inherit the
+        // cancellation: we become (or follow) a fresh flight, and if our own token is
+        // already cancelled the compute notices immediately.
+        continue;
+      }
       if (flight->result.ok()) {
         ++hits_;
         if (hit_counter_ != nullptr) hit_counter_->Increment();
@@ -54,26 +60,25 @@ Result<std::string> QueryCache::GetOrCompute(
       return flight->result;
     }
     // Single-flight leader.
-    flight = std::make_shared<Flight>();
+    std::shared_ptr<Flight> flight = std::make_shared<Flight>();
     flights_.emplace(key, flight);
     ++misses_;
     if (miss_counter_ != nullptr) miss_counter_->Increment();
-  }
 
-  Result<std::string> result = compute();
+    lock.unlock();
+    Result<std::string> result = compute();
+    lock.lock();
 
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
     if (result.ok()) {
       InsertLocked(key, *result);
     }
     flight->result = result;
     flight->done = true;
     flights_.erase(key);
+    flight->cv.notify_all();
+    if (was_cached != nullptr) *was_cached = false;
+    return result;
   }
-  flight->cv.notify_all();
-  if (was_cached != nullptr) *was_cached = false;
-  return result;
 }
 
 void QueryCache::InsertLocked(const std::string& key, const std::string& value) {

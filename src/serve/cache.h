@@ -13,8 +13,11 @@
 //     share its result. The expensive engines run once per distinct key, not once per
 //     request.
 //
-// Errors are NOT cached: a cancelled or failed computation wakes the followers with the
-// error but leaves the key absent, so the next request retries. (Deadline errors are
+// Errors are NOT cached: a failed computation wakes the followers with the error but
+// leaves the key absent, so the next request retries. Cancellation gets one step more:
+// a CANCELLED leader result (its deadline, not the followers') is never handed to
+// followers — they loop and recompute under their own budgets, so a short-deadline
+// leader cannot starve longer-deadline requests for the same key. (Deadline errors are
 // per-request policy, not properties of the key.)
 //
 // Thread-safe. Metric instruments are created at construction (MetricsRegistry is not

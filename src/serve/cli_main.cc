@@ -5,7 +5,7 @@
 //
 //   probcon-cli --port 7421 table1 '{"n": 4}'
 //   probcon-cli --port 7421 quorum_size '{"protocol": "pbft", "fault": {"n": 7, "p": 0.02}}'
-//   probcon-cli --port 7421 montecarlo \
+//   probcon-cli --port 7421 montecarlo
 //       '{"protocol": "raft", "fault": {"n": 31, "p": 0.05}, "trials": 1000000}'
 //
 // Prints the response envelope as indented JSON on stdout. Exit code 0 for an OK response,

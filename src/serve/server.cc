@@ -114,6 +114,9 @@ void QueryServer::Submit(std::string payload, std::function<void(std::string)> d
 
   double deadline_ms = envelope.deadline_ms;
   if (deadline_ms <= 0.0) deadline_ms = options_.default_deadline_ms;
+  // Envelope parsing already rejects deadlines above kMaxDeadlineMs; the clamp also
+  // covers an operator-configured default, keeping the microseconds cast in range.
+  deadline_ms = std::min(deadline_ms, kMaxDeadlineMs);
   auto token = std::make_shared<CancelToken>();
   const bool deadline_armed = deadline_ms > 0.0;
   if (deadline_armed) {

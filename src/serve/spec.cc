@@ -483,8 +483,9 @@ Result<RequestEnvelope> RequestEnvelope::Parse(std::string_view payload) {
   RequestEnvelope envelope;
   RETURN_IF_ERROR(JsonReadUint64(root, "id", &envelope.id, kWhat));
   RETURN_IF_ERROR(JsonReadDouble(root, "deadline_ms", &envelope.deadline_ms, kWhat));
-  if (!std::isfinite(envelope.deadline_ms)) {
-    return InvalidArgumentError(std::string(kWhat) + ": deadline_ms must be finite");
+  if (!std::isfinite(envelope.deadline_ms) || envelope.deadline_ms > kMaxDeadlineMs) {
+    return InvalidArgumentError(std::string(kWhat) + ": deadline_ms must be finite and <= " +
+                                FormatDouble(kMaxDeadlineMs));
   }
   std::string kind_name;
   RETURN_IF_ERROR(JsonReadString(root, "kind", &kind_name, kWhat));

@@ -32,6 +32,11 @@ namespace probcon::serve {
 // Protocol version spoken by this build; bumped on incompatible envelope changes.
 inline constexpr int kProtocolVersion = 1;
 
+// Largest accepted deadline_ms (~31.7 years). Anything longer is indistinguishable from
+// "no deadline" and the bound keeps deadline_ms * 1000 safely inside int64 microseconds,
+// so the server's steady_clock arithmetic cannot overflow on attacker-chosen values.
+inline constexpr double kMaxDeadlineMs = 1e12;
+
 enum class RequestKind : int {
   kPing = 0,     // liveness / readiness probe; never cached, never queued
   kTable1,       // PBFT reliability report (paper Table 1 engine)

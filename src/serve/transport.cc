@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <string>
@@ -81,8 +82,11 @@ void TcpServer::AcceptLoop() {
         return;
       }
       connections_.push_back(connection);
+      // Assigning `reader` under the mutex means the reader thread — which may exit
+      // immediately on a dead connection — cannot reach its self-reap (which takes this
+      // mutex) before the handle it will detach exists.
+      connection->reader = std::thread([this, connection] { ReaderLoop(connection); });
     }
-    connection->reader = std::thread([this, connection] { ReaderLoop(connection); });
   }
 }
 
@@ -114,6 +118,22 @@ void TcpServer::ReaderLoop(const std::shared_ptr<Connection>& connection) {
     }
   }
   CloseConnection(connection);
+  // Self-reap so a long-running daemon does not accumulate one dead Connection (and one
+  // unjoined thread handle) per disconnected client. Exactly one party owns the cleanup:
+  // if the connection is still registered we take it and detach our own handle; if Stop()
+  // already swapped the list out, Stop() joins us instead.
+  std::thread self;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    const auto it = std::find(connections_.begin(), connections_.end(), connection);
+    if (it != connections_.end()) {
+      connections_.erase(it);
+      self = std::move(connection->reader);
+    }
+  }
+  if (self.joinable()) {
+    self.detach();
+  }
 }
 
 void TcpServer::WriteFrame(const std::shared_ptr<Connection>& connection,
@@ -142,6 +162,11 @@ void TcpServer::CloseConnection(const std::shared_ptr<Connection>& connection) {
   }
 }
 
+size_t TcpServer::connection_count() const {
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  return connections_.size();
+}
+
 void TcpServer::Stop() {
   if (stopping_.exchange(true)) {
     return;
@@ -160,7 +185,12 @@ void TcpServer::Stop() {
   for (const auto& connection : connections) {
     // Unblock the reader's recv() without closing the fd out from under a concurrent
     // write; CloseConnection (from the reader, and again here) owns the actual close.
-    ::shutdown(connection->fd, SHUT_RDWR);
+    // Checked under write_mutex so we never shutdown() an already-closed (and possibly
+    // recycled) descriptor.
+    std::lock_guard<std::mutex> lock(connection->write_mutex);
+    if (!connection->closed) {
+      ::shutdown(connection->fd, SHUT_RDWR);
+    }
   }
   for (const auto& connection : connections) {
     if (connection->reader.joinable()) {

@@ -12,6 +12,7 @@
 #define PROBCON_SRC_SERVE_TRANSPORT_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -44,6 +45,10 @@ class TcpServer {
   // responses still reach their connections).
   void Stop();
 
+  // Number of currently registered connections. Readers self-reap on disconnect, so this
+  // tracks live clients (it does not grow without bound on churn). For tests and stats.
+  size_t connection_count() const;
+
  private:
   struct Connection {
     int fd = -1;
@@ -64,7 +69,9 @@ class TcpServer {
   std::atomic<bool> stopping_{false};
   std::thread acceptor_;
 
-  std::mutex connections_mutex_;
+  mutable std::mutex connections_mutex_;
+  // Live connections only: ReaderLoop removes (and detaches) its own entry when the
+  // client disconnects; Stop() swaps out and joins whatever is left.
   std::vector<std::shared_ptr<Connection>> connections_;
 };
 

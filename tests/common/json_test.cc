@@ -101,6 +101,57 @@ TEST(Json, RejectsMalformedDocuments) {
   EXPECT_NE(status.message().find("serve request"), std::string::npos);
 }
 
+TEST(Json, RejectsExcessiveNestingInsteadOfOverflowingTheStack) {
+  // The parser recurses per container level, so depth is capped: a frame full of '['
+  // must come back as INVALID_ARGUMENT, not a stack overflow.
+  const std::string bomb(100000, '[');
+  const Status deep = ParseJson(bomb, "serve request").status();
+  EXPECT_EQ(deep.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(deep.message().find("nesting"), std::string::npos);
+
+  // Objects count against the same limit.
+  std::string objects;
+  for (int i = 0; i < 200; ++i) objects += R"({"a": )";
+  EXPECT_EQ(ParseJson(objects).status().code(), StatusCode::kInvalidArgument);
+
+  // Exactly at the 64-level limit still parses; one more level is rejected.
+  std::string at_limit = std::string(64, '[') + std::string(64, ']');
+  EXPECT_TRUE(ParseJson(at_limit).ok());
+  std::string over_limit = std::string(65, '[') + std::string(65, ']');
+  EXPECT_FALSE(ParseJson(over_limit).ok());
+}
+
+TEST(Json, IntReadersRejectValuesOutsideIntRange) {
+  auto parsed = ParseJson(R"({"big": 1e300, "small": -1e300, "edge": 2147483648,
+                              "list": [1, 1e300]})");
+  ASSERT_TRUE(parsed.ok());
+  int n = 0;
+  EXPECT_EQ(JsonReadInt(*parsed, "big", &n).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(JsonReadInt(*parsed, "small", &n).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(JsonReadInt(*parsed, "edge", &n).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(n, 0);  // *out untouched on rejection
+  std::vector<int> list;
+  EXPECT_EQ(JsonReadIntList(*parsed, "list", &list).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Json, Uint64ReaderRejectsSignsFractionsAndExponents) {
+  auto parsed = ParseJson(R"({"neg": -1, "frac": 1.5, "exp": 1e3, "ok": 7})");
+  ASSERT_TRUE(parsed.ok());
+  uint64_t value = 0;
+  // strtoull would wrap "-1" to 18446744073709551615; the reader must reject it instead.
+  EXPECT_EQ(JsonReadUint64(*parsed, "neg", &value).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(JsonReadUint64(*parsed, "frac", &value).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(JsonReadUint64(*parsed, "exp", &value).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(value, 0u);
+  EXPECT_TRUE(JsonReadUint64(*parsed, "ok", &value).ok());
+  EXPECT_EQ(value, 7u);
+
+  // 2^64 is out of range, not silently truncated.
+  auto huge = ParseJson(R"({"seed": 18446744073709551616})");
+  ASSERT_TRUE(huge.ok());
+  EXPECT_EQ(JsonReadUint64(*huge, "seed", &value).code(), StatusCode::kInvalidArgument);
+}
+
 TEST(Json, TypedReadersApplyDefaultsAndTypeCheck) {
   auto parsed = ParseJson(R"({"n": 5, "p": 0.25, "name": "x", "flag": true,
                               "ids": [1, 2], "weights": [0.5, 1.5]})");

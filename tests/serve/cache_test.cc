@@ -67,9 +67,9 @@ TEST(QueryCache, EvictsLeastRecentlyUsedUnderByteBudget) {
   EXPECT_LE(stats.entry_bytes, 3 * per_entry);
 
   // "a" survived, "b" was evicted.
-  cache.GetOrCompute("a", [&] { return Value(value); }, &was_cached);
+  ASSERT_TRUE(cache.GetOrCompute("a", [&] { return Value(value); }, &was_cached).ok());
   EXPECT_TRUE(was_cached);
-  cache.GetOrCompute("b", [&] { return Value(value); }, &was_cached);
+  ASSERT_TRUE(cache.GetOrCompute("b", [&] { return Value(value); }, &was_cached).ok());
   EXPECT_FALSE(was_cached);
 }
 
@@ -99,7 +99,7 @@ TEST(QueryCache, ErrorsAreNotCached) {
   auto ok = cache.GetOrCompute("key", [&] { return Value("fine"); }, nullptr);
   ASSERT_TRUE(ok.ok());
   bool was_cached = false;
-  cache.GetOrCompute("key", [&] { return Value("fine"); }, &was_cached);
+  ASSERT_TRUE(cache.GetOrCompute("key", [&] { return Value("fine"); }, &was_cached).ok());
   EXPECT_TRUE(was_cached);
 }
 
@@ -151,11 +151,68 @@ TEST(QueryCache, SingleFlightCoalescesConcurrentIdenticalMisses) {
   EXPECT_EQ(stats.hits, static_cast<uint64_t>(kThreads - 1));
 }
 
+TEST(QueryCache, FollowerRetriesWhenLeaderIsCancelled) {
+  // A leader cancelled by its own (shorter) deadline must not hand CANCELLED to followers
+  // whose budgets are still open: they recompute under their own tokens.
+  QueryCache cache(/*budget_bytes=*/1 << 20, /*metrics=*/nullptr);
+  std::atomic<int> calls{0};
+  std::atomic<bool> leader_in_compute{false};
+  std::atomic<bool> release_leader{false};
+
+  std::thread leader([&] {
+    auto result = cache.GetOrCompute(
+        "key",
+        [&]() -> Result<std::string> {
+          calls.fetch_add(1);
+          leader_in_compute.store(true);
+          while (!release_leader.load()) {
+            std::this_thread::yield();
+          }
+          return Status(StatusCode::kCancelled, "leader deadline fired");
+        },
+        nullptr);
+    // The leader itself still sees its own cancellation.
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  });
+  while (!leader_in_compute.load()) {
+    std::this_thread::yield();
+  }
+
+  std::thread follower([&] {
+    bool was_cached = true;
+    auto result = cache.GetOrCompute(
+        "key",
+        [&]() -> Result<std::string> {
+          calls.fetch_add(1);
+          return Value("computed by follower");
+        },
+        &was_cached);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(*result, "computed by follower");
+    EXPECT_FALSE(was_cached);
+  });
+  // Wait until the follower has registered as a waiter, then cancel the leader.
+  while (cache.snapshot().coalesced == 0) {
+    std::this_thread::yield();
+  }
+  release_leader.store(true);
+  leader.join();
+  follower.join();
+
+  EXPECT_EQ(calls.load(), 2);  // leader once (cancelled) + follower retry
+  // The follower's successful result went into the cache.
+  bool was_cached = false;
+  auto warm = cache.GetOrCompute("key", [] { return Value("unused"); }, &was_cached);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(*warm, "computed by follower");
+  EXPECT_TRUE(was_cached);
+}
+
 TEST(QueryCache, MetricsMirrorTheCounters) {
   MetricsRegistry metrics;
   QueryCache cache(/*budget_bytes=*/1 << 20, &metrics);
-  cache.GetOrCompute("k", [] { return Value("v"); }, nullptr);
-  cache.GetOrCompute("k", [] { return Value("v"); }, nullptr);
+  ASSERT_TRUE(cache.GetOrCompute("k", [] { return Value("v"); }, nullptr).ok());
+  ASSERT_TRUE(cache.GetOrCompute("k", [] { return Value("v"); }, nullptr).ok());
   EXPECT_EQ(metrics.GetCounter("serve.cache.misses").value(), 1u);
   EXPECT_EQ(metrics.GetCounter("serve.cache.hits").value(), 1u);
 }

@@ -149,6 +149,12 @@ TEST(Validation, RejectsMalformedEnvelopes) {
   EXPECT_FALSE(RequestEnvelope::Parse("not json").ok());
   EXPECT_FALSE(RequestEnvelope::Parse(R"({"v": 2, "id": 1, "kind": "ping"})").ok());
   EXPECT_FALSE(RequestEnvelope::Parse(R"({"v": 1, "id": 1, "kind": "no_such_kind"})").ok());
+  // A negative id must not wrap to 2^64-1, and a deadline big enough to overflow the
+  // server's int64 microsecond arithmetic is rejected at the edge.
+  EXPECT_FALSE(RequestEnvelope::Parse(R"({"v": 1, "id": -1, "kind": "ping"})").ok());
+  EXPECT_FALSE(
+      RequestEnvelope::Parse(R"({"v": 1, "id": 1, "kind": "ping", "deadline_ms": 1e300})")
+          .ok());
 
   const auto ok = RequestEnvelope::Parse(R"({"v": 1, "id": 7, "kind": "ping"})");
   ASSERT_TRUE(ok.ok()) << ok.status().ToString();

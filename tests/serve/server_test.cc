@@ -152,6 +152,22 @@ TEST(QueryServerTest, MalformedPayloadAnswersInvalidArgumentWithRecoveredId) {
   EXPECT_EQ(response->id, 31u);  // recovered from the rejected payload
 }
 
+TEST(QueryServerTest, DeeplyNestedPayloadAnswersInvalidArgumentNotCrash) {
+  // A nesting bomb ("[[[[...") up to the frame limit must degrade to INVALID_ARGUMENT like
+  // any other malformed input — one local client must not be able to crash the daemon.
+  QueryServer server(ServerOptions{});
+  const std::string response_text = server.Handle(std::string(100000, '['));
+  auto response = ResponseEnvelope::Parse(response_text);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status.code(), StatusCode::kInvalidArgument);
+
+  // The server still answers real queries afterwards.
+  ServeClient client(std::make_unique<LoopbackChannel>(server));
+  auto after = client.Query("table1", Params(R"({"n": 4})"));
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->status.ok());
+}
+
 TEST(QueryServerTest, ValidationErrorsSurfaceAsInvalidArgument) {
   QueryServer server(ServerOptions{});
   ServeClient client(std::make_unique<LoopbackChannel>(server));

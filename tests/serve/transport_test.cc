@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "src/common/json.h"
 #include "src/serve/client.h"
@@ -100,6 +102,33 @@ TEST_F(TcpTransportTest, TwoClientsShareTheCache) {
   ASSERT_TRUE(warm.ok());
   ASSERT_TRUE(warm->status.ok());
   EXPECT_TRUE(warm->cached);
+}
+
+TEST_F(TcpTransportTest, DisconnectedClientsAreReaped) {
+  EXPECT_EQ(transport_->connection_count(), 0u);
+  {
+    ServeClient client = Connect();
+    auto response = client.Query("ping", Json::Object());
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(transport_->connection_count(), 1u);
+  }  // ~ServeClient closes the socket.
+  // The reader thread notices EOF and removes its own registration; a long-running daemon
+  // must not accumulate one dead Connection per disconnected client.
+  for (int i = 0; i < 1000 && transport_->connection_count() != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(transport_->connection_count(), 0u);
+
+  // Churn a few more clients; the registry stays bounded by the live count.
+  for (int i = 0; i < 5; ++i) {
+    ServeClient client = Connect();
+    auto response = client.Query("ping", Json::Object());
+    ASSERT_TRUE(response.ok());
+  }
+  for (int i = 0; i < 1000 && transport_->connection_count() != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(transport_->connection_count(), 0u);
 }
 
 TEST_F(TcpTransportTest, ConnectToClosedPortFails) {

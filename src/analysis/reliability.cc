@@ -54,10 +54,12 @@ Probability CountDpProbability(const FailurePredicate& predicate, const PoissonB
 // Range-partitions the 2^N configuration space; each chunk accumulates compensated
 // holds/fails partial sums, merged in fixed chunk order so the result is bit-identical
 // for every thread count. A fired cancel token makes the remaining chunks bail at their
-// next poll (the partial results are then discarded by the caller).
+// next poll (the partial results are then discarded by the caller). `progress`, when
+// non-null, accumulates evaluated configurations at the same poll boundaries.
 Result<Probability> ExactEnumerationProbability(const FailurePredicate& predicate,
                                                 const JointFailureModel& model,
-                                                const CancelToken* cancel) {
+                                                const CancelToken* cancel,
+                                                std::atomic<uint64_t>* progress) {
   const int n = model.n();
   CHECK_LE(n, 25) << "exact enumeration limited to n <= 25";
   const uint64_t configurations = uint64_t{1} << n;
@@ -65,9 +67,16 @@ Result<Probability> ExactEnumerationProbability(const FailurePredicate& predicat
       0, configurations, kEnumerationChunk, MassPartial{},
       [&](uint64_t chunk_begin, uint64_t chunk_end, uint64_t /*chunk_index*/) {
         MassPartial partial;
+        uint64_t reported = chunk_begin;
         for (uint64_t config = chunk_begin; config < chunk_end; ++config) {
-          if ((config - chunk_begin) % kCancellationPollStride == 0 && IsCancelled(cancel)) {
-            return partial;
+          if ((config - chunk_begin) % kCancellationPollStride == 0) {
+            if (progress != nullptr && config > reported) {
+              progress->fetch_add(config - reported, std::memory_order_relaxed);
+              reported = config;
+            }
+            if (IsCancelled(cancel)) {
+              return partial;
+            }
           }
           const auto prob = model.ConfigurationProbability(config);
           CHECK(prob.has_value()) << "model" << model.Describe()
@@ -77,6 +86,9 @@ Result<Probability> ExactEnumerationProbability(const FailurePredicate& predicat
           } else {
             partial.fails.Add(*prob);
           }
+        }
+        if (progress != nullptr && chunk_end > reported) {
+          progress->fetch_add(chunk_end - reported, std::memory_order_relaxed);
         }
         return partial;
       },
@@ -139,9 +151,9 @@ Probability ReliabilityAnalyzer::EventProbability(const FailurePredicate& predic
   return *result;
 }
 
-Result<Probability> ReliabilityAnalyzer::TryEventProbability(const FailurePredicate& predicate,
-                                                             AnalysisMethod method,
-                                                             const CancelToken* cancel) const {
+Result<Probability> ReliabilityAnalyzer::TryEventProbability(
+    const FailurePredicate& predicate, AnalysisMethod method, const CancelToken* cancel,
+    std::atomic<uint64_t>* progress) const {
   const auto* independent = dynamic_cast<const IndependentFailureModel*>(model_.get());
   const bool count_only = predicate.HoldsForCount(0, n()).has_value();
 
@@ -161,10 +173,11 @@ Result<Probability> ReliabilityAnalyzer::TryEventProbability(const FailurePredic
       CHECK(independent != nullptr) << "count DP requires an independent model";
       return CountDpProbability(predicate, CountLaw(), n());
     case AnalysisMethod::kExact:
-      return ExactEnumerationProbability(predicate, *model_, cancel);
+      return ExactEnumerationProbability(predicate, *model_, cancel, progress);
     case AnalysisMethod::kMonteCarlo: {
       MonteCarloOptions options;
       options.cancel = cancel;
+      options.progress = progress;
       Result<ConfidenceInterval> ci = TryEstimateEventProbability(predicate, options);
       if (!ci.ok()) return ci.status();
       return Probability::FromProbability(ci->point);
@@ -191,19 +204,30 @@ Result<ConfidenceInterval> ReliabilityAnalyzer::TryEstimateEventProbability(
   // seeding-scheme note in src/common/rng.h. Cancellation polls sit on stride boundaries
   // and only ever abandon work, so they cannot perturb the estimate of a completed run.
   const CancelToken* cancel = options.cancel;
+  std::atomic<uint64_t>* progress = options.progress;
   const uint64_t holds = ParallelReduce<uint64_t>(
       0, options.trials, kMonteCarloChunk, 0,
       [&](uint64_t chunk_begin, uint64_t chunk_end, uint64_t chunk_index) {
         Rng rng(DeriveStreamSeed(options.seed, chunk_index));
         uint64_t chunk_holds = 0;
+        uint64_t reported = chunk_begin;
         for (uint64_t t = chunk_begin; t < chunk_end; ++t) {
-          if ((t - chunk_begin) % kCancellationPollStride == 0 && IsCancelled(cancel)) {
-            return chunk_holds;
+          if ((t - chunk_begin) % kCancellationPollStride == 0) {
+            if (progress != nullptr && t > reported) {
+              progress->fetch_add(t - reported, std::memory_order_relaxed);
+              reported = t;
+            }
+            if (IsCancelled(cancel)) {
+              return chunk_holds;
+            }
           }
           const FailureConfiguration config = model_->Sample(rng);
           if (predicate.Holds(config, n())) {
             ++chunk_holds;
           }
+        }
+        if (progress != nullptr && chunk_end > reported) {
+          progress->fetch_add(chunk_end - reported, std::memory_order_relaxed);
         }
         return chunk_holds;
       },

@@ -21,6 +21,7 @@
 #ifndef PROBCON_SRC_ANALYSIS_RELIABILITY_H_
 #define PROBCON_SRC_ANALYSIS_RELIABILITY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -104,6 +105,11 @@ struct MonteCarloOptions {
   // uncancelled run performs exactly the same work in the same order, so results stay
   // bit-identical with or without a token.
   const CancelToken* cancel = nullptr;
+  // Optional progress cell: completed trials are flushed into it at the same
+  // kCancellationPollStride boundaries the cancel polls use (plus a final flush per
+  // chunk), so an observer — the serving daemon's serve.engine.mc_trials counter — can
+  // watch a long estimate advance. Purely observational; never read by the computation.
+  std::atomic<uint64_t>* progress = nullptr;
 };
 
 class ReliabilityAnalyzer {
@@ -131,10 +137,13 @@ class ReliabilityAnalyzer {
 
   // Cancellable variants, for serving contexts where an operator deadline can fire mid
   // computation: identical math and bit-identical results while the token stays unset, a
-  // prompt kCancelled (work abandoned at the next poll) once it fires.
+  // prompt kCancelled (work abandoned at the next poll) once it fires. `progress`, when
+  // non-null, accumulates evaluated configurations (exact path) or completed trials
+  // (Monte Carlo path) exactly as MonteCarloOptions::progress does.
   Result<Probability> TryEventProbability(const FailurePredicate& predicate,
                                           AnalysisMethod method = AnalysisMethod::kAuto,
-                                          const CancelToken* cancel = nullptr) const;
+                                          const CancelToken* cancel = nullptr,
+                                          std::atomic<uint64_t>* progress = nullptr) const;
   Result<ConfidenceInterval> TryEstimateEventProbability(
       const FailurePredicate& predicate, const MonteCarloOptions& options = {}) const;
 

@@ -209,6 +209,7 @@ void ThreadPool::ExportMetrics(MetricsRegistry& registry, const std::string& pre
   registry.GetCounter(prefix + ".tasks_executed").Increment(stats.tasks_executed);
   registry.GetCounter(prefix + ".steals").Increment(stats.steals);
   registry.GetGauge(prefix + ".workers").Set(static_cast<double>(worker_count()));
+  registry.GetGauge(prefix + ".queue_depth").Set(static_cast<double>(queue_depth()));
   for (size_t i = 0; i < stats.worker_busy_seconds.size(); ++i) {
     registry.GetGauge(prefix + ".worker" + std::to_string(i) + ".busy_seconds")
         .Set(stats.worker_busy_seconds[i]);

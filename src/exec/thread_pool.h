@@ -59,6 +59,10 @@ class ThreadPool {
   // empty. Used by waiters to help instead of blocking.
   bool TryRunOneTask();
 
+  // Tasks queued but not yet popped, summed over every worker queue — a point-in-time
+  // backlog signal (the serving daemon exports it as the exec.pool.queue_depth gauge).
+  uint64_t queue_depth() const { return pending_.load(std::memory_order_relaxed); }
+
   // Point-in-time scheduler statistics.
   struct Stats {
     uint64_t tasks_submitted = 0;
@@ -73,8 +77,10 @@ class ThreadPool {
 
   // Writes the stats snapshot into `registry` as counters/gauges under `prefix`:
   // <prefix>.tasks_submitted, .tasks_executed, .steals (counters), <prefix>.workers,
-  // .worker<i>.busy_seconds, .external_busy_seconds (gauges). Intended to be called once
-  // per registry, after the parallel work of interest.
+  // .queue_depth, .worker<i>.busy_seconds, .external_busy_seconds (gauges). Counters are
+  // Incremented by the snapshot values, so call this once per registry (a fresh snapshot
+  // registry per stats request), after — or at a point-in-time during — the parallel work
+  // of interest.
   void ExportMetrics(MetricsRegistry& registry, const std::string& prefix = "exec.pool") const;
 
   // The process-wide pool, sized by DefaultWorkerCount() on first use. Tests and benches

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <ostream>
 #include <sstream>
+#include <utility>
 
 namespace probcon {
 namespace {
@@ -26,29 +27,59 @@ std::string CsvEscape(std::string_view text) {
 }
 
 void WriteHistogramJson(const Histogram& histogram, std::ostream& out) {
-  out << "{\"count\": " << histogram.count();
-  if (histogram.count() > 0) {
-    out << ", \"sum\": " << FormatMetricValue(histogram.sum())
-        << ", \"min\": " << FormatMetricValue(histogram.Min())
-        << ", \"max\": " << FormatMetricValue(histogram.Max())
-        << ", \"mean\": " << FormatMetricValue(histogram.Mean());
+  const HistogramSnapshot snap = histogram.snapshot();
+  out << "{\"count\": " << snap.count;
+  if (snap.count > 0) {
+    out << ", \"sum\": " << FormatMetricValue(snap.sum)
+        << ", \"min\": " << FormatMetricValue(snap.min)
+        << ", \"max\": " << FormatMetricValue(snap.max)
+        << ", \"mean\": " << FormatMetricValue(snap.Mean())
+        << ", \"p50\": " << FormatMetricValue(snap.Quantile(0.5))
+        << ", \"p90\": " << FormatMetricValue(snap.Quantile(0.9))
+        << ", \"p99\": " << FormatMetricValue(snap.Quantile(0.99));
   }
   out << ", \"buckets\": [";
-  const auto& bounds = histogram.bucket_bounds();
-  const auto& counts = histogram.bucket_counts();
-  for (size_t i = 0; i < counts.size(); ++i) {
+  for (size_t i = 0; i < snap.counts.size(); ++i) {
     if (i > 0) {
       out << ", ";
     }
     out << "{\"le\": ";
-    if (i < bounds.size()) {
-      out << FormatMetricValue(bounds[i]);
+    if (i < snap.bounds.size()) {
+      out << FormatMetricValue(snap.bounds[i]);
     } else {
       out << "\"inf\"";
     }
-    out << ", \"count\": " << counts[i] << "}";
+    out << ", \"count\": " << snap.counts[i] << "}";
   }
   out << "]}";
+}
+
+Json HistogramToJsonValue(const Histogram& histogram) {
+  const HistogramSnapshot snap = histogram.snapshot();
+  Json value = Json::Object();
+  value.Set("count", Json::Number(snap.count));
+  if (snap.count > 0) {
+    value.Set("sum", Json::Number(snap.sum));
+    value.Set("min", Json::Number(snap.min));
+    value.Set("max", Json::Number(snap.max));
+    value.Set("mean", Json::Number(snap.Mean()));
+    value.Set("p50", Json::Number(snap.Quantile(0.5)));
+    value.Set("p90", Json::Number(snap.Quantile(0.9)));
+    value.Set("p99", Json::Number(snap.Quantile(0.99)));
+  }
+  Json buckets = Json::Array();
+  for (size_t i = 0; i < snap.counts.size(); ++i) {
+    Json bucket = Json::Object();
+    if (i < snap.bounds.size()) {
+      bucket.Set("le", Json::Number(snap.bounds[i]));
+    } else {
+      bucket.Set("le", Json::String("inf"));
+    }
+    bucket.Set("count", Json::Number(snap.counts[i]));
+    buckets.Append(std::move(bucket));
+  }
+  value.Set("buckets", std::move(buckets));
+  return value;
 }
 
 }  // namespace
@@ -159,6 +190,26 @@ std::string MetricsToJson(const MetricsRegistry& metrics) {
   return out.str();
 }
 
+Json MetricsToJsonValue(const MetricsRegistry& metrics) {
+  Json document = Json::Object();
+  Json counters = Json::Object();
+  for (const auto& [name, counter] : metrics.counters()) {
+    counters.Set(name, Json::Number(counter.value()));
+  }
+  document.Set("counters", std::move(counters));
+  Json gauges = Json::Object();
+  for (const auto& [name, gauge] : metrics.gauges()) {
+    gauges.Set(name, Json::Number(gauge.value()));
+  }
+  document.Set("gauges", std::move(gauges));
+  Json histograms = Json::Object();
+  for (const auto& [name, histogram] : metrics.histograms()) {
+    histograms.Set(name, HistogramToJsonValue(histogram));
+  }
+  document.Set("histograms", std::move(histograms));
+  return document;
+}
+
 void WriteMetricsCsv(const MetricsRegistry& metrics, std::ostream& out) {
   out << "kind,name,field,value\n";
   for (const auto& [name, counter] : metrics.counters()) {
@@ -170,18 +221,23 @@ void WriteMetricsCsv(const MetricsRegistry& metrics, std::ostream& out) {
   }
   for (const auto& [name, histogram] : metrics.histograms()) {
     const std::string escaped = CsvEscape(name);
-    out << "histogram," << escaped << ",count," << histogram.count() << "\n";
-    if (histogram.count() > 0) {
-      out << "histogram," << escaped << ",sum," << FormatMetricValue(histogram.sum()) << "\n";
-      out << "histogram," << escaped << ",min," << FormatMetricValue(histogram.Min()) << "\n";
-      out << "histogram," << escaped << ",max," << FormatMetricValue(histogram.Max()) << "\n";
-    }
-    const auto& bounds = histogram.bucket_bounds();
-    const auto& counts = histogram.bucket_counts();
-    for (size_t i = 0; i < counts.size(); ++i) {
-      out << "histogram," << escaped << ",bucket_le_"
-          << (i < bounds.size() ? FormatMetricValue(bounds[i]) : "inf") << "," << counts[i]
+    const HistogramSnapshot snap = histogram.snapshot();
+    out << "histogram," << escaped << ",count," << snap.count << "\n";
+    if (snap.count > 0) {
+      out << "histogram," << escaped << ",sum," << FormatMetricValue(snap.sum) << "\n";
+      out << "histogram," << escaped << ",min," << FormatMetricValue(snap.min) << "\n";
+      out << "histogram," << escaped << ",max," << FormatMetricValue(snap.max) << "\n";
+      out << "histogram," << escaped << ",p50," << FormatMetricValue(snap.Quantile(0.5))
           << "\n";
+      out << "histogram," << escaped << ",p90," << FormatMetricValue(snap.Quantile(0.9))
+          << "\n";
+      out << "histogram," << escaped << ",p99," << FormatMetricValue(snap.Quantile(0.99))
+          << "\n";
+    }
+    for (size_t i = 0; i < snap.counts.size(); ++i) {
+      out << "histogram," << escaped << ",bucket_le_"
+          << (i < snap.bounds.size() ? FormatMetricValue(snap.bounds[i]) : "inf") << ","
+          << snap.counts[i] << "\n";
     }
   }
 }

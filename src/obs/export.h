@@ -12,6 +12,7 @@
 #include <string>
 #include <string_view>
 
+#include "src/common/json.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -32,13 +33,20 @@ std::string TraceToJson(const TraceLog& trace);
 void WriteTraceCsv(const TraceLog& trace, std::ostream& out);
 std::string TraceToCsv(const TraceLog& trace);
 
-// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum, min, max,
-// buckets: [{"le": bound-or-"inf", "count": n}, ...]}}}
+// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum, min, max, mean,
+// p50, p90, p99, buckets: [{"le": bound-or-"inf", "count": n}, ...]}}}. The quantiles are
+// interpolated from bucket counts (HistogramSnapshot::Quantile) and omitted, like the other
+// moments, when the histogram is empty.
 void WriteMetricsJson(const MetricsRegistry& metrics, std::ostream& out);
 std::string MetricsToJson(const MetricsRegistry& metrics);
 
-// Header "kind,name,field,value"; histograms expand to count/sum/min/max plus one
-// "bucket_le_<bound>" row per bucket.
+// Same document as WriteMetricsJson, but as a Json value — for embedding inside a larger
+// document (the serve `stats` verb nests it in a response envelope). Doubles go through
+// FormatDouble (shortest round-trip) rather than "%.9g", per the wire-format convention.
+Json MetricsToJsonValue(const MetricsRegistry& metrics);
+
+// Header "kind,name,field,value"; histograms expand to count/sum/min/max/p50/p90/p99 plus
+// one "bucket_le_<bound>" row per bucket.
 void WriteMetricsCsv(const MetricsRegistry& metrics, std::ostream& out);
 std::string MetricsToCsv(const MetricsRegistry& metrics);
 

@@ -29,14 +29,55 @@ HistogramOptions HistogramOptions::Exponential(double first_bound, double factor
   return HistogramOptions{std::move(bounds)};
 }
 
+double HistogramSnapshot::Mean() const {
+  CHECK_GT(count, 0u);
+  return sum / static_cast<double>(count);
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  CHECK_GT(count, 0u);
+  CHECK(q >= 0.0 && q <= 1.0);
+  // Nearest-rank target (1-based), mirroring SampleStats::Percentile semantics.
+  const uint64_t target =
+      static_cast<uint64_t>(q * static_cast<double>(count - 1) + 0.5) + 1;
+  uint64_t cumulative = 0;
+  for (size_t bucket = 0; bucket < counts.size(); ++bucket) {
+    if (counts[bucket] == 0) {
+      continue;
+    }
+    if (cumulative + counts[bucket] >= target) {
+      // Interpolate within the bucket; clamp the edges to the observed extremes so
+      // single-bucket histograms stay exact at q=0/1.
+      const double low = bucket == 0 ? min : std::max(min, bounds[bucket - 1]);
+      const double high = bucket == bounds.size() ? max : std::min(max, bounds[bucket]);
+      const double within =
+          static_cast<double>(target - cumulative) / static_cast<double>(counts[bucket]);
+      return low + (high - low) * within;
+    }
+    cumulative += counts[bucket];
+  }
+  return max;  // Unreachable given the invariants, but keeps the compiler satisfied.
+}
+
 Histogram::Histogram(HistogramOptions options) : bounds_(std::move(options.bounds)) {
   CHECK(!bounds_.empty());
   counts_.assign(bounds_.size() + 1, 0);
 }
 
+Histogram::Histogram(const Histogram& other) : bounds_(other.bounds_) {
+  std::lock_guard<std::mutex> lock(other.mutex_);
+  counts_ = other.counts_;
+  count_ = other.count_;
+  sum_ = other.sum_;
+  min_ = other.min_;
+  max_ = other.max_;
+}
+
 void Histogram::Record(double value) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
-  ++counts_[static_cast<size_t>(it - bounds_.begin())];
+  const size_t bucket = static_cast<size_t>(it - bounds_.begin());
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counts_[bucket];
   if (count_ == 0) {
     min_ = value;
     max_ = value;
@@ -48,72 +89,141 @@ void Histogram::Record(double value) {
   sum_ += value;
 }
 
-double Histogram::Mean() const {
-  CHECK_GT(count_, 0u);
-  return sum_ / static_cast<double>(count_);
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  std::lock_guard<std::mutex> lock(mutex_);
+  snap.counts = counts_;
+  snap.count = count_;
+  snap.sum = sum_;
+  snap.min = min_;
+  snap.max = max_;
+  return snap;
 }
 
+uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sum_;
+}
+
+double Histogram::Mean() const { return snapshot().Mean(); }
+
 double Histogram::Min() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   CHECK_GT(count_, 0u);
   return min_;
 }
 
 double Histogram::Max() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   CHECK_GT(count_, 0u);
   return max_;
 }
 
-double Histogram::ApproxQuantile(double q) const {
-  CHECK_GT(count_, 0u);
-  CHECK(q >= 0.0 && q <= 1.0);
-  // Nearest-rank target (1-based), mirroring SampleStats::Percentile semantics.
-  const uint64_t target =
-      static_cast<uint64_t>(q * static_cast<double>(count_ - 1) + 0.5) + 1;
-  uint64_t cumulative = 0;
-  for (size_t bucket = 0; bucket < counts_.size(); ++bucket) {
-    if (counts_[bucket] == 0) {
-      continue;
-    }
-    if (cumulative + counts_[bucket] >= target) {
-      // Interpolate within the bucket; clamp the edges to the observed extremes so
-      // single-bucket histograms stay exact at q=0/1.
-      const double low = bucket == 0 ? min_ : std::max(min_, bounds_[bucket - 1]);
-      const double high = bucket == bounds_.size() ? max_ : std::min(max_, bounds_[bucket]);
-      const double within =
-          static_cast<double>(target - cumulative) / static_cast<double>(counts_[bucket]);
-      return low + (high - low) * within;
-    }
-    cumulative += counts_[bucket];
-  }
-  return max_;  // Unreachable given the invariants, but keeps the compiler satisfied.
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counts_;
 }
 
-Counter& MetricsRegistry::GetCounter(const std::string& name) { return counters_[name]; }
+double Histogram::ApproxQuantile(double q) const { return snapshot().Quantile(q); }
 
-Gauge& MetricsRegistry::GetGauge(const std::string& name) { return gauges_[name]; }
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CHECK(gauges_.find(name) == gauges_.end())
+      << "metric '" << name << "' already registered as a gauge, requested as a counter";
+  CHECK(histograms_.find(name) == histograms_.end())
+      << "metric '" << name << "' already registered as a histogram, requested as a counter";
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CHECK(counters_.find(name) == counters_.end())
+      << "metric '" << name << "' already registered as a counter, requested as a gauge";
+  CHECK(histograms_.find(name) == histograms_.end())
+      << "metric '" << name << "' already registered as a histogram, requested as a gauge";
+  return gauges_[name];
+}
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name,
                                          const HistogramOptions& options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CHECK(counters_.find(name) == counters_.end())
+      << "metric '" << name << "' already registered as a counter, requested as a histogram";
+  CHECK(gauges_.find(name) == gauges_.end())
+      << "metric '" << name << "' already registered as a gauge, requested as a histogram";
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) {
+    CHECK(it->second.bucket_bounds() == options.bounds)
+        << "histogram '" << name << "' requested with bucket bounds that differ from its "
+        << "registered layout";
     return it->second;
   }
   return histograms_.emplace(name, Histogram(options)).first->second;
 }
 
 const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : &it->second;
 }
 
 const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = gauges_.find(name);
   return it == gauges_.end() ? nullptr : &it->second;
 }
 
 const Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
+}
+
+bool MetricsRegistry::empty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.empty() && gauges_.empty() && histograms_.empty();
+}
+
+void MetricsRegistry::SnapshotInto(MetricsRegistry* out) const {
+  CHECK(out != nullptr);
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Instrument copy constructors take their own synchronization (atomic loads for
+  // counters/gauges, the instrument lock for histograms), so concurrent Record/Increment
+  // calls on `this` stay safe while we copy.
+  for (const auto& [name, counter] : counters_) {
+    out->counters_.emplace(name, counter);
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out->gauges_.emplace(name, gauge);
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out->histograms_.emplace(name, histogram);
+  }
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) {
+    counter.Reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram.Reset();
+  }
 }
 
 }  // namespace probcon

@@ -1,19 +1,33 @@
-// Named metric instruments for simulation runs (design sibling of SampleStats, but
-// streaming): a Counter is a monotone event count, a Gauge a last-write-wins level, a
-// Histogram a bucketed distribution that keeps only per-bucket counts plus streaming
-// count/sum/min/max — it never retains individual samples, so million-commit runs cost O(1)
-// memory per instrument.
+// Named metric instruments for simulation runs AND the serving path (design sibling of
+// SampleStats, but streaming): a Counter is a monotone event count, a Gauge a
+// last-write-wins level, a Histogram a bucketed distribution that keeps only per-bucket
+// counts plus streaming count/sum/min/max — it never retains individual samples, so
+// million-commit runs cost O(1) memory per instrument.
 //
 // Instruments live in a MetricsRegistry keyed by name; lookups create on first use so
-// call-sites need no registration step. Registries iterate in name order, which makes
-// exporters (src/obs/export.h) byte-deterministic for deterministic runs.
+// call-sites need no registration step. A name identifies exactly ONE instrument kind:
+// requesting an existing name as a different kind (or a histogram with different bucket
+// bounds) is a programming error and CHECK-fails naming the conflicting instrument, so a
+// counter and a gauge can never silently shadow each other in an export. Registries
+// iterate in name order, which makes exporters (src/obs/export.h) byte-deterministic for
+// deterministic runs.
+//
+// Thread safety: Counter and Gauge are lock-free atomics, Histogram::Record takes a
+// per-instrument mutex, and the registry's Get*/Find* lookups are internally locked — so
+// the serving daemon's request threads can update instruments concurrently and a stats
+// endpoint can SnapshotInto() a consistent copy while traffic flows. The raw map
+// accessors (counters()/gauges()/histograms()) remain unsynchronized views: iterate them
+// only when no thread can be creating instruments (single-threaded simulation exports, or
+// a private snapshot registry).
 
 #ifndef PROBCON_SRC_OBS_METRICS_H_
 #define PROBCON_SRC_OBS_METRICS_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -21,21 +35,35 @@ namespace probcon {
 
 class Counter {
  public:
-  void Increment(uint64_t delta = 1) { value_ += delta; }
-  uint64_t value() const { return value_; }
+  Counter() = default;
+  Counter(const Counter& other) : value_(other.value()) {}
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  // The underlying cell, for wiring into progress hooks that take a raw atomic (the
+  // analysis engines report trial/configuration progress through std::atomic<uint64_t>*
+  // so they stay free of obs dependencies).
+  std::atomic<uint64_t>& cell() { return value_; }
 
  private:
-  uint64_t value_ = 0;
+  std::atomic<uint64_t> value_{0};
 };
 
 class Gauge {
  public:
-  void Set(double value) { value_ = value; }
-  void Add(double delta) { value_ += delta; }
-  double value() const { return value_; }
+  Gauge() = default;
+  Gauge(const Gauge& other) : value_(other.value()) {}
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 // Bucket layout for a Histogram: `bounds` are strictly increasing upper bounds; a value v
@@ -53,31 +81,64 @@ struct HistogramOptions {
 
   // Default layout for millisecond latencies: 1ms..~8s, doubling.
   static HistogramOptions DefaultLatencyMs() { return Exponential(1.0, 2.0, 14); }
+
+  // Fine-grained layout for served-request latencies in milliseconds: 1us..~8s, doubling.
+  // Warm cache hits sit around 10us, so the default 1ms-floor layout would collapse the
+  // entire warm distribution into one bucket.
+  static HistogramOptions ServeLatencyMs() { return Exponential(0.001, 2.0, 24); }
+};
+
+// A point-in-time copy of a Histogram's state: what exporters and stats endpoints consume.
+// Quantiles are computed here, from the frozen bucket counts.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;  // bounds.size() + 1; last is the overflow bucket.
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  bool empty() const { return count == 0; }
+  double Mean() const;
+
+  // Quantile estimate (q in [0, 1]) by linear interpolation inside the containing bucket;
+  // exact up to bucket resolution, clamped to the observed [min, max]. Requires count > 0.
+  double Quantile(double q) const;
 };
 
 class Histogram {
  public:
   explicit Histogram(HistogramOptions options = HistogramOptions::DefaultLatencyMs());
+  Histogram(const Histogram& other);
+  Histogram& operator=(const Histogram&) = delete;
 
   void Record(double value);
 
-  uint64_t count() const { return count_; }
-  bool empty() const { return count_ == 0; }
-  double sum() const { return sum_; }
+  // Consistent copy of the full state, taken under the instrument lock.
+  HistogramSnapshot snapshot() const;
+
+  uint64_t count() const;
+  bool empty() const { return count() == 0; }
+  double sum() const;
   double Mean() const;
   double Min() const;
   double Max() const;
 
+  // Bucket layout is immutable after construction, so this needs no lock.
   const std::vector<double>& bucket_bounds() const { return bounds_; }
-  // bucket_bounds().size() + 1 entries; the last is the overflow bucket.
-  const std::vector<uint64_t>& bucket_counts() const { return counts_; }
+  // bucket_bounds().size() + 1 entries; the last is the overflow bucket. Copied under the
+  // instrument lock.
+  std::vector<uint64_t> bucket_counts() const;
 
-  // Quantile estimate (q in [0, 1]) by linear interpolation inside the containing bucket;
-  // exact only up to bucket resolution, clamped to the observed [Min, Max].
+  // Convenience wrapper over snapshot().Quantile(q).
   double ApproxQuantile(double q) const;
 
+  void Reset();
+
  private:
-  std::vector<double> bounds_;
+  const std::vector<double> bounds_;
+
+  mutable std::mutex mutex_;
   std::vector<uint64_t> counts_;
   uint64_t count_ = 0;
   double sum_ = 0.0;
@@ -85,11 +146,15 @@ class Histogram {
   double max_ = 0.0;
 };
 
-// Name -> instrument maps, one per kind (the same name may exist as different kinds; they
-// are distinct instruments). Get* creates on first use; `options` on GetHistogram only
-// applies at creation.
+// Name -> instrument maps, one per kind. Get* creates on first use and CHECK-fails when
+// `name` already exists as a different kind, or when GetHistogram is called with bucket
+// bounds that differ from the instrument's existing layout.
 class MetricsRegistry {
  public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
   Counter& GetCounter(const std::string& name);
   Gauge& GetGauge(const std::string& name);
   Histogram& GetHistogram(const std::string& name,
@@ -100,13 +165,24 @@ class MetricsRegistry {
   const Gauge* FindGauge(const std::string& name) const;
   const Histogram* FindHistogram(const std::string& name) const;
 
+  // Unsynchronized map views (see the thread-safety note in the file comment).
   const std::map<std::string, Counter>& counters() const { return counters_; }
   const std::map<std::string, Gauge>& gauges() const { return gauges_; }
   const std::map<std::string, Histogram>& histograms() const { return histograms_; }
 
-  bool empty() const { return counters_.empty() && gauges_.empty() && histograms_.empty(); }
+  bool empty() const;
+
+  // Deep-copies every instrument into `out` (which should be empty), taking each
+  // instrument's own synchronization — safe while other threads keep updating this
+  // registry. `out` is then private to the caller and can be exported without locks.
+  void SnapshotInto(MetricsRegistry* out) const;
+
+  // Zeroes every counter and histogram — the "reset" of a stats window. Gauges are
+  // levels (in-flight requests, cache bytes), not rates, so they keep their values.
+  void Reset();
 
  private:
+  mutable std::mutex mutex_;
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;

@@ -1,0 +1,45 @@
+#include "src/obs/span.h"
+
+namespace probcon {
+namespace {
+
+double MsBetween(std::chrono::steady_clock::time_point from,
+                 std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
+SpanTimer::SpanTimer() { Restart(); }
+
+double SpanTimer::ElapsedMs() const {
+  return MsBetween(start_, std::chrono::steady_clock::now());
+}
+
+double SpanTimer::LapMs() {
+  const auto now = std::chrono::steady_clock::now();
+  const double ms = MsBetween(lap_, now);
+  lap_ = now;
+  return ms;
+}
+
+void SpanTimer::Restart() {
+  start_ = std::chrono::steady_clock::now();
+  lap_ = start_;
+}
+
+Json RequestTrace::ToJson() const {
+  Json value = Json::Object();
+  value.Set("total_ms", Json::Number(total_ms));
+  Json items = Json::Array();
+  for (const Stage& stage : stages) {
+    Json entry = Json::Object();
+    entry.Set("stage", Json::String(stage.name));
+    entry.Set("ms", Json::Number(stage.ms));
+    items.Append(std::move(entry));
+  }
+  value.Set("stages", std::move(items));
+  return value;
+}
+
+}  // namespace probcon

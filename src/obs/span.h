@@ -1,0 +1,62 @@
+// Per-request span timing for the serving path: a SpanTimer measures elapsed wall time on
+// the monotonic clock, and a RequestTrace accumulates named stage durations (parse →
+// canonicalize → cache → engine → serialize) that the serve layer records into stage
+// histograms and, when a client sends `trace: true`, echoes back in the response envelope.
+//
+// This is the only obs component that reads a clock. probcon-lint R1 waives the
+// *monotonic* clock ban for exactly these two files (see monotonic_clock_allowlist in
+// tools/lint/rules.h): span durations are telemetry about a computation, never inputs to
+// one, so the determinism-of-results contract survives. Calendar clocks stay banned.
+//
+// Stage durations are independent measurements, not a partition of the total: the engine
+// stage nests inside the cache stage (the single-flight leader computes under the cache's
+// miss path), so RequestTrace carries an explicit total rather than summing stages.
+
+#ifndef PROBCON_SRC_OBS_SPAN_H_
+#define PROBCON_SRC_OBS_SPAN_H_
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/json.h"
+
+namespace probcon {
+
+// Monotonic stopwatch with lap support. ElapsedMs() reads the time since construction (or
+// the last Restart); LapMs() reads the time since the previous lap mark and advances it —
+// the natural fit for timing consecutive pipeline stages with one timer.
+class SpanTimer {
+ public:
+  SpanTimer();
+
+  double ElapsedMs() const;
+  double LapMs();
+  void Restart();
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point lap_;
+};
+
+// An ordered list of named stage durations plus the request's end-to-end total.
+struct RequestTrace {
+  struct Stage {
+    std::string name;
+    double ms = 0.0;
+  };
+
+  std::vector<Stage> stages;
+  double total_ms = 0.0;
+
+  void AddStage(std::string name, double ms) { stages.push_back({std::move(name), ms}); }
+
+  // {"total_ms": t, "stages": [{"stage": "parse", "ms": m}, ...]} — the `trace` field of a
+  // serve response envelope.
+  Json ToJson() const;
+};
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_OBS_SPAN_H_

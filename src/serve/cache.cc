@@ -19,6 +19,7 @@ QueryCache::QueryCache(size_t budget_bytes, MetricsRegistry* metrics)
     hit_counter_ = &metrics->GetCounter("serve.cache.hits");
     miss_counter_ = &metrics->GetCounter("serve.cache.misses");
     coalesced_counter_ = &metrics->GetCounter("serve.cache.coalesced");
+    follower_retry_counter_ = &metrics->GetCounter("serve.cache.follower_retries");
     eviction_counter_ = &metrics->GetCounter("serve.cache.evictions");
     bytes_gauge_ = &metrics->GetGauge("serve.cache.bytes");
     entries_gauge_ = &metrics->GetGauge("serve.cache.entries");
@@ -48,6 +49,8 @@ Result<std::string> QueryCache::GetOrCompute(
         // says nothing about THIS caller's budget, so retry rather than inherit the
         // cancellation: we become (or follow) a fresh flight, and if our own token is
         // already cancelled the compute notices immediately.
+        ++follower_retries_;
+        if (follower_retry_counter_ != nullptr) follower_retry_counter_->Increment();
         continue;
       }
       if (flight->result.ok()) {
@@ -116,6 +119,7 @@ QueryCache::Stats QueryCache::snapshot() const {
   stats.hits = hits_;
   stats.misses = misses_;
   stats.coalesced = coalesced_;
+  stats.follower_retries = follower_retries_;
   stats.evictions = evictions_;
   stats.entry_count = entries_.size();
   stats.entry_bytes = entry_bytes_;

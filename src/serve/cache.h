@@ -20,8 +20,9 @@
 // leader cannot starve longer-deadline requests for the same key. (Deadline errors are
 // per-request policy, not properties of the key.)
 //
-// Thread-safe. Metric instruments are created at construction (MetricsRegistry is not
-// thread-safe) and updated only under the cache mutex.
+// Thread-safe. Metric instruments are created at construction and updated under the cache
+// mutex (the instruments themselves are also internally thread-safe, so stats snapshots
+// may read them concurrently).
 
 #ifndef PROBCON_SRC_SERVE_CACHE_H_
 #define PROBCON_SRC_SERVE_CACHE_H_
@@ -62,6 +63,9 @@ class QueryCache {
     uint64_t hits = 0;        // direct hits + follower waits that got a value
     uint64_t misses = 0;      // leader computations started
     uint64_t coalesced = 0;   // follower waits (subset of hits)
+    // Follower waits that ended in a cancelled leader and looped to recompute under their
+    // own budget; each retry re-counts as a miss or a fresh coalesced wait.
+    uint64_t follower_retries = 0;
     uint64_t evictions = 0;
     size_t entry_count = 0;
     size_t entry_bytes = 0;
@@ -95,6 +99,7 @@ class QueryCache {
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t coalesced_ = 0;
+  uint64_t follower_retries_ = 0;
   uint64_t evictions_ = 0;
   size_t entry_bytes_ = 0;
 
@@ -102,6 +107,7 @@ class QueryCache {
   Counter* hit_counter_ = nullptr;
   Counter* miss_counter_ = nullptr;
   Counter* coalesced_counter_ = nullptr;
+  Counter* follower_retry_counter_ = nullptr;
   Counter* eviction_counter_ = nullptr;
   Gauge* bytes_gauge_ = nullptr;
   Gauge* entries_gauge_ = nullptr;

@@ -1,17 +1,20 @@
 // probcon-cli — command-line client for a probcond daemon.
 //
 // Usage:
-//   probcon-cli --port N [--deadline-ms D] [--repeat K] <kind> [<params-json>]
+//   probcon-cli --port N [--deadline-ms D] [--repeat K] [--trace] <kind> [<params-json>]
 //
 //   probcon-cli --port 7421 table1 '{"n": 4}'
 //   probcon-cli --port 7421 quorum_size '{"protocol": "pbft", "fault": {"n": 7, "p": 0.02}}'
 //   probcon-cli --port 7421 montecarlo
 //       '{"protocol": "raft", "fault": {"n": 31, "p": 0.05}, "trials": 1000000}'
+//   probcon-cli --port 7421 stats                  # live metrics snapshot (JSON)
+//   probcon-cli --port 7421 stats '{"reset": true}'  # ...and zero counters/histograms
 //
 // Prints the response envelope as indented JSON on stdout. Exit code 0 for an OK response,
 // 3 for a server-reported error (the envelope still prints), 1 for transport failures.
 // --repeat issues the same query K times over one connection (cache behavior is visible in
-// the "cached" field of each response).
+// the "cached" field of each response). --trace asks the daemon to echo its per-stage span
+// breakdown (parse/canonicalize/cache/engine, docs/OBSERVABILITY.md) in a "trace" field.
 
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +29,7 @@ int main(int argc, char** argv) {
   long long port = 0;
   double deadline_ms = 0.0;
   long long repeat = 1;
+  bool trace = false;
   int i = 1;
   for (; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
@@ -34,6 +38,8 @@ int main(int argc, char** argv) {
       deadline_ms = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
       repeat = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace = true;
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;
@@ -43,8 +49,8 @@ int main(int argc, char** argv) {
   }
   if (port <= 0 || i >= argc) {
     std::fprintf(stderr,
-                 "usage: probcon-cli --port N [--deadline-ms D] [--repeat K] <kind> "
-                 "[<params-json>]\n");
+                 "usage: probcon-cli --port N [--deadline-ms D] [--repeat K] [--trace] "
+                 "<kind> [<params-json>]\n");
     return 2;
   }
   const std::string kind = argv[i++];
@@ -66,7 +72,7 @@ int main(int argc, char** argv) {
   int exit_code = 0;
   for (long long k = 0; k < repeat; ++k) {
     probcon::Result<probcon::serve::ResponseEnvelope> response =
-        client.Query(kind, *params, deadline_ms);
+        client.Query(kind, *params, deadline_ms, trace);
     if (!response.ok()) {
       std::fprintf(stderr, "probcon-cli: %s\n", response.status().ToString().c_str());
       return 1;
@@ -79,6 +85,9 @@ int main(int argc, char** argv) {
     if (response->status.ok()) {
       rendered.Set("cached", probcon::Json::Bool(response->cached));
       rendered.Set("result", response->result);
+      if (response->trace.type != probcon::Json::Type::kNull) {
+        rendered.Set("trace", response->trace);
+      }
     } else {
       rendered.Set("error", probcon::Json::String(response->status.message()));
       exit_code = 3;

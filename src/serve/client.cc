@@ -72,9 +72,9 @@ Result<std::string> TcpChannel::RoundTrip(const std::string& payload) {
 }
 
 Result<ResponseEnvelope> ServeClient::Query(std::string_view kind, const Json& params,
-                                            double deadline_ms) {
+                                            double deadline_ms, bool trace) {
   const std::string payload =
-      RequestEnvelope::Serialize(next_id_++, kind, params, deadline_ms);
+      RequestEnvelope::Serialize(next_id_++, kind, params, deadline_ms, trace);
   Result<std::string> response = channel_->RoundTrip(payload);
   if (!response.ok()) {
     return response.status();

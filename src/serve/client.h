@@ -63,11 +63,13 @@ class ServeClient {
   explicit ServeClient(std::unique_ptr<Channel> channel) : channel_(std::move(channel)) {}
 
   // Issues one query. `params` is the raw params object; `deadline_ms <= 0` means no
-  // client-requested deadline. The returned envelope's `status` carries server-side
-  // errors; a non-OK Result means the exchange itself failed (connection, framing,
-  // unparseable response).
+  // client-requested deadline. `trace` asks the server to echo its per-stage span
+  // breakdown in the response envelope's `trace` field (kNull when not requested or the
+  // request failed). The returned envelope's `status` carries server-side errors; a
+  // non-OK Result means the exchange itself failed (connection, framing, unparseable
+  // response).
   Result<ResponseEnvelope> Query(std::string_view kind, const Json& params,
-                                 double deadline_ms = 0.0);
+                                 double deadline_ms = 0.0, bool trace = false);
 
  private:
   std::unique_ptr<Channel> channel_;

@@ -28,19 +28,23 @@ Json ReportJson(const ReliabilityReport& report) {
   return object;
 }
 
-Result<Json> RunTable1(const ServeRequest& request, const CancelToken* cancel) {
+Result<Json> RunTable1(const ServeRequest& request, const CancelToken* cancel,
+                       const EngineProgress& progress) {
   const ReliabilityAnalyzer analyzer =
       ReliabilityAnalyzer::ForIndependentNodes(request.fault.probabilities);
   const PbftConfig config = PbftConfig::Standard(request.fault.n());
   ReliabilityReport report;
   Result<Probability> safe = analyzer.TryEventProbability(MakePbftSafePredicate(config),
-                                                          AnalysisMethod::kAuto, cancel);
+                                                          AnalysisMethod::kAuto, cancel,
+                                                          progress.enum_configs);
   if (!safe.ok()) return safe.status();
   Result<Probability> live = analyzer.TryEventProbability(MakePbftLivePredicate(config),
-                                                          AnalysisMethod::kAuto, cancel);
+                                                          AnalysisMethod::kAuto, cancel,
+                                                          progress.enum_configs);
   if (!live.ok()) return live.status();
   Result<Probability> both = analyzer.TryEventProbability(
-      MakePbftSafeAndLivePredicate(config), AnalysisMethod::kAuto, cancel);
+      MakePbftSafeAndLivePredicate(config), AnalysisMethod::kAuto, cancel,
+                                                          progress.enum_configs);
   if (!both.ok()) return both.status();
   report.safe = *safe;
   report.live = *live;
@@ -54,7 +58,8 @@ Result<Json> RunTable1(const ServeRequest& request, const CancelToken* cancel) {
   return result;
 }
 
-Result<Json> RunTable2(const ServeRequest& request, const CancelToken* cancel) {
+Result<Json> RunTable2(const ServeRequest& request, const CancelToken* cancel,
+                       const EngineProgress& progress) {
   const ReliabilityAnalyzer analyzer =
       ReliabilityAnalyzer::ForIndependentNodes(request.fault.probabilities);
   const RaftConfig config = RaftConfig::Standard(request.fault.n());
@@ -62,7 +67,8 @@ Result<Json> RunTable2(const ServeRequest& request, const CancelToken* cancel) {
   const bool structurally_safe = RaftIsSafeStructurally(config);
   report.safe = structurally_safe ? Probability::One() : Probability::Zero();
   Result<Probability> live = analyzer.TryEventProbability(MakeRaftLivePredicate(config),
-                                                          AnalysisMethod::kAuto, cancel);
+                                                          AnalysisMethod::kAuto, cancel,
+                                                          progress.enum_configs);
   if (!live.ok()) return live.status();
   report.live = *live;
   report.safe_and_live = structurally_safe ? report.live : Probability::Zero();
@@ -129,7 +135,8 @@ Result<Json> RunPlacement(const ServeRequest& request, const CancelToken* cancel
   return result;
 }
 
-Result<Json> RunEndToEnd(const ServeRequest& request, const CancelToken* cancel) {
+Result<Json> RunEndToEnd(const ServeRequest& request, const CancelToken* cancel,
+                         const EngineProgress& progress) {
   const ReliabilityAnalyzer analyzer =
       ReliabilityAnalyzer::ForIndependentNodes(request.fault.probabilities);
   EndToEndParams params;
@@ -138,7 +145,8 @@ Result<Json> RunEndToEnd(const ServeRequest& request, const CancelToken* cancel)
     const bool structurally_safe = RaftIsSafeStructurally(config);
     params.consensus.safe = structurally_safe ? Probability::One() : Probability::Zero();
     Result<Probability> live = analyzer.TryEventProbability(MakeRaftLivePredicate(config),
-                                                            AnalysisMethod::kAuto, cancel);
+                                                            AnalysisMethod::kAuto, cancel,
+                                                          progress.enum_configs);
     if (!live.ok()) return live.status();
     params.consensus.live = *live;
     params.consensus.safe_and_live =
@@ -146,13 +154,16 @@ Result<Json> RunEndToEnd(const ServeRequest& request, const CancelToken* cancel)
   } else {
     const PbftConfig config = PbftConfig::Standard(request.fault.n());
     Result<Probability> safe = analyzer.TryEventProbability(MakePbftSafePredicate(config),
-                                                            AnalysisMethod::kAuto, cancel);
+                                                            AnalysisMethod::kAuto, cancel,
+                                                          progress.enum_configs);
     if (!safe.ok()) return safe.status();
     Result<Probability> live = analyzer.TryEventProbability(MakePbftLivePredicate(config),
-                                                            AnalysisMethod::kAuto, cancel);
+                                                            AnalysisMethod::kAuto, cancel,
+                                                          progress.enum_configs);
     if (!live.ok()) return live.status();
     Result<Probability> both = analyzer.TryEventProbability(
-        MakePbftSafeAndLivePredicate(config), AnalysisMethod::kAuto, cancel);
+        MakePbftSafeAndLivePredicate(config), AnalysisMethod::kAuto, cancel,
+                                                          progress.enum_configs);
     if (!both.ok()) return both.status();
     params.consensus.safe = *safe;
     params.consensus.live = *live;
@@ -174,7 +185,8 @@ Result<Json> RunEndToEnd(const ServeRequest& request, const CancelToken* cancel)
   return result;
 }
 
-Result<Json> RunMonteCarlo(const ServeRequest& request, const CancelToken* cancel) {
+Result<Json> RunMonteCarlo(const ServeRequest& request, const CancelToken* cancel,
+                           const EngineProgress& progress) {
   std::unique_ptr<JointFailureModel> model;
   int n = 0;
   if (request.beta_binomial) {
@@ -189,6 +201,7 @@ Result<Json> RunMonteCarlo(const ServeRequest& request, const CancelToken* cance
   options.trials = request.trials;
   options.seed = request.seed;
   options.cancel = cancel;
+  options.progress = progress.mc_trials;
 
   Json result = Json::Object();
   result.Set("protocol", Json::String(request.protocol));
@@ -213,7 +226,8 @@ Result<Json> RunMonteCarlo(const ServeRequest& request, const CancelToken* cance
 
 }  // namespace
 
-Result<Json> ExecuteRequest(const ServeRequest& request, const CancelToken* cancel) {
+Result<Json> ExecuteRequest(const ServeRequest& request, const CancelToken* cancel,
+                            const EngineProgress& progress) {
   switch (request.kind) {
     case RequestKind::kPing: {
       Json result = Json::Object();
@@ -221,17 +235,20 @@ Result<Json> ExecuteRequest(const ServeRequest& request, const CancelToken* canc
       return result;
     }
     case RequestKind::kTable1:
-      return RunTable1(request, cancel);
+      return RunTable1(request, cancel, progress);
     case RequestKind::kTable2:
-      return RunTable2(request, cancel);
+      return RunTable2(request, cancel, progress);
     case RequestKind::kQuorumSize:
       return RunQuorumSize(request, cancel);
     case RequestKind::kPlacement:
       return RunPlacement(request, cancel);
     case RequestKind::kEndToEnd:
-      return RunEndToEnd(request, cancel);
+      return RunEndToEnd(request, cancel, progress);
     case RequestKind::kMonteCarlo:
-      return RunMonteCarlo(request, cancel);
+      return RunMonteCarlo(request, cancel, progress);
+    case RequestKind::kStats:
+      // Handled inline by the server; a stats request never reaches the engine.
+      break;
   }
   return InternalError("unhandled request kind");
 }

@@ -12,6 +12,9 @@
 #ifndef PROBCON_SRC_SERVE_ENGINE_H_
 #define PROBCON_SRC_SERVE_ENGINE_H_
 
+#include <atomic>
+#include <cstdint>
+
 #include "src/common/cancellation.h"
 #include "src/common/json.h"
 #include "src/common/status.h"
@@ -19,10 +22,21 @@
 
 namespace probcon::serve {
 
+// Optional progress cells the engines flush into at their cancellation-poll boundaries
+// (kCancellationPollStride), so a live request's advance is visible from outside — the
+// server wires these to the serve.engine.mc_trials / serve.engine.enum_configs counters.
+// Null cells disable the corresponding instrumentation; progress never feeds back into any
+// computed value.
+struct EngineProgress {
+  std::atomic<uint64_t>* mc_trials = nullptr;     // Monte Carlo trials completed.
+  std::atomic<uint64_t>* enum_configs = nullptr;  // exact-enumeration configs evaluated.
+};
+
 // Executes `request` to completion (or until `cancel` fires, returning kCancelled).
 // INVALID_ARGUMENT never escapes here for a request that passed ServeRequest::FromParams;
 // NOT_FOUND can (quorum sizing with unattainable targets).
-Result<Json> ExecuteRequest(const ServeRequest& request, const CancelToken* cancel);
+Result<Json> ExecuteRequest(const ServeRequest& request, const CancelToken* cancel,
+                            const EngineProgress& progress = {});
 
 }  // namespace probcon::serve
 

@@ -2,11 +2,19 @@
 //
 // Usage:
 //   probcond [--port N] [--cache-bytes N] [--max-inflight N] [--default-deadline-ms N]
+//            [--metrics-interval-s N --metrics-path FILE]
 //
 // Binds 127.0.0.1 (port 0 = ephemeral; the chosen port is printed on stdout as
 // "probcond listening on 127.0.0.1:<port>" for scripts to scrape), serves the framed JSON
 // protocol (docs/SERVING.md), and shuts down gracefully on SIGINT/SIGTERM: stop accepting,
 // answer in-flight requests, print a metrics summary, exit 0.
+//
+// --metrics-interval-s with --metrics-path enables a periodic metrics dump: every N
+// seconds (measured in 50ms shutdown-poll ticks, so no extra clock enters the daemon) the
+// full registry plus exec-pool telemetry is written as deterministic metrics JSON
+// (docs/OBSERVABILITY.md) to FILE via write-temp-then-rename, so scrapers never observe a
+// torn file. A final dump is written after drain. For on-demand snapshots use the `stats`
+// verb instead (probcon-cli stats).
 
 #include <csignal>
 #include <cstdio>
@@ -15,9 +23,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <string>
 #include <thread>
 
+#include "src/exec/thread_pool.h"
+#include "src/obs/export.h"
 #include "src/obs/metrics.h"
 #include "src/serve/server.h"
 #include "src/serve/transport.h"
@@ -40,6 +51,39 @@ bool ParseFlag(int argc, char** argv, int* i, const char* name, long long* out) 
   return true;
 }
 
+bool ParseStringFlag(int argc, char** argv, int* i, const char* name, std::string* out) {
+  if (std::strcmp(argv[*i], name) != 0) {
+    return false;
+  }
+  if (*i + 1 >= argc) {
+    std::fprintf(stderr, "missing value for %s\n", name);
+    std::exit(2);
+  }
+  *out = argv[++*i];
+  return true;
+}
+
+// Snapshots the live registry (plus exec-pool telemetry, which ExportMetrics accumulates —
+// hence a fresh snapshot registry per dump) and writes it atomically to `path`.
+void DumpMetrics(const probcon::MetricsRegistry& metrics, const std::string& path) {
+  probcon::MetricsRegistry snapshot;
+  metrics.SnapshotInto(&snapshot);
+  probcon::ThreadPool::Global().ExportMetrics(snapshot);
+  const std::string temp = path + ".tmp";
+  {
+    std::ofstream out(temp, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "probcond: cannot write %s\n", temp.c_str());
+      return;
+    }
+    probcon::WriteMetricsJson(snapshot, out);
+    out << '\n';
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "probcond: rename %s -> %s failed\n", temp.c_str(), path.c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -47,14 +91,23 @@ int main(int argc, char** argv) {
   long long cache_bytes = 64LL << 20;
   long long max_inflight = 64;
   long long default_deadline_ms = 0;
+  long long metrics_interval_s = 0;
+  std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     if (ParseFlag(argc, argv, &i, "--port", &port) ||
         ParseFlag(argc, argv, &i, "--cache-bytes", &cache_bytes) ||
         ParseFlag(argc, argv, &i, "--max-inflight", &max_inflight) ||
-        ParseFlag(argc, argv, &i, "--default-deadline-ms", &default_deadline_ms)) {
+        ParseFlag(argc, argv, &i, "--default-deadline-ms", &default_deadline_ms) ||
+        ParseFlag(argc, argv, &i, "--metrics-interval-s", &metrics_interval_s) ||
+        ParseStringFlag(argc, argv, &i, "--metrics-path", &metrics_path)) {
       continue;
     }
     std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+    return 2;
+  }
+  if ((metrics_interval_s > 0) != !metrics_path.empty()) {
+    std::fprintf(stderr,
+                 "--metrics-interval-s and --metrics-path must be given together\n");
     return 2;
   }
 
@@ -64,7 +117,7 @@ int main(int argc, char** argv) {
   options.max_inflight = static_cast<int>(max_inflight);
   options.default_deadline_ms = static_cast<double>(default_deadline_ms);
   probcon::serve::QueryServer server(options, &metrics);
-  probcon::serve::TcpServer transport(server);
+  probcon::serve::TcpServer transport(server, &metrics);
 
   const probcon::Status started = transport.Start(static_cast<uint16_t>(port));
   if (!started.ok()) {
@@ -76,8 +129,16 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
+  // The metrics dump rides the existing 50ms shutdown poll: 20 ticks per second, no
+  // second clock source in the daemon.
+  const long long dump_every_ticks = metrics_interval_s * 20;
+  long long ticks = 0;
   while (!g_shutdown.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (dump_every_ticks > 0 && ++ticks >= dump_every_ticks) {
+      ticks = 0;
+      DumpMetrics(metrics, metrics_path);
+    }
   }
 
   // Graceful shutdown: refuse new work, let in-flight requests answer, then tear the
@@ -86,6 +147,9 @@ int main(int argc, char** argv) {
   std::fflush(stdout);
   server.Drain();
   transport.Stop();
+  if (dump_every_ticks > 0) {
+    DumpMetrics(metrics, metrics_path);  // Final window, so a scrape can't miss the tail.
+  }
 
   const auto cache = server.cache().snapshot();
   std::printf("probcond stats: requests=%llu cache_hits=%llu cache_misses=%llu shed=%llu\n",

@@ -5,6 +5,7 @@
 
 #include "src/common/json.h"
 #include "src/exec/thread_pool.h"
+#include "src/obs/export.h"
 #include "src/serve/engine.h"
 
 namespace probcon::serve {
@@ -32,11 +33,28 @@ std::string ErrorResponse(uint64_t id, Status status) {
 QueryServer::QueryServer(ServerOptions options, MetricsRegistry* metrics)
     : options_(options), metrics_(metrics), cache_(options.cache_bytes, metrics) {
   if (metrics_ != nullptr) {
+    // Serve latencies span warm cache hits (~10us) to deadline-bounded engine runs, so
+    // every latency histogram here uses the fine-grained 1us-floor layout.
+    const HistogramOptions latency = HistogramOptions::ServeLatencyMs();
     requests_counter_ = &metrics_->GetCounter("serve.requests");
     shed_counter_ = &metrics_->GetCounter("serve.shed");
     error_counter_ = &metrics_->GetCounter("serve.errors");
     deadline_counter_ = &metrics_->GetCounter("serve.deadline_exceeded");
-    latency_histogram_ = &metrics_->GetHistogram("serve.latency_ms");
+    latency_histogram_ = &metrics_->GetHistogram("serve.latency_ms", latency);
+    for (int i = 0; i < kRequestKindCount; ++i) {
+      const auto kind = static_cast<RequestKind>(i);
+      kind_latency_[i] = &metrics_->GetHistogram(
+          "serve.latency_ms." + std::string(RequestKindName(kind)), latency);
+    }
+    parse_ms_ = &metrics_->GetHistogram("serve.stage_ms.parse", latency);
+    canonicalize_ms_ = &metrics_->GetHistogram("serve.stage_ms.canonicalize", latency);
+    cache_ms_ = &metrics_->GetHistogram("serve.stage_ms.cache", latency);
+    engine_ms_ = &metrics_->GetHistogram("serve.stage_ms.engine", latency);
+    serialize_ms_ = &metrics_->GetHistogram("serve.stage_ms.serialize", latency);
+    cancel_latency_ms_ = &metrics_->GetHistogram("serve.cancel_latency_ms", latency);
+    inflight_gauge_ = &metrics_->GetGauge("serve.inflight");
+    progress_.mc_trials = &metrics_->GetCounter("serve.engine.mc_trials").cell();
+    progress_.enum_configs = &metrics_->GetCounter("serve.engine.enum_configs").cell();
   }
   watchdog_ = std::thread([this] { WatchdogLoop(); });
 }
@@ -63,14 +81,14 @@ int QueryServer::inflight() const {
 
 void QueryServer::Submit(std::string payload, std::function<void(std::string)> done) {
   const auto started = std::chrono::steady_clock::now();
+  SpanTimer span;
 
   Result<RequestEnvelope> parsed = RequestEnvelope::Parse(payload);
+  const double parse_ms = span.LapMs();
+  if (parse_ms_ != nullptr) parse_ms_->Record(parse_ms);
   if (!parsed.ok()) {
-    {
-      std::lock_guard<std::mutex> lock(state_mutex_);
-      if (requests_counter_ != nullptr) requests_counter_->Increment();
-      if (error_counter_ != nullptr) error_counter_->Increment();
-    }
+    if (requests_counter_ != nullptr) requests_counter_->Increment();
+    if (error_counter_ != nullptr) error_counter_->Increment();
     done(ErrorResponse(RecoverRequestId(payload), parsed.status()));
     return;
   }
@@ -79,14 +97,33 @@ void QueryServer::Submit(std::string payload, std::function<void(std::string)> d
   // Pings answer inline: they are the readiness probe, so they must not queue behind work
   // and must succeed even while shedding.
   if (envelope.request.kind == RequestKind::kPing) {
-    std::lock_guard<std::mutex> lock(state_mutex_);
     if (requests_counter_ != nullptr) requests_counter_->Increment();
     ResponseEnvelope response;
     response.id = envelope.id;
     response.result = Json::Object();
     response.result.Set("ok", Json::Bool(true));
-    response.result.Set("draining", Json::Bool(draining_));
+    response.result.Set("draining", Json::Bool(draining()));
     done(response.Serialize());
+    RecordLatencyMs(span.ElapsedMs(), RequestKind::kPing);
+    return;
+  }
+
+  // Stats answer inline too, and before the drain/admission checks on purpose:
+  // introspection is most valuable exactly when the server is overloaded or draining.
+  if (envelope.request.kind == RequestKind::kStats) {
+    if (requests_counter_ != nullptr) requests_counter_->Increment();
+    ResponseEnvelope response;
+    response.id = envelope.id;
+    response.result = StatsResult(envelope.request.stats_reset);
+    if (envelope.trace) {
+      RequestTrace trace;
+      trace.AddStage("parse", parse_ms);
+      trace.AddStage("snapshot", span.LapMs());
+      trace.total_ms = span.ElapsedMs();
+      response.trace = trace.ToJson();
+    }
+    done(response.Serialize());
+    RecordLatencyMs(span.ElapsedMs(), RequestKind::kStats);
     return;
   }
 
@@ -110,6 +147,7 @@ void QueryServer::Submit(std::string payload, std::function<void(std::string)> d
       return;
     }
     ++inflight_;
+    if (inflight_gauge_ != nullptr) inflight_gauge_->Set(inflight_);
   }
 
   double deadline_ms = envelope.deadline_ms;
@@ -125,11 +163,13 @@ void QueryServer::Submit(std::string payload, std::function<void(std::string)> d
   }
 
   ThreadPool::Global().Submit(
-      [this, envelope = std::move(envelope), token, deadline_armed, started,
-       done = std::move(done)]() mutable {
-        std::string response = RunRequest(envelope, token, deadline_armed);
+      [this, envelope = std::move(envelope), token, deadline_armed, deadline_ms, started,
+       parse_ms, done = std::move(done)]() mutable {
+        std::string response =
+            RunRequest(envelope, token, deadline_armed, deadline_ms, started, parse_ms);
         const auto finished = std::chrono::steady_clock::now();
-        RecordLatencyMs(std::chrono::duration<double, std::milli>(finished - started).count());
+        RecordLatencyMs(std::chrono::duration<double, std::milli>(finished - started).count(),
+                        envelope.request.kind);
         done(std::move(response));
         FinishOne();
       });
@@ -137,16 +177,37 @@ void QueryServer::Submit(std::string payload, std::function<void(std::string)> d
 
 std::string QueryServer::RunRequest(const RequestEnvelope& envelope,
                                     const std::shared_ptr<CancelToken>& token,
-                                    bool deadline_armed) {
+                                    bool deadline_armed, double deadline_ms,
+                                    std::chrono::steady_clock::time_point started,
+                                    double parse_ms) {
+  RequestTrace trace;
+  trace.AddStage("parse", parse_ms);
+  SpanTimer span;
+
+  const std::string key = envelope.request.CanonicalKey();
+  const double canonicalize_ms = span.LapMs();
+  trace.AddStage("canonicalize", canonicalize_ms);
+  if (canonicalize_ms_ != nullptr) canonicalize_ms_->Record(canonicalize_ms);
+
   bool was_cached = false;
+  double engine_ms = -1.0;  // >= 0 iff this request was the single-flight leader.
   Result<std::string> result_text = cache_.GetOrCompute(
-      envelope.request.CanonicalKey(),
+      key,
       [&]() -> Result<std::string> {
-        Result<Json> result = ExecuteRequest(envelope.request, token.get());
+        SpanTimer engine_span;
+        Result<Json> result = ExecuteRequest(envelope.request, token.get(), progress_);
+        engine_ms = engine_span.ElapsedMs();
+        if (engine_ms_ != nullptr) engine_ms_->Record(engine_ms);
         if (!result.ok()) return result.status();
         return WriteJson(*result);
       },
       &was_cached);
+  // The cache span covers the whole lookup: hit splice, single-flight wait on a follower,
+  // or the nested engine run on the leader.
+  const double cache_ms = span.LapMs();
+  trace.AddStage("cache", cache_ms);
+  if (cache_ms_ != nullptr) cache_ms_->Record(cache_ms);
+  if (engine_ms >= 0.0) trace.AddStage("engine", engine_ms);
 
   ResponseEnvelope response;
   response.id = envelope.id;
@@ -155,6 +216,13 @@ std::string QueryServer::RunRequest(const RequestEnvelope& envelope,
     Result<Json> result = ParseJson(*result_text, "cached result");
     CHECK(result.ok()) << result.status().ToString();
     response.result = *std::move(result);
+    if (envelope.trace) {
+      trace.total_ms =
+          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                    started)
+              .count();
+      response.trace = trace.ToJson();
+    }
   } else {
     Status status = result_text.status();
     // The engine reports cooperative cancellation as kCancelled; when the cancel came from
@@ -163,15 +231,46 @@ std::string QueryServer::RunRequest(const RequestEnvelope& envelope,
       status = DeadlineExceededError("deadline expired after " +
                                      FormatDouble(envelope.deadline_ms) + " ms: " +
                                      status.message());
-      std::lock_guard<std::mutex> lock(state_mutex_);
       if (deadline_counter_ != nullptr) deadline_counter_->Increment();
+      if (cancel_latency_ms_ != nullptr) {
+        // How long past its deadline the request took to actually come back — the
+        // responsiveness of the cooperative-cancellation poll loops.
+        const double elapsed_ms =
+            std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                      started)
+                .count();
+        cancel_latency_ms_->Record(std::max(0.0, elapsed_ms - deadline_ms));
+      }
     } else {
-      std::lock_guard<std::mutex> lock(state_mutex_);
       if (error_counter_ != nullptr) error_counter_->Increment();
     }
     response.status = std::move(status);
   }
-  return response.Serialize();
+
+  span.Restart();
+  std::string payload = response.Serialize();
+  if (serialize_ms_ != nullptr) serialize_ms_->Record(span.ElapsedMs());
+  return payload;
+}
+
+Json QueryServer::StatsResult(bool reset) {
+  // Deep-copy the live registry, then layer the exec pool's point-in-time telemetry onto
+  // the private copy. ExportMetrics *increments* counters, so it must only ever target a
+  // fresh snapshot registry — exporting into the live one twice would double-count.
+  MetricsRegistry snapshot;
+  if (metrics_ != nullptr) {
+    metrics_->SnapshotInto(&snapshot);
+  }
+  ThreadPool::Global().ExportMetrics(snapshot);
+  Json result = Json::Object();
+  result.Set("metrics", MetricsToJsonValue(snapshot));
+  if (reset && metrics_ != nullptr) {
+    // Gauges (levels) survive; counters and histograms start a fresh window. The cache's
+    // internal Stats and the pool's own telemetry are cumulative and unaffected.
+    metrics_->Reset();
+    result.Set("reset", Json::Bool(true));
+  }
+  return result;
 }
 
 std::string QueryServer::Handle(std::string payload) {
@@ -217,13 +316,15 @@ void QueryServer::FinishOne() {
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
     --inflight_;
+    if (inflight_gauge_ != nullptr) inflight_gauge_->Set(inflight_);
     if (inflight_ == 0) drained_cv_.notify_all();
   }
 }
 
-void QueryServer::RecordLatencyMs(double elapsed_ms) {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+void QueryServer::RecordLatencyMs(double elapsed_ms, RequestKind kind) {
   if (latency_histogram_ != nullptr) latency_histogram_->Record(elapsed_ms);
+  Histogram* kind_histogram = kind_latency_[static_cast<int>(kind)];
+  if (kind_histogram != nullptr) kind_histogram->Record(elapsed_ms);
 }
 
 void QueryServer::ArmDeadline(std::chrono::steady_clock::time_point when,

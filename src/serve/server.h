@@ -6,12 +6,22 @@
 //
 //   Submit(payload)
 //     -> parse + validate envelope          (errors answer inline: INVALID_ARGUMENT)
+//     -> ping / stats answer inline         (introspection must work under overload)
 //     -> drain check                        (UNAVAILABLE while draining)
 //     -> admission control                  (RESOURCE_EXHAUSTED above max_inflight —
 //                                            load shedding is a fast reject, never a queue)
 //     -> cache.GetOrCompute(canonical key)  (hit: answer without touching the engines;
 //                                            concurrent identical misses single-flight)
 //     -> ExecuteRequest on the exec pool, with a CancelToken the deadline watchdog fires
+//
+// Observability: every stage of that lifecycle is timed with SpanTimer (src/obs/span.h)
+// and recorded
+// into the serve.stage_ms.{parse,canonicalize,cache,engine,serialize} histograms plus
+// per-kind end-to-end latency histograms (serve.latency_ms.<kind>); a request carrying
+// `trace: true` gets its span breakdown echoed back in the response envelope. The `stats`
+// verb snapshots the whole registry (plus exec-pool telemetry) as JSON, optionally
+// resetting counters/histograms afterwards. docs/OBSERVABILITY.md catalogues the metric
+// names.
 //
 // Deadlines are cooperative: the watchdog thread cancels the request's token when its
 // deadline passes, the engine's inner loops poll the token every kCancellationPollStride
@@ -38,7 +48,9 @@
 
 #include "src/common/cancellation.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/serve/cache.h"
+#include "src/serve/engine.h"
 #include "src/serve/spec.h"
 
 namespace probcon::serve {
@@ -52,8 +64,9 @@ struct ServerOptions {
 
 class QueryServer {
  public:
-  // `metrics` may be nullptr; otherwise it must outlive the server and is updated only
-  // from inside the server's own synchronization (the registry itself is not thread-safe).
+  // `metrics` may be nullptr (all instrumentation disabled); otherwise it must outlive
+  // the server. Instruments are internally thread-safe, so request threads record into
+  // them without extra locking, and the transport layer may share the same registry.
   explicit QueryServer(ServerOptions options, MetricsRegistry* metrics = nullptr);
 
   // Implies Drain().
@@ -91,10 +104,19 @@ class QueryServer {
   void WatchdogLoop();
 
   // Runs the already-parsed request (cache + engine) and builds the response payload.
+  // `deadline_ms` is the effective deadline (request or server default), `started` the
+  // Submit entry time (total-latency anchor), `parse_ms` the envelope-parse span measured
+  // in Submit — both feed the trace echo and the cancellation-latency histogram.
   std::string RunRequest(const RequestEnvelope& envelope,
-                         const std::shared_ptr<CancelToken>& token, bool deadline_armed);
+                         const std::shared_ptr<CancelToken>& token, bool deadline_armed,
+                         double deadline_ms, std::chrono::steady_clock::time_point started,
+                         double parse_ms);
 
-  void RecordLatencyMs(double elapsed_ms);
+  // The `stats` verb: a consistent snapshot of the live registry plus exec-pool telemetry,
+  // rendered via obs::MetricsToJsonValue. `reset` zeroes counters/histograms afterwards.
+  Json StatsResult(bool reset);
+
+  void RecordLatencyMs(double elapsed_ms, RequestKind kind);
   void FinishOne();
 
   const ServerOptions options_;
@@ -106,12 +128,23 @@ class QueryServer {
   bool draining_ = false;
   int inflight_ = 0;
 
-  // Pre-created instruments, updated under state_mutex_ (nullptr when disabled).
+  // Pre-created instruments (nullptr when metrics are disabled). All of them are
+  // internally thread-safe; no server lock is held while recording.
   Counter* requests_counter_ = nullptr;
   Counter* shed_counter_ = nullptr;
   Counter* error_counter_ = nullptr;
   Counter* deadline_counter_ = nullptr;
   Histogram* latency_histogram_ = nullptr;
+  Histogram* kind_latency_[kRequestKindCount] = {};
+  Histogram* parse_ms_ = nullptr;
+  Histogram* canonicalize_ms_ = nullptr;
+  Histogram* cache_ms_ = nullptr;
+  Histogram* engine_ms_ = nullptr;
+  Histogram* serialize_ms_ = nullptr;
+  Histogram* cancel_latency_ms_ = nullptr;
+  Gauge* inflight_gauge_ = nullptr;
+  // Engine progress counters, wired into the analyzers' poll-stride flushes.
+  EngineProgress progress_;
 
   std::mutex watchdog_mutex_;
   std::condition_variable watchdog_cv_;

@@ -12,7 +12,8 @@ namespace {
 constexpr std::string_view kWhat = "serve request";
 
 constexpr std::string_view kKindNames[kRequestKindCount] = {
-    "ping", "table1", "table2", "quorum_size", "placement", "end_to_end", "montecarlo",
+    "ping",       "table1",     "table2", "quorum_size",
+    "placement",  "end_to_end", "montecarlo", "stats",
 };
 
 // Caps that keep a single request's cost bounded. The engine CHECKs sit deeper (exact
@@ -256,6 +257,10 @@ Result<ServeRequest> ServeRequest::FromParams(RequestKind kind, const Json& para
     case RequestKind::kPing:
       return request;
 
+    case RequestKind::kStats:
+      RETURN_IF_ERROR(JsonReadBool(params, "reset", &request.stats_reset, kWhat));
+      return request;
+
     case RequestKind::kTable1:
     case RequestKind::kTable2: {
       // Accept a top-level {"n": ..} shorthand matching the paper tables (uniform p=1%).
@@ -416,6 +421,11 @@ Json ServeRequest::CanonicalParams() const {
   switch (kind) {
     case RequestKind::kPing:
       break;
+    case RequestKind::kStats:
+      if (stats_reset) {
+        object.Set("reset", Json::Bool(true));
+      }
+      break;
     case RequestKind::kTable1:
     case RequestKind::kTable2:
       object.Set("fault", fault.ToCanonicalJson());
@@ -483,6 +493,7 @@ Result<RequestEnvelope> RequestEnvelope::Parse(std::string_view payload) {
   RequestEnvelope envelope;
   RETURN_IF_ERROR(JsonReadUint64(root, "id", &envelope.id, kWhat));
   RETURN_IF_ERROR(JsonReadDouble(root, "deadline_ms", &envelope.deadline_ms, kWhat));
+  RETURN_IF_ERROR(JsonReadBool(root, "trace", &envelope.trace, kWhat));
   if (!std::isfinite(envelope.deadline_ms) || envelope.deadline_ms > kMaxDeadlineMs) {
     return InvalidArgumentError(std::string(kWhat) + ": deadline_ms must be finite and <= " +
                                 FormatDouble(kMaxDeadlineMs));
@@ -501,13 +512,16 @@ Result<RequestEnvelope> RequestEnvelope::Parse(std::string_view payload) {
 }
 
 std::string RequestEnvelope::Serialize(uint64_t id, std::string_view kind, const Json& params,
-                                       double deadline_ms) {
+                                       double deadline_ms, bool trace) {
   Json root = Json::Object();
   root.Set("v", Json::Number(kProtocolVersion));
   root.Set("id", Json::Number(id));
   root.Set("kind", Json::String(std::string(kind)));
   if (deadline_ms > 0.0) {
     root.Set("deadline_ms", Json::Number(deadline_ms));
+  }
+  if (trace) {
+    root.Set("trace", Json::Bool(true));
   }
   root.Set("params", params);
   return WriteJson(root);
@@ -541,6 +555,9 @@ Result<ResponseEnvelope> ResponseEnvelope::Parse(std::string_view payload) {
   if (const Json* result = root.Find("result"); result != nullptr) {
     envelope.result = *result;
   }
+  if (const Json* trace = root.Find("trace"); trace != nullptr) {
+    envelope.trace = *trace;
+  }
   return envelope;
 }
 
@@ -552,6 +569,9 @@ std::string ResponseEnvelope::Serialize() const {
   if (status.ok()) {
     root.Set("cached", Json::Bool(cached));
     root.Set("result", result);
+    if (trace.type != Json::Type::kNull) {
+      root.Set("trace", trace);
+    }
   } else {
     root.Set("error", Json::String(status.message()));
   }

@@ -45,9 +45,10 @@ enum class RequestKind : int {
   kPlacement,    // rack placement optimization
   kEndToEnd,     // availability / mission-durability derivation
   kMonteCarlo,   // Monte Carlo estimate with Wilson CI
+  kStats,        // live metrics snapshot (obs registry); never cached, never queued
 };
 
-inline constexpr int kRequestKindCount = 7;
+inline constexpr int kRequestKindCount = 8;
 
 std::string_view RequestKindName(RequestKind kind);
 Result<RequestKind> RequestKindFromName(std::string_view name);
@@ -107,6 +108,8 @@ struct ServeRequest {
   uint64_t trials = 1'000'000;  // montecarlo
   uint64_t seed = 42;           // montecarlo
 
+  bool stats_reset = false;  // stats: zero counters/histograms after the snapshot
+
   // Parses and validates the `params` object of a request envelope.
   static Result<ServeRequest> FromParams(RequestKind kind, const Json& params);
 
@@ -119,26 +122,32 @@ struct ServeRequest {
 };
 
 // Request envelope: {"v": 1, "id": <uint64>, "kind": "...", "deadline_ms": <double, opt>,
-// "params": {...}}. `deadline_ms <= 0` means no deadline.
+// "trace": <bool, opt>, "params": {...}}. `deadline_ms <= 0` means no deadline;
+// `trace: true` asks the server to echo its per-stage span breakdown in the response.
 struct RequestEnvelope {
   uint64_t id = 0;
   double deadline_ms = 0.0;
+  bool trace = false;
   ServeRequest request;
 
   static Result<RequestEnvelope> Parse(std::string_view payload);
 
   // Client-side assembly (the raw `params` travel untouched; the server canonicalizes).
   static std::string Serialize(uint64_t id, std::string_view kind, const Json& params,
-                               double deadline_ms);
+                               double deadline_ms, bool trace = false);
 };
 
-// Response envelope: {"v": 1, "id": ..., "status": "OK", "cached": bool, "result": {...}}
-// on success; {"v": 1, "id": ..., "status": "<CODE>", "error": "..."} otherwise.
+// Response envelope: {"v": 1, "id": ..., "status": "OK", "cached": bool, "result": {...},
+// "trace": {...}} on success ("trace" only when the request asked for it);
+// {"v": 1, "id": ..., "status": "<CODE>", "error": "..."} otherwise.
 struct ResponseEnvelope {
   uint64_t id = 0;
   Status status;
   bool cached = false;
   Json result;
+  // Span breakdown (RequestTrace::ToJson shape) when the request carried `trace: true`;
+  // kNull otherwise and then omitted from the wire.
+  Json trace;
 
   static Result<ResponseEnvelope> Parse(std::string_view payload);
   std::string Serialize() const;

@@ -12,6 +12,7 @@
 #include <string>
 #include <utility>
 
+#include "src/obs/span.h"
 #include "src/serve/framing.h"
 
 namespace probcon::serve {
@@ -23,7 +24,15 @@ constexpr int kAcceptPollMs = 50;
 
 }  // namespace
 
-TcpServer::TcpServer(QueryServer& server) : server_(server) {}
+TcpServer::TcpServer(QueryServer& server, MetricsRegistry* metrics) : server_(server) {
+  if (metrics != nullptr) {
+    accepted_counter_ = &metrics->GetCounter("serve.connections.accepted");
+    closed_counter_ = &metrics->GetCounter("serve.connections.closed");
+    active_gauge_ = &metrics->GetGauge("serve.connections.active");
+    write_ms_ = &metrics->GetHistogram("serve.stage_ms.write",
+                                       HistogramOptions::ServeLatencyMs());
+  }
+}
 
 TcpServer::~TcpServer() { Stop(); }
 
@@ -82,6 +91,10 @@ void TcpServer::AcceptLoop() {
         return;
       }
       connections_.push_back(connection);
+      if (accepted_counter_ != nullptr) accepted_counter_->Increment();
+      if (active_gauge_ != nullptr) {
+        active_gauge_->Set(static_cast<double>(connections_.size()));
+      }
       // Assigning `reader` under the mutex means the reader thread — which may exit
       // immediately on a dead connection — cannot reach its self-reap (which takes this
       // mutex) before the handle it will detach exists.
@@ -109,8 +122,8 @@ void TcpServer::ReaderLoop(const std::shared_ptr<Connection>& connection) {
       if (!next->has_value()) {
         break;
       }
-      server_.Submit(**next, [connection](std::string response) {
-        WriteFrame(connection, response);
+      server_.Submit(**next, [connection, write_ms = write_ms_](std::string response) {
+        WriteFrame(connection, response, write_ms);
       });
     }
     if (corrupt) {
@@ -129,6 +142,10 @@ void TcpServer::ReaderLoop(const std::shared_ptr<Connection>& connection) {
     if (it != connections_.end()) {
       connections_.erase(it);
       self = std::move(connection->reader);
+      if (closed_counter_ != nullptr) closed_counter_->Increment();
+      if (active_gauge_ != nullptr) {
+        active_gauge_->Set(static_cast<double>(connections_.size()));
+      }
     }
   }
   if (self.joinable()) {
@@ -137,7 +154,11 @@ void TcpServer::ReaderLoop(const std::shared_ptr<Connection>& connection) {
 }
 
 void TcpServer::WriteFrame(const std::shared_ptr<Connection>& connection,
-                           const std::string& payload) {
+                           const std::string& payload, Histogram* write_ms) {
+  // The span covers encode + per-connection lock wait + send, so a slow or backpressured
+  // client shows up in serve.stage_ms.write rather than hiding in request latency (the
+  // request itself already answered by the time this runs).
+  SpanTimer span;
   const std::string frame = EncodeFrame(payload);
   std::lock_guard<std::mutex> lock(connection->write_mutex);
   if (connection->closed) {
@@ -152,6 +173,7 @@ void TcpServer::WriteFrame(const std::shared_ptr<Connection>& connection,
     }
     sent += static_cast<size_t>(n);
   }
+  if (write_ms != nullptr) write_ms->Record(span.ElapsedMs());
 }
 
 void TcpServer::CloseConnection(const std::shared_ptr<Connection>& connection) {
@@ -181,6 +203,10 @@ void TcpServer::Stop() {
   {
     std::lock_guard<std::mutex> lock(connections_mutex_);
     connections.swap(connections_);
+    if (closed_counter_ != nullptr) {
+      closed_counter_->Increment(static_cast<uint64_t>(connections.size()));
+    }
+    if (active_gauge_ != nullptr) active_gauge_->Set(0.0);
   }
   for (const auto& connection : connections) {
     // Unblock the reader's recv() without closing the fd out from under a concurrent

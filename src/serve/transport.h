@@ -26,8 +26,12 @@ namespace probcon::serve {
 
 class TcpServer {
  public:
-  // `server` must outlive this object.
-  explicit TcpServer(QueryServer& server);
+  // `server` must outlive this object. `metrics` may be nullptr; when given (and
+  // outliving this object) the transport records connection churn
+  // (serve.connections.{accepted,closed} counters, serve.connections.active gauge) and
+  // response write latency (serve.stage_ms.write histogram). Instruments are internally
+  // thread-safe, so reader threads record without a transport lock.
+  explicit TcpServer(QueryServer& server, MetricsRegistry* metrics = nullptr);
   ~TcpServer();
 
   TcpServer(const TcpServer&) = delete;
@@ -59,11 +63,19 @@ class TcpServer {
 
   void AcceptLoop();
   void ReaderLoop(const std::shared_ptr<Connection>& connection);
+  // Static on purpose: response callbacks capture only refcounted/registry-owned state
+  // (never `this`), so a response that completes while the transport is tearing down
+  // cannot touch a dead TcpServer. `write_ms` may be nullptr.
   static void WriteFrame(const std::shared_ptr<Connection>& connection,
-                         const std::string& payload);
+                         const std::string& payload, Histogram* write_ms);
   static void CloseConnection(const std::shared_ptr<Connection>& connection);
 
   QueryServer& server_;
+  // Pre-created instruments (nullptr when metrics are disabled).
+  Counter* accepted_counter_ = nullptr;
+  Counter* closed_counter_ = nullptr;
+  Gauge* active_gauge_ = nullptr;
+  Histogram* write_ms_ = nullptr;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};

@@ -87,6 +87,20 @@ TEST(DeterminismRule, ServeLayerMayUseSteadyClockOnly) {
   EXPECT_EQ(CountRule(elsewhere, "probcon-determinism"), 1);
 }
 
+TEST(DeterminismRule, ObsSpanFilesCarryMonotonicWaiver) {
+  // SpanTimer (src/obs/span.{h,cc}) is the obs layer's one steady_clock consumer; the
+  // waiver covers exactly those two files, not the rest of src/obs/.
+  const auto span_ok = LintSource("src/obs/span.cc", R"code(
+    void T() { auto now = std::chrono::steady_clock::now(); }
+  )code");
+  EXPECT_EQ(CountRule(span_ok, "probcon-determinism"), 0);
+
+  const auto other_obs = LintSource("src/obs/metrics.cc", R"code(
+    void T() { auto now = std::chrono::steady_clock::now(); }
+  )code");
+  EXPECT_EQ(CountRule(other_obs, "probcon-determinism"), 1);
+}
+
 TEST(DeterminismRule, ServeBenchFileEntryMatchesExactFile) {
   const auto bench_ok = LintSource("bench/serve_load.cc", R"code(
     void T() { auto now = std::chrono::steady_clock::now(); }

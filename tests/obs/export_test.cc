@@ -73,6 +73,66 @@ TEST(MetricsJsonTest, CountersGaugesHistogramsSections) {
   EXPECT_NE(json.find("\"le\": \"inf\""), std::string::npos);
 }
 
+TEST(MetricsJsonTest, HistogramSummariesIncludeQuantiles) {
+  MetricsRegistry metrics;
+  Histogram& h = metrics.GetHistogram("lat", HistogramOptions::Fixed({25.0, 50.0, 100.0}));
+  for (int i = 1; i <= 100; ++i) {
+    h.Record(static_cast<double>(i));
+  }
+
+  const std::string json = MetricsToJson(metrics);
+  EXPECT_NE(json.find("\"mean\": 50.5"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p90\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+
+  const std::string csv = MetricsToCsv(metrics);
+  EXPECT_NE(csv.find("histogram,lat,p50,"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,lat,p90,"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,lat,p99,"), std::string::npos);
+
+  // The exported quantiles are the snapshot's, not recomputed divergently.
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_NE(json.find("\"p50\": " + FormatMetricValue(snap.Quantile(0.5))),
+            std::string::npos);
+}
+
+TEST(MetricsJsonTest, EmptyHistogramOmitsMomentsAndQuantiles) {
+  MetricsRegistry metrics;
+  metrics.GetHistogram("lat", HistogramOptions::Fixed({1.0}));
+  const std::string json = MetricsToJson(metrics);
+  EXPECT_NE(json.find("\"count\": 0"), std::string::npos);
+  EXPECT_EQ(json.find("\"p50\""), std::string::npos);
+  EXPECT_EQ(json.find("\"mean\""), std::string::npos);
+  EXPECT_EQ(json.find("\"min\""), std::string::npos);
+}
+
+TEST(MetricsToJsonValueTest, MirrorsTheByteExporterStructure) {
+  MetricsRegistry metrics;
+  metrics.GetCounter("msgs").Increment(10);
+  metrics.GetGauge("load").Set(0.75);
+  Histogram& h = metrics.GetHistogram("lat", HistogramOptions::Fixed({1.0, 10.0}));
+  h.Record(0.5);
+  h.Record(5.0);
+
+  const Json value = MetricsToJsonValue(metrics);
+  ASSERT_EQ(value.type, Json::Type::kObject);
+  const Json* counters = value.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const Json* msgs = counters->Find("msgs");
+  ASSERT_NE(msgs, nullptr);
+  EXPECT_DOUBLE_EQ(msgs->NumberValue(), 10.0);
+  const Json* histograms = value.Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const Json* lat = histograms->Find("lat");
+  ASSERT_NE(lat, nullptr);
+  ASSERT_NE(lat->Find("p50"), nullptr);
+  ASSERT_NE(lat->Find("buckets"), nullptr);
+  EXPECT_EQ(lat->Find("buckets")->items.size(), 3u);
+  ASSERT_NE(lat->Find("count"), nullptr);
+  EXPECT_DOUBLE_EQ(lat->Find("count")->NumberValue(), 2.0);
+}
+
 TEST(MetricsCsvTest, RowPerField) {
   MetricsRegistry metrics;
   metrics.GetCounter("msgs").Increment(3);

@@ -93,12 +93,21 @@ TEST(MetricsRegistryTest, GetCreatesOnceAndReturnsSameInstrument) {
   EXPECT_FALSE(registry.empty());
 }
 
-TEST(MetricsRegistryTest, HistogramOptionsApplyOnFirstUseOnly) {
+TEST(MetricsRegistryTest, SameOptionsReturnTheSameHistogram) {
   MetricsRegistry registry;
   Histogram& h1 = registry.GetHistogram("lat", HistogramOptions::Fixed({1.0, 2.0}));
-  Histogram& h2 = registry.GetHistogram("lat", HistogramOptions::Fixed({99.0}));
+  Histogram& h2 = registry.GetHistogram("lat", HistogramOptions::Fixed({1.0, 2.0}));
   EXPECT_EQ(&h1, &h2);
   EXPECT_EQ(h2.bucket_bounds().size(), 2u);
+}
+
+TEST(MetricsRegistryDeathTest, MismatchedHistogramBoundsCheckFail) {
+  // Silently keeping first-use bounds would mean a caller records into buckets it never
+  // asked for; the registry names the conflicting instrument and dies instead.
+  MetricsRegistry registry;
+  registry.GetHistogram("lat", HistogramOptions::Fixed({1.0, 2.0}));
+  EXPECT_DEATH(registry.GetHistogram("lat", HistogramOptions::Fixed({99.0})),
+               "histogram ' ?lat ?'.*bucket bounds that differ");
 }
 
 TEST(MetricsRegistryTest, FindReturnsNullForUntouched) {
@@ -111,12 +120,20 @@ TEST(MetricsRegistryTest, FindReturnsNullForUntouched) {
   EXPECT_EQ(registry.FindCounter("yes")->value(), 1u);
 }
 
-TEST(MetricsRegistryTest, SameNameDifferentKindsAreDistinct) {
+TEST(MetricsRegistryDeathTest, SameNameDifferentKindConflictsCheckFail) {
+  // One name = one instrument kind: a counter and a gauge sharing a name would silently
+  // shadow each other in exports, so the cross-kind lookup dies naming the conflict.
   MetricsRegistry registry;
   registry.GetCounter("m").Increment(3);
-  registry.GetGauge("m").Set(1.5);
-  EXPECT_EQ(registry.FindCounter("m")->value(), 3u);
-  EXPECT_DOUBLE_EQ(registry.FindGauge("m")->value(), 1.5);
+  EXPECT_DEATH(registry.GetGauge("m"),
+               "metric ' ?m ?'.*registered as a counter, requested as a gauge");
+  EXPECT_DEATH(registry.GetHistogram("m"),
+               "metric ' ?m ?'.*registered as a counter, requested as a histogram");
+
+  MetricsRegistry gauged;
+  gauged.GetGauge("g").Set(1.5);
+  EXPECT_DEATH(gauged.GetCounter("g"),
+               "metric ' ?g ?'.*registered as a gauge, requested as a counter");
 }
 
 TEST(MetricsRegistryTest, IterationIsNameOrdered) {
@@ -129,6 +146,82 @@ TEST(MetricsRegistryTest, IterationIsNameOrdered) {
     names.push_back(name);
   }
   EXPECT_EQ(names, (std::vector<std::string>{"apple", "mango", "zebra"}));
+}
+
+TEST(HistogramTest, SnapshotIsAConsistentFrozenCopy) {
+  Histogram histogram(HistogramOptions::Fixed({10.0, 20.0}));
+  histogram.Record(5.0);
+  histogram.Record(15.0);
+  const HistogramSnapshot snap = histogram.snapshot();
+  histogram.Record(100.0);  // Must not retroactively change the snapshot.
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_DOUBLE_EQ(snap.sum, 20.0);
+  EXPECT_DOUBLE_EQ(snap.min, 5.0);
+  EXPECT_DOUBLE_EQ(snap.max, 15.0);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 10.0);
+  ASSERT_EQ(snap.counts.size(), 3u);  // Two bounds + overflow.
+  EXPECT_EQ(snap.counts[0], 1u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 0u);
+  // Quantiles on the snapshot match the live instrument's view at snapshot time.
+  EXPECT_DOUBLE_EQ(snap.Quantile(1.0), 15.0);
+}
+
+TEST(MetricsRegistryTest, SnapshotIntoDeepCopiesAndDetaches) {
+  MetricsRegistry registry;
+  registry.GetCounter("c").Increment(7);
+  registry.GetGauge("g").Set(2.5);
+  registry.GetHistogram("h", HistogramOptions::Fixed({10.0})).Record(3.0);
+
+  MetricsRegistry copy;
+  registry.SnapshotInto(&copy);
+  ASSERT_NE(copy.FindCounter("c"), nullptr);
+  EXPECT_EQ(copy.FindCounter("c")->value(), 7u);
+  ASSERT_NE(copy.FindGauge("g"), nullptr);
+  EXPECT_DOUBLE_EQ(copy.FindGauge("g")->value(), 2.5);
+  ASSERT_NE(copy.FindHistogram("h"), nullptr);
+  EXPECT_EQ(copy.FindHistogram("h")->count(), 1u);
+
+  // The copy is detached: later updates to the source don't bleed through.
+  registry.GetCounter("c").Increment(100);
+  registry.GetHistogram("h", HistogramOptions::Fixed({10.0})).Record(4.0);
+  EXPECT_EQ(copy.FindCounter("c")->value(), 7u);
+  EXPECT_EQ(copy.FindHistogram("h")->count(), 1u);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesCountersAndHistogramsButKeepsGauges) {
+  MetricsRegistry registry;
+  registry.GetCounter("c").Increment(9);
+  registry.GetGauge("g").Set(4.0);
+  Histogram& h = registry.GetHistogram("h", HistogramOptions::Fixed({10.0}));
+  h.Record(1.0);
+
+  registry.Reset();
+  EXPECT_EQ(registry.FindCounter("c")->value(), 0u);
+  EXPECT_EQ(registry.FindHistogram("h")->count(), 0u);
+  // Gauges are levels, not rates: a stats-window reset must not erase them.
+  EXPECT_DOUBLE_EQ(registry.FindGauge("g")->value(), 4.0);
+  // The instrument (and its bucket layout) survives, ready to record the next window.
+  h.Record(2.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.Min(), 2.0);
+}
+
+TEST(HistogramOptionsTest, ServeLatencyLayoutResolvesWarmHits) {
+  // Warm cache hits sit around 10us = 0.01ms; the serve layout must not collapse them
+  // into the same bucket as a 1ms engine run.
+  const HistogramOptions options = HistogramOptions::ServeLatencyMs();
+  ASSERT_EQ(options.bounds.size(), 24u);
+  EXPECT_DOUBLE_EQ(options.bounds.front(), 0.001);
+  Histogram histogram(options);
+  histogram.Record(0.01);
+  histogram.Record(1.0);
+  const std::vector<uint64_t> counts = histogram.bucket_counts();
+  uint64_t nonzero = 0;
+  for (uint64_t c : counts) {
+    nonzero += (c > 0) ? 1 : 0;
+  }
+  EXPECT_EQ(nonzero, 2u);
 }
 
 }  // namespace

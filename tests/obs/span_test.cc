@@ -1,0 +1,75 @@
+#include "src/obs/span.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "src/common/json.h"
+
+namespace probcon {
+namespace {
+
+TEST(SpanTimerTest, ElapsedIsNonNegativeAndMonotone) {
+  SpanTimer timer;
+  const double first = timer.ElapsedMs();
+  EXPECT_GE(first, 0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const double second = timer.ElapsedMs();
+  EXPECT_GE(second, first);
+  EXPECT_GE(second, 2.0 * 0.5);  // Generous slack; clocks coarser than 1ms would fail hard.
+}
+
+TEST(SpanTimerTest, LapMeasuresSinceLastLapNotSinceStart) {
+  SpanTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const double lap1 = timer.LapMs();
+  EXPECT_GE(lap1, 0.0);
+  // A lap immediately after the previous one is near zero even though total elapsed
+  // keeps growing.
+  const double lap2 = timer.LapMs();
+  EXPECT_GE(lap2, 0.0);
+  EXPECT_LE(lap2, timer.ElapsedMs());
+  EXPECT_GE(timer.ElapsedMs(), lap1);
+}
+
+TEST(SpanTimerTest, RestartResetsBothAnchors) {
+  SpanTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  timer.Restart();
+  const double elapsed = timer.ElapsedMs();
+  EXPECT_GE(elapsed, 0.0);
+  EXPECT_LT(elapsed, 1000.0);  // Sanity: restarted, not accumulated since construction.
+  EXPECT_GE(timer.LapMs(), 0.0);
+}
+
+TEST(RequestTraceTest, ToJsonEmitsTotalAndStagesInOrder) {
+  RequestTrace trace;
+  trace.AddStage("parse", 0.25);
+  trace.AddStage("engine", 3.5);
+  trace.total_ms = 4.0;
+
+  const Json json = trace.ToJson();
+  ASSERT_TRUE(json.IsObject());
+  const Json* total = json.Find("total_ms");
+  ASSERT_NE(total, nullptr);
+  EXPECT_DOUBLE_EQ(total->NumberValue(), 4.0);
+  const Json* stages = json.Find("stages");
+  ASSERT_NE(stages, nullptr);
+  ASSERT_TRUE(stages->IsArray());
+  ASSERT_EQ(stages->items.size(), 2u);
+  EXPECT_EQ(stages->items[0].Find("stage")->text, "parse");
+  EXPECT_DOUBLE_EQ(stages->items[0].Find("ms")->NumberValue(), 0.25);
+  EXPECT_EQ(stages->items[1].Find("stage")->text, "engine");
+  EXPECT_DOUBLE_EQ(stages->items[1].Find("ms")->NumberValue(), 3.5);
+}
+
+TEST(RequestTraceTest, EmptyTraceIsStillAValidDocument) {
+  const Json json = RequestTrace{}.ToJson();
+  ASSERT_TRUE(json.IsObject());
+  ASSERT_NE(json.Find("stages"), nullptr);
+  EXPECT_TRUE(json.Find("stages")->items.empty());
+}
+
+}  // namespace
+}  // namespace probcon

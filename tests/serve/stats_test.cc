@@ -1,0 +1,244 @@
+// End-to-end coverage for the `stats` introspection verb and the per-request trace echo:
+// the snapshot shape (counters/gauges/histograms with quantiles), counter movement across
+// a cold->warm cache transition, reset-window semantics, engine progress counters, and the
+// TCP transport's connection metrics.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/common/json.h"
+#include "src/obs/metrics.h"
+#include "src/serve/client.h"
+#include "src/serve/server.h"
+#include "src/serve/spec.h"
+#include "src/serve/transport.h"
+
+namespace probcon::serve {
+namespace {
+
+Json Params(const std::string& text) {
+  auto parsed = ParseJson(text, "test params");
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return *std::move(parsed);
+}
+
+// Counter value out of a stats result; -1 when absent (so expectations read naturally).
+double CounterValue(const Json& result, const std::string& name) {
+  const Json* metrics = result.Find("metrics");
+  if (metrics == nullptr) return -1.0;
+  const Json* counters = metrics->Find("counters");
+  if (counters == nullptr) return -1.0;
+  const Json* counter = counters->Find(name);
+  return counter == nullptr ? -1.0 : counter->NumberValue();
+}
+
+double GaugeValue(const Json& result, const std::string& name) {
+  const Json* metrics = result.Find("metrics");
+  if (metrics == nullptr) return -1.0;
+  const Json* gauges = metrics->Find("gauges");
+  if (gauges == nullptr) return -1.0;
+  const Json* gauge = gauges->Find(name);
+  return gauge == nullptr ? -1.0 : gauge->NumberValue();
+}
+
+const Json* FindHistogram(const Json& result, const std::string& name) {
+  const Json* metrics = result.Find("metrics");
+  if (metrics == nullptr) return nullptr;
+  const Json* histograms = metrics->Find("histograms");
+  return histograms == nullptr ? nullptr : histograms->Find(name);
+}
+
+TEST(StatsVerbTest, SnapshotReflectsColdThenWarmCacheTraffic) {
+  MetricsRegistry metrics;
+  QueryServer server(ServerOptions{}, &metrics);
+  ServeClient client(std::make_unique<LoopbackChannel>(server));
+
+  auto cold = client.Query("table1", Params(R"({"n": 4})"));
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  ASSERT_TRUE(cold->status.ok()) << cold->status.ToString();
+  EXPECT_FALSE(cold->cached);
+
+  auto stats_cold = client.Query("stats", Json::Object());
+  ASSERT_TRUE(stats_cold.ok());
+  ASSERT_TRUE(stats_cold->status.ok()) << stats_cold->status.ToString();
+  EXPECT_DOUBLE_EQ(CounterValue(stats_cold->result, "serve.cache.hits"), 0.0);
+  EXPECT_DOUBLE_EQ(CounterValue(stats_cold->result, "serve.cache.misses"), 1.0);
+
+  auto warm = client.Query("table1", Params(R"({"n": 4})"));
+  ASSERT_TRUE(warm.ok());
+  ASSERT_TRUE(warm->status.ok());
+  EXPECT_TRUE(warm->cached);
+
+  auto stats_warm = client.Query("stats", Json::Object());
+  ASSERT_TRUE(stats_warm.ok());
+  ASSERT_TRUE(stats_warm->status.ok());
+  // The repeated query moved the hit counter — the acceptance criterion for the verb.
+  EXPECT_DOUBLE_EQ(CounterValue(stats_warm->result, "serve.cache.hits"), 1.0);
+  EXPECT_DOUBLE_EQ(CounterValue(stats_warm->result, "serve.cache.misses"), 1.0);
+  // Both table1 requests (and no others) landed in the per-kind latency histogram, and
+  // the summary carries interpolated quantiles.
+  const Json* table1_latency = FindHistogram(stats_warm->result, "serve.latency_ms.table1");
+  ASSERT_NE(table1_latency, nullptr);
+  ASSERT_NE(table1_latency->Find("count"), nullptr);
+  EXPECT_DOUBLE_EQ(table1_latency->Find("count")->NumberValue(), 2.0);
+  ASSERT_NE(table1_latency->Find("p50"), nullptr);
+  ASSERT_NE(table1_latency->Find("p99"), nullptr);
+  // Exec-pool telemetry rides along in the same snapshot.
+  EXPECT_GE(GaugeValue(stats_warm->result, "exec.pool.workers"), 0.0);
+}
+
+TEST(StatsVerbTest, EngineProgressCountersMove) {
+  MetricsRegistry metrics;
+  QueryServer server(ServerOptions{}, &metrics);
+  ServeClient client(std::make_unique<LoopbackChannel>(server));
+
+  auto mc = client.Query(
+      "montecarlo",
+      Params(R"({"protocol": "raft", "fault": {"n": 5, "p": 0.01}, "trials": 10000})"));
+  ASSERT_TRUE(mc.ok()) << mc.status().ToString();
+  ASSERT_TRUE(mc->status.ok()) << mc->status.ToString();
+
+  auto stats = client.Query("stats", Json::Object());
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE(stats->status.ok());
+  // Every completed trial was flushed through the progress hook by the time the run
+  // answered (poll-stride flushes plus the final per-chunk flush).
+  EXPECT_DOUBLE_EQ(CounterValue(stats->result, "serve.engine.mc_trials"), 10000.0);
+}
+
+TEST(StatsVerbTest, ResetStartsAFreshWindowButKeepsGaugesAndCacheState) {
+  MetricsRegistry metrics;
+  QueryServer server(ServerOptions{}, &metrics);
+  ServeClient client(std::make_unique<LoopbackChannel>(server));
+
+  auto first = client.Query("table1", Params(R"({"n": 4})"));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->status.ok());
+
+  auto reset = client.Query("stats", Params(R"({"reset": true})"));
+  ASSERT_TRUE(reset.ok());
+  ASSERT_TRUE(reset->status.ok());
+  const Json* reset_flag = reset->result.Find("reset");
+  ASSERT_NE(reset_flag, nullptr);
+  EXPECT_TRUE(reset_flag->boolean);
+  // The reset snapshot still shows the pre-reset window (snapshot first, then reset).
+  EXPECT_DOUBLE_EQ(CounterValue(reset->result, "serve.cache.misses"), 1.0);
+
+  auto after = client.Query("stats", Json::Object());
+  ASSERT_TRUE(after.ok());
+  ASSERT_TRUE(after->status.ok());
+  // Fresh window: the table1 miss is gone; only this stats request itself has been
+  // counted since the window opened (the reset-stats request incremented, then zeroed).
+  EXPECT_DOUBLE_EQ(CounterValue(after->result, "serve.cache.misses"), 0.0);
+  EXPECT_DOUBLE_EQ(CounterValue(after->result, "serve.requests"), 1.0);
+  const Json* table1_latency = FindHistogram(after->result, "serve.latency_ms.table1");
+  ASSERT_NE(table1_latency, nullptr);
+  EXPECT_DOUBLE_EQ(table1_latency->Find("count")->NumberValue(), 0.0);
+  // Gauges are levels and survive the reset.
+  EXPECT_DOUBLE_EQ(GaugeValue(after->result, "serve.inflight"), 0.0);
+  // The cache itself was NOT flushed — only the metrics window. The entry still serves.
+  auto warm = client.Query("table1", Params(R"({"n": 4})"));
+  ASSERT_TRUE(warm.ok());
+  ASSERT_TRUE(warm->status.ok());
+  EXPECT_TRUE(warm->cached);
+}
+
+TEST(StatsVerbTest, WorksWithoutARegistry) {
+  // A server constructed with no MetricsRegistry must still answer stats (empty snapshot
+  // plus pool telemetry) rather than crash or reject.
+  QueryServer server(ServerOptions{});
+  ServeClient client(std::make_unique<LoopbackChannel>(server));
+  auto stats = client.Query("stats", Json::Object());
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE(stats->status.ok()) << stats->status.ToString();
+  ASSERT_NE(stats->result.Find("metrics"), nullptr);
+  EXPECT_GE(GaugeValue(stats->result, "exec.pool.workers"), 0.0);
+}
+
+TEST(TraceEchoTest, ColdRequestCarriesAllStagesWithSaneDurations) {
+  MetricsRegistry metrics;
+  QueryServer server(ServerOptions{}, &metrics);
+  ServeClient client(std::make_unique<LoopbackChannel>(server));
+
+  auto response =
+      client.Query("table1", Params(R"({"n": 4})"), /*deadline_ms=*/0.0, /*trace=*/true);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_TRUE(response->status.ok());
+  ASSERT_EQ(response->trace.type, Json::Type::kObject);
+
+  const Json* total = response->trace.Find("total_ms");
+  ASSERT_NE(total, nullptr);
+  EXPECT_GE(total->NumberValue(), 0.0);
+  const Json* stages = response->trace.Find("stages");
+  ASSERT_NE(stages, nullptr);
+  ASSERT_TRUE(stages->IsArray());
+
+  bool saw_engine = false;
+  for (const Json& stage : stages->items) {
+    const Json* name = stage.Find("stage");
+    const Json* ms = stage.Find("ms");
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(ms, nullptr);
+    // Durations are non-negative and no stage outlasts the request total (the engine
+    // stage nests inside the cache stage, so stages are bounded by — not a partition
+    // of — the total).
+    EXPECT_GE(ms->NumberValue(), 0.0) << name->text;
+    EXPECT_LE(ms->NumberValue(), total->NumberValue() + 1e-6) << name->text;
+    if (name->text == "engine") saw_engine = true;
+  }
+  EXPECT_TRUE(saw_engine) << "a cold request runs the engine as the single-flight leader";
+
+  // The warm repeat answers from cache: no engine stage in its trace.
+  auto warm =
+      client.Query("table1", Params(R"({"n": 4})"), /*deadline_ms=*/0.0, /*trace=*/true);
+  ASSERT_TRUE(warm.ok());
+  ASSERT_TRUE(warm->status.ok());
+  EXPECT_TRUE(warm->cached);
+  ASSERT_EQ(warm->trace.type, Json::Type::kObject);
+  for (const Json& stage : warm->trace.Find("stages")->items) {
+    EXPECT_NE(stage.Find("stage")->text, "engine");
+  }
+
+  // Without the flag, no trace is echoed.
+  auto untraced = client.Query("table1", Params(R"({"n": 4})"));
+  ASSERT_TRUE(untraced.ok());
+  EXPECT_EQ(untraced->trace.type, Json::Type::kNull);
+}
+
+TEST(StatsVerbTest, TcpTransportExportsConnectionMetrics) {
+  MetricsRegistry metrics;
+  QueryServer server(ServerOptions{}, &metrics);
+  TcpServer transport(server, &metrics);
+  ASSERT_TRUE(transport.Start(0).ok());
+
+  auto channel = TcpChannel::Connect(transport.port());
+  ASSERT_TRUE(channel.ok()) << channel.status().ToString();
+  ServeClient client(std::move(*channel));
+
+  auto warmup = client.Query("table1", Params(R"({"n": 4})"));
+  ASSERT_TRUE(warmup.ok()) << warmup.status().ToString();
+  ASSERT_TRUE(warmup->status.ok());
+
+  auto stats = client.Query("stats", Json::Object(), /*deadline_ms=*/0.0, /*trace=*/true);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE(stats->status.ok());
+  EXPECT_DOUBLE_EQ(CounterValue(stats->result, "serve.connections.accepted"), 1.0);
+  EXPECT_DOUBLE_EQ(GaugeValue(stats->result, "serve.connections.active"), 1.0);
+  // The warmup's response write had completed before the stats snapshot was taken (the
+  // client had already parsed it), so the write histogram has at least one sample.
+  const Json* write_ms = FindHistogram(stats->result, "serve.stage_ms.write");
+  ASSERT_NE(write_ms, nullptr);
+  EXPECT_GE(write_ms->Find("count")->NumberValue(), 1.0);
+  // Stats over TCP echoes its inline trace too.
+  ASSERT_EQ(stats->trace.type, Json::Type::kObject);
+  ASSERT_NE(stats->trace.Find("stages"), nullptr);
+
+  transport.Stop();
+  server.Drain();
+}
+
+}  // namespace
+}  // namespace probcon::serve

@@ -54,6 +54,8 @@ struct LintOptions {
   // values, only whether a computation is abandoned, so determinism of results survives.
   std::vector<std::string> monotonic_clock_allowlist = {
       "src/serve/",
+      "src/obs/span.h",
+      "src/obs/span.cc",
       "bench/serve_load.cc",
   };
 

@@ -9,7 +9,11 @@
 #      result object,
 #   4. fire a 1 ms deadline at a 2^30-trial Monte Carlo request and require a prompt
 #      DEADLINE_EXCEEDED instead of a wedged server,
-#   5. SIGTERM the daemon and require a graceful drain (exit 0).
+#   5. query the `stats` verb and require a parseable metrics snapshot whose cache-hit
+#      counter reflects the repeated query, and a --trace request to echo its span
+#      breakdown,
+#   6. SIGTERM the daemon and require a graceful drain (exit 0) plus a final
+#      --metrics-path dump that parses as metrics JSON.
 #
 # Usage: tools/serve_smoke.sh <build-dir>
 
@@ -19,6 +23,7 @@ BUILD_DIR="${1:?usage: serve_smoke.sh <build-dir>}"
 PROBCOND="${BUILD_DIR}/src/serve/probcond"
 CLI="${BUILD_DIR}/src/serve/probcon-cli"
 LOG="$(mktemp /tmp/probcond_smoke.XXXXXX.log)"
+METRICS="$(mktemp /tmp/probcond_smoke.XXXXXX.metrics.json)"
 FAILURES=0
 
 fail() {
@@ -29,9 +34,10 @@ fail() {
 [ -x "${PROBCOND}" ] || { echo "missing binary: ${PROBCOND}" >&2; exit 1; }
 [ -x "${CLI}" ] || { echo "missing binary: ${CLI}" >&2; exit 1; }
 
-"${PROBCOND}" --port 0 >"${LOG}" 2>&1 &
+"${PROBCOND}" --port 0 --metrics-interval-s 3600 --metrics-path "${METRICS}" \
+  >"${LOG}" 2>&1 &
 DAEMON_PID=$!
-trap 'kill -9 "${DAEMON_PID}" 2>/dev/null; rm -f "${LOG}"' EXIT
+trap 'kill -9 "${DAEMON_PID}" 2>/dev/null; rm -f "${LOG}" "${METRICS}"' EXIT
 
 # Readiness: scrape the bound port from the startup line, then ping until it answers.
 PORT=""
@@ -96,6 +102,34 @@ echo "${DEADLINE_OUT}" | grep -q 'DEADLINE_EXCEEDED' \
 # The daemon must still be healthy after the cancelled request.
 "${CLI}" --port "${PORT}" ping >/dev/null || fail "daemon unhealthy after deadline query"
 
+# Introspection: the stats verb returns a metrics snapshot in which the repeated table1
+# query above is visible as cache traffic and as per-kind latency samples with quantiles.
+STATS="$("${CLI}" --port "${PORT}" stats)" || fail "stats query errored"
+python3 - "$STATS" <<'EOF' || fail "stats snapshot missing expected metrics"
+import json, sys
+metrics = json.loads(sys.argv[1])["result"]["metrics"]
+counters, histograms = metrics["counters"], metrics["histograms"]
+assert counters["serve.cache.hits"] >= 1, counters
+assert counters["serve.cache.misses"] >= 1, counters
+assert counters["serve.connections.accepted"] >= 1, counters
+table1 = histograms["serve.latency_ms.table1"]
+assert table1["count"] >= 3, table1
+for q in ("p50", "p90", "p99"):
+    assert q in table1, table1
+assert "serve.inflight" in metrics["gauges"], metrics["gauges"]
+EOF
+
+# Per-request spans: --trace echoes the stage breakdown with non-negative durations.
+TRACE="$("${CLI}" --port "${PORT}" --trace table1 '{"n": 4}')" || fail "trace query errored"
+python3 - "$TRACE" <<'EOF' || fail "trace echo malformed"
+import json, sys
+trace = json.loads(sys.argv[1])["trace"]
+assert trace["total_ms"] >= 0, trace
+stages = {s["stage"]: s["ms"] for s in trace["stages"]}
+assert "parse" in stages and "cache" in stages, stages
+assert all(ms >= 0 for ms in stages.values()), stages
+EOF
+
 # Graceful shutdown: SIGTERM drains in-flight work and exits 0.
 kill -TERM "${DAEMON_PID}"
 wait "${DAEMON_PID}"
@@ -103,7 +137,17 @@ DAEMON_EXIT=$?
 [ "${DAEMON_EXIT}" = 0 ] || fail "probcond exit ${DAEMON_EXIT} on SIGTERM, want 0"
 grep -q 'probcond draining' "${LOG}" || fail "no drain message in daemon log"
 grep -q 'probcond stats:' "${LOG}" || fail "no stats line in daemon log"
-trap 'rm -f "${LOG}"' EXIT
+
+# The shutdown path writes a final metrics dump to --metrics-path; it must be a complete,
+# parseable metrics document (write-temp-then-rename, so never torn).
+python3 - "${METRICS}" <<'EOF' || fail "final --metrics-path dump missing or malformed"
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["counters"]["serve.requests"] >= 1, doc["counters"]
+assert "serve.latency_ms" in doc["histograms"], sorted(doc["histograms"])
+EOF
+trap 'rm -f "${LOG}" "${METRICS}"' EXIT
 
 if [ "${FAILURES}" -ne 0 ]; then
   echo "serve smoke test: ${FAILURES} failure(s); daemon log:" >&2

@@ -1,25 +1,56 @@
-// ES1 — closed-loop load generator for the probcon::serve query daemon.
+// ES1 — many-connection load generator for the probcon::serve query daemon.
 //
-// Drives a QueryServer in-process through the LoopbackChannel (the same code path the TCP
-// transport feeds, minus the sockets) with a fixed mix of table1 / table2 / quorum_size
-// queries, and measures the memoization cache's effect:
+// Drives a real TcpServer (the multi-reactor epoll transport, in-process on 127.0.0.1)
+// from an epoll-based generator that scales from 1 to 1024 concurrent connections. Each
+// connection runs a closed loop with a pipelining window: up to `window` (8) requests of
+// that connection are in flight at once, approximating an open loop at high connection
+// counts. The conns=1 cells instead run the classic synchronous client
+// (ServeClient::Query, one request outstanding, full envelope parse per response) — the
+// pre-pipelining methodology — so the scaling cells compare against what a real single
+// client used to achieve. Four phases per connection count:
 //
-//   cold phase   every distinct query computed for the first time (all misses)
-//   warm phase   the same query set repeated; every answer should come from cache
+//   cold       every request a distinct table2 key (all misses; engine-bound)
+//   warm       a fixed key set, fully pre-warmed (all hits; transport-bound)
+//   mixed      90% warm keys / 10% fresh cold keys
+//   overload   distinct ~50k-trial montecarlo queries; at 16+ connections the pipelined
+//              inflight exceeds the server's admission cap, so shedding kicks in and the
+//              generator counts OK vs RESOURCE_EXHAUSTED responses
 //
-// Emits BENCH_serve.json (`--json <path>`) with per-phase throughput and client-side
-// p50/p90/p95/p99/max latency plus the server's cache counters, so the "warm-cache repeat
-// is served without recomputation and measurably faster" claim is checkable from the
-// committed artifact. A final `stats` query exercises the introspection verb under load
-// and cross-checks the server-side per-request accounting against the client's count.
+// at connection counts 1 / 16 / 256 / 1024 — 16 cells. The scaling criterion (warm
+// aggregate throughput at 256 connections >= 3x the single-connection warm baseline) is
+// CHECKed, as are:
+//
+//   * per-phase books: ok + shed == requests issued, zero transport/server errors
+//   * server/client agreement: the serve.requests and serve.shed counter deltas across
+//     each phase equal the generator's own books (+1 for the closing stats query)
+//   * byte-identity: every warm response's result is byte-identical to the pre-warm
+//     reference for its key (pipelining and sharding must not change answers)
+//
+// Emits BENCH_serve.json (`--json <path>`) with per-cell qps and client-side
+// p50/p90/p95/p99/max latency. `--scale N` divides per-cell request totals by N and
+// `--max-connections N` skips cells above N connections (CI smoke under sanitizers);
+// `--reactors N` overrides the transport's shard count (0 = auto).
 //
 // Latencies here are wall-clock (steady_clock; bench/serve_load.cc is on the lint
 // monotonic-clock allowlist). The request mix and seeds are fixed, so the WORK is
 // deterministic even though the timings are not.
 
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -28,49 +59,154 @@
 #include "src/common/json.h"
 #include "src/obs/metrics.h"
 #include "src/serve/client.h"
+#include "src/serve/framing.h"
 #include "src/serve/server.h"
+#include "src/serve/spec.h"
+#include "src/serve/transport.h"
 
 namespace probcon {
 namespace {
 
+// Request ids encode (connection, sequence) so a completion routes back to its slot:
+// id = conn * kIdStride + seq + 1. Ids stay unique per phase; phases reconnect.
+constexpr uint64_t kIdStride = 1u << 20;
+
+// ---------------------------------------------------------------------------
+// Workload definition
+
+// The fixed warm key set: the queries a deployment-review dashboard would refresh.
 struct Query {
   std::string kind;
-  std::string params_text;
+  Json params;
 };
 
-// The fixed request mix: the paper-table rows plus quorum-sizing queries — the queries a
-// deployment-review dashboard would refresh.
-std::vector<Query> WorkloadQueries() {
+std::vector<Query> WarmQueries() {
   std::vector<Query> queries;
   for (const int n : {4, 5, 7, 8}) {
-    queries.push_back({"table1", "{\"n\": " + std::to_string(n) + "}"});
+    Json params = Json::Object();
+    params.Set("n", Json::Number(n));
+    queries.push_back({"table1", std::move(params)});
   }
   for (const int n : {3, 5, 7, 9}) {
-    for (const char* p : {"0.01", "0.02", "0.04", "0.08"}) {
-      queries.push_back({"table2", "{\"fault\": {\"n\": " + std::to_string(n) +
-                                       ", \"p\": " + p + "}}"});
+    for (const double p : {0.01, 0.02, 0.04, 0.08}) {
+      Json fault = Json::Object();
+      fault.Set("n", Json::Number(n));
+      fault.Set("p", Json::Number(p));
+      Json params = Json::Object();
+      params.Set("fault", std::move(fault));
+      queries.push_back({"table2", std::move(params)});
     }
   }
   for (const int n : {5, 7, 9}) {
-    queries.push_back({"quorum_size",
-                       "{\"protocol\": \"raft\", \"fault\": {\"n\": " + std::to_string(n) +
-                           ", \"p\": 0.02}, \"target_live\": 0.999}"});
+    Json fault = Json::Object();
+    fault.Set("n", Json::Number(n));
+    fault.Set("p", Json::Number(0.02));
+    Json params = Json::Object();
+    params.Set("protocol", Json::String("raft"));
+    params.Set("fault", std::move(fault));
+    params.Set("target_live", Json::Number(0.999));
+    queries.push_back({"quorum_size", std::move(params)});
   }
-  // One genuinely expensive query: a 2M-trial Monte Carlo estimate. Cold it dominates the
-  // tail; warm it is a cache hit like everything else — the memoization payoff in one row.
-  queries.push_back({"montecarlo",
-                     "{\"protocol\": \"raft\", \"fault\": {\"n\": 7, \"p\": 0.02}, "
-                     "\"trials\": 2000000, \"seed\": 42}"});
   return queries;
 }
 
-struct PhaseResult {
+// Fresh cold keys: distinct table2 cells, unique across the whole run so no phase ever
+// re-hits another phase's key.
+uint64_t g_cold_counter = 0;
+
+Query ColdQuery() {
+  const uint64_t c = ++g_cold_counter;
+  Json fault = Json::Object();
+  fault.Set("n", Json::Number(3 + 2 * static_cast<double>(c % 4)));
+  fault.Set("p", Json::Number(1e-4 + 1e-7 * static_cast<double>(c)));
+  Json params = Json::Object();
+  params.Set("fault", std::move(fault));
+  return {"table2", std::move(params)};
+}
+
+// Overload keys: distinct montecarlo estimates, expensive enough that pipelined inflight
+// accumulates past the server's admission cap.
+uint64_t g_seed_counter = 0;
+
+Query OverloadQuery() {
+  Json fault = Json::Object();
+  fault.Set("n", Json::Number(7));
+  fault.Set("p", Json::Number(0.02));
+  Json params = Json::Object();
+  params.Set("protocol", Json::String("raft"));
+  params.Set("fault", std::move(fault));
+  params.Set("trials", Json::Number(50000));
+  params.Set("seed", Json::Number(static_cast<double>(++g_seed_counter)));
+  return {"montecarlo", std::move(params)};
+}
+
+// ---------------------------------------------------------------------------
+// The epoll generator
+
+struct GenConn {
+  int fd = -1;
+  uint64_t issued = 0;
+  uint64_t completed = 0;
+  uint64_t target = 0;
+  uint32_t interest = 0;
+  serve::FrameDecoder decoder;
+  std::string outbound;
+  size_t offset = 0;
+  std::map<uint64_t, std::chrono::steady_clock::time_point> sent_at;
+};
+
+// A scanned view of a response envelope. The generator deliberately does NOT parse the
+// whole response JSON per request — at hundreds of thousands of responses the parse would
+// dominate the client side of a shared-core measurement. Envelopes are serialized
+// deterministically ({"v": 1, "id": N, "status": "...", ...}), so scanning for the two
+// fixed fields is exact.
+struct WireView {
+  uint64_t id = 0;
+  std::string_view status;
+  size_t id_begin = 0;  // Digit span of the id, for masking in identity checks.
+  size_t id_end = 0;
+};
+
+WireView ScanEnvelope(const std::string& text) {
+  WireView view;
+  const size_t id_key = text.find("\"id\": ");
+  CHECK(id_key != std::string::npos) << "response lacks id: " << text;
+  view.id_begin = id_key + 6;
+  size_t pos = view.id_begin;
+  while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+    view.id = view.id * 10 + static_cast<uint64_t>(text[pos] - '0');
+    ++pos;
+  }
+  view.id_end = pos;
+  CHECK(view.id_end > view.id_begin) << "response id is not numeric: " << text;
+  const size_t status_key = text.find("\"status\": \"", pos);
+  CHECK(status_key != std::string::npos) << "response lacks status: " << text;
+  const size_t status_begin = status_key + 11;
+  const size_t status_end = text.find('"', status_begin);
+  CHECK(status_end != std::string::npos);
+  view.status = std::string_view(text).substr(status_begin, status_end - status_begin);
+  return view;
+}
+
+// The envelope with its id digits excised (ids differ in digit count, so the span is
+// removed, not overwritten): for a memoized key, every response must be identical except
+// for the echoed request id.
+std::string MaskId(const std::string& text, const WireView& view) {
+  return text.substr(0, view.id_begin) + text.substr(view.id_end);
+}
+
+struct PhaseBooks {
   double seconds = 0.0;
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  uint64_t errors = 0;
   std::vector<double> latencies_us;  // Sorted on return.
 
+  uint64_t total() const { return ok + shed + errors; }
   double Quantile(double q) const {
     CHECK(!latencies_us.empty());
-    const size_t index = static_cast<size_t>(q * static_cast<double>(latencies_us.size() - 1));
+    const size_t index =
+        static_cast<size_t>(q * static_cast<double>(latencies_us.size() - 1));
     return latencies_us[index];
   }
   double Qps() const {
@@ -78,110 +214,489 @@ struct PhaseResult {
   }
 };
 
-PhaseResult RunPhase(serve::ServeClient& client, const std::vector<Query>& queries,
-                     int repetitions) {
-  PhaseResult result;
-  result.latencies_us.reserve(queries.size() * static_cast<size_t>(repetitions));
-  const auto phase_start = std::chrono::steady_clock::now();
-  for (int rep = 0; rep < repetitions; ++rep) {
-    for (const Query& query : queries) {
-      Result<Json> params = ParseJson(query.params_text, "bench params");
-      CHECK(params.ok()) << params.status().ToString();
-      const auto start = std::chrono::steady_clock::now();
-      Result<serve::ResponseEnvelope> response = client.Query(query.kind, *params);
-      const auto end = std::chrono::steady_clock::now();
-      CHECK(response.ok()) << response.status().ToString();
-      CHECK(response->status.ok()) << response->status.ToString();
-      result.latencies_us.push_back(
-          std::chrono::duration<double, std::micro>(end - start).count());
-    }
-  }
-  result.seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - phase_start).count();
-  std::sort(result.latencies_us.begin(), result.latencies_us.end());
-  return result;
+int ConnectBlocking(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  CHECK(fd >= 0) << "socket(): " << std::strerror(errno);
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(port);
+  CHECK(::connect(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) == 0)
+      << "connect(): " << std::strerror(errno);
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  CHECK(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
+  const int enable = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  return fd;
 }
 
-void AddPhase(bench::Table& table, bench::JsonReport& report, const std::string& name,
-              const PhaseResult& phase) {
+// The sequential baseline: ONE connection driven by the classic synchronous client
+// (ServeClient::Query — envelope built from a Json tree, blocking round trip, full
+// response parse, one request outstanding). This is exactly the pre-pipelining
+// measurement methodology, so the scaling cells' qps is comparable against what a real
+// single client used to get.
+PhaseBooks RunSequentialPhase(uint16_t port, uint64_t total_requests,
+                              const std::function<Query(size_t, uint64_t)>& make_query) {
+  auto channel = serve::TcpChannel::Connect(port);
+  CHECK(channel.ok()) << channel.status().ToString();
+  serve::ServeClient client(std::move(*channel));
+  PhaseBooks books;
+  books.latencies_us.reserve(total_requests);
+  const auto phase_start = std::chrono::steady_clock::now();
+  for (uint64_t seq = 0; seq < total_requests; ++seq) {
+    const Query query = make_query(0, seq);
+    const auto start = std::chrono::steady_clock::now();
+    Result<serve::ResponseEnvelope> envelope = client.Query(query.kind, query.params);
+    const auto end = std::chrono::steady_clock::now();
+    CHECK(envelope.ok()) << envelope.status().ToString();
+    books.latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(end - start).count());
+    if (envelope->status.ok()) {
+      ++books.ok;
+    } else if (envelope->status.code() == StatusCode::kResourceExhausted) {
+      ++books.shed;
+    } else {
+      ++books.errors;
+      std::fprintf(stderr, "unexpected response status: %s\n",
+                   envelope->status.ToString().c_str());
+    }
+  }
+  books.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - phase_start).count();
+  std::sort(books.latencies_us.begin(), books.latencies_us.end());
+  return books;
+}
+
+// A request-payload template: serialized envelope split at the id digits, so issuing a
+// request is two string appends instead of a Json-tree build plus a full serialization.
+// The generator must stay cheaper than the server on a shared core, or the measurement
+// caps at the generator's own throughput.
+struct PayloadTemplate {
+  std::string prefix;  // Everything before the id digits.
+  std::string suffix;  // Everything after.
+
+  static PayloadTemplate For(const Query& query) {
+    const std::string text =
+        serve::RequestEnvelope::Serialize(0, query.kind, query.params, 0.0, false);
+    const size_t id_pos = text.find("\"id\": 0");
+    CHECK(id_pos != std::string::npos);
+    return {text.substr(0, id_pos + 6), text.substr(id_pos + 7)};
+  }
+  std::string Render(uint64_t id) const {
+    std::string out;
+    out.reserve(prefix.size() + suffix.size() + 12);
+    out += prefix;
+    out += std::to_string(id);
+    out += suffix;
+    return out;
+  }
+};
+
+// Runs one phase: `connections` sockets, each issuing its share of `total_requests` with
+// at most `window` in flight, payload text from `make_payload(conn, seq, id)`. Each
+// response is scanned, matched to its request by id, and fed to `on_response` (may be
+// null).
+PhaseBooks RunPhase(uint16_t port, size_t connections, uint64_t total_requests, int window,
+                    const std::function<std::string(size_t, uint64_t, uint64_t)>& make_payload,
+                    const std::function<void(const WireView&, const std::string&)>&
+                        on_response) {
+  PhaseBooks books;
+  books.latencies_us.reserve(total_requests);
+
+  std::vector<GenConn> conns(connections);
+  for (size_t i = 0; i < connections; ++i) {
+    conns[i].fd = ConnectBlocking(port);
+    conns[i].target = total_requests / connections +
+                      (i < total_requests % connections ? 1 : 0);
+  }
+  const int epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+  CHECK(epoll_fd >= 0);
+  for (size_t i = 0; i < connections; ++i) {
+    epoll_event event{};
+    event.events = EPOLLIN;
+    event.data.u64 = i;
+    CHECK(::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, conns[i].fd, &event) == 0);
+    conns[i].interest = EPOLLIN;
+  }
+
+  uint64_t completed_total = 0;
+  const auto phase_start = std::chrono::steady_clock::now();
+
+  auto refill = [&](size_t index) {
+    GenConn& conn = conns[index];
+    while (conn.issued < conn.target &&
+           conn.issued - conn.completed < static_cast<uint64_t>(window)) {
+      const uint64_t id = index * kIdStride + conn.issued + 1;
+      const std::string payload = make_payload(index, conn.issued, id);
+      conn.sent_at.emplace(id, std::chrono::steady_clock::now());
+      // Frame the payload straight into the outbound buffer — no EncodeFrame temporary.
+      const uint32_t length = static_cast<uint32_t>(payload.size());
+      char header[8] = {'P', 'C', 'S', 'V',
+                        static_cast<char>((length >> 24) & 0xff),
+                        static_cast<char>((length >> 16) & 0xff),
+                        static_cast<char>((length >> 8) & 0xff),
+                        static_cast<char>(length & 0xff)};
+      conn.outbound.append(header, sizeof(header));
+      conn.outbound += payload;
+      ++conn.issued;
+    }
+  };
+  auto flush = [&](size_t index) {
+    GenConn& conn = conns[index];
+    while (conn.offset < conn.outbound.size()) {
+      const ssize_t sent = ::send(conn.fd, conn.outbound.data() + conn.offset,
+                                  conn.outbound.size() - conn.offset, MSG_NOSIGNAL);
+      if (sent > 0) {
+        conn.offset += static_cast<size_t>(sent);
+        continue;
+      }
+      if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (sent < 0 && errno == EINTR) continue;
+      CHECK(false) << "send(): " << std::strerror(errno);
+    }
+    if (conn.offset == conn.outbound.size()) {
+      conn.outbound.clear();
+      conn.offset = 0;
+    }
+  };
+  auto update_interest = [&](size_t index) {
+    GenConn& conn = conns[index];
+    uint32_t want = conn.completed < conn.target ? static_cast<uint32_t>(EPOLLIN) : 0u;
+    if (conn.offset < conn.outbound.size()) want |= EPOLLOUT;
+    if (want != conn.interest) {
+      epoll_event event{};
+      event.events = want;
+      event.data.u64 = index;
+      CHECK(::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, conn.fd, &event) == 0);
+      conn.interest = want;
+    }
+  };
+
+  for (size_t i = 0; i < connections; ++i) {
+    refill(i);
+    flush(i);
+    update_interest(i);
+  }
+
+  char buffer[64 * 1024];
+  epoll_event events[128];
+  while (completed_total < total_requests) {
+    const int ready = ::epoll_wait(epoll_fd, events, 128, -1);
+    if (ready < 0) {
+      CHECK(errno == EINTR) << "epoll_wait(): " << std::strerror(errno);
+      continue;
+    }
+    for (int e = 0; e < ready; ++e) {
+      const size_t index = static_cast<size_t>(events[e].data.u64);
+      GenConn& conn = conns[index];
+      if ((events[e].events & EPOLLOUT) != 0) {
+        flush(index);
+      }
+      if ((events[e].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0) {
+        while (true) {
+          const ssize_t received = ::recv(conn.fd, buffer, sizeof(buffer), 0);
+          if (received < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+            if (errno == EINTR) continue;
+            CHECK(false) << "recv(): " << std::strerror(errno);
+          }
+          CHECK(received != 0) << "server closed connection mid-phase (conn " << index
+                               << ", " << conn.completed << "/" << conn.target << ")";
+          conn.decoder.Feed(std::string_view(buffer, static_cast<size_t>(received)));
+          while (true) {
+            Result<std::optional<std::string>> next = conn.decoder.Next();
+            CHECK(next.ok()) << next.status().ToString();
+            if (!next->has_value()) break;
+            const auto now = std::chrono::steady_clock::now();
+            const std::string& text = **next;
+            const WireView view = ScanEnvelope(text);
+            const auto sent_it = conn.sent_at.find(view.id);
+            CHECK(sent_it != conn.sent_at.end())
+                << "response id " << view.id << " matches no in-flight request";
+            books.latencies_us.push_back(
+                std::chrono::duration<double, std::micro>(now - sent_it->second).count());
+            conn.sent_at.erase(sent_it);
+            if (view.status == "OK") {
+              ++books.ok;
+            } else if (view.status == "RESOURCE_EXHAUSTED") {
+              ++books.shed;
+            } else {
+              ++books.errors;
+              std::fprintf(stderr, "unexpected response status: %s\n", text.c_str());
+            }
+            if (on_response != nullptr) {
+              on_response(view, text);
+            }
+            ++conn.completed;
+            ++completed_total;
+          }
+          refill(index);
+          flush(index);
+        }
+      }
+      update_interest(index);
+    }
+  }
+  books.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - phase_start).count();
+
+  ::close(epoll_fd);
+  for (GenConn& conn : conns) {
+    ::close(conn.fd);
+  }
+  std::sort(books.latencies_us.begin(), books.latencies_us.end());
+  return books;
+}
+
+// ---------------------------------------------------------------------------
+// Reporting and cross-checks
+
+void AddCell(bench::Table& table, bench::JsonReport& report, const std::string& name,
+             size_t connections, const PhaseBooks& books) {
   auto fmt = [](double v) {
     char buffer[64];
     std::snprintf(buffer, sizeof(buffer), "%.1f", v);
     return std::string(buffer);
   };
-  table.AddRow({name, std::to_string(phase.latencies_us.size()), fmt(phase.Qps()),
-                fmt(phase.Quantile(0.5)), fmt(phase.Quantile(0.9)),
-                fmt(phase.Quantile(0.95)), fmt(phase.Quantile(0.99)),
-                fmt(phase.latencies_us.back())});
-  report.AddValue(name + ".requests", static_cast<double>(phase.latencies_us.size()));
-  report.AddValue(name + ".qps", phase.Qps());
-  report.AddValue(name + ".p50_us", phase.Quantile(0.5));
-  report.AddValue(name + ".p90_us", phase.Quantile(0.9));
-  report.AddValue(name + ".p95_us", phase.Quantile(0.95));
-  report.AddValue(name + ".p99_us", phase.Quantile(0.99));
-  report.AddValue(name + ".max_us", phase.latencies_us.back());
+  table.AddRow({name, std::to_string(connections), std::to_string(books.total()),
+                std::to_string(books.shed), fmt(books.Qps()), fmt(books.Quantile(0.5)),
+                fmt(books.Quantile(0.9)), fmt(books.Quantile(0.99)),
+                fmt(books.latencies_us.back())});
+  const std::string cell = name + "_c" + std::to_string(connections);
+  report.AddValue(cell + ".requests", static_cast<double>(books.total()));
+  report.AddValue(cell + ".ok", static_cast<double>(books.ok));
+  report.AddValue(cell + ".shed", static_cast<double>(books.shed));
+  report.AddValue(cell + ".qps", books.Qps());
+  report.AddValue(cell + ".p50_us", books.Quantile(0.5));
+  report.AddValue(cell + ".p90_us", books.Quantile(0.9));
+  report.AddValue(cell + ".p95_us", books.Quantile(0.95));
+  report.AddValue(cell + ".p99_us", books.Quantile(0.99));
+  report.AddValue(cell + ".max_us", books.latencies_us.back());
+}
+
+// Reads a counter out of a `stats` response.
+uint64_t StatsCounter(const serve::ResponseEnvelope& stats, const std::string& name) {
+  const Json* counters = stats.result.Find("metrics");
+  counters = counters == nullptr ? nullptr : counters->Find("counters");
+  const Json* value = counters == nullptr ? nullptr : counters->Find(name);
+  CHECK(value != nullptr) << "stats snapshot lacks counter " << name;
+  return static_cast<uint64_t>(value->NumberValue());
+}
+
+long long FlagValue(int argc, char** argv, const char* name, long long fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) {
+      return std::atoll(argv[i + 1]);
+    }
+  }
+  return fallback;
 }
 
 int Main(int argc, char** argv) {
-  bench::PrintBanner("ES1", "serve: memoized query daemon under closed-loop load");
+  bench::PrintBanner("ES1", "serve: multi-reactor daemon under many-connection load");
+
+  const long long scale = std::max(1LL, FlagValue(argc, argv, "--scale", 1));
+  const long long max_connections = FlagValue(argc, argv, "--max-connections", 1024);
+  const long long reactors = FlagValue(argc, argv, "--reactors", 0);
 
   MetricsRegistry metrics;
   serve::ServerOptions options;
   serve::QueryServer server(options, &metrics);
-  serve::ServeClient client(std::make_unique<serve::LoopbackChannel>(server));
+  serve::TcpServerOptions transport_options;
+  transport_options.reactors = static_cast<int>(reactors);
+  transport_options.listen_backlog = 2048;
+  serve::TcpServer transport(server, &metrics, transport_options);
+  const Status started = transport.Start(0);
+  CHECK(started.ok()) << started.ToString();
+  const uint16_t port = transport.port();
+  std::printf("transport: %d reactor shard(s), %d cache shard(s), port %u\n\n",
+              transport.reactor_count(), server.cache().shard_count(), port);
 
-  const std::vector<Query> queries = WorkloadQueries();
-  constexpr int kWarmRepetitions = 50;
+  // Pre-warm the fixed key set over a pipelined batch so every warm-phase request is a
+  // cache hit from the first response on.
+  const std::vector<Query> warm_queries = WarmQueries();
+  {
+    auto channel = serve::TcpChannel::Connect(port);
+    CHECK(channel.ok()) << channel.status().ToString();
+    serve::ServeClient client(std::move(*channel));
+    std::vector<serve::ServeClient::BatchItem> items;
+    items.reserve(warm_queries.size());
+    for (const Query& query : warm_queries) {
+      items.push_back({query.kind, query.params, 0.0, false});
+    }
+    auto responses = client.QueryBatch(items);
+    CHECK(responses.ok()) << responses.status().ToString();
+    for (size_t i = 0; i < warm_queries.size(); ++i) {
+      CHECK((*responses)[i].status.ok()) << (*responses)[i].status.ToString();
+    }
+  }
+  // Per-key reference envelope (id digits masked), captured from the first warm response
+  // for each key and held across ALL cells: every later warm response for the key must be
+  // byte-identical — pipelining, reactor sharding, and cache sharding must not change a
+  // single byte of a memoized answer.
+  std::vector<std::string> warm_masked_reference(warm_queries.size());
+  std::vector<PayloadTemplate> warm_templates;
+  warm_templates.reserve(warm_queries.size());
+  for (const Query& query : warm_queries) {
+    warm_templates.push_back(PayloadTemplate::For(query));
+  }
 
-  const PhaseResult cold = RunPhase(client, queries, 1);
-  const auto after_cold = server.cache().snapshot();
-  const PhaseResult warm = RunPhase(client, queries, kWarmRepetitions);
-  const auto after_warm = server.cache().snapshot();
+  // A dedicated stats connection, used between phases for the server/client cross-check.
+  auto stats_channel = serve::TcpChannel::Connect(port);
+  CHECK(stats_channel.ok()) << stats_channel.status().ToString();
+  serve::ServeClient stats_client(std::move(*stats_channel));
+  auto query_stats = [&stats_client]() -> serve::ResponseEnvelope {
+    auto stats = stats_client.Query("stats", Json::Object());
+    CHECK(stats.ok()) << stats.status().ToString();
+    CHECK(stats->status.ok()) << stats->status.ToString();
+    return *std::move(stats);
+  };
+  serve::ResponseEnvelope baseline = query_stats();
+  uint64_t last_requests = StatsCounter(baseline, "serve.requests");
+  uint64_t last_shed = StatsCounter(baseline, "serve.shed");
 
-  bench::Table table(
-      {"phase", "requests", "qps", "p50_us", "p90_us", "p95_us", "p99_us", "max_us"});
+  bench::Table table({"phase", "conns", "requests", "shed", "qps", "p50_us", "p90_us",
+                      "p99_us", "max_us"});
   bench::JsonReport report;
-  AddPhase(table, report, "cold", cold);
-  AddPhase(table, report, "warm", warm);
+  double warm_qps_c1 = 0.0;
+  double warm_qps_c256 = 0.0;
+
+  for (const size_t connections : {1u, 16u, 256u, 1024u}) {
+    if (static_cast<long long>(connections) > max_connections) continue;
+    // Scaling cells pipeline 8 deep per connection; the conns=1 cells instead run the
+    // classic synchronous client as the baseline (see RunSequentialPhase).
+    const int window = 8;
+    const uint64_t cold_total =
+        std::max<uint64_t>(connections, std::max<uint64_t>(1, 512 / scale));
+    const uint64_t warm_total =
+        std::max<uint64_t>(connections, std::max<uint64_t>(1, 8192 / scale));
+    const uint64_t mixed_total =
+        std::max<uint64_t>(connections, std::max<uint64_t>(1, 2048 / scale));
+    const uint64_t overload_total =
+        std::max<uint64_t>(connections, std::max<uint64_t>(1, 256 / scale));
+
+    struct Cell {
+      const char* name;
+      uint64_t total;
+      std::function<Query(size_t, uint64_t)> make_query;  // Sequential baseline cells.
+      std::function<std::string(size_t, uint64_t, uint64_t)> make_payload;  // Generator.
+      std::function<void(const WireView&, const std::string&)> on_response;
+    };
+    const size_t warm_count = warm_queries.size();
+    const auto warm_query = [&warm_queries, warm_count](size_t, uint64_t seq) {
+      const Query& query = warm_queries[seq % warm_count];
+      return Query{query.kind, query.params};
+    };
+    const auto warm_payload = [&warm_templates, warm_count](size_t, uint64_t seq,
+                                                            uint64_t id) {
+      return warm_templates[seq % warm_count].Render(id);
+    };
+    const auto serialize_query = [](const Query& query, uint64_t id) {
+      return serve::RequestEnvelope::Serialize(id, query.kind, query.params, 0.0, false);
+    };
+    const auto warm_check = [&warm_masked_reference, warm_count](
+                                const WireView& view, const std::string& text) {
+      CHECK(text.find("\"cached\": true") != std::string::npos)
+          << "warm request missed the cache: " << text;
+      const size_t key = (view.id % kIdStride - 1) % warm_count;
+      std::string masked = MaskId(text, view);
+      if (warm_masked_reference[key].empty()) {
+        warm_masked_reference[key] = std::move(masked);
+      } else {
+        CHECK(masked == warm_masked_reference[key])
+            << "warm response for key " << key
+            << " is not byte-identical to the reference";
+      }
+    };
+    const std::vector<Cell> cells = {
+        {"cold", cold_total, [](size_t, uint64_t) { return ColdQuery(); },
+         [&serialize_query](size_t, uint64_t, uint64_t id) {
+           return serialize_query(ColdQuery(), id);
+         },
+         nullptr},
+        {"warm", warm_total, warm_query, warm_payload, warm_check},
+        {"mixed", mixed_total,
+         [&warm_query](size_t conn, uint64_t seq) {
+           return seq % 10 == 0 ? ColdQuery() : warm_query(conn, seq);
+         },
+         [&warm_payload, &serialize_query](size_t conn, uint64_t seq, uint64_t id) {
+           return seq % 10 == 0 ? serialize_query(ColdQuery(), id)
+                                : warm_payload(conn, seq, id);
+         },
+         nullptr},
+        {"overload", overload_total, [](size_t, uint64_t) { return OverloadQuery(); },
+         [&serialize_query](size_t, uint64_t, uint64_t id) {
+           return serialize_query(OverloadQuery(), id);
+         },
+         nullptr},
+    };
+
+    for (const Cell& cell : cells) {
+      const PhaseBooks books =
+          connections == 1
+              ? RunSequentialPhase(port, cell.total, cell.make_query)
+              : RunPhase(port, connections, cell.total, window, cell.make_payload,
+                         cell.on_response);
+      CHECK(books.total() == cell.total)
+          << cell.name << "_c" << connections << ": issued " << cell.total << ", answered "
+          << books.total();
+      CHECK(books.errors == 0)
+          << cell.name << "_c" << connections << ": " << books.errors
+          << " responses with unexpected status";
+
+      // Server-side books must agree with ours: the serve.requests delta since the last
+      // stats query is this cell's requests plus the closing stats query itself, and the
+      // serve.shed delta is exactly the rejects we counted.
+      serve::ResponseEnvelope stats = query_stats();
+      const uint64_t requests_now = StatsCounter(stats, "serve.requests");
+      const uint64_t shed_now = StatsCounter(stats, "serve.shed");
+      CHECK(requests_now - last_requests == cell.total + 1)
+          << cell.name << "_c" << connections << ": server counted "
+          << requests_now - last_requests - 1 << " requests, client issued " << cell.total;
+      CHECK(shed_now - last_shed == books.shed)
+          << cell.name << "_c" << connections << ": server shed " << shed_now - last_shed
+          << ", client saw " << books.shed;
+      last_requests = requests_now;
+      last_shed = shed_now;
+
+      AddCell(table, report, cell.name, connections, books);
+      if (std::strcmp(cell.name, "warm") == 0) {
+        if (connections == 1) warm_qps_c1 = books.Qps();
+        if (connections == 256) warm_qps_c256 = books.Qps();
+      }
+    }
+  }
+
   table.Print();
   report.AddTable("serve_load", table);
+  report.AddValue("transport.reactors", transport.reactor_count());
+  report.AddValue("cache.shards", server.cache().shard_count());
 
-  const uint64_t warm_hits = after_warm.hits - after_cold.hits;
-  const uint64_t warm_misses = after_warm.misses - after_cold.misses;
-  std::printf("\ncold: %zu distinct queries, %llu cache misses (all computed)\n",
-              queries.size(), static_cast<unsigned long long>(after_cold.misses));
-  std::printf("warm: %llu hits / %llu misses over %d repetitions\n",
-              static_cast<unsigned long long>(warm_hits),
-              static_cast<unsigned long long>(warm_misses), kWarmRepetitions);
-  std::printf("speedup p50 cold/warm: %.1fx\n", cold.Quantile(0.5) / warm.Quantile(0.5));
+  const auto cache = server.cache().snapshot();
+  std::printf("\ncache: %llu hits, %llu misses, %llu entries, %llu coalesced\n",
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses),
+              static_cast<unsigned long long>(cache.entry_count),
+              static_cast<unsigned long long>(cache.coalesced));
+  report.AddValue("cache.hits", static_cast<double>(cache.hits));
+  report.AddValue("cache.misses", static_cast<double>(cache.misses));
 
-  CHECK(warm_misses == 0) << "warm phase recomputed a memoized query";
-  CHECK(after_cold.misses == queries.size()) << "cold phase should miss once per query";
+  if (warm_qps_c1 > 0.0 && warm_qps_c256 > 0.0) {
+    const double scaling = warm_qps_c256 / warm_qps_c1;
+    std::printf("warm scaling: %.1f qps at 256 conns / %.1f qps at 1 conn = %.2fx\n",
+                warm_qps_c256, warm_qps_c1, scaling);
+    report.AddValue("warm.scaling_256_over_1", scaling);
+    // Enforced only on full-scale runs: scaled-down cells (--scale > 1) leave too few
+    // requests per connection for a steady state, so their ratio is reported but not a
+    // pass/fail criterion (keeps sanitizer smokes from flaking on a shrunken phase).
+    if (scale == 1) {
+      CHECK(scaling >= 3.0) << "pipelined 256-connection warm throughput should be >= 3x "
+                               "the sequential single-connection baseline";
+    }
+  }
 
-  report.AddValue("cache.cold_misses", static_cast<double>(after_cold.misses));
-  report.AddValue("cache.warm_hits", static_cast<double>(warm_hits));
-  report.AddValue("cache.warm_misses", static_cast<double>(warm_misses));
-  report.AddValue("speedup.p50_cold_over_warm", cold.Quantile(0.5) / warm.Quantile(0.5));
-
-  // The stats verb, exercised under the post-load registry: its per-kind request
-  // accounting must agree with the client's own books (cold + warm issues of each kind).
-  Result<serve::ResponseEnvelope> stats = client.Query("stats", Json::Object());
-  CHECK(stats.ok()) << stats.status().ToString();
-  CHECK(stats->status.ok()) << stats->status.ToString();
-  const Json* latency = stats->result.Find("metrics");
-  latency = latency == nullptr ? nullptr : latency->Find("histograms");
-  latency = latency == nullptr ? nullptr : latency->Find("serve.latency_ms");
-  CHECK(latency != nullptr) << "stats snapshot lacks serve.latency_ms";
-  const Json* served = latency->Find("count");
-  CHECK(served != nullptr && served->NumberValue() ==
-            static_cast<double>(cold.latencies_us.size() + warm.latencies_us.size()))
-      << "server-side request count disagrees with the client's";
-  const Json* server_p99 = latency->Find("p99");
-  CHECK(server_p99 != nullptr);
-  // Server-side quantiles are in ms (bucket-interpolated); report alongside the exact
-  // client-side numbers for cross-checking.
-  report.AddValue("server.latency_ms.count", served->NumberValue());
-  report.AddValue("server.latency_ms.p99", server_p99->NumberValue());
+  transport.Stop();
+  server.Drain();
 
   const std::string json_path = bench::JsonPathFromArgs(argc, argv);
   if (!json_path.empty() && !report.WriteTo(json_path)) {

@@ -1,9 +1,11 @@
 #include "src/exec/parallel.h"
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <exception>
 #include <limits>
+#include <memory>
 #include <mutex>
 
 #include "src/common/check.h"
@@ -11,17 +13,55 @@
 namespace probcon {
 namespace {
 
-// Completion state shared by the chunk tasks of one ParallelFor call. The object lives on
-// the caller's stack; tasks touch it only before releasing `mutex` for the last time, and
-// the caller returns only after observing remaining == 0 under that same mutex, so the
-// tasks can never outlive it.
+// Shared state of one ParallelFor call. Heap-allocated and owned jointly with the helper
+// tasks: a helper that never got scheduled before the loop finished elsewhere may run
+// after ParallelFor returned — it then finds the cursor exhausted and exits without
+// touching anything but the cursor, which the shared_ptr keeps alive.
 struct ForGroup {
+  std::function<void(uint64_t, uint64_t, uint64_t)> body;
+  uint64_t begin = 0;
+  uint64_t end = 0;
+  uint64_t chunk_size = 0;
+  uint64_t chunks = 0;
+  std::atomic<uint64_t> next_chunk{0};
   std::mutex mutex;
   std::condition_variable done;
-  uint64_t remaining = 0;
+  uint64_t completed = 0;
   std::exception_ptr error;
   uint64_t error_chunk = std::numeric_limits<uint64_t>::max();
 };
+
+// Claims chunks off the group's cursor and runs them until none remain. This is the ONLY
+// work a ParallelFor participant ever executes while a loop is outstanding. In particular
+// the waiting caller must never fall back to running arbitrary queued pool tasks: a queued
+// task is allowed to block (e.g. a serve request waiting on a single-flight cache leader),
+// and executing one on the stack of the very computation it waits for deadlocks the
+// process. Strict chunk-claiming makes the caller's participation closed over this loop's
+// own work, which is what actually guarantees nested parallel sections cannot deadlock.
+void RunChunks(const std::shared_ptr<ForGroup>& group) {
+  while (true) {
+    const uint64_t chunk = group->next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= group->chunks) {
+      return;
+    }
+    const uint64_t chunk_begin = group->begin + chunk * group->chunk_size;
+    const uint64_t chunk_end = std::min(group->end, chunk_begin + group->chunk_size);
+    std::exception_ptr error;
+    try {
+      group->body(chunk_begin, chunk_end, chunk);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(group->mutex);
+    if (error && chunk < group->error_chunk) {
+      group->error_chunk = chunk;
+      group->error = error;
+    }
+    if (++group->completed == group->chunks) {
+      group->done.notify_all();
+    }
+  }
+}
 
 }  // namespace
 
@@ -45,46 +85,31 @@ void ParallelFor(uint64_t begin, uint64_t end, uint64_t chunk_size,
     return;
   }
 
-  ForGroup group;
-  group.remaining = chunks;
-  for (uint64_t chunk = 0; chunk < chunks; ++chunk) {
-    const uint64_t chunk_begin = begin + chunk * chunk_size;
-    const uint64_t chunk_end = std::min(end, chunk_begin + chunk_size);
-    executor.Submit([&group, &body, chunk_begin, chunk_end, chunk]() {
-      std::exception_ptr error;
-      try {
-        body(chunk_begin, chunk_end, chunk);
-      } catch (...) {
-        error = std::current_exception();
-      }
-      std::lock_guard<std::mutex> lock(group.mutex);
-      if (error && chunk < group.error_chunk) {
-        group.error_chunk = chunk;
-        group.error = error;
-      }
-      if (--group.remaining == 0) {
-        group.done.notify_all();
-      }
-    });
-  }
+  auto group = std::make_shared<ForGroup>();
+  group->body = body;  // Copied: a late helper may outlive the caller's reference.
+  group->begin = begin;
+  group->end = end;
+  group->chunk_size = chunk_size;
+  group->chunks = chunks;
 
-  // Help drain the pool while our chunks are outstanding; sleep only when every queue is
-  // empty (our remaining chunks are then running on workers).
-  while (true) {
-    {
-      std::unique_lock<std::mutex> lock(group.mutex);
-      if (group.remaining == 0) {
-        break;
-      }
-    }
-    if (!executor.TryRunOneTask()) {
-      std::unique_lock<std::mutex> lock(group.mutex);
-      group.done.wait(lock, [&group]() { return group.remaining == 0; });
-      break;
-    }
+  // One helper per worker (capped by the chunks the caller won't take itself). Helpers
+  // that find the cursor already exhausted exit immediately, so over-submitting is
+  // harmless; under-submitting just means the caller claims more chunks.
+  const uint64_t helpers =
+      std::min(chunks - 1, static_cast<uint64_t>(executor.worker_count()));
+  for (uint64_t i = 0; i < helpers; ++i) {
+    executor.Submit([group]() { RunChunks(group); });
   }
-  if (group.error) {
-    std::rethrow_exception(group.error);
+  RunChunks(group);
+
+  // Every chunk is claimed once the caller's loop exits; wait only for claimed chunks
+  // still finishing on workers — a bounded wait, no generic task-stealing.
+  {
+    std::unique_lock<std::mutex> lock(group->mutex);
+    group->done.wait(lock, [&group]() { return group->completed == group->chunks; });
+  }
+  if (group->error) {
+    std::rethrow_exception(group->error);
   }
 }
 

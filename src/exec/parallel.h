@@ -6,9 +6,11 @@
 // algorithm's definition — changing it changes floating-point merge order — so callers pick
 // a constant and keep it; the worker count never appears in the math.
 //
-// ParallelFor blocks until every chunk has run. The calling thread participates (it
-// executes queued chunks while waiting), so nested parallel sections cannot deadlock and a
-// 0-worker pool degrades to a plain sequential loop. If chunk bodies throw, the exception
+// ParallelFor blocks until every chunk has run. The calling thread participates by
+// claiming chunks of ITS OWN loop off a shared cursor — never by running arbitrary queued
+// pool tasks, which may block on unrelated synchronization (a queued task that waits on
+// the caller's computation would deadlock against it). Claiming guarantees nested parallel
+// sections cannot deadlock, and a 0-worker pool degrades to a plain sequential loop. If chunk bodies throw, the exception
 // from the LOWEST-indexed failing chunk is rethrown after all chunks finish — deterministic
 // error reporting under nondeterministic scheduling.
 

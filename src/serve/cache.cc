@@ -1,8 +1,11 @@
 #include "src/serve/cache.h"
 
+#include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/exec/thread_pool.h"
 
 namespace probcon::serve {
 namespace {
@@ -11,10 +14,27 @@ namespace {
 // bytes cannot be defeated by millions of tiny entries.
 constexpr size_t kEntryOverheadBytes = 128;
 
+// FNV-1a over the key bytes. std::hash<std::string> would do, but a spelled-out hash keeps
+// shard assignment identical across standard libraries, which keeps per-shard stats (and
+// tests pinning collision behavior) portable.
+size_t HashKey(const std::string& key) {
+  uint64_t hash = 1469598103934665603ull;
+  for (const char c : key) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return static_cast<size_t>(hash);
+}
+
 }  // namespace
 
-QueryCache::QueryCache(size_t budget_bytes, MetricsRegistry* metrics)
-    : budget_bytes_(budget_bytes) {
+QueryCache::QueryCache(size_t budget_bytes, MetricsRegistry* metrics, int shard_count)
+    : shard_budget_bytes_(budget_bytes / static_cast<size_t>(std::max(shard_count, 1))) {
+  CHECK(shard_count >= 1) << "cache shard count must be >= 1";
+  shards_.reserve(static_cast<size_t>(shard_count));
+  for (int i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
   if (metrics != nullptr) {
     hit_counter_ = &metrics->GetCounter("serve.cache.hits");
     miss_counter_ = &metrics->GetCounter("serve.cache.misses");
@@ -26,35 +46,67 @@ QueryCache::QueryCache(size_t budget_bytes, MetricsRegistry* metrics)
   }
 }
 
+QueryCache::Shard& QueryCache::ShardFor(const std::string& key) {
+  return *shards_[HashKey(key) % shards_.size()];
+}
+
+bool QueryCache::TryGet(const std::string& key, std::string* value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    return false;  // Absent or in flight; the caller falls back to GetOrCompute.
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+  ++shard.hits;
+  if (hit_counter_ != nullptr) hit_counter_->Increment();
+  *value = it->second.value;
+  return true;
+}
+
 Result<std::string> QueryCache::GetOrCompute(
     const std::string& key, const std::function<Result<std::string>()>& compute,
     bool* was_cached) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::mutex> lock(shard.mutex);
   while (true) {
-    if (auto it = entries_.find(key); it != entries_.end()) {
-      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-      ++hits_;
+    if (auto it = shard.entries.find(key); it != shard.entries.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+      ++shard.hits;
       if (hit_counter_ != nullptr) hit_counter_->Increment();
       if (was_cached != nullptr) *was_cached = true;
       return it->second.value;
     }
-    if (auto it = flights_.find(key); it != flights_.end()) {
-      // Single-flight follower: wait for the leader, share its outcome.
+    if (auto it = shard.flights.find(key); it != shard.flights.end()) {
+      // Single-flight follower: wait for the leader, share its outcome. The wait helps
+      // the exec pool rather than blocking blindly: the leader's engine fans chunks onto
+      // that same pool, and its own help loop (ParallelFor) may steal a queued request
+      // for THIS key — which lands right here, on the leader's stack. A blind cv.wait
+      // would then deadlock the flight against itself; helping (and bounded sleeps
+      // otherwise) keeps every waiter making progress no matter whose stack it is on.
       std::shared_ptr<Flight> flight = it->second;
-      ++coalesced_;
+      ++shard.coalesced;
       if (coalesced_counter_ != nullptr) coalesced_counter_->Increment();
-      flight->cv.wait(lock, [&] { return flight->done; });
+      while (!flight->done) {
+        lock.unlock();
+        const bool helped = ThreadPool::Global().TryRunOneTask();
+        lock.lock();
+        if (flight->done) break;
+        if (!helped) {
+          flight->cv.wait_for(lock, std::chrono::milliseconds(1));
+        }
+      }
       if (flight->result.status().code() == StatusCode::kCancelled) {
         // The leader was cancelled (typically its own, possibly shorter, deadline). That
         // says nothing about THIS caller's budget, so retry rather than inherit the
         // cancellation: we become (or follow) a fresh flight, and if our own token is
         // already cancelled the compute notices immediately.
-        ++follower_retries_;
+        ++shard.follower_retries;
         if (follower_retry_counter_ != nullptr) follower_retry_counter_->Increment();
         continue;
       }
       if (flight->result.ok()) {
-        ++hits_;
+        ++shard.hits;
         if (hit_counter_ != nullptr) hit_counter_->Increment();
         if (was_cached != nullptr) *was_cached = true;
       } else if (was_cached != nullptr) {
@@ -64,8 +116,8 @@ Result<std::string> QueryCache::GetOrCompute(
     }
     // Single-flight leader.
     std::shared_ptr<Flight> flight = std::make_shared<Flight>();
-    flights_.emplace(key, flight);
-    ++misses_;
+    shard.flights.emplace(key, flight);
+    ++shard.misses;
     if (miss_counter_ != nullptr) miss_counter_->Increment();
 
     lock.unlock();
@@ -73,56 +125,62 @@ Result<std::string> QueryCache::GetOrCompute(
     lock.lock();
 
     if (result.ok()) {
-      InsertLocked(key, *result);
+      InsertLocked(shard, key, *result);
     }
     flight->result = result;
     flight->done = true;
-    flights_.erase(key);
+    shard.flights.erase(key);
     flight->cv.notify_all();
     if (was_cached != nullptr) *was_cached = false;
     return result;
   }
 }
 
-void QueryCache::InsertLocked(const std::string& key, const std::string& value) {
+void QueryCache::InsertLocked(Shard& shard, const std::string& key,
+                              const std::string& value) {
   const size_t charged = key.size() + value.size() + kEntryOverheadBytes;
-  if (charged > budget_bytes_) {
-    return;  // Larger than the whole cache; serve it uncached.
+  if (charged > shard_budget_bytes_) {
+    return;  // Larger than the whole shard; serve it uncached.
   }
-  CHECK(entries_.find(key) == entries_.end()) << "single-flight should prevent double insert";
-  while (entry_bytes_ + charged > budget_bytes_ && !lru_.empty()) {
-    const std::string& victim_key = lru_.back();
-    auto victim = entries_.find(victim_key);
-    CHECK(victim != entries_.end());
-    entry_bytes_ -= victim->second.charged_bytes;
-    entries_.erase(victim);
-    lru_.pop_back();
-    ++evictions_;
+  CHECK(shard.entries.find(key) == shard.entries.end())
+      << "single-flight should prevent double insert";
+  while (shard.entry_bytes + charged > shard_budget_bytes_ && !shard.lru.empty()) {
+    const std::string& victim_key = shard.lru.back();
+    auto victim = shard.entries.find(victim_key);
+    CHECK(victim != shard.entries.end());
+    const size_t victim_bytes = victim->second.charged_bytes;
+    shard.entry_bytes -= victim_bytes;
+    shard.entries.erase(victim);
+    shard.lru.pop_back();
+    ++shard.evictions;
     if (eviction_counter_ != nullptr) eviction_counter_->Increment();
+    if (bytes_gauge_ != nullptr) bytes_gauge_->Add(-static_cast<double>(victim_bytes));
+    if (entries_gauge_ != nullptr) entries_gauge_->Add(-1.0);
   }
-  lru_.push_front(key);
+  shard.lru.push_front(key);
   Entry entry;
   entry.value = value;
   entry.charged_bytes = charged;
-  entry.lru_it = lru_.begin();
-  entries_.emplace(key, std::move(entry));
-  entry_bytes_ += charged;
-  if (bytes_gauge_ != nullptr) bytes_gauge_->Set(static_cast<double>(entry_bytes_));
-  if (entries_gauge_ != nullptr) {
-    entries_gauge_->Set(static_cast<double>(entries_.size()));
-  }
+  entry.lru_it = shard.lru.begin();
+  shard.entries.emplace(key, std::move(entry));
+  shard.entry_bytes += charged;
+  if (bytes_gauge_ != nullptr) bytes_gauge_->Add(static_cast<double>(charged));
+  if (entries_gauge_ != nullptr) entries_gauge_->Add(1.0);
 }
 
 QueryCache::Stats QueryCache::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   Stats stats;
-  stats.hits = hits_;
-  stats.misses = misses_;
-  stats.coalesced = coalesced_;
-  stats.follower_retries = follower_retries_;
-  stats.evictions = evictions_;
-  stats.entry_count = entries_.size();
-  stats.entry_bytes = entry_bytes_;
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.coalesced += shard.coalesced;
+    stats.follower_retries += shard.follower_retries;
+    stats.evictions += shard.evictions;
+    stats.entry_count += shard.entries.size();
+    stats.entry_bytes += shard.entry_bytes;
+  }
   return stats;
 }
 

@@ -1,17 +1,22 @@
-// Content-addressed memoization cache with single-flight computation.
+// Content-addressed memoization cache, sharded by key hash, with single-flight
+// computation per shard.
 //
 // The daemon's workload is dominated by repeated queries (dashboards refreshing the same
 // tables, fleets of clients asking about the same deployment), and every query here is a
-// pure function of its canonical key — so memoization is semantically free. Two mechanisms
-// work together:
+// pure function of its canonical key — so memoization is semantically free. Three
+// mechanisms work together:
 //
+//   * Sharding: keys hash to one of N independent shards, each with its own mutex, LRU
+//     list, flight table, and byte budget (total budget / N). Warm hits on distinct keys
+//     therefore never contend on a shared lock — which is what lets the reactor threads
+//     answer cache hits inline at wire speed while engine computations run elsewhere.
 //   * LRU over canonical keys with a byte budget: entries are charged key + value bytes,
-//     and the least-recently-used entries are evicted when an insert would exceed the
-//     budget.
+//     and the least-recently-used entries of the owning shard are evicted when an insert
+//     would exceed that shard's budget.
 //   * Single-flight: when K requests for the same uncached key arrive concurrently, one
 //     becomes the leader and computes; the other K-1 block on the in-flight entry and
-//     share its result. The expensive engines run once per distinct key, not once per
-//     request.
+//     share its result. A key maps to exactly one shard, so sharding preserves the
+//     "expensive engines run once per distinct key" guarantee unchanged.
 //
 // Errors are NOT cached: a failed computation wakes the followers with the error but
 // leaves the key absent, so the next request retries. Cancellation gets one step more:
@@ -20,9 +25,10 @@
 // leader cannot starve longer-deadline requests for the same key. (Deadline errors are
 // per-request policy, not properties of the key.)
 //
-// Thread-safe. Metric instruments are created at construction and updated under the cache
-// mutex (the instruments themselves are also internally thread-safe, so stats snapshots
-// may read them concurrently).
+// Thread-safe. Metric instruments are created at construction and shared across shards
+// (counters/gauges are internally atomic, so shards update them without coordination and
+// the stats verb reads a consistent aggregate); snapshot() locks shards one at a time and
+// sums their books.
 
 #ifndef PROBCON_SRC_SERVE_CACHE_H_
 #define PROBCON_SRC_SERVE_CACHE_H_
@@ -36,16 +42,24 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "src/common/status.h"
 #include "src/obs/metrics.h"
 
 namespace probcon::serve {
 
+// Default shard count: enough that a handful of reactor threads plus the exec pool rarely
+// collide on one shard mutex, small enough that the per-shard budget stays far above any
+// single response.
+inline constexpr int kDefaultCacheShards = 8;
+
 class QueryCache {
  public:
   // `metrics` may be nullptr (no instrumentation); otherwise it must outlive the cache.
-  QueryCache(size_t budget_bytes, MetricsRegistry* metrics);
+  // `shard_count` must be >= 1; each shard owns budget_bytes / shard_count bytes.
+  QueryCache(size_t budget_bytes, MetricsRegistry* metrics,
+             int shard_count = kDefaultCacheShards);
 
   QueryCache(const QueryCache&) = delete;
   QueryCache& operator=(const QueryCache&) = delete;
@@ -58,7 +72,15 @@ class QueryCache {
                                    const std::function<Result<std::string>()>& compute,
                                    bool* was_cached);
 
-  // Point-in-time snapshot, for stats endpoints and tests.
+  // Non-blocking probe: on a direct hit, refreshes the entry's LRU position, counts the
+  // hit, fills `*value`, and returns true. Returns false for absent keys AND for keys
+  // with a computation in flight — it never waits, so a reactor thread can call it on the
+  // hot path and fall back to the (possibly blocking) GetOrCompute path off-thread.
+  bool TryGet(const std::string& key, std::string* value);
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+
+  // Point-in-time snapshot aggregated across shards, for stats endpoints and tests.
   struct Stats {
     uint64_t hits = 0;        // direct hits + follower waits that got a value
     uint64_t misses = 0;      // leader computations started
@@ -86,24 +108,31 @@ class QueryCache {
     Result<std::string> result = Status(StatusCode::kInternal, "flight not finished");
   };
 
-  // Inserts `key -> value` and evicts LRU entries down to the budget. Mutex held.
-  void InsertLocked(const std::string& key, const std::string& value);
+  // One independent cache: everything below `mutex` is guarded by it.
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<std::string> lru;  // Front = most recent.
+    std::map<std::string, Entry> entries;
+    std::map<std::string, std::shared_ptr<Flight>> flights;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t coalesced = 0;
+    uint64_t follower_retries = 0;
+    uint64_t evictions = 0;
+    size_t entry_bytes = 0;
+  };
 
-  const size_t budget_bytes_;
+  Shard& ShardFor(const std::string& key);
 
-  mutable std::mutex mutex_;
-  std::list<std::string> lru_;  // Front = most recent.
-  std::map<std::string, Entry> entries_;
-  std::map<std::string, std::shared_ptr<Flight>> flights_;
+  // Inserts `key -> value` into `shard` and evicts LRU entries down to the shard budget.
+  // Shard mutex held.
+  void InsertLocked(Shard& shard, const std::string& key, const std::string& value);
 
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t coalesced_ = 0;
-  uint64_t follower_retries_ = 0;
-  uint64_t evictions_ = 0;
-  size_t entry_bytes_ = 0;
+  const size_t shard_budget_bytes_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 
-  // Pre-created instruments (nullptr when metrics are disabled); updated under mutex_.
+  // Pre-created instruments (nullptr when metrics are disabled); counters/gauges are
+  // atomic, so shards update them concurrently (gauges via Add deltas).
   Counter* hit_counter_ = nullptr;
   Counter* miss_counter_ = nullptr;
   Counter* coalesced_counter_ = nullptr;

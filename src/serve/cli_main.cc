@@ -1,7 +1,8 @@
 // probcon-cli — command-line client for a probcond daemon.
 //
 // Usage:
-//   probcon-cli --port N [--deadline-ms D] [--repeat K] [--trace] <kind> [<params-json>]
+//   probcon-cli --port N [--deadline-ms D] [--repeat K] [--concurrency N] [--trace]
+//               <kind> [<params-json>]
 //
 //   probcon-cli --port 7421 table1 '{"n": 4}'
 //   probcon-cli --port 7421 quorum_size '{"protocol": "pbft", "fault": {"n": 7, "p": 0.02}}'
@@ -13,14 +14,19 @@
 // Prints the response envelope as indented JSON on stdout. Exit code 0 for an OK response,
 // 3 for a server-reported error (the envelope still prints), 1 for transport failures.
 // --repeat issues the same query K times over one connection (cache behavior is visible in
-// the "cached" field of each response). --trace asks the daemon to echo its per-stage span
-// breakdown (parse/canonicalize/cache/engine, docs/OBSERVABILITY.md) in a "trace" field.
+// the "cached" field of each response). --concurrency pipelines the repeats in batches of
+// N over that single connection (responses may complete out of order server-side; they are
+// matched back by request id and always print in request order). --trace asks the daemon
+// to echo its per-stage span breakdown (parse/canonicalize/cache/engine,
+// docs/OBSERVABILITY.md) in a "trace" field.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/common/json.h"
 #include "src/serve/client.h"
@@ -29,6 +35,7 @@ int main(int argc, char** argv) {
   long long port = 0;
   double deadline_ms = 0.0;
   long long repeat = 1;
+  long long concurrency = 1;
   bool trace = false;
   int i = 1;
   for (; i < argc; ++i) {
@@ -38,6 +45,8 @@ int main(int argc, char** argv) {
       deadline_ms = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
       repeat = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--concurrency") == 0 && i + 1 < argc) {
+      concurrency = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       trace = true;
     } else if (argv[i][0] == '-') {
@@ -47,10 +56,10 @@ int main(int argc, char** argv) {
       break;
     }
   }
-  if (port <= 0 || i >= argc) {
+  if (port <= 0 || i >= argc || concurrency <= 0) {
     std::fprintf(stderr,
-                 "usage: probcon-cli --port N [--deadline-ms D] [--repeat K] [--trace] "
-                 "<kind> [<params-json>]\n");
+                 "usage: probcon-cli --port N [--deadline-ms D] [--repeat K] "
+                 "[--concurrency N] [--trace] <kind> [<params-json>]\n");
     return 2;
   }
   const std::string kind = argv[i++];
@@ -70,29 +79,57 @@ int main(int argc, char** argv) {
   probcon::serve::ServeClient client(std::move(*channel));
 
   int exit_code = 0;
-  for (long long k = 0; k < repeat; ++k) {
-    probcon::Result<probcon::serve::ResponseEnvelope> response =
-        client.Query(kind, *params, deadline_ms, trace);
-    if (!response.ok()) {
-      std::fprintf(stderr, "probcon-cli: %s\n", response.status().ToString().c_str());
-      return 1;
-    }
+  auto print_response = [&exit_code](const probcon::serve::ResponseEnvelope& response) {
     probcon::Json rendered = probcon::Json::Object();
-    rendered.Set("id", probcon::Json::Number(response->id));
+    rendered.Set("id", probcon::Json::Number(response.id));
     rendered.Set("status",
                  probcon::Json::String(std::string(
-                     probcon::StatusCodeName(response->status.code()))));
-    if (response->status.ok()) {
-      rendered.Set("cached", probcon::Json::Bool(response->cached));
-      rendered.Set("result", response->result);
-      if (response->trace.type != probcon::Json::Type::kNull) {
-        rendered.Set("trace", response->trace);
+                     probcon::StatusCodeName(response.status.code()))));
+    if (response.status.ok()) {
+      rendered.Set("cached", probcon::Json::Bool(response.cached));
+      rendered.Set("result", response.result);
+      if (response.trace.type != probcon::Json::Type::kNull) {
+        rendered.Set("trace", response.trace);
       }
     } else {
-      rendered.Set("error", probcon::Json::String(response->status.message()));
+      rendered.Set("error", probcon::Json::String(response.status.message()));
       exit_code = 3;
     }
     std::printf("%s\n", probcon::WriteJson(rendered, 0).c_str());
+  };
+
+  for (long long done = 0; done < repeat;) {
+    const long long batch = std::min(concurrency, repeat - done);
+    if (batch == 1) {
+      probcon::Result<probcon::serve::ResponseEnvelope> response =
+          client.Query(kind, *params, deadline_ms, trace);
+      if (!response.ok()) {
+        std::fprintf(stderr, "probcon-cli: %s\n", response.status().ToString().c_str());
+        return 1;
+      }
+      print_response(*response);
+    } else {
+      // Pipeline the batch over the single connection; QueryBatch returns envelopes in
+      // request order regardless of server-side completion order.
+      std::vector<probcon::serve::ServeClient::BatchItem> items(
+          static_cast<size_t>(batch));
+      for (auto& item : items) {
+        item.kind = kind;
+        item.params = *params;
+        item.deadline_ms = deadline_ms;
+        item.trace = trace;
+      }
+      probcon::Result<std::vector<probcon::serve::ResponseEnvelope>> responses =
+          client.QueryBatch(items);
+      if (!responses.ok()) {
+        std::fprintf(stderr, "probcon-cli: %s\n", responses.status().ToString().c_str());
+        return 1;
+      }
+      for (const auto& response : *responses) {
+        print_response(response);
+      }
+    }
+    done += batch;
   }
   return exit_code;
 }

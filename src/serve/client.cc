@@ -2,21 +2,90 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <condition_variable>
 #include <cstring>
+#include <map>
+#include <mutex>
 #include <optional>
 #include <utility>
 
+#include "src/exec/thread_pool.h"
 #include "src/serve/framing.h"
 #include "src/serve/server.h"
 
 namespace probcon::serve {
 
+Result<std::vector<std::string>> Channel::RoundTripBatch(
+    const std::vector<std::string>& payloads) {
+  std::vector<std::string> responses;
+  responses.reserve(payloads.size());
+  for (const std::string& payload : payloads) {
+    Result<std::string> response = RoundTrip(payload);
+    if (!response.ok()) {
+      return response.status();
+    }
+    responses.push_back(*std::move(response));
+  }
+  return responses;
+}
+
 Result<std::string> LoopbackChannel::RoundTrip(const std::string& payload) {
   return server_.Handle(payload);
+}
+
+Result<std::vector<std::string>> LoopbackChannel::RoundTripBatch(
+    const std::vector<std::string>& payloads) {
+  struct BatchState {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::vector<std::string> responses;
+    size_t completed = 0;
+    int inflight = 0;
+  };
+  BatchState state;
+  state.responses.resize(payloads.size());
+
+  // Wait for `ready` while helping the exec pool: with a small (or inline) pool the
+  // batch's own engine work may be queued behind this thread, so block only when there
+  // is genuinely nothing to run.
+  auto wait_for = [&state](auto ready) {
+    while (true) {
+      {
+        std::unique_lock<std::mutex> lock(state.mutex);
+        if (ready()) return;
+      }
+      if (!ThreadPool::Global().TryRunOneTask()) {
+        std::unique_lock<std::mutex> lock(state.mutex);
+        if (ready()) return;
+        state.cv.wait_for(lock, std::chrono::milliseconds(1));
+      }
+    }
+  };
+
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    // Same pipelining cap as one TCP connection: at most kDefaultMaxInflightPerConn of
+    // this batch in flight at once.
+    wait_for([&state] { return state.inflight < kDefaultMaxInflightPerConn; });
+    {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      ++state.inflight;
+    }
+    server_.Submit(payloads[i], [&state, i](std::string response) {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      state.responses[i] = std::move(response);
+      ++state.completed;
+      --state.inflight;
+      state.cv.notify_all();
+    });
+  }
+  wait_for([&state, &payloads] { return state.completed == payloads.size(); });
+  return std::move(state.responses);
 }
 
 TcpChannel::~TcpChannel() {
@@ -71,6 +140,79 @@ Result<std::string> TcpChannel::RoundTrip(const std::string& payload) {
   }
 }
 
+Result<std::vector<std::string>> TcpChannel::RoundTripBatch(
+    const std::vector<std::string>& payloads) {
+  std::vector<std::string> responses;
+  responses.reserve(payloads.size());
+  FrameDecoder decoder;
+  char buffer[64 * 1024];
+  std::string wire;        // Encoded frames queued for the socket.
+  size_t wire_offset = 0;  // Prefix of `wire` already sent.
+  size_t next_frame = 0;   // Next payload to encode into `wire`.
+
+  while (responses.size() < payloads.size()) {
+    // Drain whatever the decoder already buffered before touching the socket.
+    while (responses.size() < payloads.size()) {
+      Result<std::optional<std::string>> next = decoder.Next();
+      if (!next.ok()) {
+        return next.status();
+      }
+      if (!next->has_value()) break;
+      responses.push_back(*std::move(*next));
+    }
+    if (responses.size() == payloads.size()) break;
+
+    // Encode more requests while under the pipelining window — the same cap the server
+    // enforces per connection, so the batch never provokes server-side read pauses.
+    while (next_frame < payloads.size() &&
+           next_frame - responses.size() <
+               static_cast<size_t>(kDefaultMaxInflightPerConn)) {
+      wire += EncodeFrame(payloads[next_frame]);
+      ++next_frame;
+    }
+    if (wire_offset == wire.size()) {
+      wire.clear();
+      wire_offset = 0;
+    }
+
+    // Interleave sending with reading: a blocking send here could deadlock with a server
+    // whose responses we are not draining (both kernel buffers full, both sides writing).
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    if (wire_offset < wire.size()) {
+      pfd.events |= POLLOUT;
+    }
+    const int ready = ::poll(&pfd, 1, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return UnavailableError("poll(): " + std::string(std::strerror(errno)));
+    }
+    if ((pfd.revents & POLLOUT) != 0 && wire_offset < wire.size()) {
+      const ssize_t n = ::send(fd_, wire.data() + wire_offset, wire.size() - wire_offset,
+                               MSG_NOSIGNAL | MSG_DONTWAIT);
+      if (n > 0) {
+        wire_offset += static_cast<size_t>(n);
+      } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+        return UnavailableError("send(): " + std::string(std::strerror(errno)));
+      }
+    }
+    if ((pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      const ssize_t received = ::recv(fd_, buffer, sizeof(buffer), MSG_DONTWAIT);
+      if (received > 0) {
+        decoder.Feed(std::string_view(buffer, static_cast<size_t>(received)));
+      } else if (received == 0) {
+        return UnavailableError("connection closed mid-batch (" +
+                                std::to_string(responses.size()) + " of " +
+                                std::to_string(payloads.size()) + " responses received)");
+      } else if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+        return UnavailableError("recv(): " + std::string(std::strerror(errno)));
+      }
+    }
+  }
+  return responses;
+}
+
 Result<ResponseEnvelope> ServeClient::Query(std::string_view kind, const Json& params,
                                             double deadline_ms, bool trace) {
   const std::string payload =
@@ -80,6 +222,45 @@ Result<ResponseEnvelope> ServeClient::Query(std::string_view kind, const Json& p
     return response.status();
   }
   return ResponseEnvelope::Parse(*response);
+}
+
+Result<std::vector<ResponseEnvelope>> ServeClient::QueryBatch(
+    const std::vector<BatchItem>& items) {
+  std::vector<std::string> payloads;
+  payloads.reserve(items.size());
+  std::map<uint64_t, size_t> slot_by_id;
+  for (size_t i = 0; i < items.size(); ++i) {
+    const uint64_t id = next_id_++;
+    slot_by_id[id] = i;
+    payloads.push_back(RequestEnvelope::Serialize(id, items[i].kind, items[i].params,
+                                                  items[i].deadline_ms, items[i].trace));
+  }
+  Result<std::vector<std::string>> raw = channel_->RoundTripBatch(payloads);
+  if (!raw.ok()) {
+    return raw.status();
+  }
+  if (raw->size() != items.size()) {
+    return InternalError("batch returned " + std::to_string(raw->size()) +
+                         " responses for " + std::to_string(items.size()) + " requests");
+  }
+  // Responses arrive in completion order; the envelope id routes each one back to its
+  // request slot.
+  std::vector<ResponseEnvelope> ordered(items.size());
+  std::vector<bool> filled(items.size(), false);
+  for (const std::string& text : *raw) {
+    Result<ResponseEnvelope> envelope = ResponseEnvelope::Parse(text);
+    if (!envelope.ok()) {
+      return envelope.status();
+    }
+    const auto slot = slot_by_id.find(envelope->id);
+    if (slot == slot_by_id.end() || filled[slot->second]) {
+      return InternalError("response id " + std::to_string(envelope->id) +
+                           " matches no outstanding request in the batch");
+    }
+    filled[slot->second] = true;
+    ordered[slot->second] = *std::move(envelope);
+  }
+  return ordered;
 }
 
 }  // namespace probcon::serve

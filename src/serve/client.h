@@ -6,8 +6,11 @@
 //   * TcpChannel — the framed TCP protocol against a probcond daemon.
 //
 // ServeClient layers envelope assembly/parsing on any channel. Request ids are assigned
-// monotonically per client; channels here are synchronous (one outstanding request), so
-// the id is a correlation aid for logs rather than a demultiplexing key.
+// monotonically per client. RoundTrip keeps the classic one-outstanding-request shape;
+// RoundTripBatch pipelines a whole batch over the same connection — both channels bound
+// the batch to kDefaultMaxInflightPerConn requests in flight at once, mirroring the
+// server-side pipelining cap, and QueryBatch matches the (possibly out-of-order)
+// responses back to request order by envelope id.
 
 #ifndef PROBCON_SRC_SERVE_CLIENT_H_
 #define PROBCON_SRC_SERVE_CLIENT_H_
@@ -16,6 +19,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/common/json.h"
 #include "src/common/status.h"
@@ -30,6 +34,13 @@ class Channel {
  public:
   virtual ~Channel() = default;
   virtual Result<std::string> RoundTrip(const std::string& payload) = 0;
+
+  // Sends every payload over this channel and returns the raw responses in ARRIVAL
+  // order — with pipelining that is not request order; callers correlate by envelope id
+  // (ServeClient::QueryBatch does). The base implementation degrades to sequential
+  // RoundTrip calls; pipelining channels override it.
+  virtual Result<std::vector<std::string>> RoundTripBatch(
+      const std::vector<std::string>& payloads);
 };
 
 // In-process channel; `server` must outlive the channel.
@@ -37,6 +48,12 @@ class LoopbackChannel final : public Channel {
  public:
   explicit LoopbackChannel(QueryServer& server) : server_(server) {}
   Result<std::string> RoundTrip(const std::string& payload) override;
+
+  // Pipelines through QueryServer::Submit, keeping at most kDefaultMaxInflightPerConn
+  // requests in flight — the same cap the TCP transport enforces per connection — and
+  // helps the exec pool while waiting so a small pool can't deadlock the batch.
+  Result<std::vector<std::string>> RoundTripBatch(
+      const std::vector<std::string>& payloads) override;
 
  private:
   QueryServer& server_;
@@ -50,6 +67,13 @@ class TcpChannel final : public Channel {
   static Result<std::unique_ptr<TcpChannel>> Connect(uint16_t port);
 
   Result<std::string> RoundTrip(const std::string& payload) override;
+
+  // Pipelined batch: interleaves nonblocking sends with reads (poll on POLLIN|POLLOUT),
+  // so the client never sits in a blocking send while the server waits for it to drain
+  // responses. Caps the unsent backlog so at most ~kDefaultMaxInflightPerConn requests
+  // are on the wire ahead of the oldest unanswered one.
+  Result<std::vector<std::string>> RoundTripBatch(
+      const std::vector<std::string>& payloads) override;
 
  private:
   explicit TcpChannel(int fd) : fd_(fd) {}
@@ -70,6 +94,20 @@ class ServeClient {
   // response).
   Result<ResponseEnvelope> Query(std::string_view kind, const Json& params,
                                  double deadline_ms = 0.0, bool trace = false);
+
+  // One entry of a pipelined batch; same fields as Query's parameters.
+  struct BatchItem {
+    std::string kind;
+    Json params;
+    double deadline_ms = 0.0;
+    bool trace = false;
+  };
+
+  // Issues the whole batch pipelined over the channel and returns envelopes in REQUEST
+  // order: responses arrive out of order and are matched back by id. A non-OK Result
+  // means the exchange failed (connection, framing, a response id that matches no
+  // request); per-request errors ride in each envelope's `status`.
+  Result<std::vector<ResponseEnvelope>> QueryBatch(const std::vector<BatchItem>& items);
 
  private:
   std::unique_ptr<Channel> channel_;

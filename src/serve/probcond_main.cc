@@ -1,8 +1,13 @@
 // probcond — the reliability-query daemon.
 //
 // Usage:
-//   probcond [--port N] [--cache-bytes N] [--max-inflight N] [--default-deadline-ms N]
+//   probcond [--port N] [--cache-bytes N] [--cache-shards N] [--max-inflight N]
+//            [--reactors N] [--max-inflight-per-conn N] [--default-deadline-ms N]
 //            [--metrics-interval-s N --metrics-path FILE]
+//
+// --reactors picks the transport's reactor-shard count (0 = auto), --max-inflight-per-conn
+// the per-connection pipelining cap, and --cache-shards the memo-cache shard count; see
+// docs/SERVING.md for how the three interact.
 //
 // Binds 127.0.0.1 (port 0 = ephemeral; the chosen port is printed on stdout as
 // "probcond listening on 127.0.0.1:<port>" for scripts to scrape), serves the framed JSON
@@ -90,6 +95,9 @@ int main(int argc, char** argv) {
   long long port = 0;
   long long cache_bytes = 64LL << 20;
   long long max_inflight = 64;
+  long long cache_shards = probcon::serve::kDefaultCacheShards;
+  long long reactors = 0;
+  long long max_inflight_per_conn = probcon::serve::kDefaultMaxInflightPerConn;
   long long default_deadline_ms = 0;
   long long metrics_interval_s = 0;
   std::string metrics_path;
@@ -97,6 +105,9 @@ int main(int argc, char** argv) {
     if (ParseFlag(argc, argv, &i, "--port", &port) ||
         ParseFlag(argc, argv, &i, "--cache-bytes", &cache_bytes) ||
         ParseFlag(argc, argv, &i, "--max-inflight", &max_inflight) ||
+        ParseFlag(argc, argv, &i, "--cache-shards", &cache_shards) ||
+        ParseFlag(argc, argv, &i, "--reactors", &reactors) ||
+        ParseFlag(argc, argv, &i, "--max-inflight-per-conn", &max_inflight_per_conn) ||
         ParseFlag(argc, argv, &i, "--default-deadline-ms", &default_deadline_ms) ||
         ParseFlag(argc, argv, &i, "--metrics-interval-s", &metrics_interval_s) ||
         ParseStringFlag(argc, argv, &i, "--metrics-path", &metrics_path)) {
@@ -115,9 +126,13 @@ int main(int argc, char** argv) {
   probcon::serve::ServerOptions options;
   options.cache_bytes = static_cast<size_t>(cache_bytes);
   options.max_inflight = static_cast<int>(max_inflight);
+  options.cache_shards = static_cast<int>(cache_shards);
   options.default_deadline_ms = static_cast<double>(default_deadline_ms);
   probcon::serve::QueryServer server(options, &metrics);
-  probcon::serve::TcpServer transport(server, &metrics);
+  probcon::serve::TcpServerOptions transport_options;
+  transport_options.reactors = static_cast<int>(reactors);
+  transport_options.max_inflight_per_conn = static_cast<int>(max_inflight_per_conn);
+  probcon::serve::TcpServer transport(server, &metrics, transport_options);
 
   const probcon::Status started = transport.Start(static_cast<uint16_t>(port));
   if (!started.ok()) {

@@ -28,15 +28,73 @@ std::string ErrorResponse(uint64_t id, Status status) {
   return envelope.Serialize();
 }
 
+// Entry bound for the request-text memo. When full the memo is cleared wholesale — the
+// next requests repopulate it; a front cache needs no smarter eviction.
+constexpr size_t kRequestMemoCap = 4096;
+
+// The exact layout RequestEnvelope::Serialize emits. The fast-path scan accepts only this
+// layout, so the excised digit span is provably the top-level envelope id: any other field
+// order — including a payload whose params object places an "id" key first — fails the
+// prefix check and takes the full parse path instead.
+constexpr std::string_view kWireIdPrefix = "{\"v\": 1, \"id\": ";
+constexpr std::string_view kWireKindSep = ", \"kind\": ";
+
+struct WireScan {
+  uint64_t id = 0;
+  size_t id_begin = 0;  // First digit of the envelope id.
+  size_t id_end = 0;    // One past the last digit.
+};
+
+bool ScanWirePayload(std::string_view payload, WireScan* scan) {
+  if (payload.size() < kWireIdPrefix.size() + 1 + kWireKindSep.size()) return false;
+  if (payload.compare(0, kWireIdPrefix.size(), kWireIdPrefix) != 0) return false;
+  size_t pos = kWireIdPrefix.size();
+  uint64_t value = 0;
+  size_t digits = 0;
+  while (pos < payload.size() && payload[pos] >= '0' && payload[pos] <= '9') {
+    if (++digits > 19) return false;  // 19 decimal digits always fit a uint64.
+    value = value * 10 + static_cast<uint64_t>(payload[pos] - '0');
+    ++pos;
+  }
+  if (digits == 0) return false;
+  if (payload.compare(pos, kWireKindSep.size(), kWireKindSep) != 0) return false;
+  scan->id = value;
+  scan->id_begin = kWireIdPrefix.size();
+  scan->id_end = pos;
+  return true;
+}
+
+// Splices the response envelope around a cached result text instead of parsing and
+// re-serializing it: the cached value IS WriteJson(result), and WriteJson's compact form
+// is deterministic, so this is byte-identical to ResponseEnvelope::Serialize at a fraction
+// of the cost. (Json::Number(uint64_t) renders via std::to_string, matching the id
+// rendering here.)
+std::string SpliceCachedResponse(uint64_t id, const std::string& cached_text) {
+  std::string out;
+  out.reserve(cached_text.size() + 64);
+  out += "{\"v\": ";
+  out += std::to_string(kProtocolVersion);
+  out += ", \"id\": ";
+  out += std::to_string(id);
+  out += ", \"status\": \"OK\", \"cached\": true, \"result\": ";
+  out += cached_text;
+  out += '}';
+  return out;
+}
+
 }  // namespace
 
 QueryServer::QueryServer(ServerOptions options, MetricsRegistry* metrics)
-    : options_(options), metrics_(metrics), cache_(options.cache_bytes, metrics) {
+    : options_(options),
+      metrics_(metrics),
+      cache_(options.cache_bytes, metrics, options.cache_shards) {
   if (metrics_ != nullptr) {
     // Serve latencies span warm cache hits (~10us) to deadline-bounded engine runs, so
     // every latency histogram here uses the fine-grained 1us-floor layout.
     const HistogramOptions latency = HistogramOptions::ServeLatencyMs();
     requests_counter_ = &metrics_->GetCounter("serve.requests");
+    text_memo_hits_ = &metrics_->GetCounter("serve.text_memo.hits");
+    text_memo_misses_ = &metrics_->GetCounter("serve.text_memo.misses");
     shed_counter_ = &metrics_->GetCounter("serve.shed");
     error_counter_ = &metrics_->GetCounter("serve.errors");
     deadline_counter_ = &metrics_->GetCounter("serve.deadline_exceeded");
@@ -83,11 +141,82 @@ void QueryServer::Submit(std::string payload, std::function<void(std::string)> d
   const auto started = std::chrono::steady_clock::now();
   SpanTimer span;
 
+  // Request-text fast path: excise the envelope id digits and probe the text memo. A hit
+  // maps this payload straight to its canonical cache key — no JSON parse, no
+  // canonicalization — and a warm result then answers with a single splice. Shedding and
+  // drain rejects ride the same shortcut, so overload rejects stay cheap too.
+  WireScan scan;
+  const bool scanned = ScanWirePayload(payload, &scan);
+  std::string memo_text;
+  bool admitted = false;
+  if (scanned) {
+    memo_text.reserve(payload.size());
+    memo_text.append(payload, 0, scan.id_begin);
+    memo_text.append(payload, scan.id_end, std::string::npos);
+    bool memo_hit = false;
+    TextMemoEntry entry;
+    {
+      std::lock_guard<std::mutex> lock(memo_mutex_);
+      const auto it = request_memo_.find(memo_text);
+      if (it != request_memo_.end()) {
+        memo_hit = true;
+        entry = it->second;
+      }
+    }
+    if (text_memo_hits_ != nullptr) {
+      (memo_hit ? text_memo_hits_ : text_memo_misses_)->Increment();
+    }
+    if (memo_hit) {
+      {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        if (requests_counter_ != nullptr) requests_counter_->Increment();
+        if (draining_) {
+          if (error_counter_ != nullptr) error_counter_->Increment();
+          done(ErrorResponse(scan.id, UnavailableError("server is draining")));
+          return;
+        }
+        if (inflight_ >= options_.max_inflight) {
+          if (shed_counter_ != nullptr) shed_counter_->Increment();
+          done(ErrorResponse(scan.id,
+                             ResourceExhaustedError(
+                                 "server at capacity (" +
+                                 std::to_string(options_.max_inflight) +
+                                 " requests in flight); retry with backoff")));
+          return;
+        }
+        ++inflight_;
+        if (inflight_gauge_ != nullptr) inflight_gauge_->Set(inflight_);
+      }
+      admitted = true;
+      SpanTimer cache_span;
+      std::string cached_text;
+      if (cache_.TryGet(entry.cache_key, &cached_text)) {
+        if (cache_ms_ != nullptr) cache_ms_->Record(cache_span.ElapsedMs());
+        SpanTimer serialize_span;
+        std::string payload_out = SpliceCachedResponse(scan.id, cached_text);
+        if (serialize_ms_ != nullptr) serialize_ms_->Record(serialize_span.ElapsedMs());
+        RecordLatencyMs(std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - started)
+                            .count(),
+                        entry.kind);
+        done(std::move(payload_out));
+        FinishOne();
+        return;
+      }
+      // The memoized result has been evicted from the cache — fall through to the full
+      // parse path, keeping the admission slot already taken.
+    }
+  }
+
   Result<RequestEnvelope> parsed = RequestEnvelope::Parse(payload);
   const double parse_ms = span.LapMs();
   if (parse_ms_ != nullptr) parse_ms_->Record(parse_ms);
   if (!parsed.ok()) {
-    if (requests_counter_ != nullptr) requests_counter_->Increment();
+    if (admitted) {
+      FinishOne();  // Unreachable for memoized texts (they parsed once), but keep books.
+    } else if (requests_counter_ != nullptr) {
+      requests_counter_->Increment();
+    }
     if (error_counter_ != nullptr) error_counter_->Increment();
     done(ErrorResponse(RecoverRequestId(payload), parsed.status()));
     return;
@@ -127,7 +256,7 @@ void QueryServer::Submit(std::string payload, std::function<void(std::string)> d
     return;
   }
 
-  {
+  if (!admitted) {
     std::lock_guard<std::mutex> lock(state_mutex_);
     if (requests_counter_ != nullptr) requests_counter_->Increment();
     if (draining_) {
@@ -150,6 +279,59 @@ void QueryServer::Submit(std::string payload, std::function<void(std::string)> d
     if (inflight_gauge_ != nullptr) inflight_gauge_->Set(inflight_);
   }
 
+  // Warm-path fast serve: canonicalize and probe the cache on the caller's thread (a
+  // reactor, for TCP traffic) before paying the pool hop. TryGet never blocks on an
+  // in-flight computation, so a hit answers inline with no cross-thread handoff — the
+  // common warm case — while misses and single-flight waits take the pool path below.
+  SpanTimer key_span;
+  const std::string key = envelope.request.CanonicalKey();
+  const double canonicalize_ms = key_span.LapMs();
+  if (canonicalize_ms_ != nullptr) canonicalize_ms_->Record(canonicalize_ms);
+  if (scanned && !envelope.trace) {
+    // Memoize text -> key so the next identical payload (any id) takes the fast path.
+    // Only engine kinds reach this point — ping and stats answered above — so a memo hit
+    // can never route into those inline branches. Trace requests are excluded: their
+    // responses carry per-request spans and must not be spliced from the cache.
+    std::lock_guard<std::mutex> lock(memo_mutex_);
+    if (request_memo_.size() >= kRequestMemoCap) request_memo_.clear();
+    request_memo_.emplace(std::move(memo_text),
+                          TextMemoEntry{key, envelope.request.kind});
+  }
+  std::string cached_text;
+  if (cache_.TryGet(key, &cached_text)) {
+    const double cache_ms = key_span.LapMs();
+    if (cache_ms_ != nullptr) cache_ms_->Record(cache_ms);
+    SpanTimer serialize_span;
+    std::string payload_out;
+    if (!envelope.trace) {
+      payload_out = SpliceCachedResponse(envelope.id, cached_text);
+    } else {
+      ResponseEnvelope response;
+      response.id = envelope.id;
+      response.cached = true;
+      Result<Json> result = ParseJson(cached_text, "cached result");
+      CHECK(result.ok()) << result.status().ToString();
+      response.result = *std::move(result);
+      RequestTrace trace;
+      trace.AddStage("parse", parse_ms);
+      trace.AddStage("canonicalize", canonicalize_ms);
+      trace.AddStage("cache", cache_ms);
+      trace.total_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - started)
+                           .count();
+      response.trace = trace.ToJson();
+      payload_out = response.Serialize();
+    }
+    if (serialize_ms_ != nullptr) serialize_ms_->Record(serialize_span.ElapsedMs());
+    RecordLatencyMs(
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - started)
+            .count(),
+        envelope.request.kind);
+    done(std::move(payload_out));
+    FinishOne();
+    return;
+  }
+
   double deadline_ms = envelope.deadline_ms;
   if (deadline_ms <= 0.0) deadline_ms = options_.default_deadline_ms;
   // Envelope parsing already rejects deadlines above kMaxDeadlineMs; the clamp also
@@ -163,10 +345,10 @@ void QueryServer::Submit(std::string payload, std::function<void(std::string)> d
   }
 
   ThreadPool::Global().Submit(
-      [this, envelope = std::move(envelope), token, deadline_armed, deadline_ms, started,
-       parse_ms, done = std::move(done)]() mutable {
-        std::string response =
-            RunRequest(envelope, token, deadline_armed, deadline_ms, started, parse_ms);
+      [this, envelope = std::move(envelope), key, canonicalize_ms, token, deadline_armed,
+       deadline_ms, started, parse_ms, done = std::move(done)]() mutable {
+        std::string response = RunRequest(envelope, key, canonicalize_ms, token,
+                                          deadline_armed, deadline_ms, started, parse_ms);
         const auto finished = std::chrono::steady_clock::now();
         RecordLatencyMs(std::chrono::duration<double, std::milli>(finished - started).count(),
                         envelope.request.kind);
@@ -175,19 +357,16 @@ void QueryServer::Submit(std::string payload, std::function<void(std::string)> d
       });
 }
 
-std::string QueryServer::RunRequest(const RequestEnvelope& envelope,
+std::string QueryServer::RunRequest(const RequestEnvelope& envelope, const std::string& key,
+                                    double canonicalize_ms,
                                     const std::shared_ptr<CancelToken>& token,
                                     bool deadline_armed, double deadline_ms,
                                     std::chrono::steady_clock::time_point started,
                                     double parse_ms) {
   RequestTrace trace;
   trace.AddStage("parse", parse_ms);
+  trace.AddStage("canonicalize", canonicalize_ms);  // Measured in Submit, alongside the key.
   SpanTimer span;
-
-  const std::string key = envelope.request.CanonicalKey();
-  const double canonicalize_ms = span.LapMs();
-  trace.AddStage("canonicalize", canonicalize_ms);
-  if (canonicalize_ms_ != nullptr) canonicalize_ms_->Record(canonicalize_ms);
 
   bool was_cached = false;
   double engine_ms = -1.0;  // >= 0 iff this request was the single-flight leader.

@@ -5,6 +5,8 @@
 // Request lifecycle:
 //
 //   Submit(payload)
+//     -> request-text memo probe            (a payload seen before — any id — maps straight
+//                                            to its cache key, skipping parse/canonicalize)
 //     -> parse + validate envelope          (errors answer inline: INVALID_ARGUMENT)
 //     -> ping / stats answer inline         (introspection must work under overload)
 //     -> drain check                        (UNAVAILABLE while draining)
@@ -44,6 +46,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/cancellation.h"
@@ -56,11 +59,18 @@
 namespace probcon::serve {
 
 struct ServerOptions {
-  size_t cache_bytes = 64u << 20;     // Memoization budget.
+  size_t cache_bytes = 64u << 20;     // Memoization budget (split across cache shards).
+  int cache_shards = kDefaultCacheShards;  // Memo-cache shard count (>= 1).
   int max_inflight = 64;              // Admission limit; above it requests are shed.
   uint32_t max_frame_bytes = 4u << 20;  // Per-connection frame limit (transports).
   double default_deadline_ms = 0.0;   // Applied when a request carries none; <= 0 = none.
 };
+
+// Default per-connection pipelining cap, shared by the TCP transport and the loopback
+// batch path so both enforce identical semantics: at most this many requests of one
+// connection may be in flight at once; beyond it the connection's reads pause (TCP) or its
+// submissions block (loopback) until responses complete.
+inline constexpr int kDefaultMaxInflightPerConn = 32;
 
 class QueryServer {
  public:
@@ -104,10 +114,13 @@ class QueryServer {
   void WatchdogLoop();
 
   // Runs the already-parsed request (cache + engine) and builds the response payload.
-  // `deadline_ms` is the effective deadline (request or server default), `started` the
-  // Submit entry time (total-latency anchor), `parse_ms` the envelope-parse span measured
-  // in Submit — both feed the trace echo and the cancellation-latency histogram.
-  std::string RunRequest(const RequestEnvelope& envelope,
+  // `key` is the canonical key computed in Submit (where the warm-hit probe needed it) and
+  // `canonicalize_ms` its span; `deadline_ms` is the effective deadline (request or server
+  // default), `started` the Submit entry time (total-latency anchor), `parse_ms` the
+  // envelope-parse span measured in Submit — these feed the trace echo and the
+  // cancellation-latency histogram.
+  std::string RunRequest(const RequestEnvelope& envelope, const std::string& key,
+                         double canonicalize_ms,
                          const std::shared_ptr<CancelToken>& token, bool deadline_armed,
                          double deadline_ms, std::chrono::steady_clock::time_point started,
                          double parse_ms);
@@ -128,9 +141,25 @@ class QueryServer {
   bool draining_ = false;
   int inflight_ = 0;
 
+  // Request-text memo: wire payload with the id digits excised -> canonical cache key, so
+  // a repeat request (any id) skips JSON parsing and canonicalization — most of the
+  // per-request CPU on a warm server. The excised text preserves every other byte, so two
+  // payloads share an entry iff they differ only in the envelope id; entries are created
+  // only for successfully parsed, non-trace engine requests. Bounded (cleared wholesale
+  // when full): a front cache, never a source of truth. Lookups never iterate the map, so
+  // the unordered container stays within the determinism lint's rules.
+  struct TextMemoEntry {
+    std::string cache_key;
+    RequestKind kind = RequestKind::kPing;
+  };
+  std::mutex memo_mutex_;
+  std::unordered_map<std::string, TextMemoEntry> request_memo_;
+
   // Pre-created instruments (nullptr when metrics are disabled). All of them are
   // internally thread-safe; no server lock is held while recording.
   Counter* requests_counter_ = nullptr;
+  Counter* text_memo_hits_ = nullptr;
+  Counter* text_memo_misses_ = nullptr;
   Counter* shed_counter_ = nullptr;
   Counter* error_counter_ = nullptr;
   Counter* deadline_counter_ = nullptr;

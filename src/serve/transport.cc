@@ -1,14 +1,21 @@
 #include "src/serve/transport.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <map>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -22,15 +29,501 @@ namespace {
 // responsiveness knob; no request ever waits on it.
 constexpr int kAcceptPollMs = 50;
 
+// The reactor currently running on this thread (compared by address only, so a void* —
+// Reactor is private to TcpServer). Lets a response that completes inline inside
+// QueryServer::Submit (warm cache hits, pings, shed requests) skip the mailbox+eventfd
+// round trip and append straight to the connection's outbound buffer.
+thread_local const void* t_current_reactor = nullptr;
+
+int DefaultReactorCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::min(hw == 0 ? 1u : hw, 4u));
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
 }  // namespace
 
-TcpServer::TcpServer(QueryServer& server, MetricsRegistry* metrics) : server_(server) {
+// One reactor shard: a thread owning an epoll instance and a disjoint set of connections.
+// All Conn state is touched only by this shard's thread; the only cross-thread surface is
+// the mutex-guarded Mailbox (new fds from the acceptor, responses from the exec pool) and
+// a couple of atomics for stats.
+class TcpServer::Reactor {
+ public:
+  Reactor(QueryServer& server, const TcpServerOptions& options, int index,
+          MetricsRegistry* metrics, Counter* closed_counter, Gauge* active_gauge,
+          Histogram* write_ms, Histogram* loop_ms)
+      : server_(server),
+        options_(options),
+        index_(index),
+        closed_counter_(closed_counter),
+        active_gauge_(active_gauge),
+        write_ms_(write_ms),
+        loop_ms_(loop_ms) {
+    if (metrics != nullptr) {
+      shard_gauge_ = &metrics->GetGauge("serve.connections.active.shard" +
+                                        std::to_string(index));
+    }
+  }
+
+  ~Reactor() { Stop(); }
+
+  Status Start() {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) {
+      return UnavailableError("epoll_create1(): " + std::string(std::strerror(errno)));
+    }
+    const int wake_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (wake_fd < 0) {
+      ::close(epoll_fd_);
+      epoll_fd_ = -1;
+      return UnavailableError("eventfd(): " + std::string(std::strerror(errno)));
+    }
+    mailbox_ = std::make_shared<Mailbox>();
+    mailbox_->wake_fd = wake_fd;
+    epoll_event event{};
+    event.events = EPOLLIN;
+    event.data.u64 = 0;  // Conn ids start at 1; 0 is the mailbox eventfd.
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd, &event) != 0) {
+      const std::string error = std::strerror(errno);
+      ::close(wake_fd);
+      ::close(epoll_fd_);
+      epoll_fd_ = -1;
+      return UnavailableError("epoll_ctl(eventfd): " + error);
+    }
+    stop_.store(false);
+    thread_ = std::thread([this] { Loop(); });
+    return Status::Ok();
+  }
+
+  // Signals the loop and joins it. The reactor thread itself closes every connection fd
+  // and the epoll/eventfd descriptors on the way out (shard-local teardown), so Stop()
+  // never races the loop on an fd.
+  void Stop() {
+    stop_.store(true, std::memory_order_release);
+    if (mailbox_ != nullptr) {
+      Wake();
+    }
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+  }
+
+  // Hands a freshly accepted (already nonblocking) fd to this shard. Returns false when
+  // the shard has stopped; the caller keeps ownership of the fd in that case.
+  bool AddConnection(int fd) {
+    std::lock_guard<std::mutex> lock(mailbox_->mutex);
+    if (mailbox_->stopped) {
+      return false;
+    }
+    mailbox_->new_fds.push_back(fd);
+    WakeLocked();
+    return true;
+  }
+
+  size_t connection_count() const { return live_count_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Conn {
+    Conn(uint64_t id_in, int fd_in, uint32_t max_frame_bytes)
+        : id(id_in), fd(fd_in), decoder(max_frame_bytes) {}
+
+    const uint64_t id;
+    int fd;
+    FrameDecoder decoder;
+    std::string outbound;        // Encoded frames waiting for the socket.
+    size_t outbound_offset = 0;  // Prefix of `outbound` already sent.
+    int inflight = 0;            // Requests submitted, response not yet queued.
+    uint32_t interest = EPOLLIN;  // Current epoll mask.
+    bool read_closed = false;  // Peer half-closed; answer what's in flight, then close.
+    bool dead = false;         // fd closed; reaped at the end of the round.
+    bool in_drain = false;     // DrainFrames re-entrancy guard (inline completions).
+    bool flush_queued = false;
+  };
+
+  // The shard's cross-thread inbox. `stopped`/`wake_fd` are guarded by `mutex`; after
+  // teardown flips `stopped`, late responses are dropped here instead of touching freed
+  // reactor state — response callbacks keep the Mailbox alive via shared_ptr.
+  struct Mailbox {
+    std::mutex mutex;
+    bool stopped = false;
+    bool signaled = false;
+    int wake_fd = -1;
+    std::vector<int> new_fds;
+    std::vector<std::pair<uint64_t, std::string>> responses;
+  };
+
+  void Wake() {
+    std::lock_guard<std::mutex> lock(mailbox_->mutex);
+    WakeLocked();
+  }
+
+  void WakeLocked() {
+    if (!mailbox_->signaled && mailbox_->wake_fd >= 0) {
+      const uint64_t one = 1;
+      [[maybe_unused]] const ssize_t n =
+          ::write(mailbox_->wake_fd, &one, sizeof(one));
+      mailbox_->signaled = true;
+    }
+  }
+
+  size_t PendingBytes(const Conn* conn) const {
+    return conn->outbound.size() - conn->outbound_offset;
+  }
+
+  void Loop() {
+    t_current_reactor = this;
+    constexpr int kMaxEvents = 256;
+    epoll_event events[kMaxEvents];
+    while (!stop_.load(std::memory_order_acquire)) {
+      const int ready = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        break;  // epoll fd gone; only possible on teardown.
+      }
+      SpanTimer round;
+      for (int i = 0; i < ready; ++i) {
+        const uint64_t id = events[i].data.u64;
+        if (id == 0) {
+          continue;  // Mailbox eventfd; drained unconditionally below.
+        }
+        const auto it = conns_.find(id);
+        if (it == conns_.end()) {
+          continue;  // Closed earlier in this round.
+        }
+        Conn* conn = it->second.get();
+        if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0) {
+          MarkDead(conn);
+          continue;
+        }
+        if ((events[i].events & EPOLLIN) != 0) {
+          HandleReadable(conn);
+        }
+        if (!conn->dead && (events[i].events & EPOLLOUT) != 0) {
+          FlushConn(conn);
+        }
+      }
+      DrainMailbox();
+      FlushPending();
+      ReapDead();
+      if (loop_ms_ != nullptr) loop_ms_->Record(round.ElapsedMs());
+    }
+    Teardown();
+    t_current_reactor = nullptr;
+  }
+
+  void RegisterConn(int fd) {
+    const uint64_t id = next_conn_id_++;
+    auto conn = std::make_unique<Conn>(id, fd, server_.options().max_frame_bytes);
+    epoll_event event{};
+    event.events = EPOLLIN;
+    event.data.u64 = id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0) {
+      ::close(fd);
+      return;
+    }
+    conns_.emplace(id, std::move(conn));
+    live_count_.fetch_add(1, std::memory_order_relaxed);
+    if (active_gauge_ != nullptr) active_gauge_->Add(1.0);
+    if (shard_gauge_ != nullptr) {
+      shard_gauge_->Set(static_cast<double>(live_count_.load(std::memory_order_relaxed)));
+    }
+  }
+
+  void HandleReadable(Conn* conn) {
+    char buffer[64 * 1024];
+    while (!conn->dead && !conn->read_closed) {
+      if (conn->inflight >= options_.max_inflight_per_conn) {
+        break;  // Backpressure: at the pipelining cap, leave bytes in the kernel.
+      }
+      const ssize_t received = ::recv(conn->fd, buffer, sizeof(buffer), 0);
+      if (received > 0) {
+        conn->decoder.Feed(std::string_view(buffer, static_cast<size_t>(received)));
+        DrainFrames(conn);
+        continue;
+      }
+      if (received == 0) {
+        // Half-close: the peer is done sending but may still be reading. Finish the
+        // pipelined requests already in flight, flush, then close.
+        conn->read_closed = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      MarkDead(conn);
+      return;
+    }
+    MaybeFinishHalfClosed(conn);
+    if (!conn->dead) UpdateInterest(conn);
+  }
+
+  // Decodes and submits buffered frames while the connection is under its pipelining cap.
+  // Inline completions (warm hits and other requests QueryServer answers synchronously)
+  // re-enter the reactor via CompleteInline *during* Submit — they decrement `inflight`,
+  // so the loop condition naturally keeps draining; the in_drain guard stops recursion.
+  void DrainFrames(Conn* conn) {
+    if (conn->in_drain || conn->dead) return;
+    conn->in_drain = true;
+    while (!conn->dead && conn->inflight < options_.max_inflight_per_conn) {
+      Result<std::optional<std::string>> next = conn->decoder.Next();
+      if (!next.ok()) {
+        MarkDead(conn);  // Bad magic / oversized frame: drop the connection.
+        break;
+      }
+      if (!next->has_value()) break;
+      ++conn->inflight;
+      SubmitFrame(conn->id, *std::move(*next));
+    }
+    conn->in_drain = false;
+    if (!conn->dead) UpdateInterest(conn);
+  }
+
+  void SubmitFrame(uint64_t conn_id, std::string payload) {
+    // The callback owns only refcounted state (the mailbox), so a response that completes
+    // while — or after — the transport tears down is dropped safely. The raw `this` is
+    // dereferenced only when this very thread is the reactor's loop thread, which
+    // guarantees the reactor is alive.
+    std::shared_ptr<Mailbox> mailbox = mailbox_;
+    Reactor* self = this;
+    server_.Submit(std::move(payload), [mailbox, self, conn_id](std::string response) {
+      if (t_current_reactor == self) {
+        self->CompleteInline(conn_id, std::move(response));
+        return;
+      }
+      std::lock_guard<std::mutex> lock(mailbox->mutex);
+      if (mailbox->stopped) return;
+      mailbox->responses.emplace_back(conn_id, std::move(response));
+      if (!mailbox->signaled && mailbox->wake_fd >= 0) {
+        const uint64_t one = 1;
+        [[maybe_unused]] const ssize_t n =
+            ::write(mailbox->wake_fd, &one, sizeof(one));
+        mailbox->signaled = true;
+      }
+    });
+  }
+
+  // Fast path for responses completing synchronously inside Submit on this very thread.
+  void CompleteInline(uint64_t conn_id, std::string response) {
+    const auto it = conns_.find(conn_id);
+    if (it == conns_.end()) return;
+    Conn* conn = it->second.get();
+    --conn->inflight;
+    if (conn->dead) return;
+    AppendResponse(conn, response);
+  }
+
+  void DrainMailbox() {
+    std::vector<int> fds;
+    std::vector<std::pair<uint64_t, std::string>> responses;
+    {
+      std::lock_guard<std::mutex> lock(mailbox_->mutex);
+      if (mailbox_->signaled) {
+        uint64_t counter = 0;
+        [[maybe_unused]] const ssize_t n =
+            ::read(mailbox_->wake_fd, &counter, sizeof(counter));
+        mailbox_->signaled = false;
+      }
+      fds.swap(mailbox_->new_fds);
+      responses.swap(mailbox_->responses);
+    }
+    for (const int fd : fds) {
+      RegisterConn(fd);
+    }
+    for (auto& [conn_id, payload] : responses) {
+      const auto it = conns_.find(conn_id);
+      if (it == conns_.end()) continue;  // Connection closed while the engine ran.
+      Conn* conn = it->second.get();
+      --conn->inflight;
+      if (conn->dead) continue;
+      AppendResponse(conn, payload);
+      // A completed response frees pipeline capacity: decode any frames the kernel (or
+      // the decoder) was holding while this connection sat at its cap.
+      DrainFrames(conn);
+    }
+  }
+
+  void AppendResponse(Conn* conn, const std::string& payload) {
+    // Compact the sent prefix before growing, so the buffer stays bounded by the unsent
+    // bytes rather than the connection's lifetime traffic.
+    if (conn->outbound_offset > 0 &&
+        (conn->outbound_offset == conn->outbound.size() ||
+         conn->outbound_offset > 64 * 1024)) {
+      conn->outbound.erase(0, conn->outbound_offset);
+      conn->outbound_offset = 0;
+    }
+    conn->outbound += EncodeFrame(payload);
+    if (PendingBytes(conn) > options_.max_conn_outbound_bytes) {
+      // Slow consumer: it stopped reading while responses kept completing. Disconnect
+      // rather than buffer without bound; the client can reconnect and retry.
+      MarkDead(conn);
+      return;
+    }
+    QueueFlush(conn);
+  }
+
+  void QueueFlush(Conn* conn) {
+    if (!conn->flush_queued) {
+      conn->flush_queued = true;
+      flush_list_.push_back(conn->id);
+    }
+  }
+
+  // Flushes every connection that queued responses this round — one send() per
+  // connection per round, however many responses completed.
+  void FlushPending() {
+    for (const uint64_t id : flush_list_) {
+      const auto it = conns_.find(id);
+      if (it == conns_.end()) continue;
+      Conn* conn = it->second.get();
+      conn->flush_queued = false;
+      if (!conn->dead) FlushConn(conn);
+    }
+    flush_list_.clear();
+  }
+
+  void FlushConn(Conn* conn) {
+    SpanTimer span;
+    bool progressed = false;
+    while (PendingBytes(conn) > 0) {
+      const ssize_t sent =
+          ::send(conn->fd, conn->outbound.data() + conn->outbound_offset,
+                 PendingBytes(conn), MSG_NOSIGNAL);
+      if (sent > 0) {
+        conn->outbound_offset += static_cast<size_t>(sent);
+        progressed = true;
+        continue;
+      }
+      if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (sent < 0 && errno == EINTR) continue;
+      MarkDead(conn);
+      return;
+    }
+    if (PendingBytes(conn) == 0) {
+      conn->outbound.clear();
+      conn->outbound_offset = 0;
+    }
+    if (progressed && write_ms_ != nullptr) write_ms_->Record(span.ElapsedMs());
+    MaybeFinishHalfClosed(conn);
+    if (!conn->dead) UpdateInterest(conn);
+  }
+
+  void MaybeFinishHalfClosed(Conn* conn) {
+    if (!conn->dead && conn->read_closed && conn->inflight == 0 &&
+        PendingBytes(conn) == 0) {
+      MarkDead(conn);  // Every pipelined request answered and flushed; close our side.
+    }
+  }
+
+  void UpdateInterest(Conn* conn) {
+    uint32_t want = 0;
+    if (!conn->read_closed && conn->inflight < options_.max_inflight_per_conn) {
+      want |= EPOLLIN;
+    }
+    if (PendingBytes(conn) > 0) {
+      want |= EPOLLOUT;
+    }
+    if (want == conn->interest) return;
+    epoll_event event{};
+    event.events = want;
+    event.data.u64 = conn->id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &event) == 0) {
+      conn->interest = want;
+    }
+  }
+
+  void MarkDead(Conn* conn) {
+    if (conn->dead) return;
+    conn->dead = true;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+    ::close(conn->fd);
+    conn->fd = -1;
+    dead_list_.push_back(conn->id);
+    live_count_.fetch_sub(1, std::memory_order_relaxed);
+    if (closed_counter_ != nullptr) closed_counter_->Increment();
+    if (active_gauge_ != nullptr) active_gauge_->Add(-1.0);
+    if (shard_gauge_ != nullptr) {
+      shard_gauge_->Set(static_cast<double>(live_count_.load(std::memory_order_relaxed)));
+    }
+  }
+
+  // Destroys dead Conn objects. Deferred to the end of the round so that event handlers,
+  // inline completions, and the mailbox drain can keep raw Conn pointers within a round.
+  void ReapDead() {
+    for (const uint64_t id : dead_list_) {
+      conns_.erase(id);
+    }
+    dead_list_.clear();
+  }
+
+  // Runs on the reactor thread after the loop exits: close every owned fd, drop every
+  // connection, then seal the mailbox so late responses are dropped instead of written.
+  void Teardown() {
+    const size_t live = conns_.size();
+    for (auto& [id, conn] : conns_) {
+      if (conn->fd >= 0) ::close(conn->fd);
+    }
+    conns_.clear();
+    live_count_.store(0, std::memory_order_relaxed);
+    if (closed_counter_ != nullptr && live > 0) {
+      closed_counter_->Increment(static_cast<uint64_t>(live));
+    }
+    if (active_gauge_ != nullptr && live > 0) active_gauge_->Add(-static_cast<double>(live));
+    if (shard_gauge_ != nullptr) shard_gauge_->Set(0.0);
+    int wake_fd = -1;
+    std::vector<int> orphaned;
+    {
+      std::lock_guard<std::mutex> lock(mailbox_->mutex);
+      mailbox_->stopped = true;
+      wake_fd = mailbox_->wake_fd;
+      mailbox_->wake_fd = -1;
+      orphaned.swap(mailbox_->new_fds);
+      mailbox_->responses.clear();
+    }
+    for (const int fd : orphaned) {
+      ::close(fd);  // Accepted but never registered.
+    }
+    if (wake_fd >= 0) ::close(wake_fd);
+    if (epoll_fd_ >= 0) {
+      ::close(epoll_fd_);
+      epoll_fd_ = -1;
+    }
+  }
+
+  QueryServer& server_;
+  const TcpServerOptions options_;
+  [[maybe_unused]] const int index_;
+  Gauge* shard_gauge_ = nullptr;
+  Counter* const closed_counter_;
+  Gauge* const active_gauge_;
+  Histogram* const write_ms_;
+  Histogram* const loop_ms_;
+
+  int epoll_fd_ = -1;
+  std::shared_ptr<Mailbox> mailbox_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<size_t> live_count_{0};
+
+  // Reactor-thread-only state.
+  uint64_t next_conn_id_ = 1;
+  std::map<uint64_t, std::unique_ptr<Conn>> conns_;
+  std::vector<uint64_t> flush_list_;
+  std::vector<uint64_t> dead_list_;
+};
+
+TcpServer::TcpServer(QueryServer& server, MetricsRegistry* metrics, TcpServerOptions options)
+    : server_(server), options_(options), metrics_(metrics) {
   if (metrics != nullptr) {
     accepted_counter_ = &metrics->GetCounter("serve.connections.accepted");
     closed_counter_ = &metrics->GetCounter("serve.connections.closed");
     active_gauge_ = &metrics->GetGauge("serve.connections.active");
     write_ms_ = &metrics->GetHistogram("serve.stage_ms.write",
                                        HistogramOptions::ServeLatencyMs());
+    loop_ms_ = &metrics->GetHistogram("serve.reactor.loop_ms",
+                                      HistogramOptions::ServeLatencyMs());
   }
 }
 
@@ -54,7 +547,7 @@ Status TcpServer::Start(uint16_t port) {
     listen_fd_ = -1;
     return UnavailableError("bind(127.0.0.1:" + std::to_string(port) + "): " + error);
   }
-  if (::listen(listen_fd_, 64) < 0) {
+  if (::listen(listen_fd_, options_.listen_backlog) < 0) {
     const std::string error = std::strerror(errno);
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -64,7 +557,26 @@ Status TcpServer::Start(uint16_t port) {
   if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&address), &address_len) == 0) {
     port_ = ntohs(address.sin_port);
   }
+
+  const int reactor_count =
+      options_.reactors > 0 ? options_.reactors : DefaultReactorCount();
+  reactors_.clear();
+  for (int i = 0; i < reactor_count; ++i) {
+    auto reactor = std::make_unique<Reactor>(server_, options_, i, metrics_,
+                                             closed_counter_, active_gauge_, write_ms_,
+                                             loop_ms_);
+    Status started = reactor->Start();
+    if (!started.ok()) {
+      reactors_.clear();  // Joins and tears down the shards already running.
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return started;
+    }
+    reactors_.push_back(std::move(reactor));
+  }
+
   stopping_.store(false);
+  next_reactor_ = 0;
   acceptor_ = std::thread([this] { AcceptLoop(); });
   return Status::Ok();
 }
@@ -82,111 +594,29 @@ void TcpServer::AcceptLoop() {
     if (client_fd < 0) {
       continue;
     }
-    auto connection = std::make_shared<Connection>();
-    connection->fd = client_fd;
-    {
-      std::lock_guard<std::mutex> lock(connections_mutex_);
-      if (stopping_.load()) {
-        ::close(client_fd);
-        return;
-      }
-      connections_.push_back(connection);
-      if (accepted_counter_ != nullptr) accepted_counter_->Increment();
-      if (active_gauge_ != nullptr) {
-        active_gauge_->Set(static_cast<double>(connections_.size()));
-      }
-      // Assigning `reader` under the mutex means the reader thread — which may exit
-      // immediately on a dead connection — cannot reach its self-reap (which takes this
-      // mutex) before the handle it will detach exists.
-      connection->reader = std::thread([this, connection] { ReaderLoop(connection); });
+    if (!SetNonBlocking(client_fd)) {
+      ::close(client_fd);
+      continue;
     }
-  }
-}
-
-void TcpServer::ReaderLoop(const std::shared_ptr<Connection>& connection) {
-  FrameDecoder decoder(server_.options().max_frame_bytes);
-  char buffer[16 * 1024];
-  while (!stopping_.load()) {
-    const ssize_t received = ::recv(connection->fd, buffer, sizeof(buffer), 0);
-    if (received <= 0) {
-      break;  // Peer closed, connection error, or our own shutdown() from Stop().
-    }
-    decoder.Feed(std::string_view(buffer, static_cast<size_t>(received)));
-    bool corrupt = false;
-    while (true) {
-      Result<std::optional<std::string>> next = decoder.Next();
-      if (!next.ok()) {
-        corrupt = true;  // Bad magic / oversized frame: drop the connection.
-        break;
-      }
-      if (!next->has_value()) {
-        break;
-      }
-      server_.Submit(**next, [connection, write_ms = write_ms_](std::string response) {
-        WriteFrame(connection, response, write_ms);
-      });
-    }
-    if (corrupt) {
-      break;
-    }
-  }
-  CloseConnection(connection);
-  // Self-reap so a long-running daemon does not accumulate one dead Connection (and one
-  // unjoined thread handle) per disconnected client. Exactly one party owns the cleanup:
-  // if the connection is still registered we take it and detach our own handle; if Stop()
-  // already swapped the list out, Stop() joins us instead.
-  std::thread self;
-  {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
-    const auto it = std::find(connections_.begin(), connections_.end(), connection);
-    if (it != connections_.end()) {
-      connections_.erase(it);
-      self = std::move(connection->reader);
+    const int enable = 1;
+    ::setsockopt(client_fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+    if (accepted_counter_ != nullptr) accepted_counter_->Increment();
+    // Round-robin shard assignment at accept; the connection belongs to that shard for
+    // its whole life.
+    Reactor& reactor = *reactors_[next_reactor_++ % reactors_.size()];
+    if (!reactor.AddConnection(client_fd)) {
+      ::close(client_fd);
       if (closed_counter_ != nullptr) closed_counter_->Increment();
-      if (active_gauge_ != nullptr) {
-        active_gauge_->Set(static_cast<double>(connections_.size()));
-      }
     }
-  }
-  if (self.joinable()) {
-    self.detach();
-  }
-}
-
-void TcpServer::WriteFrame(const std::shared_ptr<Connection>& connection,
-                           const std::string& payload, Histogram* write_ms) {
-  // The span covers encode + per-connection lock wait + send, so a slow or backpressured
-  // client shows up in serve.stage_ms.write rather than hiding in request latency (the
-  // request itself already answered by the time this runs).
-  SpanTimer span;
-  const std::string frame = EncodeFrame(payload);
-  std::lock_guard<std::mutex> lock(connection->write_mutex);
-  if (connection->closed) {
-    return;  // Response raced with connection teardown; drop it.
-  }
-  size_t sent = 0;
-  while (sent < frame.size()) {
-    const ssize_t n = ::send(connection->fd, frame.data() + sent, frame.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n <= 0) {
-      return;
-    }
-    sent += static_cast<size_t>(n);
-  }
-  if (write_ms != nullptr) write_ms->Record(span.ElapsedMs());
-}
-
-void TcpServer::CloseConnection(const std::shared_ptr<Connection>& connection) {
-  std::lock_guard<std::mutex> lock(connection->write_mutex);
-  if (!connection->closed) {
-    connection->closed = true;
-    ::close(connection->fd);
   }
 }
 
 size_t TcpServer::connection_count() const {
-  std::lock_guard<std::mutex> lock(connections_mutex_);
-  return connections_.size();
+  size_t total = 0;
+  for (const auto& reactor : reactors_) {
+    total += reactor->connection_count();
+  }
+  return total;
 }
 
 void TcpServer::Stop() {
@@ -199,30 +629,10 @@ void TcpServer::Stop() {
   if (acceptor_.joinable()) {
     acceptor_.join();
   }
-  std::vector<std::shared_ptr<Connection>> connections;
-  {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
-    connections.swap(connections_);
-    if (closed_counter_ != nullptr) {
-      closed_counter_->Increment(static_cast<uint64_t>(connections.size()));
-    }
-    if (active_gauge_ != nullptr) active_gauge_->Set(0.0);
-  }
-  for (const auto& connection : connections) {
-    // Unblock the reader's recv() without closing the fd out from under a concurrent
-    // write; CloseConnection (from the reader, and again here) owns the actual close.
-    // Checked under write_mutex so we never shutdown() an already-closed (and possibly
-    // recycled) descriptor.
-    std::lock_guard<std::mutex> lock(connection->write_mutex);
-    if (!connection->closed) {
-      ::shutdown(connection->fd, SHUT_RDWR);
-    }
-  }
-  for (const auto& connection : connections) {
-    if (connection->reader.joinable()) {
-      connection->reader.join();
-    }
-    CloseConnection(connection);
+  // With the acceptor gone, nothing hands new fds to the shards; each shard closes its
+  // own connections on its own thread.
+  for (const auto& reactor : reactors_) {
+    reactor->Stop();
   }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);

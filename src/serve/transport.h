@@ -2,11 +2,27 @@
 // (framing.h) and forwards payloads to a QueryServer.
 //
 // Scope: this is an analysis daemon for operators and dashboards, not an internet-facing
-// service — it binds 127.0.0.1 only. One reader thread per connection (connection counts
-// are small; the expensive work happens on the exec pool anyway), responses are written
-// back under a per-connection mutex in completion order. A framing error (bad magic,
-// oversized length) closes the connection; request-level errors travel inside response
-// envelopes and keep the connection open.
+// service — it binds 127.0.0.1 only. The transport is a multi-reactor epoll event loop:
+//
+//   * N reactor shards, each a thread owning one epoll instance and a disjoint set of
+//     connections. The acceptor assigns each new connection to a shard (round-robin) and
+//     never touches it again; all per-connection state is single-threaded inside its
+//     shard, so the hot path takes no per-connection locks at all.
+//   * Pipelining: a connection may have up to `max_inflight_per_conn` requests in flight.
+//     Responses carry the request id and complete out of order; when a connection is at
+//     its cap the shard stops reading from it (kernel-buffer backpressure) and resumes as
+//     responses complete. Admission control in the QueryServer still applies on top.
+//   * Bounded writes: responses queue in a per-connection outbound buffer flushed on
+//     EPOLLOUT. A consumer that stops reading accumulates outbound bytes until
+//     `max_conn_outbound_bytes`, at which point the shard disconnects it — a slow client
+//     can cost at most one buffer, never unbounded daemon memory.
+//   * Shard-local teardown: Stop() signals each reactor and joins it; the reactor thread
+//     itself closes its fds and frees its connections on the way out, so no other thread
+//     ever races a shard's epoll set. Responses that complete after teardown are dropped
+//     at the (mutex-guarded) mailbox, never written to a dead fd.
+//
+// A framing error (bad magic, oversized length) closes the connection; request-level
+// errors travel inside response envelopes and keep the connection open.
 
 #ifndef PROBCON_SRC_SERVE_TRANSPORT_H_
 #define PROBCON_SRC_SERVE_TRANSPORT_H_
@@ -15,7 +31,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -24,67 +39,74 @@
 
 namespace probcon::serve {
 
+struct TcpServerOptions {
+  // Reactor shard count; <= 0 picks min(hardware_concurrency, 4), at least 1.
+  int reactors = 0;
+  // Per-connection pipelining cap: reads pause while this many requests are in flight.
+  int max_inflight_per_conn = kDefaultMaxInflightPerConn;
+  // Slow-consumer bound: a connection whose pending outbound bytes exceed this is
+  // disconnected. Must comfortably exceed the largest single response frame.
+  size_t max_conn_outbound_bytes = 16u << 20;
+  // listen(2) backlog.
+  int listen_backlog = 256;
+};
+
 class TcpServer {
  public:
   // `server` must outlive this object. `metrics` may be nullptr; when given (and
   // outliving this object) the transport records connection churn
-  // (serve.connections.{accepted,closed} counters, serve.connections.active gauge) and
-  // response write latency (serve.stage_ms.write histogram). Instruments are internally
-  // thread-safe, so reader threads record without a transport lock.
-  explicit TcpServer(QueryServer& server, MetricsRegistry* metrics = nullptr);
+  // (serve.connections.{accepted,closed} counters, serve.connections.active gauge plus a
+  // per-shard serve.connections.active.shard<k> gauge), response write latency
+  // (serve.stage_ms.write) and per-wakeup reactor processing time (serve.reactor.loop_ms).
+  // Instruments are internally thread-safe, so shards record without a transport lock.
+  explicit TcpServer(QueryServer& server, MetricsRegistry* metrics = nullptr,
+                     TcpServerOptions options = {});
   ~TcpServer();
 
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
 
-  // Binds 127.0.0.1:`port` (0 = ephemeral) and starts accepting. Fails with UNAVAILABLE
-  // if the port is taken.
+  // Binds 127.0.0.1:`port` (0 = ephemeral), spins up the reactor shards, and starts
+  // accepting. Fails with UNAVAILABLE if the port is taken.
   Status Start(uint16_t port);
 
   // The bound port (after a successful Start).
   uint16_t port() const { return port_; }
 
-  // Stops accepting, closes every connection, joins all threads. Idempotent; does NOT
-  // drain the QueryServer (callers drain first for graceful shutdown, so in-flight
-  // responses still reach their connections).
+  // Stops accepting, tears down every reactor shard (each shard closes its own
+  // connections on its own thread), joins all threads. Idempotent; does NOT drain the
+  // QueryServer (callers drain first for graceful shutdown, so in-flight responses still
+  // reach their connections).
   void Stop();
 
-  // Number of currently registered connections. Readers self-reap on disconnect, so this
-  // tracks live clients (it does not grow without bound on churn). For tests and stats.
+  // Number of currently registered connections, summed across shards. Shards reap
+  // disconnected clients inline, so this tracks live clients. For tests and stats.
   size_t connection_count() const;
 
+  int reactor_count() const { return static_cast<int>(reactors_.size()); }
+
  private:
-  struct Connection {
-    int fd = -1;
-    std::mutex write_mutex;
-    bool closed = false;  // Guarded by write_mutex.
-    std::thread reader;
-  };
+  class Reactor;
 
   void AcceptLoop();
-  void ReaderLoop(const std::shared_ptr<Connection>& connection);
-  // Static on purpose: response callbacks capture only refcounted/registry-owned state
-  // (never `this`), so a response that completes while the transport is tearing down
-  // cannot touch a dead TcpServer. `write_ms` may be nullptr.
-  static void WriteFrame(const std::shared_ptr<Connection>& connection,
-                         const std::string& payload, Histogram* write_ms);
-  static void CloseConnection(const std::shared_ptr<Connection>& connection);
 
   QueryServer& server_;
+  const TcpServerOptions options_;
+  MetricsRegistry* const metrics_;
   // Pre-created instruments (nullptr when metrics are disabled).
   Counter* accepted_counter_ = nullptr;
   Counter* closed_counter_ = nullptr;
   Gauge* active_gauge_ = nullptr;
   Histogram* write_ms_ = nullptr;
+  Histogram* loop_ms_ = nullptr;
+
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   std::thread acceptor_;
+  uint64_t next_reactor_ = 0;  // Acceptor-thread only: round-robin shard assignment.
 
-  mutable std::mutex connections_mutex_;
-  // Live connections only: ReaderLoop removes (and detaches) its own entry when the
-  // client disconnects; Stop() swaps out and joins whatever is left.
-  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::unique_ptr<Reactor>> reactors_;
 };
 
 }  // namespace probcon::serve

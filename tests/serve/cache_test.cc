@@ -48,7 +48,8 @@ TEST(QueryCache, EvictsLeastRecentlyUsedUnderByteBudget) {
   // out when a fourth arrives.
   const std::string value(256, 'v');
   const size_t per_entry = 1 + value.size() + 128;  // key is one char
-  QueryCache cache(/*budget_bytes=*/3 * per_entry, /*metrics=*/nullptr);
+  // One shard, so all four keys compete for the same LRU list and byte budget.
+  QueryCache cache(/*budget_bytes=*/3 * per_entry, /*metrics=*/nullptr, /*shard_count=*/1);
 
   for (const std::string key : {"a", "b", "c"}) {
     ASSERT_TRUE(cache.GetOrCompute(key, [&] { return Value(value); }, nullptr).ok());

@@ -7,12 +7,14 @@
 #      byte-identical to the offline tables,
 #   3. repeat a query and require the second answer to be a cache hit with an identical
 #      result object,
-#   4. fire a 1 ms deadline at a 2^30-trial Monte Carlo request and require a prompt
+#   4. pipeline a --concurrency batch through one connection and require every response
+#      to come back, matched to a distinct request id, with the same result object,
+#   5. fire a 1 ms deadline at a 2^30-trial Monte Carlo request and require a prompt
 #      DEADLINE_EXCEEDED instead of a wedged server,
-#   5. query the `stats` verb and require a parseable metrics snapshot whose cache-hit
-#      counter reflects the repeated query, and a --trace request to echo its span
-#      breakdown,
-#   6. SIGTERM the daemon and require a graceful drain (exit 0) plus a final
+#   6. query the `stats` verb and require a parseable metrics snapshot whose cache-hit
+#      counter reflects the repeated query, whose per-reactor-shard connection gauges sum
+#      to the active-connection gauge, and a --trace request to echo its span breakdown,
+#   7. SIGTERM the daemon and require a graceful drain (exit 0) plus a final
 #      --metrics-path dump that parses as metrics JSON.
 #
 # Usage: tools/serve_smoke.sh <build-dir>
@@ -90,6 +92,29 @@ assert len(results) == 2, f"expected 2 responses, got {len(results)}"
 assert canon(results[0]) == canon(results[1]) == canon(first)
 EOF
 
+# Pipelining: a --concurrency batch goes out as back-to-back frames on one connection and
+# the server may answer out of order; the client must match every response by id. All 16
+# responses must arrive, carry 16 distinct ids, and serve the same result object.
+PIPELINED="$("${CLI}" --port "${PORT}" --concurrency 8 --repeat 16 table1 '{"n": 4}')" \
+  || fail "pipelined table1 batch errored"
+python3 - "$TABLE1" "$PIPELINED" <<'EOF' || fail "pipelined batch lost/mismatched responses"
+import json, sys
+first = json.loads(sys.argv[1])["result"]
+decoder = json.JSONDecoder()
+text, docs = sys.argv[2].strip(), []
+while text:
+    doc, end = decoder.raw_decode(text)
+    docs.append(doc)
+    text = text[end:].strip()
+assert len(docs) == 16, f"expected 16 responses, got {len(docs)}"
+ids = [doc["id"] for doc in docs]
+assert len(set(ids)) == 16, f"duplicate ids in batch: {sorted(ids)}"
+canon = lambda value: json.dumps(value, sort_keys=True)
+for doc in docs:
+    assert doc["status"] == "OK", doc
+    assert canon(doc["result"]) == canon(first), doc
+EOF
+
 # Deadlines: a 2^30-trial Monte Carlo run under a 1 ms deadline must come back
 # DEADLINE_EXCEEDED promptly (server-error exit code 3), not wedge the daemon.
 DEADLINE_OUT="$("${CLI}" --port "${PORT}" --deadline-ms 1 montecarlo \
@@ -116,7 +141,15 @@ table1 = histograms["serve.latency_ms.table1"]
 assert table1["count"] >= 3, table1
 for q in ("p50", "p90", "p99"):
     assert q in table1, table1
-assert "serve.inflight" in metrics["gauges"], metrics["gauges"]
+gauges = metrics["gauges"]
+assert "serve.inflight" in gauges, gauges
+# Per-reactor-shard connection gauges must exist and sum to the active-connection gauge
+# (this stats query itself holds one connection open, so the sum is >= 1).
+shard_sum = sum(v for k, v in gauges.items()
+                if k.startswith("serve.connections.active.shard"))
+active = gauges["serve.connections.active"]
+assert shard_sum == active >= 1, {k: v for k, v in gauges.items()
+                                  if k.startswith("serve.connections")}
 EOF
 
 # Per-request spans: --trace echoes the stage breakdown with non-negative durations.

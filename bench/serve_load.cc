@@ -16,9 +16,16 @@
 //              inflight exceeds the server's admission cap, so shedding kicks in and the
 //              generator counts OK vs RESOURCE_EXHAUSTED responses
 //
-// at connection counts 1 / 16 / 256 / 1024 — 16 cells. The scaling criterion (warm
-// aggregate throughput at 256 connections >= 3x the single-connection warm baseline) is
-// CHECKed, as are:
+// at connection counts 1 / 16 / 256 / 1024 — 16 cells — plus a pair of resilience cells:
+// the warm workload driven by the ResilientClient once through a fault-free ChaosProxy
+// ("resilient_clean") and once through the same proxy armed with a deterministic flaky-
+// network plan of seeded mid-stream closes, an RST, and 2ms stalls ("resilient_flaky").
+// Retries and reconnects must absorb the faults: at full scale the flaky goodput (OK
+// responses per second) is CHECKed >= 90% of clean, and both cells report retry counts
+// and latency percentiles so the tail cost of a flaky network is visible in the artifact.
+//
+// The scaling criterion (warm aggregate throughput at 256 connections >= 3x the
+// single-connection warm baseline) is CHECKed, as are:
 //
 //   * per-phase books: ok + shed == requests issued, zero transport/server errors
 //   * server/client agreement: the serve.requests and serve.shed counter deltas across
@@ -63,6 +70,8 @@
 #include "src/serve/server.h"
 #include "src/serve/spec.h"
 #include "src/serve/transport.h"
+#include "src/wirechaos/proxy.h"
+#include "src/wirechaos/wire_plan.h"
 
 namespace probcon {
 namespace {
@@ -265,6 +274,67 @@ PhaseBooks RunSequentialPhase(uint16_t port, uint64_t total_requests,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - phase_start).count();
   std::sort(books.latencies_us.begin(), books.latencies_us.end());
   return books;
+}
+
+// The resilience cells: the warm key set driven synchronously through a ResilientClient.
+// Every response must be a definite OK — injected transport faults are absorbed by the
+// retry loop, never surfaced — so `ok` here is goodput in the strict sense.
+PhaseBooks RunResilientPhase(serve::ResilientClient& client, uint64_t total_requests,
+                             const std::vector<Query>& queries) {
+  PhaseBooks books;
+  books.latencies_us.reserve(total_requests);
+  const auto phase_start = std::chrono::steady_clock::now();
+  for (uint64_t seq = 0; seq < total_requests; ++seq) {
+    const Query& query = queries[seq % queries.size()];
+    const auto start = std::chrono::steady_clock::now();
+    Result<serve::ResponseEnvelope> envelope = client.Query(query.kind, query.params);
+    const auto end = std::chrono::steady_clock::now();
+    CHECK(envelope.ok()) << "resilient query failed past the retry policy: "
+                         << envelope.status().ToString();
+    CHECK(envelope->status.ok()) << envelope->status.ToString();
+    ++books.ok;
+    books.latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(end - start).count());
+  }
+  books.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - phase_start).count();
+  std::sort(books.latencies_us.begin(), books.latencies_us.end());
+  return books;
+}
+
+// The deterministic flaky-network plan: mid-stream closes on the first four proxied
+// connections (each kill forces a reconnect, so the client walks the accept order), one
+// RST for variety, and 2ms response stalls sprinkled across the surviving streams. Byte
+// offsets land mid-response at warm-phase response sizes, so every kill is a mid-frame
+// loss of an already-answered request — the idempotent-safe retry case.
+wirechaos::WirePlan FlakyNetworkPlan() {
+  wirechaos::WirePlan plan;
+  plan.seed = 20260808;
+  auto kill = [&plan](int conn, wirechaos::WireFaultKind kind, uint64_t after_bytes) {
+    wirechaos::WireFault fault;
+    fault.kind = kind;
+    fault.conn_index = conn;
+    fault.direction = wirechaos::WireDirection::kServerToClient;
+    fault.after_bytes = after_bytes;
+    plan.faults.push_back(fault);
+  };
+  auto stall = [&plan](int conn, uint64_t after_bytes) {
+    wirechaos::WireFault fault;
+    fault.kind = wirechaos::WireFaultKind::kStall;
+    fault.conn_index = conn;
+    fault.direction = wirechaos::WireDirection::kServerToClient;
+    fault.after_bytes = after_bytes;
+    fault.stall_ms = 2.0;
+    plan.faults.push_back(fault);
+  };
+  stall(0, 20000);
+  kill(0, wirechaos::WireFaultKind::kCloseAfter, 50000);
+  kill(1, wirechaos::WireFaultKind::kCloseAfter, 60000);
+  stall(2, 25000);
+  kill(2, wirechaos::WireFaultKind::kCloseAfter, 70000);
+  kill(3, wirechaos::WireFaultKind::kAbortAfter, 80000);
+  stall(4, 30000);
+  return plan;
 }
 
 // A request-payload template: serialized envelope split at the id digits, so issuing a
@@ -665,6 +735,74 @@ int Main(int argc, char** argv) {
         if (connections == 256) warm_qps_c256 = books.Qps();
       }
     }
+  }
+
+  // Resilience cells: the warm workload through a ChaosProxy, clean vs flaky. The clean
+  // cell also runs through a (fault-free) proxy so the ratio isolates the cost of the
+  // injected faults rather than the relay hop itself.
+  // Long enough to amortize the plan's fixed fault cost (stalls + backoff sleeps are a
+  // constant few ms) so the goodput ratio measures steady-state retry overhead, not noise.
+  const uint64_t resilient_total = std::max<uint64_t>(1, 16384 / scale);
+  serve::RetryOptions retry_options;
+  retry_options.max_attempts = 4;
+  retry_options.initial_backoff_ms = 0.2;
+  retry_options.max_backoff_ms = 1.0;
+  retry_options.seed = 0xF1A6;
+  retry_options.attempt_timeout_ms = 2000.0;
+  PhaseBooks clean_books;
+  {
+    wirechaos::ChaosProxy proxy(port, wirechaos::WirePlan{});
+    const Status proxy_started = proxy.Start();
+    CHECK(proxy_started.ok()) << proxy_started.ToString();
+    serve::ResilientClient client(
+        serve::ResilientClient::TcpFactory(proxy.port(),
+                                           retry_options.attempt_timeout_ms),
+        retry_options);
+    clean_books = RunResilientPhase(client, resilient_total, warm_queries);
+    CHECK(client.retries() == 0)
+        << "the fault-free proxy should need no retries, saw " << client.retries();
+    AddCell(table, report, "resilient_clean", 1, clean_books);
+  }
+  PhaseBooks flaky_books;
+  uint64_t flaky_retries = 0;
+  uint64_t flaky_faults_fired = 0;
+  {
+    const wirechaos::WirePlan plan = FlakyNetworkPlan();
+    wirechaos::ChaosProxy proxy(port, plan);
+    const Status proxy_started = proxy.Start();
+    CHECK(proxy_started.ok()) << proxy_started.ToString();
+    serve::ResilientClient client(
+        serve::ResilientClient::TcpFactory(proxy.port(),
+                                           retry_options.attempt_timeout_ms),
+        retry_options);
+    flaky_books = RunResilientPhase(client, resilient_total, warm_queries);
+    flaky_retries = client.retries();
+    flaky_faults_fired = proxy.counters().faults_fired;
+    AddCell(table, report, "resilient_flaky", 1, flaky_books);
+    if (scale == 1) {
+      // At full scale the streams are long enough that every planned fault fires; a
+      // shrunken smoke run may finish before the later offsets arm.
+      CHECK(flaky_faults_fired == plan.faults.size())
+          << "only " << flaky_faults_fired << " of " << plan.faults.size()
+          << " planned faults fired";
+      CHECK(flaky_retries >= 4) << "four connection kills should force >= 4 retries, saw "
+                                << flaky_retries;
+    }
+  }
+  const double goodput_ratio =
+      clean_books.Qps() > 0.0 ? flaky_books.Qps() / clean_books.Qps() : 0.0;
+  std::printf("flaky goodput: %.1f qps / %.1f qps clean = %.1f%% (%llu retries, "
+              "%llu faults fired)\n",
+              flaky_books.Qps(), clean_books.Qps(), 100.0 * goodput_ratio,
+              static_cast<unsigned long long>(flaky_retries),
+              static_cast<unsigned long long>(flaky_faults_fired));
+  report.AddValue("flaky.goodput_ratio", goodput_ratio);
+  report.AddValue("flaky.retries", static_cast<double>(flaky_retries));
+  report.AddValue("flaky.faults_fired", static_cast<double>(flaky_faults_fired));
+  if (scale == 1) {
+    CHECK(goodput_ratio >= 0.9)
+        << "retries must absorb the flaky network: goodput fell to "
+        << 100.0 * goodput_ratio << "% of clean";
   }
 
   table.Print();

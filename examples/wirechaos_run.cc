@@ -1,0 +1,61 @@
+// Wire-chaos workbench: the command-line surface over src/wirechaos. Runs a campaign of
+// generated WirePlans against a live in-process probcond server through the fault-injecting
+// ChaosProxy, and checks the resilience contract: every call resolves to a definite,
+// acceptable status within its deadline — no hangs, no crashes, no nonsense verdicts
+// (docs/CHAOS.md, "Wire chaos" walks through the workflow).
+//
+//   wirechaos_run [--plans N] [--seed S] [--out DIR] [--deadline-ms D]
+//                 [--attempt-timeout-ms T] [--verbose]
+//
+// Failing plans are shrunk to a minimal repro and, with --out, dumped as
+// wire-<i>.plan.json / wire-<i>.min.plan.json / wire-<i>.reason.txt under DIR. Exit 0 when
+// every plan upholds the contract, 1 when any plan fails, 2 on usage errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/wirechaos/campaign.h"
+
+int main(int argc, char** argv) {
+  probcon::wirechaos::WireCampaignOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    const char* value = nullptr;
+    if (arg == "--plans" && (value = next())) {
+      options.plans = std::atoi(value);
+    } else if (arg == "--seed" && (value = next())) {
+      options.seed = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--out" && (value = next())) {
+      options.repro_dir = value;
+    } else if (arg == "--deadline-ms" && (value = next())) {
+      options.call_deadline_ms = std::atof(value);
+    } else if (arg == "--attempt-timeout-ms" && (value = next())) {
+      options.attempt_timeout_ms = std::atof(value);
+    } else if (arg == "--verbose") {
+      options.verbose = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--plans N] [--seed S] [--out DIR] [--deadline-ms D]\n"
+                   "       %*s [--attempt-timeout-ms T] [--verbose]\n",
+                   argv[0], static_cast<int>(std::strlen(argv[0])), "");
+      return 2;
+    }
+  }
+  if (options.plans <= 0) {
+    std::fprintf(stderr, "--plans must be positive\n");
+    return 2;
+  }
+
+  const probcon::Result<probcon::wirechaos::WireCampaignResult> result =
+      probcon::wirechaos::RunWireCampaign(options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "wire campaign failed to run: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", result->Describe().c_str());
+  return result->failures.empty() ? 0 : 1;
+}

@@ -120,8 +120,12 @@ class JsonParser {
           case '"': out->push_back('"'); break;
           case '\\': out->push_back('\\'); break;
           case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
           case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
           case 't': out->push_back('\t'); break;
+          case 'u': RETURN_IF_ERROR(ParseUnicodeEscape(out)); break;
           default: return Error("unsupported escape sequence");
         }
         continue;
@@ -129,6 +133,65 @@ class JsonParser {
       out->push_back(c);
     }
     return Error("unterminated string");
+  }
+
+  // Reads the four hex digits after a "\u" (pos_ already past the 'u').
+  Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("invalid hex digit in \\u escape");
+      }
+    }
+    *out = value;
+    return Status::Ok();
+  }
+
+  // Decodes one \uXXXX escape (combining surrogate pairs) into UTF-8 bytes. The writer
+  // emits \u00XX for control characters, so the parser must read them back for accepted
+  // documents to round-trip.
+  Status ParseUnicodeEscape(std::string* out) {
+    uint32_t code = 0;
+    RETURN_IF_ERROR(ParseHex4(&code));
+    if (code >= 0xD800 && code <= 0xDBFF) {  // High surrogate: a low one must follow.
+      if (pos_ + 2 > text_.size() || text_[pos_] != '\\' || text_[pos_ + 1] != 'u') {
+        return Error("unpaired surrogate in \\u escape");
+      }
+      pos_ += 2;
+      uint32_t low = 0;
+      RETURN_IF_ERROR(ParseHex4(&low));
+      if (low < 0xDC00 || low > 0xDFFF) {
+        return Error("unpaired surrogate in \\u escape");
+      }
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      return Error("unpaired surrogate in \\u escape");
+    }
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+    return Status::Ok();
   }
 
   Status ParseKeyword(Json* out) {

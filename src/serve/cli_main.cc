@@ -11,8 +11,20 @@
 //   probcon-cli --port 7421 stats                  # live metrics snapshot (JSON)
 //   probcon-cli --port 7421 stats '{"reset": true}'  # ...and zero counters/histograms
 //
-// Prints the response envelope as indented JSON on stdout. Exit code 0 for an OK response,
-// 3 for a server-reported error (the envelope still prints), 1 for transport failures.
+// Prints the response envelope as indented JSON on stdout. Exit codes are one per error
+// class, so scripts can branch on the failure mode without parsing JSON:
+//
+//   0  OK
+//   1  transport failure (connect/framing/stream)
+//   2  usage / malformed params
+//   3  INVALID_ARGUMENT (and other client-input rejections)
+//   4  DEADLINE_EXCEEDED
+//   5  UNAVAILABLE (draining server)
+//   6  RESOURCE_EXHAUSTED (load shed; retry with backoff)
+//   7  any other server-reported status
+//
+// Server-reported errors also print "probcon-cli: <STATUS_NAME>: <message>" to stderr (the
+// envelope still prints to stdout). With --repeat, the worst (highest) code wins.
 // --repeat issues the same query K times over one connection (cache behavior is visible in
 // the "cached" field of each response). --concurrency pipelines the repeats in batches of
 // N over that single connection (responses may complete out of order server-side; they are
@@ -78,8 +90,30 @@ int main(int argc, char** argv) {
   }
   probcon::serve::ServeClient client(std::move(*channel));
 
+  // One exit code per error class; INVALID_ARGUMENT keeps the historical 3.
+  auto status_exit_code = [](probcon::StatusCode code) {
+    switch (code) {
+      case probcon::StatusCode::kOk:
+        return 0;
+      case probcon::StatusCode::kDeadlineExceeded:
+        return 4;
+      case probcon::StatusCode::kUnavailable:
+        return 5;
+      case probcon::StatusCode::kResourceExhausted:
+        return 6;
+      case probcon::StatusCode::kInvalidArgument:
+      case probcon::StatusCode::kOutOfRange:
+      case probcon::StatusCode::kFailedPrecondition:
+      case probcon::StatusCode::kNotFound:
+        return 3;
+      default:
+        return 7;
+    }
+  };
+
   int exit_code = 0;
-  auto print_response = [&exit_code](const probcon::serve::ResponseEnvelope& response) {
+  auto print_response = [&exit_code, &status_exit_code](
+                            const probcon::serve::ResponseEnvelope& response) {
     probcon::Json rendered = probcon::Json::Object();
     rendered.Set("id", probcon::Json::Number(response.id));
     rendered.Set("status",
@@ -87,13 +121,19 @@ int main(int argc, char** argv) {
                      probcon::StatusCodeName(response.status.code()))));
     if (response.status.ok()) {
       rendered.Set("cached", probcon::Json::Bool(response.cached));
+      if (response.degraded) {
+        rendered.Set("degraded", probcon::Json::Bool(true));
+      }
       rendered.Set("result", response.result);
       if (response.trace.type != probcon::Json::Type::kNull) {
         rendered.Set("trace", response.trace);
       }
     } else {
       rendered.Set("error", probcon::Json::String(response.status.message()));
-      exit_code = 3;
+      std::fprintf(stderr, "probcon-cli: %s: %s\n",
+                   std::string(probcon::StatusCodeName(response.status.code())).c_str(),
+                   response.status.message().c_str());
+      exit_code = std::max(exit_code, status_exit_code(response.status.code()));
     }
     std::printf("%s\n", probcon::WriteJson(rendered, 0).c_str());
   };

@@ -1,21 +1,27 @@
 #include "src/serve/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <optional>
+#include <thread>
 #include <utility>
 
 #include "src/exec/thread_pool.h"
+#include "src/obs/metrics.h"
 #include "src/serve/framing.h"
 #include "src/serve/server.h"
 
@@ -94,7 +100,7 @@ TcpChannel::~TcpChannel() {
   }
 }
 
-Result<std::unique_ptr<TcpChannel>> TcpChannel::Connect(uint16_t port) {
+Result<std::unique_ptr<TcpChannel>> TcpChannel::Connect(uint16_t port, double timeout_ms) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return UnavailableError("socket(): " + std::string(std::strerror(errno)));
@@ -103,16 +109,60 @@ Result<std::unique_ptr<TcpChannel>> TcpChannel::Connect(uint16_t port) {
   address.sin_family = AF_INET;
   address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   address.sin_port = htons(port);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) < 0) {
+  if (timeout_ms > 0.0) {
+    // Nonblocking connect bounded by poll(); the fd stays nonblocking so the exchange
+    // paths can enforce the whole-exchange deadline with poll() as well.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+      const std::string error = std::strerror(errno);
+      ::close(fd);
+      return UnavailableError("fcntl(O_NONBLOCK): " + error);
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) < 0) {
+      if (errno != EINPROGRESS) {
+        const std::string error = std::strerror(errno);
+        ::close(fd);
+        return UnavailableError("connect(127.0.0.1:" + std::to_string(port) + "): " + error);
+      }
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      const int wait_ms = static_cast<int>(std::ceil(timeout_ms));
+      const int ready = ::poll(&pfd, 1, wait_ms > 0 ? wait_ms : 1);
+      if (ready <= 0) {
+        ::close(fd);
+        return UnavailableError("connect(127.0.0.1:" + std::to_string(port) +
+                                "): timed out after " + std::to_string(wait_ms) + "ms");
+      }
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) < 0 || so_error != 0) {
+        const std::string error = std::strerror(so_error != 0 ? so_error : errno);
+        ::close(fd);
+        return UnavailableError("connect(127.0.0.1:" + std::to_string(port) + "): " + error);
+      }
+    }
+  } else if (::connect(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) < 0) {
     const std::string error = std::strerror(errno);
     ::close(fd);
     return UnavailableError("connect(127.0.0.1:" + std::to_string(port) + "): " + error);
   }
   // NOLINTNEXTLINE(probcon-ownership): private constructor; make_unique cannot reach it.
-  return std::unique_ptr<TcpChannel>(new TcpChannel(fd));
+  return std::unique_ptr<TcpChannel>(new TcpChannel(fd, timeout_ms));
 }
 
+void TcpChannel::Abort() { ::shutdown(fd_, SHUT_RDWR); }
+
 Result<std::string> TcpChannel::RoundTrip(const std::string& payload) {
+  if (timeout_ms_ > 0.0) {
+    // The fd is nonblocking; reuse the poll-driven batch path so the whole-exchange
+    // deadline applies.
+    Result<std::vector<std::string>> responses = RoundTripBatch({payload});
+    if (!responses.ok()) {
+      return responses.status();
+    }
+    return std::move((*responses)[0]);
+  }
   const std::string frame = EncodeFrame(payload);
   size_t sent = 0;
   while (sent < frame.size()) {
@@ -133,8 +183,15 @@ Result<std::string> TcpChannel::RoundTrip(const std::string& payload) {
       return **next;
     }
     const ssize_t received = ::recv(fd_, buffer, sizeof(buffer), 0);
-    if (received <= 0) {
-      return UnavailableError("connection closed mid-response");
+    if (received < 0) {
+      return UnavailableError("recv(): " + std::string(std::strerror(errno)));
+    }
+    if (received == 0) {
+      Status eof = decoder.AtEof();
+      if (!eof.ok()) {
+        return eof;
+      }
+      return UnavailableError("connection closed before the response arrived");
     }
     decoder.Feed(std::string_view(buffer, static_cast<size_t>(received)));
   }
@@ -149,6 +206,12 @@ Result<std::vector<std::string>> TcpChannel::RoundTripBatch(
   std::string wire;        // Encoded frames queued for the socket.
   size_t wire_offset = 0;  // Prefix of `wire` already sent.
   size_t next_frame = 0;   // Next payload to encode into `wire`.
+
+  using Clock = std::chrono::steady_clock;
+  const bool bounded = timeout_ms_ > 0.0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::microseconds(
+                         bounded ? static_cast<int64_t>(timeout_ms_ * 1000.0) : 0);
 
   while (responses.size() < payloads.size()) {
     // Drain whatever the decoder already buffered before touching the socket.
@@ -183,10 +246,28 @@ Result<std::vector<std::string>> TcpChannel::RoundTripBatch(
     if (wire_offset < wire.size()) {
       pfd.events |= POLLOUT;
     }
-    const int ready = ::poll(&pfd, 1, -1);
+    int wait_ms = -1;
+    if (bounded) {
+      // Whole-exchange bound: a peer dripping one byte per read resets any per-read
+      // timeout forever, so the deadline is absolute for the exchange.
+      const auto remaining = deadline - Clock::now();
+      if (remaining <= Clock::duration::zero()) {
+        return UnavailableError(
+            "exchange timed out after " + std::to_string(timeout_ms_) + "ms (" +
+            std::to_string(responses.size()) + " of " + std::to_string(payloads.size()) +
+            " responses received)");
+      }
+      const auto remaining_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(remaining).count();
+      wait_ms = static_cast<int>(remaining_ms) + 1;
+    }
+    const int ready = ::poll(&pfd, 1, wait_ms);
     if (ready < 0) {
       if (errno == EINTR) continue;
       return UnavailableError("poll(): " + std::string(std::strerror(errno)));
+    }
+    if (ready == 0) {
+      continue;  // Timer expired; the top of the loop reports the timeout.
     }
     if ((pfd.revents & POLLOUT) != 0 && wire_offset < wire.size()) {
       const ssize_t n = ::send(fd_, wire.data() + wire_offset, wire.size() - wire_offset,
@@ -202,6 +283,10 @@ Result<std::vector<std::string>> TcpChannel::RoundTripBatch(
       if (received > 0) {
         decoder.Feed(std::string_view(buffer, static_cast<size_t>(received)));
       } else if (received == 0) {
+        Status eof = decoder.AtEof();
+        if (!eof.ok()) {
+          return eof;
+        }
         return UnavailableError("connection closed mid-batch (" +
                                 std::to_string(responses.size()) + " of " +
                                 std::to_string(payloads.size()) + " responses received)");
@@ -215,13 +300,19 @@ Result<std::vector<std::string>> TcpChannel::RoundTripBatch(
 
 Result<ResponseEnvelope> ServeClient::Query(std::string_view kind, const Json& params,
                                             double deadline_ms, bool trace) {
-  const std::string payload =
-      RequestEnvelope::Serialize(next_id_++, kind, params, deadline_ms, trace);
+  const uint64_t id = next_id_++;
+  const std::string payload = RequestEnvelope::Serialize(id, kind, params, deadline_ms, trace);
   Result<std::string> response = channel_->RoundTrip(payload);
   if (!response.ok()) {
     return response.status();
   }
-  return ResponseEnvelope::Parse(*response);
+  Result<ResponseEnvelope> envelope = ResponseEnvelope::Parse(*response);
+  if (envelope.ok() && envelope->id != id) {
+    return UnavailableError("response id " + std::to_string(envelope->id) +
+                            " does not match request id " + std::to_string(id) +
+                            " (corrupt stream)");
+  }
+  return envelope;
 }
 
 Result<std::vector<ResponseEnvelope>> ServeClient::QueryBatch(
@@ -240,8 +331,10 @@ Result<std::vector<ResponseEnvelope>> ServeClient::QueryBatch(
     return raw.status();
   }
   if (raw->size() != items.size()) {
-    return InternalError("batch returned " + std::to_string(raw->size()) +
-                         " responses for " + std::to_string(items.size()) + " requests");
+    // A count mismatch means the stream lost or invented frames — wire corruption, not a
+    // server verdict; UNAVAILABLE tells callers the connection is unusable.
+    return UnavailableError("batch returned " + std::to_string(raw->size()) +
+                            " responses for " + std::to_string(items.size()) + " requests");
   }
   // Responses arrive in completion order; the envelope id routes each one back to its
   // request slot.
@@ -254,11 +347,335 @@ Result<std::vector<ResponseEnvelope>> ServeClient::QueryBatch(
     }
     const auto slot = slot_by_id.find(envelope->id);
     if (slot == slot_by_id.end() || filled[slot->second]) {
-      return InternalError("response id " + std::to_string(envelope->id) +
-                           " matches no outstanding request in the batch");
+      return UnavailableError("response id " + std::to_string(envelope->id) +
+                              " matches no outstanding request in the batch");
     }
     filled[slot->second] = true;
     ordered[slot->second] = *std::move(envelope);
+  }
+  return ordered;
+}
+
+// ---------------------------------------------------------------------------
+// Resilience layer.
+
+double DecorrelatedJitterBackoffMs(Rng& rng, double base_ms, double cap_ms, double prev_ms) {
+  const double low = base_ms;
+  const double high = std::max(low, 3.0 * (prev_ms > 0.0 ? prev_ms : base_ms));
+  const double value = low + (high - low) * rng.NextDouble();
+  return std::min(cap_ms, value);
+}
+
+namespace {
+
+// Envelope statuses the server means as "try again": everything else is a verdict.
+bool RetryableStatus(StatusCode code) {
+  return code == StatusCode::kUnavailable || code == StatusCode::kResourceExhausted;
+}
+
+double RemainingMs(std::chrono::steady_clock::time_point start, double deadline_ms) {
+  if (deadline_ms <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double elapsed =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
+  return deadline_ms - elapsed;
+}
+
+}  // namespace
+
+ResilientClient::ResilientClient(ChannelFactory factory, RetryOptions options,
+                                 MetricsRegistry* metrics)
+    : factory_(std::move(factory)),
+      options_(options),
+      metrics_(metrics),
+      jitter_rng_(DeriveStreamSeed(options.seed, 0xB0FFull)) {}
+
+ResilientClient::ChannelFactory ResilientClient::TcpFactory(uint16_t port,
+                                                            double attempt_timeout_ms) {
+  return [port, attempt_timeout_ms]() -> Result<std::unique_ptr<Channel>> {
+    Result<std::unique_ptr<TcpChannel>> channel = TcpChannel::Connect(port, attempt_timeout_ms);
+    if (!channel.ok()) {
+      return channel.status();
+    }
+    return std::unique_ptr<Channel>(std::move(*channel));
+  };
+}
+
+Status ResilientClient::EnsureChannel() {
+  if (channel_ != nullptr) {
+    return Status::Ok();
+  }
+  Result<std::unique_ptr<Channel>> channel = factory_();
+  if (!channel.ok()) {
+    return channel.status();
+  }
+  channel_ = std::move(*channel);
+  if (ever_connected_ && metrics_ != nullptr) {
+    metrics_->GetCounter("serve.client.reconnects").Increment();
+  }
+  ever_connected_ = true;
+  return Status::Ok();
+}
+
+bool ResilientClient::BackoffBeforeRetry(double remaining_ms) {
+  if (retries_ >= options_.retry_budget) {
+    return false;
+  }
+  if (remaining_ms <= 0.0) {
+    return false;
+  }
+  double sleep_ms = DecorrelatedJitterBackoffMs(jitter_rng_, options_.initial_backoff_ms,
+                                                options_.max_backoff_ms, prev_backoff_ms_);
+  prev_backoff_ms_ = sleep_ms;
+  if (std::isfinite(remaining_ms)) {
+    // Leave at least a millisecond of deadline for the attempt itself.
+    sleep_ms = std::min(sleep_ms, std::max(0.0, remaining_ms - 1.0));
+  }
+  if (sleep_ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<int64_t>(sleep_ms * 1000.0)));
+  }
+  ++retries_;
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("serve.client.retries").Increment();
+  }
+  return true;
+}
+
+Result<ResponseEnvelope> ResilientClient::Query(std::string_view kind, const Json& params,
+                                                double deadline_ms, bool trace) {
+  const auto start = std::chrono::steady_clock::now();
+  const bool bounded = deadline_ms > 0.0;
+  Status last = UnavailableError("no attempt was made");
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0 && !BackoffBeforeRetry(RemainingMs(start, deadline_ms))) {
+      break;
+    }
+    const double remaining = RemainingMs(start, deadline_ms);
+    if (remaining <= 0.0) {
+      break;
+    }
+    Status ready = EnsureChannel();
+    if (!ready.ok()) {
+      last = ready;
+      continue;
+    }
+    const uint64_t id = next_id_++;
+    const std::string payload =
+        RequestEnvelope::Serialize(id, kind, params, bounded ? remaining : 0.0, trace);
+    Result<std::string> raw = channel_->RoundTrip(payload);
+    if (!raw.ok()) {
+      last = raw.status();
+      channel_.reset();  // The stream state is unknown; retries dial fresh.
+      continue;
+    }
+    Result<ResponseEnvelope> envelope = ResponseEnvelope::Parse(*raw);
+    if (!envelope.ok()) {
+      last = envelope.status();
+      channel_.reset();
+      continue;
+    }
+    if (envelope->id != id) {
+      last = UnavailableError("response id " + std::to_string(envelope->id) +
+                              " does not match request id " + std::to_string(id) +
+                              " (corrupt stream)");
+      channel_.reset();
+      continue;
+    }
+    if (!envelope->status.ok() && RetryableStatus(envelope->status.code()) &&
+        attempt + 1 < options_.max_attempts) {
+      // Definite server answer asking for a retry; the connection itself is healthy.
+      last = envelope->status;
+      continue;
+    }
+    return envelope;
+  }
+  if (bounded && RemainingMs(start, deadline_ms) <= 0.0) {
+    return DeadlineExceededError("call deadline of " + std::to_string(deadline_ms) +
+                                 "ms expired during retries; last error: " + last.message());
+  }
+  return last;
+}
+
+Result<std::vector<std::string>> ResilientClient::ExchangeBatch(
+    const std::vector<std::string>& payloads) {
+  if (options_.hedge_delay_ms <= 0.0) {
+    return channel_->RoundTripBatch(payloads);
+  }
+  struct HedgeState {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool primary_done = false;
+    bool hedge_started = false;
+    bool hedge_done = false;
+    std::unique_ptr<Channel> hedge_channel;
+    Result<std::vector<std::string>> hedge_result = UnavailableError("hedge not run");
+  };
+  HedgeState state;
+  std::thread hedger([this, &state, &payloads] {
+    {
+      std::unique_lock<std::mutex> lock(state.mutex);
+      state.cv.wait_for(
+          lock,
+          std::chrono::microseconds(static_cast<int64_t>(options_.hedge_delay_ms * 1000.0)),
+          [&state] { return state.primary_done; });
+      if (state.primary_done) {
+        return;
+      }
+    }
+    Result<std::unique_ptr<Channel>> channel = factory_();
+    Channel* hedge = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      if (!channel.ok() || state.primary_done) {
+        return;
+      }
+      state.hedge_channel = std::move(*channel);
+      state.hedge_started = true;
+      hedge = state.hedge_channel.get();
+      ++hedges_;
+    }
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter("serve.client.hedges").Increment();
+    }
+    Result<std::vector<std::string>> result = hedge->RoundTripBatch(payloads);
+    {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      state.hedge_result = std::move(result);
+      state.hedge_done = true;
+    }
+    state.cv.notify_all();
+  });
+  Result<std::vector<std::string>> primary = channel_->RoundTripBatch(payloads);
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.primary_done = true;  // A hedge that has not launched yet now never will.
+    if (primary.ok() && state.hedge_started && !state.hedge_done) {
+      state.hedge_channel->Abort();  // Unblock the losing exchange promptly.
+    }
+  }
+  state.cv.notify_all();
+  hedger.join();
+  if (primary.ok()) {
+    return primary;
+  }
+  if (state.hedge_started && state.hedge_result.ok()) {
+    // The hedge connection carried the batch; adopt it for future attempts.
+    channel_ = std::move(state.hedge_channel);
+    return std::move(state.hedge_result);
+  }
+  return primary;
+}
+
+Result<std::vector<ResponseEnvelope>> ResilientClient::QueryBatch(
+    const std::vector<ServeClient::BatchItem>& items) {
+  const auto start = std::chrono::steady_clock::now();
+  // The retry loop is bounded by the longest per-item deadline; one unbounded item makes
+  // the loop unbounded (max_attempts and the budget still apply).
+  bool bounded = true;
+  double call_deadline_ms = 0.0;
+  for (const ServeClient::BatchItem& item : items) {
+    if (item.deadline_ms <= 0.0) {
+      bounded = false;
+    } else {
+      call_deadline_ms = std::max(call_deadline_ms, item.deadline_ms);
+    }
+  }
+  if (!bounded) {
+    call_deadline_ms = 0.0;
+  }
+
+  std::vector<std::optional<ResponseEnvelope>> resolved(items.size());
+  std::vector<size_t> pending(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    pending[i] = i;
+  }
+  Status last = UnavailableError("no attempt was made");
+  for (int attempt = 0; attempt < options_.max_attempts && !pending.empty(); ++attempt) {
+    if (attempt > 0 && !BackoffBeforeRetry(RemainingMs(start, call_deadline_ms))) {
+      break;
+    }
+    const double remaining = RemainingMs(start, call_deadline_ms);
+    if (remaining <= 0.0) {
+      break;
+    }
+    Status ready = EnsureChannel();
+    if (!ready.ok()) {
+      last = ready;
+      continue;
+    }
+    // Re-send only the unresolved items, with fresh ids and their remaining deadlines.
+    std::map<uint64_t, size_t> slot_by_id;
+    std::vector<std::string> payloads;
+    payloads.reserve(pending.size());
+    for (size_t slot : pending) {
+      const ServeClient::BatchItem& item = items[slot];
+      double item_deadline = item.deadline_ms;
+      if (item_deadline > 0.0) {
+        item_deadline = std::max(1.0, RemainingMs(start, item_deadline));
+      }
+      const uint64_t id = next_id_++;
+      slot_by_id[id] = slot;
+      payloads.push_back(
+          RequestEnvelope::Serialize(id, item.kind, item.params, item_deadline, item.trace));
+    }
+    Result<std::vector<std::string>> raw = ExchangeBatch(payloads);
+    if (!raw.ok()) {
+      last = raw.status();
+      channel_.reset();
+      continue;
+    }
+    bool corrupt = false;
+    for (const std::string& text : *raw) {
+      Result<ResponseEnvelope> envelope = ResponseEnvelope::Parse(text);
+      if (!envelope.ok()) {
+        last = envelope.status();
+        corrupt = true;
+        break;
+      }
+      const auto slot = slot_by_id.find(envelope->id);
+      if (slot == slot_by_id.end() || resolved[slot->second].has_value()) {
+        last = UnavailableError("response id " + std::to_string(envelope->id) +
+                                " matches no outstanding request in the batch");
+        corrupt = true;
+        break;
+      }
+      if (!envelope->status.ok() && RetryableStatus(envelope->status.code())) {
+        last = envelope->status;  // Leave the slot pending for the next attempt.
+        continue;
+      }
+      resolved[slot->second] = *std::move(envelope);
+    }
+    if (corrupt) {
+      channel_.reset();
+    }
+    std::vector<size_t> still;
+    for (size_t slot : pending) {
+      if (!resolved[slot].has_value()) {
+        still.push_back(slot);
+      }
+    }
+    pending = std::move(still);
+  }
+
+  std::vector<ResponseEnvelope> ordered(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (resolved[i].has_value()) {
+      ordered[i] = *std::move(resolved[i]);
+      continue;
+    }
+    // Exhausted the policy: the item still gets a definite envelope carrying the last
+    // transport/retryable status (DEADLINE_EXCEEDED when the call deadline ran out).
+    ResponseEnvelope envelope;
+    envelope.id = 0;
+    envelope.status =
+        (bounded && RemainingMs(start, call_deadline_ms) <= 0.0)
+            ? DeadlineExceededError("call deadline of " + std::to_string(call_deadline_ms) +
+                                    "ms expired during retries; last error: " + last.message())
+            : last;
+    ordered[i] = std::move(envelope);
   }
   return ordered;
 }

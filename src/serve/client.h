@@ -16,14 +16,20 @@
 #define PROBCON_SRC_SERVE_CLIENT_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/common/json.h"
+#include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/serve/spec.h"
+
+namespace probcon {
+class MetricsRegistry;
+}  // namespace probcon
 
 namespace probcon::serve {
 
@@ -41,6 +47,12 @@ class Channel {
   // RoundTrip calls; pipelining channels override it.
   virtual Result<std::vector<std::string>> RoundTripBatch(
       const std::vector<std::string>& payloads);
+
+  // Best-effort cross-thread cancel of any in-progress exchange: the losing side of a
+  // hedged pair is aborted so its thread unblocks promptly. Default is a no-op (loopback
+  // exchanges are already bounded by server deadlines); TcpChannel shuts the socket down,
+  // making blocked operations fail with UNAVAILABLE.
+  virtual void Abort() {}
 };
 
 // In-process channel; `server` must outlive the channel.
@@ -64,7 +76,13 @@ class TcpChannel final : public Channel {
  public:
   ~TcpChannel() override;
 
-  static Result<std::unique_ptr<TcpChannel>> Connect(uint16_t port);
+  // `timeout_ms > 0` bounds the connect AND each later exchange (RoundTrip or
+  // RoundTripBatch) as a whole: an exchange still incomplete after `timeout_ms` of wall
+  // time fails with UNAVAILABLE. This is the defense against stalled and slow-dripped
+  // connections — without a whole-exchange bound, a peer trickling one byte per poll
+  // interval defeats any per-read timeout. `timeout_ms <= 0` keeps the classic unbounded
+  // blocking behavior.
+  static Result<std::unique_ptr<TcpChannel>> Connect(uint16_t port, double timeout_ms = 0.0);
 
   Result<std::string> RoundTrip(const std::string& payload) override;
 
@@ -75,10 +93,16 @@ class TcpChannel final : public Channel {
   Result<std::vector<std::string>> RoundTripBatch(
       const std::vector<std::string>& payloads) override;
 
+  // Shuts the socket down (both directions) without closing the fd, so an exchange blocked
+  // in another thread observes EOF and fails with UNAVAILABLE. Safe to call concurrently
+  // with RoundTrip/RoundTripBatch; the fd itself is closed only by the destructor.
+  void Abort() override;
+
  private:
-  explicit TcpChannel(int fd) : fd_(fd) {}
+  TcpChannel(int fd, double timeout_ms) : fd_(fd), timeout_ms_(timeout_ms) {}
 
   int fd_;
+  double timeout_ms_;
 };
 
 class ServeClient {
@@ -112,6 +136,94 @@ class ServeClient {
  private:
   std::unique_ptr<Channel> channel_;
   uint64_t next_id_ = 1;
+};
+
+// ---------------------------------------------------------------------------
+// Resilience layer: retries with decorrelated jitter, per-call deadlines, hedging.
+
+// One decorrelated-jitter backoff step (Brooker): uniform in [base, 3 * prev], capped.
+// Deterministic given the rng stream — the schedule is a pure function of the retry seed
+// and the attempt sequence, never of the wall clock.
+double DecorrelatedJitterBackoffMs(Rng& rng, double base_ms, double cap_ms, double prev_ms);
+
+struct RetryOptions {
+  // Total attempts per call, first try included. 1 disables retries.
+  int max_attempts = 4;
+  double initial_backoff_ms = 2.0;
+  double max_backoff_ms = 250.0;
+  // Root of the jitter stream (via DeriveStreamSeed): two clients with the same seed and
+  // call sequence back off identically.
+  uint64_t seed = 1;
+  // Lifetime cap on retries across ALL calls of one ResilientClient — the "retry budget"
+  // that stops a flaky network from turning every caller into a retry storm.
+  uint64_t retry_budget = ~0ull;
+  // Per-attempt wall bound handed to the channel factory (TcpFactory wires it into
+  // TcpChannel::Connect); 0 leaves attempts unbounded.
+  double attempt_timeout_ms = 0.0;
+  // > 0 arms a hedged second batch for QueryBatch: if the primary exchange has not
+  // completed after this many milliseconds, a second connection races the same batch and
+  // the first complete result wins (the loser is Abort()ed). Safe because every query
+  // verb is pure.
+  double hedge_delay_ms = 0.0;
+};
+
+// A self-healing client: wraps a channel factory and retries idempotent-safe failures
+// with capped decorrelated-jitter backoff, reconnecting after transport errors.
+//
+// Retry policy (all query verbs are pure, so "idempotent-safe" is about NOT retrying
+// requests the server judged, only requests that never got a usable verdict):
+//   * transport failures (connection refused/reset/closed mid-frame, corrupt stream,
+//     exchange timeout) → drop the connection, back off, retry on a fresh one;
+//   * envelope status UNAVAILABLE or RESOURCE_EXHAUSTED → server asked for a retry;
+//   * every other envelope status (OK, INVALID_ARGUMENT, DEADLINE_EXCEEDED, ...) is a
+//     definite verdict and is returned as-is.
+// A call-level `deadline_ms` bounds the whole retry loop: remaining budget shrinks each
+// attempt (and is what the server is told), and the loop returns DEADLINE_EXCEEDED rather
+// than start an attempt it cannot finish.
+class ResilientClient {
+ public:
+  using ChannelFactory = std::function<Result<std::unique_ptr<Channel>>()>;
+
+  // `metrics`, when non-null, receives serve.client.retries / serve.client.hedges /
+  // serve.client.reconnects counters. Must outlive the client.
+  ResilientClient(ChannelFactory factory, RetryOptions options,
+                  MetricsRegistry* metrics = nullptr);
+
+  // A factory dialing 127.0.0.1:port with the given per-attempt timeout.
+  static ChannelFactory TcpFactory(uint16_t port, double attempt_timeout_ms = 0.0);
+
+  // As ServeClient::Query, but retried per the policy above. `deadline_ms <= 0` means no
+  // call deadline (retries are then bounded only by max_attempts and the budget).
+  Result<ResponseEnvelope> Query(std::string_view kind, const Json& params,
+                                 double deadline_ms = 0.0, bool trace = false);
+
+  // As ServeClient::QueryBatch, pipelined and retried: only unresolved items are re-sent
+  // on retry, and with hedge_delay_ms > 0 a stalled primary races a hedge connection.
+  // Every item resolves to a definite envelope — items that exhaust the retry policy come
+  // back carrying the last transport/retryable status instead of an answer.
+  Result<std::vector<ResponseEnvelope>> QueryBatch(
+      const std::vector<ServeClient::BatchItem>& items);
+
+  uint64_t retries() const { return retries_; }
+  uint64_t hedges() const { return hedges_; }
+
+ private:
+  // Sleeps one jittered backoff step (clipped to the remaining deadline). Returns false
+  // when the deadline or the retry budget is exhausted.
+  bool BackoffBeforeRetry(double remaining_ms);
+  Result<std::vector<std::string>> ExchangeBatch(const std::vector<std::string>& payloads);
+  Status EnsureChannel();
+
+  ChannelFactory factory_;
+  RetryOptions options_;
+  MetricsRegistry* metrics_;
+  std::unique_ptr<Channel> channel_;
+  Rng jitter_rng_;
+  double prev_backoff_ms_ = 0.0;
+  bool ever_connected_ = false;
+  uint64_t next_id_ = 1;
+  uint64_t retries_ = 0;
+  uint64_t hedges_ = 0;
 };
 
 }  // namespace probcon::serve

@@ -1,5 +1,6 @@
 #include "src/serve/engine.h"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -7,6 +8,7 @@
 #include "src/analysis/end_to_end.h"
 #include "src/analysis/placement.h"
 #include "src/analysis/reliability.h"
+#include "src/common/rng.h"
 #include "src/faultmodel/joint_model.h"
 #include "src/prob/interval.h"
 #include "src/prob/probability.h"
@@ -135,35 +137,75 @@ Result<Json> RunPlacement(const ServeRequest& request, const CancelToken* cancel
   return result;
 }
 
+// Degraded-mode estimate of one predicate probability: a seeded Monte Carlo run standing
+// in for the exact enumeration. The seed is a fixed function of the stream index alone, so
+// a degraded answer is bit-deterministic — the same request degrades to the same bytes on
+// every server. `max_ci_width` accumulates the widest Wilson interval, reported back to
+// the client as the honesty label on the approximation.
+template <typename Predicate>
+Result<Probability> EstimateDegraded(const ReliabilityAnalyzer& analyzer,
+                                     Predicate&& predicate, uint64_t trials, uint64_t stream,
+                                     const CancelToken* cancel,
+                                     const EngineProgress& progress, double* max_ci_width) {
+  MonteCarloOptions options;
+  options.trials = trials;
+  options.seed = DeriveStreamSeed(0xDE64ull, stream);  // "DEGD"
+  options.cancel = cancel;
+  options.progress = progress.mc_trials;
+  Result<ConfidenceInterval> estimate =
+      analyzer.TryEstimateEventProbability(std::forward<Predicate>(predicate), options);
+  if (!estimate.ok()) return estimate.status();
+  *max_ci_width = std::max(*max_ci_width, estimate->high - estimate->low);
+  return Probability::FromProbability(estimate->point);
+}
+
 Result<Json> RunEndToEnd(const ServeRequest& request, const CancelToken* cancel,
                          const EngineProgress& progress) {
   const ReliabilityAnalyzer analyzer =
       ReliabilityAnalyzer::ForIndependentNodes(request.fault.probabilities);
+  const bool degraded = request.degraded && request.degraded_trials > 0;
+  double max_ci_width = 0.0;
   EndToEndParams params;
   if (request.protocol == "raft") {
     const RaftConfig config = RaftConfig::Standard(request.fault.n());
     const bool structurally_safe = RaftIsSafeStructurally(config);
     params.consensus.safe = structurally_safe ? Probability::One() : Probability::Zero();
-    Result<Probability> live = analyzer.TryEventProbability(MakeRaftLivePredicate(config),
-                                                            AnalysisMethod::kAuto, cancel,
-                                                          progress.enum_configs);
+    Result<Probability> live =
+        degraded ? EstimateDegraded(analyzer, MakeRaftLivePredicate(config),
+                                    request.degraded_trials, 1, cancel, progress,
+                                    &max_ci_width)
+                 : analyzer.TryEventProbability(MakeRaftLivePredicate(config),
+                                                AnalysisMethod::kAuto, cancel,
+                                                progress.enum_configs);
     if (!live.ok()) return live.status();
     params.consensus.live = *live;
     params.consensus.safe_and_live =
         structurally_safe ? params.consensus.live : Probability::Zero();
   } else {
     const PbftConfig config = PbftConfig::Standard(request.fault.n());
-    Result<Probability> safe = analyzer.TryEventProbability(MakePbftSafePredicate(config),
-                                                            AnalysisMethod::kAuto, cancel,
-                                                          progress.enum_configs);
+    Result<Probability> safe =
+        degraded ? EstimateDegraded(analyzer, MakePbftSafePredicate(config),
+                                    request.degraded_trials, 2, cancel, progress,
+                                    &max_ci_width)
+                 : analyzer.TryEventProbability(MakePbftSafePredicate(config),
+                                                AnalysisMethod::kAuto, cancel,
+                                                progress.enum_configs);
     if (!safe.ok()) return safe.status();
-    Result<Probability> live = analyzer.TryEventProbability(MakePbftLivePredicate(config),
-                                                            AnalysisMethod::kAuto, cancel,
-                                                          progress.enum_configs);
+    Result<Probability> live =
+        degraded ? EstimateDegraded(analyzer, MakePbftLivePredicate(config),
+                                    request.degraded_trials, 3, cancel, progress,
+                                    &max_ci_width)
+                 : analyzer.TryEventProbability(MakePbftLivePredicate(config),
+                                                AnalysisMethod::kAuto, cancel,
+                                                progress.enum_configs);
     if (!live.ok()) return live.status();
-    Result<Probability> both = analyzer.TryEventProbability(
-        MakePbftSafeAndLivePredicate(config), AnalysisMethod::kAuto, cancel,
-                                                          progress.enum_configs);
+    Result<Probability> both =
+        degraded ? EstimateDegraded(analyzer, MakePbftSafeAndLivePredicate(config),
+                                    request.degraded_trials, 4, cancel, progress,
+                                    &max_ci_width)
+                 : analyzer.TryEventProbability(MakePbftSafeAndLivePredicate(config),
+                                                AnalysisMethod::kAuto, cancel,
+                                                progress.enum_configs);
     if (!both.ok()) return both.status();
     params.consensus.safe = *safe;
     params.consensus.live = *live;
@@ -182,6 +224,11 @@ Result<Json> RunEndToEnd(const ServeRequest& request, const CancelToken* cancel,
   result.Set("availability", Json::String(FormatPercent(report.availability)));
   result.Set("mission_durability", Json::String(FormatPercent(report.mission_durability)));
   result.Set("outage_minutes_per_year", Json::Number(report.outage_minutes_per_year));
+  if (degraded) {
+    result.Set("degraded", Json::Bool(true));
+    result.Set("degraded_trials", Json::Number(request.degraded_trials));
+    result.Set("max_ci_width", Json::Number(max_ci_width));
+  }
   return result;
 }
 
@@ -197,8 +244,13 @@ Result<Json> RunMonteCarlo(const ServeRequest& request, const CancelToken* cance
     model = std::make_unique<IndependentFailureModel>(request.fault.probabilities);
   }
   const ReliabilityAnalyzer analyzer{std::move(model)};
+  // Brownout: cap the trial count but keep the caller's seed, so the degraded answer is
+  // still a deterministic prefix-style estimate of the requested run.
+  const bool degraded = request.degraded && request.degraded_trials > 0 &&
+                        request.degraded_trials < request.trials;
+  const uint64_t trials = degraded ? request.degraded_trials : request.trials;
   MonteCarloOptions options;
-  options.trials = request.trials;
+  options.trials = trials;
   options.seed = request.seed;
   options.cancel = cancel;
   options.progress = progress.mc_trials;
@@ -206,7 +258,7 @@ Result<Json> RunMonteCarlo(const ServeRequest& request, const CancelToken* cance
   Json result = Json::Object();
   result.Set("protocol", Json::String(request.protocol));
   result.Set("n", Json::Number(n));
-  result.Set("trials", Json::Number(request.trials));
+  result.Set("trials", Json::Number(trials));
   result.Set("seed", Json::Number(request.seed));
   Result<ConfidenceInterval> estimate =
       request.protocol == "raft"
@@ -221,6 +273,11 @@ Result<Json> RunMonteCarlo(const ServeRequest& request, const CancelToken* cance
   interval.Set("lower", Json::Number(estimate->low));
   interval.Set("upper", Json::Number(estimate->high));
   result.Set("estimate", std::move(interval));
+  if (degraded) {
+    result.Set("degraded", Json::Bool(true));
+    result.Set("requested_trials", Json::Number(request.trials));
+    result.Set("ci_width", Json::Number(estimate->high - estimate->low));
+  }
   return result;
 }
 
@@ -247,7 +304,8 @@ Result<Json> ExecuteRequest(const ServeRequest& request, const CancelToken* canc
     case RequestKind::kMonteCarlo:
       return RunMonteCarlo(request, cancel, progress);
     case RequestKind::kStats:
-      // Handled inline by the server; a stats request never reaches the engine.
+    case RequestKind::kHealth:
+      // Handled inline by the server; stats and health requests never reach the engine.
       break;
   }
   return InternalError("unhandled request kind");

@@ -68,4 +68,27 @@ Result<std::optional<std::string>> FrameDecoder::Next() {
   return std::optional<std::string>(std::move(payload));
 }
 
+Status FrameDecoder::AtEof() const {
+  if (!poisoned_.ok()) {
+    return poisoned_;
+  }
+  const size_t available = buffer_.size() - consumed_;
+  if (available == 0) {
+    return Status::Ok();
+  }
+  if (available < kFrameHeaderBytes) {
+    return UnavailableError("connection closed mid-frame: only " +
+                            std::to_string(available) + " of " +
+                            std::to_string(kFrameHeaderBytes) + " header bytes arrived");
+  }
+  const char* header = buffer_.data() + consumed_;
+  const uint32_t length = (static_cast<uint32_t>(static_cast<unsigned char>(header[4])) << 24) |
+                          (static_cast<uint32_t>(static_cast<unsigned char>(header[5])) << 16) |
+                          (static_cast<uint32_t>(static_cast<unsigned char>(header[6])) << 8) |
+                          static_cast<uint32_t>(static_cast<unsigned char>(header[7]));
+  return UnavailableError("connection closed mid-frame: " +
+                          std::to_string(available - kFrameHeaderBytes) + " of " +
+                          std::to_string(length) + " payload bytes arrived");
+}
+
 }  // namespace probcon::serve

@@ -52,6 +52,13 @@ class FrameDecoder {
   // Bytes buffered but not yet returned (diagnostics / tests).
   size_t buffered_bytes() const { return buffer_.size() - consumed_; }
 
+  // Classifies end-of-stream for a transport that just saw the peer close. Ok when the
+  // stream ended on a frame boundary (nothing partial buffered); the sticky poison error
+  // when the stream was already corrupt; otherwise UNAVAILABLE describing the partial
+  // frame — mid-header or mid-payload — so callers surface a clean typed error instead of
+  // hanging on bytes that will never arrive.
+  Status AtEof() const;
+
  private:
   uint32_t max_payload_bytes_;
   std::string buffer_;

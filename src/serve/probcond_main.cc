@@ -3,7 +3,16 @@
 // Usage:
 //   probcond [--port N] [--cache-bytes N] [--cache-shards N] [--max-inflight N]
 //            [--reactors N] [--max-inflight-per-conn N] [--default-deadline-ms N]
+//            [--no-brownout] [--brownout-trip-sheds N] [--brownout-recover-admits N]
+//            [--brownout-lane N] [--brownout-trials N]
 //            [--metrics-interval-s N --metrics-path FILE]
+//
+// The --brownout-* flags tune the overload circuit breaker (docs/SERVING.md, "Brownout &
+// health"): after --brownout-trip-sheds sheds within the breaker window, montecarlo and
+// end_to_end answer in degraded mode (capped at --brownout-trials trials, flagged
+// "degraded": true) through a --brownout-lane-slot side lane until
+// --brownout-recover-admits consecutive normal admits close the breaker. --no-brownout
+// disables degradation entirely (overload always sheds).
 //
 // --reactors picks the transport's reactor-shard count (0 = auto), --max-inflight-per-conn
 // the per-connection pipelining cap, and --cache-shards the memo-cache shard count; see
@@ -100,8 +109,18 @@ int main(int argc, char** argv) {
   long long max_inflight_per_conn = probcon::serve::kDefaultMaxInflightPerConn;
   long long default_deadline_ms = 0;
   long long metrics_interval_s = 0;
+  probcon::serve::BrownoutOptions brownout_defaults;
+  long long brownout_enabled = 1;
+  long long brownout_trip_sheds = brownout_defaults.trip_sheds;
+  long long brownout_recover_admits = brownout_defaults.recover_admits;
+  long long brownout_lane = brownout_defaults.degraded_lane;
+  long long brownout_trials = static_cast<long long>(brownout_defaults.degraded_trials);
   std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-brownout") == 0) {
+      brownout_enabled = 0;
+      continue;
+    }
     if (ParseFlag(argc, argv, &i, "--port", &port) ||
         ParseFlag(argc, argv, &i, "--cache-bytes", &cache_bytes) ||
         ParseFlag(argc, argv, &i, "--max-inflight", &max_inflight) ||
@@ -109,6 +128,10 @@ int main(int argc, char** argv) {
         ParseFlag(argc, argv, &i, "--reactors", &reactors) ||
         ParseFlag(argc, argv, &i, "--max-inflight-per-conn", &max_inflight_per_conn) ||
         ParseFlag(argc, argv, &i, "--default-deadline-ms", &default_deadline_ms) ||
+        ParseFlag(argc, argv, &i, "--brownout-trip-sheds", &brownout_trip_sheds) ||
+        ParseFlag(argc, argv, &i, "--brownout-recover-admits", &brownout_recover_admits) ||
+        ParseFlag(argc, argv, &i, "--brownout-lane", &brownout_lane) ||
+        ParseFlag(argc, argv, &i, "--brownout-trials", &brownout_trials) ||
         ParseFlag(argc, argv, &i, "--metrics-interval-s", &metrics_interval_s) ||
         ParseStringFlag(argc, argv, &i, "--metrics-path", &metrics_path)) {
       continue;
@@ -128,6 +151,11 @@ int main(int argc, char** argv) {
   options.max_inflight = static_cast<int>(max_inflight);
   options.cache_shards = static_cast<int>(cache_shards);
   options.default_deadline_ms = static_cast<double>(default_deadline_ms);
+  options.brownout.enabled = brownout_enabled != 0;
+  options.brownout.trip_sheds = static_cast<int>(brownout_trip_sheds);
+  options.brownout.recover_admits = static_cast<int>(brownout_recover_admits);
+  options.brownout.degraded_lane = static_cast<int>(brownout_lane);
+  options.brownout.degraded_trials = static_cast<uint64_t>(brownout_trials);
   probcon::serve::QueryServer server(options, &metrics);
   probcon::serve::TcpServerOptions transport_options;
   transport_options.reactors = static_cast<int>(reactors);

@@ -82,6 +82,27 @@ std::string SpliceCachedResponse(uint64_t id, const std::string& cached_text) {
   return out;
 }
 
+// The degraded-lane variant: identical layout plus the `degraded` flag, matching the
+// field order ResponseEnvelope::Serialize emits (v, id, status, cached, degraded, result).
+std::string SpliceDegradedCachedResponse(uint64_t id, const std::string& cached_text) {
+  std::string out;
+  out.reserve(cached_text.size() + 80);
+  out += "{\"v\": ";
+  out += std::to_string(kProtocolVersion);
+  out += ", \"id\": ";
+  out += std::to_string(id);
+  out += ", \"status\": \"OK\", \"cached\": true, \"degraded\": true, \"result\": ";
+  out += cached_text;
+  out += '}';
+  return out;
+}
+
+// The verbs the brownout lane may answer in degraded mode: the ones whose cost is a free
+// parameter (trial counts), so a cheaper honest answer exists.
+bool DegradableKind(RequestKind kind) {
+  return kind == RequestKind::kMonteCarlo || kind == RequestKind::kEndToEnd;
+}
+
 }  // namespace
 
 QueryServer::QueryServer(ServerOptions options, MetricsRegistry* metrics)
@@ -111,6 +132,11 @@ QueryServer::QueryServer(ServerOptions options, MetricsRegistry* metrics)
     serialize_ms_ = &metrics_->GetHistogram("serve.stage_ms.serialize", latency);
     cancel_latency_ms_ = &metrics_->GetHistogram("serve.cancel_latency_ms", latency);
     inflight_gauge_ = &metrics_->GetGauge("serve.inflight");
+    degraded_counter_ = &metrics_->GetCounter("serve.degraded");
+    degraded_stale_counter_ = &metrics_->GetCounter("serve.degraded.stale");
+    brownout_trips_counter_ = &metrics_->GetCounter("serve.brownout.trips");
+    health_gauge_ = &metrics_->GetGauge("serve.health");
+    degraded_inflight_gauge_ = &metrics_->GetGauge("serve.degraded_inflight");
     progress_.mc_trials = &metrics_->GetCounter("serve.engine.mc_trials").cell();
     progress_.enum_configs = &metrics_->GetCounter("serve.engine.enum_configs").cell();
   }
@@ -149,6 +175,7 @@ void QueryServer::Submit(std::string payload, std::function<void(std::string)> d
   const bool scanned = ScanWirePayload(payload, &scan);
   std::string memo_text;
   bool admitted = false;
+  bool degraded_admission = false;  // Admitted through the brownout lane, over capacity.
   if (scanned) {
     memo_text.reserve(payload.size());
     memo_text.append(payload, 0, scan.id_begin);
@@ -176,13 +203,22 @@ void QueryServer::Submit(std::string payload, std::function<void(std::string)> d
           return;
         }
         if (inflight_ >= options_.max_inflight) {
-          if (shed_counter_ != nullptr) shed_counter_->Increment();
-          done(ErrorResponse(scan.id,
-                             ResourceExhaustedError(
-                                 "server at capacity (" +
-                                 std::to_string(options_.max_inflight) +
-                                 " requests in flight); retry with backoff")));
-          return;
+          if (!BrownoutShedLocked(entry.kind)) {
+            if (shed_counter_ != nullptr) shed_counter_->Increment();
+            done(ErrorResponse(scan.id,
+                               ResourceExhaustedError(
+                                   "server at capacity (" +
+                                   std::to_string(options_.max_inflight) +
+                                   " requests in flight); retry with backoff")));
+            return;
+          }
+          degraded_admission = true;
+          ++degraded_inflight_;
+          if (degraded_inflight_gauge_ != nullptr) {
+            degraded_inflight_gauge_->Set(degraded_inflight_);
+          }
+        } else {
+          RecordAdmitLocked();
         }
         ++inflight_;
         if (inflight_gauge_ != nullptr) inflight_gauge_->Set(inflight_);
@@ -193,14 +229,20 @@ void QueryServer::Submit(std::string payload, std::function<void(std::string)> d
       if (cache_.TryGet(entry.cache_key, &cached_text)) {
         if (cache_ms_ != nullptr) cache_ms_->Record(cache_span.ElapsedMs());
         SpanTimer serialize_span;
-        std::string payload_out = SpliceCachedResponse(scan.id, cached_text);
+        std::string payload_out = degraded_admission
+                                      ? SpliceDegradedCachedResponse(scan.id, cached_text)
+                                      : SpliceCachedResponse(scan.id, cached_text);
+        if (degraded_admission) {
+          if (degraded_counter_ != nullptr) degraded_counter_->Increment();
+          if (degraded_stale_counter_ != nullptr) degraded_stale_counter_->Increment();
+        }
         if (serialize_ms_ != nullptr) serialize_ms_->Record(serialize_span.ElapsedMs());
         RecordLatencyMs(std::chrono::duration<double, std::milli>(
                             std::chrono::steady_clock::now() - started)
                             .count(),
                         entry.kind);
         done(std::move(payload_out));
-        FinishOne();
+        FinishOne(degraded_admission);
         return;
       }
       // The memoized result has been evicted from the cache — fall through to the full
@@ -213,7 +255,7 @@ void QueryServer::Submit(std::string payload, std::function<void(std::string)> d
   if (parse_ms_ != nullptr) parse_ms_->Record(parse_ms);
   if (!parsed.ok()) {
     if (admitted) {
-      FinishOne();  // Unreachable for memoized texts (they parsed once), but keep books.
+      FinishOne(degraded_admission);  // Unreachable for memoized texts; keep books.
     } else if (requests_counter_ != nullptr) {
       requests_counter_->Increment();
     }
@@ -256,6 +298,18 @@ void QueryServer::Submit(std::string payload, std::function<void(std::string)> d
     return;
   }
 
+  // Health answers inline and pre-admission for the same reason stats does: the breaker
+  // state is most interesting exactly while the server is shedding or draining.
+  if (envelope.request.kind == RequestKind::kHealth) {
+    if (requests_counter_ != nullptr) requests_counter_->Increment();
+    ResponseEnvelope response;
+    response.id = envelope.id;
+    response.result = HealthResult();
+    done(response.Serialize());
+    RecordLatencyMs(span.ElapsedMs(), RequestKind::kHealth);
+    return;
+  }
+
   if (!admitted) {
     std::lock_guard<std::mutex> lock(state_mutex_);
     if (requests_counter_ != nullptr) requests_counter_->Increment();
@@ -265,15 +319,24 @@ void QueryServer::Submit(std::string payload, std::function<void(std::string)> d
       return;
     }
     if (inflight_ >= options_.max_inflight) {
-      // Load shedding: a fast, cheap reject. The client can retry against another replica
-      // or back off; queueing here would only convert overload into latency.
-      if (shed_counter_ != nullptr) shed_counter_->Increment();
-      done(ErrorResponse(envelope.id,
-                         ResourceExhaustedError(
-                             "server at capacity (" +
-                             std::to_string(options_.max_inflight) +
-                             " requests in flight); retry with backoff")));
-      return;
+      if (!BrownoutShedLocked(envelope.request.kind)) {
+        // Load shedding: a fast, cheap reject. The client can retry against another
+        // replica or back off; queueing here would only convert overload into latency.
+        if (shed_counter_ != nullptr) shed_counter_->Increment();
+        done(ErrorResponse(envelope.id,
+                           ResourceExhaustedError(
+                               "server at capacity (" +
+                               std::to_string(options_.max_inflight) +
+                               " requests in flight); retry with backoff")));
+        return;
+      }
+      degraded_admission = true;
+      ++degraded_inflight_;
+      if (degraded_inflight_gauge_ != nullptr) {
+        degraded_inflight_gauge_->Set(degraded_inflight_);
+      }
+    } else {
+      RecordAdmitLocked();
     }
     ++inflight_;
     if (inflight_gauge_ != nullptr) inflight_gauge_->Set(inflight_);
@@ -302,13 +365,20 @@ void QueryServer::Submit(std::string payload, std::function<void(std::string)> d
     const double cache_ms = key_span.LapMs();
     if (cache_ms_ != nullptr) cache_ms_->Record(cache_ms);
     SpanTimer serialize_span;
+    if (degraded_admission) {
+      if (degraded_counter_ != nullptr) degraded_counter_->Increment();
+      if (degraded_stale_counter_ != nullptr) degraded_stale_counter_->Increment();
+    }
     std::string payload_out;
     if (!envelope.trace) {
-      payload_out = SpliceCachedResponse(envelope.id, cached_text);
+      payload_out = degraded_admission
+                        ? SpliceDegradedCachedResponse(envelope.id, cached_text)
+                        : SpliceCachedResponse(envelope.id, cached_text);
     } else {
       ResponseEnvelope response;
       response.id = envelope.id;
       response.cached = true;
+      response.degraded = degraded_admission;
       Result<Json> result = ParseJson(cached_text, "cached result");
       CHECK(result.ok()) << result.status().ToString();
       response.result = *std::move(result);
@@ -328,8 +398,16 @@ void QueryServer::Submit(std::string payload, std::function<void(std::string)> d
             .count(),
         envelope.request.kind);
     done(std::move(payload_out));
-    FinishOne();
+    FinishOne(degraded_admission);
     return;
+  }
+
+  // A degraded admission with no memo to serve runs the engine in degraded mode: the
+  // request copy is marked so the engine caps its trial count, and RunRequest bypasses
+  // the cache (degraded results must never poison the memo).
+  if (degraded_admission) {
+    envelope.request.degraded = true;
+    envelope.request.degraded_trials = options_.brownout.degraded_trials;
   }
 
   double deadline_ms = envelope.deadline_ms;
@@ -346,14 +424,15 @@ void QueryServer::Submit(std::string payload, std::function<void(std::string)> d
 
   ThreadPool::Global().Submit(
       [this, envelope = std::move(envelope), key, canonicalize_ms, token, deadline_armed,
-       deadline_ms, started, parse_ms, done = std::move(done)]() mutable {
+       deadline_ms, started, parse_ms, degraded_admission,
+       done = std::move(done)]() mutable {
         std::string response = RunRequest(envelope, key, canonicalize_ms, token,
                                           deadline_armed, deadline_ms, started, parse_ms);
         const auto finished = std::chrono::steady_clock::now();
         RecordLatencyMs(std::chrono::duration<double, std::milli>(finished - started).count(),
                         envelope.request.kind);
         done(std::move(response));
-        FinishOne();
+        FinishOne(degraded_admission);
       });
 }
 
@@ -370,17 +449,20 @@ std::string QueryServer::RunRequest(const RequestEnvelope& envelope, const std::
 
   bool was_cached = false;
   double engine_ms = -1.0;  // >= 0 iff this request was the single-flight leader.
-  Result<std::string> result_text = cache_.GetOrCompute(
-      key,
-      [&]() -> Result<std::string> {
-        SpanTimer engine_span;
-        Result<Json> result = ExecuteRequest(envelope.request, token.get(), progress_);
-        engine_ms = engine_span.ElapsedMs();
-        if (engine_ms_ != nullptr) engine_ms_->Record(engine_ms);
-        if (!result.ok()) return result.status();
-        return WriteJson(*result);
-      },
-      &was_cached);
+  auto run_engine = [&]() -> Result<std::string> {
+    SpanTimer engine_span;
+    Result<Json> result = ExecuteRequest(envelope.request, token.get(), progress_);
+    engine_ms = engine_span.ElapsedMs();
+    if (engine_ms_ != nullptr) engine_ms_->Record(engine_ms);
+    if (!result.ok()) return result.status();
+    return WriteJson(*result);
+  };
+  // Degraded runs bypass the memo entirely: their capped-trial answers must neither be
+  // stored (they would poison later full-fidelity reads) nor join a single-flight group
+  // (the leader may be computing the full answer under a deadline this request lacks).
+  Result<std::string> result_text = envelope.request.degraded
+                                        ? run_engine()
+                                        : cache_.GetOrCompute(key, run_engine, &was_cached);
   // The cache span covers the whole lookup: hit splice, single-flight wait on a follower,
   // or the nested engine run on the leader.
   const double cache_ms = span.LapMs();
@@ -392,6 +474,10 @@ std::string QueryServer::RunRequest(const RequestEnvelope& envelope, const std::
   response.id = envelope.id;
   if (result_text.ok()) {
     response.cached = was_cached;
+    response.degraded = envelope.request.degraded;
+    if (envelope.request.degraded && degraded_counter_ != nullptr) {
+      degraded_counter_->Increment();
+    }
     Result<Json> result = ParseJson(*result_text, "cached result");
     CHECK(result.ok()) << result.status().ToString();
     response.result = *std::move(result);
@@ -479,6 +565,7 @@ std::string QueryServer::Handle(std::string payload) {
 void QueryServer::Drain() {
   std::unique_lock<std::mutex> lock(state_mutex_);
   draining_ = true;
+  SetHealthGaugeLocked();
   while (inflight_ > 0) {
     // Help the pool drain instead of only blocking: the in-flight jobs may be queued
     // behind this very thread on a small pool.
@@ -491,13 +578,79 @@ void QueryServer::Drain() {
   }
 }
 
-void QueryServer::FinishOne() {
+void QueryServer::FinishOne(bool degraded) {
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
     --inflight_;
     if (inflight_gauge_ != nullptr) inflight_gauge_->Set(inflight_);
+    if (degraded) {
+      --degraded_inflight_;
+      if (degraded_inflight_gauge_ != nullptr) {
+        degraded_inflight_gauge_->Set(degraded_inflight_);
+      }
+    }
     if (inflight_ == 0) drained_cv_.notify_all();
   }
+}
+
+void QueryServer::SetHealthGaugeLocked() {
+  if (health_gauge_ == nullptr) return;
+  health_gauge_->Set(draining_ ? 2 : (breaker_open_ ? 1 : 0));
+}
+
+void QueryServer::RecordAdmitLocked() {
+  ++window_admits_;
+  if (window_admits_ + window_sheds_ >= options_.brownout.window) {
+    window_admits_ /= 2;
+    window_sheds_ /= 2;
+  }
+  if (breaker_open_) {
+    ++recover_streak_;
+    if (recover_streak_ >= options_.brownout.recover_admits) {
+      breaker_open_ = false;
+      recover_streak_ = 0;
+      SetHealthGaugeLocked();
+    }
+  }
+}
+
+bool QueryServer::BrownoutShedLocked(RequestKind kind) {
+  ++window_sheds_;
+  recover_streak_ = 0;
+  if (window_admits_ + window_sheds_ >= options_.brownout.window) {
+    window_admits_ /= 2;
+    window_sheds_ /= 2;
+  }
+  if (!options_.brownout.enabled) return false;
+  if (!breaker_open_ && window_sheds_ >= options_.brownout.trip_sheds) {
+    breaker_open_ = true;
+    ++breaker_trips_;
+    if (brownout_trips_counter_ != nullptr) brownout_trips_counter_->Increment();
+    SetHealthGaugeLocked();
+  }
+  return breaker_open_ && DegradableKind(kind) &&
+         degraded_inflight_ < options_.brownout.degraded_lane;
+}
+
+Json QueryServer::HealthResult() {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  Json result = Json::Object();
+  result.Set("state", Json::String(draining_ ? "draining"
+                                             : (breaker_open_ ? "degraded" : "ready")));
+  result.Set("inflight", Json::Number(inflight_));
+  result.Set("degraded_inflight", Json::Number(degraded_inflight_));
+  result.Set("max_inflight", Json::Number(options_.max_inflight));
+  Json brownout = Json::Object();
+  brownout.Set("enabled", Json::Bool(options_.brownout.enabled));
+  brownout.Set("breaker_open", Json::Bool(breaker_open_));
+  brownout.Set("trips", Json::Number(breaker_trips_));
+  brownout.Set("window_sheds", Json::Number(window_sheds_));
+  brownout.Set("window_admits", Json::Number(window_admits_));
+  brownout.Set("recover_streak", Json::Number(recover_streak_));
+  brownout.Set("degraded_lane", Json::Number(options_.brownout.degraded_lane));
+  brownout.Set("degraded_trials", Json::Number(options_.brownout.degraded_trials));
+  result.Set("brownout", std::move(brownout));
+  return result;
 }
 
 void QueryServer::RecordLatencyMs(double elapsed_ms, RequestKind kind) {

@@ -58,12 +58,34 @@
 
 namespace probcon::serve {
 
+// Brownout circuit breaker: under sustained shedding the server stops failing the
+// expensive-but-degradable verbs (montecarlo, end_to_end) outright and instead answers
+// them in degraded mode — a reduced trial count, or a stale-but-flagged memo entry —
+// through a small dedicated admission lane. Every degraded answer carries
+// `"degraded": true`; normal answers are byte-identical to a build without brownout.
+struct BrownoutOptions {
+  bool enabled = true;
+  // Breaker window: admit/shed tallies are halved once their sum reaches `window`, a
+  // cheap exponential-decay approximation of a sliding window.
+  int window = 64;
+  // Sheds within the window that trip the breaker open.
+  int trip_sheds = 8;
+  // Consecutive normal admits that close an open breaker again.
+  int recover_admits = 32;
+  // Extra in-flight slots (on top of max_inflight) reserved for degraded answers while
+  // the breaker is open.
+  int degraded_lane = 4;
+  // Trial cap applied to degraded montecarlo / end_to_end runs.
+  uint64_t degraded_trials = 1u << 14;
+};
+
 struct ServerOptions {
   size_t cache_bytes = 64u << 20;     // Memoization budget (split across cache shards).
   int cache_shards = kDefaultCacheShards;  // Memo-cache shard count (>= 1).
   int max_inflight = 64;              // Admission limit; above it requests are shed.
   uint32_t max_frame_bytes = 4u << 20;  // Per-connection frame limit (transports).
   double default_deadline_ms = 0.0;   // Applied when a request carries none; <= 0 = none.
+  BrownoutOptions brownout;           // Overload degradation (see above).
 };
 
 // Default per-connection pipelining cap, shared by the TCP transport and the loopback
@@ -129,8 +151,18 @@ class QueryServer {
   // rendered via obs::MetricsToJsonValue. `reset` zeroes counters/histograms afterwards.
   Json StatsResult(bool reset);
 
+  // The `health` verb: ready/degraded/draining plus the breaker internals.
+  Json HealthResult();
+
   void RecordLatencyMs(double elapsed_ms, RequestKind kind);
-  void FinishOne();
+  void FinishOne(bool degraded = false);
+
+  // Breaker bookkeeping; all require state_mutex_ held.
+  void RecordAdmitLocked();
+  // Records a would-shed event (trips the breaker when warranted) and returns true when
+  // the request may enter the degraded lane instead of being shed.
+  bool BrownoutShedLocked(RequestKind kind);
+  void SetHealthGaugeLocked();
 
   const ServerOptions options_;
   MetricsRegistry* const metrics_;
@@ -140,6 +172,15 @@ class QueryServer {
   std::condition_variable drained_cv_;
   bool draining_ = false;
   int inflight_ = 0;
+
+  // Brownout breaker state (state_mutex_). The tallies decay by halving (see
+  // BrownoutOptions::window), so the breaker reacts to recent pressure, not history.
+  bool breaker_open_ = false;
+  int window_admits_ = 0;
+  int window_sheds_ = 0;
+  int recover_streak_ = 0;
+  int degraded_inflight_ = 0;
+  uint64_t breaker_trips_ = 0;
 
   // Request-text memo: wire payload with the id digits excised -> canonical cache key, so
   // a repeat request (any id) skips JSON parsing and canonicalization — most of the
@@ -163,6 +204,11 @@ class QueryServer {
   Counter* shed_counter_ = nullptr;
   Counter* error_counter_ = nullptr;
   Counter* deadline_counter_ = nullptr;
+  Counter* degraded_counter_ = nullptr;        // serve.degraded: every degraded answer.
+  Counter* degraded_stale_counter_ = nullptr;  // serve.degraded.stale: memo-served subset.
+  Counter* brownout_trips_counter_ = nullptr;  // serve.brownout.trips
+  Gauge* health_gauge_ = nullptr;              // serve.health: 0 ready, 1 degraded, 2 draining.
+  Gauge* degraded_inflight_gauge_ = nullptr;   // serve.degraded_inflight
   Histogram* latency_histogram_ = nullptr;
   Histogram* kind_latency_[kRequestKindCount] = {};
   Histogram* parse_ms_ = nullptr;

@@ -13,7 +13,7 @@ constexpr std::string_view kWhat = "serve request";
 
 constexpr std::string_view kKindNames[kRequestKindCount] = {
     "ping",       "table1",     "table2", "quorum_size",
-    "placement",  "end_to_end", "montecarlo", "stats",
+    "placement",  "end_to_end", "montecarlo", "stats", "health",
 };
 
 // Caps that keep a single request's cost bounded. The engine CHECKs sit deeper (exact
@@ -255,6 +255,7 @@ Result<ServeRequest> ServeRequest::FromParams(RequestKind kind, const Json& para
 
   switch (kind) {
     case RequestKind::kPing:
+    case RequestKind::kHealth:
       return request;
 
     case RequestKind::kStats:
@@ -420,6 +421,7 @@ Json ServeRequest::CanonicalParams() const {
   Json object = Json::Object();
   switch (kind) {
     case RequestKind::kPing:
+    case RequestKind::kHealth:
       break;
     case RequestKind::kStats:
       if (stats_reset) {
@@ -536,22 +538,33 @@ Result<ResponseEnvelope> ResponseEnvelope::Parse(std::string_view payload) {
   }
   ResponseEnvelope envelope;
   RETURN_IF_ERROR(JsonReadUint64(root, "id", &envelope.id, "serve response"));
+  if (root.Find("status") == nullptr) {
+    return UnavailableError("serve response: missing status (corrupt envelope)");
+  }
   std::string status_name;
   RETURN_IF_ERROR(JsonReadString(root, "status", &status_name, "serve response"));
   if (status_name != "OK") {
     std::string error_text;
     RETURN_IF_ERROR(JsonReadString(root, "error", &error_text, "serve response"));
-    StatusCode code = StatusCode::kInternal;
-    for (int c = 0; c <= static_cast<int>(StatusCode::kUnavailable); ++c) {
+    // A status name the writer could not have emitted means the bytes were corrupted in
+    // flight, not that the server sent a verdict: fail the parse so the client treats the
+    // stream as broken and retries, instead of fabricating a definite error status.
+    StatusCode code = StatusCode::kOk;
+    for (int c = 1; c <= static_cast<int>(StatusCode::kUnavailable); ++c) {
       if (StatusCodeName(static_cast<StatusCode>(c)) == status_name) {
         code = static_cast<StatusCode>(c);
         break;
       }
     }
+    if (code == StatusCode::kOk) {
+      return UnavailableError("serve response: unknown status name \"" + status_name +
+                              "\" (corrupt envelope)");
+    }
     envelope.status = Status(code, std::move(error_text));
     return envelope;
   }
   RETURN_IF_ERROR(JsonReadBool(root, "cached", &envelope.cached, "serve response"));
+  RETURN_IF_ERROR(JsonReadBool(root, "degraded", &envelope.degraded, "serve response"));
   if (const Json* result = root.Find("result"); result != nullptr) {
     envelope.result = *result;
   }
@@ -568,6 +581,11 @@ std::string ResponseEnvelope::Serialize() const {
   root.Set("status", Json::String(std::string(StatusCodeName(status.code()))));
   if (status.ok()) {
     root.Set("cached", Json::Bool(cached));
+    if (degraded) {
+      // Only present on degraded answers: normal responses stay byte-identical to builds
+      // without brownout support.
+      root.Set("degraded", Json::Bool(true));
+    }
     root.Set("result", result);
     if (trace.type != Json::Type::kNull) {
       root.Set("trace", trace);

@@ -46,9 +46,10 @@ enum class RequestKind : int {
   kEndToEnd,     // availability / mission-durability derivation
   kMonteCarlo,   // Monte Carlo estimate with Wilson CI
   kStats,        // live metrics snapshot (obs registry); never cached, never queued
+  kHealth,       // readiness / brownout state machine snapshot; never cached, never queued
 };
 
-inline constexpr int kRequestKindCount = 8;
+inline constexpr int kRequestKindCount = 9;
 
 std::string_view RequestKindName(RequestKind kind);
 Result<RequestKind> RequestKindFromName(std::string_view name);
@@ -110,6 +111,12 @@ struct ServeRequest {
 
   bool stats_reset = false;  // stats: zero counters/histograms after the snapshot
 
+  // Server-internal brownout markers — never parsed from the wire and never part of
+  // CanonicalParams/CanonicalKey: the server sets them on its own copy when it admits a
+  // request into the degraded lane, and the engines honor them by capping trial counts.
+  bool degraded = false;
+  uint64_t degraded_trials = 0;  // Trial cap for degraded montecarlo / end_to_end runs.
+
   // Parses and validates the `params` object of a request envelope.
   static Result<ServeRequest> FromParams(RequestKind kind, const Json& params);
 
@@ -144,6 +151,10 @@ struct ResponseEnvelope {
   uint64_t id = 0;
   Status status;
   bool cached = false;
+  // True when the server answered in brownout-degraded mode (reduced trial count or a
+  // stale memo entry); serialized as `"degraded": true` between "cached" and "result" and
+  // omitted entirely for normal answers, keeping them byte-identical to older builds.
+  bool degraded = false;
   Json result;
   // Span breakdown (RequestTrace::ToJson shape) when the request carried `trace: true`;
   // kNull otherwise and then omitted from the wire.

@@ -1,0 +1,265 @@
+#include "src/wirechaos/campaign.h"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string_view>
+#include <utility>
+
+#include "src/common/json.h"
+#include "src/common/rng.h"
+#include "src/serve/client.h"
+#include "src/serve/server.h"
+#include "src/serve/spec.h"
+#include "src/serve/transport.h"
+#include "src/wirechaos/proxy.h"
+
+namespace probcon::wirechaos {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedMs(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+// The statuses a fault plan may legitimately force. Anything else — or a call outliving
+// deadline + slack — is a resilience bug. INVALID_ARGUMENT is in the set because PCSV
+// frames carry no payload checksum (TCP already checksums; the proxy models a wire more
+// hostile than the deployment threat model), so a client-to-server garble that spares the
+// id digits reaches the server as a well-formed frame holding corrupt JSON and is
+// correctly rejected as a bad request. The contract is definiteness within the deadline,
+// not correctness under arbitrary payload corruption.
+bool AcceptableResolution(StatusCode code) {
+  return code == StatusCode::kOk || code == StatusCode::kUnavailable ||
+         code == StatusCode::kDeadlineExceeded || code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kInvalidArgument;
+}
+
+struct PlanOutcome {
+  bool failed = false;
+  std::string reason;
+  uint64_t calls = 0;
+  uint64_t ok = 0;
+  std::map<std::string, uint64_t> statuses;
+  uint64_t retries = 0;
+  uint64_t hedges = 0;
+  uint64_t faults_fired = 0;
+};
+
+void RecordResolution(PlanOutcome& outcome, std::string_view what, StatusCode code,
+                      const std::string& detail, double elapsed_ms, double deadline_ms,
+                      double slack_ms) {
+  ++outcome.calls;
+  ++outcome.statuses[std::string(StatusCodeName(code))];
+  if (code == StatusCode::kOk) {
+    ++outcome.ok;
+  }
+  if (outcome.failed) {
+    return;  // Keep the first reason; later calls still count toward totals.
+  }
+  if (elapsed_ms > deadline_ms + slack_ms) {
+    outcome.failed = true;
+    outcome.reason = std::string(what) + " took " + std::to_string(elapsed_ms) +
+                     "ms against a " + std::to_string(deadline_ms) + "ms deadline (hang)";
+    return;
+  }
+  if (!AcceptableResolution(code)) {
+    outcome.failed = true;
+    outcome.reason = std::string(what) + " resolved to " +
+                     std::string(StatusCodeName(code)) + ": " + detail;
+  }
+}
+
+// The fixed per-plan workload: four single queries plus one hedged pipelined batch,
+// spanning cheap inline verbs and pool-backed engine verbs.
+PlanOutcome RunPlanWorkload(uint16_t upstream_port, const WirePlan& plan,
+                            const WireCampaignOptions& options) {
+  PlanOutcome outcome;
+  ChaosProxy proxy(upstream_port, plan);
+  Status started = proxy.Start();
+  if (!started.ok()) {
+    outcome.failed = true;
+    outcome.reason = "proxy failed to start: " + started.message();
+    return outcome;
+  }
+
+  serve::RetryOptions retry;
+  retry.max_attempts = 4;
+  retry.seed = DeriveStreamSeed(plan.seed, 0x52455452ull);  // "RETR"
+  retry.attempt_timeout_ms = options.attempt_timeout_ms;
+  serve::ResilientClient client(
+      serve::ResilientClient::TcpFactory(proxy.port(), options.attempt_timeout_ms), retry);
+
+  auto run_call = [&](std::string_view kind, const Json& params) {
+    const Clock::time_point start = Clock::now();
+    Result<serve::ResponseEnvelope> envelope =
+        client.Query(kind, params, options.call_deadline_ms);
+    const StatusCode code =
+        envelope.ok() ? envelope->status.code() : envelope.status().code();
+    const std::string detail =
+        envelope.ok() ? envelope->status.message() : envelope.status().message();
+    RecordResolution(outcome, kind, code, detail, ElapsedMs(start),
+                     options.call_deadline_ms, options.hang_slack_ms);
+  };
+
+  auto fault_spec = [](int n, double p) {
+    Json fault = Json::Object();
+    fault.Set("n", Json::Number(n));
+    fault.Set("p", Json::Number(p));
+    return fault;
+  };
+
+  Json table2 = Json::Object();
+  table2.Set("n", Json::Number(5));
+
+  Json montecarlo = Json::Object();
+  montecarlo.Set("protocol", Json::String("raft"));
+  montecarlo.Set("fault", fault_spec(5, 0.01));
+  montecarlo.Set("trials", Json::Number(static_cast<uint64_t>(4096)));
+  montecarlo.Set("seed", Json::Number(static_cast<uint64_t>(7)));
+
+  Json quorum = Json::Object();
+  quorum.Set("protocol", Json::String("raft"));
+  quorum.Set("fault", fault_spec(7, 0.01));
+  quorum.Set("target_live", Json::Number(0.999));
+
+  run_call("ping", Json::Object());
+  run_call("table2", table2);
+  run_call("montecarlo", montecarlo);
+  run_call("quorum_size", quorum);
+
+  // Pipelined batch on a second client with hedging armed: a stalled primary exchange
+  // races a hedge connection through the same proxy.
+  serve::RetryOptions hedged = retry;
+  hedged.seed = DeriveStreamSeed(plan.seed, 0x48454447ull);  // "HEDG"
+  hedged.hedge_delay_ms = options.attempt_timeout_ms / 2.0;
+  serve::ResilientClient batcher(
+      serve::ResilientClient::TcpFactory(proxy.port(), options.attempt_timeout_ms), hedged);
+
+  Json table1 = Json::Object();
+  table1.Set("n", Json::Number(4));
+
+  std::vector<serve::ServeClient::BatchItem> items;
+  items.push_back({"ping", Json::Object(), options.call_deadline_ms, false});
+  items.push_back({"table1", std::move(table1), options.call_deadline_ms, false});
+  items.push_back({"table2", std::move(table2), options.call_deadline_ms, false});
+  items.push_back({"quorum_size", std::move(quorum), options.call_deadline_ms, false});
+
+  const Clock::time_point batch_start = Clock::now();
+  Result<std::vector<serve::ResponseEnvelope>> batch = batcher.QueryBatch(items);
+  const double batch_elapsed = ElapsedMs(batch_start);
+  if (!batch.ok()) {
+    RecordResolution(outcome, "batch", batch.status().code(), batch.status().message(),
+                     batch_elapsed, options.call_deadline_ms, options.hang_slack_ms);
+  } else {
+    for (size_t i = 0; i < batch->size(); ++i) {
+      RecordResolution(outcome, "batch[" + std::to_string(i) + "]",
+                       (*batch)[i].status.code(), (*batch)[i].status.message(),
+                       batch_elapsed, options.call_deadline_ms, options.hang_slack_ms);
+    }
+  }
+
+  outcome.retries = client.retries() + batcher.retries();
+  outcome.hedges = client.hedges() + batcher.hedges();
+  proxy.Stop();
+  outcome.faults_fired = proxy.counters().faults_fired;
+  return outcome;
+}
+
+// Greedy shrink, the src/chaos idiom: drop faults back-to-front, keep any removal that
+// still fails, iterate to a fixed point.
+WirePlan ShrinkPlan(uint16_t upstream_port, const WirePlan& plan,
+                    const WireCampaignOptions& options) {
+  WirePlan current = plan;
+  bool changed = true;
+  while (changed && !current.faults.empty()) {
+    changed = false;
+    for (size_t i = current.faults.size(); i-- > 0;) {
+      WirePlan candidate = current;
+      candidate.faults.erase(candidate.faults.begin() + static_cast<ptrdiff_t>(i));
+      if (RunPlanWorkload(upstream_port, candidate, options).failed) {
+        current = std::move(candidate);
+        changed = true;
+      }
+    }
+  }
+  return current;
+}
+
+void DumpRepro(const std::string& dir, const WireCampaignFailure& failure) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string stem = dir + "/wire-" + std::to_string(failure.plan_index);
+  std::ofstream(stem + ".plan.json") << failure.plan.ToJson();
+  std::ofstream(stem + ".min.plan.json") << failure.shrunk.ToJson();
+  std::ofstream(stem + ".reason.txt") << failure.reason << "\n";
+}
+
+}  // namespace
+
+std::string WireCampaignResult::Describe() const {
+  std::string out = "wire campaign: " + std::to_string(plans_run) + " plans, " +
+                    std::to_string(calls) + " calls, " + std::to_string(ok) + " ok, " +
+                    std::to_string(retries) + " retries, " + std::to_string(hedges) +
+                    " hedges, " + std::to_string(proxy_faults_fired) + " faults fired, " +
+                    std::to_string(failures.size()) + " failing plans\n";
+  out += "resolutions:\n";
+  for (const auto& [name, count] : statuses) {
+    out += "  " + name + ": " + std::to_string(count) + "\n";
+  }
+  for (const WireCampaignFailure& failure : failures) {
+    out += "FAIL plan " + std::to_string(failure.plan_index) + ": " + failure.reason +
+           "\n  shrunk to: " + failure.shrunk.Describe() + "\n";
+  }
+  return out;
+}
+
+Result<WireCampaignResult> RunWireCampaign(const WireCampaignOptions& options) {
+  if (options.plans <= 0) {
+    return InvalidArgumentError("wire campaign: plans must be > 0");
+  }
+  serve::ServerOptions server_options;
+  serve::QueryServer server(server_options, nullptr);
+  serve::TcpServer transport(server);
+  RETURN_IF_ERROR(transport.Start(0));
+
+  WireCampaignResult result;
+  for (int i = 0; i < options.plans; ++i) {
+    const WirePlan plan =
+        GenerateWirePlan(DeriveStreamSeed(options.seed, static_cast<uint64_t>(i) + 1));
+    PlanOutcome outcome = RunPlanWorkload(transport.port(), plan, options);
+    ++result.plans_run;
+    result.calls += outcome.calls;
+    result.ok += outcome.ok;
+    result.retries += outcome.retries;
+    result.hedges += outcome.hedges;
+    result.proxy_faults_fired += outcome.faults_fired;
+    for (const auto& [name, count] : outcome.statuses) {
+      result.statuses[name] += count;
+    }
+    if (outcome.failed) {
+      WireCampaignFailure failure;
+      failure.plan_index = i;
+      failure.plan = plan;
+      failure.shrunk = ShrinkPlan(transport.port(), plan, options);
+      failure.reason = outcome.reason;
+      if (!options.repro_dir.empty()) {
+        DumpRepro(options.repro_dir, failure);
+      }
+      result.failures.push_back(std::move(failure));
+    }
+    if (options.verbose && (i + 1) % 50 == 0) {
+      std::fprintf(stderr, "wirechaos: %d/%d plans, %llu calls, %zu failures\n", i + 1,
+                   options.plans, static_cast<unsigned long long>(result.calls),
+                   result.failures.size());
+    }
+  }
+  transport.Stop();
+  return result;
+}
+
+}  // namespace probcon::wirechaos

@@ -1,0 +1,66 @@
+// Wire-chaos campaign runner: hammers a live in-process query server through the
+// ChaosProxy with many generated WirePlans and checks the resilience contract — every
+// client call must resolve to a definite, acceptable status within its deadline (plus a
+// hang-detection slack), no matter what the wire does.
+//
+// Acceptable resolutions are OK, UNAVAILABLE, DEADLINE_EXCEEDED, RESOURCE_EXHAUSTED, and
+// INVALID_ARGUMENT (a payload garble can corrupt a request's JSON inside an intact frame —
+// PCSV carries no checksum — and the server rightly rejects it): a fault plan may
+// legitimately defeat the retry policy, but it must never produce a hang, a crash, or a
+// nonsense verdict. A failing plan is shrunk (greedy fault removal to a
+// fixed point, the src/chaos shrink idiom) and optionally dumped as a repro — the original
+// plan, the minimized plan, and the reason — under `repro_dir`.
+
+#ifndef PROBCON_SRC_WIRECHAOS_CAMPAIGN_H_
+#define PROBCON_SRC_WIRECHAOS_CAMPAIGN_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/wirechaos/wire_plan.h"
+
+namespace probcon::wirechaos {
+
+struct WireCampaignOptions {
+  uint64_t seed = 1;  // Root seed; plan i uses DeriveStreamSeed(seed, i + 1).
+  int plans = 1000;
+  double call_deadline_ms = 2000.0;   // Per-call deadline handed to the resilient client.
+  double attempt_timeout_ms = 250.0;  // Per-attempt connect + exchange bound.
+  // Extra wall allowance past the deadline before a call counts as hung: the last attempt
+  // may start just inside the deadline and still run its attempt timeout.
+  double hang_slack_ms = 1500.0;
+  std::string repro_dir;  // Non-empty: failing plans are dumped here.
+  bool verbose = false;   // Progress lines to stderr every 50 plans.
+};
+
+struct WireCampaignFailure {
+  int plan_index = 0;
+  WirePlan plan;
+  WirePlan shrunk;
+  std::string reason;
+};
+
+struct WireCampaignResult {
+  int plans_run = 0;
+  uint64_t calls = 0;
+  uint64_t ok = 0;
+  std::map<std::string, uint64_t> statuses;  // Status name → resolution count.
+  uint64_t retries = 0;
+  uint64_t hedges = 0;
+  uint64_t proxy_faults_fired = 0;
+  std::vector<WireCampaignFailure> failures;
+
+  std::string Describe() const;
+};
+
+// Starts one in-process QueryServer + TcpServer, then runs every plan's workload through
+// a fresh ChaosProxy + ResilientClient pair. A non-OK Result means the harness itself
+// could not run (server failed to start); plan failures are reported in the result.
+Result<WireCampaignResult> RunWireCampaign(const WireCampaignOptions& options);
+
+}  // namespace probcon::wirechaos
+
+#endif  // PROBCON_SRC_WIRECHAOS_CAMPAIGN_H_

@@ -1,0 +1,530 @@
+#include "src/wirechaos/proxy.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "src/common/rng.h"
+
+namespace probcon::wirechaos {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Per-leg buffering cap: a stalled sink backpressures its source at this point.
+constexpr size_t kLegBufferCap = 256 * 1024;
+
+// The deterministic corruption mask for garble faults: byte `index` of the SplitMix64
+// stream keyed by the fault's seed. Zero masks are remapped so every garbled byte really
+// changes on the wire.
+uint8_t GarbleMask(uint64_t seed, uint64_t index) {
+  uint64_t state = seed + index / 8;
+  const uint64_t word = SplitMix64(state);
+  const auto mask = static_cast<uint8_t>((word >> (8 * (index % 8))) & 0xff);
+  return mask == 0 ? 0xA5 : mask;
+}
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void SetAbortOnClose(int fd) {
+  // SO_LINGER with a zero timeout turns close() into an RST.
+  struct linger hard {};
+  hard.l_onoff = 1;
+  hard.l_linger = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+}
+
+struct FaultState {
+  WireFault fault;
+  bool fired = false;
+};
+
+}  // namespace
+
+struct ProxyConn {
+  int client_fd = -1;
+  int server_fd = -1;
+  int dup_fd = -1;
+  int index = 0;
+  bool dead = false;
+  bool close_pending = false;  // A close/abort fault fired; flush then tear down.
+  bool close_abort = false;
+  int close_leg = 0;
+  uint64_t dup_budget = 0;
+
+  struct Leg {
+    std::string buf;  // Transformed bytes read from the source, pending write to the sink.
+    size_t off = 0;
+    uint64_t in_bytes = 0;  // Raw source-stream offset — the basis for fault triggers.
+    bool src_eof = false;
+    bool sink_shutdown = false;
+    bool stalled = false;
+    Clock::time_point resume_at{};
+    bool dripping = false;
+    Clock::time_point next_drip{};
+    uint64_t drip_chunk = 0;
+    double drip_gap_ms = 0.0;
+    std::vector<FaultState> faults;
+
+    size_t pending() const { return buf.size() - off; }
+  };
+  Leg legs[2];  // [0] = client_to_server, [1] = server_to_client.
+};
+
+ChaosProxy::ChaosProxy(uint16_t upstream_port, WirePlan plan)
+    : upstream_port_(upstream_port), plan_(std::move(plan)) {}
+
+ChaosProxy::~ChaosProxy() { Stop(); }
+
+Status ChaosProxy::Start() {
+  RETURN_IF_ERROR(plan_.Validate());
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return InternalError(std::string("proxy socket(): ") + std::strerror(errno));
+  }
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = 0;
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) !=
+      0) {
+    return InternalError(std::string("proxy bind(): ") + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    return InternalError(std::string("proxy listen(): ") + std::strerror(errno));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    return InternalError(std::string("proxy getsockname(): ") + std::strerror(errno));
+  }
+  port_ = ntohs(bound.sin_port);
+  SetNonBlocking(listen_fd_);
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { Loop(); });
+  started_ = true;
+  return Status::Ok();
+}
+
+void ChaosProxy::Stop() {
+  if (!started_) {
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return;
+  }
+  stop_.store(true, std::memory_order_relaxed);
+  thread_.join();
+  started_ = false;
+}
+
+ChaosProxy::Counters ChaosProxy::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+void ChaosProxy::HandleAccept() {
+  while (true) {
+    const int client_fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (client_fd < 0) {
+      return;  // EAGAIN, or a transient error the next poll retries.
+    }
+    SetNonBlocking(client_fd);
+    const int enable = 1;
+    ::setsockopt(client_fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+
+    int index = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      index = static_cast<int>(counters_.accepted++);
+    }
+
+    // Connect-level faults fire before any upstream socket exists.
+    bool refused = false;
+    bool refuse_abort = false;
+    uint64_t dup_budget = 0;
+    for (const WireFault& fault : plan_.faults) {
+      if (fault.conn_index != index) continue;
+      if (fault.kind == WireFaultKind::kRefuseConnect) {
+        refused = true;
+      } else if (fault.kind == WireFaultKind::kAbortConnect) {
+        refused = true;
+        refuse_abort = true;
+      } else if (fault.kind == WireFaultKind::kDuplicateConnect) {
+        dup_budget = fault.dup_bytes;
+      }
+    }
+    if (refused) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.faults_fired;
+      }
+      if (refuse_abort) SetAbortOnClose(client_fd);
+      ::close(client_fd);
+      continue;
+    }
+
+    // Upstream connect is blocking: the target is the in-process server on loopback.
+    const int server_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in upstream{};
+    upstream.sin_family = AF_INET;
+    upstream.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    upstream.sin_port = htons(upstream_port_);
+    if (server_fd < 0 ||
+        ::connect(server_fd, reinterpret_cast<const sockaddr*>(&upstream),
+                  sizeof(upstream)) != 0) {
+      if (server_fd >= 0) ::close(server_fd);
+      ::close(client_fd);
+      continue;
+    }
+    SetNonBlocking(server_fd);
+    ::setsockopt(server_fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+
+    auto conn = std::make_unique<ProxyConn>();
+    conn->client_fd = client_fd;
+    conn->server_fd = server_fd;
+    conn->index = index;
+    conn->dup_budget = dup_budget;
+    for (const WireFault& fault : plan_.faults) {
+      if (fault.conn_index != index) continue;
+      switch (fault.kind) {
+        case WireFaultKind::kRefuseConnect:
+        case WireFaultKind::kAbortConnect:
+          break;
+        case WireFaultKind::kDuplicateConnect: {
+          const int dup_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+          if (dup_fd >= 0 &&
+              ::connect(dup_fd, reinterpret_cast<const sockaddr*>(&upstream),
+                        sizeof(upstream)) == 0) {
+            SetNonBlocking(dup_fd);
+            conn->dup_fd = dup_fd;
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++counters_.faults_fired;
+          } else if (dup_fd >= 0) {
+            ::close(dup_fd);
+          }
+          break;
+        }
+        default:
+          conn->legs[static_cast<int>(fault.direction)].faults.push_back(
+              FaultState{fault, false});
+          break;
+      }
+    }
+    conns_.push_back(std::move(conn));
+  }
+}
+
+namespace {
+
+// Fires threshold faults that the stream offset has reached — including offset 0 at
+// accept, before any bytes flow.
+void ArmThresholdFaults(ProxyConn& conn, int leg_index, Clock::time_point now,
+                        uint64_t* faults_fired) {
+  ProxyConn::Leg& leg = conn.legs[leg_index];
+  for (FaultState& state : leg.faults) {
+    if (state.fired) continue;
+    const WireFault& fault = state.fault;
+    if (fault.after_bytes > leg.in_bytes) continue;
+    switch (fault.kind) {
+      case WireFaultKind::kStall:
+        state.fired = true;
+        ++*faults_fired;
+        leg.stalled = true;
+        leg.resume_at =
+            now + std::chrono::microseconds(static_cast<int64_t>(fault.stall_ms * 1000.0));
+        break;
+      case WireFaultKind::kSlowDrip:
+        state.fired = true;
+        ++*faults_fired;
+        leg.dripping = true;
+        leg.next_drip = now;
+        leg.drip_chunk = fault.drip_bytes;
+        leg.drip_gap_ms = fault.drip_ms;
+        break;
+      case WireFaultKind::kCloseAfter:
+      case WireFaultKind::kAbortAfter:
+        state.fired = true;
+        ++*faults_fired;
+        conn.close_pending = true;
+        conn.close_abort = fault.kind == WireFaultKind::kAbortAfter;
+        conn.close_leg = leg_index;
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+// Applies byte-level transforms (close trim, truncation, garbling) to a freshly read raw
+// chunk and appends the surviving bytes to the leg buffer.
+void IngestChunk(ProxyConn& conn, int leg_index, const char* data, size_t size,
+                 Clock::time_point now, uint64_t* faults_fired) {
+  ProxyConn::Leg& leg = conn.legs[leg_index];
+  const uint64_t base = leg.in_bytes;
+  for (size_t i = 0; i < size && !conn.close_pending; ++i) {
+    const uint64_t raw = base + i;
+    auto byte = static_cast<uint8_t>(data[i]);
+    bool drop = false;
+    for (FaultState& state : leg.faults) {
+      const WireFault& fault = state.fault;
+      switch (fault.kind) {
+        case WireFaultKind::kCloseAfter:
+        case WireFaultKind::kAbortAfter:
+          if (!state.fired && raw >= fault.after_bytes) {
+            state.fired = true;
+            ++*faults_fired;
+            conn.close_pending = true;
+            conn.close_abort = fault.kind == WireFaultKind::kAbortAfter;
+            conn.close_leg = leg_index;
+          }
+          break;
+        case WireFaultKind::kTruncate:
+          if (raw >= fault.after_bytes && raw < fault.after_bytes + fault.skip_bytes) {
+            if (!state.fired) {
+              state.fired = true;
+              ++*faults_fired;
+            }
+            drop = true;
+          }
+          break;
+        case WireFaultKind::kGarble:
+          if (raw >= fault.after_bytes && raw < fault.after_bytes + fault.garble_bytes) {
+            if (!state.fired) {
+              state.fired = true;
+              ++*faults_fired;
+            }
+            byte ^= GarbleMask(fault.garble_seed, raw - fault.after_bytes);
+          }
+          break;
+        default:
+          break;
+      }
+      if (conn.close_pending) break;
+    }
+    if (conn.close_pending) break;
+    if (!drop) leg.buf.push_back(static_cast<char>(byte));
+  }
+  leg.in_bytes += size;
+  ArmThresholdFaults(conn, leg_index, now, faults_fired);
+}
+
+}  // namespace
+
+void ChaosProxy::CloseConn(ProxyConn& conn) {
+  if (conn.close_abort) {
+    if (conn.client_fd >= 0) SetAbortOnClose(conn.client_fd);
+    if (conn.server_fd >= 0) SetAbortOnClose(conn.server_fd);
+  }
+  if (conn.client_fd >= 0) ::close(conn.client_fd);
+  if (conn.server_fd >= 0) ::close(conn.server_fd);
+  if (conn.dup_fd >= 0) ::close(conn.dup_fd);
+  conn.client_fd = conn.server_fd = conn.dup_fd = -1;
+  conn.dead = true;
+}
+
+bool ChaosProxy::PumpConn(ProxyConn& conn) {
+  const Clock::time_point now = Clock::now();
+  uint64_t faults_fired = 0;
+  uint64_t forwarded[2] = {0, 0};
+  char buffer[16 * 1024];
+
+  ArmThresholdFaults(conn, 0, now, &faults_fired);
+  ArmThresholdFaults(conn, 1, now, &faults_fired);
+
+  for (int leg_index = 0; leg_index < 2 && !conn.dead; ++leg_index) {
+    ProxyConn::Leg& leg = conn.legs[leg_index];
+    const int src = leg_index == 0 ? conn.client_fd : conn.server_fd;
+    const int sink = leg_index == 0 ? conn.server_fd : conn.client_fd;
+
+    // Read from the source through the fault transforms.
+    while (!leg.src_eof && !conn.close_pending && leg.pending() < kLegBufferCap) {
+      const ssize_t received = ::recv(src, buffer, sizeof(buffer), 0);
+      if (received > 0) {
+        if (leg_index == 0 && conn.dup_budget > 0 && conn.dup_fd >= 0) {
+          const auto mirror =
+              std::min<uint64_t>(conn.dup_budget, static_cast<uint64_t>(received));
+          ::send(conn.dup_fd, buffer, static_cast<size_t>(mirror), MSG_NOSIGNAL);
+          conn.dup_budget -= mirror;
+          if (conn.dup_budget == 0) {
+            // The ghost connection dies abruptly once its mirrored prefix is spent.
+            ::close(conn.dup_fd);
+            conn.dup_fd = -1;
+          }
+        }
+        IngestChunk(conn, leg_index, buffer, static_cast<size_t>(received), now,
+                    &faults_fired);
+        continue;
+      }
+      if (received == 0) {
+        leg.src_eof = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      conn.dead = true;
+      break;
+    }
+    if (conn.dead) break;
+
+    // Write to the sink, honoring stall and slow-drip pacing.
+    while (leg.pending() > 0) {
+      if (leg.stalled) {
+        if (now < leg.resume_at) break;
+        leg.stalled = false;
+      }
+      size_t limit = leg.pending();
+      if (leg.dripping) {
+        if (now < leg.next_drip) break;
+        limit = std::min<size_t>(limit, leg.drip_chunk);
+      }
+      const ssize_t sent = ::send(sink, leg.buf.data() + leg.off, limit, MSG_NOSIGNAL);
+      if (sent > 0) {
+        leg.off += static_cast<size_t>(sent);
+        forwarded[leg_index] += static_cast<uint64_t>(sent);
+        if (leg.off == leg.buf.size()) {
+          leg.buf.clear();
+          leg.off = 0;
+        }
+        if (leg.dripping) {
+          leg.next_drip = now + std::chrono::microseconds(
+                                    static_cast<int64_t>(leg.drip_gap_ms * 1000.0));
+          break;  // One chunk per pacing interval.
+        }
+        continue;
+      }
+      if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (sent < 0 && errno == EINTR) continue;
+      conn.dead = true;
+      break;
+    }
+    if (conn.dead) break;
+
+    // Propagate a drained half-close.
+    if (leg.src_eof && leg.pending() == 0 && !leg.sink_shutdown) {
+      ::shutdown(sink, SHUT_WR);
+      leg.sink_shutdown = true;
+    }
+  }
+
+  // Drain (and discard) anything the server sends to a ghost duplicate connection.
+  while (conn.dup_fd >= 0) {
+    const ssize_t received = ::recv(conn.dup_fd, buffer, sizeof(buffer), 0);
+    if (received > 0) continue;
+    if (received < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (received < 0 && errno == EINTR) continue;
+    ::close(conn.dup_fd);
+    conn.dup_fd = -1;
+  }
+
+  if (faults_fired > 0 || forwarded[0] > 0 || forwarded[1] > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.faults_fired += faults_fired;
+    counters_.client_to_server_bytes += forwarded[0];
+    counters_.server_to_client_bytes += forwarded[1];
+  }
+
+  if (conn.dead) {
+    CloseConn(conn);
+    return false;
+  }
+  if (conn.close_pending && conn.legs[conn.close_leg].pending() == 0) {
+    CloseConn(conn);
+    return false;
+  }
+  if (conn.legs[0].src_eof && conn.legs[0].pending() == 0 && conn.legs[1].src_eof &&
+      conn.legs[1].pending() == 0) {
+    CloseConn(conn);
+    return false;
+  }
+  return true;
+}
+
+void ChaosProxy::Loop() {
+  std::vector<pollfd> fds;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const Clock::time_point now = Clock::now();
+    fds.clear();
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+
+    int timeout_ms = 50;
+    auto consider_wake = [&](Clock::time_point when) {
+      const auto delta =
+          std::chrono::duration_cast<std::chrono::milliseconds>(when - now).count();
+      timeout_ms = std::max(1, std::min<int>(timeout_ms, static_cast<int>(delta) + 1));
+    };
+    for (const auto& conn : conns_) {
+      short client_events = 0;
+      short server_events = 0;
+      for (int leg_index = 0; leg_index < 2; ++leg_index) {
+        const ProxyConn::Leg& leg = conn->legs[leg_index];
+        const bool wants_read =
+            !leg.src_eof && !conn->close_pending && leg.pending() < kLegBufferCap;
+        bool writable_now = leg.pending() > 0;
+        if (writable_now && leg.stalled) {
+          if (now < leg.resume_at) {
+            writable_now = false;
+            consider_wake(leg.resume_at);
+          }
+        }
+        if (writable_now && leg.dripping && now < leg.next_drip) {
+          writable_now = false;
+          consider_wake(leg.next_drip);
+        }
+        if (leg_index == 0) {
+          if (wants_read) client_events |= POLLIN;
+          if (writable_now) server_events |= POLLOUT;
+        } else {
+          if (wants_read) server_events |= POLLIN;
+          if (writable_now) client_events |= POLLOUT;
+        }
+      }
+      fds.push_back(pollfd{conn->client_fd, client_events, 0});
+      fds.push_back(pollfd{conn->server_fd, server_events, 0});
+      if (conn->dup_fd >= 0) {
+        fds.push_back(pollfd{conn->dup_fd, POLLIN, 0});
+      }
+    }
+
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0 && errno != EINTR) break;
+
+    if ((fds[0].revents & POLLIN) != 0) HandleAccept();
+
+    // Pump every connection each wakeup: timers may have expired even without IO events,
+    // and the per-socket syscalls are nonblocking anyway.
+    for (size_t i = 0; i < conns_.size();) {
+      if (PumpConn(*conns_[i])) {
+        ++i;
+      } else {
+        conns_.erase(conns_.begin() + static_cast<long>(i));
+      }
+    }
+  }
+
+  for (const auto& conn : conns_) {
+    CloseConn(*conn);
+  }
+  conns_.clear();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+}  // namespace probcon::wirechaos

@@ -1,0 +1,80 @@
+// ChaosProxy — an in-process, fault-injecting TCP relay for the serving path.
+//
+// The proxy listens on an ephemeral loopback port and forwards each accepted connection to
+// the upstream probcond transport, applying the WirePlan's faults to the byte streams in
+// between: clean closes and RST aborts mid-frame, silent truncation (framing desync),
+// seeded garbling of length prefixes and payload bytes, bounded stalls, slow-dripped
+// responses, and ghost duplicate connects. Faults address connections by accept order and
+// byte offsets in the raw source stream, so a plan replays deterministically against the
+// same client workload (modulo wall-clock timing, which only stretches — never reorders —
+// each stream).
+//
+// One background thread runs a poll() loop over the listener and every proxied socket; the
+// proxy never blocks the caller, and Stop() (also run by the destructor) tears everything
+// down promptly. Buffering per direction is capped, so a stalled sink backpressures its
+// source instead of growing without bound.
+
+#ifndef PROBCON_SRC_WIRECHAOS_PROXY_H_
+#define PROBCON_SRC_WIRECHAOS_PROXY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/wirechaos/wire_plan.h"
+
+namespace probcon::wirechaos {
+
+struct ProxyConn;  // One proxied connection; defined in proxy.cc.
+
+class ChaosProxy {
+ public:
+  // `upstream_port` is the live TcpServer's loopback port. The plan is validated and the
+  // listener bound in Start().
+  ChaosProxy(uint16_t upstream_port, WirePlan plan);
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  Status Start();
+  void Stop();
+
+  // The proxy's own listening port; valid after Start() succeeds.
+  uint16_t port() const { return port_; }
+
+  struct Counters {
+    uint64_t accepted = 0;
+    uint64_t faults_fired = 0;
+    uint64_t client_to_server_bytes = 0;  // Bytes forwarded after fault transforms.
+    uint64_t server_to_client_bytes = 0;
+  };
+  Counters counters() const;
+
+ private:
+  void Loop();
+  void HandleAccept();
+  bool PumpConn(ProxyConn& conn);  // Returns false once the connection is finished.
+  void CloseConn(ProxyConn& conn);
+
+  const uint16_t upstream_port_;
+  const WirePlan plan_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+
+  mutable std::mutex mutex_;
+  Counters counters_;
+  std::vector<std::unique_ptr<ProxyConn>> conns_;
+};
+
+}  // namespace probcon::wirechaos
+
+#endif  // PROBCON_SRC_WIRECHAOS_PROXY_H_

@@ -1,0 +1,345 @@
+#include "src/wirechaos/wire_plan.h"
+
+#include <array>
+#include <sstream>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/json.h"
+#include "src/common/rng.h"
+
+namespace probcon::wirechaos {
+namespace {
+
+constexpr std::array<std::string_view, kWireFaultKindCount> kFaultNames = {
+    "refuse_connect", "abort_connect", "close_after",       "abort_after", "truncate",
+    "garble",         "stall",         "slow_drip",         "duplicate_connect",
+};
+
+constexpr std::array<std::string_view, 2> kDirectionNames = {"client_to_server",
+                                                             "server_to_client"};
+
+constexpr std::string_view kWhat = "wire plan JSON";
+
+Result<WireFault> FaultFromJson(const Json& object) {
+  if (!object.IsObject()) {
+    return InvalidArgumentError("wire plan JSON: each fault must be an object");
+  }
+  const Json* kind_field = object.Find("kind");
+  if (kind_field == nullptr || !kind_field->IsString()) {
+    return InvalidArgumentError("wire plan JSON: fault missing string field 'kind'");
+  }
+  Result<WireFaultKind> kind = WireFaultKindFromName(kind_field->text);
+  if (!kind.ok()) return kind.status();
+
+  WireFault fault;
+  fault.kind = *kind;
+  RETURN_IF_ERROR(JsonReadInt(object, "conn", &fault.conn_index, kWhat));
+  std::string direction(kDirectionNames[0]);
+  RETURN_IF_ERROR(JsonReadString(object, "direction", &direction, kWhat));
+  if (direction == kDirectionNames[0]) {
+    fault.direction = WireDirection::kClientToServer;
+  } else if (direction == kDirectionNames[1]) {
+    fault.direction = WireDirection::kServerToClient;
+  } else {
+    return InvalidArgumentError("wire plan JSON: unknown direction '" + direction + "'");
+  }
+  RETURN_IF_ERROR(JsonReadUint64(object, "after_bytes", &fault.after_bytes, kWhat));
+  RETURN_IF_ERROR(JsonReadUint64(object, "skip_bytes", &fault.skip_bytes, kWhat));
+  RETURN_IF_ERROR(JsonReadUint64(object, "garble_bytes", &fault.garble_bytes, kWhat));
+  RETURN_IF_ERROR(JsonReadUint64(object, "garble_seed", &fault.garble_seed, kWhat));
+  RETURN_IF_ERROR(JsonReadDouble(object, "stall_ms", &fault.stall_ms, kWhat));
+  RETURN_IF_ERROR(JsonReadUint64(object, "drip_bytes", &fault.drip_bytes, kWhat));
+  RETURN_IF_ERROR(JsonReadDouble(object, "drip_ms", &fault.drip_ms, kWhat));
+  RETURN_IF_ERROR(JsonReadUint64(object, "dup_bytes", &fault.dup_bytes, kWhat));
+  return fault;
+}
+
+void AppendFaultJson(const WireFault& fault, std::string* out) {
+  auto field = [out](std::string_view key, const std::string& value, bool* first) {
+    if (!*first) *out += ", ";
+    *first = false;
+    *out += "\"";
+    *out += key;
+    *out += "\": ";
+    *out += value;
+  };
+  bool first = true;
+  *out += "    {";
+  field("kind", "\"" + std::string(WireFaultKindName(fault.kind)) + "\"", &first);
+  field("conn", std::to_string(fault.conn_index), &first);
+  switch (fault.kind) {
+    case WireFaultKind::kRefuseConnect:
+    case WireFaultKind::kAbortConnect:
+      break;
+    case WireFaultKind::kCloseAfter:
+    case WireFaultKind::kAbortAfter:
+      field("direction", "\"" + std::string(WireDirectionName(fault.direction)) + "\"",
+            &first);
+      field("after_bytes", std::to_string(fault.after_bytes), &first);
+      break;
+    case WireFaultKind::kTruncate:
+      field("direction", "\"" + std::string(WireDirectionName(fault.direction)) + "\"",
+            &first);
+      field("after_bytes", std::to_string(fault.after_bytes), &first);
+      field("skip_bytes", std::to_string(fault.skip_bytes), &first);
+      break;
+    case WireFaultKind::kGarble:
+      field("direction", "\"" + std::string(WireDirectionName(fault.direction)) + "\"",
+            &first);
+      field("after_bytes", std::to_string(fault.after_bytes), &first);
+      field("garble_bytes", std::to_string(fault.garble_bytes), &first);
+      field("garble_seed", std::to_string(fault.garble_seed), &first);
+      break;
+    case WireFaultKind::kStall:
+      field("direction", "\"" + std::string(WireDirectionName(fault.direction)) + "\"",
+            &first);
+      field("after_bytes", std::to_string(fault.after_bytes), &first);
+      field("stall_ms", FormatDouble(fault.stall_ms), &first);
+      break;
+    case WireFaultKind::kSlowDrip:
+      field("direction", "\"" + std::string(WireDirectionName(fault.direction)) + "\"",
+            &first);
+      field("after_bytes", std::to_string(fault.after_bytes), &first);
+      field("drip_bytes", std::to_string(fault.drip_bytes), &first);
+      field("drip_ms", FormatDouble(fault.drip_ms), &first);
+      break;
+    case WireFaultKind::kDuplicateConnect:
+      field("dup_bytes", std::to_string(fault.dup_bytes), &first);
+      break;
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+std::string_view WireFaultKindName(WireFaultKind kind) {
+  const int index = static_cast<int>(kind);
+  CHECK(index >= 0 && index < kWireFaultKindCount);
+  return kFaultNames[index];
+}
+
+Result<WireFaultKind> WireFaultKindFromName(std::string_view name) {
+  for (int i = 0; i < kWireFaultKindCount; ++i) {
+    if (kFaultNames[i] == name) {
+      return static_cast<WireFaultKind>(i);
+    }
+  }
+  return InvalidArgumentError("unknown wire fault kind '" + std::string(name) + "'");
+}
+
+std::string_view WireDirectionName(WireDirection direction) {
+  return kDirectionNames[static_cast<int>(direction)];
+}
+
+bool WireFault::operator==(const WireFault& other) const {
+  return kind == other.kind && conn_index == other.conn_index &&
+         direction == other.direction && after_bytes == other.after_bytes &&
+         skip_bytes == other.skip_bytes && garble_bytes == other.garble_bytes &&
+         garble_seed == other.garble_seed && stall_ms == other.stall_ms &&
+         drip_bytes == other.drip_bytes && drip_ms == other.drip_ms &&
+         dup_bytes == other.dup_bytes;
+}
+
+std::string WireFault::Describe() const {
+  std::ostringstream os;
+  os << WireFaultKindName(kind) << " conn=" << conn_index;
+  switch (kind) {
+    case WireFaultKind::kRefuseConnect:
+    case WireFaultKind::kAbortConnect:
+      break;
+    case WireFaultKind::kCloseAfter:
+    case WireFaultKind::kAbortAfter:
+      os << " " << WireDirectionName(direction) << " after=" << after_bytes << "B";
+      break;
+    case WireFaultKind::kTruncate:
+      os << " " << WireDirectionName(direction) << " after=" << after_bytes << "B skip="
+         << skip_bytes << "B";
+      break;
+    case WireFaultKind::kGarble:
+      os << " " << WireDirectionName(direction) << " after=" << after_bytes << "B garble="
+         << garble_bytes << "B seed=" << garble_seed;
+      break;
+    case WireFaultKind::kStall:
+      os << " " << WireDirectionName(direction) << " after=" << after_bytes << "B stall="
+         << FormatDouble(stall_ms) << "ms";
+      break;
+    case WireFaultKind::kSlowDrip:
+      os << " " << WireDirectionName(direction) << " after=" << after_bytes << "B chunk="
+         << drip_bytes << "B gap=" << FormatDouble(drip_ms) << "ms";
+      break;
+    case WireFaultKind::kDuplicateConnect:
+      os << " dup=" << dup_bytes << "B";
+      break;
+  }
+  return os.str();
+}
+
+bool WirePlan::operator==(const WirePlan& other) const {
+  return seed == other.seed && faults == other.faults;
+}
+
+Status WirePlan::Validate() const {
+  for (size_t i = 0; i < faults.size(); ++i) {
+    const WireFault& fault = faults[i];
+    const std::string where =
+        "fault " + std::to_string(i) + " (" + std::string(WireFaultKindName(fault.kind)) +
+        ")";
+    if (fault.conn_index < 0 || fault.conn_index >= kMaxWireConnIndex) {
+      return OutOfRangeError(where + ": conn must be in [0, " +
+                             std::to_string(kMaxWireConnIndex) + ")");
+    }
+    if (fault.after_bytes > kMaxWireOffsetBytes) {
+      return OutOfRangeError(where + ": after_bytes exceeds " +
+                             std::to_string(kMaxWireOffsetBytes));
+    }
+    switch (fault.kind) {
+      case WireFaultKind::kRefuseConnect:
+      case WireFaultKind::kAbortConnect:
+      case WireFaultKind::kCloseAfter:
+      case WireFaultKind::kAbortAfter:
+        break;
+      case WireFaultKind::kTruncate:
+        if (fault.skip_bytes < 1 || fault.skip_bytes > kMaxWireOffsetBytes) {
+          return InvalidArgumentError(where + ": skip_bytes must be in [1, " +
+                                      std::to_string(kMaxWireOffsetBytes) + "]");
+        }
+        break;
+      case WireFaultKind::kGarble:
+        if (fault.garble_bytes < 1 || fault.garble_bytes > kMaxWireGarbleBytes) {
+          return InvalidArgumentError(where + ": garble_bytes must be in [1, " +
+                                      std::to_string(kMaxWireGarbleBytes) + "]");
+        }
+        break;
+      case WireFaultKind::kStall:
+        if (fault.stall_ms < 0.0 || fault.stall_ms > kMaxWireStallMs) {
+          return InvalidArgumentError(where + ": stall_ms must be in [0, " +
+                                      FormatDouble(kMaxWireStallMs) + "]");
+        }
+        break;
+      case WireFaultKind::kSlowDrip:
+        if (fault.drip_bytes < 1) {
+          return InvalidArgumentError(where + ": drip_bytes must be >= 1");
+        }
+        if (fault.drip_ms < 0.0 || fault.drip_ms > kMaxWireDripMs) {
+          return InvalidArgumentError(where + ": drip_ms must be in [0, " +
+                                      FormatDouble(kMaxWireDripMs) + "]");
+        }
+        break;
+      case WireFaultKind::kDuplicateConnect:
+        if (fault.dup_bytes < 1 || fault.dup_bytes > kMaxWireOffsetBytes) {
+          return InvalidArgumentError(where + ": dup_bytes must be in [1, " +
+                                      std::to_string(kMaxWireOffsetBytes) + "]");
+        }
+        break;
+    }
+  }
+  return Status::Ok();
+}
+
+std::string WirePlan::ToJson() const {
+  std::string out = "{\n";
+  out += "  \"seed\": " + std::to_string(seed) + ",\n";
+  out += "  \"faults\": [";
+  for (size_t i = 0; i < faults.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    AppendFaultJson(faults[i], &out);
+  }
+  out += faults.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+Result<WirePlan> WirePlan::FromJson(std::string_view text) {
+  Result<Json> root = ParseJson(text, kWhat);
+  if (!root.ok()) return root.status();
+  if (!root->IsObject()) {
+    return InvalidArgumentError("wire plan JSON: top-level value must be an object");
+  }
+  WirePlan plan;
+  RETURN_IF_ERROR(JsonReadUint64(*root, "seed", &plan.seed, kWhat));
+  const Json* faults = root->Find("faults");
+  if (faults != nullptr) {
+    if (!faults->IsArray()) {
+      return InvalidArgumentError("wire plan JSON: 'faults' must be an array");
+    }
+    for (const Json& item : faults->items) {
+      Result<WireFault> fault = FaultFromJson(item);
+      if (!fault.ok()) return fault.status();
+      plan.faults.push_back(std::move(*fault));
+    }
+  }
+  return plan;
+}
+
+std::string WirePlan::Describe() const {
+  std::ostringstream os;
+  os << "wire plan: seed=" << seed << " " << faults.size() << " fault(s)";
+  for (const WireFault& fault : faults) {
+    os << "\n  " << fault.Describe();
+  }
+  return os.str();
+}
+
+WirePlan GenerateWirePlan(uint64_t seed) {
+  WirePlan plan;
+  plan.seed = seed;
+  Rng rng(DeriveStreamSeed(seed, 0x77697265u));  // "wire"
+  const int fault_count = static_cast<int>(rng.NextInRange(1, 5));
+  for (int i = 0; i < fault_count; ++i) {
+    WireFault fault;
+    fault.kind = static_cast<WireFaultKind>(rng.NextBelow(kWireFaultKindCount));
+    // Connection indices are geometric-ish: most faults hit the first few connections a
+    // retrying client will open, so a plan usually bites instead of idling.
+    fault.conn_index = static_cast<int>(rng.NextBelow(rng.NextBernoulli(0.75) ? 3 : 8));
+    // Drawn for every fault so the stream position per fault is fixed, but assigned only
+    // for the kinds that serialize them — fields outside a kind's parameter subset must
+    // stay at their defaults for ToJson/FromJson to round-trip structurally.
+    const WireDirection direction = rng.NextBernoulli(0.5)
+                                        ? WireDirection::kClientToServer
+                                        : WireDirection::kServerToClient;
+    // Offsets cluster on the first frame: inside the 8-byte header with probability ~1/2,
+    // else somewhere in the first ~600 bytes of the stream.
+    const uint64_t after_bytes =
+        rng.NextBernoulli(0.5) ? rng.NextBelow(13) : rng.NextBelow(600);
+    switch (fault.kind) {
+      case WireFaultKind::kRefuseConnect:
+      case WireFaultKind::kAbortConnect:
+        break;
+      case WireFaultKind::kCloseAfter:
+      case WireFaultKind::kAbortAfter:
+        fault.direction = direction;
+        fault.after_bytes = after_bytes;
+        break;
+      case WireFaultKind::kTruncate:
+        fault.direction = direction;
+        fault.after_bytes = after_bytes;
+        fault.skip_bytes = 1 + rng.NextBelow(16);
+        break;
+      case WireFaultKind::kGarble:
+        fault.direction = direction;
+        fault.after_bytes = after_bytes;
+        fault.garble_bytes = 1 + rng.NextBelow(12);
+        fault.garble_seed = rng.Next() | 1u;
+        break;
+      case WireFaultKind::kStall:
+        fault.direction = direction;
+        fault.after_bytes = after_bytes;
+        fault.stall_ms = static_cast<double>(rng.NextInRange(5, 400));
+        break;
+      case WireFaultKind::kSlowDrip:
+        fault.direction = direction;
+        fault.after_bytes = after_bytes;
+        fault.drip_bytes = 1 + rng.NextBelow(7);
+        fault.drip_ms = static_cast<double>(rng.NextInRange(1, 20));
+        break;
+      case WireFaultKind::kDuplicateConnect:
+        fault.dup_bytes = 1 + rng.NextBelow(256);
+        break;
+    }
+    plan.faults.push_back(fault);
+  }
+  return plan;
+}
+
+}  // namespace probcon::wirechaos

@@ -1,0 +1,108 @@
+// Wire-level chaos plans for the real serving path.
+//
+// A WirePlan is a typed, JSON-serializable schedule of transport faults injected between a
+// real client socket and the probcond TCP server by the in-process ChaosProxy
+// (src/wirechaos/proxy.h). It mirrors the src/chaos plan/regime structure — "chaos as
+// data, not code" — but targets the byte stream instead of the simulated network: a fault
+// addresses one proxied connection (by accept order), one direction of its stream, and a
+// byte offset at which it fires.
+//
+// Everything is deterministic: GenerateWirePlan(seed) is a pure function of the seed, a
+// garble fault's corruption bytes come from a SplitMix64 stream keyed by the fault's own
+// seed, and a plan round-trips through ToJson/FromJson byte-identically, so a failing plan
+// dumped by the campaign runner replays exactly.
+
+#ifndef PROBCON_SRC_WIRECHAOS_WIRE_PLAN_H_
+#define PROBCON_SRC_WIRECHAOS_WIRE_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace probcon::wirechaos {
+
+enum class WireFaultKind : int {
+  kRefuseConnect = 0,  // Close the client connection immediately at accept (clean FIN).
+  kAbortConnect,       // Reset the client connection at accept (RST via SO_LINGER 0).
+  kCloseAfter,         // Clean close of both legs after forwarding `after_bytes` (FIN
+                       // mid-frame when the offset lands inside one).
+  kAbortAfter,         // RST-style abort of both legs after forwarding `after_bytes`.
+  kTruncate,           // Silently delete `skip_bytes` from the stream at `after_bytes` and
+                       // keep forwarding — desynchronizes length-prefixed framing.
+  kGarble,             // XOR `garble_bytes` bytes starting at `after_bytes` with a
+                       // SplitMix64 stream keyed by `garble_seed` (corrupts length
+                       // prefixes, magics, or payload JSON depending on the offset).
+  kStall,              // Pause forwarding of the direction for `stall_ms` once
+                       // `after_bytes` have been forwarded.
+  kSlowDrip,           // Forward the direction in `drip_bytes` chunks separated by
+                       // `drip_ms` gaps once `after_bytes` have been forwarded.
+  kDuplicateConnect,   // Mirror the first `dup_bytes` client bytes into a second upstream
+                       // connection (a retrying client's ghost double-send).
+};
+inline constexpr int kWireFaultKindCount = 9;
+
+std::string_view WireFaultKindName(WireFaultKind kind);
+Result<WireFaultKind> WireFaultKindFromName(std::string_view name);
+
+enum class WireDirection : int {
+  kClientToServer = 0,
+  kServerToClient,
+};
+
+std::string_view WireDirectionName(WireDirection direction);
+
+// One fault, addressed to (connection accept index, stream direction, byte offset). Only
+// the parameter subset for `kind` is meaningful (and serialized); the rest stay at their
+// defaults so operator== is structural.
+struct WireFault {
+  WireFaultKind kind = WireFaultKind::kCloseAfter;
+  int conn_index = 0;       // Which proxied connection, in accept order.
+  WireDirection direction = WireDirection::kClientToServer;
+  uint64_t after_bytes = 0;  // Stream offset (bytes forwarded in `direction`) that arms it.
+  uint64_t skip_bytes = 0;   // kTruncate: bytes silently deleted.
+  uint64_t garble_bytes = 0;  // kGarble: bytes XOR-corrupted.
+  uint64_t garble_seed = 1;   // kGarble: SplitMix64 key for the corruption mask.
+  double stall_ms = 0.0;      // kStall: forwarding pause.
+  uint64_t drip_bytes = 0;    // kSlowDrip: chunk size.
+  double drip_ms = 0.0;       // kSlowDrip: gap between chunks.
+  uint64_t dup_bytes = 0;     // kDuplicateConnect: mirrored client prefix.
+
+  bool operator==(const WireFault& other) const;
+  std::string Describe() const;
+};
+
+struct WirePlan {
+  uint64_t seed = 1;
+  std::vector<WireFault> faults;
+
+  bool operator==(const WirePlan& other) const;
+
+  // Structural validity: parameters in range for each fault's kind. Bounds keep any single
+  // plan cheap to execute (stalls and drips are capped well under a campaign deadline).
+  Status Validate() const;
+
+  // Deterministic two-space-indented JSON, mirroring ChaosPlan::ToJson.
+  std::string ToJson() const;
+  static Result<WirePlan> FromJson(std::string_view text);
+
+  std::string Describe() const;
+};
+
+// Bounds enforced by Validate() and respected by GenerateWirePlan().
+inline constexpr int kMaxWireConnIndex = 64;
+inline constexpr uint64_t kMaxWireOffsetBytes = 1u << 20;
+inline constexpr double kMaxWireStallMs = 1000.0;
+inline constexpr double kMaxWireDripMs = 100.0;
+inline constexpr uint64_t kMaxWireGarbleBytes = 4096;
+
+// Generates a random plan with 1-5 faults as a pure function of `seed`. Offsets are biased
+// toward the first frame header (0-12 bytes) where corruption bites hardest; stalls and
+// drips stay well under the campaign's per-call deadline so a fault-free retry can finish.
+WirePlan GenerateWirePlan(uint64_t seed);
+
+}  // namespace probcon::wirechaos
+
+#endif  // PROBCON_SRC_WIRECHAOS_WIRE_PLAN_H_

@@ -1,0 +1,107 @@
+// Fuzz-style hardening of the JSON parser: seeded random byte strings and mutated valid
+// documents. The parser must never crash or hang — every input yields either a parsed
+// value or an INVALID_ARGUMENT status — and anything it does accept must survive a
+// write/reparse round trip. Runs clean under ASan/UBSan (the serve-wirechaos CI job).
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/common/json.h"
+#include "src/common/rng.h"
+
+namespace probcon {
+namespace {
+
+std::string RandomBytes(Rng& rng, size_t length) {
+  std::string out(length, '\0');
+  for (char& byte : out) {
+    byte = static_cast<char>(rng.NextBelow(256));
+  }
+  return out;
+}
+
+// Characters that steer the parser into interesting states far more often than uniform
+// bytes do: structure, quotes, escapes, digits, and the keyword heads.
+std::string RandomJsonish(Rng& rng, size_t length) {
+  static constexpr char kAlphabet[] = "{}[]\",:.\\-+eE0123456789tfnu ";
+  std::string out(length, '\0');
+  for (char& byte : out) {
+    byte = kAlphabet[rng.NextBelow(sizeof(kAlphabet) - 1)];
+  }
+  return out;
+}
+
+void ExpectParseIsTotal(const std::string& text) {
+  const Result<Json> parsed = ParseJson(text, "fuzz");
+  if (parsed.ok()) {
+    // Accepted input must round-trip: serialize, reparse, reserialize, byte-compare.
+    const std::string written = WriteJson(*parsed);
+    const Result<Json> reparsed = ParseJson(written, "fuzz-roundtrip");
+    ASSERT_TRUE(reparsed.ok()) << written << ": " << reparsed.status().ToString();
+    EXPECT_EQ(WriteJson(*reparsed), written);
+  } else {
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument)
+        << parsed.status().ToString();
+  }
+}
+
+TEST(JsonFuzz, RandomBytesNeverCrashTheParser) {
+  for (uint64_t seed = 1; seed <= 300; ++seed) {
+    Rng rng(DeriveStreamSeed(0x4A01ull, seed));
+    ExpectParseIsTotal(RandomBytes(rng, rng.NextBelow(256)));
+  }
+}
+
+TEST(JsonFuzz, StructuralSoupNeverCrashesTheParser) {
+  for (uint64_t seed = 1; seed <= 300; ++seed) {
+    Rng rng(DeriveStreamSeed(0x4A02ull, seed));
+    ExpectParseIsTotal(RandomJsonish(rng, 1 + rng.NextBelow(128)));
+  }
+}
+
+TEST(JsonFuzz, MutatedEnvelopesParseOrRejectCleanly) {
+  // The serving envelope shape, as it appears on the wire; mutations model exactly what
+  // the wire-chaos garble fault produces inside an intact frame.
+  const std::string envelope =
+      R"({"v": 1, "id": 42, "kind": "montecarlo", "deadline_ms": 250, "params": )"
+      R"({"protocol": "raft", "fault": {"n": 5, "p": 0.01}, "trials": 4096, "seed": 7}})";
+  for (uint64_t seed = 1; seed <= 300; ++seed) {
+    Rng rng(DeriveStreamSeed(0x4A03ull, seed));
+    std::string mutated = envelope;
+    const int edits = static_cast<int>(1 + rng.NextBelow(5));
+    for (int i = 0; i < edits; ++i) {
+      switch (rng.NextBelow(3)) {
+        case 0:  // Flip a byte.
+          mutated[rng.NextBelow(mutated.size())] ^=
+              static_cast<char>(1 + rng.NextBelow(255));
+          break;
+        case 1:  // Truncate.
+          mutated.resize(rng.NextBelow(mutated.size() + 1));
+          if (mutated.empty()) mutated = "{";
+          break;
+        default:  // Duplicate a random span in place.
+          const size_t from = rng.NextBelow(mutated.size());
+          const size_t span = 1 + rng.NextBelow(8);
+          mutated.insert(from, mutated.substr(from, span));
+          break;
+      }
+    }
+    ExpectParseIsTotal(mutated);
+  }
+}
+
+TEST(JsonFuzz, DeeplyNestedInputResolvesWithoutOverflow) {
+  // Nesting far beyond any legitimate request: the parser must either accept it or
+  // reject it with a status — not exhaust the stack.
+  for (const size_t depth : {64u, 256u, 4096u}) {
+    std::string text;
+    for (size_t i = 0; i < depth; ++i) text += '[';
+    for (size_t i = 0; i < depth; ++i) text += ']';
+    ExpectParseIsTotal(text);
+  }
+}
+
+}  // namespace
+}  // namespace probcon

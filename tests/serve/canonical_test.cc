@@ -187,5 +187,19 @@ TEST(Validation, ResponseEnvelopeRoundTrips) {
   EXPECT_EQ(parsed_error->status.code(), StatusCode::kDeadlineExceeded);
 }
 
+TEST(Validation, CorruptResponseStatusFailsParseInsteadOfFabricatingAVerdict) {
+  // A status name the writer never emits means the bytes were damaged in flight (the wire
+  // format carries no payload checksum); Parse must fail so clients retry, rather than
+  // inventing a definite INTERNAL verdict.
+  const auto garbled = ResponseEnvelope::Parse(
+      R"({"v": 1, "id": 3, "status": "Oc", "cached": false, "result": {}})");
+  ASSERT_FALSE(garbled.ok());
+  EXPECT_EQ(garbled.status().code(), StatusCode::kUnavailable);
+
+  const auto missing = ResponseEnvelope::Parse(R"({"v": 1, "id": 3, "result": {}})");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kUnavailable);
+}
+
 }  // namespace
 }  // namespace probcon::serve

@@ -126,5 +126,50 @@ TEST(Framing, PartialHeaderIsNotAnError) {
   EXPECT_EQ(decoder.buffered_bytes(), 2u);
 }
 
+TEST(Framing, EofAtFrameBoundaryIsClean) {
+  FrameDecoder decoder;
+  EXPECT_TRUE(decoder.AtEof().ok());  // Nothing fed at all: a clean close.
+
+  decoder.Feed(EncodeFrame("payload"));
+  auto next = decoder.Next();
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(next->has_value());
+  EXPECT_TRUE(decoder.AtEof().ok());  // Every fed byte consumed: also clean.
+}
+
+TEST(Framing, EofMidHeaderIsUnavailable) {
+  FrameDecoder decoder;
+  decoder.Feed("PCSV\x00");  // 5 of the 8 header bytes, then the peer vanishes.
+  const Status eof = decoder.AtEof();
+  ASSERT_FALSE(eof.ok());
+  EXPECT_EQ(eof.code(), StatusCode::kUnavailable);
+  EXPECT_NE(eof.message().find("mid-frame"), std::string::npos) << eof.message();
+}
+
+TEST(Framing, PartialFeedThenEofIsUnavailableWithProgress) {
+  // The satellite case: a well-formed header promising 100 bytes, only 37 delivered,
+  // then EOF. The classifier must report a mid-frame close, not a clean shutdown, and
+  // must say how far the payload got.
+  FrameDecoder decoder;
+  decoder.Feed(std::string("PCSV") + U32BigEndian(100) + std::string(37, 'x'));
+  auto next = decoder.Next();
+  ASSERT_TRUE(next.ok());
+  EXPECT_FALSE(next->has_value());  // Frame incomplete: not decodable yet.
+  const Status eof = decoder.AtEof();
+  ASSERT_FALSE(eof.ok());
+  EXPECT_EQ(eof.code(), StatusCode::kUnavailable);
+  EXPECT_NE(eof.message().find("37"), std::string::npos) << eof.message();
+  EXPECT_NE(eof.message().find("100"), std::string::npos) << eof.message();
+}
+
+TEST(Framing, EofOnPoisonedDecoderKeepsThePoisonStatus) {
+  FrameDecoder decoder;
+  decoder.Feed("GARBAGE!");
+  ASSERT_FALSE(decoder.Next().ok());
+  const Status eof = decoder.AtEof();
+  ASSERT_FALSE(eof.ok());
+  EXPECT_EQ(eof.code(), StatusCode::kInvalidArgument);  // Corruption, not connection loss.
+}
+
 }  // namespace
 }  // namespace probcon::serve

@@ -1,0 +1,136 @@
+// Fuzz-style hardening of the frame decoder: seeded random byte streams and mutated
+// valid frames, fed under arbitrary packetization. The decoder must never crash, never
+// hang, never mis-size its buffer, and must classify every stream into exactly one of
+// {frames decoded, more bytes needed, poisoned} — with the poison sticky and the
+// AtEof() verdict definite. Runs clean under ASan/UBSan (the serve-wirechaos CI job).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/serve/framing.h"
+
+namespace probcon::serve {
+namespace {
+
+std::string RandomBytes(Rng& rng, size_t length) {
+  std::string out(length, '\0');
+  for (char& byte : out) {
+    byte = static_cast<char>(rng.NextBelow(256));
+  }
+  return out;
+}
+
+// Drains the decoder; returns false once the stream is poisoned.
+bool Drain(FrameDecoder& decoder, std::vector<std::string>* payloads) {
+  while (true) {
+    auto next = decoder.Next();
+    if (!next.ok()) {
+      return false;
+    }
+    if (!next->has_value()) {
+      return true;
+    }
+    payloads->push_back(std::move(**next));
+  }
+}
+
+TEST(WireFuzz, RandomByteStreamsNeverCrashAndPoisonIsSticky) {
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    Rng rng(DeriveStreamSeed(0xF022ull, seed));
+    FrameDecoder decoder(/*max_payload_bytes=*/1u << 16);
+    const std::string stream = RandomBytes(rng, 1 + rng.NextBelow(512));
+
+    std::vector<std::string> payloads;
+    bool alive = true;
+    size_t offset = 0;
+    while (offset < stream.size()) {
+      const size_t chunk = 1 + rng.NextBelow(64);
+      const size_t take = std::min(chunk, stream.size() - offset);
+      decoder.Feed(std::string_view(stream).substr(offset, take));
+      offset += take;
+      if (!Drain(decoder, &payloads)) {
+        alive = false;
+        break;
+      }
+    }
+    if (!alive) {
+      // Sticky: no amount of clean traffic revives a poisoned stream.
+      decoder.Feed(EncodeFrame("clean"));
+      EXPECT_FALSE(decoder.Next().ok()) << "seed " << seed;
+      EXPECT_FALSE(decoder.AtEof().ok()) << "seed " << seed;
+    } else {
+      // Not poisoned: EOF classifies as clean or mid-frame, never crashes.
+      const Status eof = decoder.AtEof();
+      if (!eof.ok()) {
+        EXPECT_EQ(eof.code(), StatusCode::kUnavailable) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(WireFuzz, MutatedValidFramesDecodeOrPoisonDeterministically) {
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    Rng rng(DeriveStreamSeed(0xF033ull, seed));
+    std::string stream = EncodeFrame(R"({"v": 1, "id": 7, "kind": "ping"})") +
+                         EncodeFrame(RandomBytes(rng, rng.NextBelow(128))) +
+                         EncodeFrame("tail");
+    // Flip 1-4 random bytes anywhere in the stream: header magic, length, or payload.
+    const int flips = static_cast<int>(1 + rng.NextBelow(4));
+    for (int i = 0; i < flips; ++i) {
+      stream[rng.NextBelow(stream.size())] ^= static_cast<char>(1 + rng.NextBelow(255));
+    }
+
+    // Two decoders, two packetizations, one verdict: the decode result is a function of
+    // the bytes, not of how they arrive.
+    std::vector<std::string> one_shot_payloads, trickled_payloads;
+    FrameDecoder one_shot(/*max_payload_bytes=*/1u << 16);
+    one_shot.Feed(stream);
+    const bool one_shot_ok = Drain(one_shot, &one_shot_payloads);
+
+    FrameDecoder trickled(/*max_payload_bytes=*/1u << 16);
+    bool trickled_ok = true;
+    for (const char byte : stream) {
+      trickled.Feed(std::string_view(&byte, 1));
+      if (!Drain(trickled, &trickled_payloads)) {
+        trickled_ok = false;
+        break;
+      }
+    }
+
+    EXPECT_EQ(one_shot_ok, trickled_ok) << "seed " << seed;
+    if (one_shot_ok && trickled_ok) {
+      EXPECT_EQ(one_shot_payloads, trickled_payloads) << "seed " << seed;
+    }
+  }
+}
+
+TEST(WireFuzz, TruncatedStreamsAlwaysClassifyEof) {
+  // Every prefix of a valid multi-frame stream must classify EOF without crashing:
+  // clean at frame boundaries, UNAVAILABLE anywhere inside a frame.
+  const std::string stream =
+      EncodeFrame("alpha") + EncodeFrame("") + EncodeFrame(std::string(100, 'z'));
+  std::vector<size_t> boundaries = {0, kFrameHeaderBytes + 5,
+                                    2 * kFrameHeaderBytes + 5, stream.size()};
+  for (size_t cut = 0; cut <= stream.size(); ++cut) {
+    FrameDecoder decoder;
+    decoder.Feed(std::string_view(stream).substr(0, cut));
+    std::vector<std::string> payloads;
+    ASSERT_TRUE(Drain(decoder, &payloads)) << "cut " << cut;
+    const Status eof = decoder.AtEof();
+    const bool at_boundary =
+        std::find(boundaries.begin(), boundaries.end(), cut) != boundaries.end();
+    if (at_boundary) {
+      EXPECT_TRUE(eof.ok()) << "cut " << cut << ": " << eof.ToString();
+    } else {
+      ASSERT_FALSE(eof.ok()) << "cut " << cut;
+      EXPECT_EQ(eof.code(), StatusCode::kUnavailable) << "cut " << cut;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace probcon::serve

@@ -1,0 +1,164 @@
+// probcon::wirechaos: plan generation/serialization determinism, the fault-injecting
+// proxy against a live TCP serving path, and a small end-to-end campaign upholding the
+// resilience contract.
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/common/json.h"
+#include "src/serve/client.h"
+#include "src/serve/server.h"
+#include "src/serve/transport.h"
+#include "src/wirechaos/campaign.h"
+#include "src/wirechaos/proxy.h"
+#include "src/wirechaos/wire_plan.h"
+
+namespace probcon::wirechaos {
+namespace {
+
+TEST(WirePlanTest, GenerationIsAPureFunctionOfTheSeed) {
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    const WirePlan plan = GenerateWirePlan(seed);
+    EXPECT_EQ(plan, GenerateWirePlan(seed));
+    EXPECT_EQ(plan.seed, seed);
+    ASSERT_GE(plan.faults.size(), 1u);
+    ASSERT_LE(plan.faults.size(), 5u);
+    EXPECT_TRUE(plan.Validate().ok()) << plan.Describe();
+  }
+  EXPECT_NE(GenerateWirePlan(1), GenerateWirePlan(2));
+}
+
+TEST(WirePlanTest, JsonRoundTripIsByteIdentical) {
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    const WirePlan plan = GenerateWirePlan(seed);
+    const std::string json = plan.ToJson();
+    const Result<WirePlan> reparsed = WirePlan::FromJson(json);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+    EXPECT_EQ(*reparsed, plan);
+    EXPECT_EQ(reparsed->ToJson(), json);
+  }
+}
+
+TEST(WirePlanTest, ValidateRejectsOutOfRangeFaults) {
+  WirePlan plan;
+  WireFault fault;
+  fault.kind = WireFaultKind::kStall;
+  fault.stall_ms = kMaxWireStallMs * 10;  // A stall long enough to defeat any deadline.
+  plan.faults.push_back(fault);
+  EXPECT_FALSE(plan.Validate().ok());
+
+  plan.faults[0].stall_ms = 5.0;
+  plan.faults[0].conn_index = kMaxWireConnIndex + 1;
+  EXPECT_FALSE(plan.Validate().ok());
+
+  plan.faults[0].conn_index = 0;
+  EXPECT_TRUE(plan.Validate().ok());
+}
+
+// A live serving path behind the proxy: QueryServer + TcpServer upstream, the proxy in
+// front, clients dialing the proxy's port.
+class WireProxyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<serve::QueryServer>(serve::ServerOptions{});
+    transport_ = std::make_unique<serve::TcpServer>(*server_);
+    ASSERT_TRUE(transport_->Start(0).ok());
+  }
+
+  void TearDown() override {
+    transport_->Stop();
+    server_->Drain();
+  }
+
+  std::unique_ptr<serve::QueryServer> server_;
+  std::unique_ptr<serve::TcpServer> transport_;
+};
+
+TEST_F(WireProxyTest, FaultFreePlanForwardsTransparently) {
+  WirePlan plan;  // No faults: pure relay.
+  ChaosProxy proxy(transport_->port(), plan);
+  ASSERT_TRUE(proxy.Start().ok());
+
+  auto channel = serve::TcpChannel::Connect(proxy.port());
+  ASSERT_TRUE(channel.ok()) << channel.status().ToString();
+  serve::ServeClient client(std::move(*channel));
+  auto table1 = client.Query("table1", *ParseJson(R"({"n": 4})", "params"));
+  ASSERT_TRUE(table1.ok()) << table1.status().ToString();
+  ASSERT_TRUE(table1->status.ok()) << table1->status.ToString();
+  const Json* report = table1->result.Find("report");
+  ASSERT_NE(report, nullptr);
+  ASSERT_NE(report->Find("safe_and_live"), nullptr);
+  EXPECT_EQ(report->Find("safe_and_live")->text, "99.94%");
+
+  proxy.Stop();
+  const ChaosProxy::Counters counters = proxy.counters();
+  EXPECT_EQ(counters.accepted, 1u);
+  EXPECT_EQ(counters.faults_fired, 0u);
+  EXPECT_GT(counters.client_to_server_bytes, 0u);
+  EXPECT_GT(counters.server_to_client_bytes, 0u);
+}
+
+TEST_F(WireProxyTest, RefusedFirstConnectionIsAbsorbedByARetry) {
+  WirePlan plan;
+  WireFault refuse;
+  refuse.kind = WireFaultKind::kRefuseConnect;
+  refuse.conn_index = 0;
+  plan.faults.push_back(refuse);
+  ChaosProxy proxy(transport_->port(), plan);
+  ASSERT_TRUE(proxy.Start().ok());
+
+  serve::RetryOptions options;
+  options.initial_backoff_ms = 1.0;
+  options.attempt_timeout_ms = 1000.0;
+  serve::ResilientClient client(
+      serve::ResilientClient::TcpFactory(proxy.port(), options.attempt_timeout_ms),
+      options);
+  auto ping = client.Query("ping", Json::Object(), /*deadline_ms=*/5000.0);
+  ASSERT_TRUE(ping.ok()) << ping.status().ToString();
+  EXPECT_TRUE(ping->status.ok()) << ping->status.ToString();
+  EXPECT_GE(client.retries(), 1u);
+  EXPECT_GE(proxy.counters().faults_fired, 1u);
+}
+
+TEST_F(WireProxyTest, MidFrameCloseYieldsUnavailableNotAHang) {
+  WirePlan plan;
+  WireFault close;
+  close.kind = WireFaultKind::kCloseAfter;
+  close.conn_index = 0;
+  close.direction = WireDirection::kServerToClient;
+  close.after_bytes = 4;  // Inside the first response frame's header.
+  plan.faults.push_back(close);
+  ChaosProxy proxy(transport_->port(), plan);
+  ASSERT_TRUE(proxy.Start().ok());
+
+  auto channel = serve::TcpChannel::Connect(proxy.port(), /*timeout_ms=*/2000.0);
+  ASSERT_TRUE(channel.ok()) << channel.status().ToString();
+  serve::ServeClient client(std::move(*channel));
+  auto ping = client.Query("ping", Json::Object());
+  ASSERT_FALSE(ping.ok()) << "a mid-frame close cannot produce a response";
+  EXPECT_EQ(ping.status().code(), StatusCode::kUnavailable) << ping.status().ToString();
+  EXPECT_NE(ping.status().message().find("mid-frame"), std::string::npos)
+      << ping.status().ToString();
+}
+
+TEST(WireCampaignTest, SmallCampaignUpholdsTheResilienceContract) {
+  WireCampaignOptions options;
+  options.plans = 8;
+  options.seed = 20260808;
+  options.call_deadline_ms = 4000.0;
+  options.attempt_timeout_ms = 300.0;
+  const Result<WireCampaignResult> result = RunWireCampaign(options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->plans_run, 8);
+  EXPECT_GT(result->calls, 0u);
+  EXPECT_GT(result->ok, 0u);
+  for (const WireCampaignFailure& failure : result->failures) {
+    ADD_FAILURE() << "plan " << failure.plan_index << ": " << failure.reason << "\n"
+                  << failure.shrunk.ToJson();
+  }
+}
+
+}  // namespace
+}  // namespace probcon::wirechaos

@@ -54,6 +54,7 @@ struct LintOptions {
   // values, only whether a computation is abandoned, so determinism of results survives.
   std::vector<std::string> monotonic_clock_allowlist = {
       "src/serve/",
+      "src/wirechaos/",
       "src/obs/span.h",
       "src/obs/span.cc",
       "bench/serve_load.cc",

@@ -116,16 +116,26 @@ for doc in docs:
 EOF
 
 # Deadlines: a 2^30-trial Monte Carlo run under a 1 ms deadline must come back
-# DEADLINE_EXCEEDED promptly (server-error exit code 3), not wedge the daemon.
+# DEADLINE_EXCEEDED promptly (dedicated exit code 4), not wedge the daemon.
 DEADLINE_OUT="$("${CLI}" --port "${PORT}" --deadline-ms 1 montecarlo \
   '{"protocol": "raft", "fault": {"n": 5, "p": 0.01}, "trials": 1073741824}')"
 DEADLINE_EXIT=$?
-[ "${DEADLINE_EXIT}" = 3 ] || fail "deadline query exit ${DEADLINE_EXIT}, want 3"
+[ "${DEADLINE_EXIT}" = 4 ] || fail "deadline query exit ${DEADLINE_EXIT}, want 4"
 echo "${DEADLINE_OUT}" | grep -q 'DEADLINE_EXCEEDED' \
   || fail "deadline query did not report DEADLINE_EXCEEDED: ${DEADLINE_OUT}"
 
+# Error classes map to distinct exit codes: an invalid request is 3.
+"${CLI}" --port "${PORT}" table1 '{"n": 1}' >/dev/null 2>&1
+INVALID_EXIT=$?
+[ "${INVALID_EXIT}" = 3 ] || fail "invalid-argument query exit ${INVALID_EXIT}, want 3"
+
 # The daemon must still be healthy after the cancelled request.
 "${CLI}" --port "${PORT}" ping >/dev/null || fail "daemon unhealthy after deadline query"
+
+# The health verb reports the brownout state machine; a quiet daemon is ready.
+HEALTH="$("${CLI}" --port "${PORT}" health)" || fail "health query errored"
+echo "${HEALTH}" | grep -q '"state": "ready"' \
+  || fail "health query did not report ready: ${HEALTH}"
 
 # Introspection: the stats verb returns a metrics snapshot in which the repeated table1
 # query above is visible as cache traffic and as per-kind latency samples with quantiles.

@@ -32,6 +32,7 @@
 #include "src/analysis/protocol_spec.h"
 #include "src/common/cancellation.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/faultmodel/joint_model.h"
 #include "src/prob/interval.h"
 #include "src/prob/probability.h"
@@ -155,8 +156,10 @@ class ReliabilityAnalyzer {
 
  private:
   std::unique_ptr<JointFailureModel> model_;
+  // Lazy-init lock for the count law. LEAF: held only around the table build/lookup.
   mutable std::mutex count_law_mutex_;
-  mutable std::shared_ptr<const PoissonBinomial> count_law_;
+  mutable std::shared_ptr<const PoissonBinomial> count_law_
+      PROBCON_GUARDED_BY(count_law_mutex_);
 };
 
 // --- Paper §3.2: protocol reliability reports -------------------------------

@@ -1,0 +1,60 @@
+// Thread-safety annotation macros, enforced twice:
+//
+//   1. probcon-lint's concurrency rules (R6-R8, see docs/LINTING.md) parse these macros
+//      textually and enforce them on every build, with every compiler, including the
+//      regions clang cannot see through (std::unique_lock, manual lock()/unlock()).
+//   2. Under clang the macros expand to the native thread-safety attributes, so the
+//      dedicated `lint-thread-safety` CI job (clang + libc++ +
+//      -D_LIBCPP_ENABLE_THREAD_SAFETY_ANNOTATIONS -Wthread-safety -Werror) re-checks the
+//      same contracts with a completely independent implementation.
+//
+// Under gcc (the default toolchain here) everything expands to nothing, so annotations are
+// free and the -Werror build is unaffected.
+//
+// Conventions:
+//   - Every mutex-protected member is annotated PROBCON_GUARDED_BY(its_mutex_).
+//   - Functions that assume a caller-held lock (the `FooLocked()` naming convention) are
+//     annotated PROBCON_REQUIRES(mutex_).
+//   - Intended lock order is declared on the mutex members themselves with
+//     PROBCON_ACQUIRED_BEFORE / PROBCON_ACQUIRED_AFTER; probcon-lint folds the declared
+//     edges into the global lock-order graph, so code that nests locks against the declared
+//     order forms a cycle and fails R6 even before a second conflicting site exists.
+//   - Functions that analyze locking their own way (e.g. std::unique_lock regions, which
+//     clang's analysis cannot model) carry PROBCON_NO_THREAD_SAFETY_ANALYSIS with a comment;
+//     probcon-lint still analyzes them, so coverage is never lost, only clang's double-check.
+
+#ifndef PROBCON_SRC_COMMON_THREAD_ANNOTATIONS_H_
+#define PROBCON_SRC_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && !defined(SWIG)
+#define PROBCON_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define PROBCON_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op outside clang
+#endif
+
+// Type-level: marks a class as a lockable capability (unused for std::mutex, which libc++
+// annotates itself; available for future wrapper types).
+#define PROBCON_CAPABILITY(x) PROBCON_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+#define PROBCON_SCOPED_CAPABILITY PROBCON_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+// Data members.
+#define PROBCON_GUARDED_BY(x) PROBCON_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+#define PROBCON_PT_GUARDED_BY(x) PROBCON_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+#define PROBCON_ACQUIRED_BEFORE(...) \
+  PROBCON_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define PROBCON_ACQUIRED_AFTER(...) \
+  PROBCON_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+// Functions.
+#define PROBCON_REQUIRES(...) \
+  PROBCON_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define PROBCON_REQUIRES_SHARED(...) \
+  PROBCON_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+#define PROBCON_ACQUIRE(...) PROBCON_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define PROBCON_RELEASE(...) PROBCON_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define PROBCON_EXCLUDES(...) PROBCON_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+#define PROBCON_RETURN_CAPABILITY(x) PROBCON_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+#define PROBCON_NO_THREAD_SAFETY_ANALYSIS \
+  PROBCON_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // PROBCON_SRC_COMMON_THREAD_ANNOTATIONS_H_

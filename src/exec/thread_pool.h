@@ -34,6 +34,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
+
 namespace probcon {
 
 class MetricsRegistry;
@@ -93,9 +95,11 @@ class ThreadPool {
  private:
   friend class ScopedThreadPool;
 
+  // Per-worker queue. The queue mutex is a LEAF: no task body runs under it, and no other
+  // pool lock is taken while it is held (see DESIGN.md decision 12).
   struct Worker {
     mutable std::mutex mutex;
-    std::deque<std::function<void()>> queue;
+    std::deque<std::function<void()>> queue PROBCON_GUARDED_BY(mutex);
     std::atomic<uint64_t> busy_ns{0};
     std::thread thread;
   };
@@ -108,6 +112,8 @@ class ThreadPool {
 
   std::vector<std::unique_ptr<Worker>> workers_;
 
+  // Sleep/wake handshake only; the predicate state itself is atomic. Also a LEAF — held
+  // only around the shutdown flip and the lost-notify fence in Submit.
   std::mutex wake_mutex_;
   std::condition_variable wake_cv_;
   std::atomic<uint64_t> pending_{0};  // Tasks queued but not yet popped.

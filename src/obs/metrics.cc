@@ -199,7 +199,10 @@ bool MetricsRegistry::empty() const {
   return counters_.empty() && gauges_.empty() && histograms_.empty();
 }
 
-void MetricsRegistry::SnapshotInto(MetricsRegistry* out) const {
+// NO_THREAD_SAFETY_ANALYSIS: writes `out`'s maps under THIS registry's lock; `out` is
+// private to the caller by contract, so out->mutex_ is deliberately not taken.
+void MetricsRegistry::SnapshotInto(MetricsRegistry* out) const
+    PROBCON_NO_THREAD_SAFETY_ANALYSIS {
   CHECK(out != nullptr);
   std::lock_guard<std::mutex> lock(mutex_);
   // Instrument copy constructors take their own synchronization (atomic loads for

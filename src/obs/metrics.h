@@ -31,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
+
 namespace probcon {
 
 class Counter {
@@ -138,12 +140,14 @@ class Histogram {
  private:
   const std::vector<double> bounds_;
 
+  // Instrument lock. LEAF by construction: Record/snapshot hold it only around plain
+  // loads/stores, never while calling out (see DESIGN.md decision 12).
   mutable std::mutex mutex_;
-  std::vector<uint64_t> counts_;
-  uint64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  std::vector<uint64_t> counts_ PROBCON_GUARDED_BY(mutex_);
+  uint64_t count_ PROBCON_GUARDED_BY(mutex_) = 0;
+  double sum_ PROBCON_GUARDED_BY(mutex_) = 0.0;
+  double min_ PROBCON_GUARDED_BY(mutex_) = 0.0;
+  double max_ PROBCON_GUARDED_BY(mutex_) = 0.0;
 };
 
 // Name -> instrument maps, one per kind. Get* creates on first use and CHECK-fails when
@@ -165,10 +169,15 @@ class MetricsRegistry {
   const Gauge* FindGauge(const std::string& name) const;
   const Histogram* FindHistogram(const std::string& name) const;
 
-  // Unsynchronized map views (see the thread-safety note in the file comment).
-  const std::map<std::string, Counter>& counters() const { return counters_; }
-  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
-  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+  // Unsynchronized map views (see the thread-safety note in the file comment). The
+  // analysis escapes below are the CONTRACT, not an oversight: callers promise no
+  // concurrent instrument creation while iterating.
+  // NOLINTNEXTLINE(probcon-guarded-field): documented unsynchronized view; callers serialize
+  const std::map<std::string, Counter>& counters() const PROBCON_NO_THREAD_SAFETY_ANALYSIS { return counters_; }
+  // NOLINTNEXTLINE(probcon-guarded-field): documented unsynchronized view; callers serialize
+  const std::map<std::string, Gauge>& gauges() const PROBCON_NO_THREAD_SAFETY_ANALYSIS { return gauges_; }
+  // NOLINTNEXTLINE(probcon-guarded-field): documented unsynchronized view; callers serialize
+  const std::map<std::string, Histogram>& histograms() const PROBCON_NO_THREAD_SAFETY_ANALYSIS { return histograms_; }
 
   bool empty() const;
 
@@ -182,10 +191,13 @@ class MetricsRegistry {
   void Reset();
 
  private:
+  // Registry lock, ordered BEFORE the per-instrument Histogram lock: GetHistogram copies
+  // a Histogram (which takes the source instrument's lock) while holding this. That edge
+  // is in the lock-order graph via the call path (probcon-lint --dump-lock-graph).
   mutable std::mutex mutex_;
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, Gauge> gauges_;
-  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, Counter> counters_ PROBCON_GUARDED_BY(mutex_);
+  std::map<std::string, Gauge> gauges_ PROBCON_GUARDED_BY(mutex_);
+  std::map<std::string, Histogram> histograms_ PROBCON_GUARDED_BY(mutex_);
 };
 
 }  // namespace probcon

@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/obs/metrics.h"
 
 namespace probcon::serve {
@@ -108,25 +109,28 @@ class QueryCache {
     Result<std::string> result = Status(StatusCode::kInternal, "flight not finished");
   };
 
-  // One independent cache: everything below `mutex` is guarded by it.
+  // One independent cache: everything below `mutex` is guarded by it. Lock-order
+  // invariant: a shard mutex is a LEAF on the engine path — GetOrCompute drops it around
+  // both `compute()` and the pool help loop, so it is never held across engine execution
+  // (see DESIGN.md decision 12).
   struct Shard {
     mutable std::mutex mutex;
-    std::list<std::string> lru;  // Front = most recent.
-    std::map<std::string, Entry> entries;
-    std::map<std::string, std::shared_ptr<Flight>> flights;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t coalesced = 0;
-    uint64_t follower_retries = 0;
-    uint64_t evictions = 0;
-    size_t entry_bytes = 0;
+    std::list<std::string> lru PROBCON_GUARDED_BY(mutex);  // Front = most recent.
+    std::map<std::string, Entry> entries PROBCON_GUARDED_BY(mutex);
+    std::map<std::string, std::shared_ptr<Flight>> flights PROBCON_GUARDED_BY(mutex);
+    uint64_t hits PROBCON_GUARDED_BY(mutex) = 0;
+    uint64_t misses PROBCON_GUARDED_BY(mutex) = 0;
+    uint64_t coalesced PROBCON_GUARDED_BY(mutex) = 0;
+    uint64_t follower_retries PROBCON_GUARDED_BY(mutex) = 0;
+    uint64_t evictions PROBCON_GUARDED_BY(mutex) = 0;
+    size_t entry_bytes PROBCON_GUARDED_BY(mutex) = 0;
   };
 
   Shard& ShardFor(const std::string& key);
 
   // Inserts `key -> value` into `shard` and evicts LRU entries down to the shard budget.
-  // Shard mutex held.
-  void InsertLocked(Shard& shard, const std::string& key, const std::string& value);
+  void InsertLocked(Shard& shard, const std::string& key, const std::string& value)
+      PROBCON_REQUIRES(shard.mutex);
 
   const size_t shard_budget_bytes_;
   std::vector<std::unique_ptr<Shard>> shards_;

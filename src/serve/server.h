@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "src/common/cancellation.h"
+#include "src/common/thread_annotations.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
 #include "src/serve/cache.h"
@@ -158,29 +159,32 @@ class QueryServer {
   void FinishOne(bool degraded = false);
 
   // Breaker bookkeeping; all require state_mutex_ held.
-  void RecordAdmitLocked();
+  void RecordAdmitLocked() PROBCON_REQUIRES(state_mutex_);
   // Records a would-shed event (trips the breaker when warranted) and returns true when
   // the request may enter the degraded lane instead of being shed.
-  bool BrownoutShedLocked(RequestKind kind);
-  void SetHealthGaugeLocked();
+  bool BrownoutShedLocked(RequestKind kind) PROBCON_REQUIRES(state_mutex_);
+  void SetHealthGaugeLocked() PROBCON_REQUIRES(state_mutex_);
 
   const ServerOptions options_;
   MetricsRegistry* const metrics_;
   QueryCache cache_;
 
+  // Lock order (see DESIGN.md decision 12): state_mutex_ is acquired first when ordered
+  // with memo_mutex_ or watchdog_mutex_; in practice Submit holds them one at a time, and
+  // the ACQUIRED_AFTER declarations below make the intended order checkable.
   mutable std::mutex state_mutex_;
   std::condition_variable drained_cv_;
-  bool draining_ = false;
-  int inflight_ = 0;
+  bool draining_ PROBCON_GUARDED_BY(state_mutex_) = false;
+  int inflight_ PROBCON_GUARDED_BY(state_mutex_) = 0;
 
   // Brownout breaker state (state_mutex_). The tallies decay by halving (see
   // BrownoutOptions::window), so the breaker reacts to recent pressure, not history.
-  bool breaker_open_ = false;
-  int window_admits_ = 0;
-  int window_sheds_ = 0;
-  int recover_streak_ = 0;
-  int degraded_inflight_ = 0;
-  uint64_t breaker_trips_ = 0;
+  bool breaker_open_ PROBCON_GUARDED_BY(state_mutex_) = false;
+  int window_admits_ PROBCON_GUARDED_BY(state_mutex_) = 0;
+  int window_sheds_ PROBCON_GUARDED_BY(state_mutex_) = 0;
+  int recover_streak_ PROBCON_GUARDED_BY(state_mutex_) = 0;
+  int degraded_inflight_ PROBCON_GUARDED_BY(state_mutex_) = 0;
+  uint64_t breaker_trips_ PROBCON_GUARDED_BY(state_mutex_) = 0;
 
   // Request-text memo: wire payload with the id digits excised -> canonical cache key, so
   // a repeat request (any id) skips JSON parsing and canonicalization — most of the
@@ -193,8 +197,8 @@ class QueryServer {
     std::string cache_key;
     RequestKind kind = RequestKind::kPing;
   };
-  std::mutex memo_mutex_;
-  std::unordered_map<std::string, TextMemoEntry> request_memo_;
+  std::mutex memo_mutex_ PROBCON_ACQUIRED_AFTER(state_mutex_);
+  std::unordered_map<std::string, TextMemoEntry> request_memo_ PROBCON_GUARDED_BY(memo_mutex_);
 
   // Pre-created instruments (nullptr when metrics are disabled). All of them are
   // internally thread-safe; no server lock is held while recording.
@@ -221,10 +225,11 @@ class QueryServer {
   // Engine progress counters, wired into the analyzers' poll-stride flushes.
   EngineProgress progress_;
 
-  std::mutex watchdog_mutex_;
+  std::mutex watchdog_mutex_ PROBCON_ACQUIRED_AFTER(state_mutex_);
   std::condition_variable watchdog_cv_;
-  std::vector<DeadlineEntry> deadlines_;  // Min-heap by `when`.
-  bool watchdog_shutdown_ = false;
+  // Min-heap by `when`.
+  std::vector<DeadlineEntry> deadlines_ PROBCON_GUARDED_BY(watchdog_mutex_);
+  bool watchdog_shutdown_ PROBCON_GUARDED_BY(watchdog_mutex_) = false;
   std::thread watchdog_;
 };
 

@@ -19,6 +19,7 @@
 #include <string>
 #include <utility>
 
+#include "src/common/thread_annotations.h"
 #include "src/obs/span.h"
 #include "src/serve/framing.h"
 
@@ -83,7 +84,12 @@ class TcpServer::Reactor {
       return UnavailableError("eventfd(): " + std::string(std::strerror(errno)));
     }
     mailbox_ = std::make_shared<Mailbox>();
-    mailbox_->wake_fd = wake_fd;
+    {
+      // Not yet published to any other thread, but locking keeps the guarded-field
+      // contract checkable (uncontended, start-up only).
+      std::lock_guard<std::mutex> lock(mailbox_->mutex);
+      mailbox_->wake_fd = wake_fd;
+    }
     epoll_event event{};
     event.events = EPOLLIN;
     event.data.u64 = 0;  // Conn ids start at 1; 0 is the mailbox eventfd.
@@ -147,13 +153,15 @@ class TcpServer::Reactor {
   // The shard's cross-thread inbox. `stopped`/`wake_fd` are guarded by `mutex`; after
   // teardown flips `stopped`, late responses are dropped here instead of touching freed
   // reactor state — response callbacks keep the Mailbox alive via shared_ptr.
+  // Lock-order invariant: the mailbox mutex is a LEAF — nothing else is ever acquired
+  // while it is held (WakeLocked's one-byte eventfd write is nonblocking by construction).
   struct Mailbox {
     std::mutex mutex;
-    bool stopped = false;
-    bool signaled = false;
-    int wake_fd = -1;
-    std::vector<int> new_fds;
-    std::vector<std::pair<uint64_t, std::string>> responses;
+    bool stopped PROBCON_GUARDED_BY(mutex) = false;
+    bool signaled PROBCON_GUARDED_BY(mutex) = false;
+    int wake_fd PROBCON_GUARDED_BY(mutex) = -1;
+    std::vector<int> new_fds PROBCON_GUARDED_BY(mutex);
+    std::vector<std::pair<uint64_t, std::string>> responses PROBCON_GUARDED_BY(mutex);
   };
 
   void Wake() {
@@ -161,7 +169,7 @@ class TcpServer::Reactor {
     WakeLocked();
   }
 
-  void WakeLocked() {
+  void WakeLocked() PROBCON_REQUIRES(mailbox_->mutex) {
     if (!mailbox_->signaled && mailbox_->wake_fd >= 0) {
       const uint64_t one = 1;
       [[maybe_unused]] const ssize_t n =

@@ -1,0 +1,434 @@
+// Units for the R6-R8 concurrency analysis: lock-order cycles (direct, interprocedural,
+// declared, re-entrant), blocking-under-lock (seeds, cv waits, transitive call chains),
+// guarded-field enforcement, and the --dump-lock-graph renderings.
+
+#include "tools/lint/concurrency.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "tools/lint/finding.h"
+
+namespace probcon::lint {
+namespace {
+
+std::vector<Finding> Analyze(const std::string& source) {
+  return AnalyzeConcurrency(BuildModel({{"src/a.cc", source}}));
+}
+
+std::vector<Finding> OfRule(const std::vector<Finding>& findings, const std::string& rule) {
+  std::vector<Finding> out;
+  for (const Finding& finding : findings) {
+    if (finding.rule == rule) out.push_back(finding);
+  }
+  return out;
+}
+
+// --- R6: probcon-lock-order -------------------------------------------------
+
+TEST(LockOrderTest, DirectAbBaCycleIsOneErrorWithWitnesses) {
+  const std::vector<Finding> findings = Analyze(R"cc(
+    class Ledger {
+     public:
+      void Credit();
+      void Debit();
+     private:
+      std::mutex a_;
+      std::mutex b_;
+    };
+    void Ledger::Credit() {
+      std::lock_guard<std::mutex> a(a_);
+      std::lock_guard<std::mutex> b(b_);
+    }
+    void Ledger::Debit() {
+      std::lock_guard<std::mutex> b(b_);
+      std::lock_guard<std::mutex> a(a_);
+    }
+  )cc");
+  const std::vector<Finding> cycles = OfRule(findings, "probcon-lock-order");
+  ASSERT_EQ(cycles.size(), 1u) << "one finding per strongly connected component";
+  EXPECT_EQ(cycles[0].severity, "error");
+  EXPECT_EQ(cycles[0].token, "Ledger::a_|Ledger::b_");
+  ASSERT_EQ(cycles[0].edges.size(), 2u);
+  EXPECT_NE(cycles[0].message.find("Ledger::a_"), std::string::npos);
+  EXPECT_NE(cycles[0].message.find("Ledger::b_"), std::string::npos);
+}
+
+TEST(LockOrderTest, InterproceduralCycleThroughCallChain) {
+  const std::vector<Finding> findings = Analyze(R"cc(
+    class Engine {
+     public:
+      void Front();
+      void Back();
+      void TakeB();
+      void TakeA();
+     private:
+      std::mutex a_;
+      std::mutex b_;
+    };
+    void Engine::TakeB() { std::lock_guard<std::mutex> b(b_); }
+    void Engine::TakeA() { std::lock_guard<std::mutex> a(a_); }
+    void Engine::Front() {
+      std::lock_guard<std::mutex> a(a_);
+      TakeB();
+    }
+    void Engine::Back() {
+      std::lock_guard<std::mutex> b(b_);
+      TakeA();
+    }
+  )cc");
+  const std::vector<Finding> cycles = OfRule(findings, "probcon-lock-order");
+  ASSERT_EQ(cycles.size(), 1u);
+  bool saw_call_edge = false;
+  for (const FindingEdge& edge : cycles[0].edges) {
+    if (edge.from == "Engine::a_" && edge.to == "Engine::b_") saw_call_edge = true;
+  }
+  EXPECT_TRUE(saw_call_edge) << "caller-held x callee-acquires produces the edge";
+}
+
+TEST(LockOrderTest, DeclaredOrderConflictsWithCode) {
+  // Annotation says a_ before b_; the code takes b_ then a_. The declared edge plus the
+  // observed edge close the cycle even though no single function nests both orders.
+  const std::vector<Finding> findings = Analyze(R"cc(
+    class Store {
+     public:
+      void Swap();
+     private:
+      std::mutex a_;
+      std::mutex b_ PROBCON_ACQUIRED_AFTER(a_);
+    };
+    void Store::Swap() {
+      std::lock_guard<std::mutex> b(b_);
+      std::lock_guard<std::mutex> a(a_);
+    }
+  )cc");
+  const std::vector<Finding> cycles = OfRule(findings, "probcon-lock-order");
+  ASSERT_EQ(cycles.size(), 1u);
+  bool saw_declared = false;
+  for (const FindingEdge& edge : cycles[0].edges) {
+    if (edge.from == "Store::a_" && edge.to == "Store::b_") saw_declared = true;
+  }
+  EXPECT_TRUE(saw_declared);
+}
+
+TEST(LockOrderTest, ReentrantAcquisitionIsFlagged) {
+  const std::vector<Finding> findings = Analyze(R"cc(
+    class Counter {
+     public:
+      void Outer();
+      void Inner();
+     private:
+      std::mutex mutex_;
+    };
+    void Counter::Inner() { std::lock_guard<std::mutex> lock(mutex_); }
+    void Counter::Outer() {
+      std::lock_guard<std::mutex> lock(mutex_);
+      Inner();
+    }
+  )cc");
+  const std::vector<Finding> cycles = OfRule(findings, "probcon-lock-order");
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_NE(cycles[0].message.find("re-entrant"), std::string::npos);
+}
+
+TEST(LockOrderTest, ConsistentOrderIsClean) {
+  const std::vector<Finding> findings = Analyze(R"cc(
+    class Ledger {
+     public:
+      void Credit();
+      void Debit();
+     private:
+      std::mutex a_;
+      std::mutex b_;
+    };
+    void Ledger::Credit() {
+      std::lock_guard<std::mutex> a(a_);
+      std::lock_guard<std::mutex> b(b_);
+    }
+    void Ledger::Debit() {
+      std::lock_guard<std::mutex> a(a_);
+      std::lock_guard<std::mutex> b(b_);
+    }
+  )cc");
+  EXPECT_TRUE(OfRule(findings, "probcon-lock-order").empty());
+}
+
+// --- R7: probcon-blocking-under-lock ----------------------------------------
+
+TEST(BlockingTest, SeedCallUnderHeldLockFires) {
+  const std::vector<Finding> findings = Analyze(R"cc(
+    class Pool {
+     public:
+      void Stop();
+     private:
+      std::mutex mutex_;
+      std::thread worker_;
+    };
+    void Pool::Stop() {
+      std::lock_guard<std::mutex> lock(mutex_);
+      worker_.join();
+    }
+  )cc");
+  const std::vector<Finding> blocking = OfRule(findings, "probcon-blocking-under-lock");
+  ASSERT_EQ(blocking.size(), 1u);
+  EXPECT_NE(blocking[0].message.find("join"), std::string::npos);
+  EXPECT_NE(blocking[0].message.find("Pool::mutex_"), std::string::npos);
+}
+
+TEST(BlockingTest, CvWaitOnItsOwnMutexIsExempt) {
+  const std::vector<Finding> findings = Analyze(R"cc(
+    class Gate {
+     public:
+      void Await();
+     private:
+      std::mutex mutex_;
+      std::condition_variable cv_;
+    };
+    void Gate::Await() {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock);
+    }
+  )cc");
+  EXPECT_TRUE(OfRule(findings, "probcon-blocking-under-lock").empty());
+}
+
+TEST(BlockingTest, CvWaitWhileHoldingAnotherMutexFires) {
+  const std::vector<Finding> findings = Analyze(R"cc(
+    class Bridge {
+     public:
+      void Cross();
+     private:
+      std::mutex outer_;
+      std::mutex inner_;
+      std::condition_variable cv_;
+    };
+    void Bridge::Cross() {
+      std::lock_guard<std::mutex> outer(outer_);
+      std::unique_lock<std::mutex> inner(inner_);
+      cv_.wait(inner);
+    }
+  )cc");
+  const std::vector<Finding> blocking = OfRule(findings, "probcon-blocking-under-lock");
+  ASSERT_EQ(blocking.size(), 1u);
+  EXPECT_NE(blocking[0].message.find("Bridge::outer_"), std::string::npos);
+}
+
+TEST(BlockingTest, BlockingPropagatesThroughCallChains) {
+  const std::vector<Finding> findings = Analyze(R"cc(
+    class Relay {
+     public:
+      void Outer();
+      void Middle();
+      void Leaf();
+     private:
+      std::mutex mutex_;
+      std::thread worker_;
+    };
+    void Relay::Leaf() { worker_.join(); }
+    void Relay::Middle() { Leaf(); }
+    void Relay::Outer() {
+      std::lock_guard<std::mutex> lock(mutex_);
+      Middle();
+    }
+  )cc");
+  const std::vector<Finding> blocking = OfRule(findings, "probcon-blocking-under-lock");
+  ASSERT_EQ(blocking.size(), 1u);
+  // The finding anchors at the held call site and names the chain to the seed.
+  EXPECT_NE(blocking[0].message.find("Middle"), std::string::npos);
+  EXPECT_NE(blocking[0].message.find("join"), std::string::npos);
+}
+
+TEST(BlockingTest, HelperThatWaitsOnTheCallersMutexIsNotTransitivelyBlocking) {
+  // WaitLocked-style helper: the caller holds mutex_ and calls a helper whose cv wait
+  // releases that same mutex. The wait is the cooperative-wait idiom, not a deadlock.
+  const std::vector<Finding> findings = Analyze(R"cc(
+    class Mailbox {
+     public:
+      void Deliver();
+      void WaitLocked(std::unique_lock<std::mutex>& lock);
+     private:
+      std::mutex mutex_;
+      std::condition_variable cv_;
+    };
+    void Mailbox::WaitLocked(std::unique_lock<std::mutex>& lock) {
+      cv_.wait(lock);
+    }
+    void Mailbox::Deliver() {
+      std::unique_lock<std::mutex> lock(mutex_);
+      WaitLocked(lock);
+    }
+  )cc");
+  EXPECT_TRUE(OfRule(findings, "probcon-blocking-under-lock").empty());
+}
+
+TEST(BlockingTest, DroppingTheLockAroundTheBlockingCallIsClean) {
+  const std::vector<Finding> findings = Analyze(R"cc(
+    class Pool {
+     public:
+      void Stop();
+     private:
+      std::mutex mutex_;
+      std::thread worker_;
+    };
+    void Pool::Stop() {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+      }
+      worker_.join();
+    }
+  )cc");
+  EXPECT_TRUE(OfRule(findings, "probcon-blocking-under-lock").empty());
+}
+
+// --- R8: probcon-guarded-field ----------------------------------------------
+
+TEST(GuardedFieldTest, UnlockedAccessFiresLockedAccessDoesNot) {
+  const std::vector<Finding> findings = Analyze(R"cc(
+    class Tally {
+     public:
+      void Bump() {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++count_;
+      }
+      int Peek() const { return count_; }
+     private:
+      mutable std::mutex mutex_;
+      int count_ PROBCON_GUARDED_BY(mutex_) = 0;
+    };
+  )cc");
+  const std::vector<Finding> guarded = OfRule(findings, "probcon-guarded-field");
+  ASSERT_EQ(guarded.size(), 1u);
+  EXPECT_NE(guarded[0].message.find("Tally::count_"), std::string::npos);
+}
+
+TEST(GuardedFieldTest, RequiresAnnotationSatisfiesTheGuard) {
+  const std::vector<Finding> findings = Analyze(R"cc(
+    class Tally {
+     public:
+      void Bump() {
+        std::lock_guard<std::mutex> lock(mutex_);
+        BumpLocked();
+      }
+     private:
+      void BumpLocked() PROBCON_REQUIRES(mutex_) { ++count_; }
+      mutable std::mutex mutex_;
+      int count_ PROBCON_GUARDED_BY(mutex_) = 0;
+    };
+  )cc");
+  EXPECT_TRUE(OfRule(findings, "probcon-guarded-field").empty());
+}
+
+TEST(GuardedFieldTest, RequiresOnHeaderDeclarationCoversOutOfLineDefinition) {
+  // The annotation lives on the declaration (header style); the definition in another
+  // file must inherit it.
+  const ConcurrencyModel model = BuildModel({
+      {"src/shard.h", R"cc(
+        class Shard {
+         public:
+          void Insert();
+         private:
+          void InsertLocked() PROBCON_REQUIRES(mutex_);
+          std::mutex mutex_;
+          int size_ PROBCON_GUARDED_BY(mutex_) = 0;
+        };
+      )cc"},
+      {"src/shard.cc", R"cc(
+        void Shard::InsertLocked() { ++size_; }
+        void Shard::Insert() {
+          std::lock_guard<std::mutex> lock(mutex_);
+          InsertLocked();
+        }
+      )cc"},
+  });
+  const std::vector<Finding> findings = AnalyzeConcurrency(model);
+  EXPECT_TRUE(OfRule(findings, "probcon-guarded-field").empty());
+}
+
+TEST(GuardedFieldTest, ConstructorsAndDestructorsAreExempt) {
+  const std::vector<Finding> findings = Analyze(R"cc(
+    class Tally {
+     public:
+      Tally() { count_ = 0; }
+      ~Tally() { count_ = -1; }
+     private:
+      mutable std::mutex mutex_;
+      int count_ PROBCON_GUARDED_BY(mutex_) = 0;
+    };
+  )cc");
+  EXPECT_TRUE(OfRule(findings, "probcon-guarded-field").empty());
+}
+
+// --- Lock graph -------------------------------------------------------------
+
+TEST(LockGraphTest, EdgesAreDeduplicatedSortedAndKinded) {
+  const ConcurrencyModel model = BuildModel({{"src/a.cc", R"cc(
+    class Ledger {
+     public:
+      void Credit();
+      void Audit();
+      void TakeB();
+     private:
+      std::mutex a_;
+      std::mutex b_;
+      std::mutex c_ PROBCON_ACQUIRED_AFTER(b_);
+    };
+    void Ledger::TakeB() { std::lock_guard<std::mutex> b(b_); }
+    void Ledger::Credit() {
+      std::lock_guard<std::mutex> a(a_);
+      std::lock_guard<std::mutex> b(b_);
+    }
+    void Ledger::Audit() {
+      std::lock_guard<std::mutex> a(a_);
+      TakeB();
+    }
+  )cc"}});
+  const std::vector<LockGraphEdge> edges = BuildLockGraph(model);
+  ASSERT_EQ(edges.size(), 3u);
+  // Sorted by endpoints first: both a_->b_ witnesses (one local, one call) precede the
+  // declared b_->c_ edge.
+  EXPECT_EQ(edges[0].from, "Ledger::a_");
+  EXPECT_EQ(edges[0].to, "Ledger::b_");
+  EXPECT_EQ(edges[1].from, "Ledger::a_");
+  EXPECT_EQ(edges[1].to, "Ledger::b_");
+  const std::vector<std::string> kinds = {edges[0].kind, edges[1].kind};
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), "local"), kinds.end());
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), "call"), kinds.end());
+  EXPECT_EQ(edges[2].from, "Ledger::b_");
+  EXPECT_EQ(edges[2].to, "Ledger::c_");
+  EXPECT_EQ(edges[2].kind, "declared");
+}
+
+TEST(LockGraphTest, JsonDumpIsWellFormedAndDeterministic) {
+  const ConcurrencyModel model = BuildModel({{"src/a.cc", R"cc(
+    class Pair {
+     public:
+      void Both();
+     private:
+      std::mutex first_;
+      std::mutex second_;
+    };
+    void Pair::Both() {
+      std::lock_guard<std::mutex> f(first_);
+      std::lock_guard<std::mutex> s(second_);
+    }
+  )cc"}});
+  const std::string json = DumpLockGraph(model, /*json=*/true);
+  EXPECT_EQ(json, DumpLockGraph(model, /*json=*/true));
+  EXPECT_NE(json.find("\"nodes\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"Pair::first_\""), std::string::npos);
+  EXPECT_NE(json.find("\"Pair::second_\""), std::string::npos);
+  EXPECT_NE(json.find("\"edges\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"from\": \"Pair::first_\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"local\""), std::string::npos);
+  EXPECT_NE(json.find("\"node_count\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"edge_count\": 1"), std::string::npos);
+
+  const std::string human = DumpLockGraph(model, /*json=*/false);
+  EXPECT_NE(human.find("Pair::first_ -> Pair::second_"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace probcon::lint

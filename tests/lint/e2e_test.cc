@@ -67,6 +67,11 @@ TEST_F(LintE2eTest, MiniTreeProducesExactlyTheExpectedFindings) {
       // src/serve/deadline_ok.cc is absent: steady_clock is waived under src/serve/.
       {"src/serve/entropy_fire.cc",
        {{"probcon-determinism", 2}}},  // random_device + system_clock still fire there
+      // Concurrency rules (tree-level pass). Each *_clean sibling is absent: the fixed
+      // shapes produce nothing.
+      {"src/exec/helpwait_fire.cc", {{"probcon-blocking-under-lock", 1}}},
+      {"src/serve/lockorder_fire.cc", {{"probcon-lock-order", 1}}},
+      {"src/serve/guarded_fire.cc", {{"probcon-guarded-field", 1}}},
   };
   EXPECT_EQ(by_file_rule, expected);
 }
@@ -84,6 +89,34 @@ TEST_F(LintE2eTest, FindingsAreSortedAndAnchored) {
     EXPECT_NE(human.find(finding.path + ":"), std::string::npos);
     EXPECT_NE(human.find("[" + finding.rule + "]"), std::string::npos);
   }
+}
+
+// The deadlock that shipped in the original ParallelFor completion wait (helping the pool
+// while holding the group mutex) must be caught by R7 in its pre-fix shape, and the
+// lock-order cycle must surface as an error with its witness edges attached.
+TEST_F(LintE2eTest, ConcurrencyFindingsCarrySeverityAndEdges) {
+  const std::vector<Finding> findings = LintTree(root_.string(), {"src"});
+  bool saw_cycle = false;
+  bool saw_blocking = false;
+  for (const Finding& finding : findings) {
+    if (finding.rule == "probcon-lock-order") {
+      saw_cycle = true;
+      EXPECT_EQ(finding.severity, "error");
+      EXPECT_GE(finding.edges.size(), 2u) << "cycle findings carry their witness edges";
+      for (const FindingEdge& edge : finding.edges) {
+        EXPECT_FALSE(edge.from.empty());
+        EXPECT_FALSE(edge.to.empty());
+        EXPECT_GT(edge.line, 0);
+      }
+    } else if (finding.rule == "probcon-blocking-under-lock") {
+      saw_blocking = true;
+      EXPECT_EQ(finding.path, "src/exec/helpwait_fire.cc");
+      EXPECT_EQ(finding.severity, "warning");
+      EXPECT_NE(finding.message.find("TryRunOneTask"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_cycle);
+  EXPECT_TRUE(saw_blocking);
 }
 
 TEST_F(LintE2eTest, WrittenBaselineAbsorbsEveryFinding) {
@@ -105,7 +138,10 @@ TEST_F(LintE2eTest, JsonOutputIsWellFormedAndDeterministic) {
   EXPECT_NE(json.find("\"count\": " + std::to_string(findings.size())), std::string::npos);
   for (const Finding& finding : findings) {
     EXPECT_NE(json.find("\"path\": \"" + finding.path + "\""), std::string::npos);
+    EXPECT_NE(json.find("\"severity\": \"" + finding.severity + "\""), std::string::npos);
   }
+  // The lock-order finding serializes its witness edges.
+  EXPECT_NE(json.find("\"edges\": ["), std::string::npos);
 }
 
 TEST_F(LintE2eTest, CollectFilesIsSortedAndSkipsNonSources) {

@@ -1,0 +1,325 @@
+// Units for the heuristic C++ parser behind R6-R8: class recovery (nesting, mutex
+// members, guarded fields, declared order, container element types), name resolution, and
+// function-body event extraction (locks held, unique_lock toggles, cv waits, REQUIRES).
+
+#include "tools/lint/parser.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lexer.h"
+
+namespace probcon::lint {
+namespace {
+
+ClassTable TableOf(const std::string& source) {
+  ClassTable table;
+  for (const ClassInfo& info : CollectClasses(Lex(source))) {
+    table.Merge(info);
+  }
+  table.Finalize();
+  return table;
+}
+
+std::vector<FunctionInfo> FunctionsOf(const std::string& source, const ClassTable& table) {
+  return CollectFunctions("test.cc", Lex(source), table);
+}
+
+const FunctionInfo* FindFn(const std::vector<FunctionInfo>& fns, const std::string& name) {
+  for (const FunctionInfo& fn : fns) {
+    if (fn.name == name) return &fn;
+  }
+  return nullptr;
+}
+
+TEST(CollectClassesTest, RecoversNestedClassesMutexesAndGuardedFields) {
+  const std::string source = R"cc(
+    namespace probcon {
+    class Outer {
+     public:
+      void Touch();
+     private:
+      struct Inner {
+        std::mutex mutex;
+        int depth PROBCON_GUARDED_BY(mutex) = 0;
+      };
+      std::mutex own_mutex_;
+      bool flag_ PROBCON_GUARDED_BY(own_mutex_) = false;
+    };
+    }  // namespace probcon
+  )cc";
+  const ClassTable table = TableOf(source);
+
+  const ClassInfo* outer = table.Find("Outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->mutex_members.count("own_mutex_"), 1u);
+  ASSERT_EQ(outer->guarded_fields.count("flag_"), 1u);
+  EXPECT_EQ(outer->guarded_fields.at("flag_"), "own_mutex_");
+  EXPECT_EQ(outer->methods.count("Touch"), 1u);
+
+  const ClassInfo* inner = table.Find("Outer::Inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->mutex_members.count("mutex"), 1u);
+  EXPECT_EQ(inner->guarded_fields.count("depth"), 1u);
+}
+
+TEST(CollectClassesTest, DeclaredOrderAnnotationsBecomeEdges) {
+  const std::string source = R"cc(
+    class Server {
+      std::mutex a_;
+      std::mutex b_ PROBCON_ACQUIRED_AFTER(a_);
+      std::mutex c_ PROBCON_ACQUIRED_BEFORE(a_);
+    };
+  )cc";
+  const ClassTable table = TableOf(source);
+  const ClassInfo* server = table.Find("Server");
+  ASSERT_NE(server, nullptr);
+  ASSERT_EQ(server->declared_order.size(), 2u);
+
+  // b_ ACQUIRED_AFTER a_: the annotated member comes second.
+  const auto& after = server->declared_order[0];
+  EXPECT_EQ(after.member, "b_");
+  EXPECT_EQ(after.other, "a_");
+  EXPECT_FALSE(after.member_first);
+
+  const auto& before = server->declared_order[1];
+  EXPECT_EQ(before.member, "c_");
+  EXPECT_EQ(before.other, "a_");
+  EXPECT_TRUE(before.member_first);
+}
+
+TEST(ClassTableTest, ResolvesContainerElementClasses) {
+  const std::string source = R"cc(
+    class Pool {
+      struct Worker {
+        std::mutex mutex;
+      };
+      std::vector<std::unique_ptr<Worker>> workers_;
+    };
+  )cc";
+  const ClassTable table = TableOf(source);
+  const std::string* element = table.MemberClass("Pool", "workers_");
+  ASSERT_NE(element, nullptr);
+  EXPECT_EQ(*element, "Pool::Worker");
+}
+
+TEST(ClassTableTest, ResolveWalksScopesAndRejectsAmbiguity) {
+  const std::string source = R"cc(
+    class A { struct State {}; };
+    class B { struct State {}; };
+    class Unique {};
+  )cc";
+  const ClassTable table = TableOf(source);
+
+  // From inside A, "State" resolves to the nested one.
+  const ClassInfo* state = table.Resolve("State", "A");
+  ASSERT_NE(state, nullptr);
+  EXPECT_EQ(state->name, "A::State");
+
+  // From nowhere, "State" is ambiguous; "Unique" resolves by unqualified fallback.
+  EXPECT_EQ(table.Resolve("State", ""), nullptr);
+  const ClassInfo* unique = table.Resolve("Unique", "");
+  ASSERT_NE(unique, nullptr);
+  EXPECT_EQ(unique->name, "Unique");
+}
+
+TEST(CollectFunctionsTest, TracksNestedRaiiAcquisitionsWithHeldSets) {
+  const std::string source = R"cc(
+    class Ledger {
+     public:
+      void Move();
+     private:
+      std::mutex a_;
+      std::mutex b_;
+    };
+    void Ledger::Move() {
+      std::lock_guard<std::mutex> a(a_);
+      std::lock_guard<std::mutex> b(b_);
+    }
+  )cc";
+  const ClassTable table = TableOf(source);
+  const std::vector<FunctionInfo> fns = FunctionsOf(source, table);
+  const FunctionInfo* move = FindFn(fns, "Ledger::Move");
+  ASSERT_NE(move, nullptr);
+  ASSERT_EQ(move->acquires.size(), 2u);
+  EXPECT_EQ(move->acquires[0].mutex_id, "Ledger::a_");
+  EXPECT_TRUE(move->acquires[0].held.empty());
+  EXPECT_EQ(move->acquires[1].mutex_id, "Ledger::b_");
+  ASSERT_EQ(move->acquires[1].held.size(), 1u);
+  EXPECT_EQ(move->acquires[1].held[0], "Ledger::a_");
+}
+
+TEST(CollectFunctionsTest, UniqueLockTogglesChangeHeldness) {
+  const std::string source = R"cc(
+    class Cache {
+     public:
+      void Fill();
+     private:
+      std::mutex mutex_;
+    };
+    void Cache::Fill() {
+      std::unique_lock<std::mutex> lock(mutex_);
+      Prepare();
+      lock.unlock();
+      Compute();
+      lock.lock();
+      Publish();
+    }
+  )cc";
+  const ClassTable table = TableOf(source);
+  const std::vector<FunctionInfo> fns = FunctionsOf(source, table);
+  const FunctionInfo* fill = FindFn(fns, "Cache::Fill");
+  ASSERT_NE(fill, nullptr);
+
+  std::vector<std::string> held_at_prepare;
+  std::vector<std::string> held_at_compute;
+  std::vector<std::string> held_at_publish;
+  for (const CallSite& call : fill->calls) {
+    if (call.callee.find("Prepare") != std::string::npos) held_at_prepare = call.held;
+    if (call.callee.find("Compute") != std::string::npos) held_at_compute = call.held;
+    if (call.callee.find("Publish") != std::string::npos) held_at_publish = call.held;
+  }
+  EXPECT_EQ(held_at_prepare, std::vector<std::string>{"Cache::mutex_"});
+  EXPECT_TRUE(held_at_compute.empty());
+  EXPECT_EQ(held_at_publish, std::vector<std::string>{"Cache::mutex_"});
+}
+
+TEST(CollectFunctionsTest, ScopeExitReleasesRaiiLocks) {
+  const std::string source = R"cc(
+    class Pool {
+     public:
+      void Drain();
+     private:
+      std::mutex mutex_;
+    };
+    void Pool::Drain() {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        Flip();
+      }
+      Join();
+    }
+  )cc";
+  const ClassTable table = TableOf(source);
+  const std::vector<FunctionInfo> fns = FunctionsOf(source, table);
+  const FunctionInfo* drain = FindFn(fns, "Pool::Drain");
+  ASSERT_NE(drain, nullptr);
+  for (const CallSite& call : drain->calls) {
+    if (call.callee.find("Join") != std::string::npos) {
+      EXPECT_TRUE(call.held.empty()) << "lock_guard died with its scope";
+    }
+    if (call.callee.find("Flip") != std::string::npos) {
+      EXPECT_EQ(call.held.size(), 1u);
+    }
+  }
+}
+
+TEST(CollectFunctionsTest, CvWaitRecordsItsLockMutex) {
+  const std::string source = R"cc(
+    class Gate {
+     public:
+      void Await();
+     private:
+      std::mutex mutex_;
+      std::condition_variable cv_;
+    };
+    void Gate::Await() {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock);
+    }
+  )cc";
+  const ClassTable table = TableOf(source);
+  const std::vector<FunctionInfo> fns = FunctionsOf(source, table);
+  const FunctionInfo* await_fn = FindFn(fns, "Gate::Await");
+  ASSERT_NE(await_fn, nullptr);
+  bool saw_wait = false;
+  for (const CallSite& call : await_fn->calls) {
+    if (call.is_cv_wait) {
+      saw_wait = true;
+      EXPECT_EQ(call.cv_wait_mutex, "Gate::mutex_");
+    }
+  }
+  EXPECT_TRUE(saw_wait);
+}
+
+TEST(CollectFunctionsTest, FunctionLocalMutexesGetFunctionScopedIds) {
+  const std::string source = R"cc(
+    void Handle() {
+      std::mutex mutex;
+      std::lock_guard<std::mutex> lock(mutex);
+      Deliver();
+    }
+  )cc";
+  const ClassTable table = TableOf(source);
+  const std::vector<FunctionInfo> fns = FunctionsOf(source, table);
+  const FunctionInfo* handle = FindFn(fns, "Handle");
+  ASSERT_NE(handle, nullptr);
+  ASSERT_EQ(handle->acquires.size(), 1u);
+  EXPECT_EQ(handle->acquires[0].mutex_id, "Handle::mutex");
+}
+
+TEST(CollectFunctionsTest, RequiresOnDeclarationEmitsStub) {
+  const std::string source = R"cc(
+    class Shard {
+      void InsertLocked(int key) PROBCON_REQUIRES(mutex_);
+      std::mutex mutex_;
+    };
+  )cc";
+  const ClassTable table = TableOf(source);
+  const std::vector<FunctionInfo> fns = FunctionsOf(source, table);
+  const FunctionInfo* stub = FindFn(fns, "Shard::InsertLocked");
+  ASSERT_NE(stub, nullptr) << "bodyless declarations carrying REQUIRES produce a stub";
+  ASSERT_EQ(stub->requires_held.size(), 1u);
+  EXPECT_EQ(stub->requires_held[0], "Shard::mutex_");
+  EXPECT_TRUE(stub->acquires.empty());
+}
+
+TEST(CollectFunctionsTest, LambdasAreSeparateFunctions) {
+  const std::string source = R"cc(
+    class Reactor {
+     public:
+      void SubmitFrame();
+     private:
+      std::mutex mutex_;
+    };
+    void Reactor::SubmitFrame() {
+      auto task = [this]() {
+        std::lock_guard<std::mutex> lock(mutex_);
+        Deliver();
+      };
+      task();
+    }
+  )cc";
+  const ClassTable table = TableOf(source);
+  const std::vector<FunctionInfo> fns = FunctionsOf(source, table);
+  const FunctionInfo* lambda = nullptr;
+  for (const FunctionInfo& fn : fns) {
+    if (fn.is_lambda) lambda = &fn;
+  }
+  ASSERT_NE(lambda, nullptr);
+  EXPECT_NE(lambda->name.find("Reactor::SubmitFrame::<lambda"), std::string::npos);
+  ASSERT_EQ(lambda->acquires.size(), 1u);
+  EXPECT_EQ(lambda->acquires[0].mutex_id, "Reactor::mutex_");
+}
+
+TEST(CollectFunctionsTest, UnresolvableMutexGetsFunctionScopedPlaceholder) {
+  const std::string source = R"cc(
+    void Mystery(void* opaque) {
+      std::lock_guard<std::mutex> lock(((Widget*)opaque)->mutex);
+      Poke();
+    }
+  )cc";
+  const ClassTable table = TableOf(source);
+  const std::vector<FunctionInfo> fns = FunctionsOf(source, table);
+  const FunctionInfo* mystery = FindFn(fns, "Mystery");
+  ASSERT_NE(mystery, nullptr);
+  ASSERT_EQ(mystery->acquires.size(), 1u);
+  // Placeholders are function-scoped ("<fn>::?..."), never unified across functions.
+  EXPECT_NE(mystery->acquires[0].mutex_id.find("::?"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace probcon::lint

@@ -1,0 +1,79 @@
+// Tree-level concurrency analysis for probcon-lint: rules R6-R8.
+//
+// Unlike R1-R5 (token rules, one file at a time), the concurrency rules reason about the
+// WHOLE tree at once: a lock-order cycle is by nature a property of two functions that may
+// live in different translation units. The pipeline is
+//
+//   BuildModel(all files)  ->  ClassTable + merged FunctionInfos      (tools/lint/parser.h)
+//   AnalyzeConcurrency     ->  findings
+//     R6 probcon-lock-order         lock-order graph cycles (severity: error)
+//         edges: nested RAII acquisitions, caller-held x callee-transitive-acquires,
+//         and declared PROBCON_ACQUIRED_BEFORE/AFTER edges. Cycles are reported once per
+//         strongly connected component with every witness edge attached to the finding.
+//     R7 probcon-blocking-under-lock  blocking operation while holding a lock
+//         condition_variable waits on a DIFFERENT mutex than the one the wait releases,
+//         thread joins, sleeps, socket/poll syscalls, ThreadPool::ParallelFor/Join,
+//         Channel round trips — directly or through any resolvable call chain.
+//     R8 probcon-guarded-field      PROBCON_GUARDED_BY field touched without its mutex
+//         (constructors/destructors of the owning class are exempt, matching clang).
+//
+// The analysis is deliberately instance-insensitive: mutex identity is `Class::member`,
+// so two locks of the same member on different objects look identical. That trades a
+// class of false negatives (per-instance hand-over-hand locking) for zero-configuration
+// whole-tree checking, which is the right trade for this codebase (no such pattern).
+
+#ifndef PROBCON_TOOLS_LINT_CONCURRENCY_H_
+#define PROBCON_TOOLS_LINT_CONCURRENCY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tools/lint/finding.h"
+#include "tools/lint/parser.h"
+
+namespace probcon::lint {
+
+struct SourceFile {
+  std::string path;     // repo-relative, forward slashes
+  std::string content;  // raw bytes
+};
+
+struct ConcurrencyModel {
+  ClassTable classes;
+  // Function name -> merged info. Overloads and redeclarations merge their body events
+  // (conservative union). Lambda bodies are separate entries ("Outer::<lambda:LINE>").
+  std::map<std::string, FunctionInfo> functions;
+};
+
+// One edge of the global lock-order graph, with its witness site.
+struct LockGraphEdge {
+  std::string from;  // mutex id acquired first
+  std::string to;    // mutex id acquired while `from` is held
+  std::string path;  // witness file ("" for declared edges from unmerged headers)
+  int line = 0;
+  // "local": nested RAII acquisition inside one body. "call": caller holds `from` at a
+  // call whose callee transitively acquires `to`. "declared": PROBCON_ACQUIRED_BEFORE /
+  // PROBCON_ACQUIRED_AFTER annotation.
+  std::string kind;
+};
+
+// Lexes and parses every file into one model. Never fails: files that do not parse as
+// C++ contribute whatever structure was recoverable.
+ConcurrencyModel BuildModel(const std::vector<SourceFile>& files);
+
+// The deduplicated lock-order graph (sorted, deterministic). Exposed for --dump-lock-graph
+// and the golden test; AnalyzeConcurrency builds on the same edges.
+std::vector<LockGraphEdge> BuildLockGraph(const ConcurrencyModel& model);
+
+// Runs R6-R8 over the model. Findings are sorted and deduplicated; suppression filtering
+// is the caller's job (the driver re-uses the per-file NOLINT parse).
+std::vector<Finding> AnalyzeConcurrency(const ConcurrencyModel& model);
+
+// Renders the lock-order graph for --dump-lock-graph: human text or JSON
+// {"nodes": [...], "edges": [{from,to,kind,path,line}...], "node_count": N, "edge_count": M}.
+std::string DumpLockGraph(const ConcurrencyModel& model, bool json);
+
+}  // namespace probcon::lint
+
+#endif  // PROBCON_TOOLS_LINT_CONCURRENCY_H_

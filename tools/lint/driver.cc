@@ -3,7 +3,12 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
+
+#include "tools/lint/concurrency.h"
+#include "tools/lint/lexer.h"
+#include "tools/lint/suppressions.h"
 
 namespace probcon::lint {
 namespace {
@@ -50,22 +55,65 @@ std::vector<std::string> CollectFiles(const std::string& root,
   return files;
 }
 
-std::vector<Finding> LintTree(const std::string& root, const std::vector<std::string>& dirs,
-                              const LintOptions& options) {
-  std::vector<Finding> findings;
+std::vector<SourceFile> ReadTree(const std::string& root, const std::vector<std::string>& dirs,
+                                 std::vector<Finding>* io_findings) {
+  std::vector<SourceFile> sources;
   for (const std::string& file : CollectFiles(root, dirs)) {
     std::ifstream in(fs::path(root) / file, std::ios::binary);
     if (!in) {
-      findings.push_back(
-          Finding{"probcon-io", file, 0, 0, file, "cannot read file; lint coverage is incomplete"});
+      if (io_findings != nullptr) {
+        io_findings->push_back(Finding{"probcon-io", file, 0, 0, file,
+                                       "cannot read file; lint coverage is incomplete"});
+      }
       continue;
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    std::vector<Finding> file_findings = LintSource(file, buffer.str(), options);
+    sources.push_back(SourceFile{file, buffer.str()});
+  }
+  return sources;
+}
+
+std::vector<Finding> LintTree(const std::string& root, const std::vector<std::string>& dirs,
+                              const LintOptions& options) {
+  std::vector<Finding> findings;
+  const std::vector<SourceFile> sources = ReadTree(root, dirs, &findings);
+
+  // Per-file token rules (R1-R5), with their own suppression handling inside LintSource.
+  for (const SourceFile& source : sources) {
+    std::vector<Finding> file_findings = LintSource(source.path, source.content, options);
     findings.insert(findings.end(), std::make_move_iterator(file_findings.begin()),
                     std::make_move_iterator(file_findings.end()));
   }
+
+  // Tree-level concurrency rules (R6-R8): one model over every file, then NOLINT
+  // filtering against each finding's own file. Hygiene findings are NOT re-collected
+  // here — LintSource already reported them once per file.
+  if (options.analyze_concurrency) {
+    const ConcurrencyModel model = BuildModel(sources);
+    std::map<std::string, SuppressionSet> suppressions_by_path;
+    auto suppressions_for = [&](const std::string& path) -> const SuppressionSet& {
+      auto it = suppressions_by_path.find(path);
+      if (it != suppressions_by_path.end()) {
+        return it->second;
+      }
+      SuppressionSet set;
+      for (const SourceFile& source : sources) {
+        if (source.path == path) {
+          std::vector<Finding> ignored_hygiene;
+          set = ParseSuppressions(path, Lex(source.content), KnownRules(), ignored_hygiene);
+          break;
+        }
+      }
+      return suppressions_by_path.emplace(path, std::move(set)).first->second;
+    };
+    for (Finding& finding : AnalyzeConcurrency(model)) {
+      if (!suppressions_for(finding.path).Suppresses(finding.rule, finding.line)) {
+        findings.push_back(std::move(finding));
+      }
+    }
+  }
+
   std::sort(findings.begin(), findings.end());
   return findings;
 }

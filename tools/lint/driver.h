@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "tools/lint/concurrency.h"
 #include "tools/lint/finding.h"
 #include "tools/lint/rules.h"
 
@@ -19,6 +20,11 @@ const std::vector<std::string>& DefaultLintDirs();
 // Nonexistent dirs are skipped (a fixture mini-tree need not have all four).
 std::vector<std::string> CollectFiles(const std::string& root,
                                       const std::vector<std::string>& dirs);
+
+// Reads every collected file into memory. Unreadable files produce a probcon-io finding in
+// `io_findings` (when non-null) so CI never silently skips anything.
+std::vector<SourceFile> ReadTree(const std::string& root, const std::vector<std::string>& dirs,
+                                 std::vector<Finding>* io_findings);
 
 // Lints every collected file. Returns sorted findings; files that cannot be read produce a
 // probcon-io finding so CI never silently skips anything.

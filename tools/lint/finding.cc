@@ -38,7 +38,8 @@ void AppendJsonEscaped(std::ostringstream& os, const std::string& s) {
 
 std::string FormatHuman(const Finding& finding) {
   std::ostringstream os;
-  os << finding.path << ":" << finding.line << ":" << finding.col << ": warning: "
+  os << finding.path << ":" << finding.line << ":" << finding.col << ": "
+     << (finding.severity.empty() ? "warning" : finding.severity) << ": "
      << finding.message << " [" << finding.rule << "]";
   return os.str();
 }
@@ -50,12 +51,28 @@ std::string FormatJson(const std::vector<Finding>& findings) {
     const Finding& f = findings[i];
     os << (i == 0 ? "\n" : ",\n") << "    {\"rule\": ";
     AppendJsonEscaped(os, f.rule);
+    os << ", \"severity\": ";
+    AppendJsonEscaped(os, f.severity.empty() ? "warning" : f.severity);
     os << ", \"path\": ";
     AppendJsonEscaped(os, f.path);
     os << ", \"line\": " << f.line << ", \"col\": " << f.col << ", \"token\": ";
     AppendJsonEscaped(os, f.token);
     os << ", \"message\": ";
     AppendJsonEscaped(os, f.message);
+    if (!f.edges.empty()) {
+      os << ", \"edges\": [";
+      for (size_t j = 0; j < f.edges.size(); ++j) {
+        const FindingEdge& e = f.edges[j];
+        os << (j == 0 ? "" : ", ") << "{\"from\": ";
+        AppendJsonEscaped(os, e.from);
+        os << ", \"to\": ";
+        AppendJsonEscaped(os, e.to);
+        os << ", \"path\": ";
+        AppendJsonEscaped(os, e.path);
+        os << ", \"line\": " << e.line << "}";
+      }
+      os << "]";
+    }
     os << "}";
   }
   os << (findings.empty() ? "]" : "\n  ]") << ",\n  \"count\": " << findings.size() << "\n}\n";

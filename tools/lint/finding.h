@@ -5,17 +5,40 @@
 
 #include <string>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 namespace probcon::lint {
 
+// One witness edge of the lock-order graph attached to a probcon-lock-order finding.
+struct FindingEdge {
+  std::string from;  // mutex id acquired first
+  std::string to;    // mutex id acquired while `from` is held
+  std::string path;  // witness site
+  int line = 0;
+};
+
 struct Finding {
+  Finding() = default;
+  Finding(std::string rule_in, std::string path_in, int line_in, int col_in,
+          std::string token_in, std::string message_in)
+      : rule(std::move(rule_in)),
+        path(std::move(path_in)),
+        line(line_in),
+        col(col_in),
+        token(std::move(token_in)),
+        message(std::move(message_in)) {}
+
   std::string rule;     // e.g. "probcon-determinism"
   std::string path;     // repo-relative, forward slashes
   int line = 0;
   int col = 0;
   std::string token;    // the offending token (baseline identity; stable across messages)
   std::string message;  // human explanation with the suggested fix
+  // "warning" (default) or "error". Severity does not change exit codes — every
+  // unbaselined finding fails — it classifies machine output (see docs/LINTING.md).
+  std::string severity = "warning";
+  std::vector<FindingEdge> edges;  // lock-order witnesses (probcon-lock-order only)
 
   friend bool operator<(const Finding& a, const Finding& b) {
     return std::tie(a.path, a.line, a.col, a.rule, a.token) <

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "tools/lint/baseline.h"
+#include "tools/lint/concurrency.h"
 #include "tools/lint/driver.h"
 #include "tools/lint/finding.h"
 #include "tools/lint/rules.h"
@@ -30,6 +31,8 @@ options:
   --write-baseline       rewrite --baseline FILE (default tools/lint/baseline.txt) from
                          the current findings, then exit 0
   --json                 machine-readable output (new findings only)
+  --dump-lock-graph      print the global lock-order graph (R6 input) instead of linting;
+                         honors --json. Exit 0 always.
   -h, --help             this message
 )";
 
@@ -38,6 +41,7 @@ struct Args {
   std::string baseline_path;
   bool write_baseline = false;
   bool json = false;
+  bool dump_lock_graph = false;
   std::vector<std::string> dirs;
 };
 
@@ -52,6 +56,8 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       args.write_baseline = true;
     } else if (arg == "--json") {
       args.json = true;
+    } else if (arg == "--dump-lock-graph") {
+      args.dump_lock_graph = true;
     } else if (arg == "-h" || arg == "--help") {
       std::cout << kUsage;
       std::exit(0);
@@ -79,6 +85,16 @@ int main(int argc, char** argv) {
   Args args;
   if (!ParseArgs(argc, argv, args)) {
     return 2;
+  }
+
+  if (args.dump_lock_graph) {
+    std::vector<Finding> io_findings;
+    const std::vector<SourceFile> sources = ReadTree(args.root, args.dirs, &io_findings);
+    for (const Finding& finding : io_findings) {
+      std::cerr << FormatHuman(finding) << "\n";
+    }
+    std::cout << DumpLockGraph(BuildModel(sources), args.json);
+    return 0;
   }
 
   const LintOptions options;

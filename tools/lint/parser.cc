@@ -1,0 +1,1657 @@
+#include "tools/lint/parser.h"
+
+#include <algorithm>
+
+namespace probcon::lint {
+namespace {
+
+const std::set<std::string>& ControlKeywords() {
+  static const std::set<std::string> kWords = {
+      "if",     "for",      "while",  "switch",   "return",   "sizeof",  "catch",
+      "case",   "do",       "else",   "goto",     "new",      "delete",  "throw",
+      "break",  "continue", "default", "co_return", "co_await", "co_yield",
+      "alignof", "decltype", "typeid", "static_cast", "dynamic_cast",
+      "const_cast", "reinterpret_cast", "void", "int", "bool", "char", "unsigned",
+      "signed", "long", "short", "float", "double", "auto", "operator", "true",
+      "false", "nullptr", "this", "not", "and", "or"};
+  return kWords;
+}
+
+const std::set<std::string>& GuardTypes() {
+  static const std::set<std::string> kTypes = {"lock_guard", "unique_lock", "scoped_lock",
+                                               "shared_lock"};
+  return kTypes;
+}
+
+const std::set<std::string>& MutexTypes() {
+  static const std::set<std::string> kTypes = {"mutex", "shared_mutex", "recursive_mutex",
+                                               "timed_mutex", "recursive_timed_mutex"};
+  return kTypes;
+}
+
+bool IsProbconMacro(const std::string& text) { return text.rfind("PROBCON_", 0) == 0; }
+
+bool IsIdent(const Token& t) { return t.kind == TokenKind::kIdentifier; }
+
+// Strips comments and preprocessor lines: the structural passes reason about code only.
+std::vector<Token> CodeTokens(const std::vector<Token>& tokens) {
+  std::vector<Token> out;
+  out.reserve(tokens.size());
+  for (const Token& t : tokens) {
+    if (t.kind != TokenKind::kComment && t.kind != TokenKind::kPpDirective) {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+// c[i] is an opener ((, {, [). Returns the index one past its matching closer, treating the
+// three bracket kinds as one pool (robust against the lexer's guarantees, not grammar).
+size_t SkipBalanced(const std::vector<Token>& c, size_t i) {
+  int depth = 0;
+  for (; i < c.size(); ++i) {
+    if (c[i].IsPunct("(") || c[i].IsPunct("{") || c[i].IsPunct("[")) {
+      ++depth;
+    } else if (c[i].IsPunct(")") || c[i].IsPunct("}") || c[i].IsPunct("]")) {
+      if (--depth == 0) {
+        return i + 1;
+      }
+    }
+  }
+  return c.size();
+}
+
+// c[i] == "<". Skips a template argument/parameter list, counting ">>" as two closers.
+// Bails at ; or { so malformed input cannot run away.
+size_t SkipAngles(const std::vector<Token>& c, size_t i) {
+  int depth = 0;
+  for (; i < c.size(); ++i) {
+    if (c[i].IsPunct("<")) {
+      ++depth;
+    } else if (c[i].IsPunct(">")) {
+      if (--depth == 0) {
+        return i + 1;
+      }
+    } else if (c[i].IsPunct(">>")) {
+      depth -= 2;
+      if (depth <= 0) {
+        return i + 1;
+      }
+    } else if (c[i].IsPunct("(") || c[i].IsPunct("[")) {
+      i = SkipBalanced(c, i) - 1;
+    } else if (c[i].IsPunct(";") || c[i].IsPunct("{")) {
+      return i;  // malformed / not really a template list
+    }
+  }
+  return c.size();
+}
+
+std::string JoinTokens(const std::vector<Token>& c, size_t b, size_t e) {
+  std::string out;
+  for (size_t i = b; i < e && i < c.size(); ++i) {
+    out += c[i].text;
+  }
+  return out;
+}
+
+// Splits [b, e) on top-level commas (paren/brace/bracket/angle aware enough for args).
+std::vector<std::pair<size_t, size_t>> SplitTopCommas(const std::vector<Token>& c, size_t b,
+                                                      size_t e) {
+  std::vector<std::pair<size_t, size_t>> parts;
+  int depth = 0;
+  int angle = 0;
+  size_t start = b;
+  for (size_t i = b; i < e; ++i) {
+    if (c[i].IsPunct("(") || c[i].IsPunct("{") || c[i].IsPunct("[")) {
+      ++depth;
+    } else if (c[i].IsPunct(")") || c[i].IsPunct("}") || c[i].IsPunct("]")) {
+      --depth;
+    } else if (c[i].IsPunct("<")) {
+      ++angle;
+    } else if (c[i].IsPunct(">")) {
+      angle = std::max(0, angle - 1);
+    } else if (c[i].IsPunct(">>")) {
+      angle = std::max(0, angle - 2);
+    } else if (c[i].IsPunct(",") && depth == 0 && angle == 0) {
+      parts.emplace_back(start, i);
+      start = i + 1;
+    }
+  }
+  if (start < e) {
+    parts.emplace_back(start, e);
+  }
+  return parts;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------- ClassTable
+
+void ClassTable::Merge(const ClassInfo& info) {
+  ClassInfo& dst = classes_[info.name];
+  dst.name = info.name;
+  dst.mutex_members.insert(info.mutex_members.begin(), info.mutex_members.end());
+  for (const auto& [f, g] : info.guarded_fields) {
+    dst.guarded_fields[f] = g;
+  }
+  dst.declared_order.insert(dst.declared_order.end(), info.declared_order.begin(),
+                            info.declared_order.end());
+  dst.methods.insert(info.methods.begin(), info.methods.end());
+  for (const auto& [m, t] : info.member_type_tokens) {
+    dst.member_type_tokens[m] = t;
+  }
+}
+
+void ClassTable::Finalize() {
+  by_unqualified_.clear();
+  for (const auto& [name, info] : classes_) {
+    const size_t pos = name.rfind("::");
+    by_unqualified_[pos == std::string::npos ? name : name.substr(pos + 2)].push_back(name);
+  }
+  member_class_.clear();
+  for (const auto& [name, info] : classes_) {
+    for (const auto& [member, type_tokens] : info.member_type_tokens) {
+      // The element class is the LAST type token that resolves: for
+      // vector<unique_ptr<Worker>> that is Worker; for QueryServer& it is QueryServer.
+      for (auto it = type_tokens.rbegin(); it != type_tokens.rend(); ++it) {
+        if (const ClassInfo* hit = Resolve(*it, name)) {
+          member_class_[name][member] = hit->name;
+          break;
+        }
+      }
+    }
+  }
+}
+
+const ClassInfo* ClassTable::Find(const std::string& qualified) const {
+  auto it = classes_.find(qualified);
+  return it == classes_.end() ? nullptr : &it->second;
+}
+
+const ClassInfo* ClassTable::Resolve(const std::string& name,
+                                     const std::string& context) const {
+  if (name.empty()) {
+    return nullptr;
+  }
+  if (const ClassInfo* hit = Find(name)) {
+    return hit;
+  }
+  // Walk the context's enclosing scopes: A::B::C resolves X as A::B::C::X, A::B::X, A::X.
+  std::string ctx = context;
+  while (!ctx.empty()) {
+    if (const ClassInfo* hit = Find(ctx + "::" + name)) {
+      return hit;
+    }
+    const size_t pos = ctx.rfind("::");
+    ctx = pos == std::string::npos ? "" : ctx.substr(0, pos);
+  }
+  // Unique unqualified match (only for unqualified names).
+  if (name.find("::") == std::string::npos) {
+    auto it = by_unqualified_.find(name);
+    if (it != by_unqualified_.end() && it->second.size() == 1) {
+      return Find(it->second[0]);
+    }
+  }
+  return nullptr;
+}
+
+const std::string* ClassTable::MemberClass(const std::string& class_name,
+                                           const std::string& member) const {
+  auto it = member_class_.find(class_name);
+  if (it == member_class_.end()) {
+    return nullptr;
+  }
+  auto jt = it->second.find(member);
+  return jt == it->second.end() ? nullptr : &jt->second;
+}
+
+// ------------------------------------------------------------------------ CollectClasses
+
+namespace {
+
+// Extracts mutex members, guarded fields, and declared order from one member declaration
+// [b, e) (terminator excluded). `is_function_decl` suppresses the member-type registration
+// (a method's parameter names are not members).
+void ProcessMemberDecl(const std::vector<Token>& c, size_t b, size_t e,
+                       bool is_function_decl, ClassInfo& ci) {
+  // Declarator: last identifier before the first of "=", "{", or a PROBCON_ macro.
+  size_t stop = e;
+  for (size_t i = b; i < e; ++i) {
+    if (c[i].IsPunct("=") || c[i].IsPunct("{") || (IsIdent(c[i]) && IsProbconMacro(c[i].text))) {
+      stop = i;
+      break;
+    }
+  }
+  std::string declarator;
+  size_t declarator_pos = e;
+  for (size_t i = stop; i-- > b;) {
+    if (IsIdent(c[i]) && !IsProbconMacro(c[i].text)) {
+      declarator = c[i].text;
+      declarator_pos = i;
+      break;
+    }
+  }
+
+  // Mutex members: a mutex type name in type position followed by the member name. The
+  // name may itself spell a mutex type ("std::mutex mutex;" — the common case for nested
+  // per-shard structs), so the follower is accepted when it is the declarator.
+  for (size_t i = b; i + 1 < e; ++i) {
+    if (IsIdent(c[i]) && MutexTypes().count(c[i].text) > 0 && IsIdent(c[i + 1]) &&
+        (MutexTypes().count(c[i + 1].text) == 0 || i + 1 == declarator_pos)) {
+      ci.mutex_members.insert(c[i + 1].text);
+    }
+  }
+
+  if (!declarator.empty() && !is_function_decl) {
+    std::vector<std::string> type_tokens;
+    for (size_t i = b; i < declarator_pos; ++i) {
+      if (IsIdent(c[i]) && !ControlKeywords().count(c[i].text)) {
+        type_tokens.push_back(c[i].text);
+      }
+    }
+    if (!type_tokens.empty()) {
+      ci.member_type_tokens[declarator] = std::move(type_tokens);
+    }
+  }
+
+  // Annotation macros attached to this declarator.
+  for (size_t i = b; i < e; ++i) {
+    if (!IsIdent(c[i]) || !IsProbconMacro(c[i].text) || i + 1 >= e || !c[i + 1].IsPunct("(")) {
+      continue;
+    }
+    const size_t close = SkipBalanced(c, i + 1);
+    const std::string& macro = c[i].text;
+    if (macro == "PROBCON_GUARDED_BY" || macro == "PROBCON_PT_GUARDED_BY") {
+      if (!declarator.empty()) {
+        ci.guarded_fields[declarator] = JoinTokens(c, i + 2, close - 1);
+      }
+    } else if (macro == "PROBCON_ACQUIRED_BEFORE" || macro == "PROBCON_ACQUIRED_AFTER") {
+      for (const auto& [ab, ae] : SplitTopCommas(c, i + 2, close - 1)) {
+        ClassInfo::DeclaredEdge edge;
+        edge.member = declarator;
+        edge.other = JoinTokens(c, ab, ae);
+        edge.member_first = macro == "PROBCON_ACQUIRED_BEFORE";
+        edge.line = c[i].line;
+        if (!edge.member.empty() && !edge.other.empty()) {
+          ci.declared_order.push_back(edge);
+        }
+      }
+    }
+    i = close - 1;
+  }
+}
+
+}  // namespace
+
+std::vector<ClassInfo> CollectClasses(const std::vector<Token>& tokens) {
+  const std::vector<Token> c = CodeTokens(tokens);
+  std::vector<ClassInfo> out;
+
+  struct Scope {
+    bool is_class = false;
+    size_t class_index = 0;  // into `out` when is_class
+  };
+  std::vector<Scope> stack;
+
+  auto enclosing_class_name = [&]() -> std::string {
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      if (it->is_class) {
+        return out[it->class_index].name;
+      }
+    }
+    return "";
+  };
+
+  size_t i = 0;
+  const size_t n = c.size();
+  while (i < n) {
+    const Token& t = c[i];
+    if (t.IsIdent("template")) {
+      ++i;
+      if (i < n && c[i].IsPunct("<")) {
+        i = SkipAngles(c, i);
+      }
+      continue;
+    }
+    if (t.IsIdent("enum")) {
+      // enum / enum class: skip the whole definition (its braces are not a scope we track).
+      while (i < n && !c[i].IsPunct("{") && !c[i].IsPunct(";")) {
+        ++i;
+      }
+      if (i < n && c[i].IsPunct("{")) {
+        i = SkipBalanced(c, i);
+      }
+      continue;
+    }
+    if (t.IsIdent("class") || t.IsIdent("struct") || t.IsIdent("union")) {
+      // Reject template parameters ("template <class T>") — handled by the template skip
+      // above, but "class" can also appear in nested template params we didn't skip.
+      size_t j = i + 1;
+      // Skip attributes and alignas.
+      while (j < n && c[j].IsPunct("[")) {
+        j = SkipBalanced(c, j);
+      }
+      if (j < n && c[j].IsIdent("alignas") && j + 1 < n && c[j + 1].IsPunct("(")) {
+        j = SkipBalanced(c, j + 1);
+      }
+      std::vector<std::string> parts;
+      while (j < n && IsIdent(c[j]) && !c[j].IsIdent("final")) {
+        parts.push_back(c[j].text);
+        ++j;
+        if (j < n && c[j].IsPunct("::")) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      if (j < n && c[j].IsIdent("final")) {
+        ++j;
+      }
+      if (j < n && c[j].IsPunct(":")) {
+        // Base clause: scan to the opening brace.
+        int pd = 0;
+        while (j < n && !(pd == 0 && (c[j].IsPunct("{") || c[j].IsPunct(";")))) {
+          if (c[j].IsPunct("(") || c[j].IsPunct("[")) {
+            ++pd;
+          } else if (c[j].IsPunct(")") || c[j].IsPunct("]")) {
+            --pd;
+          } else if (c[j].IsPunct("<")) {
+            j = SkipAngles(c, j) - 1;
+          }
+          ++j;
+        }
+      }
+      if (j < n && c[j].IsPunct("{") && t.kind == TokenKind::kIdentifier &&
+          !t.IsIdent("union")) {
+        std::string name;
+        if (parts.empty()) {
+          name = "<anon@" + std::to_string(t.line) + ">";
+        } else {
+          for (size_t p = 0; p < parts.size(); ++p) {
+            name += (p ? "::" : "") + parts[p];
+          }
+        }
+        // A qualified header (class TcpServer::Reactor) is already absolute; an
+        // unqualified one nests under the enclosing class.
+        const std::string outer = enclosing_class_name();
+        if (parts.size() <= 1 && !outer.empty()) {
+          name = outer + "::" + name;
+        }
+        ClassInfo ci;
+        ci.name = name;
+        out.push_back(ci);
+        stack.push_back(Scope{true, out.size() - 1});
+        i = j + 1;
+        continue;
+      }
+      if (j < n && c[j].IsPunct("{")) {
+        // union definition: opaque.
+        i = SkipBalanced(c, j);
+        continue;
+      }
+      // Forward declaration, elaborated type ("struct stat st;"), or template param.
+      i = j;
+      continue;
+    }
+    if (t.IsPunct("{")) {
+      stack.push_back(Scope{});
+      ++i;
+      continue;
+    }
+    if (t.IsPunct("}")) {
+      if (!stack.empty()) {
+        stack.pop_back();
+      }
+      ++i;
+      continue;
+    }
+
+    if (!stack.empty() && stack.back().is_class) {
+      ClassInfo& ci = out[stack.back().class_index];
+      // Access specifier.
+      if (IsIdent(t) &&
+          (t.text == "public" || t.text == "private" || t.text == "protected") &&
+          i + 1 < n && c[i + 1].IsPunct(":")) {
+        i += 2;
+        continue;
+      }
+      if (t.IsIdent("using") || t.IsIdent("typedef") || t.IsIdent("friend") ||
+          t.IsIdent("static_assert")) {
+        while (i < n && !c[i].IsPunct(";")) {
+          if (c[i].IsPunct("(") || c[i].IsPunct("{") || c[i].IsPunct("[")) {
+            i = SkipBalanced(c, i) - 1;
+          }
+          ++i;
+        }
+        ++i;
+        continue;
+      }
+      // One member declaration: scan to ";" at depth 0, detecting a method body.
+      const size_t decl_begin = i;
+      int depth = 0;
+      bool seen_eq = false;
+      bool after_params = false;
+      std::string candidate;
+      bool consumed = false;
+      while (i < n) {
+        const Token& d = c[i];
+        if (d.IsPunct("(") || d.IsPunct("[")) {
+          i = SkipBalanced(c, i);
+          after_params = !candidate.empty();
+          continue;
+        }
+        if (d.IsPunct("<")) {
+          const size_t after = SkipAngles(c, i);
+          if (after > i + 1) {
+            i = after;
+            continue;
+          }
+        }
+        if (d.IsPunct("=")) {
+          seen_eq = true;
+          ++i;
+          continue;
+        }
+        if (IsIdent(d) && !seen_eq && !IsProbconMacro(d.text) &&
+            ControlKeywords().count(d.text) == 0 && i + 1 < n && c[i + 1].IsPunct("(")) {
+          candidate = d.text;
+          ++i;
+          continue;
+        }
+        if (d.IsPunct("{") && depth == 0) {
+          if (after_params) {
+            // In-class method definition: record and let the caller's main loop NOT see
+            // the body (pass 1 has no interest in statements).
+            if (!candidate.empty()) {
+              ci.methods.insert(candidate);
+            }
+            ProcessMemberDecl(c, decl_begin, i, /*is_function_decl=*/true, ci);
+            i = SkipBalanced(c, i);
+            if (i < n && c[i].IsPunct(";")) {
+              ++i;
+            }
+            consumed = true;
+            break;
+          }
+          i = SkipBalanced(c, i);  // default member initializer braces
+          continue;
+        }
+        if (d.IsPunct(";") && depth == 0) {
+          if (!candidate.empty()) {
+            ci.methods.insert(candidate);
+          }
+          ProcessMemberDecl(c, decl_begin, i, /*is_function_decl=*/!candidate.empty(), ci);
+          ++i;
+          consumed = true;
+          break;
+        }
+        if (d.IsPunct("}") && depth == 0) {
+          // End of class without terminator (defensive); let the main loop pop it.
+          consumed = true;
+          break;
+        }
+        ++i;
+      }
+      if (!consumed) {
+        break;
+      }
+      continue;
+    }
+
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------- CollectFunctions
+
+namespace {
+
+// The body walker. One instance per top-level function; lambdas recurse with a fresh
+// FunctionInfo but inherited locals.
+class FunctionCollector {
+ public:
+  FunctionCollector(const std::string& path, const std::vector<Token>& code,
+                    const ClassTable& classes, std::vector<FunctionInfo>& out)
+      : path_(path), c_(code), classes_(classes), out_(out) {}
+
+  void Run();
+
+ private:
+  struct ActiveLock {
+    std::string id;
+    int depth = 0;  // brace depth inside the body; -1 for REQUIRES entry locks
+    bool active = true;
+    std::string var;  // unique_lock/shared_lock variable name ("" otherwise)
+  };
+
+  struct BodyState {
+    FunctionInfo fn;
+    std::map<std::string, std::string> locals;  // var -> qualified class
+    std::set<std::string> local_mutexes;        // names of function-local std::mutex
+    std::vector<ActiveLock> locks;
+    int depth = 0;
+    int parens = 0;
+    std::vector<int> wait_parens;  // paren depths with an open cv-wait argument list
+  };
+
+  // --- shared helpers ------------------------------------------------------
+
+  std::vector<std::string> HeldIds(const BodyState& s) const {
+    std::vector<std::string> ids;
+    for (const ActiveLock& l : s.locks) {
+      if (l.active && std::find(ids.begin(), ids.end(), l.id) == ids.end()) {
+        ids.push_back(l.id);
+      }
+    }
+    return ids;
+  }
+
+  std::string ClassOfBase(const BodyState& s, const std::string& base) const {
+    if (base == "this") {
+      return s.fn.class_name;
+    }
+    auto it = s.locals.find(base);
+    if (it != s.locals.end()) {
+      return it->second;
+    }
+    std::string ctx = s.fn.class_name;
+    while (!ctx.empty()) {
+      if (const std::string* mc = classes_.MemberClass(ctx, base)) {
+        return *mc;
+      }
+      const size_t pos = ctx.rfind("::");
+      ctx = pos == std::string::npos ? "" : ctx.substr(0, pos);
+    }
+    return "";
+  }
+
+  // Enclosing class (or an enclosing-of-enclosing) that declares mutex member `m`.
+  std::string OwnerOfMutexMember(const std::string& class_name,
+                                 const std::string& m) const {
+    std::string ctx = class_name;
+    while (!ctx.empty()) {
+      const ClassInfo* ci = classes_.Find(ctx);
+      if (ci != nullptr && ci->mutex_members.count(m) > 0) {
+        return ctx;
+      }
+      const size_t pos = ctx.rfind("::");
+      ctx = pos == std::string::npos ? "" : ctx.substr(0, pos);
+    }
+    return "";
+  }
+
+  std::string Placeholder(const BodyState& s, const std::string& m) const {
+    return s.fn.name + "::?" + m;
+  }
+
+  // Resolves a mutex expression (guard constructor argument, REQUIRES argument, manual
+  // .lock() receiver) spelled over [b, e). Never returns "" — unresolvable expressions get
+  // a function-scoped placeholder so held-ness is still tracked without creating false
+  // global identities.
+  std::string ResolveMutexExpr(const BodyState& s, size_t b, size_t e) {
+    while (b < e && (c_[b].IsPunct("&") || c_[b].IsPunct("*") || c_[b].IsPunct("(") ||
+                     c_[b].IsIdent("const"))) {
+      ++b;
+    }
+    while (e > b && c_[e - 1].IsPunct(")")) {
+      --e;
+    }
+    if (b >= e || !IsIdent(c_[b])) {
+      return Placeholder(s, JoinTokens(c_, b, e));
+    }
+    // Collect the chain: A(::B)* then (./-> M [subscript])*.
+    std::vector<std::string> parts;
+    bool member_chain = false;
+    size_t i = b;
+    parts.push_back(c_[i].text);
+    ++i;
+    while (i < e && c_[i].IsPunct("::") && i + 1 < e && IsIdent(c_[i + 1])) {
+      parts.push_back(c_[i + 1].text);
+      i += 2;
+    }
+    while (i < e) {
+      if (c_[i].IsPunct("[")) {
+        i = SkipBalanced(c_, i);
+        continue;
+      }
+      if ((c_[i].IsPunct(".") || c_[i].IsPunct("->")) && i + 1 < e && IsIdent(c_[i + 1])) {
+        parts.push_back(c_[i + 1].text);
+        member_chain = true;
+        i += 2;
+        continue;
+      }
+      break;
+    }
+    if (parts.size() == 1) {
+      const std::string& m = parts[0];
+      if (s.local_mutexes.count(m) > 0) {
+        return s.fn.name + "::" + m;
+      }
+      const std::string owner = OwnerOfMutexMember(s.fn.class_name, m);
+      if (!owner.empty()) {
+        return owner + "::" + m;
+      }
+      return Placeholder(s, m);
+    }
+    if (!member_chain) {
+      // Pure :: chain, e.g. Other::static_mutex_.
+      std::string cls;
+      for (size_t p = 0; p + 1 < parts.size(); ++p) {
+        cls += (p ? "::" : "") + parts[p];
+      }
+      if (const ClassInfo* ci = classes_.Resolve(cls, s.fn.class_name)) {
+        return ci->name + "::" + parts.back();
+      }
+      return Placeholder(s, JoinTokens(c_, b, e));
+    }
+    // Member chain: resolve the base, then walk middle members.
+    std::string k = ClassOfBase(s, parts[0]);
+    for (size_t p = 1; p + 1 < parts.size() && !k.empty(); ++p) {
+      const std::string* mc = classes_.MemberClass(k, parts[p]);
+      k = mc == nullptr ? "" : *mc;
+    }
+    if (!k.empty()) {
+      return k + "::" + parts.back();
+    }
+    return Placeholder(s, JoinTokens(c_, b, e));
+  }
+
+  // Resolves a PROBCON_GUARDED_BY argument in the context of its owning class.
+  std::string ResolveGuardArg(const std::string& owner, const std::string& raw) const {
+    if (raw.find("::") == std::string::npos && raw.find('.') == std::string::npos &&
+        raw.find("->") == std::string::npos) {
+      std::string ctx = owner;
+      while (!ctx.empty()) {
+        const ClassInfo* ci = classes_.Find(ctx);
+        if (ci != nullptr && ci->mutex_members.count(raw) > 0) {
+          return ctx + "::" + raw;
+        }
+        const size_t pos = ctx.rfind("::");
+        ctx = pos == std::string::npos ? "" : ctx.substr(0, pos);
+      }
+      return owner + "::" + raw;
+    }
+    return raw;
+  }
+
+  void RecordFieldUse(BodyState& s, const std::string& owner, const std::string& field,
+                      const Token& at) {
+    const ClassInfo* ci = classes_.Find(owner);
+    if (ci == nullptr) {
+      return;
+    }
+    auto it = ci->guarded_fields.find(field);
+    if (it == ci->guarded_fields.end()) {
+      return;
+    }
+    FieldUse use;
+    use.field_id = owner + "::" + field;
+    use.mutex_id = ResolveGuardArg(owner, it->second);
+    use.held = HeldIds(s);
+    use.held_ok =
+        std::find(use.held.begin(), use.held.end(), use.mutex_id) != use.held.end();
+    use.line = at.line;
+    use.col = at.col;
+    s.fn.field_uses.push_back(use);
+  }
+
+  // --- declaration-level parsing -------------------------------------------
+
+  void Run_();  // actual driver (Run wraps for exception-free contract)
+  size_t ParseDeclaration(size_t i, const std::string& class_context);
+  size_t ParseParams(size_t b, size_t e, BodyState& s);
+  size_t ParseBody(size_t i, BodyState s);
+  size_t TryLambda(size_t i, BodyState& s);
+  size_t TryLocalDecl(size_t i, BodyState& s);
+  size_t HandleGuardDecl(size_t i, BodyState& s, const std::string& guard_type);
+  size_t HandleChain(size_t i, BodyState& s);
+
+  const std::string path_;
+  const std::vector<Token>& c_;
+  const ClassTable& classes_;
+  std::vector<FunctionInfo>& out_;
+
+  // Class scope tracking for the top-level walk.
+  struct Scope {
+    bool is_class = false;
+    std::string class_name;
+  };
+  std::vector<Scope> stack_;
+};
+
+void FunctionCollector::Run() { Run_(); }
+
+void FunctionCollector::Run_() {
+  const size_t n = c_.size();
+  size_t i = 0;
+  auto enclosing = [&]() -> std::string {
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+      if (it->is_class) {
+        return it->class_name;
+      }
+    }
+    return "";
+  };
+  while (i < n) {
+    const Token& t = c_[i];
+    if (t.IsIdent("template")) {
+      ++i;
+      if (i < n && c_[i].IsPunct("<")) {
+        i = SkipAngles(c_, i);
+      }
+      continue;
+    }
+    if (t.IsIdent("namespace")) {
+      ++i;
+      while (i < n && !c_[i].IsPunct("{") && !c_[i].IsPunct(";") && !c_[i].IsPunct("=")) {
+        ++i;
+      }
+      if (i < n && c_[i].IsPunct("{")) {
+        stack_.push_back(Scope{});  // transparent
+        ++i;
+      } else {
+        while (i < n && !c_[i].IsPunct(";")) {
+          ++i;
+        }
+        ++i;
+      }
+      continue;
+    }
+    if (t.IsIdent("enum")) {
+      while (i < n && !c_[i].IsPunct("{") && !c_[i].IsPunct(";")) {
+        ++i;
+      }
+      if (i < n && c_[i].IsPunct("{")) {
+        i = SkipBalanced(c_, i);
+      }
+      continue;
+    }
+    if (t.IsIdent("class") || t.IsIdent("struct")) {
+      // Same header parse as pass 1, but we only need the scope name.
+      size_t j = i + 1;
+      while (j < n && c_[j].IsPunct("[")) {
+        j = SkipBalanced(c_, j);
+      }
+      std::vector<std::string> parts;
+      while (j < n && IsIdent(c_[j]) && !c_[j].IsIdent("final")) {
+        parts.push_back(c_[j].text);
+        ++j;
+        if (j < n && c_[j].IsPunct("::")) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      if (j < n && c_[j].IsIdent("final")) {
+        ++j;
+      }
+      if (j < n && c_[j].IsPunct(":")) {
+        int pd = 0;
+        while (j < n && !(pd == 0 && (c_[j].IsPunct("{") || c_[j].IsPunct(";")))) {
+          if (c_[j].IsPunct("(") || c_[j].IsPunct("[")) {
+            ++pd;
+          } else if (c_[j].IsPunct(")") || c_[j].IsPunct("]")) {
+            --pd;
+          } else if (c_[j].IsPunct("<")) {
+            j = SkipAngles(c_, j) - 1;
+          }
+          ++j;
+        }
+      }
+      if (j < n && c_[j].IsPunct("{")) {
+        std::string name;
+        for (size_t p = 0; p < parts.size(); ++p) {
+          name += (p ? "::" : "") + parts[p];
+        }
+        if (name.empty()) {
+          name = "<anon@" + std::to_string(t.line) + ">";
+        }
+        const std::string outer = enclosing();
+        if (parts.size() <= 1 && !outer.empty()) {
+          name = outer + "::" + name;
+        }
+        stack_.push_back(Scope{true, name});
+        i = j + 1;
+        continue;
+      }
+      i = j;
+      continue;
+    }
+    if (t.IsIdent("using") || t.IsIdent("typedef") || t.IsIdent("static_assert") ||
+        t.IsIdent("friend")) {
+      while (i < n && !c_[i].IsPunct(";")) {
+        if (c_[i].IsPunct("(") || c_[i].IsPunct("{") || c_[i].IsPunct("[")) {
+          i = SkipBalanced(c_, i) - 1;
+        }
+        ++i;
+      }
+      ++i;
+      continue;
+    }
+    if (t.IsPunct("{")) {
+      stack_.push_back(Scope{});
+      ++i;
+      continue;
+    }
+    if (t.IsPunct("}")) {
+      if (!stack_.empty()) {
+        stack_.pop_back();
+      }
+      ++i;
+      continue;
+    }
+    if (t.IsPunct(";") || t.IsPunct(":")) {
+      ++i;  // stray terminators / access specifiers' colons
+      continue;
+    }
+    i = ParseDeclaration(i, enclosing());
+  }
+}
+
+// Scans one namespace- or class-scope declaration starting at i. If it turns out to be a
+// function definition, parses the body (recording a FunctionInfo). Returns the index one
+// past the declaration.
+size_t FunctionCollector::ParseDeclaration(size_t i, const std::string& class_context) {
+  const size_t n = c_.size();
+  bool seen_eq = false;
+  while (i < n) {
+    const Token& t = c_[i];
+    if (t.IsPunct(";")) {
+      return i + 1;
+    }
+    if (t.IsPunct("}")) {
+      return i;  // let the main loop pop the scope
+    }
+    if (t.IsPunct("=")) {
+      seen_eq = true;
+      ++i;
+      continue;
+    }
+    if (t.IsPunct("{")) {
+      return SkipBalanced(c_, i);  // brace initializer at declaration scope
+    }
+    if (t.IsPunct("(") || t.IsPunct("[")) {
+      i = SkipBalanced(c_, i);
+      continue;
+    }
+    if (t.IsPunct("<")) {
+      const size_t after = SkipAngles(c_, i);
+      i = after > i ? after : i + 1;
+      continue;
+    }
+    // Candidate: [~]name( or Class::name( or operator…(
+    if (IsIdent(t) && !seen_eq && !IsProbconMacro(t.text) &&
+        ControlKeywords().count(t.text) == 0) {
+      // Gather a qualified-name chain ending in "(".
+      std::vector<std::string> parts;
+      size_t j = i;
+      bool dtor = i > 0 && c_[i - 1].IsPunct("~");
+      parts.push_back((dtor ? "~" : "") + c_[j].text);
+      ++j;
+      while (j + 1 < n && c_[j].IsPunct("::") && IsIdent(c_[j + 1])) {
+        parts.push_back(c_[j + 1].text);
+        j += 2;
+      }
+      if (j + 1 < n && c_[j].IsPunct("::") && c_[j + 1].IsPunct("~") && j + 2 < n &&
+          IsIdent(c_[j + 2])) {
+        parts.push_back("~" + c_[j + 2].text);
+        j += 3;
+      }
+      if (j < n && c_[j].IsPunct("<")) {
+        // Possibly a templated name before the param list: Foo<T>(...). Skip only if a
+        // "(" follows the angle list (otherwise it is an expression comparison).
+        const size_t after = SkipAngles(c_, j);
+        if (after > j && after < n && c_[after].IsPunct("(")) {
+          j = after;
+        }
+      }
+      if (j < n && c_[j].IsPunct("(")) {
+        const size_t params_open = j;
+        const size_t params_close = SkipBalanced(c_, j);
+        // Tail: const/noexcept/&/&&/override/final/-> type/PROBCON_* then "{", ":" or ";".
+        size_t k = params_close;
+        std::vector<std::pair<size_t, size_t>> requires_args;
+        bool tail_ok = true;
+        while (k < n && tail_ok) {
+          const Token& u = c_[k];
+          if (u.IsIdent("const") || u.IsIdent("override") || u.IsIdent("final") ||
+              u.IsIdent("mutable") || u.IsIdent("try") || u.IsPunct("&") ||
+              u.IsPunct("&&")) {
+            ++k;
+          } else if (u.IsIdent("noexcept")) {
+            ++k;
+            if (k < n && c_[k].IsPunct("(")) {
+              k = SkipBalanced(c_, k);
+            }
+          } else if (IsIdent(u) && IsProbconMacro(u.text)) {
+            const bool is_requires = u.text == "PROBCON_REQUIRES";
+            ++k;
+            if (k < n && c_[k].IsPunct("(")) {
+              const size_t close = SkipBalanced(c_, k);
+              if (is_requires) {
+                for (const auto& arg : SplitTopCommas(c_, k + 1, close - 1)) {
+                  requires_args.push_back(arg);
+                }
+              }
+              k = close;
+            }
+          } else if (u.IsPunct("->")) {
+            ++k;
+            while (k < n &&
+                   (IsIdent(c_[k]) || c_[k].IsPunct("::") || c_[k].IsPunct("&") ||
+                    c_[k].IsPunct("*"))) {
+              if (c_[k].kind == TokenKind::kIdentifier && k + 1 < n &&
+                  c_[k + 1].IsPunct("<")) {
+                ++k;
+                k = SkipAngles(c_, k);
+              } else {
+                ++k;
+              }
+            }
+          } else {
+            break;
+          }
+        }
+        bool is_def = false;
+        if (k < n && c_[k].IsPunct(":")) {
+          // Constructor initializer list.
+          ++k;
+          while (k < n) {
+            while (k < n && (IsIdent(c_[k]) || c_[k].IsPunct("::"))) {
+              if (IsIdent(c_[k]) && k + 1 < n && c_[k + 1].IsPunct("<")) {
+                ++k;
+                k = SkipAngles(c_, k);
+              } else {
+                ++k;
+              }
+            }
+            if (k < n && (c_[k].IsPunct("(") || c_[k].IsPunct("{"))) {
+              const bool was_brace_init = c_[k].IsPunct("{") && k + 0 < n;
+              const size_t after = SkipBalanced(c_, k);
+              if (was_brace_init && !(after < n && (c_[after].IsPunct(",") ||
+                                                    IsIdent(c_[after])))) {
+                // `member_{...} {` — that balanced skip consumed the INIT braces; the
+                // next token decides. Handled below uniformly.
+              }
+              k = after;
+            }
+            if (k < n && c_[k].IsPunct(",")) {
+              ++k;
+              continue;
+            }
+            break;
+          }
+          if (k < n && c_[k].IsPunct("{")) {
+            is_def = true;
+          }
+        } else if (k < n && c_[k].IsPunct("{")) {
+          is_def = true;
+        }
+        if (is_def) {
+          // Build the FunctionInfo.
+          BodyState s;
+          std::string cls = class_context;
+          if (parts.size() > 1) {
+            std::string qual;
+            for (size_t p = 0; p + 1 < parts.size(); ++p) {
+              qual += (p ? "::" : "") + parts[p];
+            }
+            if (const ClassInfo* ci = classes_.Resolve(qual, class_context)) {
+              cls = ci->name;
+            } else {
+              cls = class_context.empty() ? qual : class_context + "::" + qual;
+            }
+          }
+          s.fn.class_name = cls;
+          s.fn.name = cls.empty() ? parts.back() : cls + "::" + parts.back();
+          s.fn.path = path_;
+          s.fn.line = t.line;
+          ParseParams(params_open + 1, params_close - 1, s);
+          for (const auto& [ab, ae] : requires_args) {
+            const std::string id = ResolveMutexExpr(s, ab, ae);
+            s.fn.requires_held.push_back(id);
+            s.locks.push_back(ActiveLock{id, -1, true, ""});
+          }
+          return ParseBody(k + 1, std::move(s));
+        }
+        if (k < n && (c_[k].IsPunct(";") || c_[k].IsPunct("="))) {
+          // Declaration (or = default / = delete / = 0): consume it. A declaration that
+          // carries PROBCON_REQUIRES still produces a (bodyless) FunctionInfo so the
+          // annotation written once in the header reaches the out-of-line definition
+          // when BuildModel merges same-named functions.
+          if (!requires_args.empty()) {
+            BodyState s;
+            std::string cls = class_context;
+            if (parts.size() > 1) {
+              std::string qual;
+              for (size_t p = 0; p + 1 < parts.size(); ++p) {
+                qual += (p ? "::" : "") + parts[p];
+              }
+              if (const ClassInfo* ci = classes_.Resolve(qual, class_context)) {
+                cls = ci->name;
+              } else {
+                cls = class_context.empty() ? qual : class_context + "::" + qual;
+              }
+            }
+            s.fn.class_name = cls;
+            s.fn.name = cls.empty() ? parts.back() : cls + "::" + parts.back();
+            s.fn.path = path_;
+            s.fn.line = t.line;
+            ParseParams(params_open + 1, params_close - 1, s);
+            for (const auto& [ab, ae] : requires_args) {
+              s.fn.requires_held.push_back(ResolveMutexExpr(s, ab, ae));
+            }
+            out_.push_back(std::move(s.fn));
+          }
+          size_t m = k;
+          while (m < n && !c_[m].IsPunct(";")) {
+            if (c_[m].IsPunct("(") || c_[m].IsPunct("{") || c_[m].IsPunct("[")) {
+              m = SkipBalanced(c_, m) - 1;
+            }
+            ++m;
+          }
+          return m + 1;
+        }
+        // Not a function after all; resume scanning after the parens.
+        i = params_close;
+        continue;
+      }
+      if (t.IsIdent("operator")) {
+        // operator==(...) etc at declaration scope: skip the operator tokens.
+        ++i;
+        while (i < n && c_[i].kind == TokenKind::kPunct && !c_[i].IsPunct("(")) {
+          ++i;
+        }
+        continue;
+      }
+      i = j;
+      continue;
+    }
+    ++i;
+  }
+  return i;
+}
+
+// Registers parameter names/classes from the range [b, e).
+size_t FunctionCollector::ParseParams(size_t b, size_t e, BodyState& s) {
+  for (const auto& [pb, pe] : SplitTopCommas(c_, b, e)) {
+    // Declarator: last identifier (defaults are "name = expr" — the name is the last
+    // identifier before "=" if present).
+    size_t stop = pe;
+    for (size_t i = pb; i < pe; ++i) {
+      if (c_[i].IsPunct("=")) {
+        stop = i;
+        break;
+      }
+    }
+    std::string name;
+    size_t name_pos = stop;
+    for (size_t i = stop; i-- > pb;) {
+      if (IsIdent(c_[i])) {
+        name = c_[i].text;
+        name_pos = i;
+        break;
+      }
+    }
+    if (name.empty()) {
+      continue;
+    }
+    // Element class: last type identifier before the declarator that resolves.
+    for (size_t i = name_pos; i-- > pb;) {
+      if (!IsIdent(c_[i]) || ControlKeywords().count(c_[i].text) > 0) {
+        continue;
+      }
+      if (const ClassInfo* ci = classes_.Resolve(c_[i].text, s.fn.class_name)) {
+        s.locals[name] = ci->name;
+        break;
+      }
+    }
+    // A parameter that IS a std::mutex& behaves like a local mutex.
+    for (size_t i = pb; i < name_pos; ++i) {
+      if (IsIdent(c_[i]) && MutexTypes().count(c_[i].text) > 0) {
+        s.local_mutexes.insert(name);
+        break;
+      }
+    }
+  }
+  return e;
+}
+
+// Parses a `[...]` at i that may be a lambda introducer. Returns the index to resume from;
+// if a lambda body was parsed it is fully consumed (and recorded as its own FunctionInfo).
+size_t FunctionCollector::TryLambda(size_t i, BodyState& s) {
+  const size_t n = c_.size();
+  const size_t intro_end = SkipBalanced(c_, i);  // past "]"
+  size_t j = intro_end;
+  BodyState lam;
+  lam.fn.class_name = s.fn.class_name;
+  lam.fn.name = s.fn.name + "::<lambda:" + std::to_string(c_[i].line) + ">";
+  lam.fn.path = path_;
+  lam.fn.line = c_[i].line;
+  lam.fn.is_lambda = true;
+  lam.locals = s.locals;              // captures keep their types
+  lam.local_mutexes = s.local_mutexes;
+  if (j < n && c_[j].IsPunct("(")) {
+    const size_t close = SkipBalanced(c_, j);
+    ParseParams(j + 1, close - 1, lam);
+    j = close;
+  }
+  while (j < n &&
+         (c_[j].IsIdent("mutable") || c_[j].IsIdent("constexpr") || c_[j].IsIdent("noexcept"))) {
+    ++j;
+    if (j < n && c_[j].IsPunct("(")) {
+      j = SkipBalanced(c_, j);
+    }
+  }
+  if (j < n && c_[j].IsPunct("->")) {
+    ++j;
+    while (j < n && (IsIdent(c_[j]) || c_[j].IsPunct("::") || c_[j].IsPunct("&") ||
+                     c_[j].IsPunct("*"))) {
+      if (IsIdent(c_[j]) && j + 1 < n && c_[j + 1].IsPunct("<")) {
+        ++j;
+        j = SkipAngles(c_, j);
+      } else {
+        ++j;
+      }
+    }
+  }
+  if (j < n && c_[j].IsPunct("{")) {
+    // Condition-variable wait predicates run WITH the wait mutex (re)held; every other
+    // lambda executes at an unknown later time with nothing held.
+    if (!s.wait_parens.empty()) {
+      for (const ActiveLock& l : s.locks) {
+        if (l.active) {
+          lam.locks.push_back(ActiveLock{l.id, -1, true, ""});
+        }
+      }
+    }
+    return ParseBody(j + 1, std::move(lam));
+  }
+  // Not a lambda (attribute already handled by caller; likely a structured binding).
+  return intro_end;
+}
+
+// Attempts `Type[&*] name =(;{,` local declaration recognition at i (an identifier that
+// resolves to a known class, or std:: templated type over one). Returns the index to
+// resume from (just past the declarator on success), or i if not a declaration.
+size_t FunctionCollector::TryLocalDecl(size_t i, BodyState& s) {
+  const size_t n = c_.size();
+  size_t j = i;
+  std::string resolved;
+  // Type tokens: ident(::ident)* with optional one template list; track last resolving id.
+  while (j < n && IsIdent(c_[j])) {
+    if (ControlKeywords().count(c_[j].text) == 0) {
+      if (const ClassInfo* ci = classes_.Resolve(c_[j].text, s.fn.class_name)) {
+        resolved = ci->name;
+      }
+    }
+    ++j;
+    if (j < n && c_[j].IsPunct("<")) {
+      const size_t after = SkipAngles(c_, j);
+      if (after <= j) {
+        return i;
+      }
+      for (size_t a = j + 1; a + 1 < after; ++a) {
+        if (IsIdent(c_[a]) && ControlKeywords().count(c_[a].text) == 0) {
+          if (const ClassInfo* ci = classes_.Resolve(c_[a].text, s.fn.class_name)) {
+            resolved = ci->name;
+          }
+        }
+      }
+      j = after;
+    }
+    if (j < n && c_[j].IsPunct("::") && j + 1 < n && IsIdent(c_[j + 1])) {
+      ++j;
+      continue;
+    }
+    break;
+  }
+  if (resolved.empty()) {
+    return i;
+  }
+  while (j < n && (c_[j].IsPunct("&") || c_[j].IsPunct("*") || c_[j].IsIdent("const"))) {
+    ++j;
+  }
+  if (j < n && IsIdent(c_[j]) && ControlKeywords().count(c_[j].text) == 0 && j + 1 < n &&
+      (c_[j + 1].IsPunct("=") || c_[j + 1].IsPunct("(") || c_[j + 1].IsPunct("{") ||
+       c_[j + 1].IsPunct(";") || c_[j + 1].IsPunct(",") || c_[j + 1].IsPunct(")") ||
+       c_[j + 1].IsPunct(":"))) {
+    s.locals[c_[j].text] = resolved;
+    return j + 1;  // initializer expressions are walked normally
+  }
+  return i;
+}
+
+// Handles `lock_guard/unique_lock/scoped_lock/shared_lock [<...>] var (args)`.
+// i points at the guard-type identifier. Returns resume index.
+size_t FunctionCollector::HandleGuardDecl(size_t i, BodyState& s,
+                                          const std::string& guard_type) {
+  const size_t n = c_.size();
+  size_t j = i + 1;
+  if (j < n && c_[j].IsPunct("<")) {
+    const size_t after = SkipAngles(c_, j);
+    if (after <= j) {
+      return i + 1;
+    }
+    j = after;
+  }
+  if (j >= n || !IsIdent(c_[j])) {
+    return i + 1;
+  }
+  const std::string var = c_[j].text;
+  ++j;
+  if (j >= n || (!c_[j].IsPunct("(") && !c_[j].IsPunct("{"))) {
+    return i + 1;  // e.g. a guard type mentioned in a template argument
+  }
+  const size_t close = SkipBalanced(c_, j);
+  const std::vector<std::string> held_before = HeldIds(s);
+  bool deferred = false;
+  std::vector<std::string> ids;
+  for (const auto& [ab, ae] : SplitTopCommas(c_, j + 1, close - 1)) {
+    // Tag arguments: adopt/defer/try_to.
+    std::string last_ident;
+    for (size_t a = ab; a < ae; ++a) {
+      if (IsIdent(c_[a])) {
+        last_ident = c_[a].text;
+      }
+    }
+    if (last_ident == "adopt_lock" || last_ident == "try_to_lock") {
+      continue;
+    }
+    if (last_ident == "defer_lock") {
+      deferred = true;
+      continue;
+    }
+    ids.push_back(ResolveMutexExpr(s, ab, ae));
+  }
+  const bool toggleable = guard_type == "unique_lock" || guard_type == "shared_lock";
+  for (const std::string& id : ids) {
+    LockSite site;
+    site.mutex_id = id;
+    site.held = held_before;  // all mutexes of one scoped_lock share a pre-statement view
+    site.line = c_[i].line;
+    site.col = c_[i].col;
+    if (!deferred) {
+      s.fn.acquires.push_back(site);
+    }
+    s.locks.push_back(ActiveLock{id, s.depth, !deferred, toggleable ? var : ""});
+  }
+  return close;
+}
+
+// Handles an identifier chain starting at i: calls, guarded-field uses, cv waits,
+// lock-variable toggles. Returns resume index (never consumes call arguments).
+size_t FunctionCollector::HandleChain(size_t i, BodyState& s) {
+  const size_t n = c_.size();
+  std::vector<std::string> parts;
+  std::vector<const Token*> part_toks;
+  bool member_chain = false;
+  size_t colon_parts = 1;  // how many leading parts are joined by "::"
+  size_t j = i;
+  parts.push_back(c_[j].text);
+  part_toks.push_back(&c_[j]);
+  ++j;
+  while (j + 1 < n && c_[j].IsPunct("::") && IsIdent(c_[j + 1])) {
+    parts.push_back(c_[j + 1].text);
+    part_toks.push_back(&c_[j + 1]);
+    ++colon_parts;
+    j += 2;
+  }
+  while (j < n) {
+    if (c_[j].IsPunct("[") && j + 1 < n && !c_[j + 1].IsPunct("[")) {
+      j = SkipBalanced(c_, j);  // subscript (expression events inside are rare; accepted)
+      continue;
+    }
+    if ((c_[j].IsPunct(".") || c_[j].IsPunct("->")) && j + 1 < n && IsIdent(c_[j + 1])) {
+      parts.push_back(c_[j + 1].text);
+      part_toks.push_back(&c_[j + 1]);
+      member_chain = true;
+      j += 2;
+      continue;
+    }
+    break;
+  }
+  const bool is_call = j < n && c_[j].IsPunct("(");
+  const std::string& final_name = parts.back();
+
+  // Resolve the receiver chain class-by-class, recording guarded middle-member uses.
+  // For "A::B::x.y.z", the :: prefix may be a class (static member) — try that first.
+  std::string k;
+  size_t first_member = 1;
+  if (colon_parts > 1) {
+    std::string qual;
+    for (size_t p = 0; p + 1 < colon_parts; ++p) {
+      qual += (p ? "::" : "") + parts[p];
+    }
+    // "A::B(" with the full :: chain consumed by the call: receiver is the class itself.
+    if (const ClassInfo* ci = classes_.Resolve(qual, s.fn.class_name)) {
+      k = ci->name;
+      first_member = colon_parts - 1;
+    } else if (const ClassInfo* ci2 = classes_.Resolve(
+                   qual + "::" + parts[colon_parts - 1], s.fn.class_name);
+               ci2 != nullptr && parts.size() > colon_parts) {
+      k = ci2->name;  // A::B::member... where A::B names a class? then base after.
+      first_member = colon_parts;
+    } else {
+      k = "";
+      first_member = colon_parts;
+    }
+  } else {
+    k = ClassOfBase(s, parts[0]);
+    first_member = 1;
+    if (parts.size() == 1 && !member_chain) {
+      // Bare identifier: guarded field of the enclosing class?
+      if (!is_call && !s.fn.class_name.empty() && s.locals.count(parts[0]) == 0) {
+        std::string ctx = s.fn.class_name;
+        while (!ctx.empty()) {
+          const ClassInfo* ci = classes_.Find(ctx);
+          if (ci != nullptr && ci->guarded_fields.count(parts[0]) > 0) {
+            RecordFieldUse(s, ctx, parts[0], *part_toks[0]);
+            break;
+          }
+          const size_t pos = ctx.rfind("::");
+          ctx = pos == std::string::npos ? "" : ctx.substr(0, pos);
+        }
+      }
+    }
+  }
+  // Walk member links: parts[first_member .. last-1] are intermediate members; the final
+  // part is either the callee or a field.
+  const size_t last = parts.size() - 1;
+  for (size_t p = first_member; p < last && p < parts.size(); ++p) {
+    if (!k.empty()) {
+      RecordFieldUse(s, k, parts[p], *part_toks[p]);
+      const std::string* mc = classes_.MemberClass(k, parts[p]);
+      k = mc == nullptr ? "" : *mc;
+    }
+  }
+
+  if (!is_call) {
+    if (last >= first_member && member_chain && !k.empty()) {
+      RecordFieldUse(s, k, parts[last], *part_toks[last]);
+    }
+    return j;
+  }
+
+  // ---- call handling ----
+  // unique_lock variable toggles: `lk.lock()` / `lk.unlock()`.
+  if (member_chain && parts.size() == 2 && (final_name == "lock" || final_name == "unlock")) {
+    bool toggled = false;
+    for (ActiveLock& l : s.locks) {
+      if (!l.var.empty() && l.var == parts[0]) {
+        l.active = final_name == "lock";
+        toggled = true;
+      }
+    }
+    if (toggled) {
+      return j;  // the () is consumed by the main loop's paren tracking
+    }
+    // Manual mutex lock/unlock: m.lock() — resolve the receiver as a mutex expression.
+    const std::string id = ResolveMutexExpr(s, i, j - 2);
+    if (id.find("::?") == std::string::npos) {
+      if (final_name == "lock") {
+        LockSite site;
+        site.mutex_id = id;
+        site.held = HeldIds(s);
+        site.line = c_[i].line;
+        site.col = c_[i].col;
+        s.fn.acquires.push_back(site);
+        s.locks.push_back(ActiveLock{id, s.depth, true, ""});
+      } else {
+        for (auto it = s.locks.rbegin(); it != s.locks.rend(); ++it) {
+          if (it->id == id && it->active) {
+            it->active = false;
+            break;
+          }
+        }
+      }
+      return j;
+    }
+  }
+
+  CallSite call;
+  call.line = part_toks.back()->line;
+  call.col = part_toks.back()->col;
+  call.held = HeldIds(s);
+  if (member_chain &&
+      (final_name == "wait" || final_name == "wait_for" || final_name == "wait_until")) {
+    call.is_cv_wait = true;
+    call.callee = "?::" + final_name;
+    // First argument: a tracked lock variable names the mutex the wait releases.
+    if (j + 1 < n && IsIdent(c_[j + 1])) {
+      for (const ActiveLock& l : s.locks) {
+        if (!l.var.empty() && l.var == c_[j + 1].text) {
+          call.cv_wait_mutex = l.id;
+          break;
+        }
+      }
+    }
+    s.fn.calls.push_back(call);
+    s.wait_parens.push_back(s.parens);  // lambdas inside the arg list inherit held locks
+    return j;
+  }
+  if (member_chain || colon_parts > 1) {
+    call.callee = k.empty() ? "?::" + final_name : k + "::" + final_name;
+  } else {
+    // Bare call: method of the enclosing class if declared there, else free function.
+    std::string ctx = s.fn.class_name;
+    call.callee = final_name;
+    while (!ctx.empty()) {
+      const ClassInfo* ci = classes_.Find(ctx);
+      if (ci != nullptr && ci->methods.count(final_name) > 0) {
+        call.callee = ctx + "::" + final_name;
+        break;
+      }
+      const size_t pos = ctx.rfind("::");
+      ctx = pos == std::string::npos ? "" : ctx.substr(0, pos);
+    }
+  }
+  s.fn.calls.push_back(call);
+
+  // `Class::Static().Method(...)` — the instance-returning-accessor idiom
+  // (ThreadPool::Global().Submit). Peek past the call's arguments.
+  if (colon_parts > 1 && !k.empty() && parts.size() == colon_parts) {
+    const size_t after = SkipBalanced(c_, j);
+    if (after + 1 < n && c_[after].IsPunct(".") && IsIdent(c_[after + 1]) &&
+        after + 2 < n && c_[after + 2].IsPunct("(")) {
+      CallSite chained;
+      chained.callee = k + "::" + c_[after + 1].text;
+      chained.held = call.held;
+      chained.line = c_[after + 1].line;
+      chained.col = c_[after + 1].col;
+      s.fn.calls.push_back(chained);
+    }
+  }
+  return j;  // arguments are processed by the main loop (nested calls get recorded)
+}
+
+// Parses a function body starting at i (just past "{"). Appends the completed
+// FunctionInfo (and any lambdas) to out_. Returns the index past the closing "}".
+size_t FunctionCollector::ParseBody(size_t i, BodyState s) {
+  const size_t n = c_.size();
+  while (i < n) {
+    const Token& t = c_[i];
+    if (t.IsPunct("{")) {
+      ++s.depth;
+      ++i;
+      continue;
+    }
+    if (t.IsPunct("}")) {
+      if (s.depth == 0) {
+        out_.push_back(std::move(s.fn));
+        return i + 1;
+      }
+      // Locks acquired in this scope die with it.
+      s.locks.erase(std::remove_if(s.locks.begin(), s.locks.end(),
+                                   [&](const ActiveLock& l) { return l.depth >= s.depth; }),
+                    s.locks.end());
+      --s.depth;
+      ++i;
+      continue;
+    }
+    if (t.IsPunct("(")) {
+      ++s.parens;
+      ++i;
+      continue;
+    }
+    if (t.IsPunct(")")) {
+      --s.parens;
+      while (!s.wait_parens.empty() && s.parens <= s.wait_parens.back()) {
+        s.wait_parens.pop_back();
+      }
+      ++i;
+      continue;
+    }
+    if (t.IsPunct("[")) {
+      if (i + 1 < n && c_[i + 1].IsPunct("[")) {
+        i = SkipBalanced(c_, i);  // [[attribute]]
+        continue;
+      }
+      const bool subscript =
+          i > 0 && ((IsIdent(c_[i - 1]) && ControlKeywords().count(c_[i - 1].text) == 0) ||
+                    c_[i - 1].IsPunct(")") || c_[i - 1].IsPunct("]"));
+      if (subscript) {
+        ++i;  // walk the index expression normally
+        continue;
+      }
+      i = TryLambda(i, s);
+      continue;
+    }
+    if (t.IsPunct("]")) {
+      ++i;
+      continue;
+    }
+    if (!IsIdent(t)) {
+      ++i;
+      continue;
+    }
+
+    // ---- identifier dispatch ----
+    if (IsProbconMacro(t.text)) {
+      ++i;
+      if (i < n && c_[i].IsPunct("(")) {
+        i = SkipBalanced(c_, i);
+      }
+      continue;
+    }
+    if (t.IsIdent("struct") || t.IsIdent("class")) {
+      // Function-local struct: pass 1 already collected it; skip its definition here.
+      size_t j = i + 1;
+      while (j < n && !c_[j].IsPunct("{") && !c_[j].IsPunct(";")) {
+        ++j;
+      }
+      if (j < n && c_[j].IsPunct("{")) {
+        j = SkipBalanced(c_, j);
+        // Skip trailing declarator(s): `struct S {...} s;` — register the variable.
+        if (j < n && IsIdent(c_[j])) {
+          // `} name ;` — resolve the struct we just skipped.
+          std::string sname;
+          for (size_t a = i + 1; a < n && a < j; ++a) {
+            if (IsIdent(c_[a])) {
+              sname = c_[a].text;
+              break;
+            }
+          }
+          if (const ClassInfo* ci = classes_.Resolve(sname, s.fn.class_name)) {
+            s.locals[c_[j].text] = ci->name;
+          }
+          ++j;
+        }
+      }
+      i = j;
+      continue;
+    }
+    if (t.IsIdent("auto")) {
+      // auto[&] name = std::make_unique<K>(...) / make_shared<K>(...).
+      size_t j = i + 1;
+      while (j < n && (c_[j].IsPunct("&") || c_[j].IsPunct("*") || c_[j].IsIdent("const"))) {
+        ++j;
+      }
+      if (j + 1 < n && IsIdent(c_[j]) && c_[j + 1].IsPunct("=")) {
+        const std::string name = c_[j].text;
+        for (size_t a = j + 2; a < n && a < j + 12 && !c_[a].IsPunct(";"); ++a) {
+          if (IsIdent(c_[a]) &&
+              (c_[a].text == "make_unique" || c_[a].text == "make_shared") &&
+              a + 1 < n && c_[a + 1].IsPunct("<")) {
+            const size_t close = SkipAngles(c_, a + 1);
+            for (size_t b = a + 2; b + 1 < close; ++b) {
+              if (IsIdent(c_[b])) {
+                if (const ClassInfo* ci = classes_.Resolve(c_[b].text, s.fn.class_name)) {
+                  s.locals[name] = ci->name;
+                  break;
+                }
+              }
+            }
+            break;
+          }
+        }
+        i = j + 1;  // resume at "=": the initializer is walked normally
+        continue;
+      }
+      ++i;
+      continue;
+    }
+    if (ControlKeywords().count(t.text) > 0) {
+      ++i;
+      continue;
+    }
+    // std:: guard declarations and local mutexes: detect on the significant identifier.
+    if (GuardTypes().count(t.text) > 0) {
+      i = HandleGuardDecl(i, s, t.text);
+      continue;
+    }
+    if (MutexTypes().count(t.text) > 0 && i + 1 < n && IsIdent(c_[i + 1]) &&
+        i + 2 < n && (c_[i + 2].IsPunct(";") || c_[i + 2].IsPunct("{"))) {
+      s.local_mutexes.insert(c_[i + 1].text);
+      i += 2;
+      continue;
+    }
+    if (t.IsIdent("std")) {
+      // Peek through std:: to guard/mutex types so the chain handler never sees them.
+      if (i + 2 < n && c_[i + 1].IsPunct("::") && IsIdent(c_[i + 2])) {
+        const std::string& inner = c_[i + 2].text;
+        if (GuardTypes().count(inner) > 0) {
+          i = HandleGuardDecl(i + 2, s, inner);
+          continue;
+        }
+        if (MutexTypes().count(inner) > 0 && i + 3 < n && IsIdent(c_[i + 3])) {
+          s.local_mutexes.insert(c_[i + 3].text);
+          i += 4;
+          continue;
+        }
+      }
+    }
+    // Local declaration of a known-class variable?
+    {
+      const size_t after = TryLocalDecl(i, s);
+      if (after != i) {
+        i = after;
+        continue;
+      }
+    }
+    // Skip identifiers that are part of a larger chain we already consumed.
+    if (i > 0 && (c_[i - 1].IsPunct(".") || c_[i - 1].IsPunct("->") ||
+                  c_[i - 1].IsPunct("::") || c_[i - 1].IsPunct("~"))) {
+      ++i;
+      continue;
+    }
+    i = HandleChain(i, s);
+  }
+  out_.push_back(std::move(s.fn));  // unterminated body (defensive)
+  return i;
+}
+
+}  // namespace
+
+std::vector<FunctionInfo> CollectFunctions(const std::string& path,
+                                           const std::vector<Token>& tokens,
+                                           const ClassTable& classes) {
+  const std::vector<Token> code = CodeTokens(tokens);
+  std::vector<FunctionInfo> out;
+  FunctionCollector collector(path, code, classes, out);
+  collector.Run();
+  return out;
+}
+
+}  // namespace probcon::lint

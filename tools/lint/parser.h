@@ -1,0 +1,140 @@
+// A lightweight, heuristic C++ parser layered on the probcon-lint lexer.
+//
+// This is not a compiler front end: it recovers exactly the structure the concurrency rules
+// (R6-R8, see tools/lint/concurrency.h) need and nothing more —
+//
+//   - class/struct definitions, their mutex members, PROBCON_GUARDED_BY'd fields,
+//     declared lock order (PROBCON_ACQUIRED_BEFORE/AFTER), declared methods, and the
+//     element class of container/smart-pointer members (so `workers_[i]->mutex` resolves);
+//   - function definitions (free, member, out-of-line `Class::Method`, lambdas), and for
+//     each body: RAII lock acquisitions (`lock_guard`/`unique_lock`/`scoped_lock`/
+//     `shared_lock`, plus `.lock()`/`.unlock()` toggles on tracked unique_locks), call
+//     sites with the exact set of mutexes held, condition-variable waits with the mutex
+//     their lock argument releases, and every access to a guarded field with held-ness.
+//
+// Mutex identity is `Class::member` (e.g. "QueryCache::Shard::mutex",
+// "ThreadPool::wake_mutex_"), resolved through local/parameter/member type tracking.
+// Function-local mutexes are keyed by the enclosing function
+// ("QueryServer::Handle::mutex"). Expressions the parser cannot resolve get a
+// function-scoped placeholder id — still counted as "a lock is held" for R7, but never
+// unified across functions, so unresolved syntax cannot manufacture global cycles.
+//
+// The parser never throws and never gives up on a file: unrecognized constructs are skipped
+// token by token, which is the correct failure mode for a linter (silence, not a crash).
+
+#ifndef PROBCON_TOOLS_LINT_PARSER_H_
+#define PROBCON_TOOLS_LINT_PARSER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/lint/token.h"
+
+namespace probcon::lint {
+
+// One class/struct definition (possibly merged across declaration/definition files).
+struct ClassInfo {
+  std::string name;         // fully qualified by enclosing classes: "TcpServer::Reactor"
+  std::set<std::string> mutex_members;  // names of std::mutex / shared_mutex members
+  // field name -> raw PROBCON_GUARDED_BY argument text (resolved against this class).
+  std::map<std::string, std::string> guarded_fields;
+  // Declared order edges from PROBCON_ACQUIRED_BEFORE/AFTER on mutex members:
+  // (first-member-name, second-raw-arg, line). "first" is always the annotated member.
+  struct DeclaredEdge {
+    std::string member;  // annotated mutex member (of this class)
+    std::string other;   // raw argument text (member name or Class::member)
+    bool member_first = true;  // true: member acquired before other; false: after
+    std::string path;          // file carrying the annotation (set by BuildModel)
+    int line = 0;
+  };
+  std::vector<DeclaredEdge> declared_order;
+  std::set<std::string> methods;  // declared/defined method names (unqualified)
+  // member name -> raw type identifiers of its declaration, in order (e.g. for
+  // `std::vector<std::unique_ptr<Worker>> workers_` -> {"std","vector","std","unique_ptr",
+  // "Worker"}). The class table resolves these to an element class after all classes are
+  // known.
+  std::map<std::string, std::vector<std::string>> member_type_tokens;
+};
+
+// All classes across the analyzed files, with name resolution helpers.
+class ClassTable {
+ public:
+  void Merge(const ClassInfo& info);
+  // After all classes are merged: resolve member_type_tokens into member element classes.
+  void Finalize();
+
+  // Resolves `name` (unqualified or partially qualified) seen inside class `context`
+  // (fully qualified, may be ""). Walks enclosing scopes, then falls back to a unique
+  // unqualified match. Returns nullptr when unknown or ambiguous.
+  const ClassInfo* Resolve(const std::string& name, const std::string& context) const;
+  const ClassInfo* Find(const std::string& qualified) const;
+
+  // member name -> resolved element class (qualified), per class. Populated by Finalize().
+  const std::string* MemberClass(const std::string& class_name,
+                                 const std::string& member) const;
+
+  const std::map<std::string, ClassInfo>& classes() const { return classes_; }
+
+ private:
+  std::map<std::string, ClassInfo> classes_;  // qualified name -> info
+  std::map<std::string, std::vector<std::string>> by_unqualified_;
+  std::map<std::string, std::map<std::string, std::string>> member_class_;
+};
+
+// One RAII (or tracked manual) lock acquisition.
+struct LockSite {
+  std::string mutex_id;           // "Class::member" / "Func::local" / placeholder
+  std::vector<std::string> held;  // mutex ids already held when this lock is taken
+  int line = 0;
+  int col = 0;
+};
+
+// One call site inside a function body.
+struct CallSite {
+  // Best-effort callee: "Class::Method", "FreeFunction", or "?::Method" when the receiver
+  // could not be resolved (the analyzer retries by unique method name).
+  std::string callee;
+  std::vector<std::string> held;  // mutex ids held at the call
+  int line = 0;
+  int col = 0;
+  bool is_cv_wait = false;     // wait / wait_for / wait_until on a condition variable
+  std::string cv_wait_mutex;   // mutex released by the wait's lock argument ("" unknown)
+};
+
+// One access to a PROBCON_GUARDED_BY field.
+struct FieldUse {
+  std::string field_id;  // "Class::field"
+  std::string mutex_id;  // the guard, resolved to a mutex id
+  std::vector<std::string> held;
+  bool held_ok = false;  // mutex_id was held at the access
+  int line = 0;
+  int col = 0;
+};
+
+struct FunctionInfo {
+  std::string name;        // "QueryCache::GetOrCompute", "RunChunks",
+                           // "QueryServer::Handle::<lambda:57>"
+  std::string class_name;  // enclosing class (qualified) or ""
+  std::string path;
+  int line = 0;
+  bool is_lambda = false;
+  std::vector<std::string> requires_held;  // PROBCON_REQUIRES, resolved to mutex ids
+  std::vector<LockSite> acquires;
+  std::vector<CallSite> calls;
+  std::vector<FieldUse> field_uses;
+};
+
+// Pass 1: collect class definitions (including nested and function-local ones).
+std::vector<ClassInfo> CollectClasses(const std::vector<Token>& tokens);
+
+// Pass 2: collect function definitions and their body events. `classes` must already be
+// Finalize()d and contain every file's classes for cross-file type resolution.
+std::vector<FunctionInfo> CollectFunctions(const std::string& path,
+                                           const std::vector<Token>& tokens,
+                                           const ClassTable& classes);
+
+}  // namespace probcon::lint
+
+#endif  // PROBCON_TOOLS_LINT_PARSER_H_

@@ -467,6 +467,7 @@ const std::set<std::string>& KnownRules() {
   static const std::set<std::string> kRules = {
       "probcon-determinism", "probcon-unordered-iter", "probcon-check",
       "probcon-using-namespace", "probcon-ownership", "probcon-kahan", "probcon-nolint",
+      "probcon-lock-order", "probcon-blocking-under-lock", "probcon-guarded-field",
   };
   return kRules;
 }

@@ -21,6 +21,12 @@
 //   probcon-kahan          (R5) scalar `double x; loop { x += ... }` reductions in
 //                              src/analysis/ lose low-order mass; accumulate via KahanSum.
 //   probcon-nolint              suppression hygiene (reason required, rule must exist).
+//
+// Tree-level concurrency rules (implemented in tools/lint/concurrency.h, driven from
+// LintTree because they reason about every file at once):
+//   probcon-lock-order          (R6) lock-order graph cycles = potential deadlocks. error.
+//   probcon-blocking-under-lock (R7) blocking operation while holding a lock.
+//   probcon-guarded-field       (R8) PROBCON_GUARDED_BY field touched without its mutex.
 
 #ifndef PROBCON_TOOLS_LINT_RULES_H_
 #define PROBCON_TOOLS_LINT_RULES_H_
@@ -66,6 +72,11 @@ struct LintOptions {
   // R3 assert ban applies below this prefix (tests use gtest assertions; benches may do
   // whatever the benchmark harness wants).
   std::string check_prefix = "src/";
+
+  // Run the tree-level concurrency rules R6-R8 (lock-order cycles, blocking under a held
+  // lock, guarded-field discipline; see tools/lint/concurrency.h). Off only for tests that
+  // pin the per-file rule set.
+  bool analyze_concurrency = true;
 };
 
 // All valid rule names (for NOLINT validation and --rule filters).

@@ -1,0 +1,144 @@
+#include "src/analysis/round_analysis.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace probcon {
+namespace {
+
+// Per-round q_i vectors under fail-stop accumulation: q_i^(r) = 1 - prod_{s<=r}(1 - p^(s)).
+// Survival is carried in product form per node, so each round's vector is exact in the
+// complement — the quantity the near-one reliability math cares about.
+std::vector<std::vector<double>> AccumulatedProbabilities(const RoundSchedule& schedule) {
+  std::vector<double> survival(static_cast<size_t>(schedule.n()), 1.0);
+  std::vector<std::vector<double>> accumulated;
+  accumulated.reserve(static_cast<size_t>(schedule.rounds()));
+  for (int r = 0; r < schedule.rounds(); ++r) {
+    const std::vector<double>& p = schedule.RoundProbabilities(r);
+    std::vector<double> q(static_cast<size_t>(schedule.n()), 0.0);
+    for (int i = 0; i < schedule.n(); ++i) {
+      survival[static_cast<size_t>(i)] *= 1.0 - p[static_cast<size_t>(i)];
+      q[static_cast<size_t>(i)] = 1.0 - survival[static_cast<size_t>(i)];
+    }
+    accumulated.push_back(std::move(q));
+  }
+  return accumulated;
+}
+
+// Evaluates one round's report for either protocol (overloads picked by config type). Raft
+// safety is structural; PBFT safety and both liveness laws come from the failure-count DP
+// over the round's vector.
+Result<ReliabilityReport> TryAnalyzeOneRound(const RaftConfig& config,
+                                             std::vector<double> probabilities,
+                                             AnalysisMethod method, const CancelToken* cancel) {
+  const ReliabilityAnalyzer analyzer =
+      ReliabilityAnalyzer::ForIndependentNodes(std::move(probabilities));
+  ReliabilityReport report;
+  const bool structurally_safe = RaftIsSafeStructurally(config);
+  report.safe = structurally_safe ? Probability::One() : Probability::Zero();
+  auto live = analyzer.TryEventProbability(MakeRaftLivePredicate(config), method, cancel);
+  if (!live.ok()) {
+    return live.status();
+  }
+  report.live = *live;
+  report.safe_and_live = structurally_safe ? report.live : Probability::Zero();
+  return report;
+}
+
+Result<ReliabilityReport> TryAnalyzeOneRound(const PbftConfig& config,
+                                             std::vector<double> probabilities,
+                                             AnalysisMethod method, const CancelToken* cancel) {
+  const ReliabilityAnalyzer analyzer =
+      ReliabilityAnalyzer::ForIndependentNodes(std::move(probabilities));
+  ReliabilityReport report;
+  auto safe = analyzer.TryEventProbability(MakePbftSafePredicate(config), method, cancel);
+  if (!safe.ok()) {
+    return safe.status();
+  }
+  auto live = analyzer.TryEventProbability(MakePbftLivePredicate(config), method, cancel);
+  if (!live.ok()) {
+    return live.status();
+  }
+  auto both =
+      analyzer.TryEventProbability(MakePbftSafeAndLivePredicate(config), method, cancel);
+  if (!both.ok()) {
+    return both.status();
+  }
+  report.safe = *safe;
+  report.live = *live;
+  report.safe_and_live = *both;
+  return report;
+}
+
+template <typename Config>
+Result<RoundAnalysis> TryAnalyzeRounds(const Config& config, const RoundSchedule& schedule,
+                                       AnalysisMethod method, const CancelToken* cancel,
+                                       std::atomic<uint64_t>* progress) {
+  CHECK_EQ(config.n, schedule.n());
+  const std::vector<std::vector<double>> accumulated = AccumulatedProbabilities(schedule);
+  RoundAnalysis analysis;
+  analysis.per_round.reserve(static_cast<size_t>(schedule.rounds()));
+  analysis.cumulative.reserve(static_cast<size_t>(schedule.rounds()));
+  analysis.mission_safe = Probability::One();
+  analysis.mission_live = Probability::One();
+  analysis.mission_safe_and_live = Probability::One();
+  for (int r = 0; r < schedule.rounds(); ++r) {
+    if (IsCancelled(cancel)) {
+      return CancelledError("round analysis cancelled");
+    }
+    auto fresh = TryAnalyzeOneRound(config, schedule.RoundProbabilities(r), method, cancel);
+    if (!fresh.ok()) {
+      return fresh.status();
+    }
+    auto fail_stop =
+        TryAnalyzeOneRound(config, accumulated[static_cast<size_t>(r)], method, cancel);
+    if (!fail_stop.ok()) {
+      return fail_stop.status();
+    }
+    // And() multiplies in complement-aware form, so a mission of thousands of >5-nines
+    // rounds keeps its failure mass intact instead of rounding back to 1.0.
+    analysis.mission_safe = analysis.mission_safe.And(fresh->safe);
+    analysis.mission_live = analysis.mission_live.And(fresh->live);
+    analysis.mission_safe_and_live = analysis.mission_safe_and_live.And(fresh->safe_and_live);
+    analysis.per_round.push_back(*std::move(fresh));
+    analysis.cumulative.push_back(*std::move(fail_stop));
+    if (progress != nullptr) {
+      progress->fetch_add(2, std::memory_order_relaxed);
+    }
+  }
+  return analysis;
+}
+
+}  // namespace
+
+Result<RoundAnalysis> TryAnalyzeRaftRounds(const RaftConfig& config,
+                                           const RoundSchedule& schedule,
+                                           AnalysisMethod method, const CancelToken* cancel,
+                                           std::atomic<uint64_t>* progress) {
+  return TryAnalyzeRounds(config, schedule, method, cancel, progress);
+}
+
+Result<RoundAnalysis> TryAnalyzePbftRounds(const PbftConfig& config,
+                                           const RoundSchedule& schedule,
+                                           AnalysisMethod method, const CancelToken* cancel,
+                                           std::atomic<uint64_t>* progress) {
+  return TryAnalyzeRounds(config, schedule, method, cancel, progress);
+}
+
+RoundAnalysis AnalyzeRaftRounds(const RaftConfig& config, const RoundSchedule& schedule,
+                                AnalysisMethod method) {
+  auto analysis = TryAnalyzeRaftRounds(config, schedule, method);
+  CHECK(analysis.ok()) << analysis.status().ToString();
+  return *std::move(analysis);
+}
+
+RoundAnalysis AnalyzePbftRounds(const PbftConfig& config, const RoundSchedule& schedule,
+                                AnalysisMethod method) {
+  auto analysis = TryAnalyzePbftRounds(config, schedule, method);
+  CHECK(analysis.ok()) << analysis.status().ToString();
+  return *std::move(analysis);
+}
+
+}  // namespace probcon

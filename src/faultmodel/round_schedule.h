@@ -1,0 +1,76 @@
+// Round schedules: time-varying per-round failure probabilities (the "Bernoulli Meets PBFT"
+// view of the paper's §3 math).
+//
+// The one-shot theorems evaluate P(safe/live) for a single vector of per-node failure
+// probabilities. Real consensus runs rounds back to back while every node ages along its
+// fault curve, so the probability vector drifts round over round: round r of a node deployed
+// at age a covers ages [a + r*d, a + (r+1)*d) and fails within it with
+//
+//   p_i^(r) = 1 - exp(-(H_i(a_i + (r+1)d) - H_i(a_i + r*d)))
+//
+// — exactly FaultCurve::FailureProbability over the round window. A RoundSchedule is that
+// matrix of probabilities, materialized so the analysis layer (per-round Theorem 3.1/3.2 plus
+// cumulative mission reliability, src/analysis/round_analysis.h) and the discrete-event
+// simulator consume the *same* numbers: NodeCurve() rebuilds a trace curve whose per-round
+// window failure probabilities reproduce the schedule exactly, and that curve drives
+// sim::FailureInjector for cross-validation.
+
+#ifndef PROBCON_SRC_FAULTMODEL_ROUND_SCHEDULE_H_
+#define PROBCON_SRC_FAULTMODEL_ROUND_SCHEDULE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/faultmodel/fault_curve.h"
+
+namespace probcon {
+
+class RoundSchedule {
+ public:
+  // Structural validation, exposed for edge callers (the serving daemon) that build
+  // schedules from untrusted JSON: at least one round, rectangular rows of width >= 1,
+  // probabilities in [0, 1), positive finite round length. The constructor CHECKs the same
+  // conditions, so edges must call this first and surface the Status.
+  static Status Validate(double round_hours,
+                         const std::vector<std::vector<double>>& round_probabilities);
+
+  // `round_probabilities[r][i]` = P(node i fails during round r | alive at its start).
+  // CHECK-fails unless Validate() accepts the inputs.
+  RoundSchedule(double round_hours, std::vector<std::vector<double>> round_probabilities);
+
+  // Evaluates each curve's window failure probability round by round, starting node i at
+  // age `ages[i]`. `curves.size() == ages.size()`, rounds >= 1, round_hours > 0.
+  static RoundSchedule FromCurves(const std::vector<const FaultCurve*>& curves,
+                                  const std::vector<double>& ages, double round_hours,
+                                  int rounds);
+
+  // Homogeneous convenience: n nodes sharing one curve and one deployment age.
+  static RoundSchedule FromCurve(const FaultCurve& curve, int n, double age,
+                                 double round_hours, int rounds);
+
+  int rounds() const { return static_cast<int>(round_probabilities_.size()); }
+  int n() const { return static_cast<int>(round_probabilities_.front().size()); }
+  double round_hours() const { return round_hours_; }
+  double mission_hours() const { return round_hours_ * rounds(); }
+
+  const std::vector<double>& RoundProbabilities(int round) const;
+
+  // P(node i has failed by the end of the mission), assuming a node that fails stays failed:
+  // 1 - prod_r (1 - p_i^(r)). One entry per node.
+  std::vector<double> CumulativeFailureProbabilities() const;
+
+  // Rebuilds node i's failure law as a trace curve with knots at round boundaries and
+  // cumulative hazard H_r = sum_{s<r} -ln(1 - p_i^(s)). Its FailureProbability over round
+  // r's window is exactly round_probabilities_[r][i], so driving sim::FailureInjector with
+  // these curves replays the schedule the analysis consumed — the cross-validation hinge.
+  std::unique_ptr<FaultCurve> NodeCurve(int node) const;
+
+ private:
+  double round_hours_;
+  std::vector<std::vector<double>> round_probabilities_;
+};
+
+}  // namespace probcon
+
+#endif  // PROBCON_SRC_FAULTMODEL_ROUND_SCHEDULE_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <utility>
 
 #include "src/common/check.h"
 
@@ -28,9 +30,14 @@ Matrix Ctmc::Generator() const {
   return q;
 }
 
-Result<Vector> Ctmc::SteadyState() const {
+Result<Vector> Ctmc::SteadyState() const { return TrySteadyState({}); }
+
+Result<Vector> Ctmc::TrySteadyState(const CtmcSolveOptions& options) const {
   // Solve pi Q = 0 with normalization: replace the last column of Q^T's system with the
   // all-ones constraint.
+  if (IsCancelled(options.cancel)) {
+    return CancelledError("steady-state solve cancelled");
+  }
   const Matrix q = Generator();
   Matrix a(state_count_, state_count_);
   Vector b(state_count_, 0.0);
@@ -52,6 +59,9 @@ Result<Vector> Ctmc::SteadyState() const {
   }
   for (double& x : *solved) {
     x = std::max(0.0, x);  // Clip tiny negative round-off.
+  }
+  if (options.progress != nullptr) {
+    options.progress->fetch_add(1, std::memory_order_relaxed);
   }
   return solved;
 }
@@ -82,7 +92,15 @@ std::vector<bool> Ctmc::ReachableTransientStates(int start,
 
 Result<double> Ctmc::MeanTimeToAbsorption(int start,
                                           const std::vector<int>& absorbing) const {
+  return TryMeanTimeToAbsorption(start, absorbing, {});
+}
+
+Result<double> Ctmc::TryMeanTimeToAbsorption(int start, const std::vector<int>& absorbing,
+                                             const CtmcSolveOptions& options) const {
   CHECK(start >= 0 && start < state_count_);
+  if (IsCancelled(options.cancel)) {
+    return CancelledError("mean-time-to-absorption solve cancelled");
+  }
   std::vector<bool> is_absorbing(state_count_, false);
   for (const int s : absorbing) {
     CHECK(s >= 0 && s < state_count_);
@@ -119,6 +137,9 @@ Result<double> Ctmc::MeanTimeToAbsorption(int start,
   if (!solved.ok()) {
     return Status(StatusCode::kFailedPrecondition,
                   "absorption is not certain from the start state");
+  }
+  if (options.progress != nullptr) {
+    options.progress->fetch_add(1, std::memory_order_relaxed);
   }
   return (*solved)[transient_index[start]];
 }
@@ -184,6 +205,13 @@ Result<Vector> Ctmc::AbsorptionProbabilities(int start,
 }
 
 Vector Ctmc::TransientDistribution(const Vector& initial, double t) const {
+  auto result = TryTransientDistribution(initial, t, {});
+  CHECK(result.ok());
+  return *std::move(result);
+}
+
+Result<Vector> Ctmc::TryTransientDistribution(const Vector& initial, double t,
+                                              const CtmcSolveOptions& options) const {
   CHECK_EQ(initial.size(), static_cast<size_t>(state_count_));
   CHECK_GE(t, 0.0);
   const Matrix q = Generator();
@@ -191,6 +219,9 @@ Vector Ctmc::TransientDistribution(const Vector& initial, double t) const {
   for (int s = 0; s < state_count_; ++s) {
     uniform_rate = std::max(uniform_rate, -q.At(s, s));
   }
+  // Degenerate uniformization rate: a chain with no transitions (or where every state's
+  // outgoing rate is zero) never leaves its initial distribution. Return it unchanged —
+  // the general path would divide by uniform_rate below.
   if (uniform_rate == 0.0 || t == 0.0) {
     return initial;
   }
@@ -200,13 +231,36 @@ Vector Ctmc::TransientDistribution(const Vector& initial, double t) const {
   Matrix p = Matrix::Identity(state_count_) + q.Scaled(1.0 / uniform_rate);
   const double poisson_mean = uniform_rate * t;
 
+  // Terms needed grows as Lambda*t + O(sqrt(Lambda*t)); beyond ~1e9 the solve would spin
+  // for hours (and the old int cast of the bound overflowed). Refuse instead.
+  constexpr double kMaxUniformizationTerms = 1e9;
+  const double term_bound = poisson_mean + 12.0 * std::sqrt(poisson_mean) + 50.0;
+  if (!(term_bound < kMaxUniformizationTerms)) {
+    return Status(StatusCode::kFailedPrecondition,
+                  "transient horizon too large for uniformization (rate * t over 1e9)");
+  }
+
   Vector current = initial;  // initial * P^k, built incrementally (row vector convention).
   Vector result(state_count_, 0.0);
   // Poisson pmf computed iteratively in linear space with scaling guard.
   double log_pmf = -poisson_mean;  // log pmf at k = 0.
   double cumulative = 0.0;
-  const int max_terms = static_cast<int>(poisson_mean + 12.0 * std::sqrt(poisson_mean) + 50.0);
-  for (int k = 0; k <= max_terms; ++k) {
+  const int64_t max_terms = static_cast<int64_t>(term_bound);
+  uint64_t unflushed_steps = 0;
+  for (int64_t k = 0; k <= max_terms; ++k) {
+    // Each term costs an O(m^2) matrix-vector product, so a per-term poll is already far
+    // coarser than kCancellationPollStride relative to the work done.
+    if (IsCancelled(options.cancel)) {
+      if (options.progress != nullptr && unflushed_steps > 0) {
+        options.progress->fetch_add(unflushed_steps, std::memory_order_relaxed);
+      }
+      return CancelledError("transient-distribution solve cancelled");
+    }
+    if (options.progress != nullptr &&
+        ++unflushed_steps == kCancellationPollStride) {
+      options.progress->fetch_add(unflushed_steps, std::memory_order_relaxed);
+      unflushed_steps = 0;
+    }
     const double pmf = std::exp(log_pmf);
     for (int s = 0; s < state_count_; ++s) {
       result[s] += pmf * current[s];
@@ -228,6 +282,9 @@ Vector Ctmc::TransientDistribution(const Vector& initial, double t) const {
     }
     current = std::move(next);
     log_pmf += std::log(poisson_mean) - std::log(static_cast<double>(k) + 1.0);
+  }
+  if (options.progress != nullptr && unflushed_steps > 0) {
+    options.progress->fetch_add(unflushed_steps, std::memory_order_relaxed);
   }
   // Renormalize the truncation remainder.
   double total = 0.0;

@@ -11,12 +11,29 @@
 #ifndef PROBCON_SRC_MARKOV_CTMC_H_
 #define PROBCON_SRC_MARKOV_CTMC_H_
 
+#include <atomic>
+#include <cstdint>
 #include <vector>
 
+#include "src/common/cancellation.h"
 #include "src/common/status.h"
 #include "src/linalg/matrix.h"
 
 namespace probcon {
+
+// Options shared by the cancellable Try* solvers. Serving contexts pass the request's
+// CancelToken so an operator deadline can abandon a long solve at the next poll, and a
+// progress cell wired to the daemon's serve.engine.ctmc_steps counter. The uniformization
+// loop polls per Poisson term (each term is an O(m^2) matrix-vector product); the direct
+// solvers poll once before factoring, which is enough because lifecycle callers cap state
+// counts so a single factorization stays sub-second. Results are bit-identical with or
+// without a token — cancellation only decides whether the work runs, never what it computes.
+struct CtmcSolveOptions {
+  const CancelToken* cancel = nullptr;
+  // Accumulates solver steps: one per Poisson term (uniformization) or per factored system
+  // (direct solves). Purely observational.
+  std::atomic<uint64_t>* progress = nullptr;
+};
 
 class Ctmc {
  public:
@@ -45,8 +62,20 @@ class Ctmc {
   Result<Vector> AbsorptionProbabilities(int start, const std::vector<int>& absorbing) const;
 
   // Distribution at time `t` starting from `initial`, via uniformization with truncation
-  // error below 1e-12.
+  // error below 1e-12. A chain with no transitions (or one whose reachable states all have
+  // zero outgoing rate) has a degenerate uniformization rate; the distribution is then the
+  // initial one and is returned unchanged rather than dividing by zero.
   Vector TransientDistribution(const Vector& initial, double t) const;
+
+  // Cancellable variants of the solvers above: identical math and bit-identical results
+  // while the token stays unset, kCancelled once it fires. TryTransientDistribution
+  // additionally rejects horizons whose uniformization would need more than ~1e9 Poisson
+  // terms (kFailedPrecondition) instead of looping for hours.
+  Result<Vector> TrySteadyState(const CtmcSolveOptions& options) const;
+  Result<double> TryMeanTimeToAbsorption(int start, const std::vector<int>& absorbing,
+                                         const CtmcSolveOptions& options) const;
+  Result<Vector> TryTransientDistribution(const Vector& initial, double t,
+                                          const CtmcSolveOptions& options) const;
 
  private:
   struct Transition {

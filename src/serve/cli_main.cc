@@ -8,6 +8,15 @@
 //   probcon-cli --port 7421 quorum_size '{"protocol": "pbft", "fault": {"n": 7, "p": 0.02}}'
 //   probcon-cli --port 7421 montecarlo
 //       '{"protocol": "raft", "fault": {"n": 31, "p": 0.05}, "trials": 1000000}'
+//   probcon-cli --port 7421 availability
+//       '{"protocol": "raft", "fleet": {"classes": [{"count": 5, "failure_rate": 1e-3}],
+//         "repair_rate": 0.5}}'
+//   probcon-cli --port 7421 mission_reliability
+//       '{"protocol": "raft", "schedule": {"curve": {"kind": "weibull", "shape": 0.7,
+//         "scale": 100000}, "n": 5, "round_hours": 24, "rounds": 30}}'
+//   probcon-cli --port 7421 repair_sweep
+//       '{"protocol": "raft", "fleet": {"classes": [{"count": 5, "failure_rate": 1e-3}]},
+//         "min_rate": 0.01, "max_rate": 10, "points": 16, "target_availability": 0.99999}'
 //   probcon-cli --port 7421 stats                  # live metrics snapshot (JSON)
 //   probcon-cli --port 7421 stats '{"reset": true}'  # ...and zero counters/histograms
 //

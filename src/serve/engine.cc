@@ -2,14 +2,20 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "src/analysis/end_to_end.h"
 #include "src/analysis/placement.h"
 #include "src/analysis/reliability.h"
+#include "src/analysis/round_analysis.h"
 #include "src/common/rng.h"
 #include "src/faultmodel/joint_model.h"
+#include "src/faultmodel/round_schedule.h"
+#include "src/lifecycle/fleet_model.h"
+#include "src/lifecycle/repair_sweep.h"
+#include "src/markov/ctmc.h"
 #include "src/prob/interval.h"
 #include "src/prob/probability.h"
 #include "src/probnative/quorum_sizer.h"
@@ -281,6 +287,146 @@ Result<Json> RunMonteCarlo(const ServeRequest& request, const CancelToken* cance
   return result;
 }
 
+FleetProtocol ProtocolFromRequest(const ServeRequest& request) {
+  return request.protocol == "pbft" ? FleetProtocol::kPbft : FleetProtocol::kRaft;
+}
+
+// Probability rendered the same way ReportJson renders report cells: the paper-formatted
+// percent string next to the raw complement for programmatic clients.
+void SetProbabilityFields(Json* object, std::string_view name,
+                          std::string_view complement_name, const Probability& p) {
+  object->Set(name, Json::String(FormatPercent(p)));
+  object->Set(complement_name, Json::Number(p.complement()));
+}
+
+Result<Json> RunAvailability(const ServeRequest& request, const CancelToken* cancel,
+                             const EngineProgress& progress) {
+  const FleetModel model(request.fleet, ProtocolFromRequest(request));
+  CtmcSolveOptions options;
+  options.cancel = cancel;
+  options.progress = progress.ctmc_steps;
+
+  Result<Probability> availability =
+      model.TrySteadyStateAvailability(/*reconfiguration=*/false, options);
+  if (!availability.ok()) return availability.status();
+  Result<double> mttu = model.TryMeanTimeToUnavailability(/*reconfiguration=*/false, options);
+  if (!mttu.ok()) return mttu.status();
+
+  Json result = Json::Object();
+  result.Set("protocol", Json::String(request.protocol));
+  result.Set("total_nodes", Json::Number(model.total_nodes()));
+  result.Set("states", Json::Number(model.state_count()));
+  SetProbabilityFields(&result, "availability", "unavailability", *availability);
+  result.Set("downtime_hours_per_year",
+             Json::Number(FleetModel::DowntimeHoursPerYear(*availability)));
+  result.Set("mttu_hours", Json::Number(*mttu));
+  if (request.loss_threshold > 0) {
+    Result<double> mttql = model.TryMeanTimeToQuorumLoss(request.loss_threshold, options);
+    if (!mttql.ok()) return mttql.status();
+    result.Set("loss_threshold", Json::Number(request.loss_threshold));
+    result.Set("mttql_hours", Json::Number(*mttql));
+  }
+  if (request.reconfiguration) {
+    Result<Probability> joint =
+        model.TrySteadyStateAvailability(/*reconfiguration=*/true, options);
+    if (!joint.ok()) return joint.status();
+    Result<double> joint_mttu =
+        model.TryMeanTimeToUnavailability(/*reconfiguration=*/true, options);
+    if (!joint_mttu.ok()) return joint_mttu.status();
+    Json reconfig = Json::Object();
+    SetProbabilityFields(&reconfig, "availability", "unavailability", *joint);
+    reconfig.Set("downtime_hours_per_year",
+                 Json::Number(FleetModel::DowntimeHoursPerYear(*joint)));
+    reconfig.Set("mttu_hours", Json::Number(*joint_mttu));
+    result.Set("reconfiguration", std::move(reconfig));
+  }
+  return result;
+}
+
+Result<Json> RunMissionReliability(const ServeRequest& request, const CancelToken* cancel,
+                                   const EngineProgress& progress) {
+  Json result = Json::Object();
+  result.Set("protocol", Json::String(request.protocol));
+  if (request.schedule_mode) {
+    // Per-round mode: Theorems 3.1/3.2 per schedule round + cumulative mission aggregates.
+    const RoundSchedule schedule(request.round_hours, request.schedule_probabilities);
+    Result<RoundAnalysis> analysis =
+        request.protocol == "raft"
+            ? TryAnalyzeRaftRounds(RaftConfig::Standard(schedule.n()), schedule,
+                                   AnalysisMethod::kAuto, cancel, progress.enum_configs)
+            : TryAnalyzePbftRounds(PbftConfig::Standard(schedule.n()), schedule,
+                                   AnalysisMethod::kAuto, cancel, progress.enum_configs);
+    if (!analysis.ok()) return analysis.status();
+    result.Set("mode", Json::String("schedule"));
+    result.Set("n", Json::Number(schedule.n()));
+    result.Set("rounds", Json::Number(schedule.rounds()));
+    result.Set("round_hours", Json::Number(schedule.round_hours()));
+    result.Set("mission_hours", Json::Number(schedule.mission_hours()));
+    Json mission = Json::Object();
+    SetProbabilityFields(&mission, "safe", "unsafe_probability", analysis->mission_safe);
+    SetProbabilityFields(&mission, "live", "not_live_probability", analysis->mission_live);
+    SetProbabilityFields(&mission, "safe_and_live", "failure_probability",
+                         analysis->mission_safe_and_live);
+    result.Set("mission", std::move(mission));
+    result.Set("final_round", ReportJson(analysis->per_round.back()));
+    result.Set("final_cumulative", ReportJson(analysis->cumulative.back()));
+    return result;
+  }
+  // Fleet CTMC mode: P(no liveness outage within the mission) via uniformization.
+  const FleetModel model(request.fleet, ProtocolFromRequest(request));
+  CtmcSolveOptions options;
+  options.cancel = cancel;
+  options.progress = progress.ctmc_steps;
+  Result<Probability> reliability =
+      model.TryMissionReliability(request.mission_hours, request.reconfiguration, options);
+  if (!reliability.ok()) return reliability.status();
+  result.Set("mode", Json::String("fleet"));
+  result.Set("total_nodes", Json::Number(model.total_nodes()));
+  result.Set("states", Json::Number(model.state_count()));
+  result.Set("mission_hours", Json::Number(request.mission_hours));
+  result.Set("reconfiguration_window", Json::Bool(request.reconfiguration));
+  SetProbabilityFields(&result, "mission_reliability", "outage_probability", *reliability);
+  return result;
+}
+
+Result<Json> RunRepairSweep(const ServeRequest& request, const CancelToken* cancel,
+                            const EngineProgress& progress) {
+  CtmcSolveOptions options;
+  options.cancel = cancel;
+  options.progress = progress.ctmc_steps;
+  std::optional<double> target;
+  if (request.sweep_target_availability > 0.0) {
+    target = request.sweep_target_availability;
+  }
+  Result<RepairSweepResult> sweep =
+      TryRepairRateSweep(request.fleet, ProtocolFromRequest(request),
+                         request.sweep_repair_rates, target, options);
+  if (!sweep.ok()) return sweep.status();
+
+  Json result = Json::Object();
+  result.Set("protocol", Json::String(request.protocol));
+  Json points = Json::Array();
+  for (const RepairSweepPoint& point : sweep->points) {
+    Json row = Json::Object();
+    row.Set("repair_rate", Json::Number(point.repair_rate));
+    SetProbabilityFields(&row, "availability", "unavailability", point.availability);
+    row.Set("mttu_hours", Json::Number(point.mttu_hours));
+    row.Set("downtime_hours_per_year", Json::Number(point.downtime_hours_per_year));
+    points.Append(std::move(row));
+  }
+  result.Set("points", std::move(points));
+  if (target.has_value()) {
+    result.Set("target_availability", Json::Number(*target));
+    if (sweep->first_rate_meeting_target.has_value()) {
+      result.Set("first_rate_meeting_target",
+                 Json::Number(*sweep->first_rate_meeting_target));
+    } else {
+      result.Set("first_rate_meeting_target", Json::Null());
+    }
+  }
+  return result;
+}
+
 }  // namespace
 
 Result<Json> ExecuteRequest(const ServeRequest& request, const CancelToken* cancel,
@@ -303,6 +449,12 @@ Result<Json> ExecuteRequest(const ServeRequest& request, const CancelToken* canc
       return RunEndToEnd(request, cancel, progress);
     case RequestKind::kMonteCarlo:
       return RunMonteCarlo(request, cancel, progress);
+    case RequestKind::kAvailability:
+      return RunAvailability(request, cancel, progress);
+    case RequestKind::kMissionReliability:
+      return RunMissionReliability(request, cancel, progress);
+    case RequestKind::kRepairSweep:
+      return RunRepairSweep(request, cancel, progress);
     case RequestKind::kStats:
     case RequestKind::kHealth:
       // Handled inline by the server; stats and health requests never reach the engine.

@@ -30,6 +30,7 @@ namespace probcon::serve {
 struct EngineProgress {
   std::atomic<uint64_t>* mc_trials = nullptr;     // Monte Carlo trials completed.
   std::atomic<uint64_t>* enum_configs = nullptr;  // exact-enumeration configs evaluated.
+  std::atomic<uint64_t>* ctmc_steps = nullptr;    // CTMC solver steps (terms / solves).
 };
 
 // Executes `request` to completion (or until `cancel` fires, returning kCancelled).

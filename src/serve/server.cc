@@ -139,6 +139,7 @@ QueryServer::QueryServer(ServerOptions options, MetricsRegistry* metrics)
     degraded_inflight_gauge_ = &metrics_->GetGauge("serve.degraded_inflight");
     progress_.mc_trials = &metrics_->GetCounter("serve.engine.mc_trials").cell();
     progress_.enum_configs = &metrics_->GetCounter("serve.engine.enum_configs").cell();
+    progress_.ctmc_steps = &metrics_->GetCounter("serve.engine.ctmc_steps").cell();
   }
   watchdog_ = std::thread([this] { WatchdogLoop(); });
 }

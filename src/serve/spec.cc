@@ -1,10 +1,14 @@
 #include "src/serve/spec.h"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <utility>
 
 #include "src/faultmodel/fault_curve.h"
+#include "src/faultmodel/round_schedule.h"
+#include "src/lifecycle/fleet_model.h"
+#include "src/lifecycle/repair_sweep.h"
 
 namespace probcon::serve {
 namespace {
@@ -14,6 +18,7 @@ constexpr std::string_view kWhat = "serve request";
 constexpr std::string_view kKindNames[kRequestKindCount] = {
     "ping",       "table1",     "table2", "quorum_size",
     "placement",  "end_to_end", "montecarlo", "stats", "health",
+    "availability", "mission_reliability", "repair_sweep",
 };
 
 // Caps that keep a single request's cost bounded. The engine CHECKs sit deeper (exact
@@ -24,6 +29,20 @@ constexpr int kMaxClusterNodes = 200;       // count-DP paths are O(n^2); 200 is
 constexpr int kMaxPlacementNodes = 10;      // OptimizeRackPlacement precondition.
 constexpr int kMaxPlacementRacks = 5;       // OptimizeRackPlacement precondition.
 constexpr uint64_t kMaxTrials = 1u << 30;   // ~1e9 Monte Carlo trials per request.
+
+// Fleet-lifecycle caps. The direct CTMC solvers are O(m^3) in the lumped state count m, so
+// a single availability request is held to m <= 1024 (~1e9 flops, about a second) and a
+// repair sweep — up to kMaxSweepPoints solves — to m <= 256. Uniformization costs
+// terms * m^2 with terms ~ Lambda * 1.02 * t; the product is bounded below at parse time so
+// no admissible request can pin an engine thread for more than a few seconds.
+constexpr int kMaxFleetClasses = 8;
+constexpr int kMaxFleetClassCount = 100;     // nodes per vintage class
+constexpr int kMaxFleetStatesServe = 1024;   // availability / mission_reliability
+constexpr int kMaxSweepStates = 256;         // repair_sweep (many solves per request)
+constexpr int kMaxSweepPoints = 64;
+constexpr int kMaxScheduleRounds = 512;
+constexpr double kMaxMissionHours = 1e7;     // ~1141 years
+constexpr double kMaxUniformizationCost = 2e9;  // Poisson terms * m^2 flop budget
 
 Status CheckProbabilities(const std::vector<double>& probabilities, std::string_view field) {
   for (double p : probabilities) {
@@ -140,6 +159,202 @@ Json DoubleListJson(const std::vector<double>& values) {
     array.Append(Json::Number(v));
   }
   return array;
+}
+
+// Parses the "fleet" object shared by the lifecycle kinds. Class curves are resolved to
+// lumped rates here (FleetClass::FromCurve semantics: hazard frozen at the class age), so
+// canonical keys and engines only ever see rates — a curve spec and its resolved rates
+// memoize to the same entry.
+Result<FleetParams> FleetFromJson(const Json* fleet_json, int max_states) {
+  if (fleet_json == nullptr || !fleet_json->IsObject()) {
+    return InvalidArgumentError(std::string(kWhat) + ": a \"fleet\" object is required");
+  }
+  const Json* classes = fleet_json->Find("classes");
+  if (classes == nullptr || !classes->IsArray() || classes->items.empty()) {
+    return InvalidArgumentError(std::string(kWhat) +
+                                ": fleet requires a non-empty \"classes\" array");
+  }
+  if (static_cast<int>(classes->items.size()) > kMaxFleetClasses) {
+    return InvalidArgumentError(std::string(kWhat) + ": fleet is limited to " +
+                                std::to_string(kMaxFleetClasses) + " classes");
+  }
+  FleetParams params;
+  for (size_t i = 0; i < classes->items.size(); ++i) {
+    const Json& class_json = classes->items[i];
+    if (!class_json.IsObject()) {
+      return InvalidArgumentError(std::string(kWhat) + ": fleet classes must be objects");
+    }
+    FleetClass cls;
+    RETURN_IF_ERROR(JsonReadInt(class_json, "count", &cls.count, kWhat));
+    if (cls.count < 1 || cls.count > kMaxFleetClassCount) {
+      return InvalidArgumentError(std::string(kWhat) + ": fleet class " + std::to_string(i) +
+                                  " requires 1 <= count <= " +
+                                  std::to_string(kMaxFleetClassCount));
+    }
+    double rate = -1.0;
+    RETURN_IF_ERROR(JsonReadDouble(class_json, "failure_rate", &rate, kWhat));
+    if (const Json* curve_json = class_json.Find("curve"); curve_json != nullptr) {
+      if (rate >= 0.0) {
+        return InvalidArgumentError(std::string(kWhat) + ": fleet class " + std::to_string(i) +
+                                    " must give \"failure_rate\" or \"curve\", not both");
+      }
+      Result<std::unique_ptr<FaultCurve>> curve = CurveFromJson(*curve_json);
+      if (!curve.ok()) return curve.status();
+      double age = 0.0;
+      RETURN_IF_ERROR(JsonReadDouble(class_json, "age", &age, kWhat));
+      if (!(age >= 0.0) || !std::isfinite(age)) {
+        return InvalidArgumentError(std::string(kWhat) + ": fleet class ages must be >= 0");
+      }
+      rate = (*curve)->HazardRate(age);
+    }
+    if (!(rate > 0.0) || !std::isfinite(rate)) {
+      return InvalidArgumentError(std::string(kWhat) + ": fleet class " + std::to_string(i) +
+                                  " needs failure_rate > 0 (or a curve with a positive "
+                                  "hazard at its age)");
+    }
+    cls.failure_rate = rate;
+    RETURN_IF_ERROR(JsonReadBool(class_json, "old", &cls.in_old, kWhat));
+    RETURN_IF_ERROR(JsonReadBool(class_json, "new", &cls.in_new, kWhat));
+    params.classes.push_back(cls);
+  }
+  RETURN_IF_ERROR(JsonReadDouble(*fleet_json, "repair_rate", &params.repair_rate, kWhat));
+  RETURN_IF_ERROR(JsonReadInt(*fleet_json, "repair_servers", &params.repair_servers, kWhat));
+  Status valid = FleetModel::Validate(params, max_states);
+  if (!valid.ok()) {
+    return InvalidArgumentError(std::string(kWhat) + ": " + valid.message());
+  }
+  return params;
+}
+
+int FleetTotalNodes(const FleetParams& params) {
+  int total = 0;
+  for (const FleetClass& cls : params.classes) {
+    total += cls.count;
+  }
+  return total;
+}
+
+// Rejects mission horizons whose uniformization would blow the per-request flop budget.
+// The uniformization rate is bounded by the total failure rate plus the repair pool rate,
+// so the bound is computable at the edge — INVALID_ARGUMENT here, never a multi-minute
+// engine stall.
+Status CheckUniformizationBudget(const FleetParams& params, double mission_hours) {
+  double exit_rate = 0.0;
+  double states = 1.0;
+  for (const FleetClass& cls : params.classes) {
+    exit_rate += cls.count * cls.failure_rate;
+    states *= cls.count + 1;
+  }
+  exit_rate += std::min(FleetTotalNodes(params), params.repair_servers) * params.repair_rate;
+  const double poisson_mean = 1.02 * exit_rate * mission_hours;
+  const double terms = poisson_mean + 12.0 * std::sqrt(poisson_mean) + 50.0;
+  if (terms * states * states > kMaxUniformizationCost) {
+    return InvalidArgumentError(
+        std::string(kWhat) +
+        ": mission_hours * fleet rates exceed the uniformization budget (shorten the "
+        "mission, shrink the fleet, or lower the rates)");
+  }
+  return Status::Ok();
+}
+
+// Parses the "schedule" object of a mission_reliability request into the request's
+// (round_hours, schedule_probabilities) pair: either an explicit matrix or a curve form
+// evaluated round by round. Probabilities are validated against RoundSchedule::Validate so
+// the engine's RoundSchedule construction cannot CHECK-fail on wire input.
+Status ParseSchedule(const Json& schedule, int min_n, ServeRequest* request) {
+  if (!schedule.IsObject()) {
+    return InvalidArgumentError(std::string(kWhat) + ": \"schedule\" must be an object");
+  }
+  RETURN_IF_ERROR(JsonReadDouble(schedule, "round_hours", &request->round_hours, kWhat));
+  if (!(request->round_hours > 0.0) || !std::isfinite(request->round_hours)) {
+    return InvalidArgumentError(std::string(kWhat) + ": schedule requires round_hours > 0");
+  }
+  const Json* matrix = schedule.Find("round_probabilities");
+  if (matrix != nullptr) {
+    if (!matrix->IsArray() || matrix->items.empty()) {
+      return InvalidArgumentError(std::string(kWhat) +
+                                  ": round_probabilities must be a non-empty array of rows");
+    }
+    for (const Json& row : matrix->items) {
+      if (!row.IsArray()) {
+        return InvalidArgumentError(std::string(kWhat) +
+                                    ": round_probabilities rows must be arrays");
+      }
+      std::vector<double> probabilities;
+      probabilities.reserve(row.items.size());
+      for (const Json& item : row.items) {
+        if (!item.IsNumber()) {
+          return InvalidArgumentError(std::string(kWhat) +
+                                      ": round_probabilities entries must be numbers");
+        }
+        probabilities.push_back(item.NumberValue());
+      }
+      request->schedule_probabilities.push_back(std::move(probabilities));
+    }
+  } else {
+    const Json* curve_json = schedule.Find("curve");
+    if (curve_json == nullptr) {
+      return InvalidArgumentError(std::string(kWhat) +
+                                  ": schedule requires \"round_probabilities\" or a "
+                                  "\"curve\" form");
+    }
+    Result<std::unique_ptr<FaultCurve>> curve = CurveFromJson(*curve_json);
+    if (!curve.ok()) return curve.status();
+    int n = 0;
+    int rounds = 0;
+    double age = 0.0;
+    RETURN_IF_ERROR(JsonReadInt(schedule, "n", &n, kWhat));
+    RETURN_IF_ERROR(JsonReadInt(schedule, "rounds", &rounds, kWhat));
+    RETURN_IF_ERROR(JsonReadDouble(schedule, "age", &age, kWhat));
+    if (n < 1 || n > kMaxClusterNodes || rounds < 1 || rounds > kMaxScheduleRounds) {
+      return InvalidArgumentError(std::string(kWhat) +
+                                  ": curve schedule requires 1 <= n <= " +
+                                  std::to_string(kMaxClusterNodes) + " and 1 <= rounds <= " +
+                                  std::to_string(kMaxScheduleRounds));
+    }
+    if (!(age >= 0.0) || !std::isfinite(age)) {
+      return InvalidArgumentError(std::string(kWhat) + ": schedule age must be >= 0");
+    }
+    for (int r = 0; r < rounds; ++r) {
+      const double start = age + r * request->round_hours;
+      const double p = (*curve)->FailureProbability(start, start + request->round_hours);
+      request->schedule_probabilities.push_back(
+          std::vector<double>(static_cast<size_t>(n), p));
+    }
+  }
+  if (static_cast<int>(request->schedule_probabilities.size()) > kMaxScheduleRounds) {
+    return InvalidArgumentError(std::string(kWhat) + ": schedule is limited to " +
+                                std::to_string(kMaxScheduleRounds) + " rounds");
+  }
+  Status valid = RoundSchedule::Validate(request->round_hours,
+                                         request->schedule_probabilities);
+  if (!valid.ok()) {
+    return InvalidArgumentError(std::string(kWhat) + ": " + valid.message());
+  }
+  const int n = static_cast<int>(request->schedule_probabilities.front().size());
+  if (n > kMaxClusterNodes || n < min_n) {
+    return InvalidArgumentError(std::string(kWhat) + ": schedule requires " +
+                                std::to_string(min_n) + " <= n <= " +
+                                std::to_string(kMaxClusterNodes));
+  }
+  return Status::Ok();
+}
+
+Json FleetCanonicalJson(const FleetParams& fleet) {
+  Json object = Json::Object();
+  Json classes = Json::Array();
+  for (const FleetClass& cls : fleet.classes) {
+    Json class_json = Json::Object();
+    class_json.Set("count", Json::Number(cls.count));
+    class_json.Set("failure_rate", Json::Number(cls.failure_rate));
+    class_json.Set("old", Json::Bool(cls.in_old));
+    class_json.Set("new", Json::Bool(cls.in_new));
+    classes.Append(std::move(class_json));
+  }
+  object.Set("classes", std::move(classes));
+  object.Set("repair_rate", Json::Number(fleet.repair_rate));
+  object.Set("repair_servers", Json::Number(fleet.repair_servers));
+  return object;
 }
 
 }  // namespace
@@ -413,6 +628,126 @@ Result<ServeRequest> ServeRequest::FromParams(RequestKind kind, const Json& para
       }
       return request;
     }
+
+    case RequestKind::kAvailability: {
+      Result<std::string> protocol = ReadProtocol(params);
+      if (!protocol.ok()) return protocol.status();
+      request.protocol = *std::move(protocol);
+      Result<FleetParams> fleet =
+          FleetFromJson(params.Find("fleet"), kMaxFleetStatesServe);
+      if (!fleet.ok()) return fleet.status();
+      request.fleet = *std::move(fleet);
+      RETURN_IF_ERROR(JsonReadBool(params, "reconfiguration", &request.reconfiguration,
+                                   kWhat));
+      RETURN_IF_ERROR(JsonReadInt(params, "loss_threshold", &request.loss_threshold, kWhat));
+      if (request.loss_threshold < 0 ||
+          request.loss_threshold > FleetTotalNodes(request.fleet)) {
+        return InvalidArgumentError(std::string(kWhat) +
+                                    ": loss_threshold must lie in [0, total fleet nodes]");
+      }
+      if (request.reconfiguration) {
+        bool any_new = false;
+        for (const FleetClass& cls : request.fleet.classes) {
+          any_new = any_new || cls.in_new;
+        }
+        if (!any_new) {
+          return InvalidArgumentError(std::string(kWhat) +
+                                      ": reconfiguration analysis needs at least one class "
+                                      "in the new membership (\"new\": true)");
+        }
+      }
+      return request;
+    }
+
+    case RequestKind::kMissionReliability: {
+      Result<std::string> protocol = ReadProtocol(params);
+      if (!protocol.ok()) return protocol.status();
+      request.protocol = *std::move(protocol);
+      const Json* schedule = params.Find("schedule");
+      if (schedule != nullptr) {
+        if (params.Find("fleet") != nullptr) {
+          return InvalidArgumentError(std::string(kWhat) +
+                                      ": give \"schedule\" or \"fleet\", not both");
+        }
+        request.schedule_mode = true;
+        const int min_n = request.protocol == "pbft" ? 4 : 3;
+        RETURN_IF_ERROR(ParseSchedule(*schedule, min_n, &request));
+        return request;
+      }
+      Result<FleetParams> fleet =
+          FleetFromJson(params.Find("fleet"), kMaxFleetStatesServe);
+      if (!fleet.ok()) return fleet.status();
+      request.fleet = *std::move(fleet);
+      RETURN_IF_ERROR(JsonReadDouble(params, "mission_hours", &request.mission_hours, kWhat));
+      RETURN_IF_ERROR(CheckFinite(request.mission_hours, "mission_hours"));
+      if (!(request.mission_hours > 0.0) || request.mission_hours > kMaxMissionHours) {
+        return InvalidArgumentError(std::string(kWhat) +
+                                    ": mission_hours must lie in (0, " +
+                                    FormatDouble(kMaxMissionHours) + "]");
+      }
+      RETURN_IF_ERROR(JsonReadBool(params, "reconfiguration", &request.reconfiguration,
+                                   kWhat));
+      RETURN_IF_ERROR(CheckUniformizationBudget(request.fleet, request.mission_hours));
+      return request;
+    }
+
+    case RequestKind::kRepairSweep: {
+      Result<std::string> protocol = ReadProtocol(params);
+      if (!protocol.ok()) return protocol.status();
+      request.protocol = *std::move(protocol);
+      Result<FleetParams> fleet = FleetFromJson(params.Find("fleet"), kMaxSweepStates);
+      if (!fleet.ok()) return fleet.status();
+      request.fleet = *std::move(fleet);
+      // The sweep replaces the repair rate point by point; zeroing the base keeps requests
+      // that differ only in an ignored "repair_rate" on the same canonical key.
+      request.fleet.repair_rate = 0.0;
+      RETURN_IF_ERROR(JsonReadDoubleList(params, "repair_rates", &request.sweep_repair_rates,
+                                         kWhat));
+      if (!request.sweep_repair_rates.empty() &&
+          (params.Find("min_rate") != nullptr || params.Find("max_rate") != nullptr ||
+           params.Find("points") != nullptr)) {
+        return InvalidArgumentError(
+            std::string(kWhat) +
+            ": give either explicit \"repair_rates\" or a min_rate/max_rate/points grid, "
+            "not both");
+      }
+      if (request.sweep_repair_rates.empty()) {
+        double min_rate = 0.0;
+        double max_rate = 0.0;
+        int points = 0;
+        RETURN_IF_ERROR(JsonReadDouble(params, "min_rate", &min_rate, kWhat));
+        RETURN_IF_ERROR(JsonReadDouble(params, "max_rate", &max_rate, kWhat));
+        RETURN_IF_ERROR(JsonReadInt(params, "points", &points, kWhat));
+        if (!(min_rate > 0.0) || !std::isfinite(min_rate) || !(max_rate >= min_rate) ||
+            !std::isfinite(max_rate) || points < 1 || points > kMaxSweepPoints) {
+          return InvalidArgumentError(
+              std::string(kWhat) +
+              ": repair_sweep requires \"repair_rates\" or a grid with 0 < min_rate <= "
+              "max_rate and 1 <= points <= " +
+              std::to_string(kMaxSweepPoints));
+        }
+        request.sweep_repair_rates = GeometricRepairRates(min_rate, max_rate, points);
+      }
+      if (static_cast<int>(request.sweep_repair_rates.size()) > kMaxSweepPoints) {
+        return InvalidArgumentError(std::string(kWhat) + ": repair_sweep is limited to " +
+                                    std::to_string(kMaxSweepPoints) + " rates");
+      }
+      for (double rate : request.sweep_repair_rates) {
+        if (!(rate > 0.0) || !std::isfinite(rate)) {
+          return InvalidArgumentError(std::string(kWhat) +
+                                      ": repair rates must be positive and finite");
+        }
+      }
+      RETURN_IF_ERROR(JsonReadDouble(params, "target_availability",
+                                     &request.sweep_target_availability, kWhat));
+      if (request.sweep_target_availability != 0.0 &&
+          (!(request.sweep_target_availability > 0.0) ||
+           !(request.sweep_target_availability < 1.0))) {
+        return InvalidArgumentError(std::string(kWhat) +
+                                    ": target_availability must lie in (0, 1)");
+      }
+      return request;
+    }
   }
   return InvalidArgumentError(std::string(kWhat) + ": unhandled request kind");
 }
@@ -467,6 +802,35 @@ Json ServeRequest::CanonicalParams() const {
       object.Set("seed", Json::Number(seed));
       break;
     }
+    case RequestKind::kAvailability:
+      object.Set("protocol", Json::String(protocol));
+      object.Set("fleet", FleetCanonicalJson(fleet));
+      object.Set("reconfiguration", Json::Bool(reconfiguration));
+      object.Set("loss_threshold", Json::Number(loss_threshold));
+      break;
+    case RequestKind::kMissionReliability:
+      object.Set("protocol", Json::String(protocol));
+      if (schedule_mode) {
+        Json schedule = Json::Object();
+        schedule.Set("round_hours", Json::Number(round_hours));
+        Json matrix = Json::Array();
+        for (const std::vector<double>& row : schedule_probabilities) {
+          matrix.Append(DoubleListJson(row));
+        }
+        schedule.Set("round_probabilities", std::move(matrix));
+        object.Set("schedule", std::move(schedule));
+      } else {
+        object.Set("fleet", FleetCanonicalJson(fleet));
+        object.Set("mission_hours", Json::Number(mission_hours));
+        object.Set("reconfiguration", Json::Bool(reconfiguration));
+      }
+      break;
+    case RequestKind::kRepairSweep:
+      object.Set("protocol", Json::String(protocol));
+      object.Set("fleet", FleetCanonicalJson(fleet));
+      object.Set("repair_rates", DoubleListJson(sweep_repair_rates));
+      object.Set("target_availability", Json::Number(sweep_target_availability));
+      break;
   }
   return object;
 }

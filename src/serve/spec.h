@@ -26,6 +26,7 @@
 
 #include "src/common/json.h"
 #include "src/common/status.h"
+#include "src/lifecycle/fleet_model.h"
 
 namespace probcon::serve {
 
@@ -47,9 +48,12 @@ enum class RequestKind : int {
   kMonteCarlo,   // Monte Carlo estimate with Wilson CI
   kStats,        // live metrics snapshot (obs registry); never cached, never queued
   kHealth,       // readiness / brownout state machine snapshot; never cached, never queued
+  kAvailability,        // fleet-lifecycle steady-state availability / MTTU / MTTQL
+  kMissionReliability,  // fleet CTMC mission reliability OR per-round schedule analysis
+  kRepairSweep,         // repair-rate sweep ("how fast must repair be for five nines?")
 };
 
-inline constexpr int kRequestKindCount = 9;
+inline constexpr int kRequestKindCount = 12;
 
 std::string_view RequestKindName(RequestKind kind);
 Result<RequestKind> RequestKindFromName(std::string_view name);
@@ -110,6 +114,31 @@ struct ServeRequest {
   uint64_t seed = 42;           // montecarlo
 
   bool stats_reset = false;  // stats: zero counters/histograms after the snapshot
+
+  // Fleet-lifecycle kinds (availability, mission_reliability, repair_sweep). The fleet is
+  // resolved at parse time: class specs may carry an explicit failure_rate or a fault curve
+  // plus an age (lumped via FleetClass::FromCurve), and `protocol` selects the quorum rule.
+  //
+  //   "fleet": {"classes": [{"count": 3, "failure_rate": 1e-3}
+  //                         | {"count": 2, "curve": {...}, "age": 8766,
+  //                            "old": true, "new": false}, ...],
+  //             "repair_rate": 0.5, "repair_servers": 2}
+  FleetParams fleet;
+  bool reconfiguration = false;  // availability, mission_reliability: joint-quorum window
+  int loss_threshold = 0;        // availability: MTTQL threshold; 0 skips the metric
+
+  // mission_reliability, schedule mode: "schedule" instead of "fleet"/"mission_hours" —
+  // either explicit {"round_probabilities": [[..], ..], "round_hours": h} or a curve form
+  // {"curve": {...}, "n": 4, "age": 0, "round_hours": 24, "rounds": 30}. The matrix is
+  // resolved at parse time; `schedule_mode` records which mode the request took.
+  bool schedule_mode = false;
+  double round_hours = 0.0;
+  std::vector<std::vector<double>> schedule_probabilities;
+
+  // repair_sweep: explicit {"repair_rates": [..]} or a geometric grid {"min_rate": ..,
+  // "max_rate": .., "points": ..}, resolved at parse time; optional availability target.
+  std::vector<double> sweep_repair_rates;
+  double sweep_target_availability = 0.0;  // 0 = no target requested
 
   // Server-internal brownout markers — never parsed from the wire and never part of
   // CanonicalParams/CanonicalKey: the server sets them on its own copy when it admits a

@@ -1,0 +1,108 @@
+#include "src/faultmodel/round_schedule.h"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace probcon {
+namespace {
+
+TEST(RoundScheduleTest, ValidateAcceptsRectangularMatrix) {
+  EXPECT_TRUE(RoundSchedule::Validate(24.0, {{0.1, 0.2}, {0.3, 0.0}}).ok());
+}
+
+TEST(RoundScheduleTest, ValidateRejectsStructuralErrors) {
+  EXPECT_FALSE(RoundSchedule::Validate(24.0, {}).ok());                // No rounds.
+  EXPECT_FALSE(RoundSchedule::Validate(24.0, {{}}).ok());             // Empty row.
+  EXPECT_FALSE(RoundSchedule::Validate(24.0, {{0.1}, {0.1, 0.2}}).ok());  // Ragged.
+  EXPECT_FALSE(RoundSchedule::Validate(0.0, {{0.1}}).ok());           // Bad round length.
+  EXPECT_FALSE(RoundSchedule::Validate(-1.0, {{0.1}}).ok());
+  EXPECT_FALSE(RoundSchedule::Validate(24.0, {{1.0}}).ok());          // p = 1 not allowed.
+  EXPECT_FALSE(RoundSchedule::Validate(24.0, {{-0.1}}).ok());
+}
+
+TEST(RoundScheduleTest, AccessorsAndMissionTime) {
+  const RoundSchedule schedule(12.0, {{0.1, 0.2, 0.3}, {0.05, 0.05, 0.05}});
+  EXPECT_EQ(schedule.rounds(), 2);
+  EXPECT_EQ(schedule.n(), 3);
+  EXPECT_DOUBLE_EQ(schedule.round_hours(), 12.0);
+  EXPECT_DOUBLE_EQ(schedule.mission_hours(), 24.0);
+  EXPECT_DOUBLE_EQ(schedule.RoundProbabilities(1)[2], 0.05);
+}
+
+TEST(RoundScheduleTest, FromCurveMatchesWindowProbabilities) {
+  // Each round's entry is FailureProbability over that round's age window.
+  const WeibullFaultCurve curve(2.0, 1000.0);
+  const double age = 100.0;
+  const double d = 24.0;
+  const RoundSchedule schedule = RoundSchedule::FromCurve(curve, 3, age, d, 5);
+  ASSERT_EQ(schedule.rounds(), 5);
+  ASSERT_EQ(schedule.n(), 3);
+  for (int r = 0; r < 5; ++r) {
+    const double expected = curve.FailureProbability(age + r * d, age + (r + 1) * d);
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_NEAR(schedule.RoundProbabilities(r)[i], expected, 1e-15) << r << "," << i;
+    }
+  }
+}
+
+TEST(RoundScheduleTest, FromCurvesHonorsPerNodeAges) {
+  const WeibullFaultCurve young(2.0, 1000.0);
+  const WeibullFaultCurve old_curve(2.0, 1000.0);
+  const RoundSchedule schedule = RoundSchedule::FromCurves(
+      {&young, &old_curve}, {0.0, 5000.0}, 24.0, 3);
+  // Wear-out: the aged node fails more per round than the fresh one.
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_GT(schedule.RoundProbabilities(r)[1], schedule.RoundProbabilities(r)[0]);
+  }
+}
+
+TEST(RoundScheduleTest, ConstantCurveGivesFlatSchedule) {
+  const ConstantFaultCurve curve(ConstantFaultCurve::FromWindowProbability(0.01, 24.0));
+  const RoundSchedule schedule = RoundSchedule::FromCurve(curve, 4, 0.0, 24.0, 10);
+  for (int r = 0; r < 10; ++r) {
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_NEAR(schedule.RoundProbabilities(r)[i], 0.01, 1e-12);
+    }
+  }
+}
+
+TEST(RoundScheduleTest, CumulativeFailureProbabilities) {
+  const RoundSchedule schedule(24.0, {{0.1, 0.0}, {0.2, 0.0}});
+  const std::vector<double> cumulative = schedule.CumulativeFailureProbabilities();
+  ASSERT_EQ(cumulative.size(), 2u);
+  EXPECT_NEAR(cumulative[0], 1.0 - 0.9 * 0.8, 1e-12);
+  EXPECT_DOUBLE_EQ(cumulative[1], 0.0);
+}
+
+TEST(RoundScheduleTest, NodeCurveReplaysScheduleExactly) {
+  // The cross-validation hinge: the rebuilt trace curve's window failure probability over
+  // round r must equal the schedule entry, to round-off, including survival conditioning.
+  const RoundSchedule schedule(6.0, {{0.01, 0.5}, {0.2, 0.001}, {0.0, 0.25}});
+  for (int node = 0; node < 2; ++node) {
+    const std::unique_ptr<FaultCurve> curve = schedule.NodeCurve(node);
+    for (int r = 0; r < schedule.rounds(); ++r) {
+      const double p = curve->FailureProbability(r * 6.0, (r + 1) * 6.0);
+      EXPECT_NEAR(p, schedule.RoundProbabilities(r)[node], 1e-12) << node << "," << r;
+    }
+  }
+}
+
+TEST(RoundScheduleTest, NodeCurveRoundTripFromRealCurve) {
+  // Curve -> schedule -> NodeCurve -> window probabilities reproduces the original curve's
+  // per-round failure law at the knots.
+  const WeibullFaultCurve original(0.7, 50000.0);  // Infant-mortality shape.
+  const double d = 24.0;
+  const RoundSchedule schedule = RoundSchedule::FromCurve(original, 1, 0.0, d, 20);
+  const std::unique_ptr<FaultCurve> rebuilt = schedule.NodeCurve(0);
+  for (int r = 0; r < 20; ++r) {
+    EXPECT_NEAR(rebuilt->FailureProbability(r * d, (r + 1) * d),
+                original.FailureProbability(r * d, (r + 1) * d), 1e-12)
+        << r;
+  }
+}
+
+}  // namespace
+}  // namespace probcon

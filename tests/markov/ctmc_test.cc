@@ -1,8 +1,12 @@
 #include "src/markov/ctmc.h"
 
+#include <atomic>
 #include <cmath>
+#include <cstdint>
 
 #include <gtest/gtest.h>
+
+#include "src/common/cancellation.h"
 
 namespace probcon {
 namespace {
@@ -162,6 +166,73 @@ TEST(CtmcTest, TransientConvergesToSteadyState) {
   ASSERT_TRUE(pi.ok());
   EXPECT_NEAR(late[0], (*pi)[0], 1e-8);
   EXPECT_NEAR(late[1], (*pi)[1], 1e-8);
+}
+
+TEST(CtmcTest, TransientWithNoTransitionsReturnsInitial) {
+  // Degenerate uniformization: a chain with no transitions has Lambda = 0, so there is
+  // nothing to exponentiate — the distribution must pass through unchanged for ANY t, not
+  // divide by zero. Regression for the uniformization rate guard.
+  Ctmc chain(3);
+  const Vector initial = {0.2, 0.5, 0.3};
+  for (const double t : {0.0, 1.0, 1e6}) {
+    const Vector at_t = chain.TransientDistribution(initial, t);
+    EXPECT_DOUBLE_EQ(at_t[0], 0.2) << t;
+    EXPECT_DOUBLE_EQ(at_t[1], 0.5) << t;
+    EXPECT_DOUBLE_EQ(at_t[2], 0.3) << t;
+  }
+}
+
+TEST(CtmcTest, TransientAllStatesAbsorbingIsAlsoDegenerate) {
+  // Absorbing-only chains (every state retained, no outgoing rates) hit the same Lambda = 0
+  // path even when states exist that COULD have transitions.
+  Ctmc chain(2);
+  const Vector initial = {1.0, 0.0};
+  const Vector at_t = chain.TransientDistribution(initial, 42.0);
+  EXPECT_DOUBLE_EQ(at_t[0], 1.0);
+  EXPECT_DOUBLE_EQ(at_t[1], 0.0);
+}
+
+TEST(CtmcTest, TryTransientRejectsAstronomicalHorizons) {
+  // rate * t over the term cap must surface as FAILED_PRECONDITION, not an int overflow in
+  // the Poisson term loop.
+  const Ctmc chain = TwoStateMachine(1.0, 1.0);
+  const auto result = chain.TryTransientDistribution({1.0, 0.0}, 1e12, {});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CtmcTest, TrySolversHonorCancellation) {
+  const Ctmc chain = TwoStateMachine(0.5, 1.5);
+  CancelToken token;
+  token.Cancel();
+  const CtmcSolveOptions options{.cancel = &token};
+  EXPECT_EQ(chain.TrySteadyState(options).status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(chain.TryMeanTimeToAbsorption(0, {1}, options).status().code(),
+            StatusCode::kCancelled);
+  EXPECT_EQ(chain.TryTransientDistribution({1.0, 0.0}, 10.0, options).status().code(),
+            StatusCode::kCancelled);
+}
+
+TEST(CtmcTest, TrySolversMatchUncancelledBaseline) {
+  const Ctmc chain = TwoStateMachine(0.4, 1.6);
+  const auto baseline = chain.SteadyState();
+  const auto tried = chain.TrySteadyState({});
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_TRUE(tried.ok());
+  EXPECT_DOUBLE_EQ((*tried)[0], (*baseline)[0]);
+  const Vector direct = chain.TransientDistribution({1.0, 0.0}, 2.5);
+  const auto tried_transient = chain.TryTransientDistribution({1.0, 0.0}, 2.5, {});
+  ASSERT_TRUE(tried_transient.ok());
+  EXPECT_DOUBLE_EQ((*tried_transient)[0], direct[0]);
+}
+
+TEST(CtmcTest, ProgressCellCountsUniformizationTerms) {
+  std::atomic<uint64_t> steps{0};
+  const Ctmc chain = TwoStateMachine(2.0, 2.0);
+  const auto result = chain.TryTransientDistribution({1.0, 0.0}, 50.0, {.progress = &steps});
+  ASSERT_TRUE(result.ok());
+  // Lambda * t = 50 * ~4.08: uniformization needs at least that many Poisson terms.
+  EXPECT_GT(steps.load(), 100u);
 }
 
 TEST(CtmcTest, AccumulatedParallelTransitions) {

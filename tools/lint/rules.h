@@ -64,6 +64,7 @@ struct LintOptions {
       "src/obs/span.h",
       "src/obs/span.cc",
       "bench/serve_load.cc",
+      "bench/lifecycle_perf.cc",
   };
 
   // R5 applies below this directory prefix.

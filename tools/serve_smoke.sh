@@ -7,6 +7,8 @@
 #      byte-identical to the offline tables,
 #   3. repeat a query and require the second answer to be a cache hit with an identical
 #      result object,
+#   3b. issue a fleet-lifecycle `availability` query, pin it to the independent-node
+#      closed form, and require its repeat to hit the memo cache,
 #   4. pipeline a --concurrency batch through one connection and require every response
 #      to come back, matched to a distinct request id, with the same result object,
 #   5. fire a 1 ms deadline at a 2^30-trial Monte Carlo request and require a prompt
@@ -113,6 +115,39 @@ canon = lambda value: json.dumps(value, sort_keys=True)
 for doc in docs:
     assert doc["status"] == "OK", doc
     assert canon(doc["result"]) == canon(first), doc
+EOF
+
+# Fleet lifecycle: an availability query round-trips with the independent-node closed form
+# (3 nodes, lambda 0.02, per-node repair at mu 0.5: unavailability ~ 0.0043241), and the
+# repeat is served from the memo cache with a byte-identical result.
+AVAIL_PARAMS='{"protocol": "raft", "fleet": {"classes": [{"count": 3, "failure_rate": 0.02}], "repair_rate": 0.5, "repair_servers": 3}}'
+AVAIL="$("${CLI}" --port "${PORT}" availability "${AVAIL_PARAMS}")" \
+  || fail "availability query errored"
+python3 - "$AVAIL" <<'EOF' || fail "availability result off the closed form: ${AVAIL}"
+import json, sys
+result = json.loads(sys.argv[1])["result"]
+up = 0.5 / 0.52
+expected = 1.0 - (3 * up * up * (1 - up) + up ** 3)
+assert abs(result["unavailability"] - expected) < 1e-9, result
+assert result["mttu_hours"] > 0, result
+assert result["downtime_hours_per_year"] > 0, result
+EOF
+AVAIL_REPEAT="$("${CLI}" --port "${PORT}" --repeat 2 availability "${AVAIL_PARAMS}")" \
+  || fail "repeated availability query errored"
+echo "${AVAIL_REPEAT}" | grep -q '"cached": true' \
+  || fail "availability repeat was not served from cache"
+python3 - "$AVAIL" "$AVAIL_REPEAT" <<'EOF' || fail "cached availability differs from computed"
+import json, sys
+first = json.loads(sys.argv[1])["result"]
+decoder = json.JSONDecoder()
+text, results = sys.argv[2].strip(), []
+while text:
+    doc, end = decoder.raw_decode(text)
+    results.append(doc["result"])
+    text = text[end:].strip()
+canon = lambda value: json.dumps(value, sort_keys=True)
+assert len(results) == 2, f"expected 2 responses, got {len(results)}"
+assert canon(results[0]) == canon(results[1]) == canon(first)
 EOF
 
 # Deadlines: a 2^30-trial Monte Carlo run under a 1 ms deadline must come back
